@@ -1,0 +1,67 @@
+// Ablation C — the spatial index behind ProblemView. The paper treats
+// valid-pair retrieval as a black box; this bench compares the uniform
+// grid against the STR R-tree on the two data shapes the generators
+// produce (spread-out synthetic customers vs. district-clustered
+// Foursquare-like venues), for both query directions.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "model/problem_view.h"
+
+namespace {
+
+using namespace muaa;
+
+double TimeAllQueries(const model::ProblemView& view,
+                      const model::ProblemInstance& inst) {
+  Stopwatch watch;
+  std::vector<model::VendorId> scratch;
+  size_t hits = 0;
+  for (size_t j = 0; j < inst.num_vendors(); ++j) {
+    hits += view.ValidCustomers(static_cast<model::VendorId>(j)).size();
+  }
+  for (size_t i = 0; i < inst.num_customers(); ++i) {
+    view.ValidVendorsInto(static_cast<model::CustomerId>(i), &scratch);
+    hits += scratch.size();
+  }
+  double ms = watch.ElapsedMillis();
+  std::printf("      (%zu matches)\n", hits);
+  return ms;
+}
+
+void RunOne(const char* label, const model::ProblemInstance& inst) {
+  std::printf("  %s: %zu customers, %zu vendors\n", label,
+              inst.num_customers(), inst.num_vendors());
+  for (auto backend :
+       {model::SpatialBackend::kGrid, model::SpatialBackend::kRTree}) {
+    Stopwatch build;
+    model::ProblemView view(&inst, backend);
+    double build_ms = build.ElapsedMillis();
+    double query_ms = TimeAllQueries(view, inst);
+    std::printf("    %-6s build=%.1fms all-queries=%.1fms\n",
+                backend == model::SpatialBackend::kGrid ? "grid" : "rtree",
+                build_ms, query_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace muaa;
+  bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintHeader("Ablation C — spatial index backend", scale,
+                     "grid vs STR R-tree on spread vs clustered data");
+
+  auto synth_cfg = bench::SyntheticConfig(scale);
+  auto synth = datagen::GenerateSynthetic(synth_cfg);
+  MUAA_CHECK(synth.ok());
+  RunOne("synthetic (spread)", *synth);
+
+  auto city_cfg = bench::RealishConfig(scale);
+  auto city = datagen::GenerateFoursquareLike(city_cfg);
+  MUAA_CHECK(city.ok());
+  RunOne("foursquare-like (clustered)", *city);
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace muaa::bench {
+
+Scale ParseScale(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "scale=paper") == 0) return Scale::kPaper;
+    if (std::strcmp(argv[i], "scale=quick") == 0) return Scale::kQuick;
+  }
+  const char* env = std::getenv("MUAA_SCALE");
+  if (env != nullptr && std::strcmp(env, "paper") == 0) return Scale::kPaper;
+  return Scale::kQuick;
+}
+
+bool UsePaperCatalog(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "catalog=paper") == 0) return true;
+  }
+  const char* env = std::getenv("MUAA_CATALOG");
+  return env != nullptr && std::strcmp(env, "paper") == 0;
+}
+
+datagen::FoursquareLikeConfig RealishConfig(Scale scale) {
+  datagen::FoursquareLikeConfig cfg;
+  if (scale == Scale::kPaper) {
+    // Near the paper's filtered dataset: 441k check-ins over 7.2k vendors.
+    cfg.num_users = 2'293;
+    cfg.num_venues = 61'858;
+    cfg.num_checkins = 573'703;
+    cfg.max_customers = 60'000;  // still capped for wall-clock sanity
+  } else {
+    cfg.num_users = 300;
+    cfg.num_venues = 3'000;
+    cfg.num_checkins = 40'000;
+    cfg.max_customers = 4'000;
+  }
+  cfg.budget = {20.0, 30.0};
+  cfg.radius = {0.02, 0.03};
+  cfg.capacity = {1.0, 5.0};
+  cfg.view_prob = {0.1, 0.5};
+  cfg.seed = 42;
+  return cfg;
+}
+
+datagen::SyntheticConfig SyntheticConfig(Scale scale) {
+  datagen::SyntheticConfig cfg;
+  if (scale == Scale::kPaper) {
+    cfg.num_customers = 100'000;
+    cfg.num_vendors = 2'000;
+  } else {
+    cfg.num_customers = 4'000;
+    cfg.num_vendors = 200;
+  }
+  cfg.budget = {20.0, 30.0};
+  cfg.radius = {0.02, 0.03};
+  cfg.capacity = {1.0, 5.0};
+  cfg.view_prob = {0.1, 0.5};
+  cfg.seed = 42;
+  return cfg;
+}
+
+void RunLineup(const model::ProblemInstance& instance,
+               const std::string& x_tick, eval::SeriesReporter* reporter,
+               uint64_t seed) {
+  MUAA_CHECK_OK(instance.Validate());
+  eval::ExperimentRunner runner(&instance, seed);
+  for (auto& solver : eval::MakeStandardSolvers()) {
+    auto record = runner.Run(solver.get());
+    MUAA_CHECK(record.ok()) << record.status().ToString();
+    reporter->Record(x_tick, *record);
+    std::printf("  [%s] %-8s utility=%.6g cpu=%.1fms ads=%zu util%%=%.0f\n",
+                x_tick.c_str(), record->solver.c_str(), record->utility,
+                record->cpu_ms, record->ads,
+                100.0 * record->budget_utilization);
+    std::fflush(stdout);
+  }
+}
+
+void PrintHeader(const std::string& bench, Scale scale,
+                 const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (scale=%s)\n", bench.c_str(),
+              scale == Scale::kPaper ? "paper" : "quick");
+  std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace muaa::bench

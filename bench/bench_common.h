@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: scaled dataset
+// builders, the standard solver line-up, and sweep execution.
+//
+// Scale: every bench defaults to sizes ~10-20x below the paper's so the
+// whole suite finishes in minutes; set MUAA_SCALE=paper (or pass
+// scale=paper) to run closer to the published sizes. EXPERIMENTS.md
+// records the shapes at both scales.
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "datagen/foursquare.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+
+namespace muaa::bench {
+
+/// Benchmark scale selector.
+enum class Scale { kQuick, kPaper };
+
+/// Parses the scale from argv (`scale=paper`) / env (`MUAA_SCALE`).
+Scale ParseScale(int argc, const char* const* argv);
+
+/// True when `catalog=paper` (argv) or `MUAA_CATALOG=paper` (env) asks for
+/// the paper's 2-type Table-I ad catalog instead of the AdWords-like one.
+/// With only two co-ranked formats, GREEDY's efficiency ordering and
+/// NEAREST's utility ordering coincide, reproducing the tighter
+/// GREEDY≈RECON curves of the paper's figures.
+bool UsePaperCatalog(int argc, const char* const* argv);
+
+/// The paper's real-data defaults, scaled. The Foursquare-like dataset
+/// stands in for the Tokyo check-in data (see DESIGN.md substitutions).
+datagen::FoursquareLikeConfig RealishConfig(Scale scale);
+
+/// The paper's synthetic defaults, scaled.
+datagen::SyntheticConfig SyntheticConfig(Scale scale);
+
+/// Runs the standard solver line-up on `instance` and records each run
+/// under `x_tick`. Aborts the process on solver errors (benches are
+/// scripts; failures should be loud).
+void RunLineup(const model::ProblemInstance& instance,
+               const std::string& x_tick, eval::SeriesReporter* reporter,
+               uint64_t seed = 42);
+
+/// Prints the standard bench header (name, scale, dataset note).
+void PrintHeader(const std::string& bench, Scale scale,
+                 const std::string& note);
+
+}  // namespace muaa::bench

@@ -1,0 +1,32 @@
+// Fig. 8 — effect of the number n of vendors (synthetic data). Paper
+// shape: all approaches gain utility with n (more budget in the system);
+// RECON's runtime grows sharply with n (more single-vendor subproblems),
+// GREEDY's grows slightly, ONLINE stays near RANDOM.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace muaa;
+  bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintHeader("Fig. 8 — number n of vendors", scale,
+                     "synthetic data; paper sweeps 300 -> 2000");
+
+  const std::vector<size_t> sweeps =
+      scale == bench::Scale::kPaper
+          ? std::vector<size_t>{300, 600, 1'000, 1'500, 2'000}
+          : std::vector<size_t>{100, 200, 400, 700, 1'000};
+  eval::SeriesReporter reporter("Fig. 8 — #vendors", "n");
+  for (size_t n : sweeps) {
+    auto cfg = bench::SyntheticConfig(scale);
+    if (bench::UsePaperCatalog(argc, argv)) {
+      cfg.ad_types = model::AdTypeCatalog::PaperTableI();
+    }
+    cfg.num_vendors = n;
+    if (scale != bench::Scale::kPaper) cfg.num_customers = 2'000;
+    auto inst = datagen::GenerateSynthetic(cfg);
+    MUAA_CHECK(inst.ok()) << inst.status().ToString();
+    bench::RunLineup(*inst, std::to_string(n), &reporter);
+  }
+  reporter.Print();
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Micro-benchmarks (google-benchmark) for the hot substrates: grid-index
+// range queries, k-d-tree kNN, weighted-Pearson similarity, MCKP solvers,
+// the simplex, and the online per-arrival decision. These are the inner
+// loops of every figure bench; regressions here surface before they blur
+// the figure-level timings.
+
+#include <benchmark/benchmark.h>
+
+#include "assign/online_afa.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "geo/grid_index.h"
+#include "geo/kd_tree.h"
+#include "geo/safe_region.h"
+#include "knapsack/mckp_dp.h"
+#include "knapsack/mckp_lp_greedy.h"
+#include "knapsack/mckp_simplex.h"
+#include "lp/simplex.h"
+#include "model/problem_view.h"
+#include "model/similarity.h"
+
+namespace {
+
+using namespace muaa;
+
+std::vector<geo::Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) p = {rng.Uniform(), rng.Uniform()};
+  return pts;
+}
+
+void BM_GridIndexRangeQuery(benchmark::State& state) {
+  auto points = RandomPoints(static_cast<size_t>(state.range(0)), 1);
+  geo::GridIndex idx(64);
+  idx.InsertAll(points);
+  Rng rng(2);
+  std::vector<int32_t> out;
+  for (auto _ : state) {
+    geo::Point c{rng.Uniform(), rng.Uniform()};
+    idx.RangeQueryInto(c, 0.03, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GridIndexRangeQuery)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  auto points = RandomPoints(static_cast<size_t>(state.range(0)), 3);
+  geo::KdTree tree(points);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto out = tree.Nearest({rng.Uniform(), rng.Uniform()}, 8);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_SafeRegionWalk(benchmark::State& state) {
+  // A small-step walk through n vendor circles; measures the amortized
+  // per-step cost of the cached moving query (CALBA-style tracking).
+  Rng rng(12);
+  std::vector<geo::SafeRegionTracker::Circle> circles(
+      static_cast<size_t>(state.range(0)));
+  for (auto& c : circles) {
+    c.center = {rng.Uniform(), rng.Uniform()};
+    c.radius = rng.Uniform(0.02, 0.05);
+  }
+  geo::SafeRegionTracker tracker(std::move(circles));
+  geo::MovingQuery query(&tracker);
+  geo::Point p{0.5, 0.5};
+  for (auto _ : state) {
+    p.x += rng.Uniform(-0.002, 0.002);
+    p.y += rng.Uniform(-0.002, 0.002);
+    benchmark::DoNotOptimize(query.Update(p));
+  }
+  state.counters["recompute_rate"] =
+      static_cast<double>(query.recompute_count()) /
+      static_cast<double>(query.update_count());
+}
+BENCHMARK(BM_SafeRegionWalk)->Arg(1'000)->Arg(10'000);
+
+void BM_WeightedPearson(benchmark::State& state) {
+  size_t dims = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> a(dims), b(dims), w(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+    w[i] = rng.Uniform(0.1, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::WeightedPearson(a, b, w));
+  }
+}
+BENCHMARK(BM_WeightedPearson)->Arg(64)->Arg(117)->Arg(512);
+
+knapsack::MckpProblem RandomMckp(size_t classes, uint64_t seed) {
+  Rng rng(seed);
+  knapsack::MckpProblem p;
+  p.budget = 30.0;
+  p.classes.resize(classes);
+  for (auto& cls : p.classes) {
+    for (int i = 0; i < 4; ++i) {
+      cls.items.push_back(
+          {rng.Uniform(0.0, 1.0),
+           static_cast<double>(rng.UniformInt(50, 300)) / 100.0, i});
+    }
+  }
+  return p;
+}
+
+void BM_MckpLpGreedy(benchmark::State& state) {
+  auto p = RandomMckp(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    auto r = knapsack::SolveMckpLpGreedy(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MckpLpGreedy)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_MckpDp(benchmark::State& state) {
+  auto p = RandomMckp(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto r = knapsack::SolveMckpDp(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MckpDp)->Arg(100)->Arg(1'000);
+
+void BM_MckpSimplex(benchmark::State& state) {
+  auto p = RandomMckp(static_cast<size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto r = knapsack::SolveMckpSimplex(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MckpSimplex)->Arg(20)->Arg(60);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random dense LP with n vars, n+2 rows.
+  int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  lp::LpProblem prob;
+  prob.num_vars = n;
+  prob.objective.resize(static_cast<size_t>(n));
+  for (auto& c : prob.objective) c = rng.Uniform(0.1, 1.0);
+  for (int r = 0; r < n + 2; ++r) {
+    lp::LpProblem::Row row;
+    for (int v = 0; v < n; ++v) row.coeffs.emplace_back(v, rng.Uniform(0.1, 1.0));
+    row.rhs = rng.Uniform(2.0, 8.0);
+    prob.rows.push_back(row);
+  }
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.Maximize(prob);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(10)->Arg(40)->Arg(80);
+
+struct OnlineFixture {
+  model::ProblemInstance instance;
+  std::unique_ptr<model::ProblemView> view;
+  std::unique_ptr<model::UtilityModel> utility;
+  Rng rng{11};
+  assign::AfaOnlineSolver solver;
+
+  explicit OnlineFixture(size_t vendors) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 2'000;
+    cfg.num_vendors = vendors;
+    cfg.radius = {0.02, 0.04};
+    instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
+    view = std::make_unique<model::ProblemView>(&instance);
+    utility = std::make_unique<model::UtilityModel>(&instance);
+    assign::SolveContext ctx{&instance, view.get(), utility.get(), &rng};
+    MUAA_CHECK_OK(solver.Initialize(ctx));
+  }
+};
+
+void BM_OnlineArrivalDecision(benchmark::State& state) {
+  OnlineFixture fix(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto picked = fix.solver.OnArrival(
+        static_cast<model::CustomerId>(i++ % fix.instance.num_customers()));
+    benchmark::DoNotOptimize(picked);
+  }
+}
+BENCHMARK(BM_OnlineArrivalDecision)->Arg(200)->Arg(1'000);
+
+void BM_UtilityModelConstruction(benchmark::State& state) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = static_cast<size_t>(state.range(0));
+  cfg.num_vendors = 200;
+  auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  for (auto _ : state) {
+    model::UtilityModel model(&inst);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_UtilityModelConstruction)->Arg(1'000)->Arg(5'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

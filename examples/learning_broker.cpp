@@ -1,0 +1,98 @@
+// Learning broker: the paper assumes the view probabilities p_i are
+// "estimated from historical data ... with maximum likelihood estimation".
+// This example closes that loop: the broker starts with a flat prior,
+// plans each day with RECON on its *belief* instance, delivers, observes
+// simulated clicks drawn from the ground truth, updates the Beta/MLE click
+// model, and replans. Watch the realized utility climb toward the
+// plan-with-true-p ceiling as the estimates converge.
+//
+//   $ ./build/examples/learning_broker [days=20] [customers=500]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "learn/click_model.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+
+using namespace muaa;
+
+namespace {
+
+double PlanRealizedUtility(const model::ProblemInstance& belief,
+                           const model::UtilityModel& truth_utility,
+                           learn::ClickModel* click_model, Rng* feedback_rng,
+                           double* estimate_mae) {
+  model::ProblemView view(&belief);
+  model::UtilityModel utility(&belief);
+  Rng rng(7);
+  assign::SolveContext ctx{&belief, &view, &utility, &rng};
+  assign::ReconSolver recon;
+  auto plan = recon.Solve(ctx);
+  MUAA_CHECK(plan.ok()) << plan.status().ToString();
+  auto stats =
+      learn::SimulateFeedback(truth_utility, *plan, click_model, feedback_rng);
+  MUAA_CHECK(stats.ok()) << stats.status().ToString();
+
+  const model::ProblemInstance& truth = truth_utility.instance();
+  double mae = 0.0;
+  for (size_t i = 0; i < truth.num_customers(); ++i) {
+    mae += std::fabs(
+        click_model->Estimate(static_cast<model::CustomerId>(i)) -
+        truth.customers[i].view_prob);
+  }
+  *estimate_mae = mae / static_cast<double>(truth.num_customers());
+  return stats->realized_utility;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = Config::FromArgs(argc, argv);
+  MUAA_CHECK(args.ok()) << args.status().ToString();
+  const int days = static_cast<int>(args->GetInt("days", 20).ValueOrDie());
+
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers =
+      static_cast<size_t>(args->GetInt("customers", 500).ValueOrDie());
+  cfg.num_vendors = 40;
+  cfg.radius = {0.12, 0.2};
+  cfg.budget = {6.0, 12.0};
+  cfg.view_prob = {0.05, 0.9};  // wide spread: learning actually matters
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 1234;
+  auto truth = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  model::UtilityModel truth_utility(&truth);
+
+  // Ceiling: what RECON earns when it knows the true p_i.
+  double unused_mae = 0.0;
+  learn::ClickModel throwaway(truth.num_customers());
+  Rng ceiling_rng(99);
+  double ceiling = PlanRealizedUtility(truth, truth_utility, &throwaway,
+                                       &ceiling_rng, &unused_mae);
+
+  // The broker's belief starts at the flat Beta(1,1) prior (p = 0.5).
+  model::ProblemInstance belief = truth;
+  learn::ClickModel click_model(truth.num_customers());
+  MUAA_CHECK_OK(click_model.ApplyTo(&belief));
+
+  std::printf("ceiling (true p known): realized utility %.4f\n\n", ceiling);
+  std::printf("day  realized-utility  %%of-ceiling  estimate-MAE\n");
+  Rng feedback_rng(31);
+  for (int day = 1; day <= days; ++day) {
+    double mae = 0.0;
+    double realized = PlanRealizedUtility(belief, truth_utility, &click_model,
+                                          &feedback_rng, &mae);
+    MUAA_CHECK_OK(click_model.ApplyTo(&belief));
+    std::printf("%3d  %16.4f  %10.1f%%  %11.4f\n", day, realized,
+                100.0 * realized / ceiling, mae);
+  }
+  std::printf(
+      "\nThe MAE of the p estimates falls as impressions accumulate and the "
+      "realized utility approaches the known-p ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Profile explorer: demonstrates the taxonomy-driven interest machinery
+// (Sec. II-A) in isolation — build a category tree, turn check-in
+// histories into interest vectors, and watch the activity-weighted
+// similarity between a customer and two vendors change across the day.
+//
+//   $ ./build/examples/profile_explorer
+
+#include <cstdio>
+
+#include "datagen/activity_gen.h"
+#include "model/similarity.h"
+#include "taxonomy/profile_builder.h"
+
+using namespace muaa;
+
+int main() {
+  // --- A small category tree.
+  taxonomy::Taxonomy tax;
+  auto food = tax.AddRoot("food").ValueOrDie();
+  auto coffee = tax.AddChild(food, "coffee").ValueOrDie();
+  auto pizza = tax.AddChild(food, "pizza").ValueOrDie();
+  auto nightlife = tax.AddRoot("nightlife").ValueOrDie();
+  auto bar = tax.AddChild(nightlife, "bar").ValueOrDie();
+  auto club = tax.AddChild(nightlife, "club").ValueOrDie();
+
+  taxonomy::ProfileBuilder profiles(&tax, /*overall_score=*/1.0,
+                                    /*kappa=*/0.75);
+
+  // --- A customer who mostly drinks coffee, sometimes goes to bars.
+  auto customer =
+      profiles.BuildInterestVector({{coffee, 12}, {bar, 4}}).ValueOrDie();
+  std::printf("customer interest vector (taxonomy-propagated):\n");
+  for (size_t t = 0; t < tax.size(); ++t) {
+    std::printf("  %-10s %.3f  %s\n",
+                tax.name(static_cast<taxonomy::TagId>(t)).c_str(), customer[t],
+                std::string(static_cast<size_t>(customer[t] * 40), '*').c_str());
+  }
+
+  // --- Two vendors: a café and a nightclub.
+  auto cafe = profiles.BuildVendorVector(coffee).ValueOrDie();
+  auto nightclub = profiles.BuildVendorVector(club).ValueOrDie();
+
+  // --- Activity schedule: coffee peaks in the morning, clubs at night.
+  std::vector<std::vector<double>> sched(tax.size());
+  sched[static_cast<size_t>(food)] = datagen::ShapeWeights(datagen::ActivityShape::kFlat);
+  sched[static_cast<size_t>(coffee)] =
+      datagen::ShapeWeights(datagen::ActivityShape::kMorning);
+  sched[static_cast<size_t>(pizza)] =
+      datagen::ShapeWeights(datagen::ActivityShape::kLunch);
+  sched[static_cast<size_t>(nightlife)] =
+      datagen::ShapeWeights(datagen::ActivityShape::kNight);
+  sched[static_cast<size_t>(bar)] =
+      datagen::ShapeWeights(datagen::ActivityShape::kEvening);
+  sched[static_cast<size_t>(club)] =
+      datagen::ShapeWeights(datagen::ActivityShape::kNight);
+  auto activity = model::ActivitySchedule::FromMatrix(sched).ValueOrDie();
+
+  // --- Similarity across the day (Eq. 5: weighted Pearson).
+  std::printf("\nhour   s(customer, cafe)   s(customer, nightclub)\n");
+  for (int h = 0; h < 24; h += 3) {
+    std::vector<double> w(tax.size());
+    for (size_t t = 0; t < tax.size(); ++t) {
+      w[t] = activity.At(static_cast<int32_t>(t), h);
+    }
+    double s_cafe = model::WeightedPearson(customer, cafe, w);
+    double s_club = model::WeightedPearson(customer, nightclub, w);
+    std::printf("%02d:00  %17.4f   %20.4f\n", h, s_cafe, s_club);
+  }
+  std::printf(
+      "\nThe café should win the morning, the club should close the gap "
+      "late at night — the temporal piece of Eq. (5).\n");
+  return 0;
+}

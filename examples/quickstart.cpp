@@ -1,0 +1,80 @@
+// Quickstart: build a tiny MUAA instance by hand, solve it offline with
+// the reconciliation algorithm, and print the chosen ad instances.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "assign/recon.h"
+#include "common/rng.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+
+using namespace muaa;
+
+int main() {
+  // --- 1. Describe the world: 3 tags, the paper's Table-I ad formats.
+  model::ProblemInstance instance;
+  instance.activity = model::ActivitySchedule::Uniform(/*num_tags=*/3);
+  instance.ad_types = model::AdTypeCatalog::PaperTableI();
+
+  // --- 2. Customers: location, capacity, view probability, arrival hour,
+  //        interest vector over the tags (coffee, pizza, books).
+  auto add_customer = [&](double x, double y, int cap, double p, double t,
+                          std::vector<double> interests) {
+    model::Customer u;
+    u.location = {x, y};
+    u.capacity = cap;
+    u.view_prob = p;
+    u.arrival_time = t;
+    u.interests = std::move(interests);
+    instance.customers.push_back(std::move(u));
+  };
+  add_customer(0.30, 0.30, 2, 0.30, 9.0, {1.0, 0.2, 0.1});   // coffee person
+  add_customer(0.50, 0.30, 2, 0.20, 12.5, {0.2, 1.0, 0.1});  // pizza person
+  add_customer(0.40, 0.55, 1, 0.15, 18.0, {0.1, 0.3, 1.0});  // book person
+
+  // --- 3. Vendors: location, ad radius, budget, tag vector.
+  auto add_vendor = [&](double x, double y, double r, double budget,
+                        std::vector<double> tags) {
+    model::Vendor v;
+    v.location = {x, y};
+    v.radius = r;
+    v.budget = budget;
+    v.interests = std::move(tags);
+    instance.vendors.push_back(std::move(v));
+  };
+  add_vendor(0.32, 0.32, 0.4, 3.0, {0.9, 0.3, 0.0});  // coffee shop
+  add_vendor(0.52, 0.33, 0.4, 3.0, {0.1, 0.9, 0.2});  // pizzeria
+  add_vendor(0.42, 0.52, 0.4, 3.0, {0.0, 0.2, 0.9});  // bookstore
+
+  MUAA_CHECK_OK(instance.Validate());
+
+  // --- 4. Shared solver state and the RECON run.
+  model::ProblemView view(&instance);
+  model::UtilityModel utility(&instance);
+  Rng rng(42);
+  assign::SolveContext ctx{&instance, &view, &utility, &rng};
+
+  assign::ReconSolver recon;
+  auto result = recon.Solve(ctx);
+  MUAA_CHECK(result.ok()) << result.status().ToString();
+
+  // --- 5. Report.
+  std::printf("RECON assigned %zu ads, total utility %.6f, spend $%.2f\n\n",
+              result->size(), result->total_utility(), result->total_cost());
+  const char* customer_names[] = {"coffee-person", "pizza-person",
+                                  "book-person"};
+  const char* vendor_names[] = {"coffee-shop", "pizzeria", "bookstore"};
+  for (const assign::AdInstance& ad : result->instances()) {
+    std::printf("  %-13s <- %-11s via %-10s  (utility %.6f, $%.0f)\n",
+                customer_names[ad.customer], vendor_names[ad.vendor],
+                instance.ad_types.at(ad.ad_type).name.c_str(), ad.utility,
+                instance.ad_types.at(ad.ad_type).cost);
+  }
+  std::printf("\nθ bound of this instance: %.3f  (Theorem III.1 ratio: "
+              "(1-ε)·θ)\n",
+              view.ThetaBound());
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, run the test suite, then every bench
+# binary at quick scale. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+for b in build/bench/bench_*; do
+  echo "== $b"
+  "$b" > /dev/null
+done
+echo "all green"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Render the TSV blocks emitted by the figure benches as text plots.
+
+The bench binaries print machine-readable rows of the form
+
+    <metric>\t<series>\t<x>\t<value>
+
+after their human tables. This script collects them (from files or
+stdin) and renders one horizontal-bar chart per (figure, metric, x),
+so results can be eyeballed without a plotting stack:
+
+    ./build/bench/bench_fig3_budget | scripts/plot_results.py
+    scripts/plot_results.py bench_output.txt
+"""
+
+import sys
+from collections import OrderedDict
+
+
+def parse(lines):
+    """Returns {metric: {x: OrderedDict(series -> value)}}."""
+    data = {}
+    for line in lines:
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 4:
+            continue
+        metric, series, x, value = parts
+        if metric.startswith("#"):
+            continue
+        try:
+            value = float(value)
+        except ValueError:
+            continue
+        data.setdefault(metric, OrderedDict()) \
+            .setdefault(x, OrderedDict())[series] = value
+    return data
+
+
+def bar(value, peak, width=44):
+    if peak <= 0:
+        return ""
+    n = int(round(width * value / peak))
+    return "#" * max(n, 0)
+
+
+def render(data):
+    for metric, by_x in data.items():
+        for x, by_series in by_x.items():
+            peak = max(by_series.values()) if by_series else 0.0
+            print(f"\n== {metric} @ x={x}")
+            for series, value in by_series.items():
+                print(f"  {series:<16} {value:>14.6g} {bar(value, peak)}")
+
+
+def main(argv):
+    if len(argv) > 1:
+        lines = []
+        for path in argv[1:]:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines.extend(fh.readlines())
+    else:
+        lines = sys.stdin.readlines()
+    data = parse(lines)
+    if not data:
+        print("no TSV rows found (expected metric\\tseries\\tx\\tvalue)",
+              file=sys.stderr)
+        return 1
+    render(data)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

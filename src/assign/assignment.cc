@@ -1,0 +1,134 @@
+#include "assign/assignment.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "geo/point.h"
+
+namespace muaa::assign {
+
+AssignmentSet::AssignmentSet(const model::ProblemInstance* instance)
+    : instance_(instance) {
+  MUAA_CHECK(instance_ != nullptr);
+  vendor_spend_.assign(instance_->num_vendors(), 0.0);
+  customer_count_.assign(instance_->num_customers(), 0);
+}
+
+Status AssignmentSet::Add(const AdInstance& inst) {
+  if (inst.customer < 0 ||
+      static_cast<size_t>(inst.customer) >= instance_->num_customers()) {
+    return Status::InvalidArgument("customer id out of range");
+  }
+  if (inst.vendor < 0 ||
+      static_cast<size_t>(inst.vendor) >= instance_->num_vendors()) {
+    return Status::InvalidArgument("vendor id out of range");
+  }
+  if (inst.ad_type < 0 ||
+      static_cast<size_t>(inst.ad_type) >= instance_->ad_types.size()) {
+    return Status::InvalidArgument("ad type id out of range");
+  }
+  const model::Customer& u =
+      instance_->customers[static_cast<size_t>(inst.customer)];
+  const model::Vendor& v = instance_->vendors[static_cast<size_t>(inst.vendor)];
+  const model::AdType& t = instance_->ad_types.at(inst.ad_type);
+
+  if (geo::Distance(u.location, v.location) > v.radius) {
+    return Status::FailedPrecondition("customer outside vendor radius");
+  }
+  if (customer_count_[static_cast<size_t>(inst.customer)] >= u.capacity) {
+    return Status::FailedPrecondition("customer capacity exhausted");
+  }
+  if (vendor_spend_[static_cast<size_t>(inst.vendor)] + t.cost >
+      v.budget + 1e-9) {
+    return Status::FailedPrecondition("vendor budget exhausted");
+  }
+  if (pairs_.count(PairKey(inst.customer, inst.vendor)) > 0) {
+    return Status::FailedPrecondition("pair already assigned");
+  }
+
+  instances_.push_back(inst);
+  vendor_spend_[static_cast<size_t>(inst.vendor)] += t.cost;
+  customer_count_[static_cast<size_t>(inst.customer)] += 1;
+  pairs_.insert(PairKey(inst.customer, inst.vendor));
+  total_utility_ += inst.utility;
+  total_cost_ += t.cost;
+  return Status::OK();
+}
+
+Status AssignmentSet::RemoveAt(size_t index) {
+  if (index >= instances_.size()) {
+    return Status::OutOfRange("remove index out of range");
+  }
+  const AdInstance inst = instances_[index];
+  const model::AdType& t = instance_->ad_types.at(inst.ad_type);
+  vendor_spend_[static_cast<size_t>(inst.vendor)] -= t.cost;
+  customer_count_[static_cast<size_t>(inst.customer)] -= 1;
+  pairs_.erase(PairKey(inst.customer, inst.vendor));
+  total_utility_ -= inst.utility;
+  total_cost_ -= t.cost;
+  instances_[index] = instances_.back();
+  instances_.pop_back();
+  return Status::OK();
+}
+
+double AssignmentSet::VendorSpend(model::VendorId j) const {
+  return vendor_spend_[static_cast<size_t>(j)];
+}
+
+double AssignmentSet::VendorRemaining(model::VendorId j) const {
+  return instance_->vendors[static_cast<size_t>(j)].budget -
+         vendor_spend_[static_cast<size_t>(j)];
+}
+
+int AssignmentSet::CustomerCount(model::CustomerId i) const {
+  return customer_count_[static_cast<size_t>(i)];
+}
+
+int AssignmentSet::CustomerRemaining(model::CustomerId i) const {
+  return instance_->customers[static_cast<size_t>(i)].capacity -
+         customer_count_[static_cast<size_t>(i)];
+}
+
+bool AssignmentSet::HasPair(model::CustomerId i, model::VendorId j) const {
+  return pairs_.count(PairKey(i, j)) > 0;
+}
+
+Status AssignmentSet::ValidateFull(
+    const model::UtilityModel& utility_model) const {
+  std::vector<double> spend(instance_->num_vendors(), 0.0);
+  std::vector<int> counts(instance_->num_customers(), 0);
+  std::unordered_set<uint64_t> seen;
+  for (const AdInstance& inst : instances_) {
+    const model::Customer& u =
+        instance_->customers[static_cast<size_t>(inst.customer)];
+    const model::Vendor& v =
+        instance_->vendors[static_cast<size_t>(inst.vendor)];
+    const model::AdType& t = instance_->ad_types.at(inst.ad_type);
+    if (geo::Distance(u.location, v.location) > v.radius) {
+      return Status::Internal("stored instance violates spatial constraint");
+    }
+    if (!seen.insert(PairKey(inst.customer, inst.vendor)).second) {
+      return Status::Internal("duplicate (customer, vendor) pair");
+    }
+    spend[static_cast<size_t>(inst.vendor)] += t.cost;
+    counts[static_cast<size_t>(inst.customer)] += 1;
+    double expected =
+        utility_model.Utility(inst.customer, inst.vendor, inst.ad_type);
+    if (std::fabs(expected - inst.utility) > 1e-9 + 1e-6 * expected) {
+      return Status::Internal("stored utility does not match Eq. (4)");
+    }
+  }
+  for (size_t j = 0; j < spend.size(); ++j) {
+    if (spend[j] > instance_->vendors[j].budget + 1e-9) {
+      return Status::Internal("vendor budget violated");
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > instance_->customers[i].capacity) {
+      return Status::Internal("customer capacity violated");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/instance.h"
+#include "model/utility.h"
+
+namespace muaa::assign {
+
+/// \brief One ad assignment instance `⟨u_i, v_j, τ_k⟩` with its evaluated
+/// utility `λ_ijk` (Definition 4).
+struct AdInstance {
+  model::CustomerId customer = -1;
+  model::VendorId vendor = -1;
+  model::AdTypeId ad_type = -1;
+  double utility = 0.0;
+};
+
+/// \brief A feasible ad assignment instance set `I` with incremental
+/// constraint accounting (Definition 5).
+///
+/// `Add` enforces all four constraints at insertion time:
+///  1. spatial: `d(u_i, v_j) <= r_j`,
+///  2. capacity: at most `a_i` ads per customer,
+///  3. budget: vendor spend `<= B_j`,
+///  4. pair uniqueness: at most one ad per (customer, vendor).
+/// Every solver routes its decisions through this class, so an algorithm
+/// bug cannot silently produce an infeasible "solution".
+class AssignmentSet {
+ public:
+  /// \param instance must outlive the set.
+  explicit AssignmentSet(const model::ProblemInstance* instance);
+
+  /// Adds an instance after checking constraints 1–4; FailedPrecondition
+  /// on violation, InvalidArgument on out-of-range ids.
+  Status Add(const AdInstance& inst);
+
+  /// Removes the instance at `index` (swap-with-last; indices of later
+  /// instances change). Used by the reconciliation step.
+  Status RemoveAt(size_t index);
+
+  /// Total utility `Σ λ` of the set (Kahan-compensated).
+  double total_utility() const { return total_utility_; }
+
+  /// Total spend across all vendors.
+  double total_cost() const { return total_cost_; }
+
+  /// All instances, in insertion order (up to removals).
+  const std::vector<AdInstance>& instances() const { return instances_; }
+  size_t size() const { return instances_.size(); }
+
+  /// Spend of vendor `j` so far.
+  double VendorSpend(model::VendorId j) const;
+
+  /// Remaining budget of vendor `j`.
+  double VendorRemaining(model::VendorId j) const;
+
+  /// Number of ads customer `i` has received.
+  int CustomerCount(model::CustomerId i) const;
+
+  /// Remaining capacity of customer `i`.
+  int CustomerRemaining(model::CustomerId i) const;
+
+  /// True if the (customer, vendor) pair already carries an ad.
+  bool HasPair(model::CustomerId i, model::VendorId j) const;
+
+  /// Re-validates the whole set from scratch against `utility_model`,
+  /// including that each stored utility matches Eq. (4) within tolerance.
+  /// O(size); used by tests and the harness after every solver run.
+  Status ValidateFull(const model::UtilityModel& utility_model) const;
+
+ private:
+  static uint64_t PairKey(model::CustomerId i, model::VendorId j) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+           static_cast<uint32_t>(j);
+  }
+
+  const model::ProblemInstance* instance_;
+  std::vector<AdInstance> instances_;
+  std::vector<double> vendor_spend_;
+  std::vector<int> customer_count_;
+  std::unordered_set<uint64_t> pairs_;
+  double total_utility_ = 0.0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace muaa::assign

@@ -1,0 +1,77 @@
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
+                                             model::VendorId j) {
+  std::vector<TypedCandidate> out;
+  const auto& catalog = ctx.instance->ad_types;
+  for (model::CustomerId i : ctx.view->ValidCustomers(j)) {
+    double sim = ctx.utility->Similarity(i, j);
+    if (sim <= 0.0) continue;
+    for (size_t k = 0; k < catalog.size(); ++k) {
+      auto tk = static_cast<model::AdTypeId>(k);
+      double util = ctx.utility->UtilityWithSimilarity(i, j, tk, sim);
+      if (util <= 0.0) continue;
+      TypedCandidate cand;
+      cand.customer = i;
+      cand.ad_type = tk;
+      cand.utility = util;
+      cand.cost = catalog.at(tk).cost;
+      cand.efficiency = util / cand.cost;
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Better>
+BestPick BestTypeImpl(const SolveContext& ctx, model::CustomerId i,
+                      model::VendorId j, double budget_left, Better better) {
+  BestPick best;
+  double sim = ctx.utility->Similarity(i, j);
+  if (sim <= 0.0) return best;
+  const auto& catalog = ctx.instance->ad_types;
+  for (size_t k = 0; k < catalog.size(); ++k) {
+    auto tk = static_cast<model::AdTypeId>(k);
+    double cost = catalog.at(tk).cost;
+    if (cost > budget_left + 1e-12) continue;
+    double util = ctx.utility->UtilityWithSimilarity(i, j, tk, sim);
+    if (util <= 0.0) continue;
+    BestPick pick;
+    pick.ad_type = tk;
+    pick.utility = util;
+    pick.cost = cost;
+    pick.efficiency = util / cost;
+    if (!best.valid() || better(pick, best)) best = pick;
+  }
+  return best;
+}
+
+}  // namespace
+
+BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
+                              model::VendorId j, double budget_left) {
+  return BestTypeImpl(ctx, i, j, budget_left,
+                      [](const BestPick& a, const BestPick& b) {
+                        if (a.efficiency != b.efficiency) {
+                          return a.efficiency > b.efficiency;
+                        }
+                        return a.utility > b.utility;
+                      });
+}
+
+BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
+                           model::VendorId j, double budget_left) {
+  return BestTypeImpl(ctx, i, j, budget_left,
+                      [](const BestPick& a, const BestPick& b) {
+                        if (a.utility != b.utility) {
+                          return a.utility > b.utility;
+                        }
+                        return a.cost < b.cost;
+                      });
+}
+
+}  // namespace muaa::assign

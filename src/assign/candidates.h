@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief A (customer, ad-type) candidate of one vendor with its utility
+/// economics. Only positive-utility candidates are enumerated — zero- or
+/// negative-similarity instances can never raise the objective.
+struct TypedCandidate {
+  model::CustomerId customer = -1;
+  model::AdTypeId ad_type = -1;
+  double utility = 0.0;
+  double cost = 0.0;
+  double efficiency = 0.0;  ///< utility / cost
+};
+
+/// \brief The best ad type of a single (customer, vendor) pair under a
+/// remaining-budget cap; `ad_type < 0` when nothing qualifies.
+struct BestPick {
+  model::AdTypeId ad_type = -1;
+  double utility = 0.0;
+  double cost = 0.0;
+  double efficiency = 0.0;
+
+  bool valid() const { return ad_type >= 0; }
+};
+
+/// Enumerates all positive-utility candidates of vendor `j` over its valid
+/// customers (all ad types, unfiltered by budget).
+std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
+                                             model::VendorId j);
+
+/// Best affordable ad type of pair (i, j) by budget efficiency — the
+/// "best" ad type O-AFA picks in line 4 of Algorithm 2. `budget_left`
+/// caps the admissible cost.
+BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
+                              model::VendorId j, double budget_left);
+
+/// Best affordable ad type of pair (i, j) by raw utility (used by the
+/// NEAREST baseline, which maximizes per-vendor impact, not efficiency).
+BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
+                           model::VendorId j, double budget_left);
+
+}  // namespace muaa::assign

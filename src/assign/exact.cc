@@ -1,0 +1,141 @@
+#include "assign/exact.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+namespace {
+
+/// All positive-utility ad types of one valid (customer, vendor) pair.
+struct PairChoices {
+  model::CustomerId customer;
+  model::VendorId vendor;
+  std::vector<BestPick> options;  // one per usable ad type
+  double best_utility = 0.0;      // max option utility (for the bound)
+};
+
+struct SearchState {
+  const SolveContext* ctx;
+  const std::vector<PairChoices>* pairs;
+  std::vector<double> suffix_best;  // suffix sums of best_utility
+  std::vector<double> vendor_left;
+  std::vector<int> customer_left;
+  // chosen[p]: index into pairs[p].options, or -1.
+  std::vector<int32_t> chosen;
+  std::vector<int32_t> best_chosen;
+  double value = 0.0;
+  double best_value = 0.0;
+
+  void Dfs(size_t p) {
+    if (value > best_value) {
+      best_value = value;
+      best_chosen = chosen;
+    }
+    if (p >= pairs->size()) return;
+    if (value + suffix_best[p] <= best_value + 1e-15) return;
+    const PairChoices& pc = (*pairs)[p];
+    size_t cu = static_cast<size_t>(pc.customer);
+    size_t vj = static_cast<size_t>(pc.vendor);
+    // Try each ad type for this pair.
+    if (customer_left[cu] > 0) {
+      for (size_t o = 0; o < pc.options.size(); ++o) {
+        const BestPick& opt = pc.options[o];
+        if (opt.cost > vendor_left[vj] + 1e-12) continue;
+        chosen[p] = static_cast<int32_t>(o);
+        customer_left[cu] -= 1;
+        vendor_left[vj] -= opt.cost;
+        value += opt.utility;
+        Dfs(p + 1);
+        value -= opt.utility;
+        vendor_left[vj] += opt.cost;
+        customer_left[cu] += 1;
+        chosen[p] = -1;
+      }
+    }
+    // Skip this pair.
+    Dfs(p + 1);
+  }
+};
+
+}  // namespace
+
+Result<AssignmentSet> ExactSolver::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+
+  std::vector<PairChoices> pairs;
+  const size_t n = ctx.instance->num_vendors();
+  const auto& catalog = ctx.instance->ad_types;
+  for (size_t j = 0; j < n; ++j) {
+    auto vj = static_cast<model::VendorId>(j);
+    for (model::CustomerId i : ctx.view->ValidCustomers(vj)) {
+      double sim = ctx.utility->Similarity(i, vj);
+      if (sim <= 0.0) continue;
+      PairChoices pc;
+      pc.customer = i;
+      pc.vendor = vj;
+      for (size_t k = 0; k < catalog.size(); ++k) {
+        auto tk = static_cast<model::AdTypeId>(k);
+        double util = ctx.utility->UtilityWithSimilarity(i, vj, tk, sim);
+        if (util <= 0.0) continue;
+        BestPick opt;
+        opt.ad_type = tk;
+        opt.utility = util;
+        opt.cost = catalog.at(tk).cost;
+        opt.efficiency = util / opt.cost;
+        pc.options.push_back(opt);
+        pc.best_utility = std::max(pc.best_utility, util);
+      }
+      if (!pc.options.empty()) pairs.push_back(std::move(pc));
+    }
+  }
+  if (pairs.size() > options_.max_pairs) {
+    return Status::ResourceExhausted(
+        "exact solver: " + std::to_string(pairs.size()) +
+        " candidate pairs exceed max_pairs=" +
+        std::to_string(options_.max_pairs));
+  }
+
+  // Strongest-first ordering improves pruning.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairChoices& a, const PairChoices& b) {
+              return a.best_utility > b.best_utility;
+            });
+
+  SearchState state;
+  state.ctx = &ctx;
+  state.pairs = &pairs;
+  state.suffix_best.assign(pairs.size() + 1, 0.0);
+  for (size_t p = pairs.size(); p-- > 0;) {
+    state.suffix_best[p] = state.suffix_best[p + 1] + pairs[p].best_utility;
+  }
+  state.vendor_left.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    state.vendor_left[j] = ctx.instance->vendors[j].budget;
+  }
+  state.customer_left.resize(ctx.instance->num_customers());
+  for (size_t i = 0; i < state.customer_left.size(); ++i) {
+    state.customer_left[i] = ctx.instance->customers[i].capacity;
+  }
+  state.chosen.assign(pairs.size(), -1);
+  state.best_chosen = state.chosen;
+  state.Dfs(0);
+
+  AssignmentSet result(ctx.instance);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    int32_t o = state.best_chosen[p];
+    if (o < 0) continue;
+    const BestPick& opt = pairs[p].options[static_cast<size_t>(o)];
+    AdInstance inst;
+    inst.customer = pairs[p].customer;
+    inst.vendor = pairs[p].vendor;
+    inst.ad_type = opt.ad_type;
+    inst.utility = opt.utility;
+    MUAA_RETURN_NOT_OK(result.Add(inst));
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// Options for the exact solver.
+struct ExactOptions {
+  /// Refuses instances with more candidate (customer, vendor) pairs than
+  /// this (the search is exponential).
+  size_t max_pairs = 24;
+};
+
+/// \brief Exact MUAA solver by depth-first search with an upper-bound
+/// prune (sum of the best remaining per-pair utilities).
+///
+/// Exponential — only for the small instances the tests and the
+/// ratio-check bench use to measure true approximation/competitive ratios
+/// against the optimum.
+class ExactSolver : public OfflineSolver {
+ public:
+  ExactSolver() = default;
+  explicit ExactSolver(ExactOptions options) : options_(options) {}
+
+  std::string name() const override { return "EXACT"; }
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+
+ private:
+  ExactOptions options_;
+};
+
+}  // namespace muaa::assign

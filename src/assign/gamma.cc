@@ -1,0 +1,48 @@
+#include "assign/gamma.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "assign/candidates.h"
+#include "common/math_util.h"
+
+namespace muaa::assign {
+
+GammaBounds EstimateGammaBounds(const SolveContext& ctx,
+                                const GammaEstimateOptions& options) {
+  GammaBounds bounds;
+  const size_t m = ctx.instance->num_customers();
+  const size_t n = ctx.instance->num_vendors();
+  std::vector<double> efficiencies;
+  if (m == 0 || n == 0) {
+    bounds.gamma_min = 1e-9;
+    bounds.gamma_max = 1.0;
+    return bounds;
+  }
+  std::vector<model::VendorId> vendors;
+  for (size_t s = 0; s < options.sample_pairs; ++s) {
+    auto i = static_cast<model::CustomerId>(ctx.rng->Index(m));
+    ctx.view->ValidVendorsInto(i, &vendors);
+    if (vendors.empty()) continue;
+    model::VendorId j = vendors[ctx.rng->Index(vendors.size())];
+    BestPick pick = BestTypeByEfficiency(
+        ctx, i, j, ctx.instance->vendors[static_cast<size_t>(j)].budget);
+    if (pick.valid() && pick.efficiency > 0.0) {
+      efficiencies.push_back(pick.efficiency);
+    }
+  }
+  bounds.sample_count = efficiencies.size();
+  if (efficiencies.empty()) {
+    bounds.gamma_min = 1e-9;
+    bounds.gamma_max = 1.0;
+    return bounds;
+  }
+  bounds.gamma_min =
+      std::max(Percentile(efficiencies, options.low_quantile), 1e-12);
+  bounds.gamma_max =
+      std::max(Percentile(efficiencies, options.high_quantile),
+               bounds.gamma_min);
+  return bounds;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief Estimated budget-efficiency bounds `γ_min` / `γ_max` (Sec. IV-C).
+struct GammaBounds {
+  double gamma_min = 0.0;
+  double gamma_max = 0.0;
+  size_t sample_count = 0;
+};
+
+/// Options for `EstimateGammaBounds`.
+struct GammaEstimateOptions {
+  /// Number of random (customer, valid-vendor) pairs sampled.
+  size_t sample_pairs = 2000;
+  /// Percentiles used as the robust min/max (0.05/0.95 by default — raw
+  /// extremes are too sensitive to single outliers, which is exactly why
+  /// the paper estimates these from history rather than taking the true
+  /// bounds).
+  double low_quantile = 0.05;
+  double high_quantile = 0.95;
+};
+
+/// \brief Estimates `γ_min`/`γ_max` by sampling efficiencies of best-type
+/// instances, mimicking the paper's "estimate from historical records".
+///
+/// In deployment the sample would come from yesterday's ad log; here the
+/// harness samples the instance itself before the stream is revealed
+/// (vendors + a pilot of customers), which carries the same information.
+/// Falls back to [1e-9, 1.0] when no positive-efficiency pair is found.
+GammaBounds EstimateGammaBounds(const SolveContext& ctx,
+                                const GammaEstimateOptions& options = {});
+
+}  // namespace muaa::assign

@@ -1,0 +1,63 @@
+#include "assign/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+namespace {
+
+struct HeapEntry {
+  double efficiency;
+  double utility;
+  model::CustomerId customer;
+  model::VendorId vendor;
+  model::AdTypeId ad_type;
+  double cost;
+
+  bool operator<(const HeapEntry& other) const {
+    // std::priority_queue is a max-heap on operator<.
+    if (efficiency != other.efficiency) return efficiency < other.efficiency;
+    if (utility != other.utility) return utility < other.utility;
+    if (customer != other.customer) return customer > other.customer;
+    return vendor > other.vendor;
+  }
+};
+
+}  // namespace
+
+Result<AssignmentSet> GreedySolver::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  AssignmentSet result(ctx.instance);
+
+  std::vector<HeapEntry> entries;
+  const size_t n = ctx.instance->num_vendors();
+  for (size_t j = 0; j < n; ++j) {
+    auto vj = static_cast<model::VendorId>(j);
+    for (const TypedCandidate& cand : VendorCandidates(ctx, vj)) {
+      entries.push_back(HeapEntry{cand.efficiency, cand.utility,
+                                  cand.customer, vj, cand.ad_type, cand.cost});
+    }
+  }
+  std::priority_queue<HeapEntry> heap(std::less<HeapEntry>(),
+                                      std::move(entries));
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (result.CustomerRemaining(top.customer) <= 0) continue;
+    if (result.VendorRemaining(top.vendor) + 1e-12 < top.cost) continue;
+    if (result.HasPair(top.customer, top.vendor)) continue;
+    AdInstance inst;
+    inst.customer = top.customer;
+    inst.vendor = top.vendor;
+    inst.ad_type = top.ad_type;
+    inst.utility = top.utility;
+    MUAA_RETURN_NOT_OK(result.Add(inst));
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief The GREEDY competitor (Sec. V-A): iteratively selects the
+/// feasible ad instance with the currently highest budget efficiency.
+///
+/// Utilities never change during the run — only feasibility does (budgets
+/// shrink, capacities fill, pairs get used) — so a max-heap with lazy
+/// revalidation pops instances in exact "currently best" order without
+/// rebuilding: a popped instance is taken iff it is still feasible.
+/// O(C log C) for C candidate instances.
+class GreedySolver : public OfflineSolver {
+ public:
+  std::string name() const override { return "GREEDY"; }
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+};
+
+}  // namespace muaa::assign

@@ -1,0 +1,133 @@
+#include "assign/local_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "assign/candidates.h"
+#include "assign/greedy.h"
+
+namespace muaa::assign {
+
+namespace {
+
+/// Index of `set`'s instance for (customer, vendor), or -1.
+int FindPairIndex(const AssignmentSet& set, model::CustomerId c,
+                  model::VendorId v) {
+  const auto& instances = set.instances();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].customer == c && instances[i].vendor == v) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Index of the lowest-utility instance of `customer`, or -1.
+int FindWeakestOfCustomer(const AssignmentSet& set, model::CustomerId c) {
+  const auto& instances = set.instances();
+  int weakest = -1;
+  double weakest_utility = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].customer == c &&
+        instances[i].utility < weakest_utility) {
+      weakest_utility = instances[i].utility;
+      weakest = static_cast<int>(i);
+    }
+  }
+  return weakest;
+}
+
+}  // namespace
+
+Result<int> LocalSearchImprover::Improve(const SolveContext& ctx,
+                                         AssignmentSet* set) const {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  if (set == nullptr) return Status::InvalidArgument("null assignment set");
+
+  // All positive-utility candidates, once.
+  struct Candidate {
+    model::CustomerId c;
+    model::VendorId v;
+    model::AdTypeId k;
+    double utility;
+    double cost;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t j = 0; j < ctx.instance->num_vendors(); ++j) {
+    auto vj = static_cast<model::VendorId>(j);
+    for (const TypedCandidate& tc : VendorCandidates(ctx, vj)) {
+      candidates.push_back({tc.customer, vj, tc.ad_type, tc.utility, tc.cost});
+    }
+  }
+  // Utility-descending: high-value moves first shortens the climb.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              if (a.c != b.c) return a.c < b.c;
+              return a.v < b.v;
+            });
+
+  int applied = 0;
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    bool changed = false;
+    for (const Candidate& cand : candidates) {
+      int existing = FindPairIndex(*set, cand.c, cand.v);
+      if (existing >= 0) {
+        // Upgrade move: same pair, different type, net gain, affordable.
+        const AdInstance& cur = set->instances()[static_cast<size_t>(existing)];
+        if (cur.ad_type == cand.k) continue;
+        double gain = cand.utility - cur.utility;
+        if (gain <= options_.min_gain) continue;
+        double cur_cost = ctx.instance->ad_types.at(cur.ad_type).cost;
+        if (cand.cost - cur_cost >
+            set->VendorRemaining(cand.v) + 1e-12) {
+          continue;
+        }
+        MUAA_RETURN_NOT_OK(set->RemoveAt(static_cast<size_t>(existing)));
+        AdInstance inst{cand.c, cand.v, cand.k, cand.utility};
+        MUAA_RETURN_NOT_OK(set->Add(inst));
+        ++applied;
+        changed = true;
+        continue;
+      }
+      if (set->VendorRemaining(cand.v) + 1e-12 < cand.cost) continue;
+      if (set->CustomerRemaining(cand.c) > 0) {
+        // Add move.
+        AdInstance inst{cand.c, cand.v, cand.k, cand.utility};
+        MUAA_RETURN_NOT_OK(set->Add(inst));
+        ++applied;
+        changed = true;
+        continue;
+      }
+      // Swap move: displace the customer's weakest instance.
+      int weakest = FindWeakestOfCustomer(*set, cand.c);
+      if (weakest < 0) continue;
+      const AdInstance victim = set->instances()[static_cast<size_t>(weakest)];
+      if (cand.utility - victim.utility <= options_.min_gain) continue;
+      MUAA_RETURN_NOT_OK(set->RemoveAt(static_cast<size_t>(weakest)));
+      AdInstance inst{cand.c, cand.v, cand.k, cand.utility};
+      Status st = set->Add(inst);
+      if (!st.ok()) {
+        // Should not happen (capacity was just freed and budget checked),
+        // but restore the victim rather than corrupt the set.
+        MUAA_RETURN_NOT_OK(set->Add(victim));
+        return st;
+      }
+      ++applied;
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return applied;
+}
+
+Result<AssignmentSet> GreedyLsSolver::Solve(const SolveContext& ctx) {
+  GreedySolver greedy;
+  MUAA_ASSIGN_OR_RETURN(AssignmentSet set, greedy.Solve(ctx));
+  LocalSearchImprover improver(options_);
+  MUAA_ASSIGN_OR_RETURN(int moves, improver.Improve(ctx, &set));
+  (void)moves;
+  return set;
+}
+
+}  // namespace muaa::assign

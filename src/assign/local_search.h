@@ -1,0 +1,55 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// Options for the local-search improver.
+struct LocalSearchOptions {
+  /// Hard cap on improvement rounds (each round scans all candidates).
+  int max_rounds = 64;
+  /// Minimum utility gain for a move to be applied.
+  double min_gain = 1e-12;
+};
+
+/// \brief Hill-climbing post-optimizer over a feasible assignment set
+/// (an extension — the paper stops at RECON's output).
+///
+/// Three move types, applied greedily until a fixpoint (or `max_rounds`):
+///  * **add** — insert a feasible positive-utility instance for a
+///    customer with spare capacity;
+///  * **upgrade** — switch an existing instance to a different ad type of
+///    the same pair with higher utility, if the vendor affords the price
+///    difference;
+///  * **swap** — for a customer at capacity, replace their lowest-utility
+///    instance with a higher-utility instance from a different vendor.
+/// Every move strictly increases total utility and preserves feasibility
+/// (all mutations go through `AssignmentSet`), so the loop terminates.
+class LocalSearchImprover {
+ public:
+  LocalSearchImprover() = default;
+  explicit LocalSearchImprover(LocalSearchOptions options)
+      : options_(options) {}
+
+  /// Improves `set` in place; returns the number of applied moves.
+  Result<int> Improve(const SolveContext& ctx, AssignmentSet* set) const;
+
+ private:
+  LocalSearchOptions options_;
+};
+
+/// \brief GREEDY followed by local search — a stronger offline heuristic
+/// at a fraction of RECON's machinery; reported as "GREEDY+LS".
+class GreedyLsSolver : public OfflineSolver {
+ public:
+  GreedyLsSolver() = default;
+  explicit GreedyLsSolver(LocalSearchOptions options) : options_(options) {}
+
+  std::string name() const override { return "GREEDY+LS"; }
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+
+ private:
+  LocalSearchOptions options_;
+};
+
+}  // namespace muaa::assign

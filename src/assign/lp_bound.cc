@@ -1,0 +1,70 @@
+#include "assign/lp_bound.h"
+
+#include <map>
+
+#include "assign/candidates.h"
+#include "lp/simplex.h"
+
+namespace muaa::assign {
+
+Result<double> ComputeLpUpperBound(const SolveContext& ctx,
+                                   const LpBoundOptions& options) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  const size_t n = ctx.instance->num_vendors();
+  const size_t m = ctx.instance->num_customers();
+
+  lp::LpProblem lp;
+  lp.num_vars = 0;
+  std::vector<lp::LpProblem::Row> vendor_rows(n);
+  std::vector<lp::LpProblem::Row> customer_rows(m);
+  std::vector<lp::LpProblem::Row> pair_rows;
+
+  for (size_t j = 0; j < n; ++j) {
+    vendor_rows[j].rhs = ctx.instance->vendors[j].budget;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    customer_rows[i].rhs = ctx.instance->customers[i].capacity;
+  }
+
+  for (size_t j = 0; j < n; ++j) {
+    auto vj = static_cast<model::VendorId>(j);
+    std::vector<TypedCandidate> cands = VendorCandidates(ctx, vj);
+    // Candidates are grouped by customer; open a pair row per group.
+    model::CustomerId current = -1;
+    for (const TypedCandidate& cand : cands) {
+      if (static_cast<size_t>(lp.num_vars) >= options.max_variables) {
+        return Status::ResourceExhausted(
+            "LP bound: candidate variables exceed max_variables=" +
+            std::to_string(options.max_variables));
+      }
+      int var = lp.num_vars++;
+      lp.objective.push_back(cand.utility);
+      vendor_rows[j].coeffs.emplace_back(var, cand.cost);
+      customer_rows[static_cast<size_t>(cand.customer)].coeffs.emplace_back(
+          var, 1.0);
+      if (cand.customer != current) {
+        current = cand.customer;
+        pair_rows.emplace_back();
+        pair_rows.back().rhs = 1.0;
+      }
+      pair_rows.back().coeffs.emplace_back(var, 1.0);
+    }
+  }
+  if (lp.num_vars == 0) return 0.0;
+
+  for (auto& row : vendor_rows) {
+    if (!row.coeffs.empty()) lp.rows.push_back(std::move(row));
+  }
+  for (auto& row : customer_rows) {
+    if (!row.coeffs.empty()) lp.rows.push_back(std::move(row));
+  }
+  for (auto& row : pair_rows) {
+    lp.rows.push_back(std::move(row));
+  }
+
+  lp::SimplexSolver solver;
+  MUAA_ASSIGN_OR_RETURN(lp::LpSolution sol, solver.Maximize(lp));
+  return sol.objective_value;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// Options for the global LP upper bound.
+struct LpBoundOptions {
+  /// Refuse instances with more candidate (customer, vendor, type)
+  /// variables than this — the dense simplex tableau is
+  /// O(rows × (vars+rows)) memory.
+  size_t max_variables = 4000;
+};
+
+/// \brief Optimal value of the LP relaxation of the *whole* MUAA program
+/// (Definition 5's integer program with `x ∈ [0,1]`).
+///
+/// This is a true upper bound on the offline optimum — tighter than the
+/// per-vendor bound sum RECON reports, because it accounts for customer
+/// capacities across vendors. Used by the ratio bench and tests to
+/// certify optimality gaps on small/medium instances; the paper never
+/// reports such bounds, so this quantifies how much room is actually left
+/// above RECON. ResourceExhausted when the instance exceeds
+/// `max_variables`.
+Result<double> ComputeLpUpperBound(const SolveContext& ctx,
+                                   const LpBoundOptions& options = {});
+
+}  // namespace muaa::assign

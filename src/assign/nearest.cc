@@ -1,0 +1,55 @@
+#include "assign/nearest.h"
+
+#include <algorithm>
+
+#include "assign/candidates.h"
+#include "geo/point.h"
+
+namespace muaa::assign {
+
+Status NearestOnlineSolver::Initialize(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  ctx_ = ctx;
+  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+Result<std::vector<AdInstance>> NearestOnlineSolver::OnArrival(
+    model::CustomerId i) {
+  std::vector<AdInstance> picked;
+  const model::Customer& u = ctx_.instance->customers[static_cast<size_t>(i)];
+  if (u.capacity <= 0) return picked;
+
+  // Valid vendors sorted by distance (nearest first).
+  std::vector<model::VendorId> vendors = ctx_.view->ValidVendors(i);
+  std::sort(vendors.begin(), vendors.end(),
+            [&](model::VendorId a, model::VendorId b) {
+              double da = geo::Distance(
+                  u.location,
+                  ctx_.instance->vendors[static_cast<size_t>(a)].location);
+              double db = geo::Distance(
+                  u.location,
+                  ctx_.instance->vendors[static_cast<size_t>(b)].location);
+              if (da != db) return da < db;
+              return a < b;
+            });
+
+  for (model::VendorId j : vendors) {
+    if (static_cast<int>(picked.size()) >= u.capacity) break;
+    const double remaining =
+        ctx_.instance->vendors[static_cast<size_t>(j)].budget -
+        used_budget_[static_cast<size_t>(j)];
+    BestPick pick = BestTypeByUtility(ctx_, i, j, remaining);
+    if (!pick.valid()) continue;
+    AdInstance inst;
+    inst.customer = i;
+    inst.vendor = j;
+    inst.ad_type = pick.ad_type;
+    inst.utility = pick.utility;
+    used_budget_[static_cast<size_t>(j)] += pick.cost;
+    picked.push_back(inst);
+  }
+  return picked;
+}
+
+}  // namespace muaa::assign

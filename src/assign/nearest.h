@@ -1,0 +1,26 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief The NEAREST competitor (Sec. V-A): when a customer appears,
+/// greedily assign the ads of the nearest vendors.
+///
+/// Vendors are considered in increasing distance; only vendors whose
+/// radius actually covers the customer qualify, and each assigns its
+/// best-utility affordable ad type. Stops at the customer's capacity.
+/// Distance, not utility, drives the vendor order — which is why the
+/// paper expects it to lose on utility while being fast.
+class NearestOnlineSolver : public OnlineSolver {
+ public:
+  std::string name() const override { return "NEAREST"; }
+  Status Initialize(const SolveContext& ctx) override;
+  Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+
+ private:
+  SolveContext ctx_;
+  std::vector<double> used_budget_;
+};
+
+}  // namespace muaa::assign

@@ -1,0 +1,118 @@
+#include "assign/online_afa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+Status AfaOnlineSolver::Initialize(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  ctx_ = ctx;
+  gamma_ = options_.gamma.has_value()
+               ? *options_.gamma
+               : EstimateGammaBounds(ctx, options_.gamma_estimate);
+  if (gamma_.gamma_min <= 0.0 || gamma_.gamma_max < gamma_.gamma_min) {
+    return Status::InvalidArgument("invalid gamma bounds");
+  }
+  constexpr double kE = 2.718281828459045;
+  if (options_.g.has_value()) {
+    g_ = *options_.g;
+    if (g_ <= kE) {
+      return Status::InvalidArgument(
+          "g must exceed e for the competitive guarantee");
+    }
+  } else {
+    // Sec. IV-B: need φ(1) <= γ_max  ⇔  g <= γ_max·e/γ_min; keep g > e.
+    g_ = std::min(gamma_.gamma_max * kE / gamma_.gamma_min,
+                  AfaOptions::kDefaultGCap);
+    g_ = std::max(g_, kE + 0.1);
+  }
+  phi_scale_ = gamma_.gamma_min / kE;
+  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+double AfaOnlineSolver::Threshold(model::VendorId j) const {
+  const double budget = ctx_.instance->vendors[static_cast<size_t>(j)].budget;
+  double delta =
+      budget > 0.0 ? used_budget_[static_cast<size_t>(j)] / budget : 1.0;
+  return phi_scale_ * std::pow(g_, delta);
+}
+
+double AfaOnlineSolver::MaxUsedBudgetRatio() const {
+  double out = 0.0;
+  for (size_t j = 0; j < used_budget_.size(); ++j) {
+    double budget = ctx_.instance->vendors[j].budget;
+    if (budget > 0.0) out = std::max(out, used_budget_[j] / budget);
+  }
+  return out;
+}
+
+Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(
+    model::CustomerId i) {
+  std::vector<AdInstance> picked;
+  const model::Customer& u =
+      ctx_.instance->customers[static_cast<size_t>(i)];
+  if (u.capacity <= 0) return picked;
+
+  // Line 2: valid vendors by the spatial constraint.
+  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+
+  struct Potential {
+    AdInstance inst;
+    double efficiency;
+    double cost;
+  };
+  std::vector<Potential> potentials;
+  for (model::VendorId j : scratch_vendors_) {
+    const double remaining =
+        ctx_.instance->vendors[static_cast<size_t>(j)].budget -
+        used_budget_[static_cast<size_t>(j)];
+    // Line 4: "best" ad type by budget efficiency among affordable ones.
+    BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+    if (!pick.valid()) continue;
+    // Sec. IV-C extension: refresh the γ_min estimate from the stream.
+    if (options_.adapt_gamma) {
+      observed_gamma_.Observe(pick.efficiency);
+      if (observed_gamma_.count() >= options_.adapt_warmup) {
+        double est = observed_gamma_.Quantile(options_.adapt_quantile);
+        if (est > 0.0) {
+          gamma_.gamma_min = est;
+          phi_scale_ = est / 2.718281828459045;
+        }
+      }
+    }
+    // Line 5: adaptive threshold test γ >= φ(δ_j).
+    if (pick.efficiency < Threshold(j)) continue;
+    Potential p;
+    p.inst.customer = i;
+    p.inst.vendor = j;
+    p.inst.ad_type = pick.ad_type;
+    p.inst.utility = pick.utility;
+    p.efficiency = pick.efficiency;
+    p.cost = pick.cost;
+    potentials.push_back(p);
+  }
+
+  // Lines 7-8: top-a_i by budget efficiency.
+  size_t keep = std::min(potentials.size(), static_cast<size_t>(u.capacity));
+  std::partial_sort(potentials.begin(), potentials.begin() + keep,
+                    potentials.end(),
+                    [](const Potential& a, const Potential& b) {
+                      if (a.efficiency != b.efficiency) {
+                        return a.efficiency > b.efficiency;
+                      }
+                      return a.inst.vendor < b.inst.vendor;
+                    });
+  potentials.resize(keep);
+
+  for (const Potential& p : potentials) {
+    used_budget_[static_cast<size_t>(p.inst.vendor)] += p.cost;
+    picked.push_back(p.inst);
+  }
+  return picked;
+}
+
+}  // namespace muaa::assign

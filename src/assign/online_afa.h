@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+
+#include "assign/gamma.h"
+#include "assign/solver.h"
+#include "common/streaming_quantile.h"
+
+namespace muaa::assign {
+
+/// Options for the online adaptive factor-aware algorithm.
+struct AfaOptions {
+  /// Threshold base `g` of `φ(δ) = γ_min/e · g^δ`. Must be > e for the
+  /// competitive-ratio guarantee (Corollary IV.1); when unset, the solver
+  /// picks `min(γ_max·e/γ_min, kDefaultGCap)` so that `φ(1) <= γ_max`
+  /// (Sec. IV-B's discussion) — clamped to stay > e.
+  std::optional<double> g;
+  /// Explicit γ bounds; when unset they are estimated per Sec. IV-C.
+  std::optional<GammaBounds> gamma;
+  /// Sampling options for the γ estimate.
+  GammaEstimateOptions gamma_estimate;
+  /// Sec. IV-C extension: when true the solver keeps updating its γ_min
+  /// estimate from the efficiencies actually observed on the stream (a
+  /// reservoir quantile) instead of freezing the initial estimate —
+  /// "we can gradually achieve a proper value ... after a period of
+  /// tuning". The threshold scale follows the moving estimate after a
+  /// warm-up of `adapt_warmup` arrivals.
+  bool adapt_gamma = false;
+  size_t adapt_warmup = 200;
+  /// Quantile of observed efficiencies used as the adaptive γ_min.
+  double adapt_quantile = 0.05;
+  /// Cap for the auto-chosen g.
+  static constexpr double kDefaultGCap = 64.0;
+};
+
+/// \brief The online adaptive factor-aware approach O-AFA (Algorithm 2,
+/// Sec. IV).
+///
+/// Per arriving customer `u_i`:
+///  1. find the vendors whose circle covers `u_i` (grid index);
+///  2. for each such vendor `v_j`, pick the "best" affordable ad type by
+///     budget efficiency `γ = λ/c`;
+///  3. keep the instance iff `γ >= φ(δ_j)` where `δ_j` is `v_j`'s used
+///     budget ratio and `φ(δ) = γ_min/e · g^δ`;
+///  4. of the survivors, commit the top-`a_i` by efficiency.
+///
+/// Competitive ratio `(ln g + 1)/θ` against the offline optimum for
+/// `g > e` (Theorem IV.1 / Corollary IV.1).
+class AfaOnlineSolver : public OnlineSolver {
+ public:
+  AfaOnlineSolver() = default;
+  explicit AfaOnlineSolver(AfaOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "ONLINE"; }
+  Status Initialize(const SolveContext& ctx) override;
+  Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+
+  /// The threshold value `φ(δ)` the solver currently applies to vendor `j`.
+  double Threshold(model::VendorId j) const;
+
+  /// Effective parameters after initialization.
+  double g() const { return g_; }
+  const GammaBounds& gamma() const { return gamma_; }
+
+  /// Maximum used-budget ratio across vendors (the `δ_max` of the bound).
+  double MaxUsedBudgetRatio() const;
+
+ private:
+  AfaOptions options_;
+  SolveContext ctx_;
+  GammaBounds gamma_;
+  double g_ = 0.0;
+  double phi_scale_ = 0.0;  // γ_min / e
+  std::vector<double> used_budget_;
+  std::vector<model::VendorId> scratch_vendors_;
+  StreamingQuantile observed_gamma_{512};
+};
+
+}  // namespace muaa::assign

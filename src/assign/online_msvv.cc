@@ -1,0 +1,70 @@
+#include "assign/online_msvv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+double MsvvOnlineSolver::Discount(double used_fraction) {
+  used_fraction = std::clamp(used_fraction, 0.0, 1.0);
+  return 1.0 - std::exp(used_fraction - 1.0);
+}
+
+Status MsvvOnlineSolver::Initialize(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  ctx_ = ctx;
+  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+Result<std::vector<AdInstance>> MsvvOnlineSolver::OnArrival(
+    model::CustomerId i) {
+  std::vector<AdInstance> picked;
+  const model::Customer& u = ctx_.instance->customers[static_cast<size_t>(i)];
+  if (u.capacity <= 0) return picked;
+
+  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+
+  struct Offer {
+    AdInstance inst;
+    double score;
+    double cost;
+  };
+  std::vector<Offer> offers;
+  for (model::VendorId j : scratch_vendors_) {
+    const double budget = ctx_.instance->vendors[static_cast<size_t>(j)].budget;
+    const double used = used_budget_[static_cast<size_t>(j)];
+    const double remaining = budget - used;
+    // Best ad type by raw utility; the budget state enters via ψ.
+    BestPick pick = BestTypeByUtility(ctx_, i, j, remaining);
+    if (!pick.valid()) continue;
+    double delta = budget > 0.0 ? used / budget : 1.0;
+    double score = pick.utility * Discount(delta);
+    if (score <= 0.0) continue;
+    Offer offer;
+    offer.inst.customer = i;
+    offer.inst.vendor = j;
+    offer.inst.ad_type = pick.ad_type;
+    offer.inst.utility = pick.utility;
+    offer.score = score;
+    offer.cost = pick.cost;
+    offers.push_back(offer);
+  }
+
+  size_t keep = std::min(offers.size(), static_cast<size_t>(u.capacity));
+  std::partial_sort(offers.begin(), offers.begin() + keep, offers.end(),
+                    [](const Offer& a, const Offer& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.inst.vendor < b.inst.vendor;
+                    });
+  offers.resize(keep);
+  for (const Offer& o : offers) {
+    used_budget_[static_cast<size_t>(o.inst.vendor)] += o.cost;
+    picked.push_back(o.inst);
+  }
+  return picked;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief Online primal-dual baseline in the style of Mehta–Saberi–
+/// Vazirani–Vazirani's AdWords algorithm (an *extension* — the paper
+/// compares only against RANDOM/NEAREST/offline algorithms).
+///
+/// Instead of thresholding on budget efficiency like O-AFA, each arriving
+/// customer is offered to the vendors maximizing the *discounted* utility
+/// `λ · ψ(δ_j)` with the classic trade-off function `ψ(δ) = 1 − e^{δ−1}`
+/// (δ = used-budget fraction): vendors with plenty of remaining budget bid
+/// at face value, nearly-exhausted vendors are discounted toward zero,
+/// spreading spend across vendors. Up to `a_i` positive-scoring offers are
+/// committed per arrival. For the classic fractional AdWords setting this
+/// rule is (1−1/e)-competitive; MUAA's capacities and multi-format costs
+/// void that proof, so here it serves as a strong heuristic baseline for
+/// `bench_ablation_threshold`.
+class MsvvOnlineSolver : public OnlineSolver {
+ public:
+  std::string name() const override { return "ONLINE-MSVV"; }
+  Status Initialize(const SolveContext& ctx) override;
+  Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+
+  /// The discount `ψ(δ) = 1 − e^{δ−1}` (exposed for tests).
+  static double Discount(double used_fraction);
+
+ private:
+  SolveContext ctx_;
+  std::vector<double> used_budget_;
+  std::vector<model::VendorId> scratch_vendors_;
+};
+
+}  // namespace muaa::assign

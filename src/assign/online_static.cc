@@ -1,0 +1,73 @@
+#include "assign/online_static.h"
+
+#include <algorithm>
+
+#include "assign/candidates.h"
+
+namespace muaa::assign {
+
+Status StaticThresholdOnlineSolver::Initialize(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  ctx_ = ctx;
+  if (options_.threshold.has_value()) {
+    threshold_ = *options_.threshold;
+  } else if (options_.threshold_factor <= 0.0) {
+    threshold_ = 0.0;
+  } else {
+    GammaBounds gamma = EstimateGammaBounds(ctx, options_.gamma_estimate);
+    threshold_ = options_.threshold_factor * gamma.gamma_min;
+  }
+  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+Result<std::vector<AdInstance>> StaticThresholdOnlineSolver::OnArrival(
+    model::CustomerId i) {
+  std::vector<AdInstance> picked;
+  const model::Customer& u = ctx_.instance->customers[static_cast<size_t>(i)];
+  if (u.capacity <= 0) return picked;
+
+  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+
+  struct Potential {
+    AdInstance inst;
+    double efficiency;
+    double cost;
+  };
+  std::vector<Potential> potentials;
+  for (model::VendorId j : scratch_vendors_) {
+    const double remaining =
+        ctx_.instance->vendors[static_cast<size_t>(j)].budget -
+        used_budget_[static_cast<size_t>(j)];
+    BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+    if (!pick.valid()) continue;
+    if (pick.efficiency < threshold_) continue;
+    Potential p;
+    p.inst.customer = i;
+    p.inst.vendor = j;
+    p.inst.ad_type = pick.ad_type;
+    p.inst.utility = pick.utility;
+    p.efficiency = pick.efficiency;
+    p.cost = pick.cost;
+    potentials.push_back(p);
+  }
+
+  size_t keep = std::min(potentials.size(), static_cast<size_t>(u.capacity));
+  std::partial_sort(potentials.begin(), potentials.begin() + keep,
+                    potentials.end(),
+                    [](const Potential& a, const Potential& b) {
+                      if (a.efficiency != b.efficiency) {
+                        return a.efficiency > b.efficiency;
+                      }
+                      return a.inst.vendor < b.inst.vendor;
+                    });
+  potentials.resize(keep);
+
+  for (const Potential& p : potentials) {
+    used_budget_[static_cast<size_t>(p.inst.vendor)] += p.cost;
+    picked.push_back(p.inst);
+  }
+  return picked;
+}
+
+}  // namespace muaa::assign

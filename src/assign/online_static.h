@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "assign/gamma.h"
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// Options for the static-threshold online baseline.
+struct StaticThresholdOptions {
+  /// Fixed efficiency threshold φ; instances below it are rejected. When
+  /// unset, `threshold_factor · γ_min` is used with an estimated γ_min.
+  std::optional<double> threshold;
+  /// Multiplier applied to the estimated γ_min (1.0 accepts everything the
+  /// estimate deems plausible; 0.0 disables thresholding entirely —
+  /// first-come-first-served).
+  double threshold_factor = 1.0;
+  GammaEstimateOptions gamma_estimate;
+};
+
+/// \brief Online baseline with a *static* efficiency threshold.
+///
+/// Identical machinery to O-AFA except line 5 of Algorithm 2 compares
+/// against a constant instead of `φ(δ_j)`. Section IV-A argues (citing
+/// [20]) that adaptive thresholds beat static ones; the
+/// `bench_ablation_threshold` experiment quantifies that claim, including
+/// the `threshold_factor = 0` greedy-spend variant.
+class StaticThresholdOnlineSolver : public OnlineSolver {
+ public:
+  StaticThresholdOnlineSolver() = default;
+  explicit StaticThresholdOnlineSolver(StaticThresholdOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "ONLINE-STATIC"; }
+  Status Initialize(const SolveContext& ctx) override;
+  Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+
+  /// The effective constant threshold after initialization.
+  double threshold() const { return threshold_; }
+
+ private:
+  StaticThresholdOptions options_;
+  SolveContext ctx_;
+  double threshold_ = 0.0;
+  std::vector<double> used_budget_;
+  std::vector<model::VendorId> scratch_vendors_;
+};
+
+}  // namespace muaa::assign

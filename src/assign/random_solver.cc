@@ -1,0 +1,45 @@
+#include "assign/random_solver.h"
+
+#include <vector>
+
+namespace muaa::assign {
+
+Result<AssignmentSet> RandomSolver::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  AssignmentSet result(ctx.instance);
+  const size_t m = ctx.instance->num_customers();
+  const auto& catalog = ctx.instance->ad_types;
+
+  std::vector<model::CustomerId> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = static_cast<model::CustomerId>(i);
+  ctx.rng->Shuffle(&order);
+
+  std::vector<model::VendorId> vendors;
+  for (model::CustomerId i : order) {
+    ctx.view->ValidVendorsInto(i, &vendors);
+    if (vendors.empty()) continue;
+    ctx.rng->Shuffle(&vendors);
+    for (model::VendorId j : vendors) {
+      if (result.CustomerRemaining(i) <= 0) break;
+      // Random ad type among the affordable ones.
+      std::vector<model::AdTypeId> affordable;
+      for (size_t k = 0; k < catalog.size(); ++k) {
+        if (catalog.at(static_cast<model::AdTypeId>(k)).cost <=
+            result.VendorRemaining(j) + 1e-12) {
+          affordable.push_back(static_cast<model::AdTypeId>(k));
+        }
+      }
+      if (affordable.empty()) continue;
+      model::AdTypeId k = affordable[ctx.rng->Index(affordable.size())];
+      AdInstance inst;
+      inst.customer = i;
+      inst.vendor = j;
+      inst.ad_type = k;
+      inst.utility = ctx.utility->Utility(i, j, k);
+      MUAA_RETURN_NOT_OK(result.Add(inst));
+    }
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

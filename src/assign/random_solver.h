@@ -1,0 +1,20 @@
+#pragma once
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// \brief The RANDOM competitor (Sec. V-A): "randomly assigns vendors' ads
+/// to valid customers under the budget constraint".
+///
+/// Customers are visited in random order; each draws random distinct valid
+/// vendors (up to its capacity) and a uniformly random affordable ad type
+/// per picked vendor. Utility plays no role in the choices (that is the
+/// point of the baseline), but the produced set is fully feasible.
+class RandomSolver : public OfflineSolver {
+ public:
+  std::string name() const override { return "RANDOM"; }
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+};
+
+}  // namespace muaa::assign

@@ -1,0 +1,272 @@
+#include "assign/recon.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "assign/candidates.h"
+#include "knapsack/mckp_dp.h"
+#include "knapsack/mckp_lp_greedy.h"
+#include "knapsack/mckp_simplex.h"
+
+namespace muaa::assign {
+
+namespace {
+
+/// One tentative per-vendor assignment, with a liveness flag so deletions
+/// during reconciliation are O(1).
+struct Tentative {
+  model::CustomerId customer;
+  model::VendorId vendor;
+  model::AdTypeId ad_type;
+  double utility;
+  double cost;
+  bool alive = true;
+};
+
+/// Phase-1 output of one vendor's single-vendor problem.
+struct VendorSolution {
+  std::vector<Tentative> picks;
+  std::vector<TypedCandidate> candidates;  // kept for the refill step
+  double lp_bound = 0.0;
+  Status status;
+};
+
+Result<knapsack::MckpResult> SolveSingleVendor(
+    const knapsack::MckpProblem& problem, SingleVendorSolver which) {
+  switch (which) {
+    case SingleVendorSolver::kLpGreedy:
+      return knapsack::SolveMckpLpGreedy(problem);
+    case SingleVendorSolver::kDp:
+      return knapsack::SolveMckpDp(problem);
+    case SingleVendorSolver::kSimplex:
+      return knapsack::SolveMckpSimplex(problem);
+  }
+  return Status::InvalidArgument("unknown single-vendor solver");
+}
+
+/// Builds and solves vendor `j`'s MCKP (Alg. 1, lines 3-5). Thread-safe:
+/// reads only const context state.
+VendorSolution SolveVendor(const SolveContext& ctx, model::VendorId vj,
+                           SingleVendorSolver which) {
+  VendorSolution out;
+  out.candidates = VendorCandidates(ctx, vj);
+  if (out.candidates.empty()) return out;
+
+  knapsack::MckpProblem mckp;
+  mckp.budget = ctx.instance->vendors[static_cast<size_t>(vj)].budget;
+  // Candidates are emitted grouped by customer; one class per group.
+  std::vector<std::pair<size_t, size_t>> class_ranges;  // [begin, end)
+  size_t begin = 0;
+  for (size_t c = 1; c <= out.candidates.size(); ++c) {
+    if (c == out.candidates.size() ||
+        out.candidates[c].customer != out.candidates[begin].customer) {
+      class_ranges.emplace_back(begin, c);
+      begin = c;
+    }
+  }
+  for (const auto& [lo, hi] : class_ranges) {
+    knapsack::MckpClass cls;
+    cls.payload = out.candidates[lo].customer;
+    for (size_t c = lo; c < hi; ++c) {
+      knapsack::MckpItem item;
+      item.value = out.candidates[c].utility;
+      item.cost = out.candidates[c].cost;
+      item.payload = out.candidates[c].ad_type;
+      cls.items.push_back(item);
+    }
+    mckp.classes.push_back(std::move(cls));
+  }
+
+  auto solved = SolveSingleVendor(mckp, which);
+  if (!solved.ok()) {
+    out.status = solved.status();
+    return out;
+  }
+  out.lp_bound = solved->lp_upper_bound;
+  for (size_t c = 0; c < mckp.classes.size(); ++c) {
+    int32_t pick = solved->selection.chosen[c];
+    if (pick < 0) continue;
+    const knapsack::MckpItem& item =
+        mckp.classes[c].items[static_cast<size_t>(pick)];
+    Tentative t;
+    t.customer = mckp.classes[c].payload;
+    t.vendor = vj;
+    t.ad_type = item.payload;
+    t.utility = item.value;
+    t.cost = item.cost;
+    out.picks.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ReconSolver::name() const {
+  switch (options_.single_vendor) {
+    case SingleVendorSolver::kLpGreedy:
+      return "RECON";
+    case SingleVendorSolver::kDp:
+      return "RECON-DP";
+    case SingleVendorSolver::kSimplex:
+      return "RECON-LP";
+  }
+  return "RECON";
+}
+
+Result<AssignmentSet> ReconSolver::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  const size_t m = ctx.instance->num_customers();
+  const size_t n = ctx.instance->num_vendors();
+  last_lp_bound_sum_ = 0.0;
+
+  // ---- Phase 1: per-vendor single-vendor MCKPs (Alg. 1, lines 2-5),
+  // independent across vendors and solved in parallel when configured.
+  std::vector<VendorSolution> solutions(n);
+  unsigned workers = options_.num_threads;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min<unsigned>(workers, std::max<size_t>(n, 1));
+  if (workers <= 1) {
+    for (size_t j = 0; j < n; ++j) {
+      solutions[j] =
+          SolveVendor(ctx, static_cast<model::VendorId>(j),
+                      options_.single_vendor);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          size_t j = next.fetch_add(1);
+          if (j >= n) break;
+          solutions[j] = SolveVendor(ctx, static_cast<model::VendorId>(j),
+                                     options_.single_vendor);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // ---- Merge (sequential, deterministic in vendor order).
+  std::vector<Tentative> tentatives;
+  std::vector<std::vector<size_t>> by_customer(m);
+  std::vector<std::vector<size_t>> by_vendor(n);
+  std::vector<double> vendor_spend(n, 0.0);
+  std::vector<std::vector<TypedCandidate>> vendor_cands(n);
+  for (size_t j = 0; j < n; ++j) {
+    MUAA_RETURN_NOT_OK(solutions[j].status);
+    last_lp_bound_sum_ += solutions[j].lp_bound;
+    vendor_cands[j] = std::move(solutions[j].candidates);
+    for (const Tentative& t : solutions[j].picks) {
+      size_t idx = tentatives.size();
+      tentatives.push_back(t);
+      by_customer[static_cast<size_t>(t.customer)].push_back(idx);
+      by_vendor[j].push_back(idx);
+      vendor_spend[j] += t.cost;
+    }
+  }
+
+  // ---- Phase 2: reconcile capacity violations (Alg. 1, lines 6-11).
+  std::vector<model::CustomerId> violated;
+  for (size_t i = 0; i < m; ++i) {
+    if (static_cast<int>(by_customer[i].size()) >
+        ctx.instance->customers[i].capacity) {
+      violated.push_back(static_cast<model::CustomerId>(i));
+    }
+  }
+  // The paper picks violated customers at random.
+  ctx.rng->Shuffle(&violated);
+
+  // Lazily sorted refill cursors per vendor (utility-descending sweep).
+  std::vector<size_t> refill_cursor(n, 0);
+  std::vector<bool> refill_sorted(n, false);
+
+  for (model::CustomerId ci : violated) {
+    auto& mine = by_customer[static_cast<size_t>(ci)];
+    const int capacity =
+        ctx.instance->customers[static_cast<size_t>(ci)].capacity;
+    // Sort this customer's instances by utility descending (line 8).
+    std::sort(mine.begin(), mine.end(), [&](size_t a, size_t b) {
+      return tentatives[a].utility > tentatives[b].utility;
+    });
+    while (static_cast<int>(mine.size()) > capacity) {
+      // Delete the lowest-utility instance (line 10).
+      size_t victim = mine.back();
+      mine.pop_back();
+      // Copy what we need: pushes into `tentatives` below may reallocate.
+      const model::VendorId vendor_id = tentatives[victim].vendor;
+      tentatives[victim].alive = false;
+      size_t j = static_cast<size_t>(vendor_id);
+      vendor_spend[j] -= tentatives[victim].cost;
+
+      // Greedy refill for vendor j (line 11): walk its utility-sorted
+      // candidates, adding any that fit the refunded budget, target a
+      // customer with spare capacity, and do not duplicate a pair.
+      if (!refill_sorted[j]) {
+        std::sort(vendor_cands[j].begin(), vendor_cands[j].end(),
+                  [](const TypedCandidate& a, const TypedCandidate& b) {
+                    if (a.utility != b.utility) return a.utility > b.utility;
+                    return a.cost < b.cost;
+                  });
+        refill_sorted[j] = true;
+        refill_cursor[j] = 0;
+      }
+      const double budget = ctx.instance->vendors[j].budget;
+      size_t& cursor = refill_cursor[j];
+      while (cursor < vendor_cands[j].size()) {
+        const TypedCandidate& cand = vendor_cands[j][cursor];
+        if (vendor_spend[j] + ctx.instance->ad_types.MinCost() >
+            budget + 1e-12) {
+          break;  // nothing can fit any more
+        }
+        size_t cu = static_cast<size_t>(cand.customer);
+        bool full = static_cast<int>(by_customer[cu].size()) >=
+                    ctx.instance->customers[cu].capacity;
+        bool pair_used = false;
+        for (size_t idx : by_customer[cu]) {
+          if (tentatives[idx].alive && tentatives[idx].vendor == vendor_id) {
+            pair_used = true;
+            break;
+          }
+        }
+        if (full || pair_used ||
+            vendor_spend[j] + cand.cost > budget + 1e-12) {
+          ++cursor;
+          continue;
+        }
+        Tentative fresh;
+        fresh.customer = cand.customer;
+        fresh.vendor = vendor_id;
+        fresh.ad_type = cand.ad_type;
+        fresh.utility = cand.utility;
+        fresh.cost = cand.cost;
+        size_t idx = tentatives.size();
+        tentatives.push_back(fresh);
+        by_customer[cu].push_back(idx);
+        by_vendor[j].push_back(idx);
+        vendor_spend[j] += fresh.cost;
+        ++cursor;
+      }
+    }
+  }
+
+  // ---- Materialize the union (line 12) through the checked set.
+  AssignmentSet result(ctx.instance);
+  for (const Tentative& t : tentatives) {
+    if (!t.alive) continue;
+    AdInstance inst;
+    inst.customer = t.customer;
+    inst.vendor = t.vendor;
+    inst.ad_type = t.ad_type;
+    inst.utility = t.utility;
+    MUAA_RETURN_NOT_OK(result.Add(inst));
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "assign/solver.h"
+#include "knapsack/mckp.h"
+
+namespace muaa::assign {
+
+/// Which MCKP solver RECON uses for the single-vendor subproblems.
+enum class SingleVendorSolver {
+  /// LP-relaxation greedy (default; the paper's ε-approximate LP
+  /// relaxation, O(N log N)).
+  kLpGreedy,
+  /// Exact DP over integer cents (slower; removes the 1−ε term).
+  kDp,
+  /// General simplex on the LP relaxation + rounding (closest to the
+  /// paper's use of lp_solve; dense — small instances only).
+  kSimplex,
+};
+
+/// Options for `ReconSolver`.
+struct ReconOptions {
+  SingleVendorSolver single_vendor = SingleVendorSolver::kLpGreedy;
+  /// Worker threads for phase 1 (the independent single-vendor MCKPs).
+  /// 1 = sequential; 0 = one per hardware thread. The result is identical
+  /// regardless of thread count — phase 1 writes per-vendor slots and
+  /// phase 2 (reconciliation, which consumes the RNG) stays sequential.
+  unsigned num_threads = 1;
+};
+
+/// \brief The reconciliation approach (Algorithm 1, Sec. III).
+///
+/// Phase 1 — single-vendor problems: for every vendor, build the MCKP over
+/// its valid customers (classes) and ad types (items) and solve it
+/// independently, ignoring other vendors.
+///
+/// Phase 2 — reconciliation: customers that collected more ads than their
+/// capacity `a_i` across the per-vendor solutions are processed in random
+/// order; each keeps its top-`a_i` utility instances and the rest are
+/// deleted. Every deletion refunds the vendor, which then greedily
+/// re-extends its solution over customers that still have spare capacity
+/// (never creating new violations, so one pass terminates).
+///
+/// Approximation ratio: `(1−ε)·θ` with
+/// `θ = min_i a_i / max(#valid vendors_i, a_i)` (Theorem III.1).
+class ReconSolver : public OfflineSolver {
+ public:
+  ReconSolver() = default;
+  explicit ReconSolver(ReconOptions options) : options_(options) {}
+
+  std::string name() const override;
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+
+  /// Sum over vendors of their single-vendor LP upper bounds from the last
+  /// `Solve` call. This over-counts shared customers, but is a cheap upper
+  /// bound on the offline optimum used in EXPERIMENTS.md ratio reporting.
+  double last_lp_bound_sum() const { return last_lp_bound_sum_; }
+
+ private:
+  ReconOptions options_;
+  double last_lp_bound_sum_ = 0.0;
+};
+
+}  // namespace muaa::assign

@@ -1,0 +1,30 @@
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+Status ValidateContext(const SolveContext& ctx) {
+  if (ctx.instance == nullptr || ctx.view == nullptr ||
+      ctx.utility == nullptr || ctx.rng == nullptr) {
+    return Status::InvalidArgument("SolveContext has null members");
+  }
+  return Status::OK();
+}
+
+Result<AssignmentSet> OnlineAsOffline::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  MUAA_RETURN_NOT_OK(online_->Initialize(ctx));
+  AssignmentSet result(ctx.instance);
+  const size_t m = ctx.instance->num_customers();
+  // Customers are stored in ascending arrival order (validated).
+  for (size_t i = 0; i < m; ++i) {
+    MUAA_ASSIGN_OR_RETURN(
+        std::vector<AdInstance> picked,
+        online_->OnArrival(static_cast<model::CustomerId>(i)));
+    for (const AdInstance& inst : picked) {
+      MUAA_RETURN_NOT_OK(result.Add(inst));
+    }
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

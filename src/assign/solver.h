@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/instance.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+
+namespace muaa::assign {
+
+/// \brief Everything a solver needs: the instance plus the shared spatial
+/// view, utility model and RNG. All pointers must outlive the solve call.
+struct SolveContext {
+  const model::ProblemInstance* instance = nullptr;
+  const model::ProblemView* view = nullptr;
+  const model::UtilityModel* utility = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// \brief An offline MUAA solver: sees the whole instance at once.
+class OfflineSolver {
+ public:
+  virtual ~OfflineSolver() = default;
+
+  /// Short display name used by the experiment harness (e.g. "RECON").
+  virtual std::string name() const = 0;
+
+  /// Computes a feasible assignment set for the whole instance.
+  virtual Result<AssignmentSet> Solve(const SolveContext& ctx) = 0;
+};
+
+/// \brief An online MUAA solver: customers are revealed one at a time in
+/// arrival order, decisions are irrevocable (Sec. IV).
+class OnlineSolver {
+ public:
+  virtual ~OnlineSolver() = default;
+
+  /// Short display name (e.g. "ONLINE").
+  virtual std::string name() const = 0;
+
+  /// Called once before the stream starts. Vendors and ad types are known
+  /// in advance; customers are not.
+  virtual Status Initialize(const SolveContext& ctx) = 0;
+
+  /// Customer `i` arrives. Returns the ad instances pushed to this
+  /// customer; the caller (driver) commits them. Implementations must keep
+  /// their own budget accounting consistent with what they return.
+  virtual Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) = 0;
+};
+
+/// \brief Adapts an online solver to the offline interface by replaying
+/// customers in arrival order through the given solver.
+///
+/// The experiment harness compares ONLINE/NEAREST against the offline
+/// algorithms on identical instances this way.
+class OnlineAsOffline : public OfflineSolver {
+ public:
+  explicit OnlineAsOffline(std::unique_ptr<OnlineSolver> online)
+      : online_(std::move(online)) {}
+
+  std::string name() const override { return online_->name(); }
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+
+ private:
+  std::unique_ptr<OnlineSolver> online_;
+};
+
+/// Checks that `ctx` is fully populated.
+Status ValidateContext(const SolveContext& ctx);
+
+}  // namespace muaa::assign

@@ -1,0 +1,83 @@
+#include "assign/windowed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "model/problem_view.h"
+
+namespace muaa::assign {
+
+WindowedSolver::WindowedSolver(SolverFactory factory, WindowedOptions options)
+    : factory_(std::move(factory)), options_(options) {
+  MUAA_CHECK(factory_ != nullptr);
+  MUAA_CHECK(options_.window_hours > 0.0);
+  inner_name_ = factory_()->name();
+}
+
+std::string WindowedSolver::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "BATCH-%s(%gh)", inner_name_.c_str(),
+                options_.window_hours);
+  return buf;
+}
+
+Result<AssignmentSet> WindowedSolver::Solve(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  const model::ProblemInstance& full = *ctx.instance;
+  AssignmentSet result(ctx.instance);
+
+  // Remaining budgets carried across windows.
+  std::vector<double> remaining(full.num_vendors());
+  for (size_t j = 0; j < remaining.size(); ++j) {
+    remaining[j] = full.vendors[j].budget;
+  }
+
+  size_t begin = 0;
+  while (begin < full.num_customers()) {
+    // The window covers [window_start, window_start + window_hours).
+    double window_start =
+        std::floor(full.customers[begin].arrival_time / options_.window_hours) *
+        options_.window_hours;
+    double window_end = window_start + options_.window_hours;
+    size_t end = begin;
+    while (end < full.num_customers() &&
+           full.customers[end].arrival_time < window_end) {
+      ++end;
+    }
+
+    // Build the window sub-instance: the window's customers, all vendors
+    // with their *remaining* budgets.
+    model::ProblemInstance window;
+    window.ad_types = full.ad_types;
+    window.activity = full.activity;
+    window.vendors = full.vendors;
+    for (size_t j = 0; j < window.vendors.size(); ++j) {
+      window.vendors[j].budget = remaining[j];
+    }
+    window.customers.assign(full.customers.begin() + static_cast<long>(begin),
+                            full.customers.begin() + static_cast<long>(end));
+
+    model::ProblemView view(&window);
+    model::UtilityModel utility(&window);
+    SolveContext window_ctx{&window, &view, &utility, ctx.rng};
+    std::unique_ptr<OfflineSolver> solver = factory_();
+    MUAA_ASSIGN_OR_RETURN(AssignmentSet window_result,
+                          solver->Solve(window_ctx));
+
+    // Commit with global ids; budgets shrink for the next window.
+    for (const AdInstance& inst : window_result.instances()) {
+      AdInstance global = inst;
+      global.customer =
+          static_cast<model::CustomerId>(begin + static_cast<size_t>(inst.customer));
+      MUAA_RETURN_NOT_OK(result.Add(global));
+      remaining[static_cast<size_t>(inst.vendor)] -=
+          full.ad_types.at(inst.ad_type).cost;
+    }
+    begin = end;
+  }
+  return result;
+}
+
+}  // namespace muaa::assign

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "assign/solver.h"
+
+namespace muaa::assign {
+
+/// Options for the windowed micro-batch solver.
+struct WindowedOptions {
+  /// Window length in hours. Customers are grouped by arrival into
+  /// consecutive windows; 24 (or more) degenerates to a single batch.
+  double window_hours = 1.0;
+};
+
+/// \brief Micro-batch middle ground between the paper's two regimes
+/// (an extension): buffer the customers of each arrival window, then run
+/// an *offline* solver on the window's sub-instance with the vendors'
+/// *remaining* budgets, committing the result before the next window.
+///
+/// Brokers that can tolerate minutes of delay get most of the offline
+/// quality without clairvoyance: with one 24h window this is exactly the
+/// wrapped offline algorithm; with tiny windows it approaches a
+/// per-customer online rule. `bench_ablation_threshold` positions it
+/// between O-AFA and RECON.
+class WindowedSolver : public OfflineSolver {
+ public:
+  /// Factory for the per-window solver: each window gets a fresh solver
+  /// (stateless solvers can return the same object wrapped, but RECON et
+  /// al. are cheap to construct).
+  using SolverFactory = std::function<std::unique_ptr<OfflineSolver>()>;
+
+  WindowedSolver(SolverFactory factory, WindowedOptions options);
+
+  std::string name() const override;
+  Result<AssignmentSet> Solve(const SolveContext& ctx) override;
+
+ private:
+  SolverFactory factory_;
+  WindowedOptions options_;
+  std::string inner_name_;
+};
+
+}  // namespace muaa::assign

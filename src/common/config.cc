@@ -1,0 +1,83 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace muaa {
+
+Result<Config> Config::FromArgs(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got: " + arg);
+    }
+    cfg.Set(Trim(arg.substr(0, eq)), Trim(arg.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + key + "=" + it->second);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a double: " + key + "=" + it->second);
+  }
+  return v;
+}
+
+Result<bool> Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::string v = ToLower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("not a bool: " + key + "=" + it->second);
+}
+
+void Config::LoadEnvOverrides(const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) {
+    std::string env_key = "MUAA_";
+    for (char c : key) {
+      env_key += (c == '.') ? '_' : static_cast<char>(std::toupper(
+                                        static_cast<unsigned char>(c)));
+    }
+    const char* value = std::getenv(env_key.c_str());
+    if (value != nullptr && !Has(key)) {
+      Set(key, value);
+    }
+  }
+}
+
+}  // namespace muaa

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa {
+
+/// \brief Flat key=value configuration with typed accessors.
+///
+/// Used by benches and examples to take overrides from the command line
+/// (`key=value` arguments) and the environment (`MUAA_*` variables).
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key=value` tokens. Unknown formats yield InvalidArgument.
+  static Result<Config> FromArgs(int argc, const char* const* argv);
+
+  /// Sets (or overwrites) a key.
+  void Set(const std::string& key, const std::string& value);
+
+  /// True if the key is present.
+  bool Has(const std::string& key) const;
+
+  /// String value or `fallback`.
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value or `fallback`; InvalidArgument when present but unparsable.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Double value or `fallback`; InvalidArgument when present but unparsable.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// Bool value or `fallback`; accepts 0/1/true/false (case-insensitive).
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  /// Loads a `MUAA_<KEY>` environment override for each given key (keys are
+  /// upper-cased; dots become underscores). Existing values are kept.
+  void LoadEnvOverrides(const std::vector<std::string>& keys);
+
+  /// All entries (for diagnostics).
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace muaa

@@ -1,0 +1,109 @@
+#include "common/csv.h"
+
+namespace muaa {
+
+Status CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  if (header_written_ || rows_ > 0) {
+    return Status::FailedPrecondition("header must be the first row");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("empty header");
+  }
+  header_written_ = true;
+  columns_ = columns.size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) *out_ << sep_;
+    WriteEscaped(columns[i]);
+  }
+  *out_ << "\n";
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (header_written_ && fields.size() != columns_) {
+    return Status::InvalidArgument("row width does not match header");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << sep_;
+    WriteEscaped(fields[i]);
+  }
+  *out_ << "\n";
+  ++rows_;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<bool> CsvReader::ReadRow(std::vector<std::string>* row) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_;
+    // Skip blanks and comments.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto parsed = ParseCsvLine(line, sep_);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+                                     parsed.status().message());
+    }
+    *row = std::move(parsed).ValueOrDie();
+    return true;
+  }
+  return false;
+}
+
+void CsvWriter::WriteEscaped(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == sep_ || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) {
+    *out_ << field;
+    return;
+  }
+  *out_ << '"';
+  for (char c : field) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+}
+
+}  // namespace muaa

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa {
+
+/// \brief Minimal CSV emitter used by the benchmark harness.
+///
+/// Fields containing separators, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* out, char sep = ',') : out_(out), sep_(sep) {}
+
+  /// Writes a header row. Must be the first row written, at most once.
+  Status WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes a data row; must match the header width when a header was set.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Number of data rows written so far.
+  size_t rows_written() const { return rows_; }
+
+ private:
+  void WriteEscaped(const std::string& field);
+
+  std::ostream* out_;
+  char sep_;
+  size_t columns_ = 0;
+  bool header_written_ = false;
+  size_t rows_ = 0;
+};
+
+/// Splits one CSV line into fields, honouring RFC 4180 quoting ("" is an
+/// escaped quote inside a quoted field). Returns InvalidArgument on an
+/// unterminated quote. Embedded newlines are not supported (the library
+/// never writes them outside tests).
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep = ',');
+
+/// \brief Line-oriented CSV reader over any input stream.
+///
+/// `ReadRow` returns one parsed row at a time and `false` at EOF. Blank
+/// lines and lines starting with `#` are skipped.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream* in, char sep = ',') : in_(in), sep_(sep) {}
+
+  /// Reads the next data row into `row`. Returns false at EOF. A malformed
+  /// line yields an error status.
+  Result<bool> ReadRow(std::vector<std::string>* row);
+
+  /// 1-based line number of the last row read (for error messages).
+  size_t line_number() const { return line_; }
+
+ private:
+  std::istream* in_;
+  char sep_;
+  size_t line_ = 0;
+};
+
+}  // namespace muaa

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace muaa {
+
+/// Log severity levels, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that gets emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows everything (used for disabled levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace muaa
+
+#define MUAA_LOG(level)                                                  \
+  if (::muaa::LogLevel::k##level < ::muaa::GetLogLevel()) {              \
+  } else                                                                 \
+    ::muaa::internal::LogMessage(::muaa::LogLevel::k##level, __FILE__,   \
+                                 __LINE__)                               \
+        .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard algorithmic invariants, not user input.
+#define MUAA_CHECK(cond)                                                     \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::muaa::internal::LogMessage(::muaa::LogLevel::kFatal, __FILE__,         \
+                                 __LINE__)                                   \
+        .stream()                                                            \
+        << "Check failed: " #cond " "
+
+#define MUAA_CHECK_OK(expr)                            \
+  do {                                                 \
+    ::muaa::Status _st = (expr);                       \
+    MUAA_CHECK(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define MUAA_DCHECK(cond) MUAA_CHECK(cond)

@@ -1,0 +1,52 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muaa {
+
+bool ApproxEqual(double a, double b, double atol, double rtol) {
+  return std::fabs(a - b) <= atol + rtol * std::fabs(b);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return KahanSum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double KahanSum(const std::vector<double>& xs) {
+  KahanAccumulator acc;
+  for (double x : xs) acc.Add(x);
+  return acc.total();
+}
+
+void KahanAccumulator::Add(double x) {
+  double y = x - carry_;
+  double t = total_ + y;
+  carry_ = (t - total_) - y;
+  total_ = t;
+  ++count_;
+}
+
+}  // namespace muaa

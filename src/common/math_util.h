@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace muaa {
+
+/// True if |a - b| <= atol + rtol * |b|.
+bool ApproxEqual(double a, double b, double atol = 1e-9, double rtol = 1e-9);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double Stddev(const std::vector<double>& xs);
+
+/// `q`-th percentile (q in [0,1]) by linear interpolation on a copy of
+/// `xs`; 0 for an empty vector.
+double Percentile(std::vector<double> xs, double q);
+
+/// Sum with Kahan compensation — utilities are tiny (1e-4 scale) and
+/// summed across hundreds of thousands of instances, so naive summation
+/// loses precision in the experiment totals.
+double KahanSum(const std::vector<double>& xs);
+
+/// Running Kahan accumulator for streaming totals.
+class KahanAccumulator {
+ public:
+  /// Adds `x` to the running total.
+  void Add(double x);
+  /// Current compensated total.
+  double total() const { return total_; }
+  /// Number of values added.
+  size_t count() const { return count_; }
+
+ private:
+  double total_ = 0.0;
+  double carry_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace muaa

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace muaa {
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result`. Construct from a value for success or from a
+/// non-OK `Status` for failure. `ValueOrDie()` aborts on error and is meant
+/// for tests and contexts where the error was already checked.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// Returns the value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  /// Returns the value; aborts if this result holds an error.
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  /// Moves the value out; aborts if this result holds an error.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace muaa

@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MUAA_CHECK(lo <= hi) << "UniformInt with lo=" << lo << " > hi=" << hi;
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::BoundedGaussian(double mean, double stddev, double lo, double hi) {
+  MUAA_CHECK(lo <= hi);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    double x = dist(engine_);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(dist(engine_), lo, hi);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  MUAA_CHECK(n >= 1);
+  MUAA_CHECK(s > 0.0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double sum = 0.0;
+    for (int64_t k = 1; k <= n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[static_cast<size_t>(k - 1)] = sum;
+    }
+    for (double& c : zipf_cdf_) c /= sum;
+  }
+  double u = Uniform(0.0, 1.0);
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+size_t Rng::Index(size_t n) {
+  MUAA_CHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+}  // namespace muaa

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace muaa {
+
+/// \brief Deterministically seeded random number generator.
+///
+/// All stochastic components in the library (data generation, the RANDOM
+/// baseline, tie-breaking) draw from an `Rng` so that experiments are
+/// reproducible given a seed.
+class Rng {
+ public:
+  /// Constructs a generator with the given seed.
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Normal sample with the given mean and stddev.
+  double Gaussian(double mean, double stddev);
+
+  /// Normal sample rejected-and-clamped into [lo, hi].
+  ///
+  /// Matches the paper's "Gaussian distribution within range [B−, B+]":
+  /// samples are redrawn a bounded number of times and finally clamped,
+  /// so the result is always within the range.
+  double BoundedGaussian(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (s > 0).
+  ///
+  /// Uses inverse-CDF sampling over precomputed weights when `n` matches the
+  /// cached table; O(log n) per draw after O(n) setup.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Uniformly shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// Picks a uniformly random index in [0, n).
+  size_t Index(size_t n);
+
+  /// The underlying engine (for std::distributions not wrapped here).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf CDF table for (zipf_n_, zipf_s_).
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace muaa

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace muaa {
+
+/// Status codes loosely following the Arrow/RocksDB convention.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// \brief Lightweight success/error carrier used across the library.
+///
+/// Functions that can fail return `Status` (or `Result<T>` when they also
+/// produce a value). A default-constructed `Status` is OK. Error statuses
+/// carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a FailedPrecondition error.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an AlreadyExists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a ResourceExhausted error.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns an Unimplemented error.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: negative budget".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Returns the canonical name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Propagates an error status from an expression to the caller.
+#define MUAA_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::muaa::Status _st = (expr);           \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs`
+/// or propagates the error status to the caller.
+#define MUAA_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto MUAA_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!MUAA_CONCAT_(_res_, __LINE__).ok())      \
+    return MUAA_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MUAA_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define MUAA_CONCAT_IMPL_(a, b) a##b
+#define MUAA_CONCAT_(a, b) MUAA_CONCAT_IMPL_(a, b)
+
+}  // namespace muaa

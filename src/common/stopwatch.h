@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+
+namespace muaa {
+
+/// \brief Monotonic wall-clock stopwatch used by the experiment harness.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since the last restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds since the last restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds since the last restart.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace muaa

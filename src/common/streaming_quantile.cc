@@ -1,0 +1,32 @@
+#include "common/streaming_quantile.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace muaa {
+
+StreamingQuantile::StreamingQuantile(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  MUAA_CHECK(capacity_ > 0);
+  reservoir_.reserve(capacity_);
+}
+
+void StreamingQuantile::Observe(double x) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  // Vitter's Algorithm R: keep each prefix element with equal probability.
+  size_t slot = rng_.Index(seen_);
+  if (slot < capacity_) {
+    reservoir_[slot] = x;
+  }
+}
+
+double StreamingQuantile::Quantile(double q) const {
+  if (reservoir_.empty()) return 0.0;
+  return Percentile(reservoir_, q);
+}
+
+}  // namespace muaa

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace muaa {
+
+/// \brief Bounded-memory quantile estimator over a stream (uniform
+/// reservoir sampling).
+///
+/// Used by the adaptive-γ extension of O-AFA (Sec. IV-C): the broker
+/// observes ad-instance budget efficiencies as customers arrive and keeps
+/// a running estimate of the low quantile standing in for `γ_min`.
+/// Estimates are exact until `capacity` observations, then converge in
+/// distribution; memory is O(capacity).
+class StreamingQuantile {
+ public:
+  explicit StreamingQuantile(size_t capacity = 512, uint64_t seed = 1234577);
+
+  /// Feeds one observation.
+  void Observe(double x);
+
+  /// The `q`-quantile (q in [0,1]) of the retained sample; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Total observations fed so far.
+  size_t count() const { return seen_; }
+
+  /// Observations currently retained.
+  size_t sample_size() const { return reservoir_.size(); }
+
+ private:
+  size_t capacity_;
+  std::vector<double> reservoir_;
+  size_t seen_ = 0;
+  mutable Rng rng_;
+};
+
+}  // namespace muaa

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace muaa {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// Formats a double with `precision` significant decimal digits (fixed).
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace muaa

@@ -1,0 +1,72 @@
+#include "datagen/activity_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::datagen {
+
+namespace {
+
+std::vector<double> PeakedWeights(double peak_hour, double spread) {
+  std::vector<double> w(24);
+  for (int h = 0; h < 24; ++h) {
+    // Circular distance on the 24h clock.
+    double d = std::fabs(static_cast<double>(h) + 0.5 - peak_hour);
+    d = std::min(d, 24.0 - d);
+    w[static_cast<size_t>(h)] =
+        0.1 + 0.9 * std::exp(-(d * d) / (2.0 * spread * spread));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> ShapeWeights(ActivityShape shape) {
+  switch (shape) {
+    case ActivityShape::kFlat:
+      return std::vector<double>(24, 1.0);
+    case ActivityShape::kMorning:
+      return PeakedWeights(8.0, 2.5);
+    case ActivityShape::kLunch:
+      return PeakedWeights(12.5, 2.0);
+    case ActivityShape::kEvening:
+      return PeakedWeights(19.0, 3.0);
+    case ActivityShape::kNight:
+      return PeakedWeights(23.0, 2.5);
+  }
+  return std::vector<double>(24, 1.0);
+}
+
+model::ActivitySchedule GenerateActivitySchedule(size_t num_tags, Rng* rng) {
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(num_tags);
+  for (size_t t = 0; t < num_tags; ++t) {
+    auto shape = static_cast<ActivityShape>(rng->UniformInt(0, 4));
+    matrix.push_back(ShapeWeights(shape));
+  }
+  auto sched = model::ActivitySchedule::FromMatrix(std::move(matrix));
+  MUAA_CHECK(sched.ok()) << sched.status().ToString();
+  return std::move(sched).ValueOrDie();
+}
+
+model::ActivitySchedule ScheduleFromCheckins(
+    const std::vector<std::vector<double>>& checkin_hours, double min_weight) {
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(checkin_hours.size());
+  for (const auto& hours : checkin_hours) {
+    std::vector<double> hist(24, 1.0);  // add-one smoothing
+    for (double t : hours) {
+      hist[static_cast<size_t>(model::ActivitySchedule::HourSlot(t))] += 1.0;
+    }
+    double max_h = *std::max_element(hist.begin(), hist.end());
+    for (double& x : hist) x = std::max(x / max_h, min_weight);
+    matrix.push_back(std::move(hist));
+  }
+  auto sched = model::ActivitySchedule::FromMatrix(std::move(matrix));
+  MUAA_CHECK(sched.ok()) << sched.status().ToString();
+  return std::move(sched).ValueOrDie();
+}
+
+}  // namespace muaa::datagen

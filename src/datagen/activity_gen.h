@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/activity.h"
+
+namespace muaa::datagen {
+
+/// Canonical hour-of-day activity shapes assigned to tags.
+enum class ActivityShape {
+  kFlat,
+  kMorning,   // peaks ~8h  (coffee, breakfast)
+  kLunch,     // peaks ~12h (restaurants)
+  kEvening,   // peaks ~19h (shops, dinner)
+  kNight,     // peaks ~23h (nightlife)
+};
+
+/// The 24 hourly weights of a shape, each in (0, 1].
+std::vector<double> ShapeWeights(ActivityShape shape);
+
+/// Builds a schedule assigning each tag a random shape (uniform over the
+/// five shapes). Deterministic given the RNG state.
+model::ActivitySchedule GenerateActivitySchedule(size_t num_tags, Rng* rng);
+
+/// Builds a schedule from observed check-in hours: per-tag hourly
+/// histograms, add-one smoothed and max-normalized, floored at
+/// `min_weight` so every (tag, hour) stays positive as Eq. (5) requires.
+/// `checkin_hours[tag]` lists the (possibly empty) check-in hours of that
+/// tag; empty tags get a flat profile.
+model::ActivitySchedule ScheduleFromCheckins(
+    const std::vector<std::vector<double>>& checkin_hours,
+    double min_weight = 0.05);
+
+}  // namespace muaa::datagen

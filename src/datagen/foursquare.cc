@@ -1,0 +1,219 @@
+#include "datagen/foursquare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "datagen/activity_gen.h"
+#include "taxonomy/profile_builder.h"
+
+namespace muaa::datagen {
+
+namespace {
+
+using taxonomy::TagId;
+
+double WrapHour(double t) {
+  double w = std::fmod(t, 24.0);
+  return w < 0.0 ? w + 24.0 : w;
+}
+
+/// Category peak hour: derived from the tag's activity shape so check-in
+/// times and the learned schedule agree.
+double TagPeakHour(size_t tag_index) {
+  switch (tag_index % 5) {
+    case 0:
+      return 8.0;
+    case 1:
+      return 12.5;
+    case 2:
+      return 19.0;
+    case 3:
+      return 23.0;
+    default:
+      return 15.0;
+  }
+}
+
+}  // namespace
+
+Result<CheckinDataset> GenerateCheckinDataset(
+    const FoursquareLikeConfig& config) {
+  if (config.num_users == 0 || config.num_venues == 0 ||
+      config.num_checkins == 0) {
+    return Status::InvalidArgument("need users, venues and check-ins");
+  }
+  if (config.num_districts <= 0) {
+    return Status::InvalidArgument("need at least one district");
+  }
+  Rng rng(config.seed);
+  CheckinDataset data;
+  data.taxonomy = taxonomy::BuildFoursquareLikeTaxonomy(
+      config.taxonomy_depth, config.taxonomy_breadth);
+  data.num_users = config.num_users;
+  const size_t num_tags = data.taxonomy.size();
+  const std::vector<TagId> leaves = data.taxonomy.Leaves();
+
+  // ---- Districts and venues.
+  std::vector<geo::Point> districts;
+  districts.reserve(static_cast<size_t>(config.num_districts));
+  for (int d = 0; d < config.num_districts; ++d) {
+    districts.push_back({rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)});
+  }
+  data.venues.reserve(config.num_venues);
+  // Per-tag venue lists (for preference-directed check-ins).
+  std::vector<std::vector<int32_t>> venues_by_tag(num_tags);
+  for (size_t v = 0; v < config.num_venues; ++v) {
+    CheckinDataset::Venue venue;
+    const geo::Point& center = districts[rng.Index(districts.size())];
+    venue.location = {
+        std::clamp(rng.Gaussian(center.x, config.district_spread), 0.0, 1.0),
+        std::clamp(rng.Gaussian(center.y, config.district_spread), 0.0, 1.0)};
+    venue.tag = !leaves.empty() && rng.Bernoulli(0.85)
+                    ? leaves[rng.Index(leaves.size())]
+                    : static_cast<TagId>(rng.Index(num_tags));
+    venues_by_tag[static_cast<size_t>(venue.tag)].push_back(
+        static_cast<int32_t>(v));
+    data.venues.push_back(venue);
+  }
+
+  // ---- Users: favorite categories.
+  std::vector<std::vector<TagId>> favorites(config.num_users);
+  for (auto& favs : favorites) {
+    for (int f = 0; f < config.favorites_per_user; ++f) {
+      favs.push_back(static_cast<TagId>(rng.Index(num_tags)));
+    }
+  }
+
+  // ---- Check-ins: Zipf users, preference- and popularity-driven venues,
+  // category-dependent hours. Venue "popularity" comes from a Zipf rank
+  // permutation so early venue ids are not systematically popular.
+  std::vector<int32_t> popularity_order(config.num_venues);
+  for (size_t v = 0; v < config.num_venues; ++v) {
+    popularity_order[v] = static_cast<int32_t>(v);
+  }
+  rng.Shuffle(&popularity_order);
+
+  data.checkins.reserve(config.num_checkins);
+  for (size_t c = 0; c < config.num_checkins; ++c) {
+    CheckinDataset::Checkin chk;
+    chk.user = static_cast<int32_t>(
+        rng.Zipf(static_cast<int64_t>(config.num_users), config.user_zipf) - 1);
+    if (rng.Bernoulli(config.favorite_bias)) {
+      // Pick a venue of one of the user's favorite tags, if any exist.
+      const auto& favs = favorites[static_cast<size_t>(chk.user)];
+      TagId tag = favs[rng.Index(favs.size())];
+      const auto& pool = venues_by_tag[static_cast<size_t>(tag)];
+      if (!pool.empty()) {
+        chk.venue = pool[rng.Index(pool.size())];
+      }
+    }
+    if (chk.venue < 0) {
+      // Popularity-driven: Zipf rank through the popularity permutation.
+      int64_t rank =
+          rng.Zipf(static_cast<int64_t>(config.num_venues), config.venue_zipf);
+      chk.venue = popularity_order[static_cast<size_t>(rank - 1)];
+    }
+    double peak = TagPeakHour(static_cast<size_t>(
+        data.venues[static_cast<size_t>(chk.venue)].tag));
+    chk.time_hours = WrapHour(rng.Gaussian(peak, 2.5));
+    data.venues[static_cast<size_t>(chk.venue)].checkin_count += 1;
+    data.checkins.push_back(chk);
+  }
+  return data;
+}
+
+Result<model::ProblemInstance> BuildInstanceFromCheckins(
+    const FoursquareLikeConfig& config, const CheckinDataset& data) {
+  Rng rng(config.seed + 0x9e3779b97f4a7c15ULL);
+  const size_t num_tags = data.taxonomy.size();
+  taxonomy::ProfileBuilder profiles(&data.taxonomy);
+
+  model::ProblemInstance inst;
+  inst.ad_types = config.ad_types;
+  MUAA_RETURN_NOT_OK(inst.ad_types.Validate());
+
+  // ---- Activity schedule learned from per-tag check-in hours.
+  std::vector<std::vector<double>> tag_hours(num_tags);
+  for (const auto& chk : data.checkins) {
+    TagId tag = data.venues[static_cast<size_t>(chk.venue)].tag;
+    tag_hours[static_cast<size_t>(tag)].push_back(chk.time_hours);
+  }
+  inst.activity = ScheduleFromCheckins(tag_hours);
+
+  // ---- Vendors: venues with enough check-ins.
+  std::vector<int32_t> venue_to_vendor(data.venues.size(), -1);
+  for (size_t v = 0; v < data.venues.size(); ++v) {
+    if (data.venues[v].checkin_count < config.min_checkins_per_vendor) {
+      continue;
+    }
+    model::Vendor vendor;
+    vendor.location = data.venues[v].location;
+    vendor.radius = SampleRange(config.radius, &rng);
+    vendor.budget = SampleRange(config.budget, &rng);
+    MUAA_ASSIGN_OR_RETURN(vendor.interests,
+                          profiles.BuildVendorVector(data.venues[v].tag));
+    venue_to_vendor[v] = static_cast<int32_t>(inst.vendors.size());
+    inst.vendors.push_back(std::move(vendor));
+  }
+  if (inst.vendors.empty()) {
+    return Status::FailedPrecondition(
+        "no venue reached min_checkins_per_vendor; increase num_checkins");
+  }
+
+  // ---- User profiles from their full check-in history.
+  std::vector<std::map<TagId, int>> user_history(data.num_users);
+  for (const auto& chk : data.checkins) {
+    TagId tag = data.venues[static_cast<size_t>(chk.venue)].tag;
+    user_history[static_cast<size_t>(chk.user)][tag] += 1;
+  }
+  std::vector<std::vector<double>> user_profiles(data.num_users);
+  for (size_t u = 0; u < data.num_users; ++u) {
+    MUAA_ASSIGN_OR_RETURN(user_profiles[u],
+                          profiles.BuildInterestVector(user_history[u]));
+  }
+
+  // ---- Customers: sampled check-ins at vendor-qualified venues (the
+  // paper keeps only check-ins of qualified venues: 441,060 of 573,703).
+  std::vector<size_t> eligible;
+  for (size_t c = 0; c < data.checkins.size(); ++c) {
+    if (venue_to_vendor[static_cast<size_t>(data.checkins[c].venue)] >= 0) {
+      eligible.push_back(c);
+    }
+  }
+  if (eligible.size() > config.max_customers) {
+    rng.Shuffle(&eligible);
+    eligible.resize(config.max_customers);
+  }
+
+  inst.customers.reserve(eligible.size());
+  for (size_t idx : eligible) {
+    const auto& chk = data.checkins[idx];
+    model::Customer u;
+    const geo::Point& at = data.venues[static_cast<size_t>(chk.venue)].location;
+    // The person is near — not exactly at — the venue they checked into.
+    u.location = {std::clamp(at.x + rng.Gaussian(0.0, 0.005), 0.0, 1.0),
+                  std::clamp(at.y + rng.Gaussian(0.0, 0.005), 0.0, 1.0)};
+    u.capacity = SampleRangeInt(config.capacity, &rng);
+    u.view_prob = SampleRange(config.view_prob, &rng);
+    u.arrival_time = chk.time_hours;
+    u.interests = user_profiles[static_cast<size_t>(chk.user)];
+    inst.customers.push_back(std::move(u));
+  }
+  std::sort(inst.customers.begin(), inst.customers.end(),
+            [](const model::Customer& a, const model::Customer& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+
+  MUAA_RETURN_NOT_OK(inst.Validate());
+  return inst;
+}
+
+Result<model::ProblemInstance> GenerateFoursquareLike(
+    const FoursquareLikeConfig& config) {
+  MUAA_ASSIGN_OR_RETURN(CheckinDataset data, GenerateCheckinDataset(config));
+  return BuildInstanceFromCheckins(config, data);
+}
+
+}  // namespace muaa::datagen

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/ranges.h"
+#include "geo/point.h"
+#include "model/instance.h"
+#include "taxonomy/taxonomy.h"
+
+namespace muaa::datagen {
+
+/// \brief Configuration of the Foursquare-like check-in synthesizer.
+///
+/// The paper's real dataset (Foursquare Tokyo, Apr'12–Feb'13: 573,703
+/// check-ins, 2,293 users, 61,858 venues; filtered to venues with >= 10
+/// check-ins → 441,060 check-ins over 7,222 venues) is not
+/// redistributable here, so we synthesize data with the same marginal
+/// shapes: heavy-tailed venue popularity, district-clustered venue
+/// locations, users with a few favorite categories, category-dependent
+/// check-in hours. Defaults are scaled ~10× down so the full experiment
+/// suite runs on a laptop; scale via the fields below (see EXPERIMENTS.md).
+struct FoursquareLikeConfig {
+  size_t num_users = 500;
+  size_t num_venues = 6'000;
+  size_t num_checkins = 60'000;
+  /// Venues need this many check-ins to become vendors (paper: 10).
+  int min_checkins_per_vendor = 10;
+  /// Cap on instantiated customers (each sampled check-in becomes one
+  /// customer, as in the paper).
+  size_t max_customers = 10'000;
+
+  /// Zipf exponent of venue popularity.
+  double venue_zipf = 1.1;
+  /// Zipf exponent of user activity.
+  double user_zipf = 0.8;
+  /// Number of spatial districts venues cluster into.
+  int num_districts = 12;
+  /// Stddev of venue scatter around its district center.
+  double district_spread = 0.04;
+  /// Favorite categories per user and the bias towards them.
+  int favorites_per_user = 3;
+  double favorite_bias = 0.75;
+
+  int taxonomy_depth = 3;
+  int taxonomy_breadth = 3;
+
+  Range budget{20.0, 30.0};
+  Range radius{0.02, 0.03};
+  Range capacity{1.0, 5.0};
+  Range view_prob{0.1, 0.5};
+
+  /// Ad-format catalog (see SyntheticConfig::ad_types).
+  model::AdTypeCatalog ad_types = model::AdTypeCatalog::AdWordsLike();
+
+  uint64_t seed = 42;
+};
+
+/// \brief Intermediate check-in dataset (exposed so tests can assert its
+/// statistical shape and examples can render it).
+struct CheckinDataset {
+  taxonomy::Taxonomy taxonomy;
+
+  struct Venue {
+    geo::Point location;
+    taxonomy::TagId tag = taxonomy::kInvalidTag;
+    int checkin_count = 0;
+  };
+  std::vector<Venue> venues;
+
+  struct Checkin {
+    int32_t user = -1;
+    int32_t venue = -1;
+    double time_hours = 0.0;  ///< folded into [0, 24) as the paper does
+  };
+  std::vector<Checkin> checkins;
+
+  size_t num_users = 0;
+};
+
+/// Synthesizes the raw check-in dataset.
+Result<CheckinDataset> GenerateCheckinDataset(const FoursquareLikeConfig& config);
+
+/// Builds the MUAA instance from a check-in dataset:
+///  * venues with `>= min_checkins_per_vendor` check-ins become vendors,
+///  * up to `max_customers` check-ins are sampled; each becomes one
+///    customer at the check-in's location/time whose interest vector is
+///    its user's taxonomy-driven profile,
+///  * the activity schedule is learned from the per-tag check-in hours.
+Result<model::ProblemInstance> BuildInstanceFromCheckins(
+    const FoursquareLikeConfig& config, const CheckinDataset& data);
+
+/// Convenience: both steps.
+Result<model::ProblemInstance> GenerateFoursquareLike(
+    const FoursquareLikeConfig& config);
+
+}  // namespace muaa::datagen

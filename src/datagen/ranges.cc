@@ -1,0 +1,23 @@
+#include "datagen/ranges.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::datagen {
+
+double SampleRange(const Range& range, Rng* rng) {
+  MUAA_CHECK(range.lo <= range.hi);
+  if (range.lo == range.hi) return range.lo;
+  return rng->BoundedGaussian(range.mid(), range.width(), range.lo, range.hi);
+}
+
+int SampleRangeInt(const Range& range, Rng* rng) {
+  double x = SampleRange(range, rng);
+  int v = static_cast<int>(std::lround(x));
+  return std::clamp(v, static_cast<int>(std::ceil(range.lo)),
+                    static_cast<int>(std::floor(range.hi)));
+}
+
+}  // namespace muaa::datagen

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/rng.h"
+
+namespace muaa::datagen {
+
+/// \brief A `[lo, hi]` parameter range sampled the way the paper's
+/// experiments do: "Gaussian distribution N((lo+hi)/2, (hi−lo)²) within
+/// range [lo, hi]" — i.e. mean at the midpoint, stddev `hi − lo`,
+/// truncated to the range.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double mid() const { return 0.5 * (lo + hi); }
+  double width() const { return hi - lo; }
+};
+
+/// Samples a double from `range` per the paper's truncated Gaussian.
+/// Degenerate ranges (lo == hi) return lo.
+double SampleRange(const Range& range, Rng* rng);
+
+/// Samples an integer from `range` (rounded truncated Gaussian).
+int SampleRangeInt(const Range& range, Rng* rng);
+
+}  // namespace muaa::datagen

@@ -1,0 +1,100 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "datagen/activity_gen.h"
+#include "stream/arrival_process.h"
+#include "taxonomy/profile_builder.h"
+
+namespace muaa::datagen {
+
+namespace {
+
+using taxonomy::TagId;
+
+TagId PickVendorTag(const taxonomy::Taxonomy& tax,
+                    const std::vector<TagId>& leaves, Rng* rng) {
+  // Leaf-biased: venues are concrete categories most of the time.
+  if (!leaves.empty() && rng->Bernoulli(0.8)) {
+    return leaves[rng->Index(leaves.size())];
+  }
+  return static_cast<TagId>(rng->Index(tax.size()));
+}
+
+}  // namespace
+
+Result<model::ProblemInstance> GenerateSynthetic(
+    const SyntheticConfig& config) {
+  if (config.num_customers == 0 || config.num_vendors == 0) {
+    return Status::InvalidArgument("need at least one customer and vendor");
+  }
+  if (config.favorite_bias < 0.0 || config.favorite_bias > 1.0) {
+    return Status::InvalidArgument("favorite_bias outside [0,1]");
+  }
+  Rng rng(config.seed);
+  taxonomy::Taxonomy tax = taxonomy::BuildFoursquareLikeTaxonomy(
+      config.taxonomy_depth, config.taxonomy_breadth);
+  taxonomy::ProfileBuilder profiles(&tax);
+  const std::vector<TagId> leaves = tax.Leaves();
+  const size_t num_tags = tax.size();
+
+  model::ProblemInstance inst;
+  inst.activity = GenerateActivitySchedule(num_tags, &rng);
+  inst.ad_types = config.ad_types;
+  MUAA_RETURN_NOT_OK(inst.ad_types.Validate());
+
+  // ---- Vendors: uniform locations, leaf-biased category vectors.
+  inst.vendors.reserve(config.num_vendors);
+  for (size_t j = 0; j < config.num_vendors; ++j) {
+    model::Vendor v;
+    v.location = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    v.radius = SampleRange(config.radius, &rng);
+    v.budget = SampleRange(config.budget, &rng);
+    TagId tag = PickVendorTag(tax, leaves, &rng);
+    MUAA_ASSIGN_OR_RETURN(v.interests, profiles.BuildVendorVector(tag));
+    inst.vendors.push_back(std::move(v));
+  }
+
+  // ---- Customers: Gaussian-around-center locations, profile-built
+  // interests from simulated check-in histories.
+  std::vector<double> arrivals =
+      config.structured_arrivals
+          ? stream::ArrivalProcess::WithHourlyRates(
+                config.num_customers, stream::ArrivalProcess::CityDayProfile(),
+                &rng)
+                .ValueOrDie()
+          : stream::ArrivalProcess::Homogeneous(config.num_customers, &rng);
+
+  inst.customers.reserve(config.num_customers);
+  for (size_t i = 0; i < config.num_customers; ++i) {
+    model::Customer u;
+    u.location = {
+        std::clamp(rng.Gaussian(0.5, config.customer_loc_stddev), 0.0, 1.0),
+        std::clamp(rng.Gaussian(0.5, config.customer_loc_stddev), 0.0, 1.0)};
+    u.capacity = SampleRangeInt(config.capacity, &rng);
+    u.view_prob = SampleRange(config.view_prob, &rng);
+    u.arrival_time = arrivals[i];
+
+    // Simulated history: favorites get most of the check-ins.
+    std::vector<TagId> favorites;
+    for (int f = 0; f < config.favorites_per_customer; ++f) {
+      favorites.push_back(static_cast<TagId>(rng.Index(num_tags)));
+    }
+    std::map<TagId, int> checkins;
+    for (int c = 0; c < config.checkins_per_customer; ++c) {
+      TagId tag = rng.Bernoulli(config.favorite_bias)
+                      ? favorites[rng.Index(favorites.size())]
+                      : static_cast<TagId>(rng.Index(num_tags));
+      checkins[tag] += 1;
+    }
+    MUAA_ASSIGN_OR_RETURN(u.interests, profiles.BuildInterestVector(checkins));
+    inst.customers.push_back(std::move(u));
+  }
+
+  MUAA_RETURN_NOT_OK(inst.Validate());
+  return inst;
+}
+
+}  // namespace muaa::datagen

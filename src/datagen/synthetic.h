@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/ranges.h"
+#include "model/instance.h"
+
+namespace muaa::datagen {
+
+/// \brief Configuration for the synthetic generator (paper Sec. V-A,
+/// "Synthetic Data Sets"; defaults follow the Table IV settings as far as
+/// the paper reports them).
+struct SyntheticConfig {
+  size_t num_customers = 10'000;
+  size_t num_vendors = 500;
+
+  /// Taxonomy shape: 9 Foursquare-like roots expanded `breadth`-ways down
+  /// to `depth` levels.
+  int taxonomy_depth = 3;
+  int taxonomy_breadth = 3;
+
+  /// Vendor budgets `B_j` ~ truncated N(mid, width²) in `[lo, hi]`.
+  Range budget{20.0, 30.0};
+  /// Vendor radii `r_j`.
+  Range radius{0.02, 0.03};
+  /// Customer capacities `a_i`.
+  Range capacity{1.0, 5.0};
+  /// Customer view probabilities `p_i`.
+  Range view_prob{0.1, 0.5};
+
+  /// Customer locations ~ N((0.5, 0.5), stddev²) clamped to `[0,1]²`
+  /// (paper: Gaussian N(0.5, 1²)); vendors uniform.
+  double customer_loc_stddev = 1.0;
+
+  /// Check-ins drawn per customer when building the interest profile.
+  int checkins_per_customer = 20;
+  /// Favorite tags per customer (interest concentration).
+  int favorites_per_customer = 3;
+  /// Probability a check-in lands on a favorite tag (vs. uniform).
+  double favorite_bias = 0.8;
+
+  /// When true, arrivals follow the city-day rate profile instead of
+  /// uniform times ("the orders of the customers indicate timestamps").
+  bool structured_arrivals = false;
+
+  /// Ad-format catalog. Defaults to the AdWords-like 4-type catalog; set
+  /// to `AdTypeCatalog::PaperTableI()` for the paper's 2-type example.
+  model::AdTypeCatalog ad_types = model::AdTypeCatalog::AdWordsLike();
+
+  uint64_t seed = 42;
+};
+
+/// Generates a validated synthetic MUAA instance:
+///  * customer/vendor locations per the configured distributions,
+///  * interest vectors via the taxonomy-driven profile builder over
+///    simulated check-in histories,
+///  * vendor tag vectors from a (leaf-biased) random category,
+///  * per-tag activity schedules from the canonical hour shapes,
+///  * budgets / radii / capacities / probabilities from the truncated
+///    Gaussians of Sec. V-A.
+Result<model::ProblemInstance> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace muaa::datagen

@@ -1,0 +1,114 @@
+#include "eval/compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace muaa::eval {
+
+namespace {
+
+uint64_t PairKey(const assign::AdInstance& inst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(inst.customer)) << 32) |
+         static_cast<uint32_t>(inst.vendor);
+}
+
+}  // namespace
+
+std::string PlanDiff::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "common=%zu retyped=%zu only-left=%zu only-right=%zu\n",
+                common, retyped, only_left, only_right);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "utility: %.6g -> %.6g (%+.2f%%)  spend: %.2f -> %.2f\n",
+                utility_left, utility_right,
+                utility_left > 0.0
+                    ? 100.0 * (utility_right - utility_left) / utility_left
+                    : 0.0,
+                spend_left, spend_right);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "customers: +%zu gained, -%zu lost\n",
+                customers_gained, customers_lost);
+  out += buf;
+  for (const VendorDelta& d : vendor_deltas) {
+    std::snprintf(buf, sizeof(buf), "  vendor %d spend %+0.2f\n", d.vendor,
+                  d.spend_delta);
+    out += buf;
+  }
+  return out;
+}
+
+Result<PlanDiff> ComparePlans(const model::ProblemInstance& instance,
+                              const assign::AssignmentSet& left,
+                              const assign::AssignmentSet& right) {
+  PlanDiff diff;
+  diff.utility_left = left.total_utility();
+  diff.utility_right = right.total_utility();
+  diff.spend_left = left.total_cost();
+  diff.spend_right = right.total_cost();
+
+  std::map<uint64_t, model::AdTypeId> left_pairs;
+  for (const assign::AdInstance& inst : left.instances()) {
+    if (static_cast<size_t>(inst.customer) >= instance.num_customers() ||
+        static_cast<size_t>(inst.vendor) >= instance.num_vendors()) {
+      return Status::InvalidArgument("left plan references foreign ids");
+    }
+    left_pairs[PairKey(inst)] = inst.ad_type;
+  }
+
+  std::vector<int> served_left(instance.num_customers(), 0);
+  std::vector<int> served_right(instance.num_customers(), 0);
+  std::vector<double> spend_delta(instance.num_vendors(), 0.0);
+  for (const assign::AdInstance& inst : left.instances()) {
+    served_left[static_cast<size_t>(inst.customer)] += 1;
+    spend_delta[static_cast<size_t>(inst.vendor)] -=
+        instance.ad_types.at(inst.ad_type).cost;
+  }
+
+  size_t matched_left_pairs = 0;
+  for (const assign::AdInstance& inst : right.instances()) {
+    if (static_cast<size_t>(inst.customer) >= instance.num_customers() ||
+        static_cast<size_t>(inst.vendor) >= instance.num_vendors()) {
+      return Status::InvalidArgument("right plan references foreign ids");
+    }
+    served_right[static_cast<size_t>(inst.customer)] += 1;
+    spend_delta[static_cast<size_t>(inst.vendor)] +=
+        instance.ad_types.at(inst.ad_type).cost;
+    auto it = left_pairs.find(PairKey(inst));
+    if (it == left_pairs.end()) {
+      diff.only_right += 1;
+    } else {
+      ++matched_left_pairs;
+      if (it->second == inst.ad_type) {
+        diff.common += 1;
+      } else {
+        diff.retyped += 1;
+      }
+    }
+  }
+  diff.only_left = left.size() - matched_left_pairs;
+
+  for (size_t i = 0; i < instance.num_customers(); ++i) {
+    if (served_left[i] > 0 && served_right[i] == 0) diff.customers_lost += 1;
+    if (served_left[i] == 0 && served_right[i] > 0) diff.customers_gained += 1;
+  }
+
+  std::vector<PlanDiff::VendorDelta> deltas;
+  for (size_t j = 0; j < instance.num_vendors(); ++j) {
+    if (spend_delta[j] != 0.0) {
+      deltas.push_back({static_cast<model::VendorId>(j), spend_delta[j]});
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const PlanDiff::VendorDelta& a, const PlanDiff::VendorDelta& b) {
+              return std::abs(a.spend_delta) > std::abs(b.spend_delta);
+            });
+  if (deltas.size() > 16) deltas.resize(16);
+  diff.vendor_deltas = std::move(deltas);
+  return diff;
+}
+
+}  // namespace muaa::eval

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+
+namespace muaa::eval {
+
+/// \brief Structured diff between two assignment plans over the same
+/// instance (e.g. yesterday's RECON plan vs. today's, or RECON vs.
+/// ONLINE). Backs `muaa_cli compare`.
+struct PlanDiff {
+  /// Instances present in both plans (same customer, vendor AND type).
+  size_t common = 0;
+  /// Pairs served in both plans but with different ad types.
+  size_t retyped = 0;
+  /// Instances only in the left / right plan (excluding retyped pairs).
+  size_t only_left = 0;
+  size_t only_right = 0;
+
+  double utility_left = 0.0;
+  double utility_right = 0.0;
+  double spend_left = 0.0;
+  double spend_right = 0.0;
+
+  /// Customers served by exactly one of the plans.
+  size_t customers_gained = 0;  ///< served by right only
+  size_t customers_lost = 0;    ///< served by left only
+
+  /// Per-vendor spend deltas (right − left), largest absolute first,
+  /// truncated to the top 16.
+  struct VendorDelta {
+    model::VendorId vendor;
+    double spend_delta;
+  };
+  std::vector<VendorDelta> vendor_deltas;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+/// Computes the diff; both sets must refer to the same instance (sizes
+/// are checked via the id ranges).
+Result<PlanDiff> ComparePlans(const model::ProblemInstance& instance,
+                              const assign::AssignmentSet& left,
+                              const assign::AssignmentSet& right);
+
+}  // namespace muaa::eval

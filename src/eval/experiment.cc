@@ -1,0 +1,59 @@
+#include "eval/experiment.h"
+
+#include "assign/greedy.h"
+#include "assign/nearest.h"
+#include "assign/online_afa.h"
+#include "assign/random_solver.h"
+#include "assign/recon.h"
+#include "common/stopwatch.h"
+
+namespace muaa::eval {
+
+ExperimentRunner::ExperimentRunner(const model::ProblemInstance* instance,
+                                   uint64_t seed, model::SimilarityKind kind)
+    : instance_(instance),
+      view_(instance),
+      utility_(instance, kind),
+      rng_(seed) {}
+
+assign::SolveContext ExperimentRunner::context() {
+  assign::SolveContext ctx;
+  ctx.instance = instance_;
+  ctx.view = &view_;
+  ctx.utility = &utility_;
+  ctx.rng = &rng_;
+  return ctx;
+}
+
+Result<RunRecord> ExperimentRunner::Run(assign::OfflineSolver* solver) {
+  assign::SolveContext ctx = context();
+  Stopwatch watch;
+  MUAA_ASSIGN_OR_RETURN(assign::AssignmentSet result, solver->Solve(ctx));
+  double elapsed_ms = watch.ElapsedMillis();
+  MUAA_RETURN_NOT_OK(result.ValidateFull(utility_));
+
+  AssignmentMetrics metrics = ComputeMetrics(*instance_, result);
+  RunRecord record;
+  record.solver = solver->name();
+  record.utility = metrics.total_utility;
+  record.cpu_ms = elapsed_ms;
+  record.ads = metrics.num_ads;
+  record.spend = metrics.total_spend;
+  record.budget_utilization = metrics.budget_utilization;
+  record.served_customers = metrics.served_customers;
+  return record;
+}
+
+std::vector<std::unique_ptr<assign::OfflineSolver>> MakeStandardSolvers() {
+  std::vector<std::unique_ptr<assign::OfflineSolver>> solvers;
+  solvers.push_back(std::make_unique<assign::GreedySolver>());
+  solvers.push_back(std::make_unique<assign::ReconSolver>());
+  solvers.push_back(std::make_unique<assign::OnlineAsOffline>(
+      std::make_unique<assign::AfaOnlineSolver>()));
+  solvers.push_back(std::make_unique<assign::RandomSolver>());
+  solvers.push_back(std::make_unique<assign::OnlineAsOffline>(
+      std::make_unique<assign::NearestOnlineSolver>()));
+  return solvers;
+}
+
+}  // namespace muaa::eval

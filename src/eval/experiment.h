@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+
+namespace muaa::eval {
+
+/// \brief One measured solver run.
+struct RunRecord {
+  std::string solver;
+  double utility = 0.0;
+  double cpu_ms = 0.0;
+  size_t ads = 0;
+  double spend = 0.0;
+  double budget_utilization = 0.0;
+  size_t served_customers = 0;
+};
+
+/// \brief Prepares the shared per-instance state (spatial view, utility
+/// model) once, then times and validates individual solver runs.
+///
+/// Timing covers only `Solve()` — index construction is shared
+/// infrastructure identical for every competitor, mirroring the paper's
+/// per-algorithm CPU-time measurements. Every produced assignment set is
+/// re-validated against the constraints and Eq. (4) before the record is
+/// returned; an infeasible result is an error, never a data point.
+class ExperimentRunner {
+ public:
+  /// \param instance must be validated and outlive the runner.
+  /// \param kind similarity measure plugged into Eq. (4) (Pearson = paper).
+  ExperimentRunner(const model::ProblemInstance* instance, uint64_t seed,
+                   model::SimilarityKind kind = model::SimilarityKind::kPearson);
+
+  /// Runs one offline solver (online solvers via `OnlineAsOffline`).
+  Result<RunRecord> Run(assign::OfflineSolver* solver);
+
+  /// The shared context (for direct use by benches/tests).
+  assign::SolveContext context();
+
+  const model::ProblemView& view() const { return view_; }
+  const model::UtilityModel& utility() const { return utility_; }
+
+ private:
+  const model::ProblemInstance* instance_;
+  model::ProblemView view_;
+  model::UtilityModel utility_;
+  Rng rng_;
+};
+
+/// The paper's competitor line-up for the figures: GREEDY, RECON, ONLINE
+/// (O-AFA), RANDOM and NEAREST, in the order the plots list them.
+std::vector<std::unique_ptr<assign::OfflineSolver>> MakeStandardSolvers();
+
+}  // namespace muaa::eval

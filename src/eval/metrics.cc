@@ -1,0 +1,34 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+namespace muaa::eval {
+
+AssignmentMetrics ComputeMetrics(const model::ProblemInstance& instance,
+                                 const assign::AssignmentSet& assignments) {
+  AssignmentMetrics m;
+  m.total_utility = assignments.total_utility();
+  m.num_ads = assignments.size();
+  m.total_spend = assignments.total_cost();
+
+  double total_budget = 0.0;
+  for (const model::Vendor& v : instance.vendors) total_budget += v.budget;
+  m.budget_utilization = total_budget > 0.0 ? m.total_spend / total_budget : 0.0;
+
+  std::vector<int> counts(instance.num_customers(), 0);
+  for (const assign::AdInstance& inst : assignments.instances()) {
+    counts[static_cast<size_t>(inst.customer)] += 1;
+  }
+  for (int c : counts) {
+    if (c > 0) m.served_customers += 1;
+  }
+  m.mean_ads_per_served =
+      m.served_customers > 0
+          ? static_cast<double>(m.num_ads) / static_cast<double>(m.served_customers)
+          : 0.0;
+  m.mean_utility_per_ad =
+      m.num_ads > 0 ? m.total_utility / static_cast<double>(m.num_ads) : 0.0;
+  return m;
+}
+
+}  // namespace muaa::eval

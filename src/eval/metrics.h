@@ -1,0 +1,27 @@
+#pragma once
+
+#include "assign/assignment.h"
+#include "model/instance.h"
+
+namespace muaa::eval {
+
+/// \brief Summary statistics of an assignment set against its instance.
+struct AssignmentMetrics {
+  double total_utility = 0.0;
+  size_t num_ads = 0;
+  double total_spend = 0.0;
+  /// Spend divided by the summed vendor budgets (0 when no budget).
+  double budget_utilization = 0.0;
+  /// Customers that received at least one ad.
+  size_t served_customers = 0;
+  /// Mean ads per served customer.
+  double mean_ads_per_served = 0.0;
+  /// Mean utility per assigned ad.
+  double mean_utility_per_ad = 0.0;
+};
+
+/// Computes the summary; O(instances + customers).
+AssignmentMetrics ComputeMetrics(const model::ProblemInstance& instance,
+                                 const assign::AssignmentSet& assignments);
+
+}  // namespace muaa::eval

@@ -1,0 +1,64 @@
+#include "eval/reporting.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace muaa::eval {
+
+SeriesReporter::SeriesReporter(std::string title, std::string x_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+void SeriesReporter::Record(const std::string& x_tick,
+                            const RunRecord& record) {
+  if (std::find(x_order_.begin(), x_order_.end(), x_tick) == x_order_.end()) {
+    x_order_.push_back(x_tick);
+  }
+  if (std::find(series_order_.begin(), series_order_.end(), record.solver) ==
+      series_order_.end()) {
+    series_order_.push_back(record.solver);
+  }
+  by_series_[record.solver][x_tick] = record;
+}
+
+void SeriesReporter::Print() const {
+  auto print_table = [&](const char* metric, auto getter) {
+    std::printf("\n%s — %s (rows: solver, cols: %s)\n", title_.c_str(), metric,
+                x_label_.c_str());
+    std::printf("%-14s", "solver");
+    for (const auto& tick : x_order_) std::printf(" %12s", tick.c_str());
+    std::printf("\n");
+    for (const auto& series : series_order_) {
+      std::printf("%-14s", series.c_str());
+      const auto& ticks = by_series_.at(series);
+      for (const auto& tick : x_order_) {
+        auto it = ticks.find(tick);
+        if (it == ticks.end()) {
+          std::printf(" %12s", "-");
+        } else {
+          std::printf(" %12.6g", getter(it->second));
+        }
+      }
+      std::printf("\n");
+    }
+  };
+  print_table("total utility", [](const RunRecord& r) { return r.utility; });
+  print_table("cpu time (ms)", [](const RunRecord& r) { return r.cpu_ms; });
+
+  std::printf("\n# TSV metric\tseries\tx\tvalue\n");
+  for (const auto& series : series_order_) {
+    const auto& ticks = by_series_.at(series);
+    for (const auto& tick : x_order_) {
+      auto it = ticks.find(tick);
+      if (it == ticks.end()) continue;
+      std::printf("utility\t%s\t%s\t%s\n", series.c_str(), tick.c_str(),
+                  FormatDouble(it->second.utility, 8).c_str());
+      std::printf("cpu_ms\t%s\t%s\t%s\n", series.c_str(), tick.c_str(),
+                  FormatDouble(it->second.cpu_ms, 3).c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace muaa::eval

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace muaa::eval {
+
+/// \brief Collects (series, x) → RunRecord points of one experiment and
+/// renders them the way the paper's figures report them: one utility
+/// table/series and one running-time table/series per figure, plus
+/// machine-readable TSV rows (`<metric>\t<series>\t<x>\t<value>`).
+class SeriesReporter {
+ public:
+  /// \param title e.g. "Fig. 3 — effect of budget range [B-,B+]"
+  /// \param x_label e.g. "[B-,B+] midpoint"
+  SeriesReporter(std::string title, std::string x_label);
+
+  /// Records one run at sweep position `x` (labelled `x_label` in print).
+  void Record(const std::string& x_tick, const RunRecord& record);
+
+  /// Prints the aligned human tables and the TSV block to stdout.
+  void Print() const;
+
+ private:
+  struct Point {
+    std::string x_tick;
+    RunRecord record;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> x_order_;      // tick order of first appearance
+  std::vector<std::string> series_order_; // solver order of first appearance
+  std::map<std::string, std::map<std::string, RunRecord>> by_series_;  // series -> tick -> rec
+};
+
+}  // namespace muaa::eval

@@ -1,0 +1,69 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::geo {
+
+GridIndex::GridIndex(int cells_per_side)
+    : cells_(cells_per_side), cell_size_(1.0 / cells_per_side) {
+  MUAA_CHECK(cells_per_side >= 1);
+  grid_.resize(static_cast<size_t>(cells_) * static_cast<size_t>(cells_));
+}
+
+GridIndex GridIndex::WithCellSize(double target_cell_size) {
+  int cells = 256;
+  if (target_cell_size > 0.0) {
+    cells = static_cast<int>(std::ceil(1.0 / target_cell_size));
+  }
+  cells = std::clamp(cells, 1, 1024);
+  return GridIndex(cells);
+}
+
+int GridIndex::CellCoord(double v) const {
+  int c = static_cast<int>(std::floor(v / cell_size_));
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+void GridIndex::Insert(int32_t id, const Point& p) {
+  CellAt(CellCoord(p.x), CellCoord(p.y)).push_back(Entry{id, p});
+  ++count_;
+}
+
+void GridIndex::InsertAll(const std::vector<Point>& points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    Insert(static_cast<int32_t>(i), points[i]);
+  }
+}
+
+std::vector<int32_t> GridIndex::RangeQuery(const Point& center,
+                                           double radius) const {
+  std::vector<int32_t> out;
+  RangeQueryInto(center, radius, &out);
+  return out;
+}
+
+void GridIndex::RangeQueryInto(const Point& center, double radius,
+                               std::vector<int32_t>* out) const {
+  out->clear();
+  if (radius < 0.0) return;
+  int cx_lo = CellCoord(center.x - radius);
+  int cx_hi = CellCoord(center.x + radius);
+  int cy_lo = CellCoord(center.y - radius);
+  int cy_hi = CellCoord(center.y + radius);
+  double r2 = radius * radius;
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (const Entry& e : CellAt(cx, cy)) {
+        if (SquaredDistance(e.point, center) <= r2) {
+          out->push_back(e.id);
+        }
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace muaa::geo

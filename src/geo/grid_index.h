@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace muaa::geo {
+
+/// \brief Uniform grid over `[0,1]²` answering circular range queries.
+///
+/// This is the spatial substrate both algorithm directions need:
+///  * RECON asks "which customers are inside vendor `v_j`'s radius?";
+///  * O-AFA asks "which vendors cover the arriving customer?".
+///
+/// Items are `(id, point)` pairs; ids are opaque to the index. Cell size
+/// should be on the order of the typical query radius (the builders in
+/// `ProblemView` pick `max(mean radius, 1/256)`).
+class GridIndex {
+ public:
+  /// Creates an index with `cells_per_side × cells_per_side` cells.
+  /// `cells_per_side` must be >= 1.
+  explicit GridIndex(int cells_per_side);
+
+  /// Convenience: picks a cell count such that the cell edge is roughly
+  /// `target_cell_size` (clamped to [1, 1024] cells per side).
+  static GridIndex WithCellSize(double target_cell_size);
+
+  /// Inserts an item. Points outside `[0,1]²` are clamped into the border
+  /// cells (they remain retrievable; distance filtering uses true
+  /// coordinates).
+  void Insert(int32_t id, const Point& p);
+
+  /// Bulk insert; `points[i]` gets id `i`.
+  void InsertAll(const std::vector<Point>& points);
+
+  /// Returns the ids of all items with `Distance(item, center) <= radius`,
+  /// in ascending id order.
+  std::vector<int32_t> RangeQuery(const Point& center, double radius) const;
+
+  /// Appends matches to `out` instead of allocating (hot path for the
+  /// online driver). `out` is cleared first.
+  void RangeQueryInto(const Point& center, double radius,
+                      std::vector<int32_t>* out) const;
+
+  /// Number of indexed items.
+  size_t size() const { return count_; }
+
+  /// Number of cells per side.
+  int cells_per_side() const { return cells_; }
+
+ private:
+  struct Entry {
+    int32_t id;
+    Point point;
+  };
+
+  int CellCoord(double v) const;
+  const std::vector<Entry>& CellAt(int cx, int cy) const {
+    return grid_[static_cast<size_t>(cy) * static_cast<size_t>(cells_) +
+                 static_cast<size_t>(cx)];
+  }
+  std::vector<Entry>& CellAt(int cx, int cy) {
+    return grid_[static_cast<size_t>(cy) * static_cast<size_t>(cells_) +
+                 static_cast<size_t>(cx)];
+  }
+
+  int cells_;
+  double cell_size_;
+  size_t count_ = 0;
+  std::vector<std::vector<Entry>> grid_;
+};
+
+}  // namespace muaa::geo

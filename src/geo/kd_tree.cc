@@ -1,0 +1,98 @@
+#include "geo/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace muaa::geo {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  order_.resize(points_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<int32_t>(i);
+  }
+  nodes_.reserve(points_.size());
+  if (!points_.empty()) {
+    root_ = Build(0, static_cast<int32_t>(points_.size()), 0);
+  }
+}
+
+int32_t KdTree::Build(int32_t lo, int32_t hi, int depth) {
+  if (lo >= hi) return -1;
+  uint8_t axis = static_cast<uint8_t>(depth % 2);
+  int32_t mid = lo + (hi - lo) / 2;
+  std::nth_element(order_.begin() + lo, order_.begin() + mid,
+                   order_.begin() + hi, [&](int32_t a, int32_t b) {
+                     const Point& pa = points_[static_cast<size_t>(a)];
+                     const Point& pb = points_[static_cast<size_t>(b)];
+                     double va = axis == 0 ? pa.x : pa.y;
+                     double vb = axis == 0 ? pb.x : pb.y;
+                     if (va != vb) return va < vb;
+                     return a < b;
+                   });
+  Node node;
+  node.point_index = order_[static_cast<size_t>(mid)];
+  node.axis = axis;
+  int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  int32_t left = Build(lo, mid, depth + 1);
+  int32_t right = Build(mid + 1, hi, depth + 1);
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+void KdTree::Search(int32_t node_id, const Point& query, size_t k,
+                    double max_dist2, std::vector<Candidate>* heap) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  const Point& p = points_[static_cast<size_t>(node.point_index)];
+  double d2 = SquaredDistance(p, query);
+  if (d2 <= max_dist2) {
+    Candidate cand{d2, node.point_index};
+    if (heap->size() < k) {
+      heap->push_back(cand);
+      std::push_heap(heap->begin(), heap->end());
+    } else if (cand < heap->front()) {
+      std::pop_heap(heap->begin(), heap->end());
+      heap->back() = cand;
+      std::push_heap(heap->begin(), heap->end());
+    }
+  }
+  double qv = node.axis == 0 ? query.x : query.y;
+  double pv = node.axis == 0 ? p.x : p.y;
+  double diff = qv - pv;
+  int32_t near = diff <= 0 ? node.left : node.right;
+  int32_t far = diff <= 0 ? node.right : node.left;
+  Search(near, query, k, max_dist2, heap);
+  double plane_d2 = diff * diff;
+  double bound = heap->size() == static_cast<size_t>(k)
+                     ? std::min(max_dist2, heap->front().dist2)
+                     : max_dist2;
+  if (plane_d2 <= bound) {
+    Search(far, query, k, max_dist2, heap);
+  }
+}
+
+std::vector<int32_t> KdTree::Nearest(const Point& query, size_t k) const {
+  return NearestWithin(query, k, std::numeric_limits<double>::infinity());
+}
+
+std::vector<int32_t> KdTree::NearestWithin(const Point& query, size_t k,
+                                           double max_radius) const {
+  std::vector<int32_t> out;
+  if (k == 0 || points_.empty() || max_radius < 0.0) return out;
+  double max_d2 = max_radius * max_radius;
+  if (!std::isfinite(max_d2)) {
+    max_d2 = std::numeric_limits<double>::infinity();
+  }
+  std::vector<Candidate> heap;
+  heap.reserve(k + 1);
+  Search(root_, query, k, max_d2, &heap);
+  std::sort(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const Candidate& c : heap) out.push_back(c.id);
+  return out;
+}
+
+}  // namespace muaa::geo

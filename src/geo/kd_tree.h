@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace muaa::geo {
+
+/// \brief Static 2-d k-d tree for nearest-neighbour queries.
+///
+/// Built once over a point set (median splits, O(n log n)); answers
+/// k-nearest-neighbour and radius-bounded NN queries. Used by the NEAREST
+/// baseline, which "greedily assigns the ads of the nearest vendors to a
+/// customer when he/she appears".
+class KdTree {
+ public:
+  /// Builds the tree; `points[i]` gets id `i`.
+  explicit KdTree(std::vector<Point> points);
+
+  /// Returns the ids of the `k` points closest to `query`, ordered by
+  /// increasing distance (ties broken by id). Returns fewer when the tree
+  /// holds fewer than `k` points.
+  std::vector<int32_t> Nearest(const Point& query, size_t k) const;
+
+  /// Like `Nearest` but only considers points within `max_radius`.
+  std::vector<int32_t> NearestWithin(const Point& query, size_t k,
+                                     double max_radius) const;
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+ private:
+  struct Node {
+    int32_t point_index;  // index into points_/ids_
+    int32_t left = -1;
+    int32_t right = -1;
+    uint8_t axis = 0;
+  };
+
+  struct Candidate {
+    double dist2;
+    int32_t id;
+    bool operator<(const Candidate& other) const {
+      if (dist2 != other.dist2) return dist2 < other.dist2;
+      return id < other.id;
+    }
+  };
+
+  int32_t Build(int32_t lo, int32_t hi, int depth);
+  void Search(int32_t node, const Point& query, size_t k, double max_dist2,
+              std::vector<Candidate>* heap) const;
+
+  std::vector<Point> points_;
+  std::vector<int32_t> order_;  // permutation of point indices for building
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace muaa::geo

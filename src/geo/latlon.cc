@@ -1,0 +1,75 @@
+#include "geo/latlon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace muaa::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double HaversineKm(const LatLon& a, const LatLon& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double s = std::sin(dlat / 2.0);
+  double t = std::sin(dlon / 2.0);
+  double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Result<LatLonProjector> LatLonProjector::Fit(
+    const std::vector<LatLon>& coords) {
+  if (coords.empty()) {
+    return Status::InvalidArgument("no coordinates to fit");
+  }
+  double lat_sum = 0.0;
+  for (const LatLon& c : coords) {
+    if (c.lat < -90.0 || c.lat > 90.0) {
+      return Status::InvalidArgument("latitude outside [-90, 90]");
+    }
+    lat_sum += c.lat;
+  }
+  LatLonProjector proj;
+  proj.mean_lat_rad_ =
+      (lat_sum / static_cast<double>(coords.size())) * kDegToRad;
+  double cos_lat = std::cos(proj.mean_lat_rad_);
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  for (const LatLon& c : coords) {
+    double x = c.lon * cos_lat;
+    double y = c.lat;
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  proj.min_x_ = min_x;
+  proj.min_y_ = min_y;
+  // Shared scale over the longer axis keeps the aspect ratio.
+  double span = std::max({max_x - min_x, max_y - min_y, 1e-12});
+  proj.scale_ = 1.0 / span;
+  // Center the shorter axis.
+  proj.offset_x_ = 0.5 * (1.0 - (max_x - min_x) * proj.scale_);
+  proj.offset_y_ = 0.5 * (1.0 - (max_y - min_y) * proj.scale_);
+  // One unit of the square equals `span` degrees of latitude ~ 111.2 km
+  // per degree.
+  proj.km_per_unit_ = span * kDegToRad * kEarthRadiusKm;
+  return proj;
+}
+
+Point LatLonProjector::Project(const LatLon& c) const {
+  double x = c.lon * std::cos(mean_lat_rad_);
+  double y = c.lat;
+  return {(x - min_x_) * scale_ + offset_x_,
+          (y - min_y_) * scale_ + offset_y_};
+}
+
+}  // namespace muaa::geo

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/point.h"
+
+namespace muaa::geo {
+
+/// \brief A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance between two coordinates in kilometres
+/// (haversine formula, mean Earth radius 6371.0088 km).
+double HaversineKm(const LatLon& a, const LatLon& b);
+
+/// \brief Maps raw coordinates into the `[0,1]²` data space the paper
+/// uses, preserving the local aspect ratio.
+///
+/// A naive min-max map (paper Sec. V-A) stretches latitude and longitude
+/// independently, distorting distances — 1° of longitude shrinks with
+/// latitude by cos(φ). The projector applies the equirectangular
+/// correction (x = lon·cos(mean lat), y = lat) before min-max scaling with
+/// a *shared* scale, so Euclidean distances in `[0,1]²` are proportional
+/// to true kilometres within the city extent. `Scale()` converts unit-
+/// square distances back into km.
+class LatLonProjector {
+ public:
+  /// Fits the projection to the coordinate set. InvalidArgument when
+  /// `coords` is empty or latitudes leave [-90, 90].
+  static Result<LatLonProjector> Fit(const std::vector<LatLon>& coords);
+
+  /// Projects one coordinate; points inside the fitted extent land in
+  /// `[0,1]²` (the longer axis spans [0,1], the shorter is centered).
+  Point Project(const LatLon& c) const;
+
+  /// Kilometres per unit of `[0,1]²` distance.
+  double KmPerUnit() const { return km_per_unit_; }
+
+ private:
+  double mean_lat_rad_ = 0.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double offset_x_ = 0.0;
+  double offset_y_ = 0.0;
+  double scale_ = 1.0;        // degrees -> unit square
+  double km_per_unit_ = 0.0;
+};
+
+}  // namespace muaa::geo

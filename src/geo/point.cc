@@ -1,0 +1,20 @@
+#include "geo/point.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace muaa::geo {
+
+std::string ToString(const Point& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", p.x, p.y);
+  return buf;
+}
+
+double Rect::MinDistance(const Point& p) const {
+  double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace muaa::geo

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace muaa::geo {
+
+/// \brief A point in the normalized 2-D data space `[0,1]²`.
+///
+/// The paper linearly maps all Foursquare check-in coordinates into
+/// `[0,1]²`; we adopt the same convention for both real-shaped and
+/// synthetic data. Points outside the unit square are legal (generators
+/// clamp where the paper's settings require it).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Euclidean distance between `a` and `b`.
+inline double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (cheaper; used for comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Renders "(x, y)" with 6 decimal digits.
+std::string ToString(const Point& p);
+
+/// \brief Axis-aligned rectangle, used by spatial indexes.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// True if `p` lies inside (inclusive).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Minimum distance from `p` to this rectangle (0 when inside).
+  double MinDistance(const Point& p) const;
+};
+
+}  // namespace muaa::geo

@@ -1,0 +1,187 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace muaa::geo {
+
+namespace {
+
+Rect MbrOf(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+Rect Merge(const Rect& a, const Rect& b) {
+  return Rect{std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+              std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+}  // namespace
+
+RTree::RTree(std::vector<Point> points, int leaf_capacity)
+    : points_(std::move(points)), leaf_capacity_(leaf_capacity) {
+  MUAA_CHECK(leaf_capacity_ >= 2);
+  const size_t n = points_.size();
+  if (n == 0) return;
+
+  // ---- STR packing: sort ids by x, cut into vertical slices of
+  // ~sqrt(n/c) leaves each, sort each slice by y, emit leaves.
+  std::vector<int32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int32_t>(i);
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    const Point& pa = points_[static_cast<size_t>(a)];
+    const Point& pb = points_[static_cast<size_t>(b)];
+    if (pa.x != pb.x) return pa.x < pb.x;
+    return a < b;
+  });
+
+  const size_t cap = static_cast<size_t>(leaf_capacity_);
+  const size_t num_leaves = (n + cap - 1) / cap;
+  const size_t slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slice_size = (n + slices - 1) / slices;
+
+  entries_.reserve(n);
+  std::vector<int32_t> level;  // node ids of the current level
+  for (size_t s = 0; s < slices; ++s) {
+    size_t lo = s * slice_size;
+    if (lo >= n) break;
+    size_t hi = std::min(lo + slice_size, n);
+    std::sort(ids.begin() + static_cast<long>(lo),
+              ids.begin() + static_cast<long>(hi), [&](int32_t a, int32_t b) {
+                const Point& pa = points_[static_cast<size_t>(a)];
+                const Point& pb = points_[static_cast<size_t>(b)];
+                if (pa.y != pb.y) return pa.y < pb.y;
+                return a < b;
+              });
+    for (size_t i = lo; i < hi; i += cap) {
+      size_t end = std::min(i + cap, hi);
+      Node leaf;
+      leaf.leaf = true;
+      leaf.first_child = static_cast<int32_t>(entries_.size());
+      leaf.count = static_cast<int32_t>(end - i);
+      leaf.mbr = MbrOf(points_[static_cast<size_t>(ids[i])]);
+      for (size_t e = i; e < end; ++e) {
+        entries_.push_back(ids[e]);
+        leaf.mbr = Merge(leaf.mbr, MbrOf(points_[static_cast<size_t>(ids[e])]));
+      }
+      level.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(leaf);
+    }
+  }
+  height_ = 1;
+
+  // ---- Pack upper levels until a single root remains. Children of one
+  // parent must be contiguous in nodes_; each BuildLevel appends parents.
+  while (level.size() > 1) {
+    BuildLevel(&level);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+void RTree::BuildLevel(std::vector<int32_t>* level_nodes) {
+  // Children at this level were appended in STR order, so consecutive
+  // grouping preserves spatial locality.
+  std::vector<int32_t> parents;
+  const size_t cap = static_cast<size_t>(leaf_capacity_);
+  for (size_t i = 0; i < level_nodes->size(); i += cap) {
+    size_t end = std::min(i + cap, level_nodes->size());
+    Node parent;
+    parent.leaf = false;
+    parent.first_child = (*level_nodes)[i];
+    parent.count = static_cast<int32_t>(end - i);
+    parent.mbr = nodes_[static_cast<size_t>((*level_nodes)[i])].mbr;
+    for (size_t c = i; c < end; ++c) {
+      // Children of one parent must be contiguous node ids.
+      MUAA_CHECK((*level_nodes)[c] ==
+                 (*level_nodes)[i] + static_cast<int32_t>(c - i));
+      parent.mbr =
+          Merge(parent.mbr, nodes_[static_cast<size_t>((*level_nodes)[c])].mbr);
+    }
+    parents.push_back(static_cast<int32_t>(nodes_.size()));
+    nodes_.push_back(parent);
+  }
+  *level_nodes = std::move(parents);
+}
+
+void RTree::SearchRange(int32_t node_id, const Point& center, double radius,
+                        double radius2, std::vector<int32_t>* out) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.mbr.MinDistance(center) > radius) return;
+  if (node.leaf) {
+    for (int32_t e = 0; e < node.count; ++e) {
+      int32_t id = entries_[static_cast<size_t>(node.first_child + e)];
+      if (SquaredDistance(points_[static_cast<size_t>(id)], center) <=
+          radius2) {
+        out->push_back(id);
+      }
+    }
+    return;
+  }
+  for (int32_t c = 0; c < node.count; ++c) {
+    SearchRange(node.first_child + c, center, radius, radius2, out);
+  }
+}
+
+std::vector<int32_t> RTree::RangeQuery(const Point& center,
+                                       double radius) const {
+  std::vector<int32_t> out;
+  RangeQueryInto(center, radius, &out);
+  return out;
+}
+
+void RTree::RangeQueryInto(const Point& center, double radius,
+                           std::vector<int32_t>* out) const {
+  out->clear();
+  if (root_ < 0 || radius < 0.0) return;
+  SearchRange(root_, center, radius, radius * radius, out);
+  std::sort(out->begin(), out->end());
+}
+
+std::vector<int32_t> RTree::Nearest(const Point& query, size_t k) const {
+  std::vector<int32_t> out;
+  if (root_ < 0 || k == 0) return out;
+
+  // Best-first search: nodes by MBR min-distance, points by distance.
+  struct Item {
+    double dist;
+    int32_t id;      // node id or point id
+    bool is_point;
+    bool operator>(const Item& other) const {
+      if (dist != other.dist) return dist > other.dist;
+      if (is_point != other.is_point) return is_point < other.is_point;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({0.0, root_, false});
+  while (!frontier.empty() && out.size() < k) {
+    Item item = frontier.top();
+    frontier.pop();
+    if (item.is_point) {
+      out.push_back(item.id);
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(item.id)];
+    if (node.leaf) {
+      for (int32_t e = 0; e < node.count; ++e) {
+        int32_t id = entries_[static_cast<size_t>(node.first_child + e)];
+        frontier.push(
+            {Distance(points_[static_cast<size_t>(id)], query), id, true});
+      }
+    } else {
+      for (int32_t c = 0; c < node.count; ++c) {
+        int32_t child = node.first_child + c;
+        frontier.push(
+            {nodes_[static_cast<size_t>(child)].mbr.MinDistance(query), child,
+             false});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace muaa::geo

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace muaa::geo {
+
+/// \brief Static R-tree over points, bulk-loaded with Sort-Tile-Recursive
+/// (STR) packing.
+///
+/// The second spatial backend next to `GridIndex`: grids excel on
+/// uniformly spread points with radius-sized cells, R-trees on skewed
+/// (district-clustered) data like the Foursquare-like venues. Supports
+/// circular range queries and kNN; `bench_ablation_index` compares the two
+/// on both data shapes, and `ProblemView` can be built over either
+/// (`SpatialBackend`).
+class RTree {
+ public:
+  /// Bulk-loads the tree; `points[i]` gets id `i`. `leaf_capacity` is the
+  /// fan-out (default 16).
+  explicit RTree(std::vector<Point> points, int leaf_capacity = 16);
+
+  /// Ids of points with `Distance(point, center) <= radius`, ascending.
+  std::vector<int32_t> RangeQuery(const Point& center, double radius) const;
+
+  /// Appends matches into `out` (cleared first) — allocation-free hot path.
+  void RangeQueryInto(const Point& center, double radius,
+                      std::vector<int32_t>* out) const;
+
+  /// The `k` nearest points to `query`, by increasing distance (ties by
+  /// id). Best-first search over node MBRs.
+  std::vector<int32_t> Nearest(const Point& query, size_t k) const;
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    Rect mbr;
+    int32_t first_child = -1;  // index into nodes_ (inner) / entries_ (leaf)
+    int32_t count = 0;         // number of children / entries
+    bool leaf = false;
+  };
+
+  void BuildLevel(std::vector<int32_t>* level_nodes);
+  void SearchRange(int32_t node_id, const Point& center, double radius,
+                   double radius2, std::vector<int32_t>* out) const;
+
+  std::vector<Point> points_;
+  std::vector<int32_t> entries_;  // point ids, grouped per leaf
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int leaf_capacity_;
+  int height_ = 0;
+};
+
+}  // namespace muaa::geo

@@ -1,0 +1,55 @@
+#include "geo/safe_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace muaa::geo {
+
+SafeRegionTracker::SafeRegionTracker(std::vector<Circle> circles)
+    : circles_(std::move(circles)) {
+  for (const Circle& c : circles_) {
+    MUAA_CHECK(c.radius >= 0.0) << "negative circle radius";
+  }
+}
+
+std::vector<int32_t> SafeRegionTracker::Covering(const Point& p) const {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < circles_.size(); ++i) {
+    if (Distance(p, circles_[i].center) <= circles_[i].radius) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+double SafeRegionTracker::SafeRadius(const Point& p) const {
+  double safe = std::numeric_limits<double>::infinity();
+  for (const Circle& c : circles_) {
+    double to_boundary = std::fabs(Distance(p, c.center) - c.radius);
+    safe = std::min(safe, to_boundary);
+  }
+  return safe;
+}
+
+MovingQuery::MovingQuery(const SafeRegionTracker* tracker)
+    : tracker_(tracker) {
+  MUAA_CHECK(tracker_ != nullptr);
+}
+
+const std::vector<int32_t>& MovingQuery::Update(const Point& p) {
+  ++updates_;
+  // The safe region is an *open* disc: on the boundary (or without a
+  // cached state) we must recompute.
+  if (safe_radius_ < 0.0 || Distance(p, anchor_) >= safe_radius_) {
+    covering_ = tracker_->Covering(p);
+    safe_radius_ = tracker_->SafeRadius(p);
+    anchor_ = p;
+    ++recomputes_;
+  }
+  return covering_;
+}
+
+}  // namespace muaa::geo

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace muaa::geo {
+
+/// \brief Conservative safe-region tracking for a point moving through a
+/// set of circles (vendors' advertising areas).
+///
+/// The paper's related work ([26], CALBA) answers the *continuous vendor
+/// selection* problem by only recomputing a customer's relevant-vendor set
+/// when it can actually have changed: around the last query point there is
+/// a *safe region* — a disc whose radius is the minimum distance from the
+/// point to any circle boundary — inside which the set of covering circles
+/// is provably unchanged. `MovingQuery` caches the covering set and the
+/// safe radius, re-running the O(n) scan only when the point leaves the
+/// region. The experiment in `bench_micro_substrates`/`stream_test` shows
+/// the recompute rate for plausible walks.
+class SafeRegionTracker {
+ public:
+  /// One circle: center + radius (radius >= 0).
+  struct Circle {
+    Point center;
+    double radius = 0.0;
+  };
+
+  /// Builds the tracker over a fixed circle set.
+  explicit SafeRegionTracker(std::vector<Circle> circles);
+
+  /// Ids (indices into the input vector) of circles covering `p`
+  /// (boundary inclusive), ascending. O(n).
+  std::vector<int32_t> Covering(const Point& p) const;
+
+  /// The safe radius at `p`: any point strictly closer than this to `p`
+  /// is covered by exactly the same circles. 0 when `p` lies on some
+  /// boundary; +inf when there are no circles.
+  double SafeRadius(const Point& p) const;
+
+  size_t size() const { return circles_.size(); }
+  const std::vector<Circle>& circles() const { return circles_; }
+
+ private:
+  std::vector<Circle> circles_;
+};
+
+/// \brief Stateful moving-point query over a `SafeRegionTracker`.
+///
+/// `Update(p)` returns the covering set for `p`, reusing the cached set
+/// while `p` stays inside the current safe region.
+class MovingQuery {
+ public:
+  /// \param tracker must outlive the query.
+  explicit MovingQuery(const SafeRegionTracker* tracker);
+
+  /// Moves the point to `p` and returns the covering circle ids.
+  const std::vector<int32_t>& Update(const Point& p);
+
+  /// Number of full recomputations so far (first Update counts).
+  size_t recompute_count() const { return recomputes_; }
+  /// Number of Update calls so far.
+  size_t update_count() const { return updates_; }
+
+ private:
+  const SafeRegionTracker* tracker_;
+  Point anchor_;
+  double safe_radius_ = -1.0;  // < 0: nothing cached yet
+  std::vector<int32_t> covering_;
+  size_t recomputes_ = 0;
+  size_t updates_ = 0;
+};
+
+}  // namespace muaa::geo

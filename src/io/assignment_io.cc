@@ -1,0 +1,75 @@
+#include "io/assignment_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+
+namespace muaa::io {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status SaveAssignments(const assign::AssignmentSet& assignments,
+                       const model::ProblemInstance& instance,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  out << "# muaa assignment set: " << assignments.size()
+      << " instances, total utility " << Num(assignments.total_utility())
+      << ", total cost " << Num(assignments.total_cost()) << "\n";
+  CsvWriter w(&out);
+  MUAA_RETURN_NOT_OK(
+      w.WriteHeader({"customer", "vendor", "ad_type", "utility", "cost"}));
+  for (const assign::AdInstance& inst : assignments.instances()) {
+    MUAA_RETURN_NOT_OK(w.WriteRow(
+        {std::to_string(inst.customer), std::to_string(inst.vendor),
+         std::to_string(inst.ad_type), Num(inst.utility),
+         Num(instance.ad_types.at(inst.ad_type).cost)}));
+  }
+  return Status::OK();
+}
+
+Result<assign::AssignmentSet> LoadAssignments(
+    const model::ProblemInstance* instance, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  assign::AssignmentSet set(instance);
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  while (true) {
+    MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+    if (!more) break;
+    if (row.size() != 5 || row[0] == "customer") continue;
+    assign::AdInstance inst;
+    inst.customer = static_cast<model::CustomerId>(std::stol(row[0]));
+    inst.vendor = static_cast<model::VendorId>(std::stol(row[1]));
+    inst.ad_type = static_cast<model::AdTypeId>(std::stol(row[2]));
+    char* end = nullptr;
+    inst.utility = std::strtod(row[3].c_str(), &end);
+    if (end == row[3].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad utility at line " +
+                                     std::to_string(reader.line_number()));
+    }
+    Status st = set.Add(inst);
+    if (!st.ok()) {
+      return Status::InvalidArgument(
+          "infeasible row at line " + std::to_string(reader.line_number()) +
+          ": " + st.ToString());
+    }
+  }
+  return set;
+}
+
+}  // namespace muaa::io

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+
+namespace muaa::io {
+
+/// Saves an assignment set as CSV: `customer,vendor,ad_type,utility,cost`
+/// (one row per ad instance, plus a `#` summary header).
+Status SaveAssignments(const assign::AssignmentSet& assignments,
+                       const model::ProblemInstance& instance,
+                       const std::string& path);
+
+/// Loads an assignment CSV back into a checked `AssignmentSet` over
+/// `instance` (which must outlive the result). Every row is re-validated
+/// against the instance's constraints; a tampered file fails loudly.
+Result<assign::AssignmentSet> LoadAssignments(
+    const model::ProblemInstance* instance, const std::string& path);
+
+}  // namespace muaa::io

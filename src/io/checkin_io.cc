@@ -1,0 +1,285 @@
+#include "io/checkin_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "common/csv.h"
+#include "geo/latlon.h"
+#include "common/string_util.h"
+
+namespace muaa::io {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + s);
+  }
+  return v;
+}
+
+Result<std::ofstream> OpenForWrite(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path.string());
+  }
+  return out;
+}
+
+Result<std::ifstream> OpenForRead(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path.string());
+  }
+  return in;
+}
+
+}  // namespace
+
+Status SaveCheckinDataset(const datagen::CheckinDataset& data,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir);
+  }
+  const std::filesystem::path base(dir);
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(base / "meta.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"key", "value"}));
+    MUAA_RETURN_NOT_OK(w.WriteRow({"num_users", std::to_string(data.num_users)}));
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "taxonomy.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"id", "name", "parent"}));
+    for (size_t t = 0; t < data.taxonomy.size(); ++t) {
+      auto tag = static_cast<taxonomy::TagId>(t);
+      MUAA_RETURN_NOT_OK(w.WriteRow(
+          {std::to_string(t), data.taxonomy.name(tag),
+           std::to_string(data.taxonomy.parent(tag))}));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(base / "venues.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"x", "y", "tag", "checkins"}));
+    for (const auto& v : data.venues) {
+      MUAA_RETURN_NOT_OK(
+          w.WriteRow({Num(v.location.x), Num(v.location.y),
+                      std::to_string(v.tag), std::to_string(v.checkin_count)}));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "checkins.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"user", "venue", "time"}));
+    for (const auto& c : data.checkins) {
+      MUAA_RETURN_NOT_OK(w.WriteRow({std::to_string(c.user),
+                                     std::to_string(c.venue),
+                                     Num(c.time_hours)}));
+    }
+  }
+  return Status::OK();
+}
+
+Result<datagen::CheckinDataset> LoadCheckinDataset(const std::string& dir) {
+  const std::filesystem::path base(dir);
+  datagen::CheckinDataset data;
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(base / "meta.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() == 2 && row[0] == "num_users") {
+        data.num_users = static_cast<size_t>(std::stoul(row[1]));
+      }
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "taxonomy.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 3 || row[0] == "id") continue;
+      auto parent = static_cast<taxonomy::TagId>(std::stol(row[2]));
+      // Rows were written in id order, so ids match insertion order.
+      if (parent == taxonomy::kInvalidTag) {
+        MUAA_RETURN_NOT_OK(data.taxonomy.AddRoot(row[1]).status());
+      } else {
+        MUAA_RETURN_NOT_OK(data.taxonomy.AddChild(parent, row[1]).status());
+      }
+    }
+    MUAA_RETURN_NOT_OK(data.taxonomy.Validate());
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(base / "venues.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 4 || row[0] == "x") continue;
+      datagen::CheckinDataset::Venue v;
+      MUAA_ASSIGN_OR_RETURN(v.location.x, ParseDouble(row[0]));
+      MUAA_ASSIGN_OR_RETURN(v.location.y, ParseDouble(row[1]));
+      v.tag = static_cast<taxonomy::TagId>(std::stol(row[2]));
+      if (v.tag < 0 || static_cast<size_t>(v.tag) >= data.taxonomy.size()) {
+        return Status::InvalidArgument("venue tag out of range");
+      }
+      v.checkin_count = static_cast<int>(std::stol(row[3]));
+      data.venues.push_back(v);
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "checkins.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 3 || row[0] == "user") continue;
+      datagen::CheckinDataset::Checkin c;
+      c.user = static_cast<int32_t>(std::stol(row[0]));
+      c.venue = static_cast<int32_t>(std::stol(row[1]));
+      MUAA_ASSIGN_OR_RETURN(c.time_hours, ParseDouble(row[2]));
+      if (c.user < 0 || static_cast<size_t>(c.user) >= data.num_users ||
+          c.venue < 0 || static_cast<size_t>(c.venue) >= data.venues.size()) {
+        return Status::InvalidArgument("check-in references unknown entity");
+      }
+      data.checkins.push_back(c);
+    }
+  }
+  return data;
+}
+
+Result<double> ParseTsmcLocalHour(const std::string& utc_time,
+                                  int tz_offset_minutes) {
+  // Format: "Tue Apr 03 18:00:09 +0000 2012" — we only need HH:MM:SS.
+  std::vector<std::string> parts = Split(Trim(utc_time), ' ');
+  if (parts.size() < 4) {
+    return Status::InvalidArgument("bad TSMC timestamp: " + utc_time);
+  }
+  const std::string& clock = parts[3];
+  int hh = 0, mm = 0, ss = 0;
+  if (std::sscanf(clock.c_str(), "%d:%d:%d", &hh, &mm, &ss) != 3 || hh < 0 ||
+      hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 60) {
+    return Status::InvalidArgument("bad TSMC clock: " + clock);
+  }
+  double local_minutes =
+      hh * 60.0 + mm + ss / 60.0 + static_cast<double>(tz_offset_minutes);
+  double hours = local_minutes / 60.0;
+  hours = std::fmod(hours, 24.0);
+  if (hours < 0.0) hours += 24.0;
+  return hours;
+}
+
+Result<datagen::CheckinDataset> LoadTsmcCheckins(const std::string& path,
+                                                 size_t max_rows) {
+  MUAA_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path));
+
+  datagen::CheckinDataset data;
+  std::map<std::string, int32_t> user_ids;
+  std::map<std::string, int32_t> venue_ids;
+  std::map<std::string, taxonomy::TagId> category_ids;
+  struct RawVenue {
+    double lat = 0.0;
+    double lon = 0.0;
+    taxonomy::TagId tag = taxonomy::kInvalidTag;
+  };
+  std::vector<RawVenue> raw_venues;
+
+  std::string line;
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cols = Split(line, '\t');
+    if (cols.size() < 8) {
+      return Status::InvalidArgument("TSMC row with " +
+                                     std::to_string(cols.size()) + " columns");
+    }
+    const std::string& user_key = cols[0];
+    const std::string& venue_key = cols[1];
+    const std::string& category = cols[3];
+
+    auto [uit, user_new] =
+        user_ids.emplace(user_key, static_cast<int32_t>(user_ids.size()));
+    (void)user_new;
+    taxonomy::TagId tag;
+    auto cit = category_ids.find(category);
+    if (cit == category_ids.end()) {
+      MUAA_ASSIGN_OR_RETURN(tag, data.taxonomy.AddRoot(category));
+      category_ids.emplace(category, tag);
+    } else {
+      tag = cit->second;
+    }
+
+    auto [vit, venue_new] =
+        venue_ids.emplace(venue_key, static_cast<int32_t>(venue_ids.size()));
+    if (venue_new) {
+      RawVenue rv;
+      MUAA_ASSIGN_OR_RETURN(rv.lat, ParseDouble(cols[4]));
+      MUAA_ASSIGN_OR_RETURN(rv.lon, ParseDouble(cols[5]));
+      rv.tag = tag;
+      raw_venues.push_back(rv);
+    }
+
+    int tz_offset = static_cast<int>(std::strtol(cols[6].c_str(), nullptr, 10));
+    datagen::CheckinDataset::Checkin chk;
+    chk.user = uit->second;
+    chk.venue = vit->second;
+    MUAA_ASSIGN_OR_RETURN(chk.time_hours,
+                          ParseTsmcLocalHour(cols[7], tz_offset));
+    data.checkins.push_back(chk);
+    ++rows;
+    if (max_rows > 0 && rows >= max_rows) break;
+  }
+  if (data.checkins.empty()) {
+    return Status::InvalidArgument("no check-ins parsed from " + path);
+  }
+  data.num_users = user_ids.size();
+
+  // Map venue coordinates into [0,1]² (paper Sec. V-A's linear mapping),
+  // via the aspect-preserving projector so unit-square distances stay
+  // proportional to kilometres across the city.
+  std::vector<geo::LatLon> coords;
+  coords.reserve(raw_venues.size());
+  for (const RawVenue& v : raw_venues) coords.push_back({v.lat, v.lon});
+  MUAA_ASSIGN_OR_RETURN(geo::LatLonProjector projector,
+                        geo::LatLonProjector::Fit(coords));
+  data.venues.reserve(raw_venues.size());
+  for (const RawVenue& rv : raw_venues) {
+    datagen::CheckinDataset::Venue v;
+    v.location = projector.Project({rv.lat, rv.lon});
+    v.tag = rv.tag;
+    data.venues.push_back(v);
+  }
+  for (const auto& chk : data.checkins) {
+    data.venues[static_cast<size_t>(chk.venue)].checkin_count += 1;
+  }
+  return data;
+}
+
+}  // namespace muaa::io

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "datagen/foursquare.h"
+
+namespace muaa::io {
+
+/// \brief Persistence for check-in datasets plus a loader for the *real*
+/// Foursquare check-in file format the paper uses.
+///
+/// `LoadTsmcCheckins` reads the TSMC2014-style TSV (Yang et al. [27]):
+///   user_id \t venue_id \t category_id \t category_name \t latitude \t
+///   longitude \t timezone_offset_minutes \t utc_time
+/// and produces a `CheckinDataset`:
+///  * categories become a flat taxonomy (one root per category name);
+///  * venue coordinates are min-max mapped into `[0,1]²` (exactly the
+///    paper's "linearly map check-in locations into [0,1]² data space");
+///  * timestamps are folded into local hour-of-day, dates discarded
+///    ("modulo the arrival times of customers into 24 hours").
+/// With the real Tokyo file on disk this reproduces the paper's real-data
+/// pipeline end to end; our synthesizer covers the offline case.
+
+/// Saves taxonomy, venues, check-ins and meta as CSVs under `dir`.
+Status SaveCheckinDataset(const datagen::CheckinDataset& data,
+                          const std::string& dir);
+
+/// Loads a dataset previously written by `SaveCheckinDataset`.
+Result<datagen::CheckinDataset> LoadCheckinDataset(const std::string& dir);
+
+/// Parses a TSMC-format TSV file (see above). `max_rows` caps ingestion
+/// (0 = unlimited).
+Result<datagen::CheckinDataset> LoadTsmcCheckins(const std::string& path,
+                                                 size_t max_rows = 0);
+
+/// Parses one TSMC UTC timestamp ("Tue Apr 03 18:00:09 +0000 2012") plus a
+/// timezone offset in minutes into local hour-of-day in [0, 24).
+/// Exposed for tests.
+Result<double> ParseTsmcLocalHour(const std::string& utc_time,
+                                  int tz_offset_minutes);
+
+}  // namespace muaa::io

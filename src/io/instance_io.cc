@@ -1,0 +1,269 @@
+#include "io/instance_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace muaa::io {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JoinVector(const std::vector<double>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ';';
+    out += Num(v[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ParseVector(const std::string& text,
+                                        size_t expected) {
+  std::vector<double> out;
+  for (const std::string& part : Split(text, ';')) {
+    if (part.empty()) continue;
+    char* end = nullptr;
+    double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad vector entry: " + part);
+    }
+    out.push_back(v);
+  }
+  if (out.size() != expected) {
+    // Built with append() — GCC 12's -Wrestrict false-positives on the
+    // chained operator+ form under -O3.
+    std::string msg = "interest vector length ";
+    msg.append(std::to_string(out.size()));
+    msg.append(", expected ");
+    msg.append(std::to_string(expected));
+    return Status::InvalidArgument(std::move(msg));
+  }
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + s);
+  }
+  return v;
+}
+
+Result<std::ofstream> OpenForWrite(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path.string());
+  }
+  return out;
+}
+
+Result<std::ifstream> OpenForRead(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path.string());
+  }
+  return in;
+}
+
+}  // namespace
+
+Status SaveInstance(const model::ProblemInstance& instance,
+                    const std::string& dir) {
+  MUAA_RETURN_NOT_OK(instance.Validate());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  const std::filesystem::path base(dir);
+
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(base / "meta.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"key", "value"}));
+    MUAA_RETURN_NOT_OK(w.WriteRow({"version", std::to_string(kFormatVersion)}));
+    MUAA_RETURN_NOT_OK(
+        w.WriteRow({"num_tags", std::to_string(instance.num_tags())}));
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "ad_types.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader({"name", "cost", "effectiveness"}));
+    for (const model::AdType& t : instance.ad_types.types()) {
+      MUAA_RETURN_NOT_OK(
+          w.WriteRow({t.name, Num(t.cost), Num(t.effectiveness)}));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "activity.csv"));
+    CsvWriter w(&out);
+    std::vector<std::string> header{"tag"};
+    for (int h = 0; h < 24; ++h) {
+      // append() form: GCC 12's -Wrestrict false-positives on "h" + ...
+      std::string col = "h";
+      col.append(std::to_string(h));
+      header.push_back(std::move(col));
+    }
+    MUAA_RETURN_NOT_OK(w.WriteHeader(header));
+    for (size_t t = 0; t < instance.num_tags(); ++t) {
+      std::vector<std::string> row{std::to_string(t)};
+      for (double x : instance.activity.HourlyWeights(static_cast<int32_t>(t))) {
+        row.push_back(Num(x));
+      }
+      MUAA_RETURN_NOT_OK(w.WriteRow(row));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "customers.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(w.WriteHeader(
+        {"x", "y", "capacity", "view_prob", "arrival", "interests"}));
+    for (const model::Customer& u : instance.customers) {
+      MUAA_RETURN_NOT_OK(w.WriteRow(
+          {Num(u.location.x), Num(u.location.y), std::to_string(u.capacity),
+           Num(u.view_prob), Num(u.arrival_time), JoinVector(u.interests)}));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ofstream out,
+                          OpenForWrite(base / "vendors.csv"));
+    CsvWriter w(&out);
+    MUAA_RETURN_NOT_OK(
+        w.WriteHeader({"x", "y", "radius", "budget", "interests"}));
+    for (const model::Vendor& v : instance.vendors) {
+      MUAA_RETURN_NOT_OK(
+          w.WriteRow({Num(v.location.x), Num(v.location.y), Num(v.radius),
+                      Num(v.budget), JoinVector(v.interests)}));
+    }
+  }
+  return Status::OK();
+}
+
+Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
+  const std::filesystem::path base(dir);
+  model::ProblemInstance instance;
+  size_t num_tags = 0;
+
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(base / "meta.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    bool saw_version = false;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 2 || row[0] == "key") continue;
+      if (row[0] == "version") {
+        saw_version = true;
+        if (row[1] != std::to_string(kFormatVersion)) {
+          return Status::InvalidArgument("unsupported format version " +
+                                         row[1]);
+        }
+      } else if (row[0] == "num_tags") {
+        num_tags = static_cast<size_t>(std::stoul(row[1]));
+      }
+    }
+    if (!saw_version || num_tags == 0) {
+      return Status::InvalidArgument("meta.csv missing version/num_tags");
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "ad_types.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    std::vector<model::AdType> types;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 3 || row[0] == "name") continue;
+      model::AdType t;
+      t.name = row[0];
+      MUAA_ASSIGN_OR_RETURN(t.cost, ParseDouble(row[1]));
+      MUAA_ASSIGN_OR_RETURN(t.effectiveness, ParseDouble(row[2]));
+      types.push_back(std::move(t));
+    }
+    MUAA_ASSIGN_OR_RETURN(instance.ad_types,
+                          model::AdTypeCatalog::Create(std::move(types)));
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "activity.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    std::vector<std::vector<double>> matrix(num_tags);
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 25 || row[0] == "tag") continue;
+      size_t tag = static_cast<size_t>(std::stoul(row[0]));
+      if (tag >= num_tags) {
+        return Status::InvalidArgument("activity.csv tag out of range");
+      }
+      matrix[tag].resize(24);
+      for (int h = 0; h < 24; ++h) {
+        MUAA_ASSIGN_OR_RETURN(matrix[tag][static_cast<size_t>(h)],
+                              ParseDouble(row[static_cast<size_t>(h) + 1]));
+      }
+    }
+    MUAA_ASSIGN_OR_RETURN(instance.activity,
+                          model::ActivitySchedule::FromMatrix(std::move(matrix)));
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "customers.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 6 || row[0] == "x") continue;
+      model::Customer u;
+      MUAA_ASSIGN_OR_RETURN(u.location.x, ParseDouble(row[0]));
+      MUAA_ASSIGN_OR_RETURN(u.location.y, ParseDouble(row[1]));
+      u.capacity = static_cast<int>(std::stol(row[2]));
+      MUAA_ASSIGN_OR_RETURN(u.view_prob, ParseDouble(row[3]));
+      MUAA_ASSIGN_OR_RETURN(u.arrival_time, ParseDouble(row[4]));
+      MUAA_ASSIGN_OR_RETURN(u.interests, ParseVector(row[5], num_tags));
+      instance.customers.push_back(std::move(u));
+    }
+  }
+  {
+    MUAA_ASSIGN_OR_RETURN(std::ifstream in,
+                          OpenForRead(base / "vendors.csv"));
+    CsvReader reader(&in);
+    std::vector<std::string> row;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
+      if (!more) break;
+      if (row.size() != 5 || row[0] == "x") continue;
+      model::Vendor v;
+      MUAA_ASSIGN_OR_RETURN(v.location.x, ParseDouble(row[0]));
+      MUAA_ASSIGN_OR_RETURN(v.location.y, ParseDouble(row[1]));
+      MUAA_ASSIGN_OR_RETURN(v.radius, ParseDouble(row[2]));
+      MUAA_ASSIGN_OR_RETURN(v.budget, ParseDouble(row[3]));
+      MUAA_ASSIGN_OR_RETURN(v.interests, ParseVector(row[4], num_tags));
+      instance.vendors.push_back(std::move(v));
+    }
+  }
+  MUAA_RETURN_NOT_OK(instance.Validate());
+  return instance;
+}
+
+}  // namespace muaa::io

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "model/instance.h"
+
+namespace muaa::io {
+
+/// \brief Directory-based persistence for `ProblemInstance`.
+///
+/// Layout (all CSV, `#` comments allowed):
+///   meta.csv       key,value                (format version, tag count)
+///   ad_types.csv   name,cost,effectiveness
+///   activity.csv   tag,h0,...,h23
+///   customers.csv  x,y,capacity,view_prob,arrival,interests
+///   vendors.csv    x,y,radius,budget,interests
+/// Interest vectors are ';'-joined decimals. Instances round-trip exactly
+/// enough for experiments (doubles printed with 17 significant digits).
+Status SaveInstance(const model::ProblemInstance& instance,
+                    const std::string& dir);
+
+/// Loads and validates an instance previously written by `SaveInstance`.
+Result<model::ProblemInstance> LoadInstance(const std::string& dir);
+
+}  // namespace muaa::io

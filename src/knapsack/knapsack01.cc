@@ -1,0 +1,152 @@
+#include "knapsack/knapsack01.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace muaa::knapsack {
+
+namespace {
+
+Status ValidateItems(const std::vector<Knapsack01Item>& items,
+                     int64_t capacity) {
+  if (capacity < 0) {
+    return Status::InvalidArgument("negative capacity");
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight < 0) {
+      return Status::InvalidArgument("item " + std::to_string(i) +
+                                     " has negative weight");
+    }
+    if (items[i].value < 0.0) {
+      return Status::InvalidArgument("item " + std::to_string(i) +
+                                     " has negative value");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Knapsack01Solution> SolveKnapsack01Dp(
+    const std::vector<Knapsack01Item>& items, int64_t capacity) {
+  MUAA_RETURN_NOT_OK(ValidateItems(items, capacity));
+  const size_t n = items.size();
+  const size_t cap = static_cast<size_t>(capacity);
+
+  // best[w]: max value using a prefix of items at weight exactly <= w.
+  std::vector<double> best(cap + 1, 0.0);
+  // taken[i * (cap+1) + w]: whether item i is taken at state w.
+  std::vector<uint8_t> taken(n * (cap + 1), 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t w = items[i].weight;
+    const double v = items[i].value;
+    if (w > capacity) continue;
+    for (size_t b = cap + 1; b-- > static_cast<size_t>(w);) {
+      double candidate = best[b - static_cast<size_t>(w)] + v;
+      if (candidate > best[b]) {
+        best[b] = candidate;
+        taken[i * (cap + 1) + b] = 1;
+      }
+    }
+  }
+
+  Knapsack01Solution sol;
+  sol.total_value = best[cap];
+  size_t b = cap;
+  for (size_t i = n; i-- > 0;) {
+    if (taken[i * (cap + 1) + b] != 0) {
+      sol.selected.push_back(static_cast<int32_t>(i));
+      sol.total_weight += items[i].weight;
+      b -= static_cast<size_t>(items[i].weight);
+    }
+  }
+  std::reverse(sol.selected.begin(), sol.selected.end());
+  return sol;
+}
+
+namespace {
+
+struct BbState {
+  const std::vector<Knapsack01Item>* items;  // sorted by efficiency desc
+  const std::vector<int32_t>* original_index;
+  int64_t capacity;
+  double best_value = 0.0;
+  std::vector<int32_t> best_set;    // sorted-order indices
+  std::vector<int32_t> current_set;
+
+  /// Fractional-relaxation bound from item `i` with `remaining` capacity.
+  double Bound(size_t i, int64_t remaining) const {
+    double bound = 0.0;
+    for (; i < items->size() && remaining > 0; ++i) {
+      const Knapsack01Item& it = (*items)[i];
+      if (it.weight <= remaining) {
+        bound += it.value;
+        remaining -= it.weight;
+      } else {
+        bound += it.value * static_cast<double>(remaining) /
+                 static_cast<double>(it.weight);
+        remaining = 0;
+      }
+    }
+    return bound;
+  }
+
+  void Dfs(size_t i, int64_t remaining, double value) {
+    if (value > best_value) {
+      best_value = value;
+      best_set = current_set;
+    }
+    if (i >= items->size()) return;
+    if (value + Bound(i, remaining) <= best_value + 1e-12) return;
+    const Knapsack01Item& it = (*items)[i];
+    if (it.weight <= remaining) {
+      current_set.push_back(static_cast<int32_t>(i));
+      Dfs(i + 1, remaining - it.weight, value + it.value);
+      current_set.pop_back();
+    }
+    Dfs(i + 1, remaining, value);
+  }
+};
+
+}  // namespace
+
+Result<Knapsack01Solution> SolveKnapsack01BranchBound(
+    const std::vector<Knapsack01Item>& items, int64_t capacity) {
+  MUAA_RETURN_NOT_OK(ValidateItems(items, capacity));
+
+  std::vector<int32_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const Knapsack01Item& ia = items[static_cast<size_t>(a)];
+    const Knapsack01Item& ib = items[static_cast<size_t>(b)];
+    // Efficiency-descending; weight-0 items sort first.
+    double ea = ia.weight == 0 ? std::numeric_limits<double>::infinity()
+                               : ia.value / static_cast<double>(ia.weight);
+    double eb = ib.weight == 0 ? std::numeric_limits<double>::infinity()
+                               : ib.value / static_cast<double>(ib.weight);
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  std::vector<Knapsack01Item> sorted;
+  sorted.reserve(items.size());
+  for (int32_t idx : order) sorted.push_back(items[static_cast<size_t>(idx)]);
+
+  BbState state;
+  state.items = &sorted;
+  state.original_index = &order;
+  state.capacity = capacity;
+  state.Dfs(0, capacity, 0.0);
+
+  Knapsack01Solution sol;
+  sol.total_value = state.best_value;
+  for (int32_t sorted_idx : state.best_set) {
+    int32_t orig = order[static_cast<size_t>(sorted_idx)];
+    sol.selected.push_back(orig);
+    sol.total_weight += items[static_cast<size_t>(orig)].weight;
+  }
+  std::sort(sol.selected.begin(), sol.selected.end());
+  return sol;
+}
+
+}  // namespace muaa::knapsack

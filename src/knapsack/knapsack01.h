@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::knapsack {
+
+/// \brief An item of a 0-1 knapsack instance.
+struct Knapsack01Item {
+  double value = 0.0;
+  int64_t weight = 0;
+};
+
+/// \brief Solution of a 0-1 knapsack instance.
+struct Knapsack01Solution {
+  double total_value = 0.0;
+  int64_t total_weight = 0;
+  std::vector<int32_t> selected;  ///< ascending item indices
+};
+
+/// Exact dynamic program, O(n·W) time / O(n·W) bits of choice memory.
+/// `capacity` and all weights must be >= 0; items with weight > capacity
+/// are never chosen. The paper's NP-hardness proof reduces 0-1 knapsack to
+/// MUAA (Theorem II.1); this solver also backs test oracles.
+Result<Knapsack01Solution> SolveKnapsack01Dp(
+    const std::vector<Knapsack01Item>& items, int64_t capacity);
+
+/// Depth-first branch and bound with the fractional-relaxation upper
+/// bound. Exponential worst case, fast in practice on small instances;
+/// used to cross-check the DP in property tests.
+Result<Knapsack01Solution> SolveKnapsack01BranchBound(
+    const std::vector<Knapsack01Item>& items, int64_t capacity);
+
+}  // namespace muaa::knapsack

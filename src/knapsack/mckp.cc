@@ -1,0 +1,113 @@
+#include "knapsack/mckp.h"
+
+#include <algorithm>
+
+namespace muaa::knapsack {
+
+Status MckpProblem::Validate() const {
+  if (budget < 0.0) {
+    return Status::InvalidArgument("negative budget");
+  }
+  for (size_t c = 0; c < classes.size(); ++c) {
+    for (size_t i = 0; i < classes[c].items.size(); ++i) {
+      const MckpItem& item = classes[c].items[i];
+      if (item.cost <= 0.0) {
+        return Status::InvalidArgument("class " + std::to_string(c) +
+                                       " item " + std::to_string(i) +
+                                       " has non-positive cost");
+      }
+      if (item.value < 0.0) {
+        return Status::InvalidArgument("class " + std::to_string(c) +
+                                       " item " + std::to_string(i) +
+                                       " has negative value");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSelection(const MckpProblem& problem, const MckpSelection& sel) {
+  if (sel.chosen.size() != problem.classes.size()) {
+    return Status::InvalidArgument("selection size mismatch");
+  }
+  double cost = 0.0;
+  double value = 0.0;
+  for (size_t c = 0; c < sel.chosen.size(); ++c) {
+    int32_t pick = sel.chosen[c];
+    if (pick < 0) continue;
+    if (static_cast<size_t>(pick) >= problem.classes[c].items.size()) {
+      return Status::InvalidArgument("selection index out of range in class " +
+                                     std::to_string(c));
+    }
+    cost += problem.classes[c].items[static_cast<size_t>(pick)].cost;
+    value += problem.classes[c].items[static_cast<size_t>(pick)].value;
+  }
+  if (cost > problem.budget + 1e-9) {
+    return Status::FailedPrecondition("selection exceeds budget");
+  }
+  if (std::abs(cost - sel.total_cost) > 1e-6 ||
+      std::abs(value - sel.total_value) > 1e-6) {
+    return Status::FailedPrecondition("selection totals are stale");
+  }
+  return Status::OK();
+}
+
+std::vector<ReducedClass> ReduceClasses(const MckpProblem& problem) {
+  std::vector<ReducedClass> reduced(problem.classes.size());
+  for (size_t c = 0; c < problem.classes.size(); ++c) {
+    const auto& items = problem.classes[c].items;
+    std::vector<int32_t> order(items.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int32_t>(i);
+    }
+    // Ascending cost; ties keep the higher value first so the dominance
+    // sweep removes the rest.
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      const MckpItem& ia = items[static_cast<size_t>(a)];
+      const MckpItem& ib = items[static_cast<size_t>(b)];
+      if (ia.cost != ib.cost) return ia.cost < ib.cost;
+      if (ia.value != ib.value) return ia.value > ib.value;
+      return a < b;
+    });
+
+    // Upper convex hull over {(0,0)} ∪ points, kept as a stack of item
+    // indices. A candidate extends the hull iff its value strictly
+    // increases and the incremental efficiency sequence stays decreasing.
+    std::vector<int32_t>& hull = reduced[c].kept;
+    auto cost_of = [&](int h) {
+      return h < 0 ? 0.0 : items[static_cast<size_t>(hull[static_cast<size_t>(h)])].cost;
+    };
+    auto value_of = [&](int h) {
+      return h < 0 ? 0.0 : items[static_cast<size_t>(hull[static_cast<size_t>(h)])].value;
+    };
+    for (int32_t idx : order) {
+      const MckpItem& item = items[static_cast<size_t>(idx)];
+      if (item.value <= 0.0) continue;  // never better than "no item"
+      // Dominated: no cheaper-or-equal hull item has >= value (hull values
+      // increase, so compare against the top).
+      if (!hull.empty() && item.value <= value_of(static_cast<int>(hull.size()) - 1)) {
+        continue;
+      }
+      // Pop hull items that make the efficiency sequence non-decreasing.
+      while (!hull.empty()) {
+        int top = static_cast<int>(hull.size()) - 1;
+        double dc_new = item.cost - cost_of(top);
+        double dv_new = item.value - value_of(top);
+        double dc_top = cost_of(top) - cost_of(top - 1);
+        double dv_top = value_of(top) - value_of(top - 1);
+        // Keep the hull concave: require dv_top/dc_top >= dv_new/dc_new.
+        // Collinear points stay — they give the integral greedy finer
+        // increments at no cost to the LP optimum.
+        if (dv_top * dc_new < dv_new * dc_top) {
+          hull.pop_back();
+        } else {
+          break;
+        }
+      }
+      hull.push_back(idx);
+    }
+  }
+  return reduced;
+}
+
+}  // namespace muaa::knapsack

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::knapsack {
+
+/// \brief An item inside one MCKP class: value, cost, and an opaque
+/// caller payload (the assign layer stores the ad-type id here).
+struct MckpItem {
+  double value = 0.0;
+  double cost = 0.0;
+  int32_t payload = 0;
+};
+
+/// \brief One MCKP class; at most one of its items may be chosen.
+/// Choosing nothing is always allowed (the "no ad" option).
+struct MckpClass {
+  std::vector<MckpItem> items;
+  int32_t payload = 0;  ///< opaque caller tag (customer id in RECON)
+};
+
+/// \brief A multi-choice knapsack problem (Ibaraki et al. '78; Sinha &
+/// Zoltners '79): pick <= 1 item per class, total cost <= budget, maximize
+/// total value. The single-vendor subproblem of Sec. III-A is exactly this
+/// with classes = valid customers and items = ad types.
+struct MckpProblem {
+  std::vector<MckpClass> classes;
+  double budget = 0.0;
+
+  /// Validation: budget >= 0, values >= 0, costs > 0.
+  Status Validate() const;
+};
+
+/// \brief A (possibly suboptimal) MCKP selection.
+struct MckpSelection {
+  /// Chosen item index per class; -1 = nothing chosen from that class.
+  std::vector<int32_t> chosen;
+  double total_value = 0.0;
+  double total_cost = 0.0;
+};
+
+/// \brief Solver output: the integral selection plus the LP upper bound
+/// (the `1-ε` guarantee of Sec. III-A is measured against this bound).
+struct MckpResult {
+  MckpSelection selection;
+  /// Optimal value of the LP relaxation; +inf when a solver does not
+  /// compute it. Always >= the integral optimum.
+  double lp_upper_bound = 0.0;
+};
+
+/// Recomputes cost/value totals of `selection` against `problem` and checks
+/// feasibility (indices in range, budget respected).
+Status CheckSelection(const MckpProblem& problem, const MckpSelection& sel);
+
+/// \brief Preprocessing shared by the solvers: per-class dominance and
+/// LP-dominance reduction.
+///
+/// After `Reduce`, each class's `kept` indices are sorted by ascending
+/// cost with strictly increasing value and strictly decreasing incremental
+/// efficiency (the upper convex hull of the (cost, value) point set plus
+/// the origin). Items that can never appear in an LP-optimal solution are
+/// dropped — the LP optimum over the reduced instance equals the original.
+struct ReducedClass {
+  /// Indices into the original class's `items`, hull order.
+  std::vector<int32_t> kept;
+};
+std::vector<ReducedClass> ReduceClasses(const MckpProblem& problem);
+
+}  // namespace muaa::knapsack

@@ -1,0 +1,86 @@
+#include "knapsack/mckp_dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knapsack/mckp_lp_greedy.h"
+
+namespace muaa::knapsack {
+
+Result<MckpResult> SolveMckpDp(const MckpProblem& problem,
+                               const MckpDpOptions& options) {
+  MUAA_RETURN_NOT_OK(problem.Validate());
+  if (options.cost_scale <= 0.0) {
+    return Status::InvalidArgument("cost_scale must be positive");
+  }
+
+  const size_t num_classes = problem.classes.size();
+  int64_t budget_units =
+      static_cast<int64_t>(std::floor(problem.budget * options.cost_scale + 1e-9));
+  if (budget_units < 0) budget_units = 0;
+  if (budget_units > options.max_budget_units) {
+    return Status::ResourceExhausted(
+        "scaled budget " + std::to_string(budget_units) +
+        " exceeds max_budget_units");
+  }
+
+  // Scale costs to integers.
+  std::vector<std::vector<int64_t>> costs(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    costs[c].reserve(problem.classes[c].items.size());
+    for (const MckpItem& item : problem.classes[c].items) {
+      double scaled = item.cost * options.cost_scale;
+      int64_t rounded = static_cast<int64_t>(std::llround(scaled));
+      if (std::fabs(scaled - static_cast<double>(rounded)) > 1e-6) {
+        return Status::InvalidArgument(
+            "item cost " + std::to_string(item.cost) +
+            " is not an integer multiple of 1/cost_scale");
+      }
+      costs[c].push_back(rounded);
+    }
+  }
+
+  const size_t width = static_cast<size_t>(budget_units) + 1;
+  std::vector<double> best(width, 0.0);
+  // choice[c * width + b]: item chosen for class c at budget state b
+  // (-1 = none). int16 suffices: classes never hold 32k+ ad types.
+  std::vector<int16_t> choice(num_classes * width, -1);
+
+  for (size_t c = 0; c < num_classes; ++c) {
+    const auto& items = problem.classes[c].items;
+    // Process budgets descending so each class contributes at most once.
+    for (size_t b = width; b-- > 0;) {
+      double best_here = best[b];
+      int16_t pick = -1;
+      for (size_t i = 0; i < items.size(); ++i) {
+        int64_t w = costs[c][i];
+        if (w > static_cast<int64_t>(b)) continue;
+        double candidate = best[b - static_cast<size_t>(w)] + items[i].value;
+        if (candidate > best_here) {
+          best_here = candidate;
+          pick = static_cast<int16_t>(i);
+        }
+      }
+      best[b] = best_here;
+      choice[c * width + b] = pick;
+    }
+  }
+
+  MckpResult result;
+  result.selection.chosen.assign(num_classes, -1);
+  size_t b = width - 1;
+  for (size_t c = num_classes; c-- > 0;) {
+    int16_t pick = choice[c * width + b];
+    result.selection.chosen[c] = pick;
+    if (pick >= 0) {
+      const MckpItem& item = problem.classes[c].items[static_cast<size_t>(pick)];
+      result.selection.total_value += item.value;
+      result.selection.total_cost += item.cost;
+      b -= static_cast<size_t>(costs[c][static_cast<size_t>(pick)]);
+    }
+  }
+  result.lp_upper_bound = ComputeMckpLpBound(problem);
+  return result;
+}
+
+}  // namespace muaa::knapsack

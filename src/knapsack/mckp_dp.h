@@ -1,0 +1,28 @@
+#pragma once
+
+#include "knapsack/mckp.h"
+
+namespace muaa::knapsack {
+
+/// Options for the exact MCKP dynamic program.
+struct MckpDpOptions {
+  /// Costs are multiplied by this factor and must land on integers
+  /// (±1e-6). The default treats costs as dollars with cent precision.
+  double cost_scale = 100.0;
+  /// Safety cap on scaled budget (memory guard): the choice table uses
+  /// `classes × budget_units` int16 cells.
+  int64_t max_budget_units = 2'000'000;
+};
+
+/// \brief Exact MCKP solver: DP over integer-scaled budget.
+///
+/// O(classes × budget_units × items) time. Returns the optimum; the
+/// reported `lp_upper_bound` is the LP-relaxation optimum computed by the
+/// same hull construction `MckpLpGreedy` uses, so callers can measure
+/// integrality gaps. Fails with InvalidArgument when costs don't scale to
+/// integers and ResourceExhausted when the budget table would exceed
+/// `max_budget_units`.
+Result<MckpResult> SolveMckpDp(const MckpProblem& problem,
+                               const MckpDpOptions& options = {});
+
+}  // namespace muaa::knapsack

@@ -1,0 +1,200 @@
+#include "knapsack/mckp_lp_greedy.h"
+
+#include <algorithm>
+
+namespace muaa::knapsack {
+
+namespace {
+
+/// One hull-to-hull increment of a class: upgrading the class's chosen
+/// item from hull level `level-1` (or nothing) to hull level `level`.
+struct Increment {
+  int32_t cls;
+  int32_t level;        // 0-based hull level this increment reaches
+  double delta_cost;    // > 0
+  double delta_value;   // > 0
+  double efficiency;    // delta_value / delta_cost
+};
+
+std::vector<Increment> BuildIncrements(const MckpProblem& problem,
+                                       const std::vector<ReducedClass>& reduced) {
+  std::vector<Increment> incs;
+  for (size_t c = 0; c < reduced.size(); ++c) {
+    const auto& items = problem.classes[c].items;
+    double prev_cost = 0.0;
+    double prev_value = 0.0;
+    for (size_t l = 0; l < reduced[c].kept.size(); ++l) {
+      const MckpItem& item =
+          items[static_cast<size_t>(reduced[c].kept[l])];
+      Increment inc;
+      inc.cls = static_cast<int32_t>(c);
+      inc.level = static_cast<int32_t>(l);
+      inc.delta_cost = item.cost - prev_cost;
+      inc.delta_value = item.value - prev_value;
+      inc.efficiency = inc.delta_value / inc.delta_cost;
+      incs.push_back(inc);
+      prev_cost = item.cost;
+      prev_value = item.value;
+    }
+  }
+  // Decreasing efficiency; tie-break (class, level) keeps per-class
+  // increments in level order (their efficiencies strictly decrease inside
+  // a class, so ties only involve distinct classes anyway).
+  std::sort(incs.begin(), incs.end(), [](const Increment& a, const Increment& b) {
+    if (a.efficiency != b.efficiency) return a.efficiency > b.efficiency;
+    if (a.cls != b.cls) return a.cls < b.cls;
+    return a.level < b.level;
+  });
+  return incs;
+}
+
+}  // namespace
+
+double ComputeMckpLpBound(const MckpProblem& problem) {
+  std::vector<ReducedClass> reduced = ReduceClasses(problem);
+  std::vector<Increment> incs = BuildIncrements(problem, reduced);
+  double remaining = problem.budget;
+  double bound = 0.0;
+  for (const Increment& inc : incs) {
+    if (inc.delta_cost <= remaining) {
+      bound += inc.delta_value;
+      remaining -= inc.delta_cost;
+    } else {
+      if (remaining > 0.0) {
+        bound += inc.delta_value * remaining / inc.delta_cost;
+      }
+      break;
+    }
+  }
+  return bound;
+}
+
+Result<MckpResult> SolveMckpLpGreedy(const MckpProblem& problem) {
+  MUAA_RETURN_NOT_OK(problem.Validate());
+  const size_t num_classes = problem.classes.size();
+  std::vector<ReducedClass> reduced = ReduceClasses(problem);
+  std::vector<Increment> incs = BuildIncrements(problem, reduced);
+
+  MckpResult result;
+  result.selection.chosen.assign(num_classes, -1);
+
+  // LP fill + integral fill in one pass over the sorted increments.
+  std::vector<int32_t> level(num_classes, -1);  // current hull level taken
+  double remaining = problem.budget;
+  double lp_bound = 0.0;
+  double lp_remaining = problem.budget;
+  bool lp_open = true;
+  for (const Increment& inc : incs) {
+    if (lp_open) {
+      if (inc.delta_cost <= lp_remaining) {
+        lp_bound += inc.delta_value;
+        lp_remaining -= inc.delta_cost;
+      } else {
+        if (lp_remaining > 0.0) {
+          lp_bound += inc.delta_value * lp_remaining / inc.delta_cost;
+        }
+        lp_open = false;
+      }
+    }
+    // Integral: increments must be contiguous per class. When an
+    // increment does not fit, the class simply stays at its current hull
+    // level, keeping the increments it already paid for; its later
+    // increments are skipped automatically by the contiguity check.
+    size_t c = static_cast<size_t>(inc.cls);
+    if (level[c] != inc.level - 1) continue;
+    if (inc.delta_cost <= remaining) {
+      remaining -= inc.delta_cost;
+      level[c] = inc.level;
+    }
+  }
+
+  double greedy_value = 0.0;
+  double greedy_cost = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    if (level[c] >= 0) {
+      int32_t item_idx = reduced[c].kept[static_cast<size_t>(level[c])];
+      result.selection.chosen[c] = item_idx;
+      const MckpItem& item = problem.classes[c].items[static_cast<size_t>(item_idx)];
+      greedy_value += item.value;
+      greedy_cost += item.cost;
+    }
+  }
+
+  // Residual improvement: the hull fill ignores LP-dominated items, which
+  // are exactly what fits a small budget remainder (e.g. a cheap text link
+  // when only $1 is left). Repeatedly apply the best value-improving swap
+  // (class switches to any original item, including from "nothing") that
+  // fits the remaining budget. Bounded rounds keep the solver O(R·N).
+  constexpr int kMaxImprovementRounds = 64;
+  for (int round = 0; round < kMaxImprovementRounds; ++round) {
+    double best_gain = 1e-12;
+    size_t best_class = 0;
+    int32_t best_item = -1;
+    for (size_t c = 0; c < num_classes; ++c) {
+      double cur_value = 0.0;
+      double cur_cost = 0.0;
+      int32_t cur = result.selection.chosen[c];
+      if (cur >= 0) {
+        const MckpItem& item = problem.classes[c].items[static_cast<size_t>(cur)];
+        cur_value = item.value;
+        cur_cost = item.cost;
+      }
+      for (size_t i = 0; i < problem.classes[c].items.size(); ++i) {
+        const MckpItem& item = problem.classes[c].items[i];
+        double gain = item.value - cur_value;
+        if (gain <= best_gain) continue;
+        if (item.cost - cur_cost <= remaining + 1e-12) {
+          best_gain = gain;
+          best_class = c;
+          best_item = static_cast<int32_t>(i);
+        }
+      }
+    }
+    if (best_item < 0) break;
+    int32_t prev = result.selection.chosen[best_class];
+    double prev_cost =
+        prev >= 0
+            ? problem.classes[best_class].items[static_cast<size_t>(prev)].cost
+            : 0.0;
+    const MckpItem& item =
+        problem.classes[best_class].items[static_cast<size_t>(best_item)];
+    remaining -= item.cost - prev_cost;
+    greedy_value += best_gain;
+    greedy_cost += item.cost - prev_cost;
+    result.selection.chosen[best_class] = best_item;
+  }
+
+  // Classic guarantee: max(greedy, best single item) >= LP/2. In the
+  // paper's regime (item cost << budget) greedy alone is near the bound.
+  double best_single_value = 0.0;
+  int32_t best_single_class = -1;
+  int32_t best_single_item = -1;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const auto& items = problem.classes[c].items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].cost <= problem.budget &&
+          items[i].value > best_single_value) {
+        best_single_value = items[i].value;
+        best_single_class = static_cast<int32_t>(c);
+        best_single_item = static_cast<int32_t>(i);
+      }
+    }
+  }
+  if (best_single_value > greedy_value && best_single_class >= 0) {
+    result.selection.chosen.assign(num_classes, -1);
+    result.selection.chosen[static_cast<size_t>(best_single_class)] =
+        best_single_item;
+    result.selection.total_value = best_single_value;
+    result.selection.total_cost =
+        problem.classes[static_cast<size_t>(best_single_class)]
+            .items[static_cast<size_t>(best_single_item)]
+            .cost;
+  } else {
+    result.selection.total_value = greedy_value;
+    result.selection.total_cost = greedy_cost;
+  }
+  result.lp_upper_bound = lp_bound;
+  return result;
+}
+
+}  // namespace muaa::knapsack

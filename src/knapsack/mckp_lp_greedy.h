@@ -1,0 +1,28 @@
+#pragma once
+
+#include "knapsack/mckp.h"
+
+namespace muaa::knapsack {
+
+/// \brief LP-relaxation greedy for MCKP (Sec. III-A's "ε-approximate
+/// LP-relaxation algorithm", after Ibaraki et al. and Sinha & Zoltners).
+///
+/// Pipeline: per-class dominance + LP-dominance reduction → incremental
+/// items ordered by decreasing efficiency → greedy budget fill → residual
+/// improvement (best value-raising swaps over the *original* items, which
+/// recovers LP-dominated cheap items that fit the leftover budget) → best
+/// single-item fallback. The efficiency-ordered fill solves the LP
+/// relaxation exactly (at most one class ends fractional); the fallback
+/// guarantees the integral answer is at least half the LP bound, and with
+/// the residual pass it is near-optimal (`1-ε` with small ε) on instances
+/// whose item costs are small relative to the budget — exactly the regime
+/// the paper assumes (assumption 2 of Sec. IV-B).
+///
+/// O(N log N) for N total items.
+Result<MckpResult> SolveMckpLpGreedy(const MckpProblem& problem);
+
+/// Computes only the LP-relaxation optimum (the upper bound used in
+/// `1-ε` accounting) without materializing a selection.
+double ComputeMckpLpBound(const MckpProblem& problem);
+
+}  // namespace muaa::knapsack

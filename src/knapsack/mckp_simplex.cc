@@ -1,0 +1,99 @@
+#include "knapsack/mckp_simplex.h"
+
+#include <algorithm>
+
+namespace muaa::knapsack {
+
+lp::LpProblem BuildMckpRelaxation(const MckpProblem& problem) {
+  lp::LpProblem lp;
+  // Variable layout: one x per (class, item), class-major.
+  std::vector<int> var_base(problem.classes.size() + 1, 0);
+  for (size_t c = 0; c < problem.classes.size(); ++c) {
+    var_base[c + 1] =
+        var_base[c] + static_cast<int>(problem.classes[c].items.size());
+  }
+  lp.num_vars = var_base.back();
+  lp.objective.assign(static_cast<size_t>(lp.num_vars), 0.0);
+
+  lp::LpProblem::Row budget_row;
+  budget_row.rhs = problem.budget;
+  for (size_t c = 0; c < problem.classes.size(); ++c) {
+    lp::LpProblem::Row class_row;
+    class_row.rhs = 1.0;
+    for (size_t i = 0; i < problem.classes[c].items.size(); ++i) {
+      int var = var_base[c] + static_cast<int>(i);
+      const MckpItem& item = problem.classes[c].items[i];
+      lp.objective[static_cast<size_t>(var)] = item.value;
+      budget_row.coeffs.emplace_back(var, item.cost);
+      class_row.coeffs.emplace_back(var, 1.0);
+    }
+    if (!class_row.coeffs.empty()) {
+      lp.rows.push_back(std::move(class_row));
+    }
+  }
+  lp.rows.push_back(std::move(budget_row));
+  return lp;
+}
+
+Result<MckpResult> SolveMckpSimplex(const MckpProblem& problem) {
+  MUAA_RETURN_NOT_OK(problem.Validate());
+  const size_t num_classes = problem.classes.size();
+
+  MckpResult result;
+  result.selection.chosen.assign(num_classes, -1);
+  if (num_classes == 0) {
+    result.lp_upper_bound = 0.0;
+    return result;
+  }
+  bool any_items = false;
+  for (const auto& cls : problem.classes) any_items |= !cls.items.empty();
+  if (!any_items) {
+    result.lp_upper_bound = 0.0;
+    return result;
+  }
+
+  lp::LpProblem relaxation = BuildMckpRelaxation(problem);
+  lp::SimplexSolver solver;
+  MUAA_ASSIGN_OR_RETURN(lp::LpSolution lp_sol, solver.Maximize(relaxation));
+  result.lp_upper_bound = lp_sol.objective_value;
+
+  // Rounding: per class, the item with the largest fractional mass.
+  struct Pick {
+    size_t cls;
+    int32_t item;
+    double mass;
+  };
+  std::vector<Pick> picks;
+  int var = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    double best_mass = 1e-9;
+    int32_t best_item = -1;
+    for (size_t i = 0; i < problem.classes[c].items.size(); ++i, ++var) {
+      double x = lp_sol.values[static_cast<size_t>(var)];
+      if (x > best_mass) {
+        best_mass = x;
+        best_item = static_cast<int32_t>(i);
+      }
+    }
+    if (best_item >= 0) picks.push_back({c, best_item, best_mass});
+  }
+  std::sort(picks.begin(), picks.end(), [](const Pick& a, const Pick& b) {
+    if (a.mass != b.mass) return a.mass > b.mass;
+    return a.cls < b.cls;
+  });
+
+  double remaining = problem.budget;
+  for (const Pick& p : picks) {
+    const MckpItem& item =
+        problem.classes[p.cls].items[static_cast<size_t>(p.item)];
+    if (item.cost <= remaining) {
+      result.selection.chosen[p.cls] = p.item;
+      result.selection.total_value += item.value;
+      result.selection.total_cost += item.cost;
+      remaining -= item.cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace muaa::knapsack

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "knapsack/mckp.h"
+#include "lp/simplex.h"
+
+namespace muaa::knapsack {
+
+/// \brief MCKP via the general simplex solver + rounding.
+///
+/// Mirrors the paper's use of an off-the-shelf LP library [3] inside
+/// RECON: solve the LP relaxation (budget row + one `<=1` row per class),
+/// then round — per class take the item with the largest fractional mass,
+/// order classes by that mass, and admit greedily under the budget. The
+/// reported `lp_upper_bound` is the LP optimum. Exact for the relaxation
+/// but dense: use on small/medium subproblems and in the ablation bench;
+/// `SolveMckpLpGreedy` is the production path.
+Result<MckpResult> SolveMckpSimplex(const MckpProblem& problem);
+
+/// Builds the LP relaxation of `problem` (exposed for tests).
+lp::LpProblem BuildMckpRelaxation(const MckpProblem& problem);
+
+}  // namespace muaa::knapsack

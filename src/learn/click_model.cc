@@ -1,0 +1,87 @@
+#include "learn/click_model.h"
+
+#include "common/logging.h"
+
+namespace muaa::learn {
+
+ClickModel::ClickModel(size_t num_customers, Options options)
+    : options_(options) {
+  MUAA_CHECK(options_.alpha > 0.0);
+  MUAA_CHECK(options_.beta > 0.0);
+  received_.assign(num_customers, 0);
+  viewed_.assign(num_customers, 0);
+}
+
+Status ClickModel::RecordImpressions(model::CustomerId i, int64_t received,
+                                     int64_t viewed) {
+  if (i < 0 || static_cast<size_t>(i) >= received_.size()) {
+    return Status::InvalidArgument("customer id out of range");
+  }
+  if (received < 0 || viewed < 0 || viewed > received) {
+    return Status::InvalidArgument("need 0 <= viewed <= received");
+  }
+  received_[static_cast<size_t>(i)] += received;
+  viewed_[static_cast<size_t>(i)] += viewed;
+  return Status::OK();
+}
+
+double ClickModel::Estimate(model::CustomerId i) const {
+  MUAA_CHECK(i >= 0 && static_cast<size_t>(i) < received_.size());
+  double num = static_cast<double>(viewed_[static_cast<size_t>(i)]) +
+               options_.alpha;
+  double den = static_cast<double>(received_[static_cast<size_t>(i)]) +
+               options_.alpha + options_.beta;
+  return num / den;
+}
+
+int64_t ClickModel::impressions(model::CustomerId i) const {
+  MUAA_CHECK(i >= 0 && static_cast<size_t>(i) < received_.size());
+  return received_[static_cast<size_t>(i)];
+}
+
+int64_t ClickModel::views(model::CustomerId i) const {
+  MUAA_CHECK(i >= 0 && static_cast<size_t>(i) < viewed_.size());
+  return viewed_[static_cast<size_t>(i)];
+}
+
+Status ClickModel::ApplyTo(model::ProblemInstance* instance) const {
+  if (instance == nullptr ||
+      instance->num_customers() != received_.size()) {
+    return Status::InvalidArgument("instance/model customer count mismatch");
+  }
+  for (size_t i = 0; i < received_.size(); ++i) {
+    instance->customers[i].view_prob =
+        Estimate(static_cast<model::CustomerId>(i));
+  }
+  return Status::OK();
+}
+
+Result<FeedbackStats> SimulateFeedback(const model::UtilityModel& truth_utility,
+                                       const assign::AssignmentSet& delivered,
+                                       ClickModel* model, Rng* rng) {
+  if (model == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("null model/rng");
+  }
+  const model::ProblemInstance& truth = truth_utility.instance();
+  if (truth.num_customers() != model->num_customers()) {
+    return Status::InvalidArgument("truth/model customer count mismatch");
+  }
+  FeedbackStats stats;
+  for (const assign::AdInstance& ad : delivered.instances()) {
+    if (ad.customer < 0 ||
+        static_cast<size_t>(ad.customer) >= truth.num_customers()) {
+      return Status::InvalidArgument("delivered ad references bad customer");
+    }
+    double p = truth.customers[static_cast<size_t>(ad.customer)].view_prob;
+    bool saw = rng->Bernoulli(p);
+    MUAA_RETURN_NOT_OK(
+        model->RecordImpressions(ad.customer, 1, saw ? 1 : 0));
+    stats.impressions += 1;
+    stats.views += saw ? 1 : 0;
+    stats.realized_utility +=
+        truth_utility.Utility(ad.customer, ad.vendor, ad.ad_type);
+  }
+  return stats;
+}
+
+}  // namespace muaa::learn

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/instance.h"
+#include "model/utility.h"
+
+namespace muaa::learn {
+
+/// \brief Per-customer view-probability estimator (paper Sec. II-A: `p_i`
+/// "can be estimated from the historical data of the numbers of total
+/// viewed ads and the total received ads for each customer with maximum
+/// likelihood estimation").
+///
+/// The raw MLE is `views/impressions`, which is undefined for fresh
+/// customers and noisy for sparse ones; we use the Beta-smoothed posterior
+/// mean `(views + α) / (impressions + α + β)` (α=β=1 by default — Laplace
+/// smoothing, prior mean 0.5), which converges to the raw MLE as data
+/// accumulates.
+class ClickModel {
+ public:
+  struct Options {
+    double alpha = 1.0;  ///< prior pseudo-views
+    double beta = 1.0;   ///< prior pseudo-non-views
+  };
+
+  explicit ClickModel(size_t num_customers) : ClickModel(num_customers, {}) {}
+  ClickModel(size_t num_customers, Options options);
+
+  /// Records that customer `i` received `received` ads and viewed `viewed`
+  /// of them. InvalidArgument when `viewed > received`, counts are
+  /// negative, or the id is out of range.
+  Status RecordImpressions(model::CustomerId i, int64_t received,
+                           int64_t viewed);
+
+  /// Current estimate of `p_i` (posterior mean), in (0, 1).
+  double Estimate(model::CustomerId i) const;
+
+  /// Totals for a customer.
+  int64_t impressions(model::CustomerId i) const;
+  int64_t views(model::CustomerId i) const;
+
+  /// Overwrites every customer's `view_prob` in `instance` with the
+  /// current estimates (producing the "broker's belief" instance the
+  /// solvers run on). Customer counts must match.
+  Status ApplyTo(model::ProblemInstance* instance) const;
+
+  size_t num_customers() const { return received_.size(); }
+
+ private:
+  Options options_;
+  std::vector<int64_t> received_;
+  std::vector<int64_t> viewed_;
+};
+
+/// \brief Outcome of simulating one delivery round.
+struct FeedbackStats {
+  size_t impressions = 0;
+  size_t views = 0;
+  /// Utility the broker actually earned: Eq. (4) evaluated with the
+  /// ground-truth view probabilities (the belief instance the plan was
+  /// computed on may have had wrong `p_i`).
+  double realized_utility = 0.0;
+};
+
+/// Simulates click feedback for a delivered plan: each ad sent to customer
+/// `i` is viewed with probability `truth_utility.instance().customers[i]
+/// .view_prob`; the (received, viewed) counts are recorded into `model`.
+/// The plan may have been computed against a belief instance with the
+/// same customers/vendors/ad types — only ids are read from it.
+Result<FeedbackStats> SimulateFeedback(const model::UtilityModel& truth_utility,
+                                       const assign::AssignmentSet& delivered,
+                                       ClickModel* model, Rng* rng);
+
+}  // namespace muaa::learn

@@ -1,0 +1,129 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace muaa::lp {
+
+Status LpProblem::Validate() const {
+  if (num_vars <= 0) {
+    return Status::InvalidArgument("LP has no variables");
+  }
+  if (static_cast<int>(objective.size()) != num_vars) {
+    return Status::InvalidArgument("objective length != num_vars");
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].rhs < 0.0) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) +
+          " has negative rhs (canonical form requires b >= 0)");
+    }
+    for (const auto& [idx, coef] : rows[r].coeffs) {
+      (void)coef;
+      if (idx < 0 || idx >= num_vars) {
+        return Status::InvalidArgument("row " + std::to_string(r) +
+                                       " references variable " +
+                                       std::to_string(idx));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<LpSolution> SimplexSolver::Maximize(const LpProblem& problem) const {
+  MUAA_RETURN_NOT_OK(problem.Validate());
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.rows.size());
+  const double tol = options_.tolerance;
+  long max_iter = options_.max_iterations;
+  if (max_iter < 0) {
+    max_iter = 200L * (static_cast<long>(n) + m + 16);
+  }
+
+  // Tableau: m rows of [structural | slack | rhs], plus objective row.
+  // Column layout: 0..n-1 structural, n..n+m-1 slack, n+m rhs.
+  const int width = n + m + 1;
+  std::vector<double> tab(static_cast<size_t>(m + 1) * width, 0.0);
+  auto at = [&](int r, int c) -> double& {
+    return tab[static_cast<size_t>(r) * width + c];
+  };
+
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [idx, coef] : problem.rows[r].coeffs) {
+      at(r, idx) += coef;
+    }
+    at(r, n + r) = 1.0;
+    at(r, n + m) = problem.rows[r].rhs;
+  }
+  // Objective row stores the negated reduced costs (maximize form).
+  for (int c = 0; c < n; ++c) at(m, c) = -problem.objective[c];
+
+  std::vector<int> basis(m);
+  for (int r = 0; r < m; ++r) basis[r] = n + r;
+
+  for (long iter = 0; iter < max_iter; ++iter) {
+    // Bland's rule: entering variable = smallest index with negative
+    // reduced cost.
+    int pivot_col = -1;
+    for (int c = 0; c < n + m; ++c) {
+      if (at(m, c) < -tol) {
+        pivot_col = c;
+        break;
+      }
+    }
+    if (pivot_col < 0) {
+      // Optimal.
+      LpSolution sol;
+      sol.values.assign(static_cast<size_t>(n), 0.0);
+      for (int r = 0; r < m; ++r) {
+        if (basis[r] < n) {
+          sol.values[static_cast<size_t>(basis[r])] = at(r, n + m);
+        }
+      }
+      sol.objective_value = 0.0;
+      for (int c = 0; c < n; ++c) {
+        sol.objective_value += problem.objective[c] * sol.values[c];
+      }
+      return sol;
+    }
+
+    // Ratio test; Bland tie-break on smallest basis index.
+    int pivot_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      double a = at(r, pivot_col);
+      if (a > tol) {
+        double ratio = at(r, n + m) / a;
+        if (ratio < best_ratio - tol ||
+            (std::fabs(ratio - best_ratio) <= tol &&
+             (pivot_row < 0 || basis[r] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = r;
+        }
+      }
+    }
+    if (pivot_row < 0) {
+      return Status::OutOfRange("LP is unbounded");
+    }
+
+    // Pivot.
+    double pivot = at(pivot_row, pivot_col);
+    for (int c = 0; c <= n + m; ++c) at(pivot_row, c) /= pivot;
+    for (int r = 0; r <= m; ++r) {
+      if (r == pivot_row) continue;
+      double factor = at(r, pivot_col);
+      if (std::fabs(factor) <= tol) continue;
+      for (int c = 0; c <= n + m; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  return Status::ResourceExhausted("simplex iteration cap exceeded");
+}
+
+}  // namespace muaa::lp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::lp {
+
+/// \brief A linear program in canonical form:
+///   maximize   c·x
+///   subject to A x <= b,  x >= 0,  b >= 0.
+///
+/// With non-negative right-hand sides the all-slack basis is feasible, so a
+/// single-phase primal simplex suffices. Every LP the MUAA pipeline builds
+/// (MCKP relaxations: a budget row plus one `<=1` row per class) is of this
+/// form. Rows are stored sparsely.
+struct LpProblem {
+  /// One `<=` constraint with sparse coefficients.
+  struct Row {
+    /// (variable index, coefficient) pairs; indices must be unique.
+    std::vector<std::pair<int, double>> coeffs;
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  std::vector<double> objective;  ///< length == num_vars
+  std::vector<Row> rows;
+
+  /// Structural validation (sizes, rhs >= 0, indices in range).
+  Status Validate() const;
+};
+
+/// Result of a successful solve.
+struct LpSolution {
+  double objective_value = 0.0;
+  std::vector<double> values;  ///< optimal x, length == num_vars
+};
+
+/// \brief Dense-tableau primal simplex with Bland's anti-cycling rule.
+///
+/// Replaces the external `lp_solve` library the paper uses [3]. Intended
+/// for the small-to-medium LPs of the single-vendor relaxations and for
+/// computing global LP upper bounds on modest instances; the specialized
+/// `MckpLpGreedy` handles large relaxations in O(n log n).
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Iteration cap; defaults to a generous multiple of the problem size.
+    long max_iterations = -1;
+    /// Numeric tolerance for pivoting/optimality tests.
+    double tolerance = 1e-9;
+  };
+
+  SimplexSolver() : options_(Options{}) {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves the LP; returns the optimal solution, or
+  ///  * InvalidArgument for malformed input,
+  ///  * OutOfRange when the LP is unbounded,
+  ///  * ResourceExhausted when the iteration cap is hit.
+  Result<LpSolution> Maximize(const LpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace muaa::lp

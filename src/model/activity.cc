@@ -1,0 +1,57 @@
+#include "model/activity.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::model {
+
+ActivitySchedule ActivitySchedule::Uniform(size_t num_tags) {
+  ActivitySchedule sched;
+  sched.num_tags_ = num_tags;
+  sched.weights_.assign(num_tags * 24, 1.0);
+  return sched;
+}
+
+Result<ActivitySchedule> ActivitySchedule::FromMatrix(
+    std::vector<std::vector<double>> weights) {
+  ActivitySchedule sched;
+  sched.num_tags_ = weights.size();
+  sched.weights_.reserve(weights.size() * 24);
+  for (size_t t = 0; t < weights.size(); ++t) {
+    if (weights[t].size() != 24) {
+      return Status::InvalidArgument("tag " + std::to_string(t) +
+                                     " does not have 24 hourly weights");
+    }
+    for (double w : weights[t]) {
+      if (!(w > 0.0)) {
+        return Status::InvalidArgument("non-positive activity weight at tag " +
+                                       std::to_string(t));
+      }
+      sched.weights_.push_back(w);
+    }
+  }
+  return sched;
+}
+
+int ActivitySchedule::HourSlot(double time_hours) {
+  double wrapped = std::fmod(time_hours, 24.0);
+  if (wrapped < 0.0) wrapped += 24.0;
+  int slot = static_cast<int>(wrapped);
+  if (slot > 23) slot = 23;
+  return slot;
+}
+
+double ActivitySchedule::At(int32_t tag, double time_hours) const {
+  MUAA_CHECK(tag >= 0 && static_cast<size_t>(tag) < num_tags_);
+  return weights_[static_cast<size_t>(tag) * 24 +
+                  static_cast<size_t>(HourSlot(time_hours))];
+}
+
+std::vector<double> ActivitySchedule::HourlyWeights(int32_t tag) const {
+  MUAA_CHECK(tag >= 0 && static_cast<size_t>(tag) < num_tags_);
+  auto begin = weights_.begin() + static_cast<long>(tag) * 24;
+  return std::vector<double>(begin, begin + 24);
+}
+
+}  // namespace muaa::model

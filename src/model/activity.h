@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::model {
+
+/// \brief Hour-of-day tag activity levels `α_x(φ)` (Sec. II-B).
+///
+/// Each tag has 24 hourly activity weights in (0,1]; a "coffee" tag peaks
+/// in the morning, a "nightlife" tag at night, etc. The similarity in
+/// Eq. (5) weights every tag dimension by its activity at the customer's
+/// arrival time.
+class ActivitySchedule {
+ public:
+  ActivitySchedule() = default;
+
+  /// All tags uniformly active at weight 1 (turns Eq. (5) into plain
+  /// Pearson correlation). Useful as a null model and in tests.
+  static ActivitySchedule Uniform(size_t num_tags);
+
+  /// Builds from an explicit matrix `weights[tag][hour]` (24 columns);
+  /// all weights must be positive (the paper divides by `Σ_x α_x`).
+  static Result<ActivitySchedule> FromMatrix(
+      std::vector<std::vector<double>> weights);
+
+  /// Number of tags covered.
+  size_t num_tags() const { return num_tags_; }
+
+  /// Activity of `tag` at `time_hours` (wrapped into [0,24); the weight of
+  /// the containing hour slot is returned).
+  double At(int32_t tag, double time_hours) const;
+
+  /// The 24 weights of one tag.
+  std::vector<double> HourlyWeights(int32_t tag) const;
+
+  /// Hour slot index for a timestamp (wraps, clamps to [0,23]).
+  static int HourSlot(double time_hours);
+
+ private:
+  size_t num_tags_ = 0;
+  std::vector<double> weights_;  // num_tags_ * 24, row-major per tag
+};
+
+}  // namespace muaa::model

@@ -1,0 +1,86 @@
+#include "model/ad_type.h"
+
+#include <algorithm>
+
+namespace muaa::model {
+
+Result<AdTypeCatalog> AdTypeCatalog::Create(std::vector<AdType> types) {
+  AdTypeCatalog catalog;
+  catalog.types_ = std::move(types);
+  MUAA_RETURN_NOT_OK(catalog.Validate());
+  return catalog;
+}
+
+AdTypeCatalog AdTypeCatalog::PaperTableI() {
+  AdTypeCatalog catalog;
+  catalog.types_ = {
+      {"text_link", 1.0, 0.1},
+      {"photo_link", 2.0, 0.4},
+  };
+  return catalog;
+}
+
+AdTypeCatalog AdTypeCatalog::AdWordsLike() {
+  // Shapes taken from the cited PPC trend report: search text ads are the
+  // cheapest with modest conversion, display slightly costlier, rich media
+  // and in-app video progressively pricier but more effective. Values keep
+  // the paper's monotone cost-vs-effect assumption.
+  AdTypeCatalog catalog;
+  catalog.types_ = {
+      {"text_link", 1.0, 0.10},
+      {"display_banner", 1.5, 0.22},
+      {"photo_link", 2.0, 0.40},
+      {"in_app_video", 3.0, 0.55},
+  };
+  return catalog;
+}
+
+double AdTypeCatalog::MinCost() const {
+  double best = 0.0;
+  bool first = true;
+  for (const AdType& t : types_) {
+    if (first || t.cost < best) {
+      best = t.cost;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double AdTypeCatalog::MaxCost() const {
+  double best = 0.0;
+  for (const AdType& t : types_) best = std::max(best, t.cost);
+  return best;
+}
+
+Status AdTypeCatalog::Validate() const {
+  if (types_.empty()) {
+    return Status::InvalidArgument("ad-type catalog is empty");
+  }
+  for (const AdType& t : types_) {
+    if (t.cost <= 0.0) {
+      return Status::InvalidArgument("ad type '" + t.name +
+                                     "' has non-positive cost");
+    }
+    if (t.effectiveness <= 0.0 || t.effectiveness > 1.0) {
+      return Status::InvalidArgument("ad type '" + t.name +
+                                     "' effectiveness outside (0,1]");
+    }
+  }
+  // Co-monotone: sorting by cost must also sort by effectiveness.
+  std::vector<size_t> order(types_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return types_[a].cost < types_[b].cost;
+  });
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (types_[order[i]].effectiveness < types_[order[i - 1]].effectiveness) {
+      return Status::InvalidArgument(
+          "catalog violates cost/effectiveness monotonicity between '" +
+          types_[order[i - 1]].name + "' and '" + types_[order[i]].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace muaa::model

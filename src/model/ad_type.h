@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::model {
+
+/// Index of an ad type inside an `AdTypeCatalog`.
+using AdTypeId = int32_t;
+
+/// \brief One ad format `τ_k` (Definition 3): cost `c_k` and utility
+/// effectiveness `β_k` (probability a viewer acts on the ad).
+struct AdType {
+  std::string name;
+  double cost = 0.0;
+  double effectiveness = 0.0;
+};
+
+/// \brief The broker's ad-format catalog `T = {τ_1, …, τ_q}`.
+///
+/// The paper assumes costlier formats are more effective ("for a type of
+/// ads, the higher their costs are, the better their effects are");
+/// `Validate()` enforces that monotonicity along with positivity.
+class AdTypeCatalog {
+ public:
+  AdTypeCatalog() = default;
+
+  /// Builds a catalog from the given types; fails validation on bad input.
+  static Result<AdTypeCatalog> Create(std::vector<AdType> types);
+
+  /// The paper's Table I catalog: Text Link ($1, 0.1) and Photo Link
+  /// ($2, 0.4).
+  static AdTypeCatalog PaperTableI();
+
+  /// An AdWords-style catalog derived from the CPC/CTR trend report the
+  /// paper cites [5]: text / display / rich-media / video formats with
+  /// monotone cost vs. effectiveness.
+  static AdTypeCatalog AdWordsLike();
+
+  /// Number of ad types `q`.
+  size_t size() const { return types_.size(); }
+  bool empty() const { return types_.empty(); }
+
+  /// Access by id.
+  const AdType& at(AdTypeId k) const { return types_[static_cast<size_t>(k)]; }
+  const AdType& operator[](AdTypeId k) const { return at(k); }
+
+  const std::vector<AdType>& types() const { return types_; }
+
+  /// Cheapest ad cost (minimum `c_k`); 0 for an empty catalog.
+  double MinCost() const;
+  /// Most expensive ad cost; 0 for an empty catalog.
+  double MaxCost() const;
+
+  /// Checks: non-empty, costs > 0, effectiveness in (0, 1], and
+  /// cost/effectiveness co-monotone across types.
+  Status Validate() const;
+
+ private:
+  std::vector<AdType> types_;
+};
+
+}  // namespace muaa::model

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace muaa::model {
+
+/// Index of a customer inside a `ProblemInstance`.
+using CustomerId = int32_t;
+/// Index of a vendor inside a `ProblemInstance`.
+using VendorId = int32_t;
+
+/// \brief A spatial customer `u_i` (Definition 1).
+struct Customer {
+  /// Location `l(u_i, φ)` in the normalized `[0,1]²` space.
+  geo::Point location;
+  /// Capacity `a_i`: maximum number of ads the customer accepts.
+  int capacity = 1;
+  /// Probability `p_i` of clicking/checking received ads, in [0,1].
+  double view_prob = 1.0;
+  /// Arrival timestamp `φ` in hours-of-day, in [0,24). In the online
+  /// scenario customers are processed in ascending arrival order.
+  double arrival_time = 0.0;
+  /// Interest vector `ψ_i` over the tag universe; entries in [0,1].
+  std::vector<double> interests;
+};
+
+/// \brief A spatial vendor `v_j` (Definition 2).
+struct Vendor {
+  /// Location `l(v_j)`.
+  geo::Point location;
+  /// Radius `r_j` of the circular area the vendor advertises into.
+  double radius = 0.0;
+  /// Budget `B_j` the vendor deposits with the broker.
+  double budget = 0.0;
+  /// Tag vector `ψ_j`; entries in [0,1].
+  std::vector<double> interests;
+};
+
+}  // namespace muaa::model

@@ -1,0 +1,67 @@
+#include "model/instance.h"
+
+#include <string>
+
+namespace muaa::model {
+
+namespace {
+
+Status CheckVector(const std::vector<double>& vec, size_t num_tags,
+                   const std::string& what, size_t index) {
+  if (vec.size() != num_tags) {
+    return Status::InvalidArgument(
+        what + " " + std::to_string(index) + " has interest vector length " +
+        std::to_string(vec.size()) + ", expected " + std::to_string(num_tags));
+  }
+  for (double x : vec) {
+    if (x < 0.0 || x > 1.0) {
+      return Status::InvalidArgument(what + " " + std::to_string(index) +
+                                     " has interest entry outside [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ProblemInstance::Validate() const {
+  MUAA_RETURN_NOT_OK(ad_types.Validate());
+  const size_t tags = num_tags();
+  if (tags == 0) {
+    return Status::InvalidArgument("empty tag universe");
+  }
+  double prev_arrival = -1.0;
+  for (size_t i = 0; i < customers.size(); ++i) {
+    const Customer& u = customers[i];
+    if (u.capacity < 0) {
+      return Status::InvalidArgument("customer " + std::to_string(i) +
+                                     " has negative capacity");
+    }
+    if (u.view_prob < 0.0 || u.view_prob > 1.0) {
+      return Status::InvalidArgument("customer " + std::to_string(i) +
+                                     " has view probability outside [0,1]");
+    }
+    if (u.arrival_time < prev_arrival) {
+      return Status::InvalidArgument(
+          "customers are not sorted by arrival time at index " +
+          std::to_string(i));
+    }
+    prev_arrival = u.arrival_time;
+    MUAA_RETURN_NOT_OK(CheckVector(u.interests, tags, "customer", i));
+  }
+  for (size_t j = 0; j < vendors.size(); ++j) {
+    const Vendor& v = vendors[j];
+    if (v.radius < 0.0) {
+      return Status::InvalidArgument("vendor " + std::to_string(j) +
+                                     " has negative radius");
+    }
+    if (v.budget < 0.0) {
+      return Status::InvalidArgument("vendor " + std::to_string(j) +
+                                     " has negative budget");
+    }
+    MUAA_RETURN_NOT_OK(CheckVector(v.interests, tags, "vendor", j));
+  }
+  return Status::OK();
+}
+
+}  // namespace muaa::model

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/activity.h"
+#include "model/ad_type.h"
+#include "model/entities.h"
+
+namespace muaa::model {
+
+/// \brief A full MUAA problem instance `M` (Definition 5): customers,
+/// vendors, ad-type catalog and the activity schedule that the utility
+/// model (Eq. 4/5) consumes.
+///
+/// Customers are expected in ascending `arrival_time` order for the online
+/// scenario (the offline algorithms ignore order). `Validate()` checks all
+/// structural invariants and is called by the experiment harness before
+/// every run.
+struct ProblemInstance {
+  std::vector<Customer> customers;
+  std::vector<Vendor> vendors;
+  AdTypeCatalog ad_types;
+  ActivitySchedule activity;
+
+  /// Number of tags in the universe (length of every interest vector).
+  size_t num_tags() const { return activity.num_tags(); }
+
+  /// Number of customers `m`.
+  size_t num_customers() const { return customers.size(); }
+
+  /// Number of vendors `n`.
+  size_t num_vendors() const { return vendors.size(); }
+
+  /// Structural validation: vector lengths match the tag universe,
+  /// capacities >= 0, probabilities in [0,1], radii/budgets >= 0, interest
+  /// entries in [0,1], ad catalog valid, arrivals sorted.
+  Status Validate() const;
+};
+
+}  // namespace muaa::model

@@ -1,0 +1,130 @@
+#include "model/problem_view.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace muaa::model {
+
+namespace {
+
+double MeanRadius(const ProblemInstance& inst) {
+  if (inst.vendors.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Vendor& v : inst.vendors) sum += v.radius;
+  return sum / static_cast<double>(inst.vendors.size());
+}
+
+}  // namespace
+
+ProblemView::ProblemView(const ProblemInstance* instance,
+                         SpatialBackend backend)
+    : instance_(instance), backend_(backend) {
+  MUAA_CHECK(instance_ != nullptr);
+
+  std::vector<geo::Point> customer_points;
+  customer_points.reserve(instance_->customers.size());
+  for (const Customer& u : instance_->customers) {
+    customer_points.push_back(u.location);
+  }
+  std::vector<geo::Point> vendor_points;
+  vendor_points.reserve(instance_->vendors.size());
+  for (const Vendor& v : instance_->vendors) {
+    vendor_points.push_back(v.location);
+    max_vendor_radius_ = std::max(max_vendor_radius_, v.radius);
+  }
+
+  if (backend_ == SpatialBackend::kGrid) {
+    double cell = std::max(MeanRadius(*instance_), 1.0 / 256.0);
+    customer_grid_ =
+        std::make_unique<geo::GridIndex>(geo::GridIndex::WithCellSize(cell));
+    vendor_grid_ =
+        std::make_unique<geo::GridIndex>(geo::GridIndex::WithCellSize(cell));
+    customer_grid_->InsertAll(customer_points);
+    vendor_grid_->InsertAll(vendor_points);
+  } else {
+    customer_rtree_ = std::make_unique<geo::RTree>(customer_points);
+    vendor_rtree_ = std::make_unique<geo::RTree>(vendor_points);
+  }
+  vendor_tree_ = std::make_unique<geo::KdTree>(std::move(vendor_points));
+}
+
+void ProblemView::CustomerRangeInto(const geo::Point& center, double radius,
+                                    std::vector<int32_t>* out) const {
+  if (backend_ == SpatialBackend::kGrid) {
+    customer_grid_->RangeQueryInto(center, radius, out);
+  } else {
+    customer_rtree_->RangeQueryInto(center, radius, out);
+  }
+}
+
+void ProblemView::VendorRangeInto(const geo::Point& center, double radius,
+                                  std::vector<int32_t>* out) const {
+  if (backend_ == SpatialBackend::kGrid) {
+    vendor_grid_->RangeQueryInto(center, radius, out);
+  } else {
+    vendor_rtree_->RangeQueryInto(center, radius, out);
+  }
+}
+
+std::vector<CustomerId> ProblemView::ValidCustomers(VendorId j) const {
+  const Vendor& v = instance_->vendors[static_cast<size_t>(j)];
+  std::vector<CustomerId> out;
+  CustomerRangeInto(v.location, v.radius, &out);
+  return out;
+}
+
+std::vector<VendorId> ProblemView::ValidVendors(CustomerId i) const {
+  std::vector<VendorId> out;
+  ValidVendorsInto(i, &out);
+  return out;
+}
+
+void ProblemView::ValidVendorsInto(CustomerId i,
+                                   std::vector<VendorId>* out) const {
+  ValidVendorsForPointInto(
+      instance_->customers[static_cast<size_t>(i)].location, out);
+}
+
+void ProblemView::ValidVendorsForPointInto(const geo::Point& p,
+                                           std::vector<VendorId>* out) const {
+  // Query with the largest radius, then filter with each vendor's own.
+  VendorRangeInto(p, max_vendor_radius_, out);
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](VendorId j) {
+                              const Vendor& v =
+                                  instance_->vendors[static_cast<size_t>(j)];
+                              return geo::Distance(p, v.location) > v.radius;
+                            }),
+             out->end());
+}
+
+std::vector<VendorId> ProblemView::NearestVendors(CustomerId i,
+                                                  size_t k) const {
+  return vendor_tree_->Nearest(
+      instance_->customers[static_cast<size_t>(i)].location, k);
+}
+
+std::vector<int> ProblemView::ValidVendorCounts() const {
+  std::vector<int> counts(instance_->num_customers(), 0);
+  std::vector<VendorId> scratch;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ValidVendorsInto(static_cast<CustomerId>(i), &scratch);
+    counts[i] = static_cast<int>(scratch.size());
+  }
+  return counts;
+}
+
+double ProblemView::ThetaBound() const {
+  double theta = 1.0;
+  std::vector<int> counts = ValidVendorCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    int a = instance_->customers[i].capacity;
+    if (a <= 0) continue;  // capacity-0 customers never receive ads
+    int nc = std::max(counts[i], a);
+    theta = std::min(theta, static_cast<double>(a) / nc);
+  }
+  return theta;
+}
+
+}  // namespace muaa::model

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "geo/kd_tree.h"
+#include "geo/rtree.h"
+#include "model/instance.h"
+
+namespace muaa::model {
+
+/// Which spatial index backs the range queries of a `ProblemView`.
+enum class SpatialBackend {
+  /// Uniform grid with radius-sized cells (default; best on spread-out
+  /// points).
+  kGrid,
+  /// STR-packed R-tree (best on heavily clustered venue data).
+  kRTree,
+};
+
+/// \brief Spatial accessors over a `ProblemInstance`.
+///
+/// Wraps two spatial indexes (customers and vendors) and a vendor k-d
+/// tree:
+///  * `ValidCustomers(j)` — customers inside vendor `j`'s radius (RECON,
+///    GREEDY and the single-vendor subproblems iterate these);
+///  * `ValidVendors(i)`  — vendors whose circle covers customer `i`
+///    (the online algorithms query this per arrival);
+///  * `NearestVendors(i, k)` — for the NEAREST baseline.
+/// The backend (grid vs. R-tree) is selectable; results are identical,
+/// `bench_ablation_index` compares their performance.
+class ProblemView {
+ public:
+  /// \param instance must outlive the view.
+  explicit ProblemView(const ProblemInstance* instance,
+                       SpatialBackend backend = SpatialBackend::kGrid);
+
+  /// Ids of customers with `d(u_i, v_j) <= r_j`, ascending.
+  std::vector<CustomerId> ValidCustomers(VendorId j) const;
+
+  /// Ids of vendors with `d(u_i, v_j) <= r_j`, ascending.
+  std::vector<VendorId> ValidVendors(CustomerId i) const;
+
+  /// Same as `ValidVendors` but reusing `out` (no allocation on the online
+  /// hot path).
+  void ValidVendorsInto(CustomerId i, std::vector<VendorId>* out) const;
+
+  /// Valid vendors for an arbitrary location (used by streaming arrivals
+  /// that are not part of the instance's customer set).
+  void ValidVendorsForPointInto(const geo::Point& p,
+                                std::vector<VendorId>* out) const;
+
+  /// The `k` vendors nearest to customer `i` (no radius constraint).
+  std::vector<VendorId> NearestVendors(CustomerId i, size_t k) const;
+
+  /// Count of valid vendors per customer — `n_i^c`'s first component in the
+  /// θ bound of Theorems III.1/IV.1. O(m · query).
+  std::vector<int> ValidVendorCounts() const;
+
+  /// The θ bound `min_i a_i / max(#valid vendors_i, a_i)`; 1.0 when there
+  /// are no customers. Reported by the experiment harness alongside
+  /// utilities.
+  double ThetaBound() const;
+
+  /// The active backend.
+  SpatialBackend backend() const { return backend_; }
+
+  const ProblemInstance& instance() const { return *instance_; }
+
+ private:
+  void CustomerRangeInto(const geo::Point& center, double radius,
+                         std::vector<int32_t>* out) const;
+  void VendorRangeInto(const geo::Point& center, double radius,
+                       std::vector<int32_t>* out) const;
+
+  const ProblemInstance* instance_;
+  SpatialBackend backend_;
+  std::unique_ptr<geo::GridIndex> customer_grid_;
+  std::unique_ptr<geo::GridIndex> vendor_grid_;
+  std::unique_ptr<geo::RTree> customer_rtree_;
+  std::unique_ptr<geo::RTree> vendor_rtree_;
+  std::unique_ptr<geo::KdTree> vendor_tree_;
+  double max_vendor_radius_ = 0.0;
+};
+
+}  // namespace muaa::model

@@ -1,0 +1,66 @@
+#include "model/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::model {
+
+double WeightedMean(const std::vector<double>& vec,
+                    const std::vector<double>& weights) {
+  MUAA_CHECK(vec.size() == weights.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t x = 0; x < vec.size(); ++x) {
+    num += weights[x] * vec[x];
+    den += weights[x];
+  }
+  MUAA_CHECK(den > 0.0) << "activity weights sum to zero";
+  return num / den;
+}
+
+double WeightedCovariance(const std::vector<double>& a, double mean_a,
+                          const std::vector<double>& b, double mean_b,
+                          const std::vector<double>& weights) {
+  MUAA_CHECK(a.size() == weights.size());
+  MUAA_CHECK(b.size() == weights.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t x = 0; x < a.size(); ++x) {
+    num += weights[x] * (a[x] - mean_a) * (b[x] - mean_b);
+    den += weights[x];
+  }
+  MUAA_CHECK(den > 0.0);
+  return num / den;
+}
+
+double WeightedPearson(const std::vector<double>& a,
+                       const std::vector<double>& b,
+                       const std::vector<double>& weights) {
+  double mean_a = WeightedMean(a, weights);
+  double mean_b = WeightedMean(b, weights);
+  double cov_ab = WeightedCovariance(a, mean_a, b, mean_b, weights);
+  double var_a = WeightedCovariance(a, mean_a, a, mean_a, weights);
+  double var_b = WeightedCovariance(b, mean_b, b, mean_b, weights);
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  double r = cov_ab / std::sqrt(var_a * var_b);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double WeightedCosine(const std::vector<double>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& weights) {
+  MUAA_CHECK(a.size() == weights.size());
+  MUAA_CHECK(b.size() == weights.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t x = 0; x < a.size(); ++x) {
+    dot += weights[x] * a[x] * b[x];
+    na += weights[x] * a[x] * a[x];
+    nb += weights[x] * b[x] * b[x];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
+}
+
+}  // namespace muaa::model

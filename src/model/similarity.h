@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+namespace muaa::model {
+
+/// Weighted mean `m(ψ, φ) = Σ α_x ψ^{(x)} / Σ α_x` (Eq. 5, first line).
+/// `weights` and `vec` must have the same length; `Σ weights` must be > 0.
+double WeightedMean(const std::vector<double>& vec,
+                    const std::vector<double>& weights);
+
+/// Weighted covariance of two vectors given their weighted means.
+double WeightedCovariance(const std::vector<double>& a, double mean_a,
+                          const std::vector<double>& b, double mean_b,
+                          const std::vector<double>& weights);
+
+/// Weighted Pearson correlation `s(u_i, v_j, φ)` (Eq. 5). Returns 0 when
+/// either vector has zero weighted variance (a constant profile carries no
+/// preference signal), otherwise a value in [-1, 1].
+double WeightedPearson(const std::vector<double>& a,
+                       const std::vector<double>& b,
+                       const std::vector<double>& weights);
+
+/// Activity-weighted cosine similarity
+/// `Σ w·a·b / sqrt(Σ w·a² · Σ w·b²)` — the standard alternative to
+/// Eq. (5)'s Pearson (no mean-centering, so non-negative profiles always
+/// score >= 0). Returns 0 when either vector has zero weighted norm.
+/// Used by the similarity ablation (`bench_ablation_similarity`).
+double WeightedCosine(const std::vector<double>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& weights);
+
+}  // namespace muaa::model

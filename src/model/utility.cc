@@ -1,0 +1,130 @@
+#include "model/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geo/point.h"
+
+namespace muaa::model {
+
+UtilityModel::UtilityModel(const ProblemInstance* instance,
+                           SimilarityKind kind)
+    : instance_(instance), kind_(kind) {
+  MUAA_CHECK(instance_ != nullptr);
+  const size_t tags = instance_->num_tags();
+  const size_t n = instance_->num_vendors();
+  const size_t m = instance_->num_customers();
+
+  // Which hour slots occur among customers?
+  std::vector<bool> used(24, false);
+  customer_slot_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    int slot = ActivitySchedule::HourSlot(instance_->customers[i].arrival_time);
+    customer_slot_[i] = slot;
+    used[static_cast<size_t>(slot)] = true;
+  }
+
+  weights_by_slot_.resize(24);
+  weight_sum_by_slot_.assign(24, 0.0);
+  vendor_moments_.assign(24 * n, Moments{});
+  for (int slot = 0; slot < 24; ++slot) {
+    if (!used[static_cast<size_t>(slot)]) continue;
+    auto& w = weights_by_slot_[static_cast<size_t>(slot)];
+    w.resize(tags);
+    double sum = 0.0;
+    for (size_t x = 0; x < tags; ++x) {
+      w[x] = instance_->activity.At(static_cast<int32_t>(x),
+                                    static_cast<double>(slot));
+      sum += w[x];
+    }
+    MUAA_CHECK(sum > 0.0) << "activity weights sum to zero at slot " << slot;
+    weight_sum_by_slot_[static_cast<size_t>(slot)] = sum;
+    for (size_t j = 0; j < n; ++j) {
+      vendor_moments_[static_cast<size_t>(slot) * n + j] =
+          ComputeMoments(instance_->vendors[j].interests, slot);
+    }
+  }
+
+  customer_moments_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    customer_moments_[i] =
+        ComputeMoments(instance_->customers[i].interests, customer_slot_[i]);
+  }
+}
+
+UtilityModel::Moments UtilityModel::ComputeMoments(
+    const std::vector<double>& vec, int slot) const {
+  const auto& w = weights_by_slot_[static_cast<size_t>(slot)];
+  MUAA_CHECK(vec.size() == w.size());
+  const double wsum = weight_sum_by_slot_[static_cast<size_t>(slot)];
+  double mean_num = 0.0;
+  for (size_t x = 0; x < vec.size(); ++x) mean_num += w[x] * vec[x];
+  Moments mom;
+  mom.mean = mean_num / wsum;
+  double cov_num = 0.0;
+  double norm_num = 0.0;
+  for (size_t x = 0; x < vec.size(); ++x) {
+    double d = vec[x] - mom.mean;
+    cov_num += w[x] * d * d;
+    norm_num += w[x] * vec[x] * vec[x];
+  }
+  mom.self_cov = cov_num / wsum;
+  mom.weighted_norm = std::sqrt(norm_num);
+  return mom;
+}
+
+double UtilityModel::Similarity(CustomerId i, VendorId j) const {
+  const size_t n = instance_->num_vendors();
+  const int slot = customer_slot_[static_cast<size_t>(i)];
+  const auto& w = weights_by_slot_[static_cast<size_t>(slot)];
+  const double wsum = weight_sum_by_slot_[static_cast<size_t>(slot)];
+  const Moments& cm = customer_moments_[static_cast<size_t>(i)];
+  const Moments& vm =
+      vendor_moments_[static_cast<size_t>(slot) * n + static_cast<size_t>(j)];
+  const auto& a = instance_->customers[static_cast<size_t>(i)].interests;
+  const auto& b = instance_->vendors[static_cast<size_t>(j)].interests;
+
+  if (kind_ == SimilarityKind::kCosine) {
+    if (cm.weighted_norm <= 0.0 || vm.weighted_norm <= 0.0) return 0.0;
+    double dot = 0.0;
+    for (size_t x = 0; x < a.size(); ++x) {
+      dot += w[x] * a[x] * b[x];
+    }
+    return std::clamp(dot / (cm.weighted_norm * vm.weighted_norm), -1.0, 1.0);
+  }
+
+  if (cm.self_cov <= 0.0 || vm.self_cov <= 0.0) return 0.0;
+  double cov_num = 0.0;
+  for (size_t x = 0; x < a.size(); ++x) {
+    cov_num += w[x] * (a[x] - cm.mean) * (b[x] - vm.mean);
+  }
+  double cov = cov_num / wsum;
+  double r = cov / std::sqrt(cm.self_cov * vm.self_cov);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double UtilityModel::ClampedDistance(CustomerId i, VendorId j) const {
+  double d = geo::Distance(instance_->customers[static_cast<size_t>(i)].location,
+                           instance_->vendors[static_cast<size_t>(j)].location);
+  return std::max(d, kMinDistance);
+}
+
+double UtilityModel::UtilityWithSimilarity(CustomerId i, VendorId j,
+                                           AdTypeId k,
+                                           double similarity) const {
+  if (similarity <= 0.0) return 0.0;
+  const Customer& u = instance_->customers[static_cast<size_t>(i)];
+  const AdType& t = instance_->ad_types.at(k);
+  return u.view_prob * t.effectiveness * similarity / ClampedDistance(i, j);
+}
+
+double UtilityModel::Utility(CustomerId i, VendorId j, AdTypeId k) const {
+  return UtilityWithSimilarity(i, j, k, Similarity(i, j));
+}
+
+double UtilityModel::Efficiency(CustomerId i, VendorId j, AdTypeId k) const {
+  return Utility(i, j, k) / instance_->ad_types.at(k).cost;
+}
+
+}  // namespace muaa::model

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file muaa.h
+/// \brief Umbrella header: the full public API of the MUAA library.
+///
+/// Typical consumers need four things: an instance (hand-built, generated
+/// or loaded), the shared per-instance state (`ProblemView` +
+/// `UtilityModel`), a solver, and optionally the streaming driver:
+///
+/// \code
+///   #include "muaa.h"
+///   using namespace muaa;
+///
+///   auto instance = datagen::GenerateFoursquareLike({}).ValueOrDie();
+///   model::ProblemView view(&instance);
+///   model::UtilityModel utility(&instance);
+///   Rng rng(42);
+///   assign::SolveContext ctx{&instance, &view, &utility, &rng};
+///
+///   assign::ReconSolver recon;                    // offline (Alg. 1)
+///   auto plan = recon.Solve(ctx).ValueOrDie();
+///
+///   assign::AfaOnlineSolver afa;                  // online (Alg. 2)
+///   stream::StreamDriver driver(ctx);
+///   auto run = driver.Run(&afa).ValueOrDie();
+/// \endcode
+
+// Engineering substrate.
+#include "common/config.h"        // IWYU pragma: export
+#include "common/csv.h"           // IWYU pragma: export
+#include "common/logging.h"       // IWYU pragma: export
+#include "common/math_util.h"     // IWYU pragma: export
+#include "common/result.h"        // IWYU pragma: export
+#include "common/rng.h"           // IWYU pragma: export
+#include "common/status.h"        // IWYU pragma: export
+#include "common/stopwatch.h"     // IWYU pragma: export
+#include "common/streaming_quantile.h"  // IWYU pragma: export
+#include "common/string_util.h"   // IWYU pragma: export
+
+// Spatial substrate.
+#include "geo/grid_index.h"   // IWYU pragma: export
+#include "geo/kd_tree.h"      // IWYU pragma: export
+#include "geo/latlon.h"       // IWYU pragma: export
+#include "geo/point.h"        // IWYU pragma: export
+#include "geo/rtree.h"        // IWYU pragma: export
+#include "geo/safe_region.h"  // IWYU pragma: export
+
+// Tags and interest profiles.
+#include "taxonomy/profile_builder.h"  // IWYU pragma: export
+#include "taxonomy/taxonomy.h"         // IWYU pragma: export
+
+// Problem model.
+#include "model/activity.h"      // IWYU pragma: export
+#include "model/ad_type.h"       // IWYU pragma: export
+#include "model/entities.h"      // IWYU pragma: export
+#include "model/instance.h"      // IWYU pragma: export
+#include "model/problem_view.h"  // IWYU pragma: export
+#include "model/similarity.h"    // IWYU pragma: export
+#include "model/utility.h"       // IWYU pragma: export
+
+// Optimization substrates.
+#include "knapsack/knapsack01.h"      // IWYU pragma: export
+#include "knapsack/mckp.h"            // IWYU pragma: export
+#include "knapsack/mckp_dp.h"         // IWYU pragma: export
+#include "knapsack/mckp_lp_greedy.h"  // IWYU pragma: export
+#include "knapsack/mckp_simplex.h"    // IWYU pragma: export
+#include "lp/simplex.h"               // IWYU pragma: export
+
+// Solvers.
+#include "assign/assignment.h"     // IWYU pragma: export
+#include "assign/candidates.h"     // IWYU pragma: export
+#include "assign/exact.h"          // IWYU pragma: export
+#include "assign/gamma.h"          // IWYU pragma: export
+#include "assign/greedy.h"         // IWYU pragma: export
+#include "assign/local_search.h"   // IWYU pragma: export
+#include "assign/lp_bound.h"       // IWYU pragma: export
+#include "assign/nearest.h"        // IWYU pragma: export
+#include "assign/online_afa.h"     // IWYU pragma: export
+#include "assign/online_msvv.h"    // IWYU pragma: export
+#include "assign/online_static.h"  // IWYU pragma: export
+#include "assign/random_solver.h"  // IWYU pragma: export
+#include "assign/recon.h"          // IWYU pragma: export
+#include "assign/solver.h"         // IWYU pragma: export
+#include "assign/windowed.h"       // IWYU pragma: export
+
+// Streaming, data, learning, persistence, evaluation.
+#include "datagen/foursquare.h"    // IWYU pragma: export
+#include "datagen/synthetic.h"     // IWYU pragma: export
+#include "eval/compare.h"          // IWYU pragma: export
+#include "eval/experiment.h"       // IWYU pragma: export
+#include "eval/metrics.h"          // IWYU pragma: export
+#include "eval/reporting.h"        // IWYU pragma: export
+#include "io/assignment_io.h"      // IWYU pragma: export
+#include "io/checkin_io.h"         // IWYU pragma: export
+#include "io/instance_io.h"        // IWYU pragma: export
+#include "learn/click_model.h"     // IWYU pragma: export
+#include "stream/arrival_process.h"  // IWYU pragma: export
+#include "stream/driver.h"           // IWYU pragma: export

@@ -1,0 +1,54 @@
+#include "stream/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muaa::stream {
+
+std::vector<double> ArrivalProcess::Homogeneous(size_t count, Rng* rng) {
+  std::vector<double> times(count);
+  for (double& t : times) t = rng->Uniform(0.0, 24.0);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+Result<std::vector<double>> ArrivalProcess::WithHourlyRates(
+    size_t count, const std::vector<double>& hourly_rates, Rng* rng) {
+  if (hourly_rates.size() != 24) {
+    return Status::InvalidArgument("need exactly 24 hourly rates");
+  }
+  double total = 0.0;
+  for (double r : hourly_rates) {
+    if (r < 0.0) return Status::InvalidArgument("negative hourly rate");
+    total += r;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("all hourly rates are zero");
+  }
+  // Inverse-CDF over the piecewise-constant rate.
+  std::vector<double> cdf(24);
+  double acc = 0.0;
+  for (size_t h = 0; h < 24; ++h) {
+    acc += hourly_rates[h] / total;
+    cdf[h] = acc;
+  }
+  std::vector<double> times(count);
+  for (double& t : times) {
+    double u = rng->Uniform(0.0, 1.0);
+    size_t h = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (h > 23) h = 23;
+    double lo = h == 0 ? 0.0 : cdf[h - 1];
+    double frac = cdf[h] > lo ? (u - lo) / (cdf[h] - lo) : 0.0;
+    t = static_cast<double>(h) + frac;
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<double> ArrivalProcess::CityDayProfile() {
+  return {0.3, 0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 1.5, 1.2, 1.0, 1.4,
+          2.0, 1.6, 1.2, 1.2, 1.4, 1.8, 2.4, 2.8, 2.6, 2.0, 1.2, 0.6};
+}
+
+}  // namespace muaa::stream

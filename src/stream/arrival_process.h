@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace muaa::stream {
+
+/// \brief Generates arrival timestamps (hours in [0, 24)) for a day of
+/// customer traffic.
+///
+/// Two processes are provided:
+///  * homogeneous Poisson over the day (exponential gaps, rescaled), and
+///  * an inhomogeneous process with an hourly rate profile (thinning),
+///    matching how check-in volume varies through a day.
+/// Output is sorted ascending, as `ProblemInstance` requires.
+class ArrivalProcess {
+ public:
+  /// `count` arrivals uniform-Poisson over [0, 24).
+  static std::vector<double> Homogeneous(size_t count, Rng* rng);
+
+  /// `count` arrivals following 24 relative hourly rates (all >= 0, at
+  /// least one positive). InvalidArgument on a bad profile.
+  static Result<std::vector<double>> WithHourlyRates(
+      size_t count, const std::vector<double>& hourly_rates, Rng* rng);
+
+  /// A plausible urban check-in rate profile: low at night, bumps at
+  /// lunch and a high evening peak.
+  static std::vector<double> CityDayProfile();
+};
+
+}  // namespace muaa::stream

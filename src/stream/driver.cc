@@ -1,0 +1,37 @@
+#include "stream/driver.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace muaa::stream {
+
+Result<StreamRunResult> StreamDriver::Run(assign::OnlineSolver* solver,
+                                          const ArrivalCallback& on_arrival) {
+  MUAA_RETURN_NOT_OK(assign::ValidateContext(ctx_));
+  MUAA_RETURN_NOT_OK(solver->Initialize(ctx_));
+
+  StreamRunResult run{assign::AssignmentSet(ctx_.instance), StreamStats{}};
+  const size_t m = ctx_.instance->num_customers();
+  Stopwatch watch;
+  for (size_t i = 0; i < m; ++i) {
+    auto ci = static_cast<model::CustomerId>(i);
+    watch.Restart();
+    MUAA_ASSIGN_OR_RETURN(std::vector<assign::AdInstance> picked,
+                          solver->OnArrival(ci));
+    double latency = watch.ElapsedMillis();
+    run.stats.arrivals += 1;
+    run.stats.total_latency_ms += latency;
+    run.stats.max_latency_ms = std::max(run.stats.max_latency_ms, latency);
+    if (!picked.empty()) run.stats.served_customers += 1;
+    for (const assign::AdInstance& inst : picked) {
+      MUAA_RETURN_NOT_OK(run.assignments.Add(inst));
+      run.stats.assigned_ads += 1;
+      run.stats.total_utility += inst.utility;
+    }
+    if (on_arrival) on_arrival(ci, picked);
+  }
+  return run;
+}
+
+}  // namespace muaa::stream

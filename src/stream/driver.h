@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+
+#include "assign/solver.h"
+#include "common/result.h"
+
+namespace muaa::stream {
+
+/// \brief Per-run statistics of a streamed solve.
+struct StreamStats {
+  size_t arrivals = 0;
+  size_t served_customers = 0;  ///< customers that received >= 1 ad
+  size_t assigned_ads = 0;
+  double total_utility = 0.0;
+  double total_latency_ms = 0.0;  ///< summed per-arrival decision time
+  double max_latency_ms = 0.0;
+
+  double MeanLatencyMs() const {
+    return arrivals == 0 ? 0.0 : total_latency_ms / static_cast<double>(arrivals);
+  }
+};
+
+/// \brief Result of driving an online solver over a full instance.
+struct StreamRunResult {
+  assign::AssignmentSet assignments;
+  StreamStats stats;
+};
+
+/// \brief Replays an instance's customers in arrival order through an
+/// online solver, committing its decisions into a checked `AssignmentSet`
+/// and recording per-arrival latency.
+///
+/// This is the measurement harness for the paper's online experiments
+/// ("ONLINE can respond to each incoming customer in less than 1 second");
+/// the per-arrival callback lets examples render live dashboards.
+class StreamDriver {
+ public:
+  using ArrivalCallback = std::function<void(
+      model::CustomerId, const std::vector<assign::AdInstance>&)>;
+
+  explicit StreamDriver(const assign::SolveContext& ctx) : ctx_(ctx) {}
+
+  /// Runs `solver` over all customers; `on_arrival` (optional) fires after
+  /// each decision.
+  Result<StreamRunResult> Run(assign::OnlineSolver* solver,
+                              const ArrivalCallback& on_arrival = nullptr);
+
+ private:
+  assign::SolveContext ctx_;
+};
+
+}  // namespace muaa::stream

@@ -1,0 +1,74 @@
+#include "taxonomy/profile_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muaa::taxonomy {
+
+ProfileBuilder::ProfileBuilder(const Taxonomy* taxonomy, double overall_score,
+                               double kappa)
+    : taxonomy_(taxonomy), overall_score_(overall_score), kappa_(kappa) {
+  MUAA_CHECK(taxonomy_ != nullptr);
+  MUAA_CHECK(overall_score_ > 0.0);
+  MUAA_CHECK(kappa_ > 0.0 && kappa_ <= 1.0);
+}
+
+Result<std::vector<double>> ProfileBuilder::BuildInterestVector(
+    const std::map<TagId, int>& checkins) const {
+  std::vector<double> vec(taxonomy_->size(), 0.0);
+  double total = 0.0;
+  for (const auto& [tag, count] : checkins) {
+    if (tag < 0 || static_cast<size_t>(tag) >= taxonomy_->size()) {
+      return Status::InvalidArgument("check-in on unknown tag " +
+                                     std::to_string(tag));
+    }
+    if (count > 0) total += count;
+  }
+  if (total <= 0.0) return vec;
+
+  for (const auto& [tag, count] : checkins) {
+    if (count <= 0) continue;
+    // Eq. (1): topic score proportional to the check-in share.
+    double topic_score = overall_score_ * static_cast<double>(count) / total;
+    // Eqs. (2)+(3): distribute topic_score along the root→tag path with
+    // sco(e_{m-1}) = κ · sco(e_m) / (sib(e_m)+1), normalized so the path
+    // scores sum to topic_score.
+    std::vector<TagId> path = taxonomy_->PathFromRoot(tag);
+    std::vector<double> weight(path.size());
+    double w = 1.0;
+    double weight_sum = 0.0;
+    for (size_t m = path.size(); m-- > 0;) {
+      weight[m] = w;
+      weight_sum += w;
+      // Moving from e_m to its parent e_{m-1}.
+      w *= kappa_ / (taxonomy_->SiblingCount(path[m]) + 1);
+    }
+    for (size_t m = 0; m < path.size(); ++m) {
+      vec[static_cast<size_t>(path[m])] +=
+          topic_score * weight[m] / weight_sum;
+    }
+  }
+  double max_entry = *std::max_element(vec.begin(), vec.end());
+  if (max_entry > 0.0) {
+    for (double& x : vec) x /= max_entry;
+  }
+  return vec;
+}
+
+Result<std::vector<double>> ProfileBuilder::BuildVendorVector(TagId tag) const {
+  if (tag < 0 || static_cast<size_t>(tag) >= taxonomy_->size()) {
+    return Status::InvalidArgument("unknown vendor tag " + std::to_string(tag));
+  }
+  std::vector<double> vec(taxonomy_->size(), 0.0);
+  std::vector<TagId> path = taxonomy_->PathFromRoot(tag);
+  double w = 1.0;
+  for (size_t m = path.size(); m-- > 0;) {
+    vec[static_cast<size_t>(path[m])] = w;
+    w *= kappa_ / (taxonomy_->SiblingCount(path[m]) + 1);
+  }
+  return vec;
+}
+
+}  // namespace muaa::taxonomy

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "taxonomy/taxonomy.h"
+
+namespace muaa::taxonomy {
+
+/// \brief Taxonomy-driven interest-vector computation (paper Sec. II-A,
+/// Eqs. 1–3; Ziegler et al., CIKM'04).
+///
+/// Given a user's check-in counts per tag, the builder
+///  1. distributes a fixed overall score `s` over the checked-in tags
+///     proportionally to their check-in counts (Eq. 1),
+///  2. propagates each tag's topic score up its taxonomy path with the
+///     sibling-discounted recurrence `sco(e_{m-1}) = κ·sco(e_m)/(sib+1)`
+///     normalized so the path sums to the topic score (Eqs. 2–3),
+///  3. accumulates the per-tag scores into a dense vector over all tags and
+///     rescales it into [0,1] (dividing by the maximum entry), matching the
+///     paper's requirement that every `ψ^{(k)} ∈ [0,1]`.
+class ProfileBuilder {
+ public:
+  /// \param taxonomy must outlive the builder.
+  /// \param overall_score the arbitrary fixed score `s` of Eq. (1).
+  /// \param kappa the propagation factor `κ` of Eq. (3), in (0, 1].
+  ProfileBuilder(const Taxonomy* taxonomy, double overall_score = 1.0,
+                 double kappa = 0.75);
+
+  /// Builds the interest vector for a user given `checkins[tag] = count`.
+  /// Tags with non-positive counts are ignored. Returns a vector of length
+  /// `taxonomy.size()` with entries in [0,1]; all-zero when no check-ins.
+  Result<std::vector<double>> BuildInterestVector(
+      const std::map<TagId, int>& checkins) const;
+
+  /// Builds the similarity vector of a vendor classified under `tag`:
+  /// 1 at `tag`, κ-discounted mass on its ancestors (so a "coffee shop"
+  /// is also somewhat a "food" venue), 0 elsewhere. Matches the paper's
+  /// fallback "set ψ_j^{(k)} = 1 if the vendor is classified into g_k"
+  /// while keeping taxonomy awareness.
+  Result<std::vector<double>> BuildVendorVector(TagId tag) const;
+
+  /// The propagation factor κ.
+  double kappa() const { return kappa_; }
+
+ private:
+  const Taxonomy* taxonomy_;
+  double overall_score_;
+  double kappa_;
+};
+
+}  // namespace muaa::taxonomy

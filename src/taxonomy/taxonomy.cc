@@ -1,0 +1,154 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace muaa::taxonomy {
+
+Result<TagId> Taxonomy::AddRoot(const std::string& name) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("tag exists: " + name);
+  }
+  TagId id = static_cast<TagId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(kInvalidTag);
+  children_.emplace_back();
+  roots_.push_back(id);
+  by_name_[name] = id;
+  return id;
+}
+
+Result<TagId> Taxonomy::AddChild(TagId parent, const std::string& name) {
+  if (!ValidTag(parent)) {
+    return Status::InvalidArgument("invalid parent tag id");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("tag exists: " + name);
+  }
+  TagId id = static_cast<TagId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[static_cast<size_t>(parent)].push_back(id);
+  by_name_[name] = id;
+  return id;
+}
+
+const std::string& Taxonomy::name(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  return names_[static_cast<size_t>(tag)];
+}
+
+TagId Taxonomy::parent(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  return parents_[static_cast<size_t>(tag)];
+}
+
+const std::vector<TagId>& Taxonomy::children(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  return children_[static_cast<size_t>(tag)];
+}
+
+Result<TagId> Taxonomy::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such tag: " + name);
+  }
+  return it->second;
+}
+
+std::vector<TagId> Taxonomy::PathFromRoot(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  std::vector<TagId> path;
+  for (TagId t = tag; t != kInvalidTag; t = parents_[static_cast<size_t>(t)]) {
+    path.push_back(t);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int Taxonomy::SiblingCount(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  TagId par = parents_[static_cast<size_t>(tag)];
+  if (par == kInvalidTag) {
+    return static_cast<int>(roots_.size()) - 1;
+  }
+  return static_cast<int>(children_[static_cast<size_t>(par)].size()) - 1;
+}
+
+int Taxonomy::Depth(TagId tag) const {
+  MUAA_CHECK(ValidTag(tag));
+  int depth = 0;
+  for (TagId t = parents_[static_cast<size_t>(tag)]; t != kInvalidTag;
+       t = parents_[static_cast<size_t>(t)]) {
+    ++depth;
+  }
+  return depth;
+}
+
+std::vector<TagId> Taxonomy::Leaves() const {
+  std::vector<TagId> out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (children_[i].empty()) out.push_back(static_cast<TagId>(i));
+  }
+  return out;
+}
+
+Status Taxonomy::Validate() const {
+  if (names_.size() != parents_.size() || names_.size() != children_.size()) {
+    return Status::Internal("parallel arrays out of sync");
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    TagId par = parents_[i];
+    if (par != kInvalidTag &&
+        (!ValidTag(par) || static_cast<size_t>(par) >= i)) {
+      // Parents are always created before children, so parent < child.
+      return Status::Internal("bad parent link at tag " + std::to_string(i));
+    }
+  }
+  size_t child_links = 0;
+  for (const auto& kids : children_) child_links += kids.size();
+  if (roots_.size() + child_links != names_.size()) {
+    return Status::Internal("tree is not a forest covering all tags");
+  }
+  return Status::OK();
+}
+
+namespace {
+const char* const kTopCategories[] = {
+    "arts",     "college", "food",      "nightlife", "outdoors",
+    "shop",     "travel",  "residence", "event"};
+}  // namespace
+
+Taxonomy BuildFoursquareLikeTaxonomy(int depth, int breadth) {
+  MUAA_CHECK(depth >= 1);
+  MUAA_CHECK(breadth >= 1);
+  Taxonomy tax;
+  struct Frontier {
+    TagId tag;
+    int level;
+  };
+  std::vector<Frontier> frontier;
+  for (const char* top : kTopCategories) {
+    TagId root = tax.AddRoot(top).ValueOrDie();
+    frontier.push_back({root, 1});
+  }
+  // Breadth-first expansion: every node below the roots gets `breadth`
+  // children until `depth` levels exist.
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    Frontier f = frontier[i];
+    if (f.level >= depth) continue;
+    for (int c = 0; c < breadth; ++c) {
+      std::string name =
+          tax.name(f.tag) + "/" + std::to_string(f.level) + "-" +
+          std::to_string(c);
+      TagId child = tax.AddChild(f.tag, name).ValueOrDie();
+      frontier.push_back({child, f.level + 1});
+    }
+  }
+  MUAA_CHECK_OK(tax.Validate());
+  return tax;
+}
+
+}  // namespace muaa::taxonomy

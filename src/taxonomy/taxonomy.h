@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::taxonomy {
+
+/// Identifier of a tag (category) inside a `Taxonomy`. Dense, 0-based.
+using TagId = int32_t;
+
+constexpr TagId kInvalidTag = -1;
+
+/// \brief Tree-structured tag taxonomy (Foursquare-style categories).
+///
+/// The paper assumes a category taxonomy exists (Sec. II, Fig. 2) and uses
+/// Foursquare's hierarchy. Nodes are tags; every tag — inner or leaf — can
+/// be checked into and carries interest mass. The tree is a forest rooted
+/// at the artificial node set returned by `roots()`.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Adds a root tag. Names must be unique across the taxonomy.
+  Result<TagId> AddRoot(const std::string& name);
+
+  /// Adds a child of `parent`. Names must be unique.
+  Result<TagId> AddChild(TagId parent, const std::string& name);
+
+  /// Number of tags.
+  size_t size() const { return names_.size(); }
+
+  /// Name of `tag`.
+  const std::string& name(TagId tag) const;
+
+  /// Parent of `tag`, or kInvalidTag for roots.
+  TagId parent(TagId tag) const;
+
+  /// Children of `tag`.
+  const std::vector<TagId>& children(TagId tag) const;
+
+  /// All root tags.
+  const std::vector<TagId>& roots() const { return roots_; }
+
+  /// Tag id by name, or NotFound.
+  Result<TagId> Find(const std::string& name) const;
+
+  /// Path from the root down to `tag` (inclusive), i.e. `E_k` in Eq. (2).
+  std::vector<TagId> PathFromRoot(TagId tag) const;
+
+  /// Number of siblings of `tag` (excluding itself): `sib(·)` in Eq. (3).
+  /// For a root, its siblings are the other roots.
+  int SiblingCount(TagId tag) const;
+
+  /// Depth of `tag` (roots have depth 0).
+  int Depth(TagId tag) const;
+
+  /// All leaf tags.
+  std::vector<TagId> Leaves() const;
+
+  /// Checks structural invariants (acyclic, ids consistent).
+  Status Validate() const;
+
+ private:
+  bool ValidTag(TagId tag) const {
+    return tag >= 0 && static_cast<size_t>(tag) < names_.size();
+  }
+
+  std::vector<std::string> names_;
+  std::vector<TagId> parents_;
+  std::vector<std::vector<TagId>> children_;
+  std::vector<TagId> roots_;
+  std::map<std::string, TagId> by_name_;
+};
+
+/// Builds a small Foursquare-like taxonomy (9 top-level categories with
+/// nested sub-categories, ~`breadth^depth` tags). Deterministic.
+Taxonomy BuildFoursquareLikeTaxonomy(int depth = 3, int breadth = 4);
+
+}  // namespace muaa::taxonomy

@@ -1,0 +1,92 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "assign/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+using testutil::SolverHarness;
+
+TEST(CandidatesTest, EnumeratesAllTypesForPositivePairs) {
+  SolverHarness h(testutil::OnePairInstance());
+  auto cands = VendorCandidates(h.ctx(), 0);
+  // Both Table-I types qualify (positive similarity, positive utility).
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].customer, 0);
+  EXPECT_EQ(cands[0].ad_type, 0);
+  EXPECT_EQ(cands[1].ad_type, 1);
+  for (const auto& c : cands) {
+    EXPECT_GT(c.utility, 0.0);
+    EXPECT_GT(c.cost, 0.0);
+    EXPECT_NEAR(c.efficiency, c.utility / c.cost, 1e-15);
+  }
+}
+
+TEST(CandidatesTest, SkipsNegativeSimilarityCustomers) {
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 0.5, 1.0, {0.0, 1.0, 0.5}));  // anti vendor
+  inst.customers.push_back(
+      MakeCustomer(0.51, 0.5, 1, 0.5, 2.0, {0.9, 0.3, 0.1}));  // aligned
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.2, 3.0, {1.0, 0.3, 0.0}));
+  SolverHarness h(std::move(inst));
+  auto cands = VendorCandidates(h.ctx(), 0);
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.customer, 1);  // the anti-correlated customer never appears
+  }
+  EXPECT_FALSE(cands.empty());
+}
+
+TEST(CandidatesTest, GroupedByCustomer) {
+  auto inst = testutil::EmptyInstance();
+  for (int i = 0; i < 5; ++i) {
+    inst.customers.push_back(MakeCustomer(0.5 + 0.002 * i, 0.5, 2, 0.5,
+                                          static_cast<double>(i),
+                                          {1.0, 0.3, 0.0}));
+  }
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.2, 10.0, {0.9, 0.35, 0.05}));
+  SolverHarness h(std::move(inst));
+  auto cands = VendorCandidates(h.ctx(), 0);
+  // RECON's class construction relies on contiguous customer groups.
+  for (size_t c = 1; c < cands.size(); ++c) {
+    if (cands[c].customer != cands[c - 1].customer) continue;
+    EXPECT_EQ(cands[c].ad_type, cands[c - 1].ad_type + 1);
+  }
+}
+
+TEST(CandidatesTest, BestTypeByEfficiencyHonoursBudgetCap) {
+  SolverHarness h(testutil::OnePairInstance());
+  // Photo link ($2) has the higher efficiency; with only $1.5 left the
+  // text link must win.
+  BestPick rich = BestTypeByEfficiency(h.ctx(), 0, 0, 3.0);
+  BestPick poor = BestTypeByEfficiency(h.ctx(), 0, 0, 1.5);
+  BestPick broke = BestTypeByEfficiency(h.ctx(), 0, 0, 0.5);
+  EXPECT_EQ(rich.ad_type, 1);
+  EXPECT_EQ(poor.ad_type, 0);
+  EXPECT_FALSE(broke.valid());
+}
+
+TEST(CandidatesTest, BestTypeByUtilityPrefersExpensiveEffectiveFormat) {
+  SolverHarness h(testutil::OnePairInstance());
+  BestPick pick = BestTypeByUtility(h.ctx(), 0, 0, 3.0);
+  EXPECT_EQ(pick.ad_type, 1);  // photo link: 4x effectiveness at 2x cost
+  EXPECT_GT(pick.utility, 0.0);
+}
+
+TEST(CandidatesTest, BestTypeInvalidOnAntiCorrelatedPair) {
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 0.5, 1.0, {1.0, 0.0, 0.5}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.2, 3.0, {0.0, 1.0, 0.5}));
+  SolverHarness h(std::move(inst));
+  EXPECT_FALSE(BestTypeByEfficiency(h.ctx(), 0, 0, 3.0).valid());
+  EXPECT_FALSE(BestTypeByUtility(h.ctx(), 0, 0, 3.0).valid());
+}
+
+}  // namespace
+}  // namespace muaa::assign

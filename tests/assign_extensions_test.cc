@@ -1,0 +1,217 @@
+// Tests for the extension components built on top of the paper's core:
+// the global LP upper bound, the MSVV-style online baseline, and the
+// adaptive-γ variant of O-AFA (Sec. IV-C's tuning, made concrete).
+
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assign/exact.h"
+#include "assign/greedy.h"
+#include "assign/lp_bound.h"
+#include "assign/online_afa.h"
+#include "assign/online_msvv.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::SolverHarness;
+
+datagen::SyntheticConfig SmallConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 8;
+  cfg.num_vendors = 4;
+  cfg.radius = {0.2, 0.35};
+  cfg.budget = {3.0, 6.0};
+  cfg.capacity = {1.0, 2.0};
+  cfg.customer_loc_stddev = 0.15;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class LpBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpBoundTest, DominatesExactOptimum) {
+  SolverHarness h(
+      datagen::GenerateSynthetic(SmallConfig(GetParam())).ValueOrDie());
+  auto ctx = h.ctx();
+  ExactOptions opts;
+  opts.max_pairs = 24;
+  ExactSolver exact(opts);
+  auto opt = exact.Solve(ctx);
+  if (!opt.ok()) GTEST_SKIP() << opt.status().ToString();
+  auto bound = ComputeLpUpperBound(ctx);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_GE(*bound, opt->total_utility() - 1e-9);
+  // The LP bound is also finite and not absurdly loose (within 3x here).
+  if (opt->total_utility() > 0.0) {
+    EXPECT_LE(*bound, 3.0 * opt->total_utility() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpBoundTest, ::testing::Range(1, 13));
+
+TEST(LpBoundTest, DominatesEveryHeuristicOnMediumInstance) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 120;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 5;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto ctx = h.ctx();
+  auto bound = ComputeLpUpperBound(ctx);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  GreedySolver greedy;
+  ReconSolver recon;
+  EXPECT_GE(*bound, greedy.Solve(ctx).ValueOrDie().total_utility() - 1e-6);
+  EXPECT_GE(*bound, recon.Solve(ctx).ValueOrDie().total_utility() - 1e-6);
+}
+
+TEST(LpBoundTest, EmptyInstanceIsZero) {
+  SolverHarness h(testutil::EmptyInstance());
+  auto ctx = h.ctx();
+  EXPECT_DOUBLE_EQ(ComputeLpUpperBound(ctx).ValueOrDie(), 0.0);
+}
+
+TEST(LpBoundTest, RefusesOversizedInstances) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 2000;
+  cfg.num_vendors = 100;
+  cfg.radius = {0.2, 0.3};
+  cfg.customer_loc_stddev = 0.3;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto ctx = h.ctx();
+  LpBoundOptions opts;
+  opts.max_variables = 100;
+  EXPECT_EQ(ComputeLpUpperBound(ctx, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+
+TEST(LpBoundTest, GlobalBoundIsTighterThanPerVendorSum) {
+  // The global LP adds customer-capacity and pair rows on top of the
+  // per-vendor budget constraints, so its optimum can only be lower than
+  // the sum of RECON's independent per-vendor LP bounds.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 80;
+    cfg.num_vendors = 10;
+    cfg.radius = {0.15, 0.25};
+    cfg.customer_loc_stddev = 0.25;
+    cfg.seed = seed;
+    SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+    auto ctx = h.ctx();
+    ReconSolver recon;
+    (void)recon.Solve(ctx).ValueOrDie();
+    auto global = ComputeLpUpperBound(ctx);
+    if (!global.ok()) continue;  // instance too large for the dense LP
+    EXPECT_LE(*global, recon.last_lp_bound_sum() + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(MsvvTest, DiscountFunctionShape) {
+  EXPECT_NEAR(MsvvOnlineSolver::Discount(0.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(MsvvOnlineSolver::Discount(1.0), 0.0, 1e-12);
+  EXPECT_GT(MsvvOnlineSolver::Discount(0.2), MsvvOnlineSolver::Discount(0.8));
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(MsvvOnlineSolver::Discount(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(MsvvOnlineSolver::Discount(-1.0),
+                   MsvvOnlineSolver::Discount(0.0));
+}
+
+TEST(MsvvTest, FeasibleEndToEnd) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 500;
+  cfg.num_vendors = 40;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 3;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  OnlineAsOffline solver(std::make_unique<MsvvOnlineSolver>());
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  EXPECT_GT(result.size(), 0u);
+}
+
+TEST(MsvvTest, SpreadsSpendAcrossVendors) {
+  // Two identical vendors covering the same crowd: MSVV must not exhaust
+  // one before touching the other — the discount equalizes them.
+  auto inst = testutil::EmptyInstance();
+  for (int i = 0; i < 12; ++i) {
+    inst.customers.push_back(testutil::MakeCustomer(
+        0.5, 0.5, 1, 0.5, static_cast<double>(i), {1.0, 0.3, 0.0}));
+  }
+  inst.vendors.push_back(
+      testutil::MakeVendor(0.49, 0.5, 0.2, 8.0, {0.9, 0.35, 0.05}));
+  inst.vendors.push_back(
+      testutil::MakeVendor(0.51, 0.5, 0.2, 8.0, {0.9, 0.35, 0.05}));
+  SolverHarness h(std::move(inst));
+  OnlineAsOffline solver(std::make_unique<MsvvOnlineSolver>());
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  double spend0 = result.VendorSpend(0);
+  double spend1 = result.VendorSpend(1);
+  EXPECT_GT(spend0, 0.0);
+  EXPECT_GT(spend1, 0.0);
+  EXPECT_NEAR(spend0, spend1, 3.0);  // within one ad of each other
+}
+
+TEST(AdaptiveAfaTest, FeasibleAndThresholdMoves) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 1500;
+  cfg.num_vendors = 60;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 9;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+
+  AfaOptions opts;
+  opts.adapt_gamma = true;
+  opts.adapt_warmup = 100;
+  // Deliberately bad initial estimate: far too low.
+  GammaBounds seed_gamma;
+  seed_gamma.gamma_min = 1e-12;
+  seed_gamma.gamma_max = 1.0;
+  opts.gamma = seed_gamma;
+  opts.g = 8.0;
+
+  auto afa = std::make_unique<AfaOnlineSolver>(opts);
+  AfaOnlineSolver* raw = afa.get();
+  OnlineAsOffline solver(std::move(afa));
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  // The tracker must have revised γ_min upward from the absurd seed.
+  EXPECT_GT(raw->gamma().gamma_min, 1e-12);
+}
+
+TEST(AdaptiveAfaTest, MatchesFixedWhenDisabled) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 30;
+  cfg.radius = {0.1, 0.2};
+  cfg.seed = 11;
+  auto instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
+
+  GammaBounds gb;
+  gb.gamma_min = 1e-4;
+  gb.gamma_max = 5.0;
+  AfaOptions fixed;
+  fixed.gamma = gb;
+  fixed.g = 8.0;
+  AfaOptions adaptive_off = fixed;
+  adaptive_off.adapt_gamma = false;
+
+  SolverHarness h1(instance);
+  SolverHarness h2(instance);
+  OnlineAsOffline s1(std::make_unique<AfaOnlineSolver>(fixed));
+  OnlineAsOffline s2(std::make_unique<AfaOnlineSolver>(adaptive_off));
+  EXPECT_DOUBLE_EQ(s1.Solve(h1.ctx()).ValueOrDie().total_utility(),
+                   s2.Solve(h2.ctx()).ValueOrDie().total_utility());
+}
+
+}  // namespace
+}  // namespace muaa::assign

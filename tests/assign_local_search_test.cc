@@ -1,0 +1,143 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "assign/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/exact.h"
+#include "assign/greedy.h"
+#include "assign/random_solver.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+using testutil::SolverHarness;
+
+datagen::SyntheticConfig MidConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 150;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.25};
+  cfg.budget = {3.0, 8.0};
+  cfg.capacity = {1.0, 3.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(LocalSearchTest, EmptySetGetsFilled) {
+  SolverHarness h(datagen::GenerateSynthetic(MidConfig(3)).ValueOrDie());
+  auto ctx = h.ctx();
+  AssignmentSet set(ctx.instance);
+  LocalSearchImprover improver;
+  int moves = improver.Improve(ctx, &set).ValueOrDie();
+  EXPECT_GT(moves, 0);
+  EXPECT_GT(set.total_utility(), 0.0);
+  EXPECT_TRUE(set.ValidateFull(h.utility).ok());
+}
+
+TEST(LocalSearchTest, FixpointIsIdempotent) {
+  SolverHarness h(datagen::GenerateSynthetic(MidConfig(5)).ValueOrDie());
+  auto ctx = h.ctx();
+  AssignmentSet set(ctx.instance);
+  LocalSearchImprover improver;
+  (void)improver.Improve(ctx, &set).ValueOrDie();
+  double util = set.total_utility();
+  int again = improver.Improve(ctx, &set).ValueOrDie();
+  EXPECT_EQ(again, 0);
+  EXPECT_DOUBLE_EQ(set.total_utility(), util);
+}
+
+TEST(LocalSearchTest, UpgradeMoveFires) {
+  // One pair, text link pre-assigned, budget allows the photo link →
+  // local search must upgrade.
+  SolverHarness h(testutil::OnePairInstance());
+  auto ctx = h.ctx();
+  AssignmentSet set(ctx.instance);
+  AdInstance tl{0, 0, 0, h.utility.Utility(0, 0, 0)};
+  ASSERT_TRUE(set.Add(tl).ok());
+  LocalSearchImprover improver;
+  int moves = improver.Improve(ctx, &set).ValueOrDie();
+  EXPECT_GE(moves, 1);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.instances()[0].ad_type, 1);
+  EXPECT_TRUE(set.ValidateFull(h.utility).ok());
+}
+
+TEST(LocalSearchTest, SwapDisplacesWeakInstance) {
+  // Customer capacity 1, pre-assigned to the far vendor; a much closer
+  // vendor exists → swap.
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.50, 0.5, 1, 0.5, 1.0, {1.0, 0.2, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.70, 0.5, 0.4, 3.0, {0.9, 0.3, 0.1}));
+  inst.vendors.push_back(MakeVendor(0.52, 0.5, 0.4, 3.0, {0.9, 0.3, 0.1}));
+  SolverHarness h(std::move(inst));
+  auto ctx = h.ctx();
+  AssignmentSet set(ctx.instance);
+  AdInstance far{0, 0, 1, h.utility.Utility(0, 0, 1)};
+  ASSERT_TRUE(set.Add(far).ok());
+  LocalSearchImprover improver;
+  (void)improver.Improve(ctx, &set).ValueOrDie();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.instances()[0].vendor, 1);  // swapped to the near vendor
+}
+
+class GreedyLsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyLsTest, NeverWorseThanGreedyAndFeasible) {
+  SolverHarness h(
+      datagen::GenerateSynthetic(MidConfig(GetParam())).ValueOrDie());
+  auto ctx = h.ctx();
+  GreedySolver greedy;
+  GreedyLsSolver greedy_ls;
+  double base = greedy.Solve(ctx).ValueOrDie().total_utility();
+  auto improved = greedy_ls.Solve(ctx).ValueOrDie();
+  EXPECT_GE(improved.total_utility(), base - 1e-9);
+  EXPECT_TRUE(improved.ValidateFull(h.utility).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyLsTest, ::testing::Range(1, 9));
+
+TEST(GreedyLsTest, BoundedByExactOnSmallInstances) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 6;
+    cfg.num_vendors = 3;
+    cfg.radius = {0.2, 0.35};
+    cfg.budget = {2.0, 5.0};
+    cfg.capacity = {1.0, 2.0};
+    cfg.customer_loc_stddev = 0.15;
+    cfg.seed = seed;
+    SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+    auto ctx = h.ctx();
+    ExactOptions opts;
+    opts.max_pairs = 22;
+    ExactSolver exact(opts);
+    auto opt = exact.Solve(ctx);
+    if (!opt.ok()) continue;
+    GreedyLsSolver greedy_ls;
+    auto r = greedy_ls.Solve(ctx).ValueOrDie();
+    EXPECT_LE(r.total_utility(), opt->total_utility() + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(LocalSearchTest, ImprovesRandomPlansSubstantially) {
+  SolverHarness h(datagen::GenerateSynthetic(MidConfig(13)).ValueOrDie());
+  auto ctx = h.ctx();
+  RandomSolver random;
+  auto set = random.Solve(ctx).ValueOrDie();
+  double before = set.total_utility();
+  LocalSearchImprover improver;
+  (void)improver.Improve(ctx, &set).ValueOrDie();
+  EXPECT_GT(set.total_utility(), before);
+  EXPECT_TRUE(set.ValidateFull(h.utility).ok());
+}
+
+}  // namespace
+}  // namespace muaa::assign

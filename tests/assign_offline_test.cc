@@ -1,0 +1,141 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include "assign/greedy.h"
+#include "assign/nearest.h"
+#include "assign/random_solver.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::SolverHarness;
+
+datagen::SyntheticConfig DenseConfig() {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 200;
+  cfg.num_vendors = 30;
+  cfg.radius = {0.1, 0.2};
+  cfg.budget = {5.0, 10.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(GreedySolverTest, EmptyInstanceYieldsEmptySet) {
+  SolverHarness h(testutil::EmptyInstance());
+  GreedySolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST(GreedySolverTest, SinglePairPicksBestEfficiencyType) {
+  SolverHarness h(testutil::OnePairInstance());
+  GreedySolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  ASSERT_EQ(result.size(), 1u);
+  // Photo link: utility 4× text at 2× cost → higher efficiency; budget 3
+  // allows it. Greedy must choose it.
+  EXPECT_EQ(result.instances()[0].ad_type, 1);
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+}
+
+TEST(GreedySolverTest, FeasibleAndValidatedOnSynthetic) {
+  SolverHarness h(datagen::GenerateSynthetic(DenseConfig()).ValueOrDie());
+  GreedySolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_GT(result.size(), 0u);
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+}
+
+TEST(GreedySolverTest, RespectsZeroBudgets) {
+  auto inst = testutil::OnePairInstance();
+  inst.vendors[0].budget = 0.0;
+  SolverHarness h(std::move(inst));
+  GreedySolver solver;
+  EXPECT_EQ(solver.Solve(h.ctx()).ValueOrDie().size(), 0u);
+}
+
+TEST(GreedySolverTest, RespectsZeroCapacity) {
+  auto inst = testutil::OnePairInstance();
+  inst.customers[0].capacity = 0;
+  SolverHarness h(std::move(inst));
+  GreedySolver solver;
+  EXPECT_EQ(solver.Solve(h.ctx()).ValueOrDie().size(), 0u);
+}
+
+TEST(GreedySolverTest, DeterministicAcrossRuns) {
+  auto cfg = DenseConfig();
+  SolverHarness h1(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  SolverHarness h2(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  GreedySolver solver;
+  auto r1 = solver.Solve(h1.ctx()).ValueOrDie();
+  auto r2 = solver.Solve(h2.ctx()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r1.total_utility(), r2.total_utility());
+  EXPECT_EQ(r1.size(), r2.size());
+}
+
+TEST(RandomSolverTest, ProducesFeasibleSet) {
+  SolverHarness h(datagen::GenerateSynthetic(DenseConfig()).ValueOrDie());
+  RandomSolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  EXPECT_GT(result.size(), 0u);
+}
+
+TEST(RandomSolverTest, SeedControlsOutcome) {
+  auto instance = datagen::GenerateSynthetic(DenseConfig()).ValueOrDie();
+  SolverHarness h1(instance, /*seed=*/1);
+  SolverHarness h2(instance, /*seed=*/1);
+  SolverHarness h3(instance, /*seed=*/2);
+  RandomSolver solver;
+  auto r1 = solver.Solve(h1.ctx()).ValueOrDie();
+  auto r2 = solver.Solve(h2.ctx()).ValueOrDie();
+  auto r3 = solver.Solve(h3.ctx()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r1.total_utility(), r2.total_utility());
+  EXPECT_NE(r1.total_utility(), r3.total_utility());
+}
+
+TEST(NearestSolverTest, PrefersCloserVendor) {
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(testutil::MakeCustomer(0.5, 0.5, /*capacity=*/1,
+                                                  0.5, 1.0, {1.0, 0.3, 0.0}));
+  // Far vendor has much better similarity; NEAREST must still take the
+  // near one (that is the point of the baseline).
+  inst.vendors.push_back(
+      testutil::MakeVendor(0.52, 0.5, 0.2, 3.0, {0.5, 0.9, 0.2}));
+  inst.vendors.push_back(
+      testutil::MakeVendor(0.65, 0.5, 0.2, 3.0, {1.0, 0.3, 0.05}));
+  SolverHarness h(std::move(inst));
+  OnlineAsOffline solver(std::make_unique<NearestOnlineSolver>());
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.instances()[0].vendor, 0);
+}
+
+TEST(NearestSolverTest, SkipsVendorsWithNonPositiveSimilarity) {
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(
+      testutil::MakeCustomer(0.5, 0.5, 2, 0.5, 1.0, {1.0, 0.0, 0.5}));
+  inst.vendors.push_back(
+      testutil::MakeVendor(0.51, 0.5, 0.2, 3.0, {0.0, 1.0, 0.5}));  // anti
+  SolverHarness h(std::move(inst));
+  OnlineAsOffline solver(std::make_unique<NearestOnlineSolver>());
+  EXPECT_EQ(solver.Solve(h.ctx()).ValueOrDie().size(), 0u);
+}
+
+TEST(NearestSolverTest, FeasibleOnSynthetic) {
+  SolverHarness h(datagen::GenerateSynthetic(DenseConfig()).ValueOrDie());
+  OnlineAsOffline solver(std::make_unique<NearestOnlineSolver>());
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+}
+
+TEST(SolverContextTest, ValidateRejectsNulls) {
+  SolveContext ctx;
+  EXPECT_FALSE(ValidateContext(ctx).ok());
+}
+
+}  // namespace
+}  // namespace muaa::assign

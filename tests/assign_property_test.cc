@@ -1,0 +1,238 @@
+// Cross-implementation property tests: the production solvers are checked
+// against independent reference implementations on randomized instances.
+
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "assign/candidates.h"
+#include "assign/greedy.h"
+#include "assign/online_afa.h"
+#include "assign/random_solver.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::SolverHarness;
+
+datagen::SyntheticConfig RandomConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 150;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.25};
+  cfg.budget = {3.0, 8.0};
+  cfg.capacity = {1.0, 3.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Naive GREEDY: rescans every candidate each round — O(C² ) but
+/// trivially correct. The production lazy-heap version must match its
+/// total utility exactly (ties broken the same way by construction of
+/// the heap ordering).
+AssignmentSet NaiveGreedy(const SolveContext& ctx) {
+  struct Candidate {
+    model::CustomerId c;
+    model::VendorId v;
+    model::AdTypeId k;
+    double utility;
+    double cost;
+    double eff;
+  };
+  std::vector<Candidate> cands;
+  for (size_t j = 0; j < ctx.instance->num_vendors(); ++j) {
+    auto vj = static_cast<model::VendorId>(j);
+    for (const TypedCandidate& tc : VendorCandidates(ctx, vj)) {
+      cands.push_back(
+          {tc.customer, vj, tc.ad_type, tc.utility, tc.cost, tc.efficiency});
+    }
+  }
+  AssignmentSet set(ctx.instance);
+  std::vector<bool> used(cands.size(), false);
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (used[i]) continue;
+      const Candidate& cand = cands[i];
+      if (set.CustomerRemaining(cand.c) <= 0) continue;
+      if (set.VendorRemaining(cand.v) + 1e-12 < cand.cost) continue;
+      if (set.HasPair(cand.c, cand.v)) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const Candidate& b = cands[static_cast<size_t>(best)];
+      // Same ordering as GreedySolver's heap: efficiency, utility,
+      // customer asc, vendor asc.
+      bool better = false;
+      if (cand.eff != b.eff) {
+        better = cand.eff > b.eff;
+      } else if (cand.utility != b.utility) {
+        better = cand.utility > b.utility;
+      } else if (cand.c != b.c) {
+        better = cand.c < b.c;
+      } else {
+        better = cand.v < b.v;
+      }
+      if (better) best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    const Candidate& cand = cands[static_cast<size_t>(best)];
+    AdInstance inst;
+    inst.customer = cand.c;
+    inst.vendor = cand.v;
+    inst.ad_type = cand.k;
+    inst.utility = cand.utility;
+    EXPECT_TRUE(set.Add(inst).ok());
+    used[static_cast<size_t>(best)] = true;
+  }
+  return set;
+}
+
+class GreedyEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyEquivalenceTest, LazyHeapMatchesNaiveRescan) {
+  SolverHarness h(
+      datagen::GenerateSynthetic(RandomConfig(GetParam())).ValueOrDie());
+  auto ctx = h.ctx();
+  GreedySolver solver;
+  auto fast = solver.Solve(ctx).ValueOrDie();
+  auto slow = NaiveGreedy(ctx);
+  EXPECT_NEAR(fast.total_utility(), slow.total_utility(), 1e-9);
+  EXPECT_EQ(fast.size(), slow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEquivalenceTest, ::testing::Range(1, 9));
+
+TEST(DegenerateInstanceTest, AntiCorrelatedWorldAssignsNothing) {
+  // Every vendor's tag vector is orthogonal/anti to every customer's.
+  auto inst = testutil::EmptyInstance();
+  for (int i = 0; i < 10; ++i) {
+    inst.customers.push_back(testutil::MakeCustomer(
+        0.5, 0.5, 2, 0.5, static_cast<double>(i), {1.0, 0.0, 0.2}));
+  }
+  for (int j = 0; j < 4; ++j) {
+    inst.vendors.push_back(
+        testutil::MakeVendor(0.5, 0.5, 0.3, 5.0, {0.0, 1.0, 0.8}));
+  }
+  SolverHarness h(std::move(inst));
+  auto ctx = h.ctx();
+  GreedySolver greedy;
+  ReconSolver recon;
+  OnlineAsOffline afa(std::make_unique<AfaOnlineSolver>());
+  EXPECT_EQ(greedy.Solve(ctx).ValueOrDie().size(), 0u);
+  EXPECT_EQ(recon.Solve(ctx).ValueOrDie().size(), 0u);
+  EXPECT_EQ(afa.Solve(ctx).ValueOrDie().size(), 0u);
+}
+
+TEST(DegenerateInstanceTest, AllZeroCapacity) {
+  datagen::SyntheticConfig cfg = RandomConfig(3);
+  cfg.capacity = {0.0, 0.0};
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto ctx = h.ctx();
+  GreedySolver greedy;
+  ReconSolver recon;
+  RandomSolver random;
+  EXPECT_EQ(greedy.Solve(ctx).ValueOrDie().size(), 0u);
+  EXPECT_EQ(recon.Solve(ctx).ValueOrDie().size(), 0u);
+  EXPECT_EQ(random.Solve(ctx).ValueOrDie().size(), 0u);
+}
+
+TEST(DegenerateInstanceTest, BudgetsBelowCheapestAd) {
+  datagen::SyntheticConfig cfg = RandomConfig(5);
+  cfg.budget = {0.1, 0.5};  // cheapest ad costs 1.0
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto ctx = h.ctx();
+  GreedySolver greedy;
+  ReconSolver recon;
+  EXPECT_EQ(greedy.Solve(ctx).ValueOrDie().size(), 0u);
+  EXPECT_EQ(recon.Solve(ctx).ValueOrDie().size(), 0u);
+}
+
+TEST(DegenerateInstanceTest, ZeroRadiusVendorsNeverAssign) {
+  datagen::SyntheticConfig cfg = RandomConfig(7);
+  cfg.radius = {0.0, 0.0};
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto ctx = h.ctx();
+  GreedySolver greedy;
+  // Customers exactly on a vendor location would still be valid, but the
+  // generator makes that a measure-zero event.
+  EXPECT_EQ(greedy.Solve(ctx).ValueOrDie().size(), 0u);
+}
+
+class AssignmentFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentFuzzTest, AccountingMatchesReferenceModel) {
+  // Random Add/RemoveAt sequences; a simple reference map must always
+  // agree with AssignmentSet's incremental accounting.
+  SolverHarness h(
+      datagen::GenerateSynthetic(RandomConfig(100 + GetParam())).ValueOrDie());
+  const auto& inst = h.instance;
+  AssignmentSet set(&inst);
+  Rng rng(GetParam() * 13);
+
+  struct Ref {
+    std::vector<AdInstance> instances;
+    std::map<int, double> spend;
+    std::map<int, int> count;
+    std::set<std::pair<int, int>> pairs;
+    double utility = 0.0;
+  } ref;
+
+  for (int op = 0; op < 600; ++op) {
+    if (ref.instances.empty() || rng.Bernoulli(0.7)) {
+      auto i = static_cast<model::CustomerId>(rng.Index(inst.num_customers()));
+      auto j = static_cast<model::VendorId>(rng.Index(inst.num_vendors()));
+      auto k = static_cast<model::AdTypeId>(rng.Index(inst.ad_types.size()));
+      AdInstance cand;
+      cand.customer = i;
+      cand.vendor = j;
+      cand.ad_type = k;
+      cand.utility = h.utility.Utility(i, j, k);
+      Status st = set.Add(cand);
+      // Compute feasibility independently.
+      double cost = inst.ad_types.at(k).cost;
+      bool feasible =
+          geo::Distance(inst.customers[static_cast<size_t>(i)].location,
+                        inst.vendors[static_cast<size_t>(j)].location) <=
+              inst.vendors[static_cast<size_t>(j)].radius &&
+          ref.count[i] < inst.customers[static_cast<size_t>(i)].capacity &&
+          ref.spend[j] + cost <=
+              inst.vendors[static_cast<size_t>(j)].budget + 1e-9 &&
+          ref.pairs.count({i, j}) == 0;
+      EXPECT_EQ(st.ok(), feasible) << st.ToString();
+      if (st.ok()) {
+        ref.instances.push_back(cand);
+        ref.spend[j] += cost;
+        ref.count[i] += 1;
+        ref.pairs.insert({i, j});
+        ref.utility += cand.utility;
+      }
+    } else {
+      size_t idx = rng.Index(ref.instances.size());
+      AdInstance victim = set.instances()[idx];
+      ASSERT_TRUE(set.RemoveAt(idx).ok());
+      ref.spend[victim.vendor] -= inst.ad_types.at(victim.ad_type).cost;
+      ref.count[victim.customer] -= 1;
+      ref.pairs.erase({victim.customer, victim.vendor});
+      ref.utility -= victim.utility;
+      // Mirror swap-with-last removal.
+      ref.instances[idx] = ref.instances.back();
+      ref.instances.pop_back();
+    }
+    ASSERT_EQ(set.size(), ref.instances.size());
+    EXPECT_NEAR(set.total_utility(), ref.utility, 1e-7);
+  }
+  EXPECT_TRUE(set.ValidateFull(h.utility).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentFuzzTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace muaa::assign

@@ -1,0 +1,189 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "assign/recon.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/exact.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+using testutil::SolverHarness;
+
+TEST(ReconSolverTest, EmptyInstance) {
+  SolverHarness h(testutil::EmptyInstance());
+  ReconSolver solver;
+  EXPECT_EQ(solver.Solve(h.ctx()).ValueOrDie().size(), 0u);
+}
+
+TEST(ReconSolverTest, SingleVendorReducesToMckp) {
+  // One vendor, two customers, budget fits one photo link + one text
+  // link; RECON must reproduce the MCKP optimum (no conflicts to
+  // reconcile).
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(MakeCustomer(0.50, 0.5, 1, 0.5, 1.0, {1.0, 0.2, 0.0}));
+  inst.customers.push_back(MakeCustomer(0.48, 0.5, 1, 0.5, 2.0, {0.9, 0.3, 0.1}));
+  inst.vendors.push_back(MakeVendor(0.49, 0.5, 0.2, 3.0, {1.0, 0.25, 0.05}));
+  SolverHarness h(std::move(inst));
+  ReconSolver recon;
+  ExactSolver exact;
+  auto recon_result = recon.Solve(h.ctx()).ValueOrDie();
+  auto exact_result = exact.Solve(h.ctx()).ValueOrDie();
+  EXPECT_NEAR(recon_result.total_utility(), exact_result.total_utility(),
+              1e-9);
+  EXPECT_TRUE(recon_result.ValidateFull(h.utility).ok());
+}
+
+TEST(ReconSolverTest, ReconcilesCapacityViolations) {
+  // One customer with capacity 1 inside three vendors' ranges; every
+  // single-vendor solution wants it, so reconciliation must trim to 1 ad
+  // and keep the highest-utility one.
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(MakeCustomer(0.5, 0.5, 1, 0.5, 1.0, {1.0, 0.4, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.52, 0.50, 0.2, 3.0, {0.9, 0.5, 0.1}));
+  inst.vendors.push_back(MakeVendor(0.45, 0.50, 0.2, 3.0, {1.0, 0.4, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.50, 0.56, 0.2, 3.0, {0.8, 0.6, 0.2}));
+  SolverHarness h(std::move(inst));
+  ReconSolver recon;
+  auto result = recon.Solve(h.ctx()).ValueOrDie();
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  // The survivor is the best available instance for that customer.
+  double best = 0.0;
+  for (model::VendorId j = 0; j < 3; ++j) {
+    for (model::AdTypeId k = 0; k < 2; ++k) {
+      best = std::max(best, h.utility.Utility(0, j, k));
+    }
+  }
+  EXPECT_NEAR(result.total_utility(), best, 1e-9);
+}
+
+TEST(ReconSolverTest, RefillUsesFreedBudget) {
+  // Vendor 0's budget only covers one ad. Its best customer (0) also sits
+  // in vendor 1's range and vendor 1 offers it higher utility (closer).
+  // After reconciliation deletes vendor 0's instance on customer 0,
+  // vendor 0 must refill with customer 1.
+  auto inst = testutil::EmptyInstance();
+  inst.customers.push_back(MakeCustomer(0.50, 0.50, 1, 0.9, 1.0, {1.0, 0.2, 0.0}));
+  inst.customers.push_back(MakeCustomer(0.46, 0.50, 1, 0.3, 2.0, {1.0, 0.2, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.48, 0.50, 0.2, 2.0, {0.9, 0.3, 0.1}));
+  inst.vendors.push_back(MakeVendor(0.505, 0.50, 0.1, 2.0, {0.9, 0.3, 0.1}));
+  SolverHarness h(std::move(inst));
+  ReconSolver recon;
+  auto result = recon.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  // Customer 0 ends with exactly one ad and customer 1 is served by
+  // vendor 0 (the refill), so both vendors spend something.
+  int count0 = 0;
+  bool vendor0_used = false;
+  for (const AdInstance& a : result.instances()) {
+    if (a.customer == 0) ++count0;
+    if (a.vendor == 0) vendor0_used = true;
+  }
+  EXPECT_EQ(count0, 1);
+  EXPECT_TRUE(vendor0_used);
+}
+
+TEST(ReconSolverTest, NamesFollowSingleVendorSolver) {
+  EXPECT_EQ(ReconSolver().name(), "RECON");
+  ReconOptions dp_opts;
+  dp_opts.single_vendor = SingleVendorSolver::kDp;
+  EXPECT_EQ(ReconSolver(dp_opts).name(), "RECON-DP");
+  ReconOptions lp_opts;
+  lp_opts.single_vendor = SingleVendorSolver::kSimplex;
+  EXPECT_EQ(ReconSolver(lp_opts).name(), "RECON-LP");
+}
+
+class ReconBackendTest : public ::testing::TestWithParam<SingleVendorSolver> {};
+
+TEST_P(ReconBackendTest, AllBackendsProduceFeasibleSets) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 120;
+  cfg.num_vendors = 15;
+  cfg.radius = {0.1, 0.2};
+  cfg.budget = {4.0, 8.0};
+  cfg.customer_loc_stddev = 0.3;
+  cfg.seed = 11;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  ReconOptions opts;
+  opts.single_vendor = GetParam();
+  ReconSolver solver(opts);
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  EXPECT_GT(result.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ReconBackendTest,
+                         ::testing::Values(SingleVendorSolver::kLpGreedy,
+                                           SingleVendorSolver::kDp,
+                                           SingleVendorSolver::kSimplex));
+
+TEST(ReconSolverTest, NoCapacityViolationsOnCrowdedInstance) {
+  // Many vendors per customer with capacity 1 → heavy reconciliation.
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 60;
+  cfg.num_vendors = 40;
+  cfg.radius = {0.3, 0.5};
+  cfg.capacity = {1.0, 1.0};
+  cfg.budget = {10.0, 20.0};
+  cfg.customer_loc_stddev = 0.2;
+  cfg.seed = 23;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  ReconSolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+  for (size_t i = 0; i < h.instance.num_customers(); ++i) {
+    EXPECT_LE(result.CustomerCount(static_cast<model::CustomerId>(i)),
+              h.instance.customers[i].capacity);
+  }
+}
+
+TEST(ReconSolverTest, LpBoundSumIsAnUpperBoundOnItsOwnUtility) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 100;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.15, 0.25};
+  cfg.seed = 31;
+  cfg.customer_loc_stddev = 0.3;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  ReconSolver solver;
+  auto result = solver.Solve(h.ctx()).ValueOrDie();
+  EXPECT_GE(solver.last_lp_bound_sum(), result.total_utility() - 1e-9);
+}
+
+
+class ReconThreadsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReconThreadsTest, ParallelPhaseOneIsDeterministic) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 400;
+  cfg.num_vendors = 50;
+  cfg.radius = {0.1, 0.2};
+  cfg.budget = {4.0, 8.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 77;
+  auto instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
+
+  SolverHarness h_seq(instance, /*seed=*/42);
+  SolverHarness h_par(instance, /*seed=*/42);
+  ReconSolver sequential;  // num_threads = 1
+  ReconOptions par_opts;
+  par_opts.num_threads = GetParam();
+  ReconSolver parallel(par_opts);
+
+  auto a = sequential.Solve(h_seq.ctx()).ValueOrDie();
+  auto b = parallel.Solve(h_par.ctx()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.total_utility(), b.total_utility());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(b.ValidateFull(h_par.utility).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ReconThreadsTest,
+                         ::testing::Values(2u, 4u, 0u));
+
+}  // namespace
+}  // namespace muaa::assign

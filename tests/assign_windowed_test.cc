@@ -1,0 +1,89 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "assign/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/greedy.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+using testutil::SolverHarness;
+
+datagen::SyntheticConfig StreamConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 400;
+  cfg.num_vendors = 30;
+  cfg.radius = {0.1, 0.2};
+  cfg.budget = {3.0, 6.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+WindowedSolver MakeWindowedGreedy(double hours) {
+  WindowedOptions opts;
+  opts.window_hours = hours;
+  return WindowedSolver([] { return std::make_unique<GreedySolver>(); }, opts);
+}
+
+TEST(WindowedSolverTest, NameEncodesInnerAndWindow) {
+  EXPECT_EQ(MakeWindowedGreedy(1.0).name(), "BATCH-GREEDY(1h)");
+  WindowedOptions opts;
+  opts.window_hours = 0.5;
+  WindowedSolver recon([] { return std::make_unique<ReconSolver>(); }, opts);
+  EXPECT_EQ(recon.name(), "BATCH-RECON(0.5h)");
+}
+
+TEST(WindowedSolverTest, SingleWindowEqualsWrappedSolver) {
+  SolverHarness h1(datagen::GenerateSynthetic(StreamConfig(3)).ValueOrDie());
+  SolverHarness h2(datagen::GenerateSynthetic(StreamConfig(3)).ValueOrDie());
+  // 48h windows cover the whole day: identical to plain GREEDY.
+  auto windowed = MakeWindowedGreedy(48.0);
+  GreedySolver plain;
+  auto a = windowed.Solve(h1.ctx()).ValueOrDie();
+  auto b = plain.Solve(h2.ctx()).ValueOrDie();
+  EXPECT_NEAR(a.total_utility(), b.total_utility(), 1e-9);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(WindowedSolverTest, FeasibleAcrossWindows) {
+  SolverHarness h(datagen::GenerateSynthetic(StreamConfig(5)).ValueOrDie());
+  auto windowed = MakeWindowedGreedy(1.0);
+  auto result = windowed.Solve(h.ctx()).ValueOrDie();
+  EXPECT_GT(result.size(), 0u);
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+}
+
+TEST(WindowedSolverTest, BudgetsCarryAcrossWindows) {
+  // With tiny budgets, early windows exhaust vendors and later windows
+  // must not overspend: ValidateFull already proves it; additionally the
+  // total spend must not exceed the sum of budgets.
+  auto cfg = StreamConfig(7);
+  cfg.budget = {1.0, 3.0};
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  auto windowed = MakeWindowedGreedy(0.5);
+  auto result = windowed.Solve(h.ctx()).ValueOrDie();
+  double total_budget = 0.0;
+  for (const auto& v : h.instance.vendors) total_budget += v.budget;
+  EXPECT_LE(result.total_cost(), total_budget + 1e-9);
+  EXPECT_TRUE(result.ValidateFull(h.utility).ok());
+}
+
+TEST(WindowedSolverTest, WiderWindowsDoNotHurtMuch) {
+  // Quality should (weakly) improve with window size on average; assert
+  // the 24h batch beats the 15-minute batch minus slack on one seed.
+  SolverHarness h1(datagen::GenerateSynthetic(StreamConfig(11)).ValueOrDie());
+  SolverHarness h2(datagen::GenerateSynthetic(StreamConfig(11)).ValueOrDie());
+  auto tiny = MakeWindowedGreedy(0.25);
+  auto full = MakeWindowedGreedy(24.0);
+  double tiny_util = tiny.Solve(h1.ctx()).ValueOrDie().total_utility();
+  double full_util = full.Solve(h2.ctx()).ValueOrDie().total_utility();
+  EXPECT_GE(full_util, 0.9 * tiny_util);
+}
+
+}  // namespace
+}  // namespace muaa::assign

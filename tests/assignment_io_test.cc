@@ -1,0 +1,78 @@
+#include "io/assignment_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "assign/greedy.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+
+namespace muaa::io {
+namespace {
+
+std::string TempFile(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+model::ProblemInstance SmallInstance() {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 200;
+  cfg.num_vendors = 25;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 17;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+TEST(AssignmentIoTest, RoundTripsGreedyPlan) {
+  auto inst = SmallInstance();
+  eval::ExperimentRunner runner(&inst, 42);
+  assign::GreedySolver greedy;
+  auto ctx = runner.context();
+  auto plan = greedy.Solve(ctx).ValueOrDie();
+  ASSERT_GT(plan.size(), 0u);
+
+  std::string path = TempFile("muaa_assignment_roundtrip.csv");
+  ASSERT_TRUE(SaveAssignments(plan, inst, path).ok());
+  auto loaded = LoadAssignments(&inst, path).ValueOrDie();
+  EXPECT_EQ(loaded.size(), plan.size());
+  EXPECT_NEAR(loaded.total_utility(), plan.total_utility(), 1e-9);
+  EXPECT_NEAR(loaded.total_cost(), plan.total_cost(), 1e-9);
+  EXPECT_TRUE(loaded.ValidateFull(runner.utility()).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(AssignmentIoTest, EmptySetRoundTrips) {
+  auto inst = SmallInstance();
+  assign::AssignmentSet empty(&inst);
+  std::string path = TempFile("muaa_assignment_empty.csv");
+  ASSERT_TRUE(SaveAssignments(empty, inst, path).ok());
+  auto loaded = LoadAssignments(&inst, path).ValueOrDie();
+  EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(AssignmentIoTest, TamperedFileFailsFeasibilityCheck) {
+  auto inst = SmallInstance();
+  std::string path = TempFile("muaa_assignment_tampered.csv");
+  {
+    std::ofstream out(path);
+    out << "customer,vendor,ad_type,utility,cost\n";
+    // Customer 0 is (almost surely) outside vendor 0's tiny radius, or
+    // the duplicated pair below trips the pair constraint anyway.
+    out << "0,0,0,0.5,1\n";
+    out << "0,0,1,0.5,2\n";
+  }
+  EXPECT_FALSE(LoadAssignments(&inst, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(AssignmentIoTest, MissingFileFails) {
+  auto inst = SmallInstance();
+  EXPECT_FALSE(LoadAssignments(&inst, "/nonexistent/muaa.csv").ok());
+}
+
+}  // namespace
+}  // namespace muaa::io

@@ -1,0 +1,80 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace muaa {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateSideEffects) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  MUAA_LOG(Debug) << touch();
+  MUAA_LOG(Info) << touch();
+  EXPECT_EQ(evaluations, 0);  // stream args short-circuited
+  MUAA_LOG(Error) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, CheckPassesSilentlyOnTrue) {
+  MUAA_CHECK(1 + 1 == 2) << "never printed";
+  MUAA_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(MUAA_CHECK(false) << "boom marker", "boom marker");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(MUAA_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+TEST(StopwatchTest, ElapsedIsMonotoneAndUnitConsistent) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  (void)sink;
+  double s = watch.ElapsedSeconds();
+  double ms = watch.ElapsedMillis();
+  double us = watch.ElapsedMicros();
+  EXPECT_GT(s, 0.0);
+  EXPECT_GE(ms, s * 1e3);   // measured later, so at least as large
+  EXPECT_GE(us, ms * 1e3 * 0.5);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  (void)sink;
+  double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,70 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace muaa {
+namespace {
+
+TEST(MathTest, ApproxEqualBasics) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.1));
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 * (1 + 1e-10)));
+}
+
+TEST(MathTest, MeanAndVariance) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(Stddev(xs), 2.0);
+}
+
+TEST(MathTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(MathTest, PercentileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(MathTest, PercentileClampsQuantile) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.5), 2.0);
+}
+
+TEST(MathTest, PercentileSortsInput) {
+  std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.0);
+}
+
+TEST(MathTest, KahanSumBeatsNaiveOnTinyAddends) {
+  // 1 + 1e-16 * 10^7: naive summation in doubles loses the tail entirely.
+  std::vector<double> xs;
+  xs.push_back(1.0);
+  for (int i = 0; i < 10'000'000 / 1000; ++i) {
+    // keep the test fast: 10^4 addends of 1e-13
+    xs.push_back(1e-13);
+  }
+  double kahan = KahanSum(xs);
+  EXPECT_NEAR(kahan, 1.0 + 1e-9, 1e-12);
+}
+
+TEST(MathTest, KahanAccumulatorTracksCount) {
+  KahanAccumulator acc;
+  for (int i = 0; i < 10; ++i) acc.Add(0.1);
+  EXPECT_EQ(acc.count(), 10u);
+  EXPECT_NEAR(acc.total(), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace muaa {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 3.5);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < 3000; ++i) hist[rng.UniformInt(1, 3)] += 1;
+  EXPECT_EQ(hist.size(), 3u);
+  EXPECT_GT(hist[1], 0);
+  EXPECT_GT(hist[3], 0);
+}
+
+TEST(RngTest, BoundedGaussianRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.BoundedGaussian(25.0, 10.0, 20.0, 30.0);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 30.0);
+  }
+}
+
+TEST(RngTest, BoundedGaussianCentersOnMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.BoundedGaussian(5.0, 1.0, 0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliClampsOutOfRangeProbability) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+}
+
+TEST(RngTest, ZipfRanksInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t r = rng.Zipf(100, 1.2);
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 100);
+  }
+}
+
+TEST(RngTest, ZipfIsHeavyTailed) {
+  Rng rng(19);
+  std::map<int64_t, int> hist;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hist[rng.Zipf(1000, 1.2)] += 1;
+  // Rank 1 should dominate rank 10 by roughly 10^1.2 ≈ 16.
+  EXPECT_GT(hist[1], hist[10] * 4);
+  EXPECT_GT(hist[1], n / 20);
+}
+
+TEST(RngTest, ZipfCacheInvalidatesOnParamChange) {
+  Rng rng(23);
+  // Switch n and s back and forth; all draws must stay in range.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(rng.Zipf(10, 1.0), 10);
+    EXPECT_LE(rng.Zipf(50, 2.0), 50);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> copy = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, IndexStaysBelowN) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,58 @@
+#include "common/streaming_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace muaa {
+namespace {
+
+TEST(StreamingQuantileTest, EmptyReturnsZero) {
+  StreamingQuantile sq;
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.5), 0.0);
+  EXPECT_EQ(sq.count(), 0u);
+}
+
+TEST(StreamingQuantileTest, ExactBelowCapacity) {
+  StreamingQuantile sq(100);
+  for (int i = 1; i <= 99; ++i) sq.Observe(i);
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sq.Quantile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.5), 50.0);
+  EXPECT_EQ(sq.sample_size(), 99u);
+}
+
+TEST(StreamingQuantileTest, SingleObservation) {
+  StreamingQuantile sq;
+  sq.Observe(3.5);
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.97), 3.5);
+}
+
+TEST(StreamingQuantileTest, ReservoirStaysBounded) {
+  StreamingQuantile sq(64);
+  for (int i = 0; i < 10'000; ++i) sq.Observe(i);
+  EXPECT_EQ(sq.sample_size(), 64u);
+  EXPECT_EQ(sq.count(), 10'000u);
+}
+
+TEST(StreamingQuantileTest, ApproximatesUniformQuantiles) {
+  StreamingQuantile sq(512);
+  Rng rng(9);
+  for (int i = 0; i < 50'000; ++i) sq.Observe(rng.Uniform(0.0, 1.0));
+  EXPECT_NEAR(sq.Quantile(0.5), 0.5, 0.08);
+  EXPECT_NEAR(sq.Quantile(0.05), 0.05, 0.05);
+  EXPECT_NEAR(sq.Quantile(0.95), 0.95, 0.05);
+}
+
+TEST(StreamingQuantileTest, TracksDistributionShift) {
+  // After a long run of small values followed by many large ones, the
+  // estimate must move toward the new regime.
+  StreamingQuantile sq(128);
+  for (int i = 0; i < 2'000; ++i) sq.Observe(0.01);
+  for (int i = 0; i < 40'000; ++i) sq.Observe(10.0);
+  EXPECT_GT(sq.Quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace muaa {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWithAndToLower) {
+  EXPECT_TRUE(StartsWith("budget=5", "budget"));
+  EXPECT_FALSE(StartsWith("bud", "budget"));
+  EXPECT_EQ(ToLower("TeXT"), "text");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(0.5, 4), "0.5000");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteHeader({"a", "b"}).ok());
+  ASSERT_TRUE(w.WriteRow({"1", "2"}).ok());
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvTest, EscapesSpecials) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteRow({"a,b", "he\"llo", "line\nbreak"}).ok());
+  EXPECT_EQ(out.str(), "\"a,b\",\"he\"\"llo\",\"line\nbreak\"\n");
+}
+
+TEST(CsvTest, RejectsMismatchedWidth) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteHeader({"a", "b"}).ok());
+  EXPECT_EQ(w.WriteRow({"only one"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsLateHeader) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteRow({"1"}).ok());
+  EXPECT_EQ(w.WriteHeader({"a"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ConfigTest, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "m=100", "budget.lo=1.5", "name=fig3"};
+  auto cfg = Config::FromArgs(4, argv);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("m", 0).ValueOrDie(), 100);
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("budget.lo", 0).ValueOrDie(), 1.5);
+  EXPECT_EQ(cfg->GetString("name", ""), "fig3");
+}
+
+TEST(ConfigTest, RejectsMalformedArg) {
+  const char* argv[] = {"prog", "nokey"};
+  EXPECT_FALSE(Config::FromArgs(2, argv).ok());
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  Config cfg;
+  EXPECT_EQ(cfg.GetInt("m", 7).ValueOrDie(), 7);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("x", 2.5).ValueOrDie(), 2.5);
+  EXPECT_TRUE(cfg.GetBool("flag", true).ValueOrDie());
+  EXPECT_EQ(cfg.GetString("s", "dflt"), "dflt");
+}
+
+TEST(ConfigTest, TypeErrorsSurface) {
+  Config cfg;
+  cfg.Set("m", "not-a-number");
+  EXPECT_FALSE(cfg.GetInt("m", 0).ok());
+  cfg.Set("x", "1.2.3");
+  EXPECT_FALSE(cfg.GetDouble("x", 0).ok());
+  cfg.Set("b", "maybe");
+  EXPECT_FALSE(cfg.GetBool("b", false).ok());
+}
+
+TEST(ConfigTest, ParsesBools) {
+  Config cfg;
+  cfg.Set("a", "TRUE");
+  cfg.Set("b", "0");
+  cfg.Set("c", "on");
+  EXPECT_TRUE(cfg.GetBool("a", false).ValueOrDie());
+  EXPECT_FALSE(cfg.GetBool("b", true).ValueOrDie());
+  EXPECT_TRUE(cfg.GetBool("c", false).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,127 @@
+#include "datagen/foursquare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace muaa::datagen {
+namespace {
+
+FoursquareLikeConfig SmallConfig() {
+  FoursquareLikeConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_venues = 500;
+  cfg.num_checkins = 8000;
+  cfg.max_customers = 2000;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(FoursquareTest, DatasetShape) {
+  auto data = GenerateCheckinDataset(SmallConfig()).ValueOrDie();
+  EXPECT_EQ(data.venues.size(), 500u);
+  EXPECT_EQ(data.checkins.size(), 8000u);
+  EXPECT_EQ(data.num_users, 100u);
+  // Check-in counts add up.
+  int total = 0;
+  for (const auto& v : data.venues) total += v.checkin_count;
+  EXPECT_EQ(total, 8000);
+}
+
+TEST(FoursquareTest, CheckinsReferenceValidEntities) {
+  auto data = GenerateCheckinDataset(SmallConfig()).ValueOrDie();
+  for (const auto& c : data.checkins) {
+    EXPECT_GE(c.user, 0);
+    EXPECT_LT(static_cast<size_t>(c.user), data.num_users);
+    EXPECT_GE(c.venue, 0);
+    EXPECT_LT(static_cast<size_t>(c.venue), data.venues.size());
+    EXPECT_GE(c.time_hours, 0.0);
+    EXPECT_LT(c.time_hours, 24.0);
+  }
+}
+
+TEST(FoursquareTest, PopularityIsHeavyTailed) {
+  auto data = GenerateCheckinDataset(SmallConfig()).ValueOrDie();
+  std::vector<int> counts;
+  for (const auto& v : data.venues) counts.push_back(v.checkin_count);
+  std::sort(counts.rbegin(), counts.rend());
+  // Top-10% venues should hold well above their proportional share.
+  int top = 0, total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < counts.size() / 10) top += counts[i];
+    total += counts[i];
+  }
+  EXPECT_GT(top, total / 5);  // >= 2× proportional
+}
+
+TEST(FoursquareTest, InstanceRespectsVendorThreshold) {
+  auto cfg = SmallConfig();
+  auto data = GenerateCheckinDataset(cfg).ValueOrDie();
+  auto inst = BuildInstanceFromCheckins(cfg, data).ValueOrDie();
+  size_t qualified = 0;
+  for (const auto& v : data.venues) {
+    if (v.checkin_count >= cfg.min_checkins_per_vendor) ++qualified;
+  }
+  EXPECT_EQ(inst.num_vendors(), qualified);
+  EXPECT_GT(qualified, 0u);
+  EXPECT_TRUE(inst.Validate().ok());
+}
+
+TEST(FoursquareTest, CustomerCapRespected) {
+  auto cfg = SmallConfig();
+  cfg.max_customers = 300;
+  auto inst = GenerateFoursquareLike(cfg).ValueOrDie();
+  EXPECT_LE(inst.num_customers(), 300u);
+  EXPECT_GT(inst.num_customers(), 0u);
+}
+
+TEST(FoursquareTest, CustomersSortedByArrival) {
+  auto inst = GenerateFoursquareLike(SmallConfig()).ValueOrDie();
+  for (size_t i = 1; i < inst.customers.size(); ++i) {
+    EXPECT_LE(inst.customers[i - 1].arrival_time,
+              inst.customers[i].arrival_time);
+  }
+}
+
+TEST(FoursquareTest, DeterministicPerSeed) {
+  auto a = GenerateFoursquareLike(SmallConfig()).ValueOrDie();
+  auto b = GenerateFoursquareLike(SmallConfig()).ValueOrDie();
+  ASSERT_EQ(a.num_customers(), b.num_customers());
+  ASSERT_EQ(a.num_vendors(), b.num_vendors());
+  for (size_t j = 0; j < a.num_vendors(); ++j) {
+    EXPECT_EQ(a.vendors[j].location, b.vendors[j].location);
+    EXPECT_DOUBLE_EQ(a.vendors[j].budget, b.vendors[j].budget);
+  }
+}
+
+TEST(FoursquareTest, ValidationOfBadConfigs) {
+  auto cfg = SmallConfig();
+  cfg.num_users = 0;
+  EXPECT_FALSE(GenerateCheckinDataset(cfg).ok());
+  cfg = SmallConfig();
+  cfg.num_districts = 0;
+  EXPECT_FALSE(GenerateCheckinDataset(cfg).ok());
+  cfg = SmallConfig();
+  cfg.num_checkins = 100;  // too sparse for any vendor to qualify?
+  cfg.min_checkins_per_vendor = 1000;
+  EXPECT_FALSE(GenerateFoursquareLike(cfg).ok());
+}
+
+TEST(FoursquareTest, ActivityScheduleLearnedFromData) {
+  auto cfg = SmallConfig();
+  auto data = GenerateCheckinDataset(cfg).ValueOrDie();
+  auto inst = BuildInstanceFromCheckins(cfg, data).ValueOrDie();
+  // Some tag must show a non-flat day profile.
+  bool any_nonflat = false;
+  for (size_t t = 0; t < inst.num_tags() && !any_nonflat; ++t) {
+    auto w = inst.activity.HourlyWeights(static_cast<int32_t>(t));
+    if (*std::max_element(w.begin(), w.end()) >
+        *std::min_element(w.begin(), w.end()) + 0.2) {
+      any_nonflat = true;
+    }
+  }
+  EXPECT_TRUE(any_nonflat);
+}
+
+}  // namespace
+}  // namespace muaa::datagen

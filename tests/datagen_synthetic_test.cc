@@ -1,0 +1,160 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/activity_gen.h"
+#include "datagen/ranges.h"
+
+namespace muaa::datagen {
+namespace {
+
+TEST(RangesTest, SamplesStayInRange) {
+  Rng rng(3);
+  Range r{2.0, 5.0};
+  for (int i = 0; i < 2000; ++i) {
+    double x = SampleRange(r, &rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 5.0);
+  }
+}
+
+TEST(RangesTest, DegenerateRangeReturnsLo) {
+  Rng rng(3);
+  Range r{4.0, 4.0};
+  EXPECT_DOUBLE_EQ(SampleRange(r, &rng), 4.0);
+}
+
+TEST(RangesTest, IntegerSamplesStayInIntegerRange) {
+  Rng rng(5);
+  Range r{1.0, 5.0};
+  for (int i = 0; i < 1000; ++i) {
+    int v = SampleRangeInt(r, &rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(ActivityGenTest, ShapesAreValidWeights) {
+  for (ActivityShape s :
+       {ActivityShape::kFlat, ActivityShape::kMorning, ActivityShape::kLunch,
+        ActivityShape::kEvening, ActivityShape::kNight}) {
+    auto w = ShapeWeights(s);
+    ASSERT_EQ(w.size(), 24u);
+    for (double x : w) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(ActivityGenTest, MorningPeaksBeforeNoon) {
+  auto w = ShapeWeights(ActivityShape::kMorning);
+  size_t peak = static_cast<size_t>(
+      std::max_element(w.begin(), w.end()) - w.begin());
+  EXPECT_GE(peak, 6u);
+  EXPECT_LE(peak, 10u);
+}
+
+TEST(ActivityGenTest, ScheduleFromCheckinsFollowsHistogram) {
+  std::vector<std::vector<double>> hours(2);
+  hours[0] = {8.2, 8.4, 8.9, 9.1, 8.6};  // morning tag
+  // tag 1: no observations → flat
+  auto sched = ScheduleFromCheckins(hours);
+  EXPECT_GT(sched.At(0, 8.5), sched.At(0, 20.5));
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(sched.At(1, h), 1.0);
+    EXPECT_GT(sched.At(0, h), 0.0);
+  }
+}
+
+TEST(SyntheticTest, GeneratesValidInstance) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 500;
+  cfg.num_vendors = 50;
+  auto inst = GenerateSynthetic(cfg).ValueOrDie();
+  EXPECT_EQ(inst.num_customers(), 500u);
+  EXPECT_EQ(inst.num_vendors(), 50u);
+  EXPECT_TRUE(inst.Validate().ok());
+}
+
+TEST(SyntheticTest, RespectsParameterRanges) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 40;
+  cfg.budget = {7.0, 9.0};
+  cfg.radius = {0.05, 0.06};
+  cfg.capacity = {2.0, 3.0};
+  cfg.view_prob = {0.4, 0.6};
+  auto inst = GenerateSynthetic(cfg).ValueOrDie();
+  for (const auto& v : inst.vendors) {
+    EXPECT_GE(v.budget, 7.0);
+    EXPECT_LE(v.budget, 9.0);
+    EXPECT_GE(v.radius, 0.05);
+    EXPECT_LE(v.radius, 0.06);
+  }
+  for (const auto& u : inst.customers) {
+    EXPECT_GE(u.capacity, 2);
+    EXPECT_LE(u.capacity, 3);
+    EXPECT_GE(u.view_prob, 0.4);
+    EXPECT_LE(u.view_prob, 0.6);
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 100;
+  cfg.num_vendors = 10;
+  auto a = GenerateSynthetic(cfg).ValueOrDie();
+  auto b = GenerateSynthetic(cfg).ValueOrDie();
+  ASSERT_EQ(a.num_customers(), b.num_customers());
+  for (size_t i = 0; i < a.num_customers(); ++i) {
+    EXPECT_EQ(a.customers[i].location, b.customers[i].location);
+    EXPECT_EQ(a.customers[i].interests, b.customers[i].interests);
+  }
+  cfg.seed = 43;
+  auto c = GenerateSynthetic(cfg).ValueOrDie();
+  EXPECT_NE(a.customers[0].location, c.customers[0].location);
+}
+
+TEST(SyntheticTest, ArrivalsAreSorted) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 200;
+  cfg.num_vendors = 10;
+  cfg.structured_arrivals = true;
+  auto inst = GenerateSynthetic(cfg).ValueOrDie();
+  for (size_t i = 1; i < inst.customers.size(); ++i) {
+    EXPECT_LE(inst.customers[i - 1].arrival_time,
+              inst.customers[i].arrival_time);
+  }
+}
+
+TEST(SyntheticTest, RejectsDegenerateConfigs) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 0;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  cfg.num_customers = 10;
+  cfg.num_vendors = 0;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  cfg.num_vendors = 5;
+  cfg.favorite_bias = 1.2;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+}
+
+TEST(SyntheticTest, InterestVectorsCarrySignal) {
+  SyntheticConfig cfg;
+  cfg.num_customers = 50;
+  cfg.num_vendors = 5;
+  auto inst = GenerateSynthetic(cfg).ValueOrDie();
+  size_t nonzero_customers = 0;
+  for (const auto& u : inst.customers) {
+    double sum = 0.0;
+    for (double x : u.interests) sum += x;
+    if (sum > 0.0) ++nonzero_customers;
+  }
+  EXPECT_EQ(nonzero_customers, inst.num_customers());
+}
+
+}  // namespace
+}  // namespace muaa::datagen

@@ -1,0 +1,88 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "eval/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/greedy.h"
+#include "assign/random_solver.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::eval {
+namespace {
+
+using testutil::SolverHarness;
+
+model::ProblemInstance SmallInstance(uint64_t seed = 3) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 150;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+TEST(CompareTest, IdenticalPlansDiffEmpty) {
+  SolverHarness h(SmallInstance());
+  assign::GreedySolver greedy;
+  auto plan = greedy.Solve(h.ctx()).ValueOrDie();
+  auto diff = ComparePlans(h.instance, plan, plan).ValueOrDie();
+  EXPECT_EQ(diff.common, plan.size());
+  EXPECT_EQ(diff.retyped, 0u);
+  EXPECT_EQ(diff.only_left, 0u);
+  EXPECT_EQ(diff.only_right, 0u);
+  EXPECT_EQ(diff.customers_gained, 0u);
+  EXPECT_EQ(diff.customers_lost, 0u);
+  EXPECT_TRUE(diff.vendor_deltas.empty());
+  EXPECT_DOUBLE_EQ(diff.utility_left, diff.utility_right);
+}
+
+TEST(CompareTest, EmptyVersusPlanCountsEverythingAsGained) {
+  SolverHarness h(SmallInstance());
+  assign::GreedySolver greedy;
+  auto plan = greedy.Solve(h.ctx()).ValueOrDie();
+  assign::AssignmentSet empty(&h.instance);
+  auto diff = ComparePlans(h.instance, empty, plan).ValueOrDie();
+  EXPECT_EQ(diff.only_right, plan.size());
+  EXPECT_EQ(diff.only_left, 0u);
+  EXPECT_EQ(diff.customers_lost, 0u);
+  EXPECT_GT(diff.customers_gained, 0u);
+  // Spend deltas all positive and sum (over all vendors, here top-16
+  // covers them) to the plan's cost when few vendors are touched.
+  for (const auto& d : diff.vendor_deltas) {
+    EXPECT_GT(d.spend_delta, 0.0);
+  }
+}
+
+TEST(CompareTest, RetypedPairsAreDetected) {
+  SolverHarness h(testutil::OnePairInstance());
+  assign::AssignmentSet a(&h.instance), b(&h.instance);
+  ASSERT_TRUE(a.Add({0, 0, 0, h.utility.Utility(0, 0, 0)}).ok());
+  ASSERT_TRUE(b.Add({0, 0, 1, h.utility.Utility(0, 0, 1)}).ok());
+  auto diff = ComparePlans(h.instance, a, b).ValueOrDie();
+  EXPECT_EQ(diff.retyped, 1u);
+  EXPECT_EQ(diff.common, 0u);
+  EXPECT_EQ(diff.only_left, 0u);
+  EXPECT_EQ(diff.only_right, 0u);
+  // Upgrading TL -> PL costs the vendor $1 more.
+  ASSERT_EQ(diff.vendor_deltas.size(), 1u);
+  EXPECT_NEAR(diff.vendor_deltas[0].spend_delta, 1.0, 1e-12);
+}
+
+TEST(CompareTest, DifferentSolversProduceConsistentTotals) {
+  SolverHarness h(SmallInstance(9));
+  assign::GreedySolver greedy;
+  assign::RandomSolver random;
+  auto a = greedy.Solve(h.ctx()).ValueOrDie();
+  auto b = random.Solve(h.ctx()).ValueOrDie();
+  auto diff = ComparePlans(h.instance, a, b).ValueOrDie();
+  EXPECT_EQ(diff.common + diff.retyped + diff.only_left, a.size());
+  EXPECT_EQ(diff.common + diff.retyped + diff.only_right, b.size());
+  EXPECT_DOUBLE_EQ(diff.utility_left, a.total_utility());
+  EXPECT_DOUBLE_EQ(diff.utility_right, b.total_utility());
+  EXPECT_FALSE(diff.ToString().empty());
+}
+
+}  // namespace
+}  // namespace muaa::eval

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "assign/greedy.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+namespace muaa::eval {
+namespace {
+
+model::ProblemInstance SmallSynthetic(uint64_t seed = 3) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 150;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+TEST(MetricsTest, EmptyAssignmentGivesZeros) {
+  auto inst = SmallSynthetic();
+  assign::AssignmentSet set(&inst);
+  auto m = ComputeMetrics(inst, set);
+  EXPECT_DOUBLE_EQ(m.total_utility, 0.0);
+  EXPECT_EQ(m.num_ads, 0u);
+  EXPECT_EQ(m.served_customers, 0u);
+  EXPECT_DOUBLE_EQ(m.budget_utilization, 0.0);
+}
+
+TEST(MetricsTest, ConsistentWithAssignmentSet) {
+  auto inst = SmallSynthetic();
+  ExperimentRunner runner(&inst, 42);
+  assign::GreedySolver greedy;
+  auto ctx = runner.context();
+  auto set = greedy.Solve(ctx).ValueOrDie();
+  auto m = ComputeMetrics(inst, set);
+  EXPECT_DOUBLE_EQ(m.total_utility, set.total_utility());
+  EXPECT_EQ(m.num_ads, set.size());
+  EXPECT_DOUBLE_EQ(m.total_spend, set.total_cost());
+  EXPECT_GT(m.budget_utilization, 0.0);
+  EXPECT_LE(m.budget_utilization, 1.0);
+  EXPECT_GE(m.mean_ads_per_served, 1.0);
+  EXPECT_GT(m.mean_utility_per_ad, 0.0);
+}
+
+TEST(ExperimentRunnerTest, RecordsReflectRuns) {
+  auto inst = SmallSynthetic();
+  ExperimentRunner runner(&inst, 42);
+  assign::GreedySolver greedy;
+  auto record = runner.Run(&greedy).ValueOrDie();
+  EXPECT_EQ(record.solver, "GREEDY");
+  EXPECT_GT(record.utility, 0.0);
+  EXPECT_GE(record.cpu_ms, 0.0);
+  EXPECT_GT(record.ads, 0u);
+}
+
+TEST(ExperimentRunnerTest, StandardSolversAllRun) {
+  auto inst = SmallSynthetic();
+  ExperimentRunner runner(&inst, 42);
+  auto solvers = MakeStandardSolvers();
+  ASSERT_EQ(solvers.size(), 5u);
+  std::vector<std::string> names;
+  for (auto& s : solvers) {
+    auto record = runner.Run(s.get()).ValueOrDie();
+    names.push_back(record.solver);
+    EXPECT_GE(record.utility, 0.0);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"GREEDY", "RECON", "ONLINE",
+                                             "RANDOM", "NEAREST"}));
+}
+
+TEST(ExperimentRunnerTest, UtilityAwareSolversBeatRandom) {
+  // The paper's headline qualitative result: GREEDY/RECON/ONLINE >> RANDOM.
+  auto inst = SmallSynthetic(9);
+  ExperimentRunner runner(&inst, 42);
+  auto solvers = MakeStandardSolvers();
+  double random_util = 0.0;
+  std::map<std::string, double> utils;
+  for (auto& s : solvers) {
+    auto record = runner.Run(s.get()).ValueOrDie();
+    utils[record.solver] = record.utility;
+    if (record.solver == "RANDOM") random_util = record.utility;
+  }
+  EXPECT_GT(utils["GREEDY"], random_util);
+  EXPECT_GT(utils["RECON"], random_util);
+  EXPECT_GT(utils["ONLINE"], random_util);
+}
+
+TEST(SeriesReporterTest, PrintsAllRecordedCells) {
+  SeriesReporter reporter("Fig. X", "sweep");
+  RunRecord r1{"GREEDY", 1.5, 10.0, 3, 4.0, 0.5, 3};
+  RunRecord r2{"RECON", 2.5, 20.0, 4, 5.0, 0.6, 4};
+  reporter.Record("a", r1);
+  reporter.Record("b", r2);
+  testing::internal::CaptureStdout();
+  reporter.Print();
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("GREEDY"), std::string::npos);
+  EXPECT_NE(out.find("RECON"), std::string::npos);
+  EXPECT_NE(out.find("utility\tGREEDY\ta\t1.5"), std::string::npos);
+  EXPECT_NE(out.find("cpu_ms\tRECON\tb\t20.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace muaa::eval

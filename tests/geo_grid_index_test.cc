@@ -1,0 +1,118 @@
+#include "geo/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace muaa::geo {
+namespace {
+
+std::vector<int32_t> BruteForceRange(const std::vector<Point>& points,
+                                     const Point& center, double radius) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (Distance(points[i], center) <= radius) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsNothing) {
+  GridIndex idx(8);
+  EXPECT_TRUE(idx.RangeQuery({0.5, 0.5}, 0.3).empty());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(GridIndexTest, SingleItemHitAndMiss) {
+  GridIndex idx(8);
+  idx.Insert(7, {0.5, 0.5});
+  EXPECT_EQ(idx.RangeQuery({0.5, 0.5}, 0.01), std::vector<int32_t>{7});
+  EXPECT_TRUE(idx.RangeQuery({0.9, 0.9}, 0.01).empty());
+}
+
+TEST(GridIndexTest, BoundaryIsInclusive) {
+  GridIndex idx(4);
+  idx.Insert(0, {0.5, 0.5});
+  // Point exactly at distance == radius must be returned (0.25 is exactly
+  // representable, so the boundary comparison is exact).
+  EXPECT_EQ(idx.RangeQuery({0.5, 0.75}, 0.25).size(), 1u);
+}
+
+TEST(GridIndexTest, NegativeRadiusReturnsNothing) {
+  GridIndex idx(4);
+  idx.Insert(0, {0.5, 0.5});
+  EXPECT_TRUE(idx.RangeQuery({0.5, 0.5}, -1.0).empty());
+}
+
+TEST(GridIndexTest, PointsOutsideUnitSquareAreRetrievable) {
+  GridIndex idx(8);
+  idx.Insert(0, {-0.2, 0.5});
+  idx.Insert(1, {1.3, 0.5});
+  EXPECT_EQ(idx.RangeQuery({-0.1, 0.5}, 0.15), std::vector<int32_t>{0});
+  EXPECT_EQ(idx.RangeQuery({1.25, 0.5}, 0.1), std::vector<int32_t>{1});
+}
+
+TEST(GridIndexTest, InsertAllAssignsSequentialIds) {
+  GridIndex idx(8);
+  idx.InsertAll({{0.1, 0.1}, {0.9, 0.9}});
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.RangeQuery({0.1, 0.1}, 0.05), std::vector<int32_t>{0});
+}
+
+TEST(GridIndexTest, WithCellSizeClampsCells) {
+  EXPECT_EQ(GridIndex::WithCellSize(0.5).cells_per_side(), 2);
+  EXPECT_EQ(GridIndex::WithCellSize(2.0).cells_per_side(), 1);
+  EXPECT_EQ(GridIndex::WithCellSize(1e-9).cells_per_side(), 1024);
+  EXPECT_EQ(GridIndex::WithCellSize(0.0).cells_per_side(), 256);
+}
+
+struct GridCase {
+  int cells;
+  size_t num_points;
+  double radius;
+};
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  const GridCase& cfg = GetParam();
+  Rng rng(1234 + cfg.cells);
+  std::vector<Point> points(cfg.num_points);
+  for (auto& p : points) p = {rng.Uniform(), rng.Uniform()};
+
+  GridIndex idx(cfg.cells);
+  idx.InsertAll(points);
+
+  for (int q = 0; q < 50; ++q) {
+    Point center{rng.Uniform(-0.1, 1.1), rng.Uniform(-0.1, 1.1)};
+    auto got = idx.RangeQuery(center, cfg.radius);
+    auto want = BruteForceRange(points, center, cfg.radius);
+    EXPECT_EQ(got, want) << "query " << q << " at " << ToString(center);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridIndexPropertyTest,
+    ::testing::Values(GridCase{1, 200, 0.1}, GridCase{4, 200, 0.05},
+                      GridCase{16, 500, 0.07}, GridCase{64, 1000, 0.02},
+                      GridCase{256, 1000, 0.15}, GridCase{16, 500, 0.0},
+                      GridCase{8, 300, 1.5}));
+
+TEST(GridIndexTest, RangeQueryIntoReusesBuffer) {
+  Rng rng(5);
+  GridIndex idx(16);
+  std::vector<Point> points(100);
+  for (auto& p : points) p = {rng.Uniform(), rng.Uniform()};
+  idx.InsertAll(points);
+
+  std::vector<int32_t> buf{99, 98, 97};  // stale content must be cleared
+  idx.RangeQueryInto({0.5, 0.5}, 0.2, &buf);
+  auto want = BruteForceRange(points, {0.5, 0.5}, 0.2);
+  EXPECT_EQ(buf, want);
+}
+
+}  // namespace
+}  // namespace muaa::geo

@@ -1,0 +1,96 @@
+#include "geo/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace muaa::geo {
+namespace {
+
+std::vector<int32_t> BruteForceNearest(const std::vector<Point>& points,
+                                       const Point& q, size_t k,
+                                       double max_radius) {
+  std::vector<std::pair<double, int32_t>> all;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double d = Distance(points[i], q);
+    if (d <= max_radius) all.emplace_back(d * d, static_cast<int32_t>(i));
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < std::min(k, all.size()); ++i) {
+    out.push_back(all[i].second);
+  }
+  return out;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.Nearest({0.5, 0.5}, 3).empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{0.3, 0.3}});
+  EXPECT_EQ(tree.Nearest({0.0, 0.0}, 1), std::vector<int32_t>{0});
+  EXPECT_EQ(tree.Nearest({0.0, 0.0}, 5), std::vector<int32_t>{0});
+}
+
+TEST(KdTreeTest, KZeroReturnsNothing) {
+  KdTree tree({{0.3, 0.3}});
+  EXPECT_TRUE(tree.Nearest({0.0, 0.0}, 0).empty());
+}
+
+TEST(KdTreeTest, OrdersByDistance) {
+  KdTree tree({{0.9, 0.9}, {0.1, 0.1}, {0.5, 0.5}});
+  auto got = tree.Nearest({0.0, 0.0}, 3);
+  EXPECT_EQ(got, (std::vector<int32_t>{1, 2, 0}));
+}
+
+TEST(KdTreeTest, RadiusBoundExcludesFarPoints) {
+  KdTree tree({{0.0, 0.0}, {1.0, 1.0}});
+  auto got = tree.NearestWithin({0.1, 0.1}, 5, 0.5);
+  EXPECT_EQ(got, std::vector<int32_t>{0});
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  KdTree tree({{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}});
+  auto got = tree.Nearest({0.5, 0.5}, 3);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+struct KdCase {
+  size_t num_points;
+  size_t k;
+  double max_radius;
+};
+
+class KdTreePropertyTest : public ::testing::TestWithParam<KdCase> {};
+
+TEST_P(KdTreePropertyTest, MatchesBruteForce) {
+  const KdCase& cfg = GetParam();
+  Rng rng(99 + static_cast<uint64_t>(cfg.num_points));
+  std::vector<Point> points(cfg.num_points);
+  for (auto& p : points) p = {rng.Uniform(), rng.Uniform()};
+  KdTree tree(points);
+
+  for (int q = 0; q < 50; ++q) {
+    Point query{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    auto got = tree.NearestWithin(query, cfg.k, cfg.max_radius);
+    auto want = BruteForceNearest(points, query, cfg.k, cfg.max_radius);
+    // Distances must agree exactly; id ties may permute only among equal
+    // distances, and our tie-break is by id, matching brute force.
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreePropertyTest,
+    ::testing::Values(KdCase{1, 1, 10.0}, KdCase{10, 3, 10.0},
+                      KdCase{100, 1, 10.0}, KdCase{500, 10, 10.0},
+                      KdCase{500, 10, 0.1}, KdCase{1000, 5, 0.05},
+                      KdCase{200, 200, 10.0}));
+
+}  // namespace
+}  // namespace muaa::geo

@@ -1,0 +1,89 @@
+#include "geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace muaa::geo {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceToSelf) {
+  LatLon tokyo{35.6762, 139.6503};
+  EXPECT_DOUBLE_EQ(HaversineKm(tokyo, tokyo), 0.0);
+}
+
+TEST(HaversineTest, KnownCityPair) {
+  // Tokyo -> Osaka is ~400 km.
+  LatLon tokyo{35.6762, 139.6503};
+  LatLon osaka{34.6937, 135.5023};
+  double d = HaversineKm(tokyo, osaka);
+  EXPECT_NEAR(d, 400.0, 10.0);
+  EXPECT_DOUBLE_EQ(d, HaversineKm(osaka, tokyo));
+}
+
+TEST(HaversineTest, OneDegreeOfLatitude) {
+  // ~111.2 km anywhere on the globe.
+  EXPECT_NEAR(HaversineKm({0.0, 0.0}, {1.0, 0.0}), 111.2, 0.3);
+  EXPECT_NEAR(HaversineKm({50.0, 10.0}, {51.0, 10.0}), 111.2, 0.3);
+}
+
+TEST(HaversineTest, LongitudeShrinksWithLatitude) {
+  double at_equator = HaversineKm({0.0, 0.0}, {0.0, 1.0});
+  double at_60 = HaversineKm({60.0, 0.0}, {60.0, 1.0});
+  EXPECT_NEAR(at_60, at_equator * 0.5, 1.0);  // cos(60°) = 0.5
+}
+
+TEST(ProjectorTest, RejectsBadInput) {
+  EXPECT_FALSE(LatLonProjector::Fit({}).ok());
+  EXPECT_FALSE(LatLonProjector::Fit({{95.0, 0.0}}).ok());
+}
+
+TEST(ProjectorTest, ExtentLandsInUnitSquare) {
+  std::vector<LatLon> coords{
+      {35.5, 139.4}, {35.9, 139.9}, {35.7, 139.6}, {35.6, 139.8}};
+  auto proj = LatLonProjector::Fit(coords).ValueOrDie();
+  for (const LatLon& c : coords) {
+    Point p = proj.Project(c);
+    EXPECT_GE(p.x, -1e-12);
+    EXPECT_LE(p.x, 1.0 + 1e-12);
+    EXPECT_GE(p.y, -1e-12);
+    EXPECT_LE(p.y, 1.0 + 1e-12);
+  }
+}
+
+TEST(ProjectorTest, PreservesDistanceRatiosUnlikeNaiveMinMax) {
+  // Tokyo-ish latitude: 1° lon ≈ 0.81 × 1° lat in km. Two pairs at equal
+  // km distance (one along lat, one along lon) must project to (nearly)
+  // equal unit distances.
+  LatLon base{35.7, 139.7};
+  LatLon north{35.7 + 0.1, 139.7};
+  // Pick dlon so the km distance matches the 0.1°-lat hop.
+  double dlat_km = HaversineKm(base, north);
+  double dlon = 0.1 / std::cos(35.7 * 3.14159265358979 / 180.0);
+  LatLon east{35.7, 139.7 + dlon};
+  ASSERT_NEAR(HaversineKm(base, east), dlat_km, 0.05);
+
+  auto proj =
+      LatLonProjector::Fit({base, north, east, {35.5, 139.5}}).ValueOrDie();
+  double unit_north = Distance(proj.Project(base), proj.Project(north));
+  double unit_east = Distance(proj.Project(base), proj.Project(east));
+  EXPECT_NEAR(unit_north, unit_east, 0.01 * unit_north + 1e-9);
+}
+
+TEST(ProjectorTest, KmPerUnitConvertsBack) {
+  std::vector<LatLon> coords{{35.5, 139.5}, {35.9, 139.9}, {35.7, 139.7}};
+  auto proj = LatLonProjector::Fit(coords).ValueOrDie();
+  double true_km = HaversineKm(coords[0], coords[1]);
+  double unit_dist = Distance(proj.Project(coords[0]), proj.Project(coords[1]));
+  EXPECT_NEAR(unit_dist * proj.KmPerUnit(), true_km, 0.02 * true_km);
+}
+
+TEST(ProjectorTest, DegenerateSinglePoint) {
+  auto proj = LatLonProjector::Fit({{35.7, 139.7}}).ValueOrDie();
+  Point p = proj.Project({35.7, 139.7});
+  EXPECT_GE(p.x, 0.0);
+  EXPECT_LE(p.x, 1.0);
+}
+
+}  // namespace
+}  // namespace muaa::geo

@@ -1,0 +1,46 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+namespace muaa::geo {
+namespace {
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Point a{0.2, 0.7}, b{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, ToStringFormats) {
+  EXPECT_EQ(ToString({0.5, 0.25}), "(0.500000, 0.250000)");
+}
+
+TEST(RectTest, ContainsInclusive) {
+  Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));
+  EXPECT_TRUE(r.Contains({1.0, 1.0}));
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_FALSE(r.Contains({1.1, 0.5}));
+  EXPECT_FALSE(r.Contains({0.5, -0.1}));
+}
+
+TEST(RectTest, MinDistanceZeroInside) {
+  Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.MinDistance({0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistance({0.0, 1.0}), 0.0);
+}
+
+TEST(RectTest, MinDistanceToEdgeAndCorner) {
+  Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.MinDistance({1.5, 0.5}), 0.5);   // right edge
+  EXPECT_DOUBLE_EQ(r.MinDistance({0.5, -2.0}), 2.0);  // bottom edge
+  EXPECT_DOUBLE_EQ(r.MinDistance({4.0, 5.0}), 5.0);   // corner (3,4,5)
+}
+
+}  // namespace
+}  // namespace muaa::geo

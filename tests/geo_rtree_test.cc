@@ -1,0 +1,145 @@
+#include "geo/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "geo/grid_index.h"
+
+namespace muaa::geo {
+namespace {
+
+std::vector<Point> ClusteredPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> centers(8);
+  for (auto& c : centers) c = {rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+  std::vector<Point> out(n);
+  for (auto& p : out) {
+    const Point& c = centers[rng.Index(centers.size())];
+    p = {std::clamp(rng.Gaussian(c.x, 0.04), 0.0, 1.0),
+         std::clamp(rng.Gaussian(c.y, 0.04), 0.0, 1.0)};
+  }
+  return out;
+}
+
+std::vector<int32_t> BruteRange(const std::vector<Point>& points,
+                                const Point& c, double r) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (Distance(points[i], c) <= r) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree({});
+  EXPECT_TRUE(tree.RangeQuery({0.5, 0.5}, 0.5).empty());
+  EXPECT_TRUE(tree.Nearest({0.5, 0.5}, 3).empty());
+  EXPECT_EQ(tree.height(), 0);
+}
+
+TEST(RTreeTest, SinglePoint) {
+  RTree tree({{0.3, 0.7}});
+  EXPECT_EQ(tree.RangeQuery({0.3, 0.7}, 0.01), std::vector<int32_t>{0});
+  EXPECT_TRUE(tree.RangeQuery({0.9, 0.9}, 0.01).empty());
+  EXPECT_EQ(tree.Nearest({0.0, 0.0}, 5), std::vector<int32_t>{0});
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(RTreeTest, NegativeRadiusIsEmpty) {
+  RTree tree({{0.3, 0.7}});
+  EXPECT_TRUE(tree.RangeQuery({0.3, 0.7}, -0.1).empty());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(3);
+  std::vector<Point> pts(4000);
+  for (auto& p : pts) p = {rng.Uniform(), rng.Uniform()};
+  RTree tree(pts, /*leaf_capacity=*/16);
+  // 4000 points / 16 = 250 leaves; 250/16 = 16 inner; 16/16 = 1 root.
+  EXPECT_EQ(tree.height(), 3);
+}
+
+struct RTreeCase {
+  size_t num_points;
+  double radius;
+  bool clustered;
+  int leaf_capacity;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreeCase> {};
+
+TEST_P(RTreePropertyTest, RangeMatchesBruteForce) {
+  const RTreeCase& cfg = GetParam();
+  Rng rng(101 + static_cast<uint64_t>(cfg.num_points));
+  std::vector<Point> points;
+  if (cfg.clustered) {
+    points = ClusteredPoints(cfg.num_points, 7);
+  } else {
+    points.resize(cfg.num_points);
+    for (auto& p : points) p = {rng.Uniform(), rng.Uniform()};
+  }
+  RTree tree(points, cfg.leaf_capacity);
+  for (int q = 0; q < 40; ++q) {
+    Point center{rng.Uniform(-0.1, 1.1), rng.Uniform(-0.1, 1.1)};
+    EXPECT_EQ(tree.RangeQuery(center, cfg.radius),
+              BruteRange(points, center, cfg.radius));
+  }
+}
+
+TEST_P(RTreePropertyTest, NearestMatchesBruteForceOnDistinctPoints) {
+  const RTreeCase& cfg = GetParam();
+  Rng rng(577 + static_cast<uint64_t>(cfg.num_points));
+  std::vector<Point> points(cfg.num_points);
+  for (auto& p : points) p = {rng.Uniform(), rng.Uniform()};
+  RTree tree(points, cfg.leaf_capacity);
+  for (int q = 0; q < 25; ++q) {
+    Point query{rng.Uniform(), rng.Uniform()};
+    size_t k = 1 + rng.Index(8);
+    auto got = tree.Nearest(query, k);
+    // Brute force: sort by (distance, id).
+    std::vector<std::pair<double, int32_t>> all;
+    for (size_t i = 0; i < points.size(); ++i) {
+      all.emplace_back(Distance(points[i], query), static_cast<int32_t>(i));
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(got.size(), std::min(k, points.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], all[i].second) << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreePropertyTest,
+    ::testing::Values(RTreeCase{1, 0.3, false, 4},
+                      RTreeCase{17, 0.2, false, 4},
+                      RTreeCase{300, 0.1, false, 16},
+                      RTreeCase{300, 0.1, true, 16},
+                      RTreeCase{2000, 0.05, true, 16},
+                      RTreeCase{2000, 1.5, false, 8},
+                      RTreeCase{513, 0.0, false, 16}));
+
+TEST(RTreeTest, AgreesWithGridIndex) {
+  auto points = ClusteredPoints(1500, 17);
+  RTree tree(points);
+  GridIndex grid(64);
+  grid.InsertAll(points);
+  Rng rng(23);
+  for (int q = 0; q < 60; ++q) {
+    Point c{rng.Uniform(), rng.Uniform()};
+    double r = rng.Uniform(0.01, 0.2);
+    EXPECT_EQ(tree.RangeQuery(c, r), grid.RangeQuery(c, r));
+  }
+}
+
+TEST(RTreeTest, DuplicatePointsAllFound) {
+  std::vector<Point> points(10, Point{0.4, 0.4});
+  RTree tree(points, 4);
+  EXPECT_EQ(tree.RangeQuery({0.4, 0.4}, 0.01).size(), 10u);
+  EXPECT_EQ(tree.Nearest({0.0, 0.0}, 10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace muaa::geo

@@ -1,0 +1,93 @@
+#include "geo/safe_region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace muaa::geo {
+namespace {
+
+using Circle = SafeRegionTracker::Circle;
+
+TEST(SafeRegionTest, CoveringMatchesDefinition) {
+  SafeRegionTracker tracker({{{0.5, 0.5}, 0.2}, {{0.8, 0.5}, 0.15}});
+  EXPECT_EQ(tracker.Covering({0.5, 0.5}), std::vector<int32_t>{0});
+  EXPECT_EQ(tracker.Covering({0.7, 0.5}), (std::vector<int32_t>{0, 1}));
+  EXPECT_TRUE(tracker.Covering({0.1, 0.1}).empty());
+}
+
+TEST(SafeRegionTest, BoundaryIsCovered) {
+  SafeRegionTracker tracker({{{0.5, 0.5}, 0.25}});
+  EXPECT_EQ(tracker.Covering({0.75, 0.5}), std::vector<int32_t>{0});
+}
+
+TEST(SafeRegionTest, SafeRadiusIsDistanceToNearestBoundary) {
+  SafeRegionTracker tracker({{{0.0, 0.0}, 1.0}});
+  EXPECT_DOUBLE_EQ(tracker.SafeRadius({0.0, 0.0}), 1.0);   // center
+  EXPECT_DOUBLE_EQ(tracker.SafeRadius({0.5, 0.0}), 0.5);   // inside
+  EXPECT_DOUBLE_EQ(tracker.SafeRadius({2.0, 0.0}), 1.0);   // outside
+  EXPECT_DOUBLE_EQ(tracker.SafeRadius({1.0, 0.0}), 0.0);   // on boundary
+}
+
+TEST(SafeRegionTest, EmptyTrackerHasInfiniteSafeRadius) {
+  SafeRegionTracker tracker({});
+  EXPECT_TRUE(std::isinf(tracker.SafeRadius({0.3, 0.3})));
+  EXPECT_TRUE(tracker.Covering({0.3, 0.3}).empty());
+}
+
+TEST(MovingQueryTest, FirstUpdateRecomputes) {
+  SafeRegionTracker tracker({{{0.5, 0.5}, 0.2}});
+  MovingQuery query(&tracker);
+  EXPECT_EQ(query.Update({0.5, 0.5}), std::vector<int32_t>{0});
+  EXPECT_EQ(query.recompute_count(), 1u);
+}
+
+TEST(MovingQueryTest, SmallMovesReuseCache) {
+  SafeRegionTracker tracker({{{0.5, 0.5}, 0.2}});
+  MovingQuery query(&tracker);
+  query.Update({0.5, 0.5});
+  for (int i = 1; i <= 10; ++i) {
+    // Wander within 0.05 of the anchor — far inside the 0.2 safe radius.
+    query.Update({0.5 + 0.004 * i, 0.5});
+  }
+  EXPECT_EQ(query.recompute_count(), 1u);
+  EXPECT_EQ(query.update_count(), 11u);
+}
+
+TEST(MovingQueryTest, CrossingABoundaryRecomputesAndIsCorrect) {
+  SafeRegionTracker tracker({{{0.5, 0.5}, 0.2}});
+  MovingQuery query(&tracker);
+  EXPECT_EQ(query.Update({0.5, 0.5}).size(), 1u);
+  EXPECT_EQ(query.Update({0.9, 0.5}).size(), 0u);
+  EXPECT_EQ(query.recompute_count(), 2u);
+}
+
+class SafeRegionWalkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeRegionWalkTest, CachedAnswerAlwaysMatchesBruteForce) {
+  Rng rng(GetParam() * 31);
+  std::vector<Circle> circles;
+  size_t n = 5 + rng.Index(40);
+  for (size_t i = 0; i < n; ++i) {
+    circles.push_back(
+        {{rng.Uniform(), rng.Uniform()}, rng.Uniform(0.02, 0.3)});
+  }
+  SafeRegionTracker tracker(circles);
+  MovingQuery query(&tracker);
+
+  Point p{rng.Uniform(), rng.Uniform()};
+  for (int step = 0; step < 400; ++step) {
+    p.x += rng.Uniform(-0.01, 0.01);
+    p.y += rng.Uniform(-0.01, 0.01);
+    EXPECT_EQ(query.Update(p), tracker.Covering(p)) << "step " << step;
+  }
+  // A small-step walk must save a substantial share of recomputations.
+  EXPECT_LT(query.recompute_count(), query.update_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafeRegionWalkTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace muaa::geo

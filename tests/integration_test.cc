@@ -1,0 +1,163 @@
+// End-to-end integration tests: generate data (both generators), run the
+// full competitor line-up, and check the cross-algorithm invariants the
+// paper's experiments rely on.
+
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assign/exact.h"
+#include "assign/greedy.h"
+#include "assign/online_afa.h"
+#include "assign/recon.h"
+#include "datagen/foursquare.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+#include "test_util.h"
+
+namespace muaa {
+namespace {
+
+std::map<std::string, eval::RunRecord> RunAll(
+    const model::ProblemInstance& inst) {
+  eval::ExperimentRunner runner(&inst, 42);
+  std::map<std::string, eval::RunRecord> records;
+  for (auto& solver : eval::MakeStandardSolvers()) {
+    auto record = runner.Run(solver.get()).ValueOrDie();
+    records[record.solver] = record;
+  }
+  return records;
+}
+
+TEST(IntegrationTest, SyntheticPipelineEndToEnd) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 600;
+  cfg.num_vendors = 60;
+  cfg.radius = {0.08, 0.15};
+  cfg.budget = {5.0, 10.0};
+  cfg.customer_loc_stddev = 0.3;
+  cfg.seed = 101;
+  auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  auto records = RunAll(inst);
+  ASSERT_EQ(records.size(), 5u);
+  for (const auto& [name, rec] : records) {
+    EXPECT_GE(rec.utility, 0.0) << name;
+    EXPECT_LE(rec.budget_utilization, 1.0 + 1e-9) << name;
+  }
+  // Qualitative ordering from the paper's figures.
+  EXPECT_GT(records["RECON"].utility, records["RANDOM"].utility);
+  EXPECT_GT(records["GREEDY"].utility, records["RANDOM"].utility);
+  EXPECT_GT(records["ONLINE"].utility, records["RANDOM"].utility);
+}
+
+TEST(IntegrationTest, FoursquarePipelineEndToEnd) {
+  datagen::FoursquareLikeConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_venues = 800;
+  cfg.num_checkins = 15000;
+  cfg.max_customers = 1500;
+  cfg.budget = {5.0, 10.0};
+  cfg.seed = 202;
+  auto inst = datagen::GenerateFoursquareLike(cfg).ValueOrDie();
+  auto records = RunAll(inst);
+  EXPECT_GT(records["RECON"].utility, 0.0);
+  EXPECT_GE(records["RECON"].utility, records["RANDOM"].utility);
+  EXPECT_GE(records["GREEDY"].utility, records["RANDOM"].utility);
+}
+
+TEST(IntegrationTest, OfflineBeatsOnlineOnAverage) {
+  // Offline algorithms see all customers; across seeds they should not
+  // lose to the online algorithm in aggregate.
+  double recon_sum = 0.0, online_sum = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 400;
+    cfg.num_vendors = 40;
+    cfg.radius = {0.1, 0.2};
+    cfg.budget = {4.0, 8.0};
+    cfg.customer_loc_stddev = 0.3;
+    cfg.seed = seed;
+    auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+    auto records = RunAll(inst);
+    recon_sum += records["RECON"].utility;
+    online_sum += records["ONLINE"].utility;
+  }
+  EXPECT_GE(recon_sum, online_sum * 0.95);
+}
+
+TEST(IntegrationTest, CompetitiveRatioAgainstExactOnSmallInstances) {
+  // Corollary IV.1: OPT/ONLINE <= (ln g + 1)/θ. Verify on instances small
+  // enough for the exact solver.
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 20 && checked < 8; ++seed) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 5;
+    cfg.num_vendors = 3;
+    cfg.radius = {0.25, 0.4};
+    cfg.budget = {2.0, 4.0};
+    cfg.capacity = {1.0, 2.0};
+    cfg.customer_loc_stddev = 0.15;
+    cfg.seed = seed;
+    testutil::SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+
+    assign::ExactOptions exact_opts;
+    exact_opts.max_pairs = 20;
+    assign::ExactSolver exact(exact_opts);
+    auto opt = exact.Solve(h.ctx());
+    if (!opt.ok() || opt->total_utility() <= 0.0) continue;
+
+    assign::AfaOptions afa_opts;
+    afa_opts.g = 8.0;
+    auto afa = std::make_unique<assign::AfaOnlineSolver>(afa_opts);
+    assign::OnlineAsOffline online(std::move(afa));
+    auto online_result = online.Solve(h.ctx()).ValueOrDie();
+
+    double theta = h.view.ThetaBound();
+    double bound = (std::log(8.0) + 1.0) / theta;
+    if (online_result.total_utility() > 0.0) {
+      EXPECT_LE(opt->total_utility() / online_result.total_utility(),
+                bound + 1e-9)
+          << "seed " << seed;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(IntegrationTest, MoreCustomersMoreUtility) {
+  // Fig. 7 qualitative shape: utility of the smart algorithms grows
+  // with m (more choices), RANDOM stays flat-ish.
+  datagen::SyntheticConfig small;
+  small.num_customers = 200;
+  small.num_vendors = 30;
+  small.radius = {0.1, 0.2};
+  small.customer_loc_stddev = 0.3;
+  small.seed = 5;
+  datagen::SyntheticConfig big = small;
+  big.num_customers = 1200;
+  auto small_records = RunAll(datagen::GenerateSynthetic(small).ValueOrDie());
+  auto big_records = RunAll(datagen::GenerateSynthetic(big).ValueOrDie());
+  EXPECT_GT(big_records["RECON"].utility, small_records["RECON"].utility);
+  EXPECT_GT(big_records["GREEDY"].utility, small_records["GREEDY"].utility);
+}
+
+TEST(IntegrationTest, LargerBudgetsNeverHurt) {
+  // Fig. 3 qualitative shape.
+  datagen::SyntheticConfig low;
+  low.num_customers = 400;
+  low.num_vendors = 40;
+  low.radius = {0.1, 0.2};
+  low.budget = {1.0, 2.0};
+  low.customer_loc_stddev = 0.3;
+  low.seed = 8;
+  datagen::SyntheticConfig high = low;
+  high.budget = {20.0, 30.0};
+  auto low_records = RunAll(datagen::GenerateSynthetic(low).ValueOrDie());
+  auto high_records = RunAll(datagen::GenerateSynthetic(high).ValueOrDie());
+  EXPECT_GE(high_records["RECON"].utility, low_records["RECON"].utility);
+  EXPECT_GE(high_records["GREEDY"].utility, low_records["GREEDY"].utility);
+}
+
+}  // namespace
+}  // namespace muaa

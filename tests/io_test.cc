@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "datagen/foursquare.h"
+#include "datagen/synthetic.h"
+#include "io/checkin_io.h"
+#include "io/instance_io.h"
+
+namespace muaa::io {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / ("muaa_io_test_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(CsvParseTest, PlainFields) {
+  auto fields = ParseCsvLine("a,b,,c").ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "", "c"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsAndEscapes) {
+  auto fields = ParseCsvLine("\"a,b\",\"he\"\"llo\",plain").ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "he\"llo", "plain"}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(CsvParseTest, ToleratesTrailingCr) {
+  auto fields = ParseCsvLine("a,b\r").ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReaderTest, SkipsBlanksAndComments) {
+  std::istringstream in("# header comment\n\na,b\n  \nc,d\n");
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(&row).ValueOrDie());
+  EXPECT_EQ(row[0], "a");
+  ASSERT_TRUE(reader.ReadRow(&row).ValueOrDie());
+  EXPECT_EQ(row[0], "c");
+  EXPECT_FALSE(reader.ReadRow(&row).ValueOrDie());
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteRow({"x,y", "he\"llo", "plain"}).ok());
+  std::string line = out.str();
+  line.pop_back();  // trailing newline
+  auto fields = ParseCsvLine(line).ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"x,y", "he\"llo", "plain"}));
+}
+
+TEST(InstanceIoTest, RoundTripsSyntheticInstance) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 60;
+  cfg.num_vendors = 12;
+  auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  std::string dir = TempDir("instance");
+  ASSERT_TRUE(SaveInstance(inst, dir).ok());
+  auto loaded = LoadInstance(dir).ValueOrDie();
+
+  ASSERT_EQ(loaded.num_customers(), inst.num_customers());
+  ASSERT_EQ(loaded.num_vendors(), inst.num_vendors());
+  ASSERT_EQ(loaded.num_tags(), inst.num_tags());
+  ASSERT_EQ(loaded.ad_types.size(), inst.ad_types.size());
+  for (size_t i = 0; i < inst.num_customers(); ++i) {
+    EXPECT_EQ(loaded.customers[i].location, inst.customers[i].location);
+    EXPECT_EQ(loaded.customers[i].capacity, inst.customers[i].capacity);
+    EXPECT_DOUBLE_EQ(loaded.customers[i].view_prob,
+                     inst.customers[i].view_prob);
+    EXPECT_EQ(loaded.customers[i].interests, inst.customers[i].interests);
+  }
+  for (size_t j = 0; j < inst.num_vendors(); ++j) {
+    EXPECT_EQ(loaded.vendors[j].location, inst.vendors[j].location);
+    EXPECT_DOUBLE_EQ(loaded.vendors[j].budget, inst.vendors[j].budget);
+  }
+  for (size_t t = 0; t < inst.num_tags(); ++t) {
+    EXPECT_EQ(loaded.activity.HourlyWeights(static_cast<int32_t>(t)),
+              inst.activity.HourlyWeights(static_cast<int32_t>(t)));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InstanceIoTest, LoadFromMissingDirectoryFails) {
+  EXPECT_FALSE(LoadInstance("/nonexistent/muaa").ok());
+}
+
+TEST(CheckinIoTest, RoundTripsDataset) {
+  datagen::FoursquareLikeConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_venues = 200;
+  cfg.num_checkins = 2'000;
+  auto data = datagen::GenerateCheckinDataset(cfg).ValueOrDie();
+  std::string dir = TempDir("checkins");
+  ASSERT_TRUE(SaveCheckinDataset(data, dir).ok());
+  auto loaded = LoadCheckinDataset(dir).ValueOrDie();
+
+  EXPECT_EQ(loaded.num_users, data.num_users);
+  ASSERT_EQ(loaded.venues.size(), data.venues.size());
+  ASSERT_EQ(loaded.checkins.size(), data.checkins.size());
+  ASSERT_EQ(loaded.taxonomy.size(), data.taxonomy.size());
+  for (size_t v = 0; v < data.venues.size(); ++v) {
+    EXPECT_EQ(loaded.venues[v].tag, data.venues[v].tag);
+    EXPECT_EQ(loaded.venues[v].checkin_count, data.venues[v].checkin_count);
+  }
+  // The loaded dataset still builds a valid instance.
+  auto inst = datagen::BuildInstanceFromCheckins(cfg, loaded);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_TRUE(inst->Validate().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TsmcTest, ParsesLocalHour) {
+  // 18:00:09 UTC at +540 minutes (Tokyo) = 03:00:09 next day.
+  double h = ParseTsmcLocalHour("Tue Apr 03 18:00:09 +0000 2012", 540)
+                 .ValueOrDie();
+  EXPECT_NEAR(h, 3.0 + 9.0 / 3600.0, 1e-9);
+  // Negative offsets wrap the other way.
+  double h2 = ParseTsmcLocalHour("Tue Apr 03 01:30:00 +0000 2012", -120)
+                  .ValueOrDie();
+  EXPECT_NEAR(h2, 23.5, 1e-9);
+}
+
+TEST(TsmcTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTsmcLocalHour("not a time", 0).ok());
+  EXPECT_FALSE(ParseTsmcLocalHour("Tue Apr 03 99:00:00 +0000 2012", 0).ok());
+}
+
+TEST(TsmcTest, LoadsRealFormatFile) {
+  // Write a tiny TSMC-format file and ingest it.
+  auto path = std::filesystem::temp_directory_path() / "muaa_tsmc_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "u1\tv1\tcat1\tRamen Restaurant\t35.70\t139.70\t540\t"
+           "Tue Apr 03 18:00:09 +0000 2012\n";
+    out << "u2\tv2\tcat2\tCoffee Shop\t35.80\t139.80\t540\t"
+           "Tue Apr 03 23:10:00 +0000 2012\n";
+    out << "u1\tv1\tcat1\tRamen Restaurant\t35.70\t139.70\t540\t"
+           "Wed Apr 04 11:00:00 +0000 2012\n";
+  }
+  auto data = LoadTsmcCheckins(path.string()).ValueOrDie();
+  EXPECT_EQ(data.num_users, 2u);
+  ASSERT_EQ(data.venues.size(), 2u);
+  EXPECT_EQ(data.checkins.size(), 3u);
+  EXPECT_EQ(data.taxonomy.size(), 2u);
+  EXPECT_EQ(data.venues[0].checkin_count, 2);
+  // Coordinates min-max mapped into [0,1]².
+  for (const auto& v : data.venues) {
+    EXPECT_GE(v.location.x, 0.0);
+    EXPECT_LE(v.location.x, 1.0);
+    EXPECT_GE(v.location.y, 0.0);
+    EXPECT_LE(v.location.y, 1.0);
+  }
+  // Times are local (UTC+9).
+  EXPECT_NEAR(data.checkins[0].time_hours, 3.0 + 9.0 / 3600.0, 1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(TsmcTest, MaxRowsCapsIngestion) {
+  auto path = std::filesystem::temp_directory_path() / "muaa_tsmc_cap.tsv";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 10; ++i) {
+      out << "u\tv\tc\tCafe\t35.0\t139.0\t540\t"
+             "Tue Apr 03 12:00:00 +0000 2012\n";
+    }
+  }
+  auto data = LoadTsmcCheckins(path.string(), 4).ValueOrDie();
+  EXPECT_EQ(data.checkins.size(), 4u);
+  std::filesystem::remove(path);
+}
+
+TEST(TsmcTest, RejectsShortRows) {
+  auto path = std::filesystem::temp_directory_path() / "muaa_tsmc_bad.tsv";
+  {
+    std::ofstream out(path);
+    out << "only\tthree\tcolumns\n";
+  }
+  EXPECT_FALSE(LoadTsmcCheckins(path.string()).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace muaa::io

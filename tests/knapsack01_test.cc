@@ -1,0 +1,83 @@
+#include "knapsack/knapsack01.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace muaa::knapsack {
+namespace {
+
+TEST(Knapsack01Test, EmptyItems) {
+  auto sol = SolveKnapsack01Dp({}, 10).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sol.total_value, 0.0);
+  EXPECT_TRUE(sol.selected.empty());
+}
+
+TEST(Knapsack01Test, ZeroCapacityOnlyTakesWeightlessItems) {
+  std::vector<Knapsack01Item> items{{5.0, 0}, {9.0, 1}};
+  auto sol = SolveKnapsack01Dp(items, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sol.total_value, 5.0);
+  EXPECT_EQ(sol.selected, std::vector<int32_t>{0});
+}
+
+TEST(Knapsack01Test, ClassicInstance) {
+  // Values 60/100/120, weights 10/20/30, cap 50 → take {1,2} = 220.
+  std::vector<Knapsack01Item> items{{60, 10}, {100, 20}, {120, 30}};
+  auto sol = SolveKnapsack01Dp(items, 50).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sol.total_value, 220.0);
+  EXPECT_EQ(sol.selected, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(sol.total_weight, 50);
+}
+
+TEST(Knapsack01Test, OversizedItemIgnored) {
+  std::vector<Knapsack01Item> items{{100.0, 99}, {1.0, 1}};
+  auto sol = SolveKnapsack01Dp(items, 10).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sol.total_value, 1.0);
+}
+
+TEST(Knapsack01Test, RejectsNegativeInput) {
+  EXPECT_FALSE(SolveKnapsack01Dp({{1.0, -1}}, 10).ok());
+  EXPECT_FALSE(SolveKnapsack01Dp({{-1.0, 1}}, 10).ok());
+  EXPECT_FALSE(SolveKnapsack01Dp({{1.0, 1}}, -1).ok());
+  EXPECT_FALSE(SolveKnapsack01BranchBound({{1.0, -1}}, 10).ok());
+}
+
+TEST(Knapsack01Test, BranchBoundMatchesDpOnClassicInstance) {
+  std::vector<Knapsack01Item> items{{60, 10}, {100, 20}, {120, 30}};
+  auto bb = SolveKnapsack01BranchBound(items, 50).ValueOrDie();
+  EXPECT_DOUBLE_EQ(bb.total_value, 220.0);
+  EXPECT_EQ(bb.selected, (std::vector<int32_t>{1, 2}));
+}
+
+class Knapsack01PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Knapsack01PropertyTest, DpAndBranchBoundAgree) {
+  Rng rng(GetParam() * 977);
+  size_t n = 3 + rng.Index(15);
+  std::vector<Knapsack01Item> items(n);
+  for (auto& it : items) {
+    it.value = rng.Uniform(0.0, 10.0);
+    it.weight = rng.UniformInt(0, 20);
+  }
+  int64_t cap = rng.UniformInt(0, 40);
+  auto dp = SolveKnapsack01Dp(items, cap).ValueOrDie();
+  auto bb = SolveKnapsack01BranchBound(items, cap).ValueOrDie();
+  EXPECT_NEAR(dp.total_value, bb.total_value, 1e-9);
+  EXPECT_LE(dp.total_weight, cap);
+  EXPECT_LE(bb.total_weight, cap);
+  // Selected sets reproduce the reported totals.
+  double v = 0.0;
+  int64_t w = 0;
+  for (int32_t idx : dp.selected) {
+    v += items[static_cast<size_t>(idx)].value;
+    w += items[static_cast<size_t>(idx)].weight;
+  }
+  EXPECT_NEAR(v, dp.total_value, 1e-9);
+  EXPECT_EQ(w, dp.total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Knapsack01PropertyTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace muaa::knapsack

@@ -1,0 +1,149 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "learn/click_model.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace muaa::learn {
+namespace {
+
+using testutil::SolverHarness;
+
+TEST(ClickModelTest, PriorMeanBeforeData) {
+  ClickModel model(3);
+  EXPECT_DOUBLE_EQ(model.Estimate(0), 0.5);  // Beta(1,1) mean
+  ClickModel::Options opts;
+  opts.alpha = 2.0;
+  opts.beta = 6.0;
+  ClickModel skewed(3, opts);
+  EXPECT_DOUBLE_EQ(skewed.Estimate(1), 0.25);
+}
+
+TEST(ClickModelTest, PosteriorMeanMatchesFormula) {
+  ClickModel model(2);
+  ASSERT_TRUE(model.RecordImpressions(0, 10, 3).ok());
+  // (3+1)/(10+2) = 1/3.
+  EXPECT_NEAR(model.Estimate(0), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(model.impressions(0), 10);
+  EXPECT_EQ(model.views(0), 3);
+  // Untouched customer keeps the prior.
+  EXPECT_DOUBLE_EQ(model.Estimate(1), 0.5);
+}
+
+TEST(ClickModelTest, AccumulatesAcrossCalls) {
+  ClickModel model(1);
+  ASSERT_TRUE(model.RecordImpressions(0, 4, 1).ok());
+  ASSERT_TRUE(model.RecordImpressions(0, 6, 4).ok());
+  EXPECT_NEAR(model.Estimate(0), (5.0 + 1.0) / (10.0 + 2.0), 1e-12);
+}
+
+TEST(ClickModelTest, RejectsBadInput) {
+  ClickModel model(1);
+  EXPECT_FALSE(model.RecordImpressions(5, 1, 0).ok());
+  EXPECT_FALSE(model.RecordImpressions(0, 1, 2).ok());
+  EXPECT_FALSE(model.RecordImpressions(0, -1, 0).ok());
+}
+
+TEST(ClickModelTest, ConvergesToTruth) {
+  ClickModel model(1);
+  Rng rng(3);
+  const double truth = 0.3;
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(
+        model.RecordImpressions(0, 1, rng.Bernoulli(truth) ? 1 : 0).ok());
+  }
+  EXPECT_NEAR(model.Estimate(0), truth, 0.02);
+}
+
+TEST(ClickModelTest, ApplyToOverwritesViewProbs) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 20;
+  cfg.num_vendors = 4;
+  auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  ClickModel model(20);
+  ASSERT_TRUE(model.RecordImpressions(7, 8, 8).ok());
+  ASSERT_TRUE(model.ApplyTo(&inst).ok());
+  EXPECT_NEAR(inst.customers[7].view_prob, 9.0 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(inst.customers[3].view_prob, 0.5);
+  EXPECT_TRUE(inst.Validate().ok());
+
+  model::ProblemInstance wrong_size;
+  EXPECT_FALSE(model.ApplyTo(&wrong_size).ok());
+}
+
+TEST(FeedbackTest, StatsMatchDeliveredPlan) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 30;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 5;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  assign::ReconSolver recon;
+  auto plan = recon.Solve(h.ctx()).ValueOrDie();
+  ASSERT_GT(plan.size(), 0u);
+
+  ClickModel model(h.instance.num_customers());
+  Rng rng(11);
+  auto stats = SimulateFeedback(h.utility, plan, &model, &rng).ValueOrDie();
+  EXPECT_EQ(stats.impressions, plan.size());
+  EXPECT_LE(stats.views, stats.impressions);
+  // The plan was computed on the truth instance, so realized == planned.
+  EXPECT_NEAR(stats.realized_utility, plan.total_utility(), 1e-9);
+  // Model totals add up to the impressions.
+  int64_t total = 0;
+  for (size_t i = 0; i < model.num_customers(); ++i) {
+    total += model.impressions(static_cast<model::CustomerId>(i));
+  }
+  EXPECT_EQ(static_cast<size_t>(total), stats.impressions);
+}
+
+TEST(FeedbackTest, LearningLoopImprovesEstimates) {
+  // Broker starts from the flat prior, runs several delivery rounds on its
+  // belief instance, and its p estimates approach the truth for customers
+  // that actually receive ads.
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 200;
+  cfg.num_vendors = 25;
+  cfg.radius = {0.15, 0.25};
+  cfg.budget = {8.0, 16.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 21;
+  auto truth = datagen::GenerateSynthetic(cfg).ValueOrDie();
+  SolverHarness truth_h(truth);
+
+  model::ProblemInstance belief = truth;
+  ClickModel model(truth.num_customers());
+  ASSERT_TRUE(model.ApplyTo(&belief).ok());
+
+  Rng feedback_rng(31);
+  double prior_error = 0.0, final_error = 0.0;
+  std::vector<bool> touched(truth.num_customers(), false);
+  for (int day = 0; day < 25; ++day) {
+    SolverHarness belief_h(belief);
+    assign::ReconSolver recon;
+    auto plan = recon.Solve(belief_h.ctx()).ValueOrDie();
+    for (const auto& ad : plan.instances()) {
+      touched[static_cast<size_t>(ad.customer)] = true;
+    }
+    ASSERT_TRUE(
+        SimulateFeedback(truth_h.utility, plan, &model, &feedback_rng).ok());
+    ASSERT_TRUE(model.ApplyTo(&belief).ok());
+  }
+  size_t touched_count = 0;
+  for (size_t i = 0; i < truth.num_customers(); ++i) {
+    if (!touched[i]) continue;
+    ++touched_count;
+    prior_error += std::fabs(0.5 - truth.customers[i].view_prob);
+    final_error += std::fabs(model.Estimate(static_cast<model::CustomerId>(i)) -
+                             truth.customers[i].view_prob);
+  }
+  ASSERT_GT(touched_count, 5u);
+  EXPECT_LT(final_error, prior_error);
+}
+
+}  // namespace
+}  // namespace muaa::learn

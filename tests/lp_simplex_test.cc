@@ -1,0 +1,158 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace muaa::lp {
+namespace {
+
+LpProblem::Row Row(std::vector<std::pair<int, double>> coeffs, double rhs) {
+  LpProblem::Row r;
+  r.coeffs = std::move(coeffs);
+  r.rhs = rhs;
+  return r;
+}
+
+TEST(SimplexTest, SolvesTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  → opt 36 at (2, 6).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 5.0};
+  lp.rows = {Row({{0, 1.0}}, 4.0), Row({{1, 2.0}}, 12.0),
+             Row({{0, 3.0}, {1, 2.0}}, 18.0)};
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, HandlesSlackOnlyOptimum) {
+  // Non-positive objective → stay at the origin.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, 0.0};
+  lp.rows = {Row({{0, 1.0}, {1, 1.0}}, 10.0)};
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.rows = {Row({{0, 1.0}}, 5.0)};  // y unconstrained above
+  auto sol = SimplexSolver().Maximize(lp);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, ValidatesInput) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  EXPECT_FALSE(SimplexSolver().Maximize(lp).ok());
+
+  lp.num_vars = 1;
+  lp.objective = {1.0, 2.0};  // wrong length
+  EXPECT_FALSE(SimplexSolver().Maximize(lp).ok());
+
+  lp.objective = {1.0};
+  lp.rows = {Row({{0, 1.0}}, -1.0)};  // negative rhs
+  EXPECT_FALSE(SimplexSolver().Maximize(lp).ok());
+
+  lp.rows = {Row({{3, 1.0}}, 1.0)};  // bad var index
+  EXPECT_FALSE(SimplexSolver().Maximize(lp).ok());
+}
+
+TEST(SimplexTest, ZeroRhsRowsAreFine) {
+  // x <= 0 pins x at 0; optimum uses y only.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {10.0, 1.0};
+  lp.rows = {Row({{0, 1.0}}, 0.0), Row({{1, 1.0}}, 3.0)};
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 3.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 0.0, 1e-12);
+}
+
+TEST(SimplexTest, DuplicateCoefficientIndicesAccumulate) {
+  // Row lists x twice with coefficient 1 → effectively 2x <= 4.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.rows = {Row({{0, 1.0}, {0, 1.0}}, 4.0)};
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, KnapsackRelaxationFractionalOptimum) {
+  // max 10a + 9b, a,b <= 1, 2a + 3b <= 4 → a=1, b=2/3, value 16.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {10.0, 9.0};
+  lp.rows = {Row({{0, 1.0}}, 1.0), Row({{1, 1.0}}, 1.0),
+             Row({{0, 2.0}, {1, 3.0}}, 4.0)};
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 16.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, IterationCapSurfacesAsResourceExhausted) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 5.0};
+  lp.rows = {Row({{0, 1.0}}, 4.0), Row({{1, 2.0}}, 12.0),
+             Row({{0, 3.0}, {1, 2.0}}, 18.0)};
+  SimplexSolver::Options opts;
+  opts.max_iterations = 1;
+  auto sol = SimplexSolver(opts).Maximize(lp);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
+}
+
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, FeasibleAndNoBetterThanRowBounds) {
+  // Property: the returned point satisfies all constraints and x >= 0,
+  // and the objective matches c·x.
+  Rng rng(GetParam());
+  LpProblem lp;
+  lp.num_vars = 5;
+  lp.objective.resize(5);
+  for (double& c : lp.objective) c = rng.Uniform(0.0, 2.0);
+  for (int r = 0; r < 6; ++r) {
+    LpProblem::Row row;
+    for (int v = 0; v < 5; ++v) {
+      row.coeffs.emplace_back(v, rng.Uniform(0.1, 1.0));
+    }
+    row.rhs = rng.Uniform(1.0, 5.0);
+    lp.rows.push_back(row);
+  }
+  auto sol = SimplexSolver().Maximize(lp);
+  ASSERT_TRUE(sol.ok());
+  double obj = 0.0;
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_GE(sol->values[static_cast<size_t>(v)], -1e-9);
+    obj += lp.objective[static_cast<size_t>(v)] *
+           sol->values[static_cast<size_t>(v)];
+  }
+  EXPECT_NEAR(obj, sol->objective_value, 1e-9);
+  for (const auto& row : lp.rows) {
+    double lhs = 0.0;
+    for (auto& [idx, coef] : row.coeffs) {
+      lhs += coef * sol->values[static_cast<size_t>(idx)];
+    }
+    EXPECT_LE(lhs, row.rhs + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace muaa::lp

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "knapsack/mckp_dp.h"
+#include "knapsack/mckp_lp_greedy.h"
+#include "knapsack/mckp_simplex.h"
+
+namespace muaa::knapsack {
+namespace {
+
+MckpProblem RandomProblem(Rng* rng, size_t max_classes = 8,
+                          size_t max_items = 4, double max_budget = 12.0) {
+  MckpProblem p;
+  p.budget = std::floor(rng->Uniform(1.0, max_budget) * 100.0) / 100.0;
+  size_t num_classes = 1 + rng->Index(max_classes);
+  p.classes.resize(num_classes);
+  for (auto& cls : p.classes) {
+    size_t k = 1 + rng->Index(max_items);
+    for (size_t i = 0; i < k; ++i) {
+      MckpItem item;
+      item.value = rng->Uniform(0.0, 5.0);
+      // Costs on a cent grid so the DP scaling is exact.
+      item.cost = static_cast<double>(rng->UniformInt(1, 400)) / 100.0;
+      item.payload = static_cast<int32_t>(i);
+      cls.items.push_back(item);
+    }
+  }
+  return p;
+}
+
+/// Brute force over all (item|none)^classes combinations.
+double BruteForceOptimum(const MckpProblem& p) {
+  double best = 0.0;
+  std::vector<int32_t> pick(p.classes.size(), -1);
+  std::function<void(size_t, double, double)> rec = [&](size_t c, double cost,
+                                                        double value) {
+    if (value > best) best = value;
+    if (c >= p.classes.size()) return;
+    rec(c + 1, cost, value);
+    for (size_t i = 0; i < p.classes[c].items.size(); ++i) {
+      const MckpItem& item = p.classes[c].items[i];
+      if (cost + item.cost <= p.budget + 1e-12) {
+        rec(c + 1, cost + item.cost, value + item.value);
+      }
+    }
+  };
+  rec(0, 0.0, 0.0);
+  return best;
+}
+
+TEST(MckpDpTest, SolvesHandInstanceExactly) {
+  MckpProblem p;
+  p.budget = 3.0;
+  p.classes.resize(2);
+  p.classes[0].items = {{3.0, 1.0, 0}, {5.0, 2.0, 1}};
+  p.classes[1].items = {{4.0, 1.0, 0}, {4.5, 2.0, 1}};
+  auto r = SolveMckpDp(p).ValueOrDie();
+  // Optimum: class0 item1 ($2, 5) + class1 item0 ($1, 4) = 9.
+  EXPECT_DOUBLE_EQ(r.selection.total_value, 9.0);
+  EXPECT_EQ(r.selection.chosen, (std::vector<int32_t>{1, 0}));
+  EXPECT_TRUE(CheckSelection(p, r.selection).ok());
+  EXPECT_GE(r.lp_upper_bound, 9.0 - 1e-9);
+}
+
+TEST(MckpDpTest, RejectsNonCentCosts) {
+  MckpProblem p;
+  p.budget = 3.0;
+  p.classes.resize(1);
+  p.classes[0].items = {{1.0, 0.123456, 0}};
+  EXPECT_FALSE(SolveMckpDp(p).ok());
+}
+
+TEST(MckpDpTest, HonoursBudgetUnitCap) {
+  MckpProblem p;
+  p.budget = 1e6;
+  p.classes.resize(1);
+  p.classes[0].items = {{1.0, 1.0, 0}};
+  MckpDpOptions opts;
+  opts.max_budget_units = 100;
+  EXPECT_EQ(SolveMckpDp(p, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(MckpDpTest, ZeroBudgetSelectsNothing) {
+  MckpProblem p;
+  p.budget = 0.0;
+  p.classes.resize(1);
+  p.classes[0].items = {{5.0, 1.0, 0}};
+  auto r = SolveMckpDp(p).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.selection.total_value, 0.0);
+  EXPECT_EQ(r.selection.chosen[0], -1);
+}
+
+TEST(MckpLpGreedyTest, EmptyProblem) {
+  MckpProblem p;
+  p.budget = 5.0;
+  auto r = SolveMckpLpGreedy(p).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.selection.total_value, 0.0);
+  EXPECT_DOUBLE_EQ(r.lp_upper_bound, 0.0);
+}
+
+TEST(MckpLpGreedyTest, PicksBestSingleItemWhenGreedyFails) {
+  // Greedy-by-efficiency takes the cheap item and cannot afford the big
+  // one; best-single rescues the 1/2 guarantee.
+  MckpProblem p;
+  p.budget = 10.0;
+  p.classes.resize(2);
+  p.classes[0].items = {{1.0, 1.0, 0}};    // efficiency 1.0
+  p.classes[1].items = {{9.5, 10.0, 0}};   // efficiency 0.95, needs all budget
+  auto r = SolveMckpLpGreedy(p).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.selection.total_value, 9.5);
+  EXPECT_EQ(r.selection.chosen, (std::vector<int32_t>{-1, 0}));
+}
+
+class MckpCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpCrossCheckTest, DpMatchesBruteForce) {
+  Rng rng(GetParam() * 131);
+  MckpProblem p = RandomProblem(&rng, /*max_classes=*/6, /*max_items=*/3,
+                                /*max_budget=*/8.0);
+  double want = BruteForceOptimum(p);
+  auto dp = SolveMckpDp(p).ValueOrDie();
+  EXPECT_NEAR(dp.selection.total_value, want, 1e-9);
+  EXPECT_TRUE(CheckSelection(p, dp.selection).ok());
+}
+
+TEST_P(MckpCrossCheckTest, LpBoundDominatesOptimum) {
+  Rng rng(GetParam() * 733);
+  MckpProblem p = RandomProblem(&rng);
+  auto dp = SolveMckpDp(p).ValueOrDie();
+  EXPECT_GE(ComputeMckpLpBound(p), dp.selection.total_value - 1e-9);
+}
+
+TEST_P(MckpCrossCheckTest, LpGreedyFeasibleAndAboveHalfBound) {
+  Rng rng(GetParam() * 389);
+  MckpProblem p = RandomProblem(&rng);
+  auto r = SolveMckpLpGreedy(p).ValueOrDie();
+  EXPECT_TRUE(CheckSelection(p, r.selection).ok());
+  // Classic guarantee: integral >= LP/2.
+  EXPECT_GE(r.selection.total_value, 0.5 * r.lp_upper_bound - 1e-9);
+  // And the bound itself is an upper bound on the true optimum.
+  auto dp = SolveMckpDp(p).ValueOrDie();
+  EXPECT_GE(r.lp_upper_bound, dp.selection.total_value - 1e-9);
+  EXPECT_LE(r.selection.total_value, dp.selection.total_value + 1e-9);
+}
+
+TEST_P(MckpCrossCheckTest, SimplexRelaxationMatchesGreedyLpBound) {
+  Rng rng(GetParam() * 517);
+  MckpProblem p = RandomProblem(&rng, /*max_classes=*/5, /*max_items=*/3);
+  auto simplex = SolveMckpSimplex(p).ValueOrDie();
+  double greedy_bound = ComputeMckpLpBound(p);
+  // Both compute the optimum of the same LP relaxation.
+  EXPECT_NEAR(simplex.lp_upper_bound, greedy_bound, 1e-6);
+  EXPECT_TRUE(CheckSelection(p, simplex.selection).ok());
+}
+
+TEST_P(MckpCrossCheckTest, SmallCostRegimeIsNearOptimal) {
+  // The paper's assumption: item cost << budget. LP-greedy should then be
+  // within a few percent of the exact optimum.
+  Rng rng(GetParam() * 907);
+  MckpProblem p;
+  p.budget = 50.0;
+  p.classes.resize(40);
+  for (auto& cls : p.classes) {
+    for (int i = 0; i < 3; ++i) {
+      cls.items.push_back({rng.Uniform(0.1, 1.0),
+                           static_cast<double>(rng.UniformInt(50, 200)) / 100.0,
+                           i});
+    }
+  }
+  auto greedy = SolveMckpLpGreedy(p).ValueOrDie();
+  auto dp = SolveMckpDp(p).ValueOrDie();
+  EXPECT_GE(greedy.selection.total_value,
+            0.93 * dp.selection.total_value - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpCrossCheckTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace muaa::knapsack

@@ -1,0 +1,121 @@
+#include "knapsack/mckp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace muaa::knapsack {
+namespace {
+
+MckpProblem TwoClassProblem() {
+  // Class 0: ($1, 3), ($2, 5); class 1: ($1, 4), ($2, 4.5). Budget 3.
+  MckpProblem p;
+  p.budget = 3.0;
+  p.classes.resize(2);
+  p.classes[0].items = {{3.0, 1.0, 0}, {5.0, 2.0, 1}};
+  p.classes[1].items = {{4.0, 1.0, 0}, {4.5, 2.0, 1}};
+  return p;
+}
+
+TEST(MckpTest, ValidateCatchesBadInput) {
+  MckpProblem p = TwoClassProblem();
+  EXPECT_TRUE(p.Validate().ok());
+  p.budget = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TwoClassProblem();
+  p.classes[0].items[0].cost = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TwoClassProblem();
+  p.classes[1].items[1].value = -0.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MckpTest, CheckSelectionAcceptsConsistent) {
+  MckpProblem p = TwoClassProblem();
+  MckpSelection sel;
+  sel.chosen = {1, 0};  // $2+ $1 = 3, value 9
+  sel.total_cost = 3.0;
+  sel.total_value = 9.0;
+  EXPECT_TRUE(CheckSelection(p, sel).ok());
+}
+
+TEST(MckpTest, CheckSelectionRejectsOverBudgetAndStale) {
+  MckpProblem p = TwoClassProblem();
+  MckpSelection sel;
+  sel.chosen = {1, 1};  // $4 > 3
+  sel.total_cost = 4.0;
+  sel.total_value = 9.5;
+  EXPECT_FALSE(CheckSelection(p, sel).ok());
+  sel.chosen = {0, -1};
+  sel.total_cost = 99.0;  // stale totals
+  sel.total_value = 3.0;
+  EXPECT_FALSE(CheckSelection(p, sel).ok());
+  sel.chosen = {5, -1};  // out of range
+  EXPECT_FALSE(CheckSelection(p, sel).ok());
+  sel.chosen = {0};  // wrong size
+  EXPECT_FALSE(CheckSelection(p, sel).ok());
+}
+
+TEST(MckpReduceTest, DropsDominatedItems) {
+  MckpProblem p;
+  p.budget = 10.0;
+  p.classes.resize(1);
+  // Item 1 dominates item 0 (same cost, more value); item 2 dominated
+  // (costlier, less value than item 1).
+  p.classes[0].items = {{3.0, 1.0, 0}, {4.0, 1.0, 1}, {3.5, 2.0, 2}};
+  auto reduced = ReduceClasses(p);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0].kept, std::vector<int32_t>{1});
+}
+
+TEST(MckpReduceTest, DropsLpDominatedItems) {
+  MckpProblem p;
+  p.budget = 10.0;
+  p.classes.resize(1);
+  // (1,$1), (1.1,$2), (3,$3): the middle point lies under the hull
+  // segment from (1,1) to (3,3) → LP-dominated.
+  p.classes[0].items = {{1.0, 1.0, 0}, {1.1, 2.0, 1}, {3.0, 3.0, 2}};
+  auto reduced = ReduceClasses(p);
+  EXPECT_EQ(reduced[0].kept, (std::vector<int32_t>{0, 2}));
+}
+
+TEST(MckpReduceTest, DropsZeroValueItems) {
+  MckpProblem p;
+  p.budget = 10.0;
+  p.classes.resize(1);
+  p.classes[0].items = {{0.0, 1.0, 0}, {2.0, 2.0, 1}};
+  auto reduced = ReduceClasses(p);
+  EXPECT_EQ(reduced[0].kept, std::vector<int32_t>{1});
+}
+
+TEST(MckpReduceTest, HullHasIncreasingValueDecreasingEfficiency) {
+  Rng rng(4242);
+  for (int round = 0; round < 30; ++round) {
+    MckpProblem p;
+    p.budget = 100.0;
+    p.classes.resize(1);
+    size_t k = 2 + rng.Index(10);
+    for (size_t i = 0; i < k; ++i) {
+      p.classes[0].items.push_back(
+          {rng.Uniform(0.0, 5.0), rng.Uniform(0.5, 4.0),
+           static_cast<int32_t>(i)});
+    }
+    auto reduced = ReduceClasses(p);
+    const auto& kept = reduced[0].kept;
+    double prev_cost = 0.0, prev_value = 0.0;
+    double prev_eff = std::numeric_limits<double>::infinity();
+    for (int32_t idx : kept) {
+      const MckpItem& item = p.classes[0].items[static_cast<size_t>(idx)];
+      EXPECT_GT(item.cost, prev_cost);
+      EXPECT_GT(item.value, prev_value);
+      double eff = (item.value - prev_value) / (item.cost - prev_cost);
+      EXPECT_LT(eff, prev_eff + 1e-12);
+      prev_cost = item.cost;
+      prev_value = item.value;
+      prev_eff = eff;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muaa::knapsack

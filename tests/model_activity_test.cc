@@ -1,0 +1,56 @@
+#include "model/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace muaa::model {
+namespace {
+
+TEST(ActivityTest, UniformScheduleIsAllOnes) {
+  ActivitySchedule sched = ActivitySchedule::Uniform(3);
+  EXPECT_EQ(sched.num_tags(), 3u);
+  for (int32_t tag = 0; tag < 3; ++tag) {
+    for (int h = 0; h < 24; ++h) {
+      EXPECT_DOUBLE_EQ(sched.At(tag, h), 1.0);
+    }
+  }
+}
+
+TEST(ActivityTest, FromMatrixRoundTrips) {
+  std::vector<std::vector<double>> m(2, std::vector<double>(24, 0.5));
+  m[1][12] = 0.9;
+  auto sched = ActivitySchedule::FromMatrix(m).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sched.At(1, 12.5), 0.9);
+  EXPECT_DOUBLE_EQ(sched.At(1, 13.0), 0.5);
+  EXPECT_EQ(sched.HourlyWeights(1)[12], 0.9);
+}
+
+TEST(ActivityTest, FromMatrixRejectsBadShapes) {
+  EXPECT_FALSE(
+      ActivitySchedule::FromMatrix({std::vector<double>(23, 1.0)}).ok());
+  std::vector<double> with_zero(24, 1.0);
+  with_zero[3] = 0.0;
+  EXPECT_FALSE(ActivitySchedule::FromMatrix({with_zero}).ok());
+  std::vector<double> with_negative(24, 1.0);
+  with_negative[3] = -0.1;
+  EXPECT_FALSE(ActivitySchedule::FromMatrix({with_negative}).ok());
+}
+
+TEST(ActivityTest, HourSlotWrapsAndClamps) {
+  EXPECT_EQ(ActivitySchedule::HourSlot(0.0), 0);
+  EXPECT_EQ(ActivitySchedule::HourSlot(23.99), 23);
+  EXPECT_EQ(ActivitySchedule::HourSlot(24.0), 0);
+  EXPECT_EQ(ActivitySchedule::HourSlot(25.5), 1);
+  EXPECT_EQ(ActivitySchedule::HourSlot(-1.0), 23);
+  EXPECT_EQ(ActivitySchedule::HourSlot(-25.0), 23);
+}
+
+TEST(ActivityTest, AtUsesWrappedTime) {
+  std::vector<std::vector<double>> m(1, std::vector<double>(24, 0.2));
+  m[0][0] = 0.7;
+  auto sched = ActivitySchedule::FromMatrix(m).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sched.At(0, 24.3), 0.7);
+  EXPECT_DOUBLE_EQ(sched.At(0, 48.9), 0.7);
+}
+
+}  // namespace
+}  // namespace muaa::model

@@ -1,0 +1,109 @@
+#include "model/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "model/ad_type.h"
+#include "test_util.h"
+
+namespace muaa::model {
+namespace {
+
+using testutil::EmptyInstance;
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+using testutil::OnePairInstance;
+
+TEST(AdTypeCatalogTest, PaperTableIMatchesThePaper) {
+  AdTypeCatalog catalog = AdTypeCatalog::PaperTableI();
+  ASSERT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.at(0).name, "text_link");
+  EXPECT_DOUBLE_EQ(catalog.at(0).cost, 1.0);
+  EXPECT_DOUBLE_EQ(catalog.at(0).effectiveness, 0.1);
+  EXPECT_DOUBLE_EQ(catalog.at(1).cost, 2.0);
+  EXPECT_DOUBLE_EQ(catalog.at(1).effectiveness, 0.4);
+  EXPECT_TRUE(catalog.Validate().ok());
+  EXPECT_DOUBLE_EQ(catalog.MinCost(), 1.0);
+  EXPECT_DOUBLE_EQ(catalog.MaxCost(), 2.0);
+}
+
+TEST(AdTypeCatalogTest, AdWordsLikeIsValidAndMonotone) {
+  AdTypeCatalog catalog = AdTypeCatalog::AdWordsLike();
+  EXPECT_TRUE(catalog.Validate().ok());
+  EXPECT_GE(catalog.size(), 3u);
+}
+
+TEST(AdTypeCatalogTest, CreateRejectsNonMonotoneCatalog) {
+  // Costlier but less effective violates the paper's assumption.
+  auto r = AdTypeCatalog::Create({{"cheap", 1.0, 0.5}, {"dear", 2.0, 0.2}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AdTypeCatalogTest, CreateRejectsBadValues) {
+  EXPECT_FALSE(AdTypeCatalog::Create({{"free", 0.0, 0.5}}).ok());
+  EXPECT_FALSE(AdTypeCatalog::Create({{"super", 1.0, 1.5}}).ok());
+  EXPECT_FALSE(AdTypeCatalog::Create({{"dud", 1.0, 0.0}}).ok());
+  EXPECT_FALSE(AdTypeCatalog::Create({}).ok());
+}
+
+TEST(InstanceTest, ValidInstancePasses) {
+  EXPECT_TRUE(OnePairInstance().Validate().ok());
+}
+
+TEST(InstanceTest, EmptyEntitiesStillValid) {
+  EXPECT_TRUE(EmptyInstance().Validate().ok());
+}
+
+TEST(InstanceTest, RejectsWrongVectorLength) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(MakeCustomer(0.5, 0.5, 1, 0.5, 0.0, {1.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsInterestOutsideUnit) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 0.5, 0.0, {1.5, 0.0, 0.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsNegativeCapacity) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, -1, 0.5, 0.0, {1.0, 0.0, 0.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsBadViewProbability) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 1.5, 0.0, {1.0, 0.0, 0.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsUnsortedArrivals) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 0.5, 10.0, {1.0, 0.0, 0.0}));
+  inst.customers.push_back(
+      MakeCustomer(0.6, 0.5, 1, 0.5, 5.0, {1.0, 0.0, 0.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsNegativeVendorFields) {
+  auto inst = EmptyInstance();
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, -0.1, 1.0, {1.0, 0.0, 0.0}));
+  EXPECT_FALSE(inst.Validate().ok());
+  inst.vendors[0].radius = 0.1;
+  inst.vendors[0].budget = -1.0;
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsEmptyTagUniverse) {
+  model::ProblemInstance inst;
+  inst.ad_types = AdTypeCatalog::PaperTableI();
+  inst.activity = ActivitySchedule::Uniform(0);
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+}  // namespace
+}  // namespace muaa::model

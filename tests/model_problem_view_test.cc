@@ -1,0 +1,147 @@
+#include "model/problem_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace muaa::model {
+namespace {
+
+using testutil::EmptyInstance;
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+
+ProblemInstance RandomInstance(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto inst = EmptyInstance();
+  for (size_t i = 0; i < m; ++i) {
+    inst.customers.push_back(MakeCustomer(rng.Uniform(), rng.Uniform(), 2, 0.5,
+                                          static_cast<double>(i) * 1e-3,
+                                          {1.0, 0.5, 0.0}));
+  }
+  for (size_t j = 0; j < n; ++j) {
+    inst.vendors.push_back(MakeVendor(rng.Uniform(), rng.Uniform(),
+                                      rng.Uniform(0.01, 0.2), 5.0,
+                                      {0.9, 0.4, 0.1}));
+  }
+  return inst;
+}
+
+TEST(ProblemViewTest, ValidCustomersMatchesBruteForce) {
+  ProblemInstance inst = RandomInstance(300, 40, 7);
+  ProblemView view(&inst);
+  for (size_t j = 0; j < inst.vendors.size(); ++j) {
+    auto got = view.ValidCustomers(static_cast<VendorId>(j));
+    std::vector<CustomerId> want;
+    for (size_t i = 0; i < inst.customers.size(); ++i) {
+      if (geo::Distance(inst.customers[i].location,
+                        inst.vendors[j].location) <= inst.vendors[j].radius) {
+        want.push_back(static_cast<CustomerId>(i));
+      }
+    }
+    EXPECT_EQ(got, want) << "vendor " << j;
+  }
+}
+
+TEST(ProblemViewTest, ValidVendorsMatchesBruteForce) {
+  ProblemInstance inst = RandomInstance(100, 80, 11);
+  ProblemView view(&inst);
+  for (size_t i = 0; i < inst.customers.size(); ++i) {
+    auto got = view.ValidVendors(static_cast<CustomerId>(i));
+    std::vector<VendorId> want;
+    for (size_t j = 0; j < inst.vendors.size(); ++j) {
+      if (geo::Distance(inst.customers[i].location,
+                        inst.vendors[j].location) <= inst.vendors[j].radius) {
+        want.push_back(static_cast<VendorId>(j));
+      }
+    }
+    EXPECT_EQ(got, want) << "customer " << i;
+  }
+}
+
+TEST(ProblemViewTest, ValidityIsSymmetricAcrossDirections) {
+  ProblemInstance inst = RandomInstance(120, 60, 13);
+  ProblemView view(&inst);
+  for (size_t j = 0; j < inst.vendors.size(); ++j) {
+    for (CustomerId i : view.ValidCustomers(static_cast<VendorId>(j))) {
+      auto vendors = view.ValidVendors(i);
+      EXPECT_TRUE(std::binary_search(vendors.begin(), vendors.end(),
+                                     static_cast<VendorId>(j)));
+    }
+  }
+}
+
+TEST(ProblemViewTest, NearestVendorsOrderedByDistance) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 0.5, 0.0, {1.0, 0.0, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.9, 0.5, 0.1, 1.0, {1, 0, 0}));
+  inst.vendors.push_back(MakeVendor(0.55, 0.5, 0.1, 1.0, {1, 0, 0}));
+  inst.vendors.push_back(MakeVendor(0.7, 0.5, 0.1, 1.0, {1, 0, 0}));
+  ProblemView view(&inst);
+  EXPECT_EQ(view.NearestVendors(0, 3), (std::vector<VendorId>{1, 2, 0}));
+  EXPECT_EQ(view.NearestVendors(0, 1), std::vector<VendorId>{1});
+}
+
+TEST(ProblemViewTest, ThetaBoundMatchesDefinition) {
+  auto inst = EmptyInstance();
+  // Customer 0: capacity 1, covered by 2 vendors → a/n^c = 1/2.
+  // Customer 1: capacity 3, covered by 1 vendor  → n^c = max(1,3) → 1.
+  inst.customers.push_back(
+      MakeCustomer(0.50, 0.50, 1, 0.5, 0.0, {1.0, 0.0, 0.0}));
+  inst.customers.push_back(
+      MakeCustomer(0.90, 0.90, 3, 0.5, 1.0, {1.0, 0.0, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.52, 0.5, 0.10, 1.0, {1, 0, 0}));
+  inst.vendors.push_back(MakeVendor(0.48, 0.5, 0.10, 1.0, {1, 0, 0}));
+  ProblemView view(&inst);
+  auto counts = view.ValidVendorCounts();
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_DOUBLE_EQ(view.ThetaBound(), 0.5);
+}
+
+TEST(ProblemViewTest, ThetaBoundIgnoresZeroCapacityCustomers) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 0, 0.5, 0.0, {1.0, 0.0, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.1, 1.0, {1, 0, 0}));
+  ProblemView view(&inst);
+  EXPECT_DOUBLE_EQ(view.ThetaBound(), 1.0);
+}
+
+TEST(ProblemViewTest, EmptyInstanceThetaIsOne) {
+  auto inst = EmptyInstance();
+  ProblemView view(&inst);
+  EXPECT_DOUBLE_EQ(view.ThetaBound(), 1.0);
+}
+
+
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<SpatialBackend> {};
+
+TEST_P(BackendEquivalenceTest, BothBackendsAgreeEverywhere) {
+  ProblemInstance inst = RandomInstance(250, 60, 19);
+  ProblemView grid(&inst, SpatialBackend::kGrid);
+  ProblemView other(&inst, GetParam());
+  for (size_t j = 0; j < inst.vendors.size(); ++j) {
+    EXPECT_EQ(grid.ValidCustomers(static_cast<VendorId>(j)),
+              other.ValidCustomers(static_cast<VendorId>(j)));
+  }
+  for (size_t i = 0; i < inst.customers.size(); ++i) {
+    EXPECT_EQ(grid.ValidVendors(static_cast<CustomerId>(i)),
+              other.ValidVendors(static_cast<CustomerId>(i)));
+    EXPECT_EQ(grid.NearestVendors(static_cast<CustomerId>(i), 5),
+              other.NearestVendors(static_cast<CustomerId>(i), 5));
+  }
+  EXPECT_DOUBLE_EQ(grid.ThetaBound(), other.ThetaBound());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendEquivalenceTest,
+                         ::testing::Values(SpatialBackend::kGrid,
+                                           SpatialBackend::kRTree));
+
+}  // namespace
+}  // namespace muaa::model

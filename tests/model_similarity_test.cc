@@ -1,0 +1,139 @@
+#include "model/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace muaa::model {
+namespace {
+
+const std::vector<double> kOnes{1.0, 1.0, 1.0, 1.0};
+
+TEST(SimilarityTest, WeightedMeanUniformWeights) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 2.0, 3.0, 6.0}, kOnes), 3.0);
+}
+
+TEST(SimilarityTest, WeightedMeanRespectsWeights) {
+  // Weight 3 on the value 4, weight 1 on the value 0 → mean 3.
+  EXPECT_DOUBLE_EQ(WeightedMean({4.0, 0.0}, {3.0, 1.0}), 3.0);
+}
+
+TEST(SimilarityTest, PerfectPositiveCorrelation) {
+  std::vector<double> a{0.1, 0.2, 0.3, 0.4};
+  std::vector<double> b{0.2, 0.4, 0.6, 0.8};  // b = 2a
+  EXPECT_NEAR(WeightedPearson(a, b, kOnes), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, PerfectNegativeCorrelation) {
+  std::vector<double> a{0.1, 0.2, 0.3, 0.4};
+  std::vector<double> b{0.4, 0.3, 0.2, 0.1};
+  EXPECT_NEAR(WeightedPearson(a, b, kOnes), -1.0, 1e-12);
+}
+
+TEST(SimilarityTest, KnownPearsonValue) {
+  // Hand-computed plain Pearson: a=(1,2,3), b=(1,3,2) → r = 0.5.
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0, 3.0, 2.0};
+  std::vector<double> w{1.0, 1.0, 1.0};
+  EXPECT_NEAR(WeightedPearson(a, b, w), 0.5, 1e-12);
+}
+
+TEST(SimilarityTest, ConstantVectorHasZeroSimilarity) {
+  std::vector<double> a{0.5, 0.5, 0.5, 0.5};
+  std::vector<double> b{0.1, 0.9, 0.4, 0.2};
+  EXPECT_DOUBLE_EQ(WeightedPearson(a, b, kOnes), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedPearson(b, a, kOnes), 0.0);
+}
+
+TEST(SimilarityTest, WeightsChangeTheCorrelation) {
+  // On dims {0,1} a and b agree; on {2,3} they oppose. Weighting the
+  // agreeing dims up must raise the correlation.
+  std::vector<double> a{0.0, 1.0, 0.0, 1.0};
+  std::vector<double> b{0.0, 1.0, 1.0, 0.0};
+  double balanced = WeightedPearson(a, b, kOnes);
+  double agree_weighted = WeightedPearson(a, b, {5.0, 5.0, 1.0, 1.0});
+  EXPECT_GT(agree_weighted, balanced);
+}
+
+TEST(SimilarityTest, ZeroActivityDimensionIsIgnored) {
+  // A dimension with weight 0 must not affect the result.
+  std::vector<double> a{0.1, 0.9, 0.77};
+  std::vector<double> b{0.3, 0.6, 0.01};
+  double with_dim = WeightedPearson(a, b, {1.0, 1.0, 0.0});
+  std::vector<double> a2{0.1, 0.9};
+  std::vector<double> b2{0.3, 0.6};
+  double without_dim = WeightedPearson(a2, b2, {1.0, 1.0});
+  EXPECT_NEAR(with_dim, without_dim, 1e-12);
+}
+
+TEST(SimilarityTest, SymmetricInArguments) {
+  std::vector<double> a{0.1, 0.7, 0.3, 0.9};
+  std::vector<double> b{0.4, 0.2, 0.8, 0.5};
+  std::vector<double> w{0.5, 1.0, 2.0, 0.25};
+  EXPECT_DOUBLE_EQ(WeightedPearson(a, b, w), WeightedPearson(b, a, w));
+}
+
+TEST(SimilarityTest, ResultClampedToUnitInterval) {
+  std::vector<double> a{0.0, 1.0};
+  std::vector<double> b{0.0, 1.0};
+  double r = WeightedPearson(a, b, {1.0, 3.0});
+  EXPECT_LE(r, 1.0);
+  EXPECT_GE(r, -1.0);
+}
+
+TEST(SimilarityTest, CovarianceMatchesDefinition) {
+  std::vector<double> a{1.0, 3.0};
+  std::vector<double> b{2.0, 6.0};
+  std::vector<double> w{1.0, 1.0};
+  double ma = WeightedMean(a, w);
+  double mb = WeightedMean(b, w);
+  // cov = E[(a-2)(b-4)] = ((-1)(-2) + (1)(2))/2 = 2.
+  EXPECT_DOUBLE_EQ(WeightedCovariance(a, ma, b, mb, w), 2.0);
+}
+
+
+TEST(CosineTest, ParallelVectorsScoreOne) {
+  std::vector<double> a{0.1, 0.2, 0.3, 0.4};
+  std::vector<double> b{0.2, 0.4, 0.6, 0.8};
+  EXPECT_NEAR(WeightedCosine(a, b, kOnes), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsScoreZero) {
+  std::vector<double> a{1.0, 0.0, 0.0, 0.0};
+  std::vector<double> b{0.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(WeightedCosine(a, b, kOnes), 0.0);
+}
+
+TEST(CosineTest, ZeroVectorScoresZero) {
+  std::vector<double> a{0.0, 0.0, 0.0, 0.0};
+  std::vector<double> b{0.3, 0.1, 0.2, 0.9};
+  EXPECT_DOUBLE_EQ(WeightedCosine(a, b, kOnes), 0.0);
+}
+
+TEST(CosineTest, NonNegativeProfilesNeverScoreNegative) {
+  // Unlike Pearson, cosine of non-negative vectors is >= 0.
+  std::vector<double> a{1.0, 0.0, 0.5};
+  std::vector<double> b{0.0, 1.0, 0.5};
+  std::vector<double> w{1.0, 1.0, 1.0};
+  EXPECT_GE(WeightedCosine(a, b, w), 0.0);
+  EXPECT_LT(WeightedPearson(a, b, w), 0.0);  // Pearson goes negative here
+}
+
+TEST(CosineTest, WeightsMatter) {
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{1.0, 1.0};
+  double balanced = WeightedCosine(a, b, {1.0, 1.0});
+  double first_dim_heavy = WeightedCosine(a, b, {10.0, 0.1});
+  EXPECT_GT(first_dim_heavy, balanced);
+}
+
+TEST(CosineTest, ConstantPositiveVectorStillCarriesCosineSignal) {
+  // Pearson collapses constant vectors to 0; cosine does not.
+  std::vector<double> a{0.5, 0.5, 0.5, 0.5};
+  std::vector<double> b{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(WeightedPearson(a, b, kOnes), 0.0);
+  EXPECT_NEAR(WeightedCosine(a, b, kOnes), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace muaa::model

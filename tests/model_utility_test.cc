@@ -1,0 +1,139 @@
+#include "model/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "model/similarity.h"
+#include "test_util.h"
+
+namespace muaa::model {
+namespace {
+
+using testutil::EmptyInstance;
+using testutil::MakeCustomer;
+using testutil::MakeVendor;
+
+TEST(UtilityModelTest, PaperExampleArithmetic) {
+  // The paper's Example 1: sending a PL ad (β=0.4) of vendor v2 to
+  // customer u3 (p=0.15, preference 0.9, distance 7.5) has utility
+  // 0.0072 = 0.15 · 0.4 · 0.9 / 7.5. We reproduce Eq. (4) with the
+  // similarity passed explicitly (the example gives s directly).
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.0, 0.0, 2, 0.15, 17.0, {1.0, 0.0, 0.0}));
+  inst.vendors.push_back(MakeVendor(7.5, 0.0, 10.0, 3.0, {0.9, 0.1, 0.0}));
+  UtilityModel model(&inst);
+  double util = model.UtilityWithSimilarity(0, 0, /*photo link*/ 1, 0.9);
+  EXPECT_NEAR(util, 0.0072, 1e-12);
+  // Text link (β=0.1): 0.15 · 0.1 · 0.9 / 7.5 = 0.0018.
+  EXPECT_NEAR(model.UtilityWithSimilarity(0, 0, 0, 0.9), 0.0018, 1e-12);
+}
+
+TEST(UtilityModelTest, SimilarityMatchesStandaloneWeightedPearson) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 3.0, {0.9, 0.1, 0.4}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {0.7, 0.2, 0.6}));
+  UtilityModel model(&inst);
+  std::vector<double> w(3, 1.0);  // uniform activity
+  double expected = WeightedPearson(inst.customers[0].interests,
+                                    inst.vendors[0].interests, w);
+  EXPECT_NEAR(model.Similarity(0, 0), expected, 1e-12);
+}
+
+TEST(UtilityModelTest, ActivityWeightsShiftSimilarityByHour) {
+  auto inst = EmptyInstance();
+  // Tag 0 active in the morning slot only; arrivals at 8h vs 20h see
+  // different weight vectors → different similarities.
+  std::vector<std::vector<double>> mat(3, std::vector<double>(24, 1.0));
+  for (int h = 0; h < 24; ++h) mat[0][static_cast<size_t>(h)] = (h < 12) ? 1.0 : 0.01;
+  inst.activity = ActivitySchedule::FromMatrix(mat).ValueOrDie();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 8.0, {1.0, 0.0, 0.5}));
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 20.0, {1.0, 0.0, 0.5}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {0.9, 0.1, 0.2}));
+  UtilityModel model(&inst);
+  EXPECT_NE(model.Similarity(0, 0), model.Similarity(1, 0));
+}
+
+TEST(UtilityModelTest, NegativeSimilarityYieldsZeroUtility) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 3.0, {1.0, 0.0, 0.5}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {0.0, 1.0, 0.5}));
+  UtilityModel model(&inst);
+  EXPECT_LT(model.Similarity(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Utility(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Utility(0, 0, 1), 0.0);
+}
+
+TEST(UtilityModelTest, DistanceClampPreventsBlowup) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.5, 0.5, 1, 1.0, 3.0, {1.0, 0.5, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {1.0, 0.5, 0.0}));
+  UtilityModel model(&inst);
+  EXPECT_DOUBLE_EQ(model.ClampedDistance(0, 0), UtilityModel::kMinDistance);
+  EXPECT_LE(model.Utility(0, 0, 1),
+            1.0 * 0.4 * 1.0 / UtilityModel::kMinDistance);
+}
+
+TEST(UtilityModelTest, UtilityDecreasesWithDistance) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.10, 0.5, 1, 0.5, 3.0, {1.0, 0.2, 0.0}));
+  inst.customers.push_back(
+      MakeCustomer(0.45, 0.5, 1, 0.5, 3.0, {1.0, 0.2, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.6, 5.0, {0.9, 0.3, 0.1}));
+  UtilityModel model(&inst);
+  EXPECT_GT(model.Utility(1, 0, 1), model.Utility(0, 0, 1));
+}
+
+TEST(UtilityModelTest, UtilityScalesWithViewProbAndEffectiveness) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.5, 1, 0.2, 3.0, {1.0, 0.2, 0.0}));
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.5, 1, 0.4, 3.0, {1.0, 0.2, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.6, 5.0, {0.9, 0.3, 0.1}));
+  UtilityModel model(&inst);
+  // Double view_prob → double utility.
+  EXPECT_NEAR(model.Utility(1, 0, 0), 2.0 * model.Utility(0, 0, 0), 1e-12);
+  // Photo link is 4× as effective as text link (0.4 vs 0.1).
+  EXPECT_NEAR(model.Utility(0, 0, 1), 4.0 * model.Utility(0, 0, 0), 1e-12);
+}
+
+TEST(UtilityModelTest, EfficiencyIsUtilityOverCost) {
+  auto inst = testutil::OnePairInstance();
+  UtilityModel model(&inst);
+  EXPECT_NEAR(model.Efficiency(0, 0, 1), model.Utility(0, 0, 1) / 2.0, 1e-15);
+  EXPECT_NEAR(model.Efficiency(0, 0, 0), model.Utility(0, 0, 0) / 1.0, 1e-15);
+}
+
+
+TEST(UtilityModelTest, CosineKindMatchesStandaloneCosine) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 3.0, {0.9, 0.1, 0.4}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {0.7, 0.2, 0.6}));
+  UtilityModel model(&inst, SimilarityKind::kCosine);
+  std::vector<double> w(3, 1.0);
+  double expected = WeightedCosine(inst.customers[0].interests,
+                                   inst.vendors[0].interests, w);
+  EXPECT_NEAR(model.Similarity(0, 0), expected, 1e-12);
+  EXPECT_EQ(model.kind(), SimilarityKind::kCosine);
+}
+
+TEST(UtilityModelTest, CosineAdmitsPairsPearsonRejects) {
+  auto inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.4, 0.4, 1, 0.5, 3.0, {1.0, 0.0, 0.5}));
+  inst.vendors.push_back(MakeVendor(0.5, 0.5, 0.3, 5.0, {0.0, 1.0, 0.5}));
+  UtilityModel pearson(&inst, SimilarityKind::kPearson);
+  UtilityModel cosine(&inst, SimilarityKind::kCosine);
+  EXPECT_DOUBLE_EQ(pearson.Utility(0, 0, 1), 0.0);
+  EXPECT_GT(cosine.Utility(0, 0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace muaa::model

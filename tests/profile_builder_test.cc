@@ -1,0 +1,135 @@
+#include "taxonomy/profile_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace muaa::taxonomy {
+namespace {
+
+Taxonomy Chain() {
+  // a ── b ── c (no siblings anywhere)
+  Taxonomy tax;
+  TagId a = tax.AddRoot("a").ValueOrDie();
+  TagId b = tax.AddChild(a, "b").ValueOrDie();
+  tax.AddChild(b, "c").ValueOrDie();
+  return tax;
+}
+
+TEST(ProfileBuilderTest, EmptyHistoryGivesZeroVector) {
+  Taxonomy tax = Chain();
+  ProfileBuilder builder(&tax);
+  auto vec = builder.BuildInterestVector({}).ValueOrDie();
+  ASSERT_EQ(vec.size(), 3u);
+  for (double x : vec) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(ProfileBuilderTest, RejectsUnknownTag) {
+  Taxonomy tax = Chain();
+  ProfileBuilder builder(&tax);
+  EXPECT_FALSE(builder.BuildInterestVector({{42, 3}}).ok());
+  EXPECT_FALSE(builder.BuildVendorVector(42).ok());
+}
+
+TEST(ProfileBuilderTest, ChainPropagationFollowsKappaRecurrence) {
+  // With no siblings, sco(e_{m-1}) = κ·sco(e_m). Check-in on the leaf c:
+  // weights along (a,b,c) are (κ², κ, 1) normalized.
+  Taxonomy tax = Chain();
+  const double kappa = 0.5;
+  ProfileBuilder builder(&tax, /*overall_score=*/1.0, kappa);
+  TagId c = tax.Find("c").ValueOrDie();
+  auto vec = builder.BuildInterestVector({{c, 5}}).ValueOrDie();
+  // Normalized to [0,1] by max entry (the leaf).
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(c)], 1.0);
+  TagId b = tax.Find("b").ValueOrDie();
+  TagId a = tax.Find("a").ValueOrDie();
+  EXPECT_NEAR(vec[static_cast<size_t>(b)], kappa, 1e-12);
+  EXPECT_NEAR(vec[static_cast<size_t>(a)], kappa * kappa, 1e-12);
+}
+
+TEST(ProfileBuilderTest, SiblingsDiscountPropagation) {
+  // root with two children: checking into child1 gives the root
+  // weight κ/(sib+1) = κ/2 relative to the child.
+  Taxonomy tax;
+  TagId root = tax.AddRoot("r").ValueOrDie();
+  TagId c1 = tax.AddChild(root, "c1").ValueOrDie();
+  tax.AddChild(root, "c2").ValueOrDie();
+  const double kappa = 0.8;
+  ProfileBuilder builder(&tax, 1.0, kappa);
+  auto vec = builder.BuildInterestVector({{c1, 1}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(c1)], 1.0);
+  EXPECT_NEAR(vec[static_cast<size_t>(root)], kappa / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(vec[2], 0.0);  // untouched sibling
+}
+
+TEST(ProfileBuilderTest, TopicScoresProportionalToCheckins) {
+  // Two unrelated roots; 3:1 check-ins → 3:1 interest (Eq. 1).
+  Taxonomy tax;
+  TagId x = tax.AddRoot("x").ValueOrDie();
+  TagId y = tax.AddRoot("y").ValueOrDie();
+  ProfileBuilder builder(&tax);
+  auto vec = builder.BuildInterestVector({{x, 3}, {y, 1}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(x)], 1.0);
+  EXPECT_NEAR(vec[static_cast<size_t>(y)], 1.0 / 3.0, 1e-12);
+}
+
+TEST(ProfileBuilderTest, IgnoresNonPositiveCounts) {
+  Taxonomy tax = Chain();
+  ProfileBuilder builder(&tax);
+  TagId a = tax.Find("a").ValueOrDie();
+  TagId c = tax.Find("c").ValueOrDie();
+  auto vec = builder.BuildInterestVector({{a, 0}, {c, -2}}).ValueOrDie();
+  for (double v : vec) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ProfileBuilderTest, EntriesAlwaysInUnitInterval) {
+  Taxonomy tax = BuildFoursquareLikeTaxonomy(3, 3);
+  ProfileBuilder builder(&tax);
+  std::map<TagId, int> history;
+  for (TagId leaf : tax.Leaves()) {
+    history[leaf] = static_cast<int>(leaf % 7 + 1);
+  }
+  auto vec = builder.BuildInterestVector(history).ValueOrDie();
+  double max_v = 0.0;
+  for (double v : vec) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_DOUBLE_EQ(max_v, 1.0);  // normalized to touch 1
+}
+
+TEST(ProfileBuilderTest, PathScoresSumToTopicScoreBeforeNormalization) {
+  // Verify Eq. (2): along the path, un-normalized scores sum to sc(g_k).
+  // With a single checked-in tag the normalization divides by the leaf
+  // weight; reconstruct the pre-normalization sum and compare.
+  Taxonomy tax = Chain();
+  const double kappa = 0.6;
+  ProfileBuilder builder(&tax, 1.0, kappa);
+  TagId c = tax.Find("c").ValueOrDie();
+  auto vec = builder.BuildInterestVector({{c, 1}}).ValueOrDie();
+  // Pre-normalization leaf weight: 1/(1+κ+κ²); entries were divided by it.
+  double leaf_w = 1.0 / (1.0 + kappa + kappa * kappa);
+  double sum = (vec[0] + vec[1] + vec[2]) * leaf_w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // sc(g_k) = overall_score = 1
+}
+
+TEST(ProfileBuilderTest, VendorVectorPeaksAtOwnTag) {
+  Taxonomy tax = Chain();
+  ProfileBuilder builder(&tax, 1.0, 0.5);
+  TagId c = tax.Find("c").ValueOrDie();
+  auto vec = builder.BuildVendorVector(c).ValueOrDie();
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(c)], 1.0);
+  EXPECT_DOUBLE_EQ(vec[1], 0.5);
+  EXPECT_DOUBLE_EQ(vec[0], 0.25);
+}
+
+TEST(ProfileBuilderTest, ConstructorValidatesKappa) {
+  Taxonomy tax = Chain();
+  EXPECT_DEATH(ProfileBuilder(&tax, 1.0, 0.0), "");
+  EXPECT_DEATH(ProfileBuilder(&tax, 1.0, 1.5), "");
+  EXPECT_DEATH(ProfileBuilder(&tax, -1.0, 0.5), "");
+}
+
+}  // namespace
+}  // namespace muaa::taxonomy

@@ -1,0 +1,133 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assign/nearest.h"
+#include "assign/online_afa.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "stream/arrival_process.h"
+#include "stream/driver.h"
+#include "test_util.h"
+
+namespace muaa::stream {
+namespace {
+
+using testutil::SolverHarness;
+
+TEST(ArrivalProcessTest, HomogeneousIsSortedAndInRange) {
+  Rng rng(3);
+  auto times = ArrivalProcess::Homogeneous(500, &rng);
+  ASSERT_EQ(times.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 24.0);
+  }
+}
+
+TEST(ArrivalProcessTest, HourlyRatesValidation) {
+  Rng rng(3);
+  EXPECT_FALSE(ArrivalProcess::WithHourlyRates(10, {1.0, 2.0}, &rng).ok());
+  std::vector<double> zeros(24, 0.0);
+  EXPECT_FALSE(ArrivalProcess::WithHourlyRates(10, zeros, &rng).ok());
+  std::vector<double> negative(24, 1.0);
+  negative[3] = -1.0;
+  EXPECT_FALSE(ArrivalProcess::WithHourlyRates(10, negative, &rng).ok());
+}
+
+TEST(ArrivalProcessTest, RatesShapeTheHistogram) {
+  Rng rng(7);
+  std::vector<double> rates(24, 0.0);
+  rates[9] = 1.0;
+  rates[18] = 3.0;
+  auto times =
+      ArrivalProcess::WithHourlyRates(8000, rates, &rng).ValueOrDie();
+  size_t at9 = 0, at18 = 0;
+  for (double t : times) {
+    int h = static_cast<int>(t);
+    if (h == 9) ++at9;
+    if (h == 18) ++at18;
+  }
+  EXPECT_EQ(at9 + at18, times.size());  // only the two allowed hours
+  EXPECT_GT(at18, 2 * at9);             // roughly 3:1
+}
+
+TEST(ArrivalProcessTest, CityProfileHas24PositiveRates) {
+  auto profile = ArrivalProcess::CityDayProfile();
+  ASSERT_EQ(profile.size(), 24u);
+  for (double r : profile) EXPECT_GT(r, 0.0);
+}
+
+TEST(StreamDriverTest, StatsMatchAssignments) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 30;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+
+  assign::AfaOnlineSolver solver;
+  StreamDriver driver(h.ctx());
+  auto run = driver.Run(&solver).ValueOrDie();
+  EXPECT_EQ(run.stats.arrivals, h.instance.num_customers());
+  EXPECT_EQ(run.stats.assigned_ads, run.assignments.size());
+  EXPECT_NEAR(run.stats.total_utility, run.assignments.total_utility(),
+              1e-9);
+  EXPECT_GE(run.stats.max_latency_ms, 0.0);
+  EXPECT_GE(run.stats.total_latency_ms, run.stats.max_latency_ms);
+  EXPECT_LE(run.stats.served_customers, run.stats.arrivals);
+  EXPECT_TRUE(run.assignments.ValidateFull(h.utility).ok());
+}
+
+TEST(StreamDriverTest, CallbackSeesEveryArrival) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 50;
+  cfg.num_vendors = 10;
+  cfg.radius = {0.1, 0.2};
+  SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  assign::NearestOnlineSolver solver;
+  StreamDriver driver(h.ctx());
+  size_t seen = 0;
+  model::CustomerId last = -1;
+  auto run = driver.Run(&solver, [&](model::CustomerId i,
+                                     const std::vector<assign::AdInstance>&) {
+    EXPECT_EQ(i, last + 1);  // ascending arrival order
+    last = i;
+    ++seen;
+  });
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(seen, h.instance.num_customers());
+}
+
+TEST(StreamDriverTest, MatchesOnlineAsOfflineAdapter) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 200;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.2};
+  cfg.seed = 9;
+  SolverHarness h1(datagen::GenerateSynthetic(cfg).ValueOrDie());
+  SolverHarness h2(datagen::GenerateSynthetic(cfg).ValueOrDie());
+
+  assign::AfaOptions opts;  // fix gamma so both runs share parameters
+  assign::GammaBounds gb;
+  gb.gamma_min = 1e-4;
+  gb.gamma_max = 10.0;
+  opts.gamma = gb;
+  opts.g = 8.0;
+
+  assign::AfaOnlineSolver direct(opts);
+  StreamDriver driver(h1.ctx());
+  auto run = driver.Run(&direct).ValueOrDie();
+
+  assign::OnlineAsOffline adapted(
+      std::make_unique<assign::AfaOnlineSolver>(opts));
+  auto offline = adapted.Solve(h2.ctx()).ValueOrDie();
+  EXPECT_NEAR(run.assignments.total_utility(), offline.total_utility(),
+              1e-12);
+  EXPECT_EQ(run.assignments.size(), offline.size());
+}
+
+}  // namespace
+}  // namespace muaa::stream

@@ -1,0 +1,104 @@
+#include "taxonomy/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace muaa::taxonomy {
+namespace {
+
+Taxonomy SmallTree() {
+  // food ── asian ── ramen
+  //      │        └─ sushi
+  //      └─ pizza
+  // shop
+  Taxonomy tax;
+  TagId food = tax.AddRoot("food").ValueOrDie();
+  TagId asian = tax.AddChild(food, "asian").ValueOrDie();
+  tax.AddChild(asian, "ramen").ValueOrDie();
+  tax.AddChild(asian, "sushi").ValueOrDie();
+  tax.AddChild(food, "pizza").ValueOrDie();
+  tax.AddRoot("shop").ValueOrDie();
+  return tax;
+}
+
+TEST(TaxonomyTest, BuildsAndFinds) {
+  Taxonomy tax = SmallTree();
+  EXPECT_EQ(tax.size(), 6u);
+  EXPECT_TRUE(tax.Find("ramen").ok());
+  EXPECT_FALSE(tax.Find("noodles").ok());
+  EXPECT_TRUE(tax.Validate().ok());
+}
+
+TEST(TaxonomyTest, RejectsDuplicateNames) {
+  Taxonomy tax = SmallTree();
+  EXPECT_EQ(tax.AddRoot("food").status().code(), StatusCode::kAlreadyExists);
+  TagId food = tax.Find("food").ValueOrDie();
+  EXPECT_EQ(tax.AddChild(food, "shop").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TaxonomyTest, RejectsInvalidParent) {
+  Taxonomy tax;
+  EXPECT_EQ(tax.AddChild(5, "x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TaxonomyTest, ParentsAndRoots) {
+  Taxonomy tax = SmallTree();
+  TagId food = tax.Find("food").ValueOrDie();
+  TagId asian = tax.Find("asian").ValueOrDie();
+  TagId ramen = tax.Find("ramen").ValueOrDie();
+  EXPECT_EQ(tax.parent(food), kInvalidTag);
+  EXPECT_EQ(tax.parent(asian), food);
+  EXPECT_EQ(tax.parent(ramen), asian);
+  EXPECT_EQ(tax.roots().size(), 2u);
+}
+
+TEST(TaxonomyTest, PathFromRoot) {
+  Taxonomy tax = SmallTree();
+  TagId ramen = tax.Find("ramen").ValueOrDie();
+  auto path = tax.PathFromRoot(ramen);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(tax.name(path[0]), "food");
+  EXPECT_EQ(tax.name(path[1]), "asian");
+  EXPECT_EQ(tax.name(path[2]), "ramen");
+}
+
+TEST(TaxonomyTest, SiblingCounts) {
+  Taxonomy tax = SmallTree();
+  // roots: food, shop → each has 1 sibling
+  EXPECT_EQ(tax.SiblingCount(tax.Find("food").ValueOrDie()), 1);
+  // asian's siblings: pizza (1)
+  EXPECT_EQ(tax.SiblingCount(tax.Find("asian").ValueOrDie()), 1);
+  // ramen's siblings: sushi (1)
+  EXPECT_EQ(tax.SiblingCount(tax.Find("ramen").ValueOrDie()), 1);
+}
+
+TEST(TaxonomyTest, DepthsAndLeaves) {
+  Taxonomy tax = SmallTree();
+  EXPECT_EQ(tax.Depth(tax.Find("food").ValueOrDie()), 0);
+  EXPECT_EQ(tax.Depth(tax.Find("ramen").ValueOrDie()), 2);
+  auto leaves = tax.Leaves();
+  // ramen, sushi, pizza, shop
+  EXPECT_EQ(leaves.size(), 4u);
+}
+
+TEST(TaxonomyTest, FoursquareLikeShape) {
+  Taxonomy tax = BuildFoursquareLikeTaxonomy(3, 4);
+  EXPECT_EQ(tax.roots().size(), 9u);
+  // 9 roots, each expanded 4-way for 2 more levels: 9 * (1 + 4 + 16).
+  EXPECT_EQ(tax.size(), 9u * 21u);
+  EXPECT_TRUE(tax.Validate().ok());
+  // Every leaf is at depth 2.
+  for (TagId leaf : tax.Leaves()) {
+    EXPECT_EQ(tax.Depth(leaf), 2);
+  }
+}
+
+TEST(TaxonomyTest, FoursquareLikeDepthOne) {
+  Taxonomy tax = BuildFoursquareLikeTaxonomy(1, 4);
+  EXPECT_EQ(tax.size(), 9u);
+  EXPECT_EQ(tax.Leaves().size(), 9u);
+}
+
+}  // namespace
+}  // namespace muaa::taxonomy

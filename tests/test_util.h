@@ -1,0 +1,106 @@
+#pragma once
+
+// Shared builders for small, fully-specified MUAA instances used across
+// the test suite.
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace muaa::testutil {
+
+/// A customer with explicit fields (3-tag interest vector).
+inline model::Customer MakeCustomer(double x, double y, int capacity,
+                                    double view_prob, double arrival,
+                                    std::vector<double> interests) {
+  model::Customer u;
+  u.location = {x, y};
+  u.capacity = capacity;
+  u.view_prob = view_prob;
+  u.arrival_time = arrival;
+  u.interests = std::move(interests);
+  return u;
+}
+
+/// A vendor with explicit fields.
+inline model::Vendor MakeVendor(double x, double y, double radius,
+                                double budget, std::vector<double> interests) {
+  model::Vendor v;
+  v.location = {x, y};
+  v.radius = radius;
+  v.budget = budget;
+  v.interests = std::move(interests);
+  return v;
+}
+
+/// A minimal valid instance: uniform activity over 3 tags, the paper's
+/// Table I ad catalog (text link $1/0.1, photo link $2/0.4), no entities.
+inline model::ProblemInstance EmptyInstance(size_t num_tags = 3) {
+  model::ProblemInstance inst;
+  inst.activity = model::ActivitySchedule::Uniform(num_tags);
+  inst.ad_types = model::AdTypeCatalog::PaperTableI();
+  return inst;
+}
+
+/// One customer / one vendor in range with correlated interests; the
+/// smallest instance on which every solver can assign something.
+inline model::ProblemInstance OnePairInstance() {
+  model::ProblemInstance inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.50, 0.50, 2, 0.5, 9.0, {1.0, 0.5, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.52, 0.50, 0.1, 3.0, {0.9, 0.6, 0.1}));
+  return inst;
+}
+
+/// Three customers / three vendors mirroring the layout of the paper's
+/// Example 1 (distinct distances and preference structures), scaled into
+/// the unit square. All pairs are within range.
+inline model::ProblemInstance SmallTownInstance() {
+  model::ProblemInstance inst = EmptyInstance();
+  inst.customers.push_back(
+      MakeCustomer(0.30, 0.30, 2, 0.30, 17.0, {1.0, 0.2, 0.1}));
+  inst.customers.push_back(
+      MakeCustomer(0.50, 0.30, 2, 0.20, 17.0, {0.2, 1.0, 0.1}));
+  inst.customers.push_back(
+      MakeCustomer(0.40, 0.55, 2, 0.15, 17.0, {0.1, 0.3, 1.0}));
+  inst.vendors.push_back(MakeVendor(0.32, 0.32, 0.5, 3.0, {0.9, 0.3, 0.0}));
+  inst.vendors.push_back(MakeVendor(0.52, 0.33, 0.5, 3.0, {0.1, 0.9, 0.2}));
+  inst.vendors.push_back(MakeVendor(0.42, 0.52, 0.5, 3.0, {0.0, 0.2, 0.9}));
+  return inst;
+}
+
+}  // namespace muaa::testutil
+
+#ifdef MUAA_TESTUTIL_WANT_HARNESS
+#include "assign/solver.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+
+namespace muaa::testutil {
+
+/// Owns the per-instance state a solver needs; keeps the instance alive.
+struct SolverHarness {
+  explicit SolverHarness(model::ProblemInstance instance_in,
+                         uint64_t seed = 42)
+      : instance(std::move(instance_in)),
+        view(&instance),
+        utility(&instance),
+        rng(seed) {}
+
+  assign::SolveContext ctx() {
+    assign::SolveContext c;
+    c.instance = &instance;
+    c.view = &view;
+    c.utility = &utility;
+    c.rng = &rng;
+    return c;
+  }
+
+  model::ProblemInstance instance;
+  model::ProblemView view;
+  model::UtilityModel utility;
+  Rng rng;
+};
+
+}  // namespace muaa::testutil
+#endif  // MUAA_TESTUTIL_WANT_HARNESS

@@ -1,0 +1,38 @@
+// Compile-visibility test: the umbrella header must pull in the entire
+// public API, and the headline end-to-end flow must work through it.
+
+#include "muaa.h"
+
+#include <gtest/gtest.h>
+
+namespace muaa {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughPublicApi) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 120;
+  cfg.num_vendors = 15;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  auto instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
+
+  model::ProblemView view(&instance);
+  model::UtilityModel utility(&instance);
+  Rng rng(42);
+  assign::SolveContext ctx{&instance, &view, &utility, &rng};
+
+  assign::ReconSolver recon;
+  auto plan = recon.Solve(ctx).ValueOrDie();
+  EXPECT_TRUE(plan.ValidateFull(utility).ok());
+
+  assign::AfaOnlineSolver afa;
+  stream::StreamDriver driver(ctx);
+  auto run = driver.Run(&afa).ValueOrDie();
+  EXPECT_EQ(run.stats.arrivals, instance.num_customers());
+
+  eval::AssignmentMetrics metrics = eval::ComputeMetrics(instance, plan);
+  EXPECT_DOUBLE_EQ(metrics.total_utility, plan.total_utility());
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,319 @@
+// muaa_cli — command-line front end for the library.
+//
+//   muaa_cli generate-synthetic out=<dir> [customers=N] [vendors=N] [seed=S]
+//   muaa_cli generate-city      out=<dir> [users=N] [venues=N] [checkins=N]
+//                               [max_customers=N] [seed=S]
+//   muaa_cli convert-tsmc       in=<tsv> out=<dir> [max_rows=N]
+//                               [max_customers=N]
+//   muaa_cli info               in=<dir>
+//   muaa_cli solve              in=<dir> solver=<name> [out=<csv>] [seed=S]
+//   muaa_cli stream             in=<dir> solver=<name> [seed=S]
+//   muaa_cli compare            in=<dir> left=<csv> right=<csv>
+//
+// Solvers: recon, recon-dp, recon-lp, greedy, greedy-ls, random, exact,
+//          online (O-AFA), online-adaptive (O-AFA + streaming γ),
+//          static, msvv, nearest.
+//
+// Instances live in the CSV directory format of `io::SaveInstance`.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "assign/exact.h"
+#include "assign/greedy.h"
+#include "assign/local_search.h"
+#include "assign/nearest.h"
+#include "assign/online_afa.h"
+#include "assign/online_msvv.h"
+#include "assign/online_static.h"
+#include "assign/random_solver.h"
+#include "assign/recon.h"
+#include "assign/windowed.h"
+#include "common/config.h"
+#include "common/logging.h"
+#include "datagen/foursquare.h"
+#include "datagen/synthetic.h"
+#include "eval/compare.h"
+#include "eval/experiment.h"
+#include "io/assignment_io.h"
+#include "io/checkin_io.h"
+#include "io/instance_io.h"
+#include "stream/driver.h"
+
+namespace muaa {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: muaa_cli <generate-synthetic|generate-city|"
+               "convert-tsmc|info|solve|stream> key=value...\n"
+               "see the header of tools/muaa_cli.cc for details\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<assign::OfflineSolver>> MakeSolver(
+    const std::string& name) {
+  using std::make_unique;
+  if (name == "recon") return {make_unique<assign::ReconSolver>()};
+  if (name == "recon-dp") {
+    assign::ReconOptions opts;
+    opts.single_vendor = assign::SingleVendorSolver::kDp;
+    return {make_unique<assign::ReconSolver>(opts)};
+  }
+  if (name == "recon-lp") {
+    assign::ReconOptions opts;
+    opts.single_vendor = assign::SingleVendorSolver::kSimplex;
+    return {make_unique<assign::ReconSolver>(opts)};
+  }
+  if (name == "greedy") return {make_unique<assign::GreedySolver>()};
+  if (name == "greedy-ls") return {make_unique<assign::GreedyLsSolver>()};
+  if (name == "random") return {make_unique<assign::RandomSolver>()};
+  if (name == "exact") return {make_unique<assign::ExactSolver>()};
+  if (name == "online") {
+    return {make_unique<assign::OnlineAsOffline>(
+        make_unique<assign::AfaOnlineSolver>())};
+  }
+  if (name == "online-adaptive") {
+    assign::AfaOptions opts;
+    opts.adapt_gamma = true;
+    return {make_unique<assign::OnlineAsOffline>(
+        make_unique<assign::AfaOnlineSolver>(opts))};
+  }
+  if (name == "static") {
+    return {make_unique<assign::OnlineAsOffline>(
+        make_unique<assign::StaticThresholdOnlineSolver>())};
+  }
+  if (name == "msvv") {
+    return {make_unique<assign::OnlineAsOffline>(
+        make_unique<assign::MsvvOnlineSolver>())};
+  }
+  if (name == "nearest") {
+    return {make_unique<assign::OnlineAsOffline>(
+        make_unique<assign::NearestOnlineSolver>())};
+  }
+  if (name == "batch-recon") {
+    assign::WindowedOptions opts;
+    opts.window_hours = 1.0;
+    return {make_unique<assign::WindowedSolver>(
+        [] {
+          return std::unique_ptr<assign::OfflineSolver>(
+              std::make_unique<assign::ReconSolver>());
+        },
+        opts)};
+  }
+  return Status::InvalidArgument("unknown solver: " + name);
+}
+
+Result<std::unique_ptr<assign::OnlineSolver>> MakeOnlineSolver(
+    const std::string& name) {
+  using std::make_unique;
+  if (name == "online") {
+    return {std::unique_ptr<assign::OnlineSolver>(
+        make_unique<assign::AfaOnlineSolver>())};
+  }
+  if (name == "online-adaptive") {
+    assign::AfaOptions opts;
+    opts.adapt_gamma = true;
+    return {std::unique_ptr<assign::OnlineSolver>(
+        make_unique<assign::AfaOnlineSolver>(opts))};
+  }
+  if (name == "static") {
+    return {std::unique_ptr<assign::OnlineSolver>(
+        make_unique<assign::StaticThresholdOnlineSolver>())};
+  }
+  if (name == "msvv") {
+    return {std::unique_ptr<assign::OnlineSolver>(
+        make_unique<assign::MsvvOnlineSolver>())};
+  }
+  if (name == "nearest") {
+    return {std::unique_ptr<assign::OnlineSolver>(
+        make_unique<assign::NearestOnlineSolver>())};
+  }
+  return Status::InvalidArgument("unknown online solver: " + name);
+}
+
+int CmdGenerateSynthetic(const Config& cfg) {
+  std::string out = cfg.GetString("out", "");
+  if (out.empty()) return Usage();
+  datagen::SyntheticConfig gen;
+  gen.num_customers =
+      static_cast<size_t>(cfg.GetInt("customers", 5000).ValueOrDie());
+  gen.num_vendors =
+      static_cast<size_t>(cfg.GetInt("vendors", 250).ValueOrDie());
+  gen.seed = static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie());
+  auto inst = datagen::GenerateSynthetic(gen);
+  if (!inst.ok()) return Fail(inst.status());
+  Status st = io::SaveInstance(*inst, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote synthetic instance (%zu customers, %zu vendors) to %s\n",
+              inst->num_customers(), inst->num_vendors(), out.c_str());
+  return 0;
+}
+
+int CmdGenerateCity(const Config& cfg) {
+  std::string out = cfg.GetString("out", "");
+  if (out.empty()) return Usage();
+  datagen::FoursquareLikeConfig gen;
+  gen.num_users = static_cast<size_t>(cfg.GetInt("users", 400).ValueOrDie());
+  gen.num_venues =
+      static_cast<size_t>(cfg.GetInt("venues", 4000).ValueOrDie());
+  gen.num_checkins =
+      static_cast<size_t>(cfg.GetInt("checkins", 50000).ValueOrDie());
+  gen.max_customers =
+      static_cast<size_t>(cfg.GetInt("max_customers", 6000).ValueOrDie());
+  gen.seed = static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie());
+  auto inst = datagen::GenerateFoursquareLike(gen);
+  if (!inst.ok()) return Fail(inst.status());
+  Status st = io::SaveInstance(*inst, out);
+  if (!st.ok()) return Fail(st);
+  std::printf(
+      "wrote Foursquare-like instance (%zu customers, %zu vendors) to %s\n",
+      inst->num_customers(), inst->num_vendors(), out.c_str());
+  return 0;
+}
+
+int CmdConvertTsmc(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string out = cfg.GetString("out", "");
+  if (in.empty() || out.empty()) return Usage();
+  size_t max_rows =
+      static_cast<size_t>(cfg.GetInt("max_rows", 0).ValueOrDie());
+  auto data = io::LoadTsmcCheckins(in, max_rows);
+  if (!data.ok()) return Fail(data.status());
+  datagen::FoursquareLikeConfig build;
+  build.max_customers =
+      static_cast<size_t>(cfg.GetInt("max_customers", 50000).ValueOrDie());
+  auto inst = datagen::BuildInstanceFromCheckins(build, *data);
+  if (!inst.ok()) return Fail(inst.status());
+  Status st = io::SaveInstance(*inst, out);
+  if (!st.ok()) return Fail(st);
+  std::printf(
+      "converted %zu check-ins (%zu users, %zu venues) into an instance "
+      "with %zu customers / %zu vendors at %s\n",
+      data->checkins.size(), data->num_users, data->venues.size(),
+      inst->num_customers(), inst->num_vendors(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  if (in.empty()) return Usage();
+  auto inst = io::LoadInstance(in);
+  if (!inst.ok()) return Fail(inst.status());
+  double total_budget = 0.0;
+  for (const auto& v : inst->vendors) total_budget += v.budget;
+  std::printf("instance: %s\n", in.c_str());
+  std::printf("  customers: %zu\n", inst->num_customers());
+  std::printf("  vendors:   %zu (total budget %.2f)\n", inst->num_vendors(),
+              total_budget);
+  std::printf("  tags:      %zu\n", inst->num_tags());
+  std::printf("  ad types:  %zu (", inst->ad_types.size());
+  for (size_t k = 0; k < inst->ad_types.size(); ++k) {
+    const auto& t = inst->ad_types.at(static_cast<model::AdTypeId>(k));
+    std::printf("%s%s $%.2f/%.2f", k ? ", " : "", t.name.c_str(), t.cost,
+                t.effectiveness);
+  }
+  std::printf(")\n");
+  model::ProblemView view(&*inst);
+  std::printf("  theta bound: %.4f\n", view.ThetaBound());
+  return 0;
+}
+
+int CmdSolve(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string solver_name = cfg.GetString("solver", "recon");
+  if (in.empty()) return Usage();
+  auto inst = io::LoadInstance(in);
+  if (!inst.ok()) return Fail(inst.status());
+  auto solver = MakeSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status());
+  eval::ExperimentRunner runner(
+      &*inst, static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
+  auto record = runner.Run(solver->get());
+  if (!record.ok()) return Fail(record.status());
+  std::printf("%s: utility=%.6f cpu=%.1fms ads=%zu spend=%.2f (%.1f%% of "
+              "budgets) served=%zu\n",
+              record->solver.c_str(), record->utility, record->cpu_ms,
+              record->ads, record->spend, 100.0 * record->budget_utilization,
+              record->served_customers);
+  std::string out = cfg.GetString("out", "");
+  if (!out.empty()) {
+    // Re-run to materialize the set (Run only returns the record).
+    auto ctx = runner.context();
+    auto set = (*solver)->Solve(ctx);
+    if (!set.ok()) return Fail(set.status());
+    Status st = io::SaveAssignments(*set, *inst, out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote assignment CSV to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdStream(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string solver_name = cfg.GetString("solver", "online");
+  if (in.empty()) return Usage();
+  auto inst = io::LoadInstance(in);
+  if (!inst.ok()) return Fail(inst.status());
+  auto solver = MakeOnlineSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status());
+
+  model::ProblemView view(&*inst);
+  model::UtilityModel utility(&*inst);
+  Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
+  assign::SolveContext ctx{&*inst, &view, &utility, &rng};
+  stream::StreamDriver driver(ctx);
+  auto run = driver.Run(solver->get());
+  if (!run.ok()) return Fail(run.status());
+  std::printf(
+      "%s streamed %zu arrivals: %zu ads, utility %.6f, mean decision "
+      "%.4f ms, max %.4f ms, served %zu customers\n",
+      (*solver)->name().c_str(), run->stats.arrivals, run->stats.assigned_ads,
+      run->stats.total_utility, run->stats.MeanLatencyMs(),
+      run->stats.max_latency_ms, run->stats.served_customers);
+  return 0;
+}
+
+int CmdCompare(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string left = cfg.GetString("left", "");
+  std::string right = cfg.GetString("right", "");
+  if (in.empty() || left.empty() || right.empty()) return Usage();
+  auto inst = io::LoadInstance(in);
+  if (!inst.ok()) return Fail(inst.status());
+  auto a = io::LoadAssignments(&*inst, left);
+  if (!a.ok()) return Fail(a.status());
+  auto b = io::LoadAssignments(&*inst, right);
+  if (!b.ok()) return Fail(b.status());
+  auto diff = eval::ComparePlans(*inst, *a, *b);
+  if (!diff.ok()) return Fail(diff.status());
+  std::printf("%s", diff->ToString().c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  auto cfg = Config::FromArgs(argc - 1, argv + 1);
+  if (!cfg.ok()) return Fail(cfg.status());
+  if (cmd == "generate-synthetic") return CmdGenerateSynthetic(*cfg);
+  if (cmd == "generate-city") return CmdGenerateCity(*cfg);
+  if (cmd == "convert-tsmc") return CmdConvertTsmc(*cfg);
+  if (cmd == "info") return CmdInfo(*cfg);
+  if (cmd == "solve") return CmdSolve(*cfg);
+  if (cmd == "stream") return CmdStream(*cfg);
+  if (cmd == "compare") return CmdCompare(*cfg);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace muaa
+
+int main(int argc, char** argv) { return muaa::Run(argc, argv); }

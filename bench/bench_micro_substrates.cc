@@ -190,6 +190,63 @@ void BM_OnlineArrivalDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineArrivalDecision)->Arg(200)->Arg(1'000);
 
+// The candidate-loop hot pair: evaluating every ad type of one
+// (customer, vendor) pair. The naive path recomputes similarity AND the
+// clamped distance per ad type; the pair path hoists both behind one
+// memoized fetch. The gap is what every solver saves per candidate.
+struct PairFixture {
+  model::ProblemInstance instance;
+  std::unique_ptr<model::UtilityModel> cached;
+  std::unique_ptr<model::UtilityModel> uncached;
+
+  PairFixture() {
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 1'000;
+    cfg.num_vendors = 100;
+    instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
+    cached = std::make_unique<model::UtilityModel>(&instance);
+    cached->EnablePairCache();
+    uncached = std::make_unique<model::UtilityModel>(&instance);
+  }
+};
+
+void BM_UtilityPerTypeUncached(benchmark::State& state) {
+  PairFixture fix;
+  const size_t types = fix.instance.ad_types.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ci = static_cast<model::CustomerId>(i % fix.instance.num_customers());
+    auto vj = static_cast<model::VendorId>(i % fix.instance.num_vendors());
+    double acc = 0.0;
+    for (size_t k = 0; k < types; ++k) {
+      // `Utility` recomputes similarity and ClampedDistance per ad type.
+      acc += fix.uncached->Utility(ci, vj, static_cast<model::AdTypeId>(k));
+    }
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+}
+BENCHMARK(BM_UtilityPerTypeUncached);
+
+void BM_UtilityPerTypeCachedPair(benchmark::State& state) {
+  PairFixture fix;
+  const size_t types = fix.instance.ad_types.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ci = static_cast<model::CustomerId>(i % fix.instance.num_customers());
+    auto vj = static_cast<model::VendorId>(i % fix.instance.num_vendors());
+    model::PairValue pv = fix.cached->PairFor(ci, vj);
+    double acc = 0.0;
+    for (size_t k = 0; k < types; ++k) {
+      acc += fix.cached->UtilityFromPair(ci, static_cast<model::AdTypeId>(k),
+                                         pv);
+    }
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+}
+BENCHMARK(BM_UtilityPerTypeCachedPair);
+
 void BM_UtilityModelConstruction(benchmark::State& state) {
   datagen::SyntheticConfig cfg;
   cfg.num_customers = static_cast<size_t>(state.range(0));

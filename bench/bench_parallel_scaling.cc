@@ -1,0 +1,144 @@
+// Parallel scaling of the vendor-sharded candidate pipeline: times
+// `AllVendorCandidates` (the shared hot path of GREEDY / RECON /
+// GREEDY-LS) and a full RECON solve on a 10k-customer synthetic instance
+// at 1/2/4/8 worker threads, reporting speedup over the serial path and
+// verifying that objectives are bitwise-identical at every thread count.
+//
+// Each timed enumeration uses a *cold* pair cache (fresh UtilityModel) so
+// every thread count performs the same similarity work; a warm-cache pass
+// is reported separately to show what later solvers in a line-up pay.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "assign/candidates.h"
+#include "assign/greedy.h"
+#include "assign/recon.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using namespace muaa;
+
+struct Timing {
+  double cold_enum_ms = 0.0;  ///< enumeration, cold pair cache
+  double warm_enum_ms = 0.0;  ///< enumeration again, warm cache
+  double recon_ms = 0.0;      ///< full RECON solve (warm cache)
+  double greedy_utility = 0.0;
+  double recon_utility = 0.0;
+  size_t candidates = 0;
+};
+
+Timing RunAtThreadCount(const model::ProblemInstance& inst,
+                        const model::ProblemView& view, unsigned threads) {
+  Timing out;
+  model::UtilityModel utility(&inst);
+  utility.EnablePairCache();
+  Rng rng(42);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  assign::SolveContext ctx{&inst, &view, &utility, &rng, pool.get()};
+
+  Stopwatch cold;
+  auto shards = assign::AllVendorCandidates(ctx);
+  out.cold_enum_ms = cold.ElapsedMillis();
+  for (const auto& shard : shards) out.candidates += shard.size();
+
+  Stopwatch warm;
+  auto again = assign::AllVendorCandidates(ctx);
+  out.warm_enum_ms = warm.ElapsedMillis();
+  MUAA_CHECK(again.size() == shards.size());
+
+  assign::GreedySolver greedy;
+  auto greedy_plan = greedy.Solve(ctx);
+  MUAA_CHECK(greedy_plan.ok());
+  out.greedy_utility = greedy_plan->total_utility();
+
+  // Fresh RNG so reconciliation consumes the same stream as the serial
+  // run (the pair cache is warm by now, matching production line-ups).
+  Rng recon_rng(42);
+  ctx.rng = &recon_rng;
+  assign::ReconSolver recon;
+  Stopwatch rt;
+  auto recon_plan = recon.Solve(ctx);
+  out.recon_ms = rt.ElapsedMillis();
+  MUAA_CHECK(recon_plan.ok());
+  out.recon_utility = recon_plan->total_utility();
+  return out;
+}
+
+bool BitwiseEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace muaa;
+  bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintHeader("Parallel scaling — vendor-sharded candidate pipeline",
+                     scale, "speedup at 1/2/4/8 threads, bitwise-equal output");
+
+  datagen::SyntheticConfig cfg = bench::SyntheticConfig(scale);
+  cfg.num_customers = 10'000;  // the acceptance-criteria instance
+  cfg.num_vendors = 500;
+  cfg.radius = {0.05, 0.08};  // ~100+ valid customers per vendor shard
+  auto inst = datagen::GenerateSynthetic(cfg);
+  MUAA_CHECK(inst.ok());
+  model::ProblemView view(&*inst);
+  std::printf("  instance: %zu customers, %zu vendors, %zu ad types\n",
+              inst->num_customers(), inst->num_vendors(),
+              inst->ad_types.size());
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  hardware threads: %u%s\n", hw,
+              hw < 4 ? " (speedup is bounded by available cores)" : "");
+
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<Timing> results;
+  for (unsigned t : kThreadCounts) {
+    // Best of 3 to de-noise; the work is identical every repetition.
+    Timing best;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timing r = RunAtThreadCount(*inst, view, t);
+      if (rep == 0 || r.cold_enum_ms < best.cold_enum_ms) best = r;
+    }
+    results.push_back(best);
+  }
+
+  const Timing& serial = results.front();
+  std::printf("  %7s %12s %9s %12s %12s %10s\n", "threads", "enum-cold",
+              "speedup", "enum-warm", "recon-solve", "recon-spd");
+  bool all_equal = true;
+  for (size_t idx = 0; idx < results.size(); ++idx) {
+    const Timing& r = results[idx];
+    std::printf("  %7u %10.1fms %8.2fx %10.2fms %10.1fms %9.2fx\n",
+                kThreadCounts[idx], r.cold_enum_ms,
+                serial.cold_enum_ms / r.cold_enum_ms, r.warm_enum_ms,
+                r.recon_ms, serial.recon_ms / r.recon_ms);
+    if (!BitwiseEqual(r.greedy_utility, serial.greedy_utility) ||
+        !BitwiseEqual(r.recon_utility, serial.recon_utility) ||
+        r.candidates != serial.candidates) {
+      all_equal = false;
+      std::printf("    MISMATCH vs serial: greedy %.17g vs %.17g, "
+                  "recon %.17g vs %.17g, candidates %zu vs %zu\n",
+                  r.greedy_utility, serial.greedy_utility, r.recon_utility,
+                  serial.recon_utility, r.candidates, serial.candidates);
+    }
+  }
+  std::printf("  candidates=%zu greedy=%.6f recon=%.6f objectives %s\n",
+              serial.candidates, serial.greedy_utility, serial.recon_utility,
+              all_equal ? "bitwise-identical at every thread count"
+                        : "DIVERGED — determinism bug");
+  MUAA_CHECK(all_equal);
+
+  const double speedup4 = serial.cold_enum_ms / results[2].cold_enum_ms;
+  std::printf("  4-thread enumeration speedup: %.2fx (target >= 2.5x)\n",
+              speedup4);
+  return 0;
+}

@@ -7,11 +7,13 @@ std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
   std::vector<TypedCandidate> out;
   const auto& catalog = ctx.instance->ad_types;
   for (model::CustomerId i : ctx.view->ValidCustomers(j)) {
-    double sim = ctx.utility->Similarity(i, j);
-    if (sim <= 0.0) continue;
+    // One memoized fetch covers similarity and clamped distance for every
+    // ad type of the pair (and for every later solver on this instance).
+    model::PairValue pv = ctx.utility->PairFor(i, j);
+    if (pv.similarity <= 0.0) continue;
     for (size_t k = 0; k < catalog.size(); ++k) {
       auto tk = static_cast<model::AdTypeId>(k);
-      double util = ctx.utility->UtilityWithSimilarity(i, j, tk, sim);
+      double util = ctx.utility->UtilityFromPair(i, tk, pv);
       if (util <= 0.0) continue;
       TypedCandidate cand;
       cand.customer = i;
@@ -25,20 +27,30 @@ std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
   return out;
 }
 
+std::vector<std::vector<TypedCandidate>> AllVendorCandidates(
+    const SolveContext& ctx) {
+  const size_t n = ctx.instance->num_vendors();
+  std::vector<std::vector<TypedCandidate>> shards(n);
+  ParallelFor(ctx.pool, n, [&](size_t j) {
+    shards[j] = VendorCandidates(ctx, static_cast<model::VendorId>(j));
+  });
+  return shards;
+}
+
 namespace {
 
 template <typename Better>
 BestPick BestTypeImpl(const SolveContext& ctx, model::CustomerId i,
                       model::VendorId j, double budget_left, Better better) {
   BestPick best;
-  double sim = ctx.utility->Similarity(i, j);
-  if (sim <= 0.0) return best;
+  model::PairValue pv = ctx.utility->PairFor(i, j);
+  if (pv.similarity <= 0.0) return best;
   const auto& catalog = ctx.instance->ad_types;
   for (size_t k = 0; k < catalog.size(); ++k) {
     auto tk = static_cast<model::AdTypeId>(k);
     double cost = catalog.at(tk).cost;
     if (cost > budget_left + 1e-12) continue;
-    double util = ctx.utility->UtilityWithSimilarity(i, j, tk, sim);
+    double util = ctx.utility->UtilityFromPair(i, tk, pv);
     if (util <= 0.0) continue;
     BestPick pick;
     pick.ad_type = tk;

@@ -33,6 +33,13 @@ struct BestPick {
 std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
                                              model::VendorId j);
 
+/// Enumerates every vendor's candidates, sharded across `ctx.pool` (serial
+/// when null). Slot `j` of the result is exactly `VendorCandidates(ctx, j)`
+/// — shards write disjoint slots and are merged in vendor-id order, so the
+/// output is bitwise-identical at every thread count.
+std::vector<std::vector<TypedCandidate>> AllVendorCandidates(
+    const SolveContext& ctx);
+
 /// Best affordable ad type of pair (i, j) by budget efficiency — the
 /// "best" ad type O-AFA picks in line 4 of Algorithm 2. `budget_left`
 /// caps the admissible cost.

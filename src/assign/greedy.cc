@@ -32,11 +32,15 @@ Result<AssignmentSet> GreedySolver::Solve(const SolveContext& ctx) {
   MUAA_RETURN_NOT_OK(ValidateContext(ctx));
   AssignmentSet result(ctx.instance);
 
+  // Candidate enumeration is vendor-sharded across ctx.pool; the shards
+  // merge in vendor-id order, so the heap input (and thus the result) is
+  // identical to the serial path.
   std::vector<HeapEntry> entries;
   const size_t n = ctx.instance->num_vendors();
+  std::vector<std::vector<TypedCandidate>> shards = AllVendorCandidates(ctx);
   for (size_t j = 0; j < n; ++j) {
     auto vj = static_cast<model::VendorId>(j);
-    for (const TypedCandidate& cand : VendorCandidates(ctx, vj)) {
+    for (const TypedCandidate& cand : shards[j]) {
       entries.push_back(HeapEntry{cand.efficiency, cand.utility,
                                   cand.customer, vj, cand.ad_type, cand.cost});
     }

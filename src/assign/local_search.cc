@@ -53,9 +53,10 @@ Result<int> LocalSearchImprover::Improve(const SolveContext& ctx,
     double cost;
   };
   std::vector<Candidate> candidates;
+  std::vector<std::vector<TypedCandidate>> shards = AllVendorCandidates(ctx);
   for (size_t j = 0; j < ctx.instance->num_vendors(); ++j) {
     auto vj = static_cast<model::VendorId>(j);
-    for (const TypedCandidate& tc : VendorCandidates(ctx, vj)) {
+    for (const TypedCandidate& tc : shards[j]) {
       candidates.push_back({tc.customer, vj, tc.ad_type, tc.utility, tc.cost});
     }
   }

@@ -1,11 +1,11 @@
 #include "assign/recon.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "assign/candidates.h"
+#include "common/thread_pool.h"
 #include "knapsack/mckp_dp.h"
 #include "knapsack/mckp_lp_greedy.h"
 #include "knapsack/mckp_simplex.h"
@@ -122,35 +122,21 @@ Result<AssignmentSet> ReconSolver::Solve(const SolveContext& ctx) {
   last_lp_bound_sum_ = 0.0;
 
   // ---- Phase 1: per-vendor single-vendor MCKPs (Alg. 1, lines 2-5),
-  // independent across vendors and solved in parallel when configured.
+  // independent across vendors. Each shard writes only its own slot, so
+  // the merge below is deterministic at any thread count. The context's
+  // pool is preferred; `ReconOptions::num_threads != 1` spins up a local
+  // pool for callers that configure RECON directly.
   std::vector<VendorSolution> solutions(n);
-  unsigned workers = options_.num_threads;
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool* pool = ctx.pool;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && options_.num_threads != 1) {
+    local_pool = std::make_unique<ThreadPool>(options_.num_threads);
+    pool = local_pool.get();
   }
-  workers = std::min<unsigned>(workers, std::max<size_t>(n, 1));
-  if (workers <= 1) {
-    for (size_t j = 0; j < n; ++j) {
-      solutions[j] =
-          SolveVendor(ctx, static_cast<model::VendorId>(j),
-                      options_.single_vendor);
-    }
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          size_t j = next.fetch_add(1);
-          if (j >= n) break;
-          solutions[j] = SolveVendor(ctx, static_cast<model::VendorId>(j),
-                                     options_.single_vendor);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
+  ParallelFor(pool, n, [&](size_t j) {
+    solutions[j] = SolveVendor(ctx, static_cast<model::VendorId>(j),
+                               options_.single_vendor);
+  });
 
   // ---- Merge (sequential, deterministic in vendor order).
   std::vector<Tentative> tentatives;

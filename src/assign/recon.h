@@ -20,10 +20,12 @@ enum class SingleVendorSolver {
 /// Options for `ReconSolver`.
 struct ReconOptions {
   SingleVendorSolver single_vendor = SingleVendorSolver::kLpGreedy;
-  /// Worker threads for phase 1 (the independent single-vendor MCKPs).
-  /// 1 = sequential; 0 = one per hardware thread. The result is identical
-  /// regardless of thread count — phase 1 writes per-vendor slots and
-  /// phase 2 (reconciliation, which consumes the RNG) stays sequential.
+  /// Worker threads for phase 1 (the independent single-vendor MCKPs)
+  /// when the `SolveContext` carries no pool. 1 = sequential; 0 = one per
+  /// hardware thread. Ignored in favor of `SolveContext::pool` when that
+  /// is set. The result is identical regardless of thread count — phase 1
+  /// writes per-vendor slots and phase 2 (reconciliation, which consumes
+  /// the RNG) stays sequential.
   unsigned num_threads = 1;
 };
 

@@ -7,6 +7,7 @@
 #include "assign/assignment.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "model/instance.h"
 #include "model/problem_view.h"
 #include "model/utility.h"
@@ -20,6 +21,10 @@ struct SolveContext {
   const model::ProblemView* view = nullptr;
   const model::UtilityModel* utility = nullptr;
   Rng* rng = nullptr;
+  /// Optional worker pool for the vendor-sharded phases. Null or
+  /// single-threaded runs the serial path; results are identical at every
+  /// thread count (see docs/algorithms.md, "Parallel execution").
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief An offline MUAA solver: sees the whole instance at once.

@@ -12,11 +12,14 @@ Result<Config> Config::FromArgs(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    size_t eq = arg.find('=');
-    if (eq == std::string::npos || eq == 0) {
+    // GNU-style spellings are accepted: `--threads=4` == `threads=4`.
+    size_t start = arg.find_first_not_of('-');
+    if (start == std::string::npos) start = arg.size();
+    size_t eq = arg.find('=', start);
+    if (eq == std::string::npos || eq == start) {
       return Status::InvalidArgument("expected key=value, got: " + arg);
     }
-    cfg.Set(Trim(arg.substr(0, eq)), Trim(arg.substr(eq + 1)));
+    cfg.Set(Trim(arg.substr(start, eq - start)), Trim(arg.substr(eq + 1)));
   }
   return cfg;
 }

@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace muaa {
+
+namespace {
+
+/// The pool whose worker loop the current thread is executing, if any.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, kMaxThreads);
+  workers_.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Once destruction begins, only the pool's own workers may add work:
+    // a task spawned by an accepted task is itself accepted work (workers
+    // drain the queue before exiting, so it still runs). Outside threads
+    // are rejected — they would race the join.
+    if (stopping_ && !CurrentThreadInPool()) return;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::CurrentThreadInPool() const { return t_current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain queued work even when stopping: tasks accepted before the
+      // destructor ran are always executed.
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  t_current_pool = nullptr;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const bool serial = pool == nullptr || pool->size() <= 1 || n <= 1 ||
+                      pool->CurrentThreadInPool();
+  if (serial) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    size_t error_index = std::numeric_limits<size_t>::max();
+  };
+  auto state = std::make_shared<SharedState>();
+  state->n = n;
+
+  auto run = [&fn](const std::shared_ptr<SharedState>& st) {
+    while (true) {
+      size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->n) break;
+      // Every index runs even after a failure elsewhere; keeping the
+      // lowest-index exception makes the rethrow deterministic.
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (i < st->error_index) {
+          st->error = std::current_exception();
+          st->error_index = i;
+        }
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker; each pulls indices until none remain. A
+  // task scheduled after the range is exhausted exits immediately.
+  const unsigned helpers = std::min<size_t>(pool->size(), n - 1);
+  for (unsigned w = 0; w < helpers; ++w) {
+    pool->Submit([state, run] { run(state); });
+  }
+  // The caller works too: progress never depends on pool availability.
+  run(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace muaa

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace muaa {
+
+/// \brief A fixed-size worker pool for deterministic data parallelism.
+///
+/// The pool is deliberately work-stealing-free: solvers shard work into
+/// index-addressed slots (one per vendor, say) and merge the slots in
+/// index order afterwards, so the *schedule* may vary between runs but
+/// the *result* never does. All solver-facing parallelism goes through
+/// `ParallelFor` below; raw `Submit` exists for tests and infrastructure.
+///
+/// Teardown semantics: the destructor drains every task that was queued
+/// before destruction began — including tasks those tasks submit from
+/// worker threads — then joins. Submitting from an *outside* thread after
+/// destruction has begun is a programming error (the task is rejected and
+/// dropped rather than racing the join).
+class ThreadPool {
+ public:
+  /// Hard ceiling on workers: a mistyped or hostile thread count must not
+  /// exhaust process resources (oversubscription past this point only
+  /// slows things down anyway).
+  static constexpr unsigned kMaxThreads = 256;
+
+  /// \param num_threads worker count, clamped to `kMaxThreads`; 0 means
+  /// one per hardware thread.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker. Safe to call from worker
+  /// threads (nested submission never blocks the submitter).
+  void Submit(std::function<void()> fn);
+
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// `ParallelFor` to run nested loops inline instead of deadlocking on a
+  /// pool whose workers are all busy in the outer loop.
+  bool CurrentThreadInPool() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs `fn(i)` for every `i` in `[0, n)` and blocks until all
+/// calls return. The iteration schedule is dynamic (threads claim indices
+/// from a shared counter) but callers must write only to index-addressed
+/// state, which makes the outcome independent of thread count.
+///
+/// * `pool == nullptr`, a single-worker pool, or `n <= 1` runs serially
+///   on the calling thread — the canonical serial path, bit-identical to
+///   every parallel schedule by construction.
+/// * Calls from inside one of `pool`'s workers run serially inline
+///   (nested-parallelism safety; the outer loop already owns the pool).
+/// * The calling thread participates in the loop, so progress is
+///   guaranteed even when all workers are busy with other tasks.
+/// * If one or more `fn(i)` throw, every index still runs exactly once,
+///   and the exception thrown by the *lowest* throwing index is rethrown
+///   on the calling thread — deterministic regardless of which thread
+///   observed it first.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace muaa

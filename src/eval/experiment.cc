@@ -10,11 +10,18 @@
 namespace muaa::eval {
 
 ExperimentRunner::ExperimentRunner(const model::ProblemInstance* instance,
-                                   uint64_t seed, model::SimilarityKind kind)
+                                   uint64_t seed, model::SimilarityKind kind,
+                                   unsigned num_threads)
     : instance_(instance),
       view_(instance),
       utility_(instance, kind),
-      rng_(seed) {}
+      rng_(seed) {
+  // Every solver in a run shares one memoized (similarity, distance)
+  // table; the line-up recomputes nothing the previous solver already
+  // touched.
+  utility_.EnablePairCache();
+  if (num_threads != 1) pool_ = std::make_unique<ThreadPool>(num_threads);
+}
 
 assign::SolveContext ExperimentRunner::context() {
   assign::SolveContext ctx;
@@ -22,6 +29,7 @@ assign::SolveContext ExperimentRunner::context() {
   ctx.view = &view_;
   ctx.utility = &utility_;
   ctx.rng = &rng_;
+  ctx.pool = pool_.get();
   return ctx;
 }
 

@@ -35,8 +35,12 @@ class ExperimentRunner {
  public:
   /// \param instance must be validated and outlive the runner.
   /// \param kind similarity measure plugged into Eq. (4) (Pearson = paper).
+  /// \param num_threads worker threads handed to solvers through
+  ///        `SolveContext::pool` (1 = serial, 0 = hardware concurrency).
+  ///        Results are identical at every value; only wall-clock changes.
   ExperimentRunner(const model::ProblemInstance* instance, uint64_t seed,
-                   model::SimilarityKind kind = model::SimilarityKind::kPearson);
+                   model::SimilarityKind kind = model::SimilarityKind::kPearson,
+                   unsigned num_threads = 1);
 
   /// Runs one offline solver (online solvers via `OnlineAsOffline`).
   Result<RunRecord> Run(assign::OfflineSolver* solver);
@@ -52,6 +56,7 @@ class ExperimentRunner {
   model::ProblemView view_;
   model::UtilityModel utility_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
 };
 
 /// The paper's competitor line-up for the figures: GREEDY, RECON, ONLINE

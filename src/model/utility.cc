@@ -119,6 +119,46 @@ double UtilityModel::UtilityWithSimilarity(CustomerId i, VendorId j,
   return u.view_prob * t.effectiveness * similarity / ClampedDistance(i, j);
 }
 
+void UtilityModel::EnablePairCache() {
+  if (pair_ready_ != nullptr) return;
+  const size_t pairs = instance_->num_customers() * instance_->num_vendors();
+  if (pairs == 0 || pairs > kMaxCachedPairs) return;
+  pair_values_.assign(pairs, PairValue{});
+  pair_stripes_ = std::make_unique<std::mutex[]>(kPairCacheStripes);
+  // Value-initialized: every flag starts at 0. Assigned last so readers
+  // that see a non-null table also see its companions.
+  pair_ready_ = std::make_unique<std::atomic<uint8_t>[]>(pairs);
+}
+
+PairValue UtilityModel::PairFor(CustomerId i, VendorId j) const {
+  if (pair_ready_ == nullptr) {
+    return PairValue{Similarity(i, j), ClampedDistance(i, j)};
+  }
+  const size_t idx = static_cast<size_t>(i) * instance_->num_vendors() +
+                     static_cast<size_t>(j);
+  if (pair_ready_[idx].load(std::memory_order_acquire)) {
+    return pair_values_[idx];
+  }
+  std::lock_guard<std::mutex> lock(pair_stripes_[idx % kPairCacheStripes]);
+  if (pair_ready_[idx].load(std::memory_order_relaxed)) {
+    return pair_values_[idx];
+  }
+  PairValue pv{Similarity(i, j), ClampedDistance(i, j)};
+  pair_values_[idx] = pv;
+  pair_ready_[idx].store(1, std::memory_order_release);
+  return pv;
+}
+
+double UtilityModel::UtilityFromPair(CustomerId i, AdTypeId k,
+                                     const PairValue& pv) const {
+  if (pv.similarity <= 0.0) return 0.0;
+  const Customer& u = instance_->customers[static_cast<size_t>(i)];
+  const AdType& t = instance_->ad_types.at(k);
+  // Same expression, same evaluation order as `UtilityWithSimilarity`:
+  // cached and uncached paths agree to the last bit.
+  return u.view_prob * t.effectiveness * pv.similarity / pv.distance;
+}
+
 double UtilityModel::Utility(CustomerId i, VendorId j, AdTypeId k) const {
   return UtilityWithSimilarity(i, j, k, Similarity(i, j));
 }

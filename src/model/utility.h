@@ -1,5 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "model/instance.h"
@@ -30,6 +34,15 @@ enum class SimilarityKind {
   kCosine,
 };
 
+/// \brief The per-(customer, vendor) invariants of Eq. (4): the
+/// activity-weighted similarity and the clamped distance. Both are
+/// independent of the ad type, so candidate loops fetch them once per
+/// pair instead of once per ad type.
+struct PairValue {
+  double similarity = 0.0;
+  double distance = 0.0;
+};
+
 class UtilityModel {
  public:
   /// Lower clamp for distances in Eq. (4).
@@ -55,6 +68,37 @@ class UtilityModel {
   double UtilityWithSimilarity(CustomerId i, VendorId j, AdTypeId k,
                                double similarity) const;
 
+  // ---- Memoized pair path ------------------------------------------------
+  //
+  // Every solver walks the same (customer, vendor) pairs; similarity and
+  // clamped distance depend only on the pair, never on the ad type or the
+  // solver. `PairFor` memoizes both behind a lock-free fast path so the
+  // first solver to touch a pair pays for it and everyone after reads it
+  // back — including across thread-count configurations, because the
+  // cached value is computed by exactly the serial code path.
+
+  /// Allocates the (m × n) memo table. Idempotent; not thread-safe (call
+  /// before sharing the model across threads). A no-op when m·n exceeds
+  /// `kMaxCachedPairs` — `PairFor` then computes on every call.
+  void EnablePairCache();
+
+  /// True when `EnablePairCache` allocated the memo table.
+  bool pair_cache_enabled() const { return pair_ready_ != nullptr; }
+
+  /// Similarity + clamped distance of pair (i, j): memoized when the
+  /// cache is enabled, computed otherwise. Thread-safe either way, and
+  /// bit-identical to calling `Similarity` / `ClampedDistance` directly.
+  PairValue PairFor(CustomerId i, VendorId j) const;
+
+  /// Utility `λ_ijk` from a pre-fetched pair (Eq. 4); bit-identical to
+  /// `Utility(i, j, k)`.
+  double UtilityFromPair(CustomerId i, AdTypeId k, const PairValue& pv) const;
+
+  /// Memo-table ceiling: above this many (customer, vendor) pairs the
+  /// cache would dominate memory (16 B + 1 flag per pair ≈ 285 MB at the
+  /// cap), so `EnablePairCache` degrades to the compute-on-demand path.
+  static constexpr size_t kMaxCachedPairs = size_t{1} << 24;
+
   /// Budget efficiency `γ_ijk = λ_ijk / c_k` (Sec. IV).
   double Efficiency(CustomerId i, VendorId j, AdTypeId k) const;
 
@@ -73,6 +117,9 @@ class UtilityModel {
 
   Moments ComputeMoments(const std::vector<double>& vec, int slot) const;
 
+  /// Stripe count for the memo-table miss path (writes only).
+  static constexpr size_t kPairCacheStripes = 64;
+
   const ProblemInstance* instance_;
   SimilarityKind kind_ = SimilarityKind::kPearson;
   // weights_by_slot_[slot][tag]; only slots used by some customer are filled.
@@ -83,6 +130,14 @@ class UtilityModel {
   // customer_moments_[i] at the customer's own arrival slot.
   std::vector<Moments> customer_moments_;
   std::vector<int> customer_slot_;
+
+  // Pair memo table (lazy, thread-safe). `pair_ready_[p]` flips 0 → 1
+  // with release order once `pair_values_[p]` holds the final value;
+  // readers acquire the flag before touching the slot. Misses serialize
+  // on a stripe mutex so two threads never write one slot concurrently.
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> pair_ready_;
+  mutable std::vector<PairValue> pair_values_;
+  mutable std::unique_ptr<std::mutex[]> pair_stripes_;
 };
 
 }  // namespace muaa::model

@@ -1,0 +1,160 @@
+// Serial/parallel equivalence harness: every solver that consumes the
+// vendor-sharded candidate pipeline must produce bitwise-identical output
+// at every thread count, and the memoized (similarity, distance) pair
+// cache must agree with the uncached path to exact double equality.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assign/greedy.h"
+#include "assign/local_search.h"
+#include "assign/nearest.h"
+#include "assign/recon.h"
+#include "datagen/synthetic.h"
+#include "io/assignment_io.h"
+
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+model::ProblemInstance RandomInstance(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 40;
+  cfg.radius = {0.08, 0.18};
+  cfg.budget = {4.0, 9.0};
+  cfg.customer_loc_stddev = 0.3;
+  cfg.seed = seed;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+/// Exact (bitwise) equality of two assignment sets, including the stored
+/// utilities — `EXPECT_EQ` on doubles plus a memcmp on the raw bits so a
+/// negative-zero / NaN discrepancy cannot slip through.
+void ExpectIdenticalPlans(const AssignmentSet& a, const AssignmentSet& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(a.total_utility(), b.total_utility()) << label;
+  for (size_t r = 0; r < a.size(); ++r) {
+    const AdInstance& x = a.instances()[r];
+    const AdInstance& y = b.instances()[r];
+    EXPECT_EQ(x.customer, y.customer) << label << " row " << r;
+    EXPECT_EQ(x.vendor, y.vendor) << label << " row " << r;
+    EXPECT_EQ(x.ad_type, y.ad_type) << label << " row " << r;
+    EXPECT_EQ(std::memcmp(&x.utility, &y.utility, sizeof(double)), 0)
+        << label << " row " << r << ": " << x.utility << " vs " << y.utility;
+  }
+}
+
+std::unique_ptr<OfflineSolver> MakeByName(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedySolver>();
+  if (name == "greedy-ls") return std::make_unique<GreedyLsSolver>();
+  if (name == "recon") return std::make_unique<ReconSolver>();
+  if (name == "nearest") {
+    return std::make_unique<OnlineAsOffline>(
+        std::make_unique<NearestOnlineSolver>());
+  }
+  ADD_FAILURE() << "unknown solver " << name;
+  return nullptr;
+}
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelEquivalenceTest, ObjectiveAndPlanIdenticalAcrossThreadCounts) {
+  const std::string solver_name = GetParam();
+  for (uint64_t seed : {11u, 23u, 59u}) {
+    model::ProblemInstance instance = RandomInstance(seed);
+
+    testutil::SolverHarness serial(instance, /*seed=*/42, /*num_threads=*/1);
+    auto baseline =
+        MakeByName(solver_name)->Solve(serial.ctx()).ValueOrDie();
+    ASSERT_GT(baseline.size(), 0u) << "degenerate instance, seed " << seed;
+
+    for (unsigned threads : {2u, 8u}) {
+      testutil::SolverHarness parallel(instance, /*seed=*/42, threads);
+      auto plan =
+          MakeByName(solver_name)->Solve(parallel.ctx()).ValueOrDie();
+      ExpectIdenticalPlans(baseline, plan,
+                           solver_name + " seed=" + std::to_string(seed) +
+                               " threads=" + std::to_string(threads));
+      EXPECT_TRUE(plan.ValidateFull(parallel.utility).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, ParallelEquivalenceTest,
+                         ::testing::Values("greedy", "greedy-ls", "recon",
+                                           "nearest"));
+
+TEST(PairCacheTest, CachedPathMatchesUncachedExactly) {
+  model::ProblemInstance instance = RandomInstance(7);
+  model::UtilityModel cached(&instance);
+  cached.EnablePairCache();
+  ASSERT_TRUE(cached.pair_cache_enabled());
+  model::UtilityModel uncached(&instance);
+  ASSERT_FALSE(uncached.pair_cache_enabled());
+
+  const auto m = static_cast<model::CustomerId>(instance.num_customers());
+  const auto n = static_cast<model::VendorId>(instance.num_vendors());
+  for (model::CustomerId i = 0; i < m; ++i) {
+    for (model::VendorId j = 0; j < n; ++j) {
+      // Read twice: the first call fills the memo slot, the second reads
+      // it back; both must equal the direct computation bit-for-bit.
+      model::PairValue first = cached.PairFor(i, j);
+      model::PairValue again = cached.PairFor(i, j);
+      EXPECT_EQ(first.similarity, uncached.Similarity(i, j));
+      EXPECT_EQ(first.distance, uncached.ClampedDistance(i, j));
+      EXPECT_EQ(std::memcmp(&first, &again, sizeof(first)), 0);
+      for (size_t k = 0; k < instance.ad_types.size(); ++k) {
+        auto tk = static_cast<model::AdTypeId>(k);
+        EXPECT_EQ(cached.UtilityFromPair(i, tk, first),
+                  uncached.Utility(i, j, tk));
+      }
+    }
+  }
+}
+
+TEST(PairCacheTest, DisabledCacheStillAnswers) {
+  model::ProblemInstance instance = RandomInstance(3);
+  model::UtilityModel plain(&instance);
+  model::PairValue pv = plain.PairFor(0, 0);
+  EXPECT_EQ(pv.similarity, plain.Similarity(0, 0));
+  EXPECT_EQ(pv.distance, plain.ClampedDistance(0, 0));
+}
+
+/// Guards future PRs against accidental iteration-order dependence: a
+/// seeded run through the parallel pipeline must serialize to exactly the
+/// same CSV bytes every time.
+TEST(ParallelDeterminismTest, SeededSolveWritesIdenticalCsvTwice) {
+  model::ProblemInstance instance = RandomInstance(31);
+  auto solve_to_csv = [&](const std::string& name) {
+    testutil::SolverHarness h(instance, /*seed=*/42, /*num_threads=*/8);
+    ReconSolver recon;
+    auto plan = recon.Solve(h.ctx()).ValueOrDie();
+    std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    EXPECT_TRUE(io::SaveAssignments(plan, instance, path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::filesystem::remove(path);
+    return buf.str();
+  };
+  std::string first = solve_to_csv("muaa_determinism_a.csv");
+  std::string second = solve_to_csv("muaa_determinism_b.csv");
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace muaa::assign

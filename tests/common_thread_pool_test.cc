@@ -1,0 +1,173 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace muaa {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  ParallelFor(nullptr, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleItemRunsOnCaller) {
+  ThreadPool pool(4);
+  std::thread::id seen;
+  ParallelFor(&pool, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, NullPoolRunsSeriallyInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, IndexedSlotsMatchSerialResult) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 2'000;
+  std::vector<double> parallel_out(kN), serial_out(kN);
+  auto work = [](size_t i) {
+    double acc = 0.0;
+    for (size_t r = 0; r < 50; ++r) acc += static_cast<double>(i * r) * 1e-3;
+    return acc;
+  };
+  ParallelFor(&pool, kN, [&](size_t i) { parallel_out[i] = work(i); });
+  ParallelFor(nullptr, kN, [&](size_t i) { serial_out[i] = work(i); });
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  // Several indices throw; the rethrown exception must be index 17's —
+  // the lowest — no matter which thread hit one first.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    std::atomic<int> executed{0};
+    try {
+      ParallelFor(&pool, 256, [&](size_t i) {
+        executed.fetch_add(1);
+        if (i == 17 || i == 100 || i == 200) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 17");
+    }
+    // Every index still ran (no silent skips after a failure).
+    EXPECT_EQ(executed.load(), 256);
+  }
+}
+
+TEST(ParallelForTest, ExceptionOnSerialPathPropagates) {
+  EXPECT_THROW(
+      ParallelFor(nullptr, 3,
+                  [](size_t i) {
+                    if (i == 2) throw std::logic_error("serial boom");
+                  }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  // Outer loop occupies the pool; inner loops detect they are on a pool
+  // worker and run serially instead of deadlocking on a busy queue.
+  std::vector<std::vector<size_t>> inner(8);
+  ParallelFor(&pool, 8, [&](size_t i) {
+    ParallelFor(&pool, 4, [&](size_t j) { inner[i].push_back(j); });
+  });
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(inner[i], (std::vector<size_t>{0, 1, 2, 3})) << "outer " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotBlock) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([&pool, &done] {
+        pool.Submit([&done] { done.fetch_add(1); });
+      });
+    }
+    // Destructor drains both generations of tasks.
+  }
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadPoolTest, TeardownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        done.fetch_add(1);
+      });
+    }
+  }  // destructor joins only after every accepted task ran
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, CurrentThreadInPoolDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.CurrentThreadInPool());
+  std::atomic<bool> in_a{false}, in_b{true};
+  std::atomic<bool> barrier{false};
+  a.Submit([&] {
+    in_a = a.CurrentThreadInPool();
+    in_b = b.CurrentThreadInPool();
+    barrier = true;
+  });
+  while (!barrier) std::this_thread::yield();
+  EXPECT_TRUE(in_a.load());
+  EXPECT_FALSE(in_b.load());
+}
+
+TEST(ParallelForTest, CallerParticipatesWhenPoolIsBusy) {
+  // One worker is blocked; ParallelFor must still finish because the
+  // calling thread claims indices itself.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release) std::this_thread::yield();
+  });
+  std::vector<int> out(32, 0);
+  ParallelFor(&pool, 32, [&](size_t i) { out[i] = 1; });
+  release = true;
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 32);
+}
+
+}  // namespace
+}  // namespace muaa

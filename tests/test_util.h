@@ -72,20 +72,28 @@ inline model::ProblemInstance SmallTownInstance() {
 }  // namespace muaa::testutil
 
 #ifdef MUAA_TESTUTIL_WANT_HARNESS
+#include <memory>
+
 #include "assign/solver.h"
+#include "common/thread_pool.h"
 #include "model/problem_view.h"
 #include "model/utility.h"
 
 namespace muaa::testutil {
 
 /// Owns the per-instance state a solver needs; keeps the instance alive.
+/// `num_threads != 1` attaches a worker pool to the context (the result
+/// of any solver must not depend on it).
 struct SolverHarness {
   explicit SolverHarness(model::ProblemInstance instance_in,
-                         uint64_t seed = 42)
+                         uint64_t seed = 42, unsigned num_threads = 1)
       : instance(std::move(instance_in)),
         view(&instance),
         utility(&instance),
-        rng(seed) {}
+        rng(seed) {
+    utility.EnablePairCache();
+    if (num_threads != 1) pool = std::make_unique<ThreadPool>(num_threads);
+  }
 
   assign::SolveContext ctx() {
     assign::SolveContext c;
@@ -93,6 +101,7 @@ struct SolverHarness {
     c.view = &view;
     c.utility = &utility;
     c.rng = &rng;
+    c.pool = pool.get();
     return c;
   }
 
@@ -100,6 +109,7 @@ struct SolverHarness {
   model::ProblemView view;
   model::UtilityModel utility;
   Rng rng;
+  std::unique_ptr<ThreadPool> pool;
 };
 
 }  // namespace muaa::testutil

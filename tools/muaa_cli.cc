@@ -7,8 +7,13 @@
 //                               [max_customers=N]
 //   muaa_cli info               in=<dir>
 //   muaa_cli solve              in=<dir> solver=<name> [out=<csv>] [seed=S]
-//   muaa_cli stream             in=<dir> solver=<name> [seed=S]
+//                               [threads=N]
+//   muaa_cli stream             in=<dir> solver=<name> [seed=S] [threads=N]
 //   muaa_cli compare            in=<dir> left=<csv> right=<csv>
+//
+// `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
+// vendor-sharded solver phases; 0 = one per hardware thread. Output is
+// identical at every thread count — only wall-clock time changes.
 //
 // Solvers: recon, recon-dp, recon-lp, greedy, greedy-ls, random, exact,
 //          online (O-AFA), online-adaptive (O-AFA + streaming γ),
@@ -33,6 +38,7 @@
 #include "assign/windowed.h"
 #include "common/config.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "datagen/foursquare.h"
 #include "datagen/synthetic.h"
 #include "eval/compare.h"
@@ -56,6 +62,17 @@ int Usage() {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Parses and validates `threads=N` (0 = hardware concurrency).
+Result<unsigned> ThreadsArg(const Config& cfg) {
+  MUAA_ASSIGN_OR_RETURN(int64_t threads, cfg.GetInt("threads", 1));
+  if (threads < 0 || threads > ThreadPool::kMaxThreads) {
+    return Status::InvalidArgument(
+        "threads must be in [0, " + std::to_string(ThreadPool::kMaxThreads) +
+        "], got " + std::to_string(threads));
+  }
+  return static_cast<unsigned>(threads);
 }
 
 Result<std::unique_ptr<assign::OfflineSolver>> MakeSolver(
@@ -234,8 +251,11 @@ int CmdSolve(const Config& cfg) {
   if (!inst.ok()) return Fail(inst.status());
   auto solver = MakeSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
+  auto threads = ThreadsArg(cfg);
+  if (!threads.ok()) return Fail(threads.status());
   eval::ExperimentRunner runner(
-      &*inst, static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
+      &*inst, static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()),
+      model::SimilarityKind::kPearson, *threads);
   auto record = runner.Run(solver->get());
   if (!record.ok()) return Fail(record.status());
   std::printf("%s: utility=%.6f cpu=%.1fms ads=%zu spend=%.2f (%.1f%% of "
@@ -267,8 +287,15 @@ int CmdStream(const Config& cfg) {
 
   model::ProblemView view(&*inst);
   model::UtilityModel utility(&*inst);
+  utility.EnablePairCache();
   Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
-  assign::SolveContext ctx{&*inst, &view, &utility, &rng};
+  auto threads = ThreadsArg(cfg);
+  if (!threads.ok()) return Fail(threads.status());
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(*threads);
+  }
+  assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
   stream::StreamDriver driver(ctx);
   auto run = driver.Run(solver->get());
   if (!run.ok()) return Fail(run.status());

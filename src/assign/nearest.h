@@ -17,6 +17,9 @@ class NearestOnlineSolver : public OnlineSolver {
   std::string name() const override { return "NEAREST"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  /// The only mutable state is the per-vendor spend.
+  Result<std::string> Snapshot() const override;
+  Status Restore(const std::string& blob) override;
 
  private:
   SolveContext ctx_;

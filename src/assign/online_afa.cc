@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "assign/candidates.h"
+#include "assign/solver_state.h"
 
 namespace muaa::assign {
 
@@ -48,6 +49,42 @@ double AfaOnlineSolver::MaxUsedBudgetRatio() const {
     if (budget > 0.0) out = std::max(out, used_budget_[j] / budget);
   }
   return out;
+}
+
+Result<std::string> AfaOnlineSolver::Snapshot() const {
+  std::string out;
+  internal::PutStateHeader(&out);
+  internal::PutBudgets(&out, used_budget_);
+  PutDouble(&out, gamma_.gamma_min);
+  PutDouble(&out, gamma_.gamma_max);
+  PutU64(&out, gamma_.sample_count);
+  PutDouble(&out, g_);
+  PutDouble(&out, phi_scale_);
+  PutString(&out, observed_gamma_.SaveState());
+  return out;
+}
+
+Status AfaOnlineSolver::Restore(const std::string& blob) {
+  if (used_budget_.empty() && ctx_.instance == nullptr) {
+    return Status::FailedPrecondition("Restore before Initialize");
+  }
+  BinReader in(blob);
+  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
+  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
+  uint64_t samples = 0;
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&gamma_.gamma_min));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&gamma_.gamma_max));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&samples));
+  gamma_.sample_count = samples;
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&g_));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&phi_scale_));
+  std::string quantile_state;
+  MUAA_RETURN_NOT_OK(in.ReadString(&quantile_state));
+  MUAA_RETURN_NOT_OK(observed_gamma_.RestoreState(quantile_state));
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes in ONLINE solver state");
+  }
+  return Status::OK();
 }
 
 Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(

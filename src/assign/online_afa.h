@@ -54,6 +54,11 @@ class AfaOnlineSolver : public OnlineSolver {
   std::string name() const override { return "ONLINE"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  /// Captures used budgets, the (possibly adapted) γ bounds, `g`, the
+  /// threshold scale and the streaming-quantile estimator, so a restored
+  /// solver continues the stream bitwise-identically.
+  Result<std::string> Snapshot() const override;
+  Status Restore(const std::string& blob) override;
 
   /// The threshold value `φ(δ)` the solver currently applies to vendor `j`.
   double Threshold(model::VendorId j) const;

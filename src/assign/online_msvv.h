@@ -23,6 +23,9 @@ class MsvvOnlineSolver : public OnlineSolver {
   std::string name() const override { return "ONLINE-MSVV"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  /// The only mutable state is the per-vendor spend (ψ is derived).
+  Result<std::string> Snapshot() const override;
+  Status Restore(const std::string& blob) override;
 
   /// The discount `ψ(δ) = 1 − e^{δ−1}` (exposed for tests).
   static double Discount(double used_fraction);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "assign/candidates.h"
+#include "assign/solver_state.h"
 
 namespace muaa::assign {
 
@@ -18,6 +19,29 @@ Status StaticThresholdOnlineSolver::Initialize(const SolveContext& ctx) {
     threshold_ = options_.threshold_factor * gamma.gamma_min;
   }
   used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+Result<std::string> StaticThresholdOnlineSolver::Snapshot() const {
+  std::string out;
+  internal::PutStateHeader(&out);
+  internal::PutBudgets(&out, used_budget_);
+  PutDouble(&out, threshold_);
+  return out;
+}
+
+Status StaticThresholdOnlineSolver::Restore(const std::string& blob) {
+  if (ctx_.instance == nullptr) {
+    return Status::FailedPrecondition("Restore before Initialize");
+  }
+  BinReader in(blob);
+  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
+  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&threshold_));
+  if (!in.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes in ONLINE-STATIC solver state");
+  }
   return Status::OK();
 }
 

@@ -35,6 +35,10 @@ class StaticThresholdOnlineSolver : public OnlineSolver {
   std::string name() const override { return "ONLINE-STATIC"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  /// Captures used budgets and the effective threshold (which may have
+  /// been estimated from a γ sample at `Initialize` time).
+  Result<std::string> Snapshot() const override;
+  Status Restore(const std::string& blob) override;
 
   /// The effective constant threshold after initialization.
   double threshold() const { return threshold_; }

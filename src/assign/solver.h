@@ -56,6 +56,27 @@ class OnlineSolver {
   /// customer; the caller (driver) commits them. Implementations must keep
   /// their own budget accounting consistent with what they return.
   virtual Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) = 0;
+
+  /// Serializes all mutable per-stream state (remaining budgets,
+  /// thresholds, streaming estimators) into an opaque binary blob. Calling
+  /// `Initialize` + `Restore(Snapshot())` on a fresh solver and replaying
+  /// the remaining arrivals must reproduce an uninterrupted run bitwise —
+  /// that is the crash-consistency contract the stream driver's
+  /// checkpoint/recovery path (stream/driver.h) relies on.
+  ///
+  /// The default is the empty blob, correct only for solvers without
+  /// mutable state.
+  virtual Result<std::string> Snapshot() const { return std::string(); }
+
+  /// Restores a blob produced by `Snapshot()` on an equally-configured,
+  /// already-`Initialize`d solver. The default accepts only the empty
+  /// blob.
+  virtual Status Restore(const std::string& blob) {
+    if (!blob.empty()) {
+      return Status::Unimplemented(name() + " cannot restore solver state");
+    }
+    return Status::OK();
+  }
 };
 
 /// \brief Adapts an online solver to the offline interface by replaying

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+
+namespace muaa::assign::internal {
+
+/// Shared pieces of the online solvers' `Snapshot()`/`Restore()` blobs:
+/// a one-byte format version followed by the per-vendor spent budgets.
+/// Each solver appends its own extra fields after these.
+
+inline constexpr uint8_t kSolverStateVersion = 1;
+
+inline void PutStateHeader(std::string* out) {
+  PutU8(out, kSolverStateVersion);
+}
+
+inline Status ReadStateHeader(BinReader* in) {
+  uint8_t version = 0;
+  MUAA_RETURN_NOT_OK(in->ReadU8(&version));
+  if (version != kSolverStateVersion) {
+    return Status::InvalidArgument("unsupported solver state version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+inline void PutBudgets(std::string* out, const std::vector<double>& budgets) {
+  PutU64(out, budgets.size());
+  for (double b : budgets) PutDouble(out, b);
+}
+
+/// Restores into an already-sized vector (sized by `Initialize`); a length
+/// mismatch means the snapshot belongs to a different instance.
+inline Status ReadBudgets(BinReader* in, std::vector<double>* budgets) {
+  uint64_t n = 0;
+  MUAA_RETURN_NOT_OK(in->ReadU64(&n));
+  if (n != budgets->size()) {
+    return Status::InvalidArgument(
+        "solver state has " + std::to_string(n) + " vendors, instance has " +
+        std::to_string(budgets->size()));
+  }
+  for (double& b : *budgets) MUAA_RETURN_NOT_OK(in->ReadDouble(&b));
+  return Status::OK();
+}
+
+}  // namespace muaa::assign::internal

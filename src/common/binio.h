@@ -1,0 +1,111 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace muaa {
+
+/// \file Little-endian binary encode/decode helpers for the durability
+/// layer (assignment journal, checkpoints, solver snapshots). Fixed-width
+/// integers and IEEE-754 bit patterns only — the formats must round-trip
+/// *bitwise*, which rules out text formatting.
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+/// Encodes the exact IEEE-754 bit pattern (value round-trips bitwise,
+/// including -0.0 and NaN payloads).
+inline void PutDouble(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Length-prefixed (u32) byte string.
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// \brief Bounds-checked cursor over an encoded buffer. Every `Read*`
+/// returns OutOfRange instead of reading past the end, so a truncated or
+/// corrupt blob yields a Status, never undefined behaviour.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Status ReadU8(uint8_t* v) {
+    if (remaining() < 1) return Truncated("u8");
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* v) {
+    uint64_t bits = 0;
+    MUAA_RETURN_NOT_OK(ReadU64(&bits));
+    *v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    uint32_t len = 0;
+    MUAA_RETURN_NOT_OK(ReadU32(&len));
+    if (remaining() < len) return Truncated("string body");
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::OutOfRange(std::string("truncated buffer reading ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace muaa

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace muaa {
@@ -19,8 +20,18 @@ Result<Config> Config::FromArgs(int argc, const char* const* argv) {
     if (eq == std::string::npos || eq == start) {
       return Status::InvalidArgument("expected key=value, got: " + arg);
     }
-    cfg.Set(Trim(arg.substr(start, eq - start)), Trim(arg.substr(eq + 1)));
+    std::string key = Trim(arg.substr(start, eq - start));
+    std::string value = Trim(arg.substr(eq + 1));
+    if (cfg.Has(key)) {
+      MUAA_LOG(Warning) << "duplicate option '" << key
+                        << "': last value wins (" << key << "=" << value
+                        << ")";
+      cfg.duplicates_.push_back(key);
+    }
+    cfg.Set(key, value);
   }
+  // Has() above is a bookkeeping probe, not a caller read.
+  cfg.read_.clear();
   return cfg;
 }
 
@@ -29,16 +40,19 @@ void Config::Set(const std::string& key, const std::string& value) {
 }
 
 bool Config::Has(const std::string& key) const {
+  MarkRead(key);
   return entries_.count(key) > 0;
 }
 
 std::string Config::GetString(const std::string& key,
                               const std::string& fallback) const {
+  MarkRead(key);
   auto it = entries_.find(key);
   return it == entries_.end() ? fallback : it->second;
 }
 
 Result<int64_t> Config::GetInt(const std::string& key, int64_t fallback) const {
+  MarkRead(key);
   auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
   char* end = nullptr;
@@ -50,6 +64,7 @@ Result<int64_t> Config::GetInt(const std::string& key, int64_t fallback) const {
 }
 
 Result<double> Config::GetDouble(const std::string& key, double fallback) const {
+  MarkRead(key);
   auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
   char* end = nullptr;
@@ -61,6 +76,7 @@ Result<double> Config::GetDouble(const std::string& key, double fallback) const 
 }
 
 Result<bool> Config::GetBool(const std::string& key, bool fallback) const {
+  MarkRead(key);
   auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
   std::string v = ToLower(it->second);
@@ -77,10 +93,29 @@ void Config::LoadEnvOverrides(const std::vector<std::string>& keys) {
                                         static_cast<unsigned char>(c)));
     }
     const char* value = std::getenv(env_key.c_str());
-    if (value != nullptr && !Has(key)) {
+    if (value != nullptr && entries_.count(key) == 0) {
       Set(key, value);
     }
   }
+}
+
+std::vector<std::string> Config::UnreadKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_) {
+    if (read_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+size_t Config::WarnUnreadKeys() const {
+  size_t warned = 0;
+  for (const std::string& key : UnreadKeys()) {
+    if (!warned_.insert(key).second) continue;  // warn-once
+    MUAA_LOG(Warning) << "unknown option '" << key
+                      << "' was never read (misspelt?)";
+    ++warned;
+  }
+  return warned;
 }
 
 }  // namespace muaa

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,17 +14,24 @@ namespace muaa {
 ///
 /// Used by benches and examples to take overrides from the command line
 /// (`key=value` arguments) and the environment (`MUAA_*` variables).
+///
+/// Two classes of user mistake are surfaced instead of silently ignored:
+/// a key given twice on the command line logs a warning from `FromArgs`
+/// (last value wins), and keys that no accessor ever looked up — usually
+/// typos — are reported by `WarnUnreadKeys()` once the caller has pulled
+/// everything it understands.
 class Config {
  public:
   Config() = default;
 
   /// Parses `key=value` tokens. Unknown formats yield InvalidArgument.
+  /// A key repeated across tokens logs one warning; the last value wins.
   static Result<Config> FromArgs(int argc, const char* const* argv);
 
   /// Sets (or overwrites) a key.
   void Set(const std::string& key, const std::string& value);
 
-  /// True if the key is present.
+  /// True if the key is present. Counts as a read of `key`.
   bool Has(const std::string& key) const;
 
   /// String value or `fallback`.
@@ -42,11 +50,31 @@ class Config {
   /// upper-cased; dots become underscores). Existing values are kept.
   void LoadEnvOverrides(const std::vector<std::string>& keys);
 
+  /// Entries no accessor has looked up yet — with the convention that the
+  /// caller reads every key it understands, these are unknown (misspelt)
+  /// options.
+  std::vector<std::string> UnreadKeys() const;
+
+  /// Logs one warning naming each unread key. Repeated calls warn about a
+  /// given key at most once. Returns the number of keys newly warned
+  /// about.
+  size_t WarnUnreadKeys() const;
+
+  /// Keys that were given more than once to `FromArgs` (diagnostics).
+  const std::vector<std::string>& duplicate_keys() const {
+    return duplicates_;
+  }
+
   /// All entries (for diagnostics).
   const std::map<std::string, std::string>& entries() const { return entries_; }
 
  private:
+  void MarkRead(const std::string& key) const { read_.insert(key); }
+
   std::map<std::string, std::string> entries_;
+  std::vector<std::string> duplicates_;
+  mutable std::set<std::string> read_;
+  mutable std::set<std::string> warned_;
 };
 
 }  // namespace muaa

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace muaa {
+
+/// \brief CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
+///
+/// Used by the write-ahead assignment journal and the checkpoint files to
+/// detect torn writes and silent corruption. `seed` lets callers chain
+/// partial computations: `Crc32(b, Crc32(a))` == `Crc32(a + b)`.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Convenience overload over a string view.
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace muaa

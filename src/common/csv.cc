@@ -68,6 +68,17 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
   return fields;
 }
 
+std::string CsvReader::Where() const {
+  std::string where;
+  if (!name_.empty()) {
+    where = name_;
+    where += ' ';
+  }
+  where += "line ";
+  where += std::to_string(line_);
+  return where;
+}
+
 Result<bool> CsvReader::ReadRow(std::vector<std::string>* row) {
   std::string line;
   while (std::getline(*in_, line)) {
@@ -77,7 +88,7 @@ Result<bool> CsvReader::ReadRow(std::vector<std::string>* row) {
     if (first == std::string::npos || line[first] == '#') continue;
     auto parsed = ParseCsvLine(line, sep_);
     if (!parsed.ok()) {
-      return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+      return Status::InvalidArgument(Where() + ": " +
                                      parsed.status().message());
     }
     *row = std::move(parsed).ValueOrDie();

@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -50,18 +51,28 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 /// lines and lines starting with `#` are skipped.
 class CsvReader {
  public:
-  explicit CsvReader(std::istream* in, char sep = ',') : in_(in), sep_(sep) {}
+  /// `name` (e.g. the file name) is prefixed to error messages so a bad
+  /// row can be located without knowing which stream was being read.
+  explicit CsvReader(std::istream* in, char sep = ',', std::string name = "")
+      : in_(in), sep_(sep), name_(std::move(name)) {}
 
   /// Reads the next data row into `row`. Returns false at EOF. A malformed
-  /// line yields an error status.
+  /// line yields an error status naming the source and line.
   Result<bool> ReadRow(std::vector<std::string>* row);
 
   /// 1-based line number of the last row read (for error messages).
   size_t line_number() const { return line_; }
 
+  /// Human-readable source name ("" when none was given).
+  const std::string& name() const { return name_; }
+
+  /// "name line N" / "line N" prefix for error messages about the last row.
+  std::string Where() const;
+
  private:
   std::istream* in_;
   char sep_;
+  std::string name_;
   size_t line_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -56,6 +57,23 @@ int64_t Rng::Zipf(int64_t n, double s) {
   double u = Uniform(0.0, 1.0);
   auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
   return static_cast<int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    return Status::InvalidArgument("unparsable mt19937_64 state");
+  }
+  engine_ = engine;
+  return Status::OK();
 }
 
 size_t Rng::Index(size_t n) {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace muaa {
 
@@ -53,6 +56,15 @@ class Rng {
 
   /// The underlying engine (for std::distributions not wrapped here).
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the engine state as a portable text token sequence (the
+  /// standard `operator<<` format of `std::mt19937_64`), so checkpointed
+  /// components resume their random stream bit-for-bit where it stopped.
+  std::string SaveState() const;
+
+  /// Restores a state produced by `SaveState`; InvalidArgument when the
+  /// blob does not parse as an engine state.
+  Status LoadState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -16,6 +16,7 @@ enum class StatusCode {
   kResourceExhausted = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDataLoss = 9,
 };
 
 /// \brief Lightweight success/error carrier used across the library.
@@ -65,6 +66,11 @@ class Status {
   /// Returns an Unimplemented error.
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Returns a DataLoss error (unrecoverable corruption, torn writes,
+  /// injected crashes of the durability layer).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -1,5 +1,6 @@
 #include "common/streaming_quantile.h"
 
+#include "common/binio.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 
@@ -27,6 +28,42 @@ void StreamingQuantile::Observe(double x) {
 double StreamingQuantile::Quantile(double q) const {
   if (reservoir_.empty()) return 0.0;
   return Percentile(reservoir_, q);
+}
+
+std::string StreamingQuantile::SaveState() const {
+  std::string out;
+  PutU64(&out, capacity_);
+  PutU64(&out, seen_);
+  PutU32(&out, static_cast<uint32_t>(reservoir_.size()));
+  for (double x : reservoir_) PutDouble(&out, x);
+  PutString(&out, rng_.SaveState());
+  return out;
+}
+
+Status StreamingQuantile::RestoreState(const std::string& blob) {
+  BinReader in(blob);
+  uint64_t capacity = 0, seen = 0;
+  uint32_t sample = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU64(&capacity));
+  if (capacity != capacity_) {
+    return Status::InvalidArgument(
+        "StreamingQuantile capacity mismatch: snapshot has " +
+        std::to_string(capacity) + ", estimator has " +
+        std::to_string(capacity_));
+  }
+  MUAA_RETURN_NOT_OK(in.ReadU64(&seen));
+  MUAA_RETURN_NOT_OK(in.ReadU32(&sample));
+  if (sample > capacity) {
+    return Status::InvalidArgument("StreamingQuantile sample exceeds capacity");
+  }
+  std::vector<double> reservoir(sample);
+  for (double& x : reservoir) MUAA_RETURN_NOT_OK(in.ReadDouble(&x));
+  std::string rng_state;
+  MUAA_RETURN_NOT_OK(in.ReadString(&rng_state));
+  MUAA_RETURN_NOT_OK(rng_.LoadState(rng_state));
+  seen_ = seen;
+  reservoir_ = std::move(reservoir);
+  return Status::OK();
 }
 
 }  // namespace muaa

@@ -2,9 +2,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 
 namespace muaa {
 
@@ -31,6 +33,15 @@ class StreamingQuantile {
 
   /// Observations currently retained.
   size_t sample_size() const { return reservoir_.size(); }
+
+  /// Serializes the full estimator state (reservoir, counter and the
+  /// internal RNG) into an opaque binary blob for checkpointing.
+  std::string SaveState() const;
+
+  /// Restores a blob produced by `SaveState` on an estimator constructed
+  /// with the same `capacity`; the resumed observation stream then evolves
+  /// identically to an uninterrupted one.
+  Status RestoreState(const std::string& blob);
 
  private:
   size_t capacity_;

@@ -1,0 +1,157 @@
+#include "io/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+
+namespace muaa::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '1'};
+
+std::string EncodePayload(const StreamCheckpoint& ckpt) {
+  std::string p;
+  PutU64(&p, ckpt.num_customers);
+  PutU64(&p, ckpt.num_vendors);
+  PutU64(&p, ckpt.num_ad_types);
+  PutU64(&p, ckpt.next_arrival);
+  PutString(&p, ckpt.solver_name);
+  PutString(&p, ckpt.solver_state);
+  PutU64(&p, ckpt.arrivals);
+  PutU64(&p, ckpt.served_customers);
+  PutU64(&p, ckpt.assigned_ads);
+  PutDouble(&p, ckpt.total_utility);
+  PutDouble(&p, ckpt.total_latency_ms);
+  PutDouble(&p, ckpt.max_latency_ms);
+  PutU64(&p, ckpt.instances.size());
+  for (const assign::AdInstance& inst : ckpt.instances) {
+    PutU32(&p, static_cast<uint32_t>(inst.customer));
+    PutU32(&p, static_cast<uint32_t>(inst.vendor));
+    PutU32(&p, static_cast<uint32_t>(inst.ad_type));
+    PutDouble(&p, inst.utility);
+  }
+  return p;
+}
+
+Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
+  BinReader in(p);
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_customers));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_vendors));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_ad_types));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->next_arrival));
+  MUAA_RETURN_NOT_OK(in.ReadString(&ckpt->solver_name));
+  MUAA_RETURN_NOT_OK(in.ReadString(&ckpt->solver_state));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->arrivals));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->served_customers));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->assigned_ads));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&ckpt->total_utility));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&ckpt->total_latency_ms));
+  MUAA_RETURN_NOT_OK(in.ReadDouble(&ckpt->max_latency_ms));
+  uint64_t count = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU64(&count));
+  // 20 bytes per instance; reject counts the remaining payload can't hold.
+  if (count > in.remaining() / 20) {
+    return Status::DataLoss("checkpoint instance count exceeds payload");
+  }
+  ckpt->instances.clear();
+  ckpt->instances.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    uint32_t customer = 0, vendor = 0, ad_type = 0;
+    assign::AdInstance inst;
+    MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&ad_type));
+    MUAA_RETURN_NOT_OK(in.ReadDouble(&inst.utility));
+    inst.customer = static_cast<model::CustomerId>(customer);
+    inst.vendor = static_cast<model::VendorId>(vendor);
+    inst.ad_type = static_cast<model::AdTypeId>(ad_type);
+    ckpt->instances.push_back(inst);
+  }
+  if (!in.done()) {
+    return Status::DataLoss("trailing bytes in checkpoint payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path) {
+  const std::string payload = EncodePayload(ckpt);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot create checkpoint: " + tmp);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    std::string frame;
+    PutU64(&frame, payload.size());
+    frame += payload;
+    PutU32(&frame, Crc32(payload));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("checkpoint write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename checkpoint into place: " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Result<StreamCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad checkpoint header: " + path);
+  }
+  char size_bytes[8];
+  in.read(size_bytes, sizeof(size_bytes));
+  if (in.gcount() != sizeof(size_bytes)) {
+    return Status::DataLoss("torn checkpoint size: " + path);
+  }
+  uint64_t size = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<uint64_t>(static_cast<unsigned char>(size_bytes[i]))
+            << (8 * i);
+  }
+  constexpr uint64_t kMaxPayload = uint64_t{1} << 32;
+  if (size > kMaxPayload) {
+    return Status::DataLoss("implausible checkpoint size: " + path);
+  }
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    return Status::DataLoss("torn checkpoint payload: " + path);
+  }
+  char crc_bytes[4];
+  in.read(crc_bytes, sizeof(crc_bytes));
+  if (in.gcount() != sizeof(crc_bytes)) {
+    return Status::DataLoss("torn checkpoint checksum: " + path);
+  }
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(crc_bytes[i]))
+           << (8 * i);
+  }
+  if (crc != Crc32(payload)) {
+    return Status::DataLoss("checkpoint checksum mismatch: " + path);
+  }
+  StreamCheckpoint ckpt;
+  MUAA_RETURN_NOT_OK(DecodePayload(payload, &ckpt));
+  return ckpt;
+}
+
+}  // namespace muaa::io

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+
+namespace muaa::io {
+
+/// \brief A consistent snapshot of a streamed run: everything needed to
+/// continue as if the process had never died.
+///
+/// The driver (stream/driver.h) writes one every `checkpoint_every`
+/// arrivals and on graceful shutdown; `ResumeFrom` loads the newest one
+/// and replays the journal tail past `next_arrival`. The instance
+/// fingerprint guards against resuming against the wrong data set, and
+/// the solver name against resuming with a different algorithm.
+struct StreamCheckpoint {
+  // Instance fingerprint.
+  uint64_t num_customers = 0;
+  uint64_t num_vendors = 0;
+  uint64_t num_ad_types = 0;
+
+  /// First arrival index NOT covered by this checkpoint.
+  uint64_t next_arrival = 0;
+
+  /// `OnlineSolver::name()` of the producing solver.
+  std::string solver_name;
+  /// Opaque `OnlineSolver::Snapshot()` blob.
+  std::string solver_state;
+
+  // Mirror of stream::StreamStats at `next_arrival`.
+  uint64_t arrivals = 0;
+  uint64_t served_customers = 0;
+  uint64_t assigned_ads = 0;
+  double total_utility = 0.0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  /// All instances committed so far, in insertion order (utilities are
+  /// exact IEEE-754 bit patterns; re-adding them in order reproduces the
+  /// Kahan-compensated totals bitwise).
+  std::vector<assign::AdInstance> instances;
+};
+
+/// Atomically writes `ckpt` to `path` (tmp file + rename) with a trailing
+/// CRC32 over the whole payload, so a crash mid-checkpoint can never leave
+/// a half-written file behind.
+Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path);
+
+/// Loads and CRC-verifies a checkpoint. NotFound when missing, DataLoss
+/// when damaged.
+Result<StreamCheckpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace muaa::io

@@ -1,6 +1,8 @@
 #include "io/instance_io.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -28,37 +30,92 @@ std::string JoinVector(const std::vector<double>& v) {
   return out;
 }
 
+/// "customers.csv line 7, column view_prob" — the error-location prefix
+/// every field validator below uses.
+std::string At(const CsvReader& reader, const char* column) {
+  std::string out = reader.Where();
+  out += ", column ";
+  out += column;
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& s, const CsvReader& reader,
+                           const char* column) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(At(reader, column) + ": not a number: '" +
+                                   s + "'");
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument(At(reader, column) +
+                                   ": non-finite value: '" + s + "'");
+  }
+  return v;
+}
+
+Result<double> ParseNonNegative(const std::string& s, const CsvReader& reader,
+                                const char* column) {
+  MUAA_ASSIGN_OR_RETURN(double v, ParseDouble(s, reader, column));
+  if (v < 0.0) {
+    return Status::InvalidArgument(At(reader, column) +
+                                   ": must be >= 0, got " + s);
+  }
+  return v;
+}
+
+Result<double> ParseProbability(const std::string& s, const CsvReader& reader,
+                                const char* column) {
+  MUAA_ASSIGN_OR_RETURN(double v, ParseDouble(s, reader, column));
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(At(reader, column) +
+                                   ": probability outside [0, 1]: " + s);
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& s, const CsvReader& reader,
+                         const char* column) {
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(At(reader, column) +
+                                   ": not an integer: '" + s + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
 Result<std::vector<double>> ParseVector(const std::string& text,
-                                        size_t expected) {
+                                        size_t expected,
+                                        const CsvReader& reader,
+                                        const char* column) {
   std::vector<double> out;
   for (const std::string& part : Split(text, ';')) {
     if (part.empty()) continue;
     char* end = nullptr;
     double v = std::strtod(part.c_str(), &end);
     if (end == part.c_str() || *end != '\0') {
-      return Status::InvalidArgument("bad vector entry: " + part);
+      return Status::InvalidArgument(At(reader, column) +
+                                     ": bad vector entry: '" + part + "'");
+    }
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(At(reader, column) +
+                                     ": non-finite vector entry: '" + part +
+                                     "'");
     }
     out.push_back(v);
   }
   if (out.size() != expected) {
     // Built with append() — GCC 12's -Wrestrict false-positives on the
     // chained operator+ form under -O3.
-    std::string msg = "interest vector length ";
+    std::string msg = At(reader, column);
+    msg.append(": interest vector length ");
     msg.append(std::to_string(out.size()));
     msg.append(", expected ");
     msg.append(std::to_string(expected));
     return Status::InvalidArgument(std::move(msg));
   }
   return out;
-}
-
-Result<double> ParseDouble(const std::string& s) {
-  char* end = nullptr;
-  double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') {
-    return Status::InvalidArgument("not a number: " + s);
-  }
-  return v;
 }
 
 Result<std::ofstream> OpenForWrite(const std::filesystem::path& path) {
@@ -75,6 +132,18 @@ Result<std::ifstream> OpenForRead(const std::filesystem::path& path) {
     return Status::NotFound("cannot open: " + path.string());
   }
   return in;
+}
+
+/// Lenient-mode row disposition: strict loads propagate the row's error;
+/// lenient loads count and skip it (entity files only).
+Status HandleRowError(Status st, const LoadOptions& options,
+                      LoadReport* report, bool* skip) {
+  *skip = false;
+  if (st.ok()) return st;
+  if (options.strict) return st;
+  if (report != nullptr) report->skipped_rows += 1;
+  *skip = true;
+  return Status::OK();
 }
 
 }  // namespace
@@ -155,14 +224,17 @@ Status SaveInstance(const model::ProblemInstance& instance,
   return Status::OK();
 }
 
-Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
+Result<model::ProblemInstance> LoadInstance(const std::string& dir,
+                                            const LoadOptions& options,
+                                            LoadReport* report) {
   const std::filesystem::path base(dir);
   model::ProblemInstance instance;
   size_t num_tags = 0;
+  if (report != nullptr) *report = LoadReport{};
 
   {
     MUAA_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(base / "meta.csv"));
-    CsvReader reader(&in);
+    CsvReader reader(&in, ',', "meta.csv");
     std::vector<std::string> row;
     bool saw_version = false;
     while (true) {
@@ -172,11 +244,17 @@ Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
       if (row[0] == "version") {
         saw_version = true;
         if (row[1] != std::to_string(kFormatVersion)) {
-          return Status::InvalidArgument("unsupported format version " +
+          return Status::InvalidArgument(reader.Where() +
+                                         ": unsupported format version " +
                                          row[1]);
         }
       } else if (row[0] == "num_tags") {
-        num_tags = static_cast<size_t>(std::stoul(row[1]));
+        MUAA_ASSIGN_OR_RETURN(int64_t tags, ParseInt(row[1], reader, "value"));
+        if (tags <= 0) {
+          return Status::InvalidArgument(At(reader, "value") +
+                                         ": num_tags must be > 0");
+        }
+        num_tags = static_cast<size_t>(tags);
       }
     }
     if (!saw_version || num_tags == 0) {
@@ -186,18 +264,28 @@ Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
   {
     MUAA_ASSIGN_OR_RETURN(std::ifstream in,
                           OpenForRead(base / "ad_types.csv"));
-    CsvReader reader(&in);
+    CsvReader reader(&in, ',', "ad_types.csv");
     std::vector<std::string> row;
     std::vector<model::AdType> types;
     while (true) {
       MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
       if (!more) break;
       if (row.size() != 3 || row[0] == "name") continue;
-      model::AdType t;
-      t.name = row[0];
-      MUAA_ASSIGN_OR_RETURN(t.cost, ParseDouble(row[1]));
-      MUAA_ASSIGN_OR_RETURN(t.effectiveness, ParseDouble(row[2]));
-      types.push_back(std::move(t));
+      auto parse = [&]() -> Result<model::AdType> {
+        model::AdType t;
+        t.name = row[0];
+        MUAA_ASSIGN_OR_RETURN(t.cost, ParseNonNegative(row[1], reader, "cost"));
+        MUAA_ASSIGN_OR_RETURN(
+            t.effectiveness,
+            ParseProbability(row[2], reader, "effectiveness"));
+        return t;
+      };
+      auto parsed = parse();
+      bool skip = false;
+      MUAA_RETURN_NOT_OK(
+          HandleRowError(parsed.status(), options, report, &skip));
+      if (skip) continue;
+      types.push_back(std::move(parsed).ValueOrDie());
     }
     MUAA_ASSIGN_OR_RETURN(instance.ad_types,
                           model::AdTypeCatalog::Create(std::move(types)));
@@ -205,21 +293,23 @@ Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
   {
     MUAA_ASSIGN_OR_RETURN(std::ifstream in,
                           OpenForRead(base / "activity.csv"));
-    CsvReader reader(&in);
+    CsvReader reader(&in, ',', "activity.csv");
     std::vector<std::string> row;
     std::vector<std::vector<double>> matrix(num_tags);
     while (true) {
       MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
       if (!more) break;
       if (row.size() != 25 || row[0] == "tag") continue;
-      size_t tag = static_cast<size_t>(std::stoul(row[0]));
-      if (tag >= num_tags) {
-        return Status::InvalidArgument("activity.csv tag out of range");
+      MUAA_ASSIGN_OR_RETURN(int64_t tag_id, ParseInt(row[0], reader, "tag"));
+      if (tag_id < 0 || static_cast<size_t>(tag_id) >= num_tags) {
+        return Status::InvalidArgument(At(reader, "tag") + ": out of range");
       }
+      size_t tag = static_cast<size_t>(tag_id);
       matrix[tag].resize(24);
       for (int h = 0; h < 24; ++h) {
-        MUAA_ASSIGN_OR_RETURN(matrix[tag][static_cast<size_t>(h)],
-                              ParseDouble(row[static_cast<size_t>(h) + 1]));
+        MUAA_ASSIGN_OR_RETURN(
+            matrix[tag][static_cast<size_t>(h)],
+            ParseNonNegative(row[static_cast<size_t>(h) + 1], reader, "hour"));
       }
     }
     MUAA_ASSIGN_OR_RETURN(instance.activity,
@@ -228,38 +318,66 @@ Result<model::ProblemInstance> LoadInstance(const std::string& dir) {
   {
     MUAA_ASSIGN_OR_RETURN(std::ifstream in,
                           OpenForRead(base / "customers.csv"));
-    CsvReader reader(&in);
+    CsvReader reader(&in, ',', "customers.csv");
     std::vector<std::string> row;
     while (true) {
       MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
       if (!more) break;
       if (row.size() != 6 || row[0] == "x") continue;
-      model::Customer u;
-      MUAA_ASSIGN_OR_RETURN(u.location.x, ParseDouble(row[0]));
-      MUAA_ASSIGN_OR_RETURN(u.location.y, ParseDouble(row[1]));
-      u.capacity = static_cast<int>(std::stol(row[2]));
-      MUAA_ASSIGN_OR_RETURN(u.view_prob, ParseDouble(row[3]));
-      MUAA_ASSIGN_OR_RETURN(u.arrival_time, ParseDouble(row[4]));
-      MUAA_ASSIGN_OR_RETURN(u.interests, ParseVector(row[5], num_tags));
-      instance.customers.push_back(std::move(u));
+      auto parse = [&]() -> Result<model::Customer> {
+        model::Customer u;
+        MUAA_ASSIGN_OR_RETURN(u.location.x, ParseDouble(row[0], reader, "x"));
+        MUAA_ASSIGN_OR_RETURN(u.location.y, ParseDouble(row[1], reader, "y"));
+        MUAA_ASSIGN_OR_RETURN(int64_t cap,
+                              ParseInt(row[2], reader, "capacity"));
+        if (cap < 0) {
+          return Status::InvalidArgument(At(reader, "capacity") +
+                                         ": must be >= 0, got " + row[2]);
+        }
+        u.capacity = static_cast<int>(cap);
+        MUAA_ASSIGN_OR_RETURN(u.view_prob,
+                              ParseProbability(row[3], reader, "view_prob"));
+        MUAA_ASSIGN_OR_RETURN(u.arrival_time,
+                              ParseNonNegative(row[4], reader, "arrival"));
+        MUAA_ASSIGN_OR_RETURN(
+            u.interests, ParseVector(row[5], num_tags, reader, "interests"));
+        return u;
+      };
+      auto parsed = parse();
+      bool skip = false;
+      MUAA_RETURN_NOT_OK(
+          HandleRowError(parsed.status(), options, report, &skip));
+      if (skip) continue;
+      instance.customers.push_back(std::move(parsed).ValueOrDie());
     }
   }
   {
     MUAA_ASSIGN_OR_RETURN(std::ifstream in,
                           OpenForRead(base / "vendors.csv"));
-    CsvReader reader(&in);
+    CsvReader reader(&in, ',', "vendors.csv");
     std::vector<std::string> row;
     while (true) {
       MUAA_ASSIGN_OR_RETURN(bool more, reader.ReadRow(&row));
       if (!more) break;
       if (row.size() != 5 || row[0] == "x") continue;
-      model::Vendor v;
-      MUAA_ASSIGN_OR_RETURN(v.location.x, ParseDouble(row[0]));
-      MUAA_ASSIGN_OR_RETURN(v.location.y, ParseDouble(row[1]));
-      MUAA_ASSIGN_OR_RETURN(v.radius, ParseDouble(row[2]));
-      MUAA_ASSIGN_OR_RETURN(v.budget, ParseDouble(row[3]));
-      MUAA_ASSIGN_OR_RETURN(v.interests, ParseVector(row[4], num_tags));
-      instance.vendors.push_back(std::move(v));
+      auto parse = [&]() -> Result<model::Vendor> {
+        model::Vendor v;
+        MUAA_ASSIGN_OR_RETURN(v.location.x, ParseDouble(row[0], reader, "x"));
+        MUAA_ASSIGN_OR_RETURN(v.location.y, ParseDouble(row[1], reader, "y"));
+        MUAA_ASSIGN_OR_RETURN(v.radius,
+                              ParseNonNegative(row[2], reader, "radius"));
+        MUAA_ASSIGN_OR_RETURN(v.budget,
+                              ParseNonNegative(row[3], reader, "budget"));
+        MUAA_ASSIGN_OR_RETURN(
+            v.interests, ParseVector(row[4], num_tags, reader, "interests"));
+        return v;
+      };
+      auto parsed = parse();
+      bool skip = false;
+      MUAA_RETURN_NOT_OK(
+          HandleRowError(parsed.status(), options, report, &skip));
+      if (skip) continue;
+      instance.vendors.push_back(std::move(parsed).ValueOrDie());
     }
   }
   MUAA_RETURN_NOT_OK(instance.Validate());

@@ -20,7 +20,31 @@ namespace muaa::io {
 Status SaveInstance(const model::ProblemInstance& instance,
                     const std::string& dir);
 
+/// \brief Controls how `LoadInstance` treats malformed rows.
+struct LoadOptions {
+  /// Strict (default): the first bad row fails the whole load with an
+  /// InvalidArgument naming the file, line and column. Lenient: bad
+  /// *entity* rows (ad_types / customers / vendors) are skipped and
+  /// counted in `LoadReport`; structural files (meta, activity) are
+  /// always strict.
+  bool strict = true;
+};
+
+/// \brief What a lenient load left out.
+struct LoadReport {
+  size_t skipped_rows = 0;
+};
+
 /// Loads and validates an instance previously written by `SaveInstance`.
-Result<model::ProblemInstance> LoadInstance(const std::string& dir);
+///
+/// Every numeric field is checked on the way in: NaN / Inf anywhere,
+/// negative budgets, costs, radii or capacities, and probabilities
+/// outside [0, 1] are rejected with a Status naming the file, the
+/// 1-based line and the column (e.g. `customers.csv line 7, column
+/// view_prob: ...`). With `options.strict == false` such rows are
+/// skipped instead; pass `report` to learn how many.
+Result<model::ProblemInstance> LoadInstance(const std::string& dir,
+                                            const LoadOptions& options = {},
+                                            LoadReport* report = nullptr);
 
 }  // namespace muaa::io

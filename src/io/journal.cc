@@ -1,0 +1,237 @@
+#include "io/journal.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+
+namespace muaa::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'J', 'N', 'L', '1'};
+// A record payload is at most a few dozen bytes; anything larger means the
+// length prefix itself is garbage. Refuse early instead of allocating.
+constexpr uint32_t kMaxPayload = 4096;
+
+std::string EncodeDecision(uint64_t arrival, const assign::AdInstance& inst) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kDecision));
+  PutU64(&payload, arrival);
+  PutU32(&payload, static_cast<uint32_t>(inst.customer));
+  PutU32(&payload, static_cast<uint32_t>(inst.vendor));
+  PutU32(&payload, static_cast<uint32_t>(inst.ad_type));
+  PutDouble(&payload, inst.utility);
+  return payload;
+}
+
+std::string EncodeArrivalCommit(uint64_t arrival, model::CustomerId customer,
+                                uint32_t num_decisions) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kArrivalCommit));
+  PutU64(&payload, arrival);
+  PutU32(&payload, static_cast<uint32_t>(customer));
+  PutU32(&payload, num_decisions);
+  return payload;
+}
+
+Status DecodePayload(const std::string& payload, JournalRecord* rec) {
+  BinReader in(payload);
+  uint8_t type = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU8(&type));
+  uint64_t arrival = 0;
+  uint32_t customer = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU64(&arrival));
+  MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+  rec->arrival = arrival;
+  rec->customer = static_cast<model::CustomerId>(customer);
+  switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::kDecision: {
+      rec->type = JournalRecordType::kDecision;
+      uint32_t vendor = 0, ad_type = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+      MUAA_RETURN_NOT_OK(in.ReadU32(&ad_type));
+      MUAA_RETURN_NOT_OK(in.ReadDouble(&rec->utility));
+      rec->vendor = static_cast<model::VendorId>(vendor);
+      rec->ad_type = static_cast<model::AdTypeId>(ad_type);
+      rec->num_decisions = 0;
+      break;
+    }
+    case JournalRecordType::kArrivalCommit: {
+      rec->type = JournalRecordType::kArrivalCommit;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&rec->num_decisions));
+      rec->vendor = -1;
+      rec->ad_type = -1;
+      rec->utility = 0.0;
+      break;
+    }
+    default:
+      return Status::DataLoss("unknown journal record type " +
+                              std::to_string(type));
+  }
+  if (!in.done()) {
+    return Status::DataLoss("trailing bytes in journal record");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JournalWriter> JournalWriter::Create(const std::string& path,
+                                            JournalFaultHook* hook) {
+  JournalWriter w;
+  w.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!w.out_.is_open()) {
+    return Status::Internal("cannot create journal: " + path);
+  }
+  w.out_.write(kMagic, sizeof(kMagic));
+  if (!w.out_) {
+    return Status::Internal("cannot write journal header: " + path);
+  }
+  w.path_ = path;
+  w.hook_ = hook;
+  return w;
+}
+
+Result<JournalWriter> JournalWriter::OpenAppend(const std::string& path,
+                                                size_t record_base,
+                                                JournalFaultHook* hook) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::NotFound("journal not found: " + path);
+    }
+    char magic[sizeof(kMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::DataLoss("bad journal header: " + path);
+    }
+  }
+  JournalWriter w;
+  w.out_.open(path, std::ios::binary | std::ios::app);
+  if (!w.out_.is_open()) {
+    return Status::Internal("cannot open journal for append: " + path);
+  }
+  w.path_ = path;
+  w.hook_ = hook;
+  w.next_record_ = record_base;
+  return w;
+}
+
+Status JournalWriter::AppendFramed(const std::string& payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  PutU32(&framed, Crc32(payload));
+
+  JournalFaultHook::Action action;
+  if (hook_ != nullptr) action = hook_->OnRecordAppend(next_record_);
+  const size_t index = next_record_++;
+
+  if (action.flip_byte >= 0 && !framed.empty()) {
+    framed[static_cast<size_t>(action.flip_byte) % framed.size()] ^= 0x01;
+  }
+  const size_t n = std::min(action.write_prefix, framed.size());
+  out_.write(framed.data(), static_cast<std::streamsize>(n));
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("journal write failed: " + path_);
+  }
+  if (action.crash || n < framed.size()) {
+    return Status::DataLoss("injected crash at journal write " +
+                            std::to_string(index));
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Status JournalWriter::AppendDecision(uint64_t arrival,
+                                     const assign::AdInstance& inst) {
+  return AppendFramed(EncodeDecision(arrival, inst));
+}
+
+Status JournalWriter::AppendArrivalCommit(uint64_t arrival,
+                                          model::CustomerId customer,
+                                          uint32_t num_decisions) {
+  return AppendFramed(EncodeArrivalCommit(arrival, customer, num_decisions));
+}
+
+Status JournalWriter::Flush() {
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("journal flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<JournalReader> JournalReader::Open(const std::string& path) {
+  JournalReader r;
+  r.in_.open(path, std::ios::binary);
+  if (!r.in_.is_open()) {
+    return Status::NotFound("journal not found: " + path);
+  }
+  char magic[sizeof(kMagic)] = {};
+  r.in_.read(magic, sizeof(magic));
+  if (r.in_.gcount() != sizeof(magic) ||
+      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad journal header: " + path);
+  }
+  r.valid_prefix_ = sizeof(kMagic);
+  return r;
+}
+
+Result<bool> JournalReader::Next(JournalRecord* rec) {
+  char len_bytes[4];
+  in_.read(len_bytes, sizeof(len_bytes));
+  if (in_.gcount() == 0 && in_.eof()) {
+    return false;  // clean EOF at a record boundary
+  }
+  if (in_.gcount() != sizeof(len_bytes)) {
+    return Status::DataLoss("torn journal record length");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<unsigned char>(len_bytes[i]))
+           << (8 * i);
+  }
+  if (len == 0 || len > kMaxPayload) {
+    return Status::DataLoss("implausible journal record length " +
+                            std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(len));
+  if (in_.gcount() != static_cast<std::streamsize>(len)) {
+    return Status::DataLoss("torn journal record payload");
+  }
+  char crc_bytes[4];
+  in_.read(crc_bytes, sizeof(crc_bytes));
+  if (in_.gcount() != sizeof(crc_bytes)) {
+    return Status::DataLoss("torn journal record checksum");
+  }
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(crc_bytes[i]))
+           << (8 * i);
+  }
+  if (crc != Crc32(payload)) {
+    return Status::DataLoss("journal record checksum mismatch");
+  }
+  MUAA_RETURN_NOT_OK(DecodePayload(payload, rec));
+  valid_prefix_ += 4 + len + 4;
+  ++records_;
+  return true;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return Status::Internal("cannot truncate " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace muaa::io

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::io {
+
+/// \file Binary write-ahead assignment journal.
+///
+/// The stream driver appends every committed `⟨customer, vendor, ad-type⟩`
+/// decision *before* applying it, so a crashed broker can be restarted and
+/// replayed into exactly the state it lost (docs/robustness.md).
+///
+/// On-disk layout:
+///
+///     [8-byte magic "MUAAJNL1"]
+///     record*   where record = [u32 payload_len][payload][u32 crc32(payload)]
+///
+/// Payloads are little-endian (common/binio.h). Two record types exist:
+/// `kDecision` (one per committed ad instance, utility stored as its exact
+/// IEEE-754 bit pattern) and `kArrivalCommit` (terminates an arrival's
+/// group; an arrival without its commit marker is *torn* and is discarded
+/// on recovery). The CRC catches both torn tails and silent bit flips.
+
+/// Distinguishes the two journal payload kinds.
+enum class JournalRecordType : uint8_t {
+  kDecision = 1,
+  kArrivalCommit = 2,
+};
+
+/// One decoded journal record (union-style: the fields that apply depend
+/// on `type`).
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kDecision;
+  uint64_t arrival = 0;             ///< arrival index in the stream
+  model::CustomerId customer = -1;  ///< both types
+  model::VendorId vendor = -1;      ///< kDecision
+  model::AdTypeId ad_type = -1;     ///< kDecision
+  double utility = 0.0;             ///< kDecision, bitwise-exact
+  uint32_t num_decisions = 0;       ///< kArrivalCommit: group size check
+};
+
+/// \brief Hook consulted before every record append; the deterministic
+/// fault injector (src/stream/fault_injector.h) implements it to simulate
+/// crashes, torn writes and silent corruption at exact write indices.
+class JournalFaultHook {
+ public:
+  /// What to do with one record append.
+  struct Action {
+    /// Fail the append with DataLoss after performing the (possibly
+    /// partial) write — simulates the process dying at this exact point.
+    bool crash = false;
+    /// When < framed record size: write only this many leading bytes
+    /// (a torn write). Implies the data on disk is unusable past here.
+    size_t write_prefix = SIZE_MAX;
+    /// When >= 0: XOR 0x01 into this framed byte (mod record size) before
+    /// writing — silent corruption the CRC must catch at recovery.
+    int64_t flip_byte = -1;
+  };
+
+  virtual ~JournalFaultHook() = default;
+
+  /// Called with the 0-based global index of the record about to be
+  /// appended (header excluded).
+  virtual Action OnRecordAppend(size_t record_index) = 0;
+};
+
+/// \brief Appends framed records to a journal file.
+///
+/// Not thread-safe; the stream driver owns it and arrivals are sequential
+/// by definition. `Flush()` pushes bytes to the OS after every arrival
+/// group so a crashed process loses at most the in-flight arrival.
+class JournalWriter {
+ public:
+  /// Creates (or truncates) `path` and writes a fresh header.
+  static Result<JournalWriter> Create(const std::string& path,
+                                      JournalFaultHook* hook = nullptr);
+
+  /// Opens an existing journal for appending (after recovery truncated it
+  /// to the last durable arrival). Validates the header; `record_base` is
+  /// the number of records already in the file, so injected fault indices
+  /// keep counting across the crash.
+  static Result<JournalWriter> OpenAppend(const std::string& path,
+                                          size_t record_base = 0,
+                                          JournalFaultHook* hook = nullptr);
+
+  /// Appends one committed decision of `arrival`.
+  Status AppendDecision(uint64_t arrival, const assign::AdInstance& inst);
+
+  /// Appends the commit marker closing `arrival`'s group.
+  Status AppendArrivalCommit(uint64_t arrival, model::CustomerId customer,
+                             uint32_t num_decisions);
+
+  /// Flushes buffered bytes to the OS.
+  Status Flush();
+
+  /// Records appended through this writer (excludes `record_base`).
+  size_t records_appended() const { return appended_; }
+
+ private:
+  JournalWriter() = default;
+
+  Status AppendFramed(const std::string& payload);
+
+  std::ofstream out_;
+  std::string path_;
+  JournalFaultHook* hook_ = nullptr;
+  size_t next_record_ = 0;  // global index for the fault hook
+  size_t appended_ = 0;
+};
+
+/// \brief Sequentially decodes a journal file.
+///
+/// `Next` returns records until clean EOF (`false`) or the first torn or
+/// corrupt record (DataLoss). In the latter case `valid_prefix_bytes()` is
+/// the byte offset of the end of the last well-formed record — the
+/// recovery path truncates the file there before appending again.
+class JournalReader {
+ public:
+  /// Opens and validates the header. NotFound when the file is missing,
+  /// DataLoss when the header itself is damaged.
+  static Result<JournalReader> Open(const std::string& path);
+
+  /// Decodes the next record into `rec`; false at clean EOF.
+  Result<bool> Next(JournalRecord* rec);
+
+  /// Bytes of the file known to be well-formed (header + full records
+  /// successfully decoded so far).
+  uint64_t valid_prefix_bytes() const { return valid_prefix_; }
+
+  /// Records decoded so far.
+  size_t records_read() const { return records_; }
+
+ private:
+  JournalReader() = default;
+
+  std::ifstream in_;
+  uint64_t valid_prefix_ = 0;
+  size_t records_ = 0;
+};
+
+/// Truncates `path` to `size` bytes (recovery discarding a torn tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace muaa::io

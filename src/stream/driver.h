@@ -1,9 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "assign/solver.h"
 #include "common/result.h"
+#include "io/checkpoint.h"
+#include "io/journal.h"
+#include "stream/fault_injector.h"
 
 namespace muaa::stream {
 
@@ -25,6 +32,37 @@ struct StreamStats {
 struct StreamRunResult {
   assign::AssignmentSet assignments;
   StreamStats stats;
+  /// First arrival index not yet processed (== num_customers when the
+  /// stream completed).
+  size_t next_arrival = 0;
+  /// True when the run stopped early because the `stop` flag was raised;
+  /// journal and checkpoint were flushed, so `ResumeFrom` can continue at
+  /// `next_arrival`.
+  bool interrupted = false;
+};
+
+/// \brief Durability and fault-injection options of a streamed run.
+///
+/// With a `journal_path`, every committed decision is appended to a
+/// CRC-framed write-ahead journal *before* it is applied; with a
+/// `checkpoint_path`, full solver + assignment state is snapshotted every
+/// `checkpoint_every` arrivals (atomically, tmp + rename) and at the end
+/// of the run. `ResumeFrom` combines the two: load the newest checkpoint,
+/// replay the journal tail, truncate any torn suffix, and continue the
+/// stream. See docs/robustness.md for the recovery semantics.
+struct StreamOptions {
+  /// Write-ahead journal file; empty disables journaling.
+  std::string journal_path;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Arrivals between periodic checkpoints; 0 = only the final one.
+  size_t checkpoint_every = 0;
+  /// Deterministic fault harness (tests/CLI); null = no faults.
+  FaultInjector* injector = nullptr;
+  /// Graceful-shutdown flag (e.g. raised by a SIGINT handler): checked
+  /// before every arrival; when set, the driver flushes the journal,
+  /// writes a final checkpoint and returns with `interrupted = true`.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// \brief Replays an instance's customers in arrival order through an
@@ -33,21 +71,55 @@ struct StreamRunResult {
 ///
 /// This is the measurement harness for the paper's online experiments
 /// ("ONLINE can respond to each incoming customer in less than 1 second");
-/// the per-arrival callback lets examples render live dashboards.
+/// the per-arrival callback lets examples render live dashboards. With
+/// `StreamOptions` it also provides crash-consistent serving: for every
+/// online solver and any crash point, crash + `ResumeFrom` produces a
+/// bitwise-identical `AssignmentSet` and identical assigned-ads/utility
+/// totals to an uninterrupted run (enforced by tests/stream_recovery_test).
 class StreamDriver {
  public:
   using ArrivalCallback = std::function<void(
       model::CustomerId, const std::vector<assign::AdInstance>&)>;
 
-  explicit StreamDriver(const assign::SolveContext& ctx) : ctx_(ctx) {}
+  explicit StreamDriver(const assign::SolveContext& ctx,
+                        StreamOptions options = {})
+      : ctx_(ctx), options_(std::move(options)) {}
 
-  /// Runs `solver` over all customers; `on_arrival` (optional) fires after
-  /// each decision.
+  /// Runs `solver` over all customers from a cold start; `on_arrival`
+  /// (optional) fires after each decision. Existing journal/checkpoint
+  /// files at the configured paths are overwritten.
   Result<StreamRunResult> Run(assign::OnlineSolver* solver,
                               const ArrivalCallback& on_arrival = nullptr);
 
+  /// Recovers a crashed or interrupted run from the configured
+  /// journal/checkpoint paths, then continues the stream to completion:
+  ///  1. load + CRC-verify the checkpoint (if any); rebuild the
+  ///     `AssignmentSet` through its checked `Add`, restore solver state;
+  ///  2. replay the journal tail past the checkpoint, re-running the
+  ///     solver per recorded arrival and verifying the recorded decisions
+  ///     bitwise (divergence is an Internal error), skipping duplicate
+  ///     arrivals idempotently;
+  ///  3. truncate any torn or corrupt journal suffix (partial arrivals
+  ///     were never applied — write-ahead semantics);
+  ///  4. continue the live stream, appending to the repaired journal.
+  Result<StreamRunResult> ResumeFrom(assign::OnlineSolver* solver,
+                                     const ArrivalCallback& on_arrival = nullptr);
+
  private:
+  /// Shared live-streaming loop over arrivals `sequence[start..]`.
+  Result<StreamRunResult> Drive(assign::OnlineSolver* solver,
+                                const ArrivalCallback& on_arrival,
+                                StreamRunResult run,
+                                std::vector<bool> processed,
+                                const std::vector<model::CustomerId>& sequence,
+                                size_t start,
+                                std::unique_ptr<io::JournalWriter> writer);
+
+  Status WriteCheckpoint(assign::OnlineSolver* solver,
+                         const StreamRunResult& run, uint64_t next_arrival);
+
   assign::SolveContext ctx_;
+  StreamOptions options_;
 };
 
 }  // namespace muaa::stream

@@ -1,0 +1,132 @@
+#include "stream/fault_injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace muaa::stream {
+
+namespace {
+
+Result<int64_t> ParseIndex(const std::string& text, const std::string& part) {
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0) {
+    return Status::InvalidArgument("bad fault spec part: " + part);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseProb(const std::string& text, const std::string& part) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(v >= 0.0 && v <= 1.0)) {
+    return Status::InvalidArgument("bad fault spec probability: " + part);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string part = Trim(raw);
+    if (part.empty()) continue;
+    if (StartsWith(part, "crash@")) {
+      MUAA_ASSIGN_OR_RETURN(plan.crash_at_write,
+                            ParseIndex(part.substr(6), part));
+    } else if (StartsWith(part, "torn@")) {
+      MUAA_ASSIGN_OR_RETURN(plan.torn_at_write,
+                            ParseIndex(part.substr(5), part));
+    } else if (StartsWith(part, "flip@")) {
+      MUAA_ASSIGN_OR_RETURN(plan.flip_at_write,
+                            ParseIndex(part.substr(5), part));
+    } else if (StartsWith(part, "drop=")) {
+      MUAA_ASSIGN_OR_RETURN(plan.drop_prob, ParseProb(part.substr(5), part));
+    } else if (StartsWith(part, "dup=")) {
+      MUAA_ASSIGN_OR_RETURN(plan.dup_prob, ParseProb(part.substr(4), part));
+    } else if (StartsWith(part, "reorder=")) {
+      MUAA_ASSIGN_OR_RETURN(int64_t window, ParseIndex(part.substr(8), part));
+      plan.reorder_window = static_cast<size_t>(window);
+    } else if (StartsWith(part, "seed=")) {
+      MUAA_ASSIGN_OR_RETURN(int64_t seed, ParseIndex(part.substr(5), part));
+      plan.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown fault spec part: " + part);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  char buf[48];
+  auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  if (crash_at_write >= 0) {
+    add("crash@" + std::to_string(crash_at_write));
+  }
+  if (torn_at_write >= 0) add("torn@" + std::to_string(torn_at_write));
+  if (flip_at_write >= 0) add("flip@" + std::to_string(flip_at_write));
+  if (drop_prob > 0.0) {
+    std::snprintf(buf, sizeof(buf), "drop=%g", drop_prob);
+    add(buf);
+  }
+  if (dup_prob > 0.0) {
+    std::snprintf(buf, sizeof(buf), "dup=%g", dup_prob);
+    add(buf);
+  }
+  if (reorder_window > 0) add("reorder=" + std::to_string(reorder_window));
+  add("seed=" + std::to_string(seed));
+  return out;
+}
+
+io::JournalFaultHook::Action FaultInjector::OnRecordAppend(
+    size_t record_index) {
+  ++writes_;
+  io::JournalFaultHook::Action action;
+  if (plan_.crash_at_write >= 0 &&
+      record_index == static_cast<size_t>(plan_.crash_at_write)) {
+    action.crash = true;
+    action.write_prefix = 0;  // nothing of this record reaches disk
+  }
+  if (plan_.torn_at_write >= 0 &&
+      record_index == static_cast<size_t>(plan_.torn_at_write)) {
+    action.crash = true;
+    // A short prefix: always less than the smallest framed record, so the
+    // tail is guaranteed torn mid-record.
+    action.write_prefix = 1 + rng_.Index(8);
+  }
+  if (plan_.flip_at_write >= 0 &&
+      record_index == static_cast<size_t>(plan_.flip_at_write)) {
+    action.flip_byte = static_cast<int64_t>(rng_.Index(64));
+  }
+  return action;
+}
+
+void FaultInjector::PerturbArrivals(std::vector<model::CustomerId>* sequence) {
+  if (plan_.drop_prob > 0.0 || plan_.dup_prob > 0.0) {
+    std::vector<model::CustomerId> out;
+    out.reserve(sequence->size());
+    for (model::CustomerId id : *sequence) {
+      if (rng_.Bernoulli(plan_.drop_prob)) continue;
+      out.push_back(id);
+      if (rng_.Bernoulli(plan_.dup_prob)) out.push_back(id);
+    }
+    *sequence = std::move(out);
+  }
+  if (plan_.reorder_window > 0) {
+    for (size_t i = 0; i + 1 < sequence->size(); ++i) {
+      size_t span = std::min(plan_.reorder_window + 1, sequence->size() - i);
+      size_t j = i + rng_.Index(span);
+      std::swap((*sequence)[i], (*sequence)[j]);
+    }
+  }
+}
+
+}  // namespace muaa::stream

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "io/journal.h"
+#include "model/entities.h"
+
+namespace muaa::stream {
+
+/// \brief Declarative description of the faults to inject into one
+/// streamed run. Everything is deterministic given `seed`, so a failing
+/// fuzz trial reproduces exactly from its plan string.
+///
+/// Spec grammar (comma-separated, all parts optional):
+///
+///     crash@N    die cleanly just before journal write N (0-based)
+///     torn@N     die at write N leaving a partial record on disk
+///     flip@N     silently corrupt one byte of write N (run continues;
+///                recovery must detect it via CRC)
+///     drop=P     each arrival is dropped from the feed with prob. P
+///     dup=P      each arrival is delivered twice with prob. P
+///     reorder=K  arrivals may be displaced up to K positions
+///     seed=S     RNG seed for the probabilistic faults
+///
+/// Example: `crash@120,drop=0.01,dup=0.02,seed=7`.
+struct FaultPlan {
+  uint64_t seed = 1;
+  int64_t crash_at_write = -1;
+  int64_t torn_at_write = -1;
+  int64_t flip_at_write = -1;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  size_t reorder_window = 0;
+
+  /// Parses the spec grammar above; InvalidArgument names the bad part.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Renders back to the spec grammar (diagnostics).
+  std::string ToString() const;
+};
+
+/// \brief Deterministic fault-injection harness for the stream pipeline.
+///
+/// Plugs into the journal as a `JournalFaultHook` (crash / torn-write /
+/// bit-flip at exact write indices) and into the driver's arrival feed
+/// (drop / duplicate / reorder). The recovery tests iterate
+/// `crash@0 .. crash@W-1` over every journal write index and assert the
+/// recovered run is bitwise-identical to an uninterrupted one.
+class FaultInjector : public io::JournalFaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  /// Journal-side hook: consulted once per record append, in order.
+  io::JournalFaultHook::Action OnRecordAppend(size_t record_index) override;
+
+  /// Arrival-side hook: applies drop/dup/reorder to the feed in place.
+  void PerturbArrivals(std::vector<model::CustomerId>* sequence);
+
+  /// Journal writes observed so far (across crash + resume).
+  size_t journal_writes_seen() const { return writes_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  size_t writes_ = 0;
+};
+
+}  // namespace muaa::stream

@@ -118,5 +118,30 @@ TEST(ConfigTest, ParsesBools) {
   EXPECT_TRUE(cfg.GetBool("c", false).ValueOrDie());
 }
 
+TEST(ConfigTest, DuplicateKeysAreReportedAndLastWins) {
+  const char* argv[] = {"prog", "threads=2", "seed=1", "threads=8"};
+  auto cfg = Config::FromArgs(4, argv);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("threads", 0).ValueOrDie(), 8);  // last value wins
+  ASSERT_EQ(cfg->duplicate_keys().size(), 1u);
+  EXPECT_EQ(cfg->duplicate_keys()[0], "threads");
+}
+
+TEST(ConfigTest, UnreadKeysAreFlaggedOnce) {
+  const char* argv[] = {"prog", "threads=2", "sede=1"};  // "sede" misspelt
+  auto cfg = Config::FromArgs(3, argv);
+  ASSERT_TRUE(cfg.ok());
+  // The caller reads only the keys it understands.
+  EXPECT_EQ(cfg->GetInt("threads", 0).ValueOrDie(), 2);
+  auto unread = cfg->UnreadKeys();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "sede");
+  EXPECT_EQ(cfg->WarnUnreadKeys(), 1u);
+  EXPECT_EQ(cfg->WarnUnreadKeys(), 0u);  // warn-once
+  // Reading it clears the flag for future configs' sake.
+  EXPECT_EQ(cfg->GetInt("sede", 0).ValueOrDie(), 1);
+  EXPECT_TRUE(cfg->UnreadKeys().empty());
+}
+
 }  // namespace
 }  // namespace muaa

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "io/checkpoint.h"
+#include "io/journal.h"
+
+namespace muaa::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+assign::AdInstance MakeInst(int i, int j, int k, double utility) {
+  assign::AdInstance inst;
+  inst.customer = i;
+  inst.vendor = j;
+  inst.ad_type = k;
+  inst.utility = utility;
+  return inst;
+}
+
+/// Appends `n` arrival groups (one decision + commit each) to a fresh
+/// journal at `path`; returns the decisions written.
+std::vector<assign::AdInstance> WriteJournal(const std::string& path,
+                                             size_t n) {
+  std::vector<assign::AdInstance> written;
+  JournalWriter writer = JournalWriter::Create(path).ValueOrDie();
+  for (size_t a = 0; a < n; ++a) {
+    assign::AdInstance inst =
+        MakeInst(static_cast<int>(a), static_cast<int>(a % 7),
+                 static_cast<int>(a % 2), 0.125 * static_cast<double>(a + 1));
+    EXPECT_TRUE(writer.AppendDecision(a, inst).ok());
+    EXPECT_TRUE(
+        writer.AppendArrivalCommit(a, inst.customer, 1).ok());
+    written.push_back(inst);
+  }
+  EXPECT_TRUE(writer.Flush().ok());
+  return written;
+}
+
+/// Reads every record until EOF or the first corruption; returns the
+/// decisions of fully committed arrival groups.
+std::vector<assign::AdInstance> ReadCommitted(const std::string& path,
+                                              bool* clean_eof) {
+  std::vector<assign::AdInstance> committed;
+  std::vector<assign::AdInstance> group;
+  *clean_eof = false;
+  auto opened = JournalReader::Open(path);
+  if (!opened.ok()) return committed;
+  JournalReader reader = std::move(opened).ValueOrDie();
+  while (true) {
+    JournalRecord rec;
+    auto more = reader.Next(&rec);
+    if (!more.ok()) return committed;  // corruption detected
+    if (!*more) {
+      *clean_eof = true;
+      return committed;
+    }
+    if (rec.type == JournalRecordType::kDecision) {
+      group.push_back(MakeInst(rec.customer, rec.vendor, rec.ad_type,
+                               rec.utility));
+    } else {
+      if (group.size() == rec.num_decisions) {
+        committed.insert(committed.end(), group.begin(), group.end());
+      }
+      group.clear();
+    }
+  }
+}
+
+bool SameInst(const assign::AdInstance& a, const assign::AdInstance& b) {
+  return a.customer == b.customer && a.vendor == b.vendor &&
+         a.ad_type == b.ad_type &&
+         std::bit_cast<uint64_t>(a.utility) == std::bit_cast<uint64_t>(b.utility);
+}
+
+TEST(JournalTest, RoundTripsRecordsBitwise) {
+  const std::string path = TempPath("muaa_journal_roundtrip.jnl");
+  auto written = WriteJournal(path, 50);
+  bool clean = false;
+  auto read = ReadCommitted(path, &clean);
+  EXPECT_TRUE(clean);
+  ASSERT_EQ(read.size(), written.size());
+  for (size_t i = 0; i < read.size(); ++i) {
+    EXPECT_TRUE(SameInst(read[i], written[i])) << "record " << i;
+  }
+  fs::remove(path);
+}
+
+TEST(JournalTest, MissingFileIsNotFound) {
+  auto opened = JournalReader::Open(TempPath("muaa_journal_missing.jnl"));
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
+TEST(JournalTest, DamagedHeaderIsDataLoss) {
+  const std::string path = TempPath("muaa_journal_badheader.jnl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAJRNL";
+  }
+  auto opened = JournalReader::Open(path);
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+  fs::remove(path);
+}
+
+TEST(JournalTest, TornTailIsDetectedAndPrefixSurvives) {
+  const std::string path = TempPath("muaa_journal_torn.jnl");
+  auto written = WriteJournal(path, 20);
+  // Chop a few bytes off the final record.
+  uint64_t size = fs::file_size(path);
+  ASSERT_TRUE(TruncateFile(path, size - 3).ok());
+  bool clean = false;
+  auto read = ReadCommitted(path, &clean);
+  EXPECT_FALSE(clean);
+  // The final commit marker is gone, so its group is uncommitted.
+  ASSERT_EQ(read.size(), written.size() - 1);
+  for (size_t i = 0; i < read.size(); ++i) {
+    EXPECT_TRUE(SameInst(read[i], written[i]));
+  }
+  fs::remove(path);
+}
+
+TEST(JournalTest, SingleByteFlipIsAlwaysDetected) {
+  const std::string path = TempPath("muaa_journal_flip.jnl");
+  auto written = WriteJournal(path, 10);
+  uint64_t size = fs::file_size(path);
+  // Flip one byte past the header; the CRC (or framing) must catch it and
+  // every record before the flip must still decode.
+  for (uint64_t at : {uint64_t{8}, size / 2, size - 1}) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(at));
+    char c = static_cast<char>(f.get());
+    f.seekp(static_cast<std::streamoff>(at));
+    f.put(static_cast<char>(c ^ 0x40));
+    f.close();
+    bool clean = false;
+    auto read = ReadCommitted(path, &clean);
+    EXPECT_FALSE(clean) << "flip at " << at;
+    EXPECT_LT(read.size(), written.size());
+    for (size_t i = 0; i < read.size(); ++i) {
+      EXPECT_TRUE(SameInst(read[i], written[i]));
+    }
+    // Restore the byte for the next position.
+    std::fstream g(path, std::ios::in | std::ios::out | std::ios::binary);
+    g.seekp(static_cast<std::streamoff>(at));
+    g.put(c);
+  }
+  fs::remove(path);
+}
+
+// Property: whatever happens to the journal's suffix, decoding yields an
+// exact prefix of what was written — never garbage, never reordered. 120
+// seeded trials of truncate-at-random-offset plus random byte flips in
+// the tail.
+TEST(JournalTest, CorruptSuffixAlwaysYieldsExactPrefix) {
+  const std::string golden = TempPath("muaa_journal_prop_golden.jnl");
+  const std::string path = TempPath("muaa_journal_prop.jnl");
+  auto written = WriteJournal(golden, 40);
+  const uint64_t size = fs::file_size(golden);
+  for (uint64_t trial = 0; trial < 120; ++trial) {
+    Rng rng(1000 + trial);
+    fs::copy_file(golden, path, fs::copy_options::overwrite_existing);
+    // Truncate at a random offset (possibly mid-record, possibly no-op).
+    uint64_t cut = 8 + rng.Index(size - 7);
+    ASSERT_TRUE(TruncateFile(path, cut).ok());
+    // Flip up to 4 random bytes in the tail half of what remains.
+    size_t flips = rng.Index(5);
+    for (size_t f = 0; f < flips && cut > 9; ++f) {
+      uint64_t at = cut / 2 + rng.Index(cut - cut / 2);
+      std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+      io.seekg(static_cast<std::streamoff>(at));
+      int c = io.get();
+      io.seekp(static_cast<std::streamoff>(at));
+      io.put(static_cast<char>(c ^ (1 << rng.Index(8))));
+    }
+    bool clean = false;
+    auto read = ReadCommitted(path, &clean);
+    ASSERT_LE(read.size(), written.size()) << "trial " << trial;
+    for (size_t i = 0; i < read.size(); ++i) {
+      ASSERT_TRUE(SameInst(read[i], written[i]))
+          << "trial " << trial << " record " << i;
+    }
+  }
+  fs::remove(golden);
+  fs::remove(path);
+}
+
+TEST(JournalTest, OpenAppendContinuesTheRecordCount) {
+  const std::string path = TempPath("muaa_journal_append.jnl");
+  WriteJournal(path, 5);  // 10 records
+  {
+    JournalWriter writer = JournalWriter::OpenAppend(path, 10).ValueOrDie();
+    assign::AdInstance inst = MakeInst(5, 1, 0, 2.5);
+    ASSERT_TRUE(writer.AppendDecision(5, inst).ok());
+    ASSERT_TRUE(writer.AppendArrivalCommit(5, 5, 1).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  bool clean = false;
+  auto read = ReadCommitted(path, &clean);
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(read.size(), 6u);
+  EXPECT_TRUE(SameInst(read.back(), MakeInst(5, 1, 0, 2.5)));
+  fs::remove(path);
+}
+
+TEST(CheckpointTest, RoundTripsAllFields) {
+  const std::string path = TempPath("muaa_ckpt_roundtrip.ckp");
+  StreamCheckpoint ckpt;
+  ckpt.num_customers = 100;
+  ckpt.num_vendors = 10;
+  ckpt.num_ad_types = 2;
+  ckpt.next_arrival = 57;
+  ckpt.solver_name = "O-AFA";
+  ckpt.solver_state = std::string("\x00\x01state\xff", 8);
+  ckpt.arrivals = 57;
+  ckpt.served_customers = 31;
+  ckpt.assigned_ads = 42;
+  ckpt.total_utility = 3.14159;
+  ckpt.total_latency_ms = 12.5;
+  ckpt.max_latency_ms = 1.25;
+  ckpt.instances = {MakeInst(1, 2, 0, 0.5), MakeInst(3, 4, 1, 0.25)};
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+
+  StreamCheckpoint loaded = LoadCheckpoint(path).ValueOrDie();
+  EXPECT_EQ(loaded.num_customers, ckpt.num_customers);
+  EXPECT_EQ(loaded.num_vendors, ckpt.num_vendors);
+  EXPECT_EQ(loaded.num_ad_types, ckpt.num_ad_types);
+  EXPECT_EQ(loaded.next_arrival, ckpt.next_arrival);
+  EXPECT_EQ(loaded.solver_name, ckpt.solver_name);
+  EXPECT_EQ(loaded.solver_state, ckpt.solver_state);
+  EXPECT_EQ(loaded.arrivals, ckpt.arrivals);
+  EXPECT_EQ(loaded.served_customers, ckpt.served_customers);
+  EXPECT_EQ(loaded.assigned_ads, ckpt.assigned_ads);
+  EXPECT_EQ(std::bit_cast<uint64_t>(loaded.total_utility),
+            std::bit_cast<uint64_t>(ckpt.total_utility));
+  ASSERT_EQ(loaded.instances.size(), 2u);
+  EXPECT_TRUE(SameInst(loaded.instances[0], ckpt.instances[0]));
+  EXPECT_TRUE(SameInst(loaded.instances[1], ckpt.instances[1]));
+  fs::remove(path);
+}
+
+TEST(CheckpointTest, MissingIsNotFoundAndCorruptIsDataLoss) {
+  const std::string path = TempPath("muaa_ckpt_corrupt.ckp");
+  EXPECT_EQ(LoadCheckpoint(path).status().code(), StatusCode::kNotFound);
+
+  StreamCheckpoint ckpt;
+  ckpt.num_customers = 5;
+  ckpt.solver_name = "NEAREST";
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  // Flip a byte in the middle.
+  uint64_t size = fs::file_size(path);
+  std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+  io.seekg(static_cast<std::streamoff>(size / 2));
+  int c = io.get();
+  io.seekp(static_cast<std::streamoff>(size / 2));
+  io.put(static_cast<char>(c ^ 0x10));
+  io.close();
+  EXPECT_EQ(LoadCheckpoint(path).status().code(), StatusCode::kDataLoss);
+  fs::remove(path);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // IEEE 802.3 CRC of "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_NE(Crc32("123456789"), Crc32("123456780"));
+}
+
+}  // namespace
+}  // namespace muaa::io

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/synthetic.h"
+#include "io/instance_io.h"
+
+// Malformed-input hardening: every rejected field names the file, the
+// 1-based line and the column, and `LoadOptions{.strict = false}` skips
+// and counts bad entity rows instead of failing the load.
+
+namespace muaa::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MalformedCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("muaa_malformed_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this))))
+               .string();
+    datagen::SyntheticConfig cfg;
+    cfg.num_customers = 5;
+    cfg.num_vendors = 3;
+    cfg.radius = {0.1, 0.2};
+    cfg.seed = 11;
+    auto inst = datagen::GenerateSynthetic(cfg).ValueOrDie();
+    ASSERT_TRUE(SaveInstance(inst, dir_).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Replaces column `col` of 1-based data row `row` (the line after the
+  /// header) in `file` with `value`.
+  void EditField(const std::string& file, size_t row, size_t col,
+                 const std::string& value) {
+    const std::string path = dir_ + "/" + file;
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+    ASSERT_GT(lines.size(), row);
+    std::vector<std::string> fields = Split(lines[row], ',');
+    ASSERT_GT(fields.size(), col);
+    fields[col] = value;
+    std::string joined;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) joined += ',';
+      joined += fields[i];
+    }
+    lines[row] = joined;
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+
+  void AppendLine(const std::string& file, const std::string& line) {
+    std::ofstream out(dir_ + "/" + file, std::ios::app);
+    out << line << "\n";
+  }
+
+  std::string LoadError() {
+    auto inst = LoadInstance(dir_);
+    EXPECT_FALSE(inst.ok());
+    return inst.ok() ? "" : inst.status().ToString();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MalformedCsvTest, PristineDirectoryLoads) {
+  auto inst = LoadInstance(dir_);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->num_customers(), 5u);
+  EXPECT_EQ(inst->num_vendors(), 3u);
+}
+
+TEST_F(MalformedCsvTest, NanBudgetNamesFileLineAndColumn) {
+  EditField("vendors.csv", 2, 3, "nan");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("vendors.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("budget"), std::string::npos) << err;
+  EXPECT_NE(err.find("non-finite"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, InfCostIsRejected) {
+  EditField("ad_types.csv", 1, 1, "inf");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("ad_types.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("cost"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, ViewProbabilityOutsideUnitIntervalIsRejected) {
+  EditField("customers.csv", 1, 3, "1.5");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("customers.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("view_prob"), std::string::npos) << err;
+  EXPECT_NE(err.find("[0, 1]"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, NegativeRadiusIsRejected) {
+  EditField("vendors.csv", 1, 2, "-0.25");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("vendors.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("radius"), std::string::npos) << err;
+  EXPECT_NE(err.find(">= 0"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, NegativeCapacityIsRejected) {
+  EditField("customers.csv", 3, 2, "-2");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("customers.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+  EXPECT_NE(err.find("capacity"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, GarbageNumberIsRejectedWithContext) {
+  EditField("customers.csv", 2, 0, "12potatoes");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("customers.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("not a number"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, UnterminatedQuoteNamesFileAndLine) {
+  AppendLine("customers.csv", "\"0.5,0.5,1,0.2,9.0,1;0;0");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("customers.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 7"), std::string::npos) << err;
+  EXPECT_NE(err.find("unterminated quote"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, BadMetaNumTagsIsRejected) {
+  EditField("meta.csv", 2, 1, "three");
+  std::string err = LoadError();
+  EXPECT_NE(err.find("meta.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("not an integer"), std::string::npos) << err;
+}
+
+TEST_F(MalformedCsvTest, LenientModeSkipsAndCountsBadRows) {
+  EditField("customers.csv", 1, 3, "2.0");    // bad probability
+  EditField("customers.csv", 4, 2, "-7");     // bad capacity
+  EditField("vendors.csv", 2, 3, "-1e9");     // negative budget
+  LoadOptions opts;
+  opts.strict = false;
+  LoadReport report;
+  auto inst = LoadInstance(dir_, opts, &report);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(report.skipped_rows, 3u);
+  EXPECT_EQ(inst->num_customers(), 3u);
+  EXPECT_EQ(inst->num_vendors(), 2u);
+}
+
+TEST_F(MalformedCsvTest, StrictModeFailsOnTheSameRows) {
+  EditField("customers.csv", 1, 3, "2.0");
+  LoadOptions opts;  // strict by default
+  auto inst = LoadInstance(dir_, opts);
+  EXPECT_FALSE(inst.ok());
+}
+
+TEST_F(MalformedCsvTest, InterestVectorLengthMismatchIsRejected) {
+  EditField("customers.csv", 1, 5, "0.5;0.5");  // too short
+  std::string err = LoadError();
+  EXPECT_NE(err.find("customers.csv"), std::string::npos) << err;
+  EXPECT_NE(err.find("interests"), std::string::npos) << err;
+  EXPECT_NE(err.find("interest vector length"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace muaa::io

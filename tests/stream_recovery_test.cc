@@ -1,0 +1,374 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assign/nearest.h"
+#include "assign/online_afa.h"
+#include "assign/online_msvv.h"
+#include "assign/online_static.h"
+#include "datagen/synthetic.h"
+#include "io/journal.h"
+#include "stream/driver.h"
+#include "stream/fault_injector.h"
+#include "test_util.h"
+
+// Crash-consistency contract (docs/robustness.md): for every online solver
+// and ANY crash point, crash + ResumeFrom produces a bitwise-identical
+// AssignmentSet and identical assigned-ads/utility totals to a run that
+// never crashed. These tests enforce it by crashing at every single
+// journal write index on a 220-arrival instance.
+
+namespace muaa::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::SolverHarness;
+
+constexpr uint64_t kSeed = 12345;
+
+model::ProblemInstance MakeInstance() {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 220;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 77;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+std::unique_ptr<assign::OnlineSolver> MakeSolver(const std::string& name) {
+  if (name == "afa") {
+    assign::AfaOptions opts;
+    opts.adapt_gamma = true;  // the most stateful configuration
+    return std::make_unique<assign::AfaOnlineSolver>(opts);
+  }
+  if (name == "msvv") return std::make_unique<assign::MsvvOnlineSolver>();
+  if (name == "static") {
+    return std::make_unique<assign::StaticThresholdOnlineSolver>();
+  }
+  return std::make_unique<assign::NearestOnlineSolver>();
+}
+
+struct TempFiles {
+  std::string journal;
+  std::string checkpoint;
+
+  explicit TempFiles(const std::string& tag) {
+    const auto base = fs::temp_directory_path();
+    journal = (base / ("muaa_rec_" + tag + ".jnl")).string();
+    checkpoint = (base / ("muaa_rec_" + tag + ".ckp")).string();
+    Clear();
+  }
+  void Clear() const {
+    fs::remove(journal);
+    fs::remove(checkpoint);
+  }
+};
+
+void ExpectSameRun(const StreamRunResult& want, const StreamRunResult& got,
+                   const std::string& context) {
+  EXPECT_EQ(got.stats.arrivals, want.stats.arrivals) << context;
+  EXPECT_EQ(got.stats.served_customers, want.stats.served_customers)
+      << context;
+  ASSERT_EQ(got.stats.assigned_ads, want.stats.assigned_ads) << context;
+  EXPECT_EQ(std::bit_cast<uint64_t>(got.stats.total_utility),
+            std::bit_cast<uint64_t>(want.stats.total_utility))
+      << context;
+  const auto& a = want.assignments.instances();
+  const auto& b = got.assignments.instances();
+  ASSERT_EQ(b.size(), a.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(b[i].customer, a[i].customer) << context << " instance " << i;
+    ASSERT_EQ(b[i].vendor, a[i].vendor) << context << " instance " << i;
+    ASSERT_EQ(b[i].ad_type, a[i].ad_type) << context << " instance " << i;
+    ASSERT_EQ(std::bit_cast<uint64_t>(b[i].utility),
+              std::bit_cast<uint64_t>(a[i].utility))
+        << context << " instance " << i;
+  }
+  EXPECT_EQ(std::bit_cast<uint64_t>(got.assignments.total_utility()),
+            std::bit_cast<uint64_t>(want.assignments.total_utility()))
+      << context;
+}
+
+/// Uninterrupted reference run (no durability options).
+StreamRunResult Baseline(const std::string& solver_name,
+                         unsigned threads = 1) {
+  SolverHarness h(MakeInstance(), kSeed, threads);
+  auto solver = MakeSolver(solver_name);
+  StreamDriver driver(h.ctx());
+  return driver.Run(solver.get()).ValueOrDie();
+}
+
+/// Number of journal records an uninterrupted run appends.
+size_t CountJournalWrites(const std::string& solver_name,
+                          const TempFiles& files) {
+  files.Clear();
+  FaultInjector probe{FaultPlan{}};  // no faults, just counts
+  SolverHarness h(MakeInstance(), kSeed);
+  auto solver = MakeSolver(solver_name);
+  StreamOptions opts;
+  opts.journal_path = files.journal;
+  opts.injector = &probe;
+  StreamDriver driver(h.ctx(), opts);
+  EXPECT_TRUE(driver.Run(solver.get()).ok());
+  return probe.journal_writes_seen();
+}
+
+/// One crash trial: run with the given fault plan (expecting an injected
+/// DataLoss), then recover with a fresh solver and return the result.
+StreamRunResult CrashAndRecover(const std::string& solver_name,
+                                const TempFiles& files, const FaultPlan& plan,
+                                size_t checkpoint_every) {
+  files.Clear();
+  {
+    FaultInjector injector(plan);
+    SolverHarness h(MakeInstance(), kSeed);
+    auto solver = MakeSolver(solver_name);
+    StreamOptions opts;
+    opts.journal_path = files.journal;
+    opts.checkpoint_path = files.checkpoint;
+    opts.checkpoint_every = checkpoint_every;
+    opts.injector = &injector;
+    StreamDriver driver(h.ctx(), opts);
+    auto run = driver.Run(solver.get());
+    EXPECT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kDataLoss)
+        << run.status().ToString();
+  }
+  SolverHarness h(MakeInstance(), kSeed);
+  auto solver = MakeSolver(solver_name);
+  StreamOptions opts;
+  opts.journal_path = files.journal;
+  opts.checkpoint_path = files.checkpoint;
+  opts.checkpoint_every = checkpoint_every;
+  StreamDriver driver(h.ctx(), opts);
+  auto resumed = driver.ResumeFrom(solver.get());
+  EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
+  return std::move(resumed).ValueOrDie();
+}
+
+class CrashEverywhere : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrashEverywhere, RecoversBitwiseFromEveryWritePoint) {
+  const std::string solver_name = GetParam();
+  TempFiles files("every_" + solver_name);
+  const StreamRunResult base = Baseline(solver_name);
+  ASSERT_GE(base.stats.arrivals, 200u);  // the contract's instance floor
+  const size_t writes = CountJournalWrites(solver_name, files);
+  ASSERT_GT(writes, 0u);
+  for (size_t k = 0; k < writes; ++k) {
+    FaultPlan plan;
+    plan.crash_at_write = static_cast<int64_t>(k);
+    auto recovered =
+        CrashAndRecover(solver_name, files, plan, /*checkpoint_every=*/32);
+    ExpectSameRun(base, recovered,
+                  solver_name + " crash@" + std::to_string(k));
+    if (HasFailure()) break;  // one divergence is enough diagnostics
+  }
+  files.Clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOnlineSolvers, CrashEverywhere,
+                         ::testing::Values("afa", "msvv", "static",
+                                           "nearest"));
+
+TEST(StreamRecoveryTest, TornFinalRecordIsDiscardedAndRedecided) {
+  TempFiles files("torn");
+  const StreamRunResult base = Baseline("afa");
+  const size_t writes = CountJournalWrites("afa", files);
+  // Tear the journal mid-record at several depths, including the very
+  // last write of the stream.
+  for (size_t k : {size_t{0}, size_t{1}, writes / 2, writes - 1}) {
+    FaultPlan plan;
+    plan.torn_at_write = static_cast<int64_t>(k);
+    plan.seed = 5 + k;
+    auto recovered = CrashAndRecover("afa", files, plan, 32);
+    ExpectSameRun(base, recovered, "torn@" + std::to_string(k));
+  }
+  files.Clear();
+}
+
+TEST(StreamRecoveryTest, SilentCorruptionBeforeCrashIsHealed) {
+  TempFiles files("flip");
+  const StreamRunResult base = Baseline("msvv");
+  const size_t writes = CountJournalWrites("msvv", files);
+  ASSERT_GT(writes, 40u);
+  // A byte of write 10 is silently flipped; the run dies much later. The
+  // CRC must stop replay at the flip and deterministic re-execution must
+  // still converge to the uninterrupted result.
+  FaultPlan plan;
+  plan.flip_at_write = 10;
+  plan.crash_at_write = static_cast<int64_t>(writes - 5);
+  plan.seed = 99;
+  auto recovered = CrashAndRecover("msvv", files, plan, 0);
+  ExpectSameRun(base, recovered, "flip@10 + crash");
+  files.Clear();
+}
+
+TEST(StreamRecoveryTest, DuplicateArrivalGroupsReplayIdempotently) {
+  TempFiles files("dup");
+  const StreamRunResult base = Baseline("nearest");
+  files.Clear();
+  {
+    // Journal an uninterrupted run (journal only, no checkpoint).
+    SolverHarness h(MakeInstance(), kSeed);
+    auto solver = MakeSolver("nearest");
+    StreamOptions opts;
+    opts.journal_path = files.journal;
+    StreamDriver driver(h.ctx(), opts);
+    ASSERT_TRUE(driver.Run(solver.get()).ok());
+  }
+  // Count records, then re-append copies of arrival 3's committed group —
+  // a duplicated delivery in the feed.
+  size_t records = 0;
+  {
+    auto reader = io::JournalReader::Open(files.journal).ValueOrDie();
+    io::JournalRecord rec;
+    while (*reader.Next(&rec)) ++records;
+  }
+  {
+    auto writer =
+        io::JournalWriter::OpenAppend(files.journal, records).ValueOrDie();
+    const auto& inst = base.assignments.instances();
+    // Arrival 3's decisions, if any, plus its commit marker, twice.
+    for (int round = 0; round < 2; ++round) {
+      uint32_t count = 0;
+      for (const auto& i : inst) {
+        if (i.customer != 3) continue;
+        ASSERT_TRUE(writer.AppendDecision(3, i).ok());
+        ++count;
+      }
+      ASSERT_TRUE(writer.AppendArrivalCommit(3, 3, count).ok());
+    }
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  SolverHarness h(MakeInstance(), kSeed);
+  auto solver = MakeSolver("nearest");
+  StreamOptions opts;
+  opts.journal_path = files.journal;
+  StreamDriver driver(h.ctx(), opts);
+  auto resumed = driver.ResumeFrom(solver.get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameRun(base, *resumed, "duplicated arrival groups");
+  files.Clear();
+}
+
+TEST(StreamRecoveryTest, CheckpointOnlyResumeRestoresSolverState) {
+  TempFiles files("ckptonly");
+  const StreamRunResult base = Baseline("afa");
+  files.Clear();
+  // Interrupt gracefully mid-stream via the stop flag (as SIGINT does);
+  // only a checkpoint is kept — no journal at all.
+  std::atomic<bool> stop{false};
+  {
+    SolverHarness h(MakeInstance(), kSeed);
+    auto solver = MakeSolver("afa");
+    StreamOptions opts;
+    opts.checkpoint_path = files.checkpoint;
+    opts.checkpoint_every = 25;
+    opts.stop = &stop;
+    StreamDriver driver(h.ctx(), opts);
+    size_t seen = 0;
+    auto run = driver.Run(solver.get(),
+                          [&](model::CustomerId,
+                              const std::vector<assign::AdInstance>&) {
+                            if (++seen == 83) stop.store(true);
+                          });
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->interrupted);
+    EXPECT_EQ(run->next_arrival, 83u);
+  }
+  SolverHarness h(MakeInstance(), kSeed);
+  auto solver = MakeSolver("afa");
+  StreamOptions opts;
+  opts.checkpoint_path = files.checkpoint;
+  StreamDriver driver(h.ctx(), opts);
+  auto resumed = driver.ResumeFrom(solver.get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->interrupted);
+  ExpectSameRun(base, *resumed, "checkpoint-only resume");
+  files.Clear();
+}
+
+TEST(StreamRecoveryTest, RecoveryIsIdenticalUnderThreadPool) {
+  TempFiles files("threads");
+  // The per-arrival candidate pipeline may shard over a pool; recovery
+  // must be bitwise identical at threads=8 too.
+  const StreamRunResult base = Baseline("afa", /*threads=*/8);
+  const size_t writes = CountJournalWrites("afa", files);
+  FaultPlan plan;
+  plan.crash_at_write = static_cast<int64_t>(writes / 2);
+  files.Clear();
+  {
+    FaultInjector injector(plan);
+    SolverHarness h(MakeInstance(), kSeed, /*num_threads=*/8);
+    auto solver = MakeSolver("afa");
+    StreamOptions opts;
+    opts.journal_path = files.journal;
+    opts.checkpoint_path = files.checkpoint;
+    opts.checkpoint_every = 32;
+    opts.injector = &injector;
+    StreamDriver driver(h.ctx(), opts);
+    auto run = driver.Run(solver.get());
+    ASSERT_FALSE(run.ok());
+    ASSERT_EQ(run.status().code(), StatusCode::kDataLoss);
+  }
+  SolverHarness h(MakeInstance(), kSeed, /*num_threads=*/8);
+  auto solver = MakeSolver("afa");
+  StreamOptions opts;
+  opts.journal_path = files.journal;
+  opts.checkpoint_path = files.checkpoint;
+  opts.checkpoint_every = 32;
+  StreamDriver driver(h.ctx(), opts);
+  auto resumed = driver.ResumeFrom(solver.get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameRun(base, *resumed, "threads=8 crash+resume");
+  files.Clear();
+}
+
+TEST(StreamRecoveryTest, SnapshotRestoreRoundTripsForEverySolver) {
+  for (const char* name : {"afa", "msvv", "static", "nearest"}) {
+    SolverHarness h(MakeInstance(), kSeed);
+    auto solver = MakeSolver(name);
+    ASSERT_TRUE(solver->Initialize(h.ctx()).ok());
+    // Push some state through the solver.
+    for (model::CustomerId i = 0; i < 60; ++i) {
+      ASSERT_TRUE(solver->OnArrival(i).ok());
+    }
+    std::string blob = solver->Snapshot().ValueOrDie();
+
+    SolverHarness h2(MakeInstance(), kSeed);
+    auto restored = MakeSolver(name);
+    ASSERT_TRUE(restored->Initialize(h2.ctx()).ok());
+    ASSERT_TRUE(restored->Restore(blob).ok()) << name;
+    // Identical state must produce identical decisions from here on.
+    for (model::CustomerId i = 60; i < 220; ++i) {
+      auto a = solver->OnArrival(i).ValueOrDie();
+      auto b = restored->OnArrival(i).ValueOrDie();
+      ASSERT_EQ(a.size(), b.size()) << name << " customer " << i;
+      for (size_t k = 0; k < a.size(); ++k) {
+        ASSERT_EQ(a[k].vendor, b[k].vendor) << name;
+        ASSERT_EQ(a[k].ad_type, b[k].ad_type) << name;
+        ASSERT_EQ(std::bit_cast<uint64_t>(a[k].utility),
+                  std::bit_cast<uint64_t>(b[k].utility))
+            << name;
+      }
+    }
+    // Garbage blobs must be rejected, not crash.
+    auto fresh = MakeSolver(name);
+    ASSERT_TRUE(fresh->Initialize(h.ctx()).ok());
+    EXPECT_FALSE(fresh->Restore("not a snapshot").ok()) << name;
+    EXPECT_FALSE(fresh->Restore(blob + "x").ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace muaa::stream

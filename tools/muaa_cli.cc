@@ -9,11 +9,24 @@
 //   muaa_cli solve              in=<dir> solver=<name> [out=<csv>] [seed=S]
 //                               [threads=N]
 //   muaa_cli stream             in=<dir> solver=<name> [seed=S] [threads=N]
+//                               [journal=<file>] [checkpoint=<file>]
+//                               [checkpoint_every=N] [resume=0|1]
+//                               [inject=<fault-spec>]
 //   muaa_cli compare            in=<dir> left=<csv> right=<csv>
 //
 // `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
 // vendor-sharded solver phases; 0 = one per hardware thread. Output is
 // identical at every thread count — only wall-clock time changes.
+//
+// `strict=0` on the loading commands skips (and counts) malformed CSV rows
+// instead of failing the load.
+//
+// Crash consistency (see docs/robustness.md): `journal=` write-ahead-logs
+// every decision, `checkpoint=` snapshots full solver state every
+// `checkpoint_every=N` arrivals, `resume=1` recovers from both after a
+// crash, and Ctrl-C triggers a graceful, resumable shutdown. `inject=`
+// takes the deterministic fault spec of stream::FaultPlan
+// (e.g. `crash@120,seed=7`) for testing the recovery path.
 //
 // Solvers: recon, recon-dp, recon-lp, greedy, greedy-ls, random, exact,
 //          online (O-AFA), online-adaptive (O-AFA + streaming γ),
@@ -21,6 +34,8 @@
 //
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -47,9 +62,16 @@
 #include "io/checkin_io.h"
 #include "io/instance_io.h"
 #include "stream/driver.h"
+#include "stream/fault_injector.h"
 
 namespace muaa {
 namespace {
+
+/// Raised by the SIGINT handler; the stream driver checks it before every
+/// arrival and shuts down gracefully (flush journal, final checkpoint).
+std::atomic<bool> g_stop{false};
+
+void HandleSigint(int) { g_stop.store(true); }
 
 int Usage() {
   std::fprintf(stderr,
@@ -73,6 +95,22 @@ Result<unsigned> ThreadsArg(const Config& cfg) {
         "], got " + std::to_string(threads));
   }
   return static_cast<unsigned>(threads);
+}
+
+/// Loads `in=` honouring `strict=0|1` (default strict); lenient loads
+/// report how many malformed rows were skipped.
+Result<model::ProblemInstance> LoadInstanceArg(const Config& cfg,
+                                               const std::string& in) {
+  io::LoadOptions opts;
+  MUAA_ASSIGN_OR_RETURN(opts.strict, cfg.GetBool("strict", true));
+  io::LoadReport report;
+  MUAA_ASSIGN_OR_RETURN(model::ProblemInstance inst,
+                        io::LoadInstance(in, opts, &report));
+  if (report.skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s) in %s\n",
+                 report.skipped_rows, in.c_str());
+  }
+  return inst;
 }
 
 Result<std::unique_ptr<assign::OfflineSolver>> MakeSolver(
@@ -222,7 +260,7 @@ int CmdConvertTsmc(const Config& cfg) {
 int CmdInfo(const Config& cfg) {
   std::string in = cfg.GetString("in", "");
   if (in.empty()) return Usage();
-  auto inst = io::LoadInstance(in);
+  auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
   double total_budget = 0.0;
   for (const auto& v : inst->vendors) total_budget += v.budget;
@@ -247,7 +285,7 @@ int CmdSolve(const Config& cfg) {
   std::string in = cfg.GetString("in", "");
   std::string solver_name = cfg.GetString("solver", "recon");
   if (in.empty()) return Usage();
-  auto inst = io::LoadInstance(in);
+  auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
   auto solver = MakeSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
@@ -280,7 +318,7 @@ int CmdStream(const Config& cfg) {
   std::string in = cfg.GetString("in", "");
   std::string solver_name = cfg.GetString("solver", "online");
   if (in.empty()) return Usage();
-  auto inst = io::LoadInstance(in);
+  auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
   auto solver = MakeOnlineSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
@@ -296,15 +334,58 @@ int CmdStream(const Config& cfg) {
     pool = std::make_unique<ThreadPool>(*threads);
   }
   assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
-  stream::StreamDriver driver(ctx);
-  auto run = driver.Run(solver->get());
-  if (!run.ok()) return Fail(run.status());
+
+  stream::StreamOptions opts;
+  opts.journal_path = cfg.GetString("journal", "");
+  opts.checkpoint_path = cfg.GetString("checkpoint", "");
+  auto every = cfg.GetInt("checkpoint_every", 0);
+  if (!every.ok()) return Fail(every.status());
+  if (*every < 0) {
+    return Fail(Status::InvalidArgument("checkpoint_every must be >= 0"));
+  }
+  opts.checkpoint_every = static_cast<size_t>(*every);
+  auto resume = cfg.GetBool("resume", false);
+  if (!resume.ok()) return Fail(resume.status());
+  if (*resume && opts.journal_path.empty() && opts.checkpoint_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "resume=1 needs journal= and/or checkpoint="));
+  }
+  std::unique_ptr<stream::FaultInjector> injector;
+  std::string inject = cfg.GetString("inject", "");
+  if (!inject.empty()) {
+    auto plan = stream::FaultPlan::Parse(inject);
+    if (!plan.ok()) return Fail(plan.status());
+    injector = std::make_unique<stream::FaultInjector>(*plan);
+  }
+  opts.injector = injector.get();
+  opts.stop = &g_stop;
+  std::signal(SIGINT, HandleSigint);
+
+  stream::StreamDriver driver(ctx, opts);
+  auto run = *resume ? driver.ResumeFrom(solver->get())
+                     : driver.Run(solver->get());
+  std::signal(SIGINT, SIG_DFL);
+  if (!run.ok()) {
+    if (run.status().code() == StatusCode::kDataLoss && !inject.empty()) {
+      std::fprintf(stderr, "injected fault: %s\n",
+                   run.status().ToString().c_str());
+      std::fprintf(stderr, "rerun with resume=1 to recover\n");
+      return 1;
+    }
+    return Fail(run.status());
+  }
   std::printf(
       "%s streamed %zu arrivals: %zu ads, utility %.6f, mean decision "
       "%.4f ms, max %.4f ms, served %zu customers\n",
       (*solver)->name().c_str(), run->stats.arrivals, run->stats.assigned_ads,
       run->stats.total_utility, run->stats.MeanLatencyMs(),
       run->stats.max_latency_ms, run->stats.served_customers);
+  if (run->interrupted) {
+    std::printf(
+        "interrupted: journal and checkpoint flushed, resumable at arrival "
+        "%zu (rerun with resume=1)\n",
+        run->next_arrival);
+  }
   return 0;
 }
 
@@ -313,7 +394,7 @@ int CmdCompare(const Config& cfg) {
   std::string left = cfg.GetString("left", "");
   std::string right = cfg.GetString("right", "");
   if (in.empty() || left.empty() || right.empty()) return Usage();
-  auto inst = io::LoadInstance(in);
+  auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
   auto a = io::LoadAssignments(&*inst, left);
   if (!a.ok()) return Fail(a.status());
@@ -330,14 +411,18 @@ int Run(int argc, char** argv) {
   std::string cmd = argv[1];
   auto cfg = Config::FromArgs(argc - 1, argv + 1);
   if (!cfg.ok()) return Fail(cfg.status());
-  if (cmd == "generate-synthetic") return CmdGenerateSynthetic(*cfg);
-  if (cmd == "generate-city") return CmdGenerateCity(*cfg);
-  if (cmd == "convert-tsmc") return CmdConvertTsmc(*cfg);
-  if (cmd == "info") return CmdInfo(*cfg);
-  if (cmd == "solve") return CmdSolve(*cfg);
-  if (cmd == "stream") return CmdStream(*cfg);
-  if (cmd == "compare") return CmdCompare(*cfg);
-  return Usage();
+  int rc = -1;
+  if (cmd == "generate-synthetic") rc = CmdGenerateSynthetic(*cfg);
+  else if (cmd == "generate-city") rc = CmdGenerateCity(*cfg);
+  else if (cmd == "convert-tsmc") rc = CmdConvertTsmc(*cfg);
+  else if (cmd == "info") rc = CmdInfo(*cfg);
+  else if (cmd == "solve") rc = CmdSolve(*cfg);
+  else if (cmd == "stream") rc = CmdStream(*cfg);
+  else if (cmd == "compare") rc = CmdCompare(*cfg);
+  if (rc < 0) return Usage();
+  // Options no command read are almost certainly misspelt — say so.
+  cfg->WarnUnreadKeys();
+  return rc;
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 
 #include "common/logging.h"
 
+#include <cmath>
+
+#include "common/build_info.h"
+
 namespace muaa::bench {
 
 Scale ParseScale(int argc, const char* const* argv) {
@@ -90,6 +94,76 @@ void PrintHeader(const std::string& bench, Scale scale,
   std::printf("%s\n", note.c_str());
   std::printf("==============================================================\n");
   std::fflush(stdout);
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::BeginRow() { rows_.emplace_back(); }
+
+void BenchReport::Num(const std::string& key, double value) {
+  MUAA_CHECK(!rows_.empty()) << "Num before BeginRow";
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no NaN/Inf
+  }
+  rows_.back().push_back({key, buf});
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '\"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '\"';
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::Str(const std::string& key, const std::string& value) {
+  MUAA_CHECK(!rows_.empty()) << "Str before BeginRow";
+  rows_.back().push_back({key, JsonQuote(value)});
+}
+
+void BenchReport::Write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MUAA_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"bench\": %s,\n  \"build\": %s,\n  \"rows\": [",
+               JsonQuote(name_).c_str(), JsonQuote(BuildInfoLine()).c_str());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "%s\n    {", i ? "," : "");
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      std::fprintf(f, "%s%s: %s", j ? ", " : "",
+                   JsonQuote(rows_[i][j].key).c_str(),
+                   rows_[i][j].rendered.c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  MUAA_CHECK(std::fclose(f) == 0) << "write failed: " << path;
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace muaa::bench

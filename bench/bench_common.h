@@ -51,4 +51,35 @@ void RunLineup(const model::ProblemInstance& instance,
 void PrintHeader(const std::string& bench, Scale scale,
                  const std::string& note);
 
+/// \brief Machine-readable bench output: rows of string/number fields
+/// written as `BENCH_<name>.json` in the working directory, stamped with
+/// the build provenance (common/build_info.h). The human tables on stdout
+/// stay the primary output; the JSON is for dashboards and CI trend
+/// checks.
+///
+///   {"bench": "...", "build": "...", "rows": [{"solver": "O-AFA",
+///    "vendors": 20000, "p99_us": 12.3}, ...]}
+class BenchReport {
+ public:
+  /// \param name becomes the file name: BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+
+  /// Starts a new row; subsequent Num/Str calls fill it.
+  void BeginRow();
+  void Num(const std::string& key, double value);
+  void Str(const std::string& key, const std::string& value);
+
+  /// Writes BENCH_<name>.json (overwriting) and logs the path. Aborts on
+  /// I/O failure — benches are scripts; failures should be loud.
+  void Write() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  ///< value already rendered as a JSON token
+  };
+  std::string name_;
+  std::vector<std::vector<Field>> rows_;
+};
+
 }  // namespace muaa::bench

@@ -18,7 +18,8 @@ namespace {
 using namespace muaa;
 
 void MeasureSolver(const char* label, assign::OnlineSolver* solver,
-                   const assign::SolveContext& ctx) {
+                   const assign::SolveContext& ctx,
+                   bench::BenchReport* report) {
   MUAA_CHECK_OK(solver->Initialize(ctx));
   std::vector<double> latencies_us;
   latencies_us.reserve(ctx.instance->num_customers());
@@ -35,6 +36,14 @@ void MeasureSolver(const char* label, assign::OnlineSolver* solver,
       Percentile(latencies_us, 0.99), Percentile(latencies_us, 1.0));
   std::printf("latency_us\t%s\t%zu\t%.3f\n", label,
               ctx.instance->num_vendors(), Percentile(latencies_us, 0.99));
+  report->BeginRow();
+  report->Str("solver", label);
+  report->Num("vendors", static_cast<double>(ctx.instance->num_vendors()));
+  report->Num("arrivals", static_cast<double>(ctx.instance->num_customers()));
+  report->Num("mean_us", Mean(latencies_us));
+  report->Num("p50_us", Percentile(latencies_us, 0.5));
+  report->Num("p99_us", Percentile(latencies_us, 0.99));
+  report->Num("max_us", Percentile(latencies_us, 1.0));
 }
 
 }  // namespace
@@ -45,6 +54,7 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Online latency — the paper's < 1 s / 20K-vendor claim",
                      scale, "per-arrival decision latency vs vendor count");
 
+  bench::BenchReport report("online_latency");
   const std::vector<size_t> vendor_counts =
       scale == bench::Scale::kPaper
           ? std::vector<size_t>{1'000, 5'000, 20'000, 50'000}
@@ -64,10 +74,11 @@ int main(int argc, char** argv) {
     std::printf("  n=%zu vendors, m=%zu arrivals\n", n,
                 inst->num_customers());
     assign::AfaOnlineSolver afa;
-    MeasureSolver("O-AFA", &afa, ctx);
+    MeasureSolver("O-AFA", &afa, ctx, &report);
     assign::NearestOnlineSolver nearest;
-    MeasureSolver("NEAREST", &nearest, ctx);
+    MeasureSolver("NEAREST", &nearest, ctx, &report);
   }
+  report.Write();
   std::printf(
       "\nAll percentiles sit microseconds-deep below the paper's 1-second "
       "budget.\n");

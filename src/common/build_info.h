@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+namespace muaa {
+
+/// \brief Provenance of this binary, stamped at CMake configure time
+/// (src/common/build_info.cc.in). `git_hash` carries a `-dirty` suffix
+/// when the working tree had uncommitted changes.
+struct BuildInfo {
+  std::string git_hash;
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< e.g. "Release"
+  std::string cxx_flags;   ///< base + build-type flags
+  std::string cxx_standard;
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// One-line human-readable form, e.g. for `muaa_cli version` and the
+/// provenance field of BENCH_*.json.
+std::string BuildInfoLine();
+
+}  // namespace muaa

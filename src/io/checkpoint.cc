@@ -10,7 +10,7 @@ namespace muaa::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '1'};
+constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '2'};
 
 std::string EncodePayload(const StreamCheckpoint& ckpt) {
   std::string p;
@@ -33,6 +33,8 @@ std::string EncodePayload(const StreamCheckpoint& ckpt) {
     PutU32(&p, static_cast<uint32_t>(inst.ad_type));
     PutDouble(&p, inst.utility);
   }
+  PutU64(&p, ckpt.processed.size());
+  for (uint64_t idx : ckpt.processed) PutU64(&p, idx);
   return p;
 }
 
@@ -69,6 +71,18 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
     inst.vendor = static_cast<model::VendorId>(vendor);
     inst.ad_type = static_cast<model::AdTypeId>(ad_type);
     ckpt->instances.push_back(inst);
+  }
+  uint64_t processed_count = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU64(&processed_count));
+  if (processed_count > in.remaining() / 8) {
+    return Status::DataLoss("checkpoint processed count exceeds payload");
+  }
+  ckpt->processed.clear();
+  ckpt->processed.reserve(processed_count);
+  for (uint64_t k = 0; k < processed_count; ++k) {
+    uint64_t idx = 0;
+    MUAA_RETURN_NOT_OK(in.ReadU64(&idx));
+    ckpt->processed.push_back(idx);
   }
   if (!in.done()) {
     return Status::DataLoss("trailing bytes in checkpoint payload");

@@ -26,6 +26,12 @@ struct StreamCheckpoint {
   /// First arrival index NOT covered by this checkpoint.
   uint64_t next_arrival = 0;
 
+  /// Explicit set of processed arrival indices. Empty means the prefix
+  /// `[0, next_arrival)` — the sequential stream driver's shape. The
+  /// network broker (src/server) serves arrivals in whatever order clients
+  /// deliver them, so its checkpoints record the processed set explicitly.
+  std::vector<uint64_t> processed;
+
   /// `OnlineSolver::name()` of the producing solver.
   std::string solver_name;
   /// Opaque `OnlineSolver::Snapshot()` blob.

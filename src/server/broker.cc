@@ -1,0 +1,471 @@
+#include "server/broker.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "io/checkpoint.h"
+#include "stream/recovery.h"
+
+namespace muaa::server {
+
+Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
+               BrokerOptions options)
+    : ctx_(ctx),
+      solver_(solver),
+      options_(std::move(options)),
+      run_{assign::AssignmentSet(ctx.instance), stream::StreamStats{}} {}
+
+Broker::~Broker() {
+  Status st = Stop();
+  if (!st.ok()) {
+    MUAA_LOG(Warning) << "broker stopped with error: " << st.ToString();
+  }
+}
+
+Status Broker::Start() {
+  MUAA_RETURN_NOT_OK(assign::ValidateContext(ctx_));
+  MUAA_RETURN_NOT_OK(solver_->Initialize(ctx_));
+
+  const size_t m = ctx_.instance->num_customers();
+  processed_.assign(m, false);
+  departed_.assign(m, false);
+  decisions_.assign(m, {});
+
+  const stream::StreamOptions& dur = options_.durability;
+  if (options_.resume) {
+    MUAA_ASSIGN_OR_RETURN(stream::RecoveredStream rec,
+                          stream::RecoverStreamState(ctx_, solver_, dur));
+    run_ = std::move(rec.run);
+    processed_ = std::move(rec.processed);
+    for (const assign::AdInstance& inst : run_.assignments.instances()) {
+      decisions_[static_cast<size_t>(inst.customer)].push_back(inst);
+    }
+    det_arrivals_ = run_.stats.arrivals;
+    det_assigned_ads_ = run_.stats.assigned_ads;
+    det_served_ = run_.stats.served_customers;
+    det_total_utility_ = run_.stats.total_utility;
+    if (!dur.journal_path.empty()) {
+      if (rec.journal_usable) {
+        MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
+                              io::JournalWriter::OpenAppend(
+                                  dur.journal_path, rec.committed_records));
+        writer_ = std::make_unique<io::JournalWriter>(std::move(w));
+      } else {
+        MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
+                              io::JournalWriter::Create(dur.journal_path));
+        writer_ = std::make_unique<io::JournalWriter>(std::move(w));
+      }
+    }
+  } else if (!dur.journal_path.empty()) {
+    MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
+                          io::JournalWriter::Create(dur.journal_path));
+    writer_ = std::make_unique<io::JournalWriter>(std::move(w));
+  }
+
+  MUAA_ASSIGN_OR_RETURN(listener_,
+                        Listener::Bind(options_.host, options_.port));
+  port_ = listener_.port();
+  started_ = true;
+  solver_thread_ = std::thread([this] { SolverLoop(); });
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Broker::AcceptLoop() {
+  while (true) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener shut down
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(accepted).ValueOrDie();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { ServeConnection(conn); });
+  }
+}
+
+void Broker::ServeConnection(const ConnPtr& conn) {
+  std::string payload;
+  while (true) {
+    auto got = conn->sock.RecvFrame(&payload);
+    if (!got.ok()) {
+      // Corrupt stream: the frame boundary is lost, so the connection
+      // cannot be resynchronized. Best-effort error, then drop it.
+      Response resp;
+      resp.type = ResponseType::kError;
+      resp.error = got.status().ToString();
+      SendResponse(conn, resp);
+      break;
+    }
+    if (!*got) break;  // clean EOF
+    auto req = DecodeRequest(payload);
+    if (!req.ok()) {
+      Response resp;
+      resp.type = ResponseType::kError;
+      resp.error = req.status().ToString();
+      SendResponse(conn, resp);
+      break;
+    }
+    if (!Dispatch(conn, *req)) break;
+  }
+  conn->sock.ShutdownBoth();
+}
+
+bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
+  const size_t m = ctx_.instance->num_customers();
+  switch (req.type) {
+    case RequestType::kArrive: {
+      if (req.customer < 0 || static_cast<size_t>(req.customer) >= m) {
+        Response resp;
+        resp.type = ResponseType::kError;
+        resp.request_id = req.request_id;
+        resp.error = "customer id out of range: " +
+                     std::to_string(req.customer);
+        SendResponse(conn, resp);
+        return true;
+      }
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        if (!stopping_ && !aborting_ && queue_.size() < options_.queue_max) {
+          queue_.push_back(Admission{conn, req.request_id, req.customer});
+          admitted = true;
+          uint64_t depth = queue_.size();
+          uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+          while (depth > seen && !queue_high_water_.compare_exchange_weak(
+                                     seen, depth, std::memory_order_relaxed)) {
+          }
+        }
+      }
+      if (admitted) {
+        queue_cv_.notify_all();
+      } else {
+        // Backpressure instead of unbounded buffering: the client owns
+        // the retry.
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.type = ResponseType::kBusy;
+        resp.request_id = req.request_id;
+        resp.retry_after_us = options_.busy_retry_us;
+        SendResponse(conn, resp);
+      }
+      return true;
+    }
+    case RequestType::kDepart: {
+      Response resp;
+      resp.type = ResponseType::kDepartAck;
+      resp.request_id = req.request_id;
+      resp.customer = req.customer;
+      if (req.customer >= 0 && static_cast<size_t>(req.customer) < m) {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        const auto idx = static_cast<size_t>(req.customer);
+        if (!processed_[idx] && !departed_[idx]) {
+          departed_[idx] = true;
+          resp.cancelled = true;
+        }
+      }
+      SendResponse(conn, resp);
+      return true;
+    }
+    case RequestType::kStats: {
+      Response resp;
+      resp.type = ResponseType::kStats;
+      resp.request_id = req.request_id;
+      resp.stats = stats();
+      SendResponse(conn, resp);
+      return true;
+    }
+    case RequestType::kShutdown: {
+      Response resp;
+      resp.type = ResponseType::kShutdownAck;
+      resp.request_id = req.request_id;
+      SendResponse(conn, resp);
+      {
+        std::lock_guard<std::mutex> lk(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Broker::SolverLoop() {
+  while (true) {
+    std::vector<Admission> batch;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return !queue_.empty() || stopping_ || aborting_;
+      });
+      if (aborting_) return;
+      if (queue_.empty() && stopping_) return;
+      // Micro-batch: give the queue a short window to fill so one journal
+      // flush covers many decisions. Skipped while draining.
+      if (options_.batch_wait_us > 0 && !stopping_ &&
+          queue_.size() < options_.batch_max) {
+        queue_cv_.wait_for(
+            lk, std::chrono::microseconds(options_.batch_wait_us), [this] {
+              return queue_.size() >= options_.batch_max || stopping_ ||
+                     aborting_;
+            });
+      }
+      if (aborting_) return;
+      const size_t take = std::min(queue_.size(), options_.batch_max);
+      batch.reserve(take);
+      for (size_t k = 0; k < take; ++k) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+    while (batch.size() > prev && !max_batch_.compare_exchange_weak(
+                                      prev, batch.size(),
+                                      std::memory_order_relaxed)) {
+    }
+    Status st = ProcessBatch(&batch);
+    if (!st.ok()) {
+      MUAA_LOG(Error) << "broker solver loop failed: " << st.ToString();
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        fatal_ = st;
+      }
+      // Release WaitUntilShutdown so the owner can Stop() and surface the
+      // error instead of serving a half-dead broker.
+      {
+        std::lock_guard<std::mutex> lk(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      // Drop the connections too: clients of the dead loop would
+      // otherwise block forever on responses that will never come.
+      {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
+      }
+      return;
+    }
+  }
+}
+
+Status Broker::ProcessBatch(std::vector<Admission>* batch) {
+  std::vector<Response> responses;
+  responses.reserve(batch->size());
+  Stopwatch watch;
+  size_t decided = 0;
+  for (Admission& adm : *batch) {
+    const auto idx = static_cast<size_t>(adm.customer);
+    Response resp;
+    resp.type = ResponseType::kAssign;
+    resp.request_id = adm.request_id;
+    resp.customer = adm.customer;
+
+    bool duplicate = false, departed = false;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (processed_[idx]) {
+        duplicate = true;
+      } else if (departed_[idx]) {
+        // Consume the tombstone: this arrival is cancelled, a later
+        // re-arrival of the same customer is served normally.
+        departed_[idx] = false;
+        departed = true;
+      }
+    }
+    if (duplicate) {
+      // Re-delivered arrival (retry, or replay against a resumed broker):
+      // answer the committed decision, change nothing.
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      resp.ads = decisions_[idx];
+      responses.push_back(std::move(resp));
+      continue;
+    }
+    if (departed) {
+      departed_count_.fetch_add(1, std::memory_order_relaxed);
+      responses.push_back(std::move(resp));  // zero ads
+      continue;
+    }
+
+    watch.Restart();
+    MUAA_ASSIGN_OR_RETURN(std::vector<assign::AdInstance> picked,
+                          solver_->OnArrival(adm.customer));
+    // Write-ahead: journal the whole arrival group before applying it
+    // (same ordering contract as the stream driver).
+    if (writer_ != nullptr) {
+      for (const assign::AdInstance& inst : picked) {
+        MUAA_RETURN_NOT_OK(writer_->AppendDecision(idx, inst));
+      }
+      MUAA_RETURN_NOT_OK(writer_->AppendArrivalCommit(
+          idx, adm.customer, static_cast<uint32_t>(picked.size())));
+    }
+    const double latency = watch.ElapsedMillis();
+    run_.stats.arrivals += 1;
+    run_.stats.total_latency_ms += latency;
+    run_.stats.max_latency_ms = std::max(run_.stats.max_latency_ms, latency);
+    if (!picked.empty()) run_.stats.served_customers += 1;
+    for (const assign::AdInstance& inst : picked) {
+      MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
+      run_.stats.assigned_ads += 1;
+      run_.stats.total_utility += inst.utility;
+    }
+    decisions_[idx] = picked;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      processed_[idx] = true;
+      det_arrivals_ = run_.stats.arrivals;
+      det_assigned_ads_ = run_.stats.assigned_ads;
+      det_served_ = run_.stats.served_customers;
+      det_total_utility_ = run_.stats.total_utility;
+    }
+    ++decided;
+    resp.ads = std::move(picked);
+    responses.push_back(std::move(resp));
+  }
+
+  // One flush covers the whole batch; only then do responses go out, so a
+  // client never holds a decision a kill could lose.
+  if (writer_ != nullptr && decided > 0) {
+    MUAA_RETURN_NOT_OK(writer_->Flush());
+  }
+  arrivals_since_checkpoint_ += decided;
+  const size_t every = options_.durability.checkpoint_every;
+  if (!options_.durability.checkpoint_path.empty() && every > 0 &&
+      arrivals_since_checkpoint_ >= every) {
+    MUAA_RETURN_NOT_OK(WriteCheckpoint());
+    arrivals_since_checkpoint_ = 0;
+  }
+  for (size_t k = 0; k < responses.size(); ++k) {
+    SendResponse((*batch)[k].conn, responses[k]);
+  }
+  return Status::OK();
+}
+
+Status Broker::WriteCheckpoint() {
+  io::StreamCheckpoint ckpt;
+  ckpt.num_customers = ctx_.instance->num_customers();
+  ckpt.num_vendors = ctx_.instance->num_vendors();
+  ckpt.num_ad_types = ctx_.instance->ad_types.size();
+  ckpt.solver_name = solver_->name();
+  MUAA_ASSIGN_OR_RETURN(ckpt.solver_state, solver_->Snapshot());
+  ckpt.arrivals = run_.stats.arrivals;
+  ckpt.served_customers = run_.stats.served_customers;
+  ckpt.assigned_ads = run_.stats.assigned_ads;
+  ckpt.total_utility = run_.stats.total_utility;
+  ckpt.total_latency_ms = run_.stats.total_latency_ms;
+  ckpt.max_latency_ms = run_.stats.max_latency_ms;
+  ckpt.instances = run_.assignments.instances();
+  // Arrivals reach the broker in client-delivery order, so the processed
+  // set is not a prefix — record it explicitly.
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (size_t i = 0; i < processed_.size(); ++i) {
+      if (processed_[i]) {
+        ckpt.processed.push_back(i);
+        ckpt.next_arrival = i + 1;
+      }
+    }
+  }
+  return io::SaveCheckpoint(ckpt, options_.durability.checkpoint_path);
+}
+
+void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  Status st = conn->sock.SendFrame(EncodeResponse(resp));
+  if (!st.ok()) {
+    // Peer is gone (EPIPE/reset). The decision is durable regardless; the
+    // client re-requests it after reconnecting and gets the same answer.
+    conn->sock.ShutdownBoth();
+  }
+}
+
+Status Broker::StopThreads(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_ || aborting_) return Status::OK();  // already stopping
+    if (drain) {
+      stopping_ = true;
+    } else {
+      aborting_ = true;
+    }
+  }
+  queue_cv_.notify_all();
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (solver_thread_.joinable()) solver_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
+  }
+  // conn_threads_ only grows from the acceptor, which is joined: safe to
+  // iterate unlocked.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+
+  Status fatal;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    fatal = fatal_;
+  }
+  if (drain && fatal.ok()) {
+    if (writer_ != nullptr) MUAA_RETURN_NOT_OK(writer_->Flush());
+    if (!options_.durability.checkpoint_path.empty()) {
+      MUAA_RETURN_NOT_OK(WriteCheckpoint());
+    }
+  }
+  return fatal;
+}
+
+Status Broker::Stop() {
+  if (!started_ || stopped_) return Status::OK();
+  Status st = StopThreads(/*drain=*/true);
+  stopped_ = true;
+  return st;
+}
+
+Status Broker::Abort() {
+  if (!started_ || stopped_) return Status::OK();
+  Status st = StopThreads(/*drain=*/false);
+  stopped_ = true;
+  return st;
+}
+
+void Broker::WaitUntilShutdown(const std::atomic<bool>* external_stop) {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  while (!shutdown_requested_) {
+    if (external_stop != nullptr &&
+        external_stop->load(std::memory_order_relaxed)) {
+      return;
+    }
+    shutdown_cv_.wait_for(lk, std::chrono::milliseconds(100));
+  }
+}
+
+BrokerStats Broker::stats() const {
+  BrokerStats s;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    s.arrivals = det_arrivals_;
+    s.assigned_ads = det_assigned_ads_;
+    s.served_customers = det_served_;
+    s.total_utility = det_total_utility_;
+  }
+  s.departed = departed_count_.load(std::memory_order_relaxed);
+  s.duplicates = duplicates_.load(std::memory_order_relaxed);
+  s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace muaa::server

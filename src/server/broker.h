@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/result.h"
+#include "io/journal.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "stream/driver.h"
+
+namespace muaa::server {
+
+/// \brief Configuration of one broker instance.
+struct BrokerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral one (read it back via `Broker::port`).
+  int port = 0;
+
+  /// Most arrivals one solver-loop micro-batch drains. Batching amortizes
+  /// the journal flush (one `Flush` per batch, not per arrival) — the
+  /// dominant per-decision cost at high arrival rates.
+  size_t batch_max = 64;
+  /// After the first arrival of a batch, wait at most this long for the
+  /// batch to fill before draining it anyway. 0 drains whatever is queued.
+  uint32_t batch_wait_us = 200;
+
+  /// Bound of the admission queue. A full queue answers BUSY instead of
+  /// buffering without limit — memory stays bounded no matter how far
+  /// offered load exceeds capacity.
+  size_t queue_max = 1024;
+  /// `retry_after_us` hint carried by BUSY responses.
+  uint32_t busy_retry_us = 1000;
+
+  /// Durability (journal/checkpoint paths + cadence, as for the stream
+  /// driver); `injector` and `stop` are ignored here.
+  stream::StreamOptions durability;
+  /// Recover from the durability files before serving (kill + resume).
+  bool resume = false;
+};
+
+/// \brief The multi-threaded ad-broker service (docs/serving.md).
+///
+/// Threads: one acceptor, one reader per connection, one solver loop.
+/// Readers admit ARRIVE requests into a bounded queue (full → BUSY) and
+/// answer STATS/DEPART/SHUTDOWN directly; the single solver loop drains
+/// the queue in micro-batches, runs the online solver per arrival,
+/// write-ahead-journals every decision, flushes once per batch, *then*
+/// sends the batch's responses — a client never sees a decision that a
+/// kill could lose. With `resume`, a restarted broker rebuilds solver,
+/// assignments and stats from checkpoint + journal (stream/recovery.h)
+/// and continues serving; re-delivered arrivals are answered from the
+/// recovered state, so replaying a whole workload against a resumed
+/// broker yields bitwise-identical totals to an uninterrupted run.
+///
+/// The solver decides in admission order. With one connection (or any
+/// client that serializes its arrivals) that order is the delivery order,
+/// which is how tests pin broker output to the offline `StreamDriver` run
+/// of the same instance.
+class Broker {
+ public:
+  /// `ctx` and `solver` must outlive the broker; the solver must be
+  /// freshly constructed (the broker calls `Initialize`).
+  Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
+         BrokerOptions options);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Binds, recovers state when `resume`, and starts serving.
+  Status Start();
+
+  /// The bound TCP port (valid after `Start`).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: stop admitting, drain the queue, flush the
+  /// journal, write a final checkpoint, join all threads. Idempotent.
+  /// Returns the solver loop's terminal error, if any.
+  Status Stop();
+
+  /// Hard shutdown for crash testing: drop queued arrivals, skip the
+  /// final checkpoint, join. On-disk state is exactly what a SIGKILL
+  /// would leave — journal flushed through the last completed batch,
+  /// checkpoint at the last periodic write.
+  Status Abort();
+
+  /// Blocks until a SHUTDOWN request arrives, the solver loop dies, or
+  /// `Stop`/`Abort` is called; polls `external_stop` (e.g. a SIGINT flag)
+  /// if given. The caller then runs `Stop`.
+  void WaitUntilShutdown(const std::atomic<bool>* external_stop = nullptr);
+
+  /// Counters snapshot (thread-safe while serving).
+  BrokerStats stats() const;
+
+  /// The committed assignment set. Only valid after `Stop`/`Abort`.
+  const assign::AssignmentSet& assignments() const {
+    return run_.assignments;
+  }
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::mutex write_mu;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  /// One admitted ARRIVE waiting for the solver loop.
+  struct Admission {
+    ConnPtr conn;
+    uint64_t request_id = 0;
+    model::CustomerId customer = -1;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(const ConnPtr& conn);
+  /// Handles one decoded request; false closes the connection.
+  bool Dispatch(const ConnPtr& conn, const Request& req);
+  void SolverLoop();
+  /// Decides every admission of `batch`, journals, flushes, checkpoints
+  /// on cadence, then sends the responses.
+  Status ProcessBatch(std::vector<Admission>* batch);
+  Status WriteCheckpoint();
+  /// Sends `resp` on `conn`, swallowing peer-disconnect errors (the
+  /// broker must outlive its clients).
+  void SendResponse(const ConnPtr& conn, const Response& resp);
+  Status StopThreads(bool drain);
+
+  assign::SolveContext ctx_;
+  assign::OnlineSolver* solver_;
+  BrokerOptions options_;
+  int port_ = 0;
+
+  Listener listener_;
+  std::thread acceptor_;
+  std::thread solver_thread_;
+  std::mutex conns_mu_;
+  std::vector<ConnPtr> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Admission> queue_;
+  bool stopping_ = false;   ///< drain, then exit (graceful)
+  bool aborting_ = false;   ///< exit without draining (crash test)
+
+  // Solver-loop-owned stream state (external access only when stopped).
+  stream::StreamRunResult run_;
+  std::vector<bool> processed_;
+  /// Per-customer committed decision, for idempotent re-delivery.
+  std::vector<std::vector<assign::AdInstance>> decisions_;
+  std::unique_ptr<io::JournalWriter> writer_;
+  size_t arrivals_since_checkpoint_ = 0;
+
+  /// Deterministic totals mirrored from `run_` after every arrival, so
+  /// STATS can answer from reader threads while the solver loop runs.
+  mutable std::mutex state_mu_;
+  uint64_t det_arrivals_ = 0;
+  uint64_t det_assigned_ads_ = 0;
+  uint64_t det_served_ = 0;
+  double det_total_utility_ = 0.0;
+  std::vector<bool> departed_;  ///< pending DEPART tombstones
+
+  // Serving-timeline counters (nondeterministic under load).
+  std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> duplicates_{0};
+  std::atomic<uint64_t> departed_count_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  Status fatal_;  ///< solver-loop terminal error (guarded by state_mu_)
+};
+
+}  // namespace muaa::server

@@ -1,0 +1,368 @@
+#include "server/loadgen.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/streaming_quantile.h"
+#include "server/socket.h"
+
+namespace muaa::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cross-connection aggregation of responses and latencies.
+struct Aggregate {
+  std::mutex mu;
+  LoadgenReport report;
+  StreamingQuantile latency_us{8192, /*seed=*/97};
+  Status first_error;
+
+  void RecordLatency(double us) {
+    latency_us.Observe(us);
+    if (us > report.max_us) report.max_us = us;
+  }
+
+  void RecordResponse(const Response& resp, double latency_us_val,
+                      bool collect) {
+    std::lock_guard<std::mutex> lk(mu);
+    RecordLatency(latency_us_val);
+    switch (resp.type) {
+      case ResponseType::kAssign:
+        report.assigned += 1;
+        report.assigned_ads += resp.ads.size();
+        if (!resp.ads.empty()) report.served += 1;
+        for (const assign::AdInstance& inst : resp.ads) {
+          report.total_utility += inst.utility;
+          if (collect) report.instances.push_back(inst);
+        }
+        break;
+      case ResponseType::kBusy:
+        report.busy += 1;
+        break;
+      default:
+        report.errors += 1;
+        break;
+    }
+  }
+
+  void RecordError(const Status& st) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (first_error.ok()) first_error = st;
+  }
+};
+
+/// Closed loop on one connection: one in-flight arrival, order preserved.
+void RunClosedLoop(const LoadgenOptions& options,
+                   std::vector<model::CustomerId> slice, Aggregate* agg,
+                   std::atomic<uint64_t>* sent) {
+  auto connected = Connect(options.host, options.port);
+  if (!connected.ok()) {
+    agg->RecordError(connected.status());
+    return;
+  }
+  Socket sock = std::move(connected).ValueOrDie();
+  uint64_t rid = 0;
+  std::string payload;
+  for (model::CustomerId customer : slice) {
+    bool answered = false;
+    while (!answered) {
+      Request req;
+      req.type = RequestType::kArrive;
+      req.request_id = ++rid;
+      req.customer = customer;
+      const auto t0 = Clock::now();
+      Status st = sock.SendFrame(EncodeRequest(req));
+      if (!st.ok()) {
+        agg->RecordError(st);
+        return;
+      }
+      sent->fetch_add(1, std::memory_order_relaxed);
+      auto got = sock.RecvFrame(&payload);
+      if (!got.ok() || !*got) {
+        agg->RecordError(got.ok() ? Status::Internal(
+                                        "broker closed the connection")
+                                  : got.status());
+        return;
+      }
+      auto resp = DecodeResponse(payload);
+      if (!resp.ok()) {
+        agg->RecordError(resp.status());
+        return;
+      }
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count();
+      agg->RecordResponse(*resp, us, options.collect);
+      if (resp->type == ResponseType::kBusy && options.retry_busy) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(resp->retry_after_us));
+        continue;  // re-send the same arrival
+      }
+      answered = true;
+    }
+  }
+}
+
+/// Open loop on one connection: a sender paces arrivals on the shared
+/// schedule without waiting for responses; a receiver matches responses
+/// by request id.
+struct OpenState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<uint64_t, std::pair<model::CustomerId, Clock::time_point>>
+      in_flight;
+  std::deque<std::pair<Clock::time_point, model::CustomerId>> retries;
+  bool send_done = false;
+  bool dead = false;  ///< transport failed; both threads bail out
+};
+
+void OpenReceiver(Socket* sock, OpenState* state,
+                  const LoadgenOptions& options, Aggregate* agg) {
+  std::string payload;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (state->dead ||
+          (state->send_done && state->in_flight.empty() &&
+           state->retries.empty())) {
+        break;
+      }
+    }
+    auto got = sock->RecvFrame(&payload);
+    if (!got.ok() || !*got) {
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (!state->send_done || !state->in_flight.empty()) {
+        agg->RecordError(got.ok() ? Status::Internal(
+                                        "broker closed the connection")
+                                  : got.status());
+        state->dead = true;
+      }
+      state->cv.notify_all();
+      break;
+    }
+    auto resp = DecodeResponse(payload);
+    if (!resp.ok()) {
+      agg->RecordError(resp.status());
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->dead = true;
+      state->cv.notify_all();
+      break;
+    }
+    model::CustomerId customer = -1;
+    Clock::time_point sent_at;
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      auto it = state->in_flight.find(resp->request_id);
+      if (it == state->in_flight.end()) continue;  // unknown id: ignore
+      customer = it->second.first;
+      sent_at = it->second.second;
+      state->in_flight.erase(it);
+      if (resp->type == ResponseType::kBusy && options.retry_busy) {
+        state->retries.emplace_back(
+            Clock::now() + std::chrono::microseconds(resp->retry_after_us),
+            customer);
+      }
+      state->cv.notify_all();
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
+            .count();
+    agg->RecordResponse(*resp, us, options.collect);
+  }
+}
+
+void OpenSender(Socket* sock, OpenState* state, const LoadgenOptions& options,
+                std::vector<std::pair<Clock::time_point, model::CustomerId>>
+                    schedule,
+                Aggregate* agg, std::atomic<uint64_t>* sent) {
+  uint64_t rid = 0;
+  auto send_one = [&](model::CustomerId customer) -> bool {
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = ++rid;
+    req.customer = customer;
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->in_flight[req.request_id] = {customer, Clock::now()};
+    }
+    Status st = sock->SendFrame(EncodeRequest(req));
+    if (!st.ok()) {
+      agg->RecordError(st);
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->dead = true;
+      state->cv.notify_all();
+      return false;
+    }
+    sent->fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  for (const auto& [due, customer] : schedule) {
+    std::this_thread::sleep_until(due);
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (state->dead) return;
+    }
+    if (!send_one(customer)) return;
+  }
+  // Drain BUSY retries until everything is answered.
+  while (options.retry_busy) {
+    model::CustomerId customer = -1;
+    {
+      std::unique_lock<std::mutex> lk(state->mu);
+      if (state->dead) return;
+      if (state->retries.empty() && state->in_flight.empty()) break;
+      if (!state->retries.empty() &&
+          state->retries.front().first <= Clock::now()) {
+        customer = state->retries.front().second;
+        state->retries.pop_front();
+      } else {
+        state->cv.wait_for(lk, std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+    if (!send_one(customer)) return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->send_done = true;
+    state->cv.notify_all();
+    // The receiver may already be blocked in RecvFrame with nothing left
+    // on the wire; wait for the tail of responses, then shut the socket
+    // down so its recv returns EOF instead of blocking forever.
+    state->cv.wait(lk, [state] {
+      return state->dead ||
+             (state->in_flight.empty() && state->retries.empty());
+    });
+  }
+  sock->ShutdownBoth();
+}
+
+}  // namespace
+
+Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
+                                 const LoadgenOptions& options) {
+  if (options.connections == 0) {
+    return Status::InvalidArgument("connections must be >= 1");
+  }
+  const size_t conns = options.connections;
+  Aggregate agg;
+  std::atomic<uint64_t> sent{0};
+  const auto t0 = Clock::now();
+
+  std::vector<std::thread> threads;
+  if (options.qps <= 0.0) {
+    // Closed loop: connection c serves arrivals c, c+conns, c+2*conns, ...
+    for (size_t c = 0; c < conns; ++c) {
+      std::vector<model::CustomerId> slice;
+      for (size_t i = c; i < arrivals.size(); i += conns) {
+        slice.push_back(arrivals[i]);
+      }
+      threads.emplace_back([&options, &agg, &sent, s = std::move(slice)] {
+        RunClosedLoop(options, s, &agg, &sent);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    // Open loop: arrival i fires at t0 + i/qps, regardless of responses —
+    // the "customers keep walking in" model that exposes backpressure.
+    std::vector<Socket> sockets(conns);
+    std::vector<OpenState> states(conns);
+    for (size_t c = 0; c < conns; ++c) {
+      MUAA_ASSIGN_OR_RETURN(sockets[c], Connect(options.host, options.port));
+    }
+    const auto start = Clock::now() + std::chrono::milliseconds(5);
+    for (size_t c = 0; c < conns; ++c) {
+      std::vector<std::pair<Clock::time_point, model::CustomerId>> schedule;
+      for (size_t i = c; i < arrivals.size(); i += conns) {
+        schedule.emplace_back(
+            start + std::chrono::microseconds(static_cast<int64_t>(
+                        1e6 * static_cast<double>(i) / options.qps)),
+            arrivals[i]);
+      }
+      threads.emplace_back([&, c, s = std::move(schedule)]() mutable {
+        OpenSender(&sockets[c], &states[c], options, std::move(s), &agg,
+                   &sent);
+      });
+      threads.emplace_back([&, c] {
+        OpenReceiver(&sockets[c], &states[c], options, &agg);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::lock_guard<std::mutex> lk(agg.mu);
+  if (!agg.first_error.ok()) return agg.first_error;
+  LoadgenReport report = std::move(agg.report);
+  report.sent = sent.load();
+  report.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (report.elapsed_s > 0) {
+    report.achieved_qps =
+        static_cast<double>(report.assigned) / report.elapsed_s;
+  }
+  report.p50_us = agg.latency_us.Quantile(0.50);
+  report.p95_us = agg.latency_us.Quantile(0.95);
+  report.p99_us = agg.latency_us.Quantile(0.99);
+  return report;
+}
+
+namespace {
+
+/// Sends one request and decodes the one response (for the control
+/// messages: STATS, DEPART, SHUTDOWN).
+Result<Response> RoundTrip(const std::string& host, int port,
+                           const Request& req) {
+  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect(host, port));
+  MUAA_RETURN_NOT_OK(sock.SendFrame(EncodeRequest(req)));
+  std::string payload;
+  MUAA_ASSIGN_OR_RETURN(bool got, sock.RecvFrame(&payload));
+  if (!got) return Status::Internal("broker closed the connection");
+  return DecodeResponse(payload);
+}
+
+}  // namespace
+
+Result<BrokerStats> QueryStats(const std::string& host, int port) {
+  Request req;
+  req.type = RequestType::kStats;
+  req.request_id = 1;
+  MUAA_ASSIGN_OR_RETURN(Response resp, RoundTrip(host, port, req));
+  if (resp.type != ResponseType::kStats) {
+    return Status::Internal("unexpected response to STATS");
+  }
+  return resp.stats;
+}
+
+Status RequestShutdown(const std::string& host, int port) {
+  Request req;
+  req.type = RequestType::kShutdown;
+  req.request_id = 1;
+  MUAA_ASSIGN_OR_RETURN(Response resp, RoundTrip(host, port, req));
+  if (resp.type != ResponseType::kShutdownAck) {
+    return Status::Internal("unexpected response to SHUTDOWN");
+  }
+  return Status::OK();
+}
+
+Result<bool> RequestDepart(const std::string& host, int port,
+                           model::CustomerId customer) {
+  Request req;
+  req.type = RequestType::kDepart;
+  req.request_id = 1;
+  req.customer = customer;
+  MUAA_ASSIGN_OR_RETURN(Response resp, RoundTrip(host, port, req));
+  if (resp.type != ResponseType::kDepartAck) {
+    return Status::Internal("unexpected response to DEPART");
+  }
+  return resp.cancelled;
+}
+
+}  // namespace muaa::server

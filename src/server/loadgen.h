@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+#include "model/entities.h"
+#include "server/protocol.h"
+
+namespace muaa::server {
+
+/// \brief Load-generator configuration (see tools/muaa_loadgen.cc and
+/// bench/bench_server_throughput.cc).
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  /// Target offered load in arrivals/second across all connections.
+  /// 0 = closed loop: one in-flight request per connection, next arrival
+  /// sent when the previous response lands (preserves arrival order on
+  /// one connection — the determinism-test mode).
+  double qps = 0.0;
+
+  /// Parallel TCP connections; arrivals are dealt round-robin.
+  size_t connections = 1;
+
+  /// Re-send an arrival the broker answered BUSY after its
+  /// `retry_after_us` hint. Off, BUSY arrivals are dropped (and counted) —
+  /// the right mode for measuring backpressure.
+  bool retry_busy = true;
+
+  /// Keep every returned ad instance (for bitwise comparison against an
+  /// offline run).
+  bool collect = false;
+};
+
+/// \brief What one loadgen run measured.
+struct LoadgenReport {
+  uint64_t sent = 0;       ///< ARRIVE frames pushed (including retries)
+  uint64_t assigned = 0;   ///< kAssign responses
+  uint64_t busy = 0;       ///< kBusy responses
+  uint64_t errors = 0;     ///< kError responses + transport failures
+  uint64_t assigned_ads = 0;
+  uint64_t served = 0;     ///< responses with >= 1 ad
+  double total_utility = 0.0;
+
+  double elapsed_s = 0.0;
+  double achieved_qps = 0.0;  ///< assigned / elapsed
+
+  // Response-latency percentiles (microseconds, send → response).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  /// Returned ads in response order (only with `collect`; meaningful with
+  /// one connection).
+  std::vector<assign::AdInstance> instances;
+};
+
+/// \brief Replays `arrivals` against a broker: open-loop at `qps` (arrival
+/// times scheduled up front, sends never wait for responses) or closed
+/// loop. Latency is measured per response with a bounded-memory reservoir
+/// (common/streaming_quantile). Transport errors fail the run; protocol
+/// BUSY/ERROR responses are counted.
+Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
+                                 const LoadgenOptions& options);
+
+/// One-shot STATS query against a running broker.
+Result<BrokerStats> QueryStats(const std::string& host, int port);
+
+/// Asks the broker to shut down gracefully; returns once acknowledged.
+Status RequestShutdown(const std::string& host, int port);
+
+/// Sends one DEPART; returns whether the broker cancelled the arrival in
+/// time.
+Result<bool> RequestDepart(const std::string& host, int port,
+                           model::CustomerId customer);
+
+}  // namespace muaa::server

@@ -1,0 +1,204 @@
+#include "server/protocol.h"
+
+#include "common/binio.h"
+#include "common/crc32.h"
+
+namespace muaa::server {
+
+std::string FrameMessage(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size());
+  PutU32(&frame, Crc32(payload));
+  return frame;
+}
+
+Result<bool> TryExtractFrame(std::string* buf, std::string* payload) {
+  if (buf->size() < 4) return false;
+  BinReader head(*buf);
+  uint32_t len = 0;
+  MUAA_RETURN_NOT_OK(head.ReadU32(&len));
+  if (len > kMaxFramePayload) {
+    return Status::DataLoss("frame length " + std::to_string(len) +
+                            " exceeds the protocol maximum");
+  }
+  const size_t total = 4 + static_cast<size_t>(len) + 4;
+  if (buf->size() < total) return false;
+  std::string_view body(buf->data() + 4, len);
+  BinReader tail(std::string_view(buf->data() + 4 + len, 4));
+  uint32_t crc = 0;
+  MUAA_RETURN_NOT_OK(tail.ReadU32(&crc));
+  if (crc != Crc32(body)) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  payload->assign(body.data(), body.size());
+  buf->erase(0, total);
+  return true;
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(req.type));
+  PutU64(&p, req.request_id);
+  if (req.type == RequestType::kArrive || req.type == RequestType::kDepart) {
+    PutU32(&p, static_cast<uint32_t>(req.customer));
+  }
+  return p;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  BinReader in(payload);
+  uint8_t type = 0;
+  Request req;
+  MUAA_RETURN_NOT_OK(in.ReadU8(&type));
+  switch (static_cast<RequestType>(type)) {
+    case RequestType::kArrive:
+    case RequestType::kDepart:
+    case RequestType::kStats:
+    case RequestType::kShutdown:
+      req.type = static_cast<RequestType>(type);
+      break;
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type));
+  }
+  MUAA_RETURN_NOT_OK(in.ReadU64(&req.request_id));
+  if (req.type == RequestType::kArrive || req.type == RequestType::kDepart) {
+    uint32_t customer = 0;
+    MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+    req.customer = static_cast<model::CustomerId>(customer);
+  }
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes in request payload");
+  }
+  return req;
+}
+
+namespace {
+
+void PutStats(std::string* p, const BrokerStats& s) {
+  PutU64(p, s.arrivals);
+  PutU64(p, s.assigned_ads);
+  PutU64(p, s.served_customers);
+  PutDouble(p, s.total_utility);
+  PutU64(p, s.departed);
+  PutU64(p, s.duplicates);
+  PutU64(p, s.busy_rejections);
+  PutU64(p, s.batches);
+  PutU64(p, s.max_batch);
+  PutU64(p, s.queue_high_water);
+}
+
+Status ReadStats(BinReader* in, BrokerStats* s) {
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->arrivals));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->assigned_ads));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->served_customers));
+  MUAA_RETURN_NOT_OK(in->ReadDouble(&s->total_utility));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->departed));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->duplicates));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->busy_rejections));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->batches));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->max_batch));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->queue_high_water));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeResponse(const Response& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(resp.type));
+  PutU64(&p, resp.request_id);
+  switch (resp.type) {
+    case ResponseType::kAssign:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      PutU32(&p, static_cast<uint32_t>(resp.ads.size()));
+      for (const assign::AdInstance& inst : resp.ads) {
+        PutU32(&p, static_cast<uint32_t>(inst.vendor));
+        PutU32(&p, static_cast<uint32_t>(inst.ad_type));
+        PutDouble(&p, inst.utility);
+      }
+      break;
+    case ResponseType::kBusy:
+      PutU32(&p, resp.retry_after_us);
+      break;
+    case ResponseType::kStats:
+      PutStats(&p, resp.stats);
+      break;
+    case ResponseType::kDepartAck:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      PutU8(&p, resp.cancelled ? 1 : 0);
+      break;
+    case ResponseType::kShutdownAck:
+      break;
+    case ResponseType::kError:
+      PutString(&p, resp.error);
+      break;
+  }
+  return p;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  BinReader in(payload);
+  uint8_t type = 0;
+  Response resp;
+  MUAA_RETURN_NOT_OK(in.ReadU8(&type));
+  if (type < 1 || type > 6) {
+    return Status::InvalidArgument("unknown response type " +
+                                   std::to_string(type));
+  }
+  resp.type = static_cast<ResponseType>(type);
+  MUAA_RETURN_NOT_OK(in.ReadU64(&resp.request_id));
+  switch (resp.type) {
+    case ResponseType::kAssign: {
+      uint32_t customer = 0, count = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      MUAA_RETURN_NOT_OK(in.ReadU32(&count));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      // 16 bytes per ad; reject counts the payload can't hold.
+      if (count > in.remaining() / 16) {
+        return Status::InvalidArgument("assign ad count exceeds payload");
+      }
+      resp.ads.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t vendor = 0, ad_type = 0;
+        assign::AdInstance inst;
+        MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+        MUAA_RETURN_NOT_OK(in.ReadU32(&ad_type));
+        MUAA_RETURN_NOT_OK(in.ReadDouble(&inst.utility));
+        inst.customer = resp.customer;
+        inst.vendor = static_cast<model::VendorId>(vendor);
+        inst.ad_type = static_cast<model::AdTypeId>(ad_type);
+        resp.ads.push_back(inst);
+      }
+      break;
+    }
+    case ResponseType::kBusy:
+      MUAA_RETURN_NOT_OK(in.ReadU32(&resp.retry_after_us));
+      break;
+    case ResponseType::kStats:
+      MUAA_RETURN_NOT_OK(ReadStats(&in, &resp.stats));
+      break;
+    case ResponseType::kDepartAck: {
+      uint32_t customer = 0;
+      uint8_t cancelled = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      MUAA_RETURN_NOT_OK(in.ReadU8(&cancelled));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      resp.cancelled = cancelled != 0;
+      break;
+    }
+    case ResponseType::kShutdownAck:
+      break;
+    case ResponseType::kError:
+      MUAA_RETURN_NOT_OK(in.ReadString(&resp.error));
+      break;
+  }
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes in response payload");
+  }
+  return resp;
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "common/result.h"
+#include "model/entities.h"
+
+namespace muaa::server {
+
+/// \file Wire protocol of the ad-broker service (docs/serving.md).
+///
+/// Every message travels as one length-prefixed, CRC32-framed frame:
+///
+///     [u32 payload_len][payload][u32 crc32(payload)]
+///
+/// — the same framing the write-ahead journal uses, so a corrupted or
+/// truncated frame is detected before it is interpreted. Payloads are
+/// little-endian (common/binio.h) and start with a one-byte message type
+/// followed by a u64 request id the response echoes, which lets an
+/// open-loop client pipeline requests and match answers out of band.
+
+/// Frames `payload` for the wire.
+std::string FrameMessage(std::string_view payload);
+
+/// Frame payloads larger than this are rejected as garbage before any
+/// allocation happens (a stats response for a whole instance stays far
+/// below it; a random 4-byte prefix would otherwise "promise" up to 4 GiB).
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// \brief Incremental frame extraction from a receive buffer.
+///
+/// Returns true and moves the payload out when `buf` holds at least one
+/// complete frame (the frame's bytes are consumed from the front); false
+/// when more bytes are needed. DataLoss on a CRC mismatch or an
+/// implausible length — the connection cannot be resynchronized and must
+/// be dropped.
+Result<bool> TryExtractFrame(std::string* buf, std::string* payload);
+
+/// Client → broker message types.
+enum class RequestType : uint8_t {
+  kArrive = 1,    ///< customer arrival: answer with an assignment
+  kDepart = 2,    ///< cancel the customer's queued arrival, if any
+  kStats = 3,     ///< broker counters snapshot
+  kShutdown = 4,  ///< graceful shutdown (flush journal, final checkpoint)
+};
+
+/// \brief One client request. `customer` applies to kArrive/kDepart.
+struct Request {
+  RequestType type = RequestType::kArrive;
+  uint64_t request_id = 0;
+  model::CustomerId customer = -1;
+};
+
+/// Broker → client message types.
+enum class ResponseType : uint8_t {
+  kAssign = 1,       ///< decision for an ARRIVE (possibly zero ads)
+  kBusy = 2,         ///< admission queue full: retry after `retry_after_us`
+  kStats = 3,        ///< counters snapshot
+  kDepartAck = 4,    ///< DEPART processed; `cancelled` says if it was in time
+  kShutdownAck = 5,  ///< shutdown initiated
+  kError = 6,        ///< malformed or unserviceable request
+};
+
+/// \brief Broker counters, as carried by a kStats response.
+///
+/// The first five fields are deterministic for a given arrival order and
+/// solver (they survive kill + resume bitwise — `total_utility` is
+/// serialized as its exact IEEE-754 bit pattern); the rest describe the
+/// nondeterministic serving timeline (batching, backpressure).
+struct BrokerStats {
+  uint64_t arrivals = 0;          ///< distinct arrivals decided
+  uint64_t assigned_ads = 0;
+  uint64_t served_customers = 0;  ///< arrivals that received >= 1 ad
+  double total_utility = 0.0;
+  uint64_t departed = 0;       ///< arrivals cancelled by DEPART in time
+  uint64_t duplicates = 0;     ///< re-delivered arrivals answered from memory
+  uint64_t busy_rejections = 0;
+  uint64_t batches = 0;        ///< micro-batches drained by the solver loop
+  uint64_t max_batch = 0;      ///< largest micro-batch so far
+  uint64_t queue_high_water = 0;
+};
+
+/// \brief One broker response. Which fields apply depends on `type`.
+struct Response {
+  ResponseType type = ResponseType::kAssign;
+  uint64_t request_id = 0;
+  model::CustomerId customer = -1;        ///< kAssign / kDepartAck
+  std::vector<assign::AdInstance> ads;    ///< kAssign
+  uint32_t retry_after_us = 0;            ///< kBusy
+  BrokerStats stats;                      ///< kStats
+  bool cancelled = false;                 ///< kDepartAck
+  std::string error;                      ///< kError
+};
+
+/// Encodes a request payload (not yet framed).
+std::string EncodeRequest(const Request& req);
+
+/// Decodes a request payload; InvalidArgument/OutOfRange on malformed
+/// input.
+Result<Request> DecodeRequest(std::string_view payload);
+
+/// Encodes a response payload (not yet framed). Utilities round-trip
+/// bitwise.
+std::string EncodeResponse(const Response& resp);
+
+/// Decodes a response payload.
+Result<Response> DecodeResponse(std::string_view payload);
+
+}  // namespace muaa::server

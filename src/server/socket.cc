@@ -1,0 +1,188 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace muaa::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Builds a sockaddr for a numeric IPv4 host.
+Result<sockaddr_in> MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 host: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+Status Socket::SendAll(const void* data, size_t n) {
+  if (!valid()) return Status::FailedPrecondition("send on closed socket");
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    // MSG_NOSIGNAL: a disconnected peer yields EPIPE, never SIGPIPE.
+    ssize_t sent = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += sent;
+    left -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendFrame(std::string_view payload) {
+  const std::string frame = FrameMessage(payload);
+  return SendAll(frame.data(), frame.size());
+}
+
+Result<size_t> Socket::RecvSome(void* data, size_t n) {
+  if (!valid()) return Status::FailedPrecondition("recv on closed socket");
+  while (true) {
+    ssize_t got = ::recv(fd_, data, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    return static_cast<size_t>(got);
+  }
+}
+
+Result<bool> Socket::RecvFrame(std::string* payload) {
+  char chunk[16384];
+  while (true) {
+    MUAA_ASSIGN_OR_RETURN(bool complete, TryExtractFrame(&buf_, payload));
+    if (complete) return true;
+    MUAA_ASSIGN_OR_RETURN(size_t got, RecvSome(chunk, sizeof(chunk)));
+    if (got == 0) {
+      if (!buf_.empty()) {
+        return Status::DataLoss("connection closed mid-frame");
+      }
+      return false;  // clean EOF at a frame boundary
+    }
+    buf_.append(chunk, got);
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Result<Socket> Connect(const std::string& host, int port) {
+  MUAA_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect to " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  // Decisions are a few hundred bytes; Nagle would add 40 ms to every
+  // closed-loop round trip.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Bind(const std::string& host, int port) {
+  MUAA_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Listener lst;
+  lst.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Errno("getsockname");
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  return lst;
+}
+
+Result<Socket> Listener::Accept() {
+  if (!valid()) return Status::FailedPrecondition("accept on closed listener");
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL after Shutdown(): the accept loop's normal exit path.
+      return Status::FailedPrecondition("listener shut down");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+void Listener::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::server {
+
+/// \file Thin RAII wrappers over POSIX TCP sockets.
+///
+/// Every send uses `MSG_NOSIGNAL`, so a peer that disconnects mid-response
+/// surfaces as a Status (EPIPE), never as a process-killing SIGPIPE — the
+/// broker must survive clients dropping at any byte boundary
+/// (tests/server_broker_test.cc, DisconnectMidResponse).
+
+/// \brief A connected TCP socket (move-only, closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends all `n` bytes (retrying short writes and EINTR). Internal on a
+  /// closed or reset peer.
+  Status SendAll(const void* data, size_t n);
+
+  /// Sends one framed protocol message (protocol.h framing).
+  Status SendFrame(std::string_view payload);
+
+  /// Receives at most `n` bytes; 0 means orderly EOF.
+  Result<size_t> RecvSome(void* data, size_t n);
+
+  /// Blocks until one complete frame arrives, filling `payload`. Returns
+  /// false on clean EOF at a frame boundary; DataLoss on a corrupt or
+  /// mid-frame-truncated stream.
+  Result<bool> RecvFrame(std::string* payload);
+
+  /// Half-closes both directions, unblocking any thread inside
+  /// `RecvSome`/`RecvFrame` on this socket (they observe EOF). The fd
+  /// stays owned until destruction.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received beyond the last extracted frame
+};
+
+/// Connects to `host:port` (numeric host, e.g. "127.0.0.1").
+Result<Socket> Connect(const std::string& host, int port);
+
+/// \brief A listening TCP socket (move-only).
+class Listener {
+ public:
+  /// Binds and listens on `host:port`; `port == 0` picks an ephemeral
+  /// port, readable from `port()`.
+  static Result<Listener> Bind(const std::string& host, int port);
+
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocks for the next connection. After `Shutdown`, returns
+  /// FailedPrecondition instead of a socket — the accept loop's exit
+  /// signal.
+  Result<Socket> Accept();
+
+  /// Unblocks a thread inside `Accept` (listener is shut down, not yet
+  /// closed).
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace muaa::server

@@ -1,29 +1,12 @@
 #include "stream/driver.h"
 
 #include <algorithm>
-#include <bit>
-#include <filesystem>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "stream/recovery.h"
 
 namespace muaa::stream {
-
-namespace {
-
-/// Bitwise equality of the utility doubles: the recovery contract is
-/// exact, not within-epsilon.
-bool SameBits(double a, double b) {
-  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
-}
-
-bool SameDecision(const io::JournalRecord& rec,
-                  const assign::AdInstance& inst) {
-  return rec.customer == inst.customer && rec.vendor == inst.vendor &&
-         rec.ad_type == inst.ad_type && SameBits(rec.utility, inst.utility);
-}
-
-}  // namespace
 
 Status StreamDriver::WriteCheckpoint(assign::OnlineSolver* solver,
                                      const StreamRunResult& run,
@@ -139,144 +122,18 @@ Result<StreamRunResult> StreamDriver::ResumeFrom(
   MUAA_RETURN_NOT_OK(assign::ValidateContext(ctx_));
   MUAA_RETURN_NOT_OK(solver->Initialize(ctx_));
 
-  const size_t m = ctx_.instance->num_customers();
-  StreamRunResult run{assign::AssignmentSet(ctx_.instance), StreamStats{}};
-  std::vector<bool> processed(m, false);
-  size_t next = 0;
+  // 1.–3. Checkpoint load, journal-tail replay, torn-suffix truncation.
+  MUAA_ASSIGN_OR_RETURN(RecoveredStream rec,
+                        RecoverStreamState(ctx_, solver, options_, on_arrival));
 
-  // 1. Checkpoint: authoritative state up to `next_arrival`.
-  if (!options_.checkpoint_path.empty() &&
-      std::filesystem::exists(options_.checkpoint_path)) {
-    MUAA_ASSIGN_OR_RETURN(io::StreamCheckpoint ckpt,
-                          io::LoadCheckpoint(options_.checkpoint_path));
-    if (ckpt.num_customers != ctx_.instance->num_customers() ||
-        ckpt.num_vendors != ctx_.instance->num_vendors() ||
-        ckpt.num_ad_types != ctx_.instance->ad_types.size()) {
-      return Status::FailedPrecondition(
-          "checkpoint fingerprint does not match the instance");
-    }
-    if (ckpt.solver_name != solver->name()) {
-      return Status::FailedPrecondition("checkpoint was written by solver '" +
-                                        ckpt.solver_name + "', resuming '" +
-                                        solver->name() + "'");
-    }
-    if (ckpt.next_arrival > m) {
-      return Status::DataLoss("checkpoint next_arrival out of range");
-    }
-    // Re-verify every invariant (budget, capacity, pair uniqueness,
-    // spatial) by replaying the committed instances through the checked
-    // AssignmentSet.
-    for (const assign::AdInstance& inst : ckpt.instances) {
-      MUAA_RETURN_NOT_OK(run.assignments.Add(inst));
-    }
-    run.stats.arrivals = ckpt.arrivals;
-    run.stats.served_customers = ckpt.served_customers;
-    run.stats.assigned_ads = ckpt.assigned_ads;
-    run.stats.total_utility = ckpt.total_utility;
-    run.stats.total_latency_ms = ckpt.total_latency_ms;
-    run.stats.max_latency_ms = ckpt.max_latency_ms;
-    MUAA_RETURN_NOT_OK(solver->Restore(ckpt.solver_state));
-    next = static_cast<size_t>(ckpt.next_arrival);
-    for (size_t i = 0; i < next; ++i) processed[i] = true;
-  }
-
-  // 2./3. Journal tail: replay committed arrivals past the checkpoint,
-  // truncate anything torn or corrupt.
   std::unique_ptr<io::JournalWriter> writer;
   if (!options_.journal_path.empty()) {
-    bool have_journal = std::filesystem::exists(options_.journal_path);
-    size_t committed_records = 0;
-    if (have_journal) {
-      auto opened = io::JournalReader::Open(options_.journal_path);
-      if (opened.status().code() == StatusCode::kDataLoss) {
-        // Header destroyed: the file is unusable; start a fresh journal.
-        // The checkpoint (if any) already carried us to `next`.
-        have_journal = false;
-      } else if (!opened.ok()) {
-        return opened.status();
-      } else {
-        io::JournalReader reader = std::move(opened).ValueOrDie();
-        uint64_t committed_end = reader.valid_prefix_bytes();
-        std::vector<io::JournalRecord> group;
-        Stopwatch watch;
-        while (true) {
-          io::JournalRecord rec;
-          auto more = reader.Next(&rec);
-          if (!more.ok()) break;  // torn/corrupt tail: truncate below
-          if (!*more) break;      // clean EOF
-          if (rec.type == io::JournalRecordType::kDecision) {
-            group.push_back(rec);
-            continue;
-          }
-          // Commit marker: validate the group's internal consistency.
-          bool coherent =
-              group.size() == rec.num_decisions &&
-              std::all_of(group.begin(), group.end(),
-                          [&](const io::JournalRecord& d) {
-                            return d.arrival == rec.arrival &&
-                                   d.customer == rec.customer;
-                          });
-          if (!coherent || rec.arrival >= m) break;  // corrupt: truncate
-          const auto idx = static_cast<size_t>(rec.arrival);
-          if (processed[idx]) {
-            // Duplicate arrival group (e.g. duplicated feed in the crashed
-            // run, or a group already covered by the checkpoint): skip
-            // idempotently.
-            group.clear();
-            committed_end = reader.valid_prefix_bytes();
-            committed_records = reader.records_read();
-            continue;
-          }
-          // Re-run the solver deterministically and verify the journaled
-          // decisions bitwise before applying them.
-          watch.Restart();
-          MUAA_ASSIGN_OR_RETURN(std::vector<assign::AdInstance> picked,
-                                solver->OnArrival(rec.customer));
-          double latency = watch.ElapsedMillis();
-          if (picked.size() != group.size()) {
-            return Status::Internal(
-                "journal replay diverged: arrival " +
-                std::to_string(rec.arrival) + " recorded " +
-                std::to_string(group.size()) + " decisions, replay produced " +
-                std::to_string(picked.size()));
-          }
-          for (size_t k = 0; k < picked.size(); ++k) {
-            if (!SameDecision(group[k], picked[k])) {
-              return Status::Internal(
-                  "journal replay diverged at arrival " +
-                  std::to_string(rec.arrival) + ", decision " +
-                  std::to_string(k));
-            }
-          }
-          run.stats.arrivals += 1;
-          run.stats.total_latency_ms += latency;
-          run.stats.max_latency_ms =
-              std::max(run.stats.max_latency_ms, latency);
-          if (!picked.empty()) run.stats.served_customers += 1;
-          for (const assign::AdInstance& inst : picked) {
-            MUAA_RETURN_NOT_OK(run.assignments.Add(inst));
-            run.stats.assigned_ads += 1;
-            run.stats.total_utility += inst.utility;
-          }
-          processed[idx] = true;
-          if (on_arrival) on_arrival(rec.customer, picked);
-          next = std::max(next, idx + 1);
-          group.clear();
-          committed_end = reader.valid_prefix_bytes();
-          committed_records = reader.records_read();
-        }
-        // Drop the torn/uncommitted tail. Those decisions were never
-        // applied (write-ahead ordering), so discarding them is safe; the
-        // arrivals re-run below and, being deterministic, decide the same.
-        MUAA_RETURN_NOT_OK(
-            io::TruncateFile(options_.journal_path, committed_end));
-      }
-    }
-    if (have_journal) {
+    if (rec.journal_usable) {
       MUAA_ASSIGN_OR_RETURN(
           io::JournalWriter w,
           io::JournalWriter::OpenAppend(options_.journal_path,
-                                        committed_records, options_.injector));
+                                        rec.committed_records,
+                                        options_.injector));
       writer = std::make_unique<io::JournalWriter>(std::move(w));
     } else {
       MUAA_ASSIGN_OR_RETURN(
@@ -287,14 +144,14 @@ Result<StreamRunResult> StreamDriver::ResumeFrom(
   }
 
   // 4. Continue the live stream over the remaining canonical arrivals.
+  const size_t m = ctx_.instance->num_customers();
   std::vector<model::CustomerId> sequence;
-  sequence.reserve(m > next ? m - next : 0);
-  for (size_t i = next; i < m; ++i) {
+  sequence.reserve(m > rec.next ? m - rec.next : 0);
+  for (size_t i = rec.next; i < m; ++i) {
     sequence.push_back(static_cast<model::CustomerId>(i));
   }
-  run.next_arrival = next;
-  return Drive(solver, on_arrival, std::move(run), std::move(processed),
-               sequence, 0, std::move(writer));
+  return Drive(solver, on_arrival, std::move(rec.run),
+               std::move(rec.processed), sequence, 0, std::move(writer));
 }
 
 }  // namespace muaa::stream

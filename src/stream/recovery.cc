@@ -1,0 +1,178 @@
+#include "stream/recovery.h"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "io/checkpoint.h"
+#include "io/journal.h"
+
+namespace muaa::stream {
+
+namespace {
+
+/// Bitwise equality of the utility doubles: the recovery contract is
+/// exact, not within-epsilon.
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+bool SameDecision(const io::JournalRecord& rec,
+                  const assign::AdInstance& inst) {
+  return rec.customer == inst.customer && rec.vendor == inst.vendor &&
+         rec.ad_type == inst.ad_type && SameBits(rec.utility, inst.utility);
+}
+
+}  // namespace
+
+Result<RecoveredStream> RecoverStreamState(
+    const assign::SolveContext& ctx, assign::OnlineSolver* solver,
+    const StreamOptions& options,
+    const StreamDriver::ArrivalCallback& on_arrival) {
+  const size_t m = ctx.instance->num_customers();
+  RecoveredStream rec{
+      StreamRunResult{assign::AssignmentSet(ctx.instance), StreamStats{}}};
+  rec.processed.assign(m, false);
+
+  // 1. Checkpoint: authoritative state up to its processed set.
+  if (!options.checkpoint_path.empty() &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    MUAA_ASSIGN_OR_RETURN(io::StreamCheckpoint ckpt,
+                          io::LoadCheckpoint(options.checkpoint_path));
+    if (ckpt.num_customers != ctx.instance->num_customers() ||
+        ckpt.num_vendors != ctx.instance->num_vendors() ||
+        ckpt.num_ad_types != ctx.instance->ad_types.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint fingerprint does not match the instance");
+    }
+    if (ckpt.solver_name != solver->name()) {
+      return Status::FailedPrecondition("checkpoint was written by solver '" +
+                                        ckpt.solver_name + "', resuming '" +
+                                        solver->name() + "'");
+    }
+    if (ckpt.next_arrival > m) {
+      return Status::DataLoss("checkpoint next_arrival out of range");
+    }
+    // Re-verify every invariant (budget, capacity, pair uniqueness,
+    // spatial) by replaying the committed instances through the checked
+    // AssignmentSet.
+    for (const assign::AdInstance& inst : ckpt.instances) {
+      MUAA_RETURN_NOT_OK(rec.run.assignments.Add(inst));
+    }
+    rec.run.stats.arrivals = ckpt.arrivals;
+    rec.run.stats.served_customers = ckpt.served_customers;
+    rec.run.stats.assigned_ads = ckpt.assigned_ads;
+    rec.run.stats.total_utility = ckpt.total_utility;
+    rec.run.stats.total_latency_ms = ckpt.total_latency_ms;
+    rec.run.stats.max_latency_ms = ckpt.max_latency_ms;
+    MUAA_RETURN_NOT_OK(solver->Restore(ckpt.solver_state));
+    rec.next = static_cast<size_t>(ckpt.next_arrival);
+    if (ckpt.processed.empty()) {
+      // Sequential-driver checkpoint: the prefix [0, next_arrival).
+      for (size_t i = 0; i < ckpt.next_arrival; ++i) rec.processed[i] = true;
+    } else {
+      // Broker checkpoint: arrivals were served in delivery order.
+      for (uint64_t idx : ckpt.processed) {
+        if (idx >= m) {
+          return Status::DataLoss("checkpoint processed index out of range");
+        }
+        rec.processed[idx] = true;
+      }
+    }
+  }
+
+  // 2./3. Journal tail: replay committed arrivals past the checkpoint,
+  // truncate anything torn or corrupt.
+  if (!options.journal_path.empty() &&
+      std::filesystem::exists(options.journal_path)) {
+    auto opened = io::JournalReader::Open(options.journal_path);
+    if (opened.status().code() == StatusCode::kDataLoss) {
+      // Header destroyed: the file is unusable; the caller starts a fresh
+      // journal. The checkpoint (if any) already carried us forward.
+    } else if (!opened.ok()) {
+      return opened.status();
+    } else {
+      io::JournalReader reader = std::move(opened).ValueOrDie();
+      uint64_t committed_end = reader.valid_prefix_bytes();
+      std::vector<io::JournalRecord> group;
+      Stopwatch watch;
+      while (true) {
+        io::JournalRecord jrec;
+        auto more = reader.Next(&jrec);
+        if (!more.ok()) break;  // torn/corrupt tail: truncate below
+        if (!*more) break;      // clean EOF
+        if (jrec.type == io::JournalRecordType::kDecision) {
+          group.push_back(jrec);
+          continue;
+        }
+        // Commit marker: validate the group's internal consistency.
+        bool coherent =
+            group.size() == jrec.num_decisions &&
+            std::all_of(group.begin(), group.end(),
+                        [&](const io::JournalRecord& d) {
+                          return d.arrival == jrec.arrival &&
+                                 d.customer == jrec.customer;
+                        });
+        if (!coherent || jrec.arrival >= m) break;  // corrupt: truncate
+        const auto idx = static_cast<size_t>(jrec.arrival);
+        if (rec.processed[idx]) {
+          // Duplicate arrival group (e.g. duplicated feed in the crashed
+          // run, or a group already covered by the checkpoint): skip
+          // idempotently.
+          group.clear();
+          committed_end = reader.valid_prefix_bytes();
+          rec.committed_records = reader.records_read();
+          continue;
+        }
+        // Re-run the solver deterministically and verify the journaled
+        // decisions bitwise before applying them.
+        watch.Restart();
+        MUAA_ASSIGN_OR_RETURN(std::vector<assign::AdInstance> picked,
+                              solver->OnArrival(jrec.customer));
+        double latency = watch.ElapsedMillis();
+        if (picked.size() != group.size()) {
+          return Status::Internal(
+              "journal replay diverged: arrival " +
+              std::to_string(jrec.arrival) + " recorded " +
+              std::to_string(group.size()) + " decisions, replay produced " +
+              std::to_string(picked.size()));
+        }
+        for (size_t k = 0; k < picked.size(); ++k) {
+          if (!SameDecision(group[k], picked[k])) {
+            return Status::Internal("journal replay diverged at arrival " +
+                                    std::to_string(jrec.arrival) +
+                                    ", decision " + std::to_string(k));
+          }
+        }
+        rec.run.stats.arrivals += 1;
+        rec.run.stats.total_latency_ms += latency;
+        rec.run.stats.max_latency_ms =
+            std::max(rec.run.stats.max_latency_ms, latency);
+        if (!picked.empty()) rec.run.stats.served_customers += 1;
+        for (const assign::AdInstance& inst : picked) {
+          MUAA_RETURN_NOT_OK(rec.run.assignments.Add(inst));
+          rec.run.stats.assigned_ads += 1;
+          rec.run.stats.total_utility += inst.utility;
+        }
+        rec.processed[idx] = true;
+        if (on_arrival) on_arrival(jrec.customer, picked);
+        rec.next = std::max(rec.next, idx + 1);
+        group.clear();
+        committed_end = reader.valid_prefix_bytes();
+        rec.committed_records = reader.records_read();
+      }
+      // Drop the torn/uncommitted tail. Those decisions were never
+      // applied (write-ahead ordering), so discarding them is safe; the
+      // arrivals re-run later and, being deterministic, decide the same.
+      MUAA_RETURN_NOT_OK(
+          io::TruncateFile(options.journal_path, committed_end));
+      rec.journal_usable = true;
+    }
+  }
+
+  rec.run.next_arrival = rec.next;
+  return rec;
+}
+
+}  // namespace muaa::stream

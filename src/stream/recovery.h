@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/result.h"
+#include "stream/driver.h"
+
+namespace muaa::stream {
+
+/// \brief Stream state reconstructed from a checkpoint + journal pair
+/// after a crash or interruption.
+///
+/// Shared between `StreamDriver::ResumeFrom` (sequential replay of an
+/// instance) and the network broker (src/server/broker.h), which serves
+/// arrivals in client-delivery order and therefore relies on the explicit
+/// processed set a broker checkpoint carries.
+struct RecoveredStream {
+  /// Assignments + stats as of the last durable arrival; `next_arrival`
+  /// mirrors `next`.
+  StreamRunResult run;
+  /// Per-arrival processed flags (indexed by customer id).
+  std::vector<bool> processed;
+  /// One past the highest durable arrival index — where a sequential
+  /// driver continues the stream. Arrivals below it the crashed run's
+  /// (possibly perturbed) feed skipped stay skipped, exactly as in an
+  /// uninterrupted run.
+  size_t next = 0;
+  /// Well-formed journal records on disk (after tail truncation); pass to
+  /// `JournalWriter::OpenAppend` so fault-injection indices keep counting.
+  size_t committed_records = 0;
+  /// True when the journal header is valid and the file can be appended
+  /// to; false means start a fresh journal (missing or destroyed header).
+  bool journal_usable = false;
+};
+
+/// \brief Rebuilds stream state from `options`' checkpoint and journal:
+///
+///  1. load + CRC-verify the checkpoint (if any), rebuild the
+///     `AssignmentSet` through its checked `Add`, restore solver state;
+///  2. replay the journal tail past the checkpoint, re-running the solver
+///     per recorded arrival and verifying the recorded decisions bitwise
+///     (divergence is an Internal error), skipping duplicates
+///     idempotently;
+///  3. truncate any torn or corrupt journal suffix (write-ahead
+///     semantics: those decisions were never applied).
+///
+/// `solver` must already be `Initialize`d; `on_arrival` (optional) fires
+/// for every replayed arrival, exactly as during live streaming.
+Result<RecoveredStream> RecoverStreamState(
+    const assign::SolveContext& ctx, assign::OnlineSolver* solver,
+    const StreamOptions& options,
+    const StreamDriver::ArrivalCallback& on_arrival = nullptr);
+
+}  // namespace muaa::stream

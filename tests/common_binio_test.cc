@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/binio.h"
+
+// Direct coverage of the little-endian encode/decode helpers every
+// durability format (journal, checkpoint, wire protocol) is built on:
+// values round-trip bitwise, and any truncation surfaces as OutOfRange —
+// never a wild read.
+
+namespace muaa {
+namespace {
+
+TEST(BinIo, U8RoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0);
+  PutU8(&buf, 0x7F);
+  PutU8(&buf, 0xFF);
+  ASSERT_EQ(buf.size(), 3u);
+  BinReader in(buf);
+  uint8_t v = 0;
+  ASSERT_TRUE(in.ReadU8(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(in.ReadU8(&v).ok());
+  EXPECT_EQ(v, 0x7Fu);
+  ASSERT_TRUE(in.ReadU8(&v).ok());
+  EXPECT_EQ(v, 0xFFu);
+  EXPECT_TRUE(in.done());
+}
+
+TEST(BinIo, U32RoundTripAndLayout) {
+  std::string buf;
+  PutU32(&buf, 0x01020304u);
+  ASSERT_EQ(buf.size(), 4u);
+  // Little-endian on the wire: least-significant byte first.
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+  BinReader in(buf);
+  uint32_t v = 0;
+  ASSERT_TRUE(in.ReadU32(&v).ok());
+  EXPECT_EQ(v, 0x01020304u);
+}
+
+TEST(BinIo, U64RoundTripExtremes) {
+  for (uint64_t want : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEFCAFEF00D},
+                        std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutU64(&buf, want);
+    BinReader in(buf);
+    uint64_t got = 0;
+    ASSERT_TRUE(in.ReadU64(&got).ok());
+    EXPECT_EQ(got, want);
+    EXPECT_TRUE(in.done());
+  }
+}
+
+TEST(BinIo, DoubleRoundTripsBitwise) {
+  const double values[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0 / 3.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  for (double want : values) {
+    std::string buf;
+    PutDouble(&buf, want);
+    BinReader in(buf);
+    double got = 0.0;
+    ASSERT_TRUE(in.ReadDouble(&got).ok());
+    // Bitwise, not ==: -0.0 vs 0.0 and NaN payloads must survive.
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want));
+  }
+}
+
+TEST(BinIo, NanPayloadPreserved) {
+  // A NaN with a specific payload — text formatting would destroy it.
+  const double weird_nan = std::bit_cast<double>(0x7FF8000000C0FFEEull);
+  std::string buf;
+  PutDouble(&buf, weird_nan);
+  BinReader in(buf);
+  double got = 0.0;
+  ASSERT_TRUE(in.ReadDouble(&got).ok());
+  EXPECT_TRUE(std::isnan(got));
+  EXPECT_EQ(std::bit_cast<uint64_t>(got), 0x7FF8000000C0FFEEull);
+}
+
+TEST(BinIo, StringRoundTrip) {
+  std::string buf;
+  PutString(&buf, "");
+  PutString(&buf, std::string_view("\x00\xFFmid\x00 nul", 9));
+  PutString(&buf, "plain");
+  BinReader in(buf);
+  std::string s;
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  EXPECT_EQ(s, std::string("\x00\xFFmid\x00 nul", 9));
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  EXPECT_EQ(s, "plain");
+  EXPECT_TRUE(in.done());
+}
+
+TEST(BinIo, MixedSequenceRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 7);
+  PutU32(&buf, 123456u);
+  PutU64(&buf, 1ull << 60);
+  PutDouble(&buf, 2.5);
+  PutString(&buf, "tail");
+  BinReader in(buf);
+  uint8_t a = 0;
+  uint32_t b = 0;
+  uint64_t c = 0;
+  double d = 0;
+  std::string e;
+  ASSERT_TRUE(in.ReadU8(&a).ok());
+  ASSERT_TRUE(in.ReadU32(&b).ok());
+  ASSERT_TRUE(in.ReadU64(&c).ok());
+  ASSERT_TRUE(in.ReadDouble(&d).ok());
+  ASSERT_TRUE(in.ReadString(&e).ok());
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 123456u);
+  EXPECT_EQ(c, 1ull << 60);
+  EXPECT_EQ(d, 2.5);
+  EXPECT_EQ(e, "tail");
+  EXPECT_TRUE(in.done());
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+// Truncation: every strict prefix of an encoded buffer must fail with
+// OutOfRange at whichever field the cut lands in — and never crash.
+TEST(BinIo, EveryPrefixTruncationIsOutOfRange) {
+  std::string buf;
+  PutU8(&buf, 1);
+  PutU32(&buf, 2);
+  PutU64(&buf, 3);
+  PutDouble(&buf, 4.0);
+  PutString(&buf, "hello");
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    BinReader in(std::string_view(buf.data(), cut));
+    uint8_t a;
+    uint32_t b;
+    uint64_t c;
+    double d;
+    std::string e;
+    Status st = in.ReadU8(&a);
+    if (st.ok()) st = in.ReadU32(&b);
+    if (st.ok()) st = in.ReadU64(&c);
+    if (st.ok()) st = in.ReadDouble(&d);
+    if (st.ok()) st = in.ReadString(&e);
+    ASSERT_FALSE(st.ok()) << "prefix of " << cut << " bytes decoded fully";
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange) << "cut at " << cut;
+  }
+}
+
+TEST(BinIo, StringLengthBeyondBufferIsOutOfRange) {
+  // Header promises 100 bytes, body has 3: must refuse, not over-read.
+  std::string buf;
+  PutU32(&buf, 100);
+  buf += "abc";
+  BinReader in(buf);
+  std::string s;
+  Status st = in.ReadString(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinIo, ReaderStopsAtFailurePoint) {
+  // A failed read consumes nothing: remaining() is unchanged, so callers
+  // can report precise offsets.
+  std::string buf;
+  PutU8(&buf, 9);
+  BinReader in(buf);
+  uint32_t v = 0;
+  EXPECT_EQ(in.remaining(), 1u);
+  EXPECT_FALSE(in.ReadU32(&v).ok());
+  EXPECT_EQ(in.remaining(), 1u);
+  uint8_t b = 0;
+  ASSERT_TRUE(in.ReadU8(&b).ok());
+  EXPECT_EQ(b, 9u);
+}
+
+}  // namespace
+}  // namespace muaa

@@ -1,0 +1,407 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assign/online_afa.h"
+#include "datagen/synthetic.h"
+#include "server/broker.h"
+#include "server/loadgen.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "stream/driver.h"
+#include "test_util.h"
+
+// End-to-end contract of the TCP broker (docs/serving.md): a workload
+// replayed over loopback produces the *bitwise* result of the offline
+// StreamDriver run — including after a mid-stream kill and resume — and
+// the serving behaviours (backpressure, duplicate idempotency, DEPART,
+// dropped connections) hold under the same roof.
+
+namespace muaa::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::SolverHarness;
+
+constexpr uint64_t kSeed = 2024;
+
+model::ProblemInstance MakeInstance(size_t customers = 260) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = customers;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 91;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+std::vector<model::CustomerId> AllArrivals(
+    const model::ProblemInstance& inst) {
+  std::vector<model::CustomerId> arrivals(inst.num_customers());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i] = static_cast<model::CustomerId>(i);
+  }
+  return arrivals;
+}
+
+struct TempFiles {
+  std::string journal;
+  std::string checkpoint;
+
+  explicit TempFiles(const std::string& tag) {
+    const auto base = fs::temp_directory_path();
+    journal = (base / ("muaa_srv_" + tag + ".jnl")).string();
+    checkpoint = (base / ("muaa_srv_" + tag + ".ckp")).string();
+    Clear();
+  }
+  void Clear() const {
+    fs::remove(journal);
+    fs::remove(checkpoint);
+  }
+};
+
+/// The offline reference: StreamDriver over the same instance/solver/seed.
+stream::StreamRunResult Baseline() {
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  stream::StreamDriver driver(h.ctx());
+  return driver.Run(&solver).ValueOrDie();
+}
+
+void ExpectMatchesBaseline(const stream::StreamRunResult& want,
+                           const Broker& broker, const std::string& context) {
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.arrivals, want.stats.arrivals) << context;
+  EXPECT_EQ(stats.served_customers, want.stats.served_customers) << context;
+  ASSERT_EQ(stats.assigned_ads, want.stats.assigned_ads) << context;
+  EXPECT_EQ(std::bit_cast<uint64_t>(stats.total_utility),
+            std::bit_cast<uint64_t>(want.stats.total_utility))
+      << context;
+  const auto& a = want.assignments.instances();
+  const auto& b = broker.assignments().instances();
+  ASSERT_EQ(b.size(), a.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(b[i].customer, a[i].customer) << context << " instance " << i;
+    ASSERT_EQ(b[i].vendor, a[i].vendor) << context << " instance " << i;
+    ASSERT_EQ(b[i].ad_type, a[i].ad_type) << context << " instance " << i;
+    ASSERT_EQ(std::bit_cast<uint64_t>(b[i].utility),
+              std::bit_cast<uint64_t>(a[i].utility))
+        << context << " instance " << i;
+  }
+}
+
+TEST(Broker, ClosedLoopWorkloadIsBitwiseIdenticalToStreamDriver) {
+  const stream::StreamRunResult want = Baseline();
+  ASSERT_GE(want.stats.arrivals, 200u) << "workload too small to be probative";
+
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;  // no durability: pure serving path
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  // One closed-loop connection delivers arrivals in instance order, which
+  // pins the admission order the solver sees.
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  lg.collect = true;
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+  EXPECT_EQ(report->errors, 0u);
+
+  ASSERT_TRUE(broker.Stop().ok());
+  ExpectMatchesBaseline(want, broker, "closed loop");
+
+  // The responses the client saw are the same decisions, in order.
+  const auto& a = want.assignments.instances();
+  ASSERT_EQ(report->instances.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(report->instances[i].customer, a[i].customer) << i;
+    EXPECT_EQ(report->instances[i].vendor, a[i].vendor) << i;
+    EXPECT_EQ(report->instances[i].ad_type, a[i].ad_type) << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(report->instances[i].utility),
+              std::bit_cast<uint64_t>(a[i].utility))
+        << i;
+  }
+}
+
+TEST(Broker, KillResumeReplayIsBitwiseIdenticalToStreamDriver) {
+  const stream::StreamRunResult want = Baseline();
+  TempFiles files("kill_resume");
+  const size_t kill_after = 130;
+
+  // Phase 1: serve a prefix of the workload, then die like a SIGKILL —
+  // no drain, no final checkpoint.
+  {
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    BrokerOptions opts;
+    opts.durability.journal_path = files.journal;
+    opts.durability.checkpoint_path = files.checkpoint;
+    opts.durability.checkpoint_every = 40;
+    Broker broker(h.ctx(), &solver, opts);
+    ASSERT_TRUE(broker.Start().ok());
+
+    auto arrivals = AllArrivals(h.instance);
+    arrivals.resize(kill_after);
+    LoadgenOptions lg;
+    lg.port = broker.port();
+    auto report = RunLoadgen(arrivals, lg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_EQ(report->assigned, kill_after);
+    ASSERT_TRUE(broker.Abort().ok());
+  }
+
+  // Phase 2: resume from disk and replay the WHOLE workload — the served
+  // prefix comes back as idempotent duplicates, the tail is solved fresh.
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.durability.journal_path = files.journal;
+  opts.durability.checkpoint_path = files.checkpoint;
+  opts.durability.checkpoint_every = 40;
+  opts.resume = true;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  lg.collect = true;
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.duplicates, kill_after)
+      << "served prefix should be answered from recovered decisions";
+  ASSERT_TRUE(broker.Stop().ok());
+  ExpectMatchesBaseline(want, broker, "kill + resume + replay");
+
+  // Even the duplicate responses carry the original decisions: collected
+  // per-response utilities sum to the baseline total.
+  double client_utility = 0.0;
+  for (const auto& inst : report->instances) client_utility += inst.utility;
+  EXPECT_NEAR(client_utility, want.stats.total_utility, 1e-9);
+  files.Clear();
+}
+
+TEST(Broker, ResumedBrokerStatsSurviveRestartWithoutReplay) {
+  TempFiles files("restart_stats");
+  uint64_t want_ads = 0, want_arrivals = 0;
+  double want_utility = 0.0;
+  {
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    BrokerOptions opts;
+    opts.durability.journal_path = files.journal;
+    Broker broker(h.ctx(), &solver, opts);
+    ASSERT_TRUE(broker.Start().ok());
+    LoadgenOptions lg;
+    lg.port = broker.port();
+    ASSERT_TRUE(RunLoadgen(AllArrivals(h.instance), lg).ok());
+    ASSERT_TRUE(broker.Stop().ok());
+    BrokerStats s = broker.stats();
+    want_ads = s.assigned_ads;
+    want_arrivals = s.arrivals;
+    want_utility = s.total_utility;
+  }
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.durability.journal_path = files.journal;
+  opts.resume = true;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  auto stats = QueryStats("127.0.0.1", broker.port());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->arrivals, want_arrivals);
+  EXPECT_EQ(stats->assigned_ads, want_ads);
+  EXPECT_EQ(std::bit_cast<uint64_t>(stats->total_utility),
+            std::bit_cast<uint64_t>(want_utility));
+  ASSERT_TRUE(broker.Stop().ok());
+  files.Clear();
+}
+
+TEST(Broker, BackpressureAnswersBusyAndRetriesComplete) {
+  SolverHarness h(MakeInstance(80), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.queue_max = 2;  // tiny admission queue
+  // A batch_max far above queue_max forces the solver loop to linger the
+  // full fill window on every batch, so drain is slow and bounded while
+  // the open-loop senders flood the queue.
+  opts.batch_max = 16;
+  opts.batch_wait_us = 10'000;
+  opts.busy_retry_us = 500;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  // Open loop well past the drain rate: admissions must overflow.
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  lg.qps = 20'000.0;
+  lg.connections = 2;
+  lg.retry_busy = true;
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  BrokerStats stats = broker.stats();
+  EXPECT_GT(stats.busy_rejections, 0u) << "queue never overflowed";
+  EXPECT_EQ(report->busy, stats.busy_rejections);
+  // Retries drive the workload to completion despite the rejections.
+  EXPECT_EQ(stats.arrivals, h.instance.num_customers());
+  EXPECT_EQ(report->sent, report->assigned + report->busy);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, SurvivesClientDisconnectMidResponse) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+
+  // Fire arrivals and vanish without reading a single response: the
+  // broker's sends hit a dead peer (EPIPE, not SIGPIPE) and must not take
+  // the process or the solver loop down.
+  for (int round = 0; round < 3; ++round) {
+    auto sock = Connect("127.0.0.1", broker.port());
+    ASSERT_TRUE(sock.ok());
+    for (model::CustomerId c = 0; c < 20; ++c) {
+      Request req;
+      req.type = RequestType::kArrive;
+      req.request_id = static_cast<uint64_t>(c) + 1;
+      req.customer = c;
+      ASSERT_TRUE(sock->SendFrame(EncodeRequest(req)).ok());
+    }
+    sock->Close();  // responses are in flight; connection is already gone
+  }
+
+  // The broker keeps serving: wait until all 20 distinct arrivals are
+  // decided, then verify a healthy connection still works.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (broker.stats().arrivals >= 20) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(broker.stats().arrivals, 20u);
+
+  auto stats = QueryStats("127.0.0.1", broker.port());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->arrivals, 20u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, DuplicateArrivalsAreIdempotent) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+
+  auto sock = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock.ok());
+  auto arrive = [&](uint64_t rid, model::CustomerId c) -> Response {
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = rid;
+    req.customer = c;
+    EXPECT_TRUE(sock->SendFrame(EncodeRequest(req)).ok());
+    std::string payload;
+    auto got = sock->RecvFrame(&payload);
+    EXPECT_TRUE(got.ok() && *got);
+    return DecodeResponse(payload).ValueOrDie();
+  };
+
+  Response first = arrive(1, 3);
+  Response again = arrive(2, 3);
+  EXPECT_EQ(again.type, ResponseType::kAssign);
+  ASSERT_EQ(again.ads.size(), first.ads.size());
+  for (size_t i = 0; i < first.ads.size(); ++i) {
+    EXPECT_EQ(again.ads[i].vendor, first.ads[i].vendor);
+    EXPECT_EQ(std::bit_cast<uint64_t>(again.ads[i].utility),
+              std::bit_cast<uint64_t>(first.ads[i].utility));
+  }
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.arrivals, 1u) << "duplicate must not re-run the solver";
+  EXPECT_EQ(stats.duplicates, 1u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, DepartCancelsQueuedArrivalOnce) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+  const int port = broker.port();
+
+  // DEPART before the arrival: the tombstone cancels it...
+  auto cancelled = RequestDepart("127.0.0.1", port, 5);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_TRUE(*cancelled);
+
+  LoadgenOptions lg;
+  lg.port = port;
+  lg.collect = true;
+  auto report = RunLoadgen({5}, lg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->assigned, 1u);
+  EXPECT_TRUE(report->instances.empty()) << "cancelled arrival got ads";
+  EXPECT_EQ(broker.stats().departed, 1u);
+  EXPECT_EQ(broker.stats().arrivals, 0u);
+
+  // ...and is consumed: the customer's next arrival is served normally.
+  auto report2 = RunLoadgen({5}, lg);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(broker.stats().arrivals, 1u);
+
+  // DEPART for an already-processed customer comes too late.
+  auto late = RequestDepart("127.0.0.1", port, 5);
+  ASSERT_TRUE(late.ok());
+  EXPECT_FALSE(*late);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, ShutdownRequestReleasesWaiter) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+  std::thread waiter([&broker] { broker.WaitUntilShutdown(); });
+  ASSERT_TRUE(RequestShutdown("127.0.0.1", broker.port()).ok());
+  waiter.join();  // would hang forever if SHUTDOWN didn't release it
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, RejectsOutOfRangeCustomer) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+  auto sock = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock.ok());
+  Request req;
+  req.type = RequestType::kArrive;
+  req.request_id = 1;
+  req.customer = static_cast<model::CustomerId>(h.instance.num_customers());
+  ASSERT_TRUE(sock->SendFrame(EncodeRequest(req)).ok());
+  std::string payload;
+  auto got = sock->RecvFrame(&payload);
+  ASSERT_TRUE(got.ok() && *got);
+  auto resp = DecodeResponse(payload).ValueOrDie();
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(broker.stats().arrivals, 0u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+}  // namespace
+}  // namespace muaa::server

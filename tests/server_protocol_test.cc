@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "server/protocol.h"
+
+// Wire-protocol invariants (docs/serving.md): every message type
+// round-trips through encode/decode (utilities bitwise), framing survives
+// arbitrary packetization, and corruption — flipped bytes, truncation,
+// implausible lengths — is detected before anything is interpreted.
+
+namespace muaa::server {
+namespace {
+
+TEST(Protocol, RequestRoundTripsAllTypes) {
+  for (RequestType type : {RequestType::kArrive, RequestType::kDepart,
+                           RequestType::kStats, RequestType::kShutdown}) {
+    Request req;
+    req.type = type;
+    req.request_id = 0xABCDEF0123456789ull;
+    req.customer = 4711;
+    auto got = DecodeRequest(EncodeRequest(req));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->type, type);
+    EXPECT_EQ(got->request_id, req.request_id);
+    // Only ARRIVE/DEPART carry a customer id on the wire.
+    if (type == RequestType::kArrive || type == RequestType::kDepart) {
+      EXPECT_EQ(got->customer, req.customer);
+    }
+  }
+}
+
+TEST(Protocol, AssignResponseRoundTripsBitwise) {
+  Response resp;
+  resp.type = ResponseType::kAssign;
+  resp.request_id = 99;
+  resp.customer = 7;
+  resp.ads.push_back({7, 3, 1, 0.25});
+  resp.ads.push_back({7, 12, 0, -0.0});  // signed zero must survive
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, ResponseType::kAssign);
+  EXPECT_EQ(got->request_id, 99u);
+  EXPECT_EQ(got->customer, 7);
+  ASSERT_EQ(got->ads.size(), 2u);
+  EXPECT_EQ(got->ads[0].customer, 7);
+  EXPECT_EQ(got->ads[0].vendor, 3);
+  EXPECT_EQ(got->ads[0].ad_type, 1);
+  EXPECT_EQ(std::bit_cast<uint64_t>(got->ads[0].utility),
+            std::bit_cast<uint64_t>(0.25));
+  EXPECT_EQ(std::bit_cast<uint64_t>(got->ads[1].utility),
+            std::bit_cast<uint64_t>(-0.0));
+}
+
+TEST(Protocol, EmptyAssignResponseRoundTrips) {
+  Response resp;
+  resp.type = ResponseType::kAssign;
+  resp.request_id = 1;
+  resp.customer = 0;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->ads.empty());
+}
+
+TEST(Protocol, BusyResponseCarriesRetryHint) {
+  Response resp;
+  resp.type = ResponseType::kBusy;
+  resp.request_id = 5;
+  resp.retry_after_us = 12345;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, ResponseType::kBusy);
+  EXPECT_EQ(got->retry_after_us, 12345u);
+}
+
+TEST(Protocol, StatsResponseRoundTripsEveryCounter) {
+  Response resp;
+  resp.type = ResponseType::kStats;
+  resp.request_id = 2;
+  resp.stats.arrivals = 1;
+  resp.stats.assigned_ads = 2;
+  resp.stats.served_customers = 3;
+  resp.stats.total_utility = 1.0 / 3.0;
+  resp.stats.departed = 4;
+  resp.stats.duplicates = 5;
+  resp.stats.busy_rejections = 6;
+  resp.stats.batches = 7;
+  resp.stats.max_batch = 8;
+  resp.stats.queue_high_water = 9;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.arrivals, 1u);
+  EXPECT_EQ(got->stats.assigned_ads, 2u);
+  EXPECT_EQ(got->stats.served_customers, 3u);
+  EXPECT_EQ(std::bit_cast<uint64_t>(got->stats.total_utility),
+            std::bit_cast<uint64_t>(1.0 / 3.0));
+  EXPECT_EQ(got->stats.departed, 4u);
+  EXPECT_EQ(got->stats.duplicates, 5u);
+  EXPECT_EQ(got->stats.busy_rejections, 6u);
+  EXPECT_EQ(got->stats.batches, 7u);
+  EXPECT_EQ(got->stats.max_batch, 8u);
+  EXPECT_EQ(got->stats.queue_high_water, 9u);
+}
+
+TEST(Protocol, DepartAckAndShutdownAckAndError) {
+  Response depart;
+  depart.type = ResponseType::kDepartAck;
+  depart.request_id = 3;
+  depart.customer = 17;
+  depart.cancelled = true;
+  auto got = DecodeResponse(EncodeResponse(depart));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, ResponseType::kDepartAck);
+  EXPECT_EQ(got->customer, 17);
+  EXPECT_TRUE(got->cancelled);
+
+  Response ack;
+  ack.type = ResponseType::kShutdownAck;
+  ack.request_id = 4;
+  got = DecodeResponse(EncodeResponse(ack));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, ResponseType::kShutdownAck);
+
+  Response err;
+  err.type = ResponseType::kError;
+  err.request_id = 5;
+  err.error = "customer id out of range: -3";
+  got = DecodeResponse(EncodeResponse(err));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, ResponseType::kError);
+  EXPECT_EQ(got->error, "customer id out of range: -3");
+}
+
+TEST(Protocol, UnknownTypeBytesAreRejected) {
+  std::string bogus;
+  bogus.push_back('\x63');  // neither a RequestType nor a ResponseType
+  EXPECT_FALSE(DecodeRequest(bogus).ok());
+  EXPECT_FALSE(DecodeResponse(bogus).ok());
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeResponse("").ok());
+}
+
+TEST(Protocol, TruncatedPayloadsFailCleanly) {
+  Response resp;
+  resp.type = ResponseType::kAssign;
+  resp.request_id = 9;
+  resp.customer = 1;
+  resp.ads.push_back({1, 2, 0, 0.5});
+  const std::string full = EncodeResponse(resp);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    auto got = DecodeResponse(std::string_view(full.data(), cut));
+    EXPECT_FALSE(got.ok()) << "decoded from a " << cut << "-byte prefix";
+  }
+}
+
+TEST(Protocol, AdCountBeyondPayloadIsRejected) {
+  // Hand-build an ASSIGN payload whose ad count promises far more entries
+  // than the payload carries: must fail without trying to allocate them.
+  Response resp;
+  resp.type = ResponseType::kAssign;
+  resp.request_id = 1;
+  resp.customer = 0;
+  std::string payload = EncodeResponse(resp);
+  // Layout: u8 type, u64 request id, u32 customer, u32 ad count.
+  const size_t count_at = 1 + 8 + 4;
+  ASSERT_EQ(payload.size(), count_at + 4);
+  payload[count_at] = '\xFF';
+  payload[count_at + 1] = '\xFF';
+  payload[count_at + 2] = '\xFF';
+  payload[count_at + 3] = '\x7F';
+  EXPECT_FALSE(DecodeResponse(payload).ok());
+}
+
+TEST(Framing, ExtractsWhatItFramed) {
+  std::string buf = FrameMessage("hello frame");
+  std::string payload;
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(payload, "hello frame");
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(Framing, IncompleteUntilLastByteArrives) {
+  const std::string frame = FrameMessage("drip-fed payload");
+  std::string buf;
+  std::string payload;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    buf.push_back(frame[i]);
+    auto got = TryExtractFrame(&buf, &payload);
+    ASSERT_TRUE(got.ok()) << "at byte " << i;
+    EXPECT_FALSE(*got) << "complete after only " << (i + 1) << " bytes";
+  }
+  buf.push_back(frame.back());
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(payload, "drip-fed payload");
+}
+
+TEST(Framing, ConsumesFramesFromTheFront) {
+  std::string buf = FrameMessage("first") + FrameMessage("second");
+  buf += FrameMessage("third").substr(0, 3);  // partial tail stays queued
+  std::string payload;
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(payload, "first");
+  got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(payload, "second");
+  got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Framing, EmptyPayloadFrames) {
+  std::string buf = FrameMessage("");
+  std::string payload = "stale";
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(Framing, FlippedPayloadByteIsDataLoss) {
+  std::string buf = FrameMessage("checksummed");
+  buf[5] = static_cast<char>(buf[5] ^ 0x20);  // flip a payload bit
+  std::string payload;
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Framing, FlippedCrcByteIsDataLoss) {
+  std::string buf = FrameMessage("checksummed");
+  buf.back() = static_cast<char>(buf.back() ^ 0x01);
+  std::string payload;
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Framing, ImplausibleLengthIsDataLossBeforeBuffering) {
+  // A garbage length prefix must be rejected immediately — not after the
+  // reader has tried to buffer 4 GiB it was "promised".
+  std::string buf;
+  const uint32_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  std::string payload;
+  auto got = TryExtractFrame(&buf, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace muaa::server

@@ -13,6 +13,12 @@
 //                               [checkpoint_every=N] [resume=0|1]
 //                               [inject=<fault-spec>]
 //   muaa_cli compare            in=<dir> left=<csv> right=<csv>
+//   muaa_cli serve              in=<dir> solver=<name> [port=N] [seed=S]
+//                               [threads=N] [batch_max=N] [batch_wait_us=N]
+//                               [queue_max=N] [busy_retry_us=N]
+//                               [journal=<file>] [checkpoint=<file>]
+//                               [checkpoint_every=N] [resume=0|1]
+//   muaa_cli version
 //
 // `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
 // vendor-sharded solver phases; 0 = one per hardware thread. Output is
@@ -31,6 +37,12 @@
 // Solvers: recon, recon-dp, recon-lp, greedy, greedy-ls, random, exact,
 //          online (O-AFA), online-adaptive (O-AFA + streaming γ),
 //          static, msvv, nearest.
+//
+// `serve` runs the TCP ad broker of docs/serving.md: `port=0` (default)
+// binds an ephemeral port and prints `listening on port N`; Ctrl-C or a
+// SHUTDOWN request drains the queue, flushes the journal, writes a final
+// checkpoint and prints a canonical `STATS ...` line whose fields are
+// deterministic for a given workload (scripts diff it across runs).
 //
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
@@ -51,6 +63,7 @@
 #include "assign/random_solver.h"
 #include "assign/recon.h"
 #include "assign/windowed.h"
+#include "common/build_info.h"
 #include "common/config.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -61,6 +74,7 @@
 #include "io/assignment_io.h"
 #include "io/checkin_io.h"
 #include "io/instance_io.h"
+#include "server/broker.h"
 #include "stream/driver.h"
 #include "stream/fault_injector.h"
 
@@ -76,7 +90,7 @@ void HandleSigint(int) { g_stop.store(true); }
 int Usage() {
   std::fprintf(stderr,
                "usage: muaa_cli <generate-synthetic|generate-city|"
-               "convert-tsmc|info|solve|stream> key=value...\n"
+               "convert-tsmc|info|solve|stream|serve|version> key=value...\n"
                "see the header of tools/muaa_cli.cc for details\n");
   return 2;
 }
@@ -389,6 +403,105 @@ int CmdStream(const Config& cfg) {
   return 0;
 }
 
+int CmdServe(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string solver_name = cfg.GetString("solver", "online");
+  if (in.empty()) return Usage();
+  auto inst = LoadInstanceArg(cfg, in);
+  if (!inst.ok()) return Fail(inst.status());
+  auto solver = MakeOnlineSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status());
+
+  model::ProblemView view(&*inst);
+  model::UtilityModel utility(&*inst);
+  utility.EnablePairCache();
+  Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
+  auto threads = ThreadsArg(cfg);
+  if (!threads.ok()) return Fail(threads.status());
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(*threads);
+  }
+  assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
+
+  server::BrokerOptions opts;
+  auto geti = [&cfg](const char* key, int64_t def) {
+    return cfg.GetInt(key, def);
+  };
+  auto port = geti("port", 0);
+  auto batch_max = geti("batch_max", 64);
+  auto batch_wait = geti("batch_wait_us", 200);
+  auto queue_max = geti("queue_max", 1024);
+  auto busy_retry = geti("busy_retry_us", 1000);
+  auto every = geti("checkpoint_every", 0);
+  for (const auto* r : {&port, &batch_max, &batch_wait, &queue_max,
+                        &busy_retry, &every}) {
+    if (!r->ok()) return Fail(r->status());
+    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
+  }
+  opts.port = static_cast<int>(*port);
+  opts.batch_max = static_cast<size_t>(*batch_max);
+  opts.batch_wait_us = static_cast<uint32_t>(*batch_wait);
+  opts.queue_max = static_cast<size_t>(*queue_max);
+  opts.busy_retry_us = static_cast<uint32_t>(*busy_retry);
+  opts.durability.journal_path = cfg.GetString("journal", "");
+  opts.durability.checkpoint_path = cfg.GetString("checkpoint", "");
+  opts.durability.checkpoint_every = static_cast<size_t>(*every);
+  auto resume = cfg.GetBool("resume", false);
+  if (!resume.ok()) return Fail(resume.status());
+  opts.resume = *resume;
+  if (opts.resume && opts.durability.journal_path.empty() &&
+      opts.durability.checkpoint_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "resume=1 needs journal= and/or checkpoint="));
+  }
+  cfg.WarnUnreadKeys();
+
+  server::Broker broker(ctx, solver->get(), opts);
+  Status st = broker.Start();
+  if (!st.ok()) return Fail(st);
+  // Scripts parse this line to learn the ephemeral port; flush so they
+  // see it before the first connection.
+  std::printf("listening on port %d\n", broker.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  broker.WaitUntilShutdown(&g_stop);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  Status stop = broker.Stop();
+  if (!stop.ok()) return Fail(stop);
+  server::BrokerStats stats = broker.stats();
+  // Only deterministic fields (no timings/queue depths): CI diffs this
+  // line between an uninterrupted run and a kill+resume+replay run.
+  std::printf("STATS arrivals=%llu ads=%llu served=%llu utility=%.6f\n",
+              static_cast<unsigned long long>(stats.arrivals),
+              static_cast<unsigned long long>(stats.assigned_ads),
+              static_cast<unsigned long long>(stats.served_customers),
+              stats.total_utility);
+  std::printf(
+      "timeline: busy=%llu dup=%llu departed=%llu batches=%llu "
+      "max_batch=%llu queue_high_water=%llu\n",
+      static_cast<unsigned long long>(stats.busy_rejections),
+      static_cast<unsigned long long>(stats.duplicates),
+      static_cast<unsigned long long>(stats.departed),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.max_batch),
+      static_cast<unsigned long long>(stats.queue_high_water));
+  return 0;
+}
+
+int CmdVersion() {
+  std::printf("%s\n", BuildInfoLine().c_str());
+  const BuildInfo& b = GetBuildInfo();
+  std::printf("  git:      %s\n", b.git_hash.c_str());
+  std::printf("  compiler: %s\n", b.compiler.c_str());
+  std::printf("  type:     %s\n", b.build_type.c_str());
+  std::printf("  standard: %s\n", b.cxx_standard.c_str());
+  std::printf("  flags:    %s\n", b.cxx_flags.c_str());
+  return 0;
+}
+
 int CmdCompare(const Config& cfg) {
   std::string in = cfg.GetString("in", "");
   std::string left = cfg.GetString("left", "");
@@ -418,6 +531,8 @@ int Run(int argc, char** argv) {
   else if (cmd == "info") rc = CmdInfo(*cfg);
   else if (cmd == "solve") rc = CmdSolve(*cfg);
   else if (cmd == "stream") rc = CmdStream(*cfg);
+  else if (cmd == "serve") rc = CmdServe(*cfg);
+  else if (cmd == "version") rc = CmdVersion();
   else if (cmd == "compare") rc = CmdCompare(*cfg);
   if (rc < 0) return Usage();
   // Options no command read are almost certainly misspelt — say so.

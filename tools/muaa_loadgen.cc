@@ -1,0 +1,169 @@
+// muaa_loadgen — TCP load generator for the muaa_cli serve broker.
+//
+//   muaa_loadgen port=N [host=H] (in=<dir> | arrivals=N)
+//                [qps=Q] [connections=C] [retry=0|1] [json=<file>]
+//   muaa_loadgen port=N stats=1       # one STATS query, print, exit
+//   muaa_loadgen port=N shutdown=1    # ask the broker to shut down
+//
+// Arrivals are customers 0..m-1 in order, dealt round-robin across
+// `connections`. `qps=0` (default) is closed loop — one in-flight request
+// per connection; `qps>0` is open loop at the target offered rate, the
+// mode that exercises BUSY backpressure. `retry=1` (default) re-sends
+// BUSY'd arrivals after the broker's retry_after_us hint.
+//
+// The report prints as key=value lines; `json=` additionally writes it as
+// a JSON object (same shape as the BENCH_*.json emitted by
+// bench_server_throughput).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/config.h"
+#include "io/instance_io.h"
+#include "server/loadgen.h"
+
+namespace muaa {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: muaa_loadgen port=N (in=<dir> | arrivals=N) "
+               "[qps=Q] [connections=C] [retry=0|1] [json=<file>]\n"
+               "       muaa_loadgen port=N stats=1 | shutdown=1\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Status WriteJsonReport(const std::string& path,
+                       const server::LoadgenReport& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::Internal("cannot open " + path);
+  std::fprintf(f,
+               "{\n"
+               "  \"build\": \"%s\",\n"
+               "  \"sent\": %llu,\n"
+               "  \"assigned\": %llu,\n"
+               "  \"busy\": %llu,\n"
+               "  \"errors\": %llu,\n"
+               "  \"assigned_ads\": %llu,\n"
+               "  \"served\": %llu,\n"
+               "  \"total_utility\": %.6f,\n"
+               "  \"elapsed_s\": %.6f,\n"
+               "  \"achieved_qps\": %.1f,\n"
+               "  \"p50_us\": %.1f,\n"
+               "  \"p95_us\": %.1f,\n"
+               "  \"p99_us\": %.1f,\n"
+               "  \"max_us\": %.1f\n"
+               "}\n",
+               BuildInfoLine().c_str(),
+               static_cast<unsigned long long>(r.sent),
+               static_cast<unsigned long long>(r.assigned),
+               static_cast<unsigned long long>(r.busy),
+               static_cast<unsigned long long>(r.errors),
+               static_cast<unsigned long long>(r.assigned_ads),
+               static_cast<unsigned long long>(r.served), r.total_utility,
+               r.elapsed_s, r.achieved_qps, r.p50_us, r.p95_us, r.p99_us,
+               r.max_us);
+  std::fclose(f);
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  auto cfg = Config::FromArgs(argc, argv);
+  if (!cfg.ok()) return Fail(cfg.status());
+  auto port = cfg->GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port <= 0) return Usage();
+  std::string host = cfg->GetString("host", "127.0.0.1");
+
+  auto stats_only = cfg->GetBool("stats", false);
+  auto shutdown = cfg->GetBool("shutdown", false);
+  if (!stats_only.ok()) return Fail(stats_only.status());
+  if (!shutdown.ok()) return Fail(shutdown.status());
+  if (*stats_only) {
+    auto stats = server::QueryStats(host, static_cast<int>(*port));
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("STATS arrivals=%llu ads=%llu served=%llu utility=%.6f\n",
+                static_cast<unsigned long long>(stats->arrivals),
+                static_cast<unsigned long long>(stats->assigned_ads),
+                static_cast<unsigned long long>(stats->served_customers),
+                stats->total_utility);
+    cfg->WarnUnreadKeys();
+    return 0;
+  }
+  if (*shutdown) {
+    Status st = server::RequestShutdown(host, static_cast<int>(*port));
+    if (!st.ok()) return Fail(st);
+    std::printf("shutdown acknowledged\n");
+    cfg->WarnUnreadKeys();
+    return 0;
+  }
+
+  // Workload size: an instance directory (its customer count) or a bare
+  // arrivals=N.
+  size_t m = 0;
+  std::string in = cfg->GetString("in", "");
+  if (!in.empty()) {
+    auto inst = io::LoadInstance(in);
+    if (!inst.ok()) return Fail(inst.status());
+    m = inst->num_customers();
+  } else {
+    auto n = cfg->GetInt("arrivals", 0);
+    if (!n.ok()) return Fail(n.status());
+    if (*n <= 0) return Usage();
+    m = static_cast<size_t>(*n);
+  }
+  std::vector<model::CustomerId> arrivals(m);
+  for (size_t i = 0; i < m; ++i) {
+    arrivals[i] = static_cast<model::CustomerId>(i);
+  }
+
+  server::LoadgenOptions opts;
+  opts.host = host;
+  opts.port = static_cast<int>(*port);
+  auto qps = cfg->GetInt("qps", 0);
+  auto conns = cfg->GetInt("connections", 1);
+  auto retry = cfg->GetBool("retry", true);
+  if (!qps.ok()) return Fail(qps.status());
+  if (!conns.ok()) return Fail(conns.status());
+  if (!retry.ok()) return Fail(retry.status());
+  opts.qps = static_cast<double>(*qps);
+  opts.connections = static_cast<size_t>(*conns);
+  opts.retry_busy = *retry;
+  std::string json = cfg->GetString("json", "");
+  cfg->WarnUnreadKeys();
+
+  auto report = server::RunLoadgen(arrivals, opts);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "sent=%llu assigned=%llu busy=%llu errors=%llu ads=%llu served=%llu "
+      "utility=%.6f\n",
+      static_cast<unsigned long long>(report->sent),
+      static_cast<unsigned long long>(report->assigned),
+      static_cast<unsigned long long>(report->busy),
+      static_cast<unsigned long long>(report->errors),
+      static_cast<unsigned long long>(report->assigned_ads),
+      static_cast<unsigned long long>(report->served),
+      report->total_utility);
+  std::printf(
+      "elapsed=%.3fs qps=%.1f latency p50=%.1fus p95=%.1fus p99=%.1fus "
+      "max=%.1fus\n",
+      report->elapsed_s, report->achieved_qps, report->p50_us,
+      report->p95_us, report->p99_us, report->max_us);
+  if (!json.empty()) {
+    Status st = WriteJsonReport(json, *report);
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace muaa
+
+int main(int argc, char** argv) { return muaa::Run(argc, argv); }

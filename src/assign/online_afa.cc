@@ -97,6 +97,30 @@ Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(
   // Line 2: valid vendors by the spatial constraint.
   ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
 
+  // Degraded rung (overload): skip the threshold machinery and the
+  // efficiency ranking entirely — greedily commit the best affordable ad
+  // type of each valid vendor, in vendor order, up to capacity. O(#valid)
+  // with no sort and no estimator updates; the mode is journaled so replay
+  // re-takes this exact path.
+  if (mode() == ServeMode::kDegraded) {
+    for (model::VendorId j : scratch_vendors_) {
+      if (picked.size() >= static_cast<size_t>(u.capacity)) break;
+      const double remaining =
+          ctx_.instance->vendors[static_cast<size_t>(j)].budget -
+          used_budget_[static_cast<size_t>(j)];
+      BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+      if (!pick.valid()) continue;
+      AdInstance inst;
+      inst.customer = i;
+      inst.vendor = j;
+      inst.ad_type = pick.ad_type;
+      inst.utility = pick.utility;
+      used_budget_[static_cast<size_t>(j)] += pick.cost;
+      picked.push_back(inst);
+    }
+    return picked;
+  }
+
   struct Potential {
     AdInstance inst;
     double efficiency;

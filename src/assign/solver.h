@@ -39,11 +39,30 @@ class OfflineSolver {
   virtual Result<AssignmentSet> Solve(const SolveContext& ctx) = 0;
 };
 
+/// \brief Degradation-ladder rung an online solver serves at.
+///
+/// `kFull` runs the solver's complete candidate pipeline; `kDegraded` is a
+/// cheap fallback (greedy best-type picks, no ranking/threshold adaptation)
+/// the serving layer switches to under sustained overload. The mode is part
+/// of the deterministic replay state: the broker journals every transition
+/// (io::JournalRecordType::kModeChange) and recovery restores it before
+/// re-executing the tail, so a resumed run re-decides every arrival on the
+/// same rung that first decided it.
+enum class ServeMode : uint8_t {
+  kFull = 0,
+  kDegraded = 1,
+};
+
 /// \brief An online MUAA solver: customers are revealed one at a time in
 /// arrival order, decisions are irrevocable (Sec. IV).
 class OnlineSolver {
  public:
   virtual ~OnlineSolver() = default;
+
+  /// Current degradation rung. Solvers without a cheap path may ignore it —
+  /// then both rungs behave identically and the ladder is a no-op.
+  ServeMode mode() const { return mode_; }
+  void set_mode(ServeMode mode) { mode_ = mode; }
 
   /// Short display name (e.g. "ONLINE").
   virtual std::string name() const = 0;
@@ -77,6 +96,9 @@ class OnlineSolver {
     }
     return Status::OK();
   }
+
+ private:
+  ServeMode mode_ = ServeMode::kFull;
 };
 
 /// \brief Adapts an online solver to the offline interface by replaying

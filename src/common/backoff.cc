@@ -1,0 +1,31 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muaa {
+
+BackoffPolicy::BackoffPolicy(const BackoffOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  opts_.multiplier = std::max(1.0, opts_.multiplier);
+  opts_.jitter = std::clamp(opts_.jitter, 0.0, 0.99);
+  opts_.cap_us = std::max(opts_.cap_us, opts_.base_us);
+}
+
+uint64_t BackoffPolicy::RawDelayUs(uint32_t attempt) const {
+  // Grow in floating point and clamp: 2^attempt overflows u64 fast, and the
+  // cap makes any precision loss above it irrelevant.
+  const double raw =
+      static_cast<double>(opts_.base_us) * std::pow(opts_.multiplier, attempt);
+  const double capped = std::min(raw, static_cast<double>(opts_.cap_us));
+  return static_cast<uint64_t>(capped);
+}
+
+uint64_t BackoffPolicy::DelayUs(uint32_t attempt) {
+  const double scale =
+      1.0 + rng_.Uniform(-opts_.jitter, opts_.jitter);
+  const double jittered = static_cast<double>(RawDelayUs(attempt)) * scale;
+  return static_cast<uint64_t>(std::max(0.0, jittered));
+}
+
+}  // namespace muaa

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace muaa {
+
+/// \brief Capped exponential backoff with seeded, deterministic jitter.
+///
+/// Shared by the load generator's BUSY/transport retries and the broker's
+/// adaptive retry-after hints. The delay for attempt `k` (0-based) is
+///
+///     base_us * multiplier^k, capped at cap_us,
+///
+/// then jittered multiplicatively into `[1 - jitter, 1 + jitter]` using the
+/// policy's own `Rng`, so a fleet of clients that all saw BUSY at the same
+/// instant desynchronizes instead of re-saturating the admission queue in
+/// lockstep ("retry storm"). With the same seed the jitter sequence is
+/// reproducible, which keeps chaos/e2e tests deterministic.
+struct BackoffOptions {
+  uint32_t base_us = 1000;     ///< Delay before the first retry.
+  uint32_t cap_us = 250'000;   ///< Upper bound on any single delay.
+  double multiplier = 2.0;     ///< Growth factor per consecutive failure.
+  double jitter = 0.2;         ///< Fractional jitter half-width in [0, 1).
+  uint64_t seed = 42;          ///< Seed for the jitter stream.
+};
+
+class BackoffPolicy {
+ public:
+  explicit BackoffPolicy(const BackoffOptions& opts = {});
+
+  /// Delay in microseconds for 0-based retry `attempt`, jittered.
+  /// Consecutive calls with the same `attempt` differ (the jitter stream
+  /// advances); the full sequence is a pure function of the seed.
+  uint64_t DelayUs(uint32_t attempt);
+
+  /// The un-jittered delay for `attempt`: base * multiplier^attempt, capped.
+  uint64_t RawDelayUs(uint32_t attempt) const;
+
+  const BackoffOptions& options() const { return opts_; }
+
+ private:
+  BackoffOptions opts_;
+  Rng rng_;
+};
+
+}  // namespace muaa

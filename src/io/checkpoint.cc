@@ -1,5 +1,10 @@
 #include "io/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -10,7 +15,7 @@ namespace muaa::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '2'};
+constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '3'};
 
 std::string EncodePayload(const StreamCheckpoint& ckpt) {
   std::string p;
@@ -20,6 +25,7 @@ std::string EncodePayload(const StreamCheckpoint& ckpt) {
   PutU64(&p, ckpt.next_arrival);
   PutString(&p, ckpt.solver_name);
   PutString(&p, ckpt.solver_state);
+  PutU8(&p, ckpt.serve_mode);
   PutU64(&p, ckpt.arrivals);
   PutU64(&p, ckpt.served_customers);
   PutU64(&p, ckpt.assigned_ads);
@@ -46,6 +52,10 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->next_arrival));
   MUAA_RETURN_NOT_OK(in.ReadString(&ckpt->solver_name));
   MUAA_RETURN_NOT_OK(in.ReadString(&ckpt->solver_state));
+  MUAA_RETURN_NOT_OK(in.ReadU8(&ckpt->serve_mode));
+  if (ckpt->serve_mode > 1) {
+    return Status::DataLoss("checkpoint serve_mode out of range");
+  }
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->arrivals));
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->served_customers));
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->assigned_ads));
@@ -92,30 +102,73 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
 
 }  // namespace
 
+namespace {
+
+// Writes `data` to `fd` in full, retrying on EINTR and short writes.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("checkpoint write: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path) {
   const std::string payload = EncodePayload(ckpt);
+  std::string bytes(kMagic, sizeof(kMagic));
+  PutU64(&bytes, payload.size());
+  bytes += payload;
+  PutU32(&bytes, Crc32(payload));
+
+  // Durable atomic replace: write + fsync the tmp file, rename it into
+  // place, then fsync the containing directory — without the directory
+  // fsync a crash right after the rename can lose the new name on some
+  // filesystems (the rename lives in directory metadata, not the file).
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::Internal("cannot create checkpoint: " + tmp);
-    }
-    out.write(kMagic, sizeof(kMagic));
-    std::string frame;
-    PutU64(&frame, payload.size());
-    frame += payload;
-    PutU32(&frame, Crc32(payload));
-    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-    out.flush();
-    if (!out) {
-      return Status::Internal("checkpoint write failed: " + tmp);
-    }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create checkpoint: " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  Status st = WriteAll(fd, bytes.data(), bytes.size());
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::Internal(std::string("checkpoint fsync: ") +
+                          std::strerror(errno));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::Internal(std::string("checkpoint close: ") +
+                          std::strerror(errno));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     return Status::Internal("cannot rename checkpoint into place: " +
                             ec.message());
+  }
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::Internal("cannot open checkpoint directory for fsync: " +
+                            dir.string() + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) {
+    return Status::Internal(std::string("checkpoint directory fsync: ") +
+                            std::strerror(errno));
   }
   return Status::OK();
 }

@@ -37,6 +37,12 @@ struct StreamCheckpoint {
   /// Opaque `OnlineSolver::Snapshot()` blob.
   std::string solver_state;
 
+  /// Degradation-ladder rung at checkpoint time (assign::ServeMode as u8):
+  /// 0 = full pipeline, 1 = degraded greedy path. Recovery restores it
+  /// before replaying the journal tail so re-executed decisions use the
+  /// same code path that produced them.
+  uint8_t serve_mode = 0;
+
   // Mirror of stream::StreamStats at `next_arrival`.
   uint64_t arrivals = 0;
   uint64_t served_customers = 0;
@@ -51,9 +57,10 @@ struct StreamCheckpoint {
   std::vector<assign::AdInstance> instances;
 };
 
-/// Atomically writes `ckpt` to `path` (tmp file + rename) with a trailing
-/// CRC32 over the whole payload, so a crash mid-checkpoint can never leave
-/// a half-written file behind.
+/// Atomically writes `ckpt` to `path` (tmp file + fsync + rename + fsync of
+/// the containing directory) with a trailing CRC32 over the whole payload,
+/// so a crash mid-checkpoint can never leave a half-written file behind and
+/// a crash right after checkpointing cannot lose the rename itself.
 Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path);
 
 /// Loads and CRC-verifies a checkpoint. NotFound when missing, DataLoss

@@ -36,6 +36,14 @@ std::string EncodeArrivalCommit(uint64_t arrival, model::CustomerId customer,
   return payload;
 }
 
+std::string EncodeModeChange(uint64_t arrival, uint32_t mode) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kModeChange));
+  PutU64(&payload, arrival);
+  PutU32(&payload, mode);
+  return payload;
+}
+
 Status DecodePayload(const std::string& payload, JournalRecord* rec) {
   BinReader in(payload);
   uint8_t type = 0;
@@ -64,6 +72,20 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
       rec->vendor = -1;
       rec->ad_type = -1;
       rec->utility = 0.0;
+      break;
+    }
+    case JournalRecordType::kModeChange: {
+      rec->type = JournalRecordType::kModeChange;
+      // The common-prefix u32 carries the mode, not a customer id.
+      rec->mode = customer;
+      rec->customer = -1;
+      if (rec->mode > 1) {
+        return Status::DataLoss("journal mode change out of range");
+      }
+      rec->vendor = -1;
+      rec->ad_type = -1;
+      rec->utility = 0.0;
+      rec->num_decisions = 0;
       break;
     }
     default:
@@ -157,6 +179,10 @@ Status JournalWriter::AppendArrivalCommit(uint64_t arrival,
                                           model::CustomerId customer,
                                           uint32_t num_decisions) {
   return AppendFramed(EncodeArrivalCommit(arrival, customer, num_decisions));
+}
+
+Status JournalWriter::AppendModeChange(uint64_t arrival, uint32_t mode) {
+  return AppendFramed(EncodeModeChange(arrival, mode));
 }
 
 Status JournalWriter::Flush() {

@@ -27,10 +27,16 @@ namespace muaa::io {
 /// group; an arrival without its commit marker is *torn* and is discarded
 /// on recovery). The CRC catches both torn tails and silent bit flips.
 
-/// Distinguishes the two journal payload kinds.
+/// Distinguishes the journal payload kinds.
 enum class JournalRecordType : uint8_t {
   kDecision = 1,
   kArrivalCommit = 2,
+  /// Degradation-ladder transition (docs/serving.md): from this point in
+  /// the stream, decisions are made at `mode` (assign::ServeMode as u32).
+  /// Written at batch boundaries only — never between an arrival's
+  /// decisions and its commit marker — so recovery can re-execute the tail
+  /// on the same rung that first decided it.
+  kModeChange = 3,
 };
 
 /// One decoded journal record (union-style: the fields that apply depend
@@ -43,6 +49,7 @@ struct JournalRecord {
   model::AdTypeId ad_type = -1;     ///< kDecision
   double utility = 0.0;             ///< kDecision, bitwise-exact
   uint32_t num_decisions = 0;       ///< kArrivalCommit: group size check
+  uint32_t mode = 0;                ///< kModeChange: assign::ServeMode value
 };
 
 /// \brief Hook consulted before every record append; the deterministic
@@ -95,6 +102,10 @@ class JournalWriter {
   /// Appends the commit marker closing `arrival`'s group.
   Status AppendArrivalCommit(uint64_t arrival, model::CustomerId customer,
                              uint32_t num_decisions);
+
+  /// Appends a degradation-ladder transition taking effect at `arrival`
+  /// (the next arrival index to be decided). Must sit at a group boundary.
+  Status AppendModeChange(uint64_t arrival, uint32_t mode);
 
   /// Flushes buffered bytes to the OS.
   Status Flush();

@@ -15,7 +15,10 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
     : ctx_(ctx),
       solver_(solver),
       options_(std::move(options)),
-      run_{assign::AssignmentSet(ctx.instance), stream::StreamStats{}} {}
+      run_{assign::AssignmentSet(ctx.instance), stream::StreamStats{}} {
+  hinter_ = RetryHinter(options_.busy_retry_us, options_.busy_retry_cap_us);
+  ladder_ = DegradationLadder(options_.ladder);
+}
 
 Broker::~Broker() {
   Status st = Stop();
@@ -46,6 +49,11 @@ Status Broker::Start() {
     det_assigned_ads_ = run_.stats.assigned_ads;
     det_served_ = run_.stats.served_customers;
     det_total_utility_ = run_.stats.total_utility;
+    // Recovery restored the degradation rung (checkpoint + journaled
+    // transitions); sync the ladder and the STATS mirror to it.
+    ladder_.Reset(solver_->mode() == assign::ServeMode::kDegraded);
+    mode_.store(static_cast<uint64_t>(solver_->mode()),
+                std::memory_order_relaxed);
     if (!dur.journal_path.empty()) {
       if (rec.journal_usable) {
         MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
@@ -73,25 +81,86 @@ Status Broker::Start() {
   return Status::OK();
 }
 
+void Broker::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Broker::AcceptLoop() {
   while (true) {
     auto accepted = listener_.Accept();
     if (!accepted.ok()) return;  // listener shut down
-    auto conn = std::make_shared<Connection>();
-    conn->sock = std::move(accepted).ValueOrDie();
+    Socket sock = std::move(accepted).ValueOrDie();
     std::lock_guard<std::mutex> lk(conns_mu_);
+    // Reap finished reader threads before admitting: a parade of
+    // short-lived clients must not accumulate joinable threads, and
+    // closed connections must not count against the limit.
+    ReapFinishedLocked();
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      conn_rejections_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // sock closes on scope exit; the peer sees a reset
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    // A poll-granularity recv timeout lets the reader thread notice stall
+    // deadlines without a watchdog; the send timeout bounds how long a
+    // peer that stopped reading can wedge a writer.
+    uint64_t tick_us = 50'000;
+    if (options_.read_timeout_us > 0) {
+      tick_us = std::min(tick_us, options_.read_timeout_us);
+    }
+    if (options_.idle_timeout_us > 0) {
+      tick_us = std::min(tick_us, options_.idle_timeout_us);
+    }
+    if (options_.read_timeout_us > 0 || options_.idle_timeout_us > 0) {
+      (void)conn->sock.SetRecvTimeout(tick_us);
+    }
+    if (options_.write_timeout_us > 0) {
+      (void)conn->sock.SetSendTimeout(options_.write_timeout_us);
+    }
     conns_.push_back(conn);
-    conn_threads_.emplace_back([this, conn] { ServeConnection(conn); });
+    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
   }
 }
 
 void Broker::ServeConnection(const ConnPtr& conn) {
+  using Clock = std::chrono::steady_clock;
   std::string payload;
+  auto last_frame_done = Clock::now();  // end of the last complete frame
+  auto frame_started = last_frame_done;
+  bool was_mid_frame = false;
   while (true) {
     auto got = conn->sock.RecvFrame(&payload);
     if (!got.ok()) {
+      if (got.status().code() == StatusCode::kResourceExhausted) {
+        // Poll tick: no bytes arrived within the recv timeout. Decide
+        // whether this peer is stalled mid-frame (hostile/slow) or merely
+        // idle between requests, against the respective budget.
+        const auto now = Clock::now();
+        const bool mid_frame = conn->sock.has_buffered();
+        if (mid_frame && !was_mid_frame) frame_started = now;
+        was_mid_frame = mid_frame;
+        const auto since = std::chrono::duration_cast<std::chrono::microseconds>(
+            now - (mid_frame ? frame_started : last_frame_done));
+        const uint64_t budget = mid_frame ? options_.read_timeout_us
+                                          : options_.idle_timeout_us;
+        if (budget > 0 && static_cast<uint64_t>(since.count()) >=
+                              static_cast<uint64_t>(budget)) {
+          slow_client_drops_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        continue;
+      }
       // Corrupt stream: the frame boundary is lost, so the connection
       // cannot be resynchronized. Best-effort error, then drop it.
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       Response resp;
       resp.type = ResponseType::kError;
       resp.error = got.status().ToString();
@@ -99,8 +168,14 @@ void Broker::ServeConnection(const ConnPtr& conn) {
       break;
     }
     if (!*got) break;  // clean EOF
+    last_frame_done = Clock::now();
+    was_mid_frame = conn->sock.has_buffered();
+    frame_started = last_frame_done;
     auto req = DecodeRequest(payload);
     if (!req.ok()) {
+      // Framing was intact but the payload is malformed (e.g. declared
+      // length disagrees with the decoded field sizes).
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       Response resp;
       resp.type = ResponseType::kError;
       resp.error = req.status().ToString();
@@ -110,6 +185,7 @@ void Broker::ServeConnection(const ConnPtr& conn) {
     if (!Dispatch(conn, *req)) break;
   }
   conn->sock.ShutdownBoth();
+  conn->done.store(true, std::memory_order_release);
 }
 
 bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
@@ -125,20 +201,48 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         SendResponse(conn, resp);
         return true;
       }
-      bool admitted = false;
+      const auto now = std::chrono::steady_clock::now();
+      const bool conn_full =
+          options_.max_inflight_per_conn > 0 &&
+          conn->inflight.load(std::memory_order_relaxed) >=
+              options_.max_inflight_per_conn;
+      bool admitted = false, expired = false;
+      uint32_t hint = options_.busy_retry_us;
       {
         std::lock_guard<std::mutex> lk(queue_mu_);
-        if (!stopping_ && !aborting_ && queue_.size() < options_.queue_max) {
-          queue_.push_back(Admission{conn, req.request_id, req.customer});
+        // Admission-time expiry: if the predicted queue delay already
+        // exceeds the request's budget, answering EXPIRED now is strictly
+        // better than queueing work the deadline will kill anyway.
+        if (req.deadline_us > 0 &&
+            estimator_.QueueDelayUs(queue_.size()) >= req.deadline_us) {
+          expired = true;
+        } else if (!conn_full && !stopping_ && !aborting_ &&
+                   queue_.size() < options_.queue_max) {
+          queue_.push_back(Admission{conn, req.request_id, req.customer,
+                                     req.deadline_us, now});
           admitted = true;
+          hinter_.OnAdmit();
+          conn->inflight.fetch_add(1, std::memory_order_relaxed);
           uint64_t depth = queue_.size();
           uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
           while (depth > seen && !queue_high_water_.compare_exchange_weak(
                                      seen, depth, std::memory_order_relaxed)) {
           }
+        } else {
+          // Adaptive hint: come back roughly when the queue will have
+          // drained, exponentially backed off under sustained rejection.
+          hint = static_cast<uint32_t>(
+              hinter_.OnReject(estimator_.QueueDelayUs(queue_.size())));
         }
       }
-      if (admitted) {
+      if (expired) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.type = ResponseType::kExpired;
+        resp.request_id = req.request_id;
+        resp.customer = req.customer;
+        SendResponse(conn, resp);
+      } else if (admitted) {
         queue_cv_.notify_all();
       } else {
         // Backpressure instead of unbounded buffering: the client owns
@@ -147,7 +251,7 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         Response resp;
         resp.type = ResponseType::kBusy;
         resp.request_id = req.request_id;
-        resp.retry_after_us = options_.busy_retry_us;
+        resp.retry_after_us = hint;
         SendResponse(conn, resp);
       }
       return true;
@@ -255,31 +359,53 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   std::vector<Response> responses;
   responses.reserve(batch->size());
   Stopwatch watch;
+  Stopwatch batch_watch;
+  const auto drained_at = std::chrono::steady_clock::now();
+  uint64_t sojourn_sum_us = 0;
   size_t decided = 0;
   for (Admission& adm : *batch) {
     const auto idx = static_cast<size_t>(adm.customer);
+    sojourn_sum_us += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            drained_at - adm.admitted_at)
+            .count());
     Response resp;
     resp.type = ResponseType::kAssign;
     resp.request_id = adm.request_id;
     resp.customer = adm.customer;
 
+    // Drain-time expiry: the deadline elapsed while the arrival sat in
+    // the queue. Checked before the solver ever sees the arrival —
+    // expired work is dropped, never decided, never journaled.
+    const bool deadline_hit =
+        adm.deadline_us > 0 &&
+        drained_at - adm.admitted_at >=
+            std::chrono::microseconds(adm.deadline_us);
     bool duplicate = false, departed = false;
     {
       std::lock_guard<std::mutex> lk(state_mu_);
       if (processed_[idx]) {
         duplicate = true;
-      } else if (departed_[idx]) {
+      } else if (!deadline_hit && departed_[idx]) {
         // Consume the tombstone: this arrival is cancelled, a later
-        // re-arrival of the same customer is served normally.
+        // re-arrival of the same customer is served normally. An expired
+        // arrival leaves the tombstone for the customer's retry.
         departed_[idx] = false;
         departed = true;
       }
     }
     if (duplicate) {
       // Re-delivered arrival (retry, or replay against a resumed broker):
-      // answer the committed decision, change nothing.
+      // answer the committed decision, change nothing. Answered even past
+      // a deadline — the work is already done and durable.
       duplicates_.fetch_add(1, std::memory_order_relaxed);
       resp.ads = decisions_[idx];
+      responses.push_back(std::move(resp));
+      continue;
+    }
+    if (deadline_hit) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      resp.type = ResponseType::kExpired;
       responses.push_back(std::move(resp));
       continue;
     }
@@ -339,6 +465,35 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   }
   for (size_t k = 0; k < responses.size(); ++k) {
     SendResponse((*batch)[k].conn, responses[k]);
+    (*batch)[k].conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Feed the pressure estimator (under queue_mu_: the admission path reads
+  // it there) and let the ladder decide the rung for the NEXT batch.
+  const uint64_t batch_us =
+      static_cast<uint64_t>(batch_watch.ElapsedMillis() * 1000.0);
+  double sojourn_now = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    estimator_.ObserveService(batch_us, batch->size());
+    if (!batch->empty()) {
+      estimator_.ObserveSojourn(sojourn_sum_us / batch->size());
+    }
+    sojourn_now = estimator_.sojourn_us();
+  }
+  if (ladder_.Observe(sojourn_now)) {
+    // Rung flipped. Journal the transition BEFORE any decision made on the
+    // new rung so replay re-takes the same path; the record rides the next
+    // batch's flush (no response depends on it).
+    const auto mode = ladder_.degraded() ? assign::ServeMode::kDegraded
+                                         : assign::ServeMode::kFull;
+    if (writer_ != nullptr) {
+      MUAA_RETURN_NOT_OK(writer_->AppendModeChange(
+          run_.stats.arrivals, static_cast<uint32_t>(mode)));
+    }
+    solver_->set_mode(mode);
+    mode_.store(static_cast<uint64_t>(mode), std::memory_order_relaxed);
+    mode_transitions_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -350,6 +505,7 @@ Status Broker::WriteCheckpoint() {
   ckpt.num_ad_types = ctx_.instance->ad_types.size();
   ckpt.solver_name = solver_->name();
   MUAA_ASSIGN_OR_RETURN(ckpt.solver_state, solver_->Snapshot());
+  ckpt.serve_mode = static_cast<uint8_t>(solver_->mode());
   ckpt.arrivals = run_.stats.arrivals;
   ckpt.served_customers = run_.stats.served_customers;
   ckpt.assigned_ads = run_.stats.assigned_ads;
@@ -399,11 +555,12 @@ Status Broker::StopThreads(bool drain) {
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
   }
-  // conn_threads_ only grows from the acceptor, which is joined: safe to
-  // iterate unlocked.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // The acceptor is joined, so conns_ no longer changes: safe to join the
+  // reader threads unlocked.
+  for (const ConnPtr& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
+  conns_.clear();
   listener_.Close();
   {
     std::lock_guard<std::mutex> lk(shutdown_mu_);
@@ -465,6 +622,12 @@ BrokerStats Broker::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  s.slow_client_drops = slow_client_drops_.load(std::memory_order_relaxed);
+  s.conn_rejections = conn_rejections_.load(std::memory_order_relaxed);
+  s.mode = mode_.load(std::memory_order_relaxed);
+  s.mode_transitions = mode_transitions_.load(std::memory_order_relaxed);
   return s;
 }
 

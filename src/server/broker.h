@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 #include "assign/solver.h"
 #include "common/result.h"
 #include "io/journal.h"
+#include "server/overload.h"
 #include "server/protocol.h"
 #include "server/socket.h"
 #include "stream/driver.h"
@@ -37,8 +39,34 @@ struct BrokerOptions {
   /// buffering without limit — memory stays bounded no matter how far
   /// offered load exceeds capacity.
   size_t queue_max = 1024;
-  /// `retry_after_us` hint carried by BUSY responses.
+  /// Floor of the adaptive `retry_after_us` hint carried by BUSY
+  /// responses. The actual hint is max(floor, predicted queue drain time)
+  /// doubled per consecutive rejection, capped at `busy_retry_cap_us`.
   uint32_t busy_retry_us = 1000;
+  /// Cap of the adaptive BUSY hint.
+  uint32_t busy_retry_cap_us = 500'000;
+
+  // --- Slow-client protection ------------------------------------------
+  /// Connections beyond this are refused at accept (counted in
+  /// `conn_rejections`); 0 = unlimited.
+  size_t max_connections = 256;
+  /// ARRIVEs one connection may have queued at once; beyond it the
+  /// connection is answered BUSY regardless of global queue room. 0 =
+  /// unlimited.
+  size_t max_inflight_per_conn = 1024;
+  /// Budget for receiving one complete frame once its first byte arrived;
+  /// a peer that stalls mid-frame longer is dropped. 0 = no limit.
+  uint64_t read_timeout_us = 5'000'000;
+  /// Budget between frames (a connected peer sending nothing). 0 = no
+  /// limit — idle clients are legitimate by default.
+  uint64_t idle_timeout_us = 0;
+  /// Budget for one blocking send; a peer that stops reading while the
+  /// broker writes is dropped rather than wedging the writer. 0 = none.
+  uint64_t write_timeout_us = 5'000'000;
+
+  /// Degradation ladder (server/overload.h). Default thresholds of 0 keep
+  /// the ladder disabled: the solver always runs the full pipeline.
+  LadderOptions ladder;
 
   /// Durability (journal/checkpoint paths + cadence, as for the stream
   /// driver); `injector` and `stop` are ignored here.
@@ -110,6 +138,13 @@ class Broker {
   struct Connection {
     Socket sock;
     std::mutex write_mu;
+    /// ARRIVEs admitted but not yet answered (per-connection cap).
+    std::atomic<uint64_t> inflight{0};
+    /// Reader thread finished; the acceptor may reap `thread`.
+    std::atomic<bool> done{false};
+    /// The reader thread serving this connection, joined by the acceptor
+    /// (reap) or by `StopThreads`.
+    std::thread thread;
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
@@ -118,9 +153,14 @@ class Broker {
     ConnPtr conn;
     uint64_t request_id = 0;
     model::CustomerId customer = -1;
+    uint32_t deadline_us = 0;  ///< 0 = no deadline
+    std::chrono::steady_clock::time_point admitted_at{};
   };
 
   void AcceptLoop();
+  /// Joins and erases connections whose reader thread has finished.
+  /// Requires `conns_mu_`.
+  void ReapFinishedLocked();
   void ServeConnection(const ConnPtr& conn);
   /// Handles one decoded request; false closes the connection.
   bool Dispatch(const ConnPtr& conn, const Request& req);
@@ -144,13 +184,16 @@ class Broker {
   std::thread solver_thread_;
   std::mutex conns_mu_;
   std::vector<ConnPtr> conns_;
-  std::vector<std::thread> conn_threads_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Admission> queue_;
   bool stopping_ = false;   ///< drain, then exit (graceful)
   bool aborting_ = false;   ///< exit without draining (crash test)
+  /// Queue-pressure estimator + adaptive BUSY hints, guarded by
+  /// `queue_mu_` (read on the admission path, updated once per batch).
+  SojournEstimator estimator_;
+  RetryHinter hinter_{1000, 500'000};
 
   // Solver-loop-owned stream state (external access only when stopped).
   stream::StreamRunResult run_;
@@ -159,6 +202,9 @@ class Broker {
   std::vector<std::vector<assign::AdInstance>> decisions_;
   std::unique_ptr<io::JournalWriter> writer_;
   size_t arrivals_since_checkpoint_ = 0;
+  /// Solver-loop-owned degradation ladder; rung changes are journaled
+  /// before the first decision they affect.
+  DegradationLadder ladder_;
 
   /// Deterministic totals mirrored from `run_` after every arrival, so
   /// STATS can answer from reader threads while the solver loop runs.
@@ -176,6 +222,12 @@ class Broker {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> max_batch_{0};
   std::atomic<uint64_t> queue_high_water_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
+  std::atomic<uint64_t> slow_client_drops_{0};
+  std::atomic<uint64_t> conn_rejections_{0};
+  std::atomic<uint64_t> mode_{0};  ///< current ServeMode, mirrored for STATS
+  std::atomic<uint64_t> mode_transitions_{0};
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -1,0 +1,208 @@
+#include "server/chaos_proxy.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace muaa::server {
+
+namespace {
+
+/// Schedule of byte positions at which one fault class strikes. Gaps are
+/// uniform in [1, 2·mean], so the mean gap is ~`mean` but positions are a
+/// deterministic function of the RNG stream alone.
+class ByteSchedule {
+ public:
+  /// Owns its RNG: positions depend only on (seed, mean), never on how
+  /// often other fault classes or the latency jitter drew.
+  ByteSchedule(uint64_t mean_gap, uint64_t seed) : mean_(mean_gap), rng_(seed) {
+    next_ = mean_ == 0 ? UINT64_MAX : Draw();
+  }
+
+  /// True when `pos` reached the next scheduled position; advances it.
+  bool Due(uint64_t pos) {
+    if (pos < next_) return false;
+    next_ += Draw();
+    return true;
+  }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  uint64_t Draw() {
+    return static_cast<uint64_t>(
+        rng_.UniformInt(1, static_cast<int64_t>(2 * mean_)));
+  }
+
+  uint64_t mean_;
+  Rng rng_;
+  uint64_t next_;
+};
+
+/// Splits the seed per (connection, direction) so every pump has its own
+/// reproducible fault stream.
+uint64_t MixSeed(uint64_t seed, uint64_t conn_index, int direction) {
+  uint64_t x = seed ^ (conn_index * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(direction + 1) << 32);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  MUAA_ASSIGN_OR_RETURN(
+      listener_, Listener::Bind(options_.listen_host, options_.listen_port));
+  port_ = listener_.port();
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (true) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener shut down
+    auto upstream = Connect(options_.upstream_host, options_.upstream_port);
+    if (!upstream.ok()) {
+      // Upstream refused: drop the client, keep accepting (the broker may
+      // be restarting mid-chaos run).
+      continue;
+    }
+    const uint64_t index = connections_.fetch_add(1);
+    auto relay = std::make_shared<Relay>();
+    relay->client = std::move(accepted).ValueOrDie();
+    relay->upstream = std::move(upstream).ValueOrDie();
+    std::lock_guard<std::mutex> lk(relays_mu_);
+    // Reap relays whose pumps both finished.
+    for (auto it = relays_.begin(); it != relays_.end();) {
+      if ((*it)->dead.load(std::memory_order_acquire)) {
+        if ((*it)->up_pump.joinable()) (*it)->up_pump.join();
+        if ((*it)->down_pump.joinable()) (*it)->down_pump.join();
+        it = relays_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    relays_.push_back(relay);
+    relay->up_pump = std::thread([this, relay, index] {
+      Pump(relay, &relay->client, &relay->upstream, index, 0);
+    });
+    relay->down_pump = std::thread([this, relay, index] {
+      Pump(relay, &relay->upstream, &relay->client, index, 1);
+    });
+  }
+}
+
+void ChaosProxy::Pump(const RelayPtr& relay, Socket* src, Socket* dst,
+                      uint64_t conn_index, int direction) {
+  const uint64_t base = MixSeed(options_.seed, conn_index, direction);
+  ByteSchedule corrupt(options_.corrupt_every, base ^ 1);
+  ByteSchedule drop(options_.drop_every, base ^ 2);
+  ByteSchedule reset(options_.reset_every, base ^ 3);
+  Rng jitter_rng(base ^ 4);
+
+  char buf[16384];
+  uint64_t pos = 0;        // absolute position in this direction's stream
+  uint64_t drop_until = 0; // bytes below this position are swallowed
+  bool do_reset = false;
+  while (true) {
+    const size_t want = std::min(sizeof(buf), options_.max_chunk);
+    auto got = src->RecvSome(buf, want);
+    if (!got.ok() || *got == 0) break;  // EOF or peer torn down
+    const size_t n = *got;
+
+    // Apply the byte-position fault schedules to [pos, pos + n).
+    std::string out;
+    out.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      const uint64_t p = pos + k;
+      if (reset.Due(p)) {
+        // Tear the connection down mid-stream: forward nothing further.
+        do_reset = true;
+        break;
+      }
+      if (p < drop_until) {
+        dropped_bytes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (drop.Due(p)) {
+        // Swallow a short span (it may extend into later chunks): the
+        // receiver silently loses these bytes and desynchronizes at the
+        // next frame boundary.
+        drop_until =
+            p + static_cast<uint64_t>(drop.rng()->UniformInt(1, 64));
+        dropped_bytes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      char c = buf[k];
+      if (corrupt.Due(p)) {
+        c = static_cast<char>(c ^ 0x01);
+        corrupted_bytes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      out.push_back(c);
+    }
+    pos += n;
+
+    if (options_.latency_us > 0 || options_.jitter_us > 0) {
+      uint64_t delay = options_.latency_us;
+      if (options_.jitter_us > 0) {
+        delay += static_cast<uint64_t>(
+            jitter_rng.UniformInt(0, static_cast<int64_t>(options_.jitter_us)));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    if (options_.bandwidth_bytes_per_s > 0 && !out.empty()) {
+      const uint64_t pace_us =
+          out.size() * 1'000'000ull / options_.bandwidth_bytes_per_s;
+      std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+    }
+
+    // Forward in bounded chunks — the receiver sees partial writes.
+    bool send_failed = false;
+    for (size_t off = 0; off < out.size(); off += options_.max_chunk) {
+      const size_t chunk = std::min(options_.max_chunk, out.size() - off);
+      if (!dst->SendAll(out.data() + off, chunk).ok()) {
+        send_failed = true;
+        break;
+      }
+      forwarded_bytes_.fetch_add(chunk, std::memory_order_relaxed);
+    }
+    if (do_reset) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (send_failed) break;
+  }
+  // Either side ending tears down both directions: a half-dead relay
+  // would otherwise strand the peer waiting forever.
+  relay->client.ShutdownBoth();
+  relay->upstream.ShutdownBoth();
+  relay->dead.store(true, std::memory_order_release);
+}
+
+void ChaosProxy::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<RelayPtr> relays;
+  {
+    std::lock_guard<std::mutex> lk(relays_mu_);
+    relays.swap(relays_);
+  }
+  for (const RelayPtr& relay : relays) {
+    relay->client.ShutdownBoth();
+    relay->upstream.ShutdownBoth();
+    if (relay->up_pump.joinable()) relay->up_pump.join();
+    if (relay->down_pump.joinable()) relay->down_pump.join();
+  }
+  listener_.Close();
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "server/socket.h"
+
+namespace muaa::server {
+
+/// \brief Configuration of the deterministic network chaos proxy.
+///
+/// All fault schedules are keyed by absolute *byte position* in each
+/// direction's stream, with gaps drawn from an `Rng` seeded by
+/// `seed ⊕ hash(connection index, direction)`. That makes the set of
+/// corrupted/dropped/reset positions a pure function of the seed and the
+/// bytes transferred — independent of TCP chunking, timing, or scheduler
+/// interleaving — so a chaos run is reproducible.
+struct ChaosOptions {
+  std::string listen_host = "127.0.0.1";
+  /// Port the proxy listens on; 0 picks an ephemeral one.
+  int listen_port = 0;
+  std::string upstream_host = "127.0.0.1";
+  int upstream_port = 0;
+
+  /// Seed of the fault schedules.
+  uint64_t seed = 1;
+
+  /// Base latency added before forwarding each chunk, plus uniform jitter
+  /// in [0, jitter_us). 0 = no delay.
+  uint32_t latency_us = 0;
+  uint32_t jitter_us = 0;
+
+  /// Mean gap in bytes between single-byte corruptions (XOR 0x01).
+  /// 0 = disabled.
+  uint64_t corrupt_every = 0;
+  /// Mean gap in bytes between dropped spans (1–64 swallowed bytes — the
+  /// receiver loses framing and must reconnect). 0 = disabled.
+  uint64_t drop_every = 0;
+  /// Mean gap in bytes between injected connection teardowns. 0 = disabled.
+  uint64_t reset_every = 0;
+
+  /// Forwarding chunk cap: larger reads are split into several sends
+  /// (partial writes as the receiver observes them).
+  size_t max_chunk = 4096;
+  /// Pace forwarding to roughly this many bytes/second. 0 = unlimited.
+  uint64_t bandwidth_bytes_per_s = 0;
+};
+
+/// \brief A seeded, deterministic TCP fault injector between a client
+/// (e.g. muaa_loadgen) and an upstream (the broker).
+///
+/// One acceptor thread; per accepted connection one upstream connect and
+/// two pump threads (client→upstream, upstream→client), each applying its
+/// own fault schedule. Exposed as the `muaa_chaosproxy` tool and used by
+/// the chaos CI job and `tests/server_overload_test.cc` to prove that a
+/// retrying load generator through a lossy link converges to the same
+/// journal/assignment state as a clean direct run.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosOptions options) : options_(std::move(options)) {}
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listen port and starts proxying.
+  Status Start();
+
+  /// The bound listen port (valid after `Start`).
+  int port() const { return port_; }
+
+  /// Tears down the listener, all relays and threads. Idempotent.
+  void Stop();
+
+  // Fault counters (approximate while running, exact after Stop).
+  uint64_t connections() const { return connections_.load(); }
+  uint64_t corrupted_bytes() const { return corrupted_bytes_.load(); }
+  uint64_t dropped_bytes() const { return dropped_bytes_.load(); }
+  uint64_t resets() const { return resets_.load(); }
+  uint64_t forwarded_bytes() const { return forwarded_bytes_.load(); }
+
+ private:
+  /// One proxied connection: the two sockets and their pump threads.
+  struct Relay {
+    Socket client;
+    Socket upstream;
+    std::thread up_pump;    ///< client → upstream
+    std::thread down_pump;  ///< upstream → client
+    std::atomic<bool> dead{false};
+  };
+  using RelayPtr = std::shared_ptr<Relay>;
+
+  void AcceptLoop();
+  /// Forwards `src` → `dst` applying the direction's fault schedule.
+  /// `conn_index`/`direction` key the schedule's RNG seed.
+  void Pump(const RelayPtr& relay, Socket* src, Socket* dst,
+            uint64_t conn_index, int direction);
+
+  ChaosOptions options_;
+  int port_ = 0;
+  Listener listener_;
+  std::thread acceptor_;
+  std::mutex relays_mu_;
+  std::vector<RelayPtr> relays_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> corrupted_bytes_{0};
+  std::atomic<uint64_t> dropped_bytes_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> forwarded_bytes_{0};
+};
+
+}  // namespace muaa::server

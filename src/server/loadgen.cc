@@ -1,5 +1,6 @@
 #include "server/loadgen.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -46,10 +47,21 @@ struct Aggregate {
       case ResponseType::kBusy:
         report.busy += 1;
         break;
+      case ResponseType::kExpired:
+        report.expired += 1;
+        break;
       default:
         report.errors += 1;
         break;
     }
+  }
+
+  /// One arrival reached a terminal answer after `retries` re-sends.
+  void RecordRetries(uint64_t retries) {
+    std::lock_guard<std::mutex> lk(mu);
+    const size_t bucket =
+        std::min<uint64_t>(retries, kRetryHistogramBuckets - 1);
+    report.retry_histogram[bucket] += 1;
   }
 
   void RecordError(const Status& st) {
@@ -58,55 +70,118 @@ struct Aggregate {
   }
 };
 
+/// Per-connection backoff with the jitter seed offset by the connection
+/// index, so parallel connections draw distinct (but reproducible) delays.
+BackoffPolicy MakePolicy(const LoadgenOptions& options, size_t conn_index) {
+  BackoffOptions bo = options.backoff;
+  bo.seed = bo.seed + 7919 * static_cast<uint64_t>(conn_index);
+  return BackoffPolicy(bo);
+}
+
 /// Closed loop on one connection: one in-flight arrival, order preserved.
-void RunClosedLoop(const LoadgenOptions& options,
+void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
                    std::vector<model::CustomerId> slice, Aggregate* agg,
-                   std::atomic<uint64_t>* sent) {
+                   std::atomic<uint64_t>* sent,
+                   std::atomic<uint64_t>* reconnects) {
+  BackoffPolicy policy = MakePolicy(options, conn_index);
+  auto configure = [&](Socket* sock) {
+    if (options.recv_timeout_us > 0) {
+      (void)sock->SetRecvTimeout(options.recv_timeout_us);
+    }
+  };
   auto connected = Connect(options.host, options.port);
   if (!connected.ok()) {
     agg->RecordError(connected.status());
     return;
   }
   Socket sock = std::move(connected).ValueOrDie();
+  configure(&sock);
+
+  // Replaces the dead socket with a fresh one, delaying each attempt by the
+  // backoff schedule. Returns false once the attempt budget is spent.
+  auto reopen = [&]() -> bool {
+    for (uint32_t attempt = 0; attempt < options.max_reconnects; ++attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(policy.DelayUs(attempt)));
+      auto again = Connect(options.host, options.port);
+      if (!again.ok()) continue;
+      sock = std::move(again).ValueOrDie();
+      configure(&sock);
+      reconnects->fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  // Transport/framing failure mid-arrival: either reconnect (and re-send
+  // the same arrival — the broker answers duplicates from memory) or fail
+  // the whole run.
+  auto recover = [&](const Status& st) -> bool {
+    if (options.reconnect && reopen()) return true;
+    agg->RecordError(st);
+    return false;
+  };
+
   uint64_t rid = 0;
   std::string payload;
   for (model::CustomerId customer : slice) {
     bool answered = false;
+    uint64_t retries = 0;
+    uint32_t busy_streak = 0;
     while (!answered) {
       Request req;
       req.type = RequestType::kArrive;
       req.request_id = ++rid;
       req.customer = customer;
+      req.deadline_us = options.deadline_us;
       const auto t0 = Clock::now();
       Status st = sock.SendFrame(EncodeRequest(req));
       if (!st.ok()) {
-        agg->RecordError(st);
-        return;
+        if (!recover(st)) return;
+        retries += 1;
+        continue;
       }
       sent->fetch_add(1, std::memory_order_relaxed);
       auto got = sock.RecvFrame(&payload);
       if (!got.ok() || !*got) {
-        agg->RecordError(got.ok() ? Status::Internal(
-                                        "broker closed the connection")
-                                  : got.status());
-        return;
+        if (!recover(got.ok()
+                         ? Status::Internal("broker closed the connection")
+                         : got.status())) {
+          return;
+        }
+        retries += 1;
+        continue;
       }
       auto resp = DecodeResponse(payload);
       if (!resp.ok()) {
-        agg->RecordError(resp.status());
-        return;
+        if (!recover(resp.status())) return;
+        retries += 1;
+        continue;
+      }
+      if (resp->request_id != req.request_id) {
+        // Desynchronized stream: e.g. the broker's error reply to a frame
+        // mangled in transit carries no request id. The answer for OUR
+        // request may never come — reconnect and re-send.
+        if (!recover(Status::DataLoss("response id mismatch"))) return;
+        retries += 1;
+        continue;
       }
       const double us =
           std::chrono::duration<double, std::micro>(Clock::now() - t0)
               .count();
       agg->RecordResponse(*resp, us, options.collect);
       if (resp->type == ResponseType::kBusy && options.retry_busy) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(resp->retry_after_us));
-        continue;  // re-send the same arrival
+        // Wait out the larger of the broker's adaptive hint and the local
+        // backoff schedule, then re-send the same arrival.
+        const uint64_t delay = std::max<uint64_t>(
+            resp->retry_after_us, policy.DelayUs(busy_streak));
+        busy_streak += 1;
+        retries += 1;
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+        continue;
       }
-      answered = true;
+      answered = true;  // kAssign, kExpired, kError are all terminal
     }
+    agg->RecordRetries(retries);
   }
 }
 
@@ -119,6 +194,10 @@ struct OpenState {
   std::unordered_map<uint64_t, std::pair<model::CustomerId, Clock::time_point>>
       in_flight;
   std::deque<std::pair<Clock::time_point, model::CustomerId>> retries;
+  /// Consecutive BUSY answers per customer (drives the backoff schedule
+  /// and the retry histogram). Guarded by `mu`.
+  std::unordered_map<model::CustomerId, uint64_t> attempts;
+  BackoffPolicy policy;
   bool send_done = false;
   bool dead = false;  ///< transport failed; both threads bail out
 };
@@ -157,6 +236,8 @@ void OpenReceiver(Socket* sock, OpenState* state,
     }
     model::CustomerId customer = -1;
     Clock::time_point sent_at;
+    uint64_t done_retries = 0;
+    bool terminal = false;
     {
       std::lock_guard<std::mutex> lk(state->mu);
       auto it = state->in_flight.find(resp->request_id);
@@ -165,9 +246,20 @@ void OpenReceiver(Socket* sock, OpenState* state,
       sent_at = it->second.second;
       state->in_flight.erase(it);
       if (resp->type == ResponseType::kBusy && options.retry_busy) {
+        const uint64_t attempt = state->attempts[customer]++;
+        const uint64_t delay = std::max<uint64_t>(
+            resp->retry_after_us,
+            state->policy.DelayUs(
+                static_cast<uint32_t>(std::min<uint64_t>(attempt, 63))));
         state->retries.emplace_back(
-            Clock::now() + std::chrono::microseconds(resp->retry_after_us),
-            customer);
+            Clock::now() + std::chrono::microseconds(delay), customer);
+      } else {
+        terminal = true;
+        auto at = state->attempts.find(customer);
+        if (at != state->attempts.end()) {
+          done_retries = at->second;
+          state->attempts.erase(at);
+        }
       }
       state->cv.notify_all();
     }
@@ -175,6 +267,7 @@ void OpenReceiver(Socket* sock, OpenState* state,
         std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
             .count();
     agg->RecordResponse(*resp, us, options.collect);
+    if (terminal) agg->RecordRetries(done_retries);
   }
 }
 
@@ -188,6 +281,7 @@ void OpenSender(Socket* sock, OpenState* state, const LoadgenOptions& options,
     req.type = RequestType::kArrive;
     req.request_id = ++rid;
     req.customer = customer;
+    req.deadline_us = options.deadline_us;
     {
       std::lock_guard<std::mutex> lk(state->mu);
       state->in_flight[req.request_id] = {customer, Clock::now()};
@@ -255,6 +349,7 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   const size_t conns = options.connections;
   Aggregate agg;
   std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> reconnects{0};
   const auto t0 = Clock::now();
 
   std::vector<std::thread> threads;
@@ -265,9 +360,10 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
       for (size_t i = c; i < arrivals.size(); i += conns) {
         slice.push_back(arrivals[i]);
       }
-      threads.emplace_back([&options, &agg, &sent, s = std::move(slice)] {
-        RunClosedLoop(options, s, &agg, &sent);
-      });
+      threads.emplace_back(
+          [&options, &agg, &sent, &reconnects, c, s = std::move(slice)] {
+            RunClosedLoop(options, c, s, &agg, &sent, &reconnects);
+          });
     }
     for (std::thread& t : threads) t.join();
   } else {
@@ -277,6 +373,10 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
     std::vector<OpenState> states(conns);
     for (size_t c = 0; c < conns; ++c) {
       MUAA_ASSIGN_OR_RETURN(sockets[c], Connect(options.host, options.port));
+      if (options.recv_timeout_us > 0) {
+        MUAA_RETURN_NOT_OK(sockets[c].SetRecvTimeout(options.recv_timeout_us));
+      }
+      states[c].policy = MakePolicy(options, c);
     }
     const auto start = Clock::now() + std::chrono::milliseconds(5);
     for (size_t c = 0; c < conns; ++c) {
@@ -302,6 +402,7 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   if (!agg.first_error.ok()) return agg.first_error;
   LoadgenReport report = std::move(agg.report);
   report.sent = sent.load();
+  report.reconnects = reconnects.load();
   report.elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
   if (report.elapsed_s > 0) {

@@ -1,15 +1,22 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "assign/assignment.h"
+#include "common/backoff.h"
 #include "common/result.h"
 #include "model/entities.h"
 #include "server/protocol.h"
 
 namespace muaa::server {
+
+/// Retry histogram shape: bucket `k < 16` counts arrivals that needed
+/// exactly `k` re-sends (BUSY retries + reconnect re-sends) before a
+/// terminal answer; the last bucket counts arrivals that needed 16 or more.
+inline constexpr size_t kRetryHistogramBuckets = 17;
 
 /// \brief Load-generator configuration (see tools/muaa_loadgen.cc and
 /// bench/bench_server_throughput.cc).
@@ -26,10 +33,39 @@ struct LoadgenOptions {
   /// Parallel TCP connections; arrivals are dealt round-robin.
   size_t connections = 1;
 
-  /// Re-send an arrival the broker answered BUSY after its
-  /// `retry_after_us` hint. Off, BUSY arrivals are dropped (and counted) —
-  /// the right mode for measuring backpressure.
+  /// Re-send an arrival the broker answered BUSY after
+  /// max(server hint, capped exponential backoff). Off, BUSY arrivals are
+  /// dropped (and counted) — the right mode for measuring backpressure.
   bool retry_busy = true;
+
+  /// Backoff schedule for BUSY retries and reconnect attempts. The jitter
+  /// seed is offset per connection so parallel connections desynchronize
+  /// deterministically.
+  BackoffOptions backoff;
+
+  /// Deadline stamped on every ARRIVE (microseconds of queueing the client
+  /// will tolerate). 0 = none. Expired answers are terminal: the arrival
+  /// is counted in `LoadgenReport::expired` and never re-sent.
+  uint32_t deadline_us = 0;
+
+  /// Closed loop only: on a transport or framing error (connection reset,
+  /// CRC mismatch, swallowed bytes, receive timeout) close the socket,
+  /// reconnect with backoff, and re-send the current arrival instead of
+  /// failing the run. The broker answers duplicates from memory, so a
+  /// re-sent arrival that was already processed converges to the same
+  /// state — this is what lets a loadgen run through the chaos proxy
+  /// finish with a journal bitwise-identical to a clean run. In open-loop
+  /// mode transport errors still fail the run.
+  bool reconnect = false;
+
+  /// Consecutive reconnect attempts before giving up (reconnect mode).
+  uint32_t max_reconnects = 16;
+
+  /// Receive timeout per frame (microseconds); protects the client from
+  /// hanging forever when a lossy link swallows the response bytes.
+  /// 0 = no timeout. With `reconnect`, a timeout triggers a reconnect and
+  /// re-send rather than an error.
+  uint64_t recv_timeout_us = 0;
 
   /// Keep every returned ad instance (for bitwise comparison against an
   /// offline run).
@@ -41,7 +77,9 @@ struct LoadgenReport {
   uint64_t sent = 0;       ///< ARRIVE frames pushed (including retries)
   uint64_t assigned = 0;   ///< kAssign responses
   uint64_t busy = 0;       ///< kBusy responses
+  uint64_t expired = 0;    ///< kExpired responses (terminal, never retried)
   uint64_t errors = 0;     ///< kError responses + transport failures
+  uint64_t reconnects = 0; ///< successful reconnects (reconnect mode)
   uint64_t assigned_ads = 0;
   uint64_t served = 0;     ///< responses with >= 1 ad
   double total_utility = 0.0;
@@ -55,6 +93,10 @@ struct LoadgenReport {
   double p99_us = 0.0;
   double max_us = 0.0;
 
+  /// Bucket k: arrivals answered after exactly k re-sends; last bucket:
+  /// 16 or more (see kRetryHistogramBuckets).
+  std::array<uint64_t, kRetryHistogramBuckets> retry_histogram{};
+
   /// Returned ads in response order (only with `collect`; meaningful with
   /// one connection).
   std::vector<assign::AdInstance> instances;
@@ -63,8 +105,9 @@ struct LoadgenReport {
 /// \brief Replays `arrivals` against a broker: open-loop at `qps` (arrival
 /// times scheduled up front, sends never wait for responses) or closed
 /// loop. Latency is measured per response with a bounded-memory reservoir
-/// (common/streaming_quantile). Transport errors fail the run; protocol
-/// BUSY/ERROR responses are counted.
+/// (common/streaming_quantile). Transport errors fail the run unless
+/// `reconnect` is set (closed loop); protocol BUSY/EXPIRED/ERROR responses
+/// are counted.
 Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
                                  const LoadgenOptions& options);
 

@@ -1,0 +1,66 @@
+#include "server/overload.h"
+
+#include <algorithm>
+
+namespace muaa::server {
+
+void SojournEstimator::ObserveService(uint64_t batch_us, uint64_t n) {
+  if (n == 0) return;
+  const double per_item = static_cast<double>(batch_us) / static_cast<double>(n);
+  service_us_ = batches_ == 0 ? per_item
+                              : alpha_ * per_item + (1.0 - alpha_) * service_us_;
+  ++batches_;
+}
+
+void SojournEstimator::ObserveSojourn(uint64_t sojourn_us) {
+  const double s = static_cast<double>(sojourn_us);
+  sojourn_us_ = sojourn_us_ == 0.0 ? s : alpha_ * s + (1.0 - alpha_) * sojourn_us_;
+}
+
+uint64_t SojournEstimator::QueueDelayUs(uint64_t depth) const {
+  return static_cast<uint64_t>(service_us_ * static_cast<double>(depth));
+}
+
+bool DegradationLadder::Observe(double sojourn_us) {
+  if (!degraded_) {
+    if (opts_.degrade_sojourn_us > 0 &&
+        sojourn_us > static_cast<double>(opts_.degrade_sojourn_us)) {
+      ++over_streak_;
+      if (over_streak_ >= opts_.degrade_batches) {
+        degraded_ = true;
+        ++transitions_;
+        over_streak_ = 0;
+        under_streak_ = 0;
+        return true;
+      }
+    } else {
+      over_streak_ = 0;
+    }
+    return false;
+  }
+  if (sojourn_us < static_cast<double>(opts_.recover_sojourn_us)) {
+    ++under_streak_;
+    if (under_streak_ >= opts_.recover_batches) {
+      degraded_ = false;
+      ++transitions_;
+      over_streak_ = 0;
+      under_streak_ = 0;
+      return true;
+    }
+  } else {
+    under_streak_ = 0;
+  }
+  return false;
+}
+
+uint64_t RetryHinter::OnReject(uint64_t queue_delay_us) {
+  uint64_t hint = std::max(floor_us_, queue_delay_us);
+  // Double per consecutive rejection, saturating at the cap: shifting by
+  // the streak would overflow past 63, so walk up multiplicatively.
+  for (uint64_t k = 0; k < streak_ && hint < cap_us_; ++k) hint *= 2;
+  hint = std::min(hint, cap_us_);
+  if (streak_ < 64) ++streak_;
+  return hint;
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+
+namespace muaa::server {
+
+/// \brief Streaming estimate of admission-queue pressure.
+///
+/// Two EWMAs drive all overload decisions in the broker:
+///  * per-item service time — observed once per drained batch as
+///    `batch_duration / batch_size`, it predicts how long a newly admitted
+///    arrival will wait behind a queue of a given depth;
+///  * sojourn time — the end-to-end queue delay actually experienced by
+///    drained arrivals (admission to decision), the CoDel-style signal the
+///    degradation ladder watches.
+///
+/// Pure arithmetic over caller-supplied microsecond measurements: no
+/// clocks, no threads — deterministic and unit-testable in isolation.
+class SojournEstimator {
+ public:
+  /// `alpha` is the EWMA weight of a new observation in (0, 1].
+  explicit SojournEstimator(double alpha = 0.2) : alpha_(alpha) {}
+
+  /// Records that a drained batch of `n` arrivals took `batch_us` of
+  /// solver-loop time (solve + journal + flush).
+  void ObserveService(uint64_t batch_us, uint64_t n);
+
+  /// Records the queue delay one drained arrival experienced.
+  void ObserveSojourn(uint64_t sojourn_us);
+
+  /// Predicted queue delay for an arrival admitted behind `depth` queued
+  /// ones. Zero until the first service observation.
+  uint64_t QueueDelayUs(uint64_t depth) const;
+
+  /// Smoothed per-item service time (microseconds).
+  double service_us() const { return service_us_; }
+  /// Smoothed sojourn time (microseconds).
+  double sojourn_us() const { return sojourn_us_; }
+  /// Batches observed so far.
+  uint64_t batches() const { return batches_; }
+
+ private:
+  double alpha_;
+  double service_us_ = 0.0;
+  double sojourn_us_ = 0.0;
+  uint64_t batches_ = 0;
+};
+
+/// Tuning for the two-rung degradation ladder. Thresholds of 0 disable the
+/// corresponding transition, so the default-constructed ladder never
+/// degrades — overload behavior is strictly opt-in.
+struct LadderOptions {
+  /// Degrade when the smoothed sojourn exceeds this for
+  /// `degrade_batches` consecutive batch observations. 0 = never degrade.
+  uint64_t degrade_sojourn_us = 0;
+  uint64_t degrade_batches = 4;
+  /// Recover when the smoothed sojourn is below this for
+  /// `recover_batches` consecutive batch observations.
+  uint64_t recover_sojourn_us = 0;
+  uint64_t recover_batches = 8;
+};
+
+/// \brief Hysteresis state machine deciding the serving rung.
+///
+/// ```
+///            sojourn > degrade_sojourn_us
+///            for degrade_batches batches
+///      FULL ────────────────────────────► DEGRADED
+///        ▲                                   │
+///        └───────────────────────────────────┘
+///            sojourn < recover_sojourn_us
+///            for recover_batches batches
+/// ```
+///
+/// `Observe` is called once per drained batch with the current smoothed
+/// sojourn and returns true when the rung flipped; the broker then
+/// journals a kModeChange record and switches the solver. Pure function of
+/// its observation sequence — deterministic given the same inputs.
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(const LadderOptions& opts = {}) : opts_(opts) {}
+
+  /// Feeds one batch observation; returns true when the rung changed.
+  bool Observe(double sojourn_us);
+
+  /// Forces the rung (e.g. to the mode a resumed checkpoint recorded)
+  /// without counting a transition; clears both streaks.
+  void Reset(bool degraded) {
+    degraded_ = degraded;
+    over_streak_ = 0;
+    under_streak_ = 0;
+  }
+
+  /// True on the degraded rung.
+  bool degraded() const { return degraded_; }
+  /// Rung transitions so far (either direction).
+  uint64_t transitions() const { return transitions_; }
+  const LadderOptions& options() const { return opts_; }
+
+ private:
+  LadderOptions opts_;
+  bool degraded_ = false;
+  uint64_t over_streak_ = 0;
+  uint64_t under_streak_ = 0;
+  uint64_t transitions_ = 0;
+};
+
+/// \brief Adaptive BUSY retry hints: floor + predicted queue drain time,
+/// scaled by an exponential penalty that doubles with every consecutive
+/// rejection and resets when admissions resume.
+///
+/// Replaces the fixed `busy_retry_us`: under a short burst clients are told
+/// to come back roughly when the queue will have drained; under sustained
+/// overload the hint backs off exponentially (capped) so rejected clients
+/// thin out instead of hammering the queue at a fixed cadence.
+class RetryHinter {
+ public:
+  RetryHinter(uint64_t floor_us, uint64_t cap_us)
+      : floor_us_(floor_us), cap_us_(cap_us < floor_us ? floor_us : cap_us) {}
+
+  /// Hint for a rejection issued with `queue_delay_us` of predicted drain
+  /// time ahead. Advances the consecutive-rejection streak.
+  uint64_t OnReject(uint64_t queue_delay_us);
+
+  /// An admission succeeded: pressure is clearing, reset the streak.
+  void OnAdmit() { streak_ = 0; }
+
+  uint64_t streak() const { return streak_; }
+
+ private:
+  uint64_t floor_us_;
+  uint64_t cap_us_;
+  uint64_t streak_ = 0;
+};
+
+}  // namespace muaa::server

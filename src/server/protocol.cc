@@ -44,6 +44,9 @@ std::string EncodeRequest(const Request& req) {
   if (req.type == RequestType::kArrive || req.type == RequestType::kDepart) {
     PutU32(&p, static_cast<uint32_t>(req.customer));
   }
+  if (req.type == RequestType::kArrive) {
+    PutU32(&p, req.deadline_us);
+  }
   return p;
 }
 
@@ -69,6 +72,11 @@ Result<Request> DecodeRequest(std::string_view payload) {
     MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
     req.customer = static_cast<model::CustomerId>(customer);
   }
+  if (req.type == RequestType::kArrive) {
+    MUAA_RETURN_NOT_OK(in.ReadU32(&req.deadline_us));
+  }
+  // The declared frame length must agree exactly with the decoded field
+  // sizes: trailing bytes mean a malformed or hostile frame.
   if (!in.done()) {
     return Status::InvalidArgument("trailing bytes in request payload");
   }
@@ -88,6 +96,12 @@ void PutStats(std::string* p, const BrokerStats& s) {
   PutU64(p, s.batches);
   PutU64(p, s.max_batch);
   PutU64(p, s.queue_high_water);
+  PutU64(p, s.expired);
+  PutU64(p, s.malformed_frames);
+  PutU64(p, s.slow_client_drops);
+  PutU64(p, s.conn_rejections);
+  PutU64(p, s.mode);
+  PutU64(p, s.mode_transitions);
 }
 
 Status ReadStats(BinReader* in, BrokerStats* s) {
@@ -101,6 +115,12 @@ Status ReadStats(BinReader* in, BrokerStats* s) {
   MUAA_RETURN_NOT_OK(in->ReadU64(&s->batches));
   MUAA_RETURN_NOT_OK(in->ReadU64(&s->max_batch));
   MUAA_RETURN_NOT_OK(in->ReadU64(&s->queue_high_water));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->expired));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->malformed_frames));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->slow_client_drops));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->conn_rejections));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->mode));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&s->mode_transitions));
   return Status::OK();
 }
 
@@ -135,6 +155,9 @@ std::string EncodeResponse(const Response& resp) {
     case ResponseType::kError:
       PutString(&p, resp.error);
       break;
+    case ResponseType::kExpired:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      break;
   }
   return p;
 }
@@ -144,7 +167,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   uint8_t type = 0;
   Response resp;
   MUAA_RETURN_NOT_OK(in.ReadU8(&type));
-  if (type < 1 || type > 6) {
+  if (type < 1 || type > 7) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -194,6 +217,12 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseType::kError:
       MUAA_RETURN_NOT_OK(in.ReadString(&resp.error));
       break;
+    case ResponseType::kExpired: {
+      uint32_t customer = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      break;
+    }
   }
   if (!in.done()) {
     return Status::InvalidArgument("trailing bytes in response payload");

@@ -48,11 +48,18 @@ enum class RequestType : uint8_t {
   kShutdown = 4,  ///< graceful shutdown (flush journal, final checkpoint)
 };
 
-/// \brief One client request. `customer` applies to kArrive/kDepart.
+/// \brief One client request. `customer` applies to kArrive/kDepart;
+/// `deadline_us` to kArrive only.
 struct Request {
   RequestType type = RequestType::kArrive;
   uint64_t request_id = 0;
   model::CustomerId customer = -1;
+  /// Client-stamped time budget in microseconds; 0 = no deadline. The
+  /// broker starts the clock at admission and answers kExpired — without
+  /// running the solver or journaling anything — once the budget cannot be
+  /// met (at admission, from the queue-delay estimate) or has elapsed by
+  /// the time the solver loop drains the arrival.
+  uint32_t deadline_us = 0;
 };
 
 /// Broker → client message types.
@@ -63,6 +70,7 @@ enum class ResponseType : uint8_t {
   kDepartAck = 4,    ///< DEPART processed; `cancelled` says if it was in time
   kShutdownAck = 5,  ///< shutdown initiated
   kError = 6,        ///< malformed or unserviceable request
+  kExpired = 7,      ///< ARRIVE deadline elapsed before a decision was made
 };
 
 /// \brief Broker counters, as carried by a kStats response.
@@ -82,6 +90,12 @@ struct BrokerStats {
   uint64_t batches = 0;        ///< micro-batches drained by the solver loop
   uint64_t max_batch = 0;      ///< largest micro-batch so far
   uint64_t queue_high_water = 0;
+  uint64_t expired = 0;           ///< ARRIVEs answered kExpired (deadline)
+  uint64_t malformed_frames = 0;  ///< undecodable frames/payloads received
+  uint64_t slow_client_drops = 0;  ///< connections dropped by timeouts/caps
+  uint64_t conn_rejections = 0;    ///< accepts refused at max_connections
+  uint64_t mode = 0;               ///< current ServeMode (0 full, 1 degraded)
+  uint64_t mode_transitions = 0;   ///< degradation-ladder rung flips
 };
 
 /// \brief One broker response. Which fields apply depends on `type`.

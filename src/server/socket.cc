@@ -47,6 +47,35 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
+namespace {
+
+timeval ToTimeval(uint64_t timeout_us) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_us / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout_us % 1'000'000);
+  return tv;
+}
+
+}  // namespace
+
+Status Socket::SetRecvTimeout(uint64_t timeout_us) {
+  if (!valid()) return Status::FailedPrecondition("setsockopt on closed socket");
+  const timeval tv = ToTimeval(timeout_us);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SetSendTimeout(uint64_t timeout_us) {
+  if (!valid()) return Status::FailedPrecondition("setsockopt on closed socket");
+  const timeval tv = ToTimeval(timeout_us);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status Socket::SendAll(const void* data, size_t n) {
   if (!valid()) return Status::FailedPrecondition("send on closed socket");
   const char* p = static_cast<const char*>(data);
@@ -56,6 +85,9 @@ Status Socket::SendAll(const void* data, size_t n) {
     ssize_t sent = ::send(fd_, p, left, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::ResourceExhausted("send timed out");
+      }
       return Errno("send");
     }
     p += sent;
@@ -75,6 +107,9 @@ Result<size_t> Socket::RecvSome(void* data, size_t n) {
     ssize_t got = ::recv(fd_, data, n, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::ResourceExhausted("recv timed out");
+      }
       return Errno("recv");
     }
     return static_cast<size_t>(got);

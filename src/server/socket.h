@@ -29,6 +29,19 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Bounds how long one `recv`/`send` may block (SO_RCVTIMEO/SO_SNDTIMEO);
+  /// 0 restores "block forever". A blocked call that hits the timeout
+  /// surfaces as ResourceExhausted from `RecvSome`/`SendAll` — the broker's
+  /// slow-client protection reaps such connections instead of wedging a
+  /// reader or writer thread on them forever.
+  Status SetRecvTimeout(uint64_t timeout_us);
+  Status SetSendTimeout(uint64_t timeout_us);
+
+  /// True when bytes of a partially received frame are buffered — i.e. a
+  /// recv timeout struck *mid-frame* (hostile or stalled peer), not while
+  /// idling between requests.
+  bool has_buffered() const { return !buf_.empty(); }
+
   /// Sends all `n` bytes (retrying short writes and EINTR). Internal on a
   /// closed or reset peer.
   Status SendAll(const void* data, size_t n);

@@ -18,6 +18,7 @@ Status StreamDriver::WriteCheckpoint(assign::OnlineSolver* solver,
   ckpt.next_arrival = next_arrival;
   ckpt.solver_name = solver->name();
   MUAA_ASSIGN_OR_RETURN(ckpt.solver_state, solver->Snapshot());
+  ckpt.serve_mode = static_cast<uint8_t>(solver->mode());
   ckpt.arrivals = run.stats.arrivals;
   ckpt.served_customers = run.stats.served_customers;
   ckpt.assigned_ads = run.stats.assigned_ads;

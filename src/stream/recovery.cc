@@ -67,6 +67,9 @@ Result<RecoveredStream> RecoverStreamState(
     rec.run.stats.total_latency_ms = ckpt.total_latency_ms;
     rec.run.stats.max_latency_ms = ckpt.max_latency_ms;
     MUAA_RETURN_NOT_OK(solver->Restore(ckpt.solver_state));
+    // Restore the degradation rung before tail replay: re-executed
+    // decisions must run on the rung that produced them.
+    solver->set_mode(static_cast<assign::ServeMode>(ckpt.serve_mode));
     rec.next = static_cast<size_t>(ckpt.next_arrival);
     if (ckpt.processed.empty()) {
       // Sequential-driver checkpoint: the prefix [0, next_arrival).
@@ -104,6 +107,15 @@ Result<RecoveredStream> RecoverStreamState(
         if (!*more) break;      // clean EOF
         if (jrec.type == io::JournalRecordType::kDecision) {
           group.push_back(jrec);
+          continue;
+        }
+        if (jrec.type == io::JournalRecordType::kModeChange) {
+          // Ladder transitions are only valid at group boundaries; one in
+          // the middle of a decision group means the tail is corrupt.
+          if (!group.empty()) break;
+          solver->set_mode(static_cast<assign::ServeMode>(jrec.mode));
+          committed_end = reader.valid_prefix_bytes();
+          rec.committed_records = reader.records_read();
           continue;
         }
         // Commit marker: validate the group's internal consistency.

@@ -1,0 +1,92 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+// Contract of the capped exponential backoff (common/backoff.h): the raw
+// schedule is base * multiplier^attempt capped at cap_us, jitter stays
+// inside the configured band, and the jittered sequence is a pure function
+// of the seed — reproducible across policies, distinct across seeds.
+
+namespace muaa {
+namespace {
+
+TEST(Backoff, RawScheduleDoublesAndCaps) {
+  BackoffOptions opts;
+  opts.base_us = 1000;
+  opts.cap_us = 250'000;
+  opts.multiplier = 2.0;
+  BackoffPolicy policy(opts);
+  EXPECT_EQ(policy.RawDelayUs(0), 1000u);
+  EXPECT_EQ(policy.RawDelayUs(1), 2000u);
+  EXPECT_EQ(policy.RawDelayUs(2), 4000u);
+  EXPECT_EQ(policy.RawDelayUs(7), 128'000u);
+  EXPECT_EQ(policy.RawDelayUs(8), 250'000u);  // 256k clipped to the cap
+  EXPECT_EQ(policy.RawDelayUs(60), 250'000u)
+      << "huge attempts must saturate at the cap, not overflow";
+}
+
+TEST(Backoff, JitterStaysInsideTheBand) {
+  BackoffOptions opts;
+  opts.base_us = 10'000;
+  opts.cap_us = 1'000'000;
+  opts.jitter = 0.2;
+  BackoffPolicy policy(opts);
+  for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+    const uint64_t raw = policy.RawDelayUs(attempt);
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t d = policy.DelayUs(attempt);
+      EXPECT_GE(d, static_cast<uint64_t>(0.8 * static_cast<double>(raw) - 1));
+      EXPECT_LE(d, static_cast<uint64_t>(1.2 * static_cast<double>(raw) + 1));
+    }
+  }
+}
+
+TEST(Backoff, ZeroJitterIsExactlyTheRawSchedule) {
+  BackoffOptions opts;
+  opts.jitter = 0.0;
+  BackoffPolicy policy(opts);
+  for (uint32_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(policy.DelayUs(attempt), policy.RawDelayUs(attempt));
+  }
+}
+
+TEST(Backoff, SameSeedSameSequence) {
+  BackoffOptions opts;
+  opts.seed = 7;
+  BackoffPolicy a(opts), b(opts);
+  bool any_jittered = false;
+  for (uint32_t attempt = 0; attempt < 32; ++attempt) {
+    const uint64_t da = a.DelayUs(attempt);
+    EXPECT_EQ(da, b.DelayUs(attempt)) << "attempt " << attempt;
+    if (da != a.RawDelayUs(attempt)) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered) << "jitter never moved a delay — dead stream?";
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  BackoffOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  BackoffPolicy a(a_opts), b(b_opts);
+  bool diverged = false;
+  for (uint32_t attempt = 0; attempt < 32 && !diverged; ++attempt) {
+    diverged = a.DelayUs(attempt) != b.DelayUs(attempt);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, DegenerateOptionsAreClamped) {
+  BackoffOptions opts;
+  opts.base_us = 5000;
+  opts.cap_us = 100;       // below base: clamped up to base
+  opts.multiplier = 0.25;  // shrinking schedules make no sense: clamped to 1
+  opts.jitter = 0.0;
+  BackoffPolicy policy(opts);
+  EXPECT_EQ(policy.RawDelayUs(0), 5000u);
+  EXPECT_EQ(policy.RawDelayUs(5), 5000u);  // multiplier 1: flat at base
+}
+
+}  // namespace
+}  // namespace muaa

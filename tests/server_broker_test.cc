@@ -371,6 +371,147 @@ TEST(Broker, DepartCancelsQueuedArrivalOnce) {
   ASSERT_TRUE(broker.Stop().ok());
 }
 
+TEST(Broker, SlowClientStalledMidFrameIsDroppedAndServingContinues) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.read_timeout_us = 100'000;  // tight mid-frame stall budget
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  // Send half a frame, then stall forever — the classic wedged reader.
+  auto slow = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(slow.ok());
+  Request req;
+  req.type = RequestType::kArrive;
+  req.request_id = 1;
+  req.customer = 0;
+  const std::string frame = FrameMessage(EncodeRequest(req));
+  ASSERT_TRUE(slow->SendAll(frame.data(), frame.size() / 2).ok());
+
+  // The broker must reap the connection, not wait on it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (broker.stats().slow_client_drops >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(broker.stats().slow_client_drops, 1u)
+      << "stalled mid-frame client never timed out";
+  // The stalled client's socket was closed from the broker side.
+  std::string payload;
+  auto got = slow->RecvFrame(&payload);
+  EXPECT_TRUE(!got.ok() || !*got);
+
+  // Serving continues untouched for everyone else.
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+  EXPECT_EQ(broker.stats().arrivals, h.instance.num_customers());
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, MalformedFramesAreCountedAndRejected) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+
+  // A well-framed payload whose length disagrees with its fields:
+  // trailing junk after a valid ARRIVE body.
+  {
+    auto sock = Connect("127.0.0.1", broker.port());
+    ASSERT_TRUE(sock.ok());
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = 1;
+    req.customer = 0;
+    std::string payload = EncodeRequest(req);
+    payload.push_back('x');
+    ASSERT_TRUE(sock->SendFrame(payload).ok());
+    std::string resp_payload;
+    auto got = sock->RecvFrame(&resp_payload);
+    ASSERT_TRUE(got.ok() && *got);
+    auto resp = DecodeResponse(resp_payload).ValueOrDie();
+    EXPECT_EQ(resp.type, ResponseType::kError);
+    // The connection is closed after the error reply.
+    got = sock->RecvFrame(&resp_payload);
+    EXPECT_TRUE(!got.ok() || !*got);
+  }
+  EXPECT_EQ(broker.stats().malformed_frames, 1u);
+
+  // Framing-level garbage (absurd length prefix) counts too.
+  {
+    auto sock = Connect("127.0.0.1", broker.port());
+    ASSERT_TRUE(sock.ok());
+    const std::string junk = "garbage-not-a-frame";
+    ASSERT_TRUE(sock->SendAll(junk.data(), junk.size()).ok());
+    std::string resp_payload;
+    auto got = sock->RecvFrame(&resp_payload);
+    if (got.ok() && *got) {
+      EXPECT_EQ(DecodeResponse(resp_payload).ValueOrDie().type,
+                ResponseType::kError);
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (broker.stats().malformed_frames >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(broker.stats().malformed_frames, 2u);
+
+  // Nothing malformed ever reached the solver; serving still works.
+  auto stats = QueryStats("127.0.0.1", broker.port());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->arrivals, 0u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, ConnectionLimitRefusesExtraClients) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.max_connections = 1;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  auto roundtrip_stats = [](Socket* sock) -> bool {
+    Request req;
+    req.type = RequestType::kStats;
+    req.request_id = 99;
+    if (!sock->SendFrame(EncodeRequest(req)).ok()) return false;
+    std::string payload;
+    auto got = sock->RecvFrame(&payload);
+    return got.ok() && *got &&
+           DecodeResponse(payload).ValueOrDie().type == ResponseType::kStats;
+  };
+
+  auto sock1 = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock1.ok());
+  ASSERT_TRUE(roundtrip_stats(&*sock1)) << "first client must be served";
+
+  // The second client is accepted at the TCP level and immediately closed.
+  auto sock2 = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock2.ok());
+  std::string payload;
+  auto got = sock2->RecvFrame(&payload);
+  EXPECT_TRUE(!got.ok() || !*got) << "over-limit client was not refused";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (broker.stats().conn_rejections >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(broker.stats().conn_rejections, 1u);
+
+  // The first client is unaffected by the refusal.
+  EXPECT_TRUE(roundtrip_stats(&*sock1));
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
 TEST(Broker, ShutdownRequestReleasesWaiter) {
   SolverHarness h(MakeInstance(60), kSeed);
   assign::AfaOnlineSolver solver;

@@ -1,0 +1,649 @@
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assign/online_afa.h"
+#include "datagen/synthetic.h"
+#include "io/checkpoint.h"
+#include "server/broker.h"
+#include "server/chaos_proxy.h"
+#include "server/loadgen.h"
+#include "server/overload.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "stream/driver.h"
+#include "test_util.h"
+
+// Overload-resilience contract (docs/serving.md, docs/robustness.md):
+// the sojourn estimator / degradation ladder / retry hinter are pure
+// deterministic functions of their observations; client deadlines expire
+// work at the broker without ever reaching the solver; ladder transitions
+// are journaled and survive kill -9 + resume bitwise; and a retrying load
+// generator driven through the seeded chaos proxy (latency + corruption +
+// drops + resets) converges to the exact state of a clean run.
+
+namespace muaa::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::SolverHarness;
+
+constexpr uint64_t kSeed = 2024;
+
+model::ProblemInstance MakeInstance(size_t customers = 260) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = customers;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 91;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+std::vector<model::CustomerId> AllArrivals(
+    const model::ProblemInstance& inst) {
+  std::vector<model::CustomerId> arrivals(inst.num_customers());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i] = static_cast<model::CustomerId>(i);
+  }
+  return arrivals;
+}
+
+struct TempFiles {
+  std::string journal;
+  std::string checkpoint;
+
+  explicit TempFiles(const std::string& tag) {
+    const auto base = fs::temp_directory_path();
+    journal = (base / ("muaa_ovl_" + tag + ".jnl")).string();
+    checkpoint = (base / ("muaa_ovl_" + tag + ".ckp")).string();
+    Clear();
+  }
+  void Clear() const {
+    fs::remove(journal);
+    fs::remove(checkpoint);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SojournEstimator
+
+TEST(SojournEstimator, ZeroPredictionBeforeFirstObservation) {
+  SojournEstimator est;
+  EXPECT_EQ(est.QueueDelayUs(100), 0u);
+  EXPECT_EQ(est.service_us(), 0.0);
+  EXPECT_EQ(est.batches(), 0u);
+}
+
+TEST(SojournEstimator, FirstObservationSeedsThenEwmaSmooths) {
+  SojournEstimator est(0.2);
+  est.ObserveService(/*batch_us=*/1000, /*n=*/10);  // 100 us/item
+  EXPECT_DOUBLE_EQ(est.service_us(), 100.0);
+  est.ObserveService(/*batch_us=*/2000, /*n=*/10);  // 200 us/item
+  EXPECT_DOUBLE_EQ(est.service_us(), 0.2 * 200.0 + 0.8 * 100.0);
+  EXPECT_EQ(est.batches(), 2u);
+
+  est.ObserveSojourn(500);
+  EXPECT_DOUBLE_EQ(est.sojourn_us(), 500.0);
+  est.ObserveSojourn(1000);
+  EXPECT_DOUBLE_EQ(est.sojourn_us(), 0.2 * 1000.0 + 0.8 * 500.0);
+}
+
+TEST(SojournEstimator, QueueDelayScalesLinearlyWithDepth) {
+  SojournEstimator est;
+  est.ObserveService(1000, 10);  // 100 us/item
+  EXPECT_EQ(est.QueueDelayUs(0), 0u);
+  EXPECT_EQ(est.QueueDelayUs(1), 100u);
+  EXPECT_EQ(est.QueueDelayUs(50), 5000u);
+}
+
+TEST(SojournEstimator, EmptyBatchIsIgnored) {
+  SojournEstimator est;
+  est.ObserveService(12345, 0);
+  EXPECT_EQ(est.batches(), 0u);
+  EXPECT_EQ(est.QueueDelayUs(10), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DegradationLadder
+
+TEST(DegradationLadder, DefaultOptionsNeverDegrade) {
+  DegradationLadder ladder;  // thresholds 0: strictly opt-in
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(ladder.Observe(1e9));
+  }
+  EXPECT_FALSE(ladder.degraded());
+  EXPECT_EQ(ladder.transitions(), 0u);
+}
+
+TEST(DegradationLadder, DegradesAfterConsecutiveBreachesOnly) {
+  LadderOptions opts;
+  opts.degrade_sojourn_us = 1000;
+  opts.degrade_batches = 3;
+  DegradationLadder ladder(opts);
+
+  // Two breaches, one calm batch: the streak resets.
+  EXPECT_FALSE(ladder.Observe(2000));
+  EXPECT_FALSE(ladder.Observe(2000));
+  EXPECT_FALSE(ladder.Observe(10));
+  EXPECT_FALSE(ladder.Observe(2000));
+  EXPECT_FALSE(ladder.Observe(2000));
+  EXPECT_FALSE(ladder.degraded());
+  // The third consecutive breach flips the rung.
+  EXPECT_TRUE(ladder.Observe(2000));
+  EXPECT_TRUE(ladder.degraded());
+  EXPECT_EQ(ladder.transitions(), 1u);
+}
+
+TEST(DegradationLadder, RecoversWithHysteresis) {
+  LadderOptions opts;
+  opts.degrade_sojourn_us = 1000;
+  opts.degrade_batches = 1;
+  opts.recover_sojourn_us = 200;
+  opts.recover_batches = 2;
+  DegradationLadder ladder(opts);
+  ASSERT_TRUE(ladder.Observe(5000));
+  ASSERT_TRUE(ladder.degraded());
+
+  // Sojourn between the two thresholds: stays degraded (hysteresis band).
+  EXPECT_FALSE(ladder.Observe(500));
+  EXPECT_FALSE(ladder.Observe(100));  // first calm batch
+  EXPECT_TRUE(ladder.Observe(100));   // second: recover
+  EXPECT_FALSE(ladder.degraded());
+  EXPECT_EQ(ladder.transitions(), 2u);
+}
+
+TEST(DegradationLadder, RecoverThresholdZeroPinsDegraded) {
+  LadderOptions opts;
+  opts.degrade_sojourn_us = 1;
+  opts.degrade_batches = 1;
+  opts.recover_sojourn_us = 0;  // nothing is < 0: never recovers
+  DegradationLadder ladder(opts);
+  ASSERT_TRUE(ladder.Observe(10));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ladder.Observe(0.0));
+  EXPECT_TRUE(ladder.degraded());
+}
+
+TEST(DegradationLadder, ResetForcesRungWithoutCountingATransition) {
+  LadderOptions opts;
+  opts.degrade_sojourn_us = 1000;
+  opts.degrade_batches = 2;
+  DegradationLadder ladder(opts);
+  EXPECT_FALSE(ladder.Observe(2000));  // streak 1 of 2
+  ladder.Reset(true);
+  EXPECT_TRUE(ladder.degraded());
+  EXPECT_EQ(ladder.transitions(), 0u);
+  ladder.Reset(false);
+  EXPECT_FALSE(ladder.degraded());
+  // Reset cleared the streak: still takes the full 2 batches to degrade.
+  EXPECT_FALSE(ladder.Observe(2000));
+  EXPECT_TRUE(ladder.Observe(2000));
+}
+
+TEST(DegradationLadder, SameObservationsSameTransitions) {
+  LadderOptions opts;
+  opts.degrade_sojourn_us = 100;
+  opts.degrade_batches = 2;
+  opts.recover_sojourn_us = 50;
+  opts.recover_batches = 3;
+  DegradationLadder a(opts), b(opts);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double sojourn = rng.Uniform(0.0, 200.0);
+    EXPECT_EQ(a.Observe(sojourn), b.Observe(sojourn)) << "step " << i;
+  }
+  EXPECT_EQ(a.degraded(), b.degraded());
+  EXPECT_EQ(a.transitions(), b.transitions());
+  EXPECT_GT(a.transitions(), 0u) << "sweep never flipped — thresholds dead?";
+}
+
+// ---------------------------------------------------------------------------
+// RetryHinter
+
+TEST(RetryHinter, FloorsThenTracksQueueDelay) {
+  RetryHinter hinter(1000, 1'000'000);
+  EXPECT_EQ(hinter.OnReject(0), 1000u);      // floor
+  hinter.OnAdmit();
+  EXPECT_EQ(hinter.OnReject(5000), 5000u);   // predicted drain dominates
+}
+
+TEST(RetryHinter, DoublesPerConsecutiveRejectionAndCaps) {
+  RetryHinter hinter(1000, 8000);
+  EXPECT_EQ(hinter.OnReject(0), 1000u);
+  EXPECT_EQ(hinter.OnReject(0), 2000u);
+  EXPECT_EQ(hinter.OnReject(0), 4000u);
+  EXPECT_EQ(hinter.OnReject(0), 8000u);
+  EXPECT_EQ(hinter.OnReject(0), 8000u);  // saturated
+  hinter.OnAdmit();
+  EXPECT_EQ(hinter.OnReject(0), 1000u);  // streak cleared
+}
+
+TEST(RetryHinter, HugeStreakDoesNotOverflow) {
+  RetryHinter hinter(1000, 500'000);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t hint = hinter.OnReject(0);
+    ASSERT_LE(hint, 500'000u);
+    ASSERT_GE(hint, 1000u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint carries the serving rung
+
+TEST(Checkpoint, ServeModeRoundTrips) {
+  const std::string path =
+      (fs::temp_directory_path() / "muaa_ovl_mode.ckp").string();
+  io::StreamCheckpoint ckpt;
+  ckpt.num_customers = 3;
+  ckpt.num_vendors = 2;
+  ckpt.num_ad_types = 1;
+  ckpt.solver_name = "afa";
+  ckpt.solver_state = "state";
+  ckpt.serve_mode = 1;
+  ckpt.arrivals = 2;
+  ASSERT_TRUE(io::SaveCheckpoint(ckpt, path).ok());
+  auto got = io::LoadCheckpoint(path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->serve_mode, 1);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// The degraded solver rung
+
+TEST(DegradedPath, GreedyRungIsDeterministicAndDiffersFromFull) {
+  auto run = [](assign::ServeMode mode) {
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    EXPECT_TRUE(solver.Initialize(h.ctx()).ok());
+    solver.set_mode(mode);
+    std::vector<assign::AdInstance> all;
+    for (size_t c = 0; c < h.instance.num_customers(); ++c) {
+      auto picked =
+          solver.OnArrival(static_cast<model::CustomerId>(c)).ValueOrDie();
+      all.insert(all.end(), picked.begin(), picked.end());
+    }
+    return all;
+  };
+  const auto full = run(assign::ServeMode::kFull);
+  const auto deg1 = run(assign::ServeMode::kDegraded);
+  const auto deg2 = run(assign::ServeMode::kDegraded);
+
+  // The cheap rung is exactly reproducible...
+  ASSERT_EQ(deg1.size(), deg2.size());
+  for (size_t i = 0; i < deg1.size(); ++i) {
+    EXPECT_EQ(deg1[i].vendor, deg2[i].vendor) << i;
+    EXPECT_EQ(deg1[i].ad_type, deg2[i].ad_type) << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(deg1[i].utility),
+              std::bit_cast<uint64_t>(deg2[i].utility))
+        << i;
+  }
+  // ...and genuinely a different policy than the full pipeline.
+  double full_utility = 0.0, deg_utility = 0.0;
+  for (const auto& inst : full) full_utility += inst.utility;
+  for (const auto& inst : deg1) deg_utility += inst.utility;
+  EXPECT_TRUE(full.size() != deg1.size() ||
+              std::bit_cast<uint64_t>(full_utility) !=
+                  std::bit_cast<uint64_t>(deg_utility))
+      << "degraded rung produced the identical assignment — dead switch?";
+}
+
+// ---------------------------------------------------------------------------
+// Broker: deadlines on the wire
+
+Response ArriveOn(Socket* sock, uint64_t rid, model::CustomerId customer,
+                  uint32_t deadline_us) {
+  Request req;
+  req.type = RequestType::kArrive;
+  req.request_id = rid;
+  req.customer = customer;
+  req.deadline_us = deadline_us;
+  EXPECT_TRUE(sock->SendFrame(EncodeRequest(req)).ok());
+  std::string payload;
+  auto got = sock->RecvFrame(&payload);
+  EXPECT_TRUE(got.ok() && *got);
+  return DecodeResponse(payload).ValueOrDie();
+}
+
+TEST(BrokerDeadline, DrainTimeExpiryNeverReachesTheSolver) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  // The fill window guarantees every admission sits in the queue for more
+  // than a microsecond, so a 1 us deadline is deterministically dead by
+  // drain time.
+  opts.batch_wait_us = 2000;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  auto sock = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock.ok());
+
+  Response expired = ArriveOn(&*sock, 1, 3, /*deadline_us=*/1);
+  EXPECT_EQ(expired.type, ResponseType::kExpired);
+  EXPECT_EQ(expired.customer, 3);
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.arrivals, 0u) << "expired work must never be solved";
+
+  // The customer's retry without a deadline is served normally.
+  Response served = ArriveOn(&*sock, 2, 3, /*deadline_us=*/0);
+  EXPECT_EQ(served.type, ResponseType::kAssign);
+  EXPECT_EQ(broker.stats().arrivals, 1u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(BrokerDeadline, ExpiredArrivalLeavesTheDepartTombstone) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.batch_wait_us = 2000;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  const int port = broker.port();
+
+  auto cancelled = RequestDepart("127.0.0.1", port, 5);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_TRUE(*cancelled);
+
+  auto sock = Connect("127.0.0.1", port);
+  ASSERT_TRUE(sock.ok());
+  // The expired arrival must NOT consume the tombstone...
+  Response expired = ArriveOn(&*sock, 1, 5, /*deadline_us=*/1);
+  EXPECT_EQ(expired.type, ResponseType::kExpired);
+  EXPECT_EQ(broker.stats().departed, 0u);
+  // ...so the customer's next real arrival is the one cancelled by it.
+  Response cancelled_resp = ArriveOn(&*sock, 2, 5, /*deadline_us=*/0);
+  EXPECT_EQ(cancelled_resp.type, ResponseType::kAssign);
+  EXPECT_TRUE(cancelled_resp.ads.empty());
+  EXPECT_EQ(broker.stats().departed, 1u);
+  EXPECT_EQ(broker.stats().arrivals, 0u);
+  // Tombstone consumed: a further arrival is served normally.
+  Response served = ArriveOn(&*sock, 3, 5, /*deadline_us=*/0);
+  EXPECT_EQ(served.type, ResponseType::kAssign);
+  EXPECT_EQ(broker.stats().arrivals, 1u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(BrokerOverload, BusyHintsBackOffExponentiallyUnderRejection) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.queue_max = 1;
+  opts.batch_max = 16;
+  opts.batch_wait_us = 20'000;  // long fill window: rejections land inside it
+  opts.busy_retry_us = 500;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  auto sock = Connect("127.0.0.1", broker.port());
+  ASSERT_TRUE(sock.ok());
+
+  // Three back-to-back arrivals: #1 fills the queue, #2 and #3 are
+  // rejected within the same fill window. BUSY replies come back first
+  // (the assignment waits out the window), carrying hints off the
+  // estimator (still zero) + the exponential rejection penalty.
+  for (uint64_t rid = 1; rid <= 3; ++rid) {
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = rid;
+    req.customer = static_cast<model::CustomerId>(rid - 1);
+    ASSERT_TRUE(sock->SendFrame(EncodeRequest(req)).ok());
+  }
+  std::string payload;
+  std::vector<Response> got;
+  for (int i = 0; i < 3; ++i) {
+    auto ok = sock->RecvFrame(&payload);
+    ASSERT_TRUE(ok.ok() && *ok);
+    got.push_back(DecodeResponse(payload).ValueOrDie());
+  }
+  ASSERT_EQ(got[0].type, ResponseType::kBusy);
+  ASSERT_EQ(got[1].type, ResponseType::kBusy);
+  EXPECT_EQ(got[2].type, ResponseType::kAssign);
+  EXPECT_EQ(got[0].request_id, 2u);
+  EXPECT_EQ(got[1].request_id, 3u);
+  EXPECT_EQ(got[0].retry_after_us, 500u) << "first rejection: the floor";
+  EXPECT_EQ(got[1].retry_after_us, 1000u)
+      << "second consecutive rejection: doubled";
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Ladder transitions are journaled and survive kill -9 + resume
+
+BrokerOptions LadderBrokerOptions(const TempFiles& files) {
+  BrokerOptions opts;
+  // Each closed-loop arrival waits out the 1 ms fill window, so the
+  // smoothed sojourn is deterministically above the 1 us threshold from
+  // the very first batch: the broker degrades after batch #1 (arrival 0)
+  // and, with recovery disabled, stays degraded. Both runs below take the
+  // exact same transition at the exact same arrival.
+  opts.batch_wait_us = 1000;
+  opts.ladder.degrade_sojourn_us = 1;
+  opts.ladder.degrade_batches = 1;
+  opts.ladder.recover_sojourn_us = 0;
+  opts.durability.journal_path = files.journal;
+  opts.durability.checkpoint_path = files.checkpoint;
+  opts.durability.checkpoint_every = 40;
+  return opts;
+}
+
+struct LadderRun {
+  BrokerStats stats;
+  std::vector<assign::AdInstance> instances;
+};
+
+void ExpectSameRun(const LadderRun& want, const LadderRun& got,
+                   const std::string& context) {
+  EXPECT_EQ(got.stats.arrivals, want.stats.arrivals) << context;
+  EXPECT_EQ(got.stats.served_customers, want.stats.served_customers)
+      << context;
+  ASSERT_EQ(got.stats.assigned_ads, want.stats.assigned_ads) << context;
+  EXPECT_EQ(std::bit_cast<uint64_t>(got.stats.total_utility),
+            std::bit_cast<uint64_t>(want.stats.total_utility))
+      << context;
+  ASSERT_EQ(got.instances.size(), want.instances.size()) << context;
+  for (size_t i = 0; i < want.instances.size(); ++i) {
+    ASSERT_EQ(got.instances[i].customer, want.instances[i].customer)
+        << context << " instance " << i;
+    ASSERT_EQ(got.instances[i].vendor, want.instances[i].vendor)
+        << context << " instance " << i;
+    ASSERT_EQ(got.instances[i].ad_type, want.instances[i].ad_type)
+        << context << " instance " << i;
+    ASSERT_EQ(std::bit_cast<uint64_t>(got.instances[i].utility),
+              std::bit_cast<uint64_t>(want.instances[i].utility))
+        << context << " instance " << i;
+  }
+}
+
+TEST(BrokerLadder, ForcedDegradeSurvivesKillAndResumeBitwise) {
+  // Reference: one uninterrupted run with the ladder armed.
+  LadderRun want;
+  {
+    TempFiles files("ladder_ref");
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    Broker broker(h.ctx(), &solver, LadderBrokerOptions(files));
+    ASSERT_TRUE(broker.Start().ok());
+    LoadgenOptions lg;
+    lg.port = broker.port();
+    auto report = RunLoadgen(AllArrivals(h.instance), lg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(broker.Stop().ok());
+    want.stats = broker.stats();
+    want.instances = broker.assignments().instances();
+    EXPECT_EQ(want.stats.mode, 1u) << "ladder never degraded";
+    EXPECT_GE(want.stats.mode_transitions, 1u);
+    files.Clear();
+  }
+
+  // Kill -9 mid-stream, resume, replay the whole workload.
+  TempFiles files("ladder_kill");
+  const size_t kill_after = 130;
+  {
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    Broker broker(h.ctx(), &solver, LadderBrokerOptions(files));
+    ASSERT_TRUE(broker.Start().ok());
+    auto arrivals = AllArrivals(h.instance);
+    arrivals.resize(kill_after);
+    LoadgenOptions lg;
+    lg.port = broker.port();
+    auto report = RunLoadgen(arrivals, lg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(broker.stats().mode, 1u);
+    ASSERT_TRUE(broker.Abort().ok());  // no drain, no final checkpoint
+  }
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts = LadderBrokerOptions(files);
+  opts.resume = true;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  // Recovery must come back ON the degraded rung (checkpoint serve_mode +
+  // journaled kModeChange), not silently reset to full.
+  EXPECT_EQ(broker.stats().mode, 1u)
+      << "resume lost the degradation rung";
+  EXPECT_EQ(solver.mode(), assign::ServeMode::kDegraded);
+
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(broker.Stop().ok());
+  LadderRun got;
+  got.stats = broker.stats();
+  got.instances = broker.assignments().instances();
+  EXPECT_EQ(got.stats.duplicates, kill_after);
+  ExpectSameRun(want, got, "kill -9 + resume with ladder");
+  files.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos proxy: deterministic schedules, end-to-end convergence
+
+TEST(ChaosProxy, CleanPassthroughWhenAllFaultsDisabled) {
+  SolverHarness h(MakeInstance(60), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+
+  ChaosOptions copts;
+  copts.upstream_port = broker.port();
+  ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  LoadgenOptions lg;
+  lg.port = proxy.port();
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+  EXPECT_EQ(report->errors, 0u);
+  proxy.Stop();
+  EXPECT_EQ(proxy.corrupted_bytes(), 0u);
+  EXPECT_EQ(proxy.dropped_bytes(), 0u);
+  EXPECT_EQ(proxy.resets(), 0u);
+  EXPECT_GT(proxy.forwarded_bytes(), 0u);
+  ASSERT_TRUE(broker.Stop().ok());
+}
+
+stream::StreamRunResult CleanBaseline() {
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  stream::StreamDriver driver(h.ctx());
+  return driver.Run(&solver).ValueOrDie();
+}
+
+TEST(ChaosProxy, LossyLinkConvergesToTheCleanRunBitwise) {
+  // The clean reference: the offline stream driver.
+  const stream::StreamRunResult want = CleanBaseline();
+
+  TempFiles files("chaos");
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.durability.journal_path = files.journal;
+  // Keep the broker's stall budgets tight: dropped spans leave its reader
+  // mid-frame, and the slow-client reaper is what frees those slots.
+  opts.read_timeout_us = 100'000;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+
+  ChaosOptions copts;
+  copts.upstream_port = broker.port();
+  copts.seed = 99;
+  copts.latency_us = 50;
+  copts.jitter_us = 100;
+  copts.corrupt_every = 2000;
+  copts.drop_every = 3000;
+  copts.reset_every = 15'000;
+  copts.max_chunk = 512;
+  ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  LoadgenOptions lg;
+  lg.port = proxy.port();
+  lg.collect = false;
+  lg.reconnect = true;
+  lg.max_reconnects = 32;
+  lg.recv_timeout_us = 200'000;
+  lg.backoff.base_us = 500;
+  lg.backoff.cap_us = 20'000;
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Every arrival reached a terminal kAssign despite the faults.
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+  EXPECT_EQ(report->errors, 0u);
+
+  proxy.Stop();
+  // The link was genuinely hostile.
+  EXPECT_GT(proxy.corrupted_bytes() + proxy.dropped_bytes() + proxy.resets(),
+            0u)
+      << "chaos proxy injected nothing — schedules dead?";
+
+  ASSERT_TRUE(broker.Stop().ok());
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.arrivals, want.stats.arrivals);
+  ASSERT_EQ(stats.assigned_ads, want.stats.assigned_ads);
+  EXPECT_EQ(std::bit_cast<uint64_t>(stats.total_utility),
+            std::bit_cast<uint64_t>(want.stats.total_utility));
+  const auto& a = want.assignments.instances();
+  const auto& b = broker.assignments().instances();
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(b[i].customer, a[i].customer) << i;
+    ASSERT_EQ(b[i].vendor, a[i].vendor) << i;
+    ASSERT_EQ(b[i].ad_type, a[i].ad_type) << i;
+    ASSERT_EQ(std::bit_cast<uint64_t>(b[i].utility),
+              std::bit_cast<uint64_t>(a[i].utility))
+        << i;
+  }
+
+  // The journal written through all that chaos replays to the same state.
+  {
+    SolverHarness h2(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver2;
+    BrokerOptions ropts;
+    ropts.durability.journal_path = files.journal;
+    ropts.resume = true;
+    Broker resumed(h2.ctx(), &solver2, ropts);
+    ASSERT_TRUE(resumed.Start().ok());
+    auto rstats = QueryStats("127.0.0.1", resumed.port());
+    ASSERT_TRUE(rstats.ok()) << rstats.status().ToString();
+    EXPECT_EQ(rstats->arrivals, want.stats.arrivals);
+    EXPECT_EQ(rstats->assigned_ads, want.stats.assigned_ads);
+    EXPECT_EQ(std::bit_cast<uint64_t>(rstats->total_utility),
+              std::bit_cast<uint64_t>(want.stats.total_utility));
+    ASSERT_TRUE(resumed.Stop().ok());
+  }
+  files.Clear();
+}
+
+}  // namespace
+}  // namespace muaa::server

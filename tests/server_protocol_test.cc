@@ -33,6 +33,55 @@ TEST(Protocol, RequestRoundTripsAllTypes) {
   }
 }
 
+TEST(Protocol, ArriveCarriesTheClientDeadline) {
+  Request req;
+  req.type = RequestType::kArrive;
+  req.request_id = 11;
+  req.customer = 3;
+  req.deadline_us = 250'000;
+  auto got = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->deadline_us, 250'000u);
+
+  // Zero means "no deadline" and round-trips as such.
+  req.deadline_us = 0;
+  got = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->deadline_us, 0u);
+}
+
+TEST(Protocol, ExpiredResponseRoundTrips) {
+  Response resp;
+  resp.type = ResponseType::kExpired;
+  resp.request_id = 42;
+  resp.customer = 9;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, ResponseType::kExpired);
+  EXPECT_EQ(got->request_id, 42u);
+  EXPECT_EQ(got->customer, 9);
+}
+
+TEST(Protocol, DeclaredLengthMustMatchDecodedFields) {
+  // A frame whose declared length exceeds what the fields account for is
+  // rejected — trailing bytes are a malformed frame, not padding.
+  Request req;
+  req.type = RequestType::kArrive;
+  req.request_id = 1;
+  req.customer = 0;
+  std::string request_payload = EncodeRequest(req);
+  request_payload.push_back('\0');
+  EXPECT_FALSE(DecodeRequest(request_payload).ok());
+
+  Response resp;
+  resp.type = ResponseType::kAssign;
+  resp.request_id = 1;
+  resp.customer = 0;
+  std::string response_payload = EncodeResponse(resp);
+  response_payload.push_back('\0');
+  EXPECT_FALSE(DecodeResponse(response_payload).ok());
+}
+
 TEST(Protocol, AssignResponseRoundTripsBitwise) {
   Response resp;
   resp.type = ResponseType::kAssign;
@@ -90,6 +139,12 @@ TEST(Protocol, StatsResponseRoundTripsEveryCounter) {
   resp.stats.batches = 7;
   resp.stats.max_batch = 8;
   resp.stats.queue_high_water = 9;
+  resp.stats.expired = 10;
+  resp.stats.malformed_frames = 11;
+  resp.stats.slow_client_drops = 12;
+  resp.stats.conn_rejections = 13;
+  resp.stats.mode = 1;
+  resp.stats.mode_transitions = 14;
   auto got = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->stats.arrivals, 1u);
@@ -103,6 +158,12 @@ TEST(Protocol, StatsResponseRoundTripsEveryCounter) {
   EXPECT_EQ(got->stats.batches, 7u);
   EXPECT_EQ(got->stats.max_batch, 8u);
   EXPECT_EQ(got->stats.queue_high_water, 9u);
+  EXPECT_EQ(got->stats.expired, 10u);
+  EXPECT_EQ(got->stats.malformed_frames, 11u);
+  EXPECT_EQ(got->stats.slow_client_drops, 12u);
+  EXPECT_EQ(got->stats.conn_rejections, 13u);
+  EXPECT_EQ(got->stats.mode, 1u);
+  EXPECT_EQ(got->stats.mode_transitions, 14u);
 }
 
 TEST(Protocol, DepartAckAndShutdownAckAndError) {

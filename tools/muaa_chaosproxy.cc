@@ -1,0 +1,125 @@
+// muaa_chaosproxy — deterministic seeded TCP fault injector.
+//
+//   muaa_chaosproxy upstream_port=N [upstream_host=H] [port=P] [seed=S]
+//                   [latency_us=L] [jitter_us=J]
+//                   [corrupt_every=B] [drop_every=B] [reset_every=B]
+//                   [max_chunk=B] [bandwidth_bps=B] [duration_s=T]
+//
+// Sits between a client (muaa_loadgen) and the broker (muaa_cli serve),
+// relaying every connection while injecting faults whose positions are a
+// pure function of `seed` and the byte streams: single-byte corruptions
+// every ~corrupt_every bytes, swallowed 1–64-byte spans every ~drop_every
+// bytes, connection teardowns every ~reset_every bytes, plus fixed
+// latency, seeded jitter, bounded forwarding chunks (partial writes) and
+// bandwidth pacing. 0 disables each fault class.
+//
+// Prints "listening on port N" once bound (the same contract muaa_cli
+// serve honors, so scripts can scrape the ephemeral port), then runs until
+// SIGINT/SIGTERM or for duration_s seconds, then prints a fault summary.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <chrono>
+#include <thread>
+
+#include "common/build_info.h"
+#include "common/config.h"
+#include "server/chaos_proxy.h"
+
+namespace muaa {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: muaa_chaosproxy upstream_port=N [upstream_host=H] [port=P]\n"
+      "       [seed=S] [latency_us=L] [jitter_us=J] [corrupt_every=B]\n"
+      "       [drop_every=B] [reset_every=B] [max_chunk=B]\n"
+      "       [bandwidth_bps=B] [duration_s=T]\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  auto cfg = Config::FromArgs(argc, argv);
+  if (!cfg.ok()) return Fail(cfg.status());
+
+  server::ChaosOptions opts;
+  auto upstream_port = cfg->GetInt("upstream_port", 0);
+  if (!upstream_port.ok()) return Fail(upstream_port.status());
+  if (*upstream_port <= 0) return Usage();
+  opts.upstream_port = static_cast<int>(*upstream_port);
+  opts.upstream_host = cfg->GetString("upstream_host", "127.0.0.1");
+
+  auto port = cfg->GetInt("port", 0);
+  auto seed = cfg->GetInt("seed", 1);
+  auto latency = cfg->GetInt("latency_us", 0);
+  auto jitter = cfg->GetInt("jitter_us", 0);
+  auto corrupt = cfg->GetInt("corrupt_every", 0);
+  auto drop = cfg->GetInt("drop_every", 0);
+  auto reset = cfg->GetInt("reset_every", 0);
+  auto max_chunk = cfg->GetInt("max_chunk", 4096);
+  auto bandwidth = cfg->GetInt("bandwidth_bps", 0);
+  auto duration = cfg->GetInt("duration_s", 0);
+  for (const auto* r : {&port, &seed, &latency, &jitter, &corrupt, &drop,
+                        &reset, &max_chunk, &bandwidth, &duration}) {
+    if (!r->ok()) return Fail(r->status());
+  }
+  opts.listen_port = static_cast<int>(*port);
+  opts.seed = static_cast<uint64_t>(*seed);
+  opts.latency_us = static_cast<uint32_t>(*latency);
+  opts.jitter_us = static_cast<uint32_t>(*jitter);
+  opts.corrupt_every = static_cast<uint64_t>(*corrupt);
+  opts.drop_every = static_cast<uint64_t>(*drop);
+  opts.reset_every = static_cast<uint64_t>(*reset);
+  opts.max_chunk = static_cast<size_t>(*max_chunk);
+  opts.bandwidth_bytes_per_s = static_cast<uint64_t>(*bandwidth);
+  cfg->WarnUnreadKeys();
+
+  server::ChaosProxy proxy(opts);
+  Status st = proxy.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("# %s\n", BuildInfoLine().c_str());
+  std::printf("listening on port %d\n", proxy.port());
+  std::printf("upstream %s:%d seed=%llu corrupt_every=%llu drop_every=%llu "
+              "reset_every=%llu latency_us=%u jitter_us=%u\n",
+              opts.upstream_host.c_str(), opts.upstream_port,
+              static_cast<unsigned long long>(opts.seed),
+              static_cast<unsigned long long>(opts.corrupt_every),
+              static_cast<unsigned long long>(opts.drop_every),
+              static_cast<unsigned long long>(opts.reset_every),
+              opts.latency_us, opts.jitter_us);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(*duration);
+  while (!g_stop) {
+    if (*duration > 0 && std::chrono::steady_clock::now() >= until) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  proxy.Stop();
+  std::printf("CHAOS connections=%llu forwarded=%llu corrupted=%llu "
+              "dropped=%llu resets=%llu\n",
+              static_cast<unsigned long long>(proxy.connections()),
+              static_cast<unsigned long long>(proxy.forwarded_bytes()),
+              static_cast<unsigned long long>(proxy.corrupted_bytes()),
+              static_cast<unsigned long long>(proxy.dropped_bytes()),
+              static_cast<unsigned long long>(proxy.resets()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace muaa
+
+int main(int argc, char** argv) { return muaa::Run(argc, argv); }

@@ -16,6 +16,11 @@
 //   muaa_cli serve              in=<dir> solver=<name> [port=N] [seed=S]
 //                               [threads=N] [batch_max=N] [batch_wait_us=N]
 //                               [queue_max=N] [busy_retry_us=N]
+//                               [busy_retry_cap_us=N] [max_connections=N]
+//                               [max_inflight=N] [read_timeout_us=N]
+//                               [idle_timeout_us=N] [write_timeout_us=N]
+//                               [degrade_sojourn_us=N] [degrade_batches=N]
+//                               [recover_sojourn_us=N] [recover_batches=N]
 //                               [journal=<file>] [checkpoint=<file>]
 //                               [checkpoint_every=N] [resume=0|1]
 //   muaa_cli version
@@ -43,6 +48,11 @@
 // SHUTDOWN request drains the queue, flushes the journal, writes a final
 // checkpoint and prints a canonical `STATS ...` line whose fields are
 // deterministic for a given workload (scripts diff it across runs).
+// Overload controls (docs/serving.md): BUSY hints adapt from the fixed
+// `busy_retry_us` floor up to `busy_retry_cap_us`; `degrade_sojourn_us`
+// plus `recover_sojourn_us` arm the two-rung degradation ladder (0 = off);
+// `read/idle/write_timeout_us`, `max_connections` and `max_inflight` bound
+// slow or greedy clients.
 //
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
@@ -433,9 +443,22 @@ int CmdServe(const Config& cfg) {
   auto batch_wait = geti("batch_wait_us", 200);
   auto queue_max = geti("queue_max", 1024);
   auto busy_retry = geti("busy_retry_us", 1000);
+  auto busy_retry_cap = geti("busy_retry_cap_us", 500000);
   auto every = geti("checkpoint_every", 0);
-  for (const auto* r : {&port, &batch_max, &batch_wait, &queue_max,
-                        &busy_retry, &every}) {
+  auto max_conns = geti("max_connections", 256);
+  auto max_inflight = geti("max_inflight", 1024);
+  auto read_timeout = geti("read_timeout_us", 5000000);
+  auto idle_timeout = geti("idle_timeout_us", 0);
+  auto write_timeout = geti("write_timeout_us", 5000000);
+  auto degrade_sojourn = geti("degrade_sojourn_us", 0);
+  auto degrade_batches = geti("degrade_batches", 4);
+  auto recover_sojourn = geti("recover_sojourn_us", 0);
+  auto recover_batches = geti("recover_batches", 8);
+  for (const auto* r :
+       {&port, &batch_max, &batch_wait, &queue_max, &busy_retry,
+        &busy_retry_cap, &every, &max_conns, &max_inflight, &read_timeout,
+        &idle_timeout, &write_timeout, &degrade_sojourn, &degrade_batches,
+        &recover_sojourn, &recover_batches}) {
     if (!r->ok()) return Fail(r->status());
     if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
   }
@@ -444,6 +467,16 @@ int CmdServe(const Config& cfg) {
   opts.batch_wait_us = static_cast<uint32_t>(*batch_wait);
   opts.queue_max = static_cast<size_t>(*queue_max);
   opts.busy_retry_us = static_cast<uint32_t>(*busy_retry);
+  opts.busy_retry_cap_us = static_cast<uint32_t>(*busy_retry_cap);
+  opts.max_connections = static_cast<size_t>(*max_conns);
+  opts.max_inflight_per_conn = static_cast<size_t>(*max_inflight);
+  opts.read_timeout_us = static_cast<uint64_t>(*read_timeout);
+  opts.idle_timeout_us = static_cast<uint64_t>(*idle_timeout);
+  opts.write_timeout_us = static_cast<uint64_t>(*write_timeout);
+  opts.ladder.degrade_sojourn_us = static_cast<uint64_t>(*degrade_sojourn);
+  opts.ladder.degrade_batches = static_cast<uint64_t>(*degrade_batches);
+  opts.ladder.recover_sojourn_us = static_cast<uint64_t>(*recover_sojourn);
+  opts.ladder.recover_batches = static_cast<uint64_t>(*recover_batches);
   opts.durability.journal_path = cfg.GetString("journal", "");
   opts.durability.checkpoint_path = cfg.GetString("checkpoint", "");
   opts.durability.checkpoint_every = static_cast<size_t>(*every);
@@ -488,6 +521,15 @@ int CmdServe(const Config& cfg) {
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.max_batch),
       static_cast<unsigned long long>(stats.queue_high_water));
+  std::printf(
+      "overload: expired=%llu malformed=%llu slow_drops=%llu "
+      "conn_rejects=%llu mode=%llu mode_transitions=%llu\n",
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.malformed_frames),
+      static_cast<unsigned long long>(stats.slow_client_drops),
+      static_cast<unsigned long long>(stats.conn_rejections),
+      static_cast<unsigned long long>(stats.mode),
+      static_cast<unsigned long long>(stats.mode_transitions));
   return 0;
 }
 

@@ -2,6 +2,8 @@
 //
 //   muaa_loadgen port=N [host=H] (in=<dir> | arrivals=N)
 //                [qps=Q] [connections=C] [retry=0|1] [json=<file>]
+//                [deadline_us=D] [reconnect=0|1] [recv_timeout_us=T]
+//                [backoff_base_us=B] [backoff_cap_us=C] [backoff_seed=S]
 //   muaa_loadgen port=N stats=1       # one STATS query, print, exit
 //   muaa_loadgen port=N shutdown=1    # ask the broker to shut down
 //
@@ -9,7 +11,12 @@
 // `connections`. `qps=0` (default) is closed loop — one in-flight request
 // per connection; `qps>0` is open loop at the target offered rate, the
 // mode that exercises BUSY backpressure. `retry=1` (default) re-sends
-// BUSY'd arrivals after the broker's retry_after_us hint.
+// BUSY'd arrivals after max(broker retry_after_us hint, capped
+// exponential backoff with seeded jitter). `deadline_us` stamps a
+// queueing deadline on every ARRIVE; EXPIRED answers are terminal.
+// `reconnect=1` (closed loop) survives transport faults — resets, CRC
+// mismatches, swallowed bytes — by reconnecting with backoff and
+// re-sending the current arrival, the mode used behind muaa_chaosproxy.
 //
 // The report prints as key=value lines; `json=` additionally writes it as
 // a JSON object (same shape as the BENCH_*.json emitted by
@@ -31,6 +38,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: muaa_loadgen port=N (in=<dir> | arrivals=N) "
                "[qps=Q] [connections=C] [retry=0|1] [json=<file>]\n"
+               "       [deadline_us=D] [reconnect=0|1] [recv_timeout_us=T]\n"
+               "       [backoff_base_us=B] [backoff_cap_us=C] "
+               "[backoff_seed=S]\n"
                "       muaa_loadgen port=N stats=1 | shutdown=1\n");
   return 2;
 }
@@ -50,7 +60,9 @@ Status WriteJsonReport(const std::string& path,
                "  \"sent\": %llu,\n"
                "  \"assigned\": %llu,\n"
                "  \"busy\": %llu,\n"
+               "  \"expired\": %llu,\n"
                "  \"errors\": %llu,\n"
+               "  \"reconnects\": %llu,\n"
                "  \"assigned_ads\": %llu,\n"
                "  \"served\": %llu,\n"
                "  \"total_utility\": %.6f,\n"
@@ -59,17 +71,26 @@ Status WriteJsonReport(const std::string& path,
                "  \"p50_us\": %.1f,\n"
                "  \"p95_us\": %.1f,\n"
                "  \"p99_us\": %.1f,\n"
-               "  \"max_us\": %.1f\n"
-               "}\n",
+               "  \"max_us\": %.1f,\n",
                BuildInfoLine().c_str(),
                static_cast<unsigned long long>(r.sent),
                static_cast<unsigned long long>(r.assigned),
                static_cast<unsigned long long>(r.busy),
+               static_cast<unsigned long long>(r.expired),
                static_cast<unsigned long long>(r.errors),
+               static_cast<unsigned long long>(r.reconnects),
                static_cast<unsigned long long>(r.assigned_ads),
                static_cast<unsigned long long>(r.served), r.total_utility,
                r.elapsed_s, r.achieved_qps, r.p50_us, r.p95_us, r.p99_us,
                r.max_us);
+  // Bucket k = arrivals answered after exactly k re-sends; last bucket is
+  // the >= 16 overflow.
+  std::fprintf(f, "  \"retry_histogram\": [");
+  for (size_t k = 0; k < r.retry_histogram.size(); ++k) {
+    std::fprintf(f, "%s%llu", k == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(r.retry_histogram[k]));
+  }
+  std::fprintf(f, "]\n}\n");
   std::fclose(f);
   return Status::OK();
 }
@@ -130,24 +151,44 @@ int Run(int argc, char** argv) {
   auto qps = cfg->GetInt("qps", 0);
   auto conns = cfg->GetInt("connections", 1);
   auto retry = cfg->GetBool("retry", true);
+  auto deadline = cfg->GetInt("deadline_us", 0);
+  auto reconnect = cfg->GetBool("reconnect", false);
+  auto recv_timeout = cfg->GetInt("recv_timeout_us", 0);
+  auto backoff_base = cfg->GetInt("backoff_base_us", 1000);
+  auto backoff_cap = cfg->GetInt("backoff_cap_us", 250000);
+  auto backoff_seed = cfg->GetInt("backoff_seed", 42);
   if (!qps.ok()) return Fail(qps.status());
   if (!conns.ok()) return Fail(conns.status());
   if (!retry.ok()) return Fail(retry.status());
+  if (!deadline.ok()) return Fail(deadline.status());
+  if (!reconnect.ok()) return Fail(reconnect.status());
+  if (!recv_timeout.ok()) return Fail(recv_timeout.status());
+  if (!backoff_base.ok()) return Fail(backoff_base.status());
+  if (!backoff_cap.ok()) return Fail(backoff_cap.status());
+  if (!backoff_seed.ok()) return Fail(backoff_seed.status());
   opts.qps = static_cast<double>(*qps);
   opts.connections = static_cast<size_t>(*conns);
   opts.retry_busy = *retry;
+  opts.deadline_us = static_cast<uint32_t>(*deadline);
+  opts.reconnect = *reconnect;
+  opts.recv_timeout_us = static_cast<uint64_t>(*recv_timeout);
+  opts.backoff.base_us = static_cast<uint32_t>(*backoff_base);
+  opts.backoff.cap_us = static_cast<uint32_t>(*backoff_cap);
+  opts.backoff.seed = static_cast<uint64_t>(*backoff_seed);
   std::string json = cfg->GetString("json", "");
   cfg->WarnUnreadKeys();
 
   auto report = server::RunLoadgen(arrivals, opts);
   if (!report.ok()) return Fail(report.status());
   std::printf(
-      "sent=%llu assigned=%llu busy=%llu errors=%llu ads=%llu served=%llu "
-      "utility=%.6f\n",
+      "sent=%llu assigned=%llu busy=%llu expired=%llu errors=%llu "
+      "reconnects=%llu ads=%llu served=%llu utility=%.6f\n",
       static_cast<unsigned long long>(report->sent),
       static_cast<unsigned long long>(report->assigned),
       static_cast<unsigned long long>(report->busy),
+      static_cast<unsigned long long>(report->expired),
       static_cast<unsigned long long>(report->errors),
+      static_cast<unsigned long long>(report->reconnects),
       static_cast<unsigned long long>(report->assigned_ads),
       static_cast<unsigned long long>(report->served),
       report->total_utility);

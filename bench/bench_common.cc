@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/build_info.h"
+#include "obs/export.h"
 
 namespace muaa::bench {
 
@@ -146,6 +147,10 @@ void BenchReport::Str(const std::string& key, const std::string& value) {
   rows_.back().push_back({key, JsonQuote(value)});
 }
 
+void BenchReport::AttachMetrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_json_ = obs::RenderJson(snapshot, 2);
+}
+
 void BenchReport::Write() const {
   const std::string path = "BENCH_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -161,7 +166,11 @@ void BenchReport::Write() const {
     }
     std::fprintf(f, "}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ]");
+  if (!metrics_json_.empty()) {
+    std::fprintf(f, ",\n  \"metrics\": %s", metrics_json_.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   MUAA_CHECK(std::fclose(f) == 0) << "write failed: " << path;
   std::printf("wrote %s\n", path.c_str());
 }

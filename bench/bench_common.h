@@ -17,6 +17,7 @@
 #include "datagen/synthetic.h"
 #include "eval/experiment.h"
 #include "eval/reporting.h"
+#include "obs/metrics.h"
 
 namespace muaa::bench {
 
@@ -69,6 +70,11 @@ class BenchReport {
   void Num(const std::string& key, double value);
   void Str(const std::string& key, const std::string& value);
 
+  /// Embeds an observability snapshot as a top-level "metrics" block
+  /// (obs/export.h RenderJson) next to "rows" in the written JSON, so
+  /// dashboards get stage timings alongside the bench numbers.
+  void AttachMetrics(const obs::MetricsSnapshot& snapshot);
+
   /// Writes BENCH_<name>.json (overwriting) and logs the path. Aborts on
   /// I/O failure — benches are scripts; failures should be loud.
   void Write() const;
@@ -80,6 +86,7 @@ class BenchReport {
   };
   std::string name_;
   std::vector<std::vector<Field>> rows_;
+  std::string metrics_json_;  ///< pre-rendered; empty = no block
 };
 
 }  // namespace muaa::bench

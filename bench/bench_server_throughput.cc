@@ -28,6 +28,7 @@ using namespace muaa;
 struct ModeResult {
   server::LoadgenReport report;
   server::BrokerStats stats;
+  obs::MetricsSnapshot metrics;
 };
 
 std::vector<model::CustomerId> MakeArrivals(
@@ -67,9 +68,10 @@ ModeResult RunMode(const model::ProblemInstance& inst, double qps,
   auto report = server::RunLoadgen(MakeArrivals(inst), lg);
   MUAA_CHECK(report.ok()) << report.status().ToString();
   server::BrokerStats stats = broker.stats();
+  obs::MetricsSnapshot metrics = broker.metrics().Snapshot();
   MUAA_CHECK_OK(broker.Stop());
   std::remove(journal.c_str());
-  return {*report, stats};
+  return {*report, stats, metrics};
 }
 
 void Report(const char* mode, const ModeResult& r,
@@ -134,6 +136,12 @@ int main(int argc, char** argv) {
   ModeResult open10k = RunMode(*inst, /*qps=*/10'000.0, /*connections=*/4,
                                kThreads, journal);
   Report("open@10k", open10k, &report);
+
+  // Stage timings of the open-loop run (broker registry) merged with the
+  // process-global model/assign/stream metrics.
+  obs::MetricsSnapshot metrics = open10k.metrics;
+  metrics.Merge(obs::MetricRegistry::Global().Snapshot());
+  report.AttachMetrics(metrics);
 
   report.Write();
 

@@ -1,5 +1,8 @@
 #include "assign/candidates.h"
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace muaa::assign {
 
 std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
@@ -29,6 +32,10 @@ std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
 
 std::vector<std::vector<TypedCandidate>> AllVendorCandidates(
     const SolveContext& ctx) {
+  // Offline candidate generation: one span per full sweep, not per vendor.
+  static obs::LatencyHistogram* const hist =
+      obs::MetricRegistry::Global().GetHistogram("assign.candidates_us");
+  obs::ScopedTimer timer(hist);
   const size_t n = ctx.instance->num_vendors();
   std::vector<std::vector<TypedCandidate>> shards(n);
   ParallelFor(ctx.pool, n, [&](size_t j) {

@@ -3,36 +3,12 @@
 #include <algorithm>
 
 #include "assign/candidates.h"
-#include "assign/solver_state.h"
 #include "geo/point.h"
 
 namespace muaa::assign {
 
 Status NearestOnlineSolver::Initialize(const SolveContext& ctx) {
-  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
-  ctx_ = ctx;
-  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
-  return Status::OK();
-}
-
-Result<std::string> NearestOnlineSolver::Snapshot() const {
-  std::string out;
-  internal::PutStateHeader(&out);
-  internal::PutBudgets(&out, used_budget_);
-  return out;
-}
-
-Status NearestOnlineSolver::Restore(const std::string& blob) {
-  if (ctx_.instance == nullptr) {
-    return Status::FailedPrecondition("Restore before Initialize");
-  }
-  BinReader in(blob);
-  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
-  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
-  if (!in.done()) {
-    return Status::InvalidArgument("trailing bytes in NEAREST solver state");
-  }
-  return Status::OK();
+  return InitializeBudgets(ctx);
 }
 
 Result<std::vector<AdInstance>> NearestOnlineSolver::OnArrival(
@@ -42,7 +18,8 @@ Result<std::vector<AdInstance>> NearestOnlineSolver::OnArrival(
   if (u.capacity <= 0) return picked;
 
   // Valid vendors sorted by distance (nearest first).
-  std::vector<model::VendorId> vendors = ctx_.view->ValidVendors(i);
+  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+  std::vector<model::VendorId>& vendors = scratch_vendors_;
   std::sort(vendors.begin(), vendors.end(),
             [&](model::VendorId a, model::VendorId b) {
               double da = geo::Distance(

@@ -12,18 +12,13 @@ namespace muaa::assign {
 /// best-utility affordable ad type. Stops at the customer's capacity.
 /// Distance, not utility, drives the vendor order — which is why the
 /// paper expects it to lose on utility while being fast.
-class NearestOnlineSolver : public OnlineSolver {
+/// The only mutable state is the per-vendor spend, so the base's shared
+/// Snapshot/Restore covers it entirely.
+class NearestOnlineSolver : public BudgetedOnlineSolver {
  public:
   std::string name() const override { return "NEAREST"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
-  /// The only mutable state is the per-vendor spend.
-  Result<std::string> Snapshot() const override;
-  Status Restore(const std::string& blob) override;
-
- private:
-  SolveContext ctx_;
-  std::vector<double> used_budget_;
 };
 
 }  // namespace muaa::assign

@@ -4,13 +4,11 @@
 #include <cmath>
 
 #include "assign/candidates.h"
-#include "assign/solver_state.h"
 
 namespace muaa::assign {
 
 Status AfaOnlineSolver::Initialize(const SolveContext& ctx) {
-  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
-  ctx_ = ctx;
+  MUAA_RETURN_NOT_OK(InitializeBudgets(ctx));
   gamma_ = options_.gamma.has_value()
                ? *options_.gamma
                : EstimateGammaBounds(ctx, options_.gamma_estimate);
@@ -31,7 +29,6 @@ Status AfaOnlineSolver::Initialize(const SolveContext& ctx) {
     g_ = std::max(g_, kE + 0.1);
   }
   phi_scale_ = gamma_.gamma_min / kE;
-  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
   return Status::OK();
 }
 
@@ -51,40 +48,26 @@ double AfaOnlineSolver::MaxUsedBudgetRatio() const {
   return out;
 }
 
-Result<std::string> AfaOnlineSolver::Snapshot() const {
-  std::string out;
-  internal::PutStateHeader(&out);
-  internal::PutBudgets(&out, used_budget_);
-  PutDouble(&out, gamma_.gamma_min);
-  PutDouble(&out, gamma_.gamma_max);
-  PutU64(&out, gamma_.sample_count);
-  PutDouble(&out, g_);
-  PutDouble(&out, phi_scale_);
-  PutString(&out, observed_gamma_.SaveState());
-  return out;
+void AfaOnlineSolver::SnapshotExtra(std::string* out) const {
+  PutDouble(out, gamma_.gamma_min);
+  PutDouble(out, gamma_.gamma_max);
+  PutU64(out, gamma_.sample_count);
+  PutDouble(out, g_);
+  PutDouble(out, phi_scale_);
+  PutString(out, observed_gamma_.SaveState());
 }
 
-Status AfaOnlineSolver::Restore(const std::string& blob) {
-  if (used_budget_.empty() && ctx_.instance == nullptr) {
-    return Status::FailedPrecondition("Restore before Initialize");
-  }
-  BinReader in(blob);
-  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
-  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
+Status AfaOnlineSolver::RestoreExtra(BinReader* in) {
   uint64_t samples = 0;
-  MUAA_RETURN_NOT_OK(in.ReadDouble(&gamma_.gamma_min));
-  MUAA_RETURN_NOT_OK(in.ReadDouble(&gamma_.gamma_max));
-  MUAA_RETURN_NOT_OK(in.ReadU64(&samples));
+  MUAA_RETURN_NOT_OK(in->ReadDouble(&gamma_.gamma_min));
+  MUAA_RETURN_NOT_OK(in->ReadDouble(&gamma_.gamma_max));
+  MUAA_RETURN_NOT_OK(in->ReadU64(&samples));
   gamma_.sample_count = samples;
-  MUAA_RETURN_NOT_OK(in.ReadDouble(&g_));
-  MUAA_RETURN_NOT_OK(in.ReadDouble(&phi_scale_));
+  MUAA_RETURN_NOT_OK(in->ReadDouble(&g_));
+  MUAA_RETURN_NOT_OK(in->ReadDouble(&phi_scale_));
   std::string quantile_state;
-  MUAA_RETURN_NOT_OK(in.ReadString(&quantile_state));
-  MUAA_RETURN_NOT_OK(observed_gamma_.RestoreState(quantile_state));
-  if (!in.done()) {
-    return Status::InvalidArgument("trailing bytes in ONLINE solver state");
-  }
-  return Status::OK();
+  MUAA_RETURN_NOT_OK(in->ReadString(&quantile_state));
+  return observed_gamma_.RestoreState(quantile_state);
 }
 
 Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(

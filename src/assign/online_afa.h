@@ -46,7 +46,7 @@ struct AfaOptions {
 ///
 /// Competitive ratio `(ln g + 1)/θ` against the offline optimum for
 /// `g > e` (Theorem IV.1 / Corollary IV.1).
-class AfaOnlineSolver : public OnlineSolver {
+class AfaOnlineSolver : public BudgetedOnlineSolver {
  public:
   AfaOnlineSolver() = default;
   explicit AfaOnlineSolver(AfaOptions options) : options_(std::move(options)) {}
@@ -54,11 +54,6 @@ class AfaOnlineSolver : public OnlineSolver {
   std::string name() const override { return "ONLINE"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
-  /// Captures used budgets, the (possibly adapted) γ bounds, `g`, the
-  /// threshold scale and the streaming-quantile estimator, so a restored
-  /// solver continues the stream bitwise-identically.
-  Result<std::string> Snapshot() const override;
-  Status Restore(const std::string& blob) override;
 
   /// The threshold value `φ(δ)` the solver currently applies to vendor `j`.
   double Threshold(model::VendorId j) const;
@@ -70,14 +65,18 @@ class AfaOnlineSolver : public OnlineSolver {
   /// Maximum used-budget ratio across vendors (the `δ_max` of the bound).
   double MaxUsedBudgetRatio() const;
 
+ protected:
+  /// Extra state past the shared budgets: the (possibly adapted) γ bounds,
+  /// `g`, the threshold scale and the streaming-quantile estimator, so a
+  /// restored solver continues the stream bitwise-identically.
+  void SnapshotExtra(std::string* out) const override;
+  Status RestoreExtra(BinReader* in) override;
+
  private:
   AfaOptions options_;
-  SolveContext ctx_;
   GammaBounds gamma_;
   double g_ = 0.0;
   double phi_scale_ = 0.0;  // γ_min / e
-  std::vector<double> used_budget_;
-  std::vector<model::VendorId> scratch_vendors_;
   StreamingQuantile observed_gamma_{512};
 };
 

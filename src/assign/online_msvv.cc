@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "assign/candidates.h"
-#include "assign/solver_state.h"
 
 namespace muaa::assign {
 
@@ -14,31 +13,7 @@ double MsvvOnlineSolver::Discount(double used_fraction) {
 }
 
 Status MsvvOnlineSolver::Initialize(const SolveContext& ctx) {
-  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
-  ctx_ = ctx;
-  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
-  return Status::OK();
-}
-
-Result<std::string> MsvvOnlineSolver::Snapshot() const {
-  std::string out;
-  internal::PutStateHeader(&out);
-  internal::PutBudgets(&out, used_budget_);
-  return out;
-}
-
-Status MsvvOnlineSolver::Restore(const std::string& blob) {
-  if (ctx_.instance == nullptr) {
-    return Status::FailedPrecondition("Restore before Initialize");
-  }
-  BinReader in(blob);
-  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
-  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
-  if (!in.done()) {
-    return Status::InvalidArgument(
-        "trailing bytes in ONLINE-MSVV solver state");
-  }
-  return Status::OK();
+  return InitializeBudgets(ctx);
 }
 
 Result<std::vector<AdInstance>> MsvvOnlineSolver::OnArrival(

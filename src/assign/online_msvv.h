@@ -18,22 +18,16 @@ namespace muaa::assign {
 /// rule is (1−1/e)-competitive; MUAA's capacities and multi-format costs
 /// void that proof, so here it serves as a strong heuristic baseline for
 /// `bench_ablation_threshold`.
-class MsvvOnlineSolver : public OnlineSolver {
+/// The only mutable state is the per-vendor spend (ψ is derived), so the
+/// base's shared Snapshot/Restore covers it entirely.
+class MsvvOnlineSolver : public BudgetedOnlineSolver {
  public:
   std::string name() const override { return "ONLINE-MSVV"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
-  /// The only mutable state is the per-vendor spend (ψ is derived).
-  Result<std::string> Snapshot() const override;
-  Status Restore(const std::string& blob) override;
 
   /// The discount `ψ(δ) = 1 − e^{δ−1}` (exposed for tests).
   static double Discount(double used_fraction);
-
- private:
-  SolveContext ctx_;
-  std::vector<double> used_budget_;
-  std::vector<model::VendorId> scratch_vendors_;
 };
 
 }  // namespace muaa::assign

@@ -3,13 +3,11 @@
 #include <algorithm>
 
 #include "assign/candidates.h"
-#include "assign/solver_state.h"
 
 namespace muaa::assign {
 
 Status StaticThresholdOnlineSolver::Initialize(const SolveContext& ctx) {
-  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
-  ctx_ = ctx;
+  MUAA_RETURN_NOT_OK(InitializeBudgets(ctx));
   if (options_.threshold.has_value()) {
     threshold_ = *options_.threshold;
   } else if (options_.threshold_factor <= 0.0) {
@@ -18,31 +16,15 @@ Status StaticThresholdOnlineSolver::Initialize(const SolveContext& ctx) {
     GammaBounds gamma = EstimateGammaBounds(ctx, options_.gamma_estimate);
     threshold_ = options_.threshold_factor * gamma.gamma_min;
   }
-  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
   return Status::OK();
 }
 
-Result<std::string> StaticThresholdOnlineSolver::Snapshot() const {
-  std::string out;
-  internal::PutStateHeader(&out);
-  internal::PutBudgets(&out, used_budget_);
-  PutDouble(&out, threshold_);
-  return out;
+void StaticThresholdOnlineSolver::SnapshotExtra(std::string* out) const {
+  PutDouble(out, threshold_);
 }
 
-Status StaticThresholdOnlineSolver::Restore(const std::string& blob) {
-  if (ctx_.instance == nullptr) {
-    return Status::FailedPrecondition("Restore before Initialize");
-  }
-  BinReader in(blob);
-  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
-  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
-  MUAA_RETURN_NOT_OK(in.ReadDouble(&threshold_));
-  if (!in.done()) {
-    return Status::InvalidArgument(
-        "trailing bytes in ONLINE-STATIC solver state");
-  }
-  return Status::OK();
+Status StaticThresholdOnlineSolver::RestoreExtra(BinReader* in) {
+  return in->ReadDouble(&threshold_);
 }
 
 Result<std::vector<AdInstance>> StaticThresholdOnlineSolver::OnArrival(

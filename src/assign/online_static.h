@@ -26,7 +26,7 @@ struct StaticThresholdOptions {
 /// [20]) that adaptive thresholds beat static ones; the
 /// `bench_ablation_threshold` experiment quantifies that claim, including
 /// the `threshold_factor = 0` greedy-spend variant.
-class StaticThresholdOnlineSolver : public OnlineSolver {
+class StaticThresholdOnlineSolver : public BudgetedOnlineSolver {
  public:
   StaticThresholdOnlineSolver() = default;
   explicit StaticThresholdOnlineSolver(StaticThresholdOptions options)
@@ -35,20 +35,19 @@ class StaticThresholdOnlineSolver : public OnlineSolver {
   std::string name() const override { return "ONLINE-STATIC"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
-  /// Captures used budgets and the effective threshold (which may have
-  /// been estimated from a γ sample at `Initialize` time).
-  Result<std::string> Snapshot() const override;
-  Status Restore(const std::string& blob) override;
 
   /// The effective constant threshold after initialization.
   double threshold() const { return threshold_; }
 
+ protected:
+  /// Extra state past the shared budgets: the effective threshold (which
+  /// may have been estimated from a γ sample at `Initialize` time).
+  void SnapshotExtra(std::string* out) const override;
+  Status RestoreExtra(BinReader* in) override;
+
  private:
   StaticThresholdOptions options_;
-  SolveContext ctx_;
   double threshold_ = 0.0;
-  std::vector<double> used_budget_;
-  std::vector<model::VendorId> scratch_vendors_;
 };
 
 }  // namespace muaa::assign

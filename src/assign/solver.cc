@@ -1,11 +1,59 @@
 #include "assign/solver.h"
 
+#include "assign/exact.h"
+#include "assign/greedy.h"
+#include "assign/local_search.h"
+#include "assign/nearest.h"
+#include "assign/online_afa.h"
+#include "assign/online_msvv.h"
+#include "assign/online_static.h"
+#include "assign/random_solver.h"
+#include "assign/recon.h"
+#include "assign/solver_state.h"
+#include "assign/windowed.h"
+
 namespace muaa::assign {
 
 Status ValidateContext(const SolveContext& ctx) {
   if (ctx.instance == nullptr || ctx.view == nullptr ||
       ctx.utility == nullptr || ctx.rng == nullptr) {
     return Status::InvalidArgument("SolveContext has null members");
+  }
+  return Status::OK();
+}
+
+Status BudgetedOnlineSolver::InitializeBudgets(const SolveContext& ctx) {
+  MUAA_RETURN_NOT_OK(ValidateContext(ctx));
+  ctx_ = ctx;
+  used_budget_.assign(ctx_.instance->num_vendors(), 0.0);
+  return Status::OK();
+}
+
+void BudgetedOnlineSolver::SnapshotExtra(std::string* /*out*/) const {}
+
+Status BudgetedOnlineSolver::RestoreExtra(BinReader* /*in*/) {
+  return Status::OK();
+}
+
+Result<std::string> BudgetedOnlineSolver::Snapshot() const {
+  std::string out;
+  internal::PutStateHeader(&out);
+  internal::PutBudgets(&out, used_budget_);
+  SnapshotExtra(&out);
+  return out;
+}
+
+Status BudgetedOnlineSolver::Restore(const std::string& blob) {
+  if (ctx_.instance == nullptr) {
+    return Status::FailedPrecondition("Restore before Initialize");
+  }
+  BinReader in(blob);
+  MUAA_RETURN_NOT_OK(internal::ReadStateHeader(&in));
+  MUAA_RETURN_NOT_OK(internal::ReadBudgets(&in, &used_budget_));
+  MUAA_RETURN_NOT_OK(RestoreExtra(&in));
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes in " + name() +
+                                   " solver state");
   }
   return Status::OK();
 }
@@ -25,6 +73,66 @@ Result<AssignmentSet> OnlineAsOffline::Solve(const SolveContext& ctx) {
     }
   }
   return result;
+}
+
+Result<std::unique_ptr<OnlineSolver>> MakeOnlineSolver(
+    const std::string& name) {
+  using std::make_unique;
+  if (name == "online") {
+    return {std::unique_ptr<OnlineSolver>(make_unique<AfaOnlineSolver>())};
+  }
+  if (name == "online-adaptive") {
+    AfaOptions opts;
+    opts.adapt_gamma = true;
+    return {std::unique_ptr<OnlineSolver>(make_unique<AfaOnlineSolver>(opts))};
+  }
+  if (name == "static") {
+    return {std::unique_ptr<OnlineSolver>(
+        make_unique<StaticThresholdOnlineSolver>())};
+  }
+  if (name == "msvv") {
+    return {std::unique_ptr<OnlineSolver>(make_unique<MsvvOnlineSolver>())};
+  }
+  if (name == "nearest") {
+    return {std::unique_ptr<OnlineSolver>(make_unique<NearestOnlineSolver>())};
+  }
+  return Status::InvalidArgument("unknown online solver: " + name);
+}
+
+Result<std::unique_ptr<OfflineSolver>> MakeOfflineSolver(
+    const std::string& name) {
+  using std::make_unique;
+  if (name == "recon") return {make_unique<ReconSolver>()};
+  if (name == "recon-dp") {
+    ReconOptions opts;
+    opts.single_vendor = SingleVendorSolver::kDp;
+    return {make_unique<ReconSolver>(opts)};
+  }
+  if (name == "recon-lp") {
+    ReconOptions opts;
+    opts.single_vendor = SingleVendorSolver::kSimplex;
+    return {make_unique<ReconSolver>(opts)};
+  }
+  if (name == "greedy") return {make_unique<GreedySolver>()};
+  if (name == "greedy-ls") return {make_unique<GreedyLsSolver>()};
+  if (name == "random") return {make_unique<RandomSolver>()};
+  if (name == "exact") return {make_unique<ExactSolver>()};
+  if (name == "batch-recon") {
+    WindowedOptions opts;
+    opts.window_hours = 1.0;
+    return {make_unique<WindowedSolver>(
+        [] {
+          return std::unique_ptr<OfflineSolver>(make_unique<ReconSolver>());
+        },
+        opts)};
+  }
+  // Every online solver doubles as an offline one by replaying the
+  // canonical arrival order.
+  auto online = MakeOnlineSolver(name);
+  if (online.ok()) {
+    return {make_unique<OnlineAsOffline>(std::move(online).ValueOrDie())};
+  }
+  return Status::InvalidArgument("unknown solver: " + name);
 }
 
 }  // namespace muaa::assign

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "assign/assignment.h"
+#include "common/binio.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -101,6 +102,42 @@ class OnlineSolver {
   ServeMode mode_ = ServeMode::kFull;
 };
 
+/// \brief Shared base for the budget-tracking online solvers (O-AFA,
+/// ONLINE-MSVV, ONLINE-STATIC, NEAREST).
+///
+/// All four carry the same mutable core — the solve context and the
+/// per-vendor spent budgets — and serialize it with the same prefix
+/// (solver_state.h: version header + budgets). This base implements
+/// `Snapshot`/`Restore` once over that core; subclasses contribute only
+/// their extra fields through the `SnapshotExtra`/`RestoreExtra` hooks,
+/// appended after the shared prefix. Blob layouts are byte-for-byte what
+/// the solvers wrote before the consolidation, so checkpoints written by
+/// earlier builds restore unchanged.
+class BudgetedOnlineSolver : public OnlineSolver {
+ public:
+  Result<std::string> Snapshot() const final;
+  Status Restore(const std::string& blob) final;
+
+ protected:
+  /// Validates `ctx`, adopts it and zeroes the per-vendor spend. Call this
+  /// first from `Initialize`.
+  Status InitializeBudgets(const SolveContext& ctx);
+
+  /// Appends solver-specific state after the shared header + budgets. The
+  /// default appends nothing.
+  virtual void SnapshotExtra(std::string* out) const;
+  /// Reads back exactly what `SnapshotExtra` appended; trailing-byte
+  /// detection is handled by `Restore`. The default reads nothing.
+  virtual Status RestoreExtra(BinReader* in);
+
+  SolveContext ctx_;
+  /// Per-vendor spend; the invariant every subclass maintains is
+  /// `used_budget_[j] == sum of costs of instances it returned for j`.
+  std::vector<double> used_budget_;
+  /// Reused per-arrival scratch for the spatial candidate query.
+  std::vector<model::VendorId> scratch_vendors_;
+};
+
 /// \brief Adapts an online solver to the offline interface by replaying
 /// customers in arrival order through the given solver.
 ///
@@ -120,5 +157,18 @@ class OnlineAsOffline : public OfflineSolver {
 
 /// Checks that `ctx` is fully populated.
 Status ValidateContext(const SolveContext& ctx);
+
+/// \name Solver registry
+/// The canonical name → solver factories shared by the CLI, the broker
+/// and the experiment harness. Online names: online, online-adaptive,
+/// static, msvv, nearest. Offline names additionally cover recon,
+/// recon-dp, recon-lp, greedy, greedy-ls, random, exact and batch-recon,
+/// and wrap every online solver via `OnlineAsOffline`.
+/// @{
+Result<std::unique_ptr<OnlineSolver>> MakeOnlineSolver(
+    const std::string& name);
+Result<std::unique_ptr<OfflineSolver>> MakeOfflineSolver(
+    const std::string& name);
+/// @}
 
 }  // namespace muaa::assign

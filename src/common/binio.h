@@ -19,6 +19,11 @@ inline void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
 }
 
+inline void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+}
+
 inline void PutU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
     out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
@@ -59,6 +64,15 @@ class BinReader {
     return Status::OK();
   }
 
+  Status ReadU16(uint16_t* v) {
+    if (remaining() < 2) return Truncated("u16");
+    *v = static_cast<uint16_t>(
+        static_cast<unsigned char>(data_[pos_]) |
+        (static_cast<unsigned char>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+
   Status ReadU32(uint32_t* v) {
     if (remaining() < 4) return Truncated("u32");
     uint32_t out = 0;
@@ -87,6 +101,14 @@ class BinReader {
     uint64_t bits = 0;
     MUAA_RETURN_NOT_OK(ReadU64(&bits));
     *v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  /// Reads exactly `len` raw bytes (no length prefix on the wire).
+  Status ReadBytes(size_t len, std::string* s) {
+    if (remaining() < len) return Truncated("raw bytes");
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
     return Status::OK();
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace muaa::model {
 
@@ -82,6 +84,12 @@ std::vector<VendorId> ProblemView::ValidVendors(CustomerId i) const {
 
 void ProblemView::ValidVendorsInto(CustomerId i,
                                    std::vector<VendorId>* out) const {
+  // Online candidate generation: spatial filter per arriving customer.
+  // Sampled — the query is often sub-microsecond, so timing every call
+  // would dominate it.
+  static obs::LatencyHistogram* const hist =
+      obs::MetricRegistry::Global().GetHistogram("model.valid_vendors_us");
+  obs::ScopedTimer timer(obs::SampleTick() ? hist : nullptr);
   ValidVendorsForPointInto(
       instance_->customers[static_cast<size_t>(i)].location, out);
 }

@@ -12,6 +12,9 @@ UtilityModel::UtilityModel(const ProblemInstance* instance,
                            SimilarityKind kind)
     : instance_(instance), kind_(kind) {
   MUAA_CHECK(instance_ != nullptr);
+  pair_hits_ = obs::MetricRegistry::Global().GetCounter("model.pair_cache_hits");
+  pair_misses_ =
+      obs::MetricRegistry::Global().GetCounter("model.pair_cache_misses");
   const size_t tags = instance_->num_tags();
   const size_t n = instance_->num_vendors();
   const size_t m = instance_->num_customers();
@@ -137,12 +140,15 @@ PairValue UtilityModel::PairFor(CustomerId i, VendorId j) const {
   const size_t idx = static_cast<size_t>(i) * instance_->num_vendors() +
                      static_cast<size_t>(j);
   if (pair_ready_[idx].load(std::memory_order_acquire)) {
+    if (obs::Enabled()) pair_hits_->Add();
     return pair_values_[idx];
   }
   std::lock_guard<std::mutex> lock(pair_stripes_[idx % kPairCacheStripes]);
   if (pair_ready_[idx].load(std::memory_order_relaxed)) {
+    if (obs::Enabled()) pair_hits_->Add();
     return pair_values_[idx];
   }
+  if (obs::Enabled()) pair_misses_->Add();
   PairValue pv{Similarity(i, j), ClampedDistance(i, j)};
   pair_values_[idx] = pv;
   pair_ready_[idx].store(1, std::memory_order_release);

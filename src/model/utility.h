@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "model/instance.h"
+#include "obs/metrics.h"
 
 namespace muaa::model {
 
@@ -122,6 +123,11 @@ class UtilityModel {
 
   const ProblemInstance* instance_;
   SimilarityKind kind_ = SimilarityKind::kPearson;
+  // Process-global cache-effectiveness counters ("model.pair_cache_hits" /
+  // "model.pair_cache_misses"), cached at construction; bumped only when
+  // obs::Enabled() so PairFor stays cheap with observability off.
+  obs::Counter* pair_hits_ = nullptr;
+  obs::Counter* pair_misses_ = nullptr;
   // weights_by_slot_[slot][tag]; only slots used by some customer are filled.
   std::vector<std::vector<double>> weights_by_slot_;
   std::vector<double> weight_sum_by_slot_;

@@ -1,0 +1,166 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+
+namespace muaa {
+namespace obs {
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "muaa_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+std::string JsonKey(const std::string& name) {
+  // Metric names are [a-z0-9._] by convention; no escaping needed beyond
+  // quoting, but guard against stray quotes/backslashes anyway.
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const ScalarSample& c : snapshot.counters) {
+    const std::string n = PromName(c.name);
+    out += "# TYPE " + n + "_total counter\n";
+    out += n + "_total ";
+    AppendU64(&out, c.value);
+    out += "\n";
+  }
+  for (const ScalarSample& g : snapshot.gauges) {
+    const std::string n = PromName(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    AppendU64(&out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string n = PromName(h.name);
+    out += "# TYPE " + n + " summary\n";
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+    for (const auto& q : kQuantiles) {
+      out += n + "{quantile=\"" + q.label + "\"} ";
+      AppendU64(&out, h.Quantile(q.q));
+      out += "\n";
+    }
+    out += n + "_sum ";
+    AppendU64(&out, h.sum);
+    out += "\n" + n + "_count ";
+    AppendU64(&out, h.count);
+    out += "\n" + n + "_max ";
+    AppendU64(&out, h.max);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot, int indent) {
+  const std::string i1(indent, ' ');
+  const std::string i2(2 * indent, ' ');
+  const std::string i3(3 * indent, ' ');
+  std::string out = "{\n";
+
+  auto scalar_block = [&](const char* key,
+                          const std::vector<ScalarSample>& samples,
+                          bool trailing_comma) {
+    out += i1 + "\"" + key + "\": {";
+    for (size_t i = 0; i < samples.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n") + i2 + JsonKey(samples[i].name) + ": ";
+      AppendU64(&out, samples[i].value);
+    }
+    if (!samples.empty()) out += "\n" + i1;
+    out += trailing_comma ? "},\n" : "}\n";
+  };
+
+  scalar_block("counters", snapshot.counters, true);
+  scalar_block("gauges", snapshot.gauges, true);
+
+  out += i1 + "\"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += (i == 0 ? "\n" : ",\n") + i2 + JsonKey(h.name) + ": {\n";
+    const std::pair<const char*, uint64_t> fields[] = {
+        {"count", h.count}, {"sum", h.sum},   {"max", h.max},
+        {"p50", h.P50()},   {"p95", h.P95()}, {"p99", h.P99()},
+    };
+    for (size_t f = 0; f < std::size(fields); ++f) {
+      out += i3 + "\"" + fields[f].first + "\": ";
+      AppendU64(&out, fields[f].second);
+      out += (f + 1 < std::size(fields)) ? ",\n" : "\n";
+    }
+    out += i2 + "}";
+  }
+  if (!snapshot.histograms.empty()) out += "\n" + i1;
+  out += "}\n}";
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FlattenForWire(
+    const MetricsSnapshot& snapshot) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(snapshot.counters.size() + snapshot.gauges.size() +
+              5 * snapshot.histograms.size());
+  for (const ScalarSample& c : snapshot.counters) out.emplace_back(c.name, c.value);
+  for (const ScalarSample& g : snapshot.gauges) out.emplace_back(g.name, g.value);
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out.emplace_back(h.name + ".count", h.count);
+    out.emplace_back(h.name + ".p50", h.P50());
+    out.emplace_back(h.name + ".p95", h.P95());
+    out.emplace_back(h.name + ".p99", h.P99());
+    out.emplace_back(h.name + ".max", h.max);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("metrics dump: cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flush_ok = std::fflush(f) == 0;
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !flush_ok || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("metrics dump: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("metrics dump: rename to " + path + " failed: " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace muaa

@@ -1,0 +1,38 @@
+#ifndef MUAA_OBS_EXPORT_H_
+#define MUAA_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace muaa {
+namespace obs {
+
+// Prometheus text exposition of a snapshot. Metric names are prefixed with
+// "muaa_" and dots become underscores; counters render as `<name>_total`,
+// histograms as summaries (`{quantile="0.5"}` etc. plus _sum/_count/_max).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {name:
+// {count, sum, max, p50, p95, p99}}}. Indented by `indent` spaces per level
+// so it can be embedded in a larger report.
+std::string RenderJson(const MetricsSnapshot& snapshot, int indent = 2);
+
+// Flattens a snapshot to sorted (name, u64) pairs for the self-describing
+// STATS wire frame: counters and gauges verbatim, histograms expanded to
+// derived keys (<name>.count, .p50, .p95, .p99, .max — all microseconds).
+std::vector<std::pair<std::string, uint64_t>> FlattenForWire(
+    const MetricsSnapshot& snapshot);
+
+// Writes `content` to `path` atomically: tmp file in the same directory,
+// flush, rename over the target. Readers never observe a partial dump.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace muaa
+
+#endif  // MUAA_OBS_EXPORT_H_

@@ -1,0 +1,86 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace muaa {
+namespace obs {
+
+size_t BucketLayout::Index(uint64_t value) {
+  if (value < 8) return static_cast<size_t>(value);
+  const int k = 63 - std::countl_zero(value);  // floor(log2(value)), k >= 3
+  if (k >= kMaxMagnitude) return kOverflowBucket;
+  // 8 linear sub-buckets inside [2^k, 2^(k+1)): the top 4 bits of the value
+  // (1 implicit + 3 explicit) select the sub-bucket.
+  return 8 * static_cast<size_t>(k - 3) +
+         static_cast<size_t>(value >> (k - 3));
+}
+
+uint64_t BucketLayout::LowerBound(size_t index) {
+  if (index < 8) return index;
+  if (index >= kOverflowBucket) return uint64_t{1} << kMaxMagnitude;
+  // Invert Index(): index = 8*(k-3) + s with s in [8, 16).
+  const size_t k = index / 8 + 2;
+  const uint64_t s = (index & 7) + 8;
+  return s << (k - 3);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  if (other.buckets.empty()) return;
+  if (buckets.empty()) {
+    buckets = other.buckets;
+    return;
+  }
+  for (size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 maps to the first sample.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketLayout::LowerBound(i);
+  }
+  return BucketLayout::LowerBound(buckets.size() - 1);
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[BucketLayout::Index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(BucketLayout::kNumBuckets, 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < BucketLayout::kNumBuckets; ++i) {
+    const uint64_t v = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = v;
+    total += v;
+  }
+  // Derive count from the copied buckets so quantile ranks are consistent
+  // with what was actually copied, even under concurrent writers.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  if (snap.count == 0) snap.buckets.clear();
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace muaa

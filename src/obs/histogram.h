@@ -1,0 +1,90 @@
+#ifndef MUAA_OBS_HISTOGRAM_H_
+#define MUAA_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace muaa {
+namespace obs {
+
+// Log-linear bucket layout shared by LatencyHistogram and HistogramSnapshot.
+//
+// Values below 8 get their own bucket. Above that, every power-of-two range
+// [2^k, 2^(k+1)) is split into 8 linear sub-buckets, so the relative bucket
+// width is bounded by 12.5% across the whole range. With a top magnitude of
+// 2^40 (values are microseconds by convention: ~12.7 days) the table is 305
+// buckets; anything larger lands in a final overflow bucket.
+struct BucketLayout {
+  static constexpr int kSubBits = 3;         // 8 sub-buckets per octave
+  static constexpr int kMaxMagnitude = 40;   // values < 2^40 are bucketed
+  // Buckets 0..7 are exact; octaves k = 3..39 contribute 8 buckets each.
+  static constexpr size_t kOverflowBucket =
+      8 + 8 * static_cast<size_t>(kMaxMagnitude - 3);
+  static constexpr size_t kNumBuckets = kOverflowBucket + 1;
+
+  // Bucket index for a value. Exact for v < 16, log-linear above.
+  static size_t Index(uint64_t value);
+
+  // Inclusive lower bound of a bucket: the smallest value that maps to it.
+  // Quantiles report this bound, which keeps them monotone in q.
+  static uint64_t LowerBound(size_t index);
+};
+
+// An immutable point-in-time copy of a histogram, safe to merge, serialize
+// and query without touching the live (concurrently written) histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // kNumBuckets wide, or empty when count==0
+
+  // Adds the other snapshot's buckets into this one. Associative and
+  // commutative: (a+b)+c == a+(b+c) bucket-for-bucket.
+  void Merge(const HistogramSnapshot& other);
+
+  // Lower bound of the bucket holding the q-th quantile sample
+  // (q in [0, 1]). Returns 0 for an empty snapshot. Monotone in q.
+  uint64_t Quantile(double q) const;
+
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P95() const { return Quantile(0.95); }
+  uint64_t P99() const { return Quantile(0.99); }
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) /
+                                                      static_cast<double>(count); }
+};
+
+// Fixed-bucket log-linear latency histogram. Record() is wait-free (one
+// relaxed fetch_add per bucket/count/sum plus a CAS-max) and safe from any
+// thread. By convention recorded values are microseconds.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Copies the live buckets into a queryable snapshot. Concurrent Record()
+  // calls may or may not be included; the snapshot itself is consistent
+  // enough for reporting (count is re-derived from the copied buckets).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[BucketLayout::kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace obs
+}  // namespace muaa
+
+#endif  // MUAA_OBS_HISTOGRAM_H_

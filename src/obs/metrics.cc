@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace muaa {
+namespace obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  // First touch reads the environment; after that SetEnabled() owns it.
+  static std::atomic<bool> flag(std::getenv("MUAA_OBS_OFF") == nullptr);
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  auto merge_scalars = [](std::vector<ScalarSample>* into,
+                          const std::vector<ScalarSample>& from, bool sum) {
+    for (const ScalarSample& s : from) {
+      auto it = std::lower_bound(
+          into->begin(), into->end(), s.name,
+          [](const ScalarSample& a, const std::string& n) { return a.name < n; });
+      if (it != into->end() && it->name == s.name) {
+        if (sum) {
+          it->value += s.value;
+        } else {
+          it->value = std::max(it->value, s.value);
+        }
+      } else {
+        into->insert(it, s);
+      }
+    }
+  };
+  merge_scalars(&counters, other.counters, /*sum=*/true);
+  merge_scalars(&gauges, other.gauges, /*sum=*/false);
+  for (const HistogramSnapshot& h : other.histograms) {
+    auto it = std::lower_bound(histograms.begin(), histograms.end(), h.name,
+                               [](const HistogramSnapshot& a,
+                                  const std::string& n) { return a.name < n; });
+    if (it != histograms.end() && it->name == h.name) {
+      it->Merge(h);
+    } else {
+      histograms.insert(it, h);
+    }
+  }
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs = h->Snapshot();
+    hs.name = name;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace muaa

@@ -1,0 +1,119 @@
+#ifndef MUAA_OBS_METRICS_H_
+#define MUAA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace muaa {
+namespace obs {
+
+// Global on/off switch. Initialized once from the MUAA_OBS_OFF environment
+// variable (set => disabled); flippable at runtime via SetEnabled() so
+// benchmarks can A/B the overhead inside one process. Metric objects always
+// exist and are always safe to touch — Enabled() only gates the *callers*
+// (ScopedTimer and hot-path increments), so cold-path bookkeeping keeps
+// working either way.
+bool Enabled();
+void SetEnabled(bool on);
+
+// Monotonic counter, sharded across cache lines so concurrent increments
+// from different threads do not bounce a single cache line. Value() sums
+// the shards (exact: increments are never lost, only summed late).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    cells_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ShardIndex();
+  Cell cells_[kShards];
+};
+
+// Last-write-wins (Set) or running-maximum (SetMax) scalar.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void SetMax(uint64_t v) {
+    uint64_t prev = value_.load(std::memory_order_relaxed);
+    while (prev < v && !value_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+struct ScalarSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+// Point-in-time copy of a registry: sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<ScalarSample> counters;
+  std::vector<ScalarSample> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Folds another snapshot in. Same-name counters/histograms are summed /
+  // merged; same-name gauges keep the larger value. Output stays sorted.
+  void Merge(const MetricsSnapshot& other);
+};
+
+// Name-keyed collection of metrics. GetX() creates on first use and returns
+// a stable pointer — callers cache the pointer and never look up again on
+// the hot path. There is one process-wide registry (Global()) for library
+// code, and components that need isolated counting (e.g. one broker among
+// several in a test process) own a private instance.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  static MetricRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace muaa
+
+#endif  // MUAA_OBS_METRICS_H_

@@ -1,0 +1,66 @@
+#ifndef MUAA_OBS_TIMER_H_
+#define MUAA_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace muaa {
+namespace obs {
+
+// RAII span timer: records the elapsed microseconds into a histogram when it
+// goes out of scope (or at an explicit Stop()). When observability is
+// disabled the constructor skips the clock read entirely, so a dormant timer
+// costs one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(Enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records now and disarms; safe to call more than once.
+  void Stop() {
+    if (hist_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - start_)
+                        .count();
+    hist_->Record(us < 0 ? 0 : static_cast<uint64_t>(us));
+    hist_ = nullptr;
+  }
+
+  // Drops the span without recording (e.g. error paths that should not
+  // pollute a success-latency histogram).
+  void Cancel() { hist_ = nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  LatencyHistogram* hist_;
+  Clock::time_point start_{};
+};
+
+// Deterministic 1-in-61 per-thread sampling gate for timers on
+// sub-microsecond hot paths (per-arrival spatial filtering, assignment
+// commits), where two clock reads would cost more than the span being
+// measured. Usage: `ScopedTimer t(SampleTick() ? hist : nullptr);` — the
+// unsampled case costs one thread-local increment and a branch. Histogram
+// counts then reflect sampled calls, not total calls; quantiles are
+// unbiased because every 61st call is taken regardless of duration. The
+// period is prime so several gated sites sharing the counter on one thread
+// cannot phase-lock: with a power-of-two period, a loop making exactly two
+// gated calls per iteration would park one site on odd ticks forever.
+inline bool SampleTick() {
+  thread_local uint32_t tick = 0;
+  return tick++ % 61 == 0;
+}
+
+}  // namespace obs
+}  // namespace muaa
+
+#endif  // MUAA_OBS_TIMER_H_

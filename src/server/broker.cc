@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "io/checkpoint.h"
+#include "obs/export.h"
 #include "stream/recovery.h"
 
 namespace muaa::server {
@@ -18,6 +19,26 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
       run_{assign::AssignmentSet(ctx.instance), stream::StreamStats{}} {
   hinter_ = RetryHinter(options_.busy_retry_us, options_.busy_retry_cap_us);
   ladder_ = DegradationLadder(options_.ladder);
+  c_busy_rejections_ = metrics_.GetCounter("server.busy_rejections");
+  c_duplicates_ = metrics_.GetCounter("server.duplicates");
+  c_departed_ = metrics_.GetCounter("server.departed");
+  c_batches_ = metrics_.GetCounter("server.batches");
+  c_expired_ = metrics_.GetCounter("server.expired");
+  c_malformed_frames_ = metrics_.GetCounter("server.malformed_frames");
+  c_slow_client_drops_ = metrics_.GetCounter("server.slow_client_drops");
+  c_conn_rejections_ = metrics_.GetCounter("server.conn_rejections");
+  c_mode_transitions_ = metrics_.GetCounter("server.mode_transitions");
+  g_max_batch_ = metrics_.GetGauge("server.max_batch");
+  g_queue_high_water_ = metrics_.GetGauge("server.queue_high_water");
+  g_mode_ = metrics_.GetGauge("server.mode");
+  h_frame_decode_ = metrics_.GetHistogram("server.frame_decode_us");
+  h_queue_wait_ = metrics_.GetHistogram("server.queue_wait_us");
+  h_batch_solve_ = metrics_.GetHistogram("server.batch_solve_us");
+  h_arrival_solve_ = metrics_.GetHistogram("server.arrival_solve_us");
+  h_journal_append_ = metrics_.GetHistogram("server.journal_append_us");
+  h_journal_flush_ = metrics_.GetHistogram("server.journal_flush_us");
+  h_reply_write_ = metrics_.GetHistogram("server.reply_write_us");
+  h_checkpoint_ = metrics_.GetHistogram("server.checkpoint_us");
 }
 
 Broker::~Broker() {
@@ -52,8 +73,7 @@ Status Broker::Start() {
     // Recovery restored the degradation rung (checkpoint + journaled
     // transitions); sync the ladder and the STATS mirror to it.
     ladder_.Reset(solver_->mode() == assign::ServeMode::kDegraded);
-    mode_.store(static_cast<uint64_t>(solver_->mode()),
-                std::memory_order_relaxed);
+    g_mode_->Set(static_cast<uint64_t>(solver_->mode()));
     if (!dur.journal_path.empty()) {
       if (rec.journal_usable) {
         MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
@@ -104,7 +124,7 @@ void Broker::AcceptLoop() {
     ReapFinishedLocked();
     if (options_.max_connections > 0 &&
         conns_.size() >= options_.max_connections) {
-      conn_rejections_.fetch_add(1, std::memory_order_relaxed);
+      c_conn_rejections_->Add();
       continue;  // sock closes on scope exit; the peer sees a reset
     }
     auto conn = std::make_shared<Connection>();
@@ -153,14 +173,14 @@ void Broker::ServeConnection(const ConnPtr& conn) {
                                           : options_.idle_timeout_us;
         if (budget > 0 && static_cast<uint64_t>(since.count()) >=
                               static_cast<uint64_t>(budget)) {
-          slow_client_drops_.fetch_add(1, std::memory_order_relaxed);
+          c_slow_client_drops_->Add();
           break;
         }
         continue;
       }
       // Corrupt stream: the frame boundary is lost, so the connection
       // cannot be resynchronized. Best-effort error, then drop it.
-      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      c_malformed_frames_->Add();
       Response resp;
       resp.type = ResponseType::kError;
       resp.error = got.status().ToString();
@@ -171,11 +191,13 @@ void Broker::ServeConnection(const ConnPtr& conn) {
     last_frame_done = Clock::now();
     was_mid_frame = conn->sock.has_buffered();
     frame_started = last_frame_done;
+    obs::ScopedTimer decode_timer(h_frame_decode_);
     auto req = DecodeRequest(payload);
+    decode_timer.Stop();
     if (!req.ok()) {
       // Framing was intact but the payload is malformed (e.g. declared
       // length disagrees with the decoded field sizes).
-      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      c_malformed_frames_->Add();
       Response resp;
       resp.type = ResponseType::kError;
       resp.error = req.status().ToString();
@@ -223,11 +245,7 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
           admitted = true;
           hinter_.OnAdmit();
           conn->inflight.fetch_add(1, std::memory_order_relaxed);
-          uint64_t depth = queue_.size();
-          uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
-          while (depth > seen && !queue_high_water_.compare_exchange_weak(
-                                     seen, depth, std::memory_order_relaxed)) {
-          }
+          g_queue_high_water_->SetMax(queue_.size());
         } else {
           // Adaptive hint: come back roughly when the queue will have
           // drained, exponentially backed off under sustained rejection.
@@ -236,7 +254,7 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         }
       }
       if (expired) {
-        expired_.fetch_add(1, std::memory_order_relaxed);
+        c_expired_->Add();
         Response resp;
         resp.type = ResponseType::kExpired;
         resp.request_id = req.request_id;
@@ -247,7 +265,7 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
       } else {
         // Backpressure instead of unbounded buffering: the client owns
         // the retry.
-        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        c_busy_rejections_->Add();
         Response resp;
         resp.type = ResponseType::kBusy;
         resp.request_id = req.request_id;
@@ -274,9 +292,14 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
     }
     case RequestType::kStats: {
       Response resp;
-      resp.type = ResponseType::kStats;
+      // Version negotiation: a v2 client gets the full self-describing
+      // payload; a v1 client (no trailing version byte in its request)
+      // gets the legacy positional frame, whose 16 fields the encoder
+      // pulls out of the same payload by their well-known keys.
+      resp.type = req.stats_version >= 2 ? ResponseType::kStatsV2
+                                         : ResponseType::kStats;
       resp.request_id = req.request_id;
-      resp.stats = stats();
+      resp.stats = stats_payload();
       SendResponse(conn, resp);
       return true;
     }
@@ -324,12 +347,8 @@ void Broker::SolverLoop() {
         queue_.pop_front();
       }
     }
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    uint64_t prev = max_batch_.load(std::memory_order_relaxed);
-    while (batch.size() > prev && !max_batch_.compare_exchange_weak(
-                                      prev, batch.size(),
-                                      std::memory_order_relaxed)) {
-    }
+    c_batches_->Add();
+    g_max_batch_->SetMax(batch.size());
     Status st = ProcessBatch(&batch);
     if (!st.ok()) {
       MUAA_LOG(Error) << "broker solver loop failed: " << st.ToString();
@@ -361,14 +380,17 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   Stopwatch watch;
   Stopwatch batch_watch;
   const auto drained_at = std::chrono::steady_clock::now();
+  obs::ScopedTimer batch_solve_timer(h_batch_solve_);
   uint64_t sojourn_sum_us = 0;
   size_t decided = 0;
   for (Admission& adm : *batch) {
     const auto idx = static_cast<size_t>(adm.customer);
-    sojourn_sum_us += static_cast<uint64_t>(
+    const uint64_t sojourn_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             drained_at - adm.admitted_at)
             .count());
+    sojourn_sum_us += sojourn_us;
+    if (obs::Enabled()) h_queue_wait_->Record(sojourn_us);
     Response resp;
     resp.type = ResponseType::kAssign;
     resp.request_id = adm.request_id;
@@ -398,29 +420,33 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
       // Re-delivered arrival (retry, or replay against a resumed broker):
       // answer the committed decision, change nothing. Answered even past
       // a deadline — the work is already done and durable.
-      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      c_duplicates_->Add();
       resp.ads = decisions_[idx];
       responses.push_back(std::move(resp));
       continue;
     }
     if (deadline_hit) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      c_expired_->Add();
       resp.type = ResponseType::kExpired;
       responses.push_back(std::move(resp));
       continue;
     }
     if (departed) {
-      departed_count_.fetch_add(1, std::memory_order_relaxed);
+      c_departed_->Add();
       responses.push_back(std::move(resp));  // zero ads
       continue;
     }
 
     watch.Restart();
-    MUAA_ASSIGN_OR_RETURN(std::vector<assign::AdInstance> picked,
-                          solver_->OnArrival(adm.customer));
+    std::vector<assign::AdInstance> picked;
+    {
+      obs::ScopedTimer solve_timer(h_arrival_solve_);
+      MUAA_ASSIGN_OR_RETURN(picked, solver_->OnArrival(adm.customer));
+    }
     // Write-ahead: journal the whole arrival group before applying it
     // (same ordering contract as the stream driver).
     if (writer_ != nullptr) {
+      obs::ScopedTimer append_timer(h_journal_append_);
       for (const assign::AdInstance& inst : picked) {
         MUAA_RETURN_NOT_OK(writer_->AppendDecision(idx, inst));
       }
@@ -451,9 +477,12 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
     responses.push_back(std::move(resp));
   }
 
+  batch_solve_timer.Stop();
+
   // One flush covers the whole batch; only then do responses go out, so a
   // client never holds a decision a kill could lose.
   if (writer_ != nullptr && decided > 0) {
+    obs::ScopedTimer flush_timer(h_journal_flush_);
     MUAA_RETURN_NOT_OK(writer_->Flush());
   }
   arrivals_since_checkpoint_ += decided;
@@ -492,13 +521,14 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
           run_.stats.arrivals, static_cast<uint32_t>(mode)));
     }
     solver_->set_mode(mode);
-    mode_.store(static_cast<uint64_t>(mode), std::memory_order_relaxed);
-    mode_transitions_.fetch_add(1, std::memory_order_relaxed);
+    g_mode_->Set(static_cast<uint64_t>(mode));
+    c_mode_transitions_->Add();
   }
   return Status::OK();
 }
 
 Status Broker::WriteCheckpoint() {
+  obs::ScopedTimer checkpoint_timer(h_checkpoint_);
   io::StreamCheckpoint ckpt;
   ckpt.num_customers = ctx_.instance->num_customers();
   ckpt.num_vendors = ctx_.instance->num_vendors();
@@ -529,7 +559,9 @@ Status Broker::WriteCheckpoint() {
 
 void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
   std::lock_guard<std::mutex> lk(conn->write_mu);
+  obs::ScopedTimer reply_timer(h_reply_write_);
   Status st = conn->sock.SendFrame(EncodeResponse(resp));
+  reply_timer.Stop();
   if (!st.ok()) {
     // Peer is gone (EPIPE/reset). The decision is durable regardless; the
     // client re-requests it after reconnecting and gets the same answer.
@@ -596,12 +628,21 @@ Status Broker::Abort() {
   return st;
 }
 
-void Broker::WaitUntilShutdown(const std::atomic<bool>* external_stop) {
+void Broker::WaitUntilShutdown(const std::atomic<bool>* external_stop,
+                               const std::function<void()>& poll) {
   std::unique_lock<std::mutex> lk(shutdown_mu_);
   while (!shutdown_requested_) {
     if (external_stop != nullptr &&
         external_stop->load(std::memory_order_relaxed)) {
       return;
+    }
+    if (poll) {
+      // Run caller work (e.g. a SIGUSR1-triggered metrics dump) outside
+      // the lock so it cannot delay the shutdown handshake.
+      lk.unlock();
+      poll();
+      lk.lock();
+      if (shutdown_requested_) return;
     }
     shutdown_cv_.wait_for(lk, std::chrono::milliseconds(100));
   }
@@ -616,19 +657,38 @@ BrokerStats Broker::stats() const {
     s.served_customers = det_served_;
     s.total_utility = det_total_utility_;
   }
-  s.departed = departed_count_.load(std::memory_order_relaxed);
-  s.duplicates = duplicates_.load(std::memory_order_relaxed);
-  s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.max_batch = max_batch_.load(std::memory_order_relaxed);
-  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
-  s.expired = expired_.load(std::memory_order_relaxed);
-  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
-  s.slow_client_drops = slow_client_drops_.load(std::memory_order_relaxed);
-  s.conn_rejections = conn_rejections_.load(std::memory_order_relaxed);
-  s.mode = mode_.load(std::memory_order_relaxed);
-  s.mode_transitions = mode_transitions_.load(std::memory_order_relaxed);
+  s.departed = c_departed_->Value();
+  s.duplicates = c_duplicates_->Value();
+  s.busy_rejections = c_busy_rejections_->Value();
+  s.batches = c_batches_->Value();
+  s.max_batch = g_max_batch_->Value();
+  s.queue_high_water = g_queue_high_water_->Value();
+  s.expired = c_expired_->Value();
+  s.malformed_frames = c_malformed_frames_->Value();
+  s.slow_client_drops = c_slow_client_drops_->Value();
+  s.conn_rejections = c_conn_rejections_->Value();
+  s.mode = g_mode_->Value();
+  s.mode_transitions = c_mode_transitions_->Value();
   return s;
+}
+
+StatsPayload Broker::stats_payload() const {
+  StatsPayload out;
+  // Everything the registry knows: counters and gauges verbatim,
+  // histograms as derived .count/.p50/.p95/.p99/.max keys.
+  for (auto& [name, value] : obs::FlattenForWire(metrics_.Snapshot())) {
+    out.push_back(StatsEntry{std::move(name), value});
+  }
+  // Plus the deterministic serving totals, which live under state_mu_
+  // (not in registry cells) because they must mirror `run_` exactly.
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    SetStat(&out, "server.arrivals", det_arrivals_);
+    SetStat(&out, "server.assigned_ads", det_assigned_ads_);
+    SetStat(&out, "server.served_customers", det_served_);
+    SetDoubleStat(&out, "server.total_utility_f64", det_total_utility_);
+  }
+  return out;
 }
 
 }  // namespace muaa::server

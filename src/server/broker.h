@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,12 +15,40 @@
 #include "assign/solver.h"
 #include "common/result.h"
 #include "io/journal.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "server/overload.h"
 #include "server/protocol.h"
 #include "server/socket.h"
 #include "stream/driver.h"
 
 namespace muaa::server {
+
+/// \brief In-memory broker counters snapshot (the old positional v1 wire
+/// struct, kept as a convenience view for tests and reports; the wire now
+/// carries the self-describing StatsPayload instead).
+///
+/// The first four fields are deterministic for a given arrival order and
+/// solver (they survive kill + resume bitwise); the rest describe the
+/// nondeterministic serving timeline (batching, backpressure).
+struct BrokerStats {
+  uint64_t arrivals = 0;          ///< distinct arrivals decided
+  uint64_t assigned_ads = 0;
+  uint64_t served_customers = 0;  ///< arrivals that received >= 1 ad
+  double total_utility = 0.0;
+  uint64_t departed = 0;       ///< arrivals cancelled by DEPART in time
+  uint64_t duplicates = 0;     ///< re-delivered arrivals answered from memory
+  uint64_t busy_rejections = 0;
+  uint64_t batches = 0;        ///< micro-batches drained by the solver loop
+  uint64_t max_batch = 0;      ///< largest micro-batch so far
+  uint64_t queue_high_water = 0;
+  uint64_t expired = 0;           ///< ARRIVEs answered kExpired (deadline)
+  uint64_t malformed_frames = 0;  ///< undecodable frames/payloads received
+  uint64_t slow_client_drops = 0;  ///< connections dropped by timeouts/caps
+  uint64_t conn_rejections = 0;    ///< accepts refused at max_connections
+  uint64_t mode = 0;               ///< current ServeMode (0 full, 1 degraded)
+  uint64_t mode_transitions = 0;   ///< degradation-ladder rung flips
+};
 
 /// \brief Configuration of one broker instance.
 struct BrokerOptions {
@@ -123,11 +152,26 @@ class Broker {
 
   /// Blocks until a SHUTDOWN request arrives, the solver loop dies, or
   /// `Stop`/`Abort` is called; polls `external_stop` (e.g. a SIGINT flag)
-  /// if given. The caller then runs `Stop`.
-  void WaitUntilShutdown(const std::atomic<bool>* external_stop = nullptr);
+  /// if given. `poll` (if given) runs on every ~100 ms wakeup outside any
+  /// broker lock — muaa_cli uses it to write SIGUSR1 metrics dumps while
+  /// serving. The caller then runs `Stop`.
+  void WaitUntilShutdown(const std::atomic<bool>* external_stop = nullptr,
+                         const std::function<void()>& poll = {});
 
   /// Counters snapshot (thread-safe while serving).
   BrokerStats stats() const;
+
+  /// Self-describing counters snapshot: every registry metric of this
+  /// broker (counters, gauges, histogram quantiles) plus the four
+  /// deterministic totals, sorted by name. This is what a STATS v2
+  /// response carries (thread-safe while serving).
+  StatsPayload stats_payload() const;
+
+  /// This broker's metric registry (per-instance, so several brokers in
+  /// one test process count independently). Stage histograms and timeline
+  /// counters live here; library-level metrics (pair cache, candidate
+  /// generation) live in `obs::MetricRegistry::Global()`.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
 
   /// The committed assignment set. Only valid after `Stop`/`Abort`.
   const assign::AssignmentSet& assignments() const {
@@ -215,19 +259,32 @@ class Broker {
   double det_total_utility_ = 0.0;
   std::vector<bool> departed_;  ///< pending DEPART tombstones
 
-  // Serving-timeline counters (nondeterministic under load).
-  std::atomic<uint64_t> busy_rejections_{0};
-  std::atomic<uint64_t> duplicates_{0};
-  std::atomic<uint64_t> departed_count_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> max_batch_{0};
-  std::atomic<uint64_t> queue_high_water_{0};
-  std::atomic<uint64_t> expired_{0};
-  std::atomic<uint64_t> malformed_frames_{0};
-  std::atomic<uint64_t> slow_client_drops_{0};
-  std::atomic<uint64_t> conn_rejections_{0};
-  std::atomic<uint64_t> mode_{0};  ///< current ServeMode, mirrored for STATS
-  std::atomic<uint64_t> mode_transitions_{0};
+  // Serving-timeline counters (nondeterministic under load), all routed
+  // through the per-broker registry so STATS, the metrics dump and tests
+  // read one source of truth. Pointers are cached at construction; the
+  // cells themselves are wait-free.
+  obs::MetricRegistry metrics_;
+  obs::Counter* c_busy_rejections_;
+  obs::Counter* c_duplicates_;
+  obs::Counter* c_departed_;
+  obs::Counter* c_batches_;
+  obs::Counter* c_expired_;
+  obs::Counter* c_malformed_frames_;
+  obs::Counter* c_slow_client_drops_;
+  obs::Counter* c_conn_rejections_;
+  obs::Counter* c_mode_transitions_;
+  obs::Gauge* g_max_batch_;
+  obs::Gauge* g_queue_high_water_;
+  obs::Gauge* g_mode_;  ///< current ServeMode, mirrored for STATS
+  // Stage latency histograms (microseconds).
+  obs::LatencyHistogram* h_frame_decode_;
+  obs::LatencyHistogram* h_queue_wait_;
+  obs::LatencyHistogram* h_batch_solve_;
+  obs::LatencyHistogram* h_arrival_solve_;
+  obs::LatencyHistogram* h_journal_append_;
+  obs::LatencyHistogram* h_journal_flush_;
+  obs::LatencyHistogram* h_reply_write_;
+  obs::LatencyHistogram* h_checkpoint_;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -431,12 +431,20 @@ Result<Response> RoundTrip(const std::string& host, int port,
 
 }  // namespace
 
-Result<BrokerStats> QueryStats(const std::string& host, int port) {
+Result<StatsPayload> QueryStats(const std::string& host, int port) {
   Request req;
   req.type = RequestType::kStats;
   req.request_id = 1;
   MUAA_ASSIGN_OR_RETURN(Response resp, RoundTrip(host, port, req));
-  if (resp.type != ResponseType::kStats) {
+  if (resp.type == ResponseType::kError) {
+    // A v1 broker rejects the trailing version byte as a malformed
+    // payload. Retry once speaking v1; its positional answer decodes into
+    // the same well-known keys.
+    req.stats_version = 1;
+    MUAA_ASSIGN_OR_RETURN(resp, RoundTrip(host, port, req));
+  }
+  if (resp.type != ResponseType::kStats &&
+      resp.type != ResponseType::kStatsV2) {
     return Status::Internal("unexpected response to STATS");
   }
   return resp.stats;

@@ -111,8 +111,12 @@ struct LoadgenReport {
 Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
                                  const LoadgenOptions& options);
 
-/// One-shot STATS query against a running broker.
-Result<BrokerStats> QueryStats(const std::string& host, int port);
+/// One-shot STATS query against a running broker. Asks for the
+/// self-describing v2 payload; when the broker is an old v1 release (it
+/// answers kError to the versioned request), falls back to a v1 request
+/// and returns the legacy frame's 16 well-known entries — callers read
+/// both through the same StatsPayload keys.
+Result<StatsPayload> QueryStats(const std::string& host, int port);
 
 /// Asks the broker to shut down gracefully; returns once acknowledged.
 Status RequestShutdown(const std::string& host, int port);

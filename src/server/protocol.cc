@@ -1,5 +1,7 @@
 #include "server/protocol.h"
 
+#include <algorithm>
+
 #include "common/binio.h"
 #include "common/crc32.h"
 
@@ -37,6 +39,42 @@ Result<bool> TryExtractFrame(std::string* buf, std::string* payload) {
   return true;
 }
 
+bool IsDoubleStat(std::string_view name) {
+  constexpr std::string_view kSuffix = "_f64";
+  return name.size() >= kSuffix.size() &&
+         name.substr(name.size() - kSuffix.size()) == kSuffix;
+}
+
+const StatsEntry* FindStat(const StatsPayload& stats, std::string_view name) {
+  for (const StatsEntry& e : stats) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+uint64_t StatsValue(const StatsPayload& stats, std::string_view name,
+                    uint64_t def) {
+  const StatsEntry* e = FindStat(stats, name);
+  return e != nullptr ? e->value : def;
+}
+
+double StatsDoubleValue(const StatsPayload& stats, std::string_view name,
+                        double def) {
+  const StatsEntry* e = FindStat(stats, name);
+  return e != nullptr ? std::bit_cast<double>(e->value) : def;
+}
+
+void SetStat(StatsPayload* stats, std::string name, uint64_t value) {
+  auto it = std::lower_bound(
+      stats->begin(), stats->end(), name,
+      [](const StatsEntry& e, const std::string& n) { return e.name < n; });
+  if (it != stats->end() && it->name == name) {
+    it->value = value;
+  } else {
+    stats->insert(it, StatsEntry{std::move(name), value});
+  }
+}
+
 std::string EncodeRequest(const Request& req) {
   std::string p;
   PutU8(&p, static_cast<uint8_t>(req.type));
@@ -46,6 +84,11 @@ std::string EncodeRequest(const Request& req) {
   }
   if (req.type == RequestType::kArrive) {
     PutU32(&p, req.deadline_us);
+  }
+  if (req.type == RequestType::kStats && req.stats_version >= 2) {
+    // v1 STATS requests had no trailing byte; omitting it below keeps this
+    // encoder able to impersonate a v1 client (loadgen's fallback path).
+    PutU8(&p, req.stats_version);
   }
   return p;
 }
@@ -75,6 +118,19 @@ Result<Request> DecodeRequest(std::string_view payload) {
   if (req.type == RequestType::kArrive) {
     MUAA_RETURN_NOT_OK(in.ReadU32(&req.deadline_us));
   }
+  if (req.type == RequestType::kStats) {
+    // One-release compatibility: a v1 client's STATS payload ends right
+    // after the request id. A present trailing byte is the client's
+    // advertised format version.
+    if (in.done()) {
+      req.stats_version = 1;
+    } else {
+      MUAA_RETURN_NOT_OK(in.ReadU8(&req.stats_version));
+      if (req.stats_version < 2) {
+        return Status::InvalidArgument("explicit stats_version must be >= 2");
+      }
+    }
+  }
   // The declared frame length must agree exactly with the decoded field
   // sizes: trailing bytes mean a malformed or hostile frame.
   if (!in.done()) {
@@ -85,42 +141,61 @@ Result<Request> DecodeRequest(std::string_view payload) {
 
 namespace {
 
-void PutStats(std::string* p, const BrokerStats& s) {
-  PutU64(p, s.arrivals);
-  PutU64(p, s.assigned_ads);
-  PutU64(p, s.served_customers);
-  PutDouble(p, s.total_utility);
-  PutU64(p, s.departed);
-  PutU64(p, s.duplicates);
-  PutU64(p, s.busy_rejections);
-  PutU64(p, s.batches);
-  PutU64(p, s.max_batch);
-  PutU64(p, s.queue_high_water);
-  PutU64(p, s.expired);
-  PutU64(p, s.malformed_frames);
-  PutU64(p, s.slow_client_drops);
-  PutU64(p, s.conn_rejections);
-  PutU64(p, s.mode);
-  PutU64(p, s.mode_transitions);
+// Hard caps on the self-describing STATS frame, enforced on decode so a
+// hostile frame cannot request absurd allocations.
+constexpr size_t kMaxStatsEntries = 4096;
+constexpr size_t kMaxStatsNameLen = 256;
+
+void PutLegacyStats(std::string* p, const StatsPayload& stats) {
+  for (std::string_view key : kLegacyStatsKeys) {
+    PutU64(p, StatsValue(stats, key));
+  }
 }
 
-Status ReadStats(BinReader* in, BrokerStats* s) {
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->arrivals));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->assigned_ads));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->served_customers));
-  MUAA_RETURN_NOT_OK(in->ReadDouble(&s->total_utility));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->departed));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->duplicates));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->busy_rejections));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->batches));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->max_batch));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->queue_high_water));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->expired));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->malformed_frames));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->slow_client_drops));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->conn_rejections));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->mode));
-  MUAA_RETURN_NOT_OK(in->ReadU64(&s->mode_transitions));
+Status ReadLegacyStats(BinReader* in, StatsPayload* stats) {
+  stats->clear();
+  stats->reserve(std::size(kLegacyStatsKeys));
+  for (std::string_view key : kLegacyStatsKeys) {
+    uint64_t v = 0;
+    MUAA_RETURN_NOT_OK(in->ReadU64(&v));
+    stats->push_back(StatsEntry{std::string(key), v});
+  }
+  return Status::OK();
+}
+
+void PutStatsV2(std::string* p, const StatsPayload& stats) {
+  const size_t count = std::min(stats.size(), kMaxStatsEntries);
+  PutU16(p, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const StatsEntry& e = stats[i];
+    PutU16(p, static_cast<uint16_t>(
+                  std::min(e.name.size(), kMaxStatsNameLen)));
+    p->append(e.name.data(), std::min(e.name.size(), kMaxStatsNameLen));
+    PutU64(p, e.value);
+  }
+}
+
+Status ReadStatsV2(BinReader* in, StatsPayload* stats) {
+  uint16_t count = 0;
+  MUAA_RETURN_NOT_OK(in->ReadU16(&count));
+  // Each entry is at least 10 bytes (u16 len + u64 value); reject counts
+  // the payload cannot possibly hold before reserving anything.
+  if (count > kMaxStatsEntries || count > in->remaining() / 10) {
+    return Status::InvalidArgument("stats entry count exceeds payload");
+  }
+  stats->clear();
+  stats->reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t name_len = 0;
+    MUAA_RETURN_NOT_OK(in->ReadU16(&name_len));
+    if (name_len > kMaxStatsNameLen) {
+      return Status::InvalidArgument("stats name length exceeds maximum");
+    }
+    StatsEntry e;
+    MUAA_RETURN_NOT_OK(in->ReadBytes(name_len, &e.name));
+    MUAA_RETURN_NOT_OK(in->ReadU64(&e.value));
+    stats->push_back(std::move(e));
+  }
   return Status::OK();
 }
 
@@ -144,7 +219,10 @@ std::string EncodeResponse(const Response& resp) {
       PutU32(&p, resp.retry_after_us);
       break;
     case ResponseType::kStats:
-      PutStats(&p, resp.stats);
+      PutLegacyStats(&p, resp.stats);
+      break;
+    case ResponseType::kStatsV2:
+      PutStatsV2(&p, resp.stats);
       break;
     case ResponseType::kDepartAck:
       PutU32(&p, static_cast<uint32_t>(resp.customer));
@@ -167,7 +245,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   uint8_t type = 0;
   Response resp;
   MUAA_RETURN_NOT_OK(in.ReadU8(&type));
-  if (type < 1 || type > 7) {
+  if (type < 1 || type > 8) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -201,7 +279,10 @@ Result<Response> DecodeResponse(std::string_view payload) {
       MUAA_RETURN_NOT_OK(in.ReadU32(&resp.retry_after_us));
       break;
     case ResponseType::kStats:
-      MUAA_RETURN_NOT_OK(ReadStats(&in, &resp.stats));
+      MUAA_RETURN_NOT_OK(ReadLegacyStats(&in, &resp.stats));
+      break;
+    case ResponseType::kStatsV2:
+      MUAA_RETURN_NOT_OK(ReadStatsV2(&in, &resp.stats));
       break;
     case ResponseType::kDepartAck: {
       uint32_t customer = 0;

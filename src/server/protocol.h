@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -22,6 +23,12 @@ namespace muaa::server {
 /// little-endian (common/binio.h) and start with a one-byte message type
 /// followed by a u64 request id the response echoes, which lets an
 /// open-loop client pipeline requests and match answers out of band.
+
+/// Protocol version. v2 introduced the self-describing key/value STATS
+/// frame (kStatsV2); v1 carried a fixed positional counter struct. The
+/// STATS request advertises the client's version so a v2 broker can keep
+/// answering v1 clients with the legacy frame for one release.
+constexpr uint8_t kProtocolVersion = 2;
 
 /// Frames `payload` for the wire.
 std::string FrameMessage(std::string_view payload);
@@ -49,7 +56,7 @@ enum class RequestType : uint8_t {
 };
 
 /// \brief One client request. `customer` applies to kArrive/kDepart;
-/// `deadline_us` to kArrive only.
+/// `deadline_us` to kArrive only; `stats_version` to kStats only.
 struct Request {
   RequestType type = RequestType::kArrive;
   uint64_t request_id = 0;
@@ -60,42 +67,72 @@ struct Request {
   /// met (at admission, from the queue-delay estimate) or has elapsed by
   /// the time the solver loop drains the arrival.
   uint32_t deadline_us = 0;
+  /// Highest STATS format the client understands (kStats only). Encoded as
+  /// a trailing u8 when >= 2; a v1 client simply omits it (its 9-byte STATS
+  /// payload decodes here as version 1), so old loadgens keep working.
+  uint8_t stats_version = kProtocolVersion;
 };
 
 /// Broker → client message types.
 enum class ResponseType : uint8_t {
   kAssign = 1,       ///< decision for an ARRIVE (possibly zero ads)
   kBusy = 2,         ///< admission queue full: retry after `retry_after_us`
-  kStats = 3,        ///< counters snapshot
+  kStats = 3,        ///< counters snapshot (legacy v1 positional format)
   kDepartAck = 4,    ///< DEPART processed; `cancelled` says if it was in time
   kShutdownAck = 5,  ///< shutdown initiated
   kError = 6,        ///< malformed or unserviceable request
   kExpired = 7,      ///< ARRIVE deadline elapsed before a decision was made
+  kStatsV2 = 8,      ///< self-describing key/value counters snapshot
 };
 
-/// \brief Broker counters, as carried by a kStats response.
+/// \brief One named statistic, as carried by a kStatsV2 response.
 ///
-/// The first five fields are deterministic for a given arrival order and
-/// solver (they survive kill + resume bitwise — `total_utility` is
-/// serialized as its exact IEEE-754 bit pattern); the rest describe the
-/// nondeterministic serving timeline (batching, backpressure).
-struct BrokerStats {
-  uint64_t arrivals = 0;          ///< distinct arrivals decided
-  uint64_t assigned_ads = 0;
-  uint64_t served_customers = 0;  ///< arrivals that received >= 1 ad
-  double total_utility = 0.0;
-  uint64_t departed = 0;       ///< arrivals cancelled by DEPART in time
-  uint64_t duplicates = 0;     ///< re-delivered arrivals answered from memory
-  uint64_t busy_rejections = 0;
-  uint64_t batches = 0;        ///< micro-batches drained by the solver loop
-  uint64_t max_batch = 0;      ///< largest micro-batch so far
-  uint64_t queue_high_water = 0;
-  uint64_t expired = 0;           ///< ARRIVEs answered kExpired (deadline)
-  uint64_t malformed_frames = 0;  ///< undecodable frames/payloads received
-  uint64_t slow_client_drops = 0;  ///< connections dropped by timeouts/caps
-  uint64_t conn_rejections = 0;    ///< accepts refused at max_connections
-  uint64_t mode = 0;               ///< current ServeMode (0 full, 1 degraded)
-  uint64_t mode_transitions = 0;   ///< degradation-ladder rung flips
+/// Values are u64. Names ending in "_f64" carry the IEEE-754 bit pattern
+/// of a double (decode with StatsDoubleValue) so exact utilities survive
+/// the wire bitwise, same as v1's dedicated double field did.
+struct StatsEntry {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// A STATS payload: entries sorted by name (the broker emits them sorted;
+/// decoding preserves wire order).
+using StatsPayload = std::vector<StatsEntry>;
+
+/// True if `name` carries a double bit pattern by convention.
+bool IsDoubleStat(std::string_view name);
+
+/// Returns the entry named `name`, or nullptr.
+const StatsEntry* FindStat(const StatsPayload& stats, std::string_view name);
+
+/// Value lookup with a default for missing keys.
+uint64_t StatsValue(const StatsPayload& stats, std::string_view name,
+                    uint64_t def = 0);
+
+/// Lookup of an "_f64" entry, reinterpreting the bit pattern as a double.
+double StatsDoubleValue(const StatsPayload& stats, std::string_view name,
+                        double def = 0.0);
+
+/// Sets (or inserts, keeping the payload sorted) a u64 entry.
+void SetStat(StatsPayload* stats, std::string name, uint64_t value);
+
+/// Sets a double entry bitwise; `name` should end in "_f64".
+inline void SetDoubleStat(StatsPayload* stats, std::string name, double value) {
+  SetStat(stats, std::move(name), std::bit_cast<uint64_t>(value));
+}
+
+/// The 16 well-known keys of the legacy v1 positional STATS frame, in wire
+/// order. A v2 broker encodes a v1 response by looking these up in its
+/// payload; a v2 client decodes a v1 frame into exactly these entries.
+inline constexpr std::string_view kLegacyStatsKeys[] = {
+    "server.arrivals",          "server.assigned_ads",
+    "server.served_customers",  "server.total_utility_f64",
+    "server.departed",          "server.duplicates",
+    "server.busy_rejections",   "server.batches",
+    "server.max_batch",         "server.queue_high_water",
+    "server.expired",           "server.malformed_frames",
+    "server.slow_client_drops", "server.conn_rejections",
+    "server.mode",              "server.mode_transitions",
 };
 
 /// \brief One broker response. Which fields apply depends on `type`.
@@ -105,7 +142,7 @@ struct Response {
   model::CustomerId customer = -1;        ///< kAssign / kDepartAck
   std::vector<assign::AdInstance> ads;    ///< kAssign
   uint32_t retry_after_us = 0;            ///< kBusy
-  BrokerStats stats;                      ///< kStats
+  StatsPayload stats;                     ///< kStats / kStatsV2
   bool cancelled = false;                 ///< kDepartAck
   std::string error;                      ///< kError
 };
@@ -118,10 +155,13 @@ std::string EncodeRequest(const Request& req);
 Result<Request> DecodeRequest(std::string_view payload);
 
 /// Encodes a response payload (not yet framed). Utilities round-trip
-/// bitwise.
+/// bitwise. kStats emits the legacy positional frame from the well-known
+/// keys; kStatsV2 emits `u16 count` of `{u16 name_len, name, u64 value}`.
 std::string EncodeResponse(const Response& resp);
 
-/// Decodes a response payload.
+/// Decodes a response payload. A legacy kStats frame decodes into the
+/// well-known `kLegacyStatsKeys` entries, so callers handle both formats
+/// through the same StatsPayload.
 Result<Response> DecodeResponse(std::string_view payload);
 
 }  // namespace muaa::server

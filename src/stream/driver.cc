@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "stream/recovery.h"
 
 namespace muaa::stream {
@@ -11,6 +13,9 @@ namespace muaa::stream {
 Status StreamDriver::WriteCheckpoint(assign::OnlineSolver* solver,
                                      const StreamRunResult& run,
                                      uint64_t next_arrival) {
+  static obs::LatencyHistogram* const hist =
+      obs::MetricRegistry::Global().GetHistogram("stream.checkpoint_us");
+  obs::ScopedTimer timer(hist);
   io::StreamCheckpoint ckpt;
   ckpt.num_customers = ctx_.instance->num_customers();
   ckpt.num_vendors = ctx_.instance->num_vendors();
@@ -34,6 +39,8 @@ Result<StreamRunResult> StreamDriver::Drive(
     StreamRunResult run, std::vector<bool> processed,
     const std::vector<model::CustomerId>& sequence, size_t start,
     std::unique_ptr<io::JournalWriter> writer) {
+  static obs::LatencyHistogram* const commit_hist =
+      obs::MetricRegistry::Global().GetHistogram("stream.commit_us");
   Stopwatch watch;
   for (size_t pos = start; pos < sequence.size(); ++pos) {
     const model::CustomerId ci = sequence[pos];
@@ -69,10 +76,17 @@ Result<StreamRunResult> StreamDriver::Drive(
     run.stats.total_latency_ms += latency;
     run.stats.max_latency_ms = std::max(run.stats.max_latency_ms, latency);
     if (!picked.empty()) run.stats.served_customers += 1;
-    for (const assign::AdInstance& inst : picked) {
-      MUAA_RETURN_NOT_OK(run.assignments.Add(inst));
-      run.stats.assigned_ads += 1;
-      run.stats.total_utility += inst.utility;
+    {
+      // Assignment commit: constraint-checked application of the decided
+      // group to the assignment set. Sampled — commits of one or two
+      // instances are sub-microsecond.
+      obs::ScopedTimer commit_timer(obs::SampleTick() ? commit_hist
+                                                      : nullptr);
+      for (const assign::AdInstance& inst : picked) {
+        MUAA_RETURN_NOT_OK(run.assignments.Add(inst));
+        run.stats.assigned_ads += 1;
+        run.stats.total_utility += inst.utility;
+      }
     }
     processed[idx] = true;
     run.next_arrival = idx + 1;

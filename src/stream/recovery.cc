@@ -7,6 +7,8 @@
 #include "common/stopwatch.h"
 #include "io/checkpoint.h"
 #include "io/journal.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace muaa::stream {
 
@@ -86,7 +88,15 @@ Result<RecoveredStream> RecoverStreamState(
   }
 
   // 2./3. Journal tail: replay committed arrivals past the checkpoint,
-  // truncate anything torn or corrupt.
+  // truncate anything torn or corrupt. Observational only — replay cost
+  // and volume are worth watching after a crash, but the metrics never
+  // feed back into the recovered state.
+  static obs::LatencyHistogram* const replay_hist =
+      obs::MetricRegistry::Global().GetHistogram("stream.replay_us");
+  obs::Counter* const replayed_counter =
+      obs::MetricRegistry::Global().GetCounter("stream.replayed_arrivals");
+  obs::ScopedTimer replay_timer(replay_hist);
+  uint64_t replayed = 0;
   if (!options.journal_path.empty() &&
       std::filesystem::exists(options.journal_path)) {
     auto opened = io::JournalReader::Open(options.journal_path);
@@ -168,6 +178,7 @@ Result<RecoveredStream> RecoverStreamState(
           rec.run.stats.total_utility += inst.utility;
         }
         rec.processed[idx] = true;
+        ++replayed;
         if (on_arrival) on_arrival(jrec.customer, picked);
         rec.next = std::max(rec.next, idx + 1);
         group.clear();
@@ -183,6 +194,7 @@ Result<RecoveredStream> RecoverStreamState(
     }
   }
 
+  if (obs::Enabled() && replayed > 0) replayed_counter->Add(replayed);
   rec.run.next_arrival = rec.next;
   return rec;
 }

@@ -21,7 +21,7 @@ struct RecoveredStream {
   /// mirrors `next`.
   StreamRunResult run;
   /// Per-arrival processed flags (indexed by customer id).
-  std::vector<bool> processed;
+  std::vector<bool> processed = {};
   /// One past the highest durable arrival index — where a sequential
   /// driver continues the stream. Arrivals below it the crashed run's
   /// (possibly perturbed) feed skipped stay skipped, exactly as in an

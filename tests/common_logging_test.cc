@@ -56,7 +56,7 @@ TEST(LoggingDeathTest, CheckOkAbortsOnError) {
 TEST(StopwatchTest, ElapsedIsMonotoneAndUnitConsistent) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   (void)sink;
   double s = watch.ElapsedSeconds();
   double ms = watch.ElapsedMillis();
@@ -69,7 +69,7 @@ TEST(StopwatchTest, ElapsedIsMonotoneAndUnitConsistent) {
 TEST(StopwatchTest, RestartResets) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   (void)sink;
   double before = watch.ElapsedSeconds();
   watch.Restart();

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+
+// Log-linear histogram invariants (docs/observability.md): the bucket
+// layout is exact below 16 and within 12.5% relative width above, Index and
+// LowerBound agree in both directions, snapshot merging is associative
+// bucket-for-bucket, and quantiles are monotone in q.
+
+namespace muaa::obs {
+namespace {
+
+TEST(BucketLayout, SmallValuesGetExactBuckets) {
+  // Values below 16 land in buckets whose lower bound is the value itself:
+  // 0..7 directly, 8..15 via the first octave's unit-wide sub-buckets.
+  for (uint64_t v = 0; v < 16; ++v) {
+    const size_t idx = BucketLayout::Index(v);
+    EXPECT_EQ(BucketLayout::LowerBound(idx), v) << "value " << v;
+  }
+}
+
+TEST(BucketLayout, IndexAndLowerBoundAgree) {
+  // LowerBound(i) is the smallest value mapping to bucket i, and the value
+  // just below the next bucket's bound still maps to i.
+  for (size_t i = 0; i < BucketLayout::kOverflowBucket; ++i) {
+    const uint64_t lo = BucketLayout::LowerBound(i);
+    EXPECT_EQ(BucketLayout::Index(lo), i) << "bucket " << i;
+    const uint64_t next = BucketLayout::LowerBound(i + 1);
+    ASSERT_GT(next, lo) << "bucket " << i << " is empty";
+    EXPECT_EQ(BucketLayout::Index(next - 1), i) << "bucket " << i;
+  }
+}
+
+TEST(BucketLayout, RelativeWidthIsBoundedAboveSixteen) {
+  // Eight sub-buckets per octave bound the relative width by 2^-3 = 12.5%.
+  for (size_t i = BucketLayout::Index(16); i < BucketLayout::kOverflowBucket;
+       ++i) {
+    const uint64_t lo = BucketLayout::LowerBound(i);
+    const uint64_t width = BucketLayout::LowerBound(i + 1) - lo;
+    EXPECT_LE(static_cast<double>(width), 0.125 * static_cast<double>(lo))
+        << "bucket " << i << " [" << lo << ", " << (lo + width) << ")";
+  }
+}
+
+TEST(BucketLayout, HugeValuesLandInTheOverflowBucket) {
+  const uint64_t top = uint64_t{1} << BucketLayout::kMaxMagnitude;
+  EXPECT_EQ(BucketLayout::Index(top), BucketLayout::kOverflowBucket);
+  EXPECT_EQ(BucketLayout::Index(~uint64_t{0}), BucketLayout::kOverflowBucket);
+  EXPECT_LT(BucketLayout::Index(top - 1), BucketLayout::kOverflowBucket);
+}
+
+TEST(Histogram, RecordTracksCountSumMax) {
+  LatencyHistogram h;
+  h.Record(3);
+  h.Record(100);
+  h.Record(7);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 110u);
+  EXPECT_EQ(h.Max(), 100u);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 110u);
+  EXPECT_EQ(s.max, 100u);
+}
+
+HistogramSnapshot Fill(std::initializer_list<uint64_t> values) {
+  LatencyHistogram h;
+  for (uint64_t v : values) h.Record(v);
+  return h.Snapshot();
+}
+
+void ExpectEqual(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  ASSERT_EQ(a.buckets.size(), b.buckets.size());
+  for (size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i], b.buckets[i]) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const HistogramSnapshot a = Fill({1, 5, 900});
+  const HistogramSnapshot b = Fill({17, 17, 250'000});
+  const HistogramSnapshot c = Fill({0, 3'000'000});
+
+  HistogramSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot right = a;
+  right.Merge(bc);
+  ExpectEqual(left, right);
+
+  HistogramSnapshot swapped = b;  // b + a == a + b
+  swapped.Merge(a);
+  HistogramSnapshot ab = a;
+  ab.Merge(b);
+  ExpectEqual(ab, swapped);
+
+  // Merging an empty snapshot is the identity.
+  HistogramSnapshot id = a;
+  id.Merge(Fill({}));
+  ExpectEqual(id, a);
+}
+
+TEST(Histogram, MergedQuantilesEqualTheCombinedRecording) {
+  LatencyHistogram combined;
+  LatencyHistogram lo;
+  LatencyHistogram hi;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    combined.Record(v);
+    (v < 500 ? lo : hi).Record(v);
+  }
+  HistogramSnapshot merged = lo.Snapshot();
+  merged.Merge(hi.Snapshot());
+  ExpectEqual(merged, combined.Snapshot());
+  EXPECT_EQ(merged.P50(), combined.Snapshot().P50());
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  LatencyHistogram h;
+  // A long-tailed distribution spanning several octaves.
+  for (uint64_t v = 0; v < 2000; ++v) h.Record(v * v % 70'001);
+  const HistogramSnapshot s = h.Snapshot();
+  uint64_t prev = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const uint64_t q = s.Quantile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(q, prev) << "quantile " << i << "%";
+    prev = q;
+  }
+  EXPECT_LE(s.Quantile(1.0), s.max);
+}
+
+TEST(Histogram, QuantileReportsTheBucketLowerBound) {
+  LatencyHistogram h;
+  h.Record(12'345);
+  const HistogramSnapshot s = h.Snapshot();
+  const uint64_t want = BucketLayout::LowerBound(BucketLayout::Index(12'345));
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.Quantile(q), want) << "q=" << q;
+  }
+}
+
+TEST(Histogram, EmptySnapshotQuantilesAreZero) {
+  const HistogramSnapshot s = LatencyHistogram().Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_EQ(s.P99(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace muaa::obs

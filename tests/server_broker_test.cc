@@ -12,6 +12,8 @@
 
 #include "assign/online_afa.h"
 #include "datagen/synthetic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "server/broker.h"
 #include "server/loadgen.h"
 #include "server/protocol.h"
@@ -224,9 +226,10 @@ TEST(Broker, ResumedBrokerStatsSurviveRestartWithoutReplay) {
   ASSERT_TRUE(broker.Start().ok());
   auto stats = QueryStats("127.0.0.1", broker.port());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(stats->arrivals, want_arrivals);
-  EXPECT_EQ(stats->assigned_ads, want_ads);
-  EXPECT_EQ(std::bit_cast<uint64_t>(stats->total_utility),
+  EXPECT_EQ(StatsValue(*stats, "server.arrivals"), want_arrivals);
+  EXPECT_EQ(StatsValue(*stats, "server.assigned_ads"), want_ads);
+  EXPECT_EQ(std::bit_cast<uint64_t>(
+                StatsDoubleValue(*stats, "server.total_utility_f64")),
             std::bit_cast<uint64_t>(want_utility));
   ASSERT_TRUE(broker.Stop().ok());
   files.Clear();
@@ -298,7 +301,7 @@ TEST(Broker, SurvivesClientDisconnectMidResponse) {
 
   auto stats = QueryStats("127.0.0.1", broker.port());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(stats->arrivals, 20u);
+  EXPECT_EQ(StatsValue(*stats, "server.arrivals"), 20u);
   ASSERT_TRUE(broker.Stop().ok());
 }
 
@@ -466,7 +469,7 @@ TEST(Broker, MalformedFramesAreCountedAndRejected) {
   // Nothing malformed ever reached the solver; serving still works.
   auto stats = QueryStats("127.0.0.1", broker.port());
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->arrivals, 0u);
+  EXPECT_EQ(StatsValue(*stats, "server.arrivals"), 0u);
   ASSERT_TRUE(broker.Stop().ok());
 }
 
@@ -478,20 +481,28 @@ TEST(Broker, ConnectionLimitRefusesExtraClients) {
   Broker broker(h.ctx(), &solver, opts);
   ASSERT_TRUE(broker.Start().ok());
 
-  auto roundtrip_stats = [](Socket* sock) -> bool {
+  // Version negotiation rides along: a v2 request gets the KV frame, a
+  // v1-style request (no trailing version byte) the legacy frame.
+  auto roundtrip_stats = [](Socket* sock, uint8_t version) -> bool {
     Request req;
     req.type = RequestType::kStats;
     req.request_id = 99;
+    req.stats_version = version;
     if (!sock->SendFrame(EncodeRequest(req)).ok()) return false;
     std::string payload;
     auto got = sock->RecvFrame(&payload);
-    return got.ok() && *got &&
-           DecodeResponse(payload).ValueOrDie().type == ResponseType::kStats;
+    if (!got.ok() || !*got) return false;
+    const ResponseType want =
+        version >= 2 ? ResponseType::kStatsV2 : ResponseType::kStats;
+    return DecodeResponse(payload).ValueOrDie().type == want;
   };
 
   auto sock1 = Connect("127.0.0.1", broker.port());
   ASSERT_TRUE(sock1.ok());
-  ASSERT_TRUE(roundtrip_stats(&*sock1)) << "first client must be served";
+  ASSERT_TRUE(roundtrip_stats(&*sock1, kProtocolVersion))
+      << "first client must be served";
+  ASSERT_TRUE(roundtrip_stats(&*sock1, 1))
+      << "legacy v1 stats request must still be answered";
 
   // The second client is accepted at the TCP level and immediately closed.
   auto sock2 = Connect("127.0.0.1", broker.port());
@@ -508,8 +519,78 @@ TEST(Broker, ConnectionLimitRefusesExtraClients) {
   EXPECT_GE(broker.stats().conn_rejections, 1u);
 
   // The first client is unaffected by the refusal.
-  EXPECT_TRUE(roundtrip_stats(&*sock1));
+  EXPECT_TRUE(roundtrip_stats(&*sock1, kProtocolVersion));
   ASSERT_TRUE(broker.Stop().ok());
+}
+
+TEST(Broker, WireStatsRoundTripMatchesTheMetricsDump) {
+  // The self-describing STATS frame, the in-process payload and the
+  // Prometheus text dump are three views of the same registry: same keys,
+  // same values (docs/observability.md).
+  SolverHarness h(MakeInstance(120), kSeed);
+  assign::AfaOnlineSolver solver;
+  Broker broker(h.ctx(), &solver, BrokerOptions{});
+  ASSERT_TRUE(broker.Start().ok());
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  ASSERT_TRUE(RunLoadgen(AllArrivals(h.instance), lg).ok());
+
+  auto wire = QueryStats("127.0.0.1", broker.port());
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_TRUE(broker.Stop().ok());
+
+  // Quiescent now: the in-process payload and registry snapshot are
+  // mutually consistent, and the wire payload (taken while serving) must
+  // carry exactly the same key set.
+  const StatsPayload local = broker.stats_payload();
+  const obs::MetricsSnapshot snap = broker.metrics().Snapshot();
+
+  ASSERT_EQ(wire->size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ((*wire)[i].name, local[i].name) << "key " << i;
+  }
+
+  // Every registry counter/gauge appears in the payload verbatim; every
+  // histogram expands to its derived keys.
+  for (const obs::ScalarSample& s : snap.counters) {
+    ASSERT_NE(FindStat(local, s.name), nullptr) << s.name;
+    EXPECT_EQ(StatsValue(local, s.name), s.value) << s.name;
+  }
+  for (const obs::ScalarSample& s : snap.gauges) {
+    ASSERT_NE(FindStat(local, s.name), nullptr) << s.name;
+    EXPECT_EQ(StatsValue(local, s.name), s.value) << s.name;
+  }
+  for (const obs::HistogramSnapshot& hist : snap.histograms) {
+    EXPECT_EQ(StatsValue(local, hist.name + ".count"), hist.count)
+        << hist.name;
+    EXPECT_EQ(StatsValue(local, hist.name + ".p50"), hist.P50()) << hist.name;
+    EXPECT_EQ(StatsValue(local, hist.name + ".p99"), hist.P99()) << hist.name;
+    EXPECT_EQ(StatsValue(local, hist.name + ".max"), hist.max) << hist.name;
+  }
+
+  // The deterministic totals agree across the wire and the local payload
+  // (they are derived under the state lock, not from the racy registry).
+  EXPECT_EQ(StatsValue(*wire, "server.arrivals"), h.instance.num_customers());
+  EXPECT_EQ(StatsValue(local, "server.arrivals"),
+            h.instance.num_customers());
+  EXPECT_EQ(StatsValue(*wire, "server.assigned_ads"),
+            StatsValue(local, "server.assigned_ads"));
+  EXPECT_EQ(std::bit_cast<uint64_t>(
+                StatsDoubleValue(*wire, "server.total_utility_f64")),
+            std::bit_cast<uint64_t>(
+                StatsDoubleValue(local, "server.total_utility_f64")));
+
+  // And the text dump renders the same counters the wire carries.
+  const std::string text = obs::RenderPrometheusText(snap);
+  for (const obs::ScalarSample& s : snap.counters) {
+    std::string prom_name = "muaa_" + s.name;
+    for (char& c : prom_name) {
+      if (c == '.') c = '_';
+    }
+    const std::string line =
+        prom_name + "_total " + std::to_string(s.value) + "\n";
+    EXPECT_NE(text.find(line), std::string::npos) << line;
+  }
 }
 
 TEST(Broker, ShutdownRequestReleasesWaiter) {

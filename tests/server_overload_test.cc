@@ -636,9 +636,11 @@ TEST(ChaosProxy, LossyLinkConvergesToTheCleanRunBitwise) {
     ASSERT_TRUE(resumed.Start().ok());
     auto rstats = QueryStats("127.0.0.1", resumed.port());
     ASSERT_TRUE(rstats.ok()) << rstats.status().ToString();
-    EXPECT_EQ(rstats->arrivals, want.stats.arrivals);
-    EXPECT_EQ(rstats->assigned_ads, want.stats.assigned_ads);
-    EXPECT_EQ(std::bit_cast<uint64_t>(rstats->total_utility),
+    EXPECT_EQ(StatsValue(*rstats, "server.arrivals"), want.stats.arrivals);
+    EXPECT_EQ(StatsValue(*rstats, "server.assigned_ads"),
+              want.stats.assigned_ads);
+    EXPECT_EQ(std::bit_cast<uint64_t>(
+                  StatsDoubleValue(*rstats, "server.total_utility_f64")),
               std::bit_cast<uint64_t>(want.stats.total_utility));
     ASSERT_TRUE(resumed.Stop().ok());
   }

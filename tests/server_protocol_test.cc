@@ -125,45 +125,121 @@ TEST(Protocol, BusyResponseCarriesRetryHint) {
   EXPECT_EQ(got->retry_after_us, 12345u);
 }
 
-TEST(Protocol, StatsResponseRoundTripsEveryCounter) {
+TEST(Protocol, LegacyStatsResponseRoundTripsEveryCounter) {
+  // The v1 positional frame carries exactly the 16 well-known keys; a v2
+  // payload holding them must survive an encode/decode round trip with the
+  // double utility bitwise intact.
   Response resp;
   resp.type = ResponseType::kStats;
   resp.request_id = 2;
-  resp.stats.arrivals = 1;
-  resp.stats.assigned_ads = 2;
-  resp.stats.served_customers = 3;
-  resp.stats.total_utility = 1.0 / 3.0;
-  resp.stats.departed = 4;
-  resp.stats.duplicates = 5;
-  resp.stats.busy_rejections = 6;
-  resp.stats.batches = 7;
-  resp.stats.max_batch = 8;
-  resp.stats.queue_high_water = 9;
-  resp.stats.expired = 10;
-  resp.stats.malformed_frames = 11;
-  resp.stats.slow_client_drops = 12;
-  resp.stats.conn_rejections = 13;
-  resp.stats.mode = 1;
-  resp.stats.mode_transitions = 14;
+  uint64_t v = 1;
+  for (std::string_view key : kLegacyStatsKeys) {
+    if (IsDoubleStat(key)) {
+      SetDoubleStat(&resp.stats, std::string(key), 1.0 / 3.0);
+    } else {
+      SetStat(&resp.stats, std::string(key), v++);
+    }
+  }
   auto got = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(got->stats.arrivals, 1u);
-  EXPECT_EQ(got->stats.assigned_ads, 2u);
-  EXPECT_EQ(got->stats.served_customers, 3u);
-  EXPECT_EQ(std::bit_cast<uint64_t>(got->stats.total_utility),
+  EXPECT_EQ(got->type, ResponseType::kStats);
+  ASSERT_EQ(got->stats.size(), std::size(kLegacyStatsKeys));
+  for (std::string_view key : kLegacyStatsKeys) {
+    ASSERT_NE(FindStat(got->stats, key), nullptr) << key;
+    EXPECT_EQ(StatsValue(got->stats, key), StatsValue(resp.stats, key)) << key;
+  }
+  EXPECT_EQ(std::bit_cast<uint64_t>(
+                StatsDoubleValue(got->stats, "server.total_utility_f64")),
             std::bit_cast<uint64_t>(1.0 / 3.0));
-  EXPECT_EQ(got->stats.departed, 4u);
-  EXPECT_EQ(got->stats.duplicates, 5u);
-  EXPECT_EQ(got->stats.busy_rejections, 6u);
-  EXPECT_EQ(got->stats.batches, 7u);
-  EXPECT_EQ(got->stats.max_batch, 8u);
-  EXPECT_EQ(got->stats.queue_high_water, 9u);
-  EXPECT_EQ(got->stats.expired, 10u);
-  EXPECT_EQ(got->stats.malformed_frames, 11u);
-  EXPECT_EQ(got->stats.slow_client_drops, 12u);
-  EXPECT_EQ(got->stats.conn_rejections, 13u);
-  EXPECT_EQ(got->stats.mode, 1u);
-  EXPECT_EQ(got->stats.mode_transitions, 14u);
+}
+
+TEST(Protocol, LegacyStatsDropsUnknownKeysAndZeroFillsMissing) {
+  // The legacy frame is positional: keys outside the well-known 16 cannot
+  // travel on it, and a missing well-known key reads back as zero. This is
+  // the compatibility cost a v1 client pays.
+  Response resp;
+  resp.type = ResponseType::kStats;
+  resp.request_id = 3;
+  SetStat(&resp.stats, "server.arrivals", 7);
+  SetStat(&resp.stats, "server.queue_delay_us_p99", 1234);  // v2-only key
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(StatsValue(got->stats, "server.arrivals"), 7u);
+  EXPECT_EQ(FindStat(got->stats, "server.queue_delay_us_p99"), nullptr);
+  EXPECT_EQ(StatsValue(got->stats, "server.batches"), 0u);
+}
+
+TEST(Protocol, StatsV2RoundTripsArbitraryKeys) {
+  Response resp;
+  resp.type = ResponseType::kStatsV2;
+  resp.request_id = 4;
+  SetStat(&resp.stats, "server.arrivals", 12);
+  SetStat(&resp.stats, "server.solve_us_p99", 850);
+  SetDoubleStat(&resp.stats, "server.total_utility_f64", -0.0);
+  SetStat(&resp.stats, "stream.commit_us_count", 99);
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, ResponseType::kStatsV2);
+  ASSERT_EQ(got->stats.size(), resp.stats.size());
+  // v2 preserves wire order (the broker emits sorted; SetStat keeps sorted).
+  for (size_t i = 0; i < resp.stats.size(); ++i) {
+    EXPECT_EQ(got->stats[i].name, resp.stats[i].name);
+    EXPECT_EQ(got->stats[i].value, resp.stats[i].value);
+  }
+  // Signed zero survives bitwise through the _f64 convention.
+  EXPECT_EQ(std::bit_cast<uint64_t>(
+                StatsDoubleValue(got->stats, "server.total_utility_f64")),
+            std::bit_cast<uint64_t>(-0.0));
+}
+
+TEST(Protocol, StatsV2EmptyPayloadRoundTrips) {
+  Response resp;
+  resp.type = ResponseType::kStatsV2;
+  resp.request_id = 5;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->stats.empty());
+}
+
+TEST(Protocol, StatsV2EntryCountBeyondPayloadIsRejected) {
+  // A hostile count prefix promising more entries than the payload holds
+  // must fail before any per-entry allocation.
+  Response resp;
+  resp.type = ResponseType::kStatsV2;
+  resp.request_id = 6;
+  SetStat(&resp.stats, "server.arrivals", 1);
+  std::string payload = EncodeResponse(resp);
+  // Layout: u8 type, u64 request id, u16 entry count.
+  const size_t count_at = 1 + 8;
+  payload[count_at] = '\xFF';
+  payload[count_at + 1] = '\x7F';
+  EXPECT_FALSE(DecodeResponse(payload).ok());
+}
+
+TEST(Protocol, StatsRequestNegotiatesVersion) {
+  // A v2 client advertises its version as a trailing byte; a v1 client's
+  // frame ends after the request id and decodes as version 1.
+  Request req;
+  req.type = RequestType::kStats;
+  req.request_id = 21;
+  auto got = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats_version, kProtocolVersion);
+
+  req.stats_version = 1;  // impersonate a v1 client: no trailing byte
+  std::string v1_payload = EncodeRequest(req);
+  EXPECT_EQ(v1_payload.size(), 9u);  // u8 type + u64 request id
+  got = DecodeRequest(v1_payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats_version, 1u);
+}
+
+TEST(Protocol, IsDoubleStatMatchesOnlyTheSuffix) {
+  EXPECT_TRUE(IsDoubleStat("server.total_utility_f64"));
+  EXPECT_TRUE(IsDoubleStat("_f64"));
+  EXPECT_FALSE(IsDoubleStat("server.arrivals"));
+  EXPECT_FALSE(IsDoubleStat("f64"));
+  EXPECT_FALSE(IsDoubleStat(""));
 }
 
 TEST(Protocol, DepartAckAndShutdownAckAndError) {

@@ -23,6 +23,7 @@
 //                               [recover_sojourn_us=N] [recover_batches=N]
 //                               [journal=<file>] [checkpoint=<file>]
 //                               [checkpoint_every=N] [resume=0|1]
+//                               [metrics_dump=<file>]
 //   muaa_cli version
 //
 // `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
@@ -52,27 +53,22 @@
 // `busy_retry_us` floor up to `busy_retry_cap_us`; `degrade_sojourn_us`
 // plus `recover_sojourn_us` arm the two-rung degradation ladder (0 = off);
 // `read/idle/write_timeout_us`, `max_connections` and `max_inflight` bound
-// slow or greedy clients.
+// slow or greedy clients. `metrics_dump=<file>` (docs/observability.md)
+// writes the Prometheus-style metrics text atomically at shutdown and
+// whenever the process receives SIGUSR1.
 //
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
 #include <atomic>
+#include <bit>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
-#include "assign/exact.h"
-#include "assign/greedy.h"
-#include "assign/local_search.h"
-#include "assign/nearest.h"
-#include "assign/online_afa.h"
-#include "assign/online_msvv.h"
-#include "assign/online_static.h"
-#include "assign/random_solver.h"
-#include "assign/recon.h"
-#include "assign/windowed.h"
+#include "assign/solver.h"
 #include "common/build_info.h"
 #include "common/config.h"
 #include "common/logging.h"
@@ -84,6 +80,8 @@
 #include "io/assignment_io.h"
 #include "io/checkin_io.h"
 #include "io/instance_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "server/broker.h"
 #include "stream/driver.h"
 #include "stream/fault_injector.h"
@@ -96,6 +94,12 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void HandleSigint(int) { g_stop.store(true); }
+
+/// Raised by SIGUSR1 while `serve` runs with `metrics_dump=`; the wait
+/// loop's poll callback rewrites the dump file atomically.
+std::atomic<bool> g_dump_metrics{false};
+
+void HandleSigusr1(int) { g_dump_metrics.store(true); }
 
 int Usage() {
   std::fprintf(stderr,
@@ -135,87 +139,6 @@ Result<model::ProblemInstance> LoadInstanceArg(const Config& cfg,
                  report.skipped_rows, in.c_str());
   }
   return inst;
-}
-
-Result<std::unique_ptr<assign::OfflineSolver>> MakeSolver(
-    const std::string& name) {
-  using std::make_unique;
-  if (name == "recon") return {make_unique<assign::ReconSolver>()};
-  if (name == "recon-dp") {
-    assign::ReconOptions opts;
-    opts.single_vendor = assign::SingleVendorSolver::kDp;
-    return {make_unique<assign::ReconSolver>(opts)};
-  }
-  if (name == "recon-lp") {
-    assign::ReconOptions opts;
-    opts.single_vendor = assign::SingleVendorSolver::kSimplex;
-    return {make_unique<assign::ReconSolver>(opts)};
-  }
-  if (name == "greedy") return {make_unique<assign::GreedySolver>()};
-  if (name == "greedy-ls") return {make_unique<assign::GreedyLsSolver>()};
-  if (name == "random") return {make_unique<assign::RandomSolver>()};
-  if (name == "exact") return {make_unique<assign::ExactSolver>()};
-  if (name == "online") {
-    return {make_unique<assign::OnlineAsOffline>(
-        make_unique<assign::AfaOnlineSolver>())};
-  }
-  if (name == "online-adaptive") {
-    assign::AfaOptions opts;
-    opts.adapt_gamma = true;
-    return {make_unique<assign::OnlineAsOffline>(
-        make_unique<assign::AfaOnlineSolver>(opts))};
-  }
-  if (name == "static") {
-    return {make_unique<assign::OnlineAsOffline>(
-        make_unique<assign::StaticThresholdOnlineSolver>())};
-  }
-  if (name == "msvv") {
-    return {make_unique<assign::OnlineAsOffline>(
-        make_unique<assign::MsvvOnlineSolver>())};
-  }
-  if (name == "nearest") {
-    return {make_unique<assign::OnlineAsOffline>(
-        make_unique<assign::NearestOnlineSolver>())};
-  }
-  if (name == "batch-recon") {
-    assign::WindowedOptions opts;
-    opts.window_hours = 1.0;
-    return {make_unique<assign::WindowedSolver>(
-        [] {
-          return std::unique_ptr<assign::OfflineSolver>(
-              std::make_unique<assign::ReconSolver>());
-        },
-        opts)};
-  }
-  return Status::InvalidArgument("unknown solver: " + name);
-}
-
-Result<std::unique_ptr<assign::OnlineSolver>> MakeOnlineSolver(
-    const std::string& name) {
-  using std::make_unique;
-  if (name == "online") {
-    return {std::unique_ptr<assign::OnlineSolver>(
-        make_unique<assign::AfaOnlineSolver>())};
-  }
-  if (name == "online-adaptive") {
-    assign::AfaOptions opts;
-    opts.adapt_gamma = true;
-    return {std::unique_ptr<assign::OnlineSolver>(
-        make_unique<assign::AfaOnlineSolver>(opts))};
-  }
-  if (name == "static") {
-    return {std::unique_ptr<assign::OnlineSolver>(
-        make_unique<assign::StaticThresholdOnlineSolver>())};
-  }
-  if (name == "msvv") {
-    return {std::unique_ptr<assign::OnlineSolver>(
-        make_unique<assign::MsvvOnlineSolver>())};
-  }
-  if (name == "nearest") {
-    return {std::unique_ptr<assign::OnlineSolver>(
-        make_unique<assign::NearestOnlineSolver>())};
-  }
-  return Status::InvalidArgument("unknown online solver: " + name);
 }
 
 int CmdGenerateSynthetic(const Config& cfg) {
@@ -311,7 +234,7 @@ int CmdSolve(const Config& cfg) {
   if (in.empty()) return Usage();
   auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
-  auto solver = MakeSolver(solver_name);
+  auto solver = assign::MakeOfflineSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
   auto threads = ThreadsArg(cfg);
   if (!threads.ok()) return Fail(threads.status());
@@ -344,7 +267,7 @@ int CmdStream(const Config& cfg) {
   if (in.empty()) return Usage();
   auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
-  auto solver = MakeOnlineSolver(solver_name);
+  auto solver = assign::MakeOnlineSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
 
   model::ProblemView view(&*inst);
@@ -419,7 +342,7 @@ int CmdServe(const Config& cfg) {
   if (in.empty()) return Usage();
   auto inst = LoadInstanceArg(cfg, in);
   if (!inst.ok()) return Fail(inst.status());
-  auto solver = MakeOnlineSolver(solver_name);
+  auto solver = assign::MakeOnlineSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status());
 
   model::ProblemView view(&*inst);
@@ -488,6 +411,7 @@ int CmdServe(const Config& cfg) {
     return Fail(Status::InvalidArgument(
         "resume=1 needs journal= and/or checkpoint="));
   }
+  std::string metrics_dump = cfg.GetString("metrics_dump", "");
   cfg.WarnUnreadKeys();
 
   server::Broker broker(ctx, solver->get(), opts);
@@ -497,9 +421,31 @@ int CmdServe(const Config& cfg) {
   // see it before the first connection.
   std::printf("listening on port %d\n", broker.port());
   std::fflush(stdout);
+
+  // Prometheus-style dump: the broker's registry (server.* stages) merged
+  // with the process-global one (model.*/assign.*/stream.*), rewritten
+  // atomically so a concurrent scraper never reads a torn file.
+  auto dump_metrics = [&broker, &metrics_dump]() {
+    obs::MetricsSnapshot snap = broker.metrics().Snapshot();
+    snap.Merge(obs::MetricRegistry::Global().Snapshot());
+    Status dst =
+        obs::WriteFileAtomic(metrics_dump, obs::RenderPrometheusText(snap));
+    if (!dst.ok()) {
+      std::fprintf(stderr, "warning: metrics dump failed: %s\n",
+                   dst.ToString().c_str());
+    }
+  };
+  std::function<void()> poll;
+  if (!metrics_dump.empty()) {
+    std::signal(SIGUSR1, HandleSigusr1);
+    poll = [&dump_metrics]() {
+      if (g_dump_metrics.exchange(false)) dump_metrics();
+    };
+  }
+
   std::signal(SIGINT, HandleSigint);
   std::signal(SIGTERM, HandleSigint);
-  broker.WaitUntilShutdown(&g_stop);
+  broker.WaitUntilShutdown(&g_stop, poll);
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   Status stop = broker.Stop();
@@ -512,24 +458,27 @@ int CmdServe(const Config& cfg) {
               static_cast<unsigned long long>(stats.assigned_ads),
               static_cast<unsigned long long>(stats.served_customers),
               stats.total_utility);
-  std::printf(
-      "timeline: busy=%llu dup=%llu departed=%llu batches=%llu "
-      "max_batch=%llu queue_high_water=%llu\n",
-      static_cast<unsigned long long>(stats.busy_rejections),
-      static_cast<unsigned long long>(stats.duplicates),
-      static_cast<unsigned long long>(stats.departed),
-      static_cast<unsigned long long>(stats.batches),
-      static_cast<unsigned long long>(stats.max_batch),
-      static_cast<unsigned long long>(stats.queue_high_water));
-  std::printf(
-      "overload: expired=%llu malformed=%llu slow_drops=%llu "
-      "conn_rejects=%llu mode=%llu mode_transitions=%llu\n",
-      static_cast<unsigned long long>(stats.expired),
-      static_cast<unsigned long long>(stats.malformed_frames),
-      static_cast<unsigned long long>(stats.slow_client_drops),
-      static_cast<unsigned long long>(stats.conn_rejections),
-      static_cast<unsigned long long>(stats.mode),
-      static_cast<unsigned long long>(stats.mode_transitions));
+  // Everything else comes from the self-describing payload — the same
+  // bytes a STATS-v2 client would see — so new counters show up here
+  // without touching this loop.
+  for (const auto& e : broker.stats_payload()) {
+    if (e.name == "server.arrivals" || e.name == "server.assigned_ads" ||
+        e.name == "server.served_customers" ||
+        e.name == "server.total_utility_f64") {
+      continue;  // already on the STATS line
+    }
+    if (server::IsDoubleStat(e.name)) {
+      std::printf("stat %s=%.6f\n", e.name.c_str(),
+                  std::bit_cast<double>(e.value));
+    } else {
+      std::printf("stat %s=%llu\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.value));
+    }
+  }
+  if (!metrics_dump.empty()) {
+    dump_metrics();
+    std::printf("metrics dumped to %s\n", metrics_dump.c_str());
+  }
   return 0;
 }
 

@@ -22,6 +22,7 @@
 // a JSON object (same shape as the BENCH_*.json emitted by
 // bench_server_throughput).
 
+#include <bit>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "common/config.h"
 #include "io/instance_io.h"
 #include "server/loadgen.h"
+#include "server/protocol.h"
 
 namespace muaa {
 namespace {
@@ -50,8 +52,8 @@ int Fail(const Status& st) {
   return 1;
 }
 
-Status WriteJsonReport(const std::string& path,
-                       const server::LoadgenReport& r) {
+Status WriteJsonReport(const std::string& path, const server::LoadgenReport& r,
+                       const server::StatsPayload* broker_stats) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return Status::Internal("cannot open " + path);
   std::fprintf(f,
@@ -90,7 +92,23 @@ Status WriteJsonReport(const std::string& path,
     std::fprintf(f, "%s%llu", k == 0 ? "" : ", ",
                  static_cast<unsigned long long>(r.retry_histogram[k]));
   }
-  std::fprintf(f, "]\n}\n");
+  std::fprintf(f, "]");
+  // Broker-side view of the same run, straight from the self-describing
+  // STATS payload (absent if the broker was unreachable after the run).
+  if (broker_stats != nullptr) {
+    std::fprintf(f, ",\n  \"broker\": {");
+    for (size_t k = 0; k < broker_stats->size(); ++k) {
+      const auto& e = (*broker_stats)[k];
+      std::fprintf(f, "%s\n    \"%s\": ", k == 0 ? "" : ",", e.name.c_str());
+      if (server::IsDoubleStat(e.name)) {
+        std::fprintf(f, "%.17g", std::bit_cast<double>(e.value));
+      } else {
+        std::fprintf(f, "%llu", static_cast<unsigned long long>(e.value));
+      }
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   return Status::OK();
 }
@@ -110,11 +128,26 @@ int Run(int argc, char** argv) {
   if (*stats_only) {
     auto stats = server::QueryStats(host, static_cast<int>(*port));
     if (!stats.ok()) return Fail(stats.status());
-    std::printf("STATS arrivals=%llu ads=%llu served=%llu utility=%.6f\n",
-                static_cast<unsigned long long>(stats->arrivals),
-                static_cast<unsigned long long>(stats->assigned_ads),
-                static_cast<unsigned long long>(stats->served_customers),
-                stats->total_utility);
+    std::printf(
+        "STATS arrivals=%llu ads=%llu served=%llu utility=%.6f\n",
+        static_cast<unsigned long long>(
+            server::StatsValue(*stats, "server.arrivals")),
+        static_cast<unsigned long long>(
+            server::StatsValue(*stats, "server.assigned_ads")),
+        static_cast<unsigned long long>(
+            server::StatsValue(*stats, "server.served_customers")),
+        server::StatsDoubleValue(*stats, "server.total_utility_f64"));
+    // Self-describing payload: print every key the broker sent, whatever
+    // its vintage — new counters need no loadgen release.
+    for (const auto& e : *stats) {
+      if (server::IsDoubleStat(e.name)) {
+        std::printf("stat %s=%.6f\n", e.name.c_str(),
+                    std::bit_cast<double>(e.value));
+      } else {
+        std::printf("stat %s=%llu\n", e.name.c_str(),
+                    static_cast<unsigned long long>(e.value));
+      }
+    }
     cfg->WarnUnreadKeys();
     return 0;
   }
@@ -198,7 +231,10 @@ int Run(int argc, char** argv) {
       report->elapsed_s, report->achieved_qps, report->p50_us,
       report->p95_us, report->p99_us, report->max_us);
   if (!json.empty()) {
-    Status st = WriteJsonReport(json, *report);
+    // Best effort: the broker may already be gone by the time the run ends.
+    auto broker_stats = server::QueryStats(host, static_cast<int>(*port));
+    Status st = WriteJsonReport(
+        json, *report, broker_stats.ok() ? &*broker_stats : nullptr);
     if (!st.ok()) return Fail(st);
   }
   return 0;

@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "assign/online_afa.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -17,8 +22,10 @@
 #include "knapsack/mckp_lp_greedy.h"
 #include "knapsack/mckp_simplex.h"
 #include "lp/simplex.h"
+#include "bench_common.h"
 #include "model/problem_view.h"
 #include "model/similarity.h"
+#include "model/simd_kernels.h"
 
 namespace {
 
@@ -92,8 +99,26 @@ void BM_WeightedPearson(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(model::WeightedPearson(a, b, w));
   }
+  state.SetLabel(model::simd::BackendName(model::simd::ActiveBackend()));
 }
 BENCHMARK(BM_WeightedPearson)->Arg(64)->Arg(117)->Arg(512);
+
+void BM_WeightedPearsonScalar(benchmark::State& state) {
+  size_t dims = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> a(dims), b(dims), w(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+    w[i] = rng.Uniform(0.1, 1.0);
+  }
+  model::simd::ForceBackend(model::simd::Backend::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::WeightedPearson(a, b, w));
+  }
+  model::simd::ClearForcedBackend();
+}
+BENCHMARK(BM_WeightedPearsonScalar)->Arg(64)->Arg(117)->Arg(512);
 
 knapsack::MckpProblem RandomMckp(size_t classes, uint64_t seed) {
   Rng rng(seed);
@@ -193,20 +218,18 @@ BENCHMARK(BM_OnlineArrivalDecision)->Arg(200)->Arg(1'000);
 // The candidate-loop hot pair: evaluating every ad type of one
 // (customer, vendor) pair. The naive path recomputes similarity AND the
 // clamped distance per ad type; the pair path hoists both behind one
-// memoized fetch. The gap is what every solver saves per candidate.
+// fetch, and the batch path scores a whole vendor slate in one dense
+// SoA sweep. The gaps are what every solver saves per candidate.
 struct PairFixture {
   model::ProblemInstance instance;
-  std::unique_ptr<model::UtilityModel> cached;
-  std::unique_ptr<model::UtilityModel> uncached;
+  std::unique_ptr<model::UtilityModel> model;
 
   PairFixture() {
     datagen::SyntheticConfig cfg;
     cfg.num_customers = 1'000;
     cfg.num_vendors = 100;
     instance = datagen::GenerateSynthetic(cfg).ValueOrDie();
-    cached = std::make_unique<model::UtilityModel>(&instance);
-    cached->EnablePairCache();
-    uncached = std::make_unique<model::UtilityModel>(&instance);
+    model = std::make_unique<model::UtilityModel>(&instance);
   }
 };
 
@@ -220,7 +243,7 @@ void BM_UtilityPerTypeUncached(benchmark::State& state) {
     double acc = 0.0;
     for (size_t k = 0; k < types; ++k) {
       // `Utility` recomputes similarity and ClampedDistance per ad type.
-      acc += fix.uncached->Utility(ci, vj, static_cast<model::AdTypeId>(k));
+      acc += fix.model->Utility(ci, vj, static_cast<model::AdTypeId>(k));
     }
     benchmark::DoNotOptimize(acc);
     ++i;
@@ -228,24 +251,45 @@ void BM_UtilityPerTypeUncached(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilityPerTypeUncached);
 
-void BM_UtilityPerTypeCachedPair(benchmark::State& state) {
+void BM_UtilityPerTypePair(benchmark::State& state) {
   PairFixture fix;
   const size_t types = fix.instance.ad_types.size();
   size_t i = 0;
   for (auto _ : state) {
     auto ci = static_cast<model::CustomerId>(i % fix.instance.num_customers());
     auto vj = static_cast<model::VendorId>(i % fix.instance.num_vendors());
-    model::PairValue pv = fix.cached->PairFor(ci, vj);
+    model::PairValue pv = fix.model->PairFor(ci, vj);
     double acc = 0.0;
     for (size_t k = 0; k < types; ++k) {
-      acc += fix.cached->UtilityFromPair(ci, static_cast<model::AdTypeId>(k),
-                                         pv);
+      acc += fix.model->UtilityFromPair(ci, static_cast<model::AdTypeId>(k),
+                                        pv);
     }
     benchmark::DoNotOptimize(acc);
     ++i;
   }
 }
-BENCHMARK(BM_UtilityPerTypeCachedPair);
+BENCHMARK(BM_UtilityPerTypePair);
+
+// One customer against every vendor, scored as a dense batch — the shape
+// of the online per-arrival path after ScoreValidVendors.
+void BM_PairsForCustomerBatch(benchmark::State& state) {
+  PairFixture fix;
+  const auto n = static_cast<model::VendorId>(fix.instance.num_vendors());
+  std::vector<model::VendorId> vendors;
+  for (model::VendorId j = 0; j < n; ++j) vendors.push_back(j);
+  std::vector<model::PairValue> scratch(vendors.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ci = static_cast<model::CustomerId>(i % fix.instance.num_customers());
+    fix.model->PairsForCustomer(ci, vendors.data(), vendors.size(),
+                                scratch.data());
+    benchmark::DoNotOptimize(scratch.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(vendors.size()));
+}
+BENCHMARK(BM_PairsForCustomerBatch);
 
 void BM_UtilityModelConstruction(benchmark::State& state) {
   datagen::SyntheticConfig cfg;
@@ -259,6 +303,168 @@ void BM_UtilityModelConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilityModelConstruction)->Arg(1'000)->Arg(5'000);
 
+// ---------------------------------------------------------------------------
+// Substrate A/B report: times the three SoA kernel substrates (similarity,
+// clamped distance, dense pair batch) under the forced-scalar backend and
+// under the detected backend, prints the speedups, and writes
+// BENCH_micro_substrates.json. A substrate that records zero samples fails
+// the run (exit 1) — that is the CI smoke contract: the kernels must have
+// actually executed under both backends.
+
+struct SubstrateResult {
+  std::string name;
+  int64_t samples = 0;      // kernel invocations per leg
+  double scalar_ns = 0.0;   // ns per invocation, forced-scalar backend
+  double active_ns = 0.0;   // ns per invocation, detected backend
+};
+
+// Times `body(reps)` (which must execute the kernel `reps` times) under the
+// given backend; returns ns per invocation and the rep count via *samples.
+template <typename Body>
+double TimeLeg(model::simd::Backend backend, Body&& body, int64_t* samples) {
+  model::simd::ForceBackend(backend);
+  // Warm-up + calibration: grow reps until the timed region is long enough
+  // for a stable per-op figure.
+  int64_t reps = 1'000;
+  double elapsed_ns = 0.0;
+  for (int round = 0; round < 12; ++round) {
+    auto t0 = std::chrono::steady_clock::now();
+    body(reps);
+    auto t1 = std::chrono::steady_clock::now();
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    if (elapsed_ns >= 5e7) break;  // >= 50 ms of kernel time
+    reps *= 4;
+  }
+  model::simd::ClearForcedBackend();
+  *samples = reps;
+  return elapsed_ns / static_cast<double>(reps);
+}
+
+int RunSubstrateReport() {
+  const model::simd::Backend active = model::simd::ActiveBackend();
+  std::vector<SubstrateResult> results;
+
+  // Substrate 1: weighted-Pearson similarity on paper-sized tag vectors.
+  {
+    constexpr size_t kDims = 117;
+    Rng rng(5);
+    std::vector<double> a(kDims), b(kDims), w(kDims);
+    for (size_t i = 0; i < kDims; ++i) {
+      a[i] = rng.Uniform();
+      b[i] = rng.Uniform();
+      w[i] = rng.Uniform(0.1, 1.0);
+    }
+    double sink = 0.0;
+    auto body = [&](int64_t reps) {
+      for (int64_t r = 0; r < reps; ++r) sink += model::WeightedPearson(a, b, w);
+    };
+    SubstrateResult res;
+    res.name = "similarity_pearson_117";
+    res.scalar_ns = TimeLeg(model::simd::Backend::kScalar, body, &res.samples);
+    int64_t active_samples = 0;
+    res.active_ns = TimeLeg(active, body, &active_samples);
+    res.samples = std::min(res.samples, active_samples);
+    benchmark::DoNotOptimize(sink);
+    results.push_back(res);
+  }
+
+  // Substrate 2: clamped distances, one center against a 4096-point slate.
+  {
+    constexpr size_t kN = 4096;
+    Rng rng(6);
+    std::vector<double> xs(kN), ys(kN), out(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      xs[i] = rng.Uniform();
+      ys[i] = rng.Uniform();
+    }
+    auto body = [&](int64_t reps) {
+      for (int64_t r = 0; r < reps; ++r) {
+        model::simd::ClampedDistances(0.5, 0.5, xs.data(), ys.data(), kN,
+                                      model::UtilityModel::kMinDistance,
+                                      out.data());
+        benchmark::DoNotOptimize(out.data());
+      }
+    };
+    SubstrateResult res;
+    res.name = "clamped_distance_4096";
+    res.scalar_ns = TimeLeg(model::simd::Backend::kScalar, body, &res.samples);
+    int64_t active_samples = 0;
+    res.active_ns = TimeLeg(active, body, &active_samples);
+    res.samples = std::min(res.samples, active_samples);
+    results.push_back(res);
+  }
+
+  // Substrate 3: the dense pair batch — one customer scored against the
+  // whole vendor slate through the model's SoA path.
+  {
+    PairFixture fix;
+    const auto n = static_cast<model::VendorId>(fix.instance.num_vendors());
+    std::vector<model::VendorId> vendors;
+    for (model::VendorId j = 0; j < n; ++j) vendors.push_back(j);
+    std::vector<model::PairValue> scratch(vendors.size());
+    auto body = [&](int64_t reps) {
+      for (int64_t r = 0; r < reps; ++r) {
+        auto ci = static_cast<model::CustomerId>(
+            static_cast<size_t>(r) % fix.instance.num_customers());
+        fix.model->PairsForCustomer(ci, vendors.data(), vendors.size(),
+                                    scratch.data());
+        benchmark::DoNotOptimize(scratch.data());
+      }
+    };
+    SubstrateResult res;
+    res.name = "pair_batch_100v";
+    res.scalar_ns = TimeLeg(model::simd::Backend::kScalar, body, &res.samples);
+    int64_t active_samples = 0;
+    res.active_ns = TimeLeg(active, body, &active_samples);
+    res.samples = std::min(res.samples, active_samples);
+    results.push_back(res);
+  }
+
+  bench::BenchReport report("micro_substrates");
+  bool zero_samples = false;
+  std::printf("\n-- substrate A/B (scalar vs %s) --\n",
+              model::simd::BackendName(active));
+  std::printf("%-26s %12s %12s %9s %9s\n", "substrate", "scalar_ns",
+              "active_ns", "speedup", "samples");
+  for (const SubstrateResult& r : results) {
+    const double speedup = r.active_ns > 0.0 ? r.scalar_ns / r.active_ns : 0.0;
+    std::printf("%-26s %12.1f %12.1f %8.2fx %9lld\n", r.name.c_str(),
+                r.scalar_ns, r.active_ns, speedup,
+                static_cast<long long>(r.samples));
+    if (r.samples <= 0) zero_samples = true;
+    report.BeginRow();
+    report.Str("substrate", r.name);
+    report.Str("backend", model::simd::BackendName(active));
+    report.Num("samples", static_cast<double>(r.samples));
+    report.Num("scalar_ns_per_op", r.scalar_ns);
+    report.Num("active_ns_per_op", r.active_ns);
+    report.Num("speedup", speedup);
+  }
+  report.Write();
+  if (zero_samples) {
+    std::fprintf(stderr,
+                 "FAIL: a substrate recorded zero samples; the kernels did "
+                 "not execute\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the google-benchmark suite first (skippable via
+// MUAA_SUBSTRATES_ONLY=1 for the CI smoke leg), then the substrate A/B
+// report whose zero-sample check decides the exit status.
+int main(int argc, char** argv) {
+  const char* only = std::getenv("MUAA_SUBSTRATES_ONLY");
+  const bool substrates_only = only != nullptr && only[0] != '\0' &&
+                               !(only[0] == '0' && only[1] == '\0');
+  if (!substrates_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return RunSubstrateReport();
+}

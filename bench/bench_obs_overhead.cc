@@ -81,7 +81,6 @@ int main(int argc, char** argv) {
 
   model::ProblemView view(&*inst);
   model::UtilityModel utility(&*inst);
-  utility.EnablePairCache();
 
   bench::BenchReport report("obs_overhead");
   // One rep is a few milliseconds, so many reps are cheap — and needed:

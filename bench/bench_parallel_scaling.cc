@@ -39,7 +39,6 @@ Timing RunAtThreadCount(const model::ProblemInstance& inst,
                         const model::ProblemView& view, unsigned threads) {
   Timing out;
   model::UtilityModel utility(&inst);
-  utility.EnablePairCache();
   Rng rng(42);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);

@@ -47,7 +47,6 @@ ModeResult RunMode(const model::ProblemInstance& inst, double qps,
                    const std::string& journal) {
   model::ProblemView view(&inst);
   model::UtilityModel utility(&inst);
-  utility.EnablePairCache();
   Rng rng(42);
   ThreadPool pool(threads);
   assign::SolveContext ctx{&inst, &view, &utility, &rng, &pool};

@@ -9,17 +9,21 @@ std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
                                              model::VendorId j) {
   std::vector<TypedCandidate> out;
   const auto& catalog = ctx.instance->ad_types;
-  for (model::CustomerId i : ctx.view->ValidCustomers(j)) {
-    // One memoized fetch covers similarity and clamped distance for every
-    // ad type of the pair (and for every later solver on this instance).
-    model::PairValue pv = ctx.utility->PairFor(i, j);
+  std::vector<model::CustomerId> valid = ctx.view->ValidCustomers(j);
+  if (valid.empty()) return out;
+  // Dense per-batch scratch: the whole slate's similarities and clamped
+  // distances in one SoA sweep, then a branch-light typed expansion.
+  std::vector<model::PairValue> pairs(valid.size());
+  ctx.utility->PairsForVendor(j, valid.data(), valid.size(), pairs.data());
+  for (size_t t = 0; t < valid.size(); ++t) {
+    const model::PairValue& pv = pairs[t];
     if (pv.similarity <= 0.0) continue;
     for (size_t k = 0; k < catalog.size(); ++k) {
       auto tk = static_cast<model::AdTypeId>(k);
-      double util = ctx.utility->UtilityFromPair(i, tk, pv);
+      double util = ctx.utility->UtilityFromPair(valid[t], tk, pv);
       if (util <= 0.0) continue;
       TypedCandidate cand;
-      cand.customer = i;
+      cand.customer = valid[t];
       cand.ad_type = tk;
       cand.utility = util;
       cand.cost = catalog.at(tk).cost;
@@ -48,9 +52,9 @@ namespace {
 
 template <typename Better>
 BestPick BestTypeImpl(const SolveContext& ctx, model::CustomerId i,
-                      model::VendorId j, double budget_left, Better better) {
+                      double budget_left, const model::PairValue& pv,
+                      Better better) {
   BestPick best;
-  model::PairValue pv = ctx.utility->PairFor(i, j);
   if (pv.similarity <= 0.0) return best;
   const auto& catalog = ctx.instance->ad_types;
   for (size_t k = 0; k < catalog.size(); ++k) {
@@ -69,28 +73,39 @@ BestPick BestTypeImpl(const SolveContext& ctx, model::CustomerId i,
   return best;
 }
 
+constexpr auto kByEfficiency = [](const BestPick& a, const BestPick& b) {
+  if (a.efficiency != b.efficiency) return a.efficiency > b.efficiency;
+  return a.utility > b.utility;
+};
+
+constexpr auto kByUtility = [](const BestPick& a, const BestPick& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.cost < b.cost;
+};
+
 }  // namespace
 
 BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
                               model::VendorId j, double budget_left) {
-  return BestTypeImpl(ctx, i, j, budget_left,
-                      [](const BestPick& a, const BestPick& b) {
-                        if (a.efficiency != b.efficiency) {
-                          return a.efficiency > b.efficiency;
-                        }
-                        return a.utility > b.utility;
-                      });
+  return BestTypeImpl(ctx, i, budget_left, ctx.utility->PairFor(i, j),
+                      kByEfficiency);
+}
+
+BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
+                              double budget_left,
+                              const model::PairValue& pv) {
+  return BestTypeImpl(ctx, i, budget_left, pv, kByEfficiency);
 }
 
 BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
                            model::VendorId j, double budget_left) {
-  return BestTypeImpl(ctx, i, j, budget_left,
-                      [](const BestPick& a, const BestPick& b) {
-                        if (a.utility != b.utility) {
-                          return a.utility > b.utility;
-                        }
-                        return a.cost < b.cost;
-                      });
+  return BestTypeImpl(ctx, i, budget_left, ctx.utility->PairFor(i, j),
+                      kByUtility);
+}
+
+BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
+                           double budget_left, const model::PairValue& pv) {
+  return BestTypeImpl(ctx, i, budget_left, pv, kByUtility);
 }
 
 }  // namespace muaa::assign

@@ -29,7 +29,8 @@ struct BestPick {
 };
 
 /// Enumerates all positive-utility candidates of vendor `j` over its valid
-/// customers (all ad types, unfiltered by budget).
+/// customers (all ad types, unfiltered by budget). The whole slate is
+/// scored in one dense `PairsForVendor` batch over the SoA layout.
 std::vector<TypedCandidate> VendorCandidates(const SolveContext& ctx,
                                              model::VendorId j);
 
@@ -46,9 +47,19 @@ std::vector<std::vector<TypedCandidate>> AllVendorCandidates(
 BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
                               model::VendorId j, double budget_left);
 
+/// Same, from a pair already scored by a `PairsForCustomer` /
+/// `PairsForVendor` batch (the online per-arrival hot path); bit-identical
+/// to the pair-computing overload.
+BestPick BestTypeByEfficiency(const SolveContext& ctx, model::CustomerId i,
+                              double budget_left, const model::PairValue& pv);
+
 /// Best affordable ad type of pair (i, j) by raw utility (used by the
 /// NEAREST baseline, which maximizes per-vendor impact, not efficiency).
 BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
                            model::VendorId j, double budget_left);
+
+/// Same, from a pre-scored pair.
+BestPick BestTypeByUtility(const SolveContext& ctx, model::CustomerId i,
+                           double budget_left, const model::PairValue& pv);
 
 }  // namespace muaa::assign

@@ -32,12 +32,21 @@ Result<std::vector<AdInstance>> NearestOnlineSolver::OnArrival(
               return a < b;
             });
 
-  for (model::VendorId j : vendors) {
+  // Score the slate after the distance sort so the dense pair scratch
+  // stays index-aligned with the visit order.
+  scratch_pairs_.resize(vendors.size());
+  if (!vendors.empty()) {
+    ctx_.utility->PairsForCustomer(i, vendors.data(), vendors.size(),
+                                   scratch_pairs_.data());
+  }
+
+  for (size_t t = 0; t < vendors.size(); ++t) {
+    model::VendorId j = vendors[t];
     if (static_cast<int>(picked.size()) >= u.capacity) break;
     const double remaining =
         ctx_.instance->vendors[static_cast<size_t>(j)].budget -
         used_budget_[static_cast<size_t>(j)];
-    BestPick pick = BestTypeByUtility(ctx_, i, j, remaining);
+    BestPick pick = BestTypeByUtility(ctx_, i, remaining, scratch_pairs_[t]);
     if (!pick.valid()) continue;
     AdInstance inst;
     inst.customer = i;

@@ -77,8 +77,9 @@ Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(
       ctx_.instance->customers[static_cast<size_t>(i)];
   if (u.capacity <= 0) return picked;
 
-  // Line 2: valid vendors by the spatial constraint.
-  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+  // Line 2: valid vendors by the spatial constraint, scored as one dense
+  // batch (similarities + clamped distances in a single SoA sweep).
+  ScoreValidVendors(i);
 
   // Degraded rung (overload): skip the threshold machinery and the
   // efficiency ranking entirely — greedily commit the best affordable ad
@@ -86,12 +87,14 @@ Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(
   // with no sort and no estimator updates; the mode is journaled so replay
   // re-takes this exact path.
   if (mode() == ServeMode::kDegraded) {
-    for (model::VendorId j : scratch_vendors_) {
+    for (size_t t = 0; t < scratch_vendors_.size(); ++t) {
+      model::VendorId j = scratch_vendors_[t];
       if (picked.size() >= static_cast<size_t>(u.capacity)) break;
       const double remaining =
           ctx_.instance->vendors[static_cast<size_t>(j)].budget -
           used_budget_[static_cast<size_t>(j)];
-      BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+      BestPick pick =
+          BestTypeByEfficiency(ctx_, i, remaining, scratch_pairs_[t]);
       if (!pick.valid()) continue;
       AdInstance inst;
       inst.customer = i;
@@ -110,12 +113,14 @@ Result<std::vector<AdInstance>> AfaOnlineSolver::OnArrival(
     double cost;
   };
   std::vector<Potential> potentials;
-  for (model::VendorId j : scratch_vendors_) {
+  for (size_t t = 0; t < scratch_vendors_.size(); ++t) {
+    model::VendorId j = scratch_vendors_[t];
     const double remaining =
         ctx_.instance->vendors[static_cast<size_t>(j)].budget -
         used_budget_[static_cast<size_t>(j)];
     // Line 4: "best" ad type by budget efficiency among affordable ones.
-    BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+    BestPick pick =
+        BestTypeByEfficiency(ctx_, i, remaining, scratch_pairs_[t]);
     if (!pick.valid()) continue;
     // Sec. IV-C extension: refresh the γ_min estimate from the stream.
     if (options_.adapt_gamma) {

@@ -22,7 +22,7 @@ Result<std::vector<AdInstance>> MsvvOnlineSolver::OnArrival(
   const model::Customer& u = ctx_.instance->customers[static_cast<size_t>(i)];
   if (u.capacity <= 0) return picked;
 
-  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+  ScoreValidVendors(i);
 
   struct Offer {
     AdInstance inst;
@@ -30,12 +30,13 @@ Result<std::vector<AdInstance>> MsvvOnlineSolver::OnArrival(
     double cost;
   };
   std::vector<Offer> offers;
-  for (model::VendorId j : scratch_vendors_) {
+  for (size_t t = 0; t < scratch_vendors_.size(); ++t) {
+    model::VendorId j = scratch_vendors_[t];
     const double budget = ctx_.instance->vendors[static_cast<size_t>(j)].budget;
     const double used = used_budget_[static_cast<size_t>(j)];
     const double remaining = budget - used;
     // Best ad type by raw utility; the budget state enters via ψ.
-    BestPick pick = BestTypeByUtility(ctx_, i, j, remaining);
+    BestPick pick = BestTypeByUtility(ctx_, i, remaining, scratch_pairs_[t]);
     if (!pick.valid()) continue;
     double delta = budget > 0.0 ? used / budget : 1.0;
     double score = pick.utility * Discount(delta);

@@ -33,7 +33,7 @@ Result<std::vector<AdInstance>> StaticThresholdOnlineSolver::OnArrival(
   const model::Customer& u = ctx_.instance->customers[static_cast<size_t>(i)];
   if (u.capacity <= 0) return picked;
 
-  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+  ScoreValidVendors(i);
 
   struct Potential {
     AdInstance inst;
@@ -41,11 +41,13 @@ Result<std::vector<AdInstance>> StaticThresholdOnlineSolver::OnArrival(
     double cost;
   };
   std::vector<Potential> potentials;
-  for (model::VendorId j : scratch_vendors_) {
+  for (size_t t = 0; t < scratch_vendors_.size(); ++t) {
+    model::VendorId j = scratch_vendors_[t];
     const double remaining =
         ctx_.instance->vendors[static_cast<size_t>(j)].budget -
         used_budget_[static_cast<size_t>(j)];
-    BestPick pick = BestTypeByEfficiency(ctx_, i, j, remaining);
+    BestPick pick =
+        BestTypeByEfficiency(ctx_, i, remaining, scratch_pairs_[t]);
     if (!pick.valid()) continue;
     if (pick.efficiency < threshold_) continue;
     Potential p;

@@ -29,6 +29,16 @@ Status BudgetedOnlineSolver::InitializeBudgets(const SolveContext& ctx) {
   return Status::OK();
 }
 
+void BudgetedOnlineSolver::ScoreValidVendors(model::CustomerId i) {
+  ctx_.view->ValidVendorsInto(i, &scratch_vendors_);
+  scratch_pairs_.resize(scratch_vendors_.size());
+  if (!scratch_vendors_.empty()) {
+    ctx_.utility->PairsForCustomer(i, scratch_vendors_.data(),
+                                   scratch_vendors_.size(),
+                                   scratch_pairs_.data());
+  }
+}
+
 void BudgetedOnlineSolver::SnapshotExtra(std::string* /*out*/) const {}
 
 Status BudgetedOnlineSolver::RestoreExtra(BinReader* /*in*/) {

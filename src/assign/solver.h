@@ -130,12 +130,21 @@ class BudgetedOnlineSolver : public OnlineSolver {
   /// detection is handled by `Restore`. The default reads nothing.
   virtual Status RestoreExtra(BinReader* in);
 
+  /// Fills `scratch_vendors_` with the valid vendors of arrival `i` and
+  /// scores every (i, vendor) pair into `scratch_pairs_` (index-aligned)
+  /// in one dense batch over the SoA layout — the per-arrival candidate
+  /// hot path shared by all four solvers.
+  void ScoreValidVendors(model::CustomerId i);
+
   SolveContext ctx_;
   /// Per-vendor spend; the invariant every subclass maintains is
   /// `used_budget_[j] == sum of costs of instances it returned for j`.
   std::vector<double> used_budget_;
   /// Reused per-arrival scratch for the spatial candidate query.
   std::vector<model::VendorId> scratch_vendors_;
+  /// Dense per-arrival pair scratch, index-aligned with
+  /// `scratch_vendors_`; filled by `ScoreValidVendors`.
+  std::vector<model::PairValue> scratch_pairs_;
 };
 
 /// \brief Adapts an online solver to the offline interface by replaying

@@ -16,10 +16,9 @@ ExperimentRunner::ExperimentRunner(const model::ProblemInstance* instance,
       view_(instance),
       utility_(instance, kind),
       rng_(seed) {
-  // Every solver in a run shares one memoized (similarity, distance)
-  // table; the line-up recomputes nothing the previous solver already
-  // touched.
-  utility_.EnablePairCache();
+  // Every solver in the line-up shares the model's SoA layout and scores
+  // candidate slates through the dense batch path (no shared memo table
+  // to warm or contend on).
   if (num_threads != 1) pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 

@@ -1,0 +1,509 @@
+#include "model/simd_kernels.h"
+
+#include "model/simd_kernels_scalar.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MUAA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define MUAA_SIMD_X86 0
+#endif
+
+namespace muaa::model::simd {
+
+namespace {
+
+// -1 = no override; otherwise a Backend value forced by tests/benches.
+std::atomic<int> g_forced{-1};
+
+bool Avx2Available() {
+#if MUAA_SIMD_X86
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Backend DetectBackend() {
+  const char* env = std::getenv("MUAA_NO_SIMD");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    return Backend::kScalar;
+  }
+  return Avx2Available() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+}  // namespace
+
+Backend ActiveBackend() {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  static const Backend detected = DetectBackend();
+  return detected;
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ForceBackend(Backend b) {
+  if (b == Backend::kAvx2 && !Avx2Available()) return false;
+  g_forced.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+void ClearForcedBackend() { g_forced.store(-1, std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: lane group g (lanes 4g..4g+3) lives in its own ymm
+// accumulator; four independent add chains hide the FP-add latency.
+// ---------------------------------------------------------------------------
+
+#if MUAA_SIMD_X86
+
+namespace {
+
+// Load mask for lane group g of a 16-block tail with r (< 16) remaining
+// elements: the group's active lane count is clamp(r - 4g, 0, 4). An
+// all-zero mask makes _mm256_maskload_pd fault-free and load +0.0 in every
+// lane, so empty groups contribute the addition identity.
+__attribute__((target("avx2"))) inline __m256i GroupMask(size_t r, size_t g) {
+  static const long long kMasks[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+  size_t active = r > 4 * g ? std::min<size_t>(r - 4 * g, 4) : 0;
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMasks + (4 - active)));
+}
+
+// Canonical combine of one group's four register lanes:
+// (l0 + l1) + (l2 + l3).
+__attribute__((target("avx2"))) inline double Combine256(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  double l01 = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+  double l23 = _mm_cvtsd_f64(_mm_add_sd(hi, _mm_unpackhi_pd(hi, hi)));
+  return l01 + l23;
+}
+
+// Final combine across the four groups: (s0 + s1) + (s2 + s3), matching
+// the scalar Combine16 tree exactly.
+__attribute__((target("avx2"))) inline double Combine4x256(__m256d a0,
+                                                          __m256d a1,
+                                                          __m256d a2,
+                                                          __m256d a3) {
+  return (Combine256(a0) + Combine256(a1)) + (Combine256(a2) + Combine256(a3));
+}
+
+__attribute__((target("avx2"))) double WeightedSumAvx2(const double* w,
+                                                       size_t n) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = a0, a2 = a0, a3 = a0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    a0 = _mm256_add_pd(a0, _mm256_loadu_pd(w + i));
+    a1 = _mm256_add_pd(a1, _mm256_loadu_pd(w + i + 4));
+    a2 = _mm256_add_pd(a2, _mm256_loadu_pd(w + i + 8));
+    a3 = _mm256_add_pd(a3, _mm256_loadu_pd(w + i + 12));
+  }
+  if (size_t r = n - i) {
+    a0 = _mm256_add_pd(a0, _mm256_maskload_pd(w + i, GroupMask(r, 0)));
+    a1 = _mm256_add_pd(a1, _mm256_maskload_pd(w + i + 4, GroupMask(r, 1)));
+    a2 = _mm256_add_pd(a2, _mm256_maskload_pd(w + i + 8, GroupMask(r, 2)));
+    a3 = _mm256_add_pd(a3, _mm256_maskload_pd(w + i + 12, GroupMask(r, 3)));
+  }
+  return Combine4x256(a0, a1, a2, a3);
+}
+
+__attribute__((target("avx2"))) double WeightedDotAvx2(const double* w,
+                                                       const double* x,
+                                                       size_t n) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = a0, a2 = a0, a3 = a0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    a0 = _mm256_add_pd(
+        a0, _mm256_mul_pd(_mm256_loadu_pd(w + i), _mm256_loadu_pd(x + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(w + i + 4),
+                                         _mm256_loadu_pd(x + i + 4)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(w + i + 8),
+                                         _mm256_loadu_pd(x + i + 8)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(w + i + 12),
+                                         _mm256_loadu_pd(x + i + 12)));
+  }
+  if (size_t r = n - i) {
+    __m256i m0 = GroupMask(r, 0), m1 = GroupMask(r, 1);
+    __m256i m2 = GroupMask(r, 2), m3 = GroupMask(r, 3);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_maskload_pd(w + i, m0),
+                                         _mm256_maskload_pd(x + i, m0)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_maskload_pd(w + i + 4, m1),
+                                         _mm256_maskload_pd(x + i + 4, m1)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_maskload_pd(w + i + 8, m2),
+                                         _mm256_maskload_pd(x + i + 8, m2)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_maskload_pd(w + i + 12, m3),
+                                         _mm256_maskload_pd(x + i + 12, m3)));
+  }
+  return Combine4x256(a0, a1, a2, a3);
+}
+
+__attribute__((target("avx2"))) double WeightedDot3Avx2(const double* w,
+                                                        const double* x,
+                                                        const double* y,
+                                                        size_t n) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = a0, a2 = a0, a3 = a0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d wx0 =
+        _mm256_mul_pd(_mm256_loadu_pd(w + i), _mm256_loadu_pd(x + i));
+    __m256d wx1 =
+        _mm256_mul_pd(_mm256_loadu_pd(w + i + 4), _mm256_loadu_pd(x + i + 4));
+    __m256d wx2 =
+        _mm256_mul_pd(_mm256_loadu_pd(w + i + 8), _mm256_loadu_pd(x + i + 8));
+    __m256d wx3 = _mm256_mul_pd(_mm256_loadu_pd(w + i + 12),
+                                _mm256_loadu_pd(x + i + 12));
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(wx0, _mm256_loadu_pd(y + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(wx1, _mm256_loadu_pd(y + i + 4)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(wx2, _mm256_loadu_pd(y + i + 8)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(wx3, _mm256_loadu_pd(y + i + 12)));
+  }
+  if (size_t r = n - i) {
+    __m256i m0 = GroupMask(r, 0), m1 = GroupMask(r, 1);
+    __m256i m2 = GroupMask(r, 2), m3 = GroupMask(r, 3);
+    __m256d wx0 = _mm256_mul_pd(_mm256_maskload_pd(w + i, m0),
+                                _mm256_maskload_pd(x + i, m0));
+    __m256d wx1 = _mm256_mul_pd(_mm256_maskload_pd(w + i + 4, m1),
+                                _mm256_maskload_pd(x + i + 4, m1));
+    __m256d wx2 = _mm256_mul_pd(_mm256_maskload_pd(w + i + 8, m2),
+                                _mm256_maskload_pd(x + i + 8, m2));
+    __m256d wx3 = _mm256_mul_pd(_mm256_maskload_pd(w + i + 12, m3),
+                                _mm256_maskload_pd(x + i + 12, m3));
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(wx0, _mm256_maskload_pd(y + i, m0)));
+    a1 = _mm256_add_pd(a1,
+                       _mm256_mul_pd(wx1, _mm256_maskload_pd(y + i + 4, m1)));
+    a2 = _mm256_add_pd(a2,
+                       _mm256_mul_pd(wx2, _mm256_maskload_pd(y + i + 8, m2)));
+    a3 = _mm256_add_pd(a3,
+                       _mm256_mul_pd(wx3, _mm256_maskload_pd(y + i + 12, m3)));
+  }
+  return Combine4x256(a0, a1, a2, a3);
+}
+
+__attribute__((target("avx2"))) double WeightedCenteredDotAvx2(
+    const double* w, const double* x, double mx, const double* y, double my,
+    size_t n) {
+  const __m256d vmx = _mm256_set1_pd(mx);
+  const __m256d vmy = _mm256_set1_pd(my);
+  __m256d a0 = _mm256_setzero_pd(), a1 = a0, a2 = a0, a3 = a0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d dx0 = _mm256_sub_pd(_mm256_loadu_pd(x + i), vmx);
+    __m256d dy0 = _mm256_sub_pd(_mm256_loadu_pd(y + i), vmy);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(w + i),
+                                         _mm256_mul_pd(dx0, dy0)));
+    __m256d dx1 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), vmx);
+    __m256d dy1 = _mm256_sub_pd(_mm256_loadu_pd(y + i + 4), vmy);
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(w + i + 4),
+                                         _mm256_mul_pd(dx1, dy1)));
+    __m256d dx2 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 8), vmx);
+    __m256d dy2 = _mm256_sub_pd(_mm256_loadu_pd(y + i + 8), vmy);
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(w + i + 8),
+                                         _mm256_mul_pd(dx2, dy2)));
+    __m256d dx3 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 12), vmx);
+    __m256d dy3 = _mm256_sub_pd(_mm256_loadu_pd(y + i + 12), vmy);
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(w + i + 12),
+                                         _mm256_mul_pd(dx3, dy3)));
+  }
+  if (size_t r = n - i) {
+    // The masked tail must contribute +0.0 from inactive lanes. (x−mx)(y−my)
+    // is nonzero there, so the *weight* being masked to zero is what makes
+    // the product ±0 (and ±0 adds as an identity onto a non-negative-zero
+    // accumulator).
+    for (size_t g = 0; g < 4; ++g) {
+      __m256i m = GroupMask(r, g);
+      __m256d dx = _mm256_sub_pd(_mm256_maskload_pd(x + i + 4 * g, m), vmx);
+      __m256d dy = _mm256_sub_pd(_mm256_maskload_pd(y + i + 4 * g, m), vmy);
+      __m256d term = _mm256_mul_pd(_mm256_maskload_pd(w + i + 4 * g, m),
+                                   _mm256_mul_pd(dx, dy));
+      switch (g) {
+        case 0: a0 = _mm256_add_pd(a0, term); break;
+        case 1: a1 = _mm256_add_pd(a1, term); break;
+        case 2: a2 = _mm256_add_pd(a2, term); break;
+        default: a3 = _mm256_add_pd(a3, term); break;
+      }
+    }
+  }
+  return Combine4x256(a0, a1, a2, a3);
+}
+
+__attribute__((target("avx2"))) void WeightedSumAndDotsAvx2(
+    const double* w, const double* a, const double* b, size_t n, double* wsum,
+    double* wa, double* wb) {
+  __m256d s0 = _mm256_setzero_pd(), s1 = s0, s2 = s0, s3 = s0;
+  __m256d pa0 = s0, pa1 = s0, pa2 = s0, pa3 = s0;
+  __m256d pb0 = s0, pb1 = s0, pb2 = s0, pb3 = s0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d w0 = _mm256_loadu_pd(w + i);
+    s0 = _mm256_add_pd(s0, w0);
+    pa0 = _mm256_add_pd(pa0, _mm256_mul_pd(w0, _mm256_loadu_pd(a + i)));
+    pb0 = _mm256_add_pd(pb0, _mm256_mul_pd(w0, _mm256_loadu_pd(b + i)));
+    __m256d w1 = _mm256_loadu_pd(w + i + 4);
+    s1 = _mm256_add_pd(s1, w1);
+    pa1 = _mm256_add_pd(pa1, _mm256_mul_pd(w1, _mm256_loadu_pd(a + i + 4)));
+    pb1 = _mm256_add_pd(pb1, _mm256_mul_pd(w1, _mm256_loadu_pd(b + i + 4)));
+    __m256d w2 = _mm256_loadu_pd(w + i + 8);
+    s2 = _mm256_add_pd(s2, w2);
+    pa2 = _mm256_add_pd(pa2, _mm256_mul_pd(w2, _mm256_loadu_pd(a + i + 8)));
+    pb2 = _mm256_add_pd(pb2, _mm256_mul_pd(w2, _mm256_loadu_pd(b + i + 8)));
+    __m256d w3 = _mm256_loadu_pd(w + i + 12);
+    s3 = _mm256_add_pd(s3, w3);
+    pa3 = _mm256_add_pd(pa3, _mm256_mul_pd(w3, _mm256_loadu_pd(a + i + 12)));
+    pb3 = _mm256_add_pd(pb3, _mm256_mul_pd(w3, _mm256_loadu_pd(b + i + 12)));
+  }
+  if (size_t r = n - i) {
+    for (size_t g = 0; g < 4; ++g) {
+      __m256i m = GroupMask(r, g);
+      __m256d vw = _mm256_maskload_pd(w + i + 4 * g, m);
+      __m256d ta = _mm256_mul_pd(vw, _mm256_maskload_pd(a + i + 4 * g, m));
+      __m256d tb = _mm256_mul_pd(vw, _mm256_maskload_pd(b + i + 4 * g, m));
+      switch (g) {
+        case 0:
+          s0 = _mm256_add_pd(s0, vw);
+          pa0 = _mm256_add_pd(pa0, ta);
+          pb0 = _mm256_add_pd(pb0, tb);
+          break;
+        case 1:
+          s1 = _mm256_add_pd(s1, vw);
+          pa1 = _mm256_add_pd(pa1, ta);
+          pb1 = _mm256_add_pd(pb1, tb);
+          break;
+        case 2:
+          s2 = _mm256_add_pd(s2, vw);
+          pa2 = _mm256_add_pd(pa2, ta);
+          pb2 = _mm256_add_pd(pb2, tb);
+          break;
+        default:
+          s3 = _mm256_add_pd(s3, vw);
+          pa3 = _mm256_add_pd(pa3, ta);
+          pb3 = _mm256_add_pd(pb3, tb);
+          break;
+      }
+    }
+  }
+  *wsum = Combine4x256(s0, s1, s2, s3);
+  *wa = Combine4x256(pa0, pa1, pa2, pa3);
+  *wb = Combine4x256(pb0, pb1, pb2, pb3);
+}
+
+__attribute__((target("avx2"))) void WeightedPearsonCoreAvx2(
+    const double* w, const double* a, double ma, const double* b, double mb,
+    size_t n, double* cov_ab, double* var_a, double* var_b) {
+  const __m256d vma = _mm256_set1_pd(ma);
+  const __m256d vmb = _mm256_set1_pd(mb);
+  __m256d c0 = _mm256_setzero_pd(), c1 = c0, c2 = c0, c3 = c0;
+  __m256d va0 = c0, va1 = c0, va2 = c0, va3 = c0;
+  __m256d vb0 = c0, vb1 = c0, vb2 = c0, vb3 = c0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d w0 = _mm256_loadu_pd(w + i);
+    __m256d da0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), vma);
+    __m256d db0 = _mm256_sub_pd(_mm256_loadu_pd(b + i), vmb);
+    c0 = _mm256_add_pd(c0, _mm256_mul_pd(w0, _mm256_mul_pd(da0, db0)));
+    va0 = _mm256_add_pd(va0, _mm256_mul_pd(w0, _mm256_mul_pd(da0, da0)));
+    vb0 = _mm256_add_pd(vb0, _mm256_mul_pd(w0, _mm256_mul_pd(db0, db0)));
+    __m256d w1 = _mm256_loadu_pd(w + i + 4);
+    __m256d da1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), vma);
+    __m256d db1 = _mm256_sub_pd(_mm256_loadu_pd(b + i + 4), vmb);
+    c1 = _mm256_add_pd(c1, _mm256_mul_pd(w1, _mm256_mul_pd(da1, db1)));
+    va1 = _mm256_add_pd(va1, _mm256_mul_pd(w1, _mm256_mul_pd(da1, da1)));
+    vb1 = _mm256_add_pd(vb1, _mm256_mul_pd(w1, _mm256_mul_pd(db1, db1)));
+    __m256d w2 = _mm256_loadu_pd(w + i + 8);
+    __m256d da2 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 8), vma);
+    __m256d db2 = _mm256_sub_pd(_mm256_loadu_pd(b + i + 8), vmb);
+    c2 = _mm256_add_pd(c2, _mm256_mul_pd(w2, _mm256_mul_pd(da2, db2)));
+    va2 = _mm256_add_pd(va2, _mm256_mul_pd(w2, _mm256_mul_pd(da2, da2)));
+    vb2 = _mm256_add_pd(vb2, _mm256_mul_pd(w2, _mm256_mul_pd(db2, db2)));
+    __m256d w3 = _mm256_loadu_pd(w + i + 12);
+    __m256d da3 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 12), vma);
+    __m256d db3 = _mm256_sub_pd(_mm256_loadu_pd(b + i + 12), vmb);
+    c3 = _mm256_add_pd(c3, _mm256_mul_pd(w3, _mm256_mul_pd(da3, db3)));
+    va3 = _mm256_add_pd(va3, _mm256_mul_pd(w3, _mm256_mul_pd(da3, da3)));
+    vb3 = _mm256_add_pd(vb3, _mm256_mul_pd(w3, _mm256_mul_pd(db3, db3)));
+  }
+  if (size_t r = n - i) {
+    for (size_t g = 0; g < 4; ++g) {
+      __m256i m = GroupMask(r, g);
+      __m256d vw = _mm256_maskload_pd(w + i + 4 * g, m);
+      __m256d da = _mm256_sub_pd(_mm256_maskload_pd(a + i + 4 * g, m), vma);
+      __m256d db = _mm256_sub_pd(_mm256_maskload_pd(b + i + 4 * g, m), vmb);
+      __m256d tc = _mm256_mul_pd(vw, _mm256_mul_pd(da, db));
+      __m256d ta = _mm256_mul_pd(vw, _mm256_mul_pd(da, da));
+      __m256d tb = _mm256_mul_pd(vw, _mm256_mul_pd(db, db));
+      switch (g) {
+        case 0:
+          c0 = _mm256_add_pd(c0, tc);
+          va0 = _mm256_add_pd(va0, ta);
+          vb0 = _mm256_add_pd(vb0, tb);
+          break;
+        case 1:
+          c1 = _mm256_add_pd(c1, tc);
+          va1 = _mm256_add_pd(va1, ta);
+          vb1 = _mm256_add_pd(vb1, tb);
+          break;
+        case 2:
+          c2 = _mm256_add_pd(c2, tc);
+          va2 = _mm256_add_pd(va2, ta);
+          vb2 = _mm256_add_pd(vb2, tb);
+          break;
+        default:
+          c3 = _mm256_add_pd(c3, tc);
+          va3 = _mm256_add_pd(va3, ta);
+          vb3 = _mm256_add_pd(vb3, tb);
+          break;
+      }
+    }
+  }
+  *cov_ab = Combine4x256(c0, c1, c2, c3);
+  *var_a = Combine4x256(va0, va1, va2, va3);
+  *var_b = Combine4x256(vb0, vb1, vb2, vb3);
+}
+
+__attribute__((target("avx2"))) void WeightedMomentsPassAvx2(
+    const double* w, const double* x, double mean, size_t n, double* centered,
+    double* raw) {
+  const __m256d vm = _mm256_set1_pd(mean);
+  __m256d c0 = _mm256_setzero_pd(), c1 = c0, c2 = c0, c3 = c0;
+  __m256d r0 = c0, r1 = c0, r2 = c0, r3 = c0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d vw0 = _mm256_loadu_pd(w + i);
+    __m256d vx0 = _mm256_loadu_pd(x + i);
+    __m256d d0 = _mm256_sub_pd(vx0, vm);
+    c0 = _mm256_add_pd(c0, _mm256_mul_pd(vw0, _mm256_mul_pd(d0, d0)));
+    r0 = _mm256_add_pd(r0, _mm256_mul_pd(_mm256_mul_pd(vw0, vx0), vx0));
+    __m256d vw1 = _mm256_loadu_pd(w + i + 4);
+    __m256d vx1 = _mm256_loadu_pd(x + i + 4);
+    __m256d d1 = _mm256_sub_pd(vx1, vm);
+    c1 = _mm256_add_pd(c1, _mm256_mul_pd(vw1, _mm256_mul_pd(d1, d1)));
+    r1 = _mm256_add_pd(r1, _mm256_mul_pd(_mm256_mul_pd(vw1, vx1), vx1));
+    __m256d vw2 = _mm256_loadu_pd(w + i + 8);
+    __m256d vx2 = _mm256_loadu_pd(x + i + 8);
+    __m256d d2 = _mm256_sub_pd(vx2, vm);
+    c2 = _mm256_add_pd(c2, _mm256_mul_pd(vw2, _mm256_mul_pd(d2, d2)));
+    r2 = _mm256_add_pd(r2, _mm256_mul_pd(_mm256_mul_pd(vw2, vx2), vx2));
+    __m256d vw3 = _mm256_loadu_pd(w + i + 12);
+    __m256d vx3 = _mm256_loadu_pd(x + i + 12);
+    __m256d d3 = _mm256_sub_pd(vx3, vm);
+    c3 = _mm256_add_pd(c3, _mm256_mul_pd(vw3, _mm256_mul_pd(d3, d3)));
+    r3 = _mm256_add_pd(r3, _mm256_mul_pd(_mm256_mul_pd(vw3, vx3), vx3));
+  }
+  if (size_t r = n - i) {
+    for (size_t g = 0; g < 4; ++g) {
+      __m256i m = GroupMask(r, g);
+      __m256d vw = _mm256_maskload_pd(w + i + 4 * g, m);
+      __m256d vx = _mm256_maskload_pd(x + i + 4 * g, m);
+      __m256d d = _mm256_sub_pd(vx, vm);
+      __m256d tc = _mm256_mul_pd(vw, _mm256_mul_pd(d, d));
+      __m256d tr = _mm256_mul_pd(_mm256_mul_pd(vw, vx), vx);
+      switch (g) {
+        case 0: c0 = _mm256_add_pd(c0, tc); r0 = _mm256_add_pd(r0, tr); break;
+        case 1: c1 = _mm256_add_pd(c1, tc); r1 = _mm256_add_pd(r1, tr); break;
+        case 2: c2 = _mm256_add_pd(c2, tc); r2 = _mm256_add_pd(r2, tr); break;
+        default: c3 = _mm256_add_pd(c3, tc); r3 = _mm256_add_pd(r3, tr); break;
+      }
+    }
+  }
+  *centered = Combine4x256(c0, c1, c2, c3);
+  *raw = Combine4x256(r0, r1, r2, r3);
+}
+
+__attribute__((target("avx2"))) void ClampedDistancesAvx2(
+    double cx, double cy, const double* xs, const double* ys, size_t n,
+    double dmin, double* out) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  const __m256d vmin = _mm256_set1_pd(dmin);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d dx = _mm256_sub_pd(vcx, _mm256_loadu_pd(xs + i));
+    __m256d dy = _mm256_sub_pd(vcy, _mm256_loadu_pd(ys + i));
+    __m256d d = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    // max_pd(vmin, d) returns d when d > dmin and propagates d's NaN,
+    // matching std::max(d, dmin).
+    _mm256_storeu_pd(out + i, _mm256_max_pd(vmin, d));
+  }
+  for (; i < n; ++i) {
+    double dx = cx - xs[i];
+    double dy = cy - ys[i];
+    out[i] = std::max(std::sqrt(dx * dx + dy * dy), dmin);
+  }
+}
+
+}  // namespace
+
+#endif  // MUAA_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+#if MUAA_SIMD_X86
+#define MUAA_DISPATCH(fn, ...)                        \
+  do {                                                \
+    if (ActiveBackend() == Backend::kAvx2) {          \
+      return fn##Avx2(__VA_ARGS__);                   \
+    }                                                 \
+    return fn##Scalar(__VA_ARGS__);                   \
+  } while (0)
+#else
+#define MUAA_DISPATCH(fn, ...) return fn##Scalar(__VA_ARGS__)
+#endif
+
+double WeightedSum(const double* w, size_t n) { MUAA_DISPATCH(WeightedSum, w, n); }
+
+double WeightedDot(const double* w, const double* x, size_t n) {
+  MUAA_DISPATCH(WeightedDot, w, x, n);
+}
+
+double WeightedDot3(const double* w, const double* x, const double* y,
+                    size_t n) {
+  MUAA_DISPATCH(WeightedDot3, w, x, y, n);
+}
+
+double WeightedCenteredDot(const double* w, const double* x, double mx,
+                           const double* y, double my, size_t n) {
+  MUAA_DISPATCH(WeightedCenteredDot, w, x, mx, y, my, n);
+}
+
+void WeightedSumAndDots(const double* w, const double* a, const double* b,
+                        size_t n, double* wsum, double* wa, double* wb) {
+  MUAA_DISPATCH(WeightedSumAndDots, w, a, b, n, wsum, wa, wb);
+}
+
+void WeightedPearsonCore(const double* w, const double* a, double ma,
+                         const double* b, double mb, size_t n, double* cov_ab,
+                         double* var_a, double* var_b) {
+  MUAA_DISPATCH(WeightedPearsonCore, w, a, ma, b, mb, n, cov_ab, var_a, var_b);
+}
+
+void WeightedMomentsPass(const double* w, const double* x, double mean,
+                         size_t n, double* centered, double* raw) {
+  MUAA_DISPATCH(WeightedMomentsPass, w, x, mean, n, centered, raw);
+}
+
+void ClampedDistances(double cx, double cy, const double* xs,
+                      const double* ys, size_t n, double dmin, double* out) {
+  MUAA_DISPATCH(ClampedDistances, cx, cy, xs, ys, n, dmin, out);
+}
+
+#undef MUAA_DISPATCH
+
+}  // namespace muaa::model::simd

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+
+namespace muaa::model::simd {
+
+/// \brief Vectorized inner kernels for the similarity / distance hot path.
+///
+/// Every weighted reduction here is defined in ONE canonical order —
+/// sixteen strided partial sums (lane `l` accumulates the terms at indices
+/// `i ≡ l (mod 16)`, in ascending index order) combined by the fixed
+/// two-level tree
+///
+///     s_g = (lane[4g] + lane[4g+1]) + (lane[4g+2] + lane[4g+3]),  g = 0..3
+///     total = (s_0 + s_1) + (s_2 + s_3)
+///
+/// — and every backend implements exactly that order:
+///
+///  * `kScalar` keeps sixteen explicit accumulators and walks the tail
+///    elements into lanes `0..r-1`;
+///  * `kAvx2` maps lane group `g` (lanes `4g..4g+3`) onto its own 256-bit
+///    accumulator (contiguous loads at offsets 0, 4, 8, 12 within each
+///    16-element block put index `16k + l` in lane `l`) and mask-loads the
+///    tail groups, so inactive lanes only ever add `+0.0` — an identity
+///    under IEEE-754 addition for every value a lane can hold. Four
+///    independent vector chains is what buys the speedup: one chain would
+///    be latency-bound at scalar throughput.
+///
+/// Two consequences the rest of the system relies on:
+///
+///  1. **Bitwise backend equivalence.** Scalar and AVX2 produce the same
+///     bits for the same inputs, so `MUAA_NO_SIMD=1` (and non-x86 builds)
+///     cannot change a similarity, a utility, or an assignment.
+///  2. **Bitwise layout equivalence.** The kernels only see pointers; an
+///     AoS `std::vector<double>` and a SoA row over the same values give
+///     the same bits, so `SoaView`-backed batch scoring equals the
+///     per-object path exactly.
+///
+/// The kernels are compiled with `-ffp-contract=off` so no backend (or
+/// future port) silently fuses a multiply-add and breaks the contract.
+enum class Backend {
+  kScalar = 0,  ///< Portable 16-lane scalar fallback.
+  kAvx2 = 1,    ///< AVX2 (4 × 4 × f64) path, x86-64 only.
+};
+
+/// The backend the process dispatches to: `kAvx2` when the CPU supports
+/// AVX2 and the environment variable `MUAA_NO_SIMD` is not set to a
+/// non-zero value, `kScalar` otherwise. Resolved once, then cached; a
+/// test override (see `ForceBackend`) takes precedence.
+Backend ActiveBackend();
+
+/// Human-readable backend name ("scalar" / "avx2").
+const char* BackendName(Backend b);
+
+/// \name Test/bench override of the dispatch decision.
+/// `ForceBackend(kAvx2)` returns false (and forces nothing) on hardware
+/// without AVX2; forcing `kScalar` always succeeds. Thread-safe, but
+/// intended for sequential test/bench phases, not concurrent flipping.
+/// @{
+bool ForceBackend(Backend b);
+void ClearForcedBackend();
+/// @}
+
+/// `Σ w[i]` in canonical order.
+double WeightedSum(const double* w, size_t n);
+
+/// `Σ w[i]·x[i]` in canonical order (weighted-mean numerator).
+double WeightedDot(const double* w, const double* x, size_t n);
+
+/// `Σ w[i]·x[i]·y[i]` in canonical order (weighted-cosine terms).
+double WeightedDot3(const double* w, const double* x, const double* y,
+                    size_t n);
+
+/// `Σ w[i]·(x[i]−mx)·(y[i]−my)` in canonical order (weighted-covariance
+/// numerator; the per-pair Pearson cross term).
+double WeightedCenteredDot(const double* w, const double* x, double mx,
+                           const double* y, double my, size_t n);
+
+/// Fused triple pass for the Pearson front half: `*wsum = Σ w[i]`,
+/// `*wa = Σ w[i]·a[i]`, `*wb = Σ w[i]·b[i]`, each in canonical order —
+/// bit-identical to the three separate `WeightedSum` / `WeightedDot`
+/// calls, computed in one sweep over the arrays.
+void WeightedSumAndDots(const double* w, const double* a, const double* b,
+                        size_t n, double* wsum, double* wa, double* wb);
+
+/// Fused triple pass for the Pearson back half:
+/// `*cov_ab = Σ w·(a−ma)·(b−mb)`, `*var_a = Σ w·(a−ma)²`,
+/// `*var_b = Σ w·(b−mb)²`, each in canonical order — bit-identical to the
+/// three separate `WeightedCenteredDot` calls, computed in one sweep.
+void WeightedPearsonCore(const double* w, const double* a, double ma,
+                         const double* b, double mb, size_t n, double* cov_ab,
+                         double* var_a, double* var_b);
+
+/// Fused per-profile moment pass: `*centered = Σ w·(x−mean)²` and
+/// `*raw = Σ w·x²`, each in canonical order (exactly the sums
+/// `WeightedCenteredDot(w, x, mean, x, mean, n)` and
+/// `WeightedDot3(w, x, x, n)` produce, computed in one sweep).
+void WeightedMomentsPass(const double* w, const double* x, double mean,
+                         size_t n, double* centered, double* raw);
+
+/// Element-wise clamped Euclidean distances from `(cx, cy)` to the points
+/// `(xs[i], ys[i])`: `out[i] = max(sqrt(dx² + dy²), dmin)`, bit-identical
+/// to `std::max(geo::Distance(...), dmin)` (IEEE sqrt is correctly
+/// rounded on every backend).
+void ClampedDistances(double cx, double cy, const double* xs,
+                      const double* ys, size_t n, double dmin, double* out);
+
+}  // namespace muaa::model::simd

@@ -1,0 +1,161 @@
+#include "model/simd_kernels_scalar.h"
+
+#include <algorithm>
+#include <cmath>
+
+// The portable reference backend. This translation unit is compiled with
+// -ffp-contract=off AND -fno-tree-vectorize/-fno-tree-slp-vectorize (see
+// src/model/CMakeLists.txt): `MUAA_NO_SIMD=1` promises genuinely
+// SIMD-free execution, and the backend A/B comparison in
+// bench_micro_substrates is only meaningful against a truly scalar
+// baseline. Auto-vectorization of these loops would preserve the bits
+// (the sixteen lanes are independent) but not the promise.
+
+namespace muaa::model::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar backend: sixteen explicit lanes, canonical two-level combine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline double Combine16(const double acc[16]) {
+  double s0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  double s1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+  double s2 = (acc[8] + acc[9]) + (acc[10] + acc[11]);
+  double s3 = (acc[12] + acc[13]) + (acc[14] + acc[15]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace
+
+double WeightedSumScalar(const double* w, size_t n) {
+  double acc[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) acc[l] += w[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += w[i];
+  return Combine16(acc);
+}
+
+double WeightedDotScalar(const double* w, const double* x, size_t n) {
+  double acc[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) acc[l] += w[i + l] * x[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += w[i] * x[i];
+  return Combine16(acc);
+}
+
+double WeightedDot3Scalar(const double* w, const double* x, const double* y,
+                          size_t n) {
+  double acc[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) acc[l] += w[i + l] * x[i + l] * y[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += w[i] * x[i] * y[i];
+  return Combine16(acc);
+}
+
+double WeightedCenteredDotScalar(const double* w, const double* x, double mx,
+                                 const double* y, double my, size_t n) {
+  double acc[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) {
+      acc[l] += w[i + l] * ((x[i + l] - mx) * (y[i + l] - my));
+    }
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    acc[l] += w[i] * ((x[i] - mx) * (y[i] - my));
+  }
+  return Combine16(acc);
+}
+
+void WeightedSumAndDotsScalar(const double* w, const double* a,
+                              const double* b, size_t n, double* wsum,
+                              double* wa, double* wb) {
+  double acc_s[16] = {};
+  double acc_a[16] = {};
+  double acc_b[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) {
+      acc_s[l] += w[i + l];
+      acc_a[l] += w[i + l] * a[i + l];
+      acc_b[l] += w[i + l] * b[i + l];
+    }
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    acc_s[l] += w[i];
+    acc_a[l] += w[i] * a[i];
+    acc_b[l] += w[i] * b[i];
+  }
+  *wsum = Combine16(acc_s);
+  *wa = Combine16(acc_a);
+  *wb = Combine16(acc_b);
+}
+
+void WeightedPearsonCoreScalar(const double* w, const double* a, double ma,
+                               const double* b, double mb, size_t n,
+                               double* cov_ab, double* var_a, double* var_b) {
+  double acc_c[16] = {};
+  double acc_va[16] = {};
+  double acc_vb[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) {
+      double da = a[i + l] - ma;
+      double db = b[i + l] - mb;
+      acc_c[l] += w[i + l] * (da * db);
+      acc_va[l] += w[i + l] * (da * da);
+      acc_vb[l] += w[i + l] * (db * db);
+    }
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    double da = a[i] - ma;
+    double db = b[i] - mb;
+    acc_c[l] += w[i] * (da * db);
+    acc_va[l] += w[i] * (da * da);
+    acc_vb[l] += w[i] * (db * db);
+  }
+  *cov_ab = Combine16(acc_c);
+  *var_a = Combine16(acc_va);
+  *var_b = Combine16(acc_vb);
+}
+
+void WeightedMomentsPassScalar(const double* w, const double* x, double mean,
+                               size_t n, double* centered, double* raw) {
+  double acc_c[16] = {};
+  double acc_r[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t l = 0; l < 16; ++l) {
+      double d = x[i + l] - mean;
+      acc_c[l] += w[i + l] * (d * d);
+      acc_r[l] += w[i + l] * x[i + l] * x[i + l];
+    }
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    double d = x[i] - mean;
+    acc_c[l] += w[i] * (d * d);
+    acc_r[l] += w[i] * x[i] * x[i];
+  }
+  *centered = Combine16(acc_c);
+  *raw = Combine16(acc_r);
+}
+
+void ClampedDistancesScalar(double cx, double cy, const double* xs,
+                            const double* ys, size_t n, double dmin,
+                            double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    double dx = cx - xs[i];
+    double dy = cy - ys[i];
+    out[i] = std::max(std::sqrt(dx * dx + dy * dy), dmin);
+  }
+}
+
+}  // namespace muaa::model::simd

@@ -1,0 +1,32 @@
+#pragma once
+
+// Internal: the portable scalar implementations behind the dispatchers in
+// simd_kernels.h. Sixteen explicit accumulator lanes in the canonical
+// reduction order (see simd_kernels.h); compiled in their own translation
+// unit with auto-vectorization disabled so the scalar backend is genuinely
+// SIMD-free. Call the dispatching functions in simd_kernels.h instead of
+// these.
+
+#include <cstddef>
+
+namespace muaa::model::simd {
+
+double WeightedSumScalar(const double* w, size_t n);
+double WeightedDotScalar(const double* w, const double* x, size_t n);
+double WeightedDot3Scalar(const double* w, const double* x, const double* y,
+                          size_t n);
+double WeightedCenteredDotScalar(const double* w, const double* x, double mx,
+                                 const double* y, double my, size_t n);
+void WeightedSumAndDotsScalar(const double* w, const double* a,
+                              const double* b, size_t n, double* wsum,
+                              double* wa, double* wb);
+void WeightedPearsonCoreScalar(const double* w, const double* a, double ma,
+                               const double* b, double mb, size_t n,
+                               double* cov_ab, double* var_a, double* var_b);
+void WeightedMomentsPassScalar(const double* w, const double* x, double mean,
+                               size_t n, double* centered, double* raw);
+void ClampedDistancesScalar(double cx, double cy, const double* xs,
+                            const double* ys, size_t n, double dmin,
+                            double* out);
+
+}  // namespace muaa::model::simd

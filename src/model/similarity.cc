@@ -4,18 +4,20 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "model/simd_kernels.h"
+
+// All reductions below run through the canonical-order kernels in
+// simd_kernels.h, so these free functions, the `UtilityModel` moment
+// precomputation and the SoA batch path produce bit-identical values —
+// on every backend (`MUAA_NO_SIMD=1` included).
 
 namespace muaa::model {
 
 double WeightedMean(const std::vector<double>& vec,
                     const std::vector<double>& weights) {
   MUAA_CHECK(vec.size() == weights.size());
-  double num = 0.0;
-  double den = 0.0;
-  for (size_t x = 0; x < vec.size(); ++x) {
-    num += weights[x] * vec[x];
-    den += weights[x];
-  }
+  double num = simd::WeightedDot(weights.data(), vec.data(), vec.size());
+  double den = simd::WeightedSum(weights.data(), weights.size());
   MUAA_CHECK(den > 0.0) << "activity weights sum to zero";
   return num / den;
 }
@@ -25,12 +27,9 @@ double WeightedCovariance(const std::vector<double>& a, double mean_a,
                           const std::vector<double>& weights) {
   MUAA_CHECK(a.size() == weights.size());
   MUAA_CHECK(b.size() == weights.size());
-  double num = 0.0;
-  double den = 0.0;
-  for (size_t x = 0; x < a.size(); ++x) {
-    num += weights[x] * (a[x] - mean_a) * (b[x] - mean_b);
-    den += weights[x];
-  }
+  double num = simd::WeightedCenteredDot(weights.data(), a.data(), mean_a,
+                                         b.data(), mean_b, a.size());
+  double den = simd::WeightedSum(weights.data(), weights.size());
   MUAA_CHECK(den > 0.0);
   return num / den;
 }
@@ -38,11 +37,25 @@ double WeightedCovariance(const std::vector<double>& a, double mean_a,
 double WeightedPearson(const std::vector<double>& a,
                        const std::vector<double>& b,
                        const std::vector<double>& weights) {
-  double mean_a = WeightedMean(a, weights);
-  double mean_b = WeightedMean(b, weights);
-  double cov_ab = WeightedCovariance(a, mean_a, b, mean_b, weights);
-  double var_a = WeightedCovariance(a, mean_a, a, mean_a, weights);
-  double var_b = WeightedCovariance(b, mean_b, b, mean_b, weights);
+  MUAA_CHECK(a.size() == weights.size());
+  MUAA_CHECK(b.size() == weights.size());
+  const size_t n = weights.size();
+  const double* w = weights.data();
+  // Two fused sweeps instead of six single-sum passes. Every fused sum
+  // keeps the canonical reduction order, so each quotient matches the
+  // per-call WeightedSum / WeightedDot / WeightedCenteredDot computation
+  // bit for bit.
+  double den, wa, wb;
+  simd::WeightedSumAndDots(w, a.data(), b.data(), n, &den, &wa, &wb);
+  MUAA_CHECK(den > 0.0) << "activity weights sum to zero";
+  double mean_a = wa / den;
+  double mean_b = wb / den;
+  double cov_ab, var_a, var_b;
+  simd::WeightedPearsonCore(w, a.data(), mean_a, b.data(), mean_b, n, &cov_ab,
+                            &var_a, &var_b);
+  cov_ab /= den;
+  var_a /= den;
+  var_b /= den;
   if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
   double r = cov_ab / std::sqrt(var_a * var_b);
   return std::clamp(r, -1.0, 1.0);
@@ -53,12 +66,10 @@ double WeightedCosine(const std::vector<double>& a,
                       const std::vector<double>& weights) {
   MUAA_CHECK(a.size() == weights.size());
   MUAA_CHECK(b.size() == weights.size());
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t x = 0; x < a.size(); ++x) {
-    dot += weights[x] * a[x] * b[x];
-    na += weights[x] * a[x] * a[x];
-    nb += weights[x] * b[x] * b[x];
-  }
+  const double* w = weights.data();
+  double dot = simd::WeightedDot3(w, a.data(), b.data(), a.size());
+  double na = simd::WeightedDot3(w, a.data(), a.data(), a.size());
+  double nb = simd::WeightedDot3(w, b.data(), b.data(), b.size());
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
 }

@@ -1,0 +1,48 @@
+#include "model/soa_view.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "model/activity.h"
+
+namespace muaa::model {
+
+SoaView::SoaView(const ProblemInstance* instance) {
+  MUAA_CHECK(instance != nullptr);
+  num_customers_ = instance->num_customers();
+  num_vendors_ = instance->num_vendors();
+  num_tags_ = instance->num_tags();
+  tag_stride_ = (num_tags_ + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+
+  customer_interests_.assign(num_customers_ * tag_stride_, 0.0);
+  customer_x_.resize(num_customers_);
+  customer_y_.resize(num_customers_);
+  view_prob_.resize(num_customers_);
+  customer_slot_.resize(num_customers_);
+  for (size_t i = 0; i < num_customers_; ++i) {
+    const Customer& u = instance->customers[i];
+    MUAA_CHECK(u.interests.size() == num_tags_);
+    std::copy(u.interests.begin(), u.interests.end(),
+              customer_interests_.begin() + i * tag_stride_);
+    customer_x_[i] = u.location.x;
+    customer_y_[i] = u.location.y;
+    view_prob_[i] = u.view_prob;
+    customer_slot_[i] = ActivitySchedule::HourSlot(u.arrival_time);
+  }
+
+  vendor_interests_.assign(num_vendors_ * tag_stride_, 0.0);
+  vendor_x_.resize(num_vendors_);
+  vendor_y_.resize(num_vendors_);
+  vendor_radius_.resize(num_vendors_);
+  for (size_t j = 0; j < num_vendors_; ++j) {
+    const Vendor& v = instance->vendors[j];
+    MUAA_CHECK(v.interests.size() == num_tags_);
+    std::copy(v.interests.begin(), v.interests.end(),
+              vendor_interests_.begin() + j * tag_stride_);
+    vendor_x_[j] = v.location.x;
+    vendor_y_[j] = v.location.y;
+    vendor_radius_[j] = v.radius;
+  }
+}
+
+}  // namespace muaa::model

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace muaa::model {
+
+/// \brief Flat structure-of-arrays mirror of a `ProblemInstance`, built
+/// once per batch for the candidate hot path.
+///
+/// The AoS entities (`Customer` / `Vendor` objects, each owning its own
+/// `std::vector<double>` interest profile) scatter the inner-loop data
+/// across the heap; every similarity evaluation chases two pointers and
+/// every distance check loads a whole struct. `SoaView` packs the fields
+/// the scoring kernels touch into contiguous blocks:
+///
+///  * interest profiles as row-major matrices with a stride rounded up to
+///    the kernel width (rows zero-padded, which is reduction-neutral: the
+///    padded lanes only ever contribute `+0.0`);
+///  * positions split into separate x/y arrays so the distance kernel
+///    streams them;
+///  * the per-customer scalars (`view_prob`, arrival hour slot) the
+///    utility expression needs.
+///
+/// The view holds copies, not pointers — after construction it is
+/// immutable and safe to share across threads. Values are copied
+/// verbatim, so kernels running over SoA rows see exactly the bits the
+/// AoS path sees.
+class SoaView {
+ public:
+  /// Kernel lane width the tag stride is padded to.
+  static constexpr size_t kLaneWidth = 4;
+
+  /// \param instance must outlive the view (only used during build).
+  explicit SoaView(const ProblemInstance* instance);
+
+  size_t num_customers() const { return num_customers_; }
+  size_t num_vendors() const { return num_vendors_; }
+  /// Logical profile length (the kernels are called with this, not the
+  /// padded stride, so AoS and SoA reductions see identical terms).
+  size_t num_tags() const { return num_tags_; }
+  /// Row stride of the interest matrices (`num_tags` rounded up to the
+  /// lane width).
+  size_t tag_stride() const { return tag_stride_; }
+
+  /// Customer `i`'s interest profile (contiguous, zero-padded row).
+  const double* customer_interests(int32_t i) const {
+    return customer_interests_.data() + static_cast<size_t>(i) * tag_stride_;
+  }
+  /// Vendor `j`'s tag vector (contiguous, zero-padded row).
+  const double* vendor_interests(int32_t j) const {
+    return vendor_interests_.data() + static_cast<size_t>(j) * tag_stride_;
+  }
+
+  const double* customer_x() const { return customer_x_.data(); }
+  const double* customer_y() const { return customer_y_.data(); }
+  const double* vendor_x() const { return vendor_x_.data(); }
+  const double* vendor_y() const { return vendor_y_.data(); }
+  const double* view_prob() const { return view_prob_.data(); }
+  const double* vendor_radius() const { return vendor_radius_.data(); }
+  /// Hour slot of each customer's arrival (`ActivitySchedule::HourSlot`).
+  const int32_t* customer_slot() const { return customer_slot_.data(); }
+
+ private:
+  size_t num_customers_ = 0;
+  size_t num_vendors_ = 0;
+  size_t num_tags_ = 0;
+  size_t tag_stride_ = 0;
+  std::vector<double> customer_interests_;
+  std::vector<double> vendor_interests_;
+  std::vector<double> customer_x_;
+  std::vector<double> customer_y_;
+  std::vector<double> vendor_x_;
+  std::vector<double> vendor_y_;
+  std::vector<double> view_prob_;
+  std::vector<double> vendor_radius_;
+  std::vector<int32_t> customer_slot_;
+};
+
+}  // namespace muaa::model

@@ -4,28 +4,25 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "geo/point.h"
+#include "model/simd_kernels.h"
 
 namespace muaa::model {
 
 UtilityModel::UtilityModel(const ProblemInstance* instance,
                            SimilarityKind kind)
-    : instance_(instance), kind_(kind) {
+    : instance_(instance), kind_(kind), soa_(instance) {
   MUAA_CHECK(instance_ != nullptr);
-  pair_hits_ = obs::MetricRegistry::Global().GetCounter("model.pair_cache_hits");
-  pair_misses_ =
-      obs::MetricRegistry::Global().GetCounter("model.pair_cache_misses");
+  pairs_scored_ = obs::MetricRegistry::Global().GetCounter("model.pairs_scored");
+  pair_batches_ =
+      obs::MetricRegistry::Global().GetCounter("model.pair_batches");
   const size_t tags = instance_->num_tags();
   const size_t n = instance_->num_vendors();
   const size_t m = instance_->num_customers();
 
   // Which hour slots occur among customers?
   std::vector<bool> used(24, false);
-  customer_slot_.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    int slot = ActivitySchedule::HourSlot(instance_->customers[i].arrival_time);
-    customer_slot_[i] = slot;
-    used[static_cast<size_t>(slot)] = true;
+    used[static_cast<size_t>(soa_.customer_slot()[i])] = true;
   }
 
   weights_by_slot_.resize(24);
@@ -35,43 +32,40 @@ UtilityModel::UtilityModel(const ProblemInstance* instance,
     if (!used[static_cast<size_t>(slot)]) continue;
     auto& w = weights_by_slot_[static_cast<size_t>(slot)];
     w.resize(tags);
-    double sum = 0.0;
     for (size_t x = 0; x < tags; ++x) {
       w[x] = instance_->activity.At(static_cast<int32_t>(x),
                                     static_cast<double>(slot));
-      sum += w[x];
     }
+    // Canonical-order sum: bitwise the denominator the free functions in
+    // similarity.cc divide by.
+    double sum = simd::WeightedSum(w.data(), tags);
     MUAA_CHECK(sum > 0.0) << "activity weights sum to zero at slot " << slot;
     weight_sum_by_slot_[static_cast<size_t>(slot)] = sum;
     for (size_t j = 0; j < n; ++j) {
       vendor_moments_[static_cast<size_t>(slot) * n + j] =
-          ComputeMoments(instance_->vendors[j].interests, slot);
+          ComputeMoments(soa_.vendor_interests(static_cast<int32_t>(j)), slot);
     }
   }
 
   customer_moments_.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    customer_moments_[i] =
-        ComputeMoments(instance_->customers[i].interests, customer_slot_[i]);
+    customer_moments_[i] = ComputeMoments(
+        soa_.customer_interests(static_cast<int32_t>(i)),
+        soa_.customer_slot()[i]);
   }
 }
 
-UtilityModel::Moments UtilityModel::ComputeMoments(
-    const std::vector<double>& vec, int slot) const {
+UtilityModel::Moments UtilityModel::ComputeMoments(const double* vec,
+                                                   int slot) const {
   const auto& w = weights_by_slot_[static_cast<size_t>(slot)];
-  MUAA_CHECK(vec.size() == w.size());
+  const size_t tags = w.size();
   const double wsum = weight_sum_by_slot_[static_cast<size_t>(slot)];
-  double mean_num = 0.0;
-  for (size_t x = 0; x < vec.size(); ++x) mean_num += w[x] * vec[x];
   Moments mom;
-  mom.mean = mean_num / wsum;
+  mom.mean = simd::WeightedDot(w.data(), vec, tags) / wsum;
   double cov_num = 0.0;
   double norm_num = 0.0;
-  for (size_t x = 0; x < vec.size(); ++x) {
-    double d = vec[x] - mom.mean;
-    cov_num += w[x] * d * d;
-    norm_num += w[x] * vec[x] * vec[x];
-  }
+  simd::WeightedMomentsPass(w.data(), vec, mom.mean, tags, &cov_num,
+                            &norm_num);
   mom.self_cov = cov_num / wsum;
   mom.weighted_norm = std::sqrt(norm_num);
   return mom;
@@ -79,38 +73,41 @@ UtilityModel::Moments UtilityModel::ComputeMoments(
 
 double UtilityModel::Similarity(CustomerId i, VendorId j) const {
   const size_t n = instance_->num_vendors();
-  const int slot = customer_slot_[static_cast<size_t>(i)];
+  const size_t tags = soa_.num_tags();
+  const int slot = soa_.customer_slot()[static_cast<size_t>(i)];
   const auto& w = weights_by_slot_[static_cast<size_t>(slot)];
   const double wsum = weight_sum_by_slot_[static_cast<size_t>(slot)];
   const Moments& cm = customer_moments_[static_cast<size_t>(i)];
   const Moments& vm =
       vendor_moments_[static_cast<size_t>(slot) * n + static_cast<size_t>(j)];
-  const auto& a = instance_->customers[static_cast<size_t>(i)].interests;
-  const auto& b = instance_->vendors[static_cast<size_t>(j)].interests;
+  const double* a = soa_.customer_interests(i);
+  const double* b = soa_.vendor_interests(j);
 
   if (kind_ == SimilarityKind::kCosine) {
     if (cm.weighted_norm <= 0.0 || vm.weighted_norm <= 0.0) return 0.0;
-    double dot = 0.0;
-    for (size_t x = 0; x < a.size(); ++x) {
-      dot += w[x] * a[x] * b[x];
-    }
+    double dot = simd::WeightedDot3(w.data(), a, b, tags);
     return std::clamp(dot / (cm.weighted_norm * vm.weighted_norm), -1.0, 1.0);
   }
 
   if (cm.self_cov <= 0.0 || vm.self_cov <= 0.0) return 0.0;
-  double cov_num = 0.0;
-  for (size_t x = 0; x < a.size(); ++x) {
-    cov_num += w[x] * (a[x] - cm.mean) * (b[x] - vm.mean);
-  }
+  double cov_num =
+      simd::WeightedCenteredDot(w.data(), a, cm.mean, b, vm.mean, tags);
   double cov = cov_num / wsum;
   double r = cov / std::sqrt(cm.self_cov * vm.self_cov);
   return std::clamp(r, -1.0, 1.0);
 }
 
 double UtilityModel::ClampedDistance(CustomerId i, VendorId j) const {
-  double d = geo::Distance(instance_->customers[static_cast<size_t>(i)].location,
-                           instance_->vendors[static_cast<size_t>(j)].location);
-  return std::max(d, kMinDistance);
+  // Routed through the (contract-free) distance kernel so the single-pair
+  // path cannot diverge from the batch sweep on targets where the plain
+  // expression would fuse into an FMA.
+  double out = 0.0;
+  simd::ClampedDistances(soa_.customer_x()[static_cast<size_t>(i)],
+                         soa_.customer_y()[static_cast<size_t>(i)],
+                         soa_.vendor_x() + static_cast<size_t>(j),
+                         soa_.vendor_y() + static_cast<size_t>(j), 1,
+                         kMinDistance, &out);
+  return out;
 }
 
 double UtilityModel::UtilityWithSimilarity(CustomerId i, VendorId j,
@@ -122,37 +119,64 @@ double UtilityModel::UtilityWithSimilarity(CustomerId i, VendorId j,
   return u.view_prob * t.effectiveness * similarity / ClampedDistance(i, j);
 }
 
-void UtilityModel::EnablePairCache() {
-  if (pair_ready_ != nullptr) return;
-  const size_t pairs = instance_->num_customers() * instance_->num_vendors();
-  if (pairs == 0 || pairs > kMaxCachedPairs) return;
-  pair_values_.assign(pairs, PairValue{});
-  pair_stripes_ = std::make_unique<std::mutex[]>(kPairCacheStripes);
-  // Value-initialized: every flag starts at 0. Assigned last so readers
-  // that see a non-null table also see its companions.
-  pair_ready_ = std::make_unique<std::atomic<uint8_t>[]>(pairs);
+void UtilityModel::PairsForCustomer(CustomerId i, const VendorId* js,
+                                    size_t count, PairValue* out) const {
+  // One vectorized distance sweep per chunk; one kernel pass per pair for
+  // the similarity cross term. Chunked so the gathered coordinates stay in
+  // stack scratch regardless of slate size.
+  constexpr size_t kChunk = 128;
+  double gx[kChunk], gy[kChunk], gd[kChunk];
+  const double cx = soa_.customer_x()[static_cast<size_t>(i)];
+  const double cy = soa_.customer_y()[static_cast<size_t>(i)];
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t len = std::min(kChunk, count - base);
+    for (size_t t = 0; t < len; ++t) {
+      const auto j = static_cast<size_t>(js[base + t]);
+      gx[t] = soa_.vendor_x()[j];
+      gy[t] = soa_.vendor_y()[j];
+    }
+    simd::ClampedDistances(cx, cy, gx, gy, len, kMinDistance, gd);
+    for (size_t t = 0; t < len; ++t) {
+      out[base + t].similarity = Similarity(i, js[base + t]);
+      out[base + t].distance = gd[t];
+    }
+  }
+  if (obs::Enabled()) {
+    pairs_scored_->Add(count);
+    pair_batches_->Add(1);
+  }
+}
+
+void UtilityModel::PairsForVendor(VendorId j, const CustomerId* is,
+                                  size_t count, PairValue* out) const {
+  constexpr size_t kChunk = 128;
+  double gx[kChunk], gy[kChunk], gd[kChunk];
+  const double vx = soa_.vendor_x()[static_cast<size_t>(j)];
+  const double vy = soa_.vendor_y()[static_cast<size_t>(j)];
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t len = std::min(kChunk, count - base);
+    for (size_t t = 0; t < len; ++t) {
+      const auto i = static_cast<size_t>(is[base + t]);
+      gx[t] = soa_.customer_x()[i];
+      gy[t] = soa_.customer_y()[i];
+    }
+    // d(u_i, v_j) computes dx = u.x − v.x; negation is exact, so the
+    // customer/vendor operand order cannot change the squared sum.
+    simd::ClampedDistances(vx, vy, gx, gy, len, kMinDistance, gd);
+    for (size_t t = 0; t < len; ++t) {
+      out[base + t].similarity = Similarity(is[base + t], j);
+      out[base + t].distance = gd[t];
+    }
+  }
+  if (obs::Enabled()) {
+    pairs_scored_->Add(count);
+    pair_batches_->Add(1);
+  }
 }
 
 PairValue UtilityModel::PairFor(CustomerId i, VendorId j) const {
-  if (pair_ready_ == nullptr) {
-    return PairValue{Similarity(i, j), ClampedDistance(i, j)};
-  }
-  const size_t idx = static_cast<size_t>(i) * instance_->num_vendors() +
-                     static_cast<size_t>(j);
-  if (pair_ready_[idx].load(std::memory_order_acquire)) {
-    if (obs::Enabled()) pair_hits_->Add();
-    return pair_values_[idx];
-  }
-  std::lock_guard<std::mutex> lock(pair_stripes_[idx % kPairCacheStripes]);
-  if (pair_ready_[idx].load(std::memory_order_relaxed)) {
-    if (obs::Enabled()) pair_hits_->Add();
-    return pair_values_[idx];
-  }
-  if (obs::Enabled()) pair_misses_->Add();
-  PairValue pv{Similarity(i, j), ClampedDistance(i, j)};
-  pair_values_[idx] = pv;
-  pair_ready_[idx].store(1, std::memory_order_release);
-  return pv;
+  if (obs::Enabled()) pairs_scored_->Add(1);
+  return PairValue{Similarity(i, j), ClampedDistance(i, j)};
 }
 
 double UtilityModel::UtilityFromPair(CustomerId i, AdTypeId k,
@@ -161,7 +185,7 @@ double UtilityModel::UtilityFromPair(CustomerId i, AdTypeId k,
   const Customer& u = instance_->customers[static_cast<size_t>(i)];
   const AdType& t = instance_->ad_types.at(k);
   // Same expression, same evaluation order as `UtilityWithSimilarity`:
-  // cached and uncached paths agree to the last bit.
+  // batch and single-pair paths agree to the last bit.
   return u.view_prob * t.effectiveness * pv.similarity / pv.distance;
 }
 

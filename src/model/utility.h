@@ -1,12 +1,10 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "model/instance.h"
+#include "model/soa_view.h"
 #include "obs/metrics.h"
 
 namespace muaa::model {
@@ -25,7 +23,10 @@ namespace muaa::model {
 /// The engine precomputes, for every hour slot that actually occurs in the
 /// customer set, each vendor's weighted mean and self-covariance, and each
 /// customer's mean/self-covariance at its own arrival slot. A similarity
-/// query then costs one O(#tags) pass for the cross covariance.
+/// query then costs one O(#tags) kernel pass for the cross covariance,
+/// running over the flat `SoaView` rows through the canonical-order SIMD
+/// kernels (model/simd_kernels.h) — so single-pair, batch, scalar and
+/// SIMD evaluations all agree to the last bit.
 /// Which similarity measure the utility model plugs into Eq. (4).
 enum class SimilarityKind {
   /// Activity-weighted Pearson correlation (the paper's Eq. 5).
@@ -69,42 +70,44 @@ class UtilityModel {
   double UtilityWithSimilarity(CustomerId i, VendorId j, AdTypeId k,
                                double similarity) const;
 
-  // ---- Memoized pair path ------------------------------------------------
+  // ---- Dense batch path --------------------------------------------------
   //
   // Every solver walks the same (customer, vendor) pairs; similarity and
   // clamped distance depend only on the pair, never on the ad type or the
-  // solver. `PairFor` memoizes both behind a lock-free fast path so the
-  // first solver to touch a pair pays for it and everyone after reads it
-  // back — including across thread-count configurations, because the
-  // cached value is computed by exactly the serial code path.
+  // solver. The batch calls below score a whole candidate slate into
+  // caller-owned dense scratch (`out[t]` answers pair `t` of the request)
+  // in one SoA sweep: one kernel pass per pair for the Pearson cross
+  // term, one vectorized distance pass for the whole slate. They replace
+  // the old lazily-memoized (atomic flag + stripe mutex) pair table — no
+  // shared mutable state, nothing to contend on under `ParallelFor`, and
+  // the per-batch scratch is sized by the slate, not m·n.
 
-  /// Allocates the (m × n) memo table. Idempotent; not thread-safe (call
-  /// before sharing the model across threads). A no-op when m·n exceeds
-  /// `kMaxCachedPairs` — `PairFor` then computes on every call.
-  void EnablePairCache();
+  /// Scores customer `i` against `js[0..count)` into `out[0..count)`.
+  /// Thread-safe; bit-identical to per-pair `PairFor` calls.
+  void PairsForCustomer(CustomerId i, const VendorId* js, size_t count,
+                        PairValue* out) const;
 
-  /// True when `EnablePairCache` allocated the memo table.
-  bool pair_cache_enabled() const { return pair_ready_ != nullptr; }
+  /// Scores vendor `j` against `is[0..count)` into `out[0..count)`.
+  /// Thread-safe; bit-identical to per-pair `PairFor` calls.
+  void PairsForVendor(VendorId j, const CustomerId* is, size_t count,
+                      PairValue* out) const;
 
-  /// Similarity + clamped distance of pair (i, j): memoized when the
-  /// cache is enabled, computed otherwise. Thread-safe either way, and
-  /// bit-identical to calling `Similarity` / `ClampedDistance` directly.
+  /// Similarity + clamped distance of a single pair (i, j); the batch
+  /// calls above are the hot path, this is the convenience form.
   PairValue PairFor(CustomerId i, VendorId j) const;
 
   /// Utility `λ_ijk` from a pre-fetched pair (Eq. 4); bit-identical to
   /// `Utility(i, j, k)`.
   double UtilityFromPair(CustomerId i, AdTypeId k, const PairValue& pv) const;
 
-  /// Memo-table ceiling: above this many (customer, vendor) pairs the
-  /// cache would dominate memory (16 B + 1 flag per pair ≈ 285 MB at the
-  /// cap), so `EnablePairCache` degrades to the compute-on-demand path.
-  static constexpr size_t kMaxCachedPairs = size_t{1} << 24;
-
   /// Budget efficiency `γ_ijk = λ_ijk / c_k` (Sec. IV).
   double Efficiency(CustomerId i, VendorId j, AdTypeId k) const;
 
   /// Clamped distance between customer `i` and vendor `j`.
   double ClampedDistance(CustomerId i, VendorId j) const;
+
+  /// The flat structure-of-arrays mirror the kernels run over.
+  const SoaView& soa() const { return soa_; }
 
   /// The underlying instance.
   const ProblemInstance& instance() const { return *instance_; }
@@ -116,34 +119,28 @@ class UtilityModel {
     double weighted_norm = 0.0;  ///< sqrt(Σ w·x²), for cosine
   };
 
-  Moments ComputeMoments(const std::vector<double>& vec, int slot) const;
-
-  /// Stripe count for the memo-table miss path (writes only).
-  static constexpr size_t kPairCacheStripes = 64;
+  Moments ComputeMoments(const double* vec, int slot) const;
 
   const ProblemInstance* instance_;
   SimilarityKind kind_ = SimilarityKind::kPearson;
-  // Process-global cache-effectiveness counters ("model.pair_cache_hits" /
-  // "model.pair_cache_misses"), cached at construction; bumped only when
-  // obs::Enabled() so PairFor stays cheap with observability off.
-  obs::Counter* pair_hits_ = nullptr;
-  obs::Counter* pair_misses_ = nullptr;
-  // weights_by_slot_[slot][tag]; only slots used by some customer are filled.
+  SoaView soa_;
+  // Process-global batch-effectiveness counters ("model.pairs_scored" /
+  // "model.pair_batches" — the dense-scratch successors of the retired
+  // model.pair_cache_hits/misses), cached at construction; bumped only
+  // when obs::Enabled() so the batch path stays cheap with observability
+  // off. Exact under ParallelFor: each batch adds its own slate size once.
+  obs::Counter* pairs_scored_ = nullptr;
+  obs::Counter* pair_batches_ = nullptr;
+  // weights_by_slot_[slot][tag]; only slots used by some customer are
+  // filled. Slot sums are computed with the canonical-order kernel so
+  // they match the free-function `WeightedMean`/`WeightedCovariance`
+  // denominators bitwise.
   std::vector<std::vector<double>> weights_by_slot_;
   std::vector<double> weight_sum_by_slot_;
   // vendor_moments_[slot * n + j]; filled for used slots.
   std::vector<Moments> vendor_moments_;
   // customer_moments_[i] at the customer's own arrival slot.
   std::vector<Moments> customer_moments_;
-  std::vector<int> customer_slot_;
-
-  // Pair memo table (lazy, thread-safe). `pair_ready_[p]` flips 0 → 1
-  // with release order once `pair_values_[p]` holds the final value;
-  // readers acquire the flag before touching the slot. Misses serialize
-  // on a stripe mutex so two threads never write one slot concurrently.
-  mutable std::unique_ptr<std::atomic<uint8_t>[]> pair_ready_;
-  mutable std::vector<PairValue> pair_values_;
-  mutable std::unique_ptr<std::mutex[]> pair_stripes_;
 };
 
 }  // namespace muaa::model

@@ -21,21 +21,13 @@
 #include "io/assignment_io.h"
 
 #define MUAA_TESTUTIL_WANT_HARNESS
+#define MUAA_TESTUTIL_WANT_SYNTHETIC
 #include "test_util.h"
 
 namespace muaa::assign {
 namespace {
 
-model::ProblemInstance RandomInstance(uint64_t seed) {
-  datagen::SyntheticConfig cfg;
-  cfg.num_customers = 300;
-  cfg.num_vendors = 40;
-  cfg.radius = {0.08, 0.18};
-  cfg.budget = {4.0, 9.0};
-  cfg.customer_loc_stddev = 0.3;
-  cfg.seed = seed;
-  return datagen::GenerateSynthetic(cfg).ValueOrDie();
-}
+using testutil::RandomEquivalenceInstance;
 
 /// Exact (bitwise) equality of two assignment sets, including the stored
 /// utilities — `EXPECT_EQ` on doubles plus a memcmp on the raw bits so a
@@ -73,7 +65,7 @@ class ParallelEquivalenceTest
 TEST_P(ParallelEquivalenceTest, ObjectiveAndPlanIdenticalAcrossThreadCounts) {
   const std::string solver_name = GetParam();
   for (uint64_t seed : {11u, 23u, 59u}) {
-    model::ProblemInstance instance = RandomInstance(seed);
+    model::ProblemInstance instance = RandomEquivalenceInstance(seed);
 
     testutil::SolverHarness serial(instance, /*seed=*/42, /*num_threads=*/1);
     auto baseline =
@@ -96,47 +88,58 @@ INSTANTIATE_TEST_SUITE_P(Solvers, ParallelEquivalenceTest,
                          ::testing::Values("greedy", "greedy-ls", "recon",
                                            "nearest"));
 
-TEST(PairCacheTest, CachedPathMatchesUncachedExactly) {
-  model::ProblemInstance instance = RandomInstance(7);
-  model::UtilityModel cached(&instance);
-  cached.EnablePairCache();
-  ASSERT_TRUE(cached.pair_cache_enabled());
-  model::UtilityModel uncached(&instance);
-  ASSERT_FALSE(uncached.pair_cache_enabled());
+TEST(PairBatchTest, BatchPathMatchesSinglePairExactly) {
+  model::ProblemInstance instance = RandomEquivalenceInstance(7);
+  model::UtilityModel model(&instance);
 
   const auto m = static_cast<model::CustomerId>(instance.num_customers());
   const auto n = static_cast<model::VendorId>(instance.num_vendors());
+  std::vector<model::VendorId> all_vendors;
+  for (model::VendorId j = 0; j < n; ++j) all_vendors.push_back(j);
+
+  std::vector<model::PairValue> batch(all_vendors.size());
   for (model::CustomerId i = 0; i < m; ++i) {
+    // One dense batch per customer must equal the single-pair calls and
+    // the direct Similarity/ClampedDistance computation bit-for-bit.
+    model.PairsForCustomer(i, all_vendors.data(), all_vendors.size(),
+                           batch.data());
     for (model::VendorId j = 0; j < n; ++j) {
-      // Read twice: the first call fills the memo slot, the second reads
-      // it back; both must equal the direct computation bit-for-bit.
-      model::PairValue first = cached.PairFor(i, j);
-      model::PairValue again = cached.PairFor(i, j);
-      EXPECT_EQ(first.similarity, uncached.Similarity(i, j));
-      EXPECT_EQ(first.distance, uncached.ClampedDistance(i, j));
-      EXPECT_EQ(std::memcmp(&first, &again, sizeof(first)), 0);
+      model::PairValue single = model.PairFor(i, j);
+      EXPECT_EQ(batch[static_cast<size_t>(j)].similarity, single.similarity);
+      EXPECT_EQ(batch[static_cast<size_t>(j)].distance, single.distance);
+      EXPECT_EQ(single.similarity, model.Similarity(i, j));
+      EXPECT_EQ(single.distance, model.ClampedDistance(i, j));
       for (size_t k = 0; k < instance.ad_types.size(); ++k) {
         auto tk = static_cast<model::AdTypeId>(k);
-        EXPECT_EQ(cached.UtilityFromPair(i, tk, first),
-                  uncached.Utility(i, j, tk));
+        EXPECT_EQ(model.UtilityFromPair(i, tk, single),
+                  model.Utility(i, j, tk));
       }
     }
   }
 }
 
-TEST(PairCacheTest, DisabledCacheStillAnswers) {
-  model::ProblemInstance instance = RandomInstance(3);
-  model::UtilityModel plain(&instance);
-  model::PairValue pv = plain.PairFor(0, 0);
-  EXPECT_EQ(pv.similarity, plain.Similarity(0, 0));
-  EXPECT_EQ(pv.distance, plain.ClampedDistance(0, 0));
+TEST(PairBatchTest, VendorBatchMatchesCustomerBatch) {
+  model::ProblemInstance instance = RandomEquivalenceInstance(3);
+  model::UtilityModel model(&instance);
+  const auto m = static_cast<model::CustomerId>(instance.num_customers());
+  std::vector<model::CustomerId> all_customers;
+  for (model::CustomerId i = 0; i < m; ++i) all_customers.push_back(i);
+  std::vector<model::PairValue> by_vendor(all_customers.size());
+  model.PairsForVendor(0, all_customers.data(), all_customers.size(),
+                       by_vendor.data());
+  for (model::CustomerId i = 0; i < m; ++i) {
+    model::PairValue single = model.PairFor(i, 0);
+    EXPECT_EQ(by_vendor[static_cast<size_t>(i)].similarity,
+              single.similarity);
+    EXPECT_EQ(by_vendor[static_cast<size_t>(i)].distance, single.distance);
+  }
 }
 
 /// Guards future PRs against accidental iteration-order dependence: a
 /// seeded run through the parallel pipeline must serialize to exactly the
 /// same CSV bytes every time.
 TEST(ParallelDeterminismTest, SeededSolveWritesIdenticalCsvTwice) {
-  model::ProblemInstance instance = RandomInstance(31);
+  model::ProblemInstance instance = RandomEquivalenceInstance(31);
   auto solve_to_csv = [&](const std::string& name) {
     testutil::SolverHarness h(instance, /*seed=*/42, /*num_threads=*/8);
     ReconSolver recon;

@@ -2,6 +2,7 @@
 // against independent reference implementations on randomized instances.
 
 #define MUAA_TESTUTIL_WANT_HARNESS
+#define MUAA_TESTUTIL_WANT_SYNTHETIC
 #include <gtest/gtest.h>
 
 #include <map>
@@ -20,17 +21,7 @@ namespace {
 
 using testutil::SolverHarness;
 
-datagen::SyntheticConfig RandomConfig(uint64_t seed) {
-  datagen::SyntheticConfig cfg;
-  cfg.num_customers = 150;
-  cfg.num_vendors = 20;
-  cfg.radius = {0.1, 0.25};
-  cfg.budget = {3.0, 8.0};
-  cfg.capacity = {1.0, 3.0};
-  cfg.customer_loc_stddev = 0.25;
-  cfg.seed = seed;
-  return cfg;
-}
+using testutil::PropertyConfig;
 
 /// Naive GREEDY: rescans every candidate each round — O(C² ) but
 /// trivially correct. The production lazy-heap version must match its
@@ -99,7 +90,7 @@ class GreedyEquivalenceTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(GreedyEquivalenceTest, LazyHeapMatchesNaiveRescan) {
   SolverHarness h(
-      datagen::GenerateSynthetic(RandomConfig(GetParam())).ValueOrDie());
+      datagen::GenerateSynthetic(PropertyConfig(GetParam())).ValueOrDie());
   auto ctx = h.ctx();
   GreedySolver solver;
   auto fast = solver.Solve(ctx).ValueOrDie();
@@ -132,7 +123,7 @@ TEST(DegenerateInstanceTest, AntiCorrelatedWorldAssignsNothing) {
 }
 
 TEST(DegenerateInstanceTest, AllZeroCapacity) {
-  datagen::SyntheticConfig cfg = RandomConfig(3);
+  datagen::SyntheticConfig cfg = PropertyConfig(3);
   cfg.capacity = {0.0, 0.0};
   SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
   auto ctx = h.ctx();
@@ -145,7 +136,7 @@ TEST(DegenerateInstanceTest, AllZeroCapacity) {
 }
 
 TEST(DegenerateInstanceTest, BudgetsBelowCheapestAd) {
-  datagen::SyntheticConfig cfg = RandomConfig(5);
+  datagen::SyntheticConfig cfg = PropertyConfig(5);
   cfg.budget = {0.1, 0.5};  // cheapest ad costs 1.0
   SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
   auto ctx = h.ctx();
@@ -156,7 +147,7 @@ TEST(DegenerateInstanceTest, BudgetsBelowCheapestAd) {
 }
 
 TEST(DegenerateInstanceTest, ZeroRadiusVendorsNeverAssign) {
-  datagen::SyntheticConfig cfg = RandomConfig(7);
+  datagen::SyntheticConfig cfg = PropertyConfig(7);
   cfg.radius = {0.0, 0.0};
   SolverHarness h(datagen::GenerateSynthetic(cfg).ValueOrDie());
   auto ctx = h.ctx();
@@ -172,7 +163,7 @@ TEST_P(AssignmentFuzzTest, AccountingMatchesReferenceModel) {
   // Random Add/RemoveAt sequences; a simple reference map must always
   // agree with AssignmentSet's incremental accounting.
   SolverHarness h(
-      datagen::GenerateSynthetic(RandomConfig(100 + GetParam())).ValueOrDie());
+      datagen::GenerateSynthetic(PropertyConfig(100 + GetParam())).ValueOrDie());
   const auto& inst = h.instance;
   AssignmentSet set(&inst);
   Rng rng(GetParam() * 13);

@@ -1,0 +1,196 @@
+// Golden regression lock on solver output. Fixed-seed instances are built
+// by a self-contained splitmix64 generator (no std:: distributions, no
+// libm transcendentals beyond IEEE-exact sqrt anywhere in the covered
+// solve paths), solved with the pow-free solvers (GREEDY, RECON, NEAREST),
+// and the full assignment sequence — ids plus the exact utility bit
+// patterns — is reduced to a CRC32 recorded in tests/golden/. Any change
+// to the similarity kernels, the SoA layout, the candidate generation or
+// the solver tie-breaking that alters one bit of one decision fails here,
+// naming the instance and solver.
+//
+// To refresh after an intentional behavior change:
+//   MUAA_GOLDEN_REGEN=1 ./golden_regression_test
+// then commit the rewritten tests/golden/assignments_v1.txt with an
+// explanation of why the outputs legitimately moved.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "model/instance.h"
+
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "test_util.h"
+
+#ifndef MUAA_GOLDEN_DIR
+#error "MUAA_GOLDEN_DIR must point at tests/golden (set in CMakeLists.txt)"
+#endif
+
+namespace muaa::assign {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable instance generator: splitmix64 bits mapped to doubles with
+// exact arithmetic only, so the instances (and therefore the solve
+// results) are identical on every conforming platform and standard
+// library.
+
+struct SplitMix64 {
+  uint64_t state;
+  explicit SplitMix64(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1): 53 mantissa bits scaled by an exact power of two.
+  double U01() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+  /// Uniform in [lo, hi) via exact-input multiply/add (deterministic IEEE).
+  double U(double lo, double hi) { return lo + (hi - lo) * U01(); }
+  int Int(int lo, int hi) {  // inclusive bounds
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+model::ProblemInstance GoldenInstance(uint64_t seed, size_t customers,
+                                      size_t vendors, size_t tags) {
+  SplitMix64 rng(seed);
+  model::ProblemInstance inst;
+  // Non-uniform activity so hour slots matter; weights in [0.25, 1.0).
+  std::vector<std::vector<double>> activity(tags,
+                                            std::vector<double>(24, 0.0));
+  for (auto& row : activity) {
+    for (double& w : row) w = rng.U(0.25, 1.0);
+  }
+  inst.activity =
+      model::ActivitySchedule::FromMatrix(std::move(activity)).ValueOrDie();
+  inst.ad_types = model::AdTypeCatalog::PaperTableI();
+  for (size_t i = 0; i < customers; ++i) {
+    model::Customer u;
+    u.location = {rng.U01(), rng.U01()};
+    u.capacity = rng.Int(1, 3);
+    u.view_prob = rng.U(0.05, 0.95);
+    u.arrival_time = rng.U(0.0, 24.0);
+    u.interests.resize(tags);
+    for (double& v : u.interests) v = rng.U01();
+    inst.customers.push_back(std::move(u));
+  }
+  // Validate() requires arrival-time order. The keys are 53-bit-random
+  // doubles, so they are distinct and the sorted order is deterministic.
+  std::sort(inst.customers.begin(), inst.customers.end(),
+            [](const model::Customer& a, const model::Customer& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  for (size_t j = 0; j < vendors; ++j) {
+    model::Vendor v;
+    v.location = {rng.U01(), rng.U01()};
+    v.radius = rng.U(0.1, 0.3);
+    v.budget = rng.U(3.0, 9.0);
+    v.interests.resize(tags);
+    for (double& w : v.interests) w = rng.U01();
+    inst.vendors.push_back(std::move(v));
+  }
+  MUAA_CHECK_OK(inst.Validate());
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+
+void AppendBytes(std::string* out, const void* p, size_t n) {
+  out->append(reinterpret_cast<const char*>(p), n);
+}
+
+std::string GoldenLine(const std::string& instance_name,
+                       const model::ProblemInstance& instance,
+                       const std::string& solver_name) {
+  testutil::SolverHarness harness(instance);
+  auto solver = MakeOfflineSolver(solver_name).ValueOrDie();
+  AssignmentSet result = solver->Solve(harness.ctx()).ValueOrDie();
+
+  std::string bytes;
+  for (const AdInstance& inst : result.instances()) {
+    AppendBytes(&bytes, &inst.customer, sizeof(inst.customer));
+    AppendBytes(&bytes, &inst.vendor, sizeof(inst.vendor));
+    AppendBytes(&bytes, &inst.ad_type, sizeof(inst.ad_type));
+    uint64_t ubits;
+    std::memcpy(&ubits, &inst.utility, sizeof(ubits));
+    AppendBytes(&bytes, &ubits, sizeof(ubits));
+  }
+  uint64_t total_bits;
+  double total = result.total_utility();
+  std::memcpy(&total_bits, &total, sizeof(total_bits));
+
+  std::ostringstream line;
+  line << instance_name << " " << solver_name << " rows=" << result.size()
+       << " crc32=" << std::hex << Crc32(bytes) << " utility_bits=" << std::hex
+       << total_bits;
+  return line.str();
+}
+
+std::vector<std::string> ComputeGoldenLines() {
+  struct Spec {
+    const char* name;
+    uint64_t seed;
+    size_t customers, vendors, tags;
+  };
+  const Spec specs[] = {
+      {"g1_small", 0xA11CE5EEDULL, 120, 16, 12},
+      {"g2_mid", 0xB0B5EEDULL, 250, 30, 24},
+      {"g3_sparse", 0xC0FFEEULL, 200, 10, 8},
+  };
+  const char* solvers[] = {"greedy", "recon", "nearest"};
+  std::vector<std::string> lines;
+  for (const Spec& s : specs) {
+    model::ProblemInstance instance =
+        GoldenInstance(s.seed, s.customers, s.vendors, s.tags);
+    for (const char* solver : solvers) {
+      lines.push_back(GoldenLine(s.name, instance, solver));
+    }
+  }
+  return lines;
+}
+
+TEST(GoldenRegressionTest, SolverOutputsMatchCommittedChecksums) {
+  const std::string path = std::string(MUAA_GOLDEN_DIR) + "/assignments_v1.txt";
+  std::vector<std::string> lines = ComputeGoldenLines();
+
+  const char* regen = std::getenv("MUAA_GOLDEN_REGEN");
+  if (regen != nullptr && regen[0] != '\0' && std::strcmp(regen, "0") != 0) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const std::string& line : lines) out << line << "\n";
+    GTEST_SKIP() << "regenerated " << path << " (" << lines.size()
+                 << " lines); commit it with an explanation";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; run with MUAA_GOLDEN_REGEN=1 to create it";
+  std::vector<std::string> expected;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) expected.push_back(line);
+  }
+  ASSERT_EQ(expected.size(), lines.size())
+      << "golden file has a different number of entries; regenerate if the "
+         "covered instances/solvers changed intentionally";
+  for (size_t t = 0; t < lines.size(); ++t) {
+    EXPECT_EQ(expected[t], lines[t])
+        << "solver output drifted from the committed golden (entry " << t
+        << "). If intentional, regenerate with MUAA_GOLDEN_REGEN=1 and "
+           "explain the change.";
+  }
+}
+
+}  // namespace
+}  // namespace muaa::assign

@@ -1,0 +1,75 @@
+// The dense-batch pair counters ("model.pairs_scored" /
+// "model.pair_batches") must be exact — no double counting, no lost
+// increments — including when the batches run concurrently under
+// ParallelFor. The expected values are derivable from the spatial index:
+// one batch per vendor with a non-empty slate, one scored pair per valid
+// (customer, vendor).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assign/candidates.h"
+#include "obs/metrics.h"
+
+#define MUAA_TESTUTIL_WANT_SYNTHETIC
+#define MUAA_TESTUTIL_WANT_HARNESS
+#include "test_util.h"
+
+namespace muaa::assign {
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  return obs::MetricRegistry::Global().GetCounter(name)->Value();
+}
+
+struct Deltas {
+  uint64_t pairs = 0;
+  uint64_t batches = 0;
+};
+
+Deltas SweepDeltas(unsigned threads, uint64_t seed) {
+  testutil::SolverHarness harness(testutil::RandomEquivalenceInstance(seed),
+                                  /*seed=*/42, threads);
+  const uint64_t pairs_before = CounterValue("model.pairs_scored");
+  const uint64_t batches_before = CounterValue("model.pair_batches");
+  auto shards = AllVendorCandidates(harness.ctx());
+  EXPECT_EQ(shards.size(), harness.instance.num_vendors());
+  return Deltas{CounterValue("model.pairs_scored") - pairs_before,
+                CounterValue("model.pair_batches") - batches_before};
+}
+
+TEST(PairCountersTest, ExactUnderParallelFor) {
+  obs::SetEnabled(true);
+  const uint64_t seed = 77;
+
+  // Ground truth from the spatial index: VendorCandidates issues exactly
+  // one batch per vendor with >= 1 valid customer, covering all of them.
+  testutil::SolverHarness probe(testutil::RandomEquivalenceInstance(seed));
+  uint64_t expected_pairs = 0;
+  uint64_t expected_batches = 0;
+  const auto n = static_cast<model::VendorId>(probe.instance.num_vendors());
+  for (model::VendorId j = 0; j < n; ++j) {
+    const size_t valid = probe.view.ValidCustomers(j).size();
+    expected_pairs += valid;
+    if (valid > 0) ++expected_batches;
+  }
+  ASSERT_GT(expected_pairs, 0u);
+
+  for (unsigned threads : {1u, 8u}) {
+    Deltas d = SweepDeltas(threads, seed);
+    EXPECT_EQ(d.pairs, expected_pairs) << "threads=" << threads;
+    EXPECT_EQ(d.batches, expected_batches) << "threads=" << threads;
+  }
+}
+
+TEST(PairCountersTest, SinglePairPathCountsOnePair) {
+  obs::SetEnabled(true);
+  testutil::SolverHarness harness(testutil::OnePairInstance());
+  const uint64_t before = CounterValue("model.pairs_scored");
+  (void)harness.utility.PairFor(0, 0);
+  EXPECT_EQ(CounterValue("model.pairs_scored") - before, 1u);
+}
+
+}  // namespace
+}  // namespace muaa::assign

@@ -1,0 +1,248 @@
+// Differential tests for the SIMD kernel contract (model/simd_kernels.h):
+// the scalar and AVX2 backends must produce bitwise-identical results for
+// every kernel at every length (all 16 remainder-lane cases included), the
+// fused kernels must equal their single-sum counterparts bit for bit, and
+// the UtilityModel's SoA-backed similarity path must equal both the other
+// backend and the AoS free-function oracle exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/activity.h"
+#include "model/similarity.h"
+#include "model/simd_kernels.h"
+#include "model/utility.h"
+
+#define MUAA_TESTUTIL_WANT_SYNTHETIC
+#include "test_util.h"
+
+namespace muaa::model {
+namespace {
+
+using simd::Backend;
+
+// Bitwise equality that also treats NaN payloads as values (EXPECT_EQ on
+// doubles would fail NaN == NaN and accept -0.0 == +0.0).
+void ExpectBits(double a, double b, const std::string& what) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  EXPECT_EQ(ba, bb) << what << ": " << a << " vs " << b;
+}
+
+struct KernelInputs {
+  std::vector<double> w, x, y;
+  double mx, my;
+};
+
+KernelInputs RandomInputs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  KernelInputs in;
+  in.w.resize(n);
+  in.x.resize(n);
+  in.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.w[i] = rng.Uniform(0.0, 1.0);
+    in.x[i] = rng.Uniform(-2.0, 2.0);
+    in.y[i] = rng.Uniform(-2.0, 2.0);
+  }
+  in.mx = rng.Uniform(-1.0, 1.0);
+  in.my = rng.Uniform(-1.0, 1.0);
+  return in;
+}
+
+// Evaluates every kernel once on `in`, returning the raw result doubles.
+std::vector<double> EvalAllKernels(const KernelInputs& in) {
+  const size_t n = in.w.size();
+  std::vector<double> out;
+  out.push_back(simd::WeightedSum(in.w.data(), n));
+  out.push_back(simd::WeightedDot(in.w.data(), in.x.data(), n));
+  out.push_back(simd::WeightedDot3(in.w.data(), in.x.data(), in.y.data(), n));
+  out.push_back(simd::WeightedCenteredDot(in.w.data(), in.x.data(), in.mx,
+                                          in.y.data(), in.my, n));
+  double wsum, wa, wb;
+  simd::WeightedSumAndDots(in.w.data(), in.x.data(), in.y.data(), n, &wsum,
+                           &wa, &wb);
+  out.push_back(wsum);
+  out.push_back(wa);
+  out.push_back(wb);
+  double cov, va, vb;
+  simd::WeightedPearsonCore(in.w.data(), in.x.data(), in.mx, in.y.data(),
+                            in.my, n, &cov, &va, &vb);
+  out.push_back(cov);
+  out.push_back(va);
+  out.push_back(vb);
+  double centered, raw;
+  simd::WeightedMomentsPass(in.w.data(), in.x.data(), in.mx, n, &centered,
+                            &raw);
+  out.push_back(centered);
+  out.push_back(raw);
+  std::vector<double> dists(n);
+  if (n > 0) {
+    simd::ClampedDistances(in.mx, in.my, in.x.data(), in.y.data(), n, 1e-4,
+                           dists.data());
+  }
+  out.insert(out.end(), dists.begin(), dists.end());
+  return out;
+}
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : ok_(simd::ForceBackend(b)) {}
+  ~ScopedBackend() { simd::ClearForcedBackend(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+// Every length from 1 to 130 covers all block/remainder lane shapes (the
+// 16-element main blocks, every 1..15 tail, and the empty-group masks).
+TEST(SimdDifferentialTest, ScalarAndAvx2AgreeBitwiseAtEveryLength) {
+  if (!simd::ForceBackend(Backend::kAvx2)) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  simd::ClearForcedBackend();
+  for (size_t n = 1; n <= 130; ++n) {
+    KernelInputs in = RandomInputs(n, /*seed=*/1000 + n);
+    std::vector<double> scalar, avx2;
+    {
+      ScopedBackend b(Backend::kScalar);
+      scalar = EvalAllKernels(in);
+    }
+    {
+      ScopedBackend b(Backend::kAvx2);
+      avx2 = EvalAllKernels(in);
+    }
+    ASSERT_EQ(scalar.size(), avx2.size());
+    ASSERT_EQ(0, std::memcmp(scalar.data(), avx2.data(),
+                             scalar.size() * sizeof(double)))
+        << "backend divergence at length " << n;
+  }
+}
+
+// The fused kernels are an optimization of call count, not of semantics:
+// each fused sum must match the corresponding single-sum kernel bitwise,
+// on both backends.
+TEST(SimdDifferentialTest, FusedKernelsMatchSingleSumKernelsBitwise) {
+  std::vector<Backend> backends{Backend::kScalar};
+  if (simd::ForceBackend(Backend::kAvx2)) backends.push_back(Backend::kAvx2);
+  simd::ClearForcedBackend();
+  for (Backend backend : backends) {
+    ScopedBackend scoped(backend);
+    for (size_t n : {1u, 3u, 16u, 17u, 47u, 117u, 128u}) {
+      KernelInputs in = RandomInputs(n, /*seed=*/7000 + n);
+      const double* w = in.w.data();
+      const double* x = in.x.data();
+      const double* y = in.y.data();
+      double wsum, wa, wb;
+      simd::WeightedSumAndDots(w, x, y, n, &wsum, &wa, &wb);
+      ExpectBits(wsum, simd::WeightedSum(w, n), "fused wsum");
+      ExpectBits(wa, simd::WeightedDot(w, x, n), "fused wa");
+      ExpectBits(wb, simd::WeightedDot(w, y, n), "fused wb");
+      double cov, va, vb;
+      simd::WeightedPearsonCore(w, x, in.mx, y, in.my, n, &cov, &va, &vb);
+      ExpectBits(cov, simd::WeightedCenteredDot(w, x, in.mx, y, in.my, n),
+                 "fused cov");
+      ExpectBits(va, simd::WeightedCenteredDot(w, x, in.mx, x, in.mx, n),
+                 "fused var_a");
+      ExpectBits(vb, simd::WeightedCenteredDot(w, y, in.my, y, in.my, n),
+                 "fused var_b");
+      double centered, raw;
+      simd::WeightedMomentsPass(w, x, in.mx, n, &centered, &raw);
+      ExpectBits(centered, simd::WeightedCenteredDot(w, x, in.mx, x, in.mx, n),
+                 "moments centered");
+      ExpectBits(raw, simd::WeightedDot3(w, x, x, n), "moments raw");
+    }
+  }
+}
+
+// Model-level check on realistic instances: every pair's similarity,
+// distance and utility must be bitwise identical across backends.
+TEST(SimdDifferentialTest, ModelPairValuesAgreeAcrossBackends) {
+  if (!simd::ForceBackend(Backend::kAvx2)) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  simd::ClearForcedBackend();
+  for (uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    ProblemInstance instance = testutil::RandomEquivalenceInstance(seed);
+    auto eval = [&](Backend backend) {
+      ScopedBackend scoped(backend);
+      // The model is built under the backend too: the precomputed moments
+      // must not depend on the dispatch decision either.
+      UtilityModel model(&instance);
+      std::vector<double> out;
+      const auto n = static_cast<VendorId>(instance.num_vendors());
+      const auto m = static_cast<CustomerId>(instance.num_customers());
+      for (CustomerId i = 0; i < m; i += 7) {
+        for (VendorId j = 0; j < n; ++j) {
+          PairValue pv = model.PairFor(i, j);
+          out.push_back(pv.similarity);
+          out.push_back(pv.distance);
+          out.push_back(model.UtilityFromPair(i, 0, pv));
+        }
+      }
+      return out;
+    };
+    std::vector<double> scalar = eval(Backend::kScalar);
+    std::vector<double> avx2 = eval(Backend::kAvx2);
+    ASSERT_EQ(scalar.size(), avx2.size());
+    EXPECT_EQ(0, std::memcmp(scalar.data(), avx2.data(),
+                             scalar.size() * sizeof(double)))
+        << "model backend divergence at seed " << seed;
+  }
+}
+
+// AoS-vs-SoA oracle: the model's Pearson similarity — precomputed moments
+// over flat SoA rows — must equal the free-function WeightedPearson on the
+// original AoS interest vectors bit for bit.
+TEST(SimdDifferentialTest, SoaSimilarityMatchesAosOracleBitwise) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    ProblemInstance instance = testutil::RandomEquivalenceInstance(seed);
+    UtilityModel model(&instance);
+    const size_t tags = instance.num_tags();
+    const auto n = static_cast<VendorId>(instance.num_vendors());
+    const auto m = static_cast<CustomerId>(instance.num_customers());
+    for (CustomerId i = 0; i < m; i += 13) {
+      const Customer& u = instance.customers[static_cast<size_t>(i)];
+      const int slot = ActivitySchedule::HourSlot(u.arrival_time);
+      std::vector<double> w(tags);
+      for (size_t x = 0; x < tags; ++x) {
+        w[x] = instance.activity.At(static_cast<int32_t>(x),
+                                    static_cast<double>(slot));
+      }
+      for (VendorId j = 0; j < n; ++j) {
+        const Vendor& v = instance.vendors[static_cast<size_t>(j)];
+        ExpectBits(model.Similarity(i, j),
+                   WeightedPearson(u.interests, v.interests, w),
+                   "pair (" + std::to_string(i) + "," + std::to_string(j) +
+                       ") seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+// Batch scoring writes the same bits as the single-pair convenience call.
+TEST(SimdDifferentialTest, BatchPairsMatchSinglePairBitwise) {
+  ProblemInstance instance = testutil::RandomEquivalenceInstance(31);
+  UtilityModel model(&instance);
+  const auto n = static_cast<VendorId>(instance.num_vendors());
+  const auto m = static_cast<CustomerId>(instance.num_customers());
+  std::vector<VendorId> vendors;
+  for (VendorId j = 0; j < n; ++j) vendors.push_back(j);
+  std::vector<PairValue> batch(vendors.size());
+  for (CustomerId i = 0; i < m; i += 17) {
+    model.PairsForCustomer(i, vendors.data(), vendors.size(), batch.data());
+    for (size_t t = 0; t < vendors.size(); ++t) {
+      PairValue single = model.PairFor(i, vendors[t]);
+      ExpectBits(batch[t].similarity, single.similarity, "batch similarity");
+      ExpectBits(batch[t].distance, single.distance, "batch distance");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muaa::model

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <vector>
+
+#include "common/rng.h"
+#include "model/simd_kernels.h"
 
 namespace muaa::model {
 namespace {
@@ -133,6 +138,96 @@ TEST(CosineTest, ConstantPositiveVectorStillCarriesCosineSignal) {
   std::vector<double> b{0.5, 0.5, 0.5, 0.5};
   EXPECT_DOUBLE_EQ(WeightedPearson(a, b, kOnes), 0.0);
   EXPECT_NEAR(WeightedCosine(a, b, kOnes), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel edge cases and property/fuzz coverage (SoA/SIMD hot-path lock).
+
+TEST(SimilarityEdgeTest, AllZeroVectorsScoreZero) {
+  std::vector<double> zero{0.0, 0.0, 0.0, 0.0};
+  std::vector<double> b{0.1, 0.9, 0.4, 0.2};
+  EXPECT_DOUBLE_EQ(WeightedPearson(zero, b, kOnes), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedPearson(b, zero, kOnes), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedPearson(zero, zero, kOnes), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedCosine(zero, b, kOnes), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedCosine(zero, zero, kOnes), 0.0);
+}
+
+TEST(SimilarityEdgeTest, ZeroVarianceUnderWeightsScoresZero) {
+  // The vector varies, but every dimension where it varies has weight 0 —
+  // the weighted variance is exactly zero and Pearson must bail to 0
+  // rather than divide by it.
+  std::vector<double> a{0.3, 0.3, 1.0, 2.0};
+  std::vector<double> b{0.1, 0.9, 0.4, 0.2};
+  std::vector<double> w{1.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(WeightedPearson(a, b, w), 0.0);
+}
+
+TEST(SimilarityEdgeTest, TinyAndRemainderLengthsStayFiniteAndBounded) {
+  // Lengths 1..17 cover the sub-block shapes (a 16-lane main block plus
+  // every partial-group tail the kernels special-case).
+  for (size_t n = 1; n <= 17; ++n) {
+    Rng rng(900 + n);
+    std::vector<double> a(n), b(n), w(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-3.0, 3.0);
+      b[i] = rng.Uniform(-3.0, 3.0);
+      w[i] = rng.Uniform(0.01, 1.0);
+    }
+    for (double r : {WeightedPearson(a, b, w), WeightedCosine(a, b, w)}) {
+      EXPECT_TRUE(std::isfinite(r)) << "n=" << n;
+      EXPECT_GE(r, -1.0) << "n=" << n;
+      EXPECT_LE(r, 1.0) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimilarityFuzzTest, RandomInputsAlwaysFiniteInRange) {
+  // Seeded fuzz over varied lengths, magnitudes and weight sparsity:
+  // results must always be finite and clamped to [-1, 1]; no NaN/Inf may
+  // escape, even with many zero weights or near-constant vectors.
+  Rng rng(424242);
+  for (int round = 0; round < 500; ++round) {
+    size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 129));
+    double scale = rng.Uniform(1e-6, 1e6);
+    std::vector<double> a(n), b(n), w(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-1.0, 1.0) * scale;
+      b[i] = rng.Uniform(0, 4) == 0 ? a[i] : rng.Uniform(-1.0, 1.0) * scale;
+      w[i] = rng.Uniform(0, 3) == 0 ? 0.0 : rng.Uniform(0.0, 1.0);
+    }
+    w[static_cast<size_t>(rng.UniformInt(0, static_cast<int>(n) - 1))] = 0.5;
+    for (double r : {WeightedPearson(a, b, w), WeightedCosine(a, b, w)}) {
+      EXPECT_TRUE(std::isfinite(r)) << "round " << round << " n=" << n;
+      EXPECT_GE(r, -1.0) << "round " << round;
+      EXPECT_LE(r, 1.0) << "round " << round;
+    }
+  }
+}
+
+TEST(SimilarityFuzzTest, BackendsAgreeBitwiseOnFreeFunctions) {
+  if (!simd::ForceBackend(simd::Backend::kAvx2)) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  simd::ClearForcedBackend();
+  for (size_t n = 1; n <= 17; ++n) {
+    Rng rng(700 + n);
+    std::vector<double> a(n), b(n), w(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-2.0, 2.0);
+      b[i] = rng.Uniform(-2.0, 2.0);
+      w[i] = rng.Uniform(0.0, 1.0);
+    }
+    simd::ForceBackend(simd::Backend::kScalar);
+    double rs = WeightedPearson(a, b, w);
+    double cs = WeightedCosine(a, b, w);
+    simd::ForceBackend(simd::Backend::kAvx2);
+    double rv = WeightedPearson(a, b, w);
+    double cv = WeightedCosine(a, b, w);
+    simd::ClearForcedBackend();
+    EXPECT_EQ(0, std::memcmp(&rs, &rv, sizeof(double))) << "pearson n=" << n;
+    EXPECT_EQ(0, std::memcmp(&cs, &cv, sizeof(double))) << "cosine n=" << n;
+  }
 }
 
 }  // namespace

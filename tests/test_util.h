@@ -71,6 +71,48 @@ inline model::ProblemInstance SmallTownInstance() {
 
 }  // namespace muaa::testutil
 
+#ifdef MUAA_TESTUTIL_WANT_SYNTHETIC
+#include "datagen/synthetic.h"
+
+namespace muaa::testutil {
+
+/// The mid-size seeded instance shared by the serial/parallel, SoA/SIMD
+/// and golden equivalence harnesses (300 × 40, generous radii so every
+/// solver finds work). One definition so every differential test drives
+/// the exact same generator.
+inline datagen::SyntheticConfig EquivalenceConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 300;
+  cfg.num_vendors = 40;
+  cfg.radius = {0.08, 0.18};
+  cfg.budget = {4.0, 9.0};
+  cfg.customer_loc_stddev = 0.3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The smaller randomized config the property tests sweep (150 × 20 with
+/// varied capacities).
+inline datagen::SyntheticConfig PropertyConfig(uint64_t seed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = 150;
+  cfg.num_vendors = 20;
+  cfg.radius = {0.1, 0.25};
+  cfg.budget = {3.0, 8.0};
+  cfg.capacity = {1.0, 3.0};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Generates the shared equivalence instance for `seed`.
+inline model::ProblemInstance RandomEquivalenceInstance(uint64_t seed) {
+  return datagen::GenerateSynthetic(EquivalenceConfig(seed)).ValueOrDie();
+}
+
+}  // namespace muaa::testutil
+#endif  // MUAA_TESTUTIL_WANT_SYNTHETIC
+
 #ifdef MUAA_TESTUTIL_WANT_HARNESS
 #include <memory>
 
@@ -91,7 +133,6 @@ struct SolverHarness {
         view(&instance),
         utility(&instance),
         rng(seed) {
-    utility.EnablePairCache();
     if (num_threads != 1) pool = std::make_unique<ThreadPool>(num_threads);
   }
 

@@ -272,7 +272,6 @@ int CmdStream(const Config& cfg) {
 
   model::ProblemView view(&*inst);
   model::UtilityModel utility(&*inst);
-  utility.EnablePairCache();
   Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
   auto threads = ThreadsArg(cfg);
   if (!threads.ok()) return Fail(threads.status());
@@ -347,7 +346,6 @@ int CmdServe(const Config& cfg) {
 
   model::ProblemView view(&*inst);
   model::UtilityModel utility(&*inst);
-  utility.EnablePairCache();
   Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
   auto threads = ThreadsArg(cfg);
   if (!threads.ok()) return Fail(threads.status());

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

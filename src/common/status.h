@@ -17,6 +17,7 @@ enum class StatusCode {
   kInternal = 7,
   kUnimplemented = 8,
   kDataLoss = 9,
+  kIOError = 10,
 };
 
 /// \brief Lightweight success/error carrier used across the library.
@@ -71,6 +72,12 @@ class Status {
   /// injected crashes of the durability layer).
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// Returns an IOError (a storage operation failed: short write, EIO,
+  /// ENOSPC, fsync failure — see io/env.h). Unlike DataLoss, the data
+  /// already on disk may be perfectly fine; the *device* misbehaved.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -1,12 +1,6 @@
 #include "io/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 
 #include "common/binio.h"
 #include "common/crc32.h"
@@ -102,26 +96,8 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
 
 }  // namespace
 
-namespace {
-
-// Writes `data` to `fd` in full, retrying on EINTR and short writes.
-Status WriteAll(int fd, const char* data, size_t size) {
-  size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::write(fd, data + off, size - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("checkpoint write: ") +
-                              std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path) {
+Status SaveCheckpoint(Env* env, const StreamCheckpoint& ckpt,
+                      const std::string& path) {
   const std::string payload = EncodePayload(ckpt);
   std::string bytes(kMagic, sizeof(kMagic));
   PutU64(&bytes, payload.size());
@@ -133,60 +109,57 @@ Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path) {
   // fsync a crash right after the rename can lose the new name on some
   // filesystems (the rename lives in directory metadata, not the file).
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal("cannot create checkpoint: " + tmp + ": " +
-                            std::strerror(errno));
-  }
-  Status st = WriteAll(fd, bytes.data(), bytes.size());
-  if (st.ok() && ::fsync(fd) != 0) {
-    st = Status::Internal(std::string("checkpoint fsync: ") +
-                          std::strerror(errno));
-  }
-  if (::close(fd) != 0 && st.ok()) {
-    st = Status::Internal(std::string("checkpoint close: ") +
-                          std::strerror(errno));
+  Status st;
+  {
+    auto opened = env->NewWritableFile(tmp, WriteMode::kTruncate);
+    if (!opened.ok()) {
+      return Status::IOError("cannot create checkpoint: " + tmp + ": " +
+                             opened.status().message());
+    }
+    std::unique_ptr<WritableFile> file = std::move(opened).ValueOrDie();
+    st = file->Append(bytes);
+    if (st.ok()) st = file->Sync();
+    Status closed = file->Close();
+    if (st.ok()) st = closed;
   }
   if (!st.ok()) {
-    ::unlink(tmp.c_str());
-    return st;
+    (void)env->DeleteFile(tmp);  // best effort; recovery also sweeps strays
+    return Status::IOError("checkpoint write: " + st.message());
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Internal("cannot rename checkpoint into place: " +
-                            ec.message());
-  }
+  MUAA_RETURN_NOT_OK(env->RenameFile(tmp, path));
   std::filesystem::path dir = std::filesystem::path(path).parent_path();
-  if (dir.empty()) dir = ".";
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd < 0) {
-    return Status::Internal("cannot open checkpoint directory for fsync: " +
-                            dir.string() + ": " + std::strerror(errno));
-  }
-  const int rc = ::fsync(dir_fd);
-  ::close(dir_fd);
-  if (rc != 0) {
-    return Status::Internal(std::string("checkpoint directory fsync: ") +
-                            std::strerror(errno));
-  }
-  return Status::OK();
+  return env->SyncDir(dir.string());
 }
 
-Result<StreamCheckpoint> LoadCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
+Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path) {
+  return SaveCheckpoint(Env::Default(), ckpt, path);
+}
+
+Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path) {
+  auto opened = env->NewSequentialFile(path);
+  if (opened.status().code() == StatusCode::kNotFound) {
     return Status::NotFound("checkpoint not found: " + path);
   }
+  MUAA_RETURN_NOT_OK(opened.status());
+  std::unique_ptr<SequentialFile> in = std::move(opened).ValueOrDie();
+  auto read_full = [&in](size_t n, char* scratch) -> Result<size_t> {
+    size_t off = 0;
+    while (off < n) {
+      MUAA_ASSIGN_OR_RETURN(const size_t got, in->Read(n - off, scratch + off));
+      if (got == 0) break;
+      off += got;
+    }
+    return off;
+  };
   char magic[sizeof(kMagic)] = {};
-  in.read(magic, sizeof(magic));
-  if (in.gcount() != sizeof(magic) ||
+  MUAA_ASSIGN_OR_RETURN(size_t got, read_full(sizeof(magic), magic));
+  if (got != sizeof(magic) ||
       std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::DataLoss("bad checkpoint header: " + path);
   }
   char size_bytes[8];
-  in.read(size_bytes, sizeof(size_bytes));
-  if (in.gcount() != sizeof(size_bytes)) {
+  MUAA_ASSIGN_OR_RETURN(got, read_full(sizeof(size_bytes), size_bytes));
+  if (got != sizeof(size_bytes)) {
     return Status::DataLoss("torn checkpoint size: " + path);
   }
   uint64_t size = 0;
@@ -199,13 +172,13 @@ Result<StreamCheckpoint> LoadCheckpoint(const std::string& path) {
     return Status::DataLoss("implausible checkpoint size: " + path);
   }
   std::string payload(size, '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(size));
-  if (in.gcount() != static_cast<std::streamsize>(size)) {
+  MUAA_ASSIGN_OR_RETURN(got, read_full(size, payload.data()));
+  if (got != size) {
     return Status::DataLoss("torn checkpoint payload: " + path);
   }
   char crc_bytes[4];
-  in.read(crc_bytes, sizeof(crc_bytes));
-  if (in.gcount() != sizeof(crc_bytes)) {
+  MUAA_ASSIGN_OR_RETURN(got, read_full(sizeof(crc_bytes), crc_bytes));
+  if (got != sizeof(crc_bytes)) {
     return Status::DataLoss("torn checkpoint checksum: " + path);
   }
   uint32_t crc = 0;
@@ -219,6 +192,10 @@ Result<StreamCheckpoint> LoadCheckpoint(const std::string& path) {
   StreamCheckpoint ckpt;
   MUAA_RETURN_NOT_OK(DecodePayload(payload, &ckpt));
   return ckpt;
+}
+
+Result<StreamCheckpoint> LoadCheckpoint(const std::string& path) {
+  return LoadCheckpoint(Env::Default(), path);
 }
 
 }  // namespace muaa::io

@@ -6,6 +6,7 @@
 
 #include "assign/assignment.h"
 #include "common/result.h"
+#include "io/env.h"
 
 namespace muaa::io {
 
@@ -60,11 +61,18 @@ struct StreamCheckpoint {
 /// Atomically writes `ckpt` to `path` (tmp file + fsync + rename + fsync of
 /// the containing directory) with a trailing CRC32 over the whole payload,
 /// so a crash mid-checkpoint can never leave a half-written file behind and
-/// a crash right after checkpointing cannot lose the rename itself.
+/// a crash right after checkpointing cannot lose the rename itself. All IO
+/// goes through `env` (io/env.h); the path-only overload uses the default
+/// POSIX env. A crash between creating `path + ".tmp"` and the rename
+/// leaves the tmp file behind — the recovery manager (io/recovery.h)
+/// deletes such strays at startup.
+Status SaveCheckpoint(Env* env, const StreamCheckpoint& ckpt,
+                      const std::string& path);
 Status SaveCheckpoint(const StreamCheckpoint& ckpt, const std::string& path);
 
 /// Loads and CRC-verifies a checkpoint. NotFound when missing, DataLoss
 /// when damaged.
+Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path);
 Result<StreamCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace muaa::io

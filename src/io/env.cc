@@ -1,0 +1,639 @@
+#include "io/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace muaa::io {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t offset)
+      : fd_(fd), path_(std::move(path)), offset_(offset) {}
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Append(std::string_view data) override {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("write", path_) + " at byte offset " +
+                               std::to_string(offset_));
+      }
+      off += static_cast<size_t>(n);
+      offset_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(Errno("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(Errno("close", path_));
+    }
+    return Status::OK();
+  }
+
+  uint64_t offset() const override { return offset_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t offset_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    while (true) {
+      const ssize_t got = ::read(fd_, scratch, n);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("read", path_));
+      }
+      return static_cast<size_t>(got);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Result<size_t> ReadAt(uint64_t offset, size_t n, char* scratch) override {
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t got = ::pread(fd_, scratch + off, n - off,
+                                  static_cast<off_t>(offset + off));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("pread", path_));
+      }
+      if (got == 0) break;  // EOF
+      off += static_cast<size_t>(got);
+    }
+    return off;
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    const int flags = mode == WriteMode::kTruncate
+                          ? (O_WRONLY | O_CREAT | O_TRUNC)
+                          : (O_WRONLY | O_CREAT | O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IOError(Errno("open for write", path));
+    }
+    uint64_t offset = 0;
+    if (mode == WriteMode::kAppend) {
+      struct stat st{};
+      if (::fstat(fd, &st) != 0) {
+        const Status err = Status::IOError(Errno("fstat", path));
+        ::close(fd);
+        return err;
+      }
+      offset = static_cast<uint64_t>(st.st_size);
+    }
+    return {std::make_unique<PosixWritableFile>(fd, path, offset)};
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file not found: " + path);
+      }
+      return Status::IOError(Errno("open for read", path));
+    }
+    return {std::make_unique<PosixSequentialFile>(fd, path)};
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file not found: " + path);
+      }
+      return Status::IOError(Errno("open for read", path));
+    }
+    return {std::make_unique<PosixRandomAccessFile>(fd, path)};
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file not found: " + path);
+      }
+      return Status::IOError(Errno("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOError(Errno("truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(Errno("rename", from) + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(Errno("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const std::string d = dir.empty() ? "." : dir;
+    const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::IOError(Errno("open directory", d));
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      return Status::IOError(Errno("fsync directory", d));
+    }
+    return Status::OK();
+  }
+};
+
+bool IsWriteFault(EnvFault::Kind k) {
+  return k == EnvFault::Kind::kWriteShort || k == EnvFault::Kind::kWriteEIntr ||
+         k == EnvFault::Kind::kWriteEIO || k == EnvFault::Kind::kWriteENospc;
+}
+bool IsSyncFault(EnvFault::Kind k) {
+  return k == EnvFault::Kind::kSyncFail || k == EnvFault::Kind::kSyncLie;
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+
+Result<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
+  FaultSchedule out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string tok(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (tok.empty()) continue;
+    if (tok == "powercut") {
+      out.power_cut = true;
+      continue;
+    }
+    EnvFault f;
+    if (!tok.empty() && tok.back() == '!') {
+      f.sticky = true;
+      tok.pop_back();
+    }
+    const size_t at_pos = tok.find('@');
+    if (at_pos == std::string::npos) {
+      return Status::InvalidArgument("fault token missing '@': " + tok);
+    }
+    const std::string name = tok.substr(0, at_pos);
+    std::string rest = tok.substr(at_pos + 1);
+    const size_t eq = rest.find('=');
+    std::string arg;
+    if (eq != std::string::npos) {
+      arg = rest.substr(eq + 1);
+      rest = rest.substr(0, eq);
+    }
+    try {
+      f.at = std::stoull(rest);
+      if (!arg.empty()) f.arg = std::stoull(arg);
+    } catch (...) {
+      return Status::InvalidArgument("bad fault index in token: " + tok);
+    }
+    if (name == "wshort") {
+      f.kind = EnvFault::Kind::kWriteShort;
+    } else if (name == "weintr") {
+      f.kind = EnvFault::Kind::kWriteEIntr;
+    } else if (name == "weio") {
+      f.kind = EnvFault::Kind::kWriteEIO;
+    } else if (name == "wenospc") {
+      f.kind = EnvFault::Kind::kWriteENospc;
+    } else if (name == "syncfail") {
+      f.kind = EnvFault::Kind::kSyncFail;
+    } else if (name == "synclie") {
+      f.kind = EnvFault::Kind::kSyncLie;
+    } else if (name == "renamefail") {
+      f.kind = EnvFault::Kind::kRenameFail;
+    } else {
+      return Status::InvalidArgument("unknown fault kind: " + name);
+    }
+    out.faults.push_back(f);
+  }
+  return out;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& tok) {
+    if (!out.empty()) out += ',';
+    out += tok;
+  };
+  for (const EnvFault& f : faults) {
+    std::string tok;
+    switch (f.kind) {
+      case EnvFault::Kind::kWriteShort:
+        tok = "wshort@" + std::to_string(f.at) + "=" + std::to_string(f.arg);
+        break;
+      case EnvFault::Kind::kWriteEIntr:
+        tok = "weintr@" + std::to_string(f.at);
+        break;
+      case EnvFault::Kind::kWriteEIO:
+        tok = "weio@" + std::to_string(f.at);
+        break;
+      case EnvFault::Kind::kWriteENospc:
+        tok = "wenospc@" + std::to_string(f.at) + "=" + std::to_string(f.arg);
+        break;
+      case EnvFault::Kind::kSyncFail:
+        tok = "syncfail@" + std::to_string(f.at);
+        break;
+      case EnvFault::Kind::kSyncLie:
+        tok = "synclie@" + std::to_string(f.at);
+        break;
+      case EnvFault::Kind::kRenameFail:
+        tok = "renamefail@" + std::to_string(f.at);
+        break;
+    }
+    if (f.sticky) tok += '!';
+    append(tok);
+  }
+  if (power_cut) append("powercut");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+
+/// WritableFile wrapper consulting the env's schedule on every operation.
+/// Lives outside the anonymous namespace so the env's friend declaration
+/// reaches it.
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectingEnv* env, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+  uint64_t offset() const override { return base_->offset(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultInjectingEnv::Arm(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lk(mu_);
+  schedule_ = std::move(schedule);
+  armed_ = true;
+  sticky_write_ = sticky_sync_ = sticky_rename_ = false;
+  write_ops_ = sync_ops_ = rename_ops_ = 0;
+}
+
+void FaultInjectingEnv::Disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_ = false;
+  sticky_write_ = sticky_sync_ = sticky_rename_ = false;
+}
+
+bool FaultInjectingEnv::NextFault(uint64_t op_index, bool write_op,
+                                  bool sync_op, bool rename_op,
+                                  EnvFault* fault) {
+  // Callers hold mu_ and have already checked armed_ / sticky state.
+  for (const EnvFault& f : schedule_.faults) {
+    const bool matches_kind = (write_op && IsWriteFault(f.kind)) ||
+                              (sync_op && IsSyncFault(f.kind)) ||
+                              (rename_op &&
+                               f.kind == EnvFault::Kind::kRenameFail);
+    if (matches_kind && f.at == op_index) {
+      *fault = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  auto base = base_->NewWritableFile(path, mode);
+  if (!base.ok()) return base.status();
+  std::unique_ptr<WritableFile> file = std::move(base).ValueOrDie();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Tracked& t = tracked_[path];
+    if (mode == WriteMode::kTruncate) {
+      t.written = 0;
+      t.synced = 0;
+    } else {
+      // Appending to a pre-existing file: the bytes already there were
+      // (or were not) synced by a previous incarnation; recovery has
+      // already decided what to keep, so treat them as durable.
+      t.written = file->offset();
+      t.synced = file->offset();
+    }
+  }
+  return {std::make_unique<FaultyWritableFile>(this, path, std::move(file))};
+}
+
+Status FaultyWritableFile::Append(std::string_view data) {
+  bool fire = false;
+  EnvFault fault;
+  {
+    std::lock_guard<std::mutex> lk(env_->mu_);
+    if (env_->armed_) {
+      if (env_->sticky_write_) {
+        fire = true;
+        fault = env_->sticky_write_fault_;
+        ++env_->faults_injected_;
+        ++env_->write_ops_;
+      } else {
+        const uint64_t idx = env_->write_ops_++;
+        fire = env_->NextFault(idx, /*write_op=*/true, false, false, &fault);
+        if (fire) {
+          ++env_->faults_injected_;
+          if (fault.sticky) {
+            env_->sticky_write_ = true;
+            env_->sticky_write_fault_ = fault;
+            // A broken disk stays broken: later writes fail outright
+            // rather than replaying the same partial-write choreography.
+            env_->sticky_write_fault_.kind = EnvFault::Kind::kWriteEIO;
+          }
+        }
+      }
+    }
+  }
+  auto track = [this](uint64_t n) {
+    std::lock_guard<std::mutex> lk(env_->mu_);
+    env_->tracked_[path_].written += n;
+  };
+  if (!fire) {
+    const uint64_t before = base_->offset();
+    Status st = base_->Append(data);
+    track(base_->offset() - before);
+    return st;
+  }
+  switch (fault.kind) {
+    case EnvFault::Kind::kWriteEIntr: {
+      // A signal split the write; the retry loop completes it. Succeeds,
+      // but exercises the two-part path.
+      const size_t half = data.size() / 2;
+      const uint64_t before = base_->offset();
+      Status st = base_->Append(data.substr(0, half));
+      if (st.ok()) st = base_->Append(data.substr(half));
+      track(base_->offset() - before);
+      {
+        std::lock_guard<std::mutex> lk(env_->mu_);
+        ++env_->eintr_retries_;
+      }
+      return st;
+    }
+    case EnvFault::Kind::kWriteShort:
+    case EnvFault::Kind::kWriteENospc: {
+      const size_t keep = std::min<size_t>(fault.arg, data.size());
+      if (keep > 0) {
+        const uint64_t before = base_->offset();
+        Status st = base_->Append(data.substr(0, keep));
+        track(base_->offset() - before);
+        if (!st.ok()) return st;
+      }
+      const char* what = fault.kind == EnvFault::Kind::kWriteENospc
+                             ? "no space left on device (injected ENOSPC)"
+                             : "short write (injected)";
+      return Status::IOError(std::string(what) + ": " + path_ + ": wrote " +
+                             std::to_string(keep) + " of " +
+                             std::to_string(data.size()) + " bytes");
+    }
+    case EnvFault::Kind::kWriteEIO:
+      return Status::IOError("input/output error (injected EIO): " + path_);
+    default:
+      return Status::Internal("non-write fault fired on write op");
+  }
+}
+
+Status FaultyWritableFile::Sync() {
+  bool fire = false;
+  EnvFault fault;
+  {
+    std::lock_guard<std::mutex> lk(env_->mu_);
+    if (env_->armed_) {
+      if (env_->sticky_sync_) {
+        fire = true;
+        fault = env_->sticky_sync_fault_;
+        ++env_->faults_injected_;
+        ++env_->sync_ops_;
+      } else {
+        const uint64_t idx = env_->sync_ops_++;
+        fire = env_->NextFault(idx, false, /*sync_op=*/true, false, &fault);
+        if (fire) {
+          ++env_->faults_injected_;
+          if (fault.sticky) {
+            env_->sticky_sync_ = true;
+            env_->sticky_sync_fault_ = fault;
+          }
+        }
+      }
+    }
+  }
+  if (fire) {
+    if (fault.kind == EnvFault::Kind::kSyncLie) {
+      // "fsync lie": success is reported but nothing was made durable —
+      // the synced offset deliberately stays put, so a later PowerCut()
+      // drops the bytes this call pretended to persist.
+      return Status::OK();
+    }
+    return Status::IOError("fsync failed (injected): " + path_);
+  }
+  Status st = base_->Sync();
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lk(env_->mu_);
+    FaultInjectingEnv::Tracked& t = env_->tracked_[path_];
+    t.synced = t.written;
+  }
+  return st;
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
+    const std::string& path) {
+  return base_->NewSequentialFile(path);
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  return base_->NewRandomAccessFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectingEnv::Truncate(const std::string& path, uint64_t size) {
+  MUAA_RETURN_NOT_OK(base_->Truncate(path, size));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tracked_.find(path);
+  if (it != tracked_.end()) {
+    it->second.written = std::min(it->second.written, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (armed_) {
+      EnvFault fault;
+      bool fire = false;
+      if (sticky_rename_) {
+        fire = true;
+        ++rename_ops_;
+      } else {
+        const uint64_t idx = rename_ops_++;
+        fire = NextFault(idx, false, false, /*rename_op=*/true, &fault);
+        if (fire && fault.sticky) sticky_rename_ = true;
+      }
+      if (fire) {
+        ++faults_injected_;
+        return Status::IOError("rename failed (injected): " + from + " -> " +
+                               to);
+      }
+    }
+  }
+  MUAA_RETURN_NOT_OK(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tracked_.find(from);
+  if (it != tracked_.end()) {
+    tracked_[to] = it->second;
+    tracked_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  MUAA_RETURN_NOT_OK(base_->DeleteFile(path));
+  std::lock_guard<std::mutex> lk(mu_);
+  tracked_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectingEnv::PowerCut() {
+  std::unordered_map<std::string, Tracked> tracked;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracked = tracked_;
+  }
+  for (auto& [path, t] : tracked) {
+    if (!base_->FileExists(path)) continue;
+    MUAA_ASSIGN_OR_RETURN(const uint64_t size, base_->GetFileSize(path));
+    if (size > t.synced) {
+      MUAA_RETURN_NOT_OK(base_->Truncate(path, t.synced));
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [path, t] : tracked_) t.written = t.synced;
+  return Status::OK();
+}
+
+uint64_t FaultInjectingEnv::write_ops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return write_ops_;
+}
+uint64_t FaultInjectingEnv::sync_ops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sync_ops_;
+}
+uint64_t FaultInjectingEnv::rename_ops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rename_ops_;
+}
+uint64_t FaultInjectingEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return faults_injected_;
+}
+uint64_t FaultInjectingEnv::eintr_retries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return eintr_retries_;
+}
+uint64_t FaultInjectingEnv::synced_offset(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tracked_.find(path);
+  return it == tracked_.end() ? 0 : it->second.synced;
+}
+
+}  // namespace muaa::io

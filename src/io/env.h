@@ -1,0 +1,246 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace muaa::io {
+
+/// \file Pluggable storage environment (RocksDB-style).
+///
+/// Every durability-bearing byte of the system — journal appends,
+/// checkpoint writes, recovery truncation — flows through an `Env` so the
+/// whole stack can be driven against a misbehaving disk in tests without a
+/// single real fault. Two implementations ship:
+///
+///  * `Env::Default()` — fd-based POSIX files with explicit `Sync()`
+///    (fsync), O_APPEND append semantics and EINTR retry. Errors are
+///    `StatusCode::kIOError` and carry errno text, the path and the byte
+///    offset at which the operation failed.
+///  * `FaultInjectingEnv` — wraps another Env and injects a deterministic,
+///    schedule-driven sequence of storage faults: short writes, EINTR,
+///    EIO, ENOSPC, fsync-failure and fsync-lies (reported success without
+///    durability), plus a power-cut simulation that truncates every
+///    tracked file to its last synced offset.
+///
+/// The durability contract the rest of the system builds on: bytes passed
+/// to `WritableFile::Append` are guaranteed on stable storage only after a
+/// subsequent `Sync()` returned OK. A crash (or `PowerCut()`) may keep any
+/// prefix of the unsynced suffix — never reorder, never keep a hole.
+
+/// \brief An append-only file handle. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. On failure the file may hold
+  /// any prefix of `data` (short write); `offset()` reflects exactly the
+  /// bytes that reached the file either way.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces every appended byte to stable storage (fsync). After an
+  /// error the durability of unsynced bytes is unknown — the caller must
+  /// treat them as lost (fsync does not retry on POSIX).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Idempotent; called by the destructor if needed.
+  virtual Status Close() = 0;
+
+  /// Bytes successfully appended through this handle plus the size the
+  /// file had when opened — i.e. the current logical file size.
+  virtual uint64_t offset() const = 0;
+};
+
+/// \brief A forward-only read handle.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; returns the count actually
+  /// read. 0 means clean EOF.
+  virtual Result<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+/// \brief A positional read handle (recovery uses it to lift a corrupt
+/// journal tail into a quarantine file without disturbing the reader).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset` into `scratch`; returns
+  /// the count actually read (short only at EOF).
+  virtual Result<size_t> ReadAt(uint64_t offset, size_t n, char* scratch) = 0;
+};
+
+/// How `NewWritableFile` treats an existing file.
+enum class WriteMode : uint8_t {
+  kTruncate = 0,  ///< create or truncate to empty
+  kAppend = 1,    ///< create if missing, append at the end (O_APPEND)
+};
+
+/// \brief The pluggable storage backend.
+///
+/// All paths are plain filesystem paths; implementations may remap them.
+/// Thread-safety: distinct files may be used from distinct threads; one
+/// file handle is single-threaded (matches the solver-loop ownership of
+/// journal and checkpoint writers).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// True if `path` exists (any file type).
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  /// Atomically renames `from` to `to` (replacing `to`). Durable only
+  /// after `SyncDir` on the containing directory.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  /// Fsyncs directory metadata so completed renames/creates survive a
+  /// crash.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+/// One injected storage fault. Which operation counter `at` indexes is
+/// implied by the kind: write faults count `WritableFile::Append` calls,
+/// sync faults count `WritableFile::Sync` calls, rename faults count
+/// `Env::RenameFile` calls — each 0-based from the last `Arm()`.
+struct EnvFault {
+  enum class Kind : uint8_t {
+    kWriteShort = 0,   ///< write `arg` leading bytes, fail with IOError
+    kWriteEIntr = 1,   ///< split the write in two (EINTR retry); succeeds
+    kWriteEIO = 2,     ///< write nothing, fail with IOError (EIO)
+    kWriteENospc = 3,  ///< write `arg` leading bytes, fail (ENOSPC)
+    kSyncFail = 4,     ///< fsync fails; unsynced bytes stay volatile
+    kSyncLie = 5,      ///< fsync reports OK but durability is NOT advanced
+    kRenameFail = 6,   ///< rename fails; `from`/`to` untouched
+  };
+  Kind kind = Kind::kWriteEIO;
+  uint64_t at = 0;     ///< op index (per kind's counter, from `Arm()`)
+  uint64_t arg = 0;    ///< kWriteShort/kWriteENospc: bytes actually written
+  /// Once triggered, every later operation of the same counter fails the
+  /// same way — a persistently broken disk rather than a glitch.
+  bool sticky = false;
+};
+
+/// \brief A parseable fault schedule.
+///
+/// Grammar (comma-separated, indices 0-based, `!` suffix = sticky):
+///
+///     wshort@N=K   short write at write op N, K bytes land
+///     weintr@N     EINTR split at write op N (absorbed by retry)
+///     weio@N       EIO at write op N
+///     wenospc@N=K  ENOSPC at write op N after K bytes
+///     syncfail@N   fsync failure at sync op N
+///     synclie@N    fsync lie at sync op N
+///     renamefail@N rename failure at rename op N
+///     powercut     truncate to synced offsets when `PowerCut()` runs
+///
+/// e.g. "wenospc@7=3!,synclie@2,powercut".
+struct FaultSchedule {
+  std::vector<EnvFault> faults;
+  /// Advisory flag for harnesses: this schedule intends a power cut after
+  /// the kill (the env itself cuts power only when `PowerCut()` is
+  /// called).
+  bool power_cut = false;
+
+  static Result<FaultSchedule> Parse(std::string_view spec);
+  std::string ToString() const;
+};
+
+/// \brief Deterministic fault-injecting Env wrapper.
+///
+/// Wraps a base Env (normally `Env::Default()`) over real files and
+/// injects the armed schedule's faults at exact operation indices. Also
+/// tracks, per file created through it, the written vs synced offsets so
+/// `PowerCut()` can truncate every file to its durable prefix — the
+/// page-cache loss a real power failure inflicts.
+///
+/// Operation counters only advance while a schedule is armed, so a
+/// harness can let startup/recovery run clean, then `Arm()` the schedule
+/// for the serving phase. Thread-safe.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  /// Installs `schedule`; op counters restart at 0. Replaces any armed
+  /// schedule and clears sticky state.
+  void Arm(FaultSchedule schedule);
+  /// Removes the schedule ("the disk was repaired"); tracking continues.
+  void Disarm();
+
+  /// Simulates power loss: every tracked file is truncated (through the
+  /// base env) to its last synced offset. Open handles must be gone —
+  /// call after the writer crashed/aborted. Subsequent reads see exactly
+  /// what a machine reboot would.
+  Status PowerCut();
+
+  // Introspection for tests/harnesses.
+  uint64_t write_ops() const;
+  uint64_t sync_ops() const;
+  uint64_t rename_ops() const;
+  uint64_t faults_injected() const;
+  uint64_t eintr_retries() const;
+  /// Last synced (durable) offset tracked for `path`; 0 if untracked.
+  uint64_t synced_offset(const std::string& path) const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultyWritableFile;
+
+  /// Durability bookkeeping of one tracked file.
+  struct Tracked {
+    uint64_t written = 0;  ///< bytes in the file (page cache included)
+    uint64_t synced = 0;   ///< bytes guaranteed on stable storage
+  };
+
+  /// Consumes the next fault for the op kind `counter` indexes, if any.
+  /// Returns true and fills `*fault` when one fires.
+  bool NextFault(uint64_t op_index, bool write_op, bool sync_op,
+                 bool rename_op, EnvFault* fault);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  FaultSchedule schedule_;
+  /// Sticky faults that already fired, by kind bucket (write/sync/rename).
+  bool sticky_write_ = false, sticky_sync_ = false, sticky_rename_ = false;
+  EnvFault sticky_write_fault_{}, sticky_sync_fault_{}, sticky_rename_fault_{};
+  uint64_t write_ops_ = 0, sync_ops_ = 0, rename_ops_ = 0;
+  uint64_t faults_injected_ = 0, eintr_retries_ = 0;
+  std::unordered_map<std::string, Tracked> tracked_;
+};
+
+}  // namespace muaa::io

@@ -1,7 +1,6 @@
 #include "io/journal.h"
 
 #include <algorithm>
-#include <filesystem>
 
 #include "common/binio.h"
 #include "common/crc32.h"
@@ -79,7 +78,7 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
       // The common-prefix u32 carries the mode, not a customer id.
       rec->mode = customer;
       rec->customer = -1;
-      if (rec->mode > 1) {
+      if (rec->mode > kJournalModeDiskFail) {
         return Status::DataLoss("journal mode change out of range");
       }
       rec->vendor = -1;
@@ -100,46 +99,72 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
 
 }  // namespace
 
-Result<JournalWriter> JournalWriter::Create(const std::string& path,
+Result<JournalWriter> JournalWriter::Create(Env* env, const std::string& path,
+                                            JournalSyncPolicy policy,
                                             JournalFaultHook* hook) {
   JournalWriter w;
-  w.out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!w.out_.is_open()) {
-    return Status::Internal("cannot create journal: " + path);
+  auto opened = env->NewWritableFile(path, WriteMode::kTruncate);
+  if (!opened.ok()) {
+    return Status::IOError("cannot create journal: " + path + ": " +
+                           opened.status().message());
   }
-  w.out_.write(kMagic, sizeof(kMagic));
-  if (!w.out_) {
-    return Status::Internal("cannot write journal header: " + path);
+  w.file_ = std::move(opened).ValueOrDie();
+  Status st = w.file_->Append(std::string_view(kMagic, sizeof(kMagic)));
+  if (!st.ok()) {
+    return Status::IOError("cannot write journal header: " + path + ": " +
+                           st.message());
   }
   w.path_ = path;
+  w.policy_ = policy;
   w.hook_ = hook;
+  // The header is covered by the first record's sync.
+  w.unsynced_bytes_ = sizeof(kMagic);
+  return w;
+}
+
+Result<JournalWriter> JournalWriter::Create(const std::string& path,
+                                            JournalFaultHook* hook) {
+  return Create(Env::Default(), path, JournalSyncPolicy{}, hook);
+}
+
+Result<JournalWriter> JournalWriter::OpenAppend(Env* env,
+                                                const std::string& path,
+                                                size_t record_base,
+                                                JournalSyncPolicy policy,
+                                                JournalFaultHook* hook) {
+  {
+    auto opened = env->NewSequentialFile(path);
+    if (opened.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("journal not found: " + path);
+    }
+    MUAA_RETURN_NOT_OK(opened.status());
+    std::unique_ptr<SequentialFile> in = std::move(opened).ValueOrDie();
+    char magic[sizeof(kMagic)] = {};
+    MUAA_ASSIGN_OR_RETURN(const size_t got, in->Read(sizeof(magic), magic));
+    if (got != sizeof(magic) ||
+        std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::DataLoss("bad journal header: " + path);
+    }
+  }
+  JournalWriter w;
+  auto opened = env->NewWritableFile(path, WriteMode::kAppend);
+  if (!opened.ok()) {
+    return Status::IOError("cannot open journal for append: " + path + ": " +
+                           opened.status().message());
+  }
+  w.file_ = std::move(opened).ValueOrDie();
+  w.path_ = path;
+  w.policy_ = policy;
+  w.hook_ = hook;
+  w.next_record_ = record_base;
   return w;
 }
 
 Result<JournalWriter> JournalWriter::OpenAppend(const std::string& path,
                                                 size_t record_base,
                                                 JournalFaultHook* hook) {
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open()) {
-      return Status::NotFound("journal not found: " + path);
-    }
-    char magic[sizeof(kMagic)] = {};
-    in.read(magic, sizeof(magic));
-    if (in.gcount() != sizeof(magic) ||
-        std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
-      return Status::DataLoss("bad journal header: " + path);
-    }
-  }
-  JournalWriter w;
-  w.out_.open(path, std::ios::binary | std::ios::app);
-  if (!w.out_.is_open()) {
-    return Status::Internal("cannot open journal for append: " + path);
-  }
-  w.path_ = path;
-  w.hook_ = hook;
-  w.next_record_ = record_base;
-  return w;
+  return OpenAppend(Env::Default(), path, record_base, JournalSyncPolicy{},
+                    hook);
 }
 
 Status JournalWriter::AppendFramed(const std::string& payload) {
@@ -157,16 +182,29 @@ Status JournalWriter::AppendFramed(const std::string& payload) {
     framed[static_cast<size_t>(action.flip_byte) % framed.size()] ^= 0x01;
   }
   const size_t n = std::min(action.write_prefix, framed.size());
-  out_.write(framed.data(), static_cast<std::streamsize>(n));
-  out_.flush();
-  if (!out_) {
-    return Status::Internal("journal write failed: " + path_);
+  const uint64_t record_start = file_->offset();
+  Status st = file_->Append(std::string_view(framed.data(), n));
+  unsynced_bytes_ += file_->offset() - record_start;
+  if (!st.ok()) {
+    // The device failed mid-record: any prefix of the frame may be on
+    // disk. Name the record and the byte position so the error is
+    // actionable; recovery's salvage pass discards the torn frame.
+    return Status::IOError("journal write failed at record " +
+                           std::to_string(index) + " (byte offset " +
+                           std::to_string(record_start) + "): " +
+                           st.message());
   }
   if (action.crash || n < framed.size()) {
     return Status::DataLoss("injected crash at journal write " +
                             std::to_string(index));
   }
   ++appended_;
+  ++unsynced_records_;
+  const bool sync_now =
+      (policy_.every_n_records > 0 &&
+       unsynced_records_ >= policy_.every_n_records) ||
+      (policy_.every_n_bytes > 0 && unsynced_bytes_ >= policy_.every_n_bytes);
+  if (sync_now) MUAA_RETURN_NOT_OK(Sync());
   return Status::OK();
 }
 
@@ -186,22 +224,40 @@ Status JournalWriter::AppendModeChange(uint64_t arrival, uint32_t mode) {
 }
 
 Status JournalWriter::Flush() {
-  out_.flush();
-  if (!out_) {
-    return Status::Internal("journal flush failed: " + path_);
-  }
+  // fd-based writes are in the OS the moment Append returns; there is no
+  // user-space buffer left to push. Kept because call sites distinguish
+  // "survives a kill" (Flush) from "survives a power cut" (Sync).
   return Status::OK();
 }
 
-Result<JournalReader> JournalReader::Open(const std::string& path) {
+Status JournalWriter::Sync() {
+  if (file_ == nullptr || (unsynced_records_ == 0 && unsynced_bytes_ == 0)) {
+    return Status::OK();
+  }
+  Status st = file_->Sync();
+  if (!st.ok()) {
+    return Status::IOError(
+        "journal fsync failed with " + std::to_string(unsynced_records_) +
+        " unsynced record(s) ending at record " +
+        std::to_string(next_record_) + " (byte offset " +
+        std::to_string(file_->offset()) + "): " + st.message());
+  }
+  unsynced_records_ = 0;
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<JournalReader> JournalReader::Open(Env* env, const std::string& path) {
   JournalReader r;
-  r.in_.open(path, std::ios::binary);
-  if (!r.in_.is_open()) {
+  auto opened = env->NewSequentialFile(path);
+  if (opened.status().code() == StatusCode::kNotFound) {
     return Status::NotFound("journal not found: " + path);
   }
+  MUAA_RETURN_NOT_OK(opened.status());
+  r.file_ = std::move(opened).ValueOrDie();
   char magic[sizeof(kMagic)] = {};
-  r.in_.read(magic, sizeof(magic));
-  if (r.in_.gcount() != sizeof(magic) ||
+  MUAA_ASSIGN_OR_RETURN(const size_t got, r.ReadFull(sizeof(magic), magic));
+  if (got != sizeof(magic) ||
       std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::DataLoss("bad journal header: " + path);
   }
@@ -209,13 +265,28 @@ Result<JournalReader> JournalReader::Open(const std::string& path) {
   return r;
 }
 
+Result<JournalReader> JournalReader::Open(const std::string& path) {
+  return Open(Env::Default(), path);
+}
+
+Result<size_t> JournalReader::ReadFull(size_t n, char* scratch) {
+  size_t off = 0;
+  while (off < n) {
+    MUAA_ASSIGN_OR_RETURN(const size_t got,
+                          file_->Read(n - off, scratch + off));
+    if (got == 0) break;  // EOF
+    off += got;
+  }
+  return off;
+}
+
 Result<bool> JournalReader::Next(JournalRecord* rec) {
   char len_bytes[4];
-  in_.read(len_bytes, sizeof(len_bytes));
-  if (in_.gcount() == 0 && in_.eof()) {
+  MUAA_ASSIGN_OR_RETURN(size_t got, ReadFull(sizeof(len_bytes), len_bytes));
+  if (got == 0) {
     return false;  // clean EOF at a record boundary
   }
-  if (in_.gcount() != sizeof(len_bytes)) {
+  if (got != sizeof(len_bytes)) {
     return Status::DataLoss("torn journal record length");
   }
   uint32_t len = 0;
@@ -228,13 +299,13 @@ Result<bool> JournalReader::Next(JournalRecord* rec) {
                             std::to_string(len));
   }
   std::string payload(len, '\0');
-  in_.read(payload.data(), static_cast<std::streamsize>(len));
-  if (in_.gcount() != static_cast<std::streamsize>(len)) {
+  MUAA_ASSIGN_OR_RETURN(got, ReadFull(len, payload.data()));
+  if (got != len) {
     return Status::DataLoss("torn journal record payload");
   }
   char crc_bytes[4];
-  in_.read(crc_bytes, sizeof(crc_bytes));
-  if (in_.gcount() != sizeof(crc_bytes)) {
+  MUAA_ASSIGN_OR_RETURN(got, ReadFull(sizeof(crc_bytes), crc_bytes));
+  if (got != sizeof(crc_bytes)) {
     return Status::DataLoss("torn journal record checksum");
   }
   uint32_t crc = 0;
@@ -251,13 +322,16 @@ Result<bool> JournalReader::Next(JournalRecord* rec) {
   return true;
 }
 
-Status TruncateFile(const std::string& path, uint64_t size) {
-  std::error_code ec;
-  std::filesystem::resize_file(path, size, ec);
-  if (ec) {
-    return Status::Internal("cannot truncate " + path + ": " + ec.message());
+Status TruncateFile(Env* env, const std::string& path, uint64_t size) {
+  Status st = env->Truncate(path, size);
+  if (!st.ok()) {
+    return Status::IOError("cannot truncate " + path + ": " + st.message());
   }
   return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  return TruncateFile(Env::Default(), path, size);
 }
 
 }  // namespace muaa::io

@@ -1,12 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 
 #include "assign/assignment.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "io/env.h"
 
 namespace muaa::io {
 
@@ -26,18 +27,31 @@ namespace muaa::io {
 /// IEEE-754 bit pattern) and `kArrivalCommit` (terminates an arrival's
 /// group; an arrival without its commit marker is *torn* and is discarded
 /// on recovery). The CRC catches both torn tails and silent bit flips.
+///
+/// All file IO goes through an `Env` (io/env.h), so the journal can be
+/// driven against an injected-fault disk. Durability: a record survives a
+/// power cut only once a `Sync()` covering it returned OK — `Flush()`
+/// pushes bytes to the OS (they survive a process kill), `Sync()` to
+/// stable storage (they survive power loss). The sync cadence is the
+/// writer's `JournalSyncPolicy`.
 
 /// Distinguishes the journal payload kinds.
 enum class JournalRecordType : uint8_t {
   kDecision = 1,
   kArrivalCommit = 2,
   /// Degradation-ladder transition (docs/serving.md): from this point in
-  /// the stream, decisions are made at `mode` (assign::ServeMode as u32).
-  /// Written at batch boundaries only — never between an arrival's
-  /// decisions and its commit marker — so recovery can re-execute the tail
-  /// on the same rung that first decided it.
+  /// the stream, decisions are made at `mode` (assign::ServeMode as u32;
+  /// 2 = the broker's read-only DISK_FAIL rung, under which no further
+  /// decisions occur). Written at batch boundaries only — never between
+  /// an arrival's decisions and its commit marker — so recovery can
+  /// re-execute the tail on the same rung that first decided it.
   kModeChange = 3,
 };
+
+/// The broker's read-only storage-failure rung as journaled in a
+/// kModeChange record. Values 0/1 are assign::ServeMode; 2 means the
+/// broker stopped deciding because the disk failed (docs/robustness.md).
+inline constexpr uint32_t kJournalModeDiskFail = 2;
 
 /// One decoded journal record (union-style: the fields that apply depend
 /// on `type`).
@@ -55,6 +69,8 @@ struct JournalRecord {
 /// \brief Hook consulted before every record append; the deterministic
 /// fault injector (src/stream/fault_injector.h) implements it to simulate
 /// crashes, torn writes and silent corruption at exact write indices.
+/// (Device-level faults — EIO, ENOSPC, fsync lies — are injected one
+/// layer below, by io::FaultInjectingEnv.)
 class JournalFaultHook {
  public:
   /// What to do with one record append.
@@ -77,14 +93,33 @@ class JournalFaultHook {
   virtual Action OnRecordAppend(size_t record_index) = 0;
 };
 
+/// \brief When the writer fsyncs on its own (docs/serving.md,
+/// "Sync policy"). Both thresholds 0 (the default) = manual: the owner
+/// calls `Sync()` itself — the broker does so once per micro-batch before
+/// any response leaves (sync-before-reply).
+struct JournalSyncPolicy {
+  /// Sync after every N appended records; 0 disables.
+  uint64_t every_n_records = 0;
+  /// Sync whenever at least this many unsynced bytes accumulated; 0
+  /// disables.
+  uint64_t every_n_bytes = 0;
+
+  bool manual() const { return every_n_records == 0 && every_n_bytes == 0; }
+};
+
 /// \brief Appends framed records to a journal file.
 ///
 /// Not thread-safe; the stream driver owns it and arrivals are sequential
-/// by definition. `Flush()` pushes bytes to the OS after every arrival
-/// group so a crashed process loses at most the in-flight arrival.
+/// by definition. Write errors are `IOError` and name the failing record
+/// index and byte offset, so the operator (and the broker's DISK_FAIL
+/// rung) knows exactly which decision first hit the bad disk.
 class JournalWriter {
  public:
-  /// Creates (or truncates) `path` and writes a fresh header.
+  /// Creates (or truncates) `path` on `env` and writes a fresh header.
+  static Result<JournalWriter> Create(Env* env, const std::string& path,
+                                      JournalSyncPolicy policy = {},
+                                      JournalFaultHook* hook = nullptr);
+  /// `Create` on the default (POSIX) env.
   static Result<JournalWriter> Create(const std::string& path,
                                       JournalFaultHook* hook = nullptr);
 
@@ -92,6 +127,11 @@ class JournalWriter {
   /// to the last durable arrival). Validates the header; `record_base` is
   /// the number of records already in the file, so injected fault indices
   /// keep counting across the crash.
+  static Result<JournalWriter> OpenAppend(Env* env, const std::string& path,
+                                          size_t record_base = 0,
+                                          JournalSyncPolicy policy = {},
+                                          JournalFaultHook* hook = nullptr);
+  /// `OpenAppend` on the default (POSIX) env.
   static Result<JournalWriter> OpenAppend(const std::string& path,
                                           size_t record_base = 0,
                                           JournalFaultHook* hook = nullptr);
@@ -107,22 +147,37 @@ class JournalWriter {
   /// (the next arrival index to be decided). Must sit at a group boundary.
   Status AppendModeChange(uint64_t arrival, uint32_t mode);
 
-  /// Flushes buffered bytes to the OS.
+  /// Flushes buffered bytes to the OS (survives a process kill, not a
+  /// power cut). With fd-based envs every append already lands in the OS,
+  /// so this is a cheap no-op kept for the call sites that predate Sync.
   Status Flush();
+
+  /// Forces every appended record to stable storage. No-op when nothing
+  /// is unsynced. IOError names the journal position on failure.
+  Status Sync();
 
   /// Records appended through this writer (excludes `record_base`).
   size_t records_appended() const { return appended_; }
+
+  /// Current byte size of the journal file.
+  uint64_t offset() const { return file_ == nullptr ? 0 : file_->offset(); }
+
+  /// Records appended but not yet covered by a successful `Sync()`.
+  size_t unsynced_records() const { return unsynced_records_; }
 
  private:
   JournalWriter() = default;
 
   Status AppendFramed(const std::string& payload);
 
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  JournalSyncPolicy policy_;
   JournalFaultHook* hook_ = nullptr;
   size_t next_record_ = 0;  // global index for the fault hook
   size_t appended_ = 0;
+  size_t unsynced_records_ = 0;
+  uint64_t unsynced_bytes_ = 0;
 };
 
 /// \brief Sequentially decodes a journal file.
@@ -133,8 +188,10 @@ class JournalWriter {
 /// recovery path truncates the file there before appending again.
 class JournalReader {
  public:
-  /// Opens and validates the header. NotFound when the file is missing,
-  /// DataLoss when the header itself is damaged.
+  /// Opens and validates the header on `env`. NotFound when the file is
+  /// missing, DataLoss when the header itself is damaged.
+  static Result<JournalReader> Open(Env* env, const std::string& path);
+  /// `Open` on the default (POSIX) env.
   static Result<JournalReader> Open(const std::string& path);
 
   /// Decodes the next record into `rec`; false at clean EOF.
@@ -150,12 +207,16 @@ class JournalReader {
  private:
   JournalReader() = default;
 
-  std::ifstream in_;
+  /// Reads exactly `n` bytes unless EOF cuts it short; returns the count.
+  Result<size_t> ReadFull(size_t n, char* scratch);
+
+  std::unique_ptr<SequentialFile> file_;
   uint64_t valid_prefix_ = 0;
   size_t records_ = 0;
 };
 
 /// Truncates `path` to `size` bytes (recovery discarding a torn tail).
 Status TruncateFile(const std::string& path, uint64_t size);
+Status TruncateFile(Env* env, const std::string& path, uint64_t size);
 
 }  // namespace muaa::io

@@ -1,0 +1,164 @@
+#include "io/recovery.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/binio.h"
+#include "io/checkpoint.h"
+#include "io/journal.h"
+
+namespace muaa::io {
+
+namespace {
+
+constexpr char kQuarantineMagic[8] = {'M', 'U', 'A', 'A', 'Q', 'R', 'N', '1'};
+
+/// Lenient frame count over quarantined bytes: walk `[u32 len][payload]
+/// [u32 crc]` frames by their length prefixes (CRC ignored — the region
+/// is corrupt by definition), stop at the first implausible length, and
+/// count a trailing partial frame as one. The count is a best-effort
+/// "how many decisions did the disk eat", not a parse.
+uint64_t CountFramesLeniently(std::string_view bytes) {
+  constexpr uint32_t kMaxPayload = 4096;
+  uint64_t frames = 0;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 4) {
+      ++frames;  // torn length prefix
+      break;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]))
+             << (8 * i);
+    }
+    if (len == 0 || len > kMaxPayload) {
+      ++frames;  // garbage length: count the rest as one lost blob
+      break;
+    }
+    ++frames;
+    pos += 4 + static_cast<size_t>(len) + 4;  // may step past the end: torn
+  }
+  return frames;
+}
+
+}  // namespace
+
+Status RecoveryManager::QuarantineBytes(uint64_t source_offset,
+                                        std::string_view bytes,
+                                        RecoveryReport* report) {
+  const std::string qpath = journal_path_ + ".quarantine";
+  auto opened = env_->NewWritableFile(qpath, WriteMode::kAppend);
+  if (!opened.ok()) {
+    return Status::IOError("cannot open quarantine file: " + qpath + ": " +
+                           opened.status().message());
+  }
+  std::unique_ptr<WritableFile> out = std::move(opened).ValueOrDie();
+  std::string segment(kQuarantineMagic, sizeof(kQuarantineMagic));
+  PutU64(&segment, source_offset);
+  PutU64(&segment, bytes.size());
+  segment.append(bytes.data(), bytes.size());
+  MUAA_RETURN_NOT_OK(out->Append(segment));
+  MUAA_RETURN_NOT_OK(out->Sync());
+  MUAA_RETURN_NOT_OK(out->Close());
+  report->bytes_quarantined += bytes.size();
+  report->quarantine_path = qpath;
+  return Status::OK();
+}
+
+Result<RecoveryReport> RecoveryManager::Run() {
+  RecoveryReport report;
+
+  // 1. Sweep the stale checkpoint tmp a crash mid-SaveCheckpoint leaves
+  //    behind. The live checkpoint (if any) is untouched — the tmp never
+  //    made it through the rename, so it carries no committed state.
+  if (!checkpoint_path_.empty()) {
+    const std::string tmp = checkpoint_path_ + ".tmp";
+    if (env_->FileExists(tmp)) {
+      MUAA_RETURN_NOT_OK(env_->DeleteFile(tmp));
+      ++report.tmp_files_deleted;
+    }
+  }
+
+  // 2. Checkpoint CRC check. A corrupt checkpoint (power cut mid-page,
+  //    bit rot) is quarantined by rename so recovery can proceed
+  //    journal-only instead of refusing to start.
+  if (!checkpoint_path_.empty() && env_->FileExists(checkpoint_path_)) {
+    auto loaded = LoadCheckpoint(env_, checkpoint_path_);
+    if (loaded.ok()) {
+      report.checkpoint_present = true;
+    } else if (loaded.status().code() == StatusCode::kDataLoss) {
+      MUAA_ASSIGN_OR_RETURN(const uint64_t size,
+                            env_->GetFileSize(checkpoint_path_));
+      MUAA_RETURN_NOT_OK(env_->RenameFile(checkpoint_path_,
+                                          checkpoint_path_ + ".quarantine"));
+      report.checkpoint_quarantined = true;
+      report.bytes_quarantined += size;
+    } else {
+      return loaded.status();
+    }
+  }
+
+  // 3. Journal salvage: keep the longest CRC-valid prefix, quarantine the
+  //    corrupt tail, truncate. Valid-but-uncommitted decision groups stay
+  //    in the file — group-level truncation is the replay layer's call
+  //    (stream/recovery.cc), and those frames are not corrupt.
+  if (journal_path_.empty() || !env_->FileExists(journal_path_)) {
+    return report;
+  }
+  report.journal_present = true;
+  MUAA_ASSIGN_OR_RETURN(const uint64_t size, env_->GetFileSize(journal_path_));
+
+  auto opened = JournalReader::Open(env_, journal_path_);
+  if (opened.status().code() == StatusCode::kDataLoss) {
+    // Header destroyed: nothing is salvageable; quarantine the whole file
+    // so a fresh journal can be created over it.
+    if (size > 0) {
+      std::string bytes(size, '\0');
+      MUAA_ASSIGN_OR_RETURN(auto file,
+                            env_->NewRandomAccessFile(journal_path_));
+      MUAA_ASSIGN_OR_RETURN(const size_t got,
+                            file->ReadAt(0, size, bytes.data()));
+      bytes.resize(got);
+      MUAA_RETURN_NOT_OK(QuarantineBytes(0, bytes, &report));
+      report.records_dropped += CountFramesLeniently(
+          std::string_view(bytes).substr(std::min<size_t>(8, bytes.size())));
+    }
+    MUAA_RETURN_NOT_OK(env_->Truncate(journal_path_, 0));
+    return report;
+  }
+  MUAA_RETURN_NOT_OK(opened.status());
+  JournalReader reader = std::move(opened).ValueOrDie();
+
+  bool corrupt = false;
+  while (true) {
+    JournalRecord rec;
+    auto more = reader.Next(&rec);
+    if (!more.ok()) {
+      corrupt = true;  // CRC mismatch / torn frame / undecodable payload
+      break;
+    }
+    if (!*more) break;  // clean EOF
+  }
+  report.journal_usable = true;
+  report.records_kept = reader.records_read();
+  if (!corrupt) return report;
+
+  const uint64_t keep = reader.valid_prefix_bytes();
+  if (size > keep) {
+    const size_t tail_len = static_cast<size_t>(size - keep);
+    std::string tail(tail_len, '\0');
+    MUAA_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(journal_path_));
+    MUAA_ASSIGN_OR_RETURN(const size_t got,
+                          file->ReadAt(keep, tail_len, tail.data()));
+    tail.resize(got);
+    MUAA_RETURN_NOT_OK(QuarantineBytes(keep, tail, &report));
+    report.records_dropped += CountFramesLeniently(tail);
+    MUAA_RETURN_NOT_OK(env_->Truncate(journal_path_, keep));
+  }
+  return report;
+}
+
+}  // namespace muaa::io

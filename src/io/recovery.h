@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "io/env.h"
+
+namespace muaa::io {
+
+/// \file Startup salvage of the durability files (docs/robustness.md).
+///
+/// The recovery manager runs before any journal replay. It owns the
+/// file-level repairs that used to be scattered (or missing): salvaging
+/// the longest CRC-valid journal prefix, quarantining the corrupt tail
+/// instead of silently discarding it, sweeping stale checkpoint `*.tmp`
+/// strays left by a crash mid-save, and quarantining a checkpoint whose
+/// CRC no longer verifies. Everything it did is reported in a structured
+/// `RecoveryReport`, which the broker exports through STATS v2 and the
+/// Prometheus dump — bytes never vanish without a counter saying so.
+///
+/// Quarantine file format (`<journal>.quarantine`, append-only, one
+/// segment per salvage):
+///
+///     [8-byte magic "MUAAQRN1"][u64 source_offset][u64 length][bytes]
+///
+/// A corrupt checkpoint is quarantined whole, by rename, to
+/// `<checkpoint>.quarantine`.
+
+/// What one salvage pass found and did.
+struct RecoveryReport {
+  /// The journal file existed.
+  bool journal_present = false;
+  /// The journal header verified; the salvaged file can be appended to.
+  /// False with `journal_present` means the header itself was destroyed
+  /// (the whole file was quarantined).
+  bool journal_usable = false;
+  /// CRC-valid records retained in the salvaged prefix.
+  uint64_t records_kept = 0;
+  /// Record frames counted (leniently, by length prefix) in the
+  /// quarantined region — decisions the disk lost.
+  uint64_t records_dropped = 0;
+  /// Bytes moved to the quarantine file across journal + checkpoint.
+  uint64_t bytes_quarantined = 0;
+  /// The checkpoint file existed and CRC-verified.
+  bool checkpoint_present = false;
+  /// The checkpoint existed but was corrupt; it was renamed to
+  /// `<checkpoint>.quarantine` and recovery proceeds journal-only.
+  bool checkpoint_quarantined = false;
+  /// Stale checkpoint `*.tmp` strays deleted.
+  uint64_t tmp_files_deleted = 0;
+  /// Path of the journal quarantine file, empty if nothing was
+  /// quarantined this pass.
+  std::string quarantine_path;
+};
+
+/// \brief Scans and repairs a journal + checkpoint pair in place.
+///
+/// Idempotent: running it twice is a no-op the second time. Never deletes
+/// payload bytes — everything cut from the journal lands in the
+/// quarantine file first. Never touches a live, CRC-valid checkpoint.
+class RecoveryManager {
+ public:
+  /// Either path may be empty (that file is skipped). `env` must outlive
+  /// the manager.
+  RecoveryManager(Env* env, std::string journal_path,
+                  std::string checkpoint_path)
+      : env_(env),
+        journal_path_(std::move(journal_path)),
+        checkpoint_path_(std::move(checkpoint_path)) {}
+
+  /// One full salvage pass: checkpoint tmp sweep, checkpoint CRC check
+  /// (+ quarantine), journal prefix salvage (+ tail quarantine +
+  /// truncation).
+  Result<RecoveryReport> Run();
+
+ private:
+  /// Appends one quarantine segment holding `bytes`, which sat at
+  /// `source_offset` of the journal.
+  Status QuarantineBytes(uint64_t source_offset, std::string_view bytes,
+                         RecoveryReport* report);
+
+  Env* env_;
+  std::string journal_path_;
+  std::string checkpoint_path_;
+};
+
+}  // namespace muaa::io

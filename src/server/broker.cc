@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -28,6 +30,13 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
   c_slow_client_drops_ = metrics_.GetCounter("server.slow_client_drops");
   c_conn_rejections_ = metrics_.GetCounter("server.conn_rejections");
   c_mode_transitions_ = metrics_.GetCounter("server.mode_transitions");
+  c_journal_sync_errors_ = metrics_.GetCounter("server.journal_sync_errors");
+  c_disk_fail_rejects_ = metrics_.GetCounter("server.disk_fail_rejects");
+  c_records_salvaged_ = metrics_.GetCounter("recovery.records_salvaged");
+  c_records_quarantined_ = metrics_.GetCounter("recovery.records_quarantined");
+  c_bytes_quarantined_ = metrics_.GetCounter("recovery.bytes_quarantined");
+  c_tmp_checkpoints_deleted_ =
+      metrics_.GetCounter("recovery.tmp_checkpoints_deleted");
   g_max_batch_ = metrics_.GetGauge("server.max_batch");
   g_queue_high_water_ = metrics_.GetGauge("server.queue_high_water");
   g_mode_ = metrics_.GetGauge("server.mode");
@@ -74,21 +83,40 @@ Status Broker::Start() {
     // transitions); sync the ladder and the STATS mirror to it.
     ladder_.Reset(solver_->mode() == assign::ServeMode::kDegraded);
     g_mode_->Set(static_cast<uint64_t>(solver_->mode()));
+    // Surface what the salvage pass did; the crash-loop and operators
+    // read these from STATS rather than scraping logs.
+    c_records_salvaged_->Add(rec.recovery.records_kept);
+    c_records_quarantined_->Add(rec.recovery.records_dropped);
+    c_bytes_quarantined_->Add(rec.recovery.bytes_quarantined);
+    c_tmp_checkpoints_deleted_->Add(rec.recovery.tmp_files_deleted);
+    if (rec.saw_disk_fail) {
+      // The previous process ended read-only on a failing disk. Serve
+      // normally — if the device is still bad, the first journal write
+      // re-enters disk-fail mode on its own.
+      MUAA_LOG(Warning) << "previous run ended in disk-fail mode; resuming";
+    }
     if (!dur.journal_path.empty()) {
       if (rec.journal_usable) {
-        MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
-                              io::JournalWriter::OpenAppend(
-                                  dur.journal_path, rec.committed_records));
+        MUAA_ASSIGN_OR_RETURN(
+            io::JournalWriter w,
+            io::JournalWriter::OpenAppend(dur.env_or_default(),
+                                          dur.journal_path,
+                                          rec.committed_records,
+                                          dur.sync_policy));
         writer_ = std::make_unique<io::JournalWriter>(std::move(w));
       } else {
-        MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
-                              io::JournalWriter::Create(dur.journal_path));
+        MUAA_ASSIGN_OR_RETURN(
+            io::JournalWriter w,
+            io::JournalWriter::Create(dur.env_or_default(), dur.journal_path,
+                                      dur.sync_policy));
         writer_ = std::make_unique<io::JournalWriter>(std::move(w));
       }
     }
   } else if (!dur.journal_path.empty()) {
-    MUAA_ASSIGN_OR_RETURN(io::JournalWriter w,
-                          io::JournalWriter::Create(dur.journal_path));
+    MUAA_ASSIGN_OR_RETURN(
+        io::JournalWriter w,
+        io::JournalWriter::Create(dur.env_or_default(), dur.journal_path,
+                                  dur.sync_policy));
     writer_ = std::make_unique<io::JournalWriter>(std::move(w));
   }
 
@@ -220,6 +248,18 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         resp.request_id = req.request_id;
         resp.error = "customer id out of range: " +
                      std::to_string(req.customer);
+        SendResponse(conn, resp);
+        return true;
+      }
+      if (disk_failed_.load(std::memory_order_relaxed)) {
+        // Read-only mode: the journal cannot make new decisions durable,
+        // so none are made. An explicit rejection the client can act on —
+        // never a silent drop, never an ack a restart would not honor.
+        c_disk_fail_rejects_->Add();
+        Response resp;
+        resp.type = ResponseType::kDiskFail;
+        resp.request_id = req.request_id;
+        resp.customer = req.customer;
         SendResponse(conn, resp);
         return true;
       }
@@ -382,7 +422,24 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   const auto drained_at = std::chrono::steady_clock::now();
   obs::ScopedTimer batch_solve_timer(h_batch_solve_);
   uint64_t sojourn_sum_us = 0;
-  size_t decided = 0;
+
+  // Decisions of this batch, staged but not yet applied. The whole batch
+  // becomes durable (one fsync, below) before any of it commits to broker
+  // state or reaches a client — a journal failure anywhere in the batch
+  // turns into DISK_FAIL rejections, never an ack a restart cannot honor.
+  struct Staged {
+    size_t response_pos;  ///< placeholder slot in `responses`
+    size_t idx;           ///< customer index
+    double latency_ms;
+    std::vector<assign::AdInstance> picked;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(batch->size());
+  // In-batch re-delivery of a staged arrival: its answer is only known
+  // once the batch commits. Pairs of (response position, staged position).
+  std::vector<std::pair<size_t, size_t>> staged_dups;
+  std::unordered_map<size_t, size_t> staged_by_idx;
+
   for (Admission& adm : *batch) {
     const auto idx = static_cast<size_t>(adm.customer);
     const uint64_t sojourn_us = static_cast<uint64_t>(
@@ -425,6 +482,14 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
       responses.push_back(std::move(resp));
       continue;
     }
+    if (auto it = staged_by_idx.find(idx); it != staged_by_idx.end()) {
+      // Delivered twice within one batch: the first copy is staged but
+      // not yet committed, so the answer is deferred to the commit step.
+      c_duplicates_->Add();
+      staged_dups.emplace_back(responses.size(), it->second);
+      responses.push_back(std::move(resp));
+      continue;
+    }
     if (deadline_hit) {
       c_expired_->Add();
       resp.type = ResponseType::kExpired;
@@ -436,6 +501,14 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
       responses.push_back(std::move(resp));  // zero ads
       continue;
     }
+    if (disk_failed_.load(std::memory_order_relaxed)) {
+      // Admitted before the failure flag rose, or the journal died
+      // earlier in this batch: reject like the admission path does.
+      c_disk_fail_rejects_->Add();
+      resp.type = ResponseType::kDiskFail;
+      responses.push_back(std::move(resp));
+      continue;
+    }
 
     watch.Restart();
     std::vector<assign::AdInstance> picked;
@@ -443,53 +516,111 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
       obs::ScopedTimer solve_timer(h_arrival_solve_);
       MUAA_ASSIGN_OR_RETURN(picked, solver_->OnArrival(adm.customer));
     }
-    // Write-ahead: journal the whole arrival group before applying it
+    // Write-ahead: journal the whole arrival group before it may commit
     // (same ordering contract as the stream driver).
+    Status jst;
     if (writer_ != nullptr) {
       obs::ScopedTimer append_timer(h_journal_append_);
       for (const assign::AdInstance& inst : picked) {
-        MUAA_RETURN_NOT_OK(writer_->AppendDecision(idx, inst));
+        jst = writer_->AppendDecision(idx, inst);
+        if (!jst.ok()) break;
       }
-      MUAA_RETURN_NOT_OK(writer_->AppendArrivalCommit(
-          idx, adm.customer, static_cast<uint32_t>(picked.size())));
+      if (jst.ok()) {
+        jst = writer_->AppendArrivalCommit(
+            idx, adm.customer, static_cast<uint32_t>(picked.size()));
+      }
     }
-    const double latency = watch.ElapsedMillis();
-    run_.stats.arrivals += 1;
-    run_.stats.total_latency_ms += latency;
-    run_.stats.max_latency_ms = std::max(run_.stats.max_latency_ms, latency);
-    if (!picked.empty()) run_.stats.served_customers += 1;
-    for (const assign::AdInstance& inst : picked) {
-      MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
-      run_.stats.assigned_ads += 1;
-      run_.stats.total_utility += inst.utility;
+    if (!jst.ok()) {
+      // The decision exists but can never become durable: reject it and
+      // go read-only. The solver did advance, but disk-fail mode makes no
+      // further decisions, so the divergence is unobservable; a restart
+      // rebuilds the solver from the durable prefix.
+      EnterDiskFailMode(jst);
+      c_disk_fail_rejects_->Add();
+      resp.type = ResponseType::kDiskFail;
+      responses.push_back(std::move(resp));
+      continue;
     }
-    decisions_[idx] = picked;
-    {
-      std::lock_guard<std::mutex> lk(state_mu_);
-      processed_[idx] = true;
-      det_arrivals_ = run_.stats.arrivals;
-      det_assigned_ads_ = run_.stats.assigned_ads;
-      det_served_ = run_.stats.served_customers;
-      det_total_utility_ = run_.stats.total_utility;
-    }
-    ++decided;
-    resp.ads = std::move(picked);
+    staged_by_idx.emplace(idx, staged.size());
+    staged.push_back(Staged{responses.size(), idx, watch.ElapsedMillis(),
+                            std::move(picked)});
     responses.push_back(std::move(resp));
   }
 
   batch_solve_timer.Stop();
 
-  // One flush covers the whole batch; only then do responses go out, so a
-  // client never holds a decision a kill could lose.
-  if (writer_ != nullptr && decided > 0) {
+  // Sync-before-reply: one fsync covers the whole batch, and only then do
+  // responses go out — a client never holds a decision a power cut could
+  // lose. (With a non-manual sync policy most records are already synced;
+  // this covers the remainder.)
+  if (writer_ != nullptr && !staged.empty() &&
+      !disk_failed_.load(std::memory_order_relaxed)) {
     obs::ScopedTimer flush_timer(h_journal_flush_);
-    MUAA_RETURN_NOT_OK(writer_->Flush());
+    Status st = writer_->Sync();
+    if (!st.ok()) EnterDiskFailMode(st);
   }
+
+  size_t decided = 0;
+  if (disk_failed_.load(std::memory_order_relaxed)) {
+    // The journal died this batch (append or fsync): nothing staged is
+    // durable, so nothing commits and every staged arrival — including
+    // in-batch re-deliveries of one — is rejected.
+    for (const Staged& s : staged) {
+      (void)s;
+      c_disk_fail_rejects_->Add();
+      responses[s.response_pos].type = ResponseType::kDiskFail;
+      responses[s.response_pos].ads.clear();
+    }
+    for (const auto& [resp_pos, staged_pos] : staged_dups) {
+      (void)staged_pos;
+      responses[resp_pos].type = ResponseType::kDiskFail;
+      responses[resp_pos].ads.clear();
+    }
+  } else {
+    // Commit: the batch is on stable storage; apply it to broker state
+    // and fill the staged responses.
+    for (Staged& s : staged) {
+      run_.stats.arrivals += 1;
+      run_.stats.total_latency_ms += s.latency_ms;
+      run_.stats.max_latency_ms =
+          std::max(run_.stats.max_latency_ms, s.latency_ms);
+      if (!s.picked.empty()) run_.stats.served_customers += 1;
+      for (const assign::AdInstance& inst : s.picked) {
+        MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
+        run_.stats.assigned_ads += 1;
+        run_.stats.total_utility += inst.utility;
+      }
+      decisions_[s.idx] = s.picked;
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        processed_[s.idx] = true;
+        det_arrivals_ = run_.stats.arrivals;
+        det_assigned_ads_ = run_.stats.assigned_ads;
+        det_served_ = run_.stats.served_customers;
+        det_total_utility_ = run_.stats.total_utility;
+      }
+      responses[s.response_pos].ads = std::move(s.picked);
+      ++decided;
+    }
+    for (const auto& [resp_pos, staged_pos] : staged_dups) {
+      responses[resp_pos].ads = decisions_[staged[staged_pos].idx];
+    }
+  }
+
   arrivals_since_checkpoint_ += decided;
   const size_t every = options_.durability.checkpoint_every;
   if (!options_.durability.checkpoint_path.empty() && every > 0 &&
-      arrivals_since_checkpoint_ >= every) {
-    MUAA_RETURN_NOT_OK(WriteCheckpoint());
+      arrivals_since_checkpoint_ >= every &&
+      !disk_failed_.load(std::memory_order_relaxed)) {
+    // A failed periodic checkpoint is not fatal and not disk-fail: the
+    // journal holds every committed decision, so serving continues
+    // journal-only and the next cadence retries.
+    Status cst = WriteCheckpoint();
+    if (!cst.ok()) {
+      MUAA_LOG(Warning) << "periodic checkpoint failed (continuing "
+                           "journal-only): "
+                        << cst.ToString();
+    }
     arrivals_since_checkpoint_ = 0;
   }
   for (size_t k = 0; k < responses.size(); ++k) {
@@ -510,21 +641,46 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
     }
     sojourn_now = estimator_.sojourn_us();
   }
-  if (ladder_.Observe(sojourn_now)) {
+  if (!disk_failed_.load(std::memory_order_relaxed) &&
+      ladder_.Observe(sojourn_now)) {
     // Rung flipped. Journal the transition BEFORE any decision made on the
     // new rung so replay re-takes the same path; the record rides the next
-    // batch's flush (no response depends on it).
+    // batch's sync (no response depends on it).
     const auto mode = ladder_.degraded() ? assign::ServeMode::kDegraded
                                          : assign::ServeMode::kFull;
     if (writer_ != nullptr) {
-      MUAA_RETURN_NOT_OK(writer_->AppendModeChange(
-          run_.stats.arrivals, static_cast<uint32_t>(mode)));
+      Status st = writer_->AppendModeChange(run_.stats.arrivals,
+                                            static_cast<uint32_t>(mode));
+      if (!st.ok()) {
+        // Can't journal the flip → can't take it (replay would diverge);
+        // the disk is gone anyway.
+        EnterDiskFailMode(st);
+        return Status::OK();
+      }
     }
     solver_->set_mode(mode);
     g_mode_->Set(static_cast<uint64_t>(mode));
     c_mode_transitions_->Add();
   }
   return Status::OK();
+}
+
+void Broker::EnterDiskFailMode(const Status& why) {
+  if (disk_failed_.exchange(true)) return;
+  c_journal_sync_errors_->Add();
+  MUAA_LOG(Error) << "journal durability lost; serving read-only "
+                     "(DISK_FAIL): "
+                  << why.ToString();
+  // Best-effort journaled rung change: if the device still persists it, a
+  // kill -9 + resume replays through the same transition (replay treats
+  // it as an IO flag, not a solver rung — see stream/recovery.cc).
+  if (writer_ != nullptr) {
+    (void)writer_->AppendModeChange(run_.stats.arrivals,
+                                    io::kJournalModeDiskFail);
+    (void)writer_->Sync();
+  }
+  g_mode_->Set(io::kJournalModeDiskFail);
+  c_mode_transitions_->Add();
 }
 
 Status Broker::WriteCheckpoint() {
@@ -554,7 +710,8 @@ Status Broker::WriteCheckpoint() {
       }
     }
   }
-  return io::SaveCheckpoint(ckpt, options_.durability.checkpoint_path);
+  return io::SaveCheckpoint(options_.durability.env_or_default(), ckpt,
+                            options_.durability.checkpoint_path);
 }
 
 void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
@@ -605,8 +762,11 @@ Status Broker::StopThreads(bool drain) {
     std::lock_guard<std::mutex> lk(state_mu_);
     fatal = fatal_;
   }
-  if (drain && fatal.ok()) {
-    if (writer_ != nullptr) MUAA_RETURN_NOT_OK(writer_->Flush());
+  if (drain && fatal.ok() && !disk_failed_.load(std::memory_order_relaxed)) {
+    // Skipped in disk-fail mode: the journal cannot sync and a checkpoint
+    // on the failing device could replace a good one with garbage. The
+    // durable prefix already holds everything that was acked.
+    if (writer_ != nullptr) MUAA_RETURN_NOT_OK(writer_->Sync());
     if (!options_.durability.checkpoint_path.empty()) {
       MUAA_RETURN_NOT_OK(WriteCheckpoint());
     }
@@ -669,6 +829,8 @@ BrokerStats Broker::stats() const {
   s.conn_rejections = c_conn_rejections_->Value();
   s.mode = g_mode_->Value();
   s.mode_transitions = c_mode_transitions_->Value();
+  s.journal_sync_errors = c_journal_sync_errors_->Value();
+  s.disk_fail_rejects = c_disk_fail_rejects_->Value();
   return s;
 }
 

@@ -46,8 +46,10 @@ struct BrokerStats {
   uint64_t malformed_frames = 0;  ///< undecodable frames/payloads received
   uint64_t slow_client_drops = 0;  ///< connections dropped by timeouts/caps
   uint64_t conn_rejections = 0;    ///< accepts refused at max_connections
-  uint64_t mode = 0;               ///< current ServeMode (0 full, 1 degraded)
+  uint64_t mode = 0;  ///< serving rung (0 full, 1 degraded, 2 disk-fail)
   uint64_t mode_transitions = 0;   ///< degradation-ladder rung flips
+  uint64_t journal_sync_errors = 0;  ///< journal append/fsync failures
+  uint64_t disk_fail_rejects = 0;  ///< ARRIVEs rejected in disk-fail mode
 };
 
 /// \brief Configuration of one broker instance.
@@ -97,8 +99,14 @@ struct BrokerOptions {
   /// the ladder disabled: the solver always runs the full pipeline.
   LadderOptions ladder;
 
-  /// Durability (journal/checkpoint paths + cadence, as for the stream
-  /// driver); `injector` and `stop` are ignored here.
+  /// Durability (journal/checkpoint paths + cadence, plus the storage
+  /// `env` and journal `sync_policy`, as for the stream driver);
+  /// `injector` and `stop` are ignored here. With the default (manual)
+  /// sync policy the broker fsyncs once per micro-batch, before any of the
+  /// batch's responses go out — every acked decision is on stable storage.
+  /// A non-manual policy (e.g. `every_n_records = 1` for per-record sync)
+  /// moves the fsync into the append path; the per-batch sync then only
+  /// covers whatever the policy left unsynced.
   stream::StreamOptions durability;
   /// Recover from the durability files before serving (kill + resume).
   bool resume = false;
@@ -201,6 +209,12 @@ class Broker {
     std::chrono::steady_clock::time_point admitted_at{};
   };
 
+  /// Permanent transition into read-only disk-fail mode (third rung):
+  /// stop admitting ARRIVEs, keep serving STATS/DEPART, journal the rung
+  /// change best-effort. Called from the solver loop on a persistent
+  /// journal append/fsync failure. Idempotent.
+  void EnterDiskFailMode(const Status& why);
+
   void AcceptLoop();
   /// Joins and erases connections whose reader thread has finished.
   /// Requires `conns_mu_`.
@@ -246,6 +260,10 @@ class Broker {
   std::vector<std::vector<assign::AdInstance>> decisions_;
   std::unique_ptr<io::JournalWriter> writer_;
   size_t arrivals_since_checkpoint_ = 0;
+  /// Raised (and never lowered) by the solver loop when a journal write
+  /// or fsync fails: the broker serves read-only from then on. Read on
+  /// the admission path without locks.
+  std::atomic<bool> disk_failed_{false};
   /// Solver-loop-owned degradation ladder; rung changes are journaled
   /// before the first decision they affect.
   DegradationLadder ladder_;
@@ -273,6 +291,14 @@ class Broker {
   obs::Counter* c_slow_client_drops_;
   obs::Counter* c_conn_rejections_;
   obs::Counter* c_mode_transitions_;
+  obs::Counter* c_journal_sync_errors_;
+  obs::Counter* c_disk_fail_rejects_;
+  // Salvage-pass results (io::RecoveryManager), mirrored into the registry
+  // on resume so the crash-loop and operators see what recovery did.
+  obs::Counter* c_records_salvaged_;
+  obs::Counter* c_records_quarantined_;
+  obs::Counter* c_bytes_quarantined_;
+  obs::Counter* c_tmp_checkpoints_deleted_;
   obs::Gauge* g_max_batch_;
   obs::Gauge* g_queue_high_water_;
   obs::Gauge* g_mode_;  ///< current ServeMode, mirrored for STATS

@@ -50,6 +50,11 @@ struct Aggregate {
       case ResponseType::kExpired:
         report.expired += 1;
         break;
+      case ResponseType::kDiskFail:
+        // Terminal like kExpired: the broker is read-only on a failed
+        // disk, retrying against the same process cannot succeed.
+        report.disk_fail += 1;
+        break;
       default:
         report.errors += 1;
         break;
@@ -179,7 +184,7 @@ void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
         std::this_thread::sleep_for(std::chrono::microseconds(delay));
         continue;
       }
-      answered = true;  // kAssign, kExpired, kError are all terminal
+      answered = true;  // kAssign/kExpired/kDiskFail/kError are terminal
     }
     agg->RecordRetries(retries);
   }

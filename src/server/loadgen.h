@@ -78,6 +78,8 @@ struct LoadgenReport {
   uint64_t assigned = 0;   ///< kAssign responses
   uint64_t busy = 0;       ///< kBusy responses
   uint64_t expired = 0;    ///< kExpired responses (terminal, never retried)
+  uint64_t disk_fail = 0;  ///< kDiskFail responses (terminal: broker is
+                           ///< read-only on a failed disk)
   uint64_t errors = 0;     ///< kError responses + transport failures
   uint64_t reconnects = 0; ///< successful reconnects (reconnect mode)
   uint64_t assigned_ads = 0;

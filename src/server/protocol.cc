@@ -236,6 +236,9 @@ std::string EncodeResponse(const Response& resp) {
     case ResponseType::kExpired:
       PutU32(&p, static_cast<uint32_t>(resp.customer));
       break;
+    case ResponseType::kDiskFail:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      break;
   }
   return p;
 }
@@ -245,7 +248,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   uint8_t type = 0;
   Response resp;
   MUAA_RETURN_NOT_OK(in.ReadU8(&type));
-  if (type < 1 || type > 8) {
+  if (type < 1 || type > 9) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -299,6 +302,12 @@ Result<Response> DecodeResponse(std::string_view payload) {
       MUAA_RETURN_NOT_OK(in.ReadString(&resp.error));
       break;
     case ResponseType::kExpired: {
+      uint32_t customer = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      break;
+    }
+    case ResponseType::kDiskFail: {
       uint32_t customer = 0;
       MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
       resp.customer = static_cast<model::CustomerId>(customer);

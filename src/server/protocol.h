@@ -83,6 +83,7 @@ enum class ResponseType : uint8_t {
   kError = 6,        ///< malformed or unserviceable request
   kExpired = 7,      ///< ARRIVE deadline elapsed before a decision was made
   kStatsV2 = 8,      ///< self-describing key/value counters snapshot
+  kDiskFail = 9,     ///< broker is read-only: journal writes fail persistently
 };
 
 /// \brief One named statistic, as carried by a kStatsV2 response.

@@ -31,7 +31,8 @@ Status StreamDriver::WriteCheckpoint(assign::OnlineSolver* solver,
   ckpt.total_latency_ms = run.stats.total_latency_ms;
   ckpt.max_latency_ms = run.stats.max_latency_ms;
   ckpt.instances = run.assignments.instances();
-  return io::SaveCheckpoint(ckpt, options_.checkpoint_path);
+  return io::SaveCheckpoint(options_.env_or_default(), ckpt,
+                            options_.checkpoint_path);
 }
 
 Result<StreamRunResult> StreamDriver::Drive(
@@ -48,7 +49,7 @@ Result<StreamRunResult> StreamDriver::Drive(
     if (options_.stop != nullptr &&
         options_.stop->load(std::memory_order_relaxed)) {
       // Graceful shutdown: everything processed so far is durable.
-      if (writer != nullptr) MUAA_RETURN_NOT_OK(writer->Flush());
+      if (writer != nullptr) MUAA_RETURN_NOT_OK(writer->Sync());
       if (!options_.checkpoint_path.empty()) {
         MUAA_RETURN_NOT_OK(WriteCheckpoint(solver, run, idx));
       }
@@ -97,7 +98,7 @@ Result<StreamRunResult> StreamDriver::Drive(
     }
   }
   run.next_arrival = ctx_.instance->num_customers();
-  if (writer != nullptr) MUAA_RETURN_NOT_OK(writer->Flush());
+  if (writer != nullptr) MUAA_RETURN_NOT_OK(writer->Sync());
   if (!options_.checkpoint_path.empty()) {
     MUAA_RETURN_NOT_OK(WriteCheckpoint(solver, run, run.next_arrival));
   }
@@ -123,7 +124,9 @@ Result<StreamRunResult> StreamDriver::Run(assign::OnlineSolver* solver,
   if (!options_.journal_path.empty()) {
     MUAA_ASSIGN_OR_RETURN(
         io::JournalWriter w,
-        io::JournalWriter::Create(options_.journal_path, options_.injector));
+        io::JournalWriter::Create(options_.env_or_default(),
+                                  options_.journal_path, options_.sync_policy,
+                                  options_.injector));
     writer = std::make_unique<io::JournalWriter>(std::move(w));
   }
 
@@ -146,14 +149,18 @@ Result<StreamRunResult> StreamDriver::ResumeFrom(
     if (rec.journal_usable) {
       MUAA_ASSIGN_OR_RETURN(
           io::JournalWriter w,
-          io::JournalWriter::OpenAppend(options_.journal_path,
+          io::JournalWriter::OpenAppend(options_.env_or_default(),
+                                        options_.journal_path,
                                         rec.committed_records,
+                                        options_.sync_policy,
                                         options_.injector));
       writer = std::make_unique<io::JournalWriter>(std::move(w));
     } else {
       MUAA_ASSIGN_OR_RETURN(
           io::JournalWriter w,
-          io::JournalWriter::Create(options_.journal_path, options_.injector));
+          io::JournalWriter::Create(options_.env_or_default(),
+                                    options_.journal_path,
+                                    options_.sync_policy, options_.injector));
       writer = std::make_unique<io::JournalWriter>(std::move(w));
     }
   }

@@ -57,12 +57,25 @@ struct StreamOptions {
   std::string checkpoint_path;
   /// Arrivals between periodic checkpoints; 0 = only the final one.
   size_t checkpoint_every = 0;
+  /// Storage backend all journal/checkpoint/recovery IO goes through;
+  /// null = the default POSIX env. Tests plug io::FaultInjectingEnv here.
+  io::Env* env = nullptr;
+  /// Journal fsync cadence (io/journal.h). The default (manual) keeps the
+  /// sequential driver's historical behavior: bytes reach the OS per
+  /// arrival group and stable storage at the end of the run; the broker
+  /// overrides this with per-batch sync-before-reply.
+  io::JournalSyncPolicy sync_policy;
   /// Deterministic fault harness (tests/CLI); null = no faults.
   FaultInjector* injector = nullptr;
   /// Graceful-shutdown flag (e.g. raised by a SIGINT handler): checked
   /// before every arrival; when set, the driver flushes the journal,
   /// writes a final checkpoint and returns with `interrupted = true`.
   const std::atomic<bool>* stop = nullptr;
+
+  /// The configured env, defaulted.
+  io::Env* env_or_default() const {
+    return env != nullptr ? env : io::Env::Default();
+  }
 };
 
 /// \brief Replays an instance's customers in arrival order through an

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <filesystem>
 
 #include "common/stopwatch.h"
 #include "io/checkpoint.h"
 #include "io/journal.h"
+#include "io/recovery.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -33,15 +33,26 @@ Result<RecoveredStream> RecoverStreamState(
     const StreamOptions& options,
     const StreamDriver::ArrivalCallback& on_arrival) {
   const size_t m = ctx.instance->num_customers();
+  io::Env* env = options.env_or_default();
   RecoveredStream rec{
       StreamRunResult{assign::AssignmentSet(ctx.instance), StreamStats{}}};
   rec.processed.assign(m, false);
 
+  // 0. File-level salvage first: sweep stale checkpoint tmp strays,
+  // quarantine a corrupt checkpoint, cut the journal back to its longest
+  // CRC-valid prefix (the removed tail is quarantined, not discarded).
+  // Everything below then operates on repaired files.
+  {
+    io::RecoveryManager salvage(env, options.journal_path,
+                                options.checkpoint_path);
+    MUAA_ASSIGN_OR_RETURN(rec.recovery, salvage.Run());
+  }
+
   // 1. Checkpoint: authoritative state up to its processed set.
   if (!options.checkpoint_path.empty() &&
-      std::filesystem::exists(options.checkpoint_path)) {
+      env->FileExists(options.checkpoint_path)) {
     MUAA_ASSIGN_OR_RETURN(io::StreamCheckpoint ckpt,
-                          io::LoadCheckpoint(options.checkpoint_path));
+                          io::LoadCheckpoint(env, options.checkpoint_path));
     if (ckpt.num_customers != ctx.instance->num_customers() ||
         ckpt.num_vendors != ctx.instance->num_vendors() ||
         ckpt.num_ad_types != ctx.instance->ad_types.size()) {
@@ -97,9 +108,8 @@ Result<RecoveredStream> RecoverStreamState(
       obs::MetricRegistry::Global().GetCounter("stream.replayed_arrivals");
   obs::ScopedTimer replay_timer(replay_hist);
   uint64_t replayed = 0;
-  if (!options.journal_path.empty() &&
-      std::filesystem::exists(options.journal_path)) {
-    auto opened = io::JournalReader::Open(options.journal_path);
+  if (!options.journal_path.empty() && env->FileExists(options.journal_path)) {
+    auto opened = io::JournalReader::Open(env, options.journal_path);
     if (opened.status().code() == StatusCode::kDataLoss) {
       // Header destroyed: the file is unusable; the caller starts a fresh
       // journal. The checkpoint (if any) already carried us forward.
@@ -123,7 +133,13 @@ Result<RecoveredStream> RecoverStreamState(
           // Ladder transitions are only valid at group boundaries; one in
           // the middle of a decision group means the tail is corrupt.
           if (!group.empty()) break;
-          solver->set_mode(static_cast<assign::ServeMode>(jrec.mode));
+          if (jrec.mode == io::kJournalModeDiskFail) {
+            // Disk-fail is an IO rung, not a solver rung: surface it to
+            // the broker but leave the solver's serve mode alone.
+            rec.saw_disk_fail = true;
+          } else {
+            solver->set_mode(static_cast<assign::ServeMode>(jrec.mode));
+          }
           committed_end = reader.valid_prefix_bytes();
           rec.committed_records = reader.records_read();
           continue;
@@ -189,7 +205,7 @@ Result<RecoveredStream> RecoverStreamState(
       // applied (write-ahead ordering), so discarding them is safe; the
       // arrivals re-run later and, being deterministic, decide the same.
       MUAA_RETURN_NOT_OK(
-          io::TruncateFile(options.journal_path, committed_end));
+          io::TruncateFile(env, options.journal_path, committed_end));
       rec.journal_usable = true;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "assign/solver.h"
 #include "common/result.h"
+#include "io/recovery.h"
 #include "stream/driver.h"
 
 namespace muaa::stream {
@@ -33,6 +34,13 @@ struct RecoveredStream {
   /// True when the journal header is valid and the file can be appended
   /// to; false means start a fresh journal (missing or destroyed header).
   bool journal_usable = false;
+  /// What the file-level salvage pass (io::RecoveryManager) found and
+  /// quarantined before replay started.
+  io::RecoveryReport recovery;
+  /// The journal tail recorded a transition into disk-fail (read-only)
+  /// mode. The broker surfaces this; the solver's serve mode is not
+  /// affected (disk-fail is an IO rung, not a solver rung).
+  bool saw_disk_fail = false;
 };
 
 /// \brief Rebuilds stream state from `options`' checkpoint and journal:

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+// The pluggable storage environment (src/io/env.h): POSIX semantics of the
+// default Env, the fault-schedule grammar, and the exact byte-level
+// behavior of every injected fault kind — short writes, EINTR, EIO,
+// ENOSPC, fsync failures, fsync lies, rename failures and power cuts.
+
+namespace muaa::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(Env* env, const std::string& path) {
+  auto file = env->NewSequentialFile(path).ValueOrDie();
+  std::string out;
+  char buf[256];
+  while (true) {
+    size_t n = file->Read(sizeof buf, buf).ValueOrDie();
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  return out;
+}
+
+TEST(PosixEnvTest, AppendSyncReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("muaa_env_roundtrip");
+  {
+    auto f = env->NewWritableFile(path, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("hello ").ok());
+    ASSERT_TRUE(f->Append("world").ok());
+    EXPECT_EQ(f->offset(), 11u);
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_EQ(env->GetFileSize(path).ValueOrDie(), 11u);
+  EXPECT_EQ(ReadAll(env, path), "hello world");
+
+  // Append mode continues at the existing size.
+  {
+    auto f = env->NewWritableFile(path, WriteMode::kAppend).ValueOrDie();
+    EXPECT_EQ(f->offset(), 11u);
+    ASSERT_TRUE(f->Append("!").ok());
+    EXPECT_EQ(f->offset(), 12u);
+  }
+  EXPECT_EQ(ReadAll(env, path), "hello world!");
+
+  // Truncate mode starts over.
+  {
+    auto f = env->NewWritableFile(path, WriteMode::kTruncate).ValueOrDie();
+    EXPECT_EQ(f->offset(), 0u);
+  }
+  EXPECT_EQ(env->GetFileSize(path).ValueOrDie(), 0u);
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnvTest, MissingFilesAreNotFoundAndErrorsAreIOError) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("muaa_env_missing");
+  EXPECT_EQ(env->NewSequentialFile(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->NewRandomAccessFile(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->GetFileSize(path).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(env->DeleteFile(path).ok());
+  // Renaming over a missing source is an IO-class failure, not a crash.
+  EXPECT_FALSE(env->RenameFile(path, path + ".x").ok());
+}
+
+TEST(PosixEnvTest, RandomAccessReadsAtOffsets) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("muaa_env_ra");
+  {
+    auto f = env->NewWritableFile(path, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("0123456789").ok());
+  }
+  auto ra = env->NewRandomAccessFile(path).ValueOrDie();
+  char buf[8];
+  EXPECT_EQ(ra->ReadAt(3, 4, buf).ValueOrDie(), 4u);
+  EXPECT_EQ(std::string(buf, 4), "3456");
+  // Short only at EOF.
+  EXPECT_EQ(ra->ReadAt(8, 8, buf).ValueOrDie(), 2u);
+  EXPECT_EQ(std::string(buf, 2), "89");
+  EXPECT_EQ(ra->ReadAt(20, 4, buf).ValueOrDie(), 0u);
+  fs::remove(path);
+}
+
+TEST(PosixEnvTest, TruncateAndRenameAreExact) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("muaa_env_trunc");
+  const std::string other = TempPath("muaa_env_trunc2");
+  {
+    auto f = env->NewWritableFile(path, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("abcdefgh").ok());
+  }
+  ASSERT_TRUE(env->Truncate(path, 3).ok());
+  EXPECT_EQ(ReadAll(env, path), "abc");
+  ASSERT_TRUE(env->RenameFile(path, other).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_EQ(ReadAll(env, other), "abc");
+  fs::remove(other);
+}
+
+TEST(FaultScheduleTest, ParseAndToStringRoundTrip) {
+  for (const char* spec :
+       {"wshort@3=2!", "weintr@0", "weio@7!", "wenospc@7=3!,synclie@2",
+        "syncfail@1!,powercut", "renamefail@0", "powercut"}) {
+    FaultSchedule sched = FaultSchedule::Parse(spec).ValueOrDie();
+    EXPECT_EQ(sched.ToString(), spec) << spec;
+  }
+  EXPECT_TRUE(FaultSchedule::Parse("wenospc@7=3!,powercut")
+                  .ValueOrDie()
+                  .power_cut);
+  EXPECT_FALSE(FaultSchedule::Parse("weio@1").ValueOrDie().power_cut);
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"bogus@1", "wshort@", "weio", "weio@x", "wshort@1=z"}) {
+    EXPECT_FALSE(FaultSchedule::Parse(spec).ok()) << spec;
+  }
+  // An empty spec is a valid empty schedule (used to clear sticky state).
+  EXPECT_TRUE(FaultSchedule::Parse("").ValueOrDie().faults.empty());
+}
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  FaultEnvTest()
+      : env_(Env::Default()), path_(TempPath("muaa_faultenv")) {
+    fs::remove(path_);
+  }
+  ~FaultEnvTest() override { fs::remove(path_); }
+
+  void Arm(const std::string& spec) {
+    env_.Arm(FaultSchedule::Parse(spec).ValueOrDie());
+  }
+
+  FaultInjectingEnv env_;
+  std::string path_;
+};
+
+TEST_F(FaultEnvTest, ShortWriteKeepsExactPrefixAndFailsWithIOError) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  Arm("wshort@1=2");
+  ASSERT_TRUE(f->Append("aaaa").ok());  // op 0: clean
+  Status st = f->Append("bbbb");        // op 1: 2 bytes land
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+  EXPECT_EQ(f->offset(), 6u);
+  ASSERT_TRUE(f->Append("cccc").ok());  // op 2: clean again (not sticky)
+  f.reset();
+  EXPECT_EQ(ReadAll(&env_, path_), "aaaabbcccc");
+  EXPECT_EQ(env_.faults_injected(), 1u);
+}
+
+TEST_F(FaultEnvTest, EioWritesNothing) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  Arm("weio@0");
+  EXPECT_EQ(f->Append("xxxx").code(), StatusCode::kIOError);
+  EXPECT_EQ(f->offset(), 0u);
+  f.reset();
+  EXPECT_EQ(env_.GetFileSize(path_).ValueOrDie(), 0u);
+}
+
+TEST_F(FaultEnvTest, StickyFaultPersistsUntilRearmed) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  Arm("weio@1!");
+  ASSERT_TRUE(f->Append("a").ok());
+  EXPECT_FALSE(f->Append("b").ok());
+  EXPECT_FALSE(f->Append("c").ok());  // still failing: the disk stays broken
+  EXPECT_FALSE(f->Append("d").ok());
+  EXPECT_EQ(env_.faults_injected(), 3u);
+  Arm("");  // new (empty) schedule clears sticky state
+  ASSERT_TRUE(f->Append("e").ok());
+  f.reset();
+  EXPECT_EQ(ReadAll(&env_, path_), "ae");
+}
+
+TEST_F(FaultEnvTest, EintrSplitIsAbsorbedByRetry) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  Arm("weintr@0");
+  ASSERT_TRUE(f->Append("interrupted").ok());
+  f.reset();
+  EXPECT_EQ(ReadAll(&env_, path_), "interrupted");
+  EXPECT_EQ(env_.eintr_retries(), 1u);
+  EXPECT_EQ(env_.faults_injected(), 1u);
+}
+
+TEST_F(FaultEnvTest, CountersOnlyAdvanceWhileArmed) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  ASSERT_TRUE(f->Append("startup").ok());  // disarmed: not counted
+  EXPECT_EQ(env_.write_ops(), 0u);
+  Arm("weio@1");
+  ASSERT_TRUE(f->Append("a").ok());
+  EXPECT_FALSE(f->Append("b").ok());
+  EXPECT_EQ(env_.write_ops(), 2u);
+  env_.Disarm();
+  ASSERT_TRUE(f->Append("c").ok());
+  EXPECT_EQ(env_.write_ops(), 2u);
+}
+
+TEST_F(FaultEnvTest, PowerCutTruncatesToLastSyncedOffset) {
+  {
+    auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("durable|").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Append("volatile").ok());
+    // No sync: the tail is page cache only.
+  }
+  EXPECT_EQ(env_.synced_offset(path_), 8u);
+  ASSERT_TRUE(env_.PowerCut().ok());
+  EXPECT_EQ(env_.GetFileSize(path_).ValueOrDie(), 8u);
+  EXPECT_EQ(ReadAll(&env_, path_), "durable|");
+}
+
+TEST_F(FaultEnvTest, SyncLieDoesNotAdvanceDurability) {
+  {
+    auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("first|").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    Arm("synclie@0");
+    ASSERT_TRUE(f->Append("lied-about").ok());
+    ASSERT_TRUE(f->Sync().ok());  // reports OK — but durability did NOT move
+  }
+  EXPECT_EQ(env_.synced_offset(path_), 6u);
+  ASSERT_TRUE(env_.PowerCut().ok());
+  EXPECT_EQ(ReadAll(&env_, path_), "first|");
+  EXPECT_EQ(env_.faults_injected(), 1u);
+}
+
+TEST_F(FaultEnvTest, SyncFailureLeavesTailVolatile) {
+  {
+    auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("safe|").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    Arm("syncfail@0!");
+    ASSERT_TRUE(f->Append("lost").ok());
+    EXPECT_EQ(f->Sync().code(), StatusCode::kIOError);
+    EXPECT_EQ(f->Sync().code(), StatusCode::kIOError);  // sticky
+  }
+  ASSERT_TRUE(env_.PowerCut().ok());
+  EXPECT_EQ(ReadAll(&env_, path_), "safe|");
+}
+
+TEST_F(FaultEnvTest, RenameFaultLeavesBothPathsUntouched) {
+  const std::string to = path_ + ".renamed";
+  {
+    auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+    ASSERT_TRUE(f->Append("payload").ok());
+  }
+  Arm("renamefail@0");
+  EXPECT_EQ(env_.RenameFile(path_, to).code(), StatusCode::kIOError);
+  EXPECT_TRUE(env_.FileExists(path_));
+  EXPECT_FALSE(env_.FileExists(to));
+  // The next rename (index 1, fault not sticky) goes through.
+  ASSERT_TRUE(env_.RenameFile(path_, to).ok());
+  EXPECT_EQ(ReadAll(&env_, to), "payload");
+  fs::remove(to);
+}
+
+TEST_F(FaultEnvTest, EnospcKeepsPrefixLikeAFullDisk) {
+  auto f = env_.NewWritableFile(path_, WriteMode::kTruncate).ValueOrDie();
+  Arm("wenospc@0=3!");
+  Status st = f->Append("abcdefgh");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.ToString().find("ENOSPC"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(f->offset(), 3u);
+  f.reset();
+  EXPECT_EQ(ReadAll(&env_, path_), "abc");
+}
+
+}  // namespace
+}  // namespace muaa::io

@@ -271,6 +271,109 @@ TEST(CheckpointTest, MissingIsNotFoundAndCorruptIsDataLoss) {
   fs::remove(path);
 }
 
+// A failed mid-record write must surface an IOError that names the
+// failing record index and byte offset — the broker's DISK_FAIL rung and
+// the operator both need to know which decision first hit the bad disk —
+// and the torn frame must never become a readable record.
+TEST(JournalTest, FailedMidRecordWriteNamesRecordIndexAndOffset) {
+  const std::string path = TempPath("muaa_journal_envfail.jnl");
+  fs::remove(path);
+  FaultInjectingEnv env(Env::Default());
+  JournalWriter writer = JournalWriter::Create(&env, path).ValueOrDie();
+  // Arm after Create so the header write is not counted: write op N is
+  // exactly record N.
+  env.Arm(FaultSchedule::Parse("wshort@3=2").ValueOrDie());
+
+  assign::AdInstance inst = MakeInst(0, 1, 0, 1.5);
+  for (uint64_t a = 0; a < 3; ++a) {
+    ASSERT_TRUE(writer.AppendDecision(a, inst).ok());
+  }
+  const uint64_t offset_before = writer.offset();
+  Status st = writer.AppendDecision(3, inst);
+  ASSERT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+  EXPECT_NE(st.ToString().find("record 3"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("byte offset " + std::to_string(offset_before)),
+            std::string::npos)
+      << st.ToString();
+
+  // The 2 torn bytes are on disk but must never decode as a record: the
+  // reader yields exactly the 3 intact records, then flags corruption.
+  env.Disarm();
+  JournalReader reader = JournalReader::Open(&env, path).ValueOrDie();
+  JournalRecord rec;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reader.Next(&rec).ValueOrDie());
+  }
+  auto torn = reader.Next(&rec);
+  EXPECT_FALSE(torn.ok()) << "torn frame must not decode";
+  EXPECT_EQ(reader.records_read(), 3u);
+  EXPECT_EQ(reader.valid_prefix_bytes(), offset_before);
+  fs::remove(path);
+}
+
+TEST(JournalTest, FailedSyncNamesThePositionAndKeepsRecordsUnsynced) {
+  const std::string path = TempPath("muaa_journal_syncfail.jnl");
+  fs::remove(path);
+  FaultInjectingEnv env(Env::Default());
+  JournalWriter writer = JournalWriter::Create(&env, path).ValueOrDie();
+  assign::AdInstance inst = MakeInst(0, 1, 0, 1.5);
+  ASSERT_TRUE(writer.AppendDecision(0, inst).ok());
+  ASSERT_TRUE(writer.AppendArrivalCommit(0, 0, 1).ok());
+  env.Arm(FaultSchedule::Parse("syncfail@0").ValueOrDie());
+  Status st = writer.Sync();
+  ASSERT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+  EXPECT_NE(st.ToString().find("record"), std::string::npos) << st.ToString();
+  EXPECT_EQ(writer.unsynced_records(), 2u)
+      << "a failed sync leaves its records unsynced";
+  env.Disarm();
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(writer.unsynced_records(), 0u);
+  fs::remove(path);
+}
+
+TEST(JournalTest, SyncPolicySyncsEveryNRecords) {
+  const std::string path = TempPath("muaa_journal_policy.jnl");
+  fs::remove(path);
+  FaultInjectingEnv env(Env::Default());
+  JournalSyncPolicy policy;
+  policy.every_n_records = 2;
+  JournalWriter writer =
+      JournalWriter::Create(&env, path, policy).ValueOrDie();
+  assign::AdInstance inst = MakeInst(0, 1, 0, 1.5);
+  ASSERT_TRUE(writer.AppendDecision(0, inst).ok());
+  EXPECT_EQ(writer.unsynced_records(), 1u);
+  const uint64_t synced_before = env.synced_offset(path);
+  ASSERT_TRUE(writer.AppendArrivalCommit(0, 0, 1).ok());
+  // The second append crossed the threshold: the policy synced for us.
+  EXPECT_EQ(writer.unsynced_records(), 0u);
+  EXPECT_GT(env.synced_offset(path), synced_before);
+  EXPECT_EQ(env.synced_offset(path), writer.offset());
+  fs::remove(path);
+}
+
+TEST(JournalTest, ModeChangeRecordsRoundTrip) {
+  const std::string path = TempPath("muaa_journal_mode.jnl");
+  fs::remove(path);
+  JournalWriter writer = JournalWriter::Create(path).ValueOrDie();
+  assign::AdInstance inst = MakeInst(0, 1, 0, 0.5);
+  ASSERT_TRUE(writer.AppendDecision(0, inst).ok());
+  ASSERT_TRUE(writer.AppendArrivalCommit(0, 0, 1).ok());
+  ASSERT_TRUE(writer.AppendModeChange(1, kJournalModeDiskFail).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+
+  JournalReader reader = JournalReader::Open(path).ValueOrDie();
+  JournalRecord rec;
+  ASSERT_TRUE(reader.Next(&rec).ValueOrDie());
+  ASSERT_TRUE(reader.Next(&rec).ValueOrDie());
+  ASSERT_TRUE(reader.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec.type, JournalRecordType::kModeChange);
+  EXPECT_EQ(rec.mode, kJournalModeDiskFail);
+  EXPECT_EQ(rec.arrival, 1u);
+  EXPECT_FALSE(reader.Next(&rec).ValueOrDie());
+  fs::remove(path);
+}
+
 TEST(Crc32Test, MatchesKnownVector) {
   // IEEE 802.3 CRC of "123456789".
   EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);

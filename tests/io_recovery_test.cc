@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "io/checkpoint.h"
+#include "io/env.h"
+#include "io/journal.h"
+#include "io/recovery.h"
+
+// The startup salvage pass (src/io/recovery.h): stale checkpoint *.tmp
+// strays are swept, corrupt checkpoints are quarantined by rename, the
+// longest CRC-valid journal prefix survives and every byte cut from the
+// journal lands in the quarantine file — with a structured report saying
+// exactly what happened. The pass must be idempotent.
+
+namespace muaa::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+struct TempFiles {
+  std::string journal;
+  std::string checkpoint;
+
+  explicit TempFiles(const std::string& tag) {
+    journal = TempPath("muaa_iorec_" + tag + ".jnl");
+    checkpoint = TempPath("muaa_iorec_" + tag + ".ckp");
+    Clear();
+  }
+  ~TempFiles() { Clear(); }
+  void Clear() const {
+    for (const auto& p :
+         {journal, checkpoint, journal + ".quarantine",
+          checkpoint + ".quarantine", checkpoint + ".tmp"}) {
+      fs::remove(p);
+    }
+  }
+};
+
+/// Appends `n` committed arrival groups to a fresh journal.
+void WriteJournal(const std::string& path, size_t n) {
+  JournalWriter writer = JournalWriter::Create(path).ValueOrDie();
+  for (size_t a = 0; a < n; ++a) {
+    assign::AdInstance inst;
+    inst.customer = static_cast<int>(a);
+    inst.vendor = static_cast<int>(a % 5);
+    inst.ad_type = 0;
+    inst.utility = 0.5 * static_cast<double>(a + 1);
+    ASSERT_TRUE(writer.AppendDecision(a, inst).ok());
+    ASSERT_TRUE(writer.AppendArrivalCommit(a, inst.customer, 1).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+}
+
+void WriteCheckpointFile(const std::string& path) {
+  StreamCheckpoint ckpt;
+  ckpt.num_customers = 10;
+  ckpt.next_arrival = 4;
+  ckpt.arrivals = 4;
+  ckpt.solver_name = "O-AFA";
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+}
+
+size_t CountJournalRecords(const std::string& path) {
+  auto opened = JournalReader::Open(path);
+  if (!opened.ok()) return 0;
+  JournalReader reader = std::move(opened).ValueOrDie();
+  JournalRecord rec;
+  while (true) {
+    auto more = reader.Next(&rec);
+    if (!more.ok() || !*more) break;
+  }
+  return reader.records_read();
+}
+
+RecoveryReport RunSalvage(const TempFiles& files) {
+  RecoveryManager mgr(Env::Default(), files.journal, files.checkpoint);
+  return mgr.Run().ValueOrDie();
+}
+
+TEST(RecoveryManagerTest, NoFilesIsACleanNoOp) {
+  TempFiles files("nofiles");
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_FALSE(report.journal_present);
+  EXPECT_FALSE(report.checkpoint_present);
+  EXPECT_EQ(report.bytes_quarantined, 0u);
+  EXPECT_EQ(report.tmp_files_deleted, 0u);
+  EXPECT_TRUE(report.quarantine_path.empty());
+}
+
+TEST(RecoveryManagerTest, CleanFilesAreUntouched) {
+  TempFiles files("clean");
+  WriteJournal(files.journal, 12);
+  WriteCheckpointFile(files.checkpoint);
+  const auto journal_size = fs::file_size(files.journal);
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_TRUE(report.journal_usable);
+  EXPECT_EQ(report.records_kept, 24u);  // decision + commit per arrival
+  EXPECT_EQ(report.records_dropped, 0u);
+  EXPECT_EQ(report.bytes_quarantined, 0u);
+  EXPECT_TRUE(report.checkpoint_present);
+  EXPECT_FALSE(report.checkpoint_quarantined);
+  EXPECT_EQ(fs::file_size(files.journal), journal_size);
+  EXPECT_TRUE(LoadCheckpoint(files.checkpoint).ok());
+  EXPECT_FALSE(fs::exists(files.journal + ".quarantine"));
+}
+
+// Satellite contract: a stale checkpoint *.tmp left by a crash mid-save is
+// deleted while the live checkpoint next to it stays untouched.
+TEST(RecoveryManagerTest, StaleTmpIsDeletedLiveCheckpointSurvives) {
+  TempFiles files("staletmp");
+  WriteCheckpointFile(files.checkpoint);
+  {
+    std::ofstream tmp(files.checkpoint + ".tmp", std::ios::binary);
+    tmp << "half-written checkpoint bytes";
+  }
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_EQ(report.tmp_files_deleted, 1u);
+  EXPECT_FALSE(fs::exists(files.checkpoint + ".tmp"));
+  EXPECT_TRUE(report.checkpoint_present);
+  EXPECT_FALSE(report.checkpoint_quarantined);
+  EXPECT_TRUE(LoadCheckpoint(files.checkpoint).ok())
+      << "live checkpoint must survive the tmp sweep";
+
+  // Second pass: nothing left to do.
+  RecoveryReport again = RunSalvage(files);
+  EXPECT_EQ(again.tmp_files_deleted, 0u);
+}
+
+TEST(RecoveryManagerTest, CorruptCheckpointIsQuarantinedByRename) {
+  TempFiles files("badckpt");
+  WriteCheckpointFile(files.checkpoint);
+  const auto size = fs::file_size(files.checkpoint);
+  {
+    std::fstream io(files.checkpoint,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    io.seekg(static_cast<std::streamoff>(size / 2));
+    int c = io.get();
+    io.seekp(static_cast<std::streamoff>(size / 2));
+    io.put(static_cast<char>(c ^ 0x20));
+  }
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_TRUE(report.checkpoint_quarantined);
+  EXPECT_FALSE(report.checkpoint_present);
+  EXPECT_EQ(report.bytes_quarantined, size);
+  EXPECT_FALSE(fs::exists(files.checkpoint))
+      << "corrupt checkpoint must not be left in place";
+  EXPECT_TRUE(fs::exists(files.checkpoint + ".quarantine"));
+  EXPECT_EQ(fs::file_size(files.checkpoint + ".quarantine"), size)
+      << "quarantine keeps every byte";
+}
+
+TEST(RecoveryManagerTest, TornJournalTailIsQuarantinedAndTruncated) {
+  TempFiles files("torntail");
+  WriteJournal(files.journal, 10);
+  const uint64_t full = fs::file_size(files.journal);
+  ASSERT_TRUE(Env::Default()->Truncate(files.journal, full - 3).ok());
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_TRUE(report.journal_usable);
+  EXPECT_EQ(report.records_kept, 19u);  // final commit frame was torn
+  EXPECT_EQ(report.records_dropped, 1u);
+  EXPECT_GT(report.bytes_quarantined, 0u);
+  EXPECT_EQ(report.quarantine_path, files.journal + ".quarantine");
+  ASSERT_TRUE(fs::exists(report.quarantine_path));
+
+  // Quarantine segment header: magic + source offset + length.
+  {
+    std::ifstream q(report.quarantine_path, std::ios::binary);
+    char magic[8];
+    q.read(magic, 8);
+    EXPECT_EQ(std::string(magic, 8), "MUAAQRN1");
+  }
+
+  // The salvaged journal reads cleanly end to end.
+  EXPECT_EQ(CountJournalRecords(files.journal), 19u);
+
+  // Idempotent: a second pass finds a healthy journal and quarantines
+  // nothing more.
+  const uint64_t qsize = fs::file_size(report.quarantine_path);
+  RecoveryReport again = RunSalvage(files);
+  EXPECT_EQ(again.records_dropped, 0u);
+  EXPECT_EQ(again.bytes_quarantined, 0u);
+  EXPECT_EQ(fs::file_size(report.quarantine_path), qsize);
+}
+
+TEST(RecoveryManagerTest, MidJournalFlipQuarantinesTheTail) {
+  TempFiles files("midflip");
+  WriteJournal(files.journal, 20);
+  const uint64_t full = fs::file_size(files.journal);
+  // Corrupt a byte near the middle: every record from there on is dropped
+  // even though the bytes after the flipped frame may still be CRC-valid
+  // (a journal is a prefix log, not a hole-tolerant one).
+  {
+    std::fstream io(files.journal,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    io.seekg(static_cast<std::streamoff>(full / 2));
+    int c = io.get();
+    io.seekp(static_cast<std::streamoff>(full / 2));
+    io.put(static_cast<char>(c ^ 0x01));
+  }
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_TRUE(report.journal_usable);
+  EXPECT_GT(report.records_kept, 0u);
+  EXPECT_LT(report.records_kept, 40u);
+  EXPECT_GT(report.records_dropped, 0u);
+  EXPECT_GT(report.bytes_quarantined, 0u);
+  EXPECT_EQ(CountJournalRecords(files.journal), report.records_kept);
+  // Salvaged prefix + quarantined region account for the whole file: no
+  // byte silently vanished.
+  const uint64_t kept_bytes = fs::file_size(files.journal);
+  EXPECT_EQ(kept_bytes + report.bytes_quarantined, full);
+}
+
+TEST(RecoveryManagerTest, DestroyedHeaderQuarantinesTheWholeFile) {
+  TempFiles files("badheader");
+  {
+    std::ofstream out(files.journal, std::ios::binary);
+    out << "NOTAJRNL with some trailing garbage bytes";
+  }
+  const uint64_t full = fs::file_size(files.journal);
+
+  RecoveryReport report = RunSalvage(files);
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_FALSE(report.journal_usable)
+      << "a destroyed header cannot be appended to";
+  EXPECT_EQ(report.records_kept, 0u);
+  EXPECT_EQ(report.bytes_quarantined, full);
+  EXPECT_TRUE(fs::exists(files.journal + ".quarantine"));
+  // The journal was emptied so a fresh writer can take over the path.
+  EXPECT_EQ(fs::file_size(files.journal), 0u);
+}
+
+TEST(RecoveryManagerTest, EmptyPathsSkipThatFile) {
+  TempFiles files("skips");
+  WriteJournal(files.journal, 3);
+  {
+    std::ofstream tmp(files.checkpoint + ".tmp", std::ios::binary);
+    tmp << "stray";
+  }
+  // No checkpoint path: the stray tmp is NOT this manager's to sweep.
+  RecoveryManager journal_only(Env::Default(), files.journal, "");
+  RecoveryReport report = journal_only.Run().ValueOrDie();
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_EQ(report.tmp_files_deleted, 0u);
+  EXPECT_TRUE(fs::exists(files.checkpoint + ".tmp"));
+
+  // No journal path: only the checkpoint side runs.
+  RecoveryManager ckpt_only(Env::Default(), "", files.checkpoint);
+  RecoveryReport report2 = ckpt_only.Run().ValueOrDie();
+  EXPECT_FALSE(report2.journal_present);
+  EXPECT_EQ(report2.tmp_files_deleted, 1u);
+}
+
+}  // namespace
+}  // namespace muaa::io

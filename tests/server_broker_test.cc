@@ -12,6 +12,7 @@
 
 #include "assign/online_afa.h"
 #include "datagen/synthetic.h"
+#include "io/env.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "server/broker.h"
@@ -602,6 +603,101 @@ TEST(Broker, ShutdownRequestReleasesWaiter) {
   ASSERT_TRUE(RequestShutdown("127.0.0.1", broker.port()).ok());
   waiter.join();  // would hang forever if SHUTDOWN didn't release it
   ASSERT_TRUE(broker.Stop().ok());
+}
+
+// A storage fault mid-serve flips the broker into the read-only DISK_FAIL
+// rung instead of killing it: no response acked before the fault is lost,
+// later ARRIVEs are answered kDiskFail (not errors), STATS keeps serving,
+// and a resume on a healthy disk replays to the bitwise baseline.
+TEST(Broker, DiskFaultFlipsToDiskFailModeAndResumesBitwise) {
+  const stream::StreamRunResult want = Baseline();
+  TempFiles files("disk_fail");
+  io::FaultInjectingEnv fenv(io::Env::Default());
+
+  uint64_t phase1_arrivals = 0;
+  {
+    SolverHarness h(MakeInstance(), kSeed);
+    assign::AfaOnlineSolver solver;
+    BrokerOptions opts;
+    opts.durability.journal_path = files.journal;
+    opts.durability.checkpoint_path = files.checkpoint;
+    opts.durability.checkpoint_every = 40;
+    opts.durability.env = &fenv;
+    Broker broker(h.ctx(), &solver, opts);
+    ASSERT_TRUE(broker.Start().ok());
+    // Arm after Start so the journal header and any recovery IO run clean;
+    // sticky, so the disk stays broken for the rest of the phase. The
+    // short write tears a frame whose bytes salvage must quarantine.
+    fenv.Arm(io::FaultSchedule::Parse("wshort@40=3!").ValueOrDie());
+
+    LoadgenOptions lg;
+    lg.port = broker.port();
+    auto report = RunLoadgen(AllArrivals(h.instance), lg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->errors, 0u) << "disk-fail must not surface as errors";
+    EXPECT_GT(report->disk_fail, 0u);
+    EXPECT_GT(report->assigned, 0u) << "fault fired before any decision";
+    EXPECT_LT(report->assigned, h.instance.num_customers());
+
+    // The broker is alive in the disk-fail rung and still answers STATS.
+    auto stats = QueryStats("127.0.0.1", broker.port());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(StatsValue(*stats, "server.mode"), 2u);
+    EXPECT_GE(StatsValue(*stats, "server.journal_sync_errors"), 1u);
+    EXPECT_EQ(StatsValue(*stats, "server.disk_fail_rejects"),
+              report->disk_fail);
+    // The resilience counters are first-class STATS v2 keys from birth.
+    for (const char* key :
+         {"server.journal_sync_errors", "server.disk_fail_rejects",
+          "recovery.records_salvaged", "recovery.records_quarantined",
+          "recovery.bytes_quarantined", "recovery.tmp_checkpoints_deleted"}) {
+      EXPECT_NE(FindStat(*stats, key), nullptr) << key;
+    }
+
+    BrokerStats s = broker.stats();
+    EXPECT_EQ(s.mode, 2u);
+    EXPECT_GE(s.journal_sync_errors, 1u);
+    EXPECT_EQ(s.disk_fail_rejects, report->disk_fail);
+    phase1_arrivals = s.arrivals;
+    ASSERT_TRUE(broker.Abort().ok());
+  }
+  fenv.Disarm();
+
+  // Resume on a healthy disk: salvage quarantines the torn tail, the
+  // replayed workload completes, and the run is bitwise the baseline.
+  SolverHarness h(MakeInstance(), kSeed);
+  assign::AfaOnlineSolver solver;
+  BrokerOptions opts;
+  opts.durability.journal_path = files.journal;
+  opts.durability.checkpoint_path = files.checkpoint;
+  opts.durability.checkpoint_every = 40;
+  opts.resume = true;
+  Broker broker(h.ctx(), &solver, opts);
+  ASSERT_TRUE(broker.Start().ok());
+  EXPECT_LE(broker.stats().arrivals, phase1_arrivals)
+      << "recovery must not resurrect un-acked decisions";
+
+  LoadgenOptions lg;
+  lg.port = broker.port();
+  auto report = RunLoadgen(AllArrivals(h.instance), lg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->disk_fail, 0u);
+  EXPECT_EQ(report->assigned, h.instance.num_customers());
+
+  auto stats = QueryStats("127.0.0.1", broker.port());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(StatsValue(*stats, "server.mode"), 0u);
+  EXPECT_GT(StatsValue(*stats, "recovery.records_salvaged"), 0u);
+  EXPECT_GT(StatsValue(*stats, "recovery.bytes_quarantined"), 0u)
+      << "the torn frame's bytes must be accounted for";
+
+  ASSERT_TRUE(broker.Stop().ok());
+  ExpectMatchesBaseline(want, broker, "disk fault + resume + replay");
+  files.Clear();
+  fs::remove(files.journal + ".quarantine");
+  fs::remove(files.checkpoint + ".quarantine");
+  fs::remove(files.checkpoint + ".tmp");
 }
 
 TEST(Broker, RejectsOutOfRangeCustomer) {

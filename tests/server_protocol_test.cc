@@ -62,6 +62,22 @@ TEST(Protocol, ExpiredResponseRoundTrips) {
   EXPECT_EQ(got->customer, 9);
 }
 
+TEST(Protocol, DiskFailResponseRoundTrips) {
+  // The read-only broker's rejection of an ARRIVE when the disk failed
+  // (docs/robustness.md): carries the customer so clients can account the
+  // terminal failure per arrival.
+  Response resp;
+  resp.type = ResponseType::kDiskFail;
+  resp.request_id = 77;
+  resp.customer = 12;
+  auto got = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, ResponseType::kDiskFail);
+  EXPECT_EQ(got->request_id, 77u);
+  EXPECT_EQ(got->customer, 12);
+  EXPECT_TRUE(got->ads.empty());
+}
+
 TEST(Protocol, DeclaredLengthMustMatchDecodedFields) {
   // A frame whose declared length exceeds what the fields account for is
   // rejected — trailing bytes are a malformed frame, not padding.

@@ -11,6 +11,7 @@
 //   muaa_cli stream             in=<dir> solver=<name> [seed=S] [threads=N]
 //                               [journal=<file>] [checkpoint=<file>]
 //                               [checkpoint_every=N] [resume=0|1]
+//                               [sync_every_n=N] [sync_bytes=N]
 //                               [inject=<fault-spec>]
 //   muaa_cli compare            in=<dir> left=<csv> right=<csv>
 //   muaa_cli serve              in=<dir> solver=<name> [port=N] [seed=S]
@@ -23,6 +24,7 @@
 //                               [recover_sojourn_us=N] [recover_batches=N]
 //                               [journal=<file>] [checkpoint=<file>]
 //                               [checkpoint_every=N] [resume=0|1]
+//                               [sync_every_n=N] [sync_bytes=N]
 //                               [metrics_dump=<file>]
 //   muaa_cli version
 //
@@ -39,6 +41,10 @@
 // crash, and Ctrl-C triggers a graceful, resumable shutdown. `inject=`
 // takes the deterministic fault spec of stream::FaultPlan
 // (e.g. `crash@120,seed=7`) for testing the recovery path.
+// `sync_every_n=N` / `sync_bytes=N` set the journal fsync cadence
+// (docs/serving.md, "Sync policy"); both 0 (default) = the stream driver
+// syncs at run end only, while `serve` syncs once per micro-batch before
+// replying (`sync_every_n=1` = per-record sync).
 //
 // Solvers: recon, recon-dp, recon-lp, greedy, greedy-ls, random, exact,
 //          online (O-AFA), online-adaptive (O-AFA + streaming γ),
@@ -290,6 +296,15 @@ int CmdStream(const Config& cfg) {
     return Fail(Status::InvalidArgument("checkpoint_every must be >= 0"));
   }
   opts.checkpoint_every = static_cast<size_t>(*every);
+  auto sync_n = cfg.GetInt("sync_every_n", 0);
+  auto sync_bytes = cfg.GetInt("sync_bytes", 0);
+  if (!sync_n.ok()) return Fail(sync_n.status());
+  if (!sync_bytes.ok()) return Fail(sync_bytes.status());
+  if (*sync_n < 0 || *sync_bytes < 0) {
+    return Fail(Status::InvalidArgument("sync knobs must be >= 0"));
+  }
+  opts.sync_policy.every_n_records = static_cast<uint64_t>(*sync_n);
+  opts.sync_policy.every_n_bytes = static_cast<uint64_t>(*sync_bytes);
   auto resume = cfg.GetBool("resume", false);
   if (!resume.ok()) return Fail(resume.status());
   if (*resume && opts.journal_path.empty() && opts.checkpoint_path.empty()) {
@@ -375,11 +390,13 @@ int CmdServe(const Config& cfg) {
   auto degrade_batches = geti("degrade_batches", 4);
   auto recover_sojourn = geti("recover_sojourn_us", 0);
   auto recover_batches = geti("recover_batches", 8);
+  auto sync_n = geti("sync_every_n", 0);
+  auto sync_bytes = geti("sync_bytes", 0);
   for (const auto* r :
        {&port, &batch_max, &batch_wait, &queue_max, &busy_retry,
         &busy_retry_cap, &every, &max_conns, &max_inflight, &read_timeout,
         &idle_timeout, &write_timeout, &degrade_sojourn, &degrade_batches,
-        &recover_sojourn, &recover_batches}) {
+        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes}) {
     if (!r->ok()) return Fail(r->status());
     if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
   }
@@ -401,6 +418,8 @@ int CmdServe(const Config& cfg) {
   opts.durability.journal_path = cfg.GetString("journal", "");
   opts.durability.checkpoint_path = cfg.GetString("checkpoint", "");
   opts.durability.checkpoint_every = static_cast<size_t>(*every);
+  opts.durability.sync_policy.every_n_records = static_cast<uint64_t>(*sync_n);
+  opts.durability.sync_policy.every_n_bytes = static_cast<uint64_t>(*sync_bytes);
   auto resume = cfg.GetBool("resume", false);
   if (!resume.ok()) return Fail(resume.status());
   opts.resume = *resume;

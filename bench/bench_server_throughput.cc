@@ -13,12 +13,21 @@
 // (sync_policy.every_n_records = 1) so the cost of the strictest
 // durability setting is visible next to the default per-batch fsync.
 //
+// A `shards` sweep (1/2/4/8, closed@16, per-batch sync) then measures the
+// geo-partitioned broker of docs/serving.md "Sharding": N solver loops,
+// each journaling its own `.shard<k>` file. On a machine with >= 4
+// hardware threads, shards=4 must clear 2x the shards=1 closed-loop
+// throughput; on smaller machines the sweep is reported but the scaling
+// floor is skipped (the shard loops share one core and serialize).
+//
 // The acceptance bar (>= 10k arrivals/s with threads=4) is asserted at
 // quick scale; paper scale adds a larger instance. Results land in
 // BENCH_server_throughput.json.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "assign/online_afa.h"
 #include "bench_common.h"
@@ -53,7 +62,7 @@ std::vector<model::CustomerId> MakeArrivals(
 ModeResult RunMode(const model::ProblemInstance& inst, double qps,
                    size_t connections, unsigned threads,
                    const std::string& journal,
-                   io::JournalSyncPolicy sync = {}) {
+                   io::JournalSyncPolicy sync = {}, uint32_t shards = 1) {
   model::ProblemView view(&inst);
   model::UtilityModel utility(&inst);
   Rng rng(42);
@@ -67,6 +76,16 @@ ModeResult RunMode(const model::ProblemInstance& inst, double qps,
   opts.queue_max = 4096;
   opts.durability.journal_path = journal;
   opts.durability.sync_policy = sync;
+  const std::string checkpoint = journal + ".ckp";
+  if (shards > 1) {
+    // A multi-shard journal requires a checkpoint path (orphan-debit
+    // retirement, docs/serving.md); cadence 0 = final checkpoint only.
+    opts.shards = shards;
+    opts.solver_factory = []() -> Result<std::unique_ptr<assign::OnlineSolver>> {
+      return {std::make_unique<assign::AfaOnlineSolver>()};
+    };
+    opts.durability.checkpoint_path = checkpoint;
+  }
   server::Broker broker(ctx, &solver, opts);
   MUAA_CHECK_OK(broker.Start());
 
@@ -80,15 +99,23 @@ ModeResult RunMode(const model::ProblemInstance& inst, double qps,
   obs::MetricsSnapshot metrics = broker.metrics().Snapshot();
   MUAA_CHECK_OK(broker.Stop());
   std::remove(journal.c_str());
+  std::remove(checkpoint.c_str());
+  std::remove((checkpoint + ".shardmap").c_str());
+  for (uint32_t k = 0; k < shards; ++k) {
+    const std::string suffix = ".shard" + std::to_string(k);
+    std::remove((journal + suffix).c_str());
+    std::remove((checkpoint + suffix).c_str());
+  }
   return {*report, stats, metrics};
 }
 
 void Report(const char* mode, const char* sync_policy, const ModeResult& r,
-            bench::BenchReport* report) {
+            bench::BenchReport* report, uint32_t shards = 1) {
   std::printf(
-      "  %-10s sync=%-10s sent=%llu assigned=%llu busy=%llu qps=%.0f "
-      "p50=%.0fus p95=%.0fus p99=%.0fus\n",
-      mode, sync_policy, static_cast<unsigned long long>(r.report.sent),
+      "  %-10s sync=%-10s shards=%u sent=%llu assigned=%llu busy=%llu "
+      "qps=%.0f p50=%.0fus p95=%.0fus p99=%.0fus\n",
+      mode, sync_policy, shards,
+      static_cast<unsigned long long>(r.report.sent),
       static_cast<unsigned long long>(r.report.assigned),
       static_cast<unsigned long long>(r.report.busy),
       r.report.achieved_qps, r.report.p50_us, r.report.p95_us,
@@ -97,6 +124,7 @@ void Report(const char* mode, const char* sync_policy, const ModeResult& r,
   report->BeginRow();
   report->Str("mode", mode);
   report->Str("sync_policy", sync_policy);
+  report->Num("shards", static_cast<double>(shards));
   report->Num("sent", static_cast<double>(r.report.sent));
   report->Num("assigned", static_cast<double>(r.report.assigned));
   report->Num("busy", static_cast<double>(r.report.busy));
@@ -166,6 +194,22 @@ int main(int argc, char** argv) {
                                     kThreads, journal, per_record);
   Report("closed@4", "per-record", closed_sync1, &report);
 
+  // Shard sweep: the geo-partitioned broker at 1/2/4/8 solver shards,
+  // closed@16 with the default per-batch sync. The shards=1 row goes
+  // through the identical configuration (journal + checkpoint) so the
+  // scaling ratio compares like with like.
+  const unsigned hw = std::thread::hardware_concurrency();
+  double shard_qps[9] = {};
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    ModeResult r = RunMode(*inst, /*qps=*/0.0, /*connections=*/16, kThreads,
+                           journal, {}, n);
+    // Re-purpose the unused cells as a tiny map keyed by shard count.
+    shard_qps[n] = r.report.achieved_qps;
+    Report("closed@16", "per-batch", r, &report, n);
+    MUAA_CHECK(r.report.errors == 0)
+        << "shards=" << n << " run saw transport errors";
+  }
+
   // Stage timings of the open-loop run (broker registry) merged with the
   // process-global model/assign/stream metrics.
   obs::MetricsSnapshot metrics = open10k.metrics;
@@ -186,6 +230,21 @@ int main(int argc, char** argv) {
   MUAA_CHECK(open10k.report.achieved_qps >= 9'000.0)
       << "open-loop run fell behind its 10k/s offered rate: "
       << open10k.report.achieved_qps;
+  // Shard-scaling floor: only meaningful when 4 shard loops can actually
+  // run in parallel. On fewer cores the loops time-slice one CPU and the
+  // ratio measures scheduler overhead, not the sharding design.
+  if (hw >= 4) {
+    MUAA_CHECK(shard_qps[4] >= 2.0 * shard_qps[1])
+        << "shards=4 throughput " << shard_qps[4]
+        << " is under 2x the shards=1 baseline " << shard_qps[1];
+    std::printf("shard scaling floor met: shards=4 %.0f/s >= 2x shards=1 "
+                "%.0f/s\n",
+                shard_qps[4], shard_qps[1]);
+  } else {
+    std::printf("shard scaling floor skipped: %u hardware thread(s) < 4 "
+                "(shards=4 %.0f/s vs shards=1 %.0f/s, reported only)\n",
+                hw, shard_qps[4], shard_qps[1]);
+  }
   std::printf("\nthroughput floor met: closed@16=%.0f/s open@10k=%.0f/s\n",
               closed16.report.achieved_qps, open10k.report.achieved_qps);
   return 0;

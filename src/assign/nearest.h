@@ -19,6 +19,7 @@ class NearestOnlineSolver : public BudgetedOnlineSolver {
   std::string name() const override { return "NEAREST"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  bool SupportsSharding() const override { return true; }
 };
 
 }  // namespace muaa::assign

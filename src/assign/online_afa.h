@@ -65,6 +65,11 @@ class AfaOnlineSolver : public BudgetedOnlineSolver {
   /// Maximum used-budget ratio across vendors (the `δ_max` of the bound).
   double MaxUsedBudgetRatio() const;
 
+  /// Shardable unless the γ_min estimate adapts on-stream: the adaptive
+  /// reservoir observes every arrival's efficiencies, so splitting the
+  /// stream across shards would change the estimate and the thresholds.
+  bool SupportsSharding() const override { return !options_.adapt_gamma; }
+
  protected:
   /// Extra state past the shared budgets: the (possibly adapted) γ bounds,
   /// `g`, the threshold scale and the streaming-quantile estimator, so a

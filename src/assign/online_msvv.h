@@ -25,6 +25,7 @@ class MsvvOnlineSolver : public BudgetedOnlineSolver {
   std::string name() const override { return "ONLINE-MSVV"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  bool SupportsSharding() const override { return true; }
 
   /// The discount `ψ(δ) = 1 − e^{δ−1}` (exposed for tests).
   static double Discount(double used_fraction);

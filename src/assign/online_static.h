@@ -35,6 +35,9 @@ class StaticThresholdOnlineSolver : public BudgetedOnlineSolver {
   std::string name() const override { return "ONLINE-STATIC"; }
   Status Initialize(const SolveContext& ctx) override;
   Result<std::vector<AdInstance>> OnArrival(model::CustomerId i) override;
+  /// The threshold is frozen at Initialize; per-vendor spend is the only
+  /// stream-mutable state, so shards stay consistent with one stream.
+  bool SupportsSharding() const override { return true; }
 
   /// The effective constant threshold after initialization.
   double threshold() const { return threshold_; }

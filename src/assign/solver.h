@@ -98,6 +98,31 @@ class OnlineSolver {
     return Status::OK();
   }
 
+  /// \name Sharded-broker budget access (src/server/shard.h)
+  ///
+  /// The geo-partitioned broker splits vendor state across solver shards;
+  /// the cross-shard commit path reads a foreign vendor's spend under the
+  /// owning shard's lock, installs it into the deciding solver, and debits
+  /// the owner afterwards. Only solvers whose sole cross-arrival state is
+  /// the per-vendor spend can participate — anything with stream-adapted
+  /// state (e.g. O-AFA's adaptive-γ reservoir) would diverge from the
+  /// single-shard run, so `SupportsSharding` defaults to false.
+  /// @{
+  virtual bool SupportsSharding() const { return false; }
+  virtual double UsedBudget(model::VendorId j) const {
+    (void)j;
+    return 0.0;
+  }
+  virtual void SetUsedBudget(model::VendorId j, double spend) {
+    (void)j;
+    (void)spend;
+  }
+  virtual void AddUsedBudget(model::VendorId j, double cost) {
+    (void)j;
+    (void)cost;
+  }
+  /// @}
+
  private:
   ServeMode mode_ = ServeMode::kFull;
 };
@@ -117,6 +142,16 @@ class BudgetedOnlineSolver : public OnlineSolver {
  public:
   Result<std::string> Snapshot() const final;
   Status Restore(const std::string& blob) final;
+
+  double UsedBudget(model::VendorId j) const final {
+    return used_budget_[static_cast<size_t>(j)];
+  }
+  void SetUsedBudget(model::VendorId j, double spend) final {
+    used_budget_[static_cast<size_t>(j)] = spend;
+  }
+  void AddUsedBudget(model::VendorId j, double cost) final {
+    used_budget_[static_cast<size_t>(j)] += cost;
+  }
 
  protected:
   /// Validates `ctx`, adopts it and zeroes the per-vendor spend. Call this

@@ -10,6 +10,15 @@ namespace muaa::io {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '3'};
+constexpr char kMagicV4[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '4'};
+
+/// All shard fields at their defaults → the v3 layout reproduces this
+/// checkpoint exactly; keep writing it so unsharded brokers stay
+/// byte-compatible with earlier builds.
+bool IsLegacyV3(const StreamCheckpoint& ckpt) {
+  return ckpt.journal_records_covered == 0 && ckpt.shard_id == 0 &&
+         ckpt.num_shards <= 1 && ckpt.shard_map_crc == 0;
+}
 
 std::string EncodePayload(const StreamCheckpoint& ckpt) {
   std::string p;
@@ -35,10 +44,16 @@ std::string EncodePayload(const StreamCheckpoint& ckpt) {
   }
   PutU64(&p, ckpt.processed.size());
   for (uint64_t idx : ckpt.processed) PutU64(&p, idx);
+  if (!IsLegacyV3(ckpt)) {
+    PutU64(&p, ckpt.journal_records_covered);
+    PutU32(&p, ckpt.shard_id);
+    PutU32(&p, ckpt.num_shards);
+    PutU32(&p, ckpt.shard_map_crc);
+  }
   return p;
 }
 
-Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
+Status DecodePayload(const std::string& p, bool v4, StreamCheckpoint* ckpt) {
   BinReader in(p);
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_customers));
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_vendors));
@@ -88,6 +103,15 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
     MUAA_RETURN_NOT_OK(in.ReadU64(&idx));
     ckpt->processed.push_back(idx);
   }
+  if (v4) {
+    MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->journal_records_covered));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->shard_id));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->num_shards));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->shard_map_crc));
+    if (ckpt->num_shards == 0) {
+      return Status::DataLoss("checkpoint num_shards must be positive");
+    }
+  }
   if (!in.done()) {
     return Status::DataLoss("trailing bytes in checkpoint payload");
   }
@@ -99,7 +123,7 @@ Status DecodePayload(const std::string& p, StreamCheckpoint* ckpt) {
 Status SaveCheckpoint(Env* env, const StreamCheckpoint& ckpt,
                       const std::string& path) {
   const std::string payload = EncodePayload(ckpt);
-  std::string bytes(kMagic, sizeof(kMagic));
+  std::string bytes(IsLegacyV3(ckpt) ? kMagic : kMagicV4, sizeof(kMagic));
   PutU64(&bytes, payload.size());
   bytes += payload;
   PutU32(&bytes, Crc32(payload));
@@ -153,8 +177,13 @@ Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path) {
   };
   char magic[sizeof(kMagic)] = {};
   MUAA_ASSIGN_OR_RETURN(size_t got, read_full(sizeof(magic), magic));
-  if (got != sizeof(magic) ||
-      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool is_v3 =
+      got == sizeof(magic) &&
+      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) == 0;
+  const bool is_v4 =
+      got == sizeof(magic) &&
+      std::char_traits<char>::compare(magic, kMagicV4, sizeof(kMagicV4)) == 0;
+  if (!is_v3 && !is_v4) {
     return Status::DataLoss("bad checkpoint header: " + path);
   }
   char size_bytes[8];
@@ -190,7 +219,7 @@ Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path) {
     return Status::DataLoss("checkpoint checksum mismatch: " + path);
   }
   StreamCheckpoint ckpt;
-  MUAA_RETURN_NOT_OK(DecodePayload(payload, &ckpt));
+  MUAA_RETURN_NOT_OK(DecodePayload(payload, is_v4, &ckpt));
   return ckpt;
 }
 

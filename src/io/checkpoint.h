@@ -56,6 +56,27 @@ struct StreamCheckpoint {
   /// exact IEEE-754 bit patterns; re-adding them in order reproduces the
   /// Kahan-compensated totals bitwise).
   std::vector<assign::AdInstance> instances;
+
+  // --- Sharded-broker fields (server/shard.h) --------------------------
+  // All-default values encode as the legacy v3 format ("MUAACKP3"), so an
+  // unsharded broker's checkpoint files are byte-identical to what it
+  // wrote before sharding existed; any non-default value switches the
+  // writer to v4 ("MUAACKP4"). The loader accepts both.
+
+  /// Journal records whose state effects this checkpoint already contains
+  /// — including cross-shard debits that landed between this shard's own
+  /// groups. Replay reads but does not re-apply the first
+  /// `journal_records_covered` records. 0 (the v3 value) means "none":
+  /// legacy replay re-reads the whole journal and relies on the processed
+  /// set for idempotency, which is only correct without kXDebit records.
+  uint64_t journal_records_covered = 0;
+  /// Which shard wrote this checkpoint.
+  uint32_t shard_id = 0;
+  /// Shard count of the writing broker; 1 = unsharded.
+  uint32_t num_shards = 1;
+  /// `ShardMap::fingerprint()` of the writing broker; 0 when unsharded.
+  /// Guards against resuming a shard against a different partition.
+  uint32_t shard_map_crc = 0;
 };
 
 /// Atomically writes `ckpt` to `path` (tmp file + fsync + rename + fsync of

@@ -10,9 +10,11 @@ namespace muaa::io {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'J', 'N', 'L', '1'};
-// A record payload is at most a few dozen bytes; anything larger means the
-// length prefix itself is garbage. Refuse early instead of allocating.
-constexpr uint32_t kMaxPayload = 4096;
+// Most payloads are a few dozen bytes; a kXSpends record carries one
+// 12-byte entry per foreign valid vendor, so the bound scales with the
+// vendor count of plausible instances. Anything larger means the length
+// prefix itself is garbage — refuse early instead of allocating.
+constexpr uint32_t kMaxPayload = 1u << 16;
 
 std::string EncodeDecision(uint64_t arrival, const assign::AdInstance& inst) {
   std::string payload;
@@ -43,6 +45,31 @@ std::string EncodeModeChange(uint64_t arrival, uint32_t mode) {
   return payload;
 }
 
+std::string EncodeXSpends(uint64_t arrival, model::CustomerId customer,
+                          const std::vector<XSpendEntry>& spends) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kXSpends));
+  PutU64(&payload, arrival);
+  PutU32(&payload, static_cast<uint32_t>(customer));
+  PutU32(&payload, static_cast<uint32_t>(spends.size()));
+  for (const XSpendEntry& e : spends) {
+    PutU32(&payload, static_cast<uint32_t>(e.vendor));
+    PutDouble(&payload, e.spend);
+  }
+  return payload;
+}
+
+std::string EncodeXDebit(uint64_t arrival, model::CustomerId customer,
+                         model::VendorId vendor, double cost) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kXDebit));
+  PutU64(&payload, arrival);
+  PutU32(&payload, static_cast<uint32_t>(customer));
+  PutU32(&payload, static_cast<uint32_t>(vendor));
+  PutDouble(&payload, cost);
+  return payload;
+}
+
 Status DecodePayload(const std::string& payload, JournalRecord* rec) {
   BinReader in(payload);
   uint8_t type = 0;
@@ -53,6 +80,8 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
   MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
   rec->arrival = arrival;
   rec->customer = static_cast<model::CustomerId>(customer);
+  rec->cost = 0.0;
+  rec->spends.clear();
   switch (static_cast<JournalRecordType>(type)) {
     case JournalRecordType::kDecision: {
       rec->type = JournalRecordType::kDecision;
@@ -82,6 +111,41 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
         return Status::DataLoss("journal mode change out of range");
       }
       rec->vendor = -1;
+      rec->ad_type = -1;
+      rec->utility = 0.0;
+      rec->num_decisions = 0;
+      break;
+    }
+    case JournalRecordType::kXSpends: {
+      rec->type = JournalRecordType::kXSpends;
+      uint32_t count = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&count));
+      // 12 bytes per entry; reject counts the remaining payload can't hold.
+      if (count > in.remaining() / 12) {
+        return Status::DataLoss("journal xspends count exceeds payload");
+      }
+      rec->spends.clear();
+      rec->spends.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t vendor = 0;
+        XSpendEntry e;
+        MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+        MUAA_RETURN_NOT_OK(in.ReadDouble(&e.spend));
+        e.vendor = static_cast<model::VendorId>(vendor);
+        rec->spends.push_back(e);
+      }
+      rec->vendor = -1;
+      rec->ad_type = -1;
+      rec->utility = 0.0;
+      rec->num_decisions = 0;
+      break;
+    }
+    case JournalRecordType::kXDebit: {
+      rec->type = JournalRecordType::kXDebit;
+      uint32_t vendor = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+      MUAA_RETURN_NOT_OK(in.ReadDouble(&rec->cost));
+      rec->vendor = static_cast<model::VendorId>(vendor);
       rec->ad_type = -1;
       rec->utility = 0.0;
       rec->num_decisions = 0;
@@ -221,6 +285,18 @@ Status JournalWriter::AppendArrivalCommit(uint64_t arrival,
 
 Status JournalWriter::AppendModeChange(uint64_t arrival, uint32_t mode) {
   return AppendFramed(EncodeModeChange(arrival, mode));
+}
+
+Status JournalWriter::AppendXSpends(uint64_t arrival,
+                                    model::CustomerId customer,
+                                    const std::vector<XSpendEntry>& spends) {
+  return AppendFramed(EncodeXSpends(arrival, customer, spends));
+}
+
+Status JournalWriter::AppendXDebit(uint64_t arrival,
+                                   model::CustomerId customer,
+                                   model::VendorId vendor, double cost) {
+  return AppendFramed(EncodeXDebit(arrival, customer, vendor, cost));
 }
 
 Status JournalWriter::Flush() {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "assign/assignment.h"
 #include "common/result.h"
@@ -46,6 +47,26 @@ enum class JournalRecordType : uint8_t {
   /// an arrival's decisions and its commit marker — so recovery can
   /// re-execute the tail on the same rung that first decided it.
   kModeChange = 3,
+  /// Cross-shard reserve (sharded broker, docs/serving.md): the absolute
+  /// foreign-vendor spends the owning shard read under the two-phase
+  /// commit locks, written immediately before the arrival's decision
+  /// group on the owner's journal. Replay installs them into the owning
+  /// solver before re-running the arrival, so the owner's view of
+  /// foreign budgets is bitwise what the live run saw.
+  kXSpends = 4,
+  /// Cross-shard debit (sharded broker): written on a *foreign* shard's
+  /// journal when the owning shard spent `cost` of one of this shard's
+  /// vendors deciding `customer`. Sits at a group boundary. Replay
+  /// applies it only when the owning shard's commit marker for the
+  /// customer is durable somewhere (orphan debits of an arrival whose
+  /// commit was lost are skipped).
+  kXDebit = 5,
+};
+
+/// One (vendor, absolute spend) entry of a kXSpends record.
+struct XSpendEntry {
+  model::VendorId vendor = -1;
+  double spend = 0.0;  ///< bitwise-exact used budget at reserve time
 };
 
 /// The broker's read-only storage-failure rung as journaled in a
@@ -64,6 +85,8 @@ struct JournalRecord {
   double utility = 0.0;             ///< kDecision, bitwise-exact
   uint32_t num_decisions = 0;       ///< kArrivalCommit: group size check
   uint32_t mode = 0;                ///< kModeChange: assign::ServeMode value
+  double cost = 0.0;                ///< kXDebit: budget debited from `vendor`
+  std::vector<XSpendEntry> spends;  ///< kXSpends: foreign spends, vendor-asc
 };
 
 /// \brief Hook consulted before every record append; the deterministic
@@ -146,6 +169,16 @@ class JournalWriter {
   /// Appends a degradation-ladder transition taking effect at `arrival`
   /// (the next arrival index to be decided). Must sit at a group boundary.
   Status AppendModeChange(uint64_t arrival, uint32_t mode);
+
+  /// Appends the cross-shard reserve record opening `arrival`'s group on
+  /// the owning shard's journal (sharded broker).
+  Status AppendXSpends(uint64_t arrival, model::CustomerId customer,
+                       const std::vector<XSpendEntry>& spends);
+
+  /// Appends a cross-shard debit on a foreign shard's journal. Must sit at
+  /// a group boundary of that journal.
+  Status AppendXDebit(uint64_t arrival, model::CustomerId customer,
+                      model::VendorId vendor, double cost);
 
   /// Flushes buffered bytes to the OS (survives a process kill, not a
   /// power cut). With fd-based envs every append already lands in the OS,

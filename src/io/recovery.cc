@@ -20,7 +20,7 @@ constexpr char kQuarantineMagic[8] = {'M', 'U', 'A', 'A', 'Q', 'R', 'N', '1'};
 /// count a trailing partial frame as one. The count is a best-effort
 /// "how many decisions did the disk eat", not a parse.
 uint64_t CountFramesLeniently(std::string_view bytes) {
-  constexpr uint32_t kMaxPayload = 4096;
+  constexpr uint32_t kMaxPayload = 1u << 16;  // mirror io/journal.cc
   uint64_t frames = 0;
   size_t pos = 0;
   while (pos < bytes.size()) {

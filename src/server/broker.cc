@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "io/checkpoint.h"
 #include "obs/export.h"
@@ -19,8 +21,6 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
       solver_(solver),
       options_(std::move(options)),
       run_{assign::AssignmentSet(ctx.instance), stream::StreamStats{}} {
-  hinter_ = RetryHinter(options_.busy_retry_us, options_.busy_retry_cap_us);
-  ladder_ = DegradationLadder(options_.ladder);
   c_busy_rejections_ = metrics_.GetCounter("server.busy_rejections");
   c_duplicates_ = metrics_.GetCounter("server.duplicates");
   c_departed_ = metrics_.GetCounter("server.departed");
@@ -32,6 +32,7 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
   c_mode_transitions_ = metrics_.GetCounter("server.mode_transitions");
   c_journal_sync_errors_ = metrics_.GetCounter("server.journal_sync_errors");
   c_disk_fail_rejects_ = metrics_.GetCounter("server.disk_fail_rejects");
+  c_xshard_commits_ = metrics_.GetCounter("server.xshard_commits");
   c_records_salvaged_ = metrics_.GetCounter("recovery.records_salvaged");
   c_records_quarantined_ = metrics_.GetCounter("recovery.records_quarantined");
   c_bytes_quarantined_ = metrics_.GetCounter("recovery.bytes_quarantined");
@@ -40,6 +41,8 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
   g_max_batch_ = metrics_.GetGauge("server.max_batch");
   g_queue_high_water_ = metrics_.GetGauge("server.queue_high_water");
   g_mode_ = metrics_.GetGauge("server.mode");
+  g_shards_ = metrics_.GetGauge("server.shards");
+  g_shards_->Set(options_.shards == 0 ? 1 : options_.shards);
   h_frame_decode_ = metrics_.GetHistogram("server.frame_decode_us");
   h_queue_wait_ = metrics_.GetHistogram("server.queue_wait_us");
   h_batch_solve_ = metrics_.GetHistogram("server.batch_solve_us");
@@ -57,74 +60,248 @@ Broker::~Broker() {
   }
 }
 
+void Broker::RecordShardHist(Shard* s, obs::LatencyHistogram** cell,
+                             const char* name, uint64_t value_us) {
+  if (s->metric_prefix.empty() || !obs::Enabled()) return;
+  if (*cell == nullptr) {
+    *cell = metrics_.GetHistogram(s->metric_prefix + name);
+  }
+  (*cell)->Record(value_us);
+}
+
 Status Broker::Start() {
   MUAA_RETURN_NOT_OK(assign::ValidateContext(ctx_));
-  MUAA_RETURN_NOT_OK(solver_->Initialize(ctx_));
-
+  if (options_.shards < 1 || options_.shards > 256) {
+    return Status::InvalidArgument("BrokerOptions::shards must be in [1, 256]");
+  }
+  const uint32_t n = options_.shards;
   const size_t m = ctx_.instance->num_customers();
   processed_.assign(m, false);
   departed_.assign(m, false);
   decisions_.assign(m, {});
 
   const stream::StreamOptions& dur = options_.durability;
+  if (n > 1) {
+    if (!options_.solver_factory) {
+      return Status::InvalidArgument(
+          "shards > 1 requires BrokerOptions::solver_factory");
+    }
+    if (!dur.journal_path.empty() && dur.checkpoint_path.empty()) {
+      // Multi-shard recovery skips orphaned cross-shard debits and relies
+      // on the fresh post-recovery checkpoint's watermark to never replay
+      // past them again; journaling without a checkpoint path would leave
+      // that hole open across a second crash.
+      return Status::InvalidArgument(
+          "shards > 1 with a journal requires a checkpoint path");
+    }
+  }
+
+  shards_.clear();
+  shard_map_.reset();
+  router_.reset();
+  for (uint32_t k = 0; k < n; ++k) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard* s = shards_.back().get();
+    s->id = k;
+    s->hinter = RetryHinter(options_.busy_retry_us, options_.busy_retry_cap_us);
+    s->ladder = DegradationLadder(options_.ladder);
+    s->owned_processed.assign(m, false);
+  }
+  if (n == 1) {
+    // The classic single-loop broker: the caller's solver and context,
+    // the unsuffixed durability paths, v3 checkpoints, no shard metrics —
+    // every byte on disk and on the wire as before sharding existed.
+    if (solver_ == nullptr) {
+      return Status::InvalidArgument("broker requires a solver");
+    }
+    Shard* s = shards_[0].get();
+    s->solver = solver_;
+    s->ctx = ctx_;
+    s->journal_path = dur.journal_path;
+    s->checkpoint_path = dur.checkpoint_path;
+  } else {
+    MUAA_ASSIGN_OR_RETURN(ShardMap built,
+                          ShardMap::Build(ctx_.instance->vendors, n));
+    shard_map_ = std::make_unique<ShardMap>(std::move(built));
+    router_ = std::make_unique<Router>(ctx_.view, shard_map_.get());
+    for (uint32_t k = 0; k < n; ++k) {
+      Shard* s = shards_[k].get();
+      MUAA_ASSIGN_OR_RETURN(s->owned_solver, options_.solver_factory());
+      if (s->owned_solver == nullptr || !s->owned_solver->SupportsSharding()) {
+        return Status::InvalidArgument(
+            "solver_factory must produce solvers with SupportsSharding() "
+            "(cross-arrival state limited to per-vendor spend)");
+      }
+      s->solver = s->owned_solver.get();
+      s->rng = std::make_unique<Rng>(options_.shard_rng_seed);
+      s->ctx = ctx_;
+      s->ctx.rng = s->rng.get();
+      const std::string suffix = ".shard" + std::to_string(k);
+      if (!dur.journal_path.empty()) {
+        s->journal_path = dur.journal_path + suffix;
+      }
+      if (!dur.checkpoint_path.empty()) {
+        s->checkpoint_path = dur.checkpoint_path + suffix;
+      }
+      s->metric_prefix = "shard" + std::to_string(k) + ".";
+      s->c_batches = metrics_.GetCounter(s->metric_prefix + "batches");
+      s->c_disk_fail_rejects =
+          metrics_.GetCounter(s->metric_prefix + "disk_fail_rejects");
+      s->c_mode_transitions =
+          metrics_.GetCounter(s->metric_prefix + "mode_transitions");
+      s->c_xshard_commits =
+          metrics_.GetCounter(s->metric_prefix + "xshard_commits");
+      s->g_max_batch = metrics_.GetGauge(s->metric_prefix + "max_batch");
+      s->g_queue_high_water =
+          metrics_.GetGauge(s->metric_prefix + "queue_high_water");
+      s->g_mode = metrics_.GetGauge(s->metric_prefix + "mode");
+    }
+  }
+  g_shards_->Set(n);
+
+  for (auto& sp : shards_) {
+    MUAA_RETURN_NOT_OK(sp->solver->Initialize(sp->ctx));
+  }
+
   if (options_.resume) {
-    MUAA_ASSIGN_OR_RETURN(stream::RecoveredStream rec,
-                          stream::RecoverStreamState(ctx_, solver_, dur));
-    run_ = std::move(rec.run);
-    processed_ = std::move(rec.processed);
-    for (const assign::AdInstance& inst : run_.assignments.instances()) {
-      decisions_[static_cast<size_t>(inst.customer)].push_back(inst);
-    }
-    det_arrivals_ = run_.stats.arrivals;
-    det_assigned_ads_ = run_.stats.assigned_ads;
-    det_served_ = run_.stats.served_customers;
-    det_total_utility_ = run_.stats.total_utility;
-    // Recovery restored the degradation rung (checkpoint + journaled
-    // transitions); sync the ladder and the STATS mirror to it.
-    ladder_.Reset(solver_->mode() == assign::ServeMode::kDegraded);
-    g_mode_->Set(static_cast<uint64_t>(solver_->mode()));
-    // Surface what the salvage pass did; the crash-loop and operators
-    // read these from STATS rather than scraping logs.
-    c_records_salvaged_->Add(rec.recovery.records_kept);
-    c_records_quarantined_->Add(rec.recovery.records_dropped);
-    c_bytes_quarantined_->Add(rec.recovery.bytes_quarantined);
-    c_tmp_checkpoints_deleted_->Add(rec.recovery.tmp_files_deleted);
-    if (rec.saw_disk_fail) {
-      // The previous process ended read-only on a failing disk. Serve
-      // normally — if the device is still bad, the first journal write
-      // re-enters disk-fail mode on its own.
-      MUAA_LOG(Warning) << "previous run ended in disk-fail mode; resuming";
-    }
-    if (!dur.journal_path.empty()) {
-      if (rec.journal_usable) {
-        MUAA_ASSIGN_OR_RETURN(
-            io::JournalWriter w,
-            io::JournalWriter::OpenAppend(dur.env_or_default(),
-                                          dur.journal_path,
-                                          rec.committed_records,
-                                          dur.sync_policy));
-        writer_ = std::make_unique<io::JournalWriter>(std::move(w));
-      } else {
-        MUAA_ASSIGN_OR_RETURN(
-            io::JournalWriter w,
-            io::JournalWriter::Create(dur.env_or_default(), dur.journal_path,
-                                      dur.sync_policy));
-        writer_ = std::make_unique<io::JournalWriter>(std::move(w));
+    // Which arrivals are durably committed *somewhere* — the oracle the
+    // per-shard replays consult to tell a real cross-shard debit from the
+    // orphaned residue of a transaction whose owner marker was lost.
+    std::vector<bool> committed;
+    if (n > 1) {
+      committed.assign(m, false);
+      for (auto& sp : shards_) {
+        if (!sp->checkpoint_path.empty()) {
+          auto ck = io::LoadCheckpoint(dur.env_or_default(),
+                                       sp->checkpoint_path);
+          if (ck.ok()) {
+            for (uint64_t i : ck->processed) {
+              if (i < m) committed[static_cast<size_t>(i)] = true;
+            }
+          }
+          // Missing or damaged checkpoints are the per-shard recovery's
+          // business (salvage, DataLoss); the prescan only unions what
+          // loads cleanly.
+        }
+        if (!sp->journal_path.empty()) {
+          MUAA_RETURN_NOT_OK(stream::ScanCommittedArrivals(
+              dur.env_or_default(), sp->journal_path, m, &committed));
+        }
       }
     }
-  } else if (!dur.journal_path.empty()) {
-    MUAA_ASSIGN_OR_RETURN(
-        io::JournalWriter w,
-        io::JournalWriter::Create(dur.env_or_default(), dur.journal_path,
-                                  dur.sync_policy));
-    writer_ = std::make_unique<io::JournalWriter>(std::move(w));
+
+    for (auto& sp : shards_) {
+      Shard* s = sp.get();
+      stream::StreamOptions sdur = dur;
+      sdur.journal_path = s->journal_path;
+      sdur.checkpoint_path = s->checkpoint_path;
+      stream::ShardReplayOptions sro;
+      const stream::ShardReplayOptions* srop = nullptr;
+      if (n > 1) {
+        sro.shard_id = s->id;
+        sro.num_shards = n;
+        sro.shard_map_crc = shard_map_->fingerprint();
+        sro.committed_arrivals = &committed;
+        srop = &sro;
+      }
+      MUAA_ASSIGN_OR_RETURN(
+          stream::RecoveredStream rec,
+          stream::RecoverStreamState(s->ctx, s->solver, sdur, nullptr, srop));
+      s->stats = rec.run.stats;
+      s->instances = rec.run.assignments.instances();
+      s->owned_processed = rec.processed;
+      for (size_t i = 0; i < rec.processed.size() && i < m; ++i) {
+        if (rec.processed[i]) processed_[i] = true;
+      }
+      for (const assign::AdInstance& inst : s->instances) {
+        decisions_[static_cast<size_t>(inst.customer)].push_back(inst);
+      }
+      // Recovery restored the degradation rung (checkpoint + journaled
+      // transitions); sync the ladder and the STATS mirrors to it.
+      s->ladder.Reset(s->solver->mode() == assign::ServeMode::kDegraded);
+      if (s->g_mode != nullptr) {
+        s->g_mode->Set(static_cast<uint64_t>(s->solver->mode()));
+      }
+      // Surface what the salvage pass did; the crash-loop and operators
+      // read these from STATS rather than scraping logs.
+      c_records_salvaged_->Add(rec.recovery.records_kept);
+      c_records_quarantined_->Add(rec.recovery.records_dropped);
+      c_bytes_quarantined_->Add(rec.recovery.bytes_quarantined);
+      c_tmp_checkpoints_deleted_->Add(rec.recovery.tmp_files_deleted);
+      if (rec.saw_disk_fail) {
+        // The previous process ended read-only on a failing disk. Serve
+        // normally — if the device is still bad, the first journal write
+        // re-enters disk-fail mode on its own.
+        MUAA_LOG(Warning) << "shard " << s->id
+                          << ": previous run ended in disk-fail mode; resuming";
+      }
+      if (!s->journal_path.empty()) {
+        if (rec.journal_usable) {
+          MUAA_ASSIGN_OR_RETURN(
+              io::JournalWriter w,
+              io::JournalWriter::OpenAppend(dur.env_or_default(),
+                                            s->journal_path,
+                                            rec.committed_records,
+                                            dur.sync_policy));
+          s->writer = std::make_unique<io::JournalWriter>(std::move(w));
+          s->journal_base = rec.committed_records;
+        } else {
+          MUAA_ASSIGN_OR_RETURN(
+              io::JournalWriter w,
+              io::JournalWriter::Create(dur.env_or_default(), s->journal_path,
+                                        dur.sync_policy));
+          s->writer = std::make_unique<io::JournalWriter>(std::move(w));
+          s->journal_base = 0;
+        }
+      }
+      if (n == 1) {
+        run_ = std::move(rec.run);
+        det_arrivals_ = run_.stats.arrivals;
+        det_assigned_ads_ = run_.stats.assigned_ads;
+        det_served_ = run_.stats.served_customers;
+        det_total_utility_ = run_.stats.total_utility;
+        g_mode_->Set(static_cast<uint64_t>(s->solver->mode()));
+      }
+    }
+    if (n > 1) {
+      MUAA_RETURN_NOT_OK(RebuildRunFromDecisions());
+      uint64_t worst = 0;
+      for (const auto& sp : shards_) {
+        worst = std::max(worst, sp->g_mode->Value());
+      }
+      g_mode_->Set(worst);
+      // Mandatory fresh per-shard checkpoints: their watermarks cover
+      // everything replay just consumed — including skipped orphan debits,
+      // which must never be seen again once their arrivals are re-decided.
+      for (auto& sp : shards_) {
+        MUAA_RETURN_NOT_OK(WriteCheckpoint(sp.get()));
+      }
+    }
+  } else {
+    for (auto& sp : shards_) {
+      if (sp->journal_path.empty()) continue;
+      MUAA_ASSIGN_OR_RETURN(
+          io::JournalWriter w,
+          io::JournalWriter::Create(dur.env_or_default(), sp->journal_path,
+                                    dur.sync_policy));
+      sp->writer = std::make_unique<io::JournalWriter>(std::move(w));
+    }
+  }
+  if (n > 1 && !dur.checkpoint_path.empty()) {
+    // Operator-inspectable partition sidecar; resume rebuilds the map from
+    // the vendors and verifies fingerprints, it never trusts this file.
+    MUAA_RETURN_NOT_OK(shard_map_->Save(dur.env_or_default(),
+                                        dur.checkpoint_path + ".shardmap"));
   }
 
   MUAA_ASSIGN_OR_RETURN(listener_,
                         Listener::Bind(options_.host, options_.port));
   port_ = listener_.port();
   started_ = true;
-  solver_thread_ = std::thread([this] { SolverLoop(); });
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    s->thread = std::thread([this, s] { ShardLoop(s); });
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -251,11 +428,25 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         SendResponse(conn, resp);
         return true;
       }
-      if (disk_failed_.load(std::memory_order_relaxed)) {
-        // Read-only mode: the journal cannot make new decisions durable,
-        // so none are made. An explicit rejection the client can act on —
-        // never a silent drop, never an ack a restart would not honor.
+      // Route to the owning shard (identity with one shard). The router's
+      // scratch makes it single-caller; readers are many, so routing is
+      // serialized — a vendor scan, trivial next to a solve.
+      uint32_t owner_id = 0;
+      std::vector<uint32_t> touched;
+      if (router_ != nullptr) {
+        std::lock_guard<std::mutex> lk(router_mu_);
+        RouteDecision rd = router_->Route(req.customer);
+        owner_id = rd.owner;
+        touched = std::move(rd.touched);
+      }
+      Shard* s = shards_[owner_id].get();
+      if (s->disk_failed.load(std::memory_order_relaxed)) {
+        // Read-only mode: the shard's journal cannot make new decisions
+        // durable, so none are made. An explicit rejection the client can
+        // act on — never a silent drop, never an ack a restart would not
+        // honor.
         c_disk_fail_rejects_->Add();
+        if (s->c_disk_fail_rejects != nullptr) s->c_disk_fail_rejects->Add();
         Response resp;
         resp.type = ResponseType::kDiskFail;
         resp.request_id = req.request_id;
@@ -271,26 +462,36 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
       bool admitted = false, expired = false;
       uint32_t hint = options_.busy_retry_us;
       {
-        std::lock_guard<std::mutex> lk(queue_mu_);
+        std::lock_guard<std::mutex> lk(s->queue_mu);
         // Admission-time expiry: if the predicted queue delay already
         // exceeds the request's budget, answering EXPIRED now is strictly
         // better than queueing work the deadline will kill anyway.
         if (req.deadline_us > 0 &&
-            estimator_.QueueDelayUs(queue_.size()) >= req.deadline_us) {
+            s->estimator.QueueDelayUs(s->queue.size()) >= req.deadline_us) {
           expired = true;
-        } else if (!conn_full && !stopping_ && !aborting_ &&
-                   queue_.size() < options_.queue_max) {
-          queue_.push_back(Admission{conn, req.request_id, req.customer,
-                                     req.deadline_us, now});
+        } else if (!conn_full && !stopping_.load(std::memory_order_relaxed) &&
+                   !aborting_.load(std::memory_order_relaxed) &&
+                   s->queue.size() < options_.queue_max) {
+          s->queue.push_back(Admission{conn, req.request_id, req.customer,
+                                       req.deadline_us, now,
+                                       std::move(touched)});
           admitted = true;
-          hinter_.OnAdmit();
+          s->hinter.OnAdmit();
           conn->inflight.fetch_add(1, std::memory_order_relaxed);
-          g_queue_high_water_->SetMax(queue_.size());
+          // The global high-water tracks the *aggregate* depth across all
+          // shard queues at this instant; the per-shard gauge tracks this
+          // queue's own peak.
+          const uint64_t aggregate =
+              total_queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+          g_queue_high_water_->SetMax(aggregate);
+          if (s->g_queue_high_water != nullptr) {
+            s->g_queue_high_water->SetMax(s->queue.size());
+          }
         } else {
           // Adaptive hint: come back roughly when the queue will have
           // drained, exponentially backed off under sustained rejection.
           hint = static_cast<uint32_t>(
-              hinter_.OnReject(estimator_.QueueDelayUs(queue_.size())));
+              s->hinter.OnReject(s->estimator.QueueDelayUs(s->queue.size())));
         }
       }
       if (expired) {
@@ -301,7 +502,7 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         resp.customer = req.customer;
         SendResponse(conn, resp);
       } else if (admitted) {
-        queue_cv_.notify_all();
+        s->queue_cv.notify_all();
       } else {
         // Backpressure instead of unbounded buffering: the client owns
         // the retry.
@@ -359,42 +560,52 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
   return false;
 }
 
-void Broker::SolverLoop() {
+void Broker::ShardLoop(Shard* s) {
   while (true) {
     std::vector<Admission> batch;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] {
-        return !queue_.empty() || stopping_ || aborting_;
+      std::unique_lock<std::mutex> lk(s->queue_mu);
+      s->queue_cv.wait(lk, [this, s] {
+        return !s->queue.empty() || stopping_.load(std::memory_order_relaxed) ||
+               aborting_.load(std::memory_order_relaxed);
       });
-      if (aborting_) return;
-      if (queue_.empty() && stopping_) return;
+      if (aborting_.load(std::memory_order_relaxed)) return;
+      if (s->queue.empty() && stopping_.load(std::memory_order_relaxed)) {
+        return;
+      }
       // Micro-batch: give the queue a short window to fill so one journal
       // flush covers many decisions. Skipped while draining.
-      if (options_.batch_wait_us > 0 && !stopping_ &&
-          queue_.size() < options_.batch_max) {
-        queue_cv_.wait_for(
-            lk, std::chrono::microseconds(options_.batch_wait_us), [this] {
-              return queue_.size() >= options_.batch_max || stopping_ ||
-                     aborting_;
+      if (options_.batch_wait_us > 0 &&
+          !stopping_.load(std::memory_order_relaxed) &&
+          s->queue.size() < options_.batch_max) {
+        s->queue_cv.wait_for(
+            lk, std::chrono::microseconds(options_.batch_wait_us),
+            [this, s] {
+              return s->queue.size() >= options_.batch_max ||
+                     stopping_.load(std::memory_order_relaxed) ||
+                     aborting_.load(std::memory_order_relaxed);
             });
       }
-      if (aborting_) return;
-      const size_t take = std::min(queue_.size(), options_.batch_max);
+      if (aborting_.load(std::memory_order_relaxed)) return;
+      const size_t take = std::min(s->queue.size(), options_.batch_max);
       batch.reserve(take);
       for (size_t k = 0; k < take; ++k) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        batch.push_back(std::move(s->queue.front()));
+        s->queue.pop_front();
       }
+      total_queued_.fetch_sub(take, std::memory_order_relaxed);
     }
     c_batches_->Add();
+    if (s->c_batches != nullptr) s->c_batches->Add();
     g_max_batch_->SetMax(batch.size());
-    Status st = ProcessBatch(&batch);
+    if (s->g_max_batch != nullptr) s->g_max_batch->SetMax(batch.size());
+    Status st = ProcessBatch(s, &batch);
     if (!st.ok()) {
-      MUAA_LOG(Error) << "broker solver loop failed: " << st.ToString();
+      MUAA_LOG(Error) << "broker shard " << s->id
+                      << " loop failed: " << st.ToString();
       {
         std::lock_guard<std::mutex> lk(state_mu_);
-        fatal_ = st;
+        if (fatal_.ok()) fatal_ = st;
       }
       // Release WaitUntilShutdown so the owner can Stop() and surface the
       // error instead of serving a half-dead broker.
@@ -414,7 +625,28 @@ void Broker::SolverLoop() {
   }
 }
 
-Status Broker::ProcessBatch(std::vector<Admission>* batch) {
+Status Broker::CommitGlobal(size_t idx, double latency_ms,
+                            const std::vector<assign::AdInstance>& picked) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  run_.stats.arrivals += 1;
+  run_.stats.total_latency_ms += latency_ms;
+  run_.stats.max_latency_ms = std::max(run_.stats.max_latency_ms, latency_ms);
+  if (!picked.empty()) run_.stats.served_customers += 1;
+  for (const assign::AdInstance& inst : picked) {
+    MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
+    run_.stats.assigned_ads += 1;
+    run_.stats.total_utility += inst.utility;
+  }
+  decisions_[idx] = picked;
+  processed_[idx] = true;
+  det_arrivals_ = run_.stats.arrivals;
+  det_assigned_ads_ = run_.stats.assigned_ads;
+  det_served_ = run_.stats.served_customers;
+  det_total_utility_ = run_.stats.total_utility;
+  return Status::OK();
+}
+
+Status Broker::ProcessBatch(Shard* s, std::vector<Admission>* batch) {
   std::vector<Response> responses;
   responses.reserve(batch->size());
   Stopwatch watch;
@@ -427,6 +659,8 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   // becomes durable (one fsync, below) before any of it commits to broker
   // state or reaches a client — a journal failure anywhere in the batch
   // turns into DISK_FAIL rejections, never an ack a restart cannot honor.
+  // (Cross-shard arrivals are the exception: they commit one at a time
+  // inside the loop, under their own per-arrival fsync discipline.)
   struct Staged {
     size_t response_pos;  ///< placeholder slot in `responses`
     size_t idx;           ///< customer index
@@ -448,6 +682,7 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
             .count());
     sojourn_sum_us += sojourn_us;
     if (obs::Enabled()) h_queue_wait_->Record(sojourn_us);
+    RecordShardHist(s, &s->h_queue_wait, "queue_wait_us", sojourn_us);
     Response resp;
     resp.type = ResponseType::kAssign;
     resp.request_id = adm.request_id;
@@ -501,42 +736,68 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
       responses.push_back(std::move(resp));  // zero ads
       continue;
     }
-    if (disk_failed_.load(std::memory_order_relaxed)) {
+    if (s->disk_failed.load(std::memory_order_relaxed)) {
       // Admitted before the failure flag rose, or the journal died
       // earlier in this batch: reject like the admission path does.
       c_disk_fail_rejects_->Add();
+      if (s->c_disk_fail_rejects != nullptr) s->c_disk_fail_rejects->Add();
       resp.type = ResponseType::kDiskFail;
+      responses.push_back(std::move(resp));
+      continue;
+    }
+    if (adm.touched.size() > 1) {
+      // Boundary-straddling customer: two-phase reserve/commit against
+      // every touched shard, committed (and fsynced) immediately rather
+      // than batch-staged.
+      MUAA_RETURN_NOT_OK(ProcessCrossShard(s, adm, &resp));
       responses.push_back(std::move(resp));
       continue;
     }
 
     watch.Restart();
     std::vector<assign::AdInstance> picked;
-    {
-      obs::ScopedTimer solve_timer(h_arrival_solve_);
-      MUAA_ASSIGN_OR_RETURN(picked, solver_->OnArrival(adm.customer));
-    }
-    // Write-ahead: journal the whole arrival group before it may commit
-    // (same ordering contract as the stream driver).
     Status jst;
-    if (writer_ != nullptr) {
-      obs::ScopedTimer append_timer(h_journal_append_);
-      for (const assign::AdInstance& inst : picked) {
-        jst = writer_->AppendDecision(idx, inst);
-        if (!jst.ok()) break;
+    {
+      // The shard's commit lock covers solve + append, so the journal's
+      // record order equals the shard's budget-mutation order even while
+      // foreign owners interleave cross-shard debits between groups.
+      std::lock_guard<std::mutex> lk(s->commit_mu);
+      Stopwatch solve_watch;
+      {
+        obs::ScopedTimer solve_timer(h_arrival_solve_);
+        MUAA_ASSIGN_OR_RETURN(picked, s->solver->OnArrival(adm.customer));
       }
-      if (jst.ok()) {
-        jst = writer_->AppendArrivalCommit(
-            idx, adm.customer, static_cast<uint32_t>(picked.size()));
+      RecordShardHist(s, &s->h_arrival_solve, "arrival_solve_us",
+                      static_cast<uint64_t>(solve_watch.ElapsedMillis() *
+                                            1000.0));
+      // Write-ahead: journal the whole arrival group before it may commit
+      // (same ordering contract as the stream driver).
+      if (s->writer != nullptr) {
+        obs::ScopedTimer append_timer(h_journal_append_);
+        Stopwatch append_watch;
+        for (const assign::AdInstance& inst : picked) {
+          jst = s->writer->AppendDecision(idx, inst);
+          if (!jst.ok()) break;
+        }
+        if (jst.ok()) {
+          jst = s->writer->AppendArrivalCommit(
+              idx, adm.customer, static_cast<uint32_t>(picked.size()));
+        }
+        RecordShardHist(s, &s->h_journal_append, "journal_append_us",
+                        static_cast<uint64_t>(append_watch.ElapsedMillis() *
+                                              1000.0));
+      }
+      if (!jst.ok()) {
+        // The decision exists but can never become durable: reject it and
+        // go read-only. The solver did advance, but disk-fail mode makes
+        // no further decisions, so the divergence is unobservable; a
+        // restart rebuilds the solver from the durable prefix.
+        EnterDiskFailMode(s, jst);
       }
     }
     if (!jst.ok()) {
-      // The decision exists but can never become durable: reject it and
-      // go read-only. The solver did advance, but disk-fail mode makes no
-      // further decisions, so the divergence is unobservable; a restart
-      // rebuilds the solver from the durable prefix.
-      EnterDiskFailMode(jst);
       c_disk_fail_rejects_->Add();
+      if (s->c_disk_fail_rejects != nullptr) s->c_disk_fail_rejects->Add();
       resp.type = ResponseType::kDiskFail;
       responses.push_back(std::move(resp));
       continue;
@@ -548,170 +809,356 @@ Status Broker::ProcessBatch(std::vector<Admission>* batch) {
   }
 
   batch_solve_timer.Stop();
-
-  // Sync-before-reply: one fsync covers the whole batch, and only then do
-  // responses go out — a client never holds a decision a power cut could
-  // lose. (With a non-manual sync policy most records are already synced;
-  // this covers the remainder.)
-  if (writer_ != nullptr && !staged.empty() &&
-      !disk_failed_.load(std::memory_order_relaxed)) {
-    obs::ScopedTimer flush_timer(h_journal_flush_);
-    Status st = writer_->Sync();
-    if (!st.ok()) EnterDiskFailMode(st);
-  }
+  RecordShardHist(s, &s->h_batch_solve, "batch_solve_us",
+                  static_cast<uint64_t>(batch_watch.ElapsedMillis() * 1000.0));
 
   size_t decided = 0;
-  if (disk_failed_.load(std::memory_order_relaxed)) {
-    // The journal died this batch (append or fsync): nothing staged is
-    // durable, so nothing commits and every staged arrival — including
-    // in-batch re-deliveries of one — is rejected.
-    for (const Staged& s : staged) {
-      (void)s;
-      c_disk_fail_rejects_->Add();
-      responses[s.response_pos].type = ResponseType::kDiskFail;
-      responses[s.response_pos].ads.clear();
-    }
-    for (const auto& [resp_pos, staged_pos] : staged_dups) {
-      (void)staged_pos;
-      responses[resp_pos].type = ResponseType::kDiskFail;
-      responses[resp_pos].ads.clear();
-    }
-  } else {
-    // Commit: the batch is on stable storage; apply it to broker state
-    // and fill the staged responses.
-    for (Staged& s : staged) {
-      run_.stats.arrivals += 1;
-      run_.stats.total_latency_ms += s.latency_ms;
-      run_.stats.max_latency_ms =
-          std::max(run_.stats.max_latency_ms, s.latency_ms);
-      if (!s.picked.empty()) run_.stats.served_customers += 1;
-      for (const assign::AdInstance& inst : s.picked) {
-        MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
-        run_.stats.assigned_ads += 1;
-        run_.stats.total_utility += inst.utility;
+  {
+    std::lock_guard<std::mutex> lk(s->commit_mu);
+    // Sync-before-reply: one fsync covers the whole batch, and only then
+    // do responses go out — a client never holds a decision a power cut
+    // could lose. (With a non-manual sync policy most records are already
+    // synced; this covers the remainder.)
+    if (s->writer != nullptr && !staged.empty() &&
+        !s->disk_failed.load(std::memory_order_relaxed)) {
+      obs::ScopedTimer flush_timer(h_journal_flush_);
+      Stopwatch flush_watch;
+      Status st = s->writer->Sync();
+      if (!st.ok()) {
+        EnterDiskFailMode(s, st);
+      } else {
+        RecordShardHist(s, &s->h_journal_flush, "journal_flush_us",
+                        static_cast<uint64_t>(flush_watch.ElapsedMillis() *
+                                              1000.0));
       }
-      decisions_[s.idx] = s.picked;
-      {
-        std::lock_guard<std::mutex> lk(state_mu_);
-        processed_[s.idx] = true;
-        det_arrivals_ = run_.stats.arrivals;
-        det_assigned_ads_ = run_.stats.assigned_ads;
-        det_served_ = run_.stats.served_customers;
-        det_total_utility_ = run_.stats.total_utility;
-      }
-      responses[s.response_pos].ads = std::move(s.picked);
-      ++decided;
     }
-    for (const auto& [resp_pos, staged_pos] : staged_dups) {
-      responses[resp_pos].ads = decisions_[staged[staged_pos].idx];
+
+    if (s->disk_failed.load(std::memory_order_relaxed)) {
+      // The journal died this batch (append or fsync): nothing staged is
+      // durable, so nothing commits and every staged arrival — including
+      // in-batch re-deliveries of one — is rejected.
+      for (const Staged& st : staged) {
+        (void)st;
+        c_disk_fail_rejects_->Add();
+        if (s->c_disk_fail_rejects != nullptr) s->c_disk_fail_rejects->Add();
+        responses[st.response_pos].type = ResponseType::kDiskFail;
+        responses[st.response_pos].ads.clear();
+      }
+      for (const auto& [resp_pos, staged_pos] : staged_dups) {
+        (void)staged_pos;
+        responses[resp_pos].type = ResponseType::kDiskFail;
+        responses[resp_pos].ads.clear();
+      }
+    } else {
+      // Commit: the batch is on stable storage; apply it to the shard's
+      // checkpointable state, then the global broker state, then fill the
+      // staged responses.
+      for (Staged& st : staged) {
+        s->stats.arrivals += 1;
+        s->stats.total_latency_ms += st.latency_ms;
+        s->stats.max_latency_ms =
+            std::max(s->stats.max_latency_ms, st.latency_ms);
+        if (!st.picked.empty()) s->stats.served_customers += 1;
+        for (const assign::AdInstance& inst : st.picked) {
+          s->stats.assigned_ads += 1;
+          s->stats.total_utility += inst.utility;
+        }
+        s->instances.insert(s->instances.end(), st.picked.begin(),
+                            st.picked.end());
+        s->owned_processed[st.idx] = true;
+        MUAA_RETURN_NOT_OK(CommitGlobal(st.idx, st.latency_ms, st.picked));
+        responses[st.response_pos].ads = std::move(st.picked);
+        ++decided;
+      }
+      for (const auto& [resp_pos, staged_pos] : staged_dups) {
+        responses[resp_pos].ads = decisions_[staged[staged_pos].idx];
+      }
+    }
+
+    s->arrivals_since_checkpoint += decided;
+    const size_t every = options_.durability.checkpoint_every;
+    if (!s->checkpoint_path.empty() && every > 0 &&
+        s->arrivals_since_checkpoint >= every &&
+        !s->disk_failed.load(std::memory_order_relaxed)) {
+      // A failed periodic checkpoint is not fatal and not disk-fail: the
+      // journal holds every committed decision, so serving continues
+      // journal-only and the next cadence retries.
+      Status cst = WriteCheckpoint(s);
+      if (!cst.ok()) {
+        MUAA_LOG(Warning) << "shard " << s->id
+                          << ": periodic checkpoint failed (continuing "
+                             "journal-only): "
+                          << cst.ToString();
+      }
+      s->arrivals_since_checkpoint = 0;
     }
   }
 
-  arrivals_since_checkpoint_ += decided;
-  const size_t every = options_.durability.checkpoint_every;
-  if (!options_.durability.checkpoint_path.empty() && every > 0 &&
-      arrivals_since_checkpoint_ >= every &&
-      !disk_failed_.load(std::memory_order_relaxed)) {
-    // A failed periodic checkpoint is not fatal and not disk-fail: the
-    // journal holds every committed decision, so serving continues
-    // journal-only and the next cadence retries.
-    Status cst = WriteCheckpoint();
-    if (!cst.ok()) {
-      MUAA_LOG(Warning) << "periodic checkpoint failed (continuing "
-                           "journal-only): "
-                        << cst.ToString();
-    }
-    arrivals_since_checkpoint_ = 0;
-  }
   for (size_t k = 0; k < responses.size(); ++k) {
     SendResponse((*batch)[k].conn, responses[k]);
     (*batch)[k].conn->inflight.fetch_sub(1, std::memory_order_relaxed);
   }
 
-  // Feed the pressure estimator (under queue_mu_: the admission path reads
+  // Feed the pressure estimator (under queue_mu: the admission path reads
   // it there) and let the ladder decide the rung for the NEXT batch.
   const uint64_t batch_us =
       static_cast<uint64_t>(batch_watch.ElapsedMillis() * 1000.0);
   double sojourn_now = 0.0;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    estimator_.ObserveService(batch_us, batch->size());
+    std::lock_guard<std::mutex> lk(s->queue_mu);
+    s->estimator.ObserveService(batch_us, batch->size());
     if (!batch->empty()) {
-      estimator_.ObserveSojourn(sojourn_sum_us / batch->size());
+      s->estimator.ObserveSojourn(sojourn_sum_us / batch->size());
     }
-    sojourn_now = estimator_.sojourn_us();
+    sojourn_now = s->estimator.sojourn_us();
   }
-  if (!disk_failed_.load(std::memory_order_relaxed) &&
-      ladder_.Observe(sojourn_now)) {
+  if (!s->disk_failed.load(std::memory_order_relaxed) &&
+      s->ladder.Observe(sojourn_now)) {
     // Rung flipped. Journal the transition BEFORE any decision made on the
     // new rung so replay re-takes the same path; the record rides the next
     // batch's sync (no response depends on it).
-    const auto mode = ladder_.degraded() ? assign::ServeMode::kDegraded
-                                         : assign::ServeMode::kFull;
-    if (writer_ != nullptr) {
-      Status st = writer_->AppendModeChange(run_.stats.arrivals,
-                                            static_cast<uint32_t>(mode));
+    const auto mode = s->ladder.degraded() ? assign::ServeMode::kDegraded
+                                           : assign::ServeMode::kFull;
+    std::lock_guard<std::mutex> lk(s->commit_mu);
+    if (s->writer != nullptr) {
+      Status st = s->writer->AppendModeChange(s->stats.arrivals,
+                                              static_cast<uint32_t>(mode));
       if (!st.ok()) {
         // Can't journal the flip → can't take it (replay would diverge);
         // the disk is gone anyway.
-        EnterDiskFailMode(st);
+        EnterDiskFailMode(s, st);
         return Status::OK();
       }
     }
-    solver_->set_mode(mode);
-    g_mode_->Set(static_cast<uint64_t>(mode));
+    s->solver->set_mode(mode);
+    if (s->g_mode != nullptr) {
+      s->g_mode->Set(static_cast<uint64_t>(mode));
+      uint64_t worst = 0;
+      for (const auto& sp : shards_) {
+        worst = std::max(worst, sp->g_mode->Value());
+      }
+      g_mode_->Set(worst);
+    } else {
+      g_mode_->Set(static_cast<uint64_t>(mode));
+    }
     c_mode_transitions_->Add();
+    if (s->c_mode_transitions != nullptr) s->c_mode_transitions->Add();
   }
   return Status::OK();
 }
 
-void Broker::EnterDiskFailMode(const Status& why) {
-  if (disk_failed_.exchange(true)) return;
+Status Broker::ProcessCrossShard(Shard* owner, const Admission& adm,
+                                 Response* resp) {
+  const auto idx = static_cast<size_t>(adm.customer);
+  Stopwatch watch;
+
+  // Phase 1 — reserve. Lock every touched shard in ascending id order
+  // (adm.touched is sorted ascending), so concurrent cross-shard
+  // transactions cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(adm.touched.size());
+  for (uint32_t sid : adm.touched) {
+    locks.emplace_back(shards_[sid]->commit_mu);
+  }
+  for (uint32_t sid : adm.touched) {
+    if (shards_[sid]->disk_failed.load(std::memory_order_relaxed)) {
+      // A touched shard cannot journal its debit, so the transaction
+      // could never be made durable coherently. Reject like any other
+      // durability failure.
+      c_disk_fail_rejects_->Add();
+      if (owner->c_disk_fail_rejects != nullptr) {
+        owner->c_disk_fail_rejects->Add();
+      }
+      resp->type = ResponseType::kDiskFail;
+      return Status::OK();
+    }
+  }
+
+  // Refresh the owner solver's view of every foreign touched vendor from
+  // its authoritative shard, recording exactly what was read — the
+  // journaled reserve makes replay see bitwise-identical budgets.
+  std::vector<io::XSpendEntry> spends;
+  ctx_.view->ValidVendorsInto(adm.customer, &owner->scratch_vendors);
+  for (model::VendorId j : owner->scratch_vendors) {
+    const uint32_t sid = shard_map_->VendorShard(j);
+    if (sid == owner->id) continue;
+    const double spend = shards_[sid]->solver->UsedBudget(j);
+    owner->solver->SetUsedBudget(j, spend);
+    spends.push_back(io::XSpendEntry{j, spend});
+  }
+  std::sort(spends.begin(), spends.end(),
+            [](const io::XSpendEntry& a, const io::XSpendEntry& b) {
+              return a.vendor < b.vendor;
+            });
+
+  std::vector<assign::AdInstance> picked;
+  {
+    obs::ScopedTimer solve_timer(h_arrival_solve_);
+    MUAA_ASSIGN_OR_RETURN(picked, owner->solver->OnArrival(adm.customer));
+  }
+
+  // Phase 2 — make it durable: reserve + decision group on the owner's
+  // journal, debits on the foreign journals, every foreign journal synced
+  // BEFORE the owner's commit marker is appended. The marker is what
+  // commits the arrival, so it must never be durable while a debit it
+  // implies is not.
+  Status jst;
+  Shard* failed_on = nullptr;
+  if (owner->writer != nullptr) {
+    jst = owner->writer->AppendXSpends(idx, adm.customer, spends);
+    for (const assign::AdInstance& inst : picked) {
+      if (!jst.ok()) break;
+      jst = owner->writer->AppendDecision(idx, inst);
+    }
+    if (!jst.ok()) failed_on = owner;
+    std::vector<Shard*> debited;
+    if (jst.ok()) {
+      for (const assign::AdInstance& inst : picked) {
+        const uint32_t sid = shard_map_->VendorShard(inst.vendor);
+        if (sid == owner->id) continue;
+        Shard* f = shards_[sid].get();
+        jst = f->writer->AppendXDebit(
+            idx, adm.customer, inst.vendor,
+            ctx_.instance->ad_types.at(inst.ad_type).cost);
+        if (!jst.ok()) {
+          failed_on = f;
+          break;
+        }
+        if (std::find(debited.begin(), debited.end(), f) == debited.end()) {
+          debited.push_back(f);
+        }
+      }
+    }
+    for (Shard* f : debited) {
+      if (!jst.ok()) break;
+      jst = f->writer->Sync();
+      if (!jst.ok()) failed_on = f;
+    }
+    if (jst.ok()) {
+      jst = owner->writer->AppendArrivalCommit(
+          idx, adm.customer, static_cast<uint32_t>(picked.size()));
+      if (jst.ok()) jst = owner->writer->Sync();
+      if (!jst.ok()) failed_on = owner;
+    }
+  }
+  if (!jst.ok()) {
+    // Nothing is applied in memory. The owner (whose group is dangling)
+    // and the shard whose device actually failed go read-only; a shard
+    // left holding only a now-orphaned debit stays live — replay skips
+    // the orphan, and the mandatory post-recovery checkpoint retires it.
+    EnterDiskFailMode(owner, jst);
+    if (failed_on != nullptr && failed_on != owner) {
+      EnterDiskFailMode(failed_on, jst);
+    }
+    c_disk_fail_rejects_->Add();
+    if (owner->c_disk_fail_rejects != nullptr) owner->c_disk_fail_rejects->Add();
+    resp->type = ResponseType::kDiskFail;
+    return Status::OK();
+  }
+
+  // Commit — durable everywhere: apply the debits to the authoritative
+  // foreign solvers, fold the arrival into the owner's checkpointable
+  // state, then the global broker state.
+  const double latency_ms = watch.ElapsedMillis();
+  for (const assign::AdInstance& inst : picked) {
+    const uint32_t sid = shard_map_->VendorShard(inst.vendor);
+    if (sid == owner->id) continue;
+    shards_[sid]->solver->AddUsedBudget(
+        inst.vendor, ctx_.instance->ad_types.at(inst.ad_type).cost);
+  }
+  owner->stats.arrivals += 1;
+  owner->stats.total_latency_ms += latency_ms;
+  owner->stats.max_latency_ms =
+      std::max(owner->stats.max_latency_ms, latency_ms);
+  if (!picked.empty()) owner->stats.served_customers += 1;
+  for (const assign::AdInstance& inst : picked) {
+    owner->stats.assigned_ads += 1;
+    owner->stats.total_utility += inst.utility;
+  }
+  owner->instances.insert(owner->instances.end(), picked.begin(),
+                          picked.end());
+  owner->owned_processed[idx] = true;
+  owner->arrivals_since_checkpoint += 1;
+  MUAA_RETURN_NOT_OK(CommitGlobal(idx, latency_ms, picked));
+  resp->ads = std::move(picked);
+  c_xshard_commits_->Add();
+  if (owner->c_xshard_commits != nullptr) owner->c_xshard_commits->Add();
+  return Status::OK();
+}
+
+void Broker::EnterDiskFailMode(Shard* s, const Status& why) {
+  if (s->disk_failed.exchange(true)) return;
   c_journal_sync_errors_->Add();
-  MUAA_LOG(Error) << "journal durability lost; serving read-only "
+  MUAA_LOG(Error) << "shard " << s->id
+                  << ": journal durability lost; serving read-only "
                      "(DISK_FAIL): "
                   << why.ToString();
   // Best-effort journaled rung change: if the device still persists it, a
   // kill -9 + resume replays through the same transition (replay treats
   // it as an IO flag, not a solver rung — see stream/recovery.cc).
-  if (writer_ != nullptr) {
-    (void)writer_->AppendModeChange(run_.stats.arrivals,
-                                    io::kJournalModeDiskFail);
-    (void)writer_->Sync();
+  if (s->writer != nullptr) {
+    (void)s->writer->AppendModeChange(s->stats.arrivals,
+                                      io::kJournalModeDiskFail);
+    (void)s->writer->Sync();
   }
-  g_mode_->Set(io::kJournalModeDiskFail);
+  if (s->g_mode != nullptr) {
+    s->g_mode->Set(io::kJournalModeDiskFail);
+    uint64_t worst = 0;
+    for (const auto& sp : shards_) {
+      worst = std::max(worst, sp->g_mode->Value());
+    }
+    g_mode_->Set(worst);
+  } else {
+    g_mode_->Set(io::kJournalModeDiskFail);
+  }
   c_mode_transitions_->Add();
+  if (s->c_mode_transitions != nullptr) s->c_mode_transitions->Add();
 }
 
-Status Broker::WriteCheckpoint() {
+Status Broker::WriteCheckpoint(Shard* s) {
   obs::ScopedTimer checkpoint_timer(h_checkpoint_);
+  Stopwatch ckpt_watch;
   io::StreamCheckpoint ckpt;
   ckpt.num_customers = ctx_.instance->num_customers();
   ckpt.num_vendors = ctx_.instance->num_vendors();
   ckpt.num_ad_types = ctx_.instance->ad_types.size();
-  ckpt.solver_name = solver_->name();
-  MUAA_ASSIGN_OR_RETURN(ckpt.solver_state, solver_->Snapshot());
-  ckpt.serve_mode = static_cast<uint8_t>(solver_->mode());
-  ckpt.arrivals = run_.stats.arrivals;
-  ckpt.served_customers = run_.stats.served_customers;
-  ckpt.assigned_ads = run_.stats.assigned_ads;
-  ckpt.total_utility = run_.stats.total_utility;
-  ckpt.total_latency_ms = run_.stats.total_latency_ms;
-  ckpt.max_latency_ms = run_.stats.max_latency_ms;
-  ckpt.instances = run_.assignments.instances();
+  ckpt.solver_name = s->solver->name();
+  MUAA_ASSIGN_OR_RETURN(ckpt.solver_state, s->solver->Snapshot());
+  ckpt.serve_mode = static_cast<uint8_t>(s->solver->mode());
+  ckpt.arrivals = s->stats.arrivals;
+  ckpt.served_customers = s->stats.served_customers;
+  ckpt.assigned_ads = s->stats.assigned_ads;
+  ckpt.total_utility = s->stats.total_utility;
+  ckpt.total_latency_ms = s->stats.total_latency_ms;
+  ckpt.max_latency_ms = s->stats.max_latency_ms;
+  ckpt.instances = s->instances;
   // Arrivals reach the broker in client-delivery order, so the processed
   // set is not a prefix — record it explicitly.
-  {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    for (size_t i = 0; i < processed_.size(); ++i) {
-      if (processed_[i]) {
-        ckpt.processed.push_back(i);
-        ckpt.next_arrival = i + 1;
-      }
+  for (size_t i = 0; i < s->owned_processed.size(); ++i) {
+    if (s->owned_processed[i]) {
+      ckpt.processed.push_back(i);
+      ckpt.next_arrival = i + 1;
     }
   }
-  return io::SaveCheckpoint(options_.durability.env_or_default(), ckpt,
-                            options_.durability.checkpoint_path);
+  if (shard_map_ != nullptr) {
+    // Shard identity + journal watermark (v4): replay consumes but never
+    // re-applies the covered prefix — the mechanism that both prevents
+    // double-applied cross-shard debits and retires skipped orphans.
+    ckpt.shard_id = s->id;
+    ckpt.num_shards = shard_map_->num_shards();
+    ckpt.shard_map_crc = shard_map_->fingerprint();
+    ckpt.journal_records_covered =
+        s->writer == nullptr ? 0
+                             : s->journal_base + s->writer->records_appended();
+  }
+  Status st = io::SaveCheckpoint(options_.durability.env_or_default(), ckpt,
+                                 s->checkpoint_path);
+  if (st.ok()) {
+    RecordShardHist(s, &s->h_checkpoint, "checkpoint_us",
+                    static_cast<uint64_t>(ckpt_watch.ElapsedMillis() *
+                                          1000.0));
+  }
+  return st;
 }
 
 void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
@@ -726,20 +1173,58 @@ void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
   }
 }
 
-Status Broker::StopThreads(bool drain) {
-  {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    if (stopping_ || aborting_) return Status::OK();  // already stopping
-    if (drain) {
-      stopping_ = true;
-    } else {
-      aborting_ = true;
+Status Broker::RebuildRunFromDecisions() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  // Customer-ascending rebuild: the Kahan-compensated totals and the
+  // assignment-set iteration order become pure functions of WHAT was
+  // committed, independent of how the shard loops interleaved.
+  run_.assignments = assign::AssignmentSet(ctx_.instance);
+  run_.stats = stream::StreamStats{};
+  run_.next_arrival = 0;
+  for (size_t i = 0; i < processed_.size(); ++i) {
+    if (!processed_[i]) continue;
+    run_.stats.arrivals += 1;
+    run_.next_arrival = i + 1;
+    if (!decisions_[i].empty()) run_.stats.served_customers += 1;
+    for (const assign::AdInstance& inst : decisions_[i]) {
+      MUAA_RETURN_NOT_OK(run_.assignments.Add(inst));
+      run_.stats.assigned_ads += 1;
+      run_.stats.total_utility += inst.utility;
     }
   }
-  queue_cv_.notify_all();
+  for (const auto& sp : shards_) {
+    run_.stats.total_latency_ms += sp->stats.total_latency_ms;
+    run_.stats.max_latency_ms =
+        std::max(run_.stats.max_latency_ms, sp->stats.max_latency_ms);
+  }
+  det_arrivals_ = run_.stats.arrivals;
+  det_assigned_ads_ = run_.stats.assigned_ads;
+  det_served_ = run_.stats.served_customers;
+  det_total_utility_ = run_.stats.total_utility;
+  return Status::OK();
+}
+
+Status Broker::StopThreads(bool drain) {
+  if (stopping_.load(std::memory_order_relaxed) ||
+      aborting_.load(std::memory_order_relaxed)) {
+    return Status::OK();  // already stopping
+  }
+  if (drain) {
+    stopping_.store(true, std::memory_order_relaxed);
+  } else {
+    aborting_.store(true, std::memory_order_relaxed);
+  }
+  for (auto& sp : shards_) {
+    // Empty critical section: a shard loop between its predicate check
+    // and its wait must observe the flag before we notify.
+    { std::lock_guard<std::mutex> lk(sp->queue_mu); }
+    sp->queue_cv.notify_all();
+  }
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
-  if (solver_thread_.joinable()) solver_thread_.join();
+  for (auto& sp : shards_) {
+    if (sp->thread.joinable()) sp->thread.join();
+  }
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
@@ -762,14 +1247,23 @@ Status Broker::StopThreads(bool drain) {
     std::lock_guard<std::mutex> lk(state_mu_);
     fatal = fatal_;
   }
-  if (drain && fatal.ok() && !disk_failed_.load(std::memory_order_relaxed)) {
-    // Skipped in disk-fail mode: the journal cannot sync and a checkpoint
-    // on the failing device could replace a good one with garbage. The
-    // durable prefix already holds everything that was acked.
-    if (writer_ != nullptr) MUAA_RETURN_NOT_OK(writer_->Sync());
-    if (!options_.durability.checkpoint_path.empty()) {
-      MUAA_RETURN_NOT_OK(WriteCheckpoint());
+  if (drain && fatal.ok()) {
+    for (auto& sp : shards_) {
+      Shard* s = sp.get();
+      if (s->disk_failed.load(std::memory_order_relaxed)) {
+        // Skipped in disk-fail mode: the journal cannot sync and a
+        // checkpoint on the failing device could replace a good one with
+        // garbage. The durable prefix already holds everything acked.
+        continue;
+      }
+      std::lock_guard<std::mutex> lk(s->commit_mu);
+      if (s->writer != nullptr) MUAA_RETURN_NOT_OK(s->writer->Sync());
+      if (!s->checkpoint_path.empty()) MUAA_RETURN_NOT_OK(WriteCheckpoint(s));
     }
+  }
+  if (shard_map_ != nullptr) {
+    Status rst = RebuildRunFromDecisions();
+    if (fatal.ok()) fatal = rst;
   }
   return fatal;
 }
@@ -831,6 +1325,9 @@ BrokerStats Broker::stats() const {
   s.mode_transitions = c_mode_transitions_->Value();
   s.journal_sync_errors = c_journal_sync_errors_->Value();
   s.disk_fail_rejects = c_disk_fail_rejects_->Value();
+  s.shards = shards_.empty() ? (options_.shards == 0 ? 1 : options_.shards)
+                             : shards_.size();
+  s.xshard_commits = c_xshard_commits_->Value();
   return s;
 }
 

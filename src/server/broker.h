@@ -14,11 +14,14 @@
 
 #include "assign/solver.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "io/journal.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "server/overload.h"
 #include "server/protocol.h"
+#include "server/router.h"
+#include "server/shard.h"
 #include "server/socket.h"
 #include "stream/driver.h"
 
@@ -39,17 +42,25 @@ struct BrokerStats {
   uint64_t departed = 0;       ///< arrivals cancelled by DEPART in time
   uint64_t duplicates = 0;     ///< re-delivered arrivals answered from memory
   uint64_t busy_rejections = 0;
-  uint64_t batches = 0;        ///< micro-batches drained by the solver loop
+  uint64_t batches = 0;        ///< micro-batches drained by the shard loops
   uint64_t max_batch = 0;      ///< largest micro-batch so far
+  /// High-water of the *aggregate* admission-queue depth — the sum across
+  /// every shard queue at the admission that set it, not the max of the
+  /// per-shard high-waters (those can peak at different times and would
+  /// overstate combined pressure; the per-shard peaks are the
+  /// `shard<k>.queue_high_water` gauges). With one shard this is the
+  /// plain queue high-water it always was.
   uint64_t queue_high_water = 0;
   uint64_t expired = 0;           ///< ARRIVEs answered kExpired (deadline)
   uint64_t malformed_frames = 0;  ///< undecodable frames/payloads received
   uint64_t slow_client_drops = 0;  ///< connections dropped by timeouts/caps
   uint64_t conn_rejections = 0;    ///< accepts refused at max_connections
-  uint64_t mode = 0;  ///< serving rung (0 full, 1 degraded, 2 disk-fail)
+  uint64_t mode = 0;  ///< worst serving rung (0 full, 1 degraded, 2 disk-fail)
   uint64_t mode_transitions = 0;   ///< degradation-ladder rung flips
   uint64_t journal_sync_errors = 0;  ///< journal append/fsync failures
   uint64_t disk_fail_rejects = 0;  ///< ARRIVEs rejected in disk-fail mode
+  uint64_t shards = 1;             ///< solver shards serving
+  uint64_t xshard_commits = 0;     ///< cross-shard two-phase commits
 };
 
 /// \brief Configuration of one broker instance.
@@ -58,7 +69,7 @@ struct BrokerOptions {
   /// TCP port; 0 picks an ephemeral one (read it back via `Broker::port`).
   int port = 0;
 
-  /// Most arrivals one solver-loop micro-batch drains. Batching amortizes
+  /// Most arrivals one shard-loop micro-batch drains. Batching amortizes
   /// the journal flush (one `Flush` per batch, not per arrival) — the
   /// dominant per-decision cost at high arrival rates.
   size_t batch_max = 64;
@@ -66,9 +77,9 @@ struct BrokerOptions {
   /// batch to fill before draining it anyway. 0 drains whatever is queued.
   uint32_t batch_wait_us = 200;
 
-  /// Bound of the admission queue. A full queue answers BUSY instead of
-  /// buffering without limit — memory stays bounded no matter how far
-  /// offered load exceeds capacity.
+  /// Bound of each shard's admission queue. A full queue answers BUSY
+  /// instead of buffering without limit — memory stays bounded no matter
+  /// how far offered load exceeds capacity.
   size_t queue_max = 1024;
   /// Floor of the adaptive `retry_after_us` hint carried by BUSY
   /// responses. The actual hint is max(floor, predicted queue drain time)
@@ -95,45 +106,76 @@ struct BrokerOptions {
   /// broker writes is dropped rather than wedging the writer. 0 = none.
   uint64_t write_timeout_us = 5'000'000;
 
-  /// Degradation ladder (server/overload.h). Default thresholds of 0 keep
-  /// the ladder disabled: the solver always runs the full pipeline.
+  /// Degradation ladder (server/overload.h), instantiated per shard — an
+  /// overloaded shard degrades alone. Default thresholds of 0 keep the
+  /// ladder disabled: the solvers always run the full pipeline.
   LadderOptions ladder;
 
   /// Durability (journal/checkpoint paths + cadence, plus the storage
   /// `env` and journal `sync_policy`, as for the stream driver);
   /// `injector` and `stop` are ignored here. With the default (manual)
-  /// sync policy the broker fsyncs once per micro-batch, before any of the
+  /// sync policy each shard fsyncs once per micro-batch, before any of the
   /// batch's responses go out — every acked decision is on stable storage.
   /// A non-manual policy (e.g. `every_n_records = 1` for per-record sync)
   /// moves the fsync into the append path; the per-batch sync then only
-  /// covers whatever the policy left unsynced.
+  /// covers whatever the policy left unsynced. With `shards > 1` the
+  /// configured paths are per-shard templates: shard `k` uses
+  /// `<journal_path>.shard<k>` / `<checkpoint_path>.shard<k>`.
   stream::StreamOptions durability;
   /// Recover from the durability files before serving (kill + resume).
   bool resume = false;
+
+  // --- Sharding (docs/serving.md, "Sharding") --------------------------
+  /// Geo-partitioned solver shards. 1 (the default) is the classic
+  /// single-loop broker — its wire output and durability files are
+  /// byte-identical to pre-sharding builds. N > 1 partitions the vendor
+  /// set with a ShardMap, runs one solver loop per shard and requires
+  /// `solver_factory` (the constructor's solver is unused then).
+  uint32_t shards = 1;
+  /// Produces one fresh, un-Initialized solver per shard. The solver must
+  /// report `SupportsSharding()` — its only cross-arrival state may be
+  /// the per-vendor spend. Required when `shards > 1`.
+  std::function<Result<std::unique_ptr<assign::OnlineSolver>>()>
+      solver_factory;
+  /// Seed of the fresh Rng handed to every shard solver's `Initialize`.
+  /// Using the same seed the unsharded baseline was constructed with makes
+  /// each shard's initialization (e.g. O-AFA's γ estimate) bitwise equal
+  /// to the baseline's.
+  uint64_t shard_rng_seed = 42;
 };
 
 /// \brief The multi-threaded ad-broker service (docs/serving.md).
 ///
-/// Threads: one acceptor, one reader per connection, one solver loop.
-/// Readers admit ARRIVE requests into a bounded queue (full → BUSY) and
-/// answer STATS/DEPART/SHUTDOWN directly; the single solver loop drains
-/// the queue in micro-batches, runs the online solver per arrival,
-/// write-ahead-journals every decision, flushes once per batch, *then*
-/// sends the batch's responses — a client never sees a decision that a
-/// kill could lose. With `resume`, a restarted broker rebuilds solver,
-/// assignments and stats from checkpoint + journal (stream/recovery.h)
-/// and continues serving; re-delivered arrivals are answered from the
-/// recovered state, so replaying a whole workload against a resumed
-/// broker yields bitwise-identical totals to an uninterrupted run.
+/// Threads: one acceptor, one reader per connection, one solver loop per
+/// shard. Readers admit ARRIVE requests into the owning shard's bounded
+/// queue (full → BUSY) and answer STATS/DEPART/SHUTDOWN directly; each
+/// shard loop drains its queue in micro-batches, runs its online solver
+/// per arrival, write-ahead-journals every decision, syncs once per
+/// batch, *then* sends the batch's responses — a client never sees a
+/// decision that a kill could lose. With `resume`, a restarted broker
+/// rebuilds every shard's solver, assignments and stats from its
+/// checkpoint + journal (stream/recovery.h) and continues serving;
+/// re-delivered arrivals are answered from the recovered state, so
+/// replaying a whole workload against a resumed broker yields
+/// bitwise-identical totals to an uninterrupted run.
 ///
-/// The solver decides in admission order. With one connection (or any
-/// client that serializes its arrivals) that order is the delivery order,
-/// which is how tests pin broker output to the offline `StreamDriver` run
-/// of the same instance.
+/// With `shards > 1` the Router classifies each ARRIVE by the shards its
+/// valid vendors live on. Single-shard customers (the common case — the
+/// ShardMap's Morton cut keeps shards spatially coherent) are decided
+/// entirely by their owner. A boundary-straddling customer is decided by
+/// its owner under a deterministic two-phase reserve/commit: the owner
+/// reads the foreign vendors' spends under every touched shard's commit
+/// lock (journaled as kXSpends on its own journal), decides, journals
+/// debits on the foreign journals, syncs foreign-before-owner, and only
+/// then applies the foreign spends in memory — so each shard's journal
+/// replays bitwise and an arrival is committed iff its owner's marker is
+/// durable.
 class Broker {
  public:
   /// `ctx` and `solver` must outlive the broker; the solver must be
-  /// freshly constructed (the broker calls `Initialize`).
+  /// freshly constructed (the broker calls `Initialize`). With
+  /// `options.shards > 1` the solver pointer is unused — shard solvers
+  /// come from `options.solver_factory` (it may be null then).
   Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
          BrokerOptions options);
   ~Broker();
@@ -147,18 +189,18 @@ class Broker {
   /// The bound TCP port (valid after `Start`).
   int port() const { return port_; }
 
-  /// Graceful shutdown: stop admitting, drain the queue, flush the
-  /// journal, write a final checkpoint, join all threads. Idempotent.
-  /// Returns the solver loop's terminal error, if any.
+  /// Graceful shutdown: stop admitting, drain the queues, flush the
+  /// journals, write final checkpoints, join all threads. Idempotent.
+  /// Returns the first shard loop's terminal error, if any.
   Status Stop();
 
   /// Hard shutdown for crash testing: drop queued arrivals, skip the
-  /// final checkpoint, join. On-disk state is exactly what a SIGKILL
-  /// would leave — journal flushed through the last completed batch,
-  /// checkpoint at the last periodic write.
+  /// final checkpoints, join. On-disk state is exactly what a SIGKILL
+  /// would leave — journals flushed through the last completed batch,
+  /// checkpoints at the last periodic write.
   Status Abort();
 
-  /// Blocks until a SHUTDOWN request arrives, the solver loop dies, or
+  /// Blocks until a SHUTDOWN request arrives, a shard loop dies, or
   /// `Stop`/`Abort` is called; polls `external_stop` (e.g. a SIGINT flag)
   /// if given. `poll` (if given) runs on every ~100 ms wakeup outside any
   /// broker lock — muaa_cli uses it to write SIGUSR1 metrics dumps while
@@ -181,10 +223,16 @@ class Broker {
   /// generation) live in `obs::MetricRegistry::Global()`.
   const obs::MetricRegistry& metrics() const { return metrics_; }
 
-  /// The committed assignment set. Only valid after `Stop`/`Abort`.
+  /// The committed assignment set. Only valid after `Stop`/`Abort`. With
+  /// several shards it is rebuilt customer-ascending at shutdown, so the
+  /// Kahan total is deterministic regardless of cross-shard commit
+  /// interleaving.
   const assign::AssignmentSet& assignments() const {
     return run_.assignments;
   }
+
+  /// The partition in effect; null with one shard. Valid after `Start`.
+  const ShardMap* shard_map() const { return shard_map_.get(); }
 
  private:
   struct Connection {
@@ -200,20 +248,101 @@ class Broker {
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
-  /// One admitted ARRIVE waiting for the solver loop.
+  /// One admitted ARRIVE waiting for its owner shard's loop.
   struct Admission {
     ConnPtr conn;
     uint64_t request_id = 0;
     model::CustomerId customer = -1;
     uint32_t deadline_us = 0;  ///< 0 = no deadline
     std::chrono::steady_clock::time_point admitted_at{};
+    /// Distinct shards of the customer's valid vendors (empty with one
+    /// shard, or when no vendor covers the customer); size > 1 marks a
+    /// cross-shard arrival.
+    std::vector<uint32_t> touched;
   };
 
-  /// Permanent transition into read-only disk-fail mode (third rung):
-  /// stop admitting ARRIVEs, keep serving STATS/DEPART, journal the rung
-  /// change best-effort. Called from the solver loop on a persistent
-  /// journal append/fsync failure. Idempotent.
-  void EnterDiskFailMode(const Status& why);
+  /// One geo-partitioned solver shard: a slice of the vendor/budget
+  /// state, its own admission queue, solver loop, journal and checkpoint.
+  /// With `shards == 1` a single Shard wraps the constructor solver and
+  /// the legacy (unsuffixed) durability files.
+  struct Shard {
+    uint32_t id = 0;
+    /// Owning handle (factory-made, shards > 1); `solver` is the one to
+    /// call either way.
+    std::unique_ptr<assign::OnlineSolver> owned_solver;
+    assign::OnlineSolver* solver = nullptr;
+    /// Per-shard RNG backing `ctx.rng` (shards > 1; the single-shard
+    /// broker uses the caller's context verbatim).
+    std::unique_ptr<Rng> rng;
+    assign::SolveContext ctx;
+
+    // Admission queue; all five guarded by `queue_mu`.
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<Admission> queue;
+    SojournEstimator estimator;
+    RetryHinter hinter{1000, 500'000};
+
+    /// Serializes every budget mutation and journal append on this shard:
+    /// its own loop's arrivals and foreign owners' cross-shard
+    /// reads/debits. Cross-shard transactions acquire the touched shards'
+    /// commit locks in ascending id order (deadlock-free); single-shard
+    /// work holds only its own.
+    std::mutex commit_mu;
+
+    // Everything below is guarded by `commit_mu`.
+    std::unique_ptr<io::JournalWriter> writer;
+    /// Records already in the journal when `writer` was opened; the
+    /// checkpoint watermark is this plus `writer->records_appended()`.
+    size_t journal_base = 0;
+    size_t arrivals_since_checkpoint = 0;
+    /// Shard-local mirror of the stream stats (what this shard's
+    /// checkpoint records). Single-shard brokers use the global `run_`
+    /// instead, exactly as before sharding.
+    stream::StreamStats stats;
+    /// Instances this shard committed, in its commit order (checkpoint
+    /// payload).
+    std::vector<assign::AdInstance> instances;
+    /// Arrivals this shard owns and has committed.
+    std::vector<bool> owned_processed;
+    DegradationLadder ladder;
+    /// Reused per-arrival scratch for cross-shard vendor classification.
+    std::vector<model::VendorId> scratch_vendors;
+
+    /// Raised (and never lowered) when a journal write or fsync on this
+    /// shard fails: the shard serves read-only from then on. Read on the
+    /// admission path without locks.
+    std::atomic<bool> disk_failed{false};
+
+    std::string journal_path;
+    std::string checkpoint_path;
+    std::thread thread;
+
+    // Per-shard metrics, namespaced `shard<k>.*`. Null with one shard
+    // (the legacy `server.*` metrics are the single source then).
+    // Histograms are materialized on first record so an idle shard never
+    // exports an all-zero histogram.
+    obs::Counter* c_batches = nullptr;
+    obs::Counter* c_disk_fail_rejects = nullptr;
+    obs::Counter* c_mode_transitions = nullptr;
+    obs::Counter* c_xshard_commits = nullptr;
+    obs::Gauge* g_max_batch = nullptr;
+    obs::Gauge* g_queue_high_water = nullptr;
+    obs::Gauge* g_mode = nullptr;
+    obs::LatencyHistogram* h_queue_wait = nullptr;
+    obs::LatencyHistogram* h_batch_solve = nullptr;
+    obs::LatencyHistogram* h_arrival_solve = nullptr;
+    obs::LatencyHistogram* h_journal_append = nullptr;
+    obs::LatencyHistogram* h_journal_flush = nullptr;
+    obs::LatencyHistogram* h_checkpoint = nullptr;
+    std::string metric_prefix;  ///< "shard<k>." (empty with one shard)
+  };
+
+  /// Permanent transition of `s` into read-only disk-fail mode (third
+  /// rung): stop admitting its ARRIVEs, keep serving STATS/DEPART,
+  /// journal the rung change best-effort. Requires `s->commit_mu`.
+  /// Idempotent.
+  void EnterDiskFailMode(Shard* s, const Status& why);
 
   void AcceptLoop();
   /// Joins and erases connections whose reader thread has finished.
@@ -222,15 +351,33 @@ class Broker {
   void ServeConnection(const ConnPtr& conn);
   /// Handles one decoded request; false closes the connection.
   bool Dispatch(const ConnPtr& conn, const Request& req);
-  void SolverLoop();
-  /// Decides every admission of `batch`, journals, flushes, checkpoints
-  /// on cadence, then sends the responses.
-  Status ProcessBatch(std::vector<Admission>* batch);
-  Status WriteCheckpoint();
+  void ShardLoop(Shard* s);
+  /// Decides every admission of `batch` on shard `s`, journals, syncs,
+  /// checkpoints on cadence, then sends the responses.
+  Status ProcessBatch(Shard* s, std::vector<Admission>* batch);
+  /// Two-phase reserve/commit of one boundary-straddling arrival owned by
+  /// `s`. Fills `resp` (kAssign with the committed ads, or kDiskFail) and
+  /// commits the arrival — cross-shard arrivals are made durable and
+  /// applied immediately (per-arrival fsync), not batch-staged.
+  Status ProcessCrossShard(Shard* s, const Admission& adm, Response* resp);
+  /// Records the per-shard histogram `name` lazily (no-op with one
+  /// shard): the cell is created on first sample so idle shards never
+  /// export empty histograms.
+  void RecordShardHist(Shard* s, obs::LatencyHistogram** cell,
+                       const char* name, uint64_t value_us);
+  Status WriteCheckpoint(Shard* s);
   /// Sends `resp` on `conn`, swallowing peer-disconnect errors (the
   /// broker must outlive its clients).
   void SendResponse(const ConnPtr& conn, const Response& resp);
   Status StopThreads(bool drain);
+  /// Commits one decided arrival into the global broker state (processed
+  /// set, per-customer decisions, checked assignment set, deterministic
+  /// totals). Takes `state_mu_`.
+  Status CommitGlobal(size_t idx, double latency_ms,
+                      const std::vector<assign::AdInstance>& picked);
+  /// Rebuilds `run_` customer-ascending from `decisions_` (multi-shard
+  /// shutdown: deterministic totals regardless of commit interleaving).
+  Status RebuildRunFromDecisions();
 
   assign::SolveContext ctx_;
   assign::OnlineSolver* solver_;
@@ -239,37 +386,34 @@ class Broker {
 
   Listener listener_;
   std::thread acceptor_;
-  std::thread solver_thread_;
   std::mutex conns_mu_;
   std::vector<ConnPtr> conns_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Admission> queue_;
-  bool stopping_ = false;   ///< drain, then exit (graceful)
-  bool aborting_ = false;   ///< exit without draining (crash test)
-  /// Queue-pressure estimator + adaptive BUSY hints, guarded by
-  /// `queue_mu_` (read on the admission path, updated once per batch).
-  SojournEstimator estimator_;
-  RetryHinter hinter_{1000, 500'000};
+  /// Stop flags for every shard loop; set under each shard's `queue_mu`
+  /// (wakeup safety), read in the loop predicates.
+  std::atomic<bool> stopping_{false};  ///< drain, then exit (graceful)
+  std::atomic<bool> aborting_{false};  ///< exit without draining
 
-  // Solver-loop-owned stream state (external access only when stopped).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ShardMap> shard_map_;  ///< null with one shard
+  std::unique_ptr<Router> router_;       ///< null with one shard
+  /// Router scratch is per-instance; admission runs on many reader
+  /// threads, so routing is serialized here (cheap next to a solve).
+  std::mutex router_mu_;
+  /// Live aggregate depth across all shard queues, for the global
+  /// queue_high_water.
+  std::atomic<uint64_t> total_queued_{0};
+
+  // Global stream state (guarded by state_mu_ once several shard loops
+  // commit concurrently; the single-shard broker's loop is its only
+  // writer, as before).
   stream::StreamRunResult run_;
   std::vector<bool> processed_;
   /// Per-customer committed decision, for idempotent re-delivery.
   std::vector<std::vector<assign::AdInstance>> decisions_;
-  std::unique_ptr<io::JournalWriter> writer_;
-  size_t arrivals_since_checkpoint_ = 0;
-  /// Raised (and never lowered) by the solver loop when a journal write
-  /// or fsync fails: the broker serves read-only from then on. Read on
-  /// the admission path without locks.
-  std::atomic<bool> disk_failed_{false};
-  /// Solver-loop-owned degradation ladder; rung changes are journaled
-  /// before the first decision they affect.
-  DegradationLadder ladder_;
 
   /// Deterministic totals mirrored from `run_` after every arrival, so
-  /// STATS can answer from reader threads while the solver loop runs.
+  /// STATS can answer from reader threads while the shard loops run.
   mutable std::mutex state_mu_;
   uint64_t det_arrivals_ = 0;
   uint64_t det_assigned_ads_ = 0;
@@ -280,7 +424,8 @@ class Broker {
   // Serving-timeline counters (nondeterministic under load), all routed
   // through the per-broker registry so STATS, the metrics dump and tests
   // read one source of truth. Pointers are cached at construction; the
-  // cells themselves are wait-free.
+  // cells themselves are wait-free. With several shards these aggregate
+  // across shards; the per-shard views are the `shard<k>.*` metrics.
   obs::MetricRegistry metrics_;
   obs::Counter* c_busy_rejections_;
   obs::Counter* c_duplicates_;
@@ -293,6 +438,7 @@ class Broker {
   obs::Counter* c_mode_transitions_;
   obs::Counter* c_journal_sync_errors_;
   obs::Counter* c_disk_fail_rejects_;
+  obs::Counter* c_xshard_commits_;
   // Salvage-pass results (io::RecoveryManager), mirrored into the registry
   // on resume so the crash-loop and operators see what recovery did.
   obs::Counter* c_records_salvaged_;
@@ -301,8 +447,9 @@ class Broker {
   obs::Counter* c_tmp_checkpoints_deleted_;
   obs::Gauge* g_max_batch_;
   obs::Gauge* g_queue_high_water_;
-  obs::Gauge* g_mode_;  ///< current ServeMode, mirrored for STATS
-  // Stage latency histograms (microseconds).
+  obs::Gauge* g_mode_;  ///< worst rung across shards, mirrored for STATS
+  obs::Gauge* g_shards_;
+  // Stage latency histograms (microseconds), aggregated across shards.
   obs::LatencyHistogram* h_frame_decode_;
   obs::LatencyHistogram* h_queue_wait_;
   obs::LatencyHistogram* h_batch_solve_;
@@ -318,7 +465,7 @@ class Broker {
 
   bool started_ = false;
   bool stopped_ = false;
-  Status fatal_;  ///< solver-loop terminal error (guarded by state_mu_)
+  Status fatal_;  ///< first shard-loop terminal error (guarded by state_mu_)
 };
 
 }  // namespace muaa::server

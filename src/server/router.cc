@@ -1,0 +1,32 @@
+#include "server/router.h"
+
+#include <algorithm>
+
+namespace muaa::server {
+
+RouteDecision Router::Route(model::CustomerId i) {
+  RouteDecision out;
+  view_->ValidVendorsInto(i, &scratch_vendors_);
+  out.touched.clear();
+  for (model::VendorId j : scratch_vendors_) {
+    out.touched.push_back(map_->VendorShard(j));
+  }
+  std::sort(out.touched.begin(), out.touched.end());
+  out.touched.erase(std::unique(out.touched.begin(), out.touched.end()),
+                    out.touched.end());
+
+  const uint32_t here =
+      map_->ShardOfPoint(view_->instance().customers[static_cast<size_t>(i)]
+                             .location);
+  if (out.touched.empty()) {
+    out.owner = here;
+  } else if (std::binary_search(out.touched.begin(), out.touched.end(),
+                                here)) {
+    out.owner = here;
+  } else {
+    out.owner = out.touched.front();
+  }
+  return out;
+}
+
+}  // namespace muaa::server

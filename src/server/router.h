@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/problem_view.h"
+#include "server/shard.h"
+
+namespace muaa::server {
+
+/// \brief Where one arrival goes in the sharded broker.
+struct RouteDecision {
+  /// Shard that decides the customer (owns its solver call and journals
+  /// its decision group).
+  uint32_t owner = 0;
+  /// Distinct shards owning at least one of the customer's valid vendors,
+  /// ascending. Empty when no vendor covers the customer.
+  std::vector<uint32_t> touched;
+
+  /// A customer whose radius straddles shard boundaries: the owner must
+  /// run the two-phase reserve/commit against the other touched shards.
+  bool cross_shard() const { return touched.size() > 1; }
+};
+
+/// \brief Classifies arrivals against a ShardMap (docs/serving.md).
+///
+/// The routing rule is a pure function of the instance geometry and the
+/// map, so the same arrival routes identically before and after a crash:
+///
+///  * `touched` = ascending distinct shards of the customer's valid
+///    vendors (`ProblemView::ValidVendorsInto`, itself deterministic);
+///  * `owner`   = the shard of the customer's location when it is among
+///    `touched`, else the lowest touched shard; with no valid vendors at
+///    all, the location shard (the decision group is empty either way,
+///    but it must still be journaled exactly once, somewhere fixed).
+///
+/// Not thread-safe (per-call scratch); the broker routes from its single
+/// dispatch thread.
+class Router {
+ public:
+  /// Both pointers must outlive the router.
+  Router(const model::ProblemView* view, const ShardMap* map)
+      : view_(view), map_(map) {}
+
+  /// Routes customer `i` (an index into the instance's customer set).
+  RouteDecision Route(model::CustomerId i);
+
+ private:
+  const model::ProblemView* view_;
+  const ShardMap* map_;
+  std::vector<model::VendorId> scratch_vendors_;
+};
+
+}  // namespace muaa::server

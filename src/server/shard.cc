@@ -1,0 +1,242 @@
+#include "server/shard.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+
+namespace muaa::server {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'S', 'H', 'D', '1'};
+constexpr int kCells = ShardMap::kCellsPerSide;
+constexpr size_t kNumCells = static_cast<size_t>(kCells) * kCells;
+
+/// Cell coordinate of `v` with out-of-range values clamped into the
+/// border cells (same convention as geo::GridIndex).
+int CellCoord(double v) {
+  int c = static_cast<int>(v * kCells);
+  return std::clamp(c, 0, kCells - 1);
+}
+
+/// Interleaves the low 6 bits of (x, y) into the Morton (Z-order) code.
+uint32_t MortonCode(uint32_t x, uint32_t y) {
+  uint32_t code = 0;
+  for (int b = 0; b < 6; ++b) {
+    code |= ((x >> b) & 1u) << (2 * b);
+    code |= ((y >> b) & 1u) << (2 * b + 1);
+  }
+  return code;
+}
+
+}  // namespace
+
+Result<ShardMap> ShardMap::Build(const std::vector<model::Vendor>& vendors,
+                                 uint32_t num_shards) {
+  if (num_shards < 1 || num_shards > 256) {
+    return Status::InvalidArgument("num_shards must be in [1, 256], got " +
+                                   std::to_string(num_shards));
+  }
+  // Per-cell vendor weight.
+  std::vector<uint64_t> weight(kNumCells, 0);
+  for (const model::Vendor& v : vendors) {
+    const size_t cell =
+        static_cast<size_t>(CellCoord(v.location.y)) * kCells +
+        static_cast<size_t>(CellCoord(v.location.x));
+    ++weight[cell];
+  }
+  uint64_t total = 0;
+  for (uint64_t w : weight) total += w;
+
+  // Cells in Morton order (cell index = morton_rank → row-major index).
+  std::vector<size_t> morton(kNumCells);
+  for (uint32_t y = 0; y < static_cast<uint32_t>(kCells); ++y) {
+    for (uint32_t x = 0; x < static_cast<uint32_t>(kCells); ++x) {
+      morton[MortonCode(x, y)] = static_cast<size_t>(y) * kCells + x;
+    }
+  }
+
+  // Greedy cut: walk the Morton order accumulating weight, advancing to
+  // the next shard whenever the accumulated share crosses the next even
+  // boundary. With no vendors at all, fall back to an even Morton split
+  // so every shard still owns territory.
+  ShardMap map;
+  map.num_shards_ = num_shards;
+  map.num_vendors_ = vendors.size();
+  map.cell_shard_.assign(kNumCells, 0);
+  if (total == 0) {
+    for (size_t rank = 0; rank < kNumCells; ++rank) {
+      map.cell_shard_[morton[rank]] =
+          static_cast<uint16_t>(rank * num_shards / kNumCells);
+    }
+  } else {
+    uint64_t acc = 0;
+    uint32_t k = 0;
+    for (size_t rank = 0; rank < kNumCells; ++rank) {
+      const size_t cell = morton[rank];
+      map.cell_shard_[cell] = static_cast<uint16_t>(k);
+      acc += weight[cell];
+      while (k + 1 < num_shards && acc * num_shards >= total * (k + 1)) ++k;
+    }
+  }
+
+  map.vendor_shard_.reserve(vendors.size());
+  for (const model::Vendor& v : vendors) {
+    map.vendor_shard_.push_back(map.ShardOfPoint(v.location));
+  }
+  map.fingerprint_ = Crc32(map.Serialize());
+  return map;
+}
+
+uint32_t ShardMap::ShardOfPoint(const geo::Point& p) const {
+  const size_t cell = static_cast<size_t>(CellCoord(p.y)) * kCells +
+                      static_cast<size_t>(CellCoord(p.x));
+  return cell_shard_[cell];
+}
+
+Status ShardMap::BindVendors(const std::vector<model::Vendor>& vendors) {
+  if (vendors.size() != num_vendors_) {
+    return Status::InvalidArgument(
+        "shard map was built over " + std::to_string(num_vendors_) +
+        " vendors, got " + std::to_string(vendors.size()));
+  }
+  vendor_shard_.clear();
+  vendor_shard_.reserve(vendors.size());
+  for (const model::Vendor& v : vendors) {
+    vendor_shard_.push_back(ShardOfPoint(v.location));
+  }
+  return Status::OK();
+}
+
+std::string ShardMap::Serialize() const {
+  std::string p;
+  PutU32(&p, num_shards_);
+  PutU64(&p, num_vendors_);
+  PutU32(&p, static_cast<uint32_t>(kCells));
+  for (uint16_t s : cell_shard_) PutU16(&p, s);
+  return p;
+}
+
+Result<ShardMap> ShardMap::Deserialize(const std::string& bytes) {
+  BinReader in(bytes);
+  ShardMap map;
+  uint64_t num_vendors = 0;
+  uint32_t cells = 0;
+  MUAA_RETURN_NOT_OK(in.ReadU32(&map.num_shards_));
+  MUAA_RETURN_NOT_OK(in.ReadU64(&num_vendors));
+  MUAA_RETURN_NOT_OK(in.ReadU32(&cells));
+  if (map.num_shards_ < 1 || map.num_shards_ > 256) {
+    return Status::DataLoss("shard map num_shards out of range");
+  }
+  if (cells != static_cast<uint32_t>(kCells)) {
+    return Status::DataLoss("shard map grid size mismatch");
+  }
+  map.num_vendors_ = num_vendors;
+  map.cell_shard_.resize(kNumCells);
+  for (size_t c = 0; c < kNumCells; ++c) {
+    uint16_t s = 0;
+    MUAA_RETURN_NOT_OK(in.ReadU16(&s));
+    if (s >= map.num_shards_) {
+      return Status::DataLoss("shard map cell assignment out of range");
+    }
+    map.cell_shard_[c] = s;
+  }
+  if (!in.done()) {
+    return Status::DataLoss("trailing bytes in shard map payload");
+  }
+  map.fingerprint_ = Crc32(bytes);
+  return map;
+}
+
+Status ShardMap::Save(io::Env* env, const std::string& path) const {
+  const std::string payload = Serialize();
+  std::string bytes(kMagic, sizeof(kMagic));
+  PutU64(&bytes, payload.size());
+  bytes += payload;
+  PutU32(&bytes, Crc32(payload));
+
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    auto opened = env->NewWritableFile(tmp, io::WriteMode::kTruncate);
+    if (!opened.ok()) {
+      return Status::IOError("cannot create shard map: " + tmp + ": " +
+                             opened.status().message());
+    }
+    std::unique_ptr<io::WritableFile> file = std::move(opened).ValueOrDie();
+    st = file->Append(bytes);
+    if (st.ok()) st = file->Sync();
+    Status closed = file->Close();
+    if (st.ok()) st = closed;
+  }
+  if (!st.ok()) {
+    (void)env->DeleteFile(tmp);
+    return Status::IOError("shard map write: " + st.message());
+  }
+  MUAA_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  return env->SyncDir(dir.string());
+}
+
+Result<ShardMap> ShardMap::Load(io::Env* env, const std::string& path) {
+  auto opened = env->NewSequentialFile(path);
+  if (opened.status().code() == StatusCode::kNotFound) {
+    return Status::NotFound("shard map not found: " + path);
+  }
+  MUAA_RETURN_NOT_OK(opened.status());
+  std::unique_ptr<io::SequentialFile> in = std::move(opened).ValueOrDie();
+  auto read_full = [&in](size_t n, char* scratch) -> Result<size_t> {
+    size_t off = 0;
+    while (off < n) {
+      MUAA_ASSIGN_OR_RETURN(const size_t got, in->Read(n - off, scratch + off));
+      if (got == 0) break;
+      off += got;
+    }
+    return off;
+  };
+  char magic[sizeof(kMagic)] = {};
+  MUAA_ASSIGN_OR_RETURN(size_t got, read_full(sizeof(magic), magic));
+  if (got != sizeof(magic) ||
+      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad shard map header: " + path);
+  }
+  char size_bytes[8];
+  MUAA_ASSIGN_OR_RETURN(got, read_full(sizeof(size_bytes), size_bytes));
+  if (got != sizeof(size_bytes)) {
+    return Status::DataLoss("torn shard map size: " + path);
+  }
+  uint64_t size = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<uint64_t>(static_cast<unsigned char>(size_bytes[i]))
+            << (8 * i);
+  }
+  constexpr uint64_t kMaxPayload = uint64_t{1} << 20;
+  if (size > kMaxPayload) {
+    return Status::DataLoss("implausible shard map size: " + path);
+  }
+  std::string payload(size, '\0');
+  MUAA_ASSIGN_OR_RETURN(got, read_full(size, payload.data()));
+  if (got != size) {
+    return Status::DataLoss("torn shard map payload: " + path);
+  }
+  char crc_bytes[4];
+  MUAA_ASSIGN_OR_RETURN(got, read_full(sizeof(crc_bytes), crc_bytes));
+  if (got != sizeof(crc_bytes)) {
+    return Status::DataLoss("torn shard map checksum: " + path);
+  }
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(crc_bytes[i]))
+           << (8 * i);
+  }
+  if (crc != Crc32(payload)) {
+    return Status::DataLoss("shard map checksum mismatch: " + path);
+  }
+  return Deserialize(payload);
+}
+
+}  // namespace muaa::server

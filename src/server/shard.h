@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/point.h"
+#include "io/env.h"
+#include "model/entities.h"
+
+namespace muaa::server {
+
+/// \brief Deterministic geo-partition of the unit square into solver
+/// shards (docs/serving.md, "Sharding").
+///
+/// The map overlays a fixed 64×64 grid on `[0,1]²`, weighs each cell by
+/// the number of vendors located in it, orders the cells along the Morton
+/// (Z-order) curve and cuts that order into `num_shards` contiguous runs
+/// of roughly equal vendor weight. Morton order keeps each run spatially
+/// coherent, so a customer's radius usually stays inside one shard; the
+/// vendor weighting keeps solver work balanced when venues cluster.
+///
+/// Everything downstream hangs off this map being a pure function of
+/// `(vendor locations, num_shards)`: the router derives customer → shard,
+/// each shard's journal and checkpoint carry `fingerprint()` so a resumed
+/// broker refuses to mix state across different partitions, and rebuilding
+/// the map from the same instance reproduces it bit-for-bit.
+class ShardMap {
+ public:
+  /// Cells per side of the partition grid (4096 cells total).
+  static constexpr int kCellsPerSide = 64;
+
+  /// Builds the partition from vendor locations. `num_shards` must be in
+  /// [1, 256]. Deterministic: no RNG, no iteration-order dependence.
+  static Result<ShardMap> Build(const std::vector<model::Vendor>& vendors,
+                                uint32_t num_shards);
+
+  /// Shard owning an arbitrary location (out-of-square points clamp into
+  /// the border cells, mirroring geo::GridIndex).
+  uint32_t ShardOfPoint(const geo::Point& p) const;
+
+  /// Shard owning vendor `j` (precomputed at `Build`/`BindVendors` time).
+  uint32_t VendorShard(model::VendorId j) const {
+    return vendor_shard_[static_cast<size_t>(j)];
+  }
+
+  /// Recomputes the per-vendor shard cache from the cell assignment — for
+  /// maps that came from `Load` rather than `Build`. The vendor set must
+  /// be the one the map was built from (checked via the vendor count baked
+  /// into the serialized form).
+  Status BindVendors(const std::vector<model::Vendor>& vendors);
+
+  uint32_t num_shards() const { return num_shards_; }
+  size_t num_vendors() const { return num_vendors_; }
+
+  /// CRC-32 of the canonical serialized form — the partition identity
+  /// stamped into every per-shard checkpoint (shard_map_crc).
+  uint32_t fingerprint() const { return fingerprint_; }
+
+  /// Canonical binary form (header + shard count + vendor count + cell
+  /// assignments).
+  std::string Serialize() const;
+  static Result<ShardMap> Deserialize(const std::string& bytes);
+
+  /// Atomic durable write of `Serialize()` to `path` (same tmp + fsync +
+  /// rename discipline as checkpoints), and the CRC-checked load. The
+  /// broker saves the map beside the shard checkpoints so an operator can
+  /// inspect the partition; resume rebuilds from vendors and *verifies*
+  /// against the sidecar rather than trusting it.
+  Status Save(io::Env* env, const std::string& path) const;
+  static Result<ShardMap> Load(io::Env* env, const std::string& path);
+
+ private:
+  ShardMap() = default;
+
+  uint32_t num_shards_ = 1;
+  size_t num_vendors_ = 0;
+  /// Row-major cell → shard, kCellsPerSide² entries.
+  std::vector<uint16_t> cell_shard_;
+  /// Vendor id → shard (empty until Build/BindVendors).
+  std::vector<uint32_t> vendor_shard_;
+  uint32_t fingerprint_ = 0;
+};
+
+}  // namespace muaa::server

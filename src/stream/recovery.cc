@@ -31,9 +31,13 @@ bool SameDecision(const io::JournalRecord& rec,
 Result<RecoveredStream> RecoverStreamState(
     const assign::SolveContext& ctx, assign::OnlineSolver* solver,
     const StreamOptions& options,
-    const StreamDriver::ArrivalCallback& on_arrival) {
+    const StreamDriver::ArrivalCallback& on_arrival,
+    const ShardReplayOptions* shard) {
   const size_t m = ctx.instance->num_customers();
   io::Env* env = options.env_or_default();
+  /// Journal records already folded into the checkpoint (sharded mode):
+  /// read past them without re-applying.
+  uint64_t watermark = 0;
   RecoveredStream rec{
       StreamRunResult{assign::AssignmentSet(ctx.instance), StreamStats{}}};
   rec.processed.assign(m, false);
@@ -66,6 +70,25 @@ Result<RecoveredStream> RecoverStreamState(
     }
     if (ckpt.next_arrival > m) {
       return Status::DataLoss("checkpoint next_arrival out of range");
+    }
+    if (shard != nullptr) {
+      if (ckpt.shard_id != shard->shard_id ||
+          ckpt.num_shards != shard->num_shards ||
+          ckpt.shard_map_crc != shard->shard_map_crc) {
+        return Status::FailedPrecondition(
+            "checkpoint shard identity mismatch: file is shard " +
+            std::to_string(ckpt.shard_id) + "/" +
+            std::to_string(ckpt.num_shards) + " crc " +
+            std::to_string(ckpt.shard_map_crc) + ", resuming shard " +
+            std::to_string(shard->shard_id) + "/" +
+            std::to_string(shard->num_shards) + " crc " +
+            std::to_string(shard->shard_map_crc));
+      }
+      watermark = ckpt.journal_records_covered;
+    } else if (ckpt.num_shards > 1) {
+      return Status::FailedPrecondition(
+          "checkpoint belongs to a " + std::to_string(ckpt.num_shards) +
+          "-shard broker; resume with the same shard count");
     }
     // Re-verify every invariant (budget, capacity, pair uniqueness,
     // spatial) by replaying the committed instances through the checked
@@ -119,20 +142,68 @@ Result<RecoveredStream> RecoverStreamState(
       io::JournalReader reader = std::move(opened).ValueOrDie();
       uint64_t committed_end = reader.valid_prefix_bytes();
       std::vector<io::JournalRecord> group;
+      // Cross-shard reserve stashed until its arrival's commit marker
+      // (sharded mode only).
+      io::JournalRecord pending_spends;
+      bool have_pending = false;
       Stopwatch watch;
       while (true) {
         io::JournalRecord jrec;
         auto more = reader.Next(&jrec);
         if (!more.ok()) break;  // torn/corrupt tail: truncate below
         if (!*more) break;      // clean EOF
+        if (reader.records_read() <= watermark) {
+          // Already folded into the shard checkpoint: consume without
+          // re-applying. The watermark sits at a group boundary by
+          // construction (checkpoints are written under the commit lock
+          // after a covering sync).
+          if (jrec.type == io::JournalRecordType::kModeChange &&
+              jrec.mode == io::kJournalModeDiskFail) {
+            rec.saw_disk_fail = true;
+          }
+          committed_end = reader.valid_prefix_bytes();
+          rec.committed_records = reader.records_read();
+          continue;
+        }
         if (jrec.type == io::JournalRecordType::kDecision) {
           group.push_back(jrec);
+          continue;
+        }
+        if (jrec.type == io::JournalRecordType::kXSpends) {
+          // Reserve record: opens a cross-shard arrival's group. Only
+          // valid at a group boundary, at most one per group.
+          if (!group.empty() || have_pending || jrec.arrival >= m) break;
+          pending_spends = jrec;
+          have_pending = true;
+          continue;  // uncommitted until its marker: committed_end stays
+        }
+        if (jrec.type == io::JournalRecordType::kXDebit) {
+          // A foreign owner's spend against one of this shard's vendors.
+          // Boundary-only. An orphaned debit (owner's commit marker never
+          // made it to stable storage anywhere) is a rolled-back
+          // transaction's residue: it is consumed WITHOUT applying the
+          // spend, but the scan continues — this shard may well have
+          // stayed live (only the owner and the shard whose write failed
+          // disk-fail), so durable groups can legitimately follow it. The
+          // broker prevents the skip from ever re-applying after the
+          // arrival is re-decided by writing a fresh checkpoint (whose
+          // watermark covers the orphan) immediately after every
+          // multi-shard recovery.
+          if (!group.empty() || have_pending || jrec.arrival >= m) break;
+          const auto idx = static_cast<size_t>(jrec.arrival);
+          const bool committed = shard != nullptr &&
+                                 shard->committed_arrivals != nullptr &&
+                                 idx < shard->committed_arrivals->size() &&
+                                 (*shard->committed_arrivals)[idx];
+          if (committed) solver->AddUsedBudget(jrec.vendor, jrec.cost);
+          committed_end = reader.valid_prefix_bytes();
+          rec.committed_records = reader.records_read();
           continue;
         }
         if (jrec.type == io::JournalRecordType::kModeChange) {
           // Ladder transitions are only valid at group boundaries; one in
           // the middle of a decision group means the tail is corrupt.
-          if (!group.empty()) break;
+          if (!group.empty() || have_pending) break;
           if (jrec.mode == io::kJournalModeDiskFail) {
             // Disk-fail is an IO rung, not a solver rung: surface it to
             // the broker but leave the solver's serve mode alone.
@@ -144,7 +215,8 @@ Result<RecoveredStream> RecoverStreamState(
           rec.committed_records = reader.records_read();
           continue;
         }
-        // Commit marker: validate the group's internal consistency.
+        // Commit marker: validate the group's internal consistency,
+        // including a stashed reserve record's identity.
         bool coherent =
             group.size() == jrec.num_decisions &&
             std::all_of(group.begin(), group.end(),
@@ -152,6 +224,10 @@ Result<RecoveredStream> RecoverStreamState(
                           return d.arrival == jrec.arrival &&
                                  d.customer == jrec.customer;
                         });
+        if (have_pending && (pending_spends.arrival != jrec.arrival ||
+                             pending_spends.customer != jrec.customer)) {
+          coherent = false;
+        }
         if (!coherent || jrec.arrival >= m) break;  // corrupt: truncate
         const auto idx = static_cast<size_t>(jrec.arrival);
         if (rec.processed[idx]) {
@@ -159,9 +235,18 @@ Result<RecoveredStream> RecoverStreamState(
           // run, or a group already covered by the checkpoint): skip
           // idempotently.
           group.clear();
+          have_pending = false;
           committed_end = reader.valid_prefix_bytes();
           rec.committed_records = reader.records_read();
           continue;
+        }
+        // Install the journaled foreign-vendor spends before re-running
+        // the arrival: the owner's decision read those budgets live.
+        if (have_pending) {
+          for (const io::XSpendEntry& e : pending_spends.spends) {
+            solver->SetUsedBudget(e.vendor, e.spend);
+          }
+          have_pending = false;
         }
         // Re-run the solver deterministically and verify the journaled
         // decisions bitwise before applying them.
@@ -207,12 +292,85 @@ Result<RecoveredStream> RecoverStreamState(
       MUAA_RETURN_NOT_OK(
           io::TruncateFile(env, options.journal_path, committed_end));
       rec.journal_usable = true;
+      if (rec.committed_records < watermark) {
+        // The checkpoint covers more records than the journal still
+        // holds (mid-prefix corruption ate part of the covered region).
+        // The checkpoint is authoritative for everything it covers, but
+        // appending into the shortened file would desynchronize record
+        // indexing from the watermark — start a fresh journal instead.
+        rec.journal_usable = false;
+        rec.committed_records = 0;
+      }
     }
   }
 
   if (obs::Enabled() && replayed > 0) replayed_counter->Add(replayed);
   rec.run.next_arrival = rec.next;
   return rec;
+}
+
+Status ScanCommittedArrivals(io::Env* env, const std::string& journal_path,
+                             size_t num_customers,
+                             std::vector<bool>* committed) {
+  if (committed->size() < num_customers) committed->resize(num_customers);
+  if (journal_path.empty() || !env->FileExists(journal_path)) {
+    return Status::OK();
+  }
+  auto opened = io::JournalReader::Open(env, journal_path);
+  if (opened.status().code() == StatusCode::kDataLoss ||
+      opened.status().code() == StatusCode::kNotFound) {
+    return Status::OK();  // headerless/missing: nothing durable here
+  }
+  MUAA_RETURN_NOT_OK(opened.status());
+  io::JournalReader reader = std::move(opened).ValueOrDie();
+  size_t group_size = 0;
+  uint64_t group_arrival = 0;
+  model::CustomerId group_customer = -1;
+  bool have_pending = false;
+  bool in_group = false;
+  while (true) {
+    io::JournalRecord jrec;
+    auto more = reader.Next(&jrec);
+    if (!more.ok()) break;  // corrupt tail: the replay pass truncates it
+    if (!*more) break;
+    switch (jrec.type) {
+      case io::JournalRecordType::kDecision:
+        if (in_group && (jrec.arrival != group_arrival ||
+                         jrec.customer != group_customer)) {
+          return Status::OK();  // incoherent: stop at the violation
+        }
+        in_group = true;
+        group_arrival = jrec.arrival;
+        group_customer = jrec.customer;
+        ++group_size;
+        break;
+      case io::JournalRecordType::kXSpends:
+        if (in_group || have_pending) return Status::OK();
+        have_pending = true;
+        group_arrival = jrec.arrival;
+        group_customer = jrec.customer;
+        break;
+      case io::JournalRecordType::kXDebit:
+      case io::JournalRecordType::kModeChange:
+        if (in_group || have_pending) return Status::OK();
+        break;
+      case io::JournalRecordType::kArrivalCommit: {
+        const bool coherent =
+            group_size == jrec.num_decisions &&
+            (!in_group || (group_arrival == jrec.arrival &&
+                           group_customer == jrec.customer)) &&
+            (!have_pending || (group_arrival == jrec.arrival &&
+                               group_customer == jrec.customer));
+        if (!coherent || jrec.arrival >= num_customers) return Status::OK();
+        (*committed)[static_cast<size_t>(jrec.arrival)] = true;
+        group_size = 0;
+        in_group = false;
+        have_pending = false;
+        break;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace muaa::stream

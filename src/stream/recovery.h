@@ -54,11 +54,58 @@ struct RecoveredStream {
 ///  3. truncate any torn or corrupt journal suffix (write-ahead
 ///     semantics: those decisions were never applied).
 ///
+/// \brief Sharded-broker replay context (src/server/shard.h). Passing one
+/// switches `RecoverStreamState` into per-shard mode:
+///
+///  * the checkpoint must carry the matching shard identity
+///    (shard_id / num_shards / shard_map_crc), else FailedPrecondition;
+///  * the first `journal_records_covered` journal records (already folded
+///    into the checkpoint) are read but not re-applied;
+///  * `kXSpends` records install the journaled foreign-vendor spends into
+///    the solver before their arrival is re-run, so the replay sees the
+///    exact budgets the live decision saw;
+///  * `kXDebit` records re-apply a foreign owner's spend against this
+///    shard's vendor — but only when `committed_arrivals` marks the
+///    arrival as durably committed somewhere. An orphaned debit (the
+///    residue of a cross-shard transaction whose owner marker never
+///    became durable) is skipped without applying: this shard may have
+///    stayed live after the owner's failure, so durable groups can
+///    follow it. The broker checkpoints every shard immediately after a
+///    multi-shard recovery so the skip is never replayed again once the
+///    arrival is re-decided.
+struct ShardReplayOptions {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  /// `ShardMap::fingerprint()` the resuming broker rebuilt.
+  uint32_t shard_map_crc = 0;
+  /// Arrival indices with a durable commit marker on *any* shard (union of
+  /// checkpoint processed sets and `ScanCommittedArrivals` over every
+  /// shard journal). Must cover [0, num_customers). May be null only when
+  /// no kXDebit records can exist (single-shard replay).
+  const std::vector<bool>* committed_arrivals = nullptr;
+};
+
 /// `solver` must already be `Initialize`d; `on_arrival` (optional) fires
-/// for every replayed arrival, exactly as during live streaming.
+/// for every replayed arrival, exactly as during live streaming. `shard`
+/// (optional) enables sharded-broker replay semantics; see
+/// ShardReplayOptions.
 Result<RecoveredStream> RecoverStreamState(
     const assign::SolveContext& ctx, assign::OnlineSolver* solver,
     const StreamOptions& options,
-    const StreamDriver::ArrivalCallback& on_arrival = nullptr);
+    const StreamDriver::ArrivalCallback& on_arrival = nullptr,
+    const ShardReplayOptions* shard = nullptr);
+
+/// \brief Structural pre-scan of one shard journal: marks in `committed`
+/// every arrival index whose commit-marker group is durable and coherent.
+///
+/// Mirrors the replay loop's boundary logic (decision groups, kXSpends
+/// prefixes, boundary-only kXDebit/kModeChange) but runs no solver, never
+/// truncates and stops silently at the first structural violation — it
+/// exists so the per-shard replays that follow can agree on which
+/// cross-shard debits are orphaned. Missing or headerless journals
+/// contribute nothing.
+Status ScanCommittedArrivals(io::Env* env, const std::string& journal_path,
+                             size_t num_customers,
+                             std::vector<bool>* committed);
 
 }  // namespace muaa::stream

@@ -25,7 +25,7 @@
 //                               [journal=<file>] [checkpoint=<file>]
 //                               [checkpoint_every=N] [resume=0|1]
 //                               [sync_every_n=N] [sync_bytes=N]
-//                               [metrics_dump=<file>]
+//                               [metrics_dump=<file>] [shards=N]
 //   muaa_cli version
 //
 // `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
@@ -61,7 +61,12 @@
 // `read/idle/write_timeout_us`, `max_connections` and `max_inflight` bound
 // slow or greedy clients. `metrics_dump=<file>` (docs/observability.md)
 // writes the Prometheus-style metrics text atomically at shutdown and
-// whenever the process receives SIGUSR1.
+// whenever the process receives SIGUSR1. `shards=N` (docs/serving.md,
+// "Sharding") geo-partitions the vendors across N independent solver
+// shards behind a location-aware router; each shard journals and
+// checkpoints its own `.shard<k>`-suffixed files. Requires a solver whose
+// cross-arrival state is per-vendor spend (online/msvv/static/nearest —
+// not online-adaptive).
 //
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
@@ -392,11 +397,12 @@ int CmdServe(const Config& cfg) {
   auto recover_batches = geti("recover_batches", 8);
   auto sync_n = geti("sync_every_n", 0);
   auto sync_bytes = geti("sync_bytes", 0);
+  auto shards = geti("shards", 1);
   for (const auto* r :
        {&port, &batch_max, &batch_wait, &queue_max, &busy_retry,
         &busy_retry_cap, &every, &max_conns, &max_inflight, &read_timeout,
         &idle_timeout, &write_timeout, &degrade_sojourn, &degrade_batches,
-        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes}) {
+        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes, &shards}) {
     if (!r->ok()) return Fail(r->status());
     if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
   }
@@ -420,6 +426,22 @@ int CmdServe(const Config& cfg) {
   opts.durability.checkpoint_every = static_cast<size_t>(*every);
   opts.durability.sync_policy.every_n_records = static_cast<uint64_t>(*sync_n);
   opts.durability.sync_policy.every_n_bytes = static_cast<uint64_t>(*sync_bytes);
+  opts.shards = static_cast<uint32_t>(*shards);
+  if (opts.shards > 1) {
+    // Geo-partitioned serving: each shard gets its own solver built from
+    // the same name, seeded identically (docs/serving.md, "Sharding").
+    if (!(*solver)->SupportsSharding()) {
+      return Fail(Status::InvalidArgument(
+          "solver '" + solver_name + "' does not support sharding (its "
+          "cross-arrival state is not per-vendor spend); use shards=1"));
+    }
+    opts.solver_factory =
+        [solver_name]() -> Result<std::unique_ptr<assign::OnlineSolver>> {
+      return assign::MakeOnlineSolver(solver_name);
+    };
+    opts.shard_rng_seed =
+        static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie());
+  }
   auto resume = cfg.GetBool("resume", false);
   if (!resume.ok()) return Fail(resume.status());
   opts.resume = *resume;

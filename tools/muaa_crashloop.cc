@@ -21,7 +21,15 @@
 //
 // Usage:
 //   muaa_crashloop [iterations=24] [customers=300] [vendors=20]
-//                  [seed=2024] [verbose=0]
+//                  [seed=2024] [shards=1,2,4] [verbose=0]
+//
+// `shards=` is a rotation list: each completed epoch advances to the next
+// shard count (shard files of different widths are incompatible, so the
+// count only changes when the durable files are wiped). Single-shard
+// epochs verify each crash with an offline stream::RecoverStreamState
+// pass; multi-shard epochs verify through a resumed Broker — the exact
+// production recovery path, including cross-shard orphan-debit skipping
+// and the mandatory post-recovery checkpoints.
 //
 // Exits 0 when every invariant held, 1 otherwise. CI runs this under
 // ASan/UBSan (see .github/workflows/ci.yml).
@@ -29,8 +37,10 @@
 #include <bit>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
@@ -125,6 +135,28 @@ int Fail(const Status& st) {
   return 1;
 }
 
+/// Every durable file a broker run at `shards` may have produced,
+/// including per-shard quarantine and tmp leftovers.
+std::vector<std::string> DurableFiles(const std::string& journal,
+                                      const std::string& checkpoint,
+                                      uint32_t shards) {
+  std::vector<std::string> files;
+  auto add = [&files](const std::string& p) {
+    files.push_back(p);
+    files.push_back(p + ".quarantine");
+    files.push_back(p + ".tmp");
+  };
+  add(journal);
+  add(checkpoint);
+  files.push_back(checkpoint + ".shardmap");
+  for (uint32_t k = 0; k < shards; ++k) {
+    const std::string suffix = ".shard" + std::to_string(k);
+    add(journal + suffix);
+    add(checkpoint + suffix);
+  }
+  return files;
+}
+
 int Run(int argc, char** argv) {
   auto cfg = Config::FromArgs(argc, argv);
   if (!cfg.ok()) return Fail(cfg.status());
@@ -133,17 +165,34 @@ int Run(int argc, char** argv) {
   const size_t vendors = (size_t)cfg->GetInt("vendors", 20).ValueOrDie();
   const uint64_t seed = (uint64_t)cfg->GetInt("seed", 2024).ValueOrDie();
   const bool verbose = cfg->GetBool("verbose", false).ValueOrDie();
+  std::vector<uint32_t> shard_rotation;
+  {
+    const std::string spec = cfg->GetString("shards", "1,2,4");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const int n = std::atoi(spec.substr(pos, comma - pos).c_str());
+      if (n < 1 || n > 256) {
+        return Fail(Status::InvalidArgument("bad shards list: " + spec));
+      }
+      shard_rotation.push_back(static_cast<uint32_t>(n));
+      pos = comma + 1;
+    }
+    if (shard_rotation.empty()) shard_rotation.push_back(1);
+  }
   cfg->WarnUnreadKeys();
 
   const auto base = fs::temp_directory_path();
   const std::string tag = "muaa_crashloop_" + std::to_string(seed);
   const std::string journal = (base / (tag + ".jnl")).string();
   const std::string checkpoint = (base / (tag + ".ckp")).string();
-  for (const auto& leftover :
-       {journal, checkpoint, journal + ".quarantine",
-        checkpoint + ".quarantine", checkpoint + ".tmp"}) {
-    fs::remove(leftover);
-  }
+  auto wipe = [&journal, &checkpoint](uint32_t shards) {
+    for (const auto& f : DurableFiles(journal, checkpoint, shards)) {
+      fs::remove(f);
+    }
+  };
+  wipe(256);  // any width a previous run may have left behind
 
   datagen::SyntheticConfig dcfg;
   dcfg.num_customers = customers;
@@ -176,6 +225,20 @@ int Run(int argc, char** argv) {
   size_t disk_fail_iters = 0;
   size_t epochs_completed = 0;
   bool fresh_epoch = true;  // no durable state yet: resume=false
+  size_t rotation_idx = 0;
+  uint32_t current_shards = shard_rotation[0];
+  // AFA with a fixed gamma keeps only per-vendor spend across arrivals, so
+  // it shards; the factory hands each shard its own instance.
+  auto make_solver = []() -> Result<std::unique_ptr<assign::OnlineSolver>> {
+    return {std::make_unique<assign::AfaOnlineSolver>()};
+  };
+  auto apply_sharding = [&](server::BrokerOptions* opts) {
+    if (current_shards > 1) {
+      opts->shards = current_shards;
+      opts->solver_factory = make_solver;
+      opts->shard_rng_seed = seed;
+    }
+  };
 
   for (size_t iter = 0; iter < iterations; ++iter) {
     io::FaultInjectingEnv fenv(io::Env::Default());
@@ -193,6 +256,7 @@ int Run(int argc, char** argv) {
       opts.durability.checkpoint_every = 64;
       opts.durability.env = &fenv;
       opts.resume = !fresh_epoch;
+      apply_sharding(&opts);
       server::Broker broker(ctx, &solver, opts);
       MUAA_CHECK_OK(broker.Start());
 
@@ -222,9 +286,15 @@ int Run(int argc, char** argv) {
 
     for (const auto& a : report.instances) acked.insert(KeyOf(a));
 
-    // Offline recovery on a clean env: salvage the journal, then assert
-    // the durability contract — nothing a client was ACKed may be lost.
-    {
+    // Recovery on a clean env: salvage the journal(s), then assert the
+    // durability contract — nothing a client was ACKed may be lost.
+    // Recovered state lands in these locals so the epoch check below is
+    // shared between the two verification paths.
+    stream::StreamStats rec_stats;
+    std::vector<assign::AdInstance> rec_instances;
+    uint64_t rec_kept = 0, rec_dropped = 0, rec_quarantined = 0;
+    if (current_shards == 1) {
+      // Offline pass: the same files a sequential driver would resume.
       Rng rng(seed);
       assign::SolveContext ctx{&inst, &view, &utility, &rng, &pool};
       assign::AfaOnlineSolver solver;
@@ -235,61 +305,90 @@ int Run(int argc, char** argv) {
       auto rec = stream::RecoverStreamState(ctx, &solver, sopts);
       MUAA_CHECK(rec.ok()) << "iteration " << iter
                            << " recovery: " << rec.status().ToString();
-      total_bytes_quarantined += rec->recovery.bytes_quarantined;
-      total_records_salvaged += rec->recovery.records_kept;
-
-      std::set<AdKey> recovered;
-      for (const auto& a : rec->run.assignments.instances()) {
-        recovered.insert(KeyOf(a));
+      rec_stats = rec->run.stats;
+      rec_instances = rec->run.assignments.instances();
+      rec_kept = rec->recovery.records_kept;
+      rec_dropped = rec->recovery.records_dropped;
+      rec_quarantined = rec->recovery.bytes_quarantined;
+    } else {
+      // Production pass: a resumed Broker recovers every shard (orphan
+      // cross-shard debits skipped, fresh per-shard checkpoints written)
+      // and is stopped before serving anything.
+      Rng rng(seed);
+      assign::SolveContext ctx{&inst, &view, &utility, &rng, &pool};
+      assign::AfaOnlineSolver solver;
+      server::BrokerOptions opts;
+      opts.durability.journal_path = journal;
+      opts.durability.checkpoint_path = checkpoint;
+      opts.resume = true;
+      apply_sharding(&opts);
+      server::Broker rbroker(ctx, &solver, opts);
+      Status rst = rbroker.Start();
+      MUAA_CHECK(rst.ok()) << "iteration " << iter
+                           << " sharded recovery: " << rst.ToString();
+      MUAA_CHECK_OK(rbroker.Stop());
+      const server::BrokerStats rs = rbroker.stats();
+      rec_stats.arrivals = rs.arrivals;
+      rec_stats.assigned_ads = rs.assigned_ads;
+      rec_stats.served_customers = rs.served_customers;
+      rec_stats.total_utility = rs.total_utility;
+      rec_instances = rbroker.assignments().instances();
+      for (const auto& e : rbroker.stats_payload()) {
+        if (e.name == "recovery.records_salvaged") rec_kept = e.value;
+        if (e.name == "recovery.records_quarantined") rec_dropped = e.value;
+        if (e.name == "recovery.bytes_quarantined") rec_quarantined = e.value;
       }
-      size_t lost = 0;
-      for (const auto& key : acked) lost += recovered.count(key) == 0;
-      MUAA_CHECK(lost == 0)
-          << "iteration " << iter << ": " << lost
-          << " ACKed ad instances missing after recovery (schedule "
-          << sched.ToString() << ")";
+    }
+    total_bytes_quarantined += rec_quarantined;
+    total_records_salvaged += rec_kept;
 
-      if (verbose) {
-        std::printf(
-            "iter %2zu sched=%-22s assigned=%llu disk_fail=%llu "
-            "recovered=%llu dropped=%llu quarantined=%lluB\n",
-            iter, sched.ToString().c_str(),
-            (unsigned long long)report.assigned,
-            (unsigned long long)report.disk_fail,
-            (unsigned long long)rec->recovery.records_kept,
-            (unsigned long long)rec->recovery.records_dropped,
-            (unsigned long long)rec->recovery.bytes_quarantined);
-      }
+    std::set<AdKey> recovered;
+    for (const auto& a : rec_instances) recovered.insert(KeyOf(a));
+    size_t lost = 0;
+    for (const auto& key : acked) lost += recovered.count(key) == 0;
+    MUAA_CHECK(lost == 0)
+        << "iteration " << iter << " (shards " << current_shards << "): "
+        << lost << " ACKed ad instances missing after recovery (schedule "
+        << sched.ToString() << ")";
 
-      // Epoch boundary: the whole workload survived the crashes. Verify
-      // the recovered state bitwise against the offline run, then wipe
-      // the durable files so the next iteration starts a fresh epoch —
-      // otherwise every later iteration would be a pure duplicate replay
-      // that never journals (and never reaches its fault indices).
-      fresh_epoch = rec->run.stats.arrivals == inst.num_customers();
-      if (fresh_epoch) {
-        ++epochs_completed;
-        MUAA_CHECK(rec->run.stats.assigned_ads == want.stats.assigned_ads);
-        MUAA_CHECK(rec->run.stats.served_customers ==
-                   want.stats.served_customers);
-        MUAA_CHECK(std::bit_cast<uint64_t>(rec->run.stats.total_utility) ==
-                   std::bit_cast<uint64_t>(want.stats.total_utility))
-            << "epoch " << epochs_completed << " utility diverged";
-        const auto& wa = want.assignments.instances();
-        const auto& ra = rec->run.assignments.instances();
-        MUAA_CHECK(ra.size() == wa.size());
-        for (size_t i = 0; i < wa.size(); ++i) {
-          MUAA_CHECK(KeyOf(ra[i]) == KeyOf(wa[i]))
-              << "epoch " << epochs_completed << " assignment " << i
-              << " diverged from offline replay";
-        }
-        acked.clear();
-        for (const auto& leftover :
-             {journal, checkpoint, journal + ".quarantine",
-              checkpoint + ".quarantine", checkpoint + ".tmp"}) {
-          fs::remove(leftover);
-        }
+    if (verbose) {
+      std::printf(
+          "iter %2zu shards=%u sched=%-22s assigned=%llu disk_fail=%llu "
+          "recovered=%llu dropped=%llu quarantined=%lluB\n",
+          iter, current_shards, sched.ToString().c_str(),
+          (unsigned long long)report.assigned,
+          (unsigned long long)report.disk_fail,
+          (unsigned long long)rec_kept, (unsigned long long)rec_dropped,
+          (unsigned long long)rec_quarantined);
+    }
+
+    // Epoch boundary: the whole workload survived the crashes. Verify
+    // the recovered state bitwise against the offline run, then wipe
+    // the durable files so the next iteration starts a fresh epoch —
+    // otherwise every later iteration would be a pure duplicate replay
+    // that never journals (and never reaches its fault indices). The
+    // shard count only rotates here: shard files of different widths
+    // are incompatible, so mid-epoch the width is pinned.
+    fresh_epoch = rec_stats.arrivals == inst.num_customers();
+    if (fresh_epoch) {
+      ++epochs_completed;
+      MUAA_CHECK(rec_stats.assigned_ads == want.stats.assigned_ads);
+      MUAA_CHECK(rec_stats.served_customers == want.stats.served_customers);
+      MUAA_CHECK(std::bit_cast<uint64_t>(rec_stats.total_utility) ==
+                 std::bit_cast<uint64_t>(want.stats.total_utility))
+          << "epoch " << epochs_completed << " (shards " << current_shards
+          << ") utility diverged";
+      const auto& wa = want.assignments.instances();
+      MUAA_CHECK(rec_instances.size() == wa.size());
+      for (size_t i = 0; i < wa.size(); ++i) {
+        MUAA_CHECK(KeyOf(rec_instances[i]) == KeyOf(wa[i]))
+            << "epoch " << epochs_completed << " assignment " << i
+            << " diverged from offline replay";
       }
+      acked.clear();
+      wipe(current_shards);
+      ++rotation_idx;
+      current_shards = shard_rotation[rotation_idx % shard_rotation.size()];
     }
   }
 
@@ -303,6 +402,7 @@ int Run(int argc, char** argv) {
     opts.durability.journal_path = journal;
     opts.durability.checkpoint_path = checkpoint;
     opts.resume = !fresh_epoch;
+    apply_sharding(&opts);
     server::Broker broker(ctx, &solver, opts);
     MUAA_CHECK_OK(broker.Start());
 
@@ -353,11 +453,7 @@ int Run(int argc, char** argv) {
       (unsigned long long)total_records_salvaged,
       (unsigned long long)total_bytes_quarantined);
 
-  for (const auto& leftover :
-       {journal, checkpoint, journal + ".quarantine",
-        checkpoint + ".quarantine", checkpoint + ".tmp"}) {
-    fs::remove(leftover);
-  }
+  wipe(256);
   return 0;
 }
 

@@ -5,6 +5,25 @@
 
 namespace muaa {
 
+namespace {
+
+/// splitmix64 finalizer: full avalanche, so consecutive connection indices
+/// land on statistically unrelated seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t connection) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (connection + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BackoffOptions BackoffOptions::ForConnection(uint64_t connection) const {
+  BackoffOptions opts = *this;
+  opts.seed = MixSeed(seed, connection);
+  return opts;
+}
+
 BackoffPolicy::BackoffPolicy(const BackoffOptions& opts)
     : opts_(opts), rng_(opts.seed) {
   opts_.multiplier = std::max(1.0, opts_.multiplier);

@@ -24,6 +24,14 @@ struct BackoffOptions {
   double multiplier = 2.0;     ///< Growth factor per consecutive failure.
   double jitter = 0.2;         ///< Fractional jitter half-width in [0, 1).
   uint64_t seed = 42;          ///< Seed for the jitter stream.
+
+  /// The same options with the seed mixed against `connection` through a
+  /// full-avalanche finalizer. Every retrying connection must call this
+  /// with its own index: adjacent connection indices seeded as
+  /// `seed + k` (or worse, all sharing the process seed) produce highly
+  /// correlated jitter streams, and a mass disconnect then turns into a
+  /// synchronized retry storm — exactly what the jitter exists to prevent.
+  BackoffOptions ForConnection(uint64_t connection) const;
 };
 
 class BackoffPolicy {

@@ -11,13 +11,15 @@ namespace {
 
 constexpr char kMagic[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '3'};
 constexpr char kMagicV4[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '4'};
+constexpr char kMagicV5[8] = {'M', 'U', 'A', 'A', 'C', 'K', 'P', '5'};
 
 /// All shard fields at their defaults → the v3 layout reproduces this
 /// checkpoint exactly; keep writing it so unsharded brokers stay
 /// byte-compatible with earlier builds.
 bool IsLegacyV3(const StreamCheckpoint& ckpt) {
   return ckpt.journal_records_covered == 0 && ckpt.shard_id == 0 &&
-         ckpt.num_shards <= 1 && ckpt.shard_map_crc == 0;
+         ckpt.num_shards <= 1 && ckpt.shard_map_crc == 0 &&
+         ckpt.fence_epoch == 0;
 }
 
 std::string EncodePayload(const StreamCheckpoint& ckpt) {
@@ -49,11 +51,15 @@ std::string EncodePayload(const StreamCheckpoint& ckpt) {
     PutU32(&p, ckpt.shard_id);
     PutU32(&p, ckpt.num_shards);
     PutU32(&p, ckpt.shard_map_crc);
+    // v5 only: the fencing epoch trails the v4 block, so an epoch-0 node
+    // keeps writing files byte-identical to the pre-replication build.
+    if (ckpt.fence_epoch != 0) PutU64(&p, ckpt.fence_epoch);
   }
   return p;
 }
 
-Status DecodePayload(const std::string& p, bool v4, StreamCheckpoint* ckpt) {
+Status DecodePayload(const std::string& p, bool v4, bool v5,
+                     StreamCheckpoint* ckpt) {
   BinReader in(p);
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_customers));
   MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->num_vendors));
@@ -103,13 +109,19 @@ Status DecodePayload(const std::string& p, bool v4, StreamCheckpoint* ckpt) {
     MUAA_RETURN_NOT_OK(in.ReadU64(&idx));
     ckpt->processed.push_back(idx);
   }
-  if (v4) {
+  if (v4 || v5) {
     MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->journal_records_covered));
     MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->shard_id));
     MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->num_shards));
     MUAA_RETURN_NOT_OK(in.ReadU32(&ckpt->shard_map_crc));
     if (ckpt->num_shards == 0) {
       return Status::DataLoss("checkpoint num_shards must be positive");
+    }
+  }
+  if (v5) {
+    MUAA_RETURN_NOT_OK(in.ReadU64(&ckpt->fence_epoch));
+    if (ckpt->fence_epoch == 0) {
+      return Status::DataLoss("v5 checkpoint with zero fence_epoch");
     }
   }
   if (!in.done()) {
@@ -123,7 +135,10 @@ Status DecodePayload(const std::string& p, bool v4, StreamCheckpoint* ckpt) {
 Status SaveCheckpoint(Env* env, const StreamCheckpoint& ckpt,
                       const std::string& path) {
   const std::string payload = EncodePayload(ckpt);
-  std::string bytes(IsLegacyV3(ckpt) ? kMagic : kMagicV4, sizeof(kMagic));
+  const char* magic = IsLegacyV3(ckpt)       ? kMagic
+                      : ckpt.fence_epoch != 0 ? kMagicV5
+                                              : kMagicV4;
+  std::string bytes(magic, sizeof(kMagic));
   PutU64(&bytes, payload.size());
   bytes += payload;
   PutU32(&bytes, Crc32(payload));
@@ -183,7 +198,10 @@ Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path) {
   const bool is_v4 =
       got == sizeof(magic) &&
       std::char_traits<char>::compare(magic, kMagicV4, sizeof(kMagicV4)) == 0;
-  if (!is_v3 && !is_v4) {
+  const bool is_v5 =
+      got == sizeof(magic) &&
+      std::char_traits<char>::compare(magic, kMagicV5, sizeof(kMagicV5)) == 0;
+  if (!is_v3 && !is_v4 && !is_v5) {
     return Status::DataLoss("bad checkpoint header: " + path);
   }
   char size_bytes[8];
@@ -219,7 +237,7 @@ Result<StreamCheckpoint> LoadCheckpoint(Env* env, const std::string& path) {
     return Status::DataLoss("checkpoint checksum mismatch: " + path);
   }
   StreamCheckpoint ckpt;
-  MUAA_RETURN_NOT_OK(DecodePayload(payload, is_v4, &ckpt));
+  MUAA_RETURN_NOT_OK(DecodePayload(payload, is_v4, is_v5, &ckpt));
   return ckpt;
 }
 

@@ -77,6 +77,16 @@ struct StreamCheckpoint {
   /// `ShardMap::fingerprint()` of the writing broker; 0 when unsharded.
   /// Guards against resuming a shard against a different partition.
   uint32_t shard_map_crc = 0;
+
+  // --- Replicated-broker field (server/replication.h) ------------------
+  // 0 (the default) keeps the v3/v4 layouts byte-identical to earlier
+  // builds; any non-zero epoch switches the writer to v5 ("MUAACKP5"),
+  // which is v4 plus this trailing u64. The loader accepts all three.
+
+  /// Fencing epoch the writing node was serving under. A resuming node's
+  /// current epoch is max(this, journal kEpochChange records); replication
+  /// appends stamped with a lower epoch are a zombie's and are rejected.
+  uint64_t fence_epoch = 0;
 };
 
 /// Atomically writes `ckpt` to `path` (tmp file + fsync + rename + fsync of

@@ -70,6 +70,15 @@ std::string EncodeXDebit(uint64_t arrival, model::CustomerId customer,
   return payload;
 }
 
+std::string EncodeEpochChange(uint64_t epoch) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecordType::kEpochChange));
+  // The common-prefix u64 carries the epoch, the u32 is unused (0).
+  PutU64(&payload, epoch);
+  PutU32(&payload, 0);
+  return payload;
+}
+
 Status DecodePayload(const std::string& payload, JournalRecord* rec) {
   BinReader in(payload);
   uint8_t type = 0;
@@ -82,6 +91,7 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
   rec->customer = static_cast<model::CustomerId>(customer);
   rec->cost = 0.0;
   rec->spends.clear();
+  rec->epoch = 0;
   switch (static_cast<JournalRecordType>(type)) {
     case JournalRecordType::kDecision: {
       rec->type = JournalRecordType::kDecision;
@@ -146,6 +156,18 @@ Status DecodePayload(const std::string& payload, JournalRecord* rec) {
       MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
       MUAA_RETURN_NOT_OK(in.ReadDouble(&rec->cost));
       rec->vendor = static_cast<model::VendorId>(vendor);
+      rec->ad_type = -1;
+      rec->utility = 0.0;
+      rec->num_decisions = 0;
+      break;
+    }
+    case JournalRecordType::kEpochChange: {
+      rec->type = JournalRecordType::kEpochChange;
+      // The common-prefix u64 carries the epoch, not an arrival index.
+      rec->epoch = arrival;
+      rec->arrival = 0;
+      rec->customer = -1;
+      rec->vendor = -1;
       rec->ad_type = -1;
       rec->utility = 0.0;
       rec->num_decisions = 0;
@@ -299,6 +321,10 @@ Status JournalWriter::AppendXDebit(uint64_t arrival,
   return AppendFramed(EncodeXDebit(arrival, customer, vendor, cost));
 }
 
+Status JournalWriter::AppendEpochChange(uint64_t epoch) {
+  return AppendFramed(EncodeEpochChange(epoch));
+}
+
 Status JournalWriter::Flush() {
   // fd-based writes are in the OS the moment Append returns; there is no
   // user-space buffer left to push. Kept because call sites distinguish
@@ -408,6 +434,16 @@ Status TruncateFile(Env* env, const std::string& path, uint64_t size) {
 
 Status TruncateFile(const std::string& path, uint64_t size) {
   return TruncateFile(Env::Default(), path, size);
+}
+
+std::string EncodeEpochChangeRecord(uint64_t epoch) {
+  const std::string payload = EncodeEpochChange(epoch);
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  PutU32(&framed, Crc32(payload));
+  return framed;
 }
 
 }  // namespace muaa::io

@@ -61,6 +61,14 @@ enum class JournalRecordType : uint8_t {
   /// customer is durable somewhere (orphan debits of an arrival whose
   /// commit was lost are skipped).
   kXDebit = 5,
+  /// Fencing-epoch change (replicated broker, docs/serving.md): every
+  /// record after this one belongs to `epoch`. Written once at primary
+  /// startup and by a follower at the moment of promotion, always at a
+  /// group boundary. A node's current epoch is the maximum over its
+  /// checkpoint's `fence_epoch` and the journal's kEpochChange records;
+  /// replication appends stamped with a lower epoch are rejected and
+  /// quarantined (a fenced-off zombie primary).
+  kEpochChange = 6,
 };
 
 /// One (vendor, absolute spend) entry of a kXSpends record.
@@ -87,6 +95,7 @@ struct JournalRecord {
   uint32_t mode = 0;                ///< kModeChange: assign::ServeMode value
   double cost = 0.0;                ///< kXDebit: budget debited from `vendor`
   std::vector<XSpendEntry> spends;  ///< kXSpends: foreign spends, vendor-asc
+  uint64_t epoch = 0;               ///< kEpochChange: the new fencing epoch
 };
 
 /// \brief Hook consulted before every record append; the deterministic
@@ -180,6 +189,9 @@ class JournalWriter {
   Status AppendXDebit(uint64_t arrival, model::CustomerId customer,
                       model::VendorId vendor, double cost);
 
+  /// Appends a fencing-epoch change. Must sit at a group boundary.
+  Status AppendEpochChange(uint64_t epoch);
+
   /// Flushes buffered bytes to the OS (survives a process kill, not a
   /// power cut). With fd-based envs every append already lands in the OS,
   /// so this is a cheap no-op kept for the call sites that predate Sync.
@@ -251,5 +263,10 @@ class JournalReader {
 /// Truncates `path` to `size` bytes (recovery discarding a torn tail).
 Status TruncateFile(const std::string& path, uint64_t size);
 Status TruncateFile(Env* env, const std::string& path, uint64_t size);
+
+/// The complete framed bytes ([u32 len][payload][u32 crc]) of one
+/// kEpochChange record — for a replica server appending the fence to its
+/// byte-for-byte journal copy without opening a JournalWriter.
+std::string EncodeEpochChangeRecord(uint64_t epoch);
 
 }  // namespace muaa::io

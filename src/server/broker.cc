@@ -80,6 +80,29 @@ Status Broker::Start() {
   departed_.assign(m, false);
   decisions_.assign(m, {});
 
+  if (partitioned()) {
+    if (n != 1) {
+      return Status::InvalidArgument(
+          "partition_num_shards > 1 requires shards == 1 (one process "
+          "serves one shard of the partition)");
+    }
+    if (options_.partition_num_shards > 256) {
+      return Status::InvalidArgument(
+          "partition_num_shards must be in [1, 256]");
+    }
+    if (options_.partition_shard_id >= options_.partition_num_shards) {
+      return Status::InvalidArgument(
+          "partition_shard_id out of range: " +
+          std::to_string(options_.partition_shard_id) + " of " +
+          std::to_string(options_.partition_num_shards));
+    }
+    if (solver_ == nullptr || !solver_->SupportsSharding()) {
+      return Status::InvalidArgument(
+          "a partitioned broker requires a solver with SupportsSharding() "
+          "(foreign reserves are installed via SetUsedBudget)");
+    }
+  }
+
   const stream::StreamOptions& dur = options_.durability;
   if (n > 1) {
     if (!options_.solver_factory) {
@@ -119,6 +142,17 @@ Status Broker::Start() {
     s->ctx = ctx_;
     s->journal_path = dur.journal_path;
     s->checkpoint_path = dur.checkpoint_path;
+    if (partitioned()) {
+      // Build the same partition every peer process builds: the router
+      // front-end ships each arrival to its owner, and this broker
+      // re-derives ownership to reject misroutes instead of deciding a
+      // foreign shard's customers.
+      MUAA_ASSIGN_OR_RETURN(
+          ShardMap built, ShardMap::Build(ctx_.instance->vendors,
+                                          options_.partition_num_shards));
+      shard_map_ = std::make_unique<ShardMap>(std::move(built));
+      router_ = std::make_unique<Router>(ctx_.view, shard_map_.get());
+    }
   } else {
     MUAA_ASSIGN_OR_RETURN(ShardMap built,
                           ShardMap::Build(ctx_.instance->vendors, n));
@@ -163,12 +197,20 @@ Status Broker::Start() {
     MUAA_RETURN_NOT_OK(sp->solver->Initialize(sp->ctx));
   }
 
+  uint64_t recovered_epoch = 0;
   if (options_.resume) {
     // Which arrivals are durably committed *somewhere* — the oracle the
     // per-shard replays consult to tell a real cross-shard debit from the
     // orphaned residue of a transaction whose owner marker was lost.
     std::vector<bool> committed;
-    if (n > 1) {
+    if (partitioned()) {
+      // One process cannot see its peers' journals, but it does not need
+      // to: the router appends a kXDebit here only AFTER the owner's
+      // commit marker is durable (and replicated) and acked — so every
+      // debit on this journal belongs to a committed arrival by
+      // construction, and the all-true oracle is exact.
+      committed.assign(m, true);
+    } else if (n > 1) {
       committed.assign(m, false);
       for (auto& sp : shards_) {
         if (!sp->checkpoint_path.empty()) {
@@ -203,6 +245,12 @@ Status Broker::Start() {
         sro.shard_map_crc = shard_map_->fingerprint();
         sro.committed_arrivals = &committed;
         srop = &sro;
+      } else if (partitioned()) {
+        sro.shard_id = options_.partition_shard_id;
+        sro.num_shards = options_.partition_num_shards;
+        sro.shard_map_crc = shard_map_->fingerprint();
+        sro.committed_arrivals = &committed;
+        srop = &sro;
       }
       MUAA_ASSIGN_OR_RETURN(
           stream::RecoveredStream rec,
@@ -228,6 +276,19 @@ Status Broker::Start() {
       c_records_quarantined_->Add(rec.recovery.records_dropped);
       c_bytes_quarantined_->Add(rec.recovery.bytes_quarantined);
       c_tmp_checkpoints_deleted_->Add(rec.recovery.tmp_files_deleted);
+      recovery_report_.journal_present |= rec.recovery.journal_present;
+      recovery_report_.journal_usable |= rec.recovery.journal_usable;
+      recovery_report_.records_kept += rec.recovery.records_kept;
+      recovery_report_.records_dropped += rec.recovery.records_dropped;
+      recovery_report_.bytes_quarantined += rec.recovery.bytes_quarantined;
+      recovery_report_.checkpoint_present |= rec.recovery.checkpoint_present;
+      recovery_report_.checkpoint_quarantined |=
+          rec.recovery.checkpoint_quarantined;
+      recovery_report_.tmp_files_deleted += rec.recovery.tmp_files_deleted;
+      if (!rec.recovery.quarantine_path.empty()) {
+        recovery_report_.quarantine_path = rec.recovery.quarantine_path;
+      }
+      recovered_epoch = std::max(recovered_epoch, rec.fence_epoch);
       if (rec.saw_disk_fail) {
         // The previous process ended read-only on a failing disk. Serve
         // normally — if the device is still bad, the first journal write
@@ -292,6 +353,58 @@ Status Broker::Start() {
     // the vendors and verifies fingerprints, it never trusts this file.
     MUAA_RETURN_NOT_OK(shard_map_->Save(dur.env_or_default(),
                                         dur.checkpoint_path + ".shardmap"));
+  }
+
+  // Fencing: adopt the configured epoch, journal the change, and push the
+  // whole durable prefix to the follower before the first client is
+  // admitted. A configured epoch below what the files recovered means a
+  // newer primary was promoted while this process was down — refusing to
+  // start is what keeps the zombie from ever deciding again.
+  if (partitioned() || options_.fence_epoch > 0) {
+    Shard* s0 = shards_[0].get();
+    if (options_.fence_epoch != 0 && options_.fence_epoch < recovered_epoch) {
+      return Status::FailedPrecondition(
+          "this node is fenced: its journal/checkpoint carry epoch " +
+          std::to_string(recovered_epoch) + ", configured epoch " +
+          std::to_string(options_.fence_epoch) +
+          " — a newer primary has been promoted");
+    }
+    fence_epoch_ = std::max(options_.fence_epoch, recovered_epoch);
+    if (s0->writer != nullptr && fence_epoch_ > recovered_epoch) {
+      MUAA_RETURN_NOT_OK(s0->writer->AppendEpochChange(fence_epoch_));
+      MUAA_RETURN_NOT_OK(s0->writer->Sync());
+    }
+    if (options_.resume && s0->writer != nullptr && !s0->journal_path.empty()) {
+      // Rebuild the cross-shard debit dedup set: the router retries
+      // kXDebit until acked, and a retry that lands after a crash+resume
+      // must still be recognized.
+      auto opened =
+          io::JournalReader::Open(dur.env_or_default(), s0->journal_path);
+      if (opened.ok()) {
+        io::JournalReader reader = std::move(opened).ValueOrDie();
+        io::JournalRecord jrec;
+        while (true) {
+          auto more = reader.Next(&jrec);
+          if (!more.ok() || !*more) break;
+          if (jrec.type == io::JournalRecordType::kXDebit) {
+            s0->xdebits_seen.emplace(jrec.customer, jrec.vendor);
+          }
+        }
+      }
+    }
+  }
+  for (auto& sp : shards_) {
+    if (sp->writer != nullptr) {
+      sp->synced_offset.store(sp->writer->offset(),
+                              std::memory_order_relaxed);
+    }
+  }
+  if (options_.replication != nullptr && shards_[0]->writer != nullptr) {
+    // Initial catch-up: the follower must hold the entire durable prefix
+    // (header, recovered records, the fresh epoch record) before any new
+    // decision is acked against it.
+    MUAA_RETURN_NOT_OK(
+        options_.replication->Replicate(shards_[0]->writer->offset()));
   }
 
   MUAA_ASSIGN_OR_RETURN(listener_,
@@ -439,6 +552,57 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         owner_id = rd.owner;
         touched = std::move(rd.touched);
       }
+      std::vector<VendorSpend> xspends;
+      if (partitioned()) {
+        // This process serves exactly one shard; the route tells us
+        // whether the front-end (or a misconfigured client) sent the
+        // arrival to the right place.
+        if (owner_id != options_.partition_shard_id) {
+          Response resp;
+          resp.type = ResponseType::kError;
+          resp.request_id = req.request_id;
+          resp.customer = req.customer;
+          resp.error = "customer " + std::to_string(req.customer) +
+                       " is owned by shard " + std::to_string(owner_id) +
+                       ", this node serves shard " +
+                       std::to_string(options_.partition_shard_id);
+          SendResponse(conn, resp);
+          return true;
+        }
+        if (touched.size() > 1 && req.xspends.empty()) {
+          // A boundary-straddling arrival must come through the router,
+          // which reads the foreign shards' spends first; deciding it
+          // against a stale local view would desynchronize the partition.
+          Response resp;
+          resp.type = ResponseType::kError;
+          resp.request_id = req.request_id;
+          resp.customer = req.customer;
+          resp.error =
+              "cross-shard arrival requires the router's reserve prefix";
+          SendResponse(conn, resp);
+          return true;
+        }
+        for (const VendorSpend& e : req.xspends) {
+          if (e.vendor < 0 ||
+              static_cast<size_t>(e.vendor) >=
+                  ctx_.instance->num_vendors()) {
+            Response resp;
+            resp.type = ResponseType::kError;
+            resp.request_id = req.request_id;
+            resp.customer = req.customer;
+            resp.error = "reserve vendor id out of range: " +
+                         std::to_string(e.vendor);
+            SendResponse(conn, resp);
+            return true;
+          }
+        }
+        xspends = req.xspends;
+        // The in-process cross-shard path (ProcessCrossShard) indexes
+        // sibling shards that do not exist here; the staged path journals
+        // the reserve + group on this node's own journal instead.
+        owner_id = 0;
+        touched.clear();
+      }
       Shard* s = shards_[owner_id].get();
       if (s->disk_failed.load(std::memory_order_relaxed)) {
         // Read-only mode: the shard's journal cannot make new decisions
@@ -474,7 +638,8 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
                    s->queue.size() < options_.queue_max) {
           s->queue.push_back(Admission{conn, req.request_id, req.customer,
                                        req.deadline_us, now,
-                                       std::move(touched)});
+                                       std::move(touched),
+                                       std::move(xspends)});
           admitted = true;
           s->hinter.OnAdmit();
           conn->inflight.fetch_add(1, std::memory_order_relaxed);
@@ -554,6 +719,103 @@ bool Broker::Dispatch(const ConnPtr& conn, const Request& req) {
         shutdown_requested_ = true;
       }
       shutdown_cv_.notify_all();
+      return true;
+    }
+    case RequestType::kHeartbeat: {
+      // Answered from the dispatch thread, never queued behind solves: a
+      // missed heartbeat deadline means the process is gone, not busy.
+      Response resp;
+      resp.type = ResponseType::kHeartbeatAck;
+      resp.request_id = req.request_id;
+      resp.epoch = fence_epoch_;
+      resp.role = NodeRole::kPrimary;
+      resp.offset =
+          shards_[0]->synced_offset.load(std::memory_order_relaxed);
+      resp.port = static_cast<uint32_t>(port_);
+      SendResponse(conn, resp);
+      return true;
+    }
+    case RequestType::kXSpendQuery: {
+      // Phase 1 of the router's cross-shard saga: the authoritative used
+      // budgets of this shard's vendors, read under the commit lock so
+      // the snapshot sits at a group boundary.
+      Response resp;
+      resp.type = ResponseType::kXSpendAck;
+      resp.request_id = req.request_id;
+      resp.customer = req.customer;
+      const size_t num_vendors = ctx_.instance->num_vendors();
+      Shard* s = shards_[0].get();
+      std::lock_guard<std::mutex> lk(s->commit_mu);
+      for (model::VendorId v : req.vendors) {
+        if (v < 0 || static_cast<size_t>(v) >= num_vendors) {
+          resp.type = ResponseType::kError;
+          resp.error = "vendor id out of range: " + std::to_string(v);
+          resp.spends.clear();
+          break;
+        }
+        resp.spends.push_back(VendorSpend{v, s->solver->UsedBudget(v)});
+      }
+      SendResponse(conn, resp);
+      return true;
+    }
+    case RequestType::kXDebit: {
+      // Phase 2 of the saga: a foreign owner spent `cost` of one of this
+      // shard's vendors. Journaled + fsynced + replicated before the ack;
+      // idempotent per (customer, vendor) because the router retries
+      // until acked.
+      Response resp;
+      resp.request_id = req.request_id;
+      resp.customer = req.customer;
+      const size_t num_vendors = ctx_.instance->num_vendors();
+      if (req.customer < 0 || static_cast<size_t>(req.customer) >= m ||
+          req.vendor < 0 || static_cast<size_t>(req.vendor) >= num_vendors ||
+          req.cost < 0.0) {
+        resp.type = ResponseType::kError;
+        resp.error = "malformed cross-shard debit";
+        SendResponse(conn, resp);
+        return true;
+      }
+      Shard* s = shards_[0].get();
+      std::lock_guard<std::mutex> lk(s->commit_mu);
+      if (s->disk_failed.load(std::memory_order_relaxed)) {
+        resp.type = ResponseType::kDiskFail;
+        SendResponse(conn, resp);
+        return true;
+      }
+      resp.type = ResponseType::kXDebitAck;
+      const auto key = std::make_pair(req.customer, req.vendor);
+      if (s->xdebits_seen.count(key) != 0) {
+        resp.applied = false;  // duplicate retry: already durable
+        SendResponse(conn, resp);
+        return true;
+      }
+      Status jst;
+      if (s->writer != nullptr) {
+        jst = s->writer->AppendXDebit(static_cast<uint64_t>(req.customer),
+                                      req.customer, req.vendor, req.cost);
+        if (jst.ok()) jst = s->writer->Sync();
+        if (jst.ok()) jst = ReplicateShard(s);
+      }
+      if (!jst.ok()) {
+        EnterDiskFailMode(s, jst);
+        resp.type = ResponseType::kDiskFail;
+        SendResponse(conn, resp);
+        return true;
+      }
+      s->xdebits_seen.insert(key);
+      s->solver->AddUsedBudget(req.vendor, req.cost);
+      resp.applied = true;
+      SendResponse(conn, resp);
+      return true;
+    }
+    case RequestType::kReplAppend:
+    case RequestType::kReplSnapshot:
+    case RequestType::kPromote: {
+      Response resp;
+      resp.type = ResponseType::kError;
+      resp.request_id = req.request_id;
+      resp.error = "replication frame sent to a primary, not a replica";
+      SendResponse(conn, resp);
       return true;
     }
   }
@@ -762,6 +1024,22 @@ Status Broker::ProcessBatch(Shard* s, std::vector<Admission>* batch) {
       // record order equals the shard's budget-mutation order even while
       // foreign owners interleave cross-shard debits between groups.
       std::lock_guard<std::mutex> lk(s->commit_mu);
+      // Router-carried reserve (partition mode): install the foreign
+      // shards' spends before the solve and journal them as the group's
+      // kXSpends prefix, exactly as the in-process cross-shard path does —
+      // replay then re-decides against bitwise-identical budgets.
+      std::vector<io::XSpendEntry> reserve;
+      if (!adm.xspends.empty()) {
+        reserve.reserve(adm.xspends.size());
+        for (const VendorSpend& e : adm.xspends) {
+          s->solver->SetUsedBudget(e.vendor, e.spend);
+          reserve.push_back(io::XSpendEntry{e.vendor, e.spend});
+        }
+        std::sort(reserve.begin(), reserve.end(),
+                  [](const io::XSpendEntry& a, const io::XSpendEntry& b) {
+                    return a.vendor < b.vendor;
+                  });
+      }
       Stopwatch solve_watch;
       {
         obs::ScopedTimer solve_timer(h_arrival_solve_);
@@ -775,9 +1053,12 @@ Status Broker::ProcessBatch(Shard* s, std::vector<Admission>* batch) {
       if (s->writer != nullptr) {
         obs::ScopedTimer append_timer(h_journal_append_);
         Stopwatch append_watch;
+        if (!reserve.empty()) {
+          jst = s->writer->AppendXSpends(idx, adm.customer, reserve);
+        }
         for (const assign::AdInstance& inst : picked) {
-          jst = s->writer->AppendDecision(idx, inst);
           if (!jst.ok()) break;
+          jst = s->writer->AppendDecision(idx, inst);
         }
         if (jst.ok()) {
           jst = s->writer->AppendArrivalCommit(
@@ -824,6 +1105,10 @@ Status Broker::ProcessBatch(Shard* s, std::vector<Admission>* batch) {
       obs::ScopedTimer flush_timer(h_journal_flush_);
       Stopwatch flush_watch;
       Status st = s->writer->Sync();
+      // Semi-synchronous replication rides the same barrier: the batch is
+      // durable here AND on the follower before any response goes out, so
+      // a SIGKILL plus failover loses no acked arrival.
+      if (st.ok()) st = ReplicateShard(s);
       if (!st.ok()) {
         EnterDiskFailMode(s, st);
       } else {
@@ -1086,6 +1371,15 @@ Status Broker::ProcessCrossShard(Shard* owner, const Admission& adm,
   return Status::OK();
 }
 
+Status Broker::ReplicateShard(Shard* s) {
+  const uint64_t size = s->writer == nullptr ? 0 : s->writer->offset();
+  if (options_.replication != nullptr && s->writer != nullptr) {
+    MUAA_RETURN_NOT_OK(options_.replication->Replicate(size));
+  }
+  s->synced_offset.store(size, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 void Broker::EnterDiskFailMode(Shard* s, const Status& why) {
   if (s->disk_failed.exchange(true)) return;
   c_journal_sync_errors_->Add();
@@ -1143,14 +1437,17 @@ Status Broker::WriteCheckpoint(Shard* s) {
   if (shard_map_ != nullptr) {
     // Shard identity + journal watermark (v4): replay consumes but never
     // re-applies the covered prefix — the mechanism that both prevents
-    // double-applied cross-shard debits and retires skipped orphans.
-    ckpt.shard_id = s->id;
+    // double-applied cross-shard debits and retires skipped orphans. A
+    // partitioned broker stamps its place in the multi-process partition,
+    // not its local (always-0) shard index.
+    ckpt.shard_id = partitioned() ? options_.partition_shard_id : s->id;
     ckpt.num_shards = shard_map_->num_shards();
     ckpt.shard_map_crc = shard_map_->fingerprint();
     ckpt.journal_records_covered =
         s->writer == nullptr ? 0
                              : s->journal_base + s->writer->records_appended();
   }
+  ckpt.fence_epoch = fence_epoch_;
   Status st = io::SaveCheckpoint(options_.durability.env_or_default(), ckpt,
                                  s->checkpoint_path);
   if (st.ok()) {
@@ -1258,6 +1555,11 @@ Status Broker::StopThreads(bool drain) {
       }
       std::lock_guard<std::mutex> lk(s->commit_mu);
       if (s->writer != nullptr) MUAA_RETURN_NOT_OK(s->writer->Sync());
+      // Best-effort final catch-up: every acked byte is already on the
+      // follower (per-batch replication); this only ships unsynced
+      // trailing records (e.g. a mode change), so a dead follower must
+      // not fail an otherwise clean shutdown.
+      (void)ReplicateShard(s);
       if (!s->checkpoint_path.empty()) MUAA_RETURN_NOT_OK(WriteCheckpoint(s));
     }
   }

@@ -8,14 +8,17 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "assign/solver.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "io/journal.h"
+#include "io/recovery.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "server/overload.h"
@@ -26,6 +29,22 @@
 #include "stream/driver.h"
 
 namespace muaa::server {
+
+/// \brief Semi-synchronous replication hook (docs/serving.md, "Topology &
+/// failover"). The broker calls `Replicate` under the shard's commit lock
+/// immediately after every covering fsync and BEFORE any of the synced
+/// batch's responses go out: an OK return means every journal byte up to
+/// `journal_size` is durable on the follower too, so a SIGKILL of this
+/// process loses no acked arrival. An error (after the implementation's
+/// own retries) means the follower cannot be made durable — the broker
+/// then enters DISK_FAIL mode rather than acking under-replicated
+/// decisions. `ReplicationSender` (server/replication.h) implements this
+/// by tailing the journal file to a follower over REPL_APPEND frames.
+class ReplicationHook {
+ public:
+  virtual ~ReplicationHook() = default;
+  virtual Status Replicate(uint64_t journal_size) = 0;
+};
 
 /// \brief In-memory broker counters snapshot (the old positional v1 wire
 /// struct, kept as a convenience view for tests and reports; the wire now
@@ -142,6 +161,31 @@ struct BrokerOptions {
   /// each shard's initialization (e.g. O-AFA's γ estimate) bitwise equal
   /// to the baseline's.
   uint64_t shard_rng_seed = 42;
+
+  // --- Distributed partition + replication (docs/serving.md) -----------
+  // With `partition_num_shards > 1` (requires `shards == 1`) this process
+  // is ONE shard of an N-way geo-partition whose other shards live in
+  // other processes behind a router front-end (server/frontend.h). The
+  // broker builds the same ShardMap every peer builds, rejects arrivals
+  // routed to a different owner, stamps the partition identity into its
+  // checkpoints, and expects the router to carry foreign-vendor reserves
+  // (kArrive xspends) and debits (kXDebit) for boundary-straddling
+  // customers.
+
+  /// Which shard of the partition this process serves.
+  uint32_t partition_shard_id = 0;
+  /// Total shards in the partition; 1 (default) = not partitioned.
+  uint32_t partition_num_shards = 1;
+  /// Fencing epoch to serve under; 0 = unfenced. Must be >= the epoch
+  /// recovered from the durability files (a lower value means a newer
+  /// primary exists and this node is a zombie — `Start` fails). When it
+  /// exceeds the recovered epoch, a kEpochChange record is journaled
+  /// before serving.
+  uint64_t fence_epoch = 0;
+  /// Semi-synchronous follower replication; null = no replica. Called
+  /// under the commit lock after every covering fsync (see
+  /// ReplicationHook). Not owned.
+  ReplicationHook* replication = nullptr;
 };
 
 /// \brief The multi-threaded ad-broker service (docs/serving.md).
@@ -234,6 +278,17 @@ class Broker {
   /// The partition in effect; null with one shard. Valid after `Start`.
   const ShardMap* shard_map() const { return shard_map_.get(); }
 
+  /// Fencing epoch this node serves under (0 = unfenced). Valid after
+  /// `Start`.
+  uint64_t fence_epoch() const { return fence_epoch_; }
+
+  /// What the salvage pass found across every shard on resume (fields
+  /// summed; `quarantine_path` is the last non-empty one). All-zero when
+  /// `resume` was false or nothing needed salvage. Valid after `Start`.
+  const io::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
  private:
   struct Connection {
     Socket sock;
@@ -259,6 +314,10 @@ class Broker {
     /// shard, or when no vendor covers the customer); size > 1 marks a
     /// cross-shard arrival.
     std::vector<uint32_t> touched;
+    /// Router-supplied foreign-vendor reserve (partition mode): absolute
+    /// spends read from their authoritative shards, installed and
+    /// journaled as kXSpends before the solve. Empty otherwise.
+    std::vector<VendorSpend> xspends;
   };
 
   /// One geo-partitioned solver shard: a slice of the vendor/budget
@@ -314,6 +373,16 @@ class Broker {
     /// admission path without locks.
     std::atomic<bool> disk_failed{false};
 
+    /// Journal bytes covered by the last successful Sync (and, when a
+    /// replication hook is set, acked by the follower). Lock-free mirror
+    /// for heartbeat answers.
+    std::atomic<uint64_t> synced_offset{0};
+    /// Cross-shard debits already journaled, keyed (customer, vendor) —
+    /// the router retries kXDebit until acked, so re-sends must be
+    /// idempotent. Rebuilt from the journal on resume. Guarded by
+    /// `commit_mu`. Partition mode only.
+    std::set<std::pair<model::CustomerId, model::VendorId>> xdebits_seen;
+
     std::string journal_path;
     std::string checkpoint_path;
     std::thread thread;
@@ -366,6 +435,13 @@ class Broker {
   void RecordShardHist(Shard* s, obs::LatencyHistogram** cell,
                        const char* name, uint64_t value_us);
   Status WriteCheckpoint(Shard* s);
+  /// Ships the shard's synced journal bytes to the follower (no-op
+  /// without a replication hook) and advances `synced_offset`. Requires
+  /// `s->commit_mu` and a preceding successful `Sync()`.
+  Status ReplicateShard(Shard* s);
+  /// True when this process serves one shard of a multi-process partition
+  /// (`partition_num_shards > 1`).
+  bool partitioned() const { return options_.partition_num_shards > 1; }
   /// Sends `resp` on `conn`, swallowing peer-disconnect errors (the
   /// broker must outlive its clients).
   void SendResponse(const ConnPtr& conn, const Response& resp);
@@ -466,6 +542,12 @@ class Broker {
   bool started_ = false;
   bool stopped_ = false;
   Status fatal_;  ///< first shard-loop terminal error (guarded by state_mu_)
+
+  /// Current fencing epoch (fixed at Start; promotion constructs a fresh
+  /// broker rather than re-fencing a live one).
+  uint64_t fence_epoch_ = 0;
+  /// Aggregated salvage results from resume (see recovery_report()).
+  io::RecoveryReport recovery_report_;
 };
 
 }  // namespace muaa::server

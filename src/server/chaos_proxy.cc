@@ -122,10 +122,23 @@ void ChaosProxy::Pump(const RelayPtr& relay, Socket* src, Socket* dst,
     out.reserve(n);
     for (size_t k = 0; k < n; ++k) {
       const uint64_t p = pos + k;
-      if (reset.Due(p)) {
-        // Tear the connection down mid-stream: forward nothing further.
+      if (options_.flap_every > 0 && p >= options_.flap_every) {
+        // Deterministic flap: this connection has carried its quota.
+        flaps_.fetch_add(1, std::memory_order_relaxed);
         do_reset = true;
         break;
+      }
+      if (reset.Due(p)) {
+        // Tear the connection down mid-stream: forward nothing further.
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        do_reset = true;
+        break;
+      }
+      if (options_.partition_bytes > 0 && p >= options_.partition_at &&
+          p < options_.partition_at + options_.partition_bytes) {
+        // Inside the partition window: dead air, connection held open.
+        partitioned_bytes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
       if (p < drop_until) {
         dropped_bytes_.fetch_add(1, std::memory_order_relaxed);
@@ -173,10 +186,7 @@ void ChaosProxy::Pump(const RelayPtr& relay, Socket* src, Socket* dst,
       }
       forwarded_bytes_.fetch_add(chunk, std::memory_order_relaxed);
     }
-    if (do_reset) {
-      resets_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
+    if (do_reset) break;  // counted at the trigger site (reset vs flap)
     if (send_failed) break;
   }
   // Either side ending tears down both directions: a half-dead relay

@@ -46,6 +46,22 @@ struct ChaosOptions {
   /// Mean gap in bytes between injected connection teardowns. 0 = disabled.
   uint64_t reset_every = 0;
 
+  /// One-shot partition: starting at absolute byte `partition_at` of each
+  /// direction's stream, the next `partition_bytes` bytes are black-holed —
+  /// silently swallowed while the connection stays up, exactly the
+  /// half-open network partition a failover harness needs (the peer sees
+  /// dead air, not a reset, so only a deadline can save it). Positions are
+  /// per accepted connection, so a reconnecting client hits the same wall
+  /// again. `partition_bytes = 0` disables.
+  uint64_t partition_at = 0;
+  uint64_t partition_bytes = 0;
+
+  /// Deterministic link flap: tear each connection down the moment a
+  /// direction has carried `flap_every` bytes (exact byte position, no
+  /// randomness — unlike `reset_every`). Every reconnect gets another
+  /// `flap_every` bytes before the next flap. 0 = disabled.
+  uint64_t flap_every = 0;
+
   /// Forwarding chunk cap: larger reads are split into several sends
   /// (partial writes as the receiver observes them).
   size_t max_chunk = 4096;
@@ -85,6 +101,8 @@ class ChaosProxy {
   uint64_t dropped_bytes() const { return dropped_bytes_.load(); }
   uint64_t resets() const { return resets_.load(); }
   uint64_t forwarded_bytes() const { return forwarded_bytes_.load(); }
+  uint64_t partitioned_bytes() const { return partitioned_bytes_.load(); }
+  uint64_t flaps() const { return flaps_.load(); }
 
  private:
   /// One proxied connection: the two sockets and their pump threads.
@@ -117,6 +135,8 @@ class ChaosProxy {
   std::atomic<uint64_t> dropped_bytes_{0};
   std::atomic<uint64_t> resets_{0};
   std::atomic<uint64_t> forwarded_bytes_{0};
+  std::atomic<uint64_t> partitioned_bytes_{0};
+  std::atomic<uint64_t> flaps_{0};
 };
 
 }  // namespace muaa::server

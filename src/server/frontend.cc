@@ -1,0 +1,485 @@
+#include "server/frontend.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "model/instance.h"
+
+namespace muaa::server {
+
+Frontend::Frontend(const assign::SolveContext& ctx, FrontendOptions options)
+    : ctx_(ctx), options_(std::move(options)) {}
+
+Frontend::~Frontend() { (void)Stop(); }
+
+Status Frontend::Start() {
+  if (started_) return Status::FailedPrecondition("frontend already started");
+  if (ctx_.instance == nullptr || ctx_.view == nullptr) {
+    return Status::InvalidArgument("frontend requires instance + view");
+  }
+  if (options_.backends.empty()) {
+    return Status::InvalidArgument("frontend needs at least one backend");
+  }
+  if (options_.backends.size() > 256) {
+    return Status::InvalidArgument("frontend supports at most 256 shards");
+  }
+  MUAA_ASSIGN_OR_RETURN(
+      ShardMap map,
+      ShardMap::Build(ctx_.instance->vendors,
+                      static_cast<uint32_t>(options_.backends.size())));
+  shard_map_ = std::make_unique<ShardMap>(std::move(map));
+  router_ = std::make_unique<Router>(ctx_.view, shard_map_.get());
+  backends_.clear();
+  for (const FrontendBackend& cfg : options_.backends) {
+    auto b = std::make_unique<Backend>();
+    b->host = cfg.host;
+    b->port = cfg.port;
+    b->follower_host = cfg.follower_host;
+    b->follower_port = cfg.follower_port;
+    backends_.push_back(std::move(b));
+  }
+  MUAA_ASSIGN_OR_RETURN(listener_,
+                        Listener::Bind(options_.host, options_.port));
+  port_ = listener_.port();
+  acceptor_ = std::thread(&Frontend::AcceptLoop, this);
+  health_ = std::thread(&Frontend::HealthLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+Status Frontend::Stop() {
+  if (!started_ || stopped_) return Status::OK();
+  stopped_ = true;
+  stopping_.store(true);
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const ConnPtr& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  if (health_.joinable()) health_.join();
+  listener_.Close();
+  return Status::OK();
+}
+
+void Frontend::WaitUntilShutdown(const std::atomic<bool>* external_stop) {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  while (!shutdown_requested_ &&
+         (external_stop == nullptr || !external_stop->load())) {
+    shutdown_cv_.wait_for(lk, std::chrono::milliseconds(100));
+  }
+}
+
+uint64_t Frontend::shard_epoch(uint32_t shard) const {
+  if (shard >= backends_.size()) return 0;
+  std::lock_guard<std::mutex> lk(backends_[shard]->mu);
+  return backends_[shard]->epoch;
+}
+
+void Frontend::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) break;
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(accepted).ValueOrDie();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conns_.push_back(conn);
+    conn->thread = std::thread(&Frontend::ServeConnection, this, conn);
+  }
+}
+
+void Frontend::ServeConnection(const ConnPtr& conn) {
+  std::string payload;
+  for (;;) {
+    auto got = conn->sock.RecvFrame(&payload);
+    if (!got.ok() || !got.ValueOrDie()) break;
+    Response resp;
+    auto decoded = DecodeRequest(payload);
+    if (!decoded.ok()) {
+      resp.type = ResponseType::kError;
+      resp.error = "malformed request: " + decoded.status().message();
+    } else {
+      resp = Handle(decoded.ValueOrDie());
+    }
+    if (!conn->sock.SendFrame(EncodeResponse(resp)).ok()) break;
+  }
+  conn->done.store(true);
+}
+
+Response Frontend::Handle(const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  switch (req.type) {
+    case RequestType::kArrive:
+      return HandleArrive(req);
+    case RequestType::kDepart: {
+      const size_t m = ctx_.instance->customers.size();
+      if (req.customer < 0 || static_cast<size_t>(req.customer) >= m) {
+        resp.type = ResponseType::kError;
+        resp.error = "customer id out of range";
+        return resp;
+      }
+      RouteDecision rd;
+      {
+        std::lock_guard<std::mutex> lk(router_mu_);
+        rd = router_->Route(req.customer);
+      }
+      auto got = CallShard(rd.owner, req);
+      if (!got.ok()) {
+        resp.type = ResponseType::kError;
+        resp.error = got.status().message();
+        return resp;
+      }
+      resp = std::move(got).ValueOrDie();
+      resp.request_id = req.request_id;
+      return resp;
+    }
+    case RequestType::kStats:
+      return HandleStats(req);
+    case RequestType::kShutdown:
+      return HandleShutdown(req);
+    case RequestType::kHeartbeat:
+      resp.type = ResponseType::kHeartbeatAck;
+      resp.role = NodeRole::kPrimary;  // the client-facing endpoint
+      resp.port = static_cast<uint32_t>(port_);
+      return resp;
+    case RequestType::kReplAppend:
+    case RequestType::kReplSnapshot:
+    case RequestType::kPromote:
+    case RequestType::kXSpendQuery:
+    case RequestType::kXDebit:
+      resp.type = ResponseType::kError;
+      resp.error = "internal frame sent to the router front-end";
+      return resp;
+  }
+  resp.type = ResponseType::kError;
+  resp.error = "unknown request type";
+  return resp;
+}
+
+Response Frontend::HandleArrive(const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  const size_t m = ctx_.instance->customers.size();
+  if (req.customer < 0 || static_cast<size_t>(req.customer) >= m) {
+    resp.type = ResponseType::kError;
+    resp.error = "customer id out of range";
+    return resp;
+  }
+  RouteDecision rd;
+  std::vector<model::VendorId> valid;
+  {
+    std::lock_guard<std::mutex> lk(router_mu_);
+    rd = router_->Route(req.customer);
+    if (rd.cross_shard()) {
+      ctx_.view->ValidVendorsInto(req.customer, &scratch_vendors_);
+      valid = scratch_vendors_;
+    }
+  }
+  Request fwd = req;
+  fwd.xspends.clear();
+  if (rd.cross_shard()) {
+    // Reserve phase: read the authoritative spends of every foreign valid
+    // vendor so the owner decides against the budgets their shards
+    // actually hold. Touched shards are queried in ascending order — the
+    // same order the single-process broker locks them in.
+    for (uint32_t shard : rd.touched) {
+      if (shard == rd.owner) continue;
+      Request q;
+      q.type = RequestType::kXSpendQuery;
+      q.customer = req.customer;
+      for (model::VendorId v : valid) {
+        if (shard_map_->VendorShard(v) == shard) q.vendors.push_back(v);
+      }
+      auto got = CallShard(shard, std::move(q));
+      if (!got.ok()) {
+        resp.type = ResponseType::kError;
+        resp.error = "reserve on shard " + std::to_string(shard) + ": " +
+                     got.status().message();
+        return resp;
+      }
+      Response r = std::move(got).ValueOrDie();
+      if (r.type != ResponseType::kXSpendAck) {
+        r.request_id = req.request_id;  // relay BUSY/DISK_FAIL/error as-is
+        return r;
+      }
+      xspend_queries_.fetch_add(1);
+      fwd.xspends.insert(fwd.xspends.end(), r.spends.begin(),
+                         r.spends.end());
+    }
+    std::sort(fwd.xspends.begin(), fwd.xspends.end(),
+              [](const VendorSpend& a, const VendorSpend& b) {
+                return a.vendor < b.vendor;
+              });
+  }
+  auto got = CallShard(rd.owner, std::move(fwd));
+  if (!got.ok()) {
+    resp.type = ResponseType::kError;
+    resp.error = "shard " + std::to_string(rd.owner) + ": " +
+                 got.status().message();
+    return resp;
+  }
+  resp = std::move(got).ValueOrDie();
+  resp.request_id = req.request_id;
+  if (rd.cross_shard() && resp.type == ResponseType::kAssign) {
+    // Debit phase: tell each foreign shard what the owner spent of its
+    // vendors. Aggregated per (customer, vendor) — that is the foreign
+    // broker's idempotency key. The arrival is already durable on its
+    // owner, so a debit that cannot be delivered within the hop budget is
+    // counted, not blocking (the documented router-crash window,
+    // docs/serving.md).
+    std::map<model::VendorId, double> debits;
+    for (const assign::AdInstance& inst : resp.ads) {
+      if (shard_map_->VendorShard(inst.vendor) == rd.owner) continue;
+      debits[inst.vendor] += ctx_.instance->ad_types.at(inst.ad_type).cost;
+    }
+    for (const auto& [vendor, cost] : debits) {
+      Request d;
+      d.type = RequestType::kXDebit;
+      d.customer = req.customer;
+      d.vendor = vendor;
+      d.cost = cost;
+      auto dgot = CallShard(shard_map_->VendorShard(vendor), std::move(d));
+      if (!dgot.ok() ||
+          dgot.ValueOrDie().type != ResponseType::kXDebitAck) {
+        xdebit_failures_.fetch_add(1);
+      }
+    }
+  }
+  return resp;
+}
+
+Response Frontend::HandleStats(const Request& req) {
+  Response out;
+  out.request_id = req.request_id;
+  StatsPayload total;
+  uint64_t unreachable = 0;
+  for (uint32_t shard = 0; shard < backends_.size(); ++shard) {
+    Request q;
+    q.type = RequestType::kStats;
+    q.stats_version = kProtocolVersion;
+    auto got = CallShard(shard, std::move(q));
+    if (!got.ok()) {
+      ++unreachable;
+      continue;
+    }
+    const Response r = std::move(got).ValueOrDie();
+    if (r.type != ResponseType::kStats &&
+        r.type != ResponseType::kStatsV2) {
+      ++unreachable;
+      continue;
+    }
+    for (const StatsEntry& e : r.stats) {
+      if (IsDoubleStat(e.name)) {
+        const double prev = StatsDoubleValue(total, e.name, 0.0);
+        SetDoubleStat(&total, e.name,
+                      prev + std::bit_cast<double>(e.value));
+      } else {
+        SetStat(&total, e.name, StatsValue(total, e.name, 0) + e.value);
+      }
+    }
+  }
+  SetStat(&total, "router.shards", backends_.size());
+  SetStat(&total, "router.unreachable_shards", unreachable);
+  SetStat(&total, "router.failovers", failovers_.load());
+  SetStat(&total, "router.heartbeat_misses", heartbeat_misses_.load());
+  SetStat(&total, "router.hop_retries", hop_retries_.load());
+  SetStat(&total, "router.xspend_queries", xspend_queries_.load());
+  SetStat(&total, "router.xdebit_failures", xdebit_failures_.load());
+  out.type = req.stats_version >= 2 ? ResponseType::kStatsV2
+                                    : ResponseType::kStats;
+  out.stats = std::move(total);
+  return out;
+}
+
+Response Frontend::HandleShutdown(const Request& req) {
+  // Fan the shutdown out to every primary and follower control port,
+  // best-effort: a dead backend must not block the topology's shutdown.
+  for (const auto& b : backends_) {
+    std::string host, fhost;
+    int port = 0, fport = 0;
+    {
+      std::lock_guard<std::mutex> lk(b->mu);
+      host = b->host;
+      port = b->port;
+      fhost = b->follower_host;
+      fport = b->follower_port;
+    }
+    Request down;
+    down.type = RequestType::kShutdown;
+    down.request_id = rid_.fetch_add(1) + 1;
+    (void)RoundTrip(host, port, down, options_.hop_timeout_us);
+    if (fport != 0) {
+      down.request_id = rid_.fetch_add(1) + 1;
+      (void)RoundTrip(fhost, fport, down, options_.hop_timeout_us);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+  Response resp;
+  resp.request_id = req.request_id;
+  resp.type = ResponseType::kShutdownAck;
+  return resp;
+}
+
+Result<Response> Frontend::CallShard(uint32_t shard, Request req) {
+  if (shard >= backends_.size()) {
+    return Status::Internal("route to unknown shard " +
+                            std::to_string(shard));
+  }
+  Backend* b = backends_[shard].get();
+  req.request_id = rid_.fetch_add(1) + 1;
+  // Decorrelate parallel client threads retrying against the same dead
+  // shard: each hop gets its own jitter stream.
+  BackoffPolicy policy(options_.backoff.ForConnection(
+      (uint64_t{shard} << 32) ^ req.request_id));
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < std::max(1u, options_.hop_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      hop_retries_.fetch_add(1);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(policy.DelayUs(attempt - 1)));
+    }
+    // Re-resolve the primary every attempt: a retry that started against
+    // the dead primary rides through the failover transparently.
+    std::string host;
+    int port = 0;
+    {
+      std::lock_guard<std::mutex> lk(b->mu);
+      host = b->host;
+      port = b->port;
+    }
+    auto got = RoundTrip(host, port, req, options_.hop_timeout_us);
+    if (got.ok()) return got;
+    last = got.status();
+    if (stopping_.load()) break;
+  }
+  return last;
+}
+
+Result<Response> Frontend::RoundTrip(const std::string& host, int port,
+                                     const Request& req,
+                                     uint64_t timeout_us) {
+  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect(host, port));
+  if (timeout_us != 0) {
+    MUAA_RETURN_NOT_OK(sock.SetRecvTimeout(timeout_us));
+    MUAA_RETURN_NOT_OK(sock.SetSendTimeout(timeout_us));
+  }
+  MUAA_RETURN_NOT_OK(sock.SendFrame(EncodeRequest(req)));
+  std::string payload;
+  MUAA_ASSIGN_OR_RETURN(const bool got, sock.RecvFrame(&payload));
+  if (!got) return Status::IOError("backend closed the connection");
+  MUAA_ASSIGN_OR_RETURN(Response resp, DecodeResponse(payload));
+  if (resp.request_id != req.request_id) {
+    return Status::Internal("backend answered a different request id");
+  }
+  return resp;
+}
+
+void Frontend::HealthLoop() {
+  while (!stopping_.load()) {
+    for (uint32_t shard = 0;
+         shard < backends_.size() && !stopping_.load(); ++shard) {
+      Backend* b = backends_[shard].get();
+      std::string host;
+      int port = 0;
+      {
+        std::lock_guard<std::mutex> lk(b->mu);
+        host = b->host;
+        port = b->port;
+      }
+      Request hb;
+      hb.type = RequestType::kHeartbeat;
+      hb.request_id = rid_.fetch_add(1) + 1;
+      auto got = RoundTrip(host, port, hb, options_.heartbeat_timeout_us);
+      if (got.ok() &&
+          got.ValueOrDie().type == ResponseType::kHeartbeatAck) {
+        const Response ack = std::move(got).ValueOrDie();
+        std::lock_guard<std::mutex> lk(b->mu);
+        b->misses = 0;
+        b->epoch = std::max(b->epoch, ack.epoch);
+        continue;
+      }
+      heartbeat_misses_.fetch_add(1);
+      uint32_t misses = 0;
+      bool can_fail_over = false;
+      {
+        std::lock_guard<std::mutex> lk(b->mu);
+        misses = ++b->misses;
+        can_fail_over = b->follower_port != 0 && !b->follower_promoted;
+      }
+      if (options_.enable_failover && can_fail_over &&
+          misses >= options_.fail_after_misses) {
+        (void)Failover(shard);  // failures retry on the next round
+      }
+    }
+    uint64_t slept = 0;
+    while (!stopping_.load() && slept < options_.heartbeat_interval_us) {
+      const uint64_t slice =
+          std::min<uint64_t>(10'000, options_.heartbeat_interval_us - slept);
+      std::this_thread::sleep_for(std::chrono::microseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+Status Frontend::Failover(uint32_t shard) {
+  Backend* b = backends_[shard].get();
+  std::string fhost;
+  int fport = 0;
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(b->mu);
+    if (b->follower_promoted) return Status::OK();
+    fhost = b->follower_host;
+    fport = b->follower_port;
+    // The zombie's epoch is whatever the heartbeats last saw; promoting
+    // one past it fences every append the dead primary might still send.
+    new_epoch = b->epoch + 1;
+  }
+  Request req;
+  req.type = RequestType::kPromote;
+  req.request_id = rid_.fetch_add(1) + 1;
+  req.epoch = new_epoch;
+  // Promotion replays the shard's journal; give it more than a plain hop.
+  auto got = RoundTrip(fhost, fport, req, options_.hop_timeout_us * 5);
+  if (!got.ok()) return got.status();
+  const Response ack = std::move(got).ValueOrDie();
+  if (ack.type != ResponseType::kPromoteAck) {
+    return Status::Internal("promotion rejected: " + ack.error);
+  }
+  {
+    std::lock_guard<std::mutex> lk(b->mu);
+    b->host = fhost;
+    b->port = static_cast<int>(ack.port);
+    b->epoch = ack.epoch;
+    b->misses = 0;
+    b->follower_promoted = true;
+  }
+  failovers_.fetch_add(1);
+  return Status::OK();
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/backoff.h"
+#include "common/result.h"
+#include "server/protocol.h"
+#include "server/router.h"
+#include "server/shard.h"
+#include "server/socket.h"
+
+namespace muaa::server {
+
+/// \file Standalone location-aware router front-end (docs/serving.md,
+/// "Topology & failover").
+///
+/// The frontend owns the ShardMap of an N-process partition: it accepts
+/// client connections on one port, routes every ARRIVE/DEPART to the
+/// shard broker owning the customer's location, and carries the
+/// cross-shard reserve/debit saga for boundary-straddling customers
+/// (kXSpendQuery → kArrive+xspends → kXDebit). A health thread
+/// heartbeats every shard's primary with deadline-bounded probes; after
+/// `fail_after_misses` consecutive misses it promotes the shard's
+/// follower (kPromote with a bumped fencing epoch) and repoints the
+/// shard's traffic at the promoted broker — clients only ever observe
+/// retried requests, never an address change.
+
+/// One shard's backend pair.
+struct FrontendBackend {
+  /// The shard's primary broker (serve port).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// The shard's follower control endpoint (a ReplicaServer); port 0 =
+  /// no follower, the shard cannot fail over.
+  std::string follower_host = "127.0.0.1";
+  int follower_port = 0;
+};
+
+struct FrontendOptions {
+  /// Client-facing endpoint; port 0 picks an ephemeral one.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// One entry per partition shard, indexed by shard id. Size = N.
+  std::vector<FrontendBackend> backends;
+
+  /// Retry schedule for every backend hop (transport failures only;
+  /// application responses — BUSY, DISK_FAIL — relay to the client).
+  /// Each hop mixes the seed per (shard, attempt stream) via
+  /// BackoffOptions::ForConnection.
+  BackoffOptions backoff;
+  /// Transport attempts per hop before the client sees an error. Must
+  /// outlast a failover: misses * heartbeat_interval + promotion.
+  uint32_t hop_attempts = 10;
+  /// Socket deadline for one backend send/recv.
+  uint64_t hop_timeout_us = 2'000'000;
+
+  // --- Health checking / failover ---------------------------------------
+  /// Pause between heartbeat rounds.
+  uint64_t heartbeat_interval_us = 50'000;
+  /// Probe deadline: a primary that cannot ack within this is missed.
+  uint64_t heartbeat_timeout_us = 250'000;
+  /// Consecutive misses before the shard's follower is promoted.
+  uint32_t fail_after_misses = 3;
+  /// Master switch; off = health thread only observes (misses counted,
+  /// no promotion).
+  bool enable_failover = true;
+};
+
+/// \brief The router process's serving core.
+///
+/// Threads: one acceptor, one per client connection, one health prober.
+/// Backend connections are per-hop (connect, one round trip, close) —
+/// the routing tier must survive any backend dying mid-conversation, and
+/// a fresh connect per hop makes every retry failover-transparent.
+class Frontend {
+ public:
+  /// `ctx` (instance + view) must outlive the frontend; it is the same
+  /// instance every shard broker serves.
+  Frontend(const assign::SolveContext& ctx, FrontendOptions options);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Builds the ShardMap/Router, binds, starts serving + health checks.
+  Status Start();
+
+  /// Stops serving. Does NOT shut down the backends (a kShutdown frame
+  /// from a client does, before stopping the frontend). Idempotent.
+  Status Stop();
+
+  /// Blocks until a client kShutdown arrives or `external_stop` flips.
+  void WaitUntilShutdown(const std::atomic<bool>* external_stop = nullptr);
+
+  /// The bound client-facing port (valid after `Start`).
+  int port() const { return port_; }
+
+  /// The partition (valid after `Start`).
+  const ShardMap* shard_map() const { return shard_map_.get(); }
+
+  // Introspection (tests, stats).
+  uint64_t failovers() const { return failovers_.load(); }
+  uint64_t heartbeat_misses() const { return heartbeat_misses_.load(); }
+  uint64_t hop_retries() const { return hop_retries_.load(); }
+  uint64_t xspend_queries() const { return xspend_queries_.load(); }
+  uint64_t xdebit_failures() const { return xdebit_failures_.load(); }
+  /// Current fencing epoch of shard `k`'s primary (learned from
+  /// heartbeats, bumped by failover).
+  uint64_t shard_epoch(uint32_t shard) const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  /// Mutable routing state of one shard's backend.
+  struct Backend {
+    mutable std::mutex mu;
+    std::string host;         ///< current primary
+    int port = 0;
+    std::string follower_host;
+    int follower_port = 0;
+    uint64_t epoch = 0;       ///< primary's fencing epoch (heartbeats)
+    uint32_t misses = 0;      ///< consecutive heartbeat misses
+    bool follower_promoted = false;  ///< the one follower was consumed
+  };
+
+  void AcceptLoop();
+  void ServeConnection(const ConnPtr& conn);
+  /// Handles one decoded client request; the response carries the
+  /// client's request id.
+  Response Handle(const Request& req);
+  Response HandleArrive(const Request& req);
+  Response HandleStats(const Request& req);
+  Response HandleShutdown(const Request& req);
+
+  /// One backend round trip with per-hop connect, deadline, retry +
+  /// backoff; re-resolves the shard's primary address every attempt so
+  /// retries ride through a failover. Transport errors retry;
+  /// application responses return as-is.
+  Result<Response> CallShard(uint32_t shard, Request req);
+  /// One deadline-bounded round trip to `host:port`.
+  Result<Response> RoundTrip(const std::string& host, int port,
+                             const Request& req, uint64_t timeout_us);
+  void HealthLoop();
+  /// Promotes shard `k`'s follower into epoch `old + 1` and repoints the
+  /// shard's traffic. Returns the error when promotion could not be
+  /// acked (the next health round retries).
+  Status Failover(uint32_t shard);
+
+  assign::SolveContext ctx_;
+  FrontendOptions options_;
+  int port_ = 0;
+
+  std::unique_ptr<ShardMap> shard_map_;
+  std::unique_ptr<Router> router_;
+  /// Router + valid-vendor scratch are single-threaded; client threads
+  /// serialize here (cheap next to the network hops).
+  std::mutex router_mu_;
+  std::vector<model::VendorId> scratch_vendors_;
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  Listener listener_;
+  std::thread acceptor_;
+  std::thread health_;
+  std::mutex conns_mu_;
+  std::vector<ConnPtr> conns_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<uint64_t> rid_{0};  ///< backend-hop request ids
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> heartbeat_misses_{0};
+  std::atomic<uint64_t> hop_retries_{0};
+  std::atomic<uint64_t> xspend_queries_{0};
+  std::atomic<uint64_t> xdebit_failures_{0};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace muaa::server

@@ -75,19 +75,22 @@ struct Aggregate {
   }
 };
 
-/// Per-connection backoff with the jitter seed offset by the connection
-/// index, so parallel connections draw distinct (but reproducible) delays.
+/// Per-connection backoff with the jitter seed mixed per connection
+/// index, so parallel connections draw decorrelated (but reproducible)
+/// delays. The old additive `seed + 7919 * index` offset kept adjacent
+/// connections on near-identical jitter streams; ForConnection runs the
+/// pair through a finalizer so they diverge from the first draw.
 BackoffPolicy MakePolicy(const LoadgenOptions& options, size_t conn_index) {
-  BackoffOptions bo = options.backoff;
-  bo.seed = bo.seed + 7919 * static_cast<uint64_t>(conn_index);
-  return BackoffPolicy(bo);
+  return BackoffPolicy(
+      options.backoff.ForConnection(static_cast<uint64_t>(conn_index)));
 }
 
 /// Closed loop on one connection: one in-flight arrival, order preserved.
 void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
                    std::vector<model::CustomerId> slice, Aggregate* agg,
                    std::atomic<uint64_t>* sent,
-                   std::atomic<uint64_t>* reconnects) {
+                   std::atomic<uint64_t>* reconnects,
+                   std::atomic<uint64_t>* duplicate_acks) {
   BackoffPolicy policy = MakePolicy(options, conn_index);
   auto configure = [&](Socket* sock) {
     if (options.recv_timeout_us > 0) {
@@ -132,12 +135,19 @@ void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
     bool answered = false;
     uint64_t retries = 0;
     uint32_t busy_streak = 0;
+    // One request id per ARRIVAL, not per send attempt: a re-send after a
+    // reconnect or a BUSY wait carries the same id, so the broker's answer
+    // — whether fresh or replayed from its duplicate memory — matches the
+    // id we are waiting for. Per-attempt ids (the old scheme) made every
+    // replayed answer look like a desynchronized stream, which forced a
+    // spurious reconnect and re-send and could count the same arrival
+    // twice when the broker then answered the duplicate too.
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = ++rid;
+    req.customer = customer;
+    req.deadline_us = options.deadline_us;
     while (!answered) {
-      Request req;
-      req.type = RequestType::kArrive;
-      req.request_id = ++rid;
-      req.customer = customer;
-      req.deadline_us = options.deadline_us;
       const auto t0 = Clock::now();
       Status st = sock.SendFrame(EncodeRequest(req));
       if (!st.ok()) {
@@ -146,45 +156,58 @@ void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
         continue;
       }
       sent->fetch_add(1, std::memory_order_relaxed);
-      auto got = sock.RecvFrame(&payload);
-      if (!got.ok() || !*got) {
-        if (!recover(got.ok()
-                         ? Status::Internal("broker closed the connection")
-                         : got.status())) {
-          return;
+      // Receive until the frame for THIS arrival lands. Stragglers for
+      // already-answered arrivals (smaller ids) are drained and counted,
+      // never treated as stream corruption. Breaking out with `answered`
+      // still false re-sends the same frame.
+      while (true) {
+        auto got = sock.RecvFrame(&payload);
+        if (!got.ok() || !*got) {
+          if (!recover(got.ok()
+                           ? Status::Internal("broker closed the connection")
+                           : got.status())) {
+            return;
+          }
+          retries += 1;
+          break;
         }
-        retries += 1;
-        continue;
+        auto resp = DecodeResponse(payload);
+        if (!resp.ok()) {
+          if (!recover(resp.status())) return;
+          retries += 1;
+          break;
+        }
+        if (resp->request_id < req.request_id) {
+          // Late answer to an arrival that already reached its terminal
+          // response via a re-send; the work is already counted.
+          duplicate_acks->fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (resp->request_id != req.request_id) {
+          // Desynchronized stream: e.g. the broker's error reply to a
+          // frame mangled in transit carries no request id. The answer for
+          // OUR request may never come — reconnect and re-send.
+          if (!recover(Status::DataLoss("response id mismatch"))) return;
+          retries += 1;
+          break;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count();
+        agg->RecordResponse(*resp, us, options.collect);
+        if (resp->type == ResponseType::kBusy && options.retry_busy) {
+          // Wait out the larger of the broker's adaptive hint and the
+          // local backoff schedule, then re-send the same arrival.
+          const uint64_t delay = std::max<uint64_t>(
+              resp->retry_after_us, policy.DelayUs(busy_streak));
+          busy_streak += 1;
+          retries += 1;
+          std::this_thread::sleep_for(std::chrono::microseconds(delay));
+          break;
+        }
+        answered = true;  // kAssign/kExpired/kDiskFail/kError are terminal
+        break;
       }
-      auto resp = DecodeResponse(payload);
-      if (!resp.ok()) {
-        if (!recover(resp.status())) return;
-        retries += 1;
-        continue;
-      }
-      if (resp->request_id != req.request_id) {
-        // Desynchronized stream: e.g. the broker's error reply to a frame
-        // mangled in transit carries no request id. The answer for OUR
-        // request may never come — reconnect and re-send.
-        if (!recover(Status::DataLoss("response id mismatch"))) return;
-        retries += 1;
-        continue;
-      }
-      const double us =
-          std::chrono::duration<double, std::micro>(Clock::now() - t0)
-              .count();
-      agg->RecordResponse(*resp, us, options.collect);
-      if (resp->type == ResponseType::kBusy && options.retry_busy) {
-        // Wait out the larger of the broker's adaptive hint and the local
-        // backoff schedule, then re-send the same arrival.
-        const uint64_t delay = std::max<uint64_t>(
-            resp->retry_after_us, policy.DelayUs(busy_streak));
-        busy_streak += 1;
-        retries += 1;
-        std::this_thread::sleep_for(std::chrono::microseconds(delay));
-        continue;
-      }
-      answered = true;  // kAssign/kExpired/kDiskFail/kError are terminal
     }
     agg->RecordRetries(retries);
   }
@@ -208,7 +231,8 @@ struct OpenState {
 };
 
 void OpenReceiver(Socket* sock, OpenState* state,
-                  const LoadgenOptions& options, Aggregate* agg) {
+                  const LoadgenOptions& options, Aggregate* agg,
+                  std::atomic<uint64_t>* duplicate_acks) {
   std::string payload;
   while (true) {
     {
@@ -246,7 +270,12 @@ void OpenReceiver(Socket* sock, OpenState* state,
     {
       std::lock_guard<std::mutex> lk(state->mu);
       auto it = state->in_flight.find(resp->request_id);
-      if (it == state->in_flight.end()) continue;  // unknown id: ignore
+      if (it == state->in_flight.end()) {
+        // Not in flight: the arrival already reached its terminal answer
+        // (straggler from a re-send race). Discard, count, keep reading.
+        duplicate_acks->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       customer = it->second.first;
       sent_at = it->second.second;
       state->in_flight.erase(it);
@@ -355,6 +384,7 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   Aggregate agg;
   std::atomic<uint64_t> sent{0};
   std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> duplicate_acks{0};
   const auto t0 = Clock::now();
 
   std::vector<std::thread> threads;
@@ -365,10 +395,11 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
       for (size_t i = c; i < arrivals.size(); i += conns) {
         slice.push_back(arrivals[i]);
       }
-      threads.emplace_back(
-          [&options, &agg, &sent, &reconnects, c, s = std::move(slice)] {
-            RunClosedLoop(options, c, s, &agg, &sent, &reconnects);
-          });
+      threads.emplace_back([&options, &agg, &sent, &reconnects,
+                            &duplicate_acks, c, s = std::move(slice)] {
+        RunClosedLoop(options, c, s, &agg, &sent, &reconnects,
+                      &duplicate_acks);
+      });
     }
     for (std::thread& t : threads) t.join();
   } else {
@@ -397,7 +428,8 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
                    &sent);
       });
       threads.emplace_back([&, c] {
-        OpenReceiver(&sockets[c], &states[c], options, &agg);
+        OpenReceiver(&sockets[c], &states[c], options, &agg,
+                     &duplicate_acks);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -408,6 +440,7 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   LoadgenReport report = std::move(agg.report);
   report.sent = sent.load();
   report.reconnects = reconnects.load();
+  report.duplicate_acks = duplicate_acks.load();
   report.elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
   if (report.elapsed_s > 0) {

@@ -82,6 +82,12 @@ struct LoadgenReport {
                            ///< read-only on a failed disk)
   uint64_t errors = 0;     ///< kError responses + transport failures
   uint64_t reconnects = 0; ///< successful reconnects (reconnect mode)
+  /// Responses for an arrival that already reached its terminal answer —
+  /// stragglers from a re-send race (e.g. the broker's original answer
+  /// finally drained after a duplicate was answered from memory). They are
+  /// discarded, never double-counted; nonzero values mean the duplicate
+  /// suppression on the broker side actually fired.
+  uint64_t duplicate_acks = 0;
   uint64_t assigned_ads = 0;
   uint64_t served = 0;     ///< responses with >= 1 ad
   double total_utility = 0.0;

@@ -84,11 +84,44 @@ std::string EncodeRequest(const Request& req) {
   }
   if (req.type == RequestType::kArrive) {
     PutU32(&p, req.deadline_us);
+    if (!req.xspends.empty()) {
+      // Cross-shard reserve prefix (router-injected). Absent on ordinary
+      // arrivals, so pre-replication encoders stay byte-identical.
+      PutU32(&p, static_cast<uint32_t>(req.xspends.size()));
+      for (const VendorSpend& e : req.xspends) {
+        PutU32(&p, static_cast<uint32_t>(e.vendor));
+        PutDouble(&p, e.spend);
+      }
+    }
   }
   if (req.type == RequestType::kStats && req.stats_version >= 2) {
     // v1 STATS requests had no trailing byte; omitting it below keeps this
     // encoder able to impersonate a v1 client (loadgen's fallback path).
     PutU8(&p, req.stats_version);
+  }
+  if (req.type == RequestType::kReplAppend) {
+    PutU64(&p, req.epoch);
+    PutU64(&p, req.offset);
+    PutString(&p, req.blob);
+  }
+  if (req.type == RequestType::kReplSnapshot) {
+    PutU64(&p, req.epoch);
+    PutString(&p, req.blob);
+  }
+  if (req.type == RequestType::kPromote) {
+    PutU64(&p, req.epoch);
+  }
+  if (req.type == RequestType::kXSpendQuery) {
+    PutU32(&p, static_cast<uint32_t>(req.customer));
+    PutU32(&p, static_cast<uint32_t>(req.vendors.size()));
+    for (model::VendorId j : req.vendors) {
+      PutU32(&p, static_cast<uint32_t>(j));
+    }
+  }
+  if (req.type == RequestType::kXDebit) {
+    PutU32(&p, static_cast<uint32_t>(req.customer));
+    PutU32(&p, static_cast<uint32_t>(req.vendor));
+    PutDouble(&p, req.cost);
   }
   return p;
 }
@@ -103,6 +136,12 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case RequestType::kDepart:
     case RequestType::kStats:
     case RequestType::kShutdown:
+    case RequestType::kHeartbeat:
+    case RequestType::kReplAppend:
+    case RequestType::kReplSnapshot:
+    case RequestType::kPromote:
+    case RequestType::kXSpendQuery:
+    case RequestType::kXDebit:
       req.type = static_cast<RequestType>(type);
       break;
     default:
@@ -117,6 +156,59 @@ Result<Request> DecodeRequest(std::string_view payload) {
   }
   if (req.type == RequestType::kArrive) {
     MUAA_RETURN_NOT_OK(in.ReadU32(&req.deadline_us));
+    if (!in.done()) {
+      // Cross-shard reserve prefix; its absence is the common case.
+      uint32_t count = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&count));
+      // 12 bytes per entry; reject counts the payload can't hold.
+      if (count > in.remaining() / 12) {
+        return Status::InvalidArgument("arrive xspend count exceeds payload");
+      }
+      req.xspends.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t vendor = 0;
+        VendorSpend e;
+        MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+        MUAA_RETURN_NOT_OK(in.ReadDouble(&e.spend));
+        e.vendor = static_cast<model::VendorId>(vendor);
+        req.xspends.push_back(e);
+      }
+    }
+  }
+  if (req.type == RequestType::kReplAppend) {
+    MUAA_RETURN_NOT_OK(in.ReadU64(&req.epoch));
+    MUAA_RETURN_NOT_OK(in.ReadU64(&req.offset));
+    MUAA_RETURN_NOT_OK(in.ReadString(&req.blob));
+  }
+  if (req.type == RequestType::kReplSnapshot) {
+    MUAA_RETURN_NOT_OK(in.ReadU64(&req.epoch));
+    MUAA_RETURN_NOT_OK(in.ReadString(&req.blob));
+  }
+  if (req.type == RequestType::kPromote) {
+    MUAA_RETURN_NOT_OK(in.ReadU64(&req.epoch));
+  }
+  if (req.type == RequestType::kXSpendQuery) {
+    uint32_t customer = 0, count = 0;
+    MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&count));
+    req.customer = static_cast<model::CustomerId>(customer);
+    if (count > in.remaining() / 4) {
+      return Status::InvalidArgument("xspend query count exceeds payload");
+    }
+    req.vendors.reserve(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      uint32_t vendor = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+      req.vendors.push_back(static_cast<model::VendorId>(vendor));
+    }
+  }
+  if (req.type == RequestType::kXDebit) {
+    uint32_t customer = 0, vendor = 0;
+    MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+    MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+    MUAA_RETURN_NOT_OK(in.ReadDouble(&req.cost));
+    req.customer = static_cast<model::CustomerId>(customer);
+    req.vendor = static_cast<model::VendorId>(vendor);
   }
   if (req.type == RequestType::kStats) {
     // One-release compatibility: a v1 client's STATS payload ends right
@@ -239,6 +331,33 @@ std::string EncodeResponse(const Response& resp) {
     case ResponseType::kDiskFail:
       PutU32(&p, static_cast<uint32_t>(resp.customer));
       break;
+    case ResponseType::kHeartbeatAck:
+      PutU64(&p, resp.epoch);
+      PutU8(&p, static_cast<uint8_t>(resp.role));
+      PutU64(&p, resp.offset);
+      PutU32(&p, resp.port);
+      break;
+    case ResponseType::kReplAck:
+      PutU64(&p, resp.epoch);
+      PutU64(&p, resp.offset);
+      PutU8(&p, resp.fenced ? 1 : 0);
+      break;
+    case ResponseType::kPromoteAck:
+      PutU64(&p, resp.epoch);
+      PutU32(&p, resp.port);
+      break;
+    case ResponseType::kXSpendAck:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      PutU32(&p, static_cast<uint32_t>(resp.spends.size()));
+      for (const VendorSpend& e : resp.spends) {
+        PutU32(&p, static_cast<uint32_t>(e.vendor));
+        PutDouble(&p, e.spend);
+      }
+      break;
+    case ResponseType::kXDebitAck:
+      PutU32(&p, static_cast<uint32_t>(resp.customer));
+      PutU8(&p, resp.applied ? 1 : 0);
+      break;
   }
   return p;
 }
@@ -248,7 +367,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   uint8_t type = 0;
   Response resp;
   MUAA_RETURN_NOT_OK(in.ReadU8(&type));
-  if (type < 1 || type > 9) {
+  if (type < 1 || type > 14) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -311,6 +430,58 @@ Result<Response> DecodeResponse(std::string_view payload) {
       uint32_t customer = 0;
       MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
       resp.customer = static_cast<model::CustomerId>(customer);
+      break;
+    }
+    case ResponseType::kHeartbeatAck: {
+      uint8_t role = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU64(&resp.epoch));
+      MUAA_RETURN_NOT_OK(in.ReadU8(&role));
+      if (role < 1 || role > 3) {
+        return Status::InvalidArgument("heartbeat role out of range");
+      }
+      resp.role = static_cast<NodeRole>(role);
+      MUAA_RETURN_NOT_OK(in.ReadU64(&resp.offset));
+      MUAA_RETURN_NOT_OK(in.ReadU32(&resp.port));
+      break;
+    }
+    case ResponseType::kReplAck: {
+      uint8_t fenced = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU64(&resp.epoch));
+      MUAA_RETURN_NOT_OK(in.ReadU64(&resp.offset));
+      MUAA_RETURN_NOT_OK(in.ReadU8(&fenced));
+      resp.fenced = fenced != 0;
+      break;
+    }
+    case ResponseType::kPromoteAck:
+      MUAA_RETURN_NOT_OK(in.ReadU64(&resp.epoch));
+      MUAA_RETURN_NOT_OK(in.ReadU32(&resp.port));
+      break;
+    case ResponseType::kXSpendAck: {
+      uint32_t customer = 0, count = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      MUAA_RETURN_NOT_OK(in.ReadU32(&count));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      if (count > in.remaining() / 12) {
+        return Status::InvalidArgument("xspend ack count exceeds payload");
+      }
+      resp.spends.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t vendor = 0;
+        VendorSpend e;
+        MUAA_RETURN_NOT_OK(in.ReadU32(&vendor));
+        MUAA_RETURN_NOT_OK(in.ReadDouble(&e.spend));
+        e.vendor = static_cast<model::VendorId>(vendor);
+        resp.spends.push_back(e);
+      }
+      break;
+    }
+    case ResponseType::kXDebitAck: {
+      uint32_t customer = 0;
+      uint8_t applied = 0;
+      MUAA_RETURN_NOT_OK(in.ReadU32(&customer));
+      MUAA_RETURN_NOT_OK(in.ReadU8(&applied));
+      resp.customer = static_cast<model::CustomerId>(customer);
+      resp.applied = applied != 0;
       break;
     }
   }

@@ -53,10 +53,47 @@ enum class RequestType : uint8_t {
   kDepart = 2,    ///< cancel the customer's queued arrival, if any
   kStats = 3,     ///< broker counters snapshot
   kShutdown = 4,  ///< graceful shutdown (flush journal, final checkpoint)
+  /// Liveness probe (router → any node). Answered immediately from the
+  /// dispatch thread with kHeartbeatAck — never queued behind solves — so
+  /// a missed deadline means the process, not the workload, is gone.
+  kHeartbeat = 5,
+  /// Replication stream (primary → follower): raw journal bytes starting
+  /// at `offset`, stamped with the sender's fencing `epoch`. The follower
+  /// appends them verbatim to its replica journal, fsyncs, and answers
+  /// kReplAck — byte-identical files make promotion literally a resume.
+  kReplAppend = 6,
+  /// Full-journal resync (primary → follower): replaces the replica
+  /// journal with `blob` wholesale when the incremental offsets disagree.
+  kReplSnapshot = 7,
+  /// Failover order (router → follower): fence off epochs below `epoch`,
+  /// journal the epoch change and start serving as the shard's primary.
+  kPromote = 8,
+  /// Cross-shard reserve read (router → foreign primary): current used
+  /// budgets of `vendors`, answered with kXSpendAck.
+  kXSpendQuery = 9,
+  /// Cross-shard debit (router → foreign primary): `customer`'s arrival
+  /// on its owner shard spent `cost` of `vendor`'s budget. Journaled +
+  /// fsynced before the ack; idempotent per (customer, vendor).
+  kXDebit = 10,
 };
 
-/// \brief One client request. `customer` applies to kArrive/kDepart;
-/// `deadline_us` to kArrive only; `stats_version` to kStats only.
+/// Value of `Response::role` in a kHeartbeatAck.
+enum class NodeRole : uint8_t {
+  kPrimary = 1,   ///< serving broker
+  kFollower = 2,  ///< passive replica applying the journal stream
+  kPromoted = 3,  ///< replica promoted to primary (serve port in `port`)
+};
+
+/// One (vendor, absolute spend) pair on the wire — a kXSpendAck entry or
+/// the reserve prefix piggybacked on a cross-shard kArrive.
+struct VendorSpend {
+  model::VendorId vendor = -1;
+  double spend = 0.0;  ///< bitwise-exact used budget
+};
+
+/// \brief One client request. `customer` applies to kArrive/kDepart/
+/// kXSpendQuery/kXDebit; `deadline_us` to kArrive only; `stats_version`
+/// to kStats only; `epoch`/`offset`/`blob` to the replication frames.
 struct Request {
   RequestType type = RequestType::kArrive;
   uint64_t request_id = 0;
@@ -71,6 +108,24 @@ struct Request {
   /// a trailing u8 when >= 2; a v1 client simply omits it (its 9-byte STATS
   /// payload decodes here as version 1), so old loadgens keep working.
   uint8_t stats_version = kProtocolVersion;
+  /// Sender's fencing epoch (kReplAppend/kReplSnapshot: the stream's
+  /// epoch; kPromote: the epoch to promote into).
+  uint64_t epoch = 0;
+  /// kReplAppend: byte offset in the journal file where `blob` starts.
+  uint64_t offset = 0;
+  /// kReplAppend/kReplSnapshot: raw journal bytes (CRC-framed records;
+  /// offset 0 includes the 8-byte header).
+  std::string blob;
+  /// kArrive (cross-shard, router-injected): absolute foreign-vendor
+  /// spends read from their authoritative shards, vendor-ascending. The
+  /// owner installs them before solving and journals them as the
+  /// arrival's kXSpends reserve record. Empty for ordinary arrivals.
+  std::vector<VendorSpend> xspends;
+  /// kXSpendQuery: vendors whose used budget the router needs.
+  std::vector<model::VendorId> vendors;
+  /// kXDebit: budget debited from `vendor`.
+  model::VendorId vendor = -1;
+  double cost = 0.0;
 };
 
 /// Broker → client message types.
@@ -84,6 +139,15 @@ enum class ResponseType : uint8_t {
   kExpired = 7,      ///< ARRIVE deadline elapsed before a decision was made
   kStatsV2 = 8,      ///< self-describing key/value counters snapshot
   kDiskFail = 9,     ///< broker is read-only: journal writes fail persistently
+  kHeartbeatAck = 10,  ///< liveness: epoch, role, journal bytes, serve port
+  /// Replication ack. `fenced` set means the append carried a stale epoch
+  /// and its bytes were quarantined, not applied; otherwise `offset` is
+  /// the replica journal size after the (fsynced) append — on a mismatch
+  /// with the sender's expectation it is the resync position.
+  kReplAck = 11,
+  kPromoteAck = 12,  ///< promotion done: new epoch + the serve port
+  kXSpendAck = 13,   ///< kXSpendQuery answer: (vendor, spend) entries
+  kXDebitAck = 14,   ///< kXDebit durable; `applied` false = duplicate
 };
 
 /// \brief One named statistic, as carried by a kStatsV2 response.
@@ -146,6 +210,13 @@ struct Response {
   StatsPayload stats;                     ///< kStats / kStatsV2
   bool cancelled = false;                 ///< kDepartAck
   std::string error;                      ///< kError
+  uint64_t epoch = 0;                     ///< kHeartbeatAck/kReplAck/kPromoteAck
+  uint64_t offset = 0;                    ///< kHeartbeatAck/kReplAck: journal bytes
+  uint32_t port = 0;                      ///< kHeartbeatAck/kPromoteAck: serve port
+  NodeRole role = NodeRole::kPrimary;     ///< kHeartbeatAck
+  bool fenced = false;                    ///< kReplAck: stale epoch, rejected
+  std::vector<VendorSpend> spends;        ///< kXSpendAck
+  bool applied = false;                   ///< kXDebitAck: false = duplicate
 };
 
 /// Encodes a request payload (not yet framed).

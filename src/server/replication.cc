@@ -1,0 +1,493 @@
+#include "server/replication.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/binio.h"
+#include "io/journal.h"
+
+namespace muaa::server {
+
+// ---------------------------------------------------------------------------
+// ReplicationSender
+
+ReplicationSender::ReplicationSender(ReplicationSenderOptions options)
+    : options_(std::move(options)), policy_(options_.backoff) {}
+
+ReplicationSender::~ReplicationSender() = default;
+
+io::Env* ReplicationSender::env() const {
+  return options_.env != nullptr ? options_.env : io::Env::Default();
+}
+
+Status ReplicationSender::Replicate(uint64_t journal_size) {
+  if (journal_size <= acked_.load()) return Status::OK();
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < std::max(1u, options_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(policy_.DelayUs(attempt - 1)));
+    }
+    last = TryReplicate(journal_size);
+    // A fenced ack is terminal: a newer primary exists, retrying would
+    // only hammer the follower with more zombie bytes.
+    if (last.ok() || last.code() == StatusCode::kFailedPrecondition) {
+      return last;
+    }
+    sock_.Close();  // transport is suspect; reconnect on the next attempt
+  }
+  return last;
+}
+
+Status ReplicationSender::EnsureConnected() {
+  if (sock_.valid()) return Status::OK();
+  MUAA_ASSIGN_OR_RETURN(sock_, Connect(options_.host, options_.port));
+  if (options_.recv_timeout_us != 0) {
+    MUAA_RETURN_NOT_OK(sock_.SetRecvTimeout(options_.recv_timeout_us));
+    MUAA_RETURN_NOT_OK(sock_.SetSendTimeout(options_.recv_timeout_us));
+  }
+  return Status::OK();
+}
+
+Status ReplicationSender::ReadJournal(uint64_t offset, uint64_t n,
+                                      std::string* out) {
+  if (file_ == nullptr) {
+    MUAA_ASSIGN_OR_RETURN(file_,
+                          env()->NewRandomAccessFile(options_.journal_path));
+  }
+  out->assign(n, '\0');
+  uint64_t filled = 0;
+  while (filled < n) {
+    MUAA_ASSIGN_OR_RETURN(
+        const size_t got,
+        file_->ReadAt(offset + filled, n - filled, out->data() + filled));
+    if (got == 0) {
+      return Status::IOError("journal " + options_.journal_path +
+                             " ends before replication target offset " +
+                             std::to_string(offset + n));
+    }
+    filled += got;
+  }
+  return Status::OK();
+}
+
+Status ReplicationSender::RoundTrip(const Request& req, Response* ack) {
+  MUAA_RETURN_NOT_OK(sock_.SendFrame(EncodeRequest(req)));
+  std::string payload;
+  MUAA_ASSIGN_OR_RETURN(const bool got, sock_.RecvFrame(&payload));
+  if (!got) {
+    return Status::IOError("follower closed the replication connection");
+  }
+  MUAA_ASSIGN_OR_RETURN(*ack, DecodeResponse(payload));
+  if (ack->type == ResponseType::kError) {
+    return Status::Internal("follower rejected frame: " + ack->error);
+  }
+  if (ack->type != ResponseType::kReplAck ||
+      ack->request_id != req.request_id) {
+    return Status::Internal("unexpected replication ack frame");
+  }
+  if (ack->fenced) {
+    return Status::FailedPrecondition(
+        "fenced: follower is at epoch " + std::to_string(ack->epoch) +
+        "; this node's stream epoch " + std::to_string(req.epoch) +
+        " is stale (a newer primary has been promoted)");
+  }
+  return Status::OK();
+}
+
+Status ReplicationSender::TryReplicate(uint64_t journal_size) {
+  MUAA_RETURN_NOT_OK(EnsureConnected());
+  uint64_t offset = acked_.load();
+  while (offset < journal_size) {
+    const uint64_t n =
+        std::min<uint64_t>(options_.chunk_bytes, journal_size - offset);
+    Request req;
+    req.type = RequestType::kReplAppend;
+    req.request_id = ++rid_;
+    req.epoch = options_.epoch;
+    req.offset = offset;
+    MUAA_RETURN_NOT_OK(ReadJournal(offset, n, &req.blob));
+    Response ack;
+    MUAA_RETURN_NOT_OK(RoundTrip(req, &ack));
+    appends_sent_.fetch_add(1);
+    if (ack.offset == offset + n) {
+      offset = ack.offset;
+      acked_.store(offset);
+      continue;
+    }
+    // The follower's copy is at a different size (fresh follower, or one
+    // that lost its disk). Incremental catch-up from an unverified prefix
+    // could splice diverged bytes, so replace the copy wholesale.
+    MUAA_RETURN_NOT_OK(Resync(journal_size));
+    offset = acked_.load();
+  }
+  return Status::OK();
+}
+
+Status ReplicationSender::Resync(uint64_t journal_size) {
+  Request req;
+  req.type = RequestType::kReplSnapshot;
+  req.request_id = ++rid_;
+  req.epoch = options_.epoch;
+  MUAA_RETURN_NOT_OK(ReadJournal(0, journal_size, &req.blob));
+  Response ack;
+  MUAA_RETURN_NOT_OK(RoundTrip(req, &ack));
+  snapshots_sent_.fetch_add(1);
+  if (ack.offset != journal_size) {
+    return Status::Internal(
+        "snapshot resync did not converge: follower reports " +
+        std::to_string(ack.offset) + " bytes, expected " +
+        std::to_string(journal_size));
+  }
+  acked_.store(journal_size);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaServer
+
+ReplicaServer::ReplicaServer(ReplicaServerOptions options)
+    : options_(std::move(options)) {}
+
+ReplicaServer::~ReplicaServer() { (void)Stop(); }
+
+io::Env* ReplicaServer::env() const {
+  return options_.env != nullptr ? options_.env : io::Env::Default();
+}
+
+Status ReplicaServer::Start() {
+  if (started_) return Status::FailedPrecondition("replica already started");
+  // Recover the copy's size and epoch: a restarted follower must keep
+  // fencing zombies it fenced before the restart.
+  if (env()->FileExists(options_.journal_path)) {
+    MUAA_ASSIGN_OR_RETURN(size_, env()->GetFileSize(options_.journal_path));
+    auto opened = io::JournalReader::Open(env(), options_.journal_path);
+    if (opened.ok()) {
+      io::JournalReader reader = std::move(opened).ValueOrDie();
+      io::JournalRecord rec;
+      for (;;) {
+        auto next = reader.Next(&rec);
+        if (!next.ok() || !next.ValueOrDie()) break;
+        if (rec.type == io::JournalRecordType::kEpochChange) {
+          epoch_ = std::max(epoch_, rec.epoch);
+        }
+      }
+    }
+  }
+  MUAA_ASSIGN_OR_RETURN(listener_,
+                        Listener::Bind(options_.host, options_.port));
+  port_ = listener_.port();
+  acceptor_ = std::thread(&ReplicaServer::AcceptLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+Status ReplicaServer::Stop() {
+  if (!started_ || stopped_) return Status::OK();
+  stopped_ = true;
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const ConnPtr& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  listener_.Close();
+  Status st;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (file_ != nullptr) {
+      st = file_->Close();
+      file_.reset();
+    }
+  }
+  if (promoted_broker_ != nullptr) {
+    Status stopped = promoted_broker_->Stop();
+    if (st.ok()) st = stopped;
+  }
+  return st;
+}
+
+void ReplicaServer::WaitUntilShutdown(const std::atomic<bool>* external_stop) {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  while (!shutdown_requested_ &&
+         (external_stop == nullptr || !external_stop->load())) {
+    shutdown_cv_.wait_for(lk, std::chrono::milliseconds(100));
+  }
+}
+
+uint64_t ReplicaServer::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+uint64_t ReplicaServer::journal_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+uint64_t ReplicaServer::bytes_quarantined() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_quarantined_;
+}
+
+Broker* ReplicaServer::promoted_broker() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return promoted_broker_.get();
+}
+
+int ReplicaServer::promoted_port() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return promoted_broker_ == nullptr ? 0 : promoted_broker_->port();
+}
+
+void ReplicaServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // Shutdown() ends the loop
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(accepted).ValueOrDie();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    // Reap finished connections so a long-lived follower doesn't
+    // accumulate one dead thread per heartbeat prober reconnect.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conns_.push_back(conn);
+    conn->thread = std::thread(&ReplicaServer::ServeConnection, this, conn);
+  }
+}
+
+void ReplicaServer::ServeConnection(const ConnPtr& conn) {
+  std::string payload;
+  for (;;) {
+    auto got = conn->sock.RecvFrame(&payload);
+    if (!got.ok() || !got.ValueOrDie()) break;
+    Response resp;
+    auto decoded = DecodeRequest(payload);
+    if (!decoded.ok()) {
+      resp.type = ResponseType::kError;
+      resp.error = "malformed request: " + decoded.status().message();
+    } else {
+      resp = Handle(decoded.ValueOrDie());
+    }
+    if (!conn->sock.SendFrame(EncodeResponse(resp)).ok()) break;
+  }
+  conn->done.store(true);
+}
+
+Response ReplicaServer::Handle(const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  Status st;
+  switch (req.type) {
+    case RequestType::kHeartbeat: {
+      std::lock_guard<std::mutex> lk(mu_);
+      resp.type = ResponseType::kHeartbeatAck;
+      resp.epoch = epoch_;
+      resp.offset = size_;
+      resp.role = promoted_ ? NodeRole::kPromoted : NodeRole::kFollower;
+      resp.port = promoted_
+                      ? static_cast<uint32_t>(promoted_broker_->port())
+                      : 0;
+      return resp;
+    }
+    case RequestType::kReplAppend: {
+      std::lock_guard<std::mutex> lk(mu_);
+      st = HandleAppendLocked(req, &resp);
+      break;
+    }
+    case RequestType::kReplSnapshot: {
+      std::lock_guard<std::mutex> lk(mu_);
+      st = HandleSnapshotLocked(req, &resp);
+      break;
+    }
+    case RequestType::kPromote: {
+      std::lock_guard<std::mutex> lk(mu_);
+      st = HandlePromoteLocked(req, &resp);
+      break;
+    }
+    case RequestType::kShutdown: {
+      resp.type = ResponseType::kShutdownAck;
+      std::lock_guard<std::mutex> lk(shutdown_mu_);
+      shutdown_requested_ = true;
+      shutdown_cv_.notify_all();
+      return resp;
+    }
+    case RequestType::kArrive:
+    case RequestType::kDepart:
+    case RequestType::kStats:
+    case RequestType::kXSpendQuery:
+    case RequestType::kXDebit:
+      st = Status::FailedPrecondition(
+          "this node is a follower; client traffic goes to the primary");
+      break;
+  }
+  if (!st.ok()) {
+    resp.type = ResponseType::kError;
+    resp.error = st.message();
+  }
+  return resp;
+}
+
+Status ReplicaServer::EnsureFileLocked() {
+  if (file_ != nullptr) return Status::OK();
+  MUAA_ASSIGN_OR_RETURN(file_, env()->NewWritableFile(options_.journal_path,
+                                                      io::WriteMode::kAppend));
+  return Status::OK();
+}
+
+Status ReplicaServer::HandleAppendLocked(const Request& req, Response* resp) {
+  if (promoted_ || req.epoch < epoch_) {
+    // A fenced (zombie) stream: never apply its bytes, but never drop
+    // them silently either — the operator may want to audit what the old
+    // primary decided after it lost ownership.
+    MUAA_RETURN_NOT_OK(QuarantineLocked(req.offset, req.blob));
+    resp->type = ResponseType::kReplAck;
+    resp->fenced = true;
+    resp->epoch = epoch_;
+    resp->offset = size_;
+    return Status::OK();
+  }
+  if (req.epoch > epoch_) epoch_ = req.epoch;
+  resp->type = ResponseType::kReplAck;
+  resp->epoch = epoch_;
+  if (req.offset != size_) {
+    // Offsets disagree: report where the copy actually ends so the
+    // sender can fall back to a snapshot resync.
+    resp->offset = size_;
+    return Status::OK();
+  }
+  MUAA_RETURN_NOT_OK(EnsureFileLocked());
+  MUAA_RETURN_NOT_OK(file_->Append(req.blob));
+  MUAA_RETURN_NOT_OK(file_->Sync());
+  size_ = file_->offset();
+  resp->offset = size_;
+  return Status::OK();
+}
+
+Status ReplicaServer::HandleSnapshotLocked(const Request& req,
+                                           Response* resp) {
+  if (promoted_ || req.epoch < epoch_) {
+    MUAA_RETURN_NOT_OK(QuarantineLocked(0, req.blob));
+    resp->type = ResponseType::kReplAck;
+    resp->fenced = true;
+    resp->epoch = epoch_;
+    resp->offset = size_;
+    return Status::OK();
+  }
+  if (req.epoch > epoch_) epoch_ = req.epoch;
+  if (file_ != nullptr) {
+    MUAA_RETURN_NOT_OK(file_->Close());
+    file_.reset();
+  }
+  MUAA_ASSIGN_OR_RETURN(file_,
+                        env()->NewWritableFile(options_.journal_path,
+                                               io::WriteMode::kTruncate));
+  MUAA_RETURN_NOT_OK(file_->Append(req.blob));
+  MUAA_RETURN_NOT_OK(file_->Sync());
+  size_ = file_->offset();
+  resp->type = ResponseType::kReplAck;
+  resp->epoch = epoch_;
+  resp->offset = size_;
+  return Status::OK();
+}
+
+Status ReplicaServer::HandlePromoteLocked(const Request& req,
+                                          Response* resp) {
+  if (promoted_) {
+    if (req.epoch == epoch_) {
+      // The router retries kPromote until acked; re-ack idempotently.
+      resp->type = ResponseType::kPromoteAck;
+      resp->epoch = epoch_;
+      resp->port = static_cast<uint32_t>(promoted_broker_->port());
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(
+        "already promoted at epoch " + std::to_string(epoch_) +
+        "; cannot re-promote into epoch " + std::to_string(req.epoch));
+  }
+  if (req.epoch <= epoch_) {
+    return Status::FailedPrecondition(
+        "promotion epoch " + std::to_string(req.epoch) +
+        " must exceed the stream epoch " + std::to_string(epoch_));
+  }
+  if (options_.ctx == nullptr || !options_.solver_factory) {
+    return Status::FailedPrecondition(
+        "replica has no solve context / solver factory; cannot promote");
+  }
+  // Fence the journal copy first: once the kEpochChange record is
+  // durable, the old primary's epoch is dead on this node even if the
+  // process restarts before the broker comes up. A copy that never
+  // received a byte has no header to append after — the resuming broker
+  // creates the journal and journals the fence itself then.
+  if (env()->FileExists(options_.journal_path) && size_ > 0) {
+    MUAA_RETURN_NOT_OK(EnsureFileLocked());
+    MUAA_RETURN_NOT_OK(file_->Append(io::EncodeEpochChangeRecord(req.epoch)));
+    MUAA_RETURN_NOT_OK(file_->Sync());
+    size_ = file_->offset();
+  }
+  if (file_ != nullptr) {
+    MUAA_RETURN_NOT_OK(file_->Close());
+    file_.reset();  // the broker's JournalWriter owns the file from here
+  }
+  MUAA_ASSIGN_OR_RETURN(promoted_solver_, options_.solver_factory());
+  BrokerOptions opts = options_.broker;
+  opts.host = options_.host;
+  opts.durability.journal_path = options_.journal_path;
+  opts.durability.checkpoint_path = options_.checkpoint_path;
+  opts.durability.env = env();
+  opts.resume = true;
+  opts.shards = 1;
+  opts.fence_epoch = req.epoch;
+  opts.replication = nullptr;
+  promoted_broker_ = std::make_unique<Broker>(*options_.ctx,
+                                              promoted_solver_.get(), opts);
+  Status st = promoted_broker_->Start();
+  if (!st.ok()) {
+    promoted_broker_.reset();
+    promoted_solver_.reset();
+    return st;
+  }
+  promoted_ = true;
+  epoch_ = req.epoch;
+  resp->type = ResponseType::kPromoteAck;
+  resp->epoch = epoch_;
+  resp->port = static_cast<uint32_t>(promoted_broker_->port());
+  return Status::OK();
+}
+
+Status ReplicaServer::QuarantineLocked(uint64_t source_offset,
+                                       const std::string& blob) {
+  const std::string qpath = options_.journal_path + ".quarantine";
+  const bool fresh = !env()->FileExists(qpath);
+  auto opened = env()->NewWritableFile(qpath, io::WriteMode::kAppend);
+  MUAA_RETURN_NOT_OK(opened.status());
+  std::unique_ptr<io::WritableFile> qf = std::move(opened).ValueOrDie();
+  std::string segment;
+  if (fresh) segment.append("MUAAQRN1", 8);
+  PutU64(&segment, source_offset);
+  PutU64(&segment, blob.size());
+  segment += blob;
+  MUAA_RETURN_NOT_OK(qf->Append(segment));
+  MUAA_RETURN_NOT_OK(qf->Sync());
+  MUAA_RETURN_NOT_OK(qf->Close());
+  bytes_quarantined_ += blob.size();
+  return Status::OK();
+}
+
+}  // namespace muaa::server

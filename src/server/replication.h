@@ -1,0 +1,236 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "io/env.h"
+#include "server/broker.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+
+namespace muaa::server {
+
+/// \file Journal streaming replication + follower promotion
+/// (docs/serving.md, "Topology & failover").
+///
+/// Replication is a byte-for-byte copy of the primary's write-ahead
+/// journal: the `ReplicationSender` (plugged into the broker as its
+/// `ReplicationHook`) tails the journal file and ships every newly synced
+/// byte to a `ReplicaServer` over kReplAppend frames; the follower appends
+/// them verbatim to its own journal file and fsyncs before acking. Because
+/// the stream is the journal itself, a promoted follower recovers through
+/// the *exact* resume path a restarted primary would take — no separate
+/// state-transfer format exists that could drift from it.
+///
+/// Fencing: every frame carries the sender's epoch. A follower that has
+/// seen epoch E (via its journal's kEpochChange records or a kPromote)
+/// rejects any append stamped with a lower epoch and quarantines its bytes
+/// (io/recovery.h quarantine format) — a zombie primary that kept running
+/// after a failover cannot corrupt the replica, and its unacked tail is
+/// preserved for the operator instead of silently dropped.
+
+/// Configuration of one primary→follower replication stream.
+struct ReplicationSenderOptions {
+  /// Follower control endpoint (a ReplicaServer).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// The primary's journal file to tail (must equal the broker's
+  /// `durability.journal_path`).
+  std::string journal_path;
+  /// Storage env the journal lives on; null = Env::Default().
+  io::Env* env = nullptr;
+  /// Fencing epoch stamped on every frame (the primary's own epoch).
+  uint64_t epoch = 0;
+  /// Retry schedule for transport failures. Callers should pre-mix the
+  /// seed with BackoffOptions::ForConnection so parallel shard streams
+  /// decorrelate.
+  BackoffOptions backoff;
+  /// Connection/send/recv attempts before `Replicate` gives up and the
+  /// broker enters DISK_FAIL mode.
+  uint32_t max_attempts = 8;
+  /// Largest blob one kReplAppend carries; bigger deltas are chunked.
+  uint64_t chunk_bytes = 1u << 20;
+  /// Socket deadline for one ack (0 = block forever).
+  uint64_t recv_timeout_us = 5'000'000;
+};
+
+/// \brief Semi-synchronous journal shipper (the primary side).
+///
+/// `Replicate(n)` returns OK only once the follower has fsynced its
+/// byte-identical copy of the journal's first `n` bytes and acked. On an
+/// offset disagreement (fresh follower, or one that lost its disk) the
+/// sender falls back to a full-file kReplSnapshot resync. A `fenced` ack
+/// is terminal (FailedPrecondition, never retried): a newer primary has
+/// been promoted and this process must stop acking work.
+///
+/// Not thread-safe: the broker calls `Replicate` under the shard's commit
+/// lock, which is exactly the serialization the journal file itself has.
+class ReplicationSender : public ReplicationHook {
+ public:
+  explicit ReplicationSender(ReplicationSenderOptions options);
+  ~ReplicationSender() override;
+
+  ReplicationSender(const ReplicationSender&) = delete;
+  ReplicationSender& operator=(const ReplicationSender&) = delete;
+
+  /// Ships journal bytes [acked, journal_size) with retries + backoff.
+  Status Replicate(uint64_t journal_size) override;
+
+  // Introspection (tests, stats dumps).
+  uint64_t acked_offset() const { return acked_.load(); }  ///< follower-durable bytes
+  uint64_t appends_sent() const { return appends_sent_.load(); }
+  uint64_t snapshots_sent() const { return snapshots_sent_.load(); }
+  uint64_t retries() const { return retries_.load(); }
+
+ private:
+  io::Env* env() const;
+  /// One end-to-end attempt over the current (or a fresh) connection.
+  Status TryReplicate(uint64_t journal_size);
+  Status EnsureConnected();
+  /// Reads journal bytes [offset, offset + n) into `out`.
+  Status ReadJournal(uint64_t offset, uint64_t n, std::string* out);
+  /// Sends one frame, receives one kReplAck for it.
+  Status RoundTrip(const Request& req, Response* ack);
+  /// Replaces the follower's journal wholesale with bytes [0, size).
+  Status Resync(uint64_t journal_size);
+
+  ReplicationSenderOptions options_;
+  BackoffPolicy policy_;
+  Socket sock_;
+  std::unique_ptr<io::RandomAccessFile> file_;
+  uint64_t rid_ = 0;
+  std::atomic<uint64_t> acked_{0};
+  std::atomic<uint64_t> appends_sent_{0};
+  std::atomic<uint64_t> snapshots_sent_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+/// Configuration of one follower node.
+struct ReplicaServerOptions {
+  std::string host = "127.0.0.1";
+  /// Control port (replication stream + heartbeats + promote); 0 picks an
+  /// ephemeral one.
+  int port = 0;
+  /// The replica journal file this follower maintains.
+  std::string journal_path;
+  /// Checkpoint path handed to the promoted broker (the follower itself
+  /// never writes checkpoints — its only state is the journal copy).
+  std::string checkpoint_path;
+  /// Storage env; null = Env::Default().
+  io::Env* env = nullptr;
+  /// Solve context for the promoted broker; must outlive the server.
+  const assign::SolveContext* ctx = nullptr;
+  /// Produces the promoted broker's solver (fresh, un-Initialized).
+  std::function<Result<std::unique_ptr<assign::OnlineSolver>>()>
+      solver_factory;
+  /// Template for the promoted broker: partition identity, batching,
+  /// queue bounds. `durability` paths, `resume`, `fence_epoch` and
+  /// `replication` are overwritten at promotion; `port` is used as the
+  /// serve port (default 0 = ephemeral, reported in the kPromoteAck).
+  BrokerOptions broker;
+};
+
+/// \brief The follower side: applies the journal stream, answers
+/// heartbeats, and becomes a primary on kPromote.
+///
+/// Serves its control port with one thread per connection. All journal
+/// state (file handle, size, epoch, promotion) sits behind one mutex —
+/// appends are rare (one per primary micro-batch) and correctness beats
+/// concurrency here.
+///
+/// Promotion (idempotent per epoch): fence the stream by appending a
+/// kEpochChange record to the journal copy and fsyncing it, then construct
+/// a resuming Broker over the copied files — the promoted state is
+/// bitwise what a restart of the dead primary would have recovered, which
+/// is what `server_replication_test` pins.
+class ReplicaServer {
+ public:
+  explicit ReplicaServer(ReplicaServerOptions options);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// Recovers the journal copy's size + epoch, binds, starts serving.
+  Status Start();
+
+  /// Stops the control listener and, when promoted, the promoted broker
+  /// (graceful: its final checkpoint is written). Idempotent.
+  Status Stop();
+
+  /// Blocks until a kShutdown frame arrives on the control port or
+  /// `external_stop` flips; the caller then runs `Stop`.
+  void WaitUntilShutdown(const std::atomic<bool>* external_stop = nullptr);
+
+  /// The bound control port (valid after `Start`).
+  int port() const { return port_; }
+
+  /// Highest fencing epoch this follower has seen.
+  uint64_t epoch() const;
+  /// Bytes of the replica journal copy (all fsynced).
+  uint64_t journal_size() const;
+  /// Bytes rejected from fenced (zombie) appends and preserved in
+  /// `<journal>.quarantine`.
+  uint64_t bytes_quarantined() const;
+
+  /// The promoted broker, or null while still following. Valid until
+  /// `Stop`.
+  Broker* promoted_broker() const;
+  /// The promoted broker's serve port, or 0 while still following.
+  int promoted_port() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  io::Env* env() const;
+  void AcceptLoop();
+  void ServeConnection(const ConnPtr& conn);
+  /// Handles one decoded request (all state under `mu_`).
+  Response Handle(const Request& req);
+  /// Requires `mu_`. Opens the append handle if needed.
+  Status EnsureFileLocked();
+  Status HandleAppendLocked(const Request& req, Response* resp);
+  Status HandleSnapshotLocked(const Request& req, Response* resp);
+  Status HandlePromoteLocked(const Request& req, Response* resp);
+  /// Appends one quarantine segment for a fenced blob. Requires `mu_`.
+  Status QuarantineLocked(uint64_t source_offset, const std::string& blob);
+
+  ReplicaServerOptions options_;
+  int port_ = 0;
+  Listener listener_;
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<ConnPtr> conns_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<io::WritableFile> file_;  ///< append handle, lazy
+  uint64_t size_ = 0;                       ///< journal copy bytes (fsynced)
+  uint64_t epoch_ = 0;                      ///< highest epoch seen
+  uint64_t bytes_quarantined_ = 0;
+  bool promoted_ = false;
+  std::unique_ptr<assign::OnlineSolver> promoted_solver_;
+  std::unique_ptr<Broker> promoted_broker_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace muaa::server

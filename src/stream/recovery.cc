@@ -90,6 +90,7 @@ Result<RecoveredStream> RecoverStreamState(
           "checkpoint belongs to a " + std::to_string(ckpt.num_shards) +
           "-shard broker; resume with the same shard count");
     }
+    rec.fence_epoch = std::max(rec.fence_epoch, ckpt.fence_epoch);
     // Re-verify every invariant (budget, capacity, pair uniqueness,
     // spatial) by replaying the committed instances through the checked
     // AssignmentSet.
@@ -161,6 +162,9 @@ Result<RecoveredStream> RecoverStreamState(
               jrec.mode == io::kJournalModeDiskFail) {
             rec.saw_disk_fail = true;
           }
+          if (jrec.type == io::JournalRecordType::kEpochChange) {
+            rec.fence_epoch = std::max(rec.fence_epoch, jrec.epoch);
+          }
           committed_end = reader.valid_prefix_bytes();
           rec.committed_records = reader.records_read();
           continue;
@@ -196,6 +200,16 @@ Result<RecoveredStream> RecoverStreamState(
                                  idx < shard->committed_arrivals->size() &&
                                  (*shard->committed_arrivals)[idx];
           if (committed) solver->AddUsedBudget(jrec.vendor, jrec.cost);
+          committed_end = reader.valid_prefix_bytes();
+          rec.committed_records = reader.records_read();
+          continue;
+        }
+        if (jrec.type == io::JournalRecordType::kEpochChange) {
+          // Fencing-epoch changes sit at group boundaries (written at
+          // primary startup and at follower promotion, both quiescent
+          // points); one inside a group means the tail is corrupt.
+          if (!group.empty() || have_pending) break;
+          rec.fence_epoch = std::max(rec.fence_epoch, jrec.epoch);
           committed_end = reader.valid_prefix_bytes();
           rec.committed_records = reader.records_read();
           continue;
@@ -352,6 +366,7 @@ Status ScanCommittedArrivals(io::Env* env, const std::string& journal_path,
         break;
       case io::JournalRecordType::kXDebit:
       case io::JournalRecordType::kModeChange:
+      case io::JournalRecordType::kEpochChange:
         if (in_group || have_pending) return Status::OK();
         break;
       case io::JournalRecordType::kArrivalCommit: {

@@ -41,6 +41,11 @@ struct RecoveredStream {
   /// mode. The broker surfaces this; the solver's serve mode is not
   /// affected (disk-fail is an IO rung, not a solver rung).
   bool saw_disk_fail = false;
+  /// Highest fencing epoch seen across the checkpoint's `fence_epoch` and
+  /// the journal's kEpochChange records — the node's current epoch. A
+  /// resuming primary continues (or bumps) from here; replication appends
+  /// stamped below it are a fenced-off zombie's.
+  uint64_t fence_epoch = 0;
 };
 
 /// \brief Rebuilds stream state from `options`' checkpoint and journal:

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <set>
 
 // Contract of the capped exponential backoff (common/backoff.h): the raw
 // schedule is base * multiplier^attempt capped at cap_us, jitter stays
@@ -88,5 +91,59 @@ TEST(Backoff, DegenerateOptionsAreClamped) {
   EXPECT_EQ(policy.RawDelayUs(5), 5000u);  // multiplier 1: flat at base
 }
 
+TEST(Backoff, ForConnectionDecorrelatesAdjacentConnections) {
+  // The failure mode ForConnection exists to prevent: a mass disconnect
+  // puts every connection on attempt 0 at the same instant, and if their
+  // jitter streams are correlated they all come back at the same instant
+  // too. Adjacent connection indices must therefore draw essentially
+  // independent delays — which an additive `seed + k` scheme does not
+  // give (it walks near-identical Rng streams).
+  BackoffOptions base;
+  base.base_us = 10'000;
+  base.cap_us = 1'000'000;
+  base.jitter = 0.2;
+
+  // Mixed seeds avalanche: adjacent connections share no obvious bits.
+  const uint64_t s0 = base.ForConnection(0).seed;
+  const uint64_t s1 = base.ForConnection(1).seed;
+  const uint64_t s2 = base.ForConnection(2).seed;
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s1, s2);
+  EXPECT_GT(std::popcount(s0 ^ s1), 16) << "adjacent seeds barely differ";
+  EXPECT_GT(std::popcount(s1 ^ s2), 16) << "adjacent seeds barely differ";
+
+  // Deterministic per connection: same index, same schedule.
+  BackoffPolicy again_a(base.ForConnection(7));
+  BackoffPolicy again_b(base.ForConnection(7));
+  for (uint32_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(again_a.DelayUs(k), again_b.DelayUs(k));
+  }
+
+  // Decorrelation across a fleet: for each attempt, the first delays of
+  // many connections must actually spread over the jitter band instead of
+  // clumping. Bucket the jitter fraction into deciles and require a wide
+  // spread — a correlated family lands in one or two buckets.
+  for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+    std::set<int> buckets;
+    BackoffPolicy probe(base);
+    const double raw = static_cast<double>(probe.RawDelayUs(attempt));
+    for (uint64_t conn = 0; conn < 64; ++conn) {
+      BackoffPolicy policy(base.ForConnection(conn));
+      uint64_t d = 0;
+      for (uint32_t k = 0; k <= attempt; ++k) d = policy.DelayUs(k);
+      // Jitter fraction in [-0.2, +0.2] mapped to [0, 1).
+      const double frac =
+          ((static_cast<double>(d) / raw) - 0.8) / 0.4;
+      buckets.insert(
+          std::min(9, std::max(0, static_cast<int>(frac * 10.0))));
+    }
+    EXPECT_GE(buckets.size(), 6u)
+        << "attempt " << attempt
+        << ": 64 connections clumped into " << buckets.size()
+        << " of 10 jitter deciles — correlated streams";
+  }
+}
+
 }  // namespace
 }  // namespace muaa
+

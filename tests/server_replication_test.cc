@@ -1,0 +1,377 @@
+#include "server/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "assign/online_afa.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+#include "server/broker.h"
+#include "server/frontend.h"
+#include "server/loadgen.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "stream/driver.h"
+
+// Contracts of journal-streaming replication and failover
+// (docs/serving.md, "Topology & failover"):
+//
+//  * the follower's journal copy is byte-identical to the primary's at
+//    every acked offset — replication ships the WAL itself, so there is
+//    no second state format that could drift;
+//  * promoting the follower is bitwise-indistinguishable from resuming
+//    the dead primary from its own disk (assignments, stats, utilities);
+//  * a fenced (zombie) primary cannot mutate the replica: its late
+//    appends are rejected, quarantined to `<journal>.quarantine`, and the
+//    zombie's own clients see DISK_FAIL, never silently dropped acks;
+//  * behind the router front-end a primary SIGKILL is invisible to
+//    clients beyond latency: every arrival still reaches a terminal
+//    answer and the final state matches an uninterrupted run.
+
+namespace muaa::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSeed = 2024;
+
+using AdKey = std::tuple<int32_t, int32_t, int32_t, uint64_t>;
+
+AdKey KeyOf(const assign::AdInstance& a) {
+  return {a.customer, a.vendor, a.ad_type, std::bit_cast<uint64_t>(a.utility)};
+}
+
+model::ProblemInstance MakeInstance(size_t customers = 120) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_customers = customers;
+  cfg.num_vendors = 12;
+  cfg.radius = {0.1, 0.2};
+  cfg.customer_loc_stddev = 0.25;
+  cfg.seed = 91;
+  return datagen::GenerateSynthetic(cfg).ValueOrDie();
+}
+
+std::vector<model::CustomerId> Arrivals(size_t lo, size_t hi) {
+  std::vector<model::CustomerId> a;
+  for (size_t i = lo; i < hi; ++i) {
+    a.push_back(static_cast<model::CustomerId>(i));
+  }
+  return a;
+}
+
+Result<std::unique_ptr<assign::OnlineSolver>> MakeAfa() {
+  return {std::make_unique<assign::AfaOnlineSolver>()};
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One framed round trip against a control or serve port.
+Result<Response> Call(int port, const Request& req) {
+  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect("127.0.0.1", port));
+  MUAA_RETURN_NOT_OK(sock.SendFrame(EncodeRequest(req)));
+  std::string payload;
+  MUAA_ASSIGN_OR_RETURN(bool got, sock.RecvFrame(&payload));
+  if (!got) return Status::Internal("connection closed");
+  return DecodeResponse(payload);
+}
+
+struct TempFiles {
+  std::string pj, pc, rj, rc;  ///< primary/replica journal+checkpoint
+
+  explicit TempFiles(const std::string& tag) {
+    const auto base = fs::temp_directory_path();
+    const std::string stem = (base / ("muaa_repl_" + tag)).string();
+    pj = stem + ".p.jnl";
+    pc = stem + ".p.ckp";
+    rj = stem + ".r.jnl";
+    rc = stem + ".r.ckp";
+    Wipe();
+  }
+  ~TempFiles() { Wipe(); }
+  void Wipe() {
+    for (const std::string& p : {pj, pc, rj, rc}) {
+      fs::remove(p);
+      fs::remove(p + ".quarantine");
+      fs::remove(p + ".tmp");
+    }
+  }
+};
+
+/// Everything one replicated node pair needs, wired together: a follower
+/// and a primary broker streaming to it.
+struct Pair {
+  const model::ProblemInstance* inst;
+  model::ProblemView view;
+  model::UtilityModel utility;
+  Rng primary_rng{kSeed};
+  Rng replica_rng{kSeed};
+  assign::SolveContext primary_ctx;
+  assign::SolveContext replica_ctx;
+  assign::AfaOnlineSolver solver;
+  std::unique_ptr<ReplicaServer> replica;
+  std::unique_ptr<ReplicationSender> sender;
+  std::unique_ptr<Broker> broker;
+
+  Pair(const model::ProblemInstance* instance, const TempFiles& files)
+      : inst(instance),
+        view(instance),
+        utility(instance),
+        primary_ctx{instance, &view, &utility, &primary_rng, nullptr},
+        replica_ctx{instance, &view, &utility, &replica_rng, nullptr} {
+    ReplicaServerOptions ropts;
+    ropts.journal_path = files.rj;
+    ropts.checkpoint_path = files.rc;
+    ropts.ctx = &replica_ctx;
+    ropts.solver_factory = MakeAfa;
+    ropts.broker.durability.checkpoint_every = 64;
+    replica = std::make_unique<ReplicaServer>(ropts);
+    MUAA_CHECK_OK(replica->Start());
+
+    ReplicationSenderOptions sopts;
+    sopts.port = replica->port();
+    sopts.journal_path = files.pj;
+    sender = std::make_unique<ReplicationSender>(sopts);
+
+    BrokerOptions bopts;
+    bopts.durability.journal_path = files.pj;
+    bopts.durability.checkpoint_path = files.pc;
+    bopts.durability.checkpoint_every = 64;
+    bopts.replication = sender.get();
+    broker = std::make_unique<Broker>(primary_ctx, &solver, bopts);
+    MUAA_CHECK_OK(broker->Start());
+  }
+};
+
+LoadgenReport Load(int port, const std::vector<model::CustomerId>& arrivals) {
+  LoadgenOptions lg;
+  lg.port = port;
+  lg.collect = true;
+  return RunLoadgen(arrivals, lg).ValueOrDie();
+}
+
+TEST(Replication, FollowerJournalIsByteIdenticalToPrimary) {
+  const model::ProblemInstance inst = MakeInstance();
+  TempFiles files("stream");
+  Pair pair(&inst, files);
+
+  auto report = Load(pair.broker->port(), Arrivals(0, inst.num_customers()));
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.assigned, inst.num_customers());
+  ASSERT_TRUE(pair.broker->Stop().ok());
+
+  const std::string primary = ReadFileBytes(files.pj);
+  const std::string replica = ReadFileBytes(files.rj);
+  ASSERT_GT(primary.size(), 0u);
+  EXPECT_EQ(primary, replica)
+      << "replica journal diverged from the primary's WAL";
+  EXPECT_EQ(pair.sender->acked_offset(), primary.size());
+  EXPECT_GT(pair.sender->appends_sent(), 0u);
+  EXPECT_EQ(pair.replica->journal_size(), replica.size());
+  EXPECT_EQ(pair.replica->bytes_quarantined(), 0u);
+  ASSERT_TRUE(pair.replica->Stop().ok());
+}
+
+TEST(Replication, PromotionIsBitwiseIdenticalToResumingThePrimary) {
+  const model::ProblemInstance inst = MakeInstance();
+  TempFiles files("promote");
+  Pair pair(&inst, files);
+
+  // Half the workload, then SIGKILL the primary mid-deployment.
+  const size_t half = inst.num_customers() / 2;
+  auto report = Load(pair.broker->port(), Arrivals(0, half));
+  EXPECT_EQ(report.errors, 0u);
+  ASSERT_TRUE(pair.broker->Abort().ok());
+  pair.broker.reset();
+  EXPECT_EQ(ReadFileBytes(files.pj), ReadFileBytes(files.rj));
+
+  // Promote the follower into epoch 1.
+  Request promote;
+  promote.type = RequestType::kPromote;
+  promote.request_id = 77;
+  promote.epoch = 1;
+  Response ack = Call(pair.replica->port(), promote).ValueOrDie();
+  ASSERT_EQ(ack.type, ResponseType::kPromoteAck);
+  EXPECT_EQ(ack.epoch, 1u);
+  ASSERT_NE(ack.port, 0u);
+  Broker* promoted = pair.replica->promoted_broker();
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_EQ(promoted->fence_epoch(), 1u);
+
+  // Idempotent at the same epoch (an ack lost in transit is retried)…
+  Response again = Call(pair.replica->port(), promote).ValueOrDie();
+  EXPECT_EQ(again.type, ResponseType::kPromoteAck);
+  EXPECT_EQ(again.port, ack.port);
+  // …but never into a different epoch once promoted.
+  promote.epoch = 2;
+  Response conflict = Call(pair.replica->port(), promote).ValueOrDie();
+  EXPECT_EQ(conflict.type, ResponseType::kError);
+
+  // Reference: resume a broker straight off the dead primary's files —
+  // the exact restart an operator would have done without a replica.
+  Rng rng(kSeed);
+  assign::SolveContext ctx{&inst, &pair.view, &pair.utility, &rng, nullptr};
+  assign::AfaOnlineSolver solver;
+  BrokerOptions bopts;
+  bopts.durability.journal_path = files.pj;
+  bopts.durability.checkpoint_path = files.pc;
+  bopts.durability.checkpoint_every = 64;
+  bopts.resume = true;
+  Broker resumed(ctx, &solver, bopts);
+  ASSERT_TRUE(resumed.Start().ok());
+
+  const BrokerStats a = promoted->stats();
+  const BrokerStats b = resumed.stats();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.assigned_ads, b.assigned_ads);
+  EXPECT_EQ(a.served_customers, b.served_customers);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.total_utility),
+            std::bit_cast<uint64_t>(b.total_utility));
+  const auto& pa = promoted->assignments().instances();
+  const auto& pb = resumed.assignments().instances();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(KeyOf(pa[i]), KeyOf(pb[i])) << "instance " << i;
+  }
+  ASSERT_TRUE(resumed.Stop().ok());
+
+  // The promoted broker serves the rest of the workload as a primary.
+  auto tail = Load(static_cast<int>(ack.port),
+                   Arrivals(half, inst.num_customers()));
+  EXPECT_EQ(tail.errors, 0u);
+  EXPECT_EQ(tail.assigned, inst.num_customers() - half);
+  EXPECT_EQ(promoted->stats().arrivals, inst.num_customers());
+  ASSERT_TRUE(pair.replica->Stop().ok());
+}
+
+TEST(Replication, ZombiePrimaryIsFencedAndItsBytesQuarantined) {
+  const model::ProblemInstance inst = MakeInstance();
+  TempFiles files("fence");
+  Pair pair(&inst, files);
+
+  const size_t half = inst.num_customers() / 2;
+  auto report = Load(pair.broker->port(), Arrivals(0, half));
+  EXPECT_EQ(report.errors, 0u);
+
+  // Promote the follower while the old primary still runs — the classic
+  // partition scenario: the router lost the primary, the primary didn't
+  // lose itself.
+  Request promote;
+  promote.type = RequestType::kPromote;
+  promote.request_id = 1;
+  promote.epoch = 1;
+  Response ack = Call(pair.replica->port(), promote).ValueOrDie();
+  ASSERT_EQ(ack.type, ResponseType::kPromoteAck);
+  const uint64_t frozen = pair.replica->journal_size();
+
+  // The zombie keeps serving: its next commit's replication is rejected
+  // (fenced), which drops the zombie into DISK_FAIL mode — its clients
+  // get an honest non-ack instead of an un-replicated ack.
+  auto zombie = Load(pair.broker->port(),
+                     Arrivals(half, inst.num_customers()));
+  EXPECT_EQ(zombie.errors, 0u);
+  EXPECT_EQ(zombie.assigned, 0u);
+  EXPECT_GT(zombie.disk_fail, 0u);
+
+  // The replica never applied a zombie byte; the rejected blob is
+  // preserved for the operator in the quarantine sidecar.
+  EXPECT_EQ(pair.replica->journal_size(), frozen);
+  EXPECT_GT(pair.replica->bytes_quarantined(), 0u);
+  const std::string quarantine = ReadFileBytes(files.rj + ".quarantine");
+  ASSERT_GE(quarantine.size(), 8u);
+  EXPECT_EQ(quarantine.substr(0, 8), "MUAAQRN1");
+
+  // Promoted state is exactly the pre-partition half workload.
+  EXPECT_EQ(pair.replica->promoted_broker()->stats().arrivals, half);
+  ASSERT_TRUE(pair.broker->Stop().ok());
+  ASSERT_TRUE(pair.replica->Stop().ok());
+}
+
+TEST(Replication, RouterFailoverIsInvisibleToClients) {
+  const model::ProblemInstance inst = MakeInstance();
+  TempFiles files("frontend");
+  Pair pair(&inst, files);
+
+  Rng rng(kSeed);
+  assign::SolveContext fctx{&inst, &pair.view, &pair.utility, &rng, nullptr};
+  FrontendOptions fopts;
+  FrontendBackend backend;
+  backend.port = pair.broker->port();
+  backend.follower_port = pair.replica->port();
+  fopts.backends.push_back(backend);
+  fopts.heartbeat_interval_us = 20'000;
+  fopts.heartbeat_timeout_us = 100'000;
+  fopts.fail_after_misses = 2;
+  Frontend frontend(fctx, std::move(fopts));
+  ASSERT_TRUE(frontend.Start().ok());
+
+  const size_t half = inst.num_customers() / 2;
+  auto first = Load(frontend.port(), Arrivals(0, half));
+  EXPECT_EQ(first.errors, 0u);
+  EXPECT_EQ(first.assigned, half);
+
+  // SIGKILL the primary; the router's health thread must promote the
+  // follower without any client involvement.
+  ASSERT_TRUE(pair.broker->Abort().ok());
+  pair.broker.reset();
+  bool promoted = false;
+  for (int i = 0; i < 2000 && !promoted; ++i) {
+    promoted = frontend.failovers() >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(promoted) << "router never promoted the follower";
+  EXPECT_EQ(frontend.shard_epoch(0), 1u);
+
+  auto second = Load(frontend.port(), Arrivals(half, inst.num_customers()));
+  EXPECT_EQ(second.errors, 0u);
+  EXPECT_EQ(second.assigned, inst.num_customers() - half);
+
+  // Final state matches an uninterrupted single-node run bitwise.
+  stream::StreamRunResult want = [&] {
+    Rng wrng(kSeed);
+    assign::SolveContext ctx{&inst, &pair.view, &pair.utility, &wrng,
+                             nullptr};
+    assign::AfaOnlineSolver solver;
+    stream::StreamDriver driver(ctx);
+    return driver.Run(&solver).ValueOrDie();
+  }();
+  Broker* now = pair.replica->promoted_broker();
+  ASSERT_NE(now, nullptr);
+  const BrokerStats got = now->stats();
+  EXPECT_EQ(got.arrivals, want.stats.arrivals);
+  EXPECT_EQ(got.assigned_ads, want.stats.assigned_ads);
+  EXPECT_EQ(got.served_customers, want.stats.served_customers);
+  EXPECT_EQ(std::bit_cast<uint64_t>(got.total_utility),
+            std::bit_cast<uint64_t>(want.stats.total_utility));
+  const auto& ga = now->assignments().instances();
+  const auto& wa = want.assignments.instances();
+  ASSERT_EQ(ga.size(), wa.size());
+  for (size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(KeyOf(ga[i]), KeyOf(wa[i])) << "instance " << i;
+  }
+
+  ASSERT_TRUE(frontend.Stop().ok());
+  ASSERT_TRUE(pair.replica->Stop().ok());
+}
+
+}  // namespace
+}  // namespace muaa::server

@@ -437,5 +437,73 @@ TEST(ShardedBroker, ShardsOneIsByteIdenticalOnDiskToUnshardedBroker) {
   }
 }
 
+// --- Degenerate partitions (docs/serving.md, "Topology & failover") ----
+//
+// A replicated deployment sizes its shard count independently of the
+// instance, so the map must stay total and deterministic when the
+// geometry gives it nothing to balance with.
+
+TEST(ShardMap, MoreShardsThanVendorsStillCoversEverything) {
+  const model::ProblemInstance inst = MakeInstance(40);  // 12 vendors
+  ASSERT_GT(64u, inst.vendors.size());
+  ShardMap a = ShardMap::Build(inst.vendors, 64).ValueOrDie();
+  ShardMap b = ShardMap::Build(inst.vendors, 64).ValueOrDie();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.num_shards(), 64u);
+  // Every vendor and every point owned by a valid shard; vendors can
+  // cover at most 12 of the 64, the rest own vendor-free territory.
+  std::set<uint32_t> used;
+  for (size_t j = 0; j < inst.vendors.size(); ++j) {
+    const uint32_t s = a.VendorShard(static_cast<model::VendorId>(j));
+    EXPECT_LT(s, 64u);
+    used.insert(s);
+  }
+  EXPECT_LE(used.size(), inst.vendors.size());
+  for (const model::Customer& c : inst.customers) {
+    EXPECT_LT(a.ShardOfPoint(c.location), 64u);
+  }
+}
+
+TEST(ShardMap, AllVendorsAtOnePointCollapseIntoOneShard) {
+  // Zero-area bounding box: every vendor sits on the same cell, so the
+  // whole vendor weight is one indivisible unit — all vendors must land
+  // in the same shard and the map must still be total and deterministic.
+  std::vector<model::Vendor> vendors(9);
+  for (auto& v : vendors) {
+    v.location = {0.5, 0.5};
+    v.radius = 0.1;
+    v.budget = 1.0;
+  }
+  ShardMap a = ShardMap::Build(vendors, 4).ValueOrDie();
+  ShardMap b = ShardMap::Build(vendors, 4).ValueOrDie();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  const uint32_t owner = a.VendorShard(0);
+  for (size_t j = 1; j < vendors.size(); ++j) {
+    EXPECT_EQ(a.VendorShard(static_cast<model::VendorId>(j)), owner);
+  }
+  // Arbitrary points (including the corners that clamp) stay in range.
+  for (const geo::Point& p : {geo::Point{0.0, 0.0}, geo::Point{1.0, 1.0},
+                              geo::Point{-3.0, 7.0}, geo::Point{0.5, 0.5}}) {
+    EXPECT_LT(a.ShardOfPoint(p), 4u);
+  }
+  EXPECT_EQ(a.ShardOfPoint({0.5, 0.5}), owner);
+}
+
+TEST(ShardMap, MaxShardCountBoundaryRoundtrips) {
+  const model::ProblemInstance inst = MakeInstance(40);
+  // 256 is the serialized width limit (u16 cells, u8-sized shard ids in
+  // the protocol); it must build, roundtrip bitwise, and stay in range.
+  ShardMap map = ShardMap::Build(inst.vendors, 256).ValueOrDie();
+  EXPECT_EQ(map.num_shards(), 256u);
+  for (size_t j = 0; j < inst.vendors.size(); ++j) {
+    EXPECT_LT(map.VendorShard(static_cast<model::VendorId>(j)), 256u);
+  }
+  ShardMap loaded = ShardMap::Deserialize(map.Serialize()).ValueOrDie();
+  EXPECT_EQ(loaded.fingerprint(), map.fingerprint());
+  EXPECT_EQ(loaded.Serialize(), map.Serialize());
+  EXPECT_FALSE(ShardMap::Build(inst.vendors, 257).ok());
+}
+
 }  // namespace
 }  // namespace muaa::server
+

@@ -3,6 +3,7 @@
 //   muaa_chaosproxy upstream_port=N [upstream_host=H] [port=P] [seed=S]
 //                   [latency_us=L] [jitter_us=J]
 //                   [corrupt_every=B] [drop_every=B] [reset_every=B]
+//                   [partition_at=B] [partition_bytes=B] [flap_every=B]
 //                   [max_chunk=B] [bandwidth_bps=B] [duration_s=T]
 //
 // Sits between a client (muaa_loadgen) and the broker (muaa_cli serve),
@@ -11,7 +12,11 @@
 // every ~corrupt_every bytes, swallowed 1–64-byte spans every ~drop_every
 // bytes, connection teardowns every ~reset_every bytes, plus fixed
 // latency, seeded jitter, bounded forwarding chunks (partial writes) and
-// bandwidth pacing. 0 disables each fault class.
+// bandwidth pacing. 0 disables each fault class. Two exact (unseeded)
+// schedules round out the set: partition_at/partition_bytes black-holes
+// that byte window of every connection while holding it open (dead air —
+// the failover-drill fault), and flap_every tears each connection down
+// the moment it has carried that many bytes in one direction.
 //
 // Prints "listening on port N" once bound (the same contract muaa_cli
 // serve honors, so scripts can scrape the ephemeral port), then runs until
@@ -39,7 +44,8 @@ int Usage() {
       stderr,
       "usage: muaa_chaosproxy upstream_port=N [upstream_host=H] [port=P]\n"
       "       [seed=S] [latency_us=L] [jitter_us=J] [corrupt_every=B]\n"
-      "       [drop_every=B] [reset_every=B] [max_chunk=B]\n"
+      "       [drop_every=B] [reset_every=B] [partition_at=B]\n"
+      "       [partition_bytes=B] [flap_every=B] [max_chunk=B]\n"
       "       [bandwidth_bps=B] [duration_s=T]\n");
   return 2;
 }
@@ -67,11 +73,15 @@ int Run(int argc, char** argv) {
   auto corrupt = cfg->GetInt("corrupt_every", 0);
   auto drop = cfg->GetInt("drop_every", 0);
   auto reset = cfg->GetInt("reset_every", 0);
+  auto partition_at = cfg->GetInt("partition_at", 0);
+  auto partition_bytes = cfg->GetInt("partition_bytes", 0);
+  auto flap_every = cfg->GetInt("flap_every", 0);
   auto max_chunk = cfg->GetInt("max_chunk", 4096);
   auto bandwidth = cfg->GetInt("bandwidth_bps", 0);
   auto duration = cfg->GetInt("duration_s", 0);
   for (const auto* r : {&port, &seed, &latency, &jitter, &corrupt, &drop,
-                        &reset, &max_chunk, &bandwidth, &duration}) {
+                        &reset, &partition_at, &partition_bytes, &flap_every,
+                        &max_chunk, &bandwidth, &duration}) {
     if (!r->ok()) return Fail(r->status());
   }
   opts.listen_port = static_cast<int>(*port);
@@ -81,6 +91,9 @@ int Run(int argc, char** argv) {
   opts.corrupt_every = static_cast<uint64_t>(*corrupt);
   opts.drop_every = static_cast<uint64_t>(*drop);
   opts.reset_every = static_cast<uint64_t>(*reset);
+  opts.partition_at = static_cast<uint64_t>(*partition_at);
+  opts.partition_bytes = static_cast<uint64_t>(*partition_bytes);
+  opts.flap_every = static_cast<uint64_t>(*flap_every);
   opts.max_chunk = static_cast<size_t>(*max_chunk);
   opts.bandwidth_bytes_per_s = static_cast<uint64_t>(*bandwidth);
   cfg->WarnUnreadKeys();
@@ -110,12 +123,14 @@ int Run(int argc, char** argv) {
   }
   proxy.Stop();
   std::printf("CHAOS connections=%llu forwarded=%llu corrupted=%llu "
-              "dropped=%llu resets=%llu\n",
+              "dropped=%llu resets=%llu partitioned=%llu flaps=%llu\n",
               static_cast<unsigned long long>(proxy.connections()),
               static_cast<unsigned long long>(proxy.forwarded_bytes()),
               static_cast<unsigned long long>(proxy.corrupted_bytes()),
               static_cast<unsigned long long>(proxy.dropped_bytes()),
-              static_cast<unsigned long long>(proxy.resets()));
+              static_cast<unsigned long long>(proxy.resets()),
+              static_cast<unsigned long long>(proxy.partitioned_bytes()),
+              static_cast<unsigned long long>(proxy.flaps()));
   return 0;
 }
 

@@ -26,6 +26,14 @@
 //                               [checkpoint_every=N] [resume=0|1]
 //                               [sync_every_n=N] [sync_bytes=N]
 //                               [metrics_dump=<file>] [shards=N]
+//                               [partition_shard=K] [partition_shards=N]
+//                               [epoch=E] [replicate=host:port]
+//   muaa_cli replica            in=<dir> solver=<name> [port=N]
+//                               [serve_port=N] journal=<file>
+//                               checkpoint=<file> [partition_shard=K]
+//                               [partition_shards=N] [seed=S] [threads=N]
+//                               [batch_max=N] [queue_max=N]
+//                               [checkpoint_every=N]
 //   muaa_cli version
 //
 // `threads=N` (also spelled `--threads=N`) sizes the worker pool for the
@@ -68,16 +76,32 @@
 // cross-arrival state is per-vendor spend (online/msvv/static/nearest —
 // not online-adaptive).
 //
+// Replicated topology (docs/serving.md, "Topology & failover"):
+// `partition_shards=N` with `partition_shard=K` makes this process shard K
+// of an N-way multi-process partition (requires `shards=1`; arrivals must
+// come through a `muaa_router` front-end). `replicate=host:port` streams
+// the journal semi-synchronously to a follower (`muaa_cli replica`) at
+// that control endpoint — no batch is acked before the follower fsynced
+// it. `epoch=E` sets the fencing epoch to serve under; a restarted node
+// whose files carry a higher epoch refuses to start (it was fenced off).
+// `replica` runs the follower: it applies the replication stream to its
+// journal copy, answers heartbeats on the control port and, on a PROMOTE
+// frame from the router, becomes shard K's primary by resuming from the
+// copy (`serve_port=` fixes the promoted serve port; default ephemeral,
+// reported in the PROMOTE ack).
+//
 // Instances live in the CSV directory format of `io::SaveInstance`.
 
 #include <atomic>
 #include <bit>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "assign/solver.h"
 #include "common/build_info.h"
@@ -94,6 +118,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "server/broker.h"
+#include "server/replication.h"
 #include "stream/driver.h"
 #include "stream/fault_injector.h"
 
@@ -115,7 +140,8 @@ void HandleSigusr1(int) { g_dump_metrics.store(true); }
 int Usage() {
   std::fprintf(stderr,
                "usage: muaa_cli <generate-synthetic|generate-city|"
-               "convert-tsmc|info|solve|stream|serve|version> key=value...\n"
+               "convert-tsmc|info|solve|stream|serve|replica|version> "
+               "key=value...\n"
                "see the header of tools/muaa_cli.cc for details\n");
   return 2;
 }
@@ -134,6 +160,36 @@ Result<unsigned> ThreadsArg(const Config& cfg) {
         "], got " + std::to_string(threads));
   }
   return static_cast<unsigned>(threads);
+}
+
+/// Parses "host:port" (numeric port in [1, 65535]).
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& s) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + s + "'");
+  }
+  char* end = nullptr;
+  const long port = std::strtol(s.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + s + "'");
+  }
+  return std::make_pair(s.substr(0, colon), static_cast<int>(port));
+}
+
+/// Prints the structured salvage report of a resumed broker — what the
+/// recovery pass found and did before serving (docs/robustness.md).
+void PrintRecoveryReport(const io::RecoveryReport& rr) {
+  std::printf(
+      "RECOVERY journal_present=%d journal_usable=%d records_kept=%llu "
+      "records_dropped=%llu bytes_quarantined=%llu checkpoint_present=%d "
+      "checkpoint_quarantined=%d tmp_files_deleted=%llu quarantine=%s\n",
+      rr.journal_present ? 1 : 0, rr.journal_usable ? 1 : 0,
+      static_cast<unsigned long long>(rr.records_kept),
+      static_cast<unsigned long long>(rr.records_dropped),
+      static_cast<unsigned long long>(rr.bytes_quarantined),
+      rr.checkpoint_present ? 1 : 0, rr.checkpoint_quarantined ? 1 : 0,
+      static_cast<unsigned long long>(rr.tmp_files_deleted),
+      rr.quarantine_path.empty() ? "-" : rr.quarantine_path.c_str());
 }
 
 /// Loads `in=` honouring `strict=0|1` (default strict); lenient loads
@@ -398,11 +454,15 @@ int CmdServe(const Config& cfg) {
   auto sync_n = geti("sync_every_n", 0);
   auto sync_bytes = geti("sync_bytes", 0);
   auto shards = geti("shards", 1);
+  auto partition_shard = geti("partition_shard", 0);
+  auto partition_shards = geti("partition_shards", 1);
+  auto epoch = geti("epoch", 0);
   for (const auto* r :
        {&port, &batch_max, &batch_wait, &queue_max, &busy_retry,
         &busy_retry_cap, &every, &max_conns, &max_inflight, &read_timeout,
         &idle_timeout, &write_timeout, &degrade_sojourn, &degrade_batches,
-        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes, &shards}) {
+        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes, &shards,
+        &partition_shard, &partition_shards, &epoch}) {
     if (!r->ok()) return Fail(r->status());
     if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
   }
@@ -442,6 +502,9 @@ int CmdServe(const Config& cfg) {
     opts.shard_rng_seed =
         static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie());
   }
+  opts.partition_shard_id = static_cast<uint32_t>(*partition_shard);
+  opts.partition_num_shards = static_cast<uint32_t>(*partition_shards);
+  opts.fence_epoch = static_cast<uint64_t>(*epoch);
   auto resume = cfg.GetBool("resume", false);
   if (!resume.ok()) return Fail(resume.status());
   opts.resume = *resume;
@@ -450,12 +513,33 @@ int CmdServe(const Config& cfg) {
     return Fail(Status::InvalidArgument(
         "resume=1 needs journal= and/or checkpoint="));
   }
+  // Semi-synchronous follower replication: no batch is acked before its
+  // journal bytes are fsynced on the follower at `replicate=host:port`.
+  std::unique_ptr<server::ReplicationSender> replication;
+  std::string replicate = cfg.GetString("replicate", "");
+  if (!replicate.empty()) {
+    if (opts.durability.journal_path.empty()) {
+      return Fail(Status::InvalidArgument("replicate= requires journal="));
+    }
+    auto addr = ParseHostPort(replicate);
+    if (!addr.ok()) return Fail(addr.status());
+    server::ReplicationSenderOptions ropts;
+    ropts.host = addr->first;
+    ropts.port = addr->second;
+    ropts.journal_path = opts.durability.journal_path;
+    ropts.epoch = opts.fence_epoch;
+    ropts.backoff = ropts.backoff.ForConnection(
+        static_cast<uint64_t>(addr->second));
+    replication = std::make_unique<server::ReplicationSender>(ropts);
+    opts.replication = replication.get();
+  }
   std::string metrics_dump = cfg.GetString("metrics_dump", "");
   cfg.WarnUnreadKeys();
 
   server::Broker broker(ctx, solver->get(), opts);
   Status st = broker.Start();
   if (!st.ok()) return Fail(st);
+  if (opts.resume) PrintRecoveryReport(broker.recovery_report());
   // Scripts parse this line to learn the ephemeral port; flush so they
   // see it before the first connection.
   std::printf("listening on port %d\n", broker.port());
@@ -521,6 +605,95 @@ int CmdServe(const Config& cfg) {
   return 0;
 }
 
+int CmdReplica(const Config& cfg) {
+  std::string in = cfg.GetString("in", "");
+  std::string solver_name = cfg.GetString("solver", "online");
+  if (in.empty()) return Usage();
+  auto inst = LoadInstanceArg(cfg, in);
+  if (!inst.ok()) return Fail(inst.status());
+
+  model::ProblemView view(&*inst);
+  model::UtilityModel utility(&*inst);
+  Rng rng(static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie()));
+  auto threads = ThreadsArg(cfg);
+  if (!threads.ok()) return Fail(threads.status());
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(*threads);
+  }
+  assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
+
+  auto geti = [&cfg](const char* key, int64_t def) {
+    return cfg.GetInt(key, def);
+  };
+  auto port = geti("port", 0);
+  auto serve_port = geti("serve_port", 0);
+  auto batch_max = geti("batch_max", 64);
+  auto queue_max = geti("queue_max", 1024);
+  auto every = geti("checkpoint_every", 0);
+  auto partition_shard = geti("partition_shard", 0);
+  auto partition_shards = geti("partition_shards", 1);
+  for (const auto* r : {&port, &serve_port, &batch_max, &queue_max, &every,
+                        &partition_shard, &partition_shards}) {
+    if (!r->ok()) return Fail(r->status());
+    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
+  }
+  server::ReplicaServerOptions ropts;
+  ropts.port = static_cast<int>(*port);
+  ropts.journal_path = cfg.GetString("journal", "");
+  ropts.checkpoint_path = cfg.GetString("checkpoint", "");
+  if (ropts.journal_path.empty() || ropts.checkpoint_path.empty()) {
+    return Fail(
+        Status::InvalidArgument("replica needs journal= and checkpoint="));
+  }
+  ropts.ctx = &ctx;
+  ropts.solver_factory =
+      [solver_name]() -> Result<std::unique_ptr<assign::OnlineSolver>> {
+    return assign::MakeOnlineSolver(solver_name);
+  };
+  ropts.broker.port = static_cast<int>(*serve_port);
+  ropts.broker.batch_max = static_cast<size_t>(*batch_max);
+  ropts.broker.queue_max = static_cast<size_t>(*queue_max);
+  ropts.broker.durability.checkpoint_every = static_cast<size_t>(*every);
+  ropts.broker.partition_shard_id = static_cast<uint32_t>(*partition_shard);
+  ropts.broker.partition_num_shards =
+      static_cast<uint32_t>(*partition_shards);
+  cfg.WarnUnreadKeys();
+
+  server::ReplicaServer replica(ropts);
+  Status st = replica.Start();
+  if (!st.ok()) return Fail(st);
+  // Scripts parse this line to learn the ephemeral control port.
+  std::printf("replica listening on port %d\n", replica.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  replica.WaitUntilShutdown(&g_stop);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server::Broker* promoted = replica.promoted_broker();
+  Status stop = replica.Stop();
+  if (!stop.ok()) return Fail(stop);
+  std::printf("REPLICA role=%s epoch=%llu journal_bytes=%llu "
+              "quarantined_bytes=%llu\n",
+              promoted != nullptr ? "promoted" : "follower",
+              static_cast<unsigned long long>(replica.epoch()),
+              static_cast<unsigned long long>(replica.journal_size()),
+              static_cast<unsigned long long>(replica.bytes_quarantined()));
+  if (promoted != nullptr) {
+    // Same deterministic line `serve` prints, so harnesses can diff a
+    // promoted shard against an uninterrupted run of the same shard.
+    server::BrokerStats stats = promoted->stats();
+    std::printf("STATS arrivals=%llu ads=%llu served=%llu utility=%.6f\n",
+                static_cast<unsigned long long>(stats.arrivals),
+                static_cast<unsigned long long>(stats.assigned_ads),
+                static_cast<unsigned long long>(stats.served_customers),
+                stats.total_utility);
+  }
+  return 0;
+}
+
 int CmdVersion() {
   std::printf("%s\n", BuildInfoLine().c_str());
   const BuildInfo& b = GetBuildInfo();
@@ -562,6 +735,7 @@ int Run(int argc, char** argv) {
   else if (cmd == "solve") rc = CmdSolve(*cfg);
   else if (cmd == "stream") rc = CmdStream(*cfg);
   else if (cmd == "serve") rc = CmdServe(*cfg);
+  else if (cmd == "replica") rc = CmdReplica(*cfg);
   else if (cmd == "version") rc = CmdVersion();
   else if (cmd == "compare") rc = CmdCompare(*cfg);
   if (rc < 0) return Usage();

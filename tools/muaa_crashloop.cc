@@ -20,8 +20,19 @@
 // bytes.
 //
 // Usage:
-//   muaa_crashloop [iterations=24] [customers=300] [vendors=20]
-//                  [seed=2024] [shards=1,2,4] [verbose=0]
+//   muaa_crashloop [mode=storage] [iterations=24] [customers=300]
+//                  [vendors=20] [seed=2024] [shards=1,2,4] [verbose=0]
+//
+// `mode=failover` runs the replicated-topology drill instead: two
+// partition shards, each a primary Broker streaming its journal to an
+// in-process ReplicaServer, behind a health-checking Frontend router.
+// The workload runs in slices; between slices the harness SIGKILLs
+// (Abort()s) one primary, waits for the router to promote the shard's
+// follower, and keeps loading. At the end every ad instance a client was
+// ever ACKed must exist in the merged per-shard state, and the merged
+// assignment set must be bitwise identical (utilities included) to an
+// uninterrupted single-node StreamDriver run — a promoted replica is
+// indistinguishable from a primary that never died.
 //
 // `shards=` is a rotation list: each completed epoch advances to the next
 // shard count (shard files of different widths are incompatible, so the
@@ -38,11 +49,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -56,7 +69,9 @@
 #include "model/problem_view.h"
 #include "model/utility.h"
 #include "server/broker.h"
+#include "server/frontend.h"
 #include "server/loadgen.h"
+#include "server/replication.h"
 #include "stream/driver.h"
 #include "stream/recovery.h"
 
@@ -157,6 +172,208 @@ std::vector<std::string> DurableFiles(const std::string& journal,
   return files;
 }
 
+/// The `mode=failover` drill: two partition shards, each primary
+/// streaming its journal to a follower, behind a health-checking router.
+/// The workload runs in `shards + 1` slices; after slice k (k < shards)
+/// the harness Abort()s shard k's primary — the process state of a
+/// SIGKILL — and waits for the router to promote the follower. Verifies
+/// zero lost ACKed ad instances and a merged final state bitwise
+/// identical to the uninterrupted single-node StreamDriver run.
+int RunFailover(size_t customers, size_t vendors, uint64_t seed,
+                bool verbose) {
+  const auto base = fs::temp_directory_path();
+  const std::string tag = "muaa_failover_" + std::to_string(seed);
+  auto path = [&](const std::string& suffix) {
+    return (base / (tag + suffix)).string();
+  };
+  auto wipe = [&] {
+    for (const char* s : {".p0.jnl", ".p0.ckp", ".p1.jnl", ".p1.ckp",
+                          ".r0.jnl", ".r0.ckp", ".r1.jnl", ".r1.ckp"}) {
+      fs::remove(path(s));
+      fs::remove(path(std::string(s) + ".quarantine"));
+      fs::remove(path(std::string(s) + ".tmp"));
+    }
+  };
+  wipe();
+
+  datagen::SyntheticConfig dcfg;
+  dcfg.num_customers = customers;
+  dcfg.num_vendors = vendors;
+  dcfg.radius = {0.1, 0.2};
+  dcfg.customer_loc_stddev = 0.25;
+  dcfg.seed = 91;
+  const model::ProblemInstance inst =
+      datagen::GenerateSynthetic(dcfg).ValueOrDie();
+  const std::vector<model::CustomerId> arrivals = AllArrivals(inst);
+
+  model::ProblemView view(&inst);
+  model::UtilityModel utility(&inst);
+  ThreadPool pool(2);
+
+  // The reference: an uninterrupted single-node run.
+  stream::StreamRunResult want = [&] {
+    Rng rng(seed);
+    assign::SolveContext ctx{&inst, &view, &utility, &rng, &pool};
+    assign::AfaOnlineSolver solver;
+    stream::StreamDriver driver(ctx);
+    return driver.Run(&solver).ValueOrDie();
+  }();
+
+  constexpr uint32_t kShards = 2;
+  auto make_solver = []() -> Result<std::unique_ptr<assign::OnlineSolver>> {
+    return {std::make_unique<assign::AfaOnlineSolver>()};
+  };
+  // Every node gets its own context (own rng), as separate processes
+  // would; contexts must outlive the servers that hold pointers to them.
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<assign::SolveContext>> ctxs;
+  auto make_ctx = [&]() -> const assign::SolveContext* {
+    rngs.push_back(std::make_unique<Rng>(seed));
+    ctxs.push_back(std::make_unique<assign::SolveContext>(assign::SolveContext{
+        &inst, &view, &utility, rngs.back().get(), &pool}));
+    return ctxs.back().get();
+  };
+
+  // Followers first: their control ports seed the primaries' senders.
+  std::vector<std::unique_ptr<server::ReplicaServer>> replicas;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    const std::string rk = ".r" + std::to_string(k);
+    server::ReplicaServerOptions ropts;
+    ropts.journal_path = path(rk + ".jnl");
+    ropts.checkpoint_path = path(rk + ".ckp");
+    ropts.ctx = make_ctx();
+    ropts.solver_factory = make_solver;
+    ropts.broker.durability.checkpoint_every = 64;
+    ropts.broker.partition_shard_id = k;
+    ropts.broker.partition_num_shards = kShards;
+    replicas.push_back(std::make_unique<server::ReplicaServer>(ropts));
+    MUAA_CHECK_OK(replicas.back()->Start());
+  }
+
+  // Primaries, each semi-synchronously streaming to its follower.
+  struct Primary {
+    std::unique_ptr<assign::AfaOnlineSolver> solver;
+    std::unique_ptr<server::ReplicationSender> sender;
+    std::unique_ptr<server::Broker> broker;
+  };
+  std::vector<Primary> primaries(kShards);
+  for (uint32_t k = 0; k < kShards; ++k) {
+    const std::string pk = ".p" + std::to_string(k);
+    Primary& p = primaries[k];
+    p.solver = std::make_unique<assign::AfaOnlineSolver>();
+    server::ReplicationSenderOptions sopts;
+    sopts.port = replicas[k]->port();
+    sopts.journal_path = path(pk + ".jnl");
+    sopts.backoff = sopts.backoff.ForConnection(k);
+    p.sender = std::make_unique<server::ReplicationSender>(sopts);
+    server::BrokerOptions bopts;
+    bopts.durability.journal_path = sopts.journal_path;
+    bopts.durability.checkpoint_path = path(pk + ".ckp");
+    bopts.durability.checkpoint_every = 64;
+    bopts.partition_shard_id = k;
+    bopts.partition_num_shards = kShards;
+    bopts.replication = p.sender.get();
+    p.broker = std::make_unique<server::Broker>(*make_ctx(), p.solver.get(),
+                                               bopts);
+    MUAA_CHECK_OK(p.broker->Start());
+  }
+
+  server::FrontendOptions fopts;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    server::FrontendBackend b;
+    b.port = primaries[k].broker->port();
+    b.follower_port = replicas[k]->port();
+    fopts.backends.push_back(b);
+  }
+  // Tight loopback deadlines so a kill is detected in ~a quarter second.
+  fopts.heartbeat_interval_us = 20'000;
+  fopts.heartbeat_timeout_us = 100'000;
+  fopts.fail_after_misses = 2;
+  server::Frontend frontend(*make_ctx(), std::move(fopts));
+  MUAA_CHECK_OK(frontend.Start());
+
+  // Load in slices; after slice k, SIGKILL shard k's primary mid-stream
+  // and wait for the router's health thread to promote the follower.
+  const size_t slices = kShards + 1;
+  std::set<AdKey> acked;
+  uint64_t assigned_total = 0;
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t lo = s * arrivals.size() / slices;
+    const size_t hi = (s + 1) * arrivals.size() / slices;
+    const std::vector<model::CustomerId> slice(arrivals.begin() + lo,
+                                               arrivals.begin() + hi);
+    server::LoadgenOptions lg;
+    lg.port = frontend.port();
+    lg.collect = true;
+    auto report = server::RunLoadgen(slice, lg).ValueOrDie();
+    MUAA_CHECK(report.errors == 0)
+        << "failover slice " << s << ": client-visible errors";
+    for (const auto& a : report.instances) acked.insert(KeyOf(a));
+    assigned_total += report.assigned;
+    if (s >= kShards) break;
+    MUAA_CHECK_OK(primaries[s].broker->Abort());
+    primaries[s].broker.reset();
+    bool promoted = false;
+    for (int i = 0; i < 4000 && !promoted; ++i) {
+      promoted = frontend.failovers() >= s + 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    MUAA_CHECK(promoted)
+        << "router never promoted the follower of shard " << s;
+    MUAA_CHECK(replicas[s]->promoted_broker() != nullptr);
+    if (verbose) {
+      std::printf("slice %zu done; shard %zu promoted at epoch %llu "
+                  "(journal %llu bytes)\n",
+                  s, s, (unsigned long long)replicas[s]->epoch(),
+                  (unsigned long long)replicas[s]->journal_size());
+    }
+  }
+  // Closed loop with BUSY retries and no deadline: every arrival must
+  // have reached a kAssign.
+  MUAA_CHECK(assigned_total == arrivals.size())
+      << assigned_total << " assigned of " << arrivals.size();
+
+  // Both shards now run on promoted replicas. Their merged state must be
+  // bitwise what the uninterrupted single-node run produced, and must
+  // contain everything any client was ever ACKed.
+  std::multiset<AdKey> merged;
+  uint64_t merged_arrivals = 0;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    server::Broker* b = replicas[k]->promoted_broker();
+    MUAA_CHECK(b != nullptr);
+    for (const auto& a : b->assignments().instances()) {
+      merged.insert(KeyOf(a));
+    }
+    merged_arrivals += b->stats().arrivals;
+  }
+  MUAA_CHECK(merged_arrivals == inst.num_customers())
+      << "shards recovered " << merged_arrivals << " arrivals of "
+      << inst.num_customers();
+  std::multiset<AdKey> want_set;
+  for (const auto& a : want.assignments.instances()) {
+    want_set.insert(KeyOf(a));
+  }
+  MUAA_CHECK(merged == want_set)
+      << "merged shard state diverged from the single-node run ("
+      << merged.size() << " vs " << want_set.size() << " instances)";
+  size_t lost = 0;
+  for (const auto& key : acked) lost += merged.count(key) == 0;
+  MUAA_CHECK(lost == 0) << lost << " ACKed ad instances lost to failover";
+
+  const uint64_t failovers = frontend.failovers();
+  const uint64_t hop_retries = frontend.hop_retries();
+  MUAA_CHECK_OK(frontend.Stop());
+  for (auto& r : replicas) MUAA_CHECK_OK(r->Stop());
+
+  std::printf("crashloop FAILOVER PASS: shards=%u slices=%zu "
+              "failovers=%llu acked=%zu merged=%zu hop_retries=%llu "
+              "bitwise_identical=yes\n",
+              kShards, slices, (unsigned long long)failovers, acked.size(),
+              merged.size(), (unsigned long long)hop_retries);
+  wipe();
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto cfg = Config::FromArgs(argc, argv);
   if (!cfg.ok()) return Fail(cfg.status());
@@ -165,6 +382,14 @@ int Run(int argc, char** argv) {
   const size_t vendors = (size_t)cfg->GetInt("vendors", 20).ValueOrDie();
   const uint64_t seed = (uint64_t)cfg->GetInt("seed", 2024).ValueOrDie();
   const bool verbose = cfg->GetBool("verbose", false).ValueOrDie();
+  const std::string mode = cfg->GetString("mode", "storage");
+  if (mode == "failover") {
+    cfg->WarnUnreadKeys();
+    return RunFailover(customers, vendors, seed, verbose);
+  }
+  if (mode != "storage") {
+    return Fail(Status::InvalidArgument("mode must be storage or failover"));
+  }
   std::vector<uint32_t> shard_rotation;
   {
     const std::string spec = cfg->GetString("shards", "1,2,4");

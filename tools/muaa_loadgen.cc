@@ -65,6 +65,7 @@ Status WriteJsonReport(const std::string& path, const server::LoadgenReport& r,
                "  \"expired\": %llu,\n"
                "  \"errors\": %llu,\n"
                "  \"reconnects\": %llu,\n"
+               "  \"duplicate_acks\": %llu,\n"
                "  \"assigned_ads\": %llu,\n"
                "  \"served\": %llu,\n"
                "  \"total_utility\": %.6f,\n"
@@ -81,6 +82,7 @@ Status WriteJsonReport(const std::string& path, const server::LoadgenReport& r,
                static_cast<unsigned long long>(r.expired),
                static_cast<unsigned long long>(r.errors),
                static_cast<unsigned long long>(r.reconnects),
+               static_cast<unsigned long long>(r.duplicate_acks),
                static_cast<unsigned long long>(r.assigned_ads),
                static_cast<unsigned long long>(r.served), r.total_utility,
                r.elapsed_s, r.achieved_qps, r.p50_us, r.p95_us, r.p99_us,
@@ -213,15 +215,19 @@ int Run(int argc, char** argv) {
 
   auto report = server::RunLoadgen(arrivals, opts);
   if (!report.ok()) return Fail(report.status());
+  // `duplicate_acks` prints after the assigned/busy/expired/errors block —
+  // CI scripts grep that block as one adjacent run.
   std::printf(
       "sent=%llu assigned=%llu busy=%llu expired=%llu errors=%llu "
-      "reconnects=%llu ads=%llu served=%llu utility=%.6f\n",
+      "reconnects=%llu duplicate_acks=%llu ads=%llu served=%llu "
+      "utility=%.6f\n",
       static_cast<unsigned long long>(report->sent),
       static_cast<unsigned long long>(report->assigned),
       static_cast<unsigned long long>(report->busy),
       static_cast<unsigned long long>(report->expired),
       static_cast<unsigned long long>(report->errors),
       static_cast<unsigned long long>(report->reconnects),
+      static_cast<unsigned long long>(report->duplicate_acks),
       static_cast<unsigned long long>(report->assigned_ads),
       static_cast<unsigned long long>(report->served),
       report->total_utility);

@@ -1,0 +1,181 @@
+// muaa_router — standalone location-aware router front-end for a
+// replicated shard partition (docs/serving.md, "Topology & failover").
+//
+//   muaa_router in=<dir> backend0=host:port [backend1=host:port ...]
+//               [follower0=host:port ...] [port=N]
+//               [hop_attempts=N] [hop_timeout_us=T]
+//               [heartbeat_interval_us=T] [heartbeat_timeout_us=T]
+//               [fail_after_misses=N] [failover=0|1]
+//               [backoff_base_us=B] [backoff_cap_us=C] [backoff_seed=S]
+//
+// backend<k> is shard k's primary broker (a `muaa_cli serve` with
+// partition_shard=k partition_shards=N); follower<k> is the control
+// port of shard k's `muaa_cli replica`. Shards are numbered densely
+// from 0 — the first missing backend<k> ends the list, and the ShardMap
+// is built for exactly that many shards, so the set here must match the
+// partition the primaries were started with. A follower-less shard
+// simply cannot fail over.
+//
+// The router owns the ShardMap: clients speak the ordinary broker wire
+// protocol to its port and never learn backend addresses. A health
+// thread heartbeats every primary; after `fail_after_misses` missed
+// probes it promotes the shard's follower under a bumped fencing epoch
+// and repoints traffic, invisibly to clients except as retried
+// requests. On shutdown (client kShutdown frame or SIGINT/SIGTERM) the
+// router prints its router.* counters.
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assign/solver.h"
+#include "common/build_info.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "io/instance_io.h"
+#include "model/problem_view.h"
+#include "model/utility.h"
+#include "server/frontend.h"
+
+namespace muaa {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: muaa_router in=<dir> backend0=host:port [backendK=...]\n"
+      "       [follower0=host:port ...] [port=N]\n"
+      "       [hop_attempts=N] [hop_timeout_us=T]\n"
+      "       [heartbeat_interval_us=T] [heartbeat_timeout_us=T]\n"
+      "       [fail_after_misses=N] [failover=0|1]\n"
+      "       [backoff_base_us=B] [backoff_cap_us=C] [backoff_seed=S]\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+std::atomic<bool> g_stop{false};
+void HandleSigint(int) { g_stop.store(true); }
+
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& s) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + s + "'");
+  }
+  char* end = nullptr;
+  long port = std::strtol(s.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + s + "'");
+  }
+  return std::make_pair(s.substr(0, colon), static_cast<int>(port));
+}
+
+int Run(int argc, char** argv) {
+  auto cfg = Config::FromArgs(argc, argv);
+  if (!cfg.ok()) return Fail(cfg.status());
+  std::string in = cfg->GetString("in", "");
+  if (in.empty()) return Usage();
+  auto inst = io::LoadInstance(in);
+  if (!inst.ok()) return Fail(inst.status());
+
+  // The frontend only reads the instance/view of the context, but the
+  // struct wants the full set of pointers.
+  model::ProblemView view(&*inst);
+  model::UtilityModel utility(&*inst);
+  Rng rng(42);
+  assign::SolveContext ctx{&*inst, &view, &utility, &rng, nullptr};
+
+  server::FrontendOptions opts;
+  for (uint32_t k = 0;; ++k) {
+    std::string backend =
+        cfg->GetString("backend" + std::to_string(k), "");
+    if (backend.empty()) break;
+    auto addr = ParseHostPort(backend);
+    if (!addr.ok()) return Fail(addr.status());
+    server::FrontendBackend b;
+    b.host = addr->first;
+    b.port = addr->second;
+    std::string follower =
+        cfg->GetString("follower" + std::to_string(k), "");
+    if (!follower.empty()) {
+      auto faddr = ParseHostPort(follower);
+      if (!faddr.ok()) return Fail(faddr.status());
+      b.follower_host = faddr->first;
+      b.follower_port = faddr->second;
+    }
+    opts.backends.push_back(std::move(b));
+  }
+  if (opts.backends.empty()) return Usage();
+
+  auto port = cfg->GetInt("port", 0);
+  auto hop_attempts = cfg->GetInt("hop_attempts", 10);
+  auto hop_timeout = cfg->GetInt("hop_timeout_us", 2'000'000);
+  auto hb_interval = cfg->GetInt("heartbeat_interval_us", 50'000);
+  auto hb_timeout = cfg->GetInt("heartbeat_timeout_us", 250'000);
+  auto misses = cfg->GetInt("fail_after_misses", 3);
+  auto failover = cfg->GetBool("failover", true);
+  auto backoff_base = cfg->GetInt("backoff_base_us", 1000);
+  auto backoff_cap = cfg->GetInt("backoff_cap_us", 250000);
+  auto backoff_seed = cfg->GetInt("backoff_seed", 42);
+  for (const auto* r : {&port, &hop_attempts, &hop_timeout, &hb_interval,
+                        &hb_timeout, &misses, &backoff_base, &backoff_cap,
+                        &backoff_seed}) {
+    if (!r->ok()) return Fail(r->status());
+    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
+  }
+  if (!failover.ok()) return Fail(failover.status());
+  opts.port = static_cast<int>(*port);
+  opts.hop_attempts = static_cast<uint32_t>(*hop_attempts);
+  opts.hop_timeout_us = static_cast<uint64_t>(*hop_timeout);
+  opts.heartbeat_interval_us = static_cast<uint64_t>(*hb_interval);
+  opts.heartbeat_timeout_us = static_cast<uint64_t>(*hb_timeout);
+  opts.fail_after_misses = static_cast<uint32_t>(*misses);
+  opts.enable_failover = *failover;
+  opts.backoff.base_us = static_cast<uint32_t>(*backoff_base);
+  opts.backoff.cap_us = static_cast<uint32_t>(*backoff_cap);
+  opts.backoff.seed = static_cast<uint64_t>(*backoff_seed);
+  cfg->WarnUnreadKeys();
+
+  server::Frontend frontend(ctx, std::move(opts));
+  Status st = frontend.Start();
+  if (!st.ok()) return Fail(st);
+  // Scripts parse this line to learn the ephemeral client port.
+  std::printf("listening on port %d\n", frontend.port());
+  std::printf("router shards=%zu fingerprint=%llu build=%s\n",
+              static_cast<size_t>(frontend.shard_map()->num_shards()),
+              static_cast<unsigned long long>(
+                  frontend.shard_map()->fingerprint()),
+              BuildInfoLine().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  frontend.WaitUntilShutdown(&g_stop);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  Status stop = frontend.Stop();
+  if (!stop.ok()) return Fail(stop);
+  std::printf("ROUTER failovers=%llu heartbeat_misses=%llu "
+              "hop_retries=%llu xspend_queries=%llu xdebit_failures=%llu\n",
+              static_cast<unsigned long long>(frontend.failovers()),
+              static_cast<unsigned long long>(frontend.heartbeat_misses()),
+              static_cast<unsigned long long>(frontend.hop_retries()),
+              static_cast<unsigned long long>(frontend.xspend_queries()),
+              static_cast<unsigned long long>(frontend.xdebit_failures()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace muaa
+
+int main(int argc, char** argv) { return muaa::Run(argc, argv); }

@@ -1,5 +1,7 @@
 #include "server/broker.h"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
 #include <chrono>
 #include <string>
@@ -43,6 +45,8 @@ Broker::Broker(const assign::SolveContext& ctx, assign::OnlineSolver* solver,
   g_mode_ = metrics_.GetGauge("server.mode");
   g_shards_ = metrics_.GetGauge("server.shards");
   g_shards_->Set(options_.shards == 0 ? 1 : options_.shards);
+  g_conns_open_ = metrics_.GetGauge("server.conns_open");
+  g_event_threads_ = metrics_.GetGauge("server.event_threads");
   h_frame_decode_ = metrics_.GetHistogram("server.frame_decode_us");
   h_queue_wait_ = metrics_.GetHistogram("server.queue_wait_us");
   h_batch_solve_ = metrics_.GetHistogram("server.batch_solve_us");
@@ -410,7 +414,24 @@ Status Broker::Start() {
   MUAA_ASSIGN_OR_RETURN(listener_,
                         Listener::Bind(options_.host, options_.port));
   port_ = listener_.port();
+
+  // The event-loop pool: a fixed handful of epoll threads own every
+  // accepted socket, so the process thread count stays at
+  // event_threads + shards + 2 regardless of how many clients connect.
+  const size_t n_loops = std::max<size_t>(1, options_.event_threads);
+  loops_.clear();
+  for (size_t i = 0; i < n_loops; ++i) {
+    auto lp = std::make_unique<Loop>();
+    MUAA_RETURN_NOT_OK(lp->loop.Init());
+    loops_.push_back(std::move(lp));
+  }
+  g_event_threads_->Set(n_loops);
+
   started_ = true;
+  for (auto& lp : loops_) {
+    Loop* l = lp.get();
+    l->thread = std::thread([l] { l->loop.Run(); });
+  }
   for (auto& sp : shards_) {
     Shard* s = sp.get();
     s->thread = std::thread([this, s] { ShardLoop(s); });
@@ -422,7 +443,6 @@ Status Broker::Start() {
 void Broker::ReapFinishedLocked() {
   for (auto it = conns_.begin(); it != conns_.end();) {
     if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
       it = conns_.erase(it);
     } else {
       ++it;
@@ -436,8 +456,8 @@ void Broker::AcceptLoop() {
     if (!accepted.ok()) return;  // listener shut down
     Socket sock = std::move(accepted).ValueOrDie();
     std::lock_guard<std::mutex> lk(conns_mu_);
-    // Reap finished reader threads before admitting: a parade of
-    // short-lived clients must not accumulate joinable threads, and
+    // Reap deregistered connections before admitting: a parade of
+    // short-lived clients must not accumulate registry entries, and
     // closed connections must not count against the limit.
     ReapFinishedLocked();
     if (options_.max_connections > 0 &&
@@ -445,70 +465,84 @@ void Broker::AcceptLoop() {
       c_conn_rejections_->Add();
       continue;  // sock closes on scope exit; the peer sees a reset
     }
+    // Pin the connection to one event loop for its lifetime, round-robin
+    // across the pool but skipping loops at their per-loop cap. A fully
+    // saturated pool refuses the socket exactly like max_connections.
+    Loop* target = nullptr;
+    size_t target_index = 0;
+    for (size_t probe = 0; probe < loops_.size(); ++probe) {
+      const size_t i =
+          next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+      if (options_.max_conns_per_loop == 0 ||
+          loops_[i]->conns.load(std::memory_order_relaxed) <
+              options_.max_conns_per_loop) {
+        target = loops_[i].get();
+        target_index = i;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      c_conn_rejections_->Add();
+      continue;
+    }
     auto conn = std::make_shared<Connection>();
-    conn->sock = std::move(sock);
-    // A poll-granularity recv timeout lets the reader thread notice stall
-    // deadlines without a watchdog; the send timeout bounds how long a
-    // peer that stopped reading can wedge a writer.
-    uint64_t tick_us = 50'000;
-    if (options_.read_timeout_us > 0) {
-      tick_us = std::min(tick_us, options_.read_timeout_us);
-    }
-    if (options_.idle_timeout_us > 0) {
-      tick_us = std::min(tick_us, options_.idle_timeout_us);
-    }
-    if (options_.read_timeout_us > 0 || options_.idle_timeout_us > 0) {
-      (void)conn->sock.SetRecvTimeout(tick_us);
-    }
-    if (options_.write_timeout_us > 0) {
-      (void)conn->sock.SetSendTimeout(options_.write_timeout_us);
-    }
+    conn->broker = this;
+    conn->loop = &target->loop;
+    conn->loop_index = target_index;
+    conn->sock = FramedConn(std::move(sock));
+    target->conns.fetch_add(1, std::memory_order_relaxed);
+    g_conns_open_->Set(conns_open_.fetch_add(1, std::memory_order_relaxed) +
+                       1);
     conns_.push_back(conn);
-    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
+    // The owning loop finishes setup on its own thread (nonblocking mode,
+    // epoll registration, the idle timer).
+    conn->loop->Post([this, conn] { RegisterConn(conn); });
   }
 }
 
-void Broker::ServeConnection(const ConnPtr& conn) {
-  using Clock = std::chrono::steady_clock;
-  std::string payload;
-  auto last_frame_done = Clock::now();  // end of the last complete frame
-  auto frame_started = last_frame_done;
-  bool was_mid_frame = false;
-  while (true) {
-    auto got = conn->sock.RecvFrame(&payload);
-    if (!got.ok()) {
-      if (got.status().code() == StatusCode::kResourceExhausted) {
-        // Poll tick: no bytes arrived within the recv timeout. Decide
-        // whether this peer is stalled mid-frame (hostile/slow) or merely
-        // idle between requests, against the respective budget.
-        const auto now = Clock::now();
-        const bool mid_frame = conn->sock.has_buffered();
-        if (mid_frame && !was_mid_frame) frame_started = now;
-        was_mid_frame = mid_frame;
-        const auto since = std::chrono::duration_cast<std::chrono::microseconds>(
-            now - (mid_frame ? frame_started : last_frame_done));
-        const uint64_t budget = mid_frame ? options_.read_timeout_us
-                                          : options_.idle_timeout_us;
-        if (budget > 0 && static_cast<uint64_t>(since.count()) >=
-                              static_cast<uint64_t>(budget)) {
+void Broker::Connection::OnEvents(uint32_t events) {
+  broker->OnConnEvents(this, events);
+}
+
+void Broker::RegisterConn(const ConnPtr& conn) {
+  Status st = conn->sock.SetNonBlocking();
+  if (st.ok()) st = conn->loop->Add(conn->sock.fd(), EPOLLIN, conn.get());
+  if (!st.ok()) {
+    CloseConn(conn);
+    return;
+  }
+  if (options_.idle_timeout_us > 0) {
+    conn->idle_timer = conn->loop->timers().Schedule(
+        EventLoop::NowUs() + options_.idle_timeout_us,
+        [this, conn](TimerWheel::TimerId) {
+          conn->idle_timer = TimerWheel::kInvalidTimer;
           c_slow_client_drops_->Add();
-          break;
-        }
-        continue;
-      }
-      // Corrupt stream: the frame boundary is lost, so the connection
-      // cannot be resynchronized. Best-effort error, then drop it.
-      c_malformed_frames_->Add();
-      Response resp;
-      resp.type = ResponseType::kError;
-      resp.error = got.status().ToString();
-      SendResponse(conn, resp);
-      break;
-    }
-    if (!*got) break;  // clean EOF
-    last_frame_done = Clock::now();
-    was_mid_frame = conn->sock.has_buffered();
-    frame_started = last_frame_done;
+          CloseConn(conn);
+        });
+  }
+}
+
+void Broker::OnConnEvents(Connection* c, uint32_t events) {
+  // The registry (and, mid-dispatch, admissions and timers) hold strong
+  // refs; this one keeps the connection alive through the handler even if
+  // it closes itself along the way.
+  ConnPtr conn = c->shared_from_this();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    // Pure hangup with nothing left to read; a readable HUP (peer sent
+    // then closed) drains through HandleReadable to its EOF instead.
+    CloseConn(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) HandleWritable(conn);
+  if (conn->done.load(std::memory_order_acquire)) return;
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) HandleReadable(conn);
+}
+
+void Broker::HandleReadable(const ConnPtr& conn) {
+  std::vector<std::string> frames;
+  auto state = conn->sock.ReadReady(&frames);
+  bool close = false;
+  for (const std::string& payload : frames) {
     obs::ScopedTimer decode_timer(h_frame_decode_);
     auto req = DecodeRequest(payload);
     decode_timer.Stop();
@@ -520,11 +554,151 @@ void Broker::ServeConnection(const ConnPtr& conn) {
       resp.type = ResponseType::kError;
       resp.error = req.status().ToString();
       SendResponse(conn, resp);
+      close = true;
       break;
     }
-    if (!Dispatch(conn, *req)) break;
+    if (!Dispatch(conn, *req)) {
+      close = true;
+      break;
+    }
   }
+  if (!close) {
+    if (!state.ok()) {
+      // Corrupt stream (or a hard socket error): the frame boundary is
+      // lost, so the connection cannot be resynchronized. Best-effort
+      // error, then drop it.
+      c_malformed_frames_->Add();
+      Response resp;
+      resp.type = ResponseType::kError;
+      resp.error = state.status().ToString();
+      SendResponse(conn, resp);
+      close = true;
+    } else if (*state == FramedConn::ReadState::kEof) {
+      close = true;  // clean EOF
+    }
+  }
+  if (close) {
+    CloseConn(conn);
+    return;
+  }
+  UpdateReadTimers(conn, !frames.empty());
+}
+
+void Broker::UpdateReadTimers(const ConnPtr& conn, bool frame_completed) {
+  TimerWheel& wheel = conn->loop->timers();
+  const bool mid_frame = conn->sock.has_buffered();
+  // The idle budget runs between frames only; mid-frame the stall budget
+  // is the one that applies (exactly how the blocking reader metered it).
+  if (options_.idle_timeout_us > 0) {
+    if (mid_frame) {
+      if (conn->idle_timer != TimerWheel::kInvalidTimer) {
+        wheel.Cancel(conn->idle_timer);
+        conn->idle_timer = TimerWheel::kInvalidTimer;
+      }
+    } else if (frame_completed) {
+      if (conn->idle_timer != TimerWheel::kInvalidTimer) {
+        wheel.Cancel(conn->idle_timer);
+      }
+      conn->idle_timer = wheel.Schedule(
+          EventLoop::NowUs() + options_.idle_timeout_us,
+          [this, conn](TimerWheel::TimerId) {
+            conn->idle_timer = TimerWheel::kInvalidTimer;
+            c_slow_client_drops_->Add();
+            CloseConn(conn);
+          });
+    }
+  }
+  if (!mid_frame) {
+    if (conn->stall_timer != TimerWheel::kInvalidTimer) {
+      wheel.Cancel(conn->stall_timer);
+      conn->stall_timer = TimerWheel::kInvalidTimer;
+    }
+    return;
+  }
+  if (options_.read_timeout_us == 0) return;
+  // The stall clock runs from the FIRST observation of this partial
+  // frame; a peer trickling one byte per wakeup must not extend it.
+  if (conn->stall_timer != TimerWheel::kInvalidTimer && !frame_completed) {
+    return;
+  }
+  if (conn->stall_timer != TimerWheel::kInvalidTimer) {
+    wheel.Cancel(conn->stall_timer);
+  }
+  conn->stall_timer = wheel.Schedule(
+      EventLoop::NowUs() + options_.read_timeout_us,
+      [this, conn](TimerWheel::TimerId) {
+        conn->stall_timer = TimerWheel::kInvalidTimer;
+        c_slow_client_drops_->Add();
+        CloseConn(conn);
+      });
+}
+
+void Broker::HandleWritable(const ConnPtr& conn) {
+  bool drained = false;
+  Status st = Status::OK();
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->closed) return;
+    auto flushed = conn->sock.FlushWrites();
+    if (!flushed.ok()) {
+      st = flushed.status();
+    } else if (*flushed) {
+      drained = true;
+      conn->want_writable = false;
+      (void)conn->loop->Mod(conn->sock.fd(), EPOLLIN, conn.get());
+    }
+  }
+  if (!st.ok()) {
+    // Peer vanished mid-response: the decision is durable regardless (the
+    // same policy as a blocking-send failure — drop, no counter).
+    CloseConn(conn);
+    return;
+  }
+  if (drained && conn->write_timer != TimerWheel::kInvalidTimer) {
+    conn->loop->timers().Cancel(conn->write_timer);
+    conn->write_timer = TimerWheel::kInvalidTimer;
+  }
+}
+
+void Broker::ArmWriteTimer(const ConnPtr& conn) {
+  if (conn->write_timer != TimerWheel::kInvalidTimer) return;
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->closed || conn->sock.pending_out() == 0) return;
+  }
+  conn->write_timer = conn->loop->timers().Schedule(
+      EventLoop::NowUs() + options_.write_timeout_us,
+      [this, conn](TimerWheel::TimerId) {
+        conn->write_timer = TimerWheel::kInvalidTimer;
+        bool still_blocked = false;
+        {
+          std::lock_guard<std::mutex> lk(conn->write_mu);
+          still_blocked = !conn->closed && conn->sock.pending_out() > 0;
+        }
+        // A peer that read nothing for the whole budget is dropped — the
+        // same policy (and absence of a counter) as the old SO_SNDTIMEO.
+        if (still_blocked) CloseConn(conn);
+      });
+}
+
+void Broker::CloseConn(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  TimerWheel& wheel = conn->loop->timers();
+  for (TimerWheel::TimerId* t :
+       {&conn->stall_timer, &conn->idle_timer, &conn->write_timer}) {
+    if (*t != TimerWheel::kInvalidTimer) {
+      wheel.Cancel(*t);
+      *t = TimerWheel::kInvalidTimer;
+    }
+  }
+  (void)conn->loop->Del(conn->sock.fd());
   conn->sock.ShutdownBoth();
+  loops_[conn->loop_index]->conns.fetch_sub(1, std::memory_order_relaxed);
+  g_conns_open_->Set(conns_open_.fetch_sub(1, std::memory_order_relaxed) - 1);
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -1459,14 +1633,31 @@ Status Broker::WriteCheckpoint(Shard* s) {
 }
 
 void Broker::SendResponse(const ConnPtr& conn, const Response& resp) {
-  std::lock_guard<std::mutex> lk(conn->write_mu);
-  obs::ScopedTimer reply_timer(h_reply_write_);
-  Status st = conn->sock.SendFrame(EncodeResponse(resp));
-  reply_timer.Stop();
-  if (!st.ok()) {
-    // Peer is gone (EPIPE/reset). The decision is durable regardless; the
-    // client re-requests it after reconnecting and gets the same answer.
-    conn->sock.ShutdownBoth();
+  bool blocked = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->closed) return;
+    obs::ScopedTimer reply_timer(h_reply_write_);
+    conn->sock.QueueFrame(EncodeResponse(resp));
+    auto flushed = conn->sock.FlushWrites();
+    reply_timer.Stop();
+    if (!flushed.ok()) {
+      // Peer is gone (EPIPE/reset). The decision is durable regardless;
+      // the client re-requests it after reconnecting and gets the same
+      // answer. The owning loop reaps the connection on its hangup event.
+      conn->sock.ShutdownBoth();
+      return;
+    }
+    if (!*flushed && !conn->want_writable) {
+      // Kernel buffer full: let EPOLLOUT drive the rest of the drain.
+      conn->want_writable = true;
+      (void)conn->loop->Mod(conn->sock.fd(), EPOLLIN | EPOLLOUT, conn.get());
+      blocked = true;
+    }
+  }
+  if (blocked && options_.write_timeout_us > 0) {
+    // Timers belong to the loop thread; shard threads arm via Post.
+    conn->loop->Post([this, conn] { ArmWriteTimer(conn); });
   }
 }
 
@@ -1522,16 +1713,22 @@ Status Broker::StopThreads(bool drain) {
   for (auto& sp : shards_) {
     if (sp->thread.joinable()) sp->thread.join();
   }
+  // Shard loops can no longer send; retire the transport. CloseConn is
+  // loop-thread-only, so each loop closes its own connections on the way
+  // out (Run drains posted tasks after its final iteration).
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
-    for (const ConnPtr& conn : conns_) conn->sock.ShutdownBoth();
+    for (const ConnPtr& conn : conns_) {
+      ConnPtr c = conn;
+      c->loop->Post([this, c] { CloseConn(c); });
+    }
   }
-  // The acceptor is joined, so conns_ no longer changes: safe to join the
-  // reader threads unlocked.
-  for (const ConnPtr& conn : conns_) {
-    if (conn->thread.joinable()) conn->thread.join();
+  for (auto& lp : loops_) lp->loop.Stop();
+  for (auto& lp : loops_) {
+    if (lp->thread.joinable()) lp->thread.join();
   }
   conns_.clear();
+  loops_.clear();
   listener_.Close();
   {
     std::lock_guard<std::mutex> lk(shutdown_mu_);

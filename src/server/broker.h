@@ -21,11 +21,13 @@
 #include "io/recovery.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "server/event_loop.h"
 #include "server/overload.h"
 #include "server/protocol.h"
 #include "server/router.h"
 #include "server/shard.h"
 #include "server/socket.h"
+#include "server/timer_wheel.h"
 #include "stream/driver.h"
 
 namespace muaa::server {
@@ -121,9 +123,22 @@ struct BrokerOptions {
   /// Budget between frames (a connected peer sending nothing). 0 = no
   /// limit — idle clients are legitimate by default.
   uint64_t idle_timeout_us = 0;
-  /// Budget for one blocking send; a peer that stops reading while the
-  /// broker writes is dropped rather than wedging the writer. 0 = none.
+  /// Budget for draining a blocked response; a peer that stops reading
+  /// while the broker writes is dropped rather than buffering forever.
+  /// 0 = none.
   uint64_t write_timeout_us = 5'000'000;
+
+  // --- Event-driven transport ------------------------------------------
+  /// Event-loop (epoll) threads owning the accepted sockets. Each loop
+  /// multiplexes thousands of nonblocking connections — the thread count
+  /// is fixed at `event_threads + shards + 2` (loops, solver loops,
+  /// acceptor, caller) no matter how many clients connect. 0 is clamped
+  /// to 1.
+  size_t event_threads = 2;
+  /// Connections one event loop may own at once; accepts beyond every
+  /// loop's cap are refused like `max_connections` (counted in
+  /// `conn_rejections`). 0 = unlimited.
+  size_t max_conns_per_loop = 0;
 
   /// Degradation ladder (server/overload.h), instantiated per shard — an
   /// overloaded shard degrades alone. Default thresholds of 0 keep the
@@ -190,13 +205,19 @@ struct BrokerOptions {
 
 /// \brief The multi-threaded ad-broker service (docs/serving.md).
 ///
-/// Threads: one acceptor, one reader per connection, one solver loop per
-/// shard. Readers admit ARRIVE requests into the owning shard's bounded
-/// queue (full → BUSY) and answer STATS/DEPART/SHUTDOWN directly; each
-/// shard loop drains its queue in micro-batches, runs its online solver
-/// per arrival, write-ahead-journals every decision, syncs once per
-/// batch, *then* sends the batch's responses — a client never sees a
-/// decision that a kill could lose. With `resume`, a restarted broker
+/// Threads: one acceptor, a small pool of epoll event loops owning every
+/// accepted socket (`event_threads`), one solver loop per shard — the
+/// total never grows with the connection count. The event loops decode
+/// frames from nonblocking sockets (partial reads reassemble across
+/// wakeups), admit ARRIVE requests into the owning shard's bounded queue
+/// (full → BUSY) and answer STATS/DEPART/SHUTDOWN directly; responses
+/// that overrun a socket buffer drain via EPOLLOUT, and the slow-client
+/// read/idle/write budgets are per-connection entries on each loop's
+/// timer wheel. Each shard loop drains its queue in micro-batches, runs
+/// its online solver per arrival, write-ahead-journals every decision,
+/// syncs once per batch, *then* sends the batch's responses — a client
+/// never sees a decision that a kill could lose. With `resume`, a
+/// restarted broker
 /// rebuilds every shard's solver, assignments and stats from its
 /// checkpoint + journal (stream/recovery.h) and continues serving;
 /// re-delivered arrivals are answered from the recovered state, so
@@ -290,18 +311,37 @@ class Broker {
   }
 
  private:
-  struct Connection {
-    Socket sock;
+  struct Connection : EventHandler,
+                      std::enable_shared_from_this<Connection> {
+    Broker* broker = nullptr;
+    /// The event loop owning this socket (fixed at accept).
+    EventLoop* loop = nullptr;
+    size_t loop_index = 0;
+    FramedConn sock;
+    /// Guards the out-buffer, `want_writable` and `closed`: responses are
+    /// queued from shard threads while the loop thread reads and drains.
     std::mutex write_mu;
+    bool want_writable = false;  ///< EPOLLOUT armed (guarded by write_mu)
+    bool closed = false;         ///< no further IO (guarded by write_mu)
     /// ARRIVEs admitted but not yet answered (per-connection cap).
     std::atomic<uint64_t> inflight{0};
-    /// Reader thread finished; the acceptor may reap `thread`.
+    /// Deregistered from its loop; the acceptor may reap the entry.
     std::atomic<bool> done{false};
-    /// The reader thread serving this connection, joined by the acceptor
-    /// (reap) or by `StopThreads`.
-    std::thread thread;
+    // Timer-wheel handles, touched only on the owning loop's thread.
+    TimerWheel::TimerId stall_timer = TimerWheel::kInvalidTimer;
+    TimerWheel::TimerId idle_timer = TimerWheel::kInvalidTimer;
+    TimerWheel::TimerId write_timer = TimerWheel::kInvalidTimer;
+    void OnEvents(uint32_t events) override;
   };
   using ConnPtr = std::shared_ptr<Connection>;
+
+  /// One event-loop thread plus its live-connection count (for the
+  /// `max_conns_per_loop` cap).
+  struct Loop {
+    EventLoop loop;
+    std::thread thread;
+    std::atomic<size_t> conns{0};
+  };
 
   /// One admitted ARRIVE waiting for its owner shard's loop.
   struct Admission {
@@ -414,10 +454,29 @@ class Broker {
   void EnterDiskFailMode(Shard* s, const Status& why);
 
   void AcceptLoop();
-  /// Joins and erases connections whose reader thread has finished.
-  /// Requires `conns_mu_`.
+  /// Erases connections their event loop has deregistered. Requires
+  /// `conns_mu_`.
   void ReapFinishedLocked();
-  void ServeConnection(const ConnPtr& conn);
+  /// Switches an accepted connection to nonblocking and adds it to its
+  /// loop's epoll set (runs on the loop thread, posted by the acceptor).
+  void RegisterConn(const ConnPtr& conn);
+  /// Epoll readiness entry point for one connection (loop thread).
+  void OnConnEvents(Connection* c, uint32_t events);
+  /// Drains readable bytes, dispatches every completed frame, maintains
+  /// the stall/idle timers (loop thread).
+  void HandleReadable(const ConnPtr& conn);
+  /// EPOLLOUT: pushes buffered response bytes; disarms EPOLLOUT and the
+  /// write timer once drained (loop thread).
+  void HandleWritable(const ConnPtr& conn);
+  /// Re-arms the idle budget after completed frames and the mid-frame
+  /// stall budget while a partial frame is buffered (loop thread).
+  void UpdateReadTimers(const ConnPtr& conn, bool frame_completed);
+  /// Arms the blocked-send budget once response bytes fail to drain
+  /// (loop thread, posted from `SendResponse`).
+  void ArmWriteTimer(const ConnPtr& conn);
+  /// Deregisters, cancels timers, shuts the socket down and marks the
+  /// connection reapable. Loop thread only; idempotent.
+  void CloseConn(const ConnPtr& conn);
   /// Handles one decoded request; false closes the connection.
   bool Dispatch(const ConnPtr& conn, const Request& req);
   void ShardLoop(Shard* s);
@@ -464,6 +523,13 @@ class Broker {
   std::thread acceptor_;
   std::mutex conns_mu_;
   std::vector<ConnPtr> conns_;
+
+  /// The event-loop pool (fixed size, created in `Start`). Each accepted
+  /// connection is pinned round-robin to one loop for its lifetime.
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+  /// Live accepted connections across all loops (gauge mirror).
+  std::atomic<uint64_t> conns_open_{0};
 
   /// Stop flags for every shard loop; set under each shard's `queue_mu`
   /// (wakeup safety), read in the loop predicates.
@@ -525,6 +591,8 @@ class Broker {
   obs::Gauge* g_queue_high_water_;
   obs::Gauge* g_mode_;  ///< worst rung across shards, mirrored for STATS
   obs::Gauge* g_shards_;
+  obs::Gauge* g_conns_open_;
+  obs::Gauge* g_event_threads_;
   // Stage latency histograms (microseconds), aggregated across shards.
   obs::LatencyHistogram* h_frame_decode_;
   obs::LatencyHistogram* h_queue_wait_;

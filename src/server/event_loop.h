@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/timer_wheel.h"
+
+namespace muaa::server {
+
+/// \brief Callback target of one fd registered with an `EventLoop`.
+///
+/// `OnEvents` runs on the loop's thread with the ready epoll mask
+/// (EPOLLIN/EPOLLOUT/EPOLLHUP/EPOLLERR). The handler object must stay
+/// alive until after `Del` — the loop stores a raw pointer.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void OnEvents(uint32_t events) = 0;
+};
+
+/// \brief One epoll-driven event loop: nonblocking fds, a timer wheel,
+/// and a posted-task queue, all serviced by a single dedicated thread.
+///
+/// This is the transport substrate of the broker (a small pool of these
+/// replaces one reader thread per connection) and of loadgen's
+/// high-connection mode — one loop multiplexes tens of thousands of
+/// mostly-idle sockets (docs/serving.md, "Event-driven transport").
+///
+/// Thread model:
+/// - `Run` executes on the loop's dedicated thread and owns all handler
+///   callbacks and the timer wheel.
+/// - `Post`, `Stop` and `Wakeup` are thread-safe from anywhere.
+/// - `Add`/`Mod`/`Del` map to `epoll_ctl`, which the kernel serializes
+///   against a concurrent `epoll_wait` — safe from other threads as long
+///   as the caller guarantees the handler outlives its registration (the
+///   broker pins each connection with a shared_ptr until deregistered).
+/// - `timers()` is loop-thread-only; other threads arm timers by
+///   `Post`ing a closure that does it.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance, the wakeup pipe and the timer wheel.
+  Status Init(uint64_t tick_us = 1000);
+
+  /// Event loop body; call on the loop's dedicated thread. Returns after
+  /// `Stop`.
+  void Run();
+
+  /// Asks `Run` to return (thread-safe, idempotent).
+  void Stop();
+
+  /// Interrupts a blocked `epoll_wait` (thread-safe).
+  void Wakeup();
+
+  /// Enqueues `fn` to run on the loop thread after the current wait
+  /// (thread-safe). Posted tasks run even during shutdown drain.
+  void Post(std::function<void()> fn);
+
+  Status Add(int fd, uint32_t events, EventHandler* handler);
+  Status Mod(int fd, uint32_t events, EventHandler* handler);
+  Status Del(int fd);
+
+  /// The loop's timer wheel (loop-thread-only; see class comment).
+  TimerWheel& timers() { return *wheel_; }
+
+  /// Microseconds on the steady clock — the wheel's time base.
+  static uint64_t NowUs();
+
+ private:
+  void DrainPosted();
+
+  int epfd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::unique_ptr<TimerWheel> wheel_;
+  std::atomic<bool> stop_{false};
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace muaa::server

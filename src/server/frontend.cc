@@ -91,7 +91,7 @@ void Frontend::AcceptLoop() {
     auto accepted = listener_.Accept();
     if (!accepted.ok()) break;
     auto conn = std::make_shared<Conn>();
-    conn->sock = std::move(accepted).ValueOrDie();
+    conn->sock = FramedConn(std::move(accepted).ValueOrDie());
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if ((*it)->done.load()) {
@@ -382,7 +382,7 @@ Result<Response> Frontend::CallShard(uint32_t shard, Request req) {
 Result<Response> Frontend::RoundTrip(const std::string& host, int port,
                                      const Request& req,
                                      uint64_t timeout_us) {
-  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect(host, port));
+  MUAA_ASSIGN_OR_RETURN(FramedConn sock, ConnectFramed(host, port));
   if (timeout_us != 0) {
     MUAA_RETURN_NOT_OK(sock.SetRecvTimeout(timeout_us));
     MUAA_RETURN_NOT_OK(sock.SetSendTimeout(timeout_us));

@@ -118,7 +118,7 @@ class Frontend {
 
  private:
   struct Conn {
-    Socket sock;
+    FramedConn sock;
     std::atomic<bool> done{false};
     std::thread thread;
   };

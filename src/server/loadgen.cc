@@ -1,15 +1,20 @@
 #include "server/loadgen.h"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/streaming_quantile.h"
+#include "server/event_loop.h"
 #include "server/socket.h"
 
 namespace muaa::server {
@@ -73,6 +78,13 @@ struct Aggregate {
     std::lock_guard<std::mutex> lk(mu);
     if (first_error.ok()) first_error = st;
   }
+
+  /// `n` arrivals lost to a transport failure without failing the run
+  /// (high-conn mode: their connection died with them unanswered).
+  void RecordTransportErrors(uint64_t n) {
+    std::lock_guard<std::mutex> lk(mu);
+    report.errors += n;
+  }
 };
 
 /// Per-connection backoff with the jitter seed mixed per connection
@@ -90,19 +102,21 @@ void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
                    std::vector<model::CustomerId> slice, Aggregate* agg,
                    std::atomic<uint64_t>* sent,
                    std::atomic<uint64_t>* reconnects,
+                   std::atomic<uint64_t>* connect_errors,
                    std::atomic<uint64_t>* duplicate_acks) {
   BackoffPolicy policy = MakePolicy(options, conn_index);
-  auto configure = [&](Socket* sock) {
+  auto configure = [&](FramedConn* sock) {
     if (options.recv_timeout_us > 0) {
       (void)sock->SetRecvTimeout(options.recv_timeout_us);
     }
   };
-  auto connected = Connect(options.host, options.port);
+  auto connected = ConnectFramed(options.host, options.port);
   if (!connected.ok()) {
+    connect_errors->fetch_add(1, std::memory_order_relaxed);
     agg->RecordError(connected.status());
     return;
   }
-  Socket sock = std::move(connected).ValueOrDie();
+  FramedConn sock = std::move(connected).ValueOrDie();
   configure(&sock);
 
   // Replaces the dead socket with a fresh one, delaying each attempt by the
@@ -111,8 +125,11 @@ void RunClosedLoop(const LoadgenOptions& options, size_t conn_index,
     for (uint32_t attempt = 0; attempt < options.max_reconnects; ++attempt) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(policy.DelayUs(attempt)));
-      auto again = Connect(options.host, options.port);
-      if (!again.ok()) continue;
+      auto again = ConnectFramed(options.host, options.port);
+      if (!again.ok()) {
+        connect_errors->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       sock = std::move(again).ValueOrDie();
       configure(&sock);
       reconnects->fetch_add(1, std::memory_order_relaxed);
@@ -230,7 +247,7 @@ struct OpenState {
   bool dead = false;  ///< transport failed; both threads bail out
 };
 
-void OpenReceiver(Socket* sock, OpenState* state,
+void OpenReceiver(FramedConn* sock, OpenState* state,
                   const LoadgenOptions& options, Aggregate* agg,
                   std::atomic<uint64_t>* duplicate_acks) {
   std::string payload;
@@ -305,7 +322,8 @@ void OpenReceiver(Socket* sock, OpenState* state,
   }
 }
 
-void OpenSender(Socket* sock, OpenState* state, const LoadgenOptions& options,
+void OpenSender(FramedConn* sock, OpenState* state,
+                const LoadgenOptions& options,
                 std::vector<std::pair<Clock::time_point, model::CustomerId>>
                     schedule,
                 Aggregate* agg, std::atomic<uint64_t>* sent) {
@@ -373,6 +391,279 @@ void OpenSender(Socket* sock, OpenState* state, const LoadgenOptions& options,
   sock->ShutdownBoth();
 }
 
+// ---------------------------------------------------------------------------
+// High-connection open-loop mode: `connections` mostly-idle nonblocking
+// sockets multiplexed over a few event loops, with sends Zipf-skewed
+// across them (LoadgenOptions::high_conn).
+// ---------------------------------------------------------------------------
+
+struct HcLoopState;
+
+/// One mostly-idle connection. All fields are owned by the loop thread;
+/// nothing here is locked.
+struct HcConn final : public EventHandler {
+  HcLoopState* owner = nullptr;
+  FramedConn sock;
+  /// request id -> send time, for the latency of the matching response.
+  std::unordered_map<uint64_t, Clock::time_point> in_flight;
+  bool want_writable = false;
+  bool dead = false;
+
+  void OnEvents(uint32_t events) override;
+};
+
+/// One event loop's shard of the run: its connections, its slice of the
+/// arrival schedule, and the Zipf picker. Everything below runs on the
+/// loop's thread (the schedule is armed via `Post`).
+struct HcLoopState {
+  EventLoop loop;
+  std::thread thread;
+  const LoadgenOptions* options = nullptr;
+  Aggregate* agg = nullptr;
+  std::atomic<uint64_t>* sent = nullptr;
+  std::atomic<uint64_t>* duplicate_acks = nullptr;
+  Rng rng{42};
+
+  std::vector<std::unique_ptr<HcConn>> conns;
+  size_t live = 0;  ///< connections not yet dead
+
+  std::vector<model::CustomerId> slice;  ///< arrivals this loop sends
+  size_t next_arrival = 0;
+  uint64_t start_us = 0;     ///< EventLoop::NowUs timebase
+  double interval_us = 0.0;  ///< per-loop pacing (n_loops / qps seconds)
+  uint64_t rid = 0;
+  uint64_t inflight_total = 0;
+  uint64_t drain_deadline_us = 0;  ///< armed once the last arrival is sent
+  bool finished = false;
+
+  uint64_t DueUs(size_t k) const {
+    return start_us +
+           static_cast<uint64_t>(interval_us * static_cast<double>(k));
+  }
+
+  /// A live connection, Zipf-ranked so a few sockets stay hot while the
+  /// rest idle; dead ranks fall through to the next live one.
+  HcConn* PickConn() {
+    if (live == 0) return nullptr;
+    const size_t n = conns.size();
+    const size_t rank = static_cast<size_t>(
+        rng.Zipf(static_cast<int64_t>(n), options->zipf_s) - 1);
+    for (size_t probe = 0; probe < n; ++probe) {
+      HcConn* c = conns[(rank + probe) % n].get();
+      if (!c->dead) return c;
+    }
+    return nullptr;
+  }
+
+  void SendOne(model::CustomerId customer) {
+    HcConn* c = PickConn();
+    if (c == nullptr) {
+      agg->RecordError(Status::Internal("all high-conn connections failed"));
+      Finish(/*timed_out=*/false);
+      return;
+    }
+    Request req;
+    req.type = RequestType::kArrive;
+    req.request_id = ++rid;
+    req.customer = customer;
+    req.deadline_us = options->deadline_us;
+    c->in_flight.emplace(req.request_id, Clock::now());
+    inflight_total += 1;
+    c->sock.QueueFrame(EncodeRequest(req));
+    auto flushed = c->sock.FlushWrites();
+    if (!flushed.ok()) {
+      KillConn(c);
+      return;
+    }
+    sent->fetch_add(1, std::memory_order_relaxed);
+    if (!*flushed && !c->want_writable) {
+      c->want_writable = true;
+      (void)loop.Mod(c->sock.fd(), EPOLLIN | EPOLLOUT, c);
+    }
+  }
+
+  /// Sends everything due, then re-arms for the next due time (or the
+  /// drain check once the slice is exhausted).
+  void Pump(uint64_t now_us) {
+    if (finished) return;
+    while (next_arrival < slice.size() && DueUs(next_arrival) <= now_us) {
+      SendOne(slice[next_arrival]);
+      ++next_arrival;
+      if (finished) return;
+    }
+    uint64_t next_due;
+    if (next_arrival < slice.size()) {
+      next_due = DueUs(next_arrival);
+    } else {
+      // All arrivals sent; wait for the in-flight tail, bounded.
+      if (drain_deadline_us == 0) {
+        const uint64_t budget = options->drain_timeout_us > 0
+                                    ? options->drain_timeout_us
+                                    : 5'000'000;
+        drain_deadline_us = now_us + budget;
+      }
+      if (inflight_total == 0) {
+        Finish(/*timed_out=*/false);
+        return;
+      }
+      if (now_us >= drain_deadline_us) {
+        Finish(/*timed_out=*/true);
+        return;
+      }
+      next_due = std::min(drain_deadline_us, now_us + 10'000);
+    }
+    loop.timers().Schedule(
+        next_due, [this](TimerWheel::TimerId) { Pump(EventLoop::NowUs()); });
+  }
+
+  void OnWritable(HcConn* c) {
+    auto flushed = c->sock.FlushWrites();
+    if (!flushed.ok()) {
+      KillConn(c);
+      return;
+    }
+    if (*flushed && c->want_writable) {
+      c->want_writable = false;
+      (void)loop.Mod(c->sock.fd(), EPOLLIN, c);
+    }
+  }
+
+  void OnReadable(HcConn* c) {
+    std::vector<std::string> frames;
+    auto state = c->sock.ReadReady(&frames);
+    for (const std::string& payload : frames) {
+      auto resp = DecodeResponse(payload);
+      if (!resp.ok()) {
+        KillConn(c);
+        return;
+      }
+      auto it = c->in_flight.find(resp->request_id);
+      if (it == c->in_flight.end()) {
+        // High-conn never re-sends, so an unmatched id is a broker-side
+        // straggler; discard and count like the other modes.
+        duplicate_acks->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const double us = std::chrono::duration<double, std::micro>(
+                            Clock::now() - it->second)
+                            .count();
+      c->in_flight.erase(it);
+      inflight_total -= 1;
+      agg->RecordResponse(*resp, us, /*collect=*/false);
+      agg->RecordRetries(0);  // every answer is terminal here
+    }
+    if (!state.ok() || *state == FramedConn::ReadState::kEof) {
+      KillConn(c);
+      return;
+    }
+    if (!finished && next_arrival >= slice.size() && inflight_total == 0) {
+      Finish(/*timed_out=*/false);
+    }
+  }
+
+  /// Closes one connection; its unanswered arrivals can never complete,
+  /// so they count as errors and the run continues on the survivors.
+  void KillConn(HcConn* c) {
+    if (c->dead) return;
+    c->dead = true;
+    (void)loop.Del(c->sock.fd());
+    const uint64_t lost = c->in_flight.size();
+    c->in_flight.clear();
+    inflight_total -= lost;
+    if (lost > 0) agg->RecordTransportErrors(lost);
+    c->sock.Close();
+    live -= 1;
+  }
+
+  void Finish(bool timed_out) {
+    if (finished) return;
+    finished = true;
+    if (timed_out && inflight_total > 0) {
+      // The drain budget expired with responses still owed.
+      agg->RecordTransportErrors(inflight_total);
+      inflight_total = 0;
+    }
+    loop.Stop();
+  }
+};
+
+void HcConn::OnEvents(uint32_t events) {
+  if (dead) return;
+  if (events & EPOLLOUT) owner->OnWritable(this);
+  if (dead) return;
+  if (events & (EPOLLIN | EPOLLHUP | EPOLLERR)) owner->OnReadable(this);
+}
+
+Status RunHighConnLoops(const std::vector<model::CustomerId>& arrivals,
+                        const LoadgenOptions& options, Aggregate* agg,
+                        std::atomic<uint64_t>* sent,
+                        std::atomic<uint64_t>* connect_errors,
+                        std::atomic<uint64_t>* duplicate_acks) {
+  if (options.qps <= 0.0) {
+    return Status::InvalidArgument("high_conn mode requires qps > 0");
+  }
+  const size_t n_loops = std::max<size_t>(
+      1, std::min(options.conn_threads, options.connections));
+  std::vector<std::unique_ptr<HcLoopState>> loops;
+  loops.reserve(n_loops);
+  for (size_t i = 0; i < n_loops; ++i) {
+    auto s = std::make_unique<HcLoopState>();
+    MUAA_RETURN_NOT_OK(s->loop.Init());
+    s->options = &options;
+    s->agg = agg;
+    s->sent = sent;
+    s->duplicate_acks = duplicate_acks;
+    // Decorrelate the loops' Zipf streams while keeping the run
+    // reproducible from one seed.
+    s->rng = Rng(options.zipf_seed + 0x9E3779B9u * (i + 1));
+    loops.push_back(std::move(s));
+  }
+  // Open the sockets up front (blocking connect, then O_NONBLOCK), dealt
+  // round-robin across the loops. Individual connect failures are counted,
+  // not fatal — a run against a saturated accept queue still measures what
+  // got through.
+  Status first_connect_error;
+  for (size_t i = 0; i < options.connections; ++i) {
+    auto conn = ConnectFramed(options.host, options.port);
+    if (!conn.ok()) {
+      connect_errors->fetch_add(1, std::memory_order_relaxed);
+      if (first_connect_error.ok()) first_connect_error = conn.status();
+      continue;
+    }
+    auto c = std::make_unique<HcConn>();
+    c->sock = std::move(conn).ValueOrDie();
+    MUAA_RETURN_NOT_OK(c->sock.SetNonBlocking());
+    HcLoopState* s = loops[i % n_loops].get();
+    c->owner = s;
+    MUAA_RETURN_NOT_OK(s->loop.Add(c->sock.fd(), EPOLLIN, c.get()));
+    s->conns.push_back(std::move(c));
+    s->live += 1;
+  }
+  size_t opened = 0;
+  for (const auto& s : loops) opened += s->conns.size();
+  if (opened == 0) {
+    return first_connect_error.ok()
+               ? Status::Internal("no high-conn connection could be opened")
+               : first_connect_error;
+  }
+  // Loop L paces arrivals L, L+n, L+2n, ... independently; the offsets
+  // interleave so the aggregate offered rate is qps with no send lock.
+  const uint64_t start_us = EventLoop::NowUs() + 5'000;
+  for (size_t i = 0; i < n_loops; ++i) {
+    HcLoopState* s = loops[i].get();
+    for (size_t k = i; k < arrivals.size(); k += n_loops) {
+      s->slice.push_back(arrivals[k]);
+    }
+    s->start_us = start_us + static_cast<uint64_t>(
+                                 1e6 * static_cast<double>(i) / options.qps);
+    s->interval_us = 1e6 * static_cast<double>(n_loops) / options.qps;
+    s->loop.Post([s] { s->Pump(EventLoop::NowUs()); });
+    s->thread = std::thread([s] { s->loop.Run(); });
+  }
+  for (auto& s : loops) s->thread.join();
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
@@ -384,11 +675,17 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   Aggregate agg;
   std::atomic<uint64_t> sent{0};
   std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> connect_errors{0};
   std::atomic<uint64_t> duplicate_acks{0};
   const auto t0 = Clock::now();
 
   std::vector<std::thread> threads;
-  if (options.qps <= 0.0) {
+  if (options.high_conn) {
+    // Event-driven: all sockets share a few event loops; no thread pair
+    // per connection (see RunHighConnLoops).
+    MUAA_RETURN_NOT_OK(RunHighConnLoops(arrivals, options, &agg, &sent,
+                                        &connect_errors, &duplicate_acks));
+  } else if (options.qps <= 0.0) {
     // Closed loop: connection c serves arrivals c, c+conns, c+2*conns, ...
     for (size_t c = 0; c < conns; ++c) {
       std::vector<model::CustomerId> slice;
@@ -396,19 +693,25 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
         slice.push_back(arrivals[i]);
       }
       threads.emplace_back([&options, &agg, &sent, &reconnects,
-                            &duplicate_acks, c, s = std::move(slice)] {
+                            &connect_errors, &duplicate_acks, c,
+                            s = std::move(slice)] {
         RunClosedLoop(options, c, s, &agg, &sent, &reconnects,
-                      &duplicate_acks);
+                      &connect_errors, &duplicate_acks);
       });
     }
     for (std::thread& t : threads) t.join();
   } else {
     // Open loop: arrival i fires at t0 + i/qps, regardless of responses —
     // the "customers keep walking in" model that exposes backpressure.
-    std::vector<Socket> sockets(conns);
+    std::vector<FramedConn> sockets(conns);
     std::vector<OpenState> states(conns);
     for (size_t c = 0; c < conns; ++c) {
-      MUAA_ASSIGN_OR_RETURN(sockets[c], Connect(options.host, options.port));
+      auto connected = ConnectFramed(options.host, options.port);
+      if (!connected.ok()) {
+        connect_errors.fetch_add(1, std::memory_order_relaxed);
+        return connected.status();
+      }
+      sockets[c] = std::move(connected).ValueOrDie();
       if (options.recv_timeout_us > 0) {
         MUAA_RETURN_NOT_OK(sockets[c].SetRecvTimeout(options.recv_timeout_us));
       }
@@ -440,6 +743,7 @@ Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
   LoadgenReport report = std::move(agg.report);
   report.sent = sent.load();
   report.reconnects = reconnects.load();
+  report.connect_errors = connect_errors.load();
   report.duplicate_acks = duplicate_acks.load();
   report.elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
@@ -459,7 +763,7 @@ namespace {
 /// messages: STATS, DEPART, SHUTDOWN).
 Result<Response> RoundTrip(const std::string& host, int port,
                            const Request& req) {
-  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect(host, port));
+  MUAA_ASSIGN_OR_RETURN(FramedConn sock, ConnectFramed(host, port));
   MUAA_RETURN_NOT_OK(sock.SendFrame(EncodeRequest(req)));
   std::string payload;
   MUAA_ASSIGN_OR_RETURN(bool got, sock.RecvFrame(&payload));

@@ -70,6 +70,29 @@ struct LoadgenOptions {
   /// Keep every returned ad instance (for bitwise comparison against an
   /// offline run).
   bool collect = false;
+
+  // --- High-connection open-loop mode (`high_conn`) -----------------------
+
+  /// Event-driven open loop: `connections` mostly-idle nonblocking sockets
+  /// multiplexed over `conn_threads` event loops (no per-connection
+  /// threads), arrivals paced at `qps` with every send aimed at a
+  /// Zipf(`zipf_s`)-ranked connection — a few connections carry most of
+  /// the traffic while tens of thousands sit idle, the shape
+  /// bench_connection_scaling measures. BUSY answers are terminal here
+  /// (`retry_busy`/`reconnect` are ignored); a transport failure closes
+  /// the affected connection and counts its unanswered arrivals in
+  /// `errors` instead of failing the run.
+  bool high_conn = false;
+  /// Event-loop threads driving the sockets (high_conn mode).
+  size_t conn_threads = 2;
+  /// Zipf exponent of the per-connection activity skew; rank 1 (the
+  /// hottest connection) draws with the highest probability.
+  double zipf_s = 1.1;
+  /// Seed of the Zipf connection picks (deterministic per run).
+  uint64_t zipf_seed = 42;
+  /// After the last send, how long to wait for in-flight responses before
+  /// tearing the sockets down (high_conn mode). 0 = 5 s.
+  uint64_t drain_timeout_us = 0;
 };
 
 /// \brief What one loadgen run measured.
@@ -82,6 +105,12 @@ struct LoadgenReport {
                            ///< read-only on a failed disk)
   uint64_t errors = 0;     ///< kError responses + transport failures
   uint64_t reconnects = 0; ///< successful reconnects (reconnect mode)
+  /// connect()-time failures: the initial connect of a closed-loop or
+  /// high-conn connection, and every reconnect *attempt* that failed to
+  /// connect. Distinct from `reconnects`, which counts only successful
+  /// reopens — these used to be invisible, folded into the reconnect
+  /// loop's retry budget.
+  uint64_t connect_errors = 0;
   /// Responses for an arrival that already reached its terminal answer —
   /// stragglers from a re-send race (e.g. the broker's original answer
   /// finally drained after a duplicate was answered from memory). They are
@@ -111,11 +140,12 @@ struct LoadgenReport {
 };
 
 /// \brief Replays `arrivals` against a broker: open-loop at `qps` (arrival
-/// times scheduled up front, sends never wait for responses) or closed
-/// loop. Latency is measured per response with a bounded-memory reservoir
+/// times scheduled up front, sends never wait for responses), closed
+/// loop, or the event-driven high-connection open loop (`high_conn`).
+/// Latency is measured per response with a bounded-memory reservoir
 /// (common/streaming_quantile). Transport errors fail the run unless
-/// `reconnect` is set (closed loop); protocol BUSY/EXPIRED/ERROR responses
-/// are counted.
+/// `reconnect` is set (closed loop) or `high_conn` absorbs them; protocol
+/// BUSY/EXPIRED/ERROR responses are counted.
 Result<LoadgenReport> RunLoadgen(const std::vector<model::CustomerId>& arrivals,
                                  const LoadgenOptions& options);
 

@@ -44,7 +44,7 @@ Status ReplicationSender::Replicate(uint64_t journal_size) {
 
 Status ReplicationSender::EnsureConnected() {
   if (sock_.valid()) return Status::OK();
-  MUAA_ASSIGN_OR_RETURN(sock_, Connect(options_.host, options_.port));
+  MUAA_ASSIGN_OR_RETURN(sock_, ConnectFramed(options_.host, options_.port));
   if (options_.recv_timeout_us != 0) {
     MUAA_RETURN_NOT_OK(sock_.SetRecvTimeout(options_.recv_timeout_us));
     MUAA_RETURN_NOT_OK(sock_.SetSendTimeout(options_.recv_timeout_us));
@@ -255,7 +255,7 @@ void ReplicaServer::AcceptLoop() {
     auto accepted = listener_.Accept();
     if (!accepted.ok()) break;  // Shutdown() ends the loop
     auto conn = std::make_shared<Conn>();
-    conn->sock = std::move(accepted).ValueOrDie();
+    conn->sock = FramedConn(std::move(accepted).ValueOrDie());
     std::lock_guard<std::mutex> lk(conns_mu_);
     // Reap finished connections so a long-lived follower doesn't
     // accumulate one dead thread per heartbeat prober reconnect.

@@ -105,7 +105,7 @@ class ReplicationSender : public ReplicationHook {
 
   ReplicationSenderOptions options_;
   BackoffPolicy policy_;
-  Socket sock_;
+  FramedConn sock_;
   std::unique_ptr<io::RandomAccessFile> file_;
   uint64_t rid_ = 0;
   std::atomic<uint64_t> acked_{0};
@@ -190,7 +190,7 @@ class ReplicaServer {
 
  private:
   struct Conn {
-    Socket sock;
+    FramedConn sock;
     std::atomic<bool> done{false};
     std::thread thread;
   };

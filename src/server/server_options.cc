@@ -1,0 +1,142 @@
+#include "server/server_options.h"
+
+#include <cstdlib>
+
+namespace muaa::server {
+
+int64_t OptionReader::Int(const std::string& key, int64_t fallback,
+                          int64_t lo, int64_t hi) {
+  auto got = cfg_->GetInt(key, fallback);
+  if (!got.ok()) {
+    Note(Status::InvalidArgument("option '" + key +
+                                 "': " + got.status().message()));
+    return fallback;
+  }
+  if (*got < lo || *got > hi) {
+    Note(Status::InvalidArgument(
+        "option '" + key + "' must be in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got " + std::to_string(*got)));
+    return fallback;
+  }
+  return *got;
+}
+
+bool OptionReader::Bool(const std::string& key, bool fallback) {
+  auto got = cfg_->GetBool(key, fallback);
+  if (!got.ok()) {
+    Note(Status::InvalidArgument("option '" + key +
+                                 "': " + got.status().message()));
+    return fallback;
+  }
+  return *got;
+}
+
+std::string OptionReader::Str(const std::string& key,
+                              const std::string& fallback) {
+  return cfg_->GetString(key, fallback);
+}
+
+void ServerOptions::ApplyTo(BrokerOptions* opts) const {
+  opts->port = port;
+  opts->batch_max = batch_max;
+  opts->batch_wait_us = batch_wait_us;
+  opts->queue_max = queue_max;
+  opts->busy_retry_us = busy_retry_us;
+  opts->busy_retry_cap_us = busy_retry_cap_us;
+  opts->max_connections = max_connections;
+  opts->max_inflight_per_conn = max_inflight;
+  opts->read_timeout_us = read_timeout_us;
+  opts->idle_timeout_us = idle_timeout_us;
+  opts->write_timeout_us = write_timeout_us;
+  opts->event_threads = event_threads;
+  opts->max_conns_per_loop = max_conns_per_loop;
+  opts->ladder.degrade_sojourn_us = degrade_sojourn_us;
+  opts->ladder.degrade_batches = degrade_batches;
+  opts->ladder.recover_sojourn_us = recover_sojourn_us;
+  opts->ladder.recover_batches = recover_batches;
+  opts->durability.journal_path = journal;
+  opts->durability.checkpoint_path = checkpoint;
+  opts->durability.checkpoint_every = checkpoint_every;
+  opts->durability.sync_policy.every_n_records = sync_every_n;
+  opts->durability.sync_policy.every_n_bytes = sync_bytes;
+  opts->shards = shards;
+  opts->partition_shard_id = partition_shard;
+  opts->partition_num_shards = partition_shards;
+  opts->fence_epoch = epoch;
+  opts->resume = resume;
+}
+
+Result<ServerOptions> ParseServerOptions(const Config& cfg) {
+  OptionReader r(cfg);
+  ServerOptions o;
+  o.port = static_cast<int>(r.Int("port", 0, 0, 65535));
+  o.batch_max = static_cast<size_t>(r.Uint("batch_max", 64));
+  o.batch_wait_us = static_cast<uint32_t>(
+      r.Int("batch_wait_us", 200, 0, UINT32_MAX));
+  o.queue_max = static_cast<size_t>(r.Uint("queue_max", 1024));
+  o.busy_retry_us =
+      static_cast<uint32_t>(r.Int("busy_retry_us", 1000, 0, UINT32_MAX));
+  o.busy_retry_cap_us = static_cast<uint32_t>(
+      r.Int("busy_retry_cap_us", 500'000, 0, UINT32_MAX));
+  o.checkpoint_every = static_cast<size_t>(r.Uint("checkpoint_every", 0));
+  o.max_connections = static_cast<size_t>(r.Uint("max_connections", 256));
+  o.max_inflight = static_cast<size_t>(r.Uint("max_inflight", 1024));
+  o.read_timeout_us =
+      static_cast<uint64_t>(r.Uint("read_timeout_us", 5'000'000));
+  o.idle_timeout_us = static_cast<uint64_t>(r.Uint("idle_timeout_us", 0));
+  o.write_timeout_us =
+      static_cast<uint64_t>(r.Uint("write_timeout_us", 5'000'000));
+  // One loop per shard-sized slice of clients is plenty; 1024 is a
+  // generous sanity bound, not a tuning suggestion.
+  o.event_threads = static_cast<size_t>(r.Int("event_threads", 2, 0, 1024));
+  o.max_conns_per_loop =
+      static_cast<size_t>(r.Uint("max_conns_per_loop", 0));
+  o.degrade_sojourn_us =
+      static_cast<uint64_t>(r.Uint("degrade_sojourn_us", 0));
+  o.degrade_batches = static_cast<uint64_t>(r.Uint("degrade_batches", 4));
+  o.recover_sojourn_us =
+      static_cast<uint64_t>(r.Uint("recover_sojourn_us", 0));
+  o.recover_batches = static_cast<uint64_t>(r.Uint("recover_batches", 8));
+  o.sync_every_n = static_cast<uint64_t>(r.Uint("sync_every_n", 0));
+  o.sync_bytes = static_cast<uint64_t>(r.Uint("sync_bytes", 0));
+  o.shards = static_cast<uint32_t>(r.Int("shards", 1, 1, 256));
+  o.partition_shard =
+      static_cast<uint32_t>(r.Int("partition_shard", 0, 0, 255));
+  o.partition_shards =
+      static_cast<uint32_t>(r.Int("partition_shards", 1, 1, 256));
+  o.epoch = static_cast<uint64_t>(r.Uint("epoch", 0));
+  o.journal = r.Str("journal", "");
+  o.checkpoint = r.Str("checkpoint", "");
+  o.resume = r.Bool("resume", false);
+  MUAA_RETURN_NOT_OK(r.status());
+  if (o.resume && o.journal.empty() && o.checkpoint.empty()) {
+    return Status::InvalidArgument("resume=1 needs journal= and/or checkpoint=");
+  }
+  return o;
+}
+
+Status RejectUnknownKeys(const Config& cfg) {
+  const std::vector<std::string> unread = cfg.UnreadKeys();
+  if (unread.empty()) return Status::OK();
+  std::string keys;
+  for (const std::string& k : unread) {
+    if (!keys.empty()) keys += ", ";
+    keys += "'" + k + "'";
+  }
+  return Status::InvalidArgument("unknown option(s): " + keys);
+}
+
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& s) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + s + "'");
+  }
+  char* end = nullptr;
+  const long port = std::strtol(s.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + s + "'");
+  }
+  return std::make_pair(s.substr(0, colon), static_cast<int>(port));
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "server/broker.h"
+
+namespace muaa::server {
+
+/// \file The one typed option surface of the serving binaries.
+///
+/// `muaa_cli serve`, `muaa_cli replica`, `muaa_router` and
+/// `muaa_crashloop` all take flat `key=value` arguments (common/config.h).
+/// Each used to hand-roll its own accessor loop with anonymous errors
+/// ("negative option"); every parse now goes through `OptionReader`, whose
+/// errors NAME the offending key and its legal range, and the serve-side
+/// knob set lives in one `ServerOptions` struct with one validator —
+/// new knobs (e.g. `event_threads=`, `max_conns_per_loop=`) land here and
+/// nowhere else.
+
+/// \brief Typed accessor over a `Config` that accumulates the first error
+/// instead of forcing a check per key.
+///
+/// Every error names the key: `option 'queue_max' must be in [0, ...],
+/// got -3`. Callers read all their keys, then check `status()` once, then
+/// call `RejectUnknownKeys` so misspelt keys fail loudly too.
+class OptionReader {
+ public:
+  explicit OptionReader(const Config& cfg) : cfg_(&cfg) {}
+
+  /// Integer `key` (or `fallback`), validated against [lo, hi].
+  int64_t Int(const std::string& key, int64_t fallback, int64_t lo,
+              int64_t hi);
+  /// Nonnegative integer `key` — the common case.
+  int64_t Uint(const std::string& key, int64_t fallback) {
+    return Int(key, fallback, 0, INT64_MAX);
+  }
+  bool Bool(const std::string& key, bool fallback);
+  std::string Str(const std::string& key, const std::string& fallback);
+
+  /// First error across every accessor call (OK when all keys parsed).
+  const Status& status() const { return status_; }
+
+ private:
+  void Note(const Status& st) {
+    if (status_.ok() && !st.ok()) status_ = st;
+  }
+
+  const Config* cfg_;
+  Status status_;
+};
+
+/// \brief Every serve-side knob, parsed and range-checked centrally
+/// (`ParseServerOptions`), then applied onto a `BrokerOptions` with
+/// `ApplyTo`. Fields mirror BrokerOptions' semantics (see broker.h).
+struct ServerOptions {
+  int port = 0;
+  size_t batch_max = 64;
+  uint32_t batch_wait_us = 200;
+  size_t queue_max = 1024;
+  uint32_t busy_retry_us = 1000;
+  uint32_t busy_retry_cap_us = 500'000;
+  size_t checkpoint_every = 0;
+  size_t max_connections = 256;
+  size_t max_inflight = 1024;
+  uint64_t read_timeout_us = 5'000'000;
+  uint64_t idle_timeout_us = 0;
+  uint64_t write_timeout_us = 5'000'000;
+  size_t event_threads = 2;
+  size_t max_conns_per_loop = 0;
+  uint64_t degrade_sojourn_us = 0;
+  uint64_t degrade_batches = 4;
+  uint64_t recover_sojourn_us = 0;
+  uint64_t recover_batches = 8;
+  uint64_t sync_every_n = 0;
+  uint64_t sync_bytes = 0;
+  uint32_t shards = 1;
+  uint32_t partition_shard = 0;
+  uint32_t partition_shards = 1;
+  uint64_t epoch = 0;
+  std::string journal;
+  std::string checkpoint;
+  bool resume = false;
+
+  /// Copies every knob onto `opts` (paths, ladder, sync policy included).
+  /// Host, solver factory and replication stay the caller's business.
+  void ApplyTo(BrokerOptions* opts) const;
+};
+
+/// Reads every `ServerOptions` key from `cfg`, range-checked; errors name
+/// the key. Cross-field rules (e.g. `resume=1` needs a journal or
+/// checkpoint path) are enforced here too.
+Result<ServerOptions> ParseServerOptions(const Config& cfg);
+
+/// InvalidArgument naming each key no accessor read — a misspelt option
+/// must fail the command, not be silently ignored. Call after every known
+/// key has been read.
+Status RejectUnknownKeys(const Config& cfg);
+
+/// Parses "host:port" (numeric port in [1, 65535]).
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& s);
+
+}  // namespace muaa::server

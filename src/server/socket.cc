@@ -1,6 +1,7 @@
 #include "server/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -132,6 +133,108 @@ Result<bool> Socket::RecvFrame(std::string* payload) {
   }
 }
 
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  return TryExtractFrame(&buf_, payload);
+}
+
+Status FramedConn::SendFrame(std::string_view payload) {
+  const std::string frame = FrameMessage(payload);
+  return sock_.SendAll(frame.data(), frame.size());
+}
+
+Result<bool> FramedConn::RecvFrame(std::string* payload) {
+  char chunk[16384];
+  while (true) {
+    MUAA_ASSIGN_OR_RETURN(bool complete, decoder_.Next(payload));
+    if (complete) return true;
+    MUAA_ASSIGN_OR_RETURN(size_t got, sock_.RecvSome(chunk, sizeof(chunk)));
+    if (got == 0) {
+      if (decoder_.has_partial()) {
+        return Status::DataLoss("connection closed mid-frame");
+      }
+      return false;  // clean EOF at a frame boundary
+    }
+    decoder_.Feed(chunk, got);
+  }
+}
+
+Status FramedConn::SetNonBlocking() {
+  if (!valid()) {
+    return Status::FailedPrecondition("fcntl on closed socket");
+  }
+  const int flags = ::fcntl(sock_.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(sock_.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<FramedConn::ReadState> FramedConn::ReadReady(
+    std::vector<std::string>* frames) {
+  char chunk[16384];
+  while (true) {
+    auto got = sock_.RecvSome(chunk, sizeof(chunk));
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kResourceExhausted) {
+        // EAGAIN: the kernel buffer is drained; whatever partial frame
+        // remains stays in the decoder for the next wakeup.
+        return ReadState::kOpen;
+      }
+      return got.status();
+    }
+    if (*got == 0) {
+      if (decoder_.has_partial()) {
+        return Status::DataLoss("connection closed mid-frame");
+      }
+      return ReadState::kEof;
+    }
+    decoder_.Feed(chunk, *got);
+    std::string payload;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&payload));
+      if (!complete) break;
+      frames->push_back(std::move(payload));
+      payload.clear();
+    }
+  }
+}
+
+void FramedConn::QueueFrame(std::string_view payload) {
+  out_.append(FrameMessage(payload));
+}
+
+Result<bool> FramedConn::FlushWrites() {
+  if (!valid()) return Status::FailedPrecondition("send on closed socket");
+  while (out_pos_ < out_.size()) {
+    const ssize_t sent = ::send(sock_.fd(), out_.data() + out_pos_,
+                                out_.size() - out_pos_, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: compact the consumed prefix once it
+        // dominates, then hand control back for an EPOLLOUT retry.
+        if (out_pos_ > (64u << 10) && out_pos_ > out_.size() / 2) {
+          out_.erase(0, out_pos_);
+          out_pos_ = 0;
+        }
+        return false;
+      }
+      return Errno("send");
+    }
+    out_pos_ += static_cast<size_t>(sent);
+  }
+  out_.clear();
+  out_pos_ = 0;
+  return true;
+}
+
+void FramedConn::Close() {
+  sock_.Close();
+  decoder_.Clear();
+  out_.clear();
+  out_pos_ = 0;
+}
+
 void Socket::ShutdownBoth() {
   if (valid()) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -159,6 +262,11 @@ Result<Socket> Connect(const std::string& host, int port) {
   return sock;
 }
 
+Result<FramedConn> ConnectFramed(const std::string& host, int port) {
+  MUAA_ASSIGN_OR_RETURN(Socket sock, Connect(host, port));
+  return FramedConn(std::move(sock));
+}
+
 Listener::~Listener() { Close(); }
 
 Listener::Listener(Listener&& other) noexcept
@@ -184,7 +292,11 @@ Result<Listener> Listener::Bind(const std::string& host, int port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Errno("bind " + host + ":" + std::to_string(port));
   }
-  if (::listen(fd, 128) != 0) return Errno("listen");
+  // Deep accept backlog (clamped to net.core.somaxconn): a connect storm
+  // from tens of thousands of clients must not overflow the queue while
+  // the acceptor is briefly off-CPU — an overflowed SYN is silently
+  // dropped and the client stalls a full retransmission timeout (~1 s).
+  if (::listen(fd, 4096) != 0) return Errno("listen");
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {

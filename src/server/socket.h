@@ -2,13 +2,16 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 
 namespace muaa::server {
 
-/// \file Thin RAII wrappers over POSIX TCP sockets.
+/// \file Thin RAII wrappers over POSIX TCP sockets, plus the single
+/// framed-connection API (`FramedConn`) every protocol endpoint — broker,
+/// frontend, replication, loadgen — sends and receives frames through.
 ///
 /// Every send uses `MSG_NOSIGNAL`, so a peer that disconnects mid-response
 /// surfaces as a Status (EPIPE), never as a process-killing SIGPIPE — the
@@ -71,6 +74,134 @@ class Socket {
 
 /// Connects to `host:port` (numeric host, e.g. "127.0.0.1").
 Result<Socket> Connect(const std::string& host, int port);
+
+class FramedConn;
+/// Connects and wraps the socket in a `FramedConn` (the usual client
+/// entry point: every protocol endpoint frames through FramedConn).
+Result<FramedConn> ConnectFramed(const std::string& host, int port);
+
+/// \brief Incremental frame reassembly: a byte buffer fed by whichever
+/// recv path the caller uses, drained through protocol.h's
+/// `TryExtractFrame`.
+///
+/// This is the one decode path shared by the blocking and nonblocking
+/// modes of `FramedConn` — a frame split across any number of partial
+/// reads reassembles here identically either way
+/// (tests/server_framing_test.cc fuzzes exactly that equivalence).
+class FrameDecoder {
+ public:
+  /// Appends `n` raw wire bytes.
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Pops the next complete frame's payload; false when more bytes are
+  /// needed. DataLoss on CRC mismatch or an implausible length — the
+  /// stream cannot be resynchronized past it.
+  Result<bool> Next(std::string* payload);
+
+  /// True when bytes of an incomplete frame are buffered — i.e. the peer
+  /// stalled (or the connection died) *mid-frame*, not between frames.
+  bool has_partial() const { return !buf_.empty(); }
+
+  size_t buffered_bytes() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief One framed protocol connection over a `Socket` — the single
+/// implementation of length-prefixed send/recv framing for the broker,
+/// frontend, replication and loadgen (no per-call-site framing loops).
+///
+/// Two modes over the same `FrameDecoder`:
+///
+/// - **Blocking** (default): `SendFrame`/`RecvFrame` behave like the
+///   classic socket calls — `RecvFrame` blocks until one whole frame is
+///   in, honoring any `SetRecvTimeout` as ResourceExhausted ticks.
+/// - **Nonblocking** (`SetNonBlocking`): an event loop drives it.
+///   `ReadReady` drains the fd until EAGAIN, popping every complete
+///   frame; `QueueFrame` buffers framed bytes and `FlushWrites` pushes
+///   what the kernel will take, leaving the rest for an EPOLLOUT-driven
+///   retry (`pending_out` says how much is left).
+///
+/// Not thread-safe: callers serialize access per connection (the broker
+/// guards each connection's write side with its own mutex).
+class FramedConn {
+ public:
+  FramedConn() = default;
+  explicit FramedConn(Socket sock) : sock_(std::move(sock)) {}
+
+  FramedConn(FramedConn&&) noexcept = default;
+  FramedConn& operator=(FramedConn&&) noexcept = default;
+  FramedConn(const FramedConn&) = delete;
+  FramedConn& operator=(const FramedConn&) = delete;
+
+  bool valid() const { return sock_.valid(); }
+  int fd() const { return sock_.fd(); }
+  Socket& socket() { return sock_; }
+  const Socket& socket() const { return sock_; }
+
+  // --- Blocking mode ----------------------------------------------------
+
+  /// Frames and sends `payload` whole (blocking; honors any send timeout).
+  Status SendFrame(std::string_view payload);
+
+  /// Blocks until one complete frame arrives, filling `payload`. False on
+  /// clean EOF at a frame boundary; DataLoss on a corrupt or
+  /// mid-frame-truncated stream; ResourceExhausted on a recv-timeout tick
+  /// (received bytes stay buffered — call again to continue the frame).
+  Result<bool> RecvFrame(std::string* payload);
+
+  /// True when a partially received frame is buffered (see
+  /// `FrameDecoder::has_partial`): a stalled peer, not an idle one.
+  bool has_buffered() const { return decoder_.has_partial(); }
+
+  Status SetRecvTimeout(uint64_t timeout_us) {
+    return sock_.SetRecvTimeout(timeout_us);
+  }
+  Status SetSendTimeout(uint64_t timeout_us) {
+    return sock_.SetSendTimeout(timeout_us);
+  }
+
+  // --- Nonblocking mode -------------------------------------------------
+
+  /// Switches the fd to O_NONBLOCK (one-way; the event loop owns it from
+  /// here).
+  Status SetNonBlocking();
+
+  enum class ReadState {
+    kOpen,  ///< kernel buffer drained; the connection lives on
+    kEof,   ///< peer closed cleanly at a frame boundary
+  };
+
+  /// Drains the fd until EAGAIN, appending every completed frame's
+  /// payload to `frames` (possibly none). kEof on orderly EOF; DataLoss
+  /// on a corrupt stream or an EOF that cuts a frame; other socket errors
+  /// verbatim.
+  Result<ReadState> ReadReady(std::vector<std::string>* frames);
+
+  /// Frames `payload` onto the out-buffer; does not write. Follow with
+  /// `FlushWrites`.
+  void QueueFrame(std::string_view payload);
+
+  /// Pushes buffered output until done or EAGAIN. True when the buffer
+  /// fully drained; false when bytes remain (arm EPOLLOUT and retry).
+  Result<bool> FlushWrites();
+
+  /// Output bytes queued but not yet accepted by the kernel.
+  size_t pending_out() const { return out_.size() - out_pos_; }
+
+  // ----------------------------------------------------------------------
+
+  void ShutdownBoth() { sock_.ShutdownBoth(); }
+  void Close();
+
+ private:
+  Socket sock_;
+  FrameDecoder decoder_;
+  std::string out_;     ///< framed bytes awaiting the kernel
+  size_t out_pos_ = 0;  ///< prefix of `out_` already written
+};
 
 /// \brief A listening TCP socket (move-only).
 class Listener {

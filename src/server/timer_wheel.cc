@@ -1,0 +1,113 @@
+#include "server/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace muaa::server {
+
+TimerWheel::TimerWheel(uint64_t now_us, uint64_t tick_us)
+    : start_us_(now_us), tick_us_(tick_us == 0 ? 1 : tick_us) {}
+
+void TimerWheel::Place(TimerId id, uint64_t deadline_us) {
+  // Round the deadline up to a tick boundary so a timer never fires
+  // before its deadline; a deadline at or behind the cursor goes to the
+  // very next tick.
+  uint64_t deadline_tick =
+      deadline_us <= start_us_
+          ? 0
+          : (deadline_us - start_us_ + tick_us_ - 1) / tick_us_;
+  if (deadline_tick <= current_tick_) deadline_tick = current_tick_ + 1;
+  uint64_t delta = deadline_tick - current_tick_;
+  constexpr uint64_t kSpan = 1ull << (kWheelBits * kLevels);
+  if (delta >= kSpan) {
+    // Beyond the wheel's horizon: park at the far edge. The timer fires
+    // late (at the horizon) rather than never — acceptable for the hours
+    // horizon the serving timeouts sit far inside of. The clamp must be
+    // written back, or every cascade would recompute a beyond-horizon
+    // delta from the original deadline and re-park the timer a full span
+    // out again — receding forever instead of firing at the horizon.
+    delta = kSpan - 1;
+    deadline_tick = current_tick_ + delta;
+    auto it = timers_.find(id);
+    if (it != timers_.end()) {
+      it->second.deadline_us = start_us_ + deadline_tick * tick_us_;
+    }
+  }
+  uint32_t level = 0;
+  while ((delta >> (kWheelBits * (level + 1))) != 0) ++level;
+  const uint32_t slot =
+      static_cast<uint32_t>(deadline_tick >> (kWheelBits * level)) &
+      (kSlots - 1);
+  slots_[level][slot].push_back(id);
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(uint64_t deadline_us,
+                                         std::function<void(TimerId)> fn) {
+  const TimerId id = next_id_++;
+  timers_.emplace(id, Timer{deadline_us, std::move(fn)});
+  Place(id, deadline_us);
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  // The slot entry stays behind and is skipped when its slot drains —
+  // that lazy sweep is what makes re-arming (cancel + schedule) O(1).
+  return timers_.erase(id) != 0;
+}
+
+size_t TimerWheel::Advance(uint64_t now_us) {
+  const uint64_t target =
+      now_us <= start_us_ ? 0 : (now_us - start_us_) / tick_us_;
+  std::vector<std::pair<uint64_t, TimerId>> due;  // (deadline, id)
+  while (current_tick_ < target) {
+    if (timers_.empty()) {
+      // Nothing armed: skip the cursor ahead without touching slots (they
+      // can only hold cancelled ids, which drain lazily anyway).
+      current_tick_ = target;
+      break;
+    }
+    ++current_tick_;
+    // Cascade: at each higher-level slot boundary the cursor crosses,
+    // re-bucket that slot's timers into finer levels.
+    for (uint32_t level = 1; level < kLevels; ++level) {
+      if ((current_tick_ & ((1ull << (kWheelBits * level)) - 1)) != 0) break;
+      const uint32_t slot =
+          static_cast<uint32_t>(current_tick_ >> (kWheelBits * level)) &
+          (kSlots - 1);
+      std::vector<TimerId> moving;
+      moving.swap(slots_[level][slot]);
+      for (TimerId id : moving) {
+        auto it = timers_.find(id);
+        if (it == timers_.end()) continue;  // cancelled: drop lazily
+        Place(id, it->second.deadline_us);
+      }
+    }
+    std::vector<TimerId>& slot0 = slots_[0][current_tick_ & (kSlots - 1)];
+    for (TimerId id : slot0) {
+      auto it = timers_.find(id);
+      if (it != timers_.end()) due.emplace_back(it->second.deadline_us, id);
+    }
+    slot0.clear();
+  }
+  // Deadline order across every tick this Advance covered, ids breaking
+  // ties so the order is total and deterministic.
+  std::sort(due.begin(), due.end());
+  size_t fired = 0;
+  for (auto& [deadline, id] : due) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled by an earlier callback
+    auto fn = std::move(it->second.fn);
+    timers_.erase(it);
+    ++fired;
+    if (fn) fn(id);
+  }
+  return fired;
+}
+
+uint64_t TimerWheel::NextDeadlineUs() const {
+  uint64_t best = UINT64_MAX;
+  for (const auto& [id, t] : timers_) best = std::min(best, t.deadline_us);
+  return best;
+}
+
+}  // namespace muaa::server

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace muaa::server {
+
+/// \brief Hierarchical hashed timing wheel over microsecond deadlines.
+///
+/// The event loop's replacement for per-connection timeout bookkeeping
+/// (docs/serving.md, "Event-driven transport"): every connection's
+/// read-stall, idle and write deadline is one entry here, so arming,
+/// re-arming and cancelling are O(1) regardless of how many thousand
+/// timers are pending, and `Advance` fires only what is due.
+///
+/// Four levels of 64 slots, each level covering 64x the span of the one
+/// below. A timer lands in the coarsest level whose slot width still
+/// distinguishes its deadline; when the wheel's cursor reaches a
+/// higher-level slot boundary, that slot's timers cascade down into
+/// finer levels. Deadlines beyond the total span (2^24 ticks, ~4.6 h at
+/// the default 1 ms tick) are clamped to the far edge.
+///
+/// Firing is never early: a timer placed with `Schedule(d, fn)` runs on
+/// the first `Advance(now)` with `now >= d` (rounded up to the tick).
+/// Within one `Advance`, due timers fire in (deadline, id) order.
+///
+/// Single-threaded by design — each event loop owns one wheel and is the
+/// only caller. Callbacks may `Schedule` and `Cancel` freely, including
+/// re-arming themselves.
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  /// Never returned by `Schedule`; a safe "no timer armed" sentinel.
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// `now_us` anchors the wheel's clock; `Advance` values are measured on
+  /// the same clock. `tick_us` is the firing granularity.
+  explicit TimerWheel(uint64_t now_us, uint64_t tick_us = 1000);
+
+  /// Arms a timer. `fn` runs at the first `Advance` past `deadline_us`
+  /// (deadlines at or before now fire on the next tick, never inline).
+  TimerId Schedule(uint64_t deadline_us, std::function<void(TimerId)> fn);
+
+  /// Disarms `id`. False when it already fired, was cancelled, or never
+  /// existed.
+  bool Cancel(TimerId id);
+
+  /// Moves the clock to `now_us`, firing every due timer in deadline
+  /// order. Returns how many fired. The clock never moves backwards.
+  size_t Advance(uint64_t now_us);
+
+  /// Earliest pending deadline, or UINT64_MAX when none. O(pending) —
+  /// meant for tests and idle-sleep decisions, not per-event calls.
+  uint64_t NextDeadlineUs() const;
+
+  size_t pending() const { return timers_.size(); }
+  uint64_t now_us() const { return start_us_ + current_tick_ * tick_us_; }
+  uint64_t tick_us() const { return tick_us_; }
+
+ private:
+  static constexpr uint32_t kWheelBits = 6;
+  static constexpr uint32_t kSlots = 1u << kWheelBits;  // 64
+  static constexpr uint32_t kLevels = 4;                // 64^4 tick span
+
+  struct Timer {
+    uint64_t deadline_us = 0;
+    std::function<void(TimerId)> fn;
+  };
+
+  /// Buckets `id` by its deadline's distance from the cursor. Slots hold
+  /// ids only; cancelled entries are skipped lazily when a slot drains.
+  void Place(TimerId id, uint64_t deadline_us);
+
+  std::unordered_map<TimerId, Timer> timers_;
+  std::vector<TimerId> slots_[kLevels][kSlots];
+  uint64_t start_us_;
+  uint64_t tick_us_;
+  uint64_t current_tick_ = 0;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace muaa::server

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/socket.h"
+
+// FramedConn invariants (docs/serving.md, "Event-driven transport"): the
+// blocking and nonblocking modes reassemble the SAME frames from the SAME
+// bytes however the wire splits them — 1-byte trickles, random
+// packetization — and agree on every failure (corrupt stream, EOF
+// mid-frame). The nonblocking decoder is what the broker's event loop
+// feeds from partial reads, so this equivalence is what makes the epoll
+// transport a pure transport change.
+
+namespace muaa::server {
+namespace {
+
+std::vector<std::string> MakePayloads(std::mt19937_64* rng) {
+  // Sizes straddle the interesting boundaries: empty, tiny, around the
+  // 16 KiB read-chunk size, and bigger than one chunk.
+  const size_t sizes[] = {0, 1, 3, 17, 1000, 16384, 70000};
+  std::vector<std::string> payloads;
+  for (size_t n : sizes) {
+    std::string p(n, '\0');
+    for (char& c : p) c = static_cast<char>((*rng)() & 0xFF);
+    payloads.push_back(std::move(p));
+  }
+  std::shuffle(payloads.begin(), payloads.end(), *rng);
+  return payloads;
+}
+
+std::string Wire(const std::vector<std::string>& payloads) {
+  std::string wire;
+  for (const std::string& p : payloads) wire += FrameMessage(p);
+  return wire;
+}
+
+/// Feeds `wire` into a fresh decoder in chunks drawn by `next_len`,
+/// draining every complete frame after each feed.
+Result<std::vector<std::string>> DecodeInChunks(
+    const std::string& wire, const std::function<size_t()>& next_len) {
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    const size_t n = std::min(next_len(), wire.size() - pos);
+    decoder.Feed(wire.data() + pos, n);
+    pos += n;
+    std::string payload;
+    while (true) {
+      MUAA_ASSIGN_OR_RETURN(bool complete, decoder.Next(&payload));
+      if (!complete) break;
+      frames.push_back(std::move(payload));
+      payload.clear();
+    }
+  }
+  return frames;
+}
+
+TEST(Framing, OneByteFeedReassemblesEveryFrame) {
+  std::mt19937_64 rng(20260808);
+  const auto payloads = MakePayloads(&rng);
+  auto frames = DecodeInChunks(Wire(payloads), [] { return size_t{1}; });
+  ASSERT_TRUE(frames.ok()) << frames.status().ToString();
+  EXPECT_EQ(*frames, payloads);
+}
+
+TEST(Framing, RandomSplitsReassembleIdentically) {
+  std::mt19937_64 rng(97);
+  for (int round = 0; round < 16; ++round) {
+    const auto payloads = MakePayloads(&rng);
+    const std::string wire = Wire(payloads);
+    std::uniform_int_distribution<size_t> len(1, 8191);
+    auto frames = DecodeInChunks(wire, [&] { return len(rng); });
+    ASSERT_TRUE(frames.ok()) << frames.status().ToString();
+    EXPECT_EQ(*frames, payloads) << "round " << round;
+  }
+}
+
+TEST(Framing, CorruptByteIsDataLossUnderAnySplit) {
+  std::mt19937_64 rng(11);
+  const auto payloads = MakePayloads(&rng);
+  std::string wire = Wire(payloads);
+  wire[wire.size() / 2] ^= 0x40;  // flip one mid-stream bit
+  auto one = DecodeInChunks(wire, [] { return size_t{1}; });
+  std::uniform_int_distribution<size_t> len(1, 4096);
+  auto chunked = DecodeInChunks(wire, [&] { return len(rng); });
+  ASSERT_FALSE(one.ok());
+  ASSERT_FALSE(chunked.ok());
+  EXPECT_EQ(one.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(chunked.status().code(), one.status().code());
+}
+
+/// One connected socket pair over loopback.
+class FramingConnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto lst = Listener::Bind("127.0.0.1", 0);
+    ASSERT_TRUE(lst.ok()) << lst.status().ToString();
+    listener_ = std::move(lst).ValueOrDie();
+    auto cli = Connect("127.0.0.1", listener_.port());
+    ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+    client_ = std::move(cli).ValueOrDie();
+    auto srv = listener_.Accept();
+    ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+    server_ = FramedConn(std::move(srv).ValueOrDie());
+  }
+
+  /// Sends `wire` from the client in random splits with tiny pauses (so
+  /// the reader observes genuinely partial frames), then closes.
+  std::thread SpawnWriter(std::string wire, uint64_t seed) {
+    return std::thread([this, wire = std::move(wire), seed] {
+      std::mt19937_64 rng(seed);
+      std::uniform_int_distribution<size_t> len(1, 4096);
+      size_t pos = 0;
+      while (pos < wire.size()) {
+        const size_t n = std::min(len(rng), wire.size() - pos);
+        ASSERT_TRUE(client_.SendAll(wire.data() + pos, n).ok());
+        pos += n;
+        if ((rng() & 7) == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      client_.Close();
+    });
+  }
+
+  Listener listener_;
+  Socket client_;
+  FramedConn server_;
+};
+
+/// Drives the nonblocking read path to completion, like one connection's
+/// slice of the broker's event loop.
+Result<std::vector<std::string>> ReadAllNonblocking(FramedConn* conn) {
+  std::vector<std::string> frames;
+  while (true) {
+    auto state = conn->ReadReady(&frames);
+    if (!state.ok()) return state.status();
+    if (*state == FramedConn::ReadState::kEof) return frames;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+TEST_F(FramingConnTest, NonblockingReadMatchesBlockingFrameForFrame) {
+  std::mt19937_64 rng(4242);
+  const auto payloads = MakePayloads(&rng);
+  ASSERT_TRUE(server_.SetNonBlocking().ok());
+  std::thread writer = SpawnWriter(Wire(payloads), /*seed=*/7);
+  auto nonblocking = ReadAllNonblocking(&server_);
+  writer.join();
+  ASSERT_TRUE(nonblocking.ok()) << nonblocking.status().ToString();
+  EXPECT_EQ(*nonblocking, payloads);
+
+  // The same byte stream through the blocking path on a fresh pair.
+  SetUp();
+  std::thread writer2 = SpawnWriter(Wire(payloads), /*seed=*/7);
+  std::vector<std::string> blocking;
+  std::string payload;
+  while (true) {
+    auto got = server_.RecvFrame(&payload);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    if (!*got) break;
+    blocking.push_back(payload);
+  }
+  writer2.join();
+  EXPECT_EQ(blocking, *nonblocking);
+}
+
+TEST_F(FramingConnTest, EofMidFrameIsDataLossInBothModes) {
+  std::mt19937_64 rng(5);
+  const auto payloads = MakePayloads(&rng);
+  std::string wire = Wire(payloads);
+  wire.resize(wire.size() - 3);  // cut the last frame short
+
+  ASSERT_TRUE(server_.SetNonBlocking().ok());
+  std::thread writer = SpawnWriter(wire, /*seed=*/13);
+  auto nonblocking = ReadAllNonblocking(&server_);
+  writer.join();
+  ASSERT_FALSE(nonblocking.ok());
+  EXPECT_EQ(nonblocking.status().code(), StatusCode::kDataLoss);
+
+  SetUp();
+  std::thread writer2 = SpawnWriter(wire, /*seed=*/13);
+  std::string payload;
+  Status blocking = Status::OK();
+  while (true) {
+    auto got = server_.RecvFrame(&payload);
+    if (!got.ok()) {
+      blocking = got.status();
+      break;
+    }
+    if (!*got) break;
+  }
+  writer2.join();
+  EXPECT_EQ(blocking.code(), nonblocking.status().code());
+}
+
+TEST_F(FramingConnTest, QueuedWritesDrainToABlockingReader) {
+  std::mt19937_64 rng(3);
+  const auto payloads = MakePayloads(&rng);
+  FramedConn writer(std::move(client_));
+  ASSERT_TRUE(writer.SetNonBlocking().ok());
+  for (const std::string& p : payloads) writer.QueueFrame(p);
+  EXPECT_GT(writer.pending_out(), 0u);
+
+  // The reader drains concurrently so the kernel buffer frees up and the
+  // EAGAIN retries (FlushWrites returning false) make progress.
+  std::vector<std::string> got;
+  std::thread reader([this, &got, n = payloads.size()] {
+    std::string payload;
+    for (size_t i = 0; i < n; ++i) {
+      auto one = server_.RecvFrame(&payload);
+      ASSERT_TRUE(one.ok()) << one.status().ToString();
+      ASSERT_TRUE(*one);
+      got.push_back(payload);
+    }
+  });
+  while (true) {
+    auto drained = writer.FlushWrites();
+    ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+    if (*drained) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(writer.pending_out(), 0u);
+  reader.join();
+  EXPECT_EQ(got, payloads);
+}
+
+}  // namespace
+}  // namespace muaa::server

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "server/timer_wheel.h"
+
+// Timer-wheel invariants the event loop's timeout handling leans on
+// (docs/serving.md, "Event-driven transport"): firing is never early,
+// due timers fire in (deadline, id) order, cancel always prevents the
+// callback, and cascading across level boundaries loses nothing.
+
+namespace muaa::server {
+namespace {
+
+constexpr uint64_t kStart = 1'000'000;  // arbitrary epoch on the us clock
+
+TEST(TimerWheel, NeverFiresBeforeTheDeadline) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  bool fired = false;
+  wheel.Schedule(kStart + 5000, [&](TimerWheel::TimerId) { fired = true; });
+  EXPECT_EQ(wheel.Advance(kStart + 4999), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.Advance(kStart + 5000), 1u);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, MidTickDeadlineRoundsUpToTheNextTick) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  bool fired = false;
+  wheel.Schedule(kStart + 4500, [&](TimerWheel::TimerId) { fired = true; });
+  // 4500 us is inside tick 4..5; rounding DOWN would fire 500 us early.
+  EXPECT_EQ(wheel.Advance(kStart + 4500), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.Advance(kStart + 5000), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, FiresInDeadlineOrderWithinOneAdvance) {
+  TimerWheel wheel(kStart, /*tick_us=*/1);
+  std::vector<int> order;
+  // Scrambled insertion; 2 and 3 share a deadline, so id breaks the tie
+  // in schedule order.
+  wheel.Schedule(kStart + 500, [&](TimerWheel::TimerId) { order.push_back(4); });
+  wheel.Schedule(kStart + 100, [&](TimerWheel::TimerId) { order.push_back(2); });
+  wheel.Schedule(kStart + 300, [&](TimerWheel::TimerId) { order.push_back(1); });
+  wheel.Schedule(kStart + 100, [&](TimerWheel::TimerId) { order.push_back(3); });
+  EXPECT_EQ(wheel.Advance(kStart + 1000), 4u);
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1, 4}));
+}
+
+TEST(TimerWheel, CancelPreventsFiringAndReportsLiveness) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  bool fired = false;
+  auto id = wheel.Schedule(kStart + 2000,
+                           [&](TimerWheel::TimerId) { fired = true; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));  // already cancelled
+  EXPECT_EQ(wheel.Advance(kStart + 10'000), 0u);
+  EXPECT_FALSE(fired);
+
+  auto id2 = wheel.Schedule(kStart + 20'000, [](TimerWheel::TimerId) {});
+  EXPECT_EQ(wheel.Advance(kStart + 30'000), 1u);
+  EXPECT_FALSE(wheel.Cancel(id2));  // already fired
+  EXPECT_FALSE(wheel.Cancel(TimerWheel::kInvalidTimer));
+}
+
+TEST(TimerWheel, CascadesAcrossEveryLevelBoundary) {
+  // tick_us = 1 puts the level boundaries at 64, 4096 and 262144 us —
+  // one deadline beyond each, so each must survive at least one cascade.
+  TimerWheel wheel(kStart, /*tick_us=*/1);
+  const uint64_t deadlines[] = {kStart + 100, kStart + 5000, kStart + 300'000};
+  uint64_t fired_at[3] = {0, 0, 0};
+  uint64_t now = kStart;
+  for (int i = 0; i < 3; ++i) {
+    wheel.Schedule(deadlines[i],
+                   [&, i](TimerWheel::TimerId) { fired_at[i] = now; });
+  }
+  // Odd-sized steps so advances straddle the slot boundaries unevenly.
+  constexpr uint64_t kStep = 37;
+  while (now < kStart + 400'000) {
+    now += kStep;
+    wheel.Advance(now);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(fired_at[i], 0u) << "timer " << i << " never fired";
+    EXPECT_GE(fired_at[i], deadlines[i]) << "timer " << i << " fired early";
+    EXPECT_LT(fired_at[i] - deadlines[i], kStep + 1)
+        << "timer " << i << " fired later than one advance step";
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelStaysEffectiveAfterACascade) {
+  TimerWheel wheel(kStart, /*tick_us=*/1);
+  bool fired = false;
+  // Level-2 deadline (delta 5000 > 4096). Advancing past tick 4096
+  // cascades its slot down; the cancel must still hold afterwards.
+  auto id =
+      wheel.Schedule(kStart + 5000, [&](TimerWheel::TimerId) { fired = true; });
+  EXPECT_EQ(wheel.Advance(kStart + 4500), 0u);
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_EQ(wheel.Advance(kStart + 10'000), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CallbackCanReArmItself) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  int fires = 0;
+  std::function<void(TimerWheel::TimerId)> tick = [&](TimerWheel::TimerId) {
+    ++fires;
+    if (fires < 3) wheel.Schedule(wheel.now_us() + 1000, tick);
+  };
+  wheel.Schedule(kStart + 1000, tick);
+  EXPECT_EQ(wheel.Advance(kStart + 1000), 1u);
+  EXPECT_EQ(wheel.Advance(kStart + 2000), 1u);
+  EXPECT_EQ(wheel.Advance(kStart + 3000), 1u);
+  EXPECT_EQ(wheel.Advance(kStart + 10'000), 0u);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(TimerWheel, DeadlinesBeyondTheHorizonClampToTheFarEdge) {
+  TimerWheel wheel(kStart, /*tick_us=*/1);
+  constexpr uint64_t kSpanTicks = 1ull << 24;
+  bool fired = false;
+  wheel.Schedule(kStart + (1ull << 40),
+                 [&](TimerWheel::TimerId) { fired = true; });
+  // The clamp is written back: the timer now reports (and keeps) its
+  // parked deadline, so cascades cannot push it out another span.
+  EXPECT_EQ(wheel.NextDeadlineUs(), kStart + kSpanTicks - 1);
+  // Parked at the horizon (span - 1 ticks out), late rather than never.
+  EXPECT_EQ(wheel.Advance(kStart + kSpanTicks - 2), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.Advance(kStart + kSpanTicks - 1), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, NextDeadlineTracksTheEarliestPendingTimer) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  EXPECT_EQ(wheel.NextDeadlineUs(), UINT64_MAX);
+  wheel.Schedule(kStart + 9000, [](TimerWheel::TimerId) {});
+  auto early = wheel.Schedule(kStart + 3000, [](TimerWheel::TimerId) {});
+  EXPECT_EQ(wheel.NextDeadlineUs(), kStart + 3000);
+  EXPECT_TRUE(wheel.Cancel(early));
+  EXPECT_EQ(wheel.NextDeadlineUs(), kStart + 9000);
+  EXPECT_EQ(wheel.Advance(kStart + 9000), 1u);
+  EXPECT_EQ(wheel.NextDeadlineUs(), UINT64_MAX);
+}
+
+TEST(TimerWheel, ClockNeverMovesBackwards) {
+  TimerWheel wheel(kStart, /*tick_us=*/1000);
+  bool fired = false;
+  wheel.Schedule(kStart + 2000, [&](TimerWheel::TimerId) { fired = true; });
+  EXPECT_EQ(wheel.Advance(kStart + 1000), 0u);
+  const uint64_t now = wheel.now_us();
+  EXPECT_EQ(wheel.Advance(kStart), 0u);  // stale now: ignored
+  EXPECT_EQ(wheel.now_us(), now);
+  EXPECT_EQ(wheel.Advance(kStart + 2000), 1u);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace muaa::server

@@ -119,6 +119,7 @@
 #include "obs/metrics.h"
 #include "server/broker.h"
 #include "server/replication.h"
+#include "server/server_options.h"
 #include "stream/driver.h"
 #include "stream/fault_injector.h"
 
@@ -160,20 +161,6 @@ Result<unsigned> ThreadsArg(const Config& cfg) {
         "], got " + std::to_string(threads));
   }
   return static_cast<unsigned>(threads);
-}
-
-/// Parses "host:port" (numeric port in [1, 65535]).
-Result<std::pair<std::string, int>> ParseHostPort(const std::string& s) {
-  const size_t colon = s.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
-    return Status::InvalidArgument("expected host:port, got '" + s + "'");
-  }
-  char* end = nullptr;
-  const long port = std::strtol(s.c_str() + colon + 1, &end, 10);
-  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
-    return Status::InvalidArgument("bad port in '" + s + "'");
-  }
-  return std::make_pair(s.substr(0, colon), static_cast<int>(port));
 }
 
 /// Prints the structured salvage report of a resumed broker — what the
@@ -431,62 +418,13 @@ int CmdServe(const Config& cfg) {
   }
   assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
 
+  // Every serve knob parses through the central, key-naming validator
+  // (server/server_options.h) — this command adds only the wiring no
+  // struct can carry (solver factory, replication sender, signals).
+  auto sopts = server::ParseServerOptions(cfg);
+  if (!sopts.ok()) return Fail(sopts.status());
   server::BrokerOptions opts;
-  auto geti = [&cfg](const char* key, int64_t def) {
-    return cfg.GetInt(key, def);
-  };
-  auto port = geti("port", 0);
-  auto batch_max = geti("batch_max", 64);
-  auto batch_wait = geti("batch_wait_us", 200);
-  auto queue_max = geti("queue_max", 1024);
-  auto busy_retry = geti("busy_retry_us", 1000);
-  auto busy_retry_cap = geti("busy_retry_cap_us", 500000);
-  auto every = geti("checkpoint_every", 0);
-  auto max_conns = geti("max_connections", 256);
-  auto max_inflight = geti("max_inflight", 1024);
-  auto read_timeout = geti("read_timeout_us", 5000000);
-  auto idle_timeout = geti("idle_timeout_us", 0);
-  auto write_timeout = geti("write_timeout_us", 5000000);
-  auto degrade_sojourn = geti("degrade_sojourn_us", 0);
-  auto degrade_batches = geti("degrade_batches", 4);
-  auto recover_sojourn = geti("recover_sojourn_us", 0);
-  auto recover_batches = geti("recover_batches", 8);
-  auto sync_n = geti("sync_every_n", 0);
-  auto sync_bytes = geti("sync_bytes", 0);
-  auto shards = geti("shards", 1);
-  auto partition_shard = geti("partition_shard", 0);
-  auto partition_shards = geti("partition_shards", 1);
-  auto epoch = geti("epoch", 0);
-  for (const auto* r :
-       {&port, &batch_max, &batch_wait, &queue_max, &busy_retry,
-        &busy_retry_cap, &every, &max_conns, &max_inflight, &read_timeout,
-        &idle_timeout, &write_timeout, &degrade_sojourn, &degrade_batches,
-        &recover_sojourn, &recover_batches, &sync_n, &sync_bytes, &shards,
-        &partition_shard, &partition_shards, &epoch}) {
-    if (!r->ok()) return Fail(r->status());
-    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
-  }
-  opts.port = static_cast<int>(*port);
-  opts.batch_max = static_cast<size_t>(*batch_max);
-  opts.batch_wait_us = static_cast<uint32_t>(*batch_wait);
-  opts.queue_max = static_cast<size_t>(*queue_max);
-  opts.busy_retry_us = static_cast<uint32_t>(*busy_retry);
-  opts.busy_retry_cap_us = static_cast<uint32_t>(*busy_retry_cap);
-  opts.max_connections = static_cast<size_t>(*max_conns);
-  opts.max_inflight_per_conn = static_cast<size_t>(*max_inflight);
-  opts.read_timeout_us = static_cast<uint64_t>(*read_timeout);
-  opts.idle_timeout_us = static_cast<uint64_t>(*idle_timeout);
-  opts.write_timeout_us = static_cast<uint64_t>(*write_timeout);
-  opts.ladder.degrade_sojourn_us = static_cast<uint64_t>(*degrade_sojourn);
-  opts.ladder.degrade_batches = static_cast<uint64_t>(*degrade_batches);
-  opts.ladder.recover_sojourn_us = static_cast<uint64_t>(*recover_sojourn);
-  opts.ladder.recover_batches = static_cast<uint64_t>(*recover_batches);
-  opts.durability.journal_path = cfg.GetString("journal", "");
-  opts.durability.checkpoint_path = cfg.GetString("checkpoint", "");
-  opts.durability.checkpoint_every = static_cast<size_t>(*every);
-  opts.durability.sync_policy.every_n_records = static_cast<uint64_t>(*sync_n);
-  opts.durability.sync_policy.every_n_bytes = static_cast<uint64_t>(*sync_bytes);
-  opts.shards = static_cast<uint32_t>(*shards);
+  sopts->ApplyTo(&opts);
   if (opts.shards > 1) {
     // Geo-partitioned serving: each shard gets its own solver built from
     // the same name, seeded identically (docs/serving.md, "Sharding").
@@ -502,17 +440,6 @@ int CmdServe(const Config& cfg) {
     opts.shard_rng_seed =
         static_cast<uint64_t>(cfg.GetInt("seed", 42).ValueOrDie());
   }
-  opts.partition_shard_id = static_cast<uint32_t>(*partition_shard);
-  opts.partition_num_shards = static_cast<uint32_t>(*partition_shards);
-  opts.fence_epoch = static_cast<uint64_t>(*epoch);
-  auto resume = cfg.GetBool("resume", false);
-  if (!resume.ok()) return Fail(resume.status());
-  opts.resume = *resume;
-  if (opts.resume && opts.durability.journal_path.empty() &&
-      opts.durability.checkpoint_path.empty()) {
-    return Fail(Status::InvalidArgument(
-        "resume=1 needs journal= and/or checkpoint="));
-  }
   // Semi-synchronous follower replication: no batch is acked before its
   // journal bytes are fsynced on the follower at `replicate=host:port`.
   std::unique_ptr<server::ReplicationSender> replication;
@@ -521,7 +448,7 @@ int CmdServe(const Config& cfg) {
     if (opts.durability.journal_path.empty()) {
       return Fail(Status::InvalidArgument("replicate= requires journal="));
     }
-    auto addr = ParseHostPort(replicate);
+    auto addr = server::ParseHostPort(replicate);
     if (!addr.ok()) return Fail(addr.status());
     server::ReplicationSenderOptions ropts;
     ropts.host = addr->first;
@@ -534,7 +461,9 @@ int CmdServe(const Config& cfg) {
     opts.replication = replication.get();
   }
   std::string metrics_dump = cfg.GetString("metrics_dump", "");
-  cfg.WarnUnreadKeys();
+  if (Status unknown = server::RejectUnknownKeys(cfg); !unknown.ok()) {
+    return Fail(unknown);
+  }
 
   server::Broker broker(ctx, solver->get(), opts);
   Status st = broker.Start();
@@ -623,23 +552,17 @@ int CmdReplica(const Config& cfg) {
   }
   assign::SolveContext ctx{&*inst, &view, &utility, &rng, pool.get()};
 
-  auto geti = [&cfg](const char* key, int64_t def) {
-    return cfg.GetInt(key, def);
-  };
-  auto port = geti("port", 0);
-  auto serve_port = geti("serve_port", 0);
-  auto batch_max = geti("batch_max", 64);
-  auto queue_max = geti("queue_max", 1024);
-  auto every = geti("checkpoint_every", 0);
-  auto partition_shard = geti("partition_shard", 0);
-  auto partition_shards = geti("partition_shards", 1);
-  for (const auto* r : {&port, &serve_port, &batch_max, &queue_max, &every,
-                        &partition_shard, &partition_shards}) {
-    if (!r->ok()) return Fail(r->status());
-    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
-  }
+  server::OptionReader reader(cfg);
+  const auto port = reader.Int("port", 0, 0, 65535);
+  const auto serve_port = reader.Int("serve_port", 0, 0, 65535);
+  const auto batch_max = reader.Uint("batch_max", 64);
+  const auto queue_max = reader.Uint("queue_max", 1024);
+  const auto every = reader.Uint("checkpoint_every", 0);
+  const auto partition_shard = reader.Int("partition_shard", 0, 0, 255);
+  const auto partition_shards = reader.Int("partition_shards", 1, 1, 256);
+  if (!reader.status().ok()) return Fail(reader.status());
   server::ReplicaServerOptions ropts;
-  ropts.port = static_cast<int>(*port);
+  ropts.port = static_cast<int>(port);
   ropts.journal_path = cfg.GetString("journal", "");
   ropts.checkpoint_path = cfg.GetString("checkpoint", "");
   if (ropts.journal_path.empty() || ropts.checkpoint_path.empty()) {
@@ -651,14 +574,16 @@ int CmdReplica(const Config& cfg) {
       [solver_name]() -> Result<std::unique_ptr<assign::OnlineSolver>> {
     return assign::MakeOnlineSolver(solver_name);
   };
-  ropts.broker.port = static_cast<int>(*serve_port);
-  ropts.broker.batch_max = static_cast<size_t>(*batch_max);
-  ropts.broker.queue_max = static_cast<size_t>(*queue_max);
-  ropts.broker.durability.checkpoint_every = static_cast<size_t>(*every);
-  ropts.broker.partition_shard_id = static_cast<uint32_t>(*partition_shard);
+  ropts.broker.port = static_cast<int>(serve_port);
+  ropts.broker.batch_max = static_cast<size_t>(batch_max);
+  ropts.broker.queue_max = static_cast<size_t>(queue_max);
+  ropts.broker.durability.checkpoint_every = static_cast<size_t>(every);
+  ropts.broker.partition_shard_id = static_cast<uint32_t>(partition_shard);
   ropts.broker.partition_num_shards =
-      static_cast<uint32_t>(*partition_shards);
-  cfg.WarnUnreadKeys();
+      static_cast<uint32_t>(partition_shards);
+  if (Status unknown = server::RejectUnknownKeys(cfg); !unknown.ok()) {
+    return Fail(unknown);
+  }
 
   server::ReplicaServer replica(ropts);
   Status st = replica.Start();

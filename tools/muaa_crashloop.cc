@@ -72,6 +72,7 @@
 #include "server/frontend.h"
 #include "server/loadgen.h"
 #include "server/replication.h"
+#include "server/server_options.h"
 #include "stream/driver.h"
 #include "stream/recovery.h"
 
@@ -377,36 +378,45 @@ int RunFailover(size_t customers, size_t vendors, uint64_t seed,
 int Run(int argc, char** argv) {
   auto cfg = Config::FromArgs(argc, argv);
   if (!cfg.ok()) return Fail(cfg.status());
-  const size_t iterations = (size_t)cfg->GetInt("iterations", 24).ValueOrDie();
-  const size_t customers = (size_t)cfg->GetInt("customers", 300).ValueOrDie();
-  const size_t vendors = (size_t)cfg->GetInt("vendors", 20).ValueOrDie();
-  const uint64_t seed = (uint64_t)cfg->GetInt("seed", 2024).ValueOrDie();
-  const bool verbose = cfg->GetBool("verbose", false).ValueOrDie();
-  const std::string mode = cfg->GetString("mode", "storage");
+  server::OptionReader reader(*cfg);
+  const size_t iterations = (size_t)reader.Uint("iterations", 24);
+  const size_t customers = (size_t)reader.Int("customers", 300, 1, 1'000'000);
+  const size_t vendors = (size_t)reader.Int("vendors", 20, 1, 1'000'000);
+  const uint64_t seed = (uint64_t)reader.Uint("seed", 2024);
+  const bool verbose = reader.Bool("verbose", false);
+  const std::string mode = reader.Str("mode", "storage");
+  if (!reader.status().ok()) return Fail(reader.status());
   if (mode == "failover") {
-    cfg->WarnUnreadKeys();
+    if (Status unknown = server::RejectUnknownKeys(*cfg); !unknown.ok()) {
+      return Fail(unknown);
+    }
     return RunFailover(customers, vendors, seed, verbose);
   }
   if (mode != "storage") {
-    return Fail(Status::InvalidArgument("mode must be storage or failover"));
+    return Fail(Status::InvalidArgument(
+        "option 'mode' must be storage or failover, got '" + mode + "'"));
   }
   std::vector<uint32_t> shard_rotation;
   {
-    const std::string spec = cfg->GetString("shards", "1,2,4");
+    const std::string spec = reader.Str("shards", "1,2,4");
     size_t pos = 0;
     while (pos < spec.size()) {
       size_t comma = spec.find(',', pos);
       if (comma == std::string::npos) comma = spec.size();
       const int n = std::atoi(spec.substr(pos, comma - pos).c_str());
       if (n < 1 || n > 256) {
-        return Fail(Status::InvalidArgument("bad shards list: " + spec));
+        return Fail(Status::InvalidArgument(
+            "option 'shards' entries must be in [1, 256], got '" + spec +
+            "'"));
       }
       shard_rotation.push_back(static_cast<uint32_t>(n));
       pos = comma + 1;
     }
     if (shard_rotation.empty()) shard_rotation.push_back(1);
   }
-  cfg->WarnUnreadKeys();
+  if (Status unknown = server::RejectUnknownKeys(*cfg); !unknown.ok()) {
+    return Fail(unknown);
+  }
 
   const auto base = fs::temp_directory_path();
   const std::string tag = "muaa_crashloop_" + std::to_string(seed);

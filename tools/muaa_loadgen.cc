@@ -4,6 +4,8 @@
 //                [qps=Q] [connections=C] [retry=0|1] [json=<file>]
 //                [deadline_us=D] [reconnect=0|1] [recv_timeout_us=T]
 //                [backoff_base_us=B] [backoff_cap_us=C] [backoff_seed=S]
+//                [high_conn=0|1] [conn_threads=T] [zipf_s=S]
+//                [zipf_seed=S] [drain_timeout_us=D]
 //   muaa_loadgen port=N stats=1       # one STATS query, print, exit
 //   muaa_loadgen port=N shutdown=1    # ask the broker to shut down
 //
@@ -17,6 +19,9 @@
 // `reconnect=1` (closed loop) survives transport faults — resets, CRC
 // mismatches, swallowed bytes — by reconnecting with backoff and
 // re-sending the current arrival, the mode used behind muaa_chaosproxy.
+// `high_conn=1` holds `connections` mostly-idle sockets on `conn_threads`
+// event loops and Zipf-skews the sends across them — the 10k+ client
+// shape the connection-scaling bench and CI smoke job drive.
 //
 // The report prints as key=value lines; `json=` additionally writes it as
 // a JSON object (same shape as the BENCH_*.json emitted by
@@ -65,6 +70,7 @@ Status WriteJsonReport(const std::string& path, const server::LoadgenReport& r,
                "  \"expired\": %llu,\n"
                "  \"errors\": %llu,\n"
                "  \"reconnects\": %llu,\n"
+               "  \"connect_errors\": %llu,\n"
                "  \"duplicate_acks\": %llu,\n"
                "  \"assigned_ads\": %llu,\n"
                "  \"served\": %llu,\n"
@@ -82,6 +88,7 @@ Status WriteJsonReport(const std::string& path, const server::LoadgenReport& r,
                static_cast<unsigned long long>(r.expired),
                static_cast<unsigned long long>(r.errors),
                static_cast<unsigned long long>(r.reconnects),
+               static_cast<unsigned long long>(r.connect_errors),
                static_cast<unsigned long long>(r.duplicate_acks),
                static_cast<unsigned long long>(r.assigned_ads),
                static_cast<unsigned long long>(r.served), r.total_utility,
@@ -192,6 +199,11 @@ int Run(int argc, char** argv) {
   auto backoff_base = cfg->GetInt("backoff_base_us", 1000);
   auto backoff_cap = cfg->GetInt("backoff_cap_us", 250000);
   auto backoff_seed = cfg->GetInt("backoff_seed", 42);
+  auto high_conn = cfg->GetBool("high_conn", false);
+  auto conn_threads = cfg->GetInt("conn_threads", 2);
+  auto zipf_s = cfg->GetDouble("zipf_s", 1.1);
+  auto zipf_seed = cfg->GetInt("zipf_seed", 42);
+  auto drain_timeout = cfg->GetInt("drain_timeout_us", 0);
   if (!qps.ok()) return Fail(qps.status());
   if (!conns.ok()) return Fail(conns.status());
   if (!retry.ok()) return Fail(retry.status());
@@ -201,6 +213,11 @@ int Run(int argc, char** argv) {
   if (!backoff_base.ok()) return Fail(backoff_base.status());
   if (!backoff_cap.ok()) return Fail(backoff_cap.status());
   if (!backoff_seed.ok()) return Fail(backoff_seed.status());
+  if (!high_conn.ok()) return Fail(high_conn.status());
+  if (!conn_threads.ok()) return Fail(conn_threads.status());
+  if (!zipf_s.ok()) return Fail(zipf_s.status());
+  if (!zipf_seed.ok()) return Fail(zipf_seed.status());
+  if (!drain_timeout.ok()) return Fail(drain_timeout.status());
   opts.qps = static_cast<double>(*qps);
   opts.connections = static_cast<size_t>(*conns);
   opts.retry_busy = *retry;
@@ -210,6 +227,11 @@ int Run(int argc, char** argv) {
   opts.backoff.base_us = static_cast<uint32_t>(*backoff_base);
   opts.backoff.cap_us = static_cast<uint32_t>(*backoff_cap);
   opts.backoff.seed = static_cast<uint64_t>(*backoff_seed);
+  opts.high_conn = *high_conn;
+  opts.conn_threads = static_cast<size_t>(*conn_threads);
+  opts.zipf_s = *zipf_s;
+  opts.zipf_seed = static_cast<uint64_t>(*zipf_seed);
+  opts.drain_timeout_us = static_cast<uint64_t>(*drain_timeout);
   std::string json = cfg->GetString("json", "");
   cfg->WarnUnreadKeys();
 
@@ -219,14 +241,15 @@ int Run(int argc, char** argv) {
   // CI scripts grep that block as one adjacent run.
   std::printf(
       "sent=%llu assigned=%llu busy=%llu expired=%llu errors=%llu "
-      "reconnects=%llu duplicate_acks=%llu ads=%llu served=%llu "
-      "utility=%.6f\n",
+      "reconnects=%llu connect_errors=%llu duplicate_acks=%llu ads=%llu "
+      "served=%llu utility=%.6f\n",
       static_cast<unsigned long long>(report->sent),
       static_cast<unsigned long long>(report->assigned),
       static_cast<unsigned long long>(report->busy),
       static_cast<unsigned long long>(report->expired),
       static_cast<unsigned long long>(report->errors),
       static_cast<unsigned long long>(report->reconnects),
+      static_cast<unsigned long long>(report->connect_errors),
       static_cast<unsigned long long>(report->duplicate_acks),
       static_cast<unsigned long long>(report->assigned_ads),
       static_cast<unsigned long long>(report->served),

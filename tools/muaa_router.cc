@@ -43,6 +43,7 @@
 #include "model/problem_view.h"
 #include "model/utility.h"
 #include "server/frontend.h"
+#include "server/server_options.h"
 
 namespace muaa {
 namespace {
@@ -67,19 +68,6 @@ int Fail(const Status& st) {
 std::atomic<bool> g_stop{false};
 void HandleSigint(int) { g_stop.store(true); }
 
-Result<std::pair<std::string, int>> ParseHostPort(const std::string& s) {
-  size_t colon = s.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
-    return Status::InvalidArgument("expected host:port, got '" + s + "'");
-  }
-  char* end = nullptr;
-  long port = std::strtol(s.c_str() + colon + 1, &end, 10);
-  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
-    return Status::InvalidArgument("bad port in '" + s + "'");
-  }
-  return std::make_pair(s.substr(0, colon), static_cast<int>(port));
-}
-
 int Run(int argc, char** argv) {
   auto cfg = Config::FromArgs(argc, argv);
   if (!cfg.ok()) return Fail(cfg.status());
@@ -100,7 +88,7 @@ int Run(int argc, char** argv) {
     std::string backend =
         cfg->GetString("backend" + std::to_string(k), "");
     if (backend.empty()) break;
-    auto addr = ParseHostPort(backend);
+    auto addr = server::ParseHostPort(backend);
     if (!addr.ok()) return Fail(addr.status());
     server::FrontendBackend b;
     b.host = addr->first;
@@ -108,7 +96,7 @@ int Run(int argc, char** argv) {
     std::string follower =
         cfg->GetString("follower" + std::to_string(k), "");
     if (!follower.empty()) {
-      auto faddr = ParseHostPort(follower);
+      auto faddr = server::ParseHostPort(follower);
       if (!faddr.ok()) return Fail(faddr.status());
       b.follower_host = faddr->first;
       b.follower_port = faddr->second;
@@ -117,34 +105,29 @@ int Run(int argc, char** argv) {
   }
   if (opts.backends.empty()) return Usage();
 
-  auto port = cfg->GetInt("port", 0);
-  auto hop_attempts = cfg->GetInt("hop_attempts", 10);
-  auto hop_timeout = cfg->GetInt("hop_timeout_us", 2'000'000);
-  auto hb_interval = cfg->GetInt("heartbeat_interval_us", 50'000);
-  auto hb_timeout = cfg->GetInt("heartbeat_timeout_us", 250'000);
-  auto misses = cfg->GetInt("fail_after_misses", 3);
-  auto failover = cfg->GetBool("failover", true);
-  auto backoff_base = cfg->GetInt("backoff_base_us", 1000);
-  auto backoff_cap = cfg->GetInt("backoff_cap_us", 250000);
-  auto backoff_seed = cfg->GetInt("backoff_seed", 42);
-  for (const auto* r : {&port, &hop_attempts, &hop_timeout, &hb_interval,
-                        &hb_timeout, &misses, &backoff_base, &backoff_cap,
-                        &backoff_seed}) {
-    if (!r->ok()) return Fail(r->status());
-    if (**r < 0) return Fail(Status::InvalidArgument("negative option"));
+  server::OptionReader reader(*cfg);
+  opts.port = static_cast<int>(reader.Int("port", 0, 0, 65535));
+  opts.hop_attempts =
+      static_cast<uint32_t>(reader.Int("hop_attempts", 10, 0, UINT32_MAX));
+  opts.hop_timeout_us =
+      static_cast<uint64_t>(reader.Uint("hop_timeout_us", 2'000'000));
+  opts.heartbeat_interval_us =
+      static_cast<uint64_t>(reader.Uint("heartbeat_interval_us", 50'000));
+  opts.heartbeat_timeout_us =
+      static_cast<uint64_t>(reader.Uint("heartbeat_timeout_us", 250'000));
+  opts.fail_after_misses =
+      static_cast<uint32_t>(reader.Int("fail_after_misses", 3, 0, UINT32_MAX));
+  opts.enable_failover = reader.Bool("failover", true);
+  opts.backoff.base_us =
+      static_cast<uint32_t>(reader.Int("backoff_base_us", 1000, 0, UINT32_MAX));
+  opts.backoff.cap_us = static_cast<uint32_t>(
+      reader.Int("backoff_cap_us", 250'000, 0, UINT32_MAX));
+  opts.backoff.seed =
+      static_cast<uint64_t>(reader.Uint("backoff_seed", 42));
+  if (!reader.status().ok()) return Fail(reader.status());
+  if (Status unknown = server::RejectUnknownKeys(*cfg); !unknown.ok()) {
+    return Fail(unknown);
   }
-  if (!failover.ok()) return Fail(failover.status());
-  opts.port = static_cast<int>(*port);
-  opts.hop_attempts = static_cast<uint32_t>(*hop_attempts);
-  opts.hop_timeout_us = static_cast<uint64_t>(*hop_timeout);
-  opts.heartbeat_interval_us = static_cast<uint64_t>(*hb_interval);
-  opts.heartbeat_timeout_us = static_cast<uint64_t>(*hb_timeout);
-  opts.fail_after_misses = static_cast<uint32_t>(*misses);
-  opts.enable_failover = *failover;
-  opts.backoff.base_us = static_cast<uint32_t>(*backoff_base);
-  opts.backoff.cap_us = static_cast<uint32_t>(*backoff_cap);
-  opts.backoff.seed = static_cast<uint64_t>(*backoff_seed);
-  cfg->WarnUnreadKeys();
 
   server::Frontend frontend(ctx, std::move(opts));
   Status st = frontend.Start();
